@@ -1,0 +1,201 @@
+// Design-choice ablations called out in DESIGN.md:
+//  1. reconstruction semantics — range center (the paper's forecasting
+//     semantics) vs range mean (the paper's lookup-table construction);
+//  2. resolution ladder — round-trip error vs alphabet size per method;
+//  3. on-the-fly table rebuild (Section 4) — reconstruction error across a
+//     simulated seasonal shift, with and without drift-triggered rebuilds.
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "core/encoder.h"
+#include "core/online_encoder.h"
+#include "core/reconstruction.h"
+#include "core/utility.h"
+
+namespace smeter::bench {
+namespace {
+
+void ReconstructionSemantics(const TimeSeries& hourly) {
+  std::printf("-- reconstruction semantics: MAE [W] of decode(encode(x)) --\n");
+  std::printf("%-16s %-8s %-14s %-14s\n", "method", "symbols",
+              "range-center", "range-mean");
+  std::vector<double> values = hourly.Values();
+  for (SeparatorMethod method :
+       {SeparatorMethod::kUniform, SeparatorMethod::kMedian,
+        SeparatorMethod::kDistinctMedian}) {
+    for (int level : {2, 4}) {
+      LookupTableOptions options;
+      options.method = method;
+      options.level = level;
+      LookupTable table = LookupTable::Build(values, options).value();
+      ReconstructionError center =
+          RoundTripError(hourly, table, ReconstructionMode::kRangeCenter)
+              .value();
+      ReconstructionError mean =
+          RoundTripError(hourly, table, ReconstructionMode::kRangeMean)
+              .value();
+      std::printf("%-16s %-8d %-14.1f %-14.1f\n",
+                  SeparatorMethodName(method).c_str(), 1 << level, center.mae,
+                  mean.mae);
+    }
+  }
+}
+
+void ResolutionLadder(const TimeSeries& hourly) {
+  std::printf("\n-- resolution ladder: range-mean MAE [W] vs alphabet --\n");
+  std::printf("%-16s", "method");
+  for (int level = 1; level <= 6; ++level) {
+    std::printf(" k=%-7d", 1 << level);
+  }
+  std::printf("\n");
+  std::vector<double> values = hourly.Values();
+  for (SeparatorMethod method :
+       {SeparatorMethod::kUniform, SeparatorMethod::kMedian,
+        SeparatorMethod::kDistinctMedian}) {
+    std::printf("%-16s", SeparatorMethodName(method).c_str());
+    for (int level = 1; level <= 6; ++level) {
+      LookupTableOptions options;
+      options.method = method;
+      options.level = level;
+      LookupTable table = LookupTable::Build(values, options).value();
+      ReconstructionError err =
+          RoundTripError(hourly, table, ReconstructionMode::kRangeMean)
+              .value();
+      std::printf(" %-9.1f", err.mae);
+    }
+    std::printf("\n");
+  }
+}
+
+void UtilityDrivenSegmentation(const TimeSeries& hourly) {
+  std::printf("\n-- Section 4: utility-driven segmentation (Lloyd-Max) --\n");
+  std::printf("%-16s %-12s %-12s\n", "method", "RMS err [W]",
+              "entropy-ish");
+  std::vector<double> values = hourly.Values();
+  auto report = [&](const std::string& name, const LookupTable& table) {
+    double mse =
+        MeanSquaredDistortion(table, values, ReconstructionMode::kRangeMean)
+            .value();
+    // Fraction of non-empty buckets as a crude balance indicator.
+    size_t used = 0;
+    for (size_t c : table.bucket_counts()) {
+      if (c > 0) ++used;
+    }
+    std::printf("%-16s %-12.1f %zu/%u buckets used\n", name.c_str(),
+                std::sqrt(mse), used, table.alphabet_size());
+  };
+  LookupTableOptions options;
+  options.level = 4;
+  options.method = SeparatorMethod::kUniform;
+  report("uniform", LookupTable::Build(values, options).value());
+  options.method = SeparatorMethod::kMedian;
+  report("median", LookupTable::Build(values, options).value());
+  LloydMaxOptions lm;
+  lm.level = 4;
+  report("lloyd-max", BuildLloydMaxTable(values, lm).value());
+  std::printf("(lloyd-max minimizes distortion; median maximizes entropy — "
+              "two utility targets, Section 4)\n");
+}
+
+// A trace whose consumption doubles halfway through ("seasonal change" /
+// "an additional family member", Section 4).
+TimeSeries ShiftedTrace() {
+  std::vector<TimeSeries> fleet = PaperFleet(8);
+  TimeSeries shifted;
+  for (const Sample& s : fleet[0]) {
+    double scale = s.timestamp >= 4 * kSecondsPerDay ? 2.5 : 1.0;
+    (void)shifted.Append({s.timestamp, s.value * scale});
+  }
+  return shifted;
+}
+
+double OnlineReconstructionMae(const TimeSeries& trace, bool with_drift) {
+  OnlineEncoderOptions options;
+  options.method = SeparatorMethod::kMedian;
+  options.level = 4;
+  options.warmup_seconds = 2 * kSecondsPerDay;
+  options.window_seconds = 900;
+  if (with_drift) {
+    DriftOptions drift;
+    drift.window_size = 192;  // two days of 15-min symbols
+    drift.min_samples = 96;
+    drift.psi_threshold = 0.25;
+    options.drift = drift;
+    options.rebuild_history_windows = 192;
+  }
+  OnlineEncoder encoder = OnlineEncoder::Create(options).value();
+
+  // Ground truth: the batch window aggregates, keyed by window-end
+  // timestamp (identical aggregation rules to the online encoder).
+  TimeSeries aggregates =
+      VerticalSegmentByWindow(trace, options.window_seconds, options.window)
+          .value();
+  std::map<Timestamp, double> truth;
+  for (const Sample& s : aggregates) truth[s.timestamp] = s.value;
+
+  // Replay the stream; decode each symbol against the table version that
+  // produced it.
+  std::vector<LookupTable> tables;
+  double abs_error = 0.0;
+  size_t count = 0;
+  auto handle = [&](const std::vector<EncoderEvent>& events) {
+    for (const EncoderEvent& e : events) {
+      if (e.type == EncoderEvent::Type::kTableReady) {
+        tables.push_back(*encoder.table());
+        continue;
+      }
+      const LookupTable& table =
+          tables[static_cast<size_t>(e.table_version) - 1];
+      double decoded =
+          table.Reconstruct(e.symbol.symbol, ReconstructionMode::kRangeMean)
+              .value();
+      auto it = truth.find(e.symbol.timestamp);
+      if (it == truth.end()) continue;
+      abs_error += std::abs(decoded - it->second);
+      ++count;
+    }
+  };
+  for (const Sample& s : trace) {
+    handle(encoder.Push(s).value());
+  }
+  handle(encoder.Flush().value());
+  std::printf("   tables built: %zu\n", tables.size());
+  return count == 0 ? -1.0 : abs_error / static_cast<double>(count);
+}
+
+void DriftAblation() {
+  std::printf("\n-- Section 4: on-the-fly table rebuild under a 2.5x "
+              "consumption shift --\n");
+  TimeSeries trace = ShiftedTrace();
+  std::printf("static table (no rebuild):\n");
+  double static_mae = OnlineReconstructionMae(trace, /*with_drift=*/false);
+  std::printf("   reconstruction MAE = %.1f W\n", static_mae);
+  std::printf("drift-triggered rebuild (PSI > 0.25):\n");
+  double adaptive_mae = OnlineReconstructionMae(trace, /*with_drift=*/true);
+  std::printf("   reconstruction MAE = %.1f W\n", adaptive_mae);
+  std::printf("adaptive / static MAE = %.2f (< 1 means rebuilding helps)\n",
+              adaptive_mae / static_mae);
+}
+
+void Run() {
+  PrintBenchHeader("Ablations: reconstruction semantics, resolution, drift",
+                   {"house 1 hourly data, 12 days"});
+  std::vector<TimeSeries> fleet = PaperFleet(12);
+  TimeSeries hourly =
+      VerticalSegmentByWindow(fleet[0], kSecondsPerHour, {}).value();
+  ReconstructionSemantics(hourly);
+  ResolutionLadder(hourly);
+  UtilityDrivenSegmentation(hourly);
+  DriftAblation();
+}
+
+}  // namespace
+}  // namespace smeter::bench
+
+int main() {
+  smeter::bench::Run();
+  return 0;
+}

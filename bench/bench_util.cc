@@ -1,0 +1,315 @@
+#include "bench_util.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <cstdlib>
+#include <memory>
+
+#include "app/forecaster.h"
+#include "core/vertical.h"
+#include "ml/decision_tree.h"
+#include "ml/logistic.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+#include "ml/svr.h"
+
+namespace smeter::bench {
+
+data::GeneratorOptions PaperFleetOptions(int days, uint64_t seed) {
+  data::GeneratorOptions options;
+  options.num_houses = kNumHouses;
+  options.duration_seconds = days * kSecondsPerDay;
+  options.outages_per_day = 0.4;
+  options.outage_mean_seconds = 2400.0;
+  options.sparse_house = 4;  // the paper's data-starved house 5
+  options.seed = seed;
+  return options;
+}
+
+std::vector<TimeSeries> PaperFleet(int days, uint64_t seed) {
+  Result<std::vector<TimeSeries>> fleet =
+      data::GenerateFleet(PaperFleetOptions(days, seed));
+  if (!fleet.ok()) {
+    std::fprintf(stderr, "fleet generation failed: %s\n",
+                 fleet.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(fleet.value());
+}
+
+ml::ClassifierFactory MakeClassifierFactory(const std::string& name) {
+  if (name == "RandomForest") {
+    return [] {
+      ml::RandomForestOptions options;
+      options.num_trees = 50;
+      return std::make_unique<ml::RandomForest>(options);
+    };
+  }
+  if (name == "J48") {
+    return [] { return std::make_unique<ml::DecisionTree>(); };
+  }
+  if (name == "NaiveBayes") {
+    return [] { return std::make_unique<ml::NaiveBayes>(); };
+  }
+  if (name == "Logistic") {
+    return [] {
+      ml::LogisticOptions options;
+      options.max_iterations = 150;
+      return std::make_unique<ml::Logistic>(options);
+    };
+  }
+  std::fprintf(stderr, "unknown classifier: %s\n", name.c_str());
+  std::abort();
+}
+
+std::string AggLabel(int64_t window_seconds, int level) {
+  std::string window = window_seconds == kSecondsPerHour
+                           ? "1h"
+                           : std::to_string(window_seconds / 60) + "m";
+  if (window_seconds == 1) window = "1sec";
+  return window + " " + std::to_string(1 << level) + "s";
+}
+
+std::string ConfigLabel(SeparatorMethod method, int64_t window_seconds,
+                        int level) {
+  return SeparatorMethodName(method) + " " + AggLabel(window_seconds, level);
+}
+
+namespace {
+
+Result<ClassificationRun> RunOnDataset(const ml::Dataset& dataset,
+                                       const std::string& classifier_name,
+                                       uint64_t cv_seed) {
+  Result<ml::CrossValidationResult> cv = ml::CrossValidate(
+      MakeClassifierFactory(classifier_name), dataset, 10, cv_seed);
+  if (!cv.ok()) return cv.status();
+  ClassificationRun run;
+  run.weighted_f1 = cv->metrics.WeightedF1();
+  run.processing_seconds = cv->processing_seconds;
+  run.num_instances = dataset.num_instances();
+  return run;
+}
+
+}  // namespace
+
+Result<ClassificationRun> RunSymbolicClassification(
+    const std::vector<TimeSeries>& fleet,
+    const data::ClassificationOptions& options,
+    const std::string& classifier_name, uint64_t cv_seed) {
+  Result<ml::Dataset> dataset =
+      data::BuildSymbolicClassificationDataset(fleet, options);
+  if (!dataset.ok()) return dataset.status();
+  return RunOnDataset(dataset.value(), classifier_name, cv_seed);
+}
+
+Result<ClassificationRun> RunRawClassification(
+    const std::vector<TimeSeries>& fleet,
+    const data::ClassificationOptions& options,
+    const std::string& classifier_name, uint64_t cv_seed) {
+  Result<ml::Dataset> dataset =
+      data::BuildRawClassificationDataset(fleet, options);
+  if (!dataset.ok()) return dataset.status();
+  return RunOnDataset(dataset.value(), classifier_name, cv_seed);
+}
+
+Result<std::vector<double>> ContiguousHourly(const TimeSeries& trace,
+                                             size_t hours) {
+  WindowOptions window;
+  window.min_coverage = 0.0;  // any samples at all yield an hourly mean
+  Result<TimeSeries> hourly =
+      VerticalSegmentByWindow(trace, kSecondsPerHour, window);
+  if (!hourly.ok()) return hourly.status();
+  const TimeSeries& h = hourly.value();
+  if (h.empty()) return FailedPreconditionError("empty trace");
+
+  // Lay the values onto the full hourly grid (NaN = missing hour).
+  Timestamp grid_start = h.front().timestamp;
+  size_t grid_size = static_cast<size_t>(
+      (h.back().timestamp - grid_start) / kSecondsPerHour + 1);
+  if (grid_size < hours) {
+    return FailedPreconditionError("trace shorter than requested window");
+  }
+  std::vector<double> grid(grid_size,
+                           std::numeric_limits<double>::quiet_NaN());
+  for (const Sample& s : h) {
+    grid[static_cast<size_t>((s.timestamp - grid_start) / kSecondsPerHour)] =
+        s.value;
+  }
+
+  // Find the first span with few enough missing hours (sliding count).
+  const size_t max_missing = hours / 20;  // 5%
+  size_t missing = 0;
+  for (size_t i = 0; i < grid_size; ++i) {
+    if (std::isnan(grid[i])) ++missing;
+    if (i + 1 < hours) continue;
+    if (i >= hours && std::isnan(grid[i - hours])) --missing;
+    if (missing > max_missing) continue;
+
+    std::vector<double> out(grid.begin() + static_cast<long>(i + 1 - hours),
+                            grid.begin() + static_cast<long>(i + 1));
+    // Fill the missing hours by linear interpolation between the nearest
+    // known neighbours (ends fall back to the nearest known value).
+    for (size_t j = 0; j < out.size(); ++j) {
+      if (!std::isnan(out[j])) continue;
+      size_t prev = j;
+      while (prev > 0 && std::isnan(out[prev])) --prev;
+      size_t next = j;
+      while (next + 1 < out.size() && std::isnan(out[next])) ++next;
+      if (std::isnan(out[prev]) && std::isnan(out[next])) continue;
+      if (std::isnan(out[prev])) {
+        out[j] = out[next];
+      } else if (std::isnan(out[next])) {
+        out[j] = out[prev];
+      } else {
+        double frac = static_cast<double>(j - prev) /
+                      static_cast<double>(next - prev);
+        out[j] = out[prev] + frac * (out[next] - out[prev]);
+      }
+    }
+    return out;
+  }
+  return FailedPreconditionError("no hourly span of " +
+                                 std::to_string(hours) +
+                                 " hours with enough data");
+}
+
+Result<double> SymbolicForecastMae(const std::vector<double>& hourly,
+                                   const std::vector<double>& table_training,
+                                   SeparatorMethod method,
+                                   const std::string& classifier_name) {
+  const size_t total = kTrainHours + kForecastHours;
+  if (hourly.size() != total) {
+    return InvalidArgumentError("hourly series must hold 8 days");
+  }
+  app::ForecasterOptions options;
+  options.method = method;
+  options.level = kForecastLevel;
+  options.lag = kForecastLag;
+  app::SymbolicForecaster forecaster(MakeClassifierFactory(classifier_name),
+                                     options);
+  std::vector<double> history(hourly.begin(), hourly.begin() + kTrainHours);
+  std::vector<double> next_day(hourly.begin() + kTrainHours, hourly.end());
+  SMETER_RETURN_IF_ERROR(
+      forecaster.TrainWithTableData(table_training, history));
+  return forecaster.EvaluateMae(history, next_day);
+}
+
+Result<double> SvrForecastMae(const std::vector<double>& hourly) {
+  const size_t total = kTrainHours + kForecastHours;
+  if (hourly.size() != total) {
+    return InvalidArgumentError("hourly series must hold 8 days");
+  }
+  std::vector<std::vector<double>> x_train, x_test;
+  std::vector<double> y_train, y_test;
+  SMETER_RETURN_IF_ERROR(data::BuildLagMatrix(hourly, kForecastLag, 0,
+                                              kTrainHours, &x_train,
+                                              &y_train));
+  SMETER_RETURN_IF_ERROR(data::BuildLagMatrix(hourly, kForecastLag,
+                                              kTrainHours, total, &x_test,
+                                              &y_test));
+  ml::SvrOptions options;
+  options.c = 10.0;
+  ml::Svr svr(options);
+  SMETER_RETURN_IF_ERROR(svr.Train(x_train, y_train));
+  double abs_error = 0.0;
+  for (size_t i = 0; i < x_test.size(); ++i) {
+    Result<double> predicted = svr.Predict(x_test[i]);
+    if (!predicted.ok()) return predicted.status();
+    abs_error += std::abs(predicted.value() - y_test[i]);
+  }
+  return abs_error / static_cast<double>(x_test.size());
+}
+
+void RunForecastFigure(const std::string& classifier_name) {
+  std::vector<TimeSeries> fleet = PaperFleet(12);
+  std::printf("%-10s %-10s %-16s %-10s %-10s\n", "house", "raw(SVR)",
+              "distinctmedian", "median", "uniform");
+  for (size_t house = 0; house < fleet.size(); ++house) {
+    if (house == 4) {
+      std::printf("%-10s (skipped: not enough data)\n", "house 5");
+      continue;
+    }
+    Result<std::vector<double>> hourly =
+        ContiguousHourly(fleet[house], kTrainHours + kForecastHours);
+    if (!hourly.ok()) {
+      std::printf("house %zu    failed: %s\n", house + 1,
+                  hourly.status().ToString().c_str());
+      continue;
+    }
+    // Tables are calibrated on the house's historical raw data (first two
+    // days), as in the classification experiments.
+    std::vector<double> table_training =
+        fleet[house].Slice({0, 2 * kSecondsPerDay}).Values();
+
+    Result<double> raw = SvrForecastMae(hourly.value());
+    std::printf("house %-4zu %-10.1f", house + 1,
+                raw.ok() ? raw.value() : -1.0);
+    for (SeparatorMethod method :
+         {SeparatorMethod::kDistinctMedian, SeparatorMethod::kMedian,
+          SeparatorMethod::kUniform}) {
+      Result<double> mae = SymbolicForecastMae(
+          hourly.value(), table_training, method, classifier_name);
+      std::printf(" %-*.1f",
+                  method == SeparatorMethod::kDistinctMedian ? 16 : 10,
+                  mae.ok() ? mae.value() : -1.0);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+}
+
+void RunFigureSweep(const std::vector<TimeSeries>& fleet,
+                    const std::string& classifier_name, bool global_table) {
+  std::printf("%-26s %-10s %-14s\n", "config", "F-measure",
+              "time [seconds]");
+  for (SeparatorMethod method :
+       {SeparatorMethod::kDistinctMedian, SeparatorMethod::kMedian,
+        SeparatorMethod::kUniform}) {
+    for (int64_t window : {kSecondsPerHour, int64_t{900}}) {
+      for (int level : {1, 2, 3, 4}) {
+        data::ClassificationOptions options;
+        options.day.window_seconds = window;
+        options.method = method;
+        options.level = level;
+        options.global_table = global_table;
+        Result<ClassificationRun> run =
+            RunSymbolicClassification(fleet, options, classifier_name);
+        if (!run.ok()) {
+          std::printf("%-26s failed: %s\n",
+                      ConfigLabel(method, window, level).c_str(),
+                      run.status().ToString().c_str());
+          continue;
+        }
+        std::printf("%-26s %-10.3f %-14.4f\n",
+                    ConfigLabel(method, window, level).c_str(),
+                    run->weighted_f1, run->processing_seconds);
+      }
+    }
+  }
+  for (int64_t window : {kSecondsPerHour, int64_t{900}}) {
+    data::ClassificationOptions options;
+    options.day.window_seconds = window;
+    Result<ClassificationRun> run =
+        RunRawClassification(fleet, options, classifier_name);
+    std::string label =
+        std::string("raw ") + (window == kSecondsPerHour ? "1h" : "15m");
+    if (!run.ok()) {
+      std::printf("%-26s failed: %s\n", label.c_str(),
+                  run.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-26s %-10.3f %-14.4f\n", label.c_str(), run->weighted_f1,
+                run->processing_seconds);
+  }
+}
+
+void PrintBenchHeader(const std::string& title,
+                      const std::vector<std::string>& notes) {
+  std::printf("== %s ==\n", title.c_str());
+  for (const std::string& note : notes) {
+    std::printf("#  %s\n", note.c_str());
+  }
+}
+
+}  // namespace smeter::bench

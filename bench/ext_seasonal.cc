@@ -1,0 +1,136 @@
+// Extension bench for Section 4's seasonal-change scenario: "to study the
+// effect of seasonal change, one can consider to use Irish CER dataset
+// which has more than one year measurement."
+//
+// We simulate 18 months of CER-style half-hourly data with a +/-35%
+// seasonal consumption swing and compare three sensor-side policies:
+//   (a) a static table from two winter days (the paper's default warm-up);
+//   (b) a static table from a representative full year;
+//   (c) drift-triggered rebuilds (PSI > 0.25).
+// Reported: reconstruction MAE of the symbol stream and tables shipped.
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "core/online_encoder.h"
+#include "core/reconstruction.h"
+#include "data/cer.h"
+#include "data/generator.h"
+
+namespace smeter::bench {
+namespace {
+
+constexpr int64_t kHalfHour = 1800;
+constexpr int kDays = 548;  // ~18 months
+
+TimeSeries SeasonalTrace() {
+  data::GeneratorOptions options;
+  options.num_houses = 1;
+  options.duration_seconds = kDays * kSecondsPerDay;
+  options.sample_period_seconds = kHalfHour;  // CER cadence
+  options.outages_per_day = 0.0;
+  options.sparse_house = 99;
+  options.seasonal_amplitude = 0.35;
+  options.seed = 365;
+  return data::GenerateHouseSeries(0, options).value();
+}
+
+struct PolicyResult {
+  double mae = 0.0;
+  int tables = 0;
+};
+
+PolicyResult RunPolicy(const TimeSeries& trace, int64_t warmup_seconds,
+                       bool with_drift) {
+  OnlineEncoderOptions options;
+  options.method = SeparatorMethod::kMedian;
+  options.level = 4;
+  options.warmup_seconds = warmup_seconds;
+  options.window_seconds = kHalfHour;
+  options.window.sample_period_seconds = kHalfHour;
+  if (with_drift) {
+    DriftOptions drift;
+    drift.window_size = 48 * 28;  // four weeks of half-hour symbols
+    drift.min_samples = 48 * 7;
+    drift.psi_threshold = 0.25;
+    options.drift = drift;
+    options.rebuild_history_windows = 48 * 28;
+  }
+  OnlineEncoder encoder = OnlineEncoder::Create(options).value();
+
+  std::map<Timestamp, double> truth;
+  for (const Sample& s : trace) truth[s.timestamp + kHalfHour] = s.value;
+
+  std::vector<LookupTable> tables;
+  double abs_error = 0.0;
+  size_t count = 0;
+  auto handle = [&](const std::vector<EncoderEvent>& events) {
+    for (const EncoderEvent& e : events) {
+      if (e.type == EncoderEvent::Type::kTableReady) {
+        tables.push_back(*encoder.table());
+        continue;
+      }
+      const LookupTable& table =
+          tables[static_cast<size_t>(e.table_version) - 1];
+      double decoded =
+          table.Reconstruct(e.symbol.symbol, ReconstructionMode::kRangeMean)
+              .value();
+      auto it = truth.find(e.symbol.timestamp);
+      if (it == truth.end()) continue;
+      abs_error += std::abs(decoded - it->second);
+      ++count;
+    }
+  };
+  for (const Sample& s : trace) handle(encoder.Push(s).value());
+  handle(encoder.Flush().value());
+
+  PolicyResult result;
+  result.mae = count == 0 ? -1.0 : abs_error / static_cast<double>(count);
+  result.tables = static_cast<int>(tables.size());
+  return result;
+}
+
+void Run() {
+  PrintBenchHeader(
+      "Section 4 extension: seasonal change over CER-length data",
+      {"548 days of half-hourly data, +/-35% seasonal consumption swing",
+       "compares static two-day calibration vs yearly vs drift rebuilds"});
+
+  TimeSeries trace = SeasonalTrace();
+  std::printf("trace: %zu half-hour samples over %d days\n", trace.size(),
+              kDays);
+
+  // CER interop check: round-trip through the CER file format.
+  std::string cer = data::FormatCer({{1001, trace}}).value();
+  auto reloaded = data::ParseCer(cer).value();
+  std::printf("CER round-trip: %zu meters, %zu samples (format OK)\n",
+              reloaded.size(), reloaded[0].second.size());
+
+  // MAE is measured over each policy's post-warm-up symbol stream.
+  std::printf("\n%-34s %-12s %-8s\n", "policy", "MAE [W]", "tables");
+  PolicyResult two_days = RunPolicy(trace, 2 * kSecondsPerDay, false);
+  std::printf("%-34s %-12.1f %-8d\n", "static, 2-day winter warm-up",
+              two_days.mae, two_days.tables);
+  PolicyResult full_year = RunPolicy(trace, 365 * kSecondsPerDay, false);
+  std::printf("%-34s %-12.1f %-8d  (scored on the final %d days only)\n",
+              "static, 1-year warm-up", full_year.mae, full_year.tables,
+              kDays - 365);
+  PolicyResult adaptive = RunPolicy(trace, 2 * kSecondsPerDay, true);
+  std::printf("%-34s %-12.1f %-8d\n", "drift-triggered rebuilds (PSI)",
+              adaptive.mae, adaptive.tables);
+
+  std::printf("\nexpected shape: a single table calibrated in one season "
+              "mis-covers the others (Section 4's motivation); tracking the "
+              "season with periodic rebuilds cuts reconstruction error by "
+              "several-fold at the cost of re-sending the (tiny) table.\n");
+}
+
+}  // namespace
+}  // namespace smeter::bench
+
+int main() {
+  smeter::bench::Run();
+  return 0;
+}

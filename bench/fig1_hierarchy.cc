@@ -1,0 +1,60 @@
+// Figure 1: construction of variable-length symbols by recursive division
+// of the real value range. Prints the nested separator sets and the symbol
+// tree for house 1's lookup tables under each method.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/lookup_table.h"
+
+namespace smeter::bench {
+namespace {
+
+void PrintTableHierarchy(const LookupTable& table) {
+  for (int level = 1; level <= table.level(); ++level) {
+    std::printf("  level %d (k=%2u): ", level, 1u << level);
+    std::vector<double> seps = table.SeparatorsAtLevel(level).value();
+    std::printf("separators [W]:");
+    for (double s : seps) std::printf(" %8.1f", s);
+    std::printf("\n");
+    std::printf("                symbols:      ");
+    for (uint32_t i = 0; i < (1u << level); ++i) {
+      Symbol symbol = Symbol::Create(level, i).value();
+      std::printf(" %*s", 8, symbol.ToBits().c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+void Run() {
+  PrintBenchHeader(
+      "Figure 1: recursive range division into variable-length symbols",
+      {"house 1, separators learned from the first two days of 1 Hz data",
+       "level-l separators are a subset of level-(l+1): the binary tree "
+       "of Figure 1"});
+
+  std::vector<TimeSeries> fleet = PaperFleet(4);
+  std::vector<double> training =
+      fleet[0].Slice({0, 2 * kSecondsPerDay}).Values();
+
+  for (SeparatorMethod method :
+       {SeparatorMethod::kUniform, SeparatorMethod::kMedian,
+        SeparatorMethod::kDistinctMedian}) {
+    LookupTableOptions options;
+    options.method = method;
+    options.level = 3;
+    LookupTable table = LookupTable::Build(training, options).value();
+    std::printf("\nmethod = %s (domain %.1f .. %.1f W)\n",
+                SeparatorMethodName(method).c_str(), table.domain_min(),
+                table.domain_max());
+    PrintTableHierarchy(table);
+  }
+}
+
+}  // namespace
+}  // namespace smeter::bench
+
+int main() {
+  smeter::bench::Run();
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 5: Naive Bayes F-measure and processing time over symbolic and
+// raw data — {distinctmedian, median, uniform} x {1 h, 15 min} x
+// {2, 4, 8, 16} symbols, plus raw 1 h / 15 min baselines, 10-fold CV.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace smeter::bench;
+  PrintBenchHeader(
+      "Figure 5: Naive Bayes over symbolic and raw data",
+      {"6 synthetic houses (REDD stand-in), 24 days, per-house lookup "
+       "tables from the first two days",
+       "stratified 10-fold cross-validation; F-measure = weighted F1"});
+  std::vector<smeter::TimeSeries> fleet = PaperFleet();
+  RunFigureSweep(fleet, "NaiveBayes", /*global_table=*/false);
+  return 0;
+}

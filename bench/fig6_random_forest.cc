@@ -1,0 +1,15 @@
+// Figure 6: Random Forest F-measure and processing time over symbolic and
+// raw data, same sweep as Figure 5.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace smeter::bench;
+  PrintBenchHeader(
+      "Figure 6: Random Forest over symbolic and raw data",
+      {"6 synthetic houses, 24 days, per-house lookup tables, 50 trees",
+       "stratified 10-fold cross-validation; F-measure = weighted F1"});
+  std::vector<smeter::TimeSeries> fleet = PaperFleet();
+  RunFigureSweep(fleet, "RandomForest", /*global_table=*/false);
+  return 0;
+}

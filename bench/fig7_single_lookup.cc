@@ -1,0 +1,17 @@
+// Figure 7: Random Forest over symbolic data encoded with a SINGLE lookup
+// table learned from all houses pooled (instead of one table per house),
+// plus the raw baselines. The paper uses this to isolate how much of the
+// classification signal comes from the house-specific separators.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace smeter::bench;
+  PrintBenchHeader(
+      "Figure 7: Random Forest with a single (global) lookup table",
+      {"6 synthetic houses, 24 days, one table from all houses' history",
+       "stratified 10-fold cross-validation; F-measure = weighted F1"});
+  std::vector<smeter::TimeSeries> fleet = PaperFleet();
+  RunFigureSweep(fleet, "RandomForest", /*global_table=*/true);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Figure 9: MAE of next-day hourly load forecasting with Random Forest as
+// the next-symbol predictor, against epsilon-SVR on raw values. Same
+// protocol as Figure 8.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace smeter::bench;
+  PrintBenchHeader(
+      "Figure 9: forecasting MAE [W], Random Forest next-symbol vs raw SVR",
+      {"1 week hourly training, next-day test, 12 lag symbols, alphabet 16",
+       "symbol semantics = center of its range (Section 3.2)"});
+  RunForecastFigure("RandomForest");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Anomaly detection on the symbol stream alone: the aggregation server
+// never sees raw watts, yet can still flag a household whose routine
+// breaks (a heater stuck on overnight here). Analytics on the compact,
+// privacy-preserving representation — the paper's central promise.
+
+#include <cstdio>
+
+#include "core/anomaly.h"
+#include "core/encoder.h"
+#include "data/generator.h"
+
+int main() {
+  using namespace smeter;
+
+  // Three weeks of one house at 1 Hz; the first two weeks are "typical".
+  data::GeneratorOptions gen;
+  gen.num_houses = 1;
+  gen.duration_seconds = 21 * kSecondsPerDay;
+  gen.outages_per_day = 0.0;
+  gen.sparse_house = 99;
+  gen.seed = 31;
+  TimeSeries trace = data::GenerateHouseSeries(0, gen).value();
+
+  // Day 18, 01:00-05:00: a 2 kW heater left running (the anomaly).
+  TimeSeries tampered;
+  const Timestamp anomaly_begin = 17 * kSecondsPerDay + 1 * kSecondsPerHour;
+  const Timestamp anomaly_end = 17 * kSecondsPerDay + 5 * kSecondsPerHour;
+  for (const Sample& s : trace) {
+    double value = s.value;
+    if (s.timestamp >= anomaly_begin && s.timestamp < anomaly_end) {
+      value += 2000.0;
+    }
+    (void)tampered.Append({s.timestamp, value});
+  }
+
+  // Sensor side: one median table from the first two days, hourly symbols.
+  LookupTableOptions table_options;
+  table_options.method = SeparatorMethod::kMedian;
+  table_options.level = 2;  // 4 symbols keep the bigram model well-fed
+  LookupTable table =
+      LookupTable::Build(tampered.Slice({0, 2 * kSecondsPerDay}).Values(),
+                         table_options)
+          .value();
+  PipelineOptions pipeline;
+  pipeline.window_seconds = kSecondsPerHour;
+  SymbolicSeries symbols = EncodePipeline(tampered, table, pipeline).value();
+  std::printf("symbol stream: %zu hourly symbols (%d bits each)\n",
+              symbols.size(), symbols.level());
+
+  // Server side: fit typical behaviour on weeks 1-2, watch week 3.
+  SymbolicSeries reference = symbols.Slice({0, 14 * kSecondsPerDay});
+  SymbolicSeries watch =
+      symbols.Slice({14 * kSecondsPerDay, 21 * kSecondsPerDay + 1});
+  AnomalyOptions options;
+  options.time_buckets = 4;
+  options.ema_alpha = 0.6;
+  options.threshold_bits = 3.0;
+  AnomalyDetector detector = AnomalyDetector::Fit(reference, options).value();
+
+  std::vector<AnomalyScore> scores = detector.Score(watch).value();
+  double max_smoothed = 0.0;
+  for (const AnomalyScore& s : scores) {
+    max_smoothed = std::max(max_smoothed, s.smoothed_bits);
+  }
+  std::printf("watch window: %zu symbols, peak smoothed surprisal %.1f "
+              "bits (threshold %.1f)\n",
+              scores.size(), max_smoothed, options.threshold_bits);
+
+  std::vector<TimeRange> ranges = detector.AnomalousRanges(watch).value();
+  std::printf("\nflagged regions:\n");
+  for (const TimeRange& r : ranges) {
+    double day = static_cast<double>(r.begin) / kSecondsPerDay;
+    int hour = static_cast<int>((r.begin % kSecondsPerDay) / kSecondsPerHour);
+    std::printf("  day %.0f, starting %02d:00, lasting %lld h\n", day + 1,
+                hour, static_cast<long long>(r.duration() / kSecondsPerHour));
+  }
+  if (ranges.empty()) {
+    std::printf("  (none — try a lower threshold)\n");
+  } else {
+    bool caught = false;
+    for (const TimeRange& r : ranges) {
+      if (r.begin < anomaly_end && r.end > anomaly_begin) caught = true;
+    }
+    std::printf("\ninjected heater window (day 18, 01:00-05:00) %s from "
+                "symbols alone\n",
+                caught ? "was CAUGHT" : "was missed");
+  }
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Short-term residential load forecasting (Section 3.2): predict the next
+// day's hourly consumption of one house from one week of history, with the
+// forecast cast as next-symbol classification, and compare against
+// epsilon-SVR on the raw values.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/encoder.h"
+#include "core/reconstruction.h"
+#include "data/features.h"
+#include "data/generator.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+#include "ml/svr.h"
+
+namespace {
+
+constexpr size_t kLag = 12;
+constexpr size_t kTrainHours = 7 * 24;
+constexpr size_t kTotalHours = 8 * 24;
+constexpr int kLevel = 4;  // alphabet of 16
+
+}  // namespace
+
+int main() {
+  using namespace smeter;
+
+  data::GeneratorOptions gen;
+  gen.num_houses = 1;
+  gen.duration_seconds = 8 * kSecondsPerDay;
+  gen.outages_per_day = 0.0;
+  gen.sparse_house = 99;
+  gen.seed = 99;
+  TimeSeries raw = data::GenerateHouseSeries(0, gen).value();
+  TimeSeries hourly_series =
+      VerticalSegmentByWindow(raw, kSecondsPerHour, {}).value();
+  std::vector<double> hourly = hourly_series.Values();
+  std::printf("hourly series: %zu values (train %zu, test %zu)\n",
+              hourly.size(), kTrainHours, kTotalHours - kTrainHours);
+
+  // --- symbolic forecasting ---
+  std::vector<double> training(hourly.begin(), hourly.begin() + kTrainHours);
+  LookupTableOptions table_options;
+  table_options.method = SeparatorMethod::kMedian;
+  table_options.level = kLevel;
+  LookupTable table = LookupTable::Build(training, table_options).value();
+
+  std::vector<uint32_t> symbols;
+  for (double v : hourly) symbols.push_back(table.Encode(v).index());
+
+  ml::Dataset train =
+      data::MakeSymbolicLagDataset(symbols, kLag, kLevel, 0, kTrainHours)
+          .value();
+  ml::Dataset test = data::MakeSymbolicLagDataset(symbols, kLag, kLevel,
+                                                  kTrainHours, kTotalHours)
+                         .value();
+
+  auto forecast_with = [&](ml::Classifier& classifier) {
+    Status status = classifier.Train(train);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return -1.0;
+    }
+    double abs_error = 0.0;
+    std::printf("  hour  truth[W]  forecast[W]  symbol\n");
+    for (size_t r = 0; r < test.num_instances(); ++r) {
+      size_t predicted = classifier.Predict(test.row(r)).value();
+      Symbol s = Symbol::Create(kLevel, static_cast<uint32_t>(predicted))
+                     .value();
+      double value =
+          table.Reconstruct(s, ReconstructionMode::kRangeCenter).value();
+      double truth = hourly[kTrainHours + r];
+      if (r % 6 == 0) {  // print a sample of the day
+        std::printf("  %4zu  %8.1f  %11.1f  %s\n", r, truth, value,
+                    s.ToBits().c_str());
+      }
+      abs_error += std::abs(value - truth);
+    }
+    return abs_error / static_cast<double>(test.num_instances());
+  };
+
+  std::printf("\n== symbolic, Naive Bayes ==\n");
+  ml::NaiveBayes nb;
+  double nb_mae = forecast_with(nb);
+
+  std::printf("\n== symbolic, Random Forest ==\n");
+  ml::RandomForestOptions rf_options;
+  rf_options.num_trees = 50;
+  ml::RandomForest rf(rf_options);
+  double rf_mae = forecast_with(rf);
+
+  // --- raw-value baseline: epsilon-SVR ---
+  std::vector<std::vector<double>> x_train, x_test;
+  std::vector<double> y_train, y_test;
+  (void)data::BuildLagMatrix(hourly, kLag, 0, kTrainHours, &x_train, &y_train);
+  (void)data::BuildLagMatrix(hourly, kLag, kTrainHours, kTotalHours, &x_test,
+                             &y_test);
+  ml::SvrOptions svr_options;
+  svr_options.c = 10.0;
+  ml::Svr svr(svr_options);
+  if (Status s = svr.Train(x_train, y_train); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  double svr_abs = 0.0;
+  for (size_t i = 0; i < x_test.size(); ++i) {
+    svr_abs += std::abs(svr.Predict(x_test[i]).value() - y_test[i]);
+  }
+  double svr_mae = svr_abs / static_cast<double>(x_test.size());
+
+  std::printf("\n== next-day MAE ==\n");
+  std::printf("raw epsilon-SVR:        %8.1f W (%zu support vectors)\n",
+              svr_mae, svr.num_support_vectors());
+  std::printf("symbolic Naive Bayes:   %8.1f W\n", nb_mae);
+  std::printf("symbolic Random Forest: %8.1f W\n", rf_mae);
+  std::printf("\nthe paper's claim: symbolic forecasting is comparable to "
+              "raw-value forecasting despite only seeing 4-bit symbols.\n");
+  return 0;
+}

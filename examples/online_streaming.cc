@@ -1,0 +1,82 @@
+// The sensor-side online pipeline (Section 2): warm up on historical data,
+// emit the lookup table to the "aggregation server", stream symbols, and
+// rebuild the table on the fly when the consumption distribution shifts
+// (Section 4's seasonal-change scenario).
+
+#include <cstdio>
+
+#include "core/online_encoder.h"
+#include "data/generator.h"
+
+int main() {
+  using namespace smeter;
+
+  // Six days of one house; consumption jumps 2.5x after day 4 (say, an
+  // electric heater joins in winter).
+  data::GeneratorOptions gen;
+  gen.num_houses = 1;
+  gen.duration_seconds = 6 * kSecondsPerDay;
+  gen.outages_per_day = 0.0;
+  gen.sparse_house = 99;
+  gen.seed = 21;
+  TimeSeries trace = data::GenerateHouseSeries(0, gen).value();
+
+  OnlineEncoderOptions options;
+  options.method = SeparatorMethod::kMedian;
+  options.level = 3;  // 8 symbols
+  options.warmup_seconds = 2 * kSecondsPerDay;
+  options.window_seconds = 900;
+  DriftOptions drift;
+  drift.window_size = 192;
+  drift.min_samples = 96;
+  drift.psi_threshold = 0.25;
+  options.drift = drift;
+  options.rebuild_history_windows = 192;
+  OnlineEncoder encoder = OnlineEncoder::Create(options).value();
+
+  size_t symbols_emitted = 0;
+  size_t bits_sent = 0;
+  for (const Sample& raw : trace) {
+    Sample s = raw;
+    if (s.timestamp >= 4 * kSecondsPerDay) s.value *= 2.5;  // regime shift
+
+    Result<std::vector<EncoderEvent>> events = encoder.Push(s);
+    if (!events.ok()) {
+      std::fprintf(stderr, "%s\n", events.status().ToString().c_str());
+      return 1;
+    }
+    for (const EncoderEvent& e : *events) {
+      if (e.type == EncoderEvent::Type::kTableReady) {
+        const LookupTable& table = *encoder.table();
+        std::printf("[t=%7lld] TABLE v%d -> server (%zu bytes, domain "
+                    "%.0f..%.0f W)\n",
+                    static_cast<long long>(s.timestamp), e.table_version,
+                    table.Serialize().size(), table.domain_min(),
+                    table.domain_max());
+        bits_sent += table.Serialize().size() * 8;
+      } else {
+        ++symbols_emitted;
+        bits_sent += static_cast<size_t>(options.level);
+        if (symbols_emitted % 96 == 1) {  // one line per simulated day
+          std::printf("[t=%7lld] symbol %s (table v%d)\n",
+                      static_cast<long long>(e.symbol.timestamp),
+                      e.symbol.symbol.ToBits().c_str(), e.table_version);
+        }
+      }
+    }
+  }
+  std::vector<EncoderEvent> tail = encoder.Flush().value();
+  for (const EncoderEvent& e : tail) {
+    if (e.type == EncoderEvent::Type::kSymbol) ++symbols_emitted;
+  }
+
+  std::printf("\nstreamed %zu symbols across %d table version(s)\n",
+              symbols_emitted, encoder.table_version());
+  std::printf("bytes on the wire: %zu (raw would be %lld)\n", bits_sent / 8,
+              static_cast<long long>(trace.size()) * 8);
+  if (encoder.table_version() > 1) {
+    std::printf("the 2.5x regime shift was detected and the table rebuilt "
+                "on the fly (Section 4)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Privacy and numerosity (Sections 1 and 2.3): what symbolization hides
+// and what it saves.
+//
+// The paper motivates symbols twice over: (a) detailed 1 Hz measurements
+// expose appliance-level behaviour (privacy risk), and (b) raw storage is
+// three orders of magnitude larger. This example quantifies both: the
+// kettle spike that is obvious in the raw trace collapses into a coarse
+// symbol, an expert 2-symbol low/high table hides almost everything, and
+// the storage table shows the §2.3 ratios.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/codec.h"
+#include "core/compression.h"
+#include "core/encoder.h"
+#include "core/entropy.h"
+#include "core/privacy.h"
+#include "data/generator.h"
+
+int main() {
+  using namespace smeter;
+
+  data::GeneratorOptions gen;
+  gen.num_houses = 1;
+  gen.duration_seconds = 3 * kSecondsPerDay;
+  gen.outages_per_day = 0.0;
+  gen.sparse_house = 99;
+  gen.seed = 5;
+  TimeSeries trace = data::GenerateHouseSeries(0, gen).value();
+  TimeSeries history = trace.Slice({0, 2 * kSecondsPerDay});
+  TimeSeries today = trace.Slice({2 * kSecondsPerDay, 3 * kSecondsPerDay});
+
+  LookupTableOptions table_options;
+  table_options.method = SeparatorMethod::kMedian;
+  table_options.level = 4;
+  LookupTable table =
+      LookupTable::Build(history.Values(), table_options).value();
+
+  // Appliance-signature visibility (core/privacy.h): what fraction of the
+  // appliance switch events — the signal NILM attacks use — survives into
+  // the symbol stream at each aggregation window.
+  std::printf("appliance-event visibility through the symbols (>250 W jumps):\n");
+  for (int64_t window : {int64_t{60}, int64_t{900}, kSecondsPerHour}) {
+    PipelineOptions pipeline;
+    pipeline.window_seconds = window;
+    SymbolicSeries symbols = EncodePipeline(today, table, pipeline).value();
+    EventObscurityOptions obscurity;
+    obscurity.jump_threshold_watts = 250.0;  // include mid-size appliances
+    obscurity.window_seconds = window;
+    EventObscurityReport report =
+        EvaluateEventObscurity(today, symbols, obscurity).value();
+    double entropy = ConditionalEntropyBits(symbols).value();
+    std::printf("  @ %4lld s windows: %zu of %zu events visible (%.0f%%), "
+                "next-symbol uncertainty %.2f bits\n",
+                static_cast<long long>(window), report.visible_events,
+                report.raw_events, 100.0 * report.visibility, entropy);
+  }
+
+  // What actually crosses the wire: the day packed with the bit codec.
+  PipelineOptions pipeline;
+  pipeline.window_seconds = 900;
+  SymbolicSeries day_symbols = EncodePipeline(today, table, pipeline).value();
+  std::string wire = PackSymbolicSeries(day_symbols).value();
+  std::printf("\npacked day on the wire: %zu bytes (%lld payload bits + "
+              "26-byte header) vs %zu bytes raw\n",
+              wire.size(),
+              static_cast<long long>(
+                  PackedPayloadBits(day_symbols.size(), day_symbols.level())),
+              today.size() * 8);
+
+  // The expert table of Section 3.2: two symbols, low/high.
+  LookupTable low_high =
+      LookupTable::FromSeparators({600.0}, 0.0, 6000.0).value();
+  SymbolicSeries coarse = EncodePipeline(today, low_high, pipeline).value();
+  std::printf("\nexpert low/high table (threshold 600 W), today's 96 "
+              "windows:\n  %s\n", coarse.ToBitString().c_str());
+  std::printf("  entropy: %.2f of 1 bit — the server learns little beyond "
+              "\"when is this home active\"\n",
+              SymbolEntropyBits(coarse).value());
+
+  // Storage accounting (Section 2.3).
+  std::printf("\nstorage per day (one meter):\n");
+  std::printf("  %-28s %12s %10s\n", "representation", "bits/day", "ratio");
+  CompressionModelOptions raw_model;
+  raw_model.window_seconds = 900;
+  raw_model.symbol_bits = 4;
+  CompressionReport headline = EvaluateCompression(raw_model).value();
+  std::printf("  %-28s %12.0f %10s\n", "raw doubles @ 1 Hz",
+              headline.raw_bits_per_day, "1x");
+  for (int level : {4, 1}) {
+    for (int64_t window : {int64_t{900}, kSecondsPerHour}) {
+      CompressionModelOptions model;
+      model.window_seconds = window;
+      model.symbol_bits = level;
+      CompressionReport report = EvaluateCompression(model).value();
+      std::string label = std::to_string(1 << level) + " symbols @ " +
+                          (window == 900 ? "15 min" : "1 h");
+      std::printf("  %-28s %12.0f %9.0fx\n", label.c_str(),
+                  report.symbolic_bits_per_day, report.ratio);
+    }
+  }
+  return 0;
+}

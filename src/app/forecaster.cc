@@ -1,0 +1,112 @@
+#include "app/forecaster.h"
+
+#include <cmath>
+
+#include "data/features.h"
+
+namespace smeter::app {
+
+Status SymbolicForecaster::Train(const std::vector<double>& history) {
+  return TrainWithTableData(history, history);
+}
+
+Status SymbolicForecaster::TrainWithTableData(
+    const std::vector<double>& table_training,
+    const std::vector<double>& history) {
+  if (history.size() < options_.lag + 2) {
+    return InvalidArgumentError("history must hold at least lag + 2 values");
+  }
+  if (options_.lag == 0) return InvalidArgumentError("lag must be > 0");
+
+  LookupTableOptions table_options;
+  table_options.method = options_.method;
+  table_options.level = options_.level;
+  Result<LookupTable> table =
+      LookupTable::Build(table_training, table_options);
+  if (!table.ok()) return table.status();
+  table_ = std::move(table.value());
+
+  std::vector<uint32_t> symbols;
+  symbols.reserve(history.size());
+  for (double v : history) symbols.push_back(table_->Encode(v).index());
+
+  Result<ml::Dataset> train = data::MakeSymbolicLagDataset(
+      symbols, options_.lag, options_.level, 0, symbols.size());
+  if (!train.ok()) return train.status();
+
+  classifier_ = factory_();
+  Status status = classifier_->Train(train.value());
+  if (!status.ok()) {
+    classifier_.reset();
+    return status;
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<double>> SymbolicForecaster::LagRow(
+    const std::vector<double>& values) const {
+  if (values.size() < options_.lag) {
+    return InvalidArgumentError("need at least lag recent values");
+  }
+  std::vector<double> row;
+  row.reserve(options_.lag + 1);
+  for (size_t i = values.size() - options_.lag; i < values.size(); ++i) {
+    if (!std::isfinite(values[i])) {
+      return InvalidArgumentError("non-finite recent value");
+    }
+    row.push_back(static_cast<double>(table_->Encode(values[i]).index()));
+  }
+  row.push_back(ml::kMissing);  // class cell
+  return row;
+}
+
+Result<double> SymbolicForecaster::DecodeSymbol(size_t index) const {
+  Result<Symbol> symbol =
+      Symbol::Create(options_.level, static_cast<uint32_t>(index));
+  if (!symbol.ok()) return symbol.status();
+  return table_->Reconstruct(symbol.value(), options_.semantics);
+}
+
+Result<double> SymbolicForecaster::PredictNext(
+    const std::vector<double>& recent) const {
+  if (!trained()) return FailedPreconditionError("forecaster not trained");
+  Result<std::vector<double>> row = LagRow(recent);
+  if (!row.ok()) return row.status();
+  Result<size_t> predicted = classifier_->Predict(row.value());
+  if (!predicted.ok()) return predicted.status();
+  return DecodeSymbol(predicted.value());
+}
+
+Result<std::vector<double>> SymbolicForecaster::Forecast(
+    const std::vector<double>& recent, size_t horizon) const {
+  if (!trained()) return FailedPreconditionError("forecaster not trained");
+  if (horizon == 0) return InvalidArgumentError("horizon must be > 0");
+  std::vector<double> window = recent;
+  std::vector<double> forecast;
+  forecast.reserve(horizon);
+  for (size_t step = 0; step < horizon; ++step) {
+    Result<double> next = PredictNext(window);
+    if (!next.ok()) return next.status();
+    forecast.push_back(next.value());
+    window.push_back(next.value());
+  }
+  return forecast;
+}
+
+Result<double> SymbolicForecaster::EvaluateMae(
+    const std::vector<double>& recent,
+    const std::vector<double>& actual) const {
+  if (!trained()) return FailedPreconditionError("forecaster not trained");
+  if (actual.empty()) return InvalidArgumentError("no actual values");
+  std::vector<double> window = recent;
+  double abs_error = 0.0;
+  for (double truth : actual) {
+    Result<double> predicted = PredictNext(window);
+    if (!predicted.ok()) return predicted.status();
+    abs_error += std::abs(predicted.value() - truth);
+    window.push_back(truth);  // teacher forcing, as in the paper
+  }
+  return abs_error / static_cast<double>(actual.size());
+}
+
+}  // namespace smeter::app

@@ -1,0 +1,87 @@
+// The paper's consumption-forecasting pipeline (Section 3.2) as a reusable
+// component: "we reduce the forecasting task into classification task
+// using lag attributes ... comprises of 12 previous symbols. The target
+// attribute is the next symbols."
+//
+// SymbolicForecaster owns the whole chain: learn a lookup table from
+// history, encode, train a nominal classifier on lag windows, and map
+// predicted symbols back to watts through the symbol's semantics (range
+// center, as the paper defines, or range mean). Beyond the paper's
+// one-step-ahead setting it supports iterated multi-step forecasts by
+// feeding predictions back as lag inputs.
+
+#ifndef SMETER_APP_FORECASTER_H_
+#define SMETER_APP_FORECASTER_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "core/lookup_table.h"
+#include "ml/evaluation.h"
+
+namespace smeter::app {
+
+struct ForecasterOptions {
+  SeparatorMethod method = SeparatorMethod::kMedian;
+  int level = 4;    // alphabet of 16, the paper's forecasting choice
+  size_t lag = 12;  // 12 previous symbols
+  // The paper: "we define semantics of a symbol as the center of its
+  // range."
+  ReconstructionMode semantics = ReconstructionMode::kRangeCenter;
+};
+
+class SymbolicForecaster {
+ public:
+  // `factory` creates the next-symbol classifier (any nominal-capable
+  // learner).
+  SymbolicForecaster(ml::ClassifierFactory factory,
+                     const ForecasterOptions& options)
+      : factory_(std::move(factory)), options_(options) {}
+
+  // Learns the lookup table from `history` (e.g. one week of hourly
+  // values) and trains the classifier on its lag windows. Needs at least
+  // lag + 2 values.
+  Status Train(const std::vector<double>& history);
+
+  // Like Train, but calibrates the lookup table from `table_training`
+  // (e.g. the sensor's raw two-day historical window, as the
+  // classification experiments do) while the classifier still learns from
+  // `history`'s lag windows.
+  Status TrainWithTableData(const std::vector<double>& table_training,
+                            const std::vector<double>& history);
+
+  // One-step-ahead: the forecast value following `recent`, which must hold
+  // at least `lag` values (the most recent last).
+  Result<double> PredictNext(const std::vector<double>& recent) const;
+
+  // Iterated `horizon`-step forecast, feeding each predicted symbol back
+  // as a lag input (the decoded watt values are returned).
+  Result<std::vector<double>> Forecast(const std::vector<double>& recent,
+                                       size_t horizon) const;
+
+  // One-step-ahead MAE over a held-out continuation: for each position i
+  // in `actual`, predicts from the true preceding values (teacher
+  // forcing), exactly the protocol behind Figures 8 and 9.
+  Result<double> EvaluateMae(const std::vector<double>& recent,
+                             const std::vector<double>& actual) const;
+
+  bool trained() const { return classifier_ != nullptr; }
+  const LookupTable& table() const { return *table_; }
+
+ private:
+  // Encodes the last `lag` values of `values` into a classifier row
+  // (with a missing class cell).
+  Result<std::vector<double>> LagRow(const std::vector<double>& values) const;
+  Result<double> DecodeSymbol(size_t index) const;
+
+  ml::ClassifierFactory factory_;
+  ForecasterOptions options_;
+  std::optional<LookupTable> table_;
+  std::unique_ptr<ml::Classifier> classifier_;
+};
+
+}  // namespace smeter::app
+
+#endif  // SMETER_APP_FORECASTER_H_

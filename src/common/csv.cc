@@ -1,0 +1,63 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace smeter {
+
+Result<CsvTable> ParseCsv(const std::string& content,
+                          const CsvOptions& options) {
+  CsvTable table;
+  size_t line_start = 0;
+  while (line_start <= content.size()) {
+    size_t line_end = content.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = content.size();
+    std::string_view line(content.data() + line_start, line_end - line_start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    line_start = line_end + 1;
+
+    std::string_view trimmed = Trim(line);
+    if (options.skip_blank_lines && trimmed.empty()) {
+      if (line_end == content.size()) break;
+      continue;
+    }
+    if (options.comment_char != '\0' && !trimmed.empty() &&
+        trimmed.front() == options.comment_char) {
+      continue;
+    }
+    table.rows.push_back(Split(line, options.delimiter));
+    if (line_end == content.size()) break;
+  }
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError("cannot open file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return InternalError("I/O error reading: " + path);
+  return ParseCsv(buf.str(), options);
+}
+
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows,
+                    const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return InternalError("cannot open file for writing: " + path);
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << options.delimiter;
+      out << row[i];
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return InternalError("I/O error writing: " + path);
+  return Status::Ok();
+}
+
+}  // namespace smeter

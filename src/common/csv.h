@@ -1,0 +1,47 @@
+// Minimal CSV / delimiter-separated-values reading and writing.
+//
+// Supports arbitrary single-character delimiters (the REDD low_freq layout
+// is space-separated), '#'-prefixed comment lines, and blank-line skipping.
+// Quoting is not supported: smart-meter exports are purely numeric.
+
+#ifndef SMETER_COMMON_CSV_H_
+#define SMETER_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace smeter {
+
+struct CsvOptions {
+  char delimiter = ',';
+  // Lines starting with this character (after trimming) are skipped.
+  // '\0' disables comment handling.
+  char comment_char = '#';
+  bool skip_blank_lines = true;
+};
+
+// A fully-parsed delimiter-separated file.
+struct CsvTable {
+  std::vector<std::vector<std::string>> rows;
+
+  size_t num_rows() const { return rows.size(); }
+};
+
+// Parses `content` (the full text of a file) into rows of string fields.
+Result<CsvTable> ParseCsv(const std::string& content,
+                          const CsvOptions& options = {});
+
+// Reads and parses the file at `path`.
+Result<CsvTable> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options = {});
+
+// Writes rows to `path`, joining fields with `options.delimiter`.
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows,
+                    const CsvOptions& options = {});
+
+}  // namespace smeter
+
+#endif  // SMETER_COMMON_CSV_H_

@@ -1,0 +1,17 @@
+// Standard normal distribution helpers shared by SAX (Gaussian breakpoints)
+// and C4.5 pruning (confidence bounds on binomial error rates).
+
+#ifndef SMETER_COMMON_NORMAL_H_
+#define SMETER_COMMON_NORMAL_H_
+
+#include "common/status.h"
+
+namespace smeter {
+
+// Inverse standard normal CDF (Acklam's rational approximation,
+// |relative error| < 1.15e-9). `p` must be in (0, 1).
+Result<double> InverseNormalCdf(double p);
+
+}  // namespace smeter
+
+#endif  // SMETER_COMMON_NORMAL_H_

@@ -1,0 +1,73 @@
+// Deterministic random number generation for simulators, samplers, and
+// randomized learners.
+//
+// All stochastic components in the library take an explicit `Rng&` (or a
+// seed) so that experiments are exactly reproducible across runs and
+// platforms. The generator is xoshiro256++, seeded via splitmix64.
+
+#ifndef SMETER_COMMON_RANDOM_H_
+#define SMETER_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace smeter {
+
+// A small, fast, deterministic PRNG (xoshiro256++).
+//
+// Not cryptographically secure. Copyable: copies continue the same stream
+// independently, which is used to give each simulated household its own
+// substream.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  // Returns the next raw 64-bit value.
+  uint64_t Next();
+
+  // Returns a uniform double in [0, 1).
+  double Uniform();
+
+  // Returns a uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Returns a uniform integer in [0, n). `n` must be > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  // Returns a standard normal deviate (Box-Muller; one value per call).
+  double Gaussian();
+
+  // Returns a normal deviate with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  // Returns a log-normal deviate: exp(N(mu, sigma)).
+  double LogNormal(double mu, double sigma);
+
+  // Returns an exponential deviate with the given rate (lambda > 0).
+  double Exponential(double rate);
+
+  // Returns true with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Returns a derived generator whose stream is independent of this one.
+  // Advances this generator.
+  Rng Fork();
+
+  // Fisher-Yates shuffles `values` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    for (size_t i = values.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace smeter
+
+#endif  // SMETER_COMMON_RANDOM_H_

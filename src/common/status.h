@@ -1,0 +1,116 @@
+// Error-handling primitives for the smeter library.
+//
+// The library does not use exceptions. Fallible operations return a
+// `Status`, or a `Result<T>` when they also produce a value:
+//
+//   smeter::Result<LookupTable> table = BuildLookupTable(...);
+//   if (!table.ok()) return table.status();
+//   Use(table.value());
+
+#ifndef SMETER_COMMON_STATUS_H_
+#define SMETER_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace smeter {
+
+// Broad error categories, modeled after absl::StatusCode.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+};
+
+// Returns a human-readable name for `code`, e.g. "InvalidArgument".
+std::string StatusCodeToString(StatusCode code);
+
+// A lightweight success-or-error value. Default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Returns "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Convenience constructors mirroring absl's.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+
+// Holds either a value of type T or a non-OK Status.
+//
+// Accessing value() on an error Result is a programming error and aborts in
+// debug builds.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` or
+  // `return SomeError(...);` directly, as with absl::StatusOr.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace smeter
+
+// Propagates a non-OK Status from an expression, absl-style.
+#define SMETER_RETURN_IF_ERROR(expr)          \
+  do {                                        \
+    ::smeter::Status _smeter_st = (expr);     \
+    if (!_smeter_st.ok()) return _smeter_st;  \
+  } while (false)
+
+#endif  // SMETER_COMMON_STATUS_H_

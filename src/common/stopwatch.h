@@ -1,0 +1,30 @@
+// Wall-clock stopwatch used to report the paper's "processing time" series
+// (Figures 5-7) and the micro-benchmarks' sanity prints.
+
+#ifndef SMETER_COMMON_STOPWATCH_H_
+#define SMETER_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace smeter {
+
+// Measures elapsed wall time in seconds. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace smeter
+
+#endif  // SMETER_COMMON_STOPWATCH_H_

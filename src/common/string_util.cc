@@ -1,0 +1,78 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace smeter {
+
+std::vector<std::string> Split(std::string_view text, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == delim) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  std::string_view trimmed = Trim(text);
+  if (trimmed.empty()) return InvalidArgumentError("empty numeric field");
+  std::string buf(trimmed);
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) {
+    return InvalidArgumentError("not a number: '" + buf + "'");
+  }
+  if (errno == ERANGE) {
+    return OutOfRangeError("numeric overflow: '" + buf + "'");
+  }
+  return value;
+}
+
+Result<int64_t> ParseInt(std::string_view text) {
+  std::string_view trimmed = Trim(text);
+  if (trimmed.empty()) return InvalidArgumentError("empty integer field");
+  std::string buf(trimmed);
+  errno = 0;
+  char* end = nullptr;
+  int64_t value = std::strtoll(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size()) {
+    return InvalidArgumentError("not an integer: '" + buf + "'");
+  }
+  if (errno == ERANGE) {
+    return OutOfRangeError("integer overflow: '" + buf + "'");
+  }
+  return value;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace smeter

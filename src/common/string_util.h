@@ -1,0 +1,33 @@
+// Small string helpers shared across the library (splitting, trimming,
+// numeric parsing with error reporting).
+
+#ifndef SMETER_COMMON_STRING_UTIL_H_
+#define SMETER_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace smeter {
+
+// Splits `text` on `delim`. Keeps empty fields ("a,,b" -> {"a", "", "b"}).
+std::vector<std::string> Split(std::string_view text, char delim);
+
+// Returns `text` without leading/trailing whitespace.
+std::string_view Trim(std::string_view text);
+
+// Parses a double / integer, rejecting trailing garbage and empty input.
+Result<double> ParseDouble(std::string_view text);
+Result<int64_t> ParseInt(std::string_view text);
+
+// Returns true if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+// Lower-cases ASCII characters.
+std::string ToLower(std::string_view text);
+
+}  // namespace smeter
+
+#endif  // SMETER_COMMON_STRING_UTIL_H_

@@ -1,0 +1,118 @@
+#include "core/anomaly.h"
+
+#include <cmath>
+
+namespace smeter {
+
+size_t AnomalyDetector::BucketOf(Timestamp t) const {
+  int64_t second_of_day = ((t % kSecondsPerDay) + kSecondsPerDay) %
+                          kSecondsPerDay;
+  int64_t bucket_span = kSecondsPerDay / options_.time_buckets;
+  return static_cast<size_t>(second_of_day / bucket_span);
+}
+
+size_t AnomalyDetector::CellOf(size_t bucket, uint32_t previous,
+                               uint32_t current) const {
+  size_t k = size_t{1} << level_;
+  return (bucket * k + previous) * k + current;
+}
+
+Result<AnomalyDetector> AnomalyDetector::Fit(const SymbolicSeries& reference,
+                                             const AnomalyOptions& options) {
+  if (options.time_buckets < 1 || 24 % options.time_buckets != 0) {
+    return InvalidArgumentError("time_buckets must divide 24");
+  }
+  if (options.smoothing <= 0.0) {
+    return InvalidArgumentError("smoothing must be > 0");
+  }
+  if (options.ema_alpha <= 0.0 || options.ema_alpha > 1.0) {
+    return InvalidArgumentError("ema_alpha must be in (0, 1]");
+  }
+  if (options.threshold_bits <= 0.0) {
+    return InvalidArgumentError("threshold_bits must be > 0");
+  }
+  if (reference.size() < 2) {
+    return FailedPreconditionError("reference needs at least two symbols");
+  }
+
+  AnomalyDetector detector(reference.level(), options);
+  size_t k = size_t{1} << reference.level();
+  size_t buckets = static_cast<size_t>(options.time_buckets);
+  detector.counts_.assign(buckets * k * k, 0.0);
+  detector.totals_.assign(buckets * k, 0.0);
+  for (size_t i = 1; i < reference.size(); ++i) {
+    size_t bucket = detector.BucketOf(reference[i].timestamp);
+    uint32_t previous = reference[i - 1].symbol.index();
+    uint32_t current = reference[i].symbol.index();
+    detector.counts_[detector.CellOf(bucket, previous, current)] += 1.0;
+    detector.totals_[bucket * k + previous] += 1.0;
+  }
+  return detector;
+}
+
+Result<std::vector<AnomalyScore>> AnomalyDetector::Score(
+    const SymbolicSeries& stream) const {
+  if (stream.level() != level_) {
+    return InvalidArgumentError("stream level differs from reference");
+  }
+  const size_t k = size_t{1} << level_;
+  const double k_double = static_cast<double>(k);
+
+  std::vector<AnomalyScore> scores;
+  scores.reserve(stream.size());
+  double ema = 0.0;
+  bool ema_started = false;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    AnomalyScore score;
+    score.timestamp = stream[i].timestamp;
+    if (i == 0) {
+      score.surprisal_bits = 0.0;  // no context for the first symbol
+    } else {
+      size_t bucket = BucketOf(stream[i].timestamp);
+      uint32_t previous = stream[i - 1].symbol.index();
+      uint32_t current = stream[i].symbol.index();
+      double count = counts_[CellOf(bucket, previous, current)];
+      double total = totals_[bucket * k + previous];
+      double p = (count + options_.smoothing) /
+                 (total + options_.smoothing * k_double);
+      score.surprisal_bits = -std::log2(p);
+    }
+    if (!ema_started) {
+      ema = score.surprisal_bits;
+      ema_started = true;
+    } else {
+      ema = options_.ema_alpha * score.surprisal_bits +
+            (1.0 - options_.ema_alpha) * ema;
+    }
+    score.smoothed_bits = ema;
+    score.anomalous = ema > options_.threshold_bits;
+    scores.push_back(score);
+  }
+  return scores;
+}
+
+Result<std::vector<TimeRange>> AnomalyDetector::AnomalousRanges(
+    const SymbolicSeries& stream) const {
+  Result<std::vector<AnomalyScore>> scores = Score(stream);
+  if (!scores.ok()) return scores.status();
+  std::vector<TimeRange> ranges;
+  bool open = false;
+  Timestamp begin = 0;
+  Timestamp last = 0;
+  for (const AnomalyScore& score : *scores) {
+    if (score.anomalous) {
+      if (!open) {
+        open = true;
+        begin = score.timestamp;
+      }
+      last = score.timestamp;
+    } else if (open) {
+      ranges.push_back({begin, last + 1});
+      open = false;
+    }
+  }
+  if (open) ranges.push_back({begin, last + 1});
+  return ranges;
+}
+
+}  // namespace smeter

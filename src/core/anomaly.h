@@ -1,0 +1,82 @@
+// Anomaly scoring on symbol streams.
+//
+// Section 4 notes the median segmentation behaves like a low-pass filter
+// and is not ideal "for detecting small variations" — but *large* routine
+// deviations (a heater left on, a vacation, meter tampering) are exactly
+// what a utility wants flagged, and they remain detectable from the 4-bit
+// stream alone. The detector fits a time-of-day-conditioned bigram model
+//
+//   P(s_t | s_{t-1}, hour-bucket(t))
+//
+// on a reference window and scores new symbols by surprisal
+// -log2 P(...); an exponential moving average of surprisal above a
+// threshold marks an anomalous region. Everything operates on symbols, so
+// the server never needs the raw data — analytics on the compact,
+// privacy-preserving representation, the paper's whole point.
+
+#ifndef SMETER_CORE_ANOMALY_H_
+#define SMETER_CORE_ANOMALY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/symbolic_series.h"
+
+namespace smeter {
+
+struct AnomalyOptions {
+  // Number of time-of-day buckets conditioning the bigram model (e.g. 4 =
+  // night/morning/afternoon/evening). Must divide 24.
+  int time_buckets = 4;
+  // Laplace smoothing for unseen transitions.
+  double smoothing = 0.5;
+  // EMA coefficient for the running surprisal.
+  double ema_alpha = 0.2;
+  // A region is anomalous while the surprisal EMA exceeds
+  // `threshold_bits` (symbol-level surprisal, in bits).
+  double threshold_bits = 4.0;
+};
+
+struct AnomalyScore {
+  Timestamp timestamp = 0;
+  // Surprisal of this symbol, -log2 P(s_t | s_{t-1}, bucket), in bits.
+  double surprisal_bits = 0.0;
+  // The smoothed (EMA) surprisal used for flagging.
+  double smoothed_bits = 0.0;
+  bool anomalous = false;
+};
+
+class AnomalyDetector {
+ public:
+  // Fits the conditioned bigram model on `reference` (typical behaviour;
+  // at least two symbols). Errors on invalid options.
+  static Result<AnomalyDetector> Fit(const SymbolicSeries& reference,
+                                     const AnomalyOptions& options = {});
+
+  // Scores every symbol of `stream` (same level as the reference).
+  Result<std::vector<AnomalyScore>> Score(const SymbolicSeries& stream) const;
+
+  // Convenience: the maximal anomalous sub-ranges of `stream`, merged.
+  Result<std::vector<TimeRange>> AnomalousRanges(
+      const SymbolicSeries& stream) const;
+
+  int level() const { return level_; }
+
+ private:
+  AnomalyDetector(int level, const AnomalyOptions& options)
+      : level_(level), options_(options) {}
+
+  size_t BucketOf(Timestamp t) const;
+  size_t CellOf(size_t bucket, uint32_t previous, uint32_t current) const;
+
+  int level_;
+  AnomalyOptions options_;
+  // Transition counts, indexed [bucket][prev][current] (flattened), plus
+  // per-(bucket, prev) totals for normalization.
+  std::vector<double> counts_;
+  std::vector<double> totals_;
+};
+
+}  // namespace smeter
+
+#endif  // SMETER_CORE_ANOMALY_H_

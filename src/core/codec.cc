@@ -1,0 +1,140 @@
+#include "core/codec.h"
+
+#include <cstring>
+
+namespace smeter {
+namespace {
+
+constexpr char kMagic[4] = {'S', 'M', 'S', 'Y'};
+constexpr uint8_t kVersion = 1;
+constexpr size_t kHeaderBytes = 4 + 1 + 1 + 4 + 8 + 8;
+
+void AppendLittleEndian(std::string& out, uint64_t value, int bytes) {
+  for (int i = 0; i < bytes; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+uint64_t ReadLittleEndian(const std::string& blob, size_t offset, int bytes) {
+  uint64_t value = 0;
+  for (int i = 0; i < bytes; ++i) {
+    value |= static_cast<uint64_t>(
+                 static_cast<unsigned char>(blob[offset + static_cast<size_t>(i)]))
+             << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+int64_t PackedPayloadBits(size_t count, int level) {
+  return static_cast<int64_t>(count) * level;
+}
+
+size_t PackedSizeBytes(size_t count, int level) {
+  size_t payload_bits = count * static_cast<size_t>(level);
+  return kHeaderBytes + (payload_bits + 7) / 8;
+}
+
+Result<std::string> PackSymbolicSeries(const SymbolicSeries& series) {
+  if (series.empty()) {
+    return FailedPreconditionError("cannot pack an empty series");
+  }
+  if (series.size() > UINT32_MAX) {
+    return InvalidArgumentError("series too long for the wire format");
+  }
+  int64_t step = 0;
+  if (series.size() > 1) {
+    step = series[1].timestamp - series[0].timestamp;
+    if (step <= 0) {
+      return InvalidArgumentError("non-increasing timestamps");
+    }
+    for (size_t i = 2; i < series.size(); ++i) {
+      if (series[i].timestamp - series[i - 1].timestamp != step) {
+        return InvalidArgumentError(
+            "irregular cadence at index " + std::to_string(i) +
+            "; pack gapless segments separately");
+      }
+    }
+  }
+
+  std::string out;
+  out.reserve(PackedSizeBytes(series.size(), series.level()));
+  out.append(kMagic, sizeof(kMagic));
+  out.push_back(static_cast<char>(kVersion));
+  out.push_back(static_cast<char>(series.level()));
+  AppendLittleEndian(out, static_cast<uint32_t>(series.size()), 4);
+  AppendLittleEndian(out, static_cast<uint64_t>(series[0].timestamp), 8);
+  AppendLittleEndian(out, static_cast<uint64_t>(step), 8);
+
+  // MSB-first bit packing.
+  uint32_t accumulator = 0;
+  int bits_held = 0;
+  const int level = series.level();
+  for (const SymbolicSample& s : series) {
+    accumulator = (accumulator << level) | s.symbol.index();
+    bits_held += level;
+    while (bits_held >= 8) {
+      bits_held -= 8;
+      out.push_back(static_cast<char>((accumulator >> bits_held) & 0xff));
+    }
+  }
+  if (bits_held > 0) {
+    out.push_back(
+        static_cast<char>((accumulator << (8 - bits_held)) & 0xff));
+  }
+  return out;
+}
+
+Result<SymbolicSeries> UnpackSymbolicSeries(const std::string& blob) {
+  if (blob.size() < kHeaderBytes) {
+    return InvalidArgumentError("blob shorter than header");
+  }
+  if (std::memcmp(blob.data(), kMagic, sizeof(kMagic)) != 0) {
+    return InvalidArgumentError("bad magic");
+  }
+  uint8_t version = static_cast<uint8_t>(blob[4]);
+  if (version != kVersion) {
+    return UnimplementedError("unsupported version " +
+                              std::to_string(version));
+  }
+  int level = static_cast<int>(static_cast<unsigned char>(blob[5]));
+  if (level < 1 || level > kMaxSymbolLevel) {
+    return InvalidArgumentError("level out of range");
+  }
+  size_t count = static_cast<size_t>(ReadLittleEndian(blob, 6, 4));
+  Timestamp start = static_cast<Timestamp>(ReadLittleEndian(blob, 10, 8));
+  int64_t step = static_cast<int64_t>(ReadLittleEndian(blob, 18, 8));
+  if (count == 0) return InvalidArgumentError("empty payload");
+  if (count > 1 && step <= 0) {
+    return InvalidArgumentError("non-positive step");
+  }
+  size_t expected = PackedSizeBytes(count, level);
+  if (blob.size() != expected) {
+    return InvalidArgumentError("payload size mismatch: have " +
+                                std::to_string(blob.size()) + ", want " +
+                                std::to_string(expected));
+  }
+
+  SymbolicSeries series(level);
+  uint32_t accumulator = 0;
+  int bits_held = 0;
+  size_t byte_index = kHeaderBytes;
+  const uint32_t mask = (1u << level) - 1;
+  for (size_t i = 0; i < count; ++i) {
+    while (bits_held < level) {
+      accumulator = (accumulator << 8) |
+                    static_cast<unsigned char>(blob[byte_index++]);
+      bits_held += 8;
+    }
+    uint32_t index = (accumulator >> (bits_held - level)) & mask;
+    bits_held -= level;
+    Result<Symbol> symbol = Symbol::Create(level, index);
+    if (!symbol.ok()) return symbol.status();
+    SMETER_RETURN_IF_ERROR(series.Append(
+        {start + static_cast<int64_t>(i) * step, symbol.value()}));
+  }
+  return series;
+}
+
+}  // namespace smeter

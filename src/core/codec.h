@@ -1,0 +1,46 @@
+// Bit-packed wire format for symbolic series — the §2.3 numbers made
+// concrete: a day of 16-symbol / 15-minute data must serialize to 384 bits
+// of payload (48 bytes) plus a fixed-size header.
+//
+// Layout (little-endian):
+//   magic   "SMSY"            4 bytes
+//   version u8                (= 1)
+//   level   u8                bits per symbol
+//   count   u32               number of symbols
+//   start   i64               timestamp of the first symbol
+//   step    i64               seconds between consecutive symbols
+//   payload ceil(count*level/8) bytes, symbols packed MSB-first
+//
+// Only fixed-cadence series are packable (gaps carry no timestamps on the
+// wire); Pack rejects irregular series — send those as separate segments.
+
+#ifndef SMETER_CORE_CODEC_H_
+#define SMETER_CORE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/symbolic_series.h"
+
+namespace smeter {
+
+// Serializes a fixed-cadence symbolic series. Errors on an empty series or
+// non-constant timestamp spacing (a single-sample series is fine, with
+// `step` recorded as 0).
+Result<std::string> PackSymbolicSeries(const SymbolicSeries& series);
+
+// Parses a blob produced by PackSymbolicSeries. Validates magic, version,
+// level range, and payload size.
+Result<SymbolicSeries> UnpackSymbolicSeries(const std::string& blob);
+
+// Payload bits for `count` symbols at `level` bits each (the §2.3 figure,
+// excluding the header).
+int64_t PackedPayloadBits(size_t count, int level);
+
+// Total wire size in bytes (header + payload).
+size_t PackedSizeBytes(size_t count, int level);
+
+}  // namespace smeter
+
+#endif  // SMETER_CORE_CODEC_H_

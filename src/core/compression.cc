@@ -1,0 +1,43 @@
+#include "core/compression.h"
+
+#include "core/time_series.h"
+
+namespace smeter {
+
+Result<CompressionReport> EvaluateCompression(
+    const CompressionModelOptions& options) {
+  if (options.sample_period_seconds <= 0) {
+    return InvalidArgumentError("sample_period_seconds must be > 0");
+  }
+  if (options.window_seconds < options.sample_period_seconds) {
+    return InvalidArgumentError("window smaller than sample period");
+  }
+  if (options.symbol_bits < 1 || options.symbol_bits > 64) {
+    return InvalidArgumentError("symbol_bits must be in [1, 64]");
+  }
+  if (options.raw_sample_bits < 1) {
+    return InvalidArgumentError("raw_sample_bits must be >= 1");
+  }
+  if (options.table_amortization_days < 0.0) {
+    return InvalidArgumentError("table_amortization_days must be >= 0");
+  }
+
+  CompressionReport report;
+  const double samples_per_day =
+      static_cast<double>(kSecondsPerDay) /
+      static_cast<double>(options.sample_period_seconds);
+  const double windows_per_day = static_cast<double>(kSecondsPerDay) /
+                                 static_cast<double>(options.window_seconds);
+  report.raw_bits_per_day =
+      samples_per_day * static_cast<double>(options.raw_sample_bits);
+  report.symbolic_bits_per_day =
+      windows_per_day * static_cast<double>(options.symbol_bits);
+  if (options.table_amortization_days > 0.0) {
+    report.symbolic_bits_per_day += static_cast<double>(options.table_bits) /
+                                    options.table_amortization_days;
+  }
+  report.ratio = report.raw_bits_per_day / report.symbolic_bits_per_day;
+  return report;
+}
+
+}  // namespace smeter

@@ -1,0 +1,45 @@
+// The storage model of Section 2.3.
+//
+// Raw storage: one IEEE double (64 bit) per sample at the meter rate
+// (~680 kB/day at 1 Hz). Symbolic storage: `level` bits per vertical
+// window (16 symbols @ 15 min -> 96 * 4 = 384 bit/day), plus the lookup
+// table, which is shipped once and amortized over its lifetime.
+
+#ifndef SMETER_CORE_COMPRESSION_H_
+#define SMETER_CORE_COMPRESSION_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace smeter {
+
+struct CompressionModelOptions {
+  // Input sampling period (1 s in the paper).
+  int64_t sample_period_seconds = 1;
+  // Vertical aggregation window (900 or 3600 in the paper).
+  int64_t window_seconds = 900;
+  // Bits per symbol = log2(alphabet size); the paper sweeps 1..4.
+  int symbol_bits = 4;
+  // Bits per raw sample (double).
+  int raw_sample_bits = 64;
+  // Days the lookup table is amortized over (0 = ignore table cost).
+  double table_amortization_days = 0.0;
+  // Serialized lookup-table size in bits (only used when amortizing).
+  int64_t table_bits = 0;
+};
+
+struct CompressionReport {
+  double raw_bits_per_day = 0.0;
+  double symbolic_bits_per_day = 0.0;  // includes amortized table share
+  double ratio = 0.0;                  // raw / symbolic
+};
+
+// Evaluates the Section 2.3 model. Errors on non-positive periods/windows,
+// symbol_bits outside [1, 64], or a window smaller than the sample period.
+Result<CompressionReport> EvaluateCompression(
+    const CompressionModelOptions& options);
+
+}  // namespace smeter
+
+#endif  // SMETER_CORE_COMPRESSION_H_

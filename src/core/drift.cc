@@ -1,0 +1,81 @@
+#include "core/drift.h"
+
+#include <cmath>
+
+namespace smeter {
+namespace {
+
+// Laplace-smoothed proportions from raw counts.
+std::vector<double> SmoothedFractions(const std::vector<size_t>& counts) {
+  const double k = static_cast<double>(counts.size());
+  double total = 0.0;
+  for (size_t c : counts) total += static_cast<double>(c);
+  std::vector<double> fractions(counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    fractions[i] = (static_cast<double>(counts[i]) + 1.0) / (total + k);
+  }
+  return fractions;
+}
+
+}  // namespace
+
+Result<DriftDetector> DriftDetector::Create(
+    std::vector<size_t> reference_counts, const DriftOptions& options) {
+  if (reference_counts.empty()) {
+    return InvalidArgumentError("reference_counts empty");
+  }
+  size_t total = 0;
+  for (size_t c : reference_counts) total += c;
+  if (total == 0) {
+    return InvalidArgumentError("reference_counts all zero");
+  }
+  if (options.window_size == 0 || options.min_samples == 0) {
+    return InvalidArgumentError("window_size and min_samples must be > 0");
+  }
+  if (options.psi_threshold <= 0.0) {
+    return InvalidArgumentError("psi_threshold must be > 0");
+  }
+  return DriftDetector(std::move(reference_counts), options);
+}
+
+DriftDetector::DriftDetector(std::vector<size_t> reference_counts,
+                             const DriftOptions& options)
+    : options_(options),
+      reference_fraction_(SmoothedFractions(reference_counts)),
+      recent_counts_(reference_counts.size(), 0) {}
+
+void DriftDetector::Observe(uint32_t symbol_index) {
+  if (symbol_index >= recent_counts_.size()) return;  // ignore foreign symbol
+  window_.push_back(symbol_index);
+  ++recent_counts_[symbol_index];
+  if (window_.size() > options_.window_size) {
+    --recent_counts_[window_.front()];
+    window_.pop_front();
+  }
+}
+
+double DriftDetector::Psi() const {
+  if (window_.size() < options_.min_samples) return 0.0;
+  std::vector<double> recent = SmoothedFractions(recent_counts_);
+  double psi = 0.0;
+  for (size_t i = 0; i < recent.size(); ++i) {
+    psi += (recent[i] - reference_fraction_[i]) *
+           std::log(recent[i] / reference_fraction_[i]);
+  }
+  return psi;
+}
+
+Status DriftDetector::Rebase(std::vector<size_t> reference_counts) {
+  if (reference_counts.size() != recent_counts_.size()) {
+    return InvalidArgumentError("reference size changed");
+  }
+  size_t total = 0;
+  for (size_t c : reference_counts) total += c;
+  if (total == 0) return InvalidArgumentError("reference_counts all zero");
+  reference_fraction_ = SmoothedFractions(reference_counts);
+  recent_counts_.assign(recent_counts_.size(), 0);
+  window_.clear();
+  return Status::Ok();
+}
+
+}  // namespace smeter

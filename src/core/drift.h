@@ -1,0 +1,69 @@
+// Distribution-drift detection for on-the-fly lookup-table maintenance
+// (Section 4: rebuild the table "periodically or if the distribution of the
+// data changes too much", e.g. seasonal change or a new family member).
+//
+// The detector compares the recent symbol distribution against the
+// distribution the table was trained on, using the Population Stability
+// Index over the table's finest-level buckets:
+//
+//   PSI = sum_i (p_i - q_i) * ln(p_i / q_i)
+//
+// with q_i = training proportions, p_i = recent-window proportions (both
+// Laplace-smoothed). PSI ~ 0.1 is mild shift, > 0.25 is conventionally
+// "significant"; the default threshold follows that convention.
+
+#ifndef SMETER_CORE_DRIFT_H_
+#define SMETER_CORE_DRIFT_H_
+
+#include <deque>
+#include <vector>
+
+#include "common/status.h"
+#include "core/lookup_table.h"
+
+namespace smeter {
+
+struct DriftOptions {
+  // Number of most-recent observations compared against training.
+  size_t window_size = 2880;  // e.g. two days of 1-minute aggregates
+  // Minimum observations before a verdict is attempted.
+  size_t min_samples = 256;
+  double psi_threshold = 0.25;
+};
+
+class DriftDetector {
+ public:
+  // `reference_counts` are the table's training bucket counts (one per
+  // finest-level symbol). Errors if empty or all-zero, or options invalid.
+  static Result<DriftDetector> Create(std::vector<size_t> reference_counts,
+                                      const DriftOptions& options);
+
+  // Records that `symbol_index` was just emitted. Evicts the oldest
+  // observation once the window is full.
+  void Observe(uint32_t symbol_index);
+
+  // Current PSI, or 0 while fewer than min_samples observations are held.
+  double Psi() const;
+
+  // True when PSI exceeds the threshold (and enough samples were seen).
+  bool DriftDetected() const { return Psi() > options_.psi_threshold; }
+
+  // Resets the recent window and swaps in new reference counts (called
+  // after a table rebuild).
+  Status Rebase(std::vector<size_t> reference_counts);
+
+  size_t window_count() const { return window_.size(); }
+
+ private:
+  DriftDetector(std::vector<size_t> reference_counts,
+                const DriftOptions& options);
+
+  DriftOptions options_;
+  std::vector<double> reference_fraction_;  // smoothed q_i
+  std::vector<size_t> recent_counts_;
+  std::deque<uint32_t> window_;
+};
+
+}  // namespace smeter
+
+#endif  // SMETER_CORE_DRIFT_H_

@@ -1,0 +1,48 @@
+#include "core/encoder.h"
+
+namespace smeter {
+
+Result<SymbolicSeries> Encode(const TimeSeries& series,
+                              const LookupTable& table) {
+  SymbolicSeries out(table.level());
+  for (const Sample& s : series) {
+    SMETER_RETURN_IF_ERROR(out.Append({s.timestamp, table.Encode(s.value)}));
+  }
+  return out;
+}
+
+Result<SymbolicSeries> EncodeAtLevel(const TimeSeries& series,
+                                     const LookupTable& table, int level) {
+  if (level < 1 || level > table.level()) {
+    return InvalidArgumentError("encode level outside table range");
+  }
+  SymbolicSeries out(level);
+  for (const Sample& s : series) {
+    Result<Symbol> symbol = table.EncodeAtLevel(s.value, level);
+    if (!symbol.ok()) return symbol.status();
+    SMETER_RETURN_IF_ERROR(out.Append({s.timestamp, symbol.value()}));
+  }
+  return out;
+}
+
+Result<TimeSeries> Decode(const SymbolicSeries& series,
+                          const LookupTable& table, ReconstructionMode mode) {
+  TimeSeries out;
+  for (const SymbolicSample& s : series) {
+    Result<double> value = table.Reconstruct(s.symbol, mode);
+    if (!value.ok()) return value.status();
+    SMETER_RETURN_IF_ERROR(out.Append({s.timestamp, value.value()}));
+  }
+  return out;
+}
+
+Result<SymbolicSeries> EncodePipeline(const TimeSeries& raw,
+                                      const LookupTable& table,
+                                      const PipelineOptions& options) {
+  Result<TimeSeries> aggregated =
+      VerticalSegmentByWindow(raw, options.window_seconds, options.window);
+  if (!aggregated.ok()) return aggregated.status();
+  return Encode(aggregated.value(), table);
+}
+
+}  // namespace smeter

@@ -1,0 +1,47 @@
+// Batch horizontal segmentation (Definition 3): TimeSeries -> SymbolicSeries
+// through a LookupTable, and the inverse decoding through the table's
+// reconstruction values.
+//
+// The full paper pipeline "vertical then horizontal" is provided as
+// EncodePipeline for convenience; it is exactly
+// Encode(VerticalSegmentByWindow(...)).
+
+#ifndef SMETER_CORE_ENCODER_H_
+#define SMETER_CORE_ENCODER_H_
+
+#include "common/status.h"
+#include "core/lookup_table.h"
+#include "core/symbolic_series.h"
+#include "core/time_series.h"
+#include "core/vertical.h"
+
+namespace smeter {
+
+// Encodes every sample of `series` with `table` at the table's finest level
+// (H(S, L) of Definition 3).
+Result<SymbolicSeries> Encode(const TimeSeries& series,
+                              const LookupTable& table);
+
+// Encodes at a coarser `level` (<= table.level()).
+Result<SymbolicSeries> EncodeAtLevel(const TimeSeries& series,
+                                     const LookupTable& table, int level);
+
+// Decodes a symbolic series back to real values using `mode`. Symbols must
+// not be finer than the table.
+Result<TimeSeries> Decode(const SymbolicSeries& series,
+                          const LookupTable& table, ReconstructionMode mode);
+
+struct PipelineOptions {
+  // Vertical segmentation window; the paper uses 900 (15 min) and 3600 (1 h).
+  int64_t window_seconds = 900;
+  WindowOptions window;
+};
+
+// Vertical then horizontal segmentation in one call.
+Result<SymbolicSeries> EncodePipeline(const TimeSeries& raw,
+                                      const LookupTable& table,
+                                      const PipelineOptions& options);
+
+}  // namespace smeter
+
+#endif  // SMETER_CORE_ENCODER_H_

@@ -1,0 +1,30 @@
+#include "core/entropy.h"
+
+#include <cmath>
+
+namespace smeter {
+
+Result<double> EntropyBits(const std::vector<size_t>& counts) {
+  size_t total = 0;
+  for (size_t c : counts) total += c;
+  if (total == 0) return FailedPreconditionError("entropy of empty counts");
+  double h = 0.0;
+  for (size_t c : counts) {
+    if (c == 0) continue;
+    double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+Result<double> SymbolEntropyBits(const SymbolicSeries& series) {
+  return EntropyBits(series.Histogram());
+}
+
+Result<double> NormalizedSymbolEntropy(const SymbolicSeries& series) {
+  Result<double> h = SymbolEntropyBits(series);
+  if (!h.ok()) return h.status();
+  return h.value() / static_cast<double>(series.level());
+}
+
+}  // namespace smeter

@@ -1,0 +1,32 @@
+// Entropy of symbol streams.
+//
+// Section 2.2 states the median method "aims to maximize the entropy of the
+// generated symbols"; Section 4 uses entropy as the lens for why median
+// suits classification. These helpers quantify that: a median table drives
+// the symbol distribution toward uniform (entropy -> level bits), while a
+// uniform table on log-normal data concentrates mass in the low symbols.
+
+#ifndef SMETER_CORE_ENTROPY_H_
+#define SMETER_CORE_ENTROPY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/symbolic_series.h"
+
+namespace smeter {
+
+// Shannon entropy (bits) of a discrete distribution given by counts.
+// Zero-count cells contribute nothing. Errors if all counts are zero.
+Result<double> EntropyBits(const std::vector<size_t>& counts);
+
+// Entropy (bits) of the symbol distribution of `series`. Maximum possible
+// is series.level() bits.
+Result<double> SymbolEntropyBits(const SymbolicSeries& series);
+
+// Normalized entropy in [0, 1]: SymbolEntropyBits / level.
+Result<double> NormalizedSymbolEntropy(const SymbolicSeries& series);
+
+}  // namespace smeter
+
+#endif  // SMETER_CORE_ENTROPY_H_

@@ -1,0 +1,278 @@
+#include "core/lookup_table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace smeter {
+namespace {
+
+bool IsPowerOfTwo(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+int LevelForAlphabetSize(size_t k) {
+  int level = 0;
+  while ((size_t{1} << level) < k) ++level;
+  return level;
+}
+
+}  // namespace
+
+Result<LookupTable> LookupTable::Build(const std::vector<double>& training,
+                                       const LookupTableOptions& options) {
+  Result<std::vector<double>> seps =
+      LearnSeparators(training, options.method, options.level);
+  if (!seps.ok()) return seps.status();
+
+  LookupTable table;
+  table.method_ = options.method;
+  table.level_ = options.level;
+  table.separators_ = std::move(seps.value());
+  auto [min_it, max_it] = std::minmax_element(training.begin(), training.end());
+  // The uniform method's domain starts at zero by construction (2.2a).
+  table.domain_min_ =
+      options.method == SeparatorMethod::kUniform ? 0.0 : *min_it;
+  table.domain_max_ = *max_it;
+  table.ComputeBucketStats(training);
+  return table;
+}
+
+Result<LookupTable> LookupTable::FromSeparators(std::vector<double> separators,
+                                                double domain_min,
+                                                double domain_max) {
+  const size_t k = separators.size() + 1;
+  if (!IsPowerOfTwo(k)) {
+    return InvalidArgumentError(
+        "alphabet size (separators + 1) must be a power of two, got " +
+        std::to_string(k));
+  }
+  if (k > (size_t{1} << kMaxSymbolLevel)) {
+    return InvalidArgumentError("alphabet too large");
+  }
+  if (!std::is_sorted(separators.begin(), separators.end())) {
+    return InvalidArgumentError("separators must be non-decreasing");
+  }
+  if (domain_min > domain_max) {
+    return InvalidArgumentError("domain_min > domain_max");
+  }
+  LookupTable table;
+  table.method_ = SeparatorMethod::kCustom;
+  table.level_ = LevelForAlphabetSize(k);
+  table.separators_ = std::move(separators);
+  table.domain_min_ = domain_min;
+  table.domain_max_ = domain_max;
+  table.bucket_means_.assign(k, 0.0);
+  table.bucket_counts_.assign(k, 0);
+  return table;
+}
+
+Status LookupTable::AttachTrainingData(const std::vector<double>& training) {
+  if (training.empty()) {
+    return FailedPreconditionError("no training data");
+  }
+  ComputeBucketStats(training);
+  return Status::Ok();
+}
+
+void LookupTable::ComputeBucketStats(const std::vector<double>& training) {
+  const size_t k = alphabet_size();
+  std::vector<double> sums(k, 0.0);
+  bucket_counts_.assign(k, 0);
+  for (double v : training) {
+    uint32_t idx = Encode(v).index();
+    sums[idx] += v;
+    ++bucket_counts_[idx];
+  }
+  bucket_means_.assign(k, 0.0);
+  for (size_t i = 0; i < k; ++i) {
+    if (bucket_counts_[i] > 0) {
+      bucket_means_[i] = sums[i] / static_cast<double>(bucket_counts_[i]);
+    }
+  }
+}
+
+Symbol LookupTable::Encode(double value) const {
+  // Definition 3 rule (iii): symbol j iff beta_{j-1} < v <= beta_j, with
+  // rules (i)/(ii) clamping the extremes. lower_bound gives the first
+  // separator >= value, which is exactly that j.
+  auto it = std::lower_bound(separators_.begin(), separators_.end(), value);
+  uint32_t index = static_cast<uint32_t>(it - separators_.begin());
+  Result<Symbol> symbol = Symbol::Create(level_, index);
+  // index <= separators_.size() == 2^level - 1, always valid.
+  return symbol.value();
+}
+
+Result<Symbol> LookupTable::EncodeAtLevel(double value, int level) const {
+  if (level < 1 || level > level_) {
+    return InvalidArgumentError("level " + std::to_string(level) +
+                                " outside [1, " + std::to_string(level_) +
+                                "]");
+  }
+  return Encode(value).Coarsen(level);
+}
+
+Result<double> LookupTable::RangeLow(const Symbol& symbol) const {
+  if (symbol.level() > level_) {
+    return InvalidArgumentError("symbol finer than table");
+  }
+  if (symbol.index() == 0) return domain_min_;
+  // The symbol covers finest indices [index << d, ...]; its lower bound is
+  // the separator just before its first finest bucket.
+  int d = level_ - symbol.level();
+  size_t first = static_cast<size_t>(symbol.index()) << d;
+  return separators_[first - 1];
+}
+
+Result<double> LookupTable::RangeHigh(const Symbol& symbol) const {
+  if (symbol.level() > level_) {
+    return InvalidArgumentError("symbol finer than table");
+  }
+  if (symbol.index() + 1 == (1u << symbol.level())) return domain_max_;
+  int d = level_ - symbol.level();
+  size_t last = (static_cast<size_t>(symbol.index() + 1) << d) - 1;
+  return separators_[last];
+}
+
+Result<double> LookupTable::Reconstruct(const Symbol& symbol,
+                                        ReconstructionMode mode) const {
+  Result<double> lo = RangeLow(symbol);
+  if (!lo.ok()) return lo.status();
+  Result<double> hi = RangeHigh(symbol);
+  if (!hi.ok()) return hi.status();
+  if (mode == ReconstructionMode::kRangeCenter) {
+    return 0.5 * (lo.value() + hi.value());
+  }
+  // Weighted mean of the finest buckets under this symbol.
+  int d = level_ - symbol.level();
+  size_t first = static_cast<size_t>(symbol.index()) << d;
+  size_t count = size_t{1} << d;
+  double sum = 0.0;
+  size_t n = 0;
+  for (size_t i = first; i < first + count; ++i) {
+    sum += bucket_means_[i] * static_cast<double>(bucket_counts_[i]);
+    n += bucket_counts_[i];
+  }
+  if (n == 0) return 0.5 * (lo.value() + hi.value());
+  return sum / static_cast<double>(n);
+}
+
+Result<std::vector<double>> LookupTable::SeparatorsAtLevel(int l) const {
+  if (l < 1 || l > level_) {
+    return InvalidArgumentError("level outside table range");
+  }
+  std::vector<double> seps;
+  size_t step = size_t{1} << (level_ - l);
+  for (size_t i = step; i < separators_.size() + 1; i += step) {
+    seps.push_back(separators_[i - 1]);
+  }
+  return seps;
+}
+
+std::string LookupTable::Serialize() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "smeter-lookup-table v1\n";
+  out << "method " << SeparatorMethodName(method_) << "\n";
+  out << "level " << level_ << "\n";
+  out << "domain " << domain_min_ << " " << domain_max_ << "\n";
+  out << "separators";
+  for (double s : separators_) out << " " << s;
+  out << "\nmeans";
+  for (double m : bucket_means_) out << " " << m;
+  out << "\ncounts";
+  for (size_t c : bucket_counts_) out << " " << c;
+  out << "\n";
+  return out.str();
+}
+
+Result<LookupTable> LookupTable::Deserialize(const std::string& text) {
+  std::vector<std::string> lines = Split(text, '\n');
+  if (lines.size() < 7 || Trim(lines[0]) != "smeter-lookup-table v1") {
+    return InvalidArgumentError("not a v1 lookup table blob");
+  }
+  LookupTable table;
+
+  auto fields = [](const std::string& line) { return Split(std::string(Trim(line)), ' '); };
+
+  std::vector<std::string> method_f = fields(lines[1]);
+  if (method_f.size() != 2 || method_f[0] != "method") {
+    return InvalidArgumentError("bad method line");
+  }
+  if (method_f[1] == "uniform") {
+    table.method_ = SeparatorMethod::kUniform;
+  } else if (method_f[1] == "median") {
+    table.method_ = SeparatorMethod::kMedian;
+  } else if (method_f[1] == "distinctmedian") {
+    table.method_ = SeparatorMethod::kDistinctMedian;
+  } else if (method_f[1] == "custom") {
+    table.method_ = SeparatorMethod::kCustom;
+  } else {
+    return InvalidArgumentError("unknown method: " + method_f[1]);
+  }
+
+  std::vector<std::string> level_f = fields(lines[2]);
+  if (level_f.size() != 2 || level_f[0] != "level") {
+    return InvalidArgumentError("bad level line");
+  }
+  Result<int64_t> level = ParseInt(level_f[1]);
+  if (!level.ok()) return level.status();
+  if (*level < 1 || *level > kMaxSymbolLevel) {
+    return InvalidArgumentError("level out of range");
+  }
+  table.level_ = static_cast<int>(*level);
+  const size_t k = size_t{1} << table.level_;
+
+  std::vector<std::string> domain_f = fields(lines[3]);
+  if (domain_f.size() != 3 || domain_f[0] != "domain") {
+    return InvalidArgumentError("bad domain line");
+  }
+  Result<double> dmin = ParseDouble(domain_f[1]);
+  Result<double> dmax = ParseDouble(domain_f[2]);
+  if (!dmin.ok()) return dmin.status();
+  if (!dmax.ok()) return dmax.status();
+  table.domain_min_ = *dmin;
+  table.domain_max_ = *dmax;
+
+  auto parse_doubles = [&](const std::string& line, const std::string& tag,
+                           size_t expect,
+                           std::vector<double>& out) -> Status {
+    std::vector<std::string> f = fields(line);
+    if (f.empty() || f[0] != tag) {
+      return InvalidArgumentError("bad " + tag + " line");
+    }
+    if (f.size() != expect + 1) {
+      return InvalidArgumentError(tag + " count mismatch");
+    }
+    out.clear();
+    for (size_t i = 1; i < f.size(); ++i) {
+      Result<double> v = ParseDouble(f[i]);
+      if (!v.ok()) return v.status();
+      out.push_back(*v);
+    }
+    return Status::Ok();
+  };
+
+  SMETER_RETURN_IF_ERROR(
+      parse_doubles(lines[4], "separators", k - 1, table.separators_));
+  if (!std::is_sorted(table.separators_.begin(), table.separators_.end())) {
+    return InvalidArgumentError("separators not sorted");
+  }
+  SMETER_RETURN_IF_ERROR(
+      parse_doubles(lines[5], "means", k, table.bucket_means_));
+
+  std::vector<std::string> count_f = fields(lines[6]);
+  if (count_f.size() != k + 1 || count_f[0] != "counts") {
+    return InvalidArgumentError("bad counts line");
+  }
+  table.bucket_counts_.clear();
+  for (size_t i = 1; i < count_f.size(); ++i) {
+    Result<int64_t> c = ParseInt(count_f[i]);
+    if (!c.ok()) return c.status();
+    if (*c < 0) return InvalidArgumentError("negative bucket count");
+    table.bucket_counts_.push_back(static_cast<size_t>(*c));
+  }
+  return table;
+}
+
+}  // namespace smeter

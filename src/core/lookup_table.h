@@ -1,0 +1,116 @@
+// The lookup table L = (A, B) of Definition 3: an alphabet of hierarchical
+// binary symbols plus the separators that map real values to symbols, and a
+// per-symbol representative value for reconstruction.
+//
+// A table built at level L simultaneously defines tables at every level
+// l <= L (the separator sets nest, Figure 1), so a sensor can emit
+// high-resolution symbols and consumers can compare or coarsen them freely
+// (Section 4's flexibility discussion).
+//
+// The paper builds the table once at the sensor from historical data and
+// ships it to the aggregation server before streaming symbols; Serialize /
+// Deserialize implement that wire format.
+
+#ifndef SMETER_CORE_LOOKUP_TABLE_H_
+#define SMETER_CORE_LOOKUP_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/separators.h"
+#include "core/symbol.h"
+
+namespace smeter {
+
+// How a symbol is mapped back to a real value.
+enum class ReconstructionMode {
+  // Center of the symbol's value range — the paper's symbol "semantics" in
+  // the forecasting experiment (Section 3.2).
+  kRangeCenter,
+  // Average of the training values that fell into the range — the paper's
+  // lookup-table construction in Section 2. Falls back to the range center
+  // for ranges no training value hit.
+  kRangeMean,
+};
+
+struct LookupTableOptions {
+  SeparatorMethod method = SeparatorMethod::kMedian;
+  // Alphabet size is 2^level; the paper sweeps level 1..4 (k = 2..16).
+  int level = 4;
+};
+
+class LookupTable {
+ public:
+  // Learns separators from `training` values (Section 2.2) and records the
+  // per-range training means for reconstruction.
+  static Result<LookupTable> Build(const std::vector<double>& training,
+                                   const LookupTableOptions& options);
+
+  // Builds a table from expert-provided separators (e.g. the two-symbol
+  // low/high segmentation of Section 3.2). `separators.size() + 1` must be
+  // a power of two; separators must be non-decreasing. `domain_min/max`
+  // bound the outermost ranges for reconstruction.
+  static Result<LookupTable> FromSeparators(std::vector<double> separators,
+                                            double domain_min,
+                                            double domain_max);
+
+  // The finest level this table supports.
+  int level() const { return level_; }
+  uint32_t alphabet_size() const { return 1u << level_; }
+  SeparatorMethod method() const { return method_; }
+  double domain_min() const { return domain_min_; }
+  double domain_max() const { return domain_max_; }
+
+  // Definition 3: maps a value to its finest-level symbol. Values outside
+  // [domain_min, domain_max] clamp to the first/last symbol (rules i, ii).
+  Symbol Encode(double value) const;
+
+  // Maps a value to its symbol at a coarser `level` in [1, level()].
+  // Identical to Encode(value).Coarsen(level) — the nesting property.
+  Result<Symbol> EncodeAtLevel(double value, int level) const;
+
+  // Value-range bounds of a symbol (at any level <= level()).
+  Result<double> RangeLow(const Symbol& symbol) const;
+  Result<double> RangeHigh(const Symbol& symbol) const;
+
+  // Representative value of a symbol under `mode`.
+  Result<double> Reconstruct(const Symbol& symbol,
+                             ReconstructionMode mode) const;
+
+  // Finest-level interior separators (size alphabet_size() - 1).
+  const std::vector<double>& separators() const { return separators_; }
+
+  // Interior separators of the level-`l` table (the nested subset).
+  Result<std::vector<double>> SeparatorsAtLevel(int l) const;
+
+  // Number of training values that fell into each finest-level range.
+  const std::vector<size_t>& bucket_counts() const { return bucket_counts_; }
+
+  // Recomputes the per-bucket reconstruction statistics from `training`
+  // (Build does this automatically; FromSeparators leaves them empty).
+  Status AttachTrainingData(const std::vector<double>& training);
+
+  // Wire format: a small line-oriented text blob, versioned.
+  std::string Serialize() const;
+  static Result<LookupTable> Deserialize(const std::string& text);
+
+ private:
+  LookupTable() = default;
+
+  void ComputeBucketStats(const std::vector<double>& training);
+
+  SeparatorMethod method_ = SeparatorMethod::kCustom;
+  int level_ = 1;
+  std::vector<double> separators_;  // finest level, size 2^level - 1
+  double domain_min_ = 0.0;
+  double domain_max_ = 0.0;
+  // Per finest-level bucket: training-value mean and count (mean is 0 when
+  // count is 0; Reconstruct falls back to the range center then).
+  std::vector<double> bucket_means_;
+  std::vector<size_t> bucket_counts_;
+};
+
+}  // namespace smeter
+
+#endif  // SMETER_CORE_LOOKUP_TABLE_H_

@@ -1,0 +1,186 @@
+#include "core/online_encoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smeter {
+
+Result<OnlineEncoder> OnlineEncoder::Create(
+    const OnlineEncoderOptions& options) {
+  if (options.level < 1 || options.level > kMaxSymbolLevel) {
+    return InvalidArgumentError("level out of range");
+  }
+  if (options.warmup_seconds <= 0) {
+    return InvalidArgumentError("warmup_seconds must be > 0");
+  }
+  if (options.window_seconds <= 0) {
+    return InvalidArgumentError("window_seconds must be > 0");
+  }
+  if (options.window.sample_period_seconds <= 0) {
+    return InvalidArgumentError("sample_period_seconds must be > 0");
+  }
+  if (options.warmup_seconds < options.window_seconds) {
+    return InvalidArgumentError("warm-up shorter than one window");
+  }
+  if (options.drift.has_value() && options.rebuild_history_windows == 0) {
+    return InvalidArgumentError("rebuild_history_windows must be > 0");
+  }
+  return OnlineEncoder(options);
+}
+
+OnlineEncoder::OnlineEncoder(const OnlineEncoderOptions& options)
+    : options_(options) {}
+
+Result<std::vector<EncoderEvent>> OnlineEncoder::Push(Sample sample) {
+  if (!std::isfinite(sample.value)) {
+    return InvalidArgumentError("non-finite value");
+  }
+  if (first_timestamp_.has_value() && sample.timestamp < last_timestamp_) {
+    return InvalidArgumentError("timestamp regresses");
+  }
+  if (!first_timestamp_.has_value()) first_timestamp_ = sample.timestamp;
+  last_timestamp_ = sample.timestamp;
+
+  std::vector<EncoderEvent> events;
+
+  // Aligned window for this sample (floor division, negative-safe).
+  Timestamp ws = sample.timestamp / options_.window_seconds *
+                 options_.window_seconds;
+  if (ws > sample.timestamp) ws -= options_.window_seconds;
+
+  if (have_window_ && ws != window_start_) {
+    SMETER_RETURN_IF_ERROR(SettleWindow(events));
+  }
+  if (!have_window_ || ws != window_start_) {
+    have_window_ = true;
+    window_start_ = ws;
+    window_count_ = 0;
+    window_sum_ = 0.0;
+  }
+  if (window_count_ == 0) {
+    window_min_ = sample.value;
+    window_max_ = sample.value;
+  } else {
+    window_min_ = std::min(window_min_, sample.value);
+    window_max_ = std::max(window_max_, sample.value);
+  }
+  ++window_count_;
+  window_sum_ += sample.value;
+  return events;
+}
+
+Result<std::vector<EncoderEvent>> OnlineEncoder::Flush() {
+  std::vector<EncoderEvent> events;
+  if (have_window_) {
+    SMETER_RETURN_IF_ERROR(SettleWindow(events));
+    have_window_ = false;
+  }
+  return events;
+}
+
+Status OnlineEncoder::SettleWindow(std::vector<EncoderEvent>& events) {
+  if (window_count_ == 0) return Status::Ok();
+  const double expected =
+      static_cast<double>(options_.window_seconds) /
+      static_cast<double>(options_.window.sample_period_seconds);
+  double coverage = static_cast<double>(window_count_) / expected;
+  if (coverage + 1e-12 < options_.window.min_coverage) {
+    window_count_ = 0;
+    window_sum_ = 0.0;
+    return Status::Ok();
+  }
+  double value = 0.0;
+  switch (options_.window.aggregation) {
+    case Aggregation::kMean:
+      value = window_sum_ / static_cast<double>(window_count_);
+      break;
+    case Aggregation::kSum:
+      value = window_sum_;
+      break;
+    case Aggregation::kMin:
+      value = window_min_;
+      break;
+    case Aggregation::kMax:
+      value = window_max_;
+      break;
+  }
+  window_count_ = 0;
+  window_sum_ = 0.0;
+  return EmitAggregate(window_start_ + options_.window_seconds, value, events);
+}
+
+Status OnlineEncoder::EmitAggregate(Timestamp window_end, double value,
+                                    std::vector<EncoderEvent>& events) {
+  history_.push_back(value);
+  while (history_.size() > options_.rebuild_history_windows) {
+    history_.pop_front();
+  }
+
+  if (!table_.has_value()) {
+    // A window belongs to the warm-up (historical) span iff it ends within
+    // it. Warm-up completes once a window reaches the span's end.
+    if (window_end - *first_timestamp_ <= options_.warmup_seconds) {
+      warmup_aggregates_.push_back(value);
+      if (window_end - *first_timestamp_ >= options_.warmup_seconds) {
+        SMETER_RETURN_IF_ERROR(BuildTable(warmup_aggregates_, events));
+        warmup_aggregates_.clear();
+      }
+      return Status::Ok();
+    }
+    // A gap spanned the warm-up boundary: the span elapsed without a
+    // window landing exactly on it. Train on what warm-up collected and
+    // fall through to encode this aggregate as the first symbol.
+    if (warmup_aggregates_.empty()) {
+      return FailedPreconditionError(
+          "warm-up span contained no aggregated data");
+    }
+    SMETER_RETURN_IF_ERROR(BuildTable(warmup_aggregates_, events));
+    warmup_aggregates_.clear();
+  }
+
+  Symbol symbol = table_->Encode(value);
+  EncoderEvent ev;
+  ev.type = EncoderEvent::Type::kSymbol;
+  ev.table_version = table_version_;
+  ev.symbol = {window_end, symbol};
+  events.push_back(ev);
+
+  if (drift_.has_value()) {
+    drift_->Observe(symbol.index());
+    if (drift_->DriftDetected()) {
+      std::vector<double> training(history_.begin(), history_.end());
+      SMETER_RETURN_IF_ERROR(BuildTable(training, events));
+    }
+  }
+  return Status::Ok();
+}
+
+Status OnlineEncoder::BuildTable(const std::vector<double>& training,
+                                 std::vector<EncoderEvent>& events) {
+  LookupTableOptions table_options;
+  table_options.method = options_.method;
+  table_options.level = options_.level;
+  Result<LookupTable> table = LookupTable::Build(training, table_options);
+  if (!table.ok()) return table.status();
+  table_ = std::move(table.value());
+  ++table_version_;
+
+  if (options_.drift.has_value()) {
+    if (drift_.has_value()) {
+      SMETER_RETURN_IF_ERROR(drift_->Rebase(table_->bucket_counts()));
+    } else {
+      Result<DriftDetector> detector =
+          DriftDetector::Create(table_->bucket_counts(), *options_.drift);
+      if (!detector.ok()) return detector.status();
+      drift_ = std::move(detector.value());
+    }
+  }
+
+  EncoderEvent ev;
+  ev.type = EncoderEvent::Type::kTableReady;
+  ev.table_version = table_version_;
+  events.push_back(ev);
+  return Status::Ok();
+}
+
+}  // namespace smeter

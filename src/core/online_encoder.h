@@ -1,0 +1,117 @@
+// The sensor-side online conversion pipeline of Section 2.
+//
+// Phase 1 (warm-up): raw samples are buffered until `warmup_seconds` of
+// historical data has been observed ("the first horizontal segmentation has
+// to be performed before the system can start to process any data"; the
+// experiments use the first two days). The lookup table is then built and
+// emitted — this models "the lookup table is built once at the sensor level
+// and then sent to the aggregation server before starting to send the
+// symbolic data".
+//
+// Phase 2 (streaming): samples are vertically aggregated into aligned
+// windows; each completed window is horizontally segmented and a symbol is
+// emitted. Optionally a DriftDetector watches the emitted symbols and, when
+// the value distribution shifts too much, the table is rebuilt from a
+// recent-value buffer and re-emitted with a bumped version (Section 4's
+// on-the-fly table modification).
+
+#ifndef SMETER_CORE_ONLINE_ENCODER_H_
+#define SMETER_CORE_ONLINE_ENCODER_H_
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "core/drift.h"
+#include "core/encoder.h"
+#include "core/lookup_table.h"
+
+namespace smeter {
+
+// One output of the online encoder, in emission order.
+struct EncoderEvent {
+  enum class Type {
+    // A (re)built lookup table is ready to ship; `table_version` increments
+    // each rebuild. The table itself is read via OnlineEncoder::table().
+    kTableReady,
+    // One symbol for one completed vertical window.
+    kSymbol,
+  };
+  Type type = Type::kSymbol;
+  int table_version = 0;
+  SymbolicSample symbol;  // valid when type == kSymbol
+};
+
+struct OnlineEncoderOptions {
+  // Horizontal-segmentation configuration.
+  SeparatorMethod method = SeparatorMethod::kMedian;
+  int level = 4;
+  // Warm-up (historical) span before the first table is built. The paper
+  // recommends a span covering typical behaviour (day+night, week+weekend).
+  int64_t warmup_seconds = 2 * kSecondsPerDay;
+  // Vertical window.
+  int64_t window_seconds = 900;
+  WindowOptions window;
+  // When set, watch for drift and rebuild the table from the last
+  // `rebuild_history_windows` aggregated values when it fires.
+  std::optional<DriftOptions> drift;
+  size_t rebuild_history_windows = 2 * 96;  // two days of 15-min windows
+};
+
+class OnlineEncoder {
+ public:
+  static Result<OnlineEncoder> Create(const OnlineEncoderOptions& options);
+
+  // Feeds one raw sample (timestamps must not regress). Returns the events
+  // this sample triggered (possibly none: warm-up, or mid-window).
+  Result<std::vector<EncoderEvent>> Push(Sample sample);
+
+  // Flushes the current partial window (end of stream). May emit a final
+  // symbol if the window meets min_coverage.
+  Result<std::vector<EncoderEvent>> Flush();
+
+  // The current lookup table; empty until the warm-up completes.
+  const std::optional<LookupTable>& table() const { return table_; }
+  int table_version() const { return table_version_; }
+  bool warmed_up() const { return table_.has_value(); }
+
+ private:
+  explicit OnlineEncoder(const OnlineEncoderOptions& options);
+
+  // Handles a completed aggregated value: encode, track drift, maybe
+  // rebuild.
+  Status EmitAggregate(Timestamp window_end, double value,
+                       std::vector<EncoderEvent>& events);
+  // Closes the current window: emits its aggregate if coverage suffices.
+  Status SettleWindow(std::vector<EncoderEvent>& events);
+  Status BuildTable(const std::vector<double>& training,
+                    std::vector<EncoderEvent>& events);
+
+  OnlineEncoderOptions options_;
+
+  // Warm-up state: aggregated window values collected before the first
+  // table exists; they become the table's training data.
+  std::vector<double> warmup_aggregates_;
+  std::optional<Timestamp> first_timestamp_;
+
+  // Streaming vertical-aggregation state.
+  bool have_window_ = false;
+  Timestamp window_start_ = 0;
+  size_t window_count_ = 0;
+  double window_sum_ = 0.0;
+  double window_min_ = 0.0;
+  double window_max_ = 0.0;
+  Timestamp last_timestamp_ = 0;
+
+  // Table state.
+  std::optional<LookupTable> table_;
+  int table_version_ = 0;
+  std::optional<DriftDetector> drift_;
+  // Recent aggregated values, for rebuilds.
+  std::deque<double> history_;
+};
+
+}  // namespace smeter
+
+#endif  // SMETER_CORE_ONLINE_ENCODER_H_

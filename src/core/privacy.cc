@@ -1,0 +1,85 @@
+#include "core/privacy.h"
+
+#include <cmath>
+#include <map>
+
+namespace smeter {
+
+Result<EventObscurityReport> EvaluateEventObscurity(
+    const TimeSeries& raw, const SymbolicSeries& symbols,
+    const EventObscurityOptions& options) {
+  if (options.jump_threshold_watts <= 0.0) {
+    return InvalidArgumentError("jump_threshold_watts must be > 0");
+  }
+  if (options.window_seconds <= 0) {
+    return InvalidArgumentError("window_seconds must be > 0");
+  }
+  // Symbol per window end (symbols are stamped with the window end).
+  std::map<Timestamp, uint32_t> by_window_end;
+  for (const SymbolicSample& s : symbols) {
+    by_window_end[s.timestamp] = s.symbol.index();
+  }
+
+  auto window_end_of = [&](Timestamp t) {
+    Timestamp ws = t / options.window_seconds * options.window_seconds;
+    if (ws > t) ws -= options.window_seconds;
+    return ws + options.window_seconds;
+  };
+
+  // An event is visible when the symbols adjacent to it differ: either the
+  // event's window vs the previous one (boundary-crossing events) or the
+  // event's window vs the following one (a mid-window level shift raises
+  // the next window's mean).
+  auto symbol_at = [&](Timestamp window_end) -> const uint32_t* {
+    auto it = by_window_end.find(window_end);
+    return it == by_window_end.end() ? nullptr : &it->second;
+  };
+  EventObscurityReport report;
+  for (size_t i = 1; i < raw.size(); ++i) {
+    if (std::abs(raw[i].value - raw[i - 1].value) <
+        options.jump_threshold_watts) {
+      continue;
+    }
+    ++report.raw_events;
+    Timestamp at = window_end_of(raw[i].timestamp);
+    const uint32_t* current = symbol_at(at);
+    if (current == nullptr) continue;  // window dropped: invisible
+    const uint32_t* previous = symbol_at(at - options.window_seconds);
+    const uint32_t* next = symbol_at(at + options.window_seconds);
+    if ((previous != nullptr && *previous != *current) ||
+        (next != nullptr && *next != *current)) {
+      ++report.visible_events;
+    }
+  }
+  report.visibility =
+      report.raw_events == 0
+          ? 0.0
+          : static_cast<double>(report.visible_events) /
+                static_cast<double>(report.raw_events);
+  return report;
+}
+
+Result<double> ConditionalEntropyBits(const SymbolicSeries& series) {
+  if (series.size() < 2) {
+    return FailedPreconditionError("need at least two symbols");
+  }
+  // Empirical bigram and unigram (context) counts.
+  std::map<std::pair<uint32_t, uint32_t>, double> bigrams;
+  std::map<uint32_t, double> contexts;
+  for (size_t i = 1; i < series.size(); ++i) {
+    uint32_t prev = series[i - 1].symbol.index();
+    uint32_t next = series[i].symbol.index();
+    bigrams[{prev, next}] += 1.0;
+    contexts[prev] += 1.0;
+  }
+  const double total = static_cast<double>(series.size() - 1);
+  double h = 0.0;
+  for (const auto& [pair, count] : bigrams) {
+    double joint = count / total;
+    double conditional = count / contexts[pair.first];
+    h -= joint * std::log2(conditional);
+  }
+  return h;
+}
+
+}  // namespace smeter

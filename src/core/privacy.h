@@ -1,0 +1,57 @@
+// Privacy metrics for symbolic streams.
+//
+// The paper motivates symbols partly as privacy protection: "smart meter
+// data contains very detailed energy consumption measurement which can
+// lead to customer privacy breach". These helpers quantify the obscuring
+// effect:
+//
+//  * event obscurity — what fraction of appliance switch events (large
+//    power jumps in the raw 1 Hz stream, the signal NILM attacks use) is
+//    still visible as a symbol change in the encoded stream;
+//  * conditional entropy — how unpredictable the symbol stream remains
+//    given the previous symbol (a fully predictable stream reveals the
+//    household routine even through coarse symbols).
+
+#ifndef SMETER_CORE_PRIVACY_H_
+#define SMETER_CORE_PRIVACY_H_
+
+#include "common/status.h"
+#include "core/symbolic_series.h"
+#include "core/time_series.h"
+
+namespace smeter {
+
+struct EventObscurityOptions {
+  // A raw event is a jump of at least this many watts between consecutive
+  // samples (appliance turn-on/off signatures).
+  double jump_threshold_watts = 500.0;
+  // The vertical window the symbols were produced with; used to map raw
+  // timestamps onto symbol windows.
+  int64_t window_seconds = 900;
+};
+
+struct EventObscurityReport {
+  size_t raw_events = 0;
+  // Events whose surrounding windows carry *different* symbols (an
+  // observer of the symbol stream can tell something switched).
+  size_t visible_events = 0;
+  // visible / raw; 0 when there are no raw events.
+  double visibility = 0.0;
+};
+
+// Measures how many raw jump events survive into `symbols` (produced from
+// `raw` via the paper's pipeline at `options.window_seconds`). An event
+// inside a single window, or in a window with no emitted symbol, is
+// invisible by construction.
+Result<EventObscurityReport> EvaluateEventObscurity(
+    const TimeSeries& raw, const SymbolicSeries& symbols,
+    const EventObscurityOptions& options = {});
+
+// First-order conditional entropy H(S_t | S_{t-1}) of the symbol stream in
+// bits, from empirical bigram frequencies. Errors on fewer than two
+// symbols.
+Result<double> ConditionalEntropyBits(const SymbolicSeries& series);
+
+}  // namespace smeter
+
+#endif  // SMETER_CORE_PRIVACY_H_

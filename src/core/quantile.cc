@@ -1,0 +1,138 @@
+#include "core/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace smeter {
+namespace {
+
+// Type-7 quantile over sorted data.
+double SortedQuantile(const std::vector<double>& sorted, double q) {
+  const size_t n = sorted.size();
+  if (n == 1) return sorted[0];
+  double h = q * static_cast<double>(n - 1);
+  size_t lo = static_cast<size_t>(h);
+  if (lo >= n - 1) return sorted[n - 1];
+  double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+Result<std::vector<double>> SeparatorsFromSorted(
+    const std::vector<double>& sorted, size_t count) {
+  std::vector<double> seps;
+  seps.reserve(count);
+  for (size_t i = 1; i <= count; ++i) {
+    double q = static_cast<double>(i) / static_cast<double>(count + 1);
+    seps.push_back(SortedQuantile(sorted, q));
+  }
+  return seps;
+}
+
+}  // namespace
+
+Result<double> Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return FailedPreconditionError("quantile of empty data");
+  if (q < 0.0 || q > 1.0) {
+    return InvalidArgumentError("quantile q must be in [0, 1], got " +
+                                std::to_string(q));
+  }
+  std::sort(values.begin(), values.end());
+  return SortedQuantile(values, q);
+}
+
+Result<std::vector<double>> EqualFrequencySeparators(
+    const std::vector<double>& values, size_t count) {
+  if (values.empty()) {
+    return FailedPreconditionError("separators from empty data");
+  }
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  return SeparatorsFromSorted(sorted, count);
+}
+
+Result<std::vector<double>> DistinctEqualFrequencySeparators(
+    const std::vector<double>& values, size_t count) {
+  if (values.empty()) {
+    return FailedPreconditionError("separators from empty data");
+  }
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  return SeparatorsFromSorted(sorted, count);
+}
+
+void RunningStats::Add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++histogram_[value];
+}
+
+double RunningStats::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double RunningStats::min() const { return min_; }
+double RunningStats::max() const { return max_; }
+
+Result<double> RunningStats::RunningQuantile(double q) const {
+  if (count_ == 0) return FailedPreconditionError("quantile of empty stream");
+  if (q < 0.0 || q > 1.0) {
+    return InvalidArgumentError("quantile q must be in [0, 1]");
+  }
+  double h = q * static_cast<double>(count_ - 1);
+  size_t lo_rank = static_cast<size_t>(h);
+  double frac = h - static_cast<double>(lo_rank);
+
+  // Walk the ordered histogram to locate the order statistics at ranks
+  // lo_rank and lo_rank + 1.
+  double lo_value = 0.0;
+  double hi_value = 0.0;
+  bool have_lo = false;
+  size_t cumulative = 0;
+  for (const auto& [value, multiplicity] : histogram_) {
+    size_t next = cumulative + multiplicity;
+    if (!have_lo && lo_rank < next) {
+      lo_value = value;
+      have_lo = true;
+      if (lo_rank + 1 < next || frac == 0.0) {
+        hi_value = value;
+        break;
+      }
+      cumulative = next;
+      continue;
+    }
+    if (have_lo) {
+      hi_value = value;
+      break;
+    }
+    cumulative = next;
+  }
+  return lo_value + frac * (hi_value - lo_value);
+}
+
+Result<double> RunningStats::Median() const { return RunningQuantile(0.5); }
+
+Result<double> RunningStats::DistinctMedian() const {
+  if (count_ == 0) return FailedPreconditionError("median of empty stream");
+  const size_t n = histogram_.size();
+  double h = 0.5 * static_cast<double>(n - 1);
+  size_t lo_rank = static_cast<size_t>(h);
+  double frac = h - static_cast<double>(lo_rank);
+  auto it = histogram_.begin();
+  std::advance(it, static_cast<long>(lo_rank));
+  double lo_value = it->first;
+  if (frac == 0.0) return lo_value;
+  ++it;
+  return lo_value + frac * (it->first - lo_value);
+}
+
+}  // namespace smeter

@@ -1,0 +1,67 @@
+// Empirical quantiles and running statistics.
+//
+// The separator-learning methods of Section 2.2 need k-quantiles of all
+// values (`median`) and k-quantiles of the *distinct* values
+// (`distinctmedian`). Figure 4 additionally tracks accumulative mean /
+// median / median-of-distinct statistics as data streams in; RunningStats
+// provides that.
+
+#ifndef SMETER_CORE_QUANTILE_H_
+#define SMETER_CORE_QUANTILE_H_
+
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace smeter {
+
+// Returns the q-quantile (q in [0, 1]) of `values` using linear
+// interpolation between order statistics (type-7, the common default).
+// Errors on empty input or q outside [0, 1].
+Result<double> Quantile(std::vector<double> values, double q);
+
+// Returns the `count` interior separators that split `values` into
+// `count + 1` equal-frequency buckets, i.e. quantiles at i/(count+1).
+// Values are copied and sorted internally.
+Result<std::vector<double>> EqualFrequencySeparators(
+    const std::vector<double>& values, size_t count);
+
+// Same, over the set of distinct values (each distinct value counted once).
+Result<std::vector<double>> DistinctEqualFrequencySeparators(
+    const std::vector<double>& values, size_t count);
+
+// Streaming statistics over a value stream: count, mean, min, max, median,
+// and median of distinct values. Exact (keeps a value->count map), which is
+// fine at smart-meter scale where the value domain is bounded.
+class RunningStats {
+ public:
+  // Adds one observation.
+  void Add(double value);
+
+  size_t count() const { return count_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  // Median over all observations seen so far. Errors when empty.
+  Result<double> Median() const;
+
+  // Median over the distinct values seen so far. Errors when empty.
+  Result<double> DistinctMedian() const;
+
+  // General quantile over all observations (q in [0,1]).
+  Result<double> RunningQuantile(double q) const;
+
+ private:
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  // value -> multiplicity; ordered so quantiles are a prefix walk.
+  std::map<double, size_t> histogram_;
+};
+
+}  // namespace smeter
+
+#endif  // SMETER_CORE_QUANTILE_H_

@@ -1,0 +1,59 @@
+#include "core/reconstruction.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/encoder.h"
+
+namespace smeter {
+
+Result<ReconstructionError> CompareSeries(const TimeSeries& reference,
+                                          const TimeSeries& reconstructed) {
+  if (reference.size() != reconstructed.size()) {
+    return InvalidArgumentError("series sizes differ");
+  }
+  if (reference.empty()) {
+    return FailedPreconditionError("empty series");
+  }
+  ReconstructionError err;
+  double sq_sum = 0.0;
+  for (size_t i = 0; i < reference.size(); ++i) {
+    if (reference[i].timestamp != reconstructed[i].timestamp) {
+      return InvalidArgumentError("timestamps differ at index " +
+                                  std::to_string(i));
+    }
+    double d = std::abs(reference[i].value - reconstructed[i].value);
+    err.mae += d;
+    sq_sum += d * d;
+    err.max_abs = std::max(err.max_abs, d);
+  }
+  err.count = reference.size();
+  err.mae /= static_cast<double>(err.count);
+  err.rmse = std::sqrt(sq_sum / static_cast<double>(err.count));
+  return err;
+}
+
+Result<ReconstructionError> RoundTripError(const TimeSeries& reference,
+                                           const LookupTable& table,
+                                           ReconstructionMode mode) {
+  Result<SymbolicSeries> encoded = Encode(reference, table);
+  if (!encoded.ok()) return encoded.status();
+  Result<TimeSeries> decoded = Decode(encoded.value(), table, mode);
+  if (!decoded.ok()) return decoded.status();
+  return CompareSeries(reference, decoded.value());
+}
+
+Result<double> MeanAbsoluteError(const std::vector<double>& truth,
+                                 const std::vector<double>& predicted) {
+  if (truth.size() != predicted.size()) {
+    return InvalidArgumentError("vector sizes differ");
+  }
+  if (truth.empty()) return FailedPreconditionError("empty vectors");
+  double sum = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    sum += std::abs(truth[i] - predicted[i]);
+  }
+  return sum / static_cast<double>(truth.size());
+}
+
+}  // namespace smeter

@@ -1,0 +1,41 @@
+// Reconstruction-quality metrics: how much information the symbolization
+// loses, measured as MAE / RMSE / MAPE between a real-valued series and the
+// decoded symbolic series over matching timestamps.
+
+#ifndef SMETER_CORE_RECONSTRUCTION_H_
+#define SMETER_CORE_RECONSTRUCTION_H_
+
+#include "common/status.h"
+#include "core/lookup_table.h"
+#include "core/symbolic_series.h"
+#include "core/time_series.h"
+
+namespace smeter {
+
+struct ReconstructionError {
+  double mae = 0.0;   // mean absolute error
+  double rmse = 0.0;  // root mean squared error
+  double max_abs = 0.0;
+  size_t count = 0;
+};
+
+// Compares two real-valued series sample-by-sample. Series must have equal
+// length and matching timestamps.
+Result<ReconstructionError> CompareSeries(const TimeSeries& reference,
+                                          const TimeSeries& reconstructed);
+
+// Encodes `reference` with `table`, decodes with `mode`, and reports the
+// round-trip error. This is the per-(method, k) loss an operator would
+// consult before picking an alphabet size.
+Result<ReconstructionError> RoundTripError(const TimeSeries& reference,
+                                           const LookupTable& table,
+                                           ReconstructionMode mode);
+
+// Mean absolute error between aligned value vectors (used by the
+// forecasting benches). Errors on size mismatch or empty input.
+Result<double> MeanAbsoluteError(const std::vector<double>& truth,
+                                 const std::vector<double>& predicted);
+
+}  // namespace smeter
+
+#endif  // SMETER_CORE_RECONSTRUCTION_H_

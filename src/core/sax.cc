@@ -1,0 +1,111 @@
+#include "core/sax.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/normal.h"
+#include "core/symbol.h"
+#include "core/vertical.h"
+
+namespace smeter {
+
+Result<std::vector<double>> GaussianBreakpoints(int a) {
+  if (a < 2) return InvalidArgumentError("alphabet size must be >= 2");
+  std::vector<double> breakpoints;
+  breakpoints.reserve(static_cast<size_t>(a) - 1);
+  for (int i = 1; i < a; ++i) {
+    Result<double> z =
+        InverseNormalCdf(static_cast<double>(i) / static_cast<double>(a));
+    if (!z.ok()) return z.status();
+    breakpoints.push_back(z.value());
+  }
+  return breakpoints;
+}
+
+Result<SymbolicSeries> SaxEncode(const TimeSeries& series,
+                                 const SaxOptions& options) {
+  if (options.level < 1 || options.level > kMaxSymbolLevel) {
+    return InvalidArgumentError("bad SAX level");
+  }
+  if (options.paa_frame == 0) {
+    return InvalidArgumentError("paa_frame must be > 0");
+  }
+  if (series.empty()) return FailedPreconditionError("empty series");
+
+  // Z-normalize over the whole series, as SAX prescribes.
+  std::vector<double> values = series.Values();
+  if (options.normalize) {
+    double mean = 0.0;
+    for (double v : values) mean += v;
+    mean /= static_cast<double>(values.size());
+    double var = 0.0;
+    for (double v : values) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(values.size());
+    if (var <= 0.0) {
+      return FailedPreconditionError(
+          "zero-variance series cannot be z-normalized");
+    }
+    double inv_std = 1.0 / std::sqrt(var);
+    for (double& v : values) v = (v - mean) * inv_std;
+  }
+
+  TimeSeries normalized;
+  for (size_t i = 0; i < values.size(); ++i) {
+    SMETER_RETURN_IF_ERROR(
+        normalized.Append({series[i].timestamp, values[i]}));
+  }
+
+  // PAA = vertical segmentation by count with mean aggregation.
+  Result<TimeSeries> paa =
+      VerticalSegmentByCount(normalized, options.paa_frame);
+  if (!paa.ok()) return paa.status();
+
+  Result<std::vector<double>> breakpoints =
+      GaussianBreakpoints(1 << options.level);
+  if (!breakpoints.ok()) return breakpoints.status();
+
+  SymbolicSeries out(options.level);
+  for (const Sample& s : paa.value()) {
+    auto it = std::lower_bound(breakpoints->begin(), breakpoints->end(),
+                               s.value);
+    uint32_t index = static_cast<uint32_t>(it - breakpoints->begin());
+    Result<Symbol> symbol = Symbol::Create(options.level, index);
+    if (!symbol.ok()) return symbol.status();
+    SMETER_RETURN_IF_ERROR(out.Append({s.timestamp, symbol.value()}));
+  }
+  return out;
+}
+
+Result<double> SaxMinDist(const SymbolicSeries& a, const SymbolicSeries& b,
+                          size_t original_length) {
+  if (a.level() != b.level()) {
+    return InvalidArgumentError("SAX words have different alphabets");
+  }
+  if (a.size() != b.size()) {
+    return InvalidArgumentError("SAX words have different lengths");
+  }
+  if (a.empty()) return FailedPreconditionError("empty SAX words");
+  if (original_length == 0) {
+    return InvalidArgumentError("original_length must be > 0");
+  }
+
+  Result<std::vector<double>> breakpoints = GaussianBreakpoints(1 << a.level());
+  if (!breakpoints.ok()) return breakpoints.status();
+  const std::vector<double>& beta = breakpoints.value();
+
+  // dist(r, c) = 0 when |r - c| <= 1, else beta_{max(r,c)-1} - beta_{min(r,c)}.
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint32_t r = a[i].symbol.index();
+    uint32_t c = b[i].symbol.index();
+    if (r > c) std::swap(r, c);
+    if (c - r <= 1) continue;
+    double d = beta[c - 1] - beta[r];
+    sum += d * d;
+  }
+  double w = static_cast<double>(a.size());
+  double n = static_cast<double>(original_length);
+  return std::sqrt(n / w) * std::sqrt(sum);
+}
+
+}  // namespace smeter

@@ -1,0 +1,52 @@
+// Classic SAX (Lin et al., DMKD 2007) — the closest prior approach, used
+// here as a baseline and ablation reference.
+//
+// SAX z-normalizes the series, applies Piecewise Aggregate Approximation
+// (PAA, the analogue of vertical segmentation), and discretizes with
+// breakpoints from the *Gaussian* quantile table. The paper argues both
+// choices are wrong for smart-meter data: the distribution is log-normal,
+// and per-house normalization erases consumption magnitude (Figure 3).
+// Implementing SAX faithfully lets the benches demonstrate exactly that.
+
+#ifndef SMETER_CORE_SAX_H_
+#define SMETER_CORE_SAX_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/symbolic_series.h"
+#include "core/time_series.h"
+
+namespace smeter {
+
+struct SaxOptions {
+  // Alphabet size 2^level (SAX allows any size; we restrict to powers of
+  // two so SAX words are comparable with the paper's binary symbols).
+  int level = 4;
+  // Number of raw samples averaged per PAA frame.
+  size_t paa_frame = 900;
+  // If false, skip z-normalization (for the Figure-3 ablation).
+  bool normalize = true;
+};
+
+// Gaussian breakpoints beta_1..beta_{a-1} splitting N(0,1) into `a`
+// equiprobable regions (see common/normal.h for the inverse CDF used).
+// Errors for a < 2.
+Result<std::vector<double>> GaussianBreakpoints(int a);
+
+// Encodes `series` as a SAX word. The output timestamps are the last raw
+// timestamp of each PAA frame (matching VerticalSegmentByCount). A trailing
+// partial frame is dropped. Errors on empty input, a constant series with
+// normalize=true (zero variance), or a bad level.
+Result<SymbolicSeries> SaxEncode(const TimeSeries& series,
+                                 const SaxOptions& options);
+
+// MINDIST lower-bounding distance between two equal-length SAX words
+// produced with the same options (Lin et al., Eq. 6). `original_length` is
+// the pre-PAA length n.
+Result<double> SaxMinDist(const SymbolicSeries& a, const SymbolicSeries& b,
+                          size_t original_length);
+
+}  // namespace smeter
+
+#endif  // SMETER_CORE_SAX_H_

@@ -1,0 +1,58 @@
+#include "core/separators.h"
+
+#include <algorithm>
+
+#include "core/quantile.h"
+#include "core/symbol.h"
+
+namespace smeter {
+
+std::string SeparatorMethodName(SeparatorMethod method) {
+  switch (method) {
+    case SeparatorMethod::kUniform:
+      return "uniform";
+    case SeparatorMethod::kMedian:
+      return "median";
+    case SeparatorMethod::kDistinctMedian:
+      return "distinctmedian";
+    case SeparatorMethod::kCustom:
+      return "custom";
+  }
+  return "unknown";
+}
+
+Result<std::vector<double>> LearnSeparators(const std::vector<double>& training,
+                                            SeparatorMethod method,
+                                            int level) {
+  if (level < 1 || level > kMaxSymbolLevel) {
+    return InvalidArgumentError("alphabet level must be in [1, " +
+                                std::to_string(kMaxSymbolLevel) + "]");
+  }
+  if (training.empty()) {
+    return FailedPreconditionError("separator learning needs training data");
+  }
+  const size_t k = size_t{1} << level;
+
+  switch (method) {
+    case SeparatorMethod::kUniform: {
+      // beta_i = i * max / k  (Section 2.2a: uniform division of [0, max]).
+      double max = *std::max_element(training.begin(), training.end());
+      std::vector<double> seps;
+      seps.reserve(k - 1);
+      for (size_t i = 1; i < k; ++i) {
+        seps.push_back(max * static_cast<double>(i) / static_cast<double>(k));
+      }
+      return seps;
+    }
+    case SeparatorMethod::kMedian:
+      return EqualFrequencySeparators(training, k - 1);
+    case SeparatorMethod::kDistinctMedian:
+      return DistinctEqualFrequencySeparators(training, k - 1);
+    case SeparatorMethod::kCustom:
+      return InvalidArgumentError(
+          "custom separators are supplied directly, not learned");
+  }
+  return InternalError("unhandled separator method");
+}
+
+}  // namespace smeter

@@ -1,0 +1,45 @@
+// Separator-learning methods for horizontal segmentation (Section 2.2).
+//
+// Given historical training values, produces the k-1 interior separators
+// beta_1 < ... < beta_{k-1} of Definition 3 with one of the paper's three
+// strategies:
+//   * uniform        — equal-width bins over [0, max];
+//   * median         — equal-frequency bins (k-quantiles of all values);
+//   * distinctmedian — k-quantiles of the distinct values.
+//
+// For power-of-two k the separator sets are *nested*: the level-l set is a
+// subset of the level-(l+1) set, which realises Figure 1's recursive range
+// division and makes symbols of different resolutions compatible.
+
+#ifndef SMETER_CORE_SEPARATORS_H_
+#define SMETER_CORE_SEPARATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace smeter {
+
+enum class SeparatorMethod {
+  kUniform,
+  kMedian,
+  kDistinctMedian,
+  // Separators supplied directly by an expert (Section 3.2's low/high
+  // example); never produced by LearnSeparators.
+  kCustom,
+};
+
+// Returns the paper's name for the method ("uniform", "median",
+// "distinctmedian", or "custom").
+std::string SeparatorMethodName(SeparatorMethod method);
+
+// Learns the `k - 1` separators for an alphabet of size `k = 2^level` from
+// `training` values. Errors on empty training data or level out of
+// [1, kMaxSymbolLevel].
+Result<std::vector<double>> LearnSeparators(const std::vector<double>& training,
+                                            SeparatorMethod method, int level);
+
+}  // namespace smeter
+
+#endif  // SMETER_CORE_SEPARATORS_H_

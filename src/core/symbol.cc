@@ -1,0 +1,77 @@
+#include "core/symbol.h"
+
+#include <cassert>
+
+namespace smeter {
+
+Result<Symbol> Symbol::Create(int level, uint32_t index) {
+  if (level < 1 || level > kMaxSymbolLevel) {
+    return InvalidArgumentError("symbol level must be in [1, " +
+                                std::to_string(kMaxSymbolLevel) + "], got " +
+                                std::to_string(level));
+  }
+  if (index >= (1u << level)) {
+    return InvalidArgumentError("symbol index " + std::to_string(index) +
+                                " out of range for level " +
+                                std::to_string(level));
+  }
+  return Symbol(level, index);
+}
+
+Result<Symbol> Symbol::FromBits(const std::string& bits) {
+  if (bits.empty()) return InvalidArgumentError("empty symbol bit string");
+  if (bits.size() > static_cast<size_t>(kMaxSymbolLevel)) {
+    return InvalidArgumentError("symbol bit string too long: " + bits);
+  }
+  uint32_t index = 0;
+  for (char c : bits) {
+    if (c != '0' && c != '1') {
+      return InvalidArgumentError("non-binary character in symbol: " + bits);
+    }
+    index = (index << 1) | static_cast<uint32_t>(c - '0');
+  }
+  return Symbol(static_cast<int>(bits.size()), index);
+}
+
+std::string Symbol::ToBits() const {
+  std::string bits(static_cast<size_t>(level_), '0');
+  for (int i = 0; i < level_; ++i) {
+    if ((index_ >> (level_ - 1 - i)) & 1u) bits[static_cast<size_t>(i)] = '1';
+  }
+  return bits;
+}
+
+Result<Symbol> Symbol::Coarsen(int level) const {
+  if (level < 1 || level > level_) {
+    return InvalidArgumentError("cannot coarsen level " +
+                                std::to_string(level_) + " symbol to level " +
+                                std::to_string(level));
+  }
+  return Symbol(level, index_ >> (level_ - level));
+}
+
+bool Symbol::IsAncestorOf(const Symbol& other) const {
+  if (level_ > other.level_) return false;
+  return (other.index_ >> (other.level_ - level_)) == index_;
+}
+
+int Symbol::Compare(const Symbol& other) const {
+  // Compare the two ranges by aligning both to the finer level.
+  int common = std::max(level_, other.level_);
+  uint64_t a_lo = static_cast<uint64_t>(index_) << (common - level_);
+  uint64_t a_hi = a_lo + (1ull << (common - level_)) - 1;
+  uint64_t b_lo = static_cast<uint64_t>(other.index_)
+                  << (common - other.level_);
+  uint64_t b_hi = b_lo + (1ull << (common - other.level_)) - 1;
+  if (a_hi < b_lo) return -1;
+  if (b_hi < a_lo) return 1;
+  return 0;  // overlapping => prefix-related
+}
+
+bool operator<(const Symbol& a, const Symbol& b) {
+  assert(a.level_ == b.level_ &&
+         "operator< requires same-level symbols; use Compare()");
+  return a.index_ < b.index_;
+}
+
+}  // namespace smeter

@@ -1,0 +1,81 @@
+// Variable-length binary symbols (Section 2, Figure 1).
+//
+// The paper's alphabet is built by recursively halving the value range:
+// level 1 has symbols '0' and '1', level 2 has '00'..'11', and so on. A
+// symbol is therefore a path in a binary tree, identified here by
+// (level, index): level = number of bits, index = the bits read as an
+// unsigned integer. The alphabet only has a *partial* order across levels —
+// '0' "covers" both '00' and '01' (prefix relation), while '0' and '10' are
+// ordered ('0' < '10') and '0' vs '01' are related by refinement, not order.
+
+#ifndef SMETER_CORE_SYMBOL_H_
+#define SMETER_CORE_SYMBOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace smeter {
+
+// Maximum supported resolution: 2^12 = 4096 symbols, far beyond the paper's
+// 16 (the paper notes too many symbols defeats the purpose).
+inline constexpr int kMaxSymbolLevel = 12;
+
+// One symbol of the hierarchical binary alphabet.
+//
+// Value type; totally ordered only within one level. Across levels, use
+// IsAncestorOf / Comparable helpers.
+class Symbol {
+ public:
+  Symbol() : level_(1), index_(0) {}
+
+  // `level` in [1, kMaxSymbolLevel]; `index` in [0, 2^level).
+  // Invalid combinations are reported via Create().
+  static Result<Symbol> Create(int level, uint32_t index);
+
+  // Parses a bit string such as "0101". Errors on empty, too long, or
+  // non-binary input.
+  static Result<Symbol> FromBits(const std::string& bits);
+
+  int level() const { return level_; }
+  uint32_t index() const { return index_; }
+
+  // Alphabet size at this symbol's level (2^level).
+  uint32_t AlphabetSize() const { return 1u << level_; }
+
+  // Renders the symbol as its bit string, e.g. (3, 5) -> "101".
+  std::string ToBits() const;
+
+  // Drops resolution to `level` (a prefix of the bit string). Errors if
+  // `level` exceeds this symbol's level or is < 1.
+  Result<Symbol> Coarsen(int level) const;
+
+  // True if this symbol's range contains `other`'s range, i.e. this
+  // symbol's bits are a (non-strict) prefix of `other`'s.
+  bool IsAncestorOf(const Symbol& other) const;
+
+  // Cross-resolution comparison (Section 4: "lower resolution symbols can
+  // be compared to higher resolution ones"). Returns:
+  //   -1 if every value under *this precedes every value under `other`,
+  //   +1 for the converse,
+  //    0 if the ranges are related by refinement (one is a prefix of the
+  //      other) or equal.
+  int Compare(const Symbol& other) const;
+
+  // Total order *within a level*; mixing levels is a bug guarded by assert.
+  friend bool operator<(const Symbol& a, const Symbol& b);
+  friend bool operator==(const Symbol& a, const Symbol& b) {
+    return a.level_ == b.level_ && a.index_ == b.index_;
+  }
+
+ private:
+  Symbol(int level, uint32_t index) : level_(level), index_(index) {}
+
+  int level_;
+  uint32_t index_;
+};
+
+}  // namespace smeter
+
+#endif  // SMETER_CORE_SYMBOL_H_

@@ -1,0 +1,167 @@
+#include "core/symbolic_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smeter {
+
+Result<double> SymbolRangeGap(const Symbol& a, const Symbol& b,
+                              const LookupTable& table) {
+  Result<double> a_lo = table.RangeLow(a);
+  if (!a_lo.ok()) return a_lo.status();
+  Result<double> a_hi = table.RangeHigh(a);
+  if (!a_hi.ok()) return a_hi.status();
+  Result<double> b_lo = table.RangeLow(b);
+  if (!b_lo.ok()) return b_lo.status();
+  Result<double> b_hi = table.RangeHigh(b);
+  if (!b_hi.ok()) return b_hi.status();
+  if (*b_lo > *a_hi) return *b_lo - *a_hi;
+  if (*a_lo > *b_hi) return *a_lo - *b_hi;
+  return 0.0;
+}
+
+Result<double> WordLowerBoundDistance(const std::vector<Symbol>& a,
+                                      const std::vector<Symbol>& b,
+                                      const LookupTable& table) {
+  if (a.size() != b.size()) {
+    return InvalidArgumentError("word lengths differ");
+  }
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    Result<double> gap = SymbolRangeGap(a[i], b[i], table);
+    if (!gap.ok()) return gap.status();
+    sum += gap.value() * gap.value();
+  }
+  return std::sqrt(sum);
+}
+
+Result<SymbolicIndex> SymbolicIndex::Create(LookupTable table,
+                                            size_t word_length,
+                                            const Options& options) {
+  if (word_length == 0) {
+    return InvalidArgumentError("word_length must be > 0");
+  }
+  if (options.prune_level < 1 || options.prune_level > table.level()) {
+    return InvalidArgumentError("prune_level outside table levels");
+  }
+  return SymbolicIndex(std::move(table), word_length, options);
+}
+
+Status SymbolicIndex::ValidateWord(const std::vector<Symbol>& word) const {
+  if (word.size() != word_length_) {
+    return InvalidArgumentError("word length " + std::to_string(word.size()) +
+                                " != " + std::to_string(word_length_));
+  }
+  for (const Symbol& s : word) {
+    if (s.level() != table_.level()) {
+      return InvalidArgumentError("word symbols must be finest-level");
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<uint32_t> SymbolicIndex::CoarseSignature(
+    const std::vector<Symbol>& word) const {
+  std::vector<uint32_t> signature;
+  signature.reserve(word.size());
+  for (const Symbol& s : word) {
+    signature.push_back(s.Coarsen(options_.prune_level).value().index());
+  }
+  return signature;
+}
+
+Status SymbolicIndex::Insert(uint64_t id, std::vector<Symbol> word) {
+  SMETER_RETURN_IF_ERROR(ValidateWord(word));
+  if (words_.count(id) > 0) {
+    return InvalidArgumentError("duplicate id " + std::to_string(id));
+  }
+  buckets_[CoarseSignature(word)].push_back(id);
+  words_.emplace(id, std::move(word));
+  return Status::Ok();
+}
+
+Status SymbolicIndex::InsertValues(uint64_t id,
+                                   const std::vector<double>& values) {
+  std::vector<Symbol> word;
+  word.reserve(values.size());
+  for (double v : values) word.push_back(table_.Encode(v));
+  return Insert(id, std::move(word));
+}
+
+Result<std::vector<IndexMatch>> SymbolicIndex::NearestNeighbors(
+    const std::vector<Symbol>& query, size_t k) const {
+  SMETER_RETURN_IF_ERROR(ValidateWord(query));
+  if (k == 0) return InvalidArgumentError("k must be > 0");
+
+  // The query's coarse word, reused for every bucket bound.
+  std::vector<Symbol> coarse_query;
+  coarse_query.reserve(query.size());
+  for (const Symbol& s : query) {
+    coarse_query.push_back(s.Coarsen(options_.prune_level).value());
+  }
+
+  std::vector<IndexMatch> best;  // kept sorted ascending, size <= k
+  last_buckets_examined_ = 0;
+  for (const auto& [signature, ids] : buckets_) {
+    // Bucket-level lower bound from the coarse signature.
+    double bucket_bound_sq = 0.0;
+    for (size_t i = 0; i < signature.size(); ++i) {
+      Symbol coarse =
+          Symbol::Create(options_.prune_level, signature[i]).value();
+      Result<double> gap = SymbolRangeGap(coarse_query[i], coarse, table_);
+      if (!gap.ok()) return gap.status();
+      bucket_bound_sq += gap.value() * gap.value();
+    }
+    double bucket_bound = std::sqrt(bucket_bound_sq);
+    if (best.size() == k && bucket_bound > best.back().distance) {
+      continue;  // no member can beat the current k-th best
+    }
+    ++last_buckets_examined_;
+
+    for (uint64_t id : ids) {
+      Result<double> distance =
+          WordLowerBoundDistance(query, words_.at(id), table_);
+      if (!distance.ok()) return distance.status();
+      IndexMatch match{id, distance.value()};
+      auto pos = std::upper_bound(
+          best.begin(), best.end(), match, [](const IndexMatch& a,
+                                              const IndexMatch& b) {
+            if (a.distance != b.distance) return a.distance < b.distance;
+            return a.id < b.id;
+          });
+      best.insert(pos, match);
+      if (best.size() > k) best.pop_back();
+    }
+  }
+  return best;
+}
+
+Result<std::vector<IndexMatch>> SymbolicIndex::NearestNeighborsValues(
+    const std::vector<double>& query_values, size_t k) const {
+  std::vector<Symbol> query;
+  query.reserve(query_values.size());
+  for (double v : query_values) query.push_back(table_.Encode(v));
+  return NearestNeighbors(query, k);
+}
+
+Result<std::vector<IndexMatch>> SymbolicIndex::RangeQuery(
+    const std::vector<Symbol>& query, double radius) const {
+  SMETER_RETURN_IF_ERROR(ValidateWord(query));
+  if (radius < 0.0) return InvalidArgumentError("radius must be >= 0");
+  std::vector<IndexMatch> matches;
+  for (const auto& [id, word] : words_) {
+    Result<double> distance = WordLowerBoundDistance(query, word, table_);
+    if (!distance.ok()) return distance.status();
+    if (distance.value() <= radius) {
+      matches.push_back({id, distance.value()});
+    }
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const IndexMatch& a, const IndexMatch& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.id < b.id;
+            });
+  return matches;
+}
+
+}  // namespace smeter

@@ -1,0 +1,111 @@
+// Similarity search over symbolic words — an iSAX-flavoured index (Shieh &
+// Keogh, KDD'08, the paper's closest related work) adapted to the paper's
+// empirical lookup tables instead of Gaussian breakpoints.
+//
+// Words are fixed-length sequences of same-level symbols under one shared
+// LookupTable (e.g. one word per day: 24 hourly symbols). The distance is
+// the range-gap lower bound: for two symbols, the gap between their value
+// ranges (0 when ranges touch); for words, the L2 combination. Because
+// coarsening only widens ranges, the distance computed at a coarser level
+// lower-bounds the fine distance — which is exactly what makes iSAX-style
+// bucket pruning sound.
+//
+// The index groups words by their coarse (level-`prune_level`) signature;
+// a k-NN query evaluates one bound per bucket and skips buckets that
+// cannot beat the current k-th best.
+
+#ifndef SMETER_CORE_SYMBOLIC_INDEX_H_
+#define SMETER_CORE_SYMBOLIC_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/lookup_table.h"
+#include "core/symbol.h"
+
+namespace smeter {
+
+// Distance between the value ranges of two same-table symbols: 0 when the
+// ranges overlap or touch, else the gap between them. Symbols may have
+// different levels (cross-resolution comparison, Section 4).
+Result<double> SymbolRangeGap(const Symbol& a, const Symbol& b,
+                              const LookupTable& table);
+
+// Lower-bounding L2 distance between equal-length words.
+Result<double> WordLowerBoundDistance(const std::vector<Symbol>& a,
+                                      const std::vector<Symbol>& b,
+                                      const LookupTable& table);
+
+struct IndexMatch {
+  uint64_t id = 0;
+  double distance = 0.0;
+
+  friend bool operator==(const IndexMatch&, const IndexMatch&) = default;
+};
+
+class SymbolicIndex {
+ public:
+  struct Options {
+    // Words are grouped by their symbols coarsened to this level.
+    int prune_level = 1;
+  };
+
+  // `table` defines the value ranges; `word_length` the symbols per word.
+  static Result<SymbolicIndex> Create(LookupTable table, size_t word_length,
+                                      const Options& options);
+  static Result<SymbolicIndex> Create(LookupTable table, size_t word_length) {
+    return Create(std::move(table), word_length, Options());
+  }
+
+  // Inserts a word of `word_length` finest-level symbols. Duplicate ids
+  // are rejected.
+  Status Insert(uint64_t id, std::vector<Symbol> word);
+
+  // Convenience: encode a vector of raw values through the table first.
+  Status InsertValues(uint64_t id, const std::vector<double>& values);
+
+  size_t size() const { return words_.size(); }
+  size_t num_buckets() const { return buckets_.size(); }
+
+  // The k nearest stored words to `query` (ties by lower id), sorted by
+  // ascending distance. `query` must have word_length finest-level
+  // symbols. Returns fewer than k when the index is smaller.
+  Result<std::vector<IndexMatch>> NearestNeighbors(
+      const std::vector<Symbol>& query, size_t k) const;
+  Result<std::vector<IndexMatch>> NearestNeighborsValues(
+      const std::vector<double>& query_values, size_t k) const;
+
+  // All stored words within `radius` of `query`, sorted by distance.
+  Result<std::vector<IndexMatch>> RangeQuery(const std::vector<Symbol>& query,
+                                             double radius) const;
+
+  // Buckets inspected by the last NearestNeighbors call — exposes the
+  // pruning effectiveness for tests and benches.
+  size_t last_buckets_examined() const { return last_buckets_examined_; }
+
+ private:
+  SymbolicIndex(LookupTable table, size_t word_length,
+                const Options& options)
+      : table_(std::move(table)),
+        word_length_(word_length),
+        options_(options) {}
+
+  Status ValidateWord(const std::vector<Symbol>& word) const;
+  std::vector<uint32_t> CoarseSignature(const std::vector<Symbol>& word) const;
+
+  LookupTable table_;
+  size_t word_length_;
+  Options options_;
+  // id -> word storage.
+  std::map<uint64_t, std::vector<Symbol>> words_;
+  // coarse signature -> member ids.
+  std::map<std::vector<uint32_t>, std::vector<uint64_t>> buckets_;
+  mutable size_t last_buckets_examined_ = 0;
+};
+
+}  // namespace smeter
+
+#endif  // SMETER_CORE_SYMBOLIC_INDEX_H_

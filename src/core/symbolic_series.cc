@@ -1,0 +1,63 @@
+#include "core/symbolic_series.h"
+
+#include <algorithm>
+
+namespace smeter {
+
+Status SymbolicSeries::Append(SymbolicSample sample) {
+  if (sample.symbol.level() != level_) {
+    return InvalidArgumentError("symbol level " +
+                                std::to_string(sample.symbol.level()) +
+                                " != series level " + std::to_string(level_));
+  }
+  if (!samples_.empty() && sample.timestamp < samples_.back().timestamp) {
+    return InvalidArgumentError("timestamp regresses");
+  }
+  samples_.push_back(sample);
+  return Status::Ok();
+}
+
+SymbolicSeries SymbolicSeries::Slice(const TimeRange& range) const {
+  auto lo = std::lower_bound(
+      samples_.begin(), samples_.end(), range.begin,
+      [](const SymbolicSample& s, Timestamp t) { return s.timestamp < t; });
+  auto hi = std::lower_bound(
+      lo, samples_.end(), range.end,
+      [](const SymbolicSample& s, Timestamp t) { return s.timestamp < t; });
+  SymbolicSeries out(level_);
+  out.samples_.assign(lo, hi);
+  return out;
+}
+
+Result<SymbolicSeries> SymbolicSeries::Coarsen(int level) const {
+  if (level < 1 || level > level_) {
+    return InvalidArgumentError("cannot coarsen level " +
+                                std::to_string(level_) + " series to level " +
+                                std::to_string(level));
+  }
+  SymbolicSeries out(level);
+  out.samples_.reserve(samples_.size());
+  for (const SymbolicSample& s : samples_) {
+    Result<Symbol> coarse = s.symbol.Coarsen(level);
+    if (!coarse.ok()) return coarse.status();
+    out.samples_.push_back({s.timestamp, coarse.value()});
+  }
+  return out;
+}
+
+std::string SymbolicSeries::ToBitString() const {
+  std::string out;
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += samples_[i].symbol.ToBits();
+  }
+  return out;
+}
+
+std::vector<size_t> SymbolicSeries::Histogram() const {
+  std::vector<size_t> counts(size_t{1} << level_, 0);
+  for (const SymbolicSample& s : samples_) ++counts[s.symbol.index()];
+  return counts;
+}
+
+}  // namespace smeter

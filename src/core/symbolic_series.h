@@ -1,0 +1,73 @@
+// A symbolic time series: the output of horizontal segmentation.
+//
+// Every symbol in one series has the same resolution (level); Section 2
+// fixes both the temporal window and the alphabet per stream precisely so
+// that downstream algorithms see a uniform representation. Down-conversion
+// to a coarser resolution is lossless-by-construction (Section 4).
+
+#ifndef SMETER_CORE_SYMBOLIC_SERIES_H_
+#define SMETER_CORE_SYMBOLIC_SERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/symbol.h"
+#include "core/time_series.h"
+
+namespace smeter {
+
+// One encoded measurement: the paper's \hat{s}_i = (t_i, \hat{v}_i).
+struct SymbolicSample {
+  Timestamp timestamp = 0;
+  Symbol symbol;
+
+  friend bool operator==(const SymbolicSample& a, const SymbolicSample& b) {
+    return a.timestamp == b.timestamp && a.symbol == b.symbol;
+  }
+};
+
+class SymbolicSeries {
+ public:
+  // An empty series at the given resolution.
+  explicit SymbolicSeries(int level = 1) : level_(level) {}
+
+  // Appends a sample; the symbol's level must match the series' level and
+  // timestamps must be non-decreasing.
+  Status Append(SymbolicSample sample);
+
+  int level() const { return level_; }
+  bool empty() const { return samples_.empty(); }
+  size_t size() const { return samples_.size(); }
+  const SymbolicSample& operator[](size_t i) const { return samples_[i]; }
+  const std::vector<SymbolicSample>& samples() const { return samples_; }
+
+  std::vector<SymbolicSample>::const_iterator begin() const {
+    return samples_.begin();
+  }
+  std::vector<SymbolicSample>::const_iterator end() const {
+    return samples_.end();
+  }
+
+  // Returns the sub-series with timestamps in [range.begin, range.end).
+  SymbolicSeries Slice(const TimeRange& range) const;
+
+  // Returns the same series at a coarser resolution (each symbol's bit
+  // string truncated). Errors if `level` > level().
+  Result<SymbolicSeries> Coarsen(int level) const;
+
+  // Renders the series as a string of bit groups, e.g. "010 110 001".
+  std::string ToBitString() const;
+
+  // Per-symbol-index occurrence counts (size 2^level).
+  std::vector<size_t> Histogram() const;
+
+ private:
+  int level_;
+  std::vector<SymbolicSample> samples_;
+};
+
+}  // namespace smeter
+
+#endif  // SMETER_CORE_SYMBOLIC_SERIES_H_

@@ -1,0 +1,116 @@
+#include "core/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace smeter {
+
+Result<TimeSeries> TimeSeries::FromSamples(std::vector<Sample> samples) {
+  for (size_t i = 0; i < samples.size(); ++i) {
+    if (!std::isfinite(samples[i].value)) {
+      return InvalidArgumentError("non-finite value at index " +
+                                  std::to_string(i));
+    }
+    if (i > 0 && samples[i].timestamp < samples[i - 1].timestamp) {
+      return InvalidArgumentError("timestamps regress at index " +
+                                  std::to_string(i));
+    }
+  }
+  TimeSeries series;
+  series.samples_ = std::move(samples);
+  return series;
+}
+
+TimeSeries TimeSeries::FromValues(const std::vector<double>& values,
+                                  Timestamp start, int64_t step) {
+  TimeSeries series;
+  series.samples_.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    series.samples_.push_back(
+        {start + static_cast<int64_t>(i) * step, values[i]});
+  }
+  return series;
+}
+
+Status TimeSeries::Append(Sample sample) {
+  if (!std::isfinite(sample.value)) {
+    return InvalidArgumentError("non-finite value");
+  }
+  if (!samples_.empty() && sample.timestamp < samples_.back().timestamp) {
+    return InvalidArgumentError("timestamp regresses");
+  }
+  samples_.push_back(sample);
+  return Status::Ok();
+}
+
+std::vector<double> TimeSeries::Values() const {
+  std::vector<double> values;
+  values.reserve(samples_.size());
+  for (const Sample& s : samples_) values.push_back(s.value);
+  return values;
+}
+
+TimeSeries TimeSeries::Slice(const TimeRange& range) const {
+  auto lo = std::lower_bound(
+      samples_.begin(), samples_.end(), range.begin,
+      [](const Sample& s, Timestamp t) { return s.timestamp < t; });
+  auto hi = std::lower_bound(
+      lo, samples_.end(), range.end,
+      [](const Sample& s, Timestamp t) { return s.timestamp < t; });
+  TimeSeries out;
+  out.samples_.assign(lo, hi);
+  return out;
+}
+
+std::vector<TimeRange> TimeSeries::FindGaps(int64_t max_spacing) const {
+  std::vector<TimeRange> gaps;
+  for (size_t i = 1; i < samples_.size(); ++i) {
+    int64_t spacing = samples_[i].timestamp - samples_[i - 1].timestamp;
+    if (spacing > max_spacing) {
+      gaps.push_back({samples_[i - 1].timestamp, samples_[i].timestamp});
+    }
+  }
+  return gaps;
+}
+
+Result<double> TimeSeries::MinValue() const {
+  if (samples_.empty()) return FailedPreconditionError("empty series");
+  double m = samples_.front().value;
+  for (const Sample& s : samples_) m = std::min(m, s.value);
+  return m;
+}
+
+Result<double> TimeSeries::MaxValue() const {
+  if (samples_.empty()) return FailedPreconditionError("empty series");
+  double m = samples_.front().value;
+  for (const Sample& s : samples_) m = std::max(m, s.value);
+  return m;
+}
+
+Result<double> TimeSeries::MeanValue() const {
+  if (samples_.empty()) return FailedPreconditionError("empty series");
+  double sum = 0.0;
+  for (const Sample& s : samples_) sum += s.value;
+  return sum / static_cast<double>(samples_.size());
+}
+
+Result<TimeSeries> SumAligned(const TimeSeries& a, const TimeSeries& b) {
+  if (a.size() != b.size()) {
+    return InvalidArgumentError("series sizes differ: " +
+                                std::to_string(a.size()) + " vs " +
+                                std::to_string(b.size()));
+  }
+  std::vector<Sample> out;
+  out.reserve(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].timestamp != b[i].timestamp) {
+      return InvalidArgumentError("timestamps differ at index " +
+                                  std::to_string(i));
+    }
+    out.push_back({a[i].timestamp, a[i].value + b[i].value});
+  }
+  return TimeSeries::FromSamples(std::move(out));
+}
+
+}  // namespace smeter

@@ -1,0 +1,108 @@
+// Time-series primitives (Definition 1 of the paper).
+//
+// A time series is an ordered sequence of (timestamp, value) samples with
+// non-decreasing timestamps. Timestamps are integer seconds since an
+// arbitrary epoch; smart meters in the paper sample at 1 Hz, but nothing in
+// the library requires a fixed rate — gap handling is explicit.
+
+#ifndef SMETER_CORE_TIME_SERIES_H_
+#define SMETER_CORE_TIME_SERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace smeter {
+
+// Seconds since an arbitrary epoch.
+using Timestamp = int64_t;
+
+inline constexpr int64_t kSecondsPerDay = 86400;
+inline constexpr int64_t kSecondsPerHour = 3600;
+
+// One measurement: the paper's two-tuple s_i = (t_i, v_i).
+struct Sample {
+  Timestamp timestamp = 0;
+  double value = 0.0;
+
+  friend bool operator==(const Sample& a, const Sample& b) {
+    return a.timestamp == b.timestamp && a.value == b.value;
+  }
+};
+
+// A half-open timestamp interval [begin, end).
+struct TimeRange {
+  Timestamp begin = 0;
+  Timestamp end = 0;
+
+  int64_t duration() const { return end - begin; }
+  bool Contains(Timestamp t) const { return t >= begin && t < end; }
+};
+
+// An ordered sequence of samples.
+//
+// Invariant: timestamps are non-decreasing (equal timestamps are allowed,
+// matching Definition 1's "t_i no earlier than t_j for j <= i").
+// Append() enforces this; bulk construction validates via FromSamples().
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  // Validates ordering; returns InvalidArgument on a timestamp regression
+  // or a non-finite value.
+  static Result<TimeSeries> FromSamples(std::vector<Sample> samples);
+
+  // Builds a gapless 1-sample-per-`step`-seconds series starting at `start`.
+  static TimeSeries FromValues(const std::vector<double>& values,
+                               Timestamp start = 0, int64_t step = 1);
+
+  // Appends one sample; returns InvalidArgument if it would violate the
+  // ordering invariant or carries a non-finite value.
+  Status Append(Sample sample);
+
+  bool empty() const { return samples_.empty(); }
+  size_t size() const { return samples_.size(); }
+  const Sample& operator[](size_t i) const { return samples_[i]; }
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  std::vector<Sample>::const_iterator begin() const { return samples_.begin(); }
+  std::vector<Sample>::const_iterator end() const { return samples_.end(); }
+
+  const Sample& front() const { return samples_.front(); }
+  const Sample& back() const { return samples_.back(); }
+
+  // Copies out the value column.
+  std::vector<double> Values() const;
+
+  // Returns the sub-series with timestamps in [range.begin, range.end).
+  TimeSeries Slice(const TimeRange& range) const;
+
+  // Returns maximal gaps: intervals between consecutive samples whose
+  // spacing exceeds `max_spacing` seconds.
+  std::vector<TimeRange> FindGaps(int64_t max_spacing) const;
+
+  // Total seconds covered by samples assuming each sample covers
+  // `sample_period` seconds. Used for the paper's ">= 20 h of data per day"
+  // day-selection rule.
+  int64_t CoverageSeconds(int64_t sample_period) const {
+    return static_cast<int64_t>(samples_.size()) * sample_period;
+  }
+
+  // Min/max/mean of the value column; error on an empty series.
+  Result<double> MinValue() const;
+  Result<double> MaxValue() const;
+  Result<double> MeanValue() const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+// Element-wise sum of two series defined on the same timestamps (the paper
+// sums the two REDD mains channels into a house total). Timestamps must
+// match exactly; returns InvalidArgument otherwise.
+Result<TimeSeries> SumAligned(const TimeSeries& a, const TimeSeries& b);
+
+}  // namespace smeter
+
+#endif  // SMETER_CORE_TIME_SERIES_H_

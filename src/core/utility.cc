@@ -1,0 +1,109 @@
+#include "core/utility.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/quantile.h"
+
+namespace smeter {
+
+Result<std::vector<double>> LloydMaxSeparators(
+    const std::vector<double>& training, const LloydMaxOptions& options) {
+  if (options.level < 1 || options.level > kMaxSymbolLevel) {
+    return InvalidArgumentError("level out of range");
+  }
+  if (training.empty()) {
+    return FailedPreconditionError("Lloyd-Max needs training data");
+  }
+  const size_t k = size_t{1} << options.level;
+
+  std::vector<double> sorted = training;
+  std::sort(sorted.begin(), sorted.end());
+  const double range = sorted.back() - sorted.front();
+  if (range <= 0.0) {
+    // Degenerate constant data: all separators collapse onto the value.
+    return std::vector<double>(k - 1, sorted.front());
+  }
+
+  // Initialize with the equal-frequency separators.
+  Result<std::vector<double>> init =
+      EqualFrequencySeparators(sorted, k - 1);
+  if (!init.ok()) return init.status();
+  std::vector<double> separators = std::move(init.value());
+
+  // Prefix sums over the sorted data for O(1) range centroids.
+  std::vector<double> prefix(sorted.size() + 1, 0.0);
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    prefix[i + 1] = prefix[i] + sorted[i];
+  }
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // (a) Representatives: centroid of each bucket's training mass
+    // (buckets follow Definition 3: value <= separator).
+    std::vector<double> representatives(k, 0.0);
+    size_t begin = 0;
+    for (size_t bucket = 0; bucket < k; ++bucket) {
+      size_t end =
+          bucket + 1 < k
+              ? static_cast<size_t>(
+                    std::upper_bound(sorted.begin(), sorted.end(),
+                                     separators[bucket]) -
+                    sorted.begin())
+              : sorted.size();
+      if (end > begin) {
+        representatives[bucket] =
+            (prefix[end] - prefix[begin]) / static_cast<double>(end - begin);
+      } else {
+        // Empty bucket: place its representative between its neighbours'
+        // boundary values so it can attract mass next iteration.
+        double lo = bucket == 0 ? sorted.front() : separators[bucket - 1];
+        double hi = bucket + 1 == k ? sorted.back() : separators[bucket];
+        representatives[bucket] = 0.5 * (lo + hi);
+      }
+      begin = end;
+    }
+
+    // (b) Separators: midpoints of adjacent representatives.
+    double max_move = 0.0;
+    for (size_t i = 0; i + 1 < k; ++i) {
+      double updated = 0.5 * (representatives[i] + representatives[i + 1]);
+      max_move = std::max(max_move, std::abs(updated - separators[i]));
+      separators[i] = updated;
+    }
+    // Keep the separator sequence sorted (guards degenerate oscillation).
+    std::sort(separators.begin(), separators.end());
+    if (max_move <= options.tolerance * range) break;
+  }
+  return separators;
+}
+
+Result<LookupTable> BuildLloydMaxTable(const std::vector<double>& training,
+                                       const LloydMaxOptions& options) {
+  Result<std::vector<double>> separators =
+      LloydMaxSeparators(training, options);
+  if (!separators.ok()) return separators.status();
+  auto [min_it, max_it] =
+      std::minmax_element(training.begin(), training.end());
+  Result<LookupTable> table = LookupTable::FromSeparators(
+      std::move(separators.value()), *min_it, *max_it);
+  if (!table.ok()) return table.status();
+  // Reconstruct-with-kRangeMean needs the per-bucket training statistics.
+  SMETER_RETURN_IF_ERROR(table->AttachTrainingData(training));
+  return table;
+}
+
+Result<double> MeanSquaredDistortion(const LookupTable& table,
+                                     const std::vector<double>& values,
+                                     ReconstructionMode mode) {
+  if (values.empty()) return FailedPreconditionError("no values");
+  double sum = 0.0;
+  for (double v : values) {
+    Result<double> decoded = table.Reconstruct(table.Encode(v), mode);
+    if (!decoded.ok()) return decoded.status();
+    double d = v - decoded.value();
+    sum += d * d;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace smeter

@@ -1,0 +1,54 @@
+// Utility-driven horizontal segmentation (Section 4 future work): "a
+// utility-driven horizontal segmentation method that could optimize the
+// performances of a chosen analytics".
+//
+// For reconstruction-oriented analytics the optimal quantizer is the
+// classic Lloyd-Max construction: alternate between (a) setting each
+// symbol's representative to the centroid of its range's training mass and
+// (b) moving each separator to the midpoint of adjacent representatives,
+// which provably converges to a local minimum of the expected squared
+// reconstruction error. The paper's uniform method minimizes nothing;
+// median maximizes entropy; Lloyd-Max minimizes distortion — three points
+// on the utility spectrum the ablation bench compares.
+
+#ifndef SMETER_CORE_UTILITY_H_
+#define SMETER_CORE_UTILITY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/lookup_table.h"
+
+namespace smeter {
+
+struct LloydMaxOptions {
+  // Alphabet size is 2^level.
+  int level = 4;
+  size_t max_iterations = 100;
+  // Stop when no separator moves by more than this fraction of the data
+  // range between iterations.
+  double tolerance = 1e-6;
+};
+
+// Runs Lloyd-Max on `training`, returning the k-1 interior separators.
+// Initialization is the equal-frequency (median) solution, which is a good
+// starting point on heavy-tailed data. Errors on empty input or a bad
+// level.
+Result<std::vector<double>> LloydMaxSeparators(
+    const std::vector<double>& training, const LloydMaxOptions& options = {});
+
+// Convenience: a ready LookupTable (method kCustom) built from the
+// Lloyd-Max separators with training-bucket statistics attached.
+Result<LookupTable> BuildLloydMaxTable(const std::vector<double>& training,
+                                       const LloydMaxOptions& options = {});
+
+// Expected squared reconstruction error of `table` over `values` using the
+// given reconstruction mode — the quantity Lloyd-Max minimizes; exposed so
+// callers (and tests) can compare tables on equal footing.
+Result<double> MeanSquaredDistortion(const LookupTable& table,
+                                     const std::vector<double>& values,
+                                     ReconstructionMode mode);
+
+}  // namespace smeter
+
+#endif  // SMETER_CORE_UTILITY_H_

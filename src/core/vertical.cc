@@ -1,0 +1,118 @@
+#include "core/vertical.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace smeter {
+namespace {
+
+// Incrementally combines values under one aggregation mode.
+class Accumulator {
+ public:
+  explicit Accumulator(Aggregation mode) : mode_(mode) { Reset(); }
+
+  void Reset() {
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+  }
+
+  void Add(double v) {
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+
+  size_t count() const { return count_; }
+
+  double Value() const {
+    switch (mode_) {
+      case Aggregation::kMean:
+        return sum_ / static_cast<double>(count_);
+      case Aggregation::kSum:
+        return sum_;
+      case Aggregation::kMin:
+        return min_;
+      case Aggregation::kMax:
+        return max_;
+    }
+    return sum_;
+  }
+
+ private:
+  Aggregation mode_;
+  size_t count_;
+  double sum_;
+  double min_;
+  double max_;
+};
+
+}  // namespace
+
+Result<TimeSeries> VerticalSegmentByCount(const TimeSeries& series, size_t n,
+                                          const VerticalOptions& options) {
+  if (n == 0) return InvalidArgumentError("aggregation count n must be > 0");
+  TimeSeries out;
+  Accumulator acc(options.aggregation);
+  for (size_t i = 0; i < series.size(); ++i) {
+    acc.Add(series[i].value);
+    if (acc.count() == n) {
+      // Definition 2 stamps the aggregate with the last raw timestamp.
+      SMETER_RETURN_IF_ERROR(out.Append({series[i].timestamp, acc.Value()}));
+      acc.Reset();
+    }
+  }
+  return out;
+}
+
+Result<TimeSeries> VerticalSegmentByWindow(const TimeSeries& series,
+                                           int64_t window_seconds,
+                                           const WindowOptions& options) {
+  if (window_seconds <= 0) {
+    return InvalidArgumentError("window_seconds must be > 0");
+  }
+  if (options.sample_period_seconds <= 0) {
+    return InvalidArgumentError("sample_period_seconds must be > 0");
+  }
+  if (options.min_coverage < 0.0 || options.min_coverage > 1.0) {
+    return InvalidArgumentError("min_coverage must be in [0, 1]");
+  }
+  const double expected =
+      static_cast<double>(window_seconds) /
+      static_cast<double>(options.sample_period_seconds);
+
+  TimeSeries out;
+  Accumulator acc(options.aggregation);
+  bool have_window = false;
+  Timestamp window_start = 0;
+
+  auto flush = [&]() -> Status {
+    if (!have_window || acc.count() == 0) return Status::Ok();
+    double coverage = static_cast<double>(acc.count()) / expected;
+    if (coverage + 1e-12 >= options.min_coverage) {
+      SMETER_RETURN_IF_ERROR(
+          out.Append({window_start + window_seconds, acc.Value()}));
+    }
+    acc.Reset();
+    return Status::Ok();
+  };
+
+  for (const Sample& s : series) {
+    // Align windows to multiples of window_seconds (floor division for
+    // possibly-negative timestamps).
+    Timestamp ws = s.timestamp / window_seconds * window_seconds;
+    if (ws > s.timestamp) ws -= window_seconds;
+    if (!have_window || ws != window_start) {
+      SMETER_RETURN_IF_ERROR(flush());
+      window_start = ws;
+      have_window = true;
+    }
+    acc.Add(s.value);
+  }
+  SMETER_RETURN_IF_ERROR(flush());
+  return out;
+}
+
+}  // namespace smeter

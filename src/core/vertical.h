@@ -1,0 +1,62 @@
+// Vertical segmentation (Definition 2): temporal aggregation of a time
+// series, reducing numerosity. The paper uses the average of n consecutive
+// values; sum/min/max are provided because Section 2.1 notes any aggregation
+// works.
+//
+// Two interfaces are provided:
+//  * count-based — exactly Definition 2: average every `n` consecutive
+//    samples, regardless of their timestamps;
+//  * window-based — aggregate by wall-clock windows of `window_seconds`,
+//    which is what the experiments use ("15 minutes", "1 hour") and what is
+//    robust to gaps in real data. A window is emitted only if its coverage
+//    (fraction of expected samples present) reaches `min_coverage`.
+
+#ifndef SMETER_CORE_VERTICAL_H_
+#define SMETER_CORE_VERTICAL_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/time_series.h"
+
+namespace smeter {
+
+enum class Aggregation {
+  kMean,  // paper default
+  kSum,
+  kMin,
+  kMax,
+};
+
+struct VerticalOptions {
+  Aggregation aggregation = Aggregation::kMean;
+};
+
+// Definition 2: VA(S, n). Aggregates every `n` consecutive samples into one
+// sample stamped with the timestamp of the window's last sample (t_{i*n}).
+// A trailing partial window is dropped. Returns InvalidArgument for n == 0.
+Result<TimeSeries> VerticalSegmentByCount(const TimeSeries& series, size_t n,
+                                          const VerticalOptions& options = {});
+
+struct WindowOptions {
+  Aggregation aggregation = Aggregation::kMean;
+  // Sampling period of the input, used to compute coverage.
+  int64_t sample_period_seconds = 1;
+  // Minimum fraction of expected samples a window must contain to be
+  // emitted. 0 emits any non-empty window.
+  double min_coverage = 0.5;
+  // Windows are aligned to multiples of window_seconds from epoch 0 so that
+  // day boundaries line up across houses.
+};
+
+// Aggregates by aligned wall-clock windows of `window_seconds`. The output
+// sample for window [w, w + window_seconds) is stamped with the window end,
+// mirroring Definition 2's "timestamp of the last element". Empty or
+// under-covered windows produce no output sample (a gap).
+Result<TimeSeries> VerticalSegmentByWindow(const TimeSeries& series,
+                                           int64_t window_seconds,
+                                           const WindowOptions& options = {});
+
+}  // namespace smeter
+
+#endif  // SMETER_CORE_VERTICAL_H_

@@ -1,0 +1,114 @@
+#include "data/appliance.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smeter::data {
+
+HourProfile EveningPeakProfile() {
+  return {0.2, 0.1, 0.1, 0.1, 0.1, 0.2, 0.6, 1.0, 0.9, 0.7, 0.6, 0.8,
+          1.0, 0.8, 0.6, 0.7, 1.0, 1.6, 2.4, 2.8, 2.6, 2.0, 1.2, 0.6};
+}
+
+HourProfile DoublePeakProfile() {
+  return {0.2, 0.1, 0.1, 0.1, 0.2, 0.6, 1.8, 2.4, 1.6, 0.5, 0.3, 0.4,
+          0.5, 0.4, 0.3, 0.4, 0.8, 1.6, 2.4, 2.2, 1.8, 1.4, 0.8, 0.4};
+}
+
+HourProfile FlatProfile() {
+  HourProfile p;
+  p.fill(1.0);
+  return p;
+}
+
+HourProfile NightProfile() {
+  return {2.4, 2.6, 2.4, 2.0, 1.6, 1.0, 0.5, 0.3, 0.2, 0.2, 0.3, 0.5,
+          0.7, 0.8, 0.8, 0.8, 0.9, 1.0, 1.0, 1.1, 1.3, 1.6, 2.0, 2.2};
+}
+
+bool IsWeekend(Timestamp t) {
+  int64_t day = t / kSecondsPerDay;
+  if (t < 0 && t % kSecondsPerDay != 0) --day;  // floor for negative t
+  int64_t dow = ((day % 7) + 7) % 7;            // Monday = 0
+  return dow >= 5;
+}
+
+Appliance Appliance::AlwaysOn(std::string name, double watts,
+                              double noise_sd) {
+  Appliance a(Kind::kAlwaysOn, std::move(name));
+  a.watts_ = watts;
+  a.noise_sd_ = noise_sd;
+  return a;
+}
+
+Appliance Appliance::Thermostatic(std::string name, double on_watts,
+                                  double on_seconds, double off_seconds,
+                                  double jitter_fraction) {
+  Appliance a(Kind::kThermostatic, std::move(name));
+  a.watts_ = on_watts;
+  a.on_seconds_ = on_seconds;
+  a.off_seconds_ = off_seconds;
+  a.jitter_fraction_ = jitter_fraction;
+  a.phase_on_ = false;
+  a.phase_remaining_ = 0.0;
+  return a;
+}
+
+Appliance Appliance::Stochastic(std::string name, double watts,
+                                double power_sigma,
+                                double mean_duration_seconds,
+                                double events_per_day, HourProfile profile,
+                                double weekend_multiplier) {
+  Appliance a(Kind::kStochastic, std::move(name));
+  a.watts_ = watts;
+  a.power_sigma_ = power_sigma;
+  a.mean_duration_seconds_ = mean_duration_seconds;
+  a.events_per_day_ = events_per_day;
+  a.profile_ = profile;
+  a.weekend_multiplier_ = weekend_multiplier;
+  return a;
+}
+
+double Appliance::Step(Timestamp t, Rng& rng, double activity_scale) {
+  switch (kind_) {
+    case Kind::kAlwaysOn: {
+      double w = watts_;
+      if (noise_sd_ > 0.0) w += rng.Gaussian(0.0, noise_sd_);
+      return std::max(w, 0.0);
+    }
+    case Kind::kThermostatic: {
+      if (phase_remaining_ <= 0.0) {
+        phase_on_ = !phase_on_;
+        double nominal = phase_on_ ? on_seconds_ : off_seconds_;
+        double jitter = rng.Uniform(-jitter_fraction_, jitter_fraction_);
+        phase_remaining_ = std::max(nominal * (1.0 + jitter), 1.0);
+      }
+      phase_remaining_ -= 1.0;
+      return phase_on_ ? watts_ : 0.0;
+    }
+    case Kind::kStochastic: {
+      if (event_remaining_ > 0.0) {
+        event_remaining_ -= 1.0;
+        return event_watts_;
+      }
+      int64_t second_of_day = ((t % kSecondsPerDay) + kSecondsPerDay) %
+                              kSecondsPerDay;
+      size_t hour = static_cast<size_t>(second_of_day / kSecondsPerHour);
+      double rate = events_per_day_ / static_cast<double>(kSecondsPerDay) *
+                    profile_[hour] * activity_scale;
+      if (IsWeekend(t)) rate *= weekend_multiplier_;
+      if (rng.Bernoulli(std::min(rate, 1.0))) {
+        event_remaining_ = rng.Exponential(1.0 / mean_duration_seconds_);
+        event_watts_ =
+            watts_ * std::exp(rng.Gaussian(0.0, power_sigma_) -
+                              0.5 * power_sigma_ * power_sigma_);
+        event_remaining_ -= 1.0;
+        return event_watts_;
+      }
+      return 0.0;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace smeter::data

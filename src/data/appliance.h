@@ -1,0 +1,103 @@
+// Appliance-level load models for the synthetic smart-meter substrate.
+//
+// Three behaviours cover the phenomenology the experiments depend on:
+//  * always-on  — standby/base load (router, clocks): near-constant watts;
+//  * thermostatic — duty-cycled loads (fridge, freezer): alternating on/off
+//    phases with jitter, producing the characteristic square-wave floor;
+//  * stochastic — occupant-driven events (kettle, oven, washer, TV,
+//    lights): a time-of-day and weekday/weekend modulated Poisson process
+//    starts events with log-normal-ish magnitudes and random durations.
+//
+// Summed over an appliance mix, these yield the heavy-tailed, log-normal-
+// looking power histogram of Figure 2 and per-house distinctive statistics.
+
+#ifndef SMETER_DATA_APPLIANCE_H_
+#define SMETER_DATA_APPLIANCE_H_
+
+#include <array>
+#include <string>
+
+#include "common/random.h"
+#include "core/time_series.h"
+
+namespace smeter::data {
+
+// Relative activity per hour of day (0-23); values are multipliers on the
+// base event rate.
+using HourProfile = std::array<double, 24>;
+
+// Typical residential evening-peaked profile.
+HourProfile EveningPeakProfile();
+// Morning + evening double peak (working household).
+HourProfile DoublePeakProfile();
+// Flat profile (always equally likely).
+HourProfile FlatProfile();
+// Night-shifted profile (peaks around midnight-6am).
+HourProfile NightProfile();
+
+class Appliance {
+ public:
+  // Constant draw of `watts` with Gaussian noise of `noise_sd` watts.
+  static Appliance AlwaysOn(std::string name, double watts, double noise_sd);
+
+  // Duty-cycled load: `on_watts` for ~`on_seconds`, 0 for ~`off_seconds`,
+  // each phase length jittered by +/- `jitter_fraction`.
+  static Appliance Thermostatic(std::string name, double on_watts,
+                                double on_seconds, double off_seconds,
+                                double jitter_fraction);
+
+  // Occupant-driven events. While idle, an event starts each second with
+  // probability events_per_day/86400 * profile[hour] * weekend multiplier
+  // (profile values average ~1). Event duration is exponential with the
+  // given mean; event power is log-normal around `watts`
+  // (sigma `power_sigma` in log space).
+  static Appliance Stochastic(std::string name, double watts,
+                              double power_sigma, double mean_duration_seconds,
+                              double events_per_day, HourProfile profile,
+                              double weekend_multiplier);
+
+  const std::string& name() const { return name_; }
+
+  // Advances one second of simulated time and returns the watts drawn
+  // during [t, t+1). `t` is seconds since epoch; day 0 starts at t = 0 and
+  // weeks start on a Monday (days 5 and 6 of each week are the weekend).
+  // `activity_scale` multiplies the stochastic event rate (the household's
+  // day-to-day occupancy variation); it does not affect always-on or
+  // thermostatic loads.
+  double Step(Timestamp t, Rng& rng, double activity_scale = 1.0);
+
+ private:
+  enum class Kind { kAlwaysOn, kThermostatic, kStochastic };
+
+  Appliance(Kind kind, std::string name) : kind_(kind), name_(std::move(name)) {}
+
+  Kind kind_;
+  std::string name_;
+
+  // Always-on.
+  double watts_ = 0.0;
+  double noise_sd_ = 0.0;
+
+  // Thermostatic.
+  double on_seconds_ = 0.0;
+  double off_seconds_ = 0.0;
+  double jitter_fraction_ = 0.0;
+  bool phase_on_ = false;
+  double phase_remaining_ = 0.0;
+
+  // Stochastic.
+  double power_sigma_ = 0.0;
+  double mean_duration_seconds_ = 0.0;
+  double events_per_day_ = 0.0;
+  HourProfile profile_{};
+  double weekend_multiplier_ = 1.0;
+  double event_remaining_ = 0.0;
+  double event_watts_ = 0.0;
+};
+
+// True if `t` falls on a weekend day (weeks start Monday at t = 0).
+bool IsWeekend(Timestamp t);
+
+}  // namespace smeter::data
+
+#endif  // SMETER_DATA_APPLIANCE_H_

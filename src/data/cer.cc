@@ -1,0 +1,115 @@
+#include "data/cer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace smeter::data {
+namespace {
+
+constexpr int64_t kHalfHour = 1800;
+constexpr double kKwhPerHalfHourToWatts = 2000.0;
+
+}  // namespace
+
+Result<std::vector<std::pair<int64_t, TimeSeries>>> ParseCer(
+    const std::string& content, const CerOptions& options) {
+  CsvOptions csv;
+  csv.delimiter = ' ';
+  Result<CsvTable> table = ParseCsv(content, csv);
+  if (!table.ok()) return table.status();
+
+  std::map<int64_t, std::vector<Sample>> by_meter;
+  for (size_t i = 0; i < table->rows.size(); ++i) {
+    const auto& row = table->rows[i];
+    if (row.size() < 3) {
+      return InvalidArgumentError("CER row " + std::to_string(i) +
+                                  " has fewer than 3 fields");
+    }
+    Result<int64_t> meter = ParseInt(row[0]);
+    if (!meter.ok()) return meter.status();
+    std::string_view code = Trim(row[1]);
+    if (code.size() != 5) {
+      return InvalidArgumentError("CER row " + std::to_string(i) +
+                                  ": day-time code must be 5 digits");
+    }
+    Result<int64_t> day = ParseInt(code.substr(0, 3));
+    if (!day.ok()) return day.status();
+    Result<int64_t> slot = ParseInt(code.substr(3, 2));
+    if (!slot.ok()) return slot.status();
+    if (*day < 1) {
+      return InvalidArgumentError("CER row " + std::to_string(i) +
+                                  ": day must be >= 1");
+    }
+    if (*slot < 1 || *slot > 50) {
+      return InvalidArgumentError("CER row " + std::to_string(i) +
+                                  ": slot must be in [1, 50]");
+    }
+    Result<double> kwh = ParseDouble(row[2]);
+    if (!kwh.ok()) return kwh.status();
+
+    Timestamp t = (*day - 1) * kSecondsPerDay + (*slot - 1) * kHalfHour;
+    double value =
+        options.convert_to_watts ? *kwh * kKwhPerHalfHourToWatts : *kwh;
+    by_meter[*meter].push_back({t, value});
+  }
+
+  std::vector<std::pair<int64_t, TimeSeries>> out;
+  out.reserve(by_meter.size());
+  for (auto& [meter, samples] : by_meter) {
+    std::sort(samples.begin(), samples.end(),
+              [](const Sample& a, const Sample& b) {
+                return a.timestamp < b.timestamp;
+              });
+    Result<TimeSeries> series = TimeSeries::FromSamples(std::move(samples));
+    if (!series.ok()) return series.status();
+    out.emplace_back(meter, std::move(series.value()));
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<int64_t, TimeSeries>>> LoadCerFile(
+    const std::string& path, const CerOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return InternalError("I/O error reading: " + path);
+  return ParseCer(buffer.str(), options);
+}
+
+Result<std::string> FormatCer(
+    const std::vector<std::pair<int64_t, TimeSeries>>& meters,
+    const CerOptions& options) {
+  std::string out;
+  char line[64];
+  for (const auto& [meter, series] : meters) {
+    for (const Sample& s : series) {
+      if (s.timestamp < 0 || s.timestamp % kHalfHour != 0) {
+        return InvalidArgumentError(
+            "timestamps must be non-negative multiples of 1800 s");
+      }
+      int64_t day = s.timestamp / kSecondsPerDay + 1;
+      int64_t slot = (s.timestamp % kSecondsPerDay) / kHalfHour + 1;
+      if (day > 999) {
+        return InvalidArgumentError("day beyond the 3-digit CER encoding");
+      }
+      double value = options.convert_to_watts
+                         ? s.value / kKwhPerHalfHourToWatts
+                         : s.value;
+      std::snprintf(line, sizeof(line), "%lld %03lld%02lld %.5f\n",
+                    static_cast<long long>(meter),
+                    static_cast<long long>(day),
+                    static_cast<long long>(slot), value);
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace smeter::data

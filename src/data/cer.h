@@ -1,0 +1,53 @@
+// Loader for the Irish CER smart-metering trial file format — the dataset
+// Section 4 recommends for studying seasonal change ("one can consider to
+// use Irish CER dataset which has more than one year measurement").
+//
+// CER files are whitespace-separated text, one record per line:
+//
+//   <meter_id> <daycode><slot> <kwh>
+//
+// where <daycode> is a 3-digit day number (day 1 = 2009-01-01 in the
+// trial; we map it to relative timestamps), <slot> a 2-digit half-hour
+// index 1..50 (49/50 appear on DST-change days), and <kwh> the energy used
+// in that half hour. Records may arrive in any order.
+
+#ifndef SMETER_DATA_CER_H_
+#define SMETER_DATA_CER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/time_series.h"
+
+namespace smeter::data {
+
+struct CerOptions {
+  // Convert kWh-per-half-hour into average watts (x2000); otherwise keep
+  // raw kWh values.
+  bool convert_to_watts = true;
+};
+
+// Parses CER-format `content`. Returns one (meter id, series) pair per
+// meter, meters in ascending id order, samples sorted by time. Timestamps
+// are relative: day 1 slot 1 begins at t = 0. Errors on malformed rows or
+// out-of-range slots.
+Result<std::vector<std::pair<int64_t, TimeSeries>>> ParseCer(
+    const std::string& content, const CerOptions& options = {});
+
+// Reads and parses the file at `path`.
+Result<std::vector<std::pair<int64_t, TimeSeries>>> LoadCerFile(
+    const std::string& path, const CerOptions& options = {});
+
+// Writes series in CER format (the inverse mapping), for interoperability
+// tests and for exporting simulator output to CER-consuming tools.
+// Timestamps must be non-negative multiples of 1800 s.
+Result<std::string> FormatCer(
+    const std::vector<std::pair<int64_t, TimeSeries>>& meters,
+    const CerOptions& options = {});
+
+}  // namespace smeter::data
+
+#endif  // SMETER_DATA_CER_H_

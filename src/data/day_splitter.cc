@@ -1,0 +1,77 @@
+#include "data/day_splitter.h"
+
+#include <cmath>
+
+#include "ml/instances.h"  // kMissing convention
+
+namespace smeter::data {
+
+std::vector<TimeRange> EnumerateDays(const TimeSeries& series) {
+  std::vector<TimeRange> days;
+  if (series.empty()) return days;
+  Timestamp first_day = series.front().timestamp / kSecondsPerDay;
+  if (series.front().timestamp < 0 &&
+      series.front().timestamp % kSecondsPerDay != 0) {
+    --first_day;
+  }
+  Timestamp last_day = series.back().timestamp / kSecondsPerDay;
+  if (series.back().timestamp < 0 &&
+      series.back().timestamp % kSecondsPerDay != 0) {
+    --last_day;
+  }
+  for (Timestamp d = first_day; d <= last_day; ++d) {
+    days.push_back({d * kSecondsPerDay, (d + 1) * kSecondsPerDay});
+  }
+  return days;
+}
+
+Result<std::vector<DayVector>> BuildDayVectors(
+    const TimeSeries& series, const DayVectorOptions& options) {
+  if (options.window_seconds <= 0 ||
+      kSecondsPerDay % options.window_seconds != 0) {
+    return InvalidArgumentError("window_seconds must divide 86400");
+  }
+  if (options.sample_period_seconds <= 0) {
+    return InvalidArgumentError("sample_period_seconds must be > 0");
+  }
+  if (options.min_hours < 0.0 || options.min_hours > 24.0) {
+    return InvalidArgumentError("min_hours must be in [0, 24]");
+  }
+
+  const size_t windows_per_day =
+      static_cast<size_t>(kSecondsPerDay / options.window_seconds);
+  const double samples_needed =
+      options.min_hours * 3600.0 /
+      static_cast<double>(options.sample_period_seconds);
+
+  std::vector<DayVector> out;
+  for (const TimeRange& day : EnumerateDays(series)) {
+    TimeSeries day_data = series.Slice(day);
+    if (static_cast<double>(day_data.size()) < samples_needed) continue;
+
+    WindowOptions window;
+    window.aggregation = options.aggregation;
+    window.sample_period_seconds = options.sample_period_seconds;
+    window.min_coverage = options.min_window_coverage;
+    Result<TimeSeries> aggregated =
+        VerticalSegmentByWindow(day_data, options.window_seconds, window);
+    if (!aggregated.ok()) return aggregated.status();
+
+    DayVector dv;
+    dv.day_start = day.begin;
+    dv.values.assign(windows_per_day, ml::kMissing);
+    for (const Sample& s : aggregated.value()) {
+      // Window samples are stamped with the window end.
+      int64_t offset = s.timestamp - day.begin;
+      size_t idx = static_cast<size_t>(offset / options.window_seconds) - 1;
+      if (idx < windows_per_day) {
+        dv.values[idx] = s.value;
+        ++dv.windows_present;
+      }
+    }
+    out.push_back(std::move(dv));
+  }
+  return out;
+}
+
+}  // namespace smeter::data

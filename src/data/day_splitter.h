@@ -1,0 +1,46 @@
+// Day-level preparation for the classification experiment (Section 3.1):
+// split a house's trace into aligned calendar days, keep days with "enough"
+// data (the paper's threshold: >= 20 hours), and turn each kept day into a
+// fixed-length vector of window aggregates (96 x 15 min or 24 x 1 h).
+
+#ifndef SMETER_DATA_DAY_SPLITTER_H_
+#define SMETER_DATA_DAY_SPLITTER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/time_series.h"
+#include "core/vertical.h"
+
+namespace smeter::data {
+
+struct DayVectorOptions {
+  // Vertical aggregation window within the day (900 or 3600 in the paper).
+  int64_t window_seconds = kSecondsPerHour;
+  int64_t sample_period_seconds = 1;
+  // The paper keeps days with at least 20 hours of data.
+  double min_hours = 20.0;
+  // A window with coverage below this is a missing cell in the vector.
+  double min_window_coverage = 0.5;
+  Aggregation aggregation = Aggregation::kMean;
+};
+
+// One selected day: `values` has 86400/window_seconds entries; absent
+// windows are NaN (core missing convention).
+struct DayVector {
+  Timestamp day_start = 0;
+  std::vector<double> values;
+  size_t windows_present = 0;
+};
+
+// Aligned day ranges [k*86400, (k+1)*86400) intersecting the series.
+std::vector<TimeRange> EnumerateDays(const TimeSeries& series);
+
+// Builds the day vectors of all qualifying days. Errors on bad options;
+// an empty result just means no day met the threshold.
+Result<std::vector<DayVector>> BuildDayVectors(const TimeSeries& series,
+                                               const DayVectorOptions& options);
+
+}  // namespace smeter::data
+
+#endif  // SMETER_DATA_DAY_SPLITTER_H_

@@ -1,0 +1,300 @@
+#include "data/features.h"
+
+#include <string>
+
+#include "core/symbol.h"
+#include "ml/attribute.h"
+
+namespace smeter::data {
+namespace {
+
+// Values from the first `training_seconds` of a trace — the "historical
+// data" the separators are learned from. Either the raw samples (the
+// paper's per-second statistics, Figure 4) or the window aggregates.
+Result<std::vector<double>> TableTrainingValues(
+    const TimeSeries& series, const ClassificationOptions& options) {
+  if (series.empty()) {
+    return FailedPreconditionError("empty house trace");
+  }
+  TimeRange head{series.front().timestamp,
+                 series.front().timestamp + options.table_training_seconds};
+  TimeSeries slice = series.Slice(head);
+  if (options.table_source == TableTrainingSource::kRawSamples) {
+    if (slice.empty()) {
+      return FailedPreconditionError("no training data in historical span");
+    }
+    return slice.Values();
+  }
+  WindowOptions window;
+  window.aggregation = options.day.aggregation;
+  window.sample_period_seconds = options.day.sample_period_seconds;
+  window.min_coverage = options.day.min_window_coverage;
+  Result<TimeSeries> aggregated =
+      VerticalSegmentByWindow(slice, options.day.window_seconds, window);
+  if (!aggregated.ok()) return aggregated.status();
+  if (aggregated->empty()) {
+    return FailedPreconditionError(
+        "no aggregated training data in the historical span");
+  }
+  return aggregated->Values();
+}
+
+// Window attribute names: w00, w01, ... (zero-padded for stable sorting).
+std::string WindowName(size_t i, size_t total) {
+  std::string index = std::to_string(i);
+  std::string width = std::to_string(total - 1);
+  while (index.size() < width.size()) index = "0" + index;
+  return "w" + index;
+}
+
+std::vector<std::string> HouseNames(size_t n) {
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (size_t h = 0; h < n; ++h) {
+    names.push_back("house" + std::to_string(h + 1));
+  }
+  return names;
+}
+
+// Bit-string category names for a level-`level` alphabet.
+std::vector<std::string> SymbolNames(int level) {
+  size_t k = size_t{1} << level;
+  std::vector<std::string> names;
+  names.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    names.push_back(
+        Symbol::Create(level, static_cast<uint32_t>(i)).value().ToBits());
+  }
+  return names;
+}
+
+Status ValidateHouses(const std::vector<TimeSeries>& houses) {
+  if (houses.size() < 2) {
+    return InvalidArgumentError("need at least two houses");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::vector<LookupTable>> BuildHouseTables(
+    const std::vector<TimeSeries>& houses,
+    const ClassificationOptions& options) {
+  SMETER_RETURN_IF_ERROR(ValidateHouses(houses));
+  LookupTableOptions table_options;
+  table_options.method = options.method;
+  table_options.level = options.level;
+
+  if (options.global_table) {
+    std::vector<double> pooled;
+    for (const TimeSeries& house : houses) {
+      Result<std::vector<double>> values = TableTrainingValues(house, options);
+      if (!values.ok()) return values.status();
+      pooled.insert(pooled.end(), values->begin(), values->end());
+    }
+    Result<LookupTable> table = LookupTable::Build(pooled, table_options);
+    if (!table.ok()) return table.status();
+    return std::vector<LookupTable>(houses.size(), table.value());
+  }
+
+  std::vector<LookupTable> tables;
+  tables.reserve(houses.size());
+  for (const TimeSeries& house : houses) {
+    Result<std::vector<double>> values = TableTrainingValues(house, options);
+    if (!values.ok()) return values.status();
+    Result<LookupTable> table = LookupTable::Build(*values, table_options);
+    if (!table.ok()) return table.status();
+    tables.push_back(std::move(table.value()));
+  }
+  return tables;
+}
+
+Result<ml::Dataset> BuildSymbolicClassificationDataset(
+    const std::vector<TimeSeries>& houses,
+    const ClassificationOptions& options) {
+  SMETER_RETURN_IF_ERROR(ValidateHouses(houses));
+  Result<std::vector<LookupTable>> tables = BuildHouseTables(houses, options);
+  if (!tables.ok()) return tables.status();
+
+  const size_t windows_per_day =
+      static_cast<size_t>(kSecondsPerDay / options.day.window_seconds);
+  std::vector<ml::Attribute> attributes;
+  attributes.reserve(windows_per_day + 1);
+  std::vector<std::string> symbol_names = SymbolNames(options.level);
+  for (size_t w = 0; w < windows_per_day; ++w) {
+    attributes.push_back(
+        ml::Attribute::Nominal(WindowName(w, windows_per_day), symbol_names));
+  }
+  attributes.push_back(
+      ml::Attribute::Nominal("house", HouseNames(houses.size())));
+
+  Result<ml::Dataset> dataset = ml::Dataset::Create(
+      "smeter-days-symbolic", std::move(attributes), windows_per_day);
+  if (!dataset.ok()) return dataset.status();
+
+  size_t total_days = 0;
+  for (size_t h = 0; h < houses.size(); ++h) {
+    Result<std::vector<DayVector>> days =
+        BuildDayVectors(houses[h], options.day);
+    if (!days.ok()) return days.status();
+    for (const DayVector& day : *days) {
+      std::vector<double> row(windows_per_day + 1, ml::kMissing);
+      for (size_t w = 0; w < windows_per_day; ++w) {
+        if (ml::IsMissing(day.values[w])) continue;
+        row[w] = static_cast<double>(
+            (*tables)[h].Encode(day.values[w]).index());
+      }
+      row[windows_per_day] = static_cast<double>(h);
+      SMETER_RETURN_IF_ERROR(dataset->Add(std::move(row)));
+      ++total_days;
+    }
+  }
+  if (total_days == 0) {
+    return FailedPreconditionError("no day met the enough-data threshold");
+  }
+  return dataset;
+}
+
+Result<ml::Dataset> BuildRawClassificationDataset(
+    const std::vector<TimeSeries>& houses,
+    const ClassificationOptions& options) {
+  SMETER_RETURN_IF_ERROR(ValidateHouses(houses));
+  const size_t windows_per_day =
+      static_cast<size_t>(kSecondsPerDay / options.day.window_seconds);
+  std::vector<ml::Attribute> attributes;
+  attributes.reserve(windows_per_day + 1);
+  for (size_t w = 0; w < windows_per_day; ++w) {
+    attributes.push_back(
+        ml::Attribute::Numeric(WindowName(w, windows_per_day)));
+  }
+  attributes.push_back(
+      ml::Attribute::Nominal("house", HouseNames(houses.size())));
+
+  Result<ml::Dataset> dataset = ml::Dataset::Create(
+      "smeter-days-raw", std::move(attributes), windows_per_day);
+  if (!dataset.ok()) return dataset.status();
+
+  size_t total_days = 0;
+  for (size_t h = 0; h < houses.size(); ++h) {
+    Result<std::vector<DayVector>> days =
+        BuildDayVectors(houses[h], options.day);
+    if (!days.ok()) return days.status();
+    for (const DayVector& day : *days) {
+      std::vector<double> row = day.values;
+      row.push_back(static_cast<double>(h));
+      SMETER_RETURN_IF_ERROR(dataset->Add(std::move(row)));
+      ++total_days;
+    }
+  }
+  if (total_days == 0) {
+    return FailedPreconditionError("no day met the enough-data threshold");
+  }
+  return dataset;
+}
+
+Result<ml::Dataset> CoarsenSymbolicDataset(const ml::Dataset& data,
+                                           int from_level, int to_level) {
+  if (to_level < 1 || to_level > from_level ||
+      from_level > kMaxSymbolLevel) {
+    return InvalidArgumentError("levels must satisfy 1 <= to <= from <= " +
+                                std::to_string(kMaxSymbolLevel));
+  }
+  const size_t from_k = size_t{1} << from_level;
+  const int shift = from_level - to_level;
+
+  std::vector<std::string> coarse_names = SymbolNames(to_level);
+  std::vector<ml::Attribute> attributes;
+  attributes.reserve(data.num_attributes());
+  for (size_t a = 0; a < data.num_attributes(); ++a) {
+    if (a == data.class_index()) {
+      attributes.push_back(data.attribute(a));
+      continue;
+    }
+    if (!data.attribute(a).is_nominal() ||
+        data.attribute(a).num_values() != from_k) {
+      return InvalidArgumentError("attribute " + data.attribute(a).name() +
+                                  " is not a level-" +
+                                  std::to_string(from_level) +
+                                  " symbol attribute");
+    }
+    attributes.push_back(
+        ml::Attribute::Nominal(data.attribute(a).name(), coarse_names));
+  }
+
+  Result<ml::Dataset> out = ml::Dataset::Create(
+      data.relation() + "-level" + std::to_string(to_level),
+      std::move(attributes), data.class_index());
+  if (!out.ok()) return out.status();
+  for (size_t r = 0; r < data.num_instances(); ++r) {
+    std::vector<double> row = data.row(r);
+    for (size_t a = 0; a < row.size(); ++a) {
+      if (a == data.class_index() || ml::IsMissing(row[a])) continue;
+      row[a] = static_cast<double>(static_cast<uint32_t>(row[a]) >> shift);
+    }
+    SMETER_RETURN_IF_ERROR(out->Add(std::move(row)));
+  }
+  return out;
+}
+
+Result<ml::Dataset> MakeSymbolicLagDataset(const std::vector<uint32_t>& symbols,
+                                           size_t lag, int level, size_t from,
+                                           size_t to) {
+  if (lag == 0) return InvalidArgumentError("lag must be > 0");
+  if (level < 1 || level > kMaxSymbolLevel) {
+    return InvalidArgumentError("bad level");
+  }
+  if (to > symbols.size()) {
+    return InvalidArgumentError("range end beyond sequence");
+  }
+  const uint32_t k = 1u << level;
+  for (uint32_t s : symbols) {
+    if (s >= k) return InvalidArgumentError("symbol index out of alphabet");
+  }
+
+  std::vector<std::string> symbol_names = SymbolNames(level);
+  std::vector<ml::Attribute> attributes;
+  attributes.reserve(lag + 1);
+  for (size_t i = 0; i < lag; ++i) {
+    attributes.push_back(ml::Attribute::Nominal(
+        "lag" + std::to_string(lag - i), symbol_names));
+  }
+  attributes.push_back(ml::Attribute::Nominal("next", symbol_names));
+
+  Result<ml::Dataset> dataset =
+      ml::Dataset::Create("smeter-forecast", std::move(attributes), lag);
+  if (!dataset.ok()) return dataset.status();
+
+  for (size_t t = std::max(from, lag); t < to; ++t) {
+    std::vector<double> row(lag + 1, 0.0);
+    for (size_t i = 0; i < lag; ++i) {
+      row[i] = static_cast<double>(symbols[t - lag + i]);
+    }
+    row[lag] = static_cast<double>(symbols[t]);
+    SMETER_RETURN_IF_ERROR(dataset->Add(std::move(row)));
+  }
+  return dataset;
+}
+
+Status BuildLagMatrix(const std::vector<double>& values, size_t lag,
+                      size_t from, size_t to,
+                      std::vector<std::vector<double>>* x,
+                      std::vector<double>* y) {
+  if (lag == 0) return InvalidArgumentError("lag must be > 0");
+  if (to > values.size()) {
+    return InvalidArgumentError("range end beyond sequence");
+  }
+  if (x == nullptr || y == nullptr) {
+    return InvalidArgumentError("null output");
+  }
+  x->clear();
+  y->clear();
+  for (size_t t = std::max(from, lag); t < to; ++t) {
+    std::vector<double> row(values.begin() + static_cast<long>(t - lag),
+                            values.begin() + static_cast<long>(t));
+    x->push_back(std::move(row));
+    y->push_back(values[t]);
+  }
+  return Status::Ok();
+}
+
+}  // namespace smeter::data

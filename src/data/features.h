@@ -1,0 +1,101 @@
+// Feature construction: turns raw or symbolized meter traces into ML
+// datasets for the paper's two tasks.
+//
+// Classification (Section 3.1): one instance per qualifying day, one
+// attribute per vertical window (96 x 15 min or 24 x 1 h), class = house.
+// Symbolic variants use nominal attributes whose categories are the binary
+// symbols; the lookup table is learned per house from the first two days
+// (or from all houses pooled — the paper's "+" single-lookup-table
+// variant). Raw variants use numeric attributes.
+//
+// Forecasting (Section 3.2): next-symbol prediction from `lag` previous
+// symbols, reduced to classification; plus raw lag matrices for the SVR
+// baseline.
+
+#ifndef SMETER_DATA_FEATURES_H_
+#define SMETER_DATA_FEATURES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/lookup_table.h"
+#include "core/time_series.h"
+#include "data/day_splitter.h"
+#include "ml/instances.h"
+
+namespace smeter::data {
+
+// What the separator statistics are computed over.
+enum class TableTrainingSource {
+  // The raw samples of the historical span — the paper's choice (Figure 4
+  // accumulates per-second statistics over the first days).
+  kRawSamples,
+  // The vertically aggregated window values of the historical span, i.e.
+  // exactly the value distribution that will be encoded.
+  kAggregates,
+};
+
+struct ClassificationOptions {
+  // Shared day/vector construction.
+  DayVectorOptions day;
+  // Symbolic encoding (ignored by the raw builder).
+  SeparatorMethod method = SeparatorMethod::kMedian;
+  int level = 4;
+  // One lookup table per house (paper default) or a single table learned
+  // from all houses pooled (the "+" variants / Figure 7).
+  bool global_table = false;
+  // Historical span whose data trains the lookup tables (the paper uses
+  // the first two days of each house).
+  int64_t table_training_seconds = 2 * kSecondsPerDay;
+  TableTrainingSource table_source = TableTrainingSource::kRawSamples;
+};
+
+// Builds the symbolic day-classification dataset over `houses` (raw 1 Hz
+// traces). Attributes: one nominal attribute per window with 2^level
+// categories (bit-string names); class: "house". Windows a day is missing
+// stay missing. Errors if any house yields no table-training data or no
+// house yields a qualifying day.
+Result<ml::Dataset> BuildSymbolicClassificationDataset(
+    const std::vector<TimeSeries>& houses, const ClassificationOptions& options);
+
+// Raw variant: numeric window-average attributes (the paper's "raw" rows;
+// with day.window_seconds == 1 this is the full-resolution raw vector).
+Result<ml::Dataset> BuildRawClassificationDataset(
+    const std::vector<TimeSeries>& houses, const ClassificationOptions& options);
+
+// Per-house lookup tables as used by the symbolic builder (exposed so
+// benches can reuse/inspect them). Returns one table per house, or a
+// single table repeated when `global_table` is set.
+Result<std::vector<LookupTable>> BuildHouseTables(
+    const std::vector<TimeSeries>& houses, const ClassificationOptions& options);
+
+// Section 4's resolution flexibility, applied to datasets: converts a
+// symbolic classification dataset to a coarser alphabet by truncating each
+// symbol attribute's bit string (category index >> (from - to)). Because
+// separators nest (Figure 1), the result is identical to re-encoding the
+// raw data at the coarser level. Attributes must be nominal with 2^from
+// bit-string categories; the class attribute is passed through unchanged.
+Result<ml::Dataset> CoarsenSymbolicDataset(const ml::Dataset& data,
+                                           int from_level, int to_level);
+
+// --- Forecasting -----------------------------------------------------------
+
+// Builds a next-symbol classification dataset from a symbol-index sequence:
+// rows have `lag` nominal lag attributes and a nominal class, one row per
+// target position in [from, to) (positions below `lag` are skipped).
+// All nominal attributes have 2^level categories.
+Result<ml::Dataset> MakeSymbolicLagDataset(const std::vector<uint32_t>& symbols,
+                                           size_t lag, int level, size_t from,
+                                           size_t to);
+
+// Builds raw lag features: x[i] = values[t-lag..t-1], y[i] = values[t] for
+// target positions t in [max(from, lag), to).
+Status BuildLagMatrix(const std::vector<double>& values, size_t lag,
+                      size_t from, size_t to,
+                      std::vector<std::vector<double>>* x,
+                      std::vector<double>* y);
+
+}  // namespace smeter::data
+
+#endif  // SMETER_DATA_FEATURES_H_

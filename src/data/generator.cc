@@ -1,0 +1,117 @@
+#include "data/generator.h"
+
+#include <cmath>
+
+namespace smeter::data {
+namespace {
+
+Status ValidateOptions(const GeneratorOptions& options) {
+  if (options.num_houses == 0) {
+    return InvalidArgumentError("num_houses must be > 0");
+  }
+  if (options.duration_seconds <= 0) {
+    return InvalidArgumentError("duration_seconds must be > 0");
+  }
+  if (options.sample_period_seconds <= 0) {
+    return InvalidArgumentError("sample_period_seconds must be > 0");
+  }
+  if (options.outages_per_day < 0.0 || options.outage_mean_seconds < 0.0) {
+    return InvalidArgumentError("outage parameters must be >= 0");
+  }
+  if (options.seasonal_amplitude < 0.0 || options.seasonal_amplitude >= 1.0) {
+    return InvalidArgumentError("seasonal_amplitude must be in [0, 1)");
+  }
+  if (options.seasonal_period_days <= 0) {
+    return InvalidArgumentError("seasonal_period_days must be > 0");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ForEachHouseSample(size_t house_id, const GeneratorOptions& options,
+                          const std::function<void(const Sample&)>& callback) {
+  SMETER_RETURN_IF_ERROR(ValidateOptions(options));
+  if (house_id >= options.num_houses) {
+    return InvalidArgumentError("house_id out of range");
+  }
+
+  Household house = MakeHousehold(house_id, options.seed);
+  Rng power_rng(options.seed ^ (0xabcdef12u + house_id * 7919));
+  Rng outage_rng(options.seed ^ (0x13572468u + house_id * 104729));
+
+  const bool sparse = house_id == options.sparse_house;
+  const double outages_per_day =
+      sparse ? options.sparse_outages_per_day : options.outages_per_day;
+  const double outage_mean =
+      sparse ? options.sparse_outage_mean_seconds : options.outage_mean_seconds;
+  const double outage_rate =
+      outages_per_day / static_cast<double>(kSecondsPerDay);
+
+  // Outage schedule: the next outage begins at `next_outage_start` and,
+  // once entered, lasts until `outage_end`.
+  const Timestamp end = options.start_timestamp + options.duration_seconds;
+  Timestamp next_outage_start = end;  // disabled unless rate > 0
+  Timestamp outage_end = options.start_timestamp;
+  if (outage_rate > 0.0 && outage_mean > 0.0) {
+    next_outage_start =
+        options.start_timestamp +
+        static_cast<int64_t>(outage_rng.Exponential(outage_rate));
+  }
+
+  for (Timestamp t = options.start_timestamp; t < end;
+       t += options.sample_period_seconds) {
+    // The appliance simulation always advances (the house keeps consuming
+    // during a meter outage); only the measurement is dropped.
+    double watts = house.Step(t, power_rng);
+    if (options.seasonal_amplitude > 0.0) {
+      double day = static_cast<double>(t) / kSecondsPerDay;
+      double phase = 2.0 * 3.14159265358979323846 *
+                     (day - static_cast<double>(options.seasonal_peak_day)) /
+                     static_cast<double>(options.seasonal_period_days);
+      watts *= 1.0 + options.seasonal_amplitude * std::cos(phase);
+    }
+    if (options.resolution_watts > 0.0) {
+      watts = std::round(watts / options.resolution_watts) *
+              options.resolution_watts;
+    }
+
+    if (t >= next_outage_start) {
+      outage_end =
+          t + static_cast<int64_t>(outage_rng.Exponential(1.0 / outage_mean));
+      next_outage_start =
+          outage_end +
+          static_cast<int64_t>(outage_rng.Exponential(outage_rate));
+    }
+    if (t < outage_end) continue;  // inside an outage: sample lost
+    callback({t, watts});
+  }
+  return Status::Ok();
+}
+
+Result<TimeSeries> GenerateHouseSeries(size_t house_id,
+                                       const GeneratorOptions& options) {
+  TimeSeries series;
+  Status status = ForEachHouseSample(
+      house_id, options, [&series](const Sample& s) {
+        // Timestamps are strictly increasing by construction.
+        (void)series.Append(s);
+      });
+  if (!status.ok()) return status;
+  return series;
+}
+
+Result<std::vector<TimeSeries>> GenerateFleet(
+    const GeneratorOptions& options) {
+  SMETER_RETURN_IF_ERROR(ValidateOptions(options));
+  std::vector<TimeSeries> fleet;
+  fleet.reserve(options.num_houses);
+  for (size_t h = 0; h < options.num_houses; ++h) {
+    Result<TimeSeries> series = GenerateHouseSeries(h, options);
+    if (!series.ok()) return series.status();
+    fleet.push_back(std::move(series.value()));
+  }
+  return fleet;
+}
+
+}  // namespace smeter::data

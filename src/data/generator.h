@@ -1,0 +1,64 @@
+// Fleet-level smart-meter trace generation with outage (gap) injection —
+// the REDD-dataset substitute (see DESIGN.md section 2 for the
+// substitution argument).
+
+#ifndef SMETER_DATA_GENERATOR_H_
+#define SMETER_DATA_GENERATOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "core/time_series.h"
+#include "data/household.h"
+
+namespace smeter::data {
+
+struct GeneratorOptions {
+  size_t num_houses = 6;
+  Timestamp start_timestamp = 0;
+  int64_t duration_seconds = 14 * kSecondsPerDay;
+  int64_t sample_period_seconds = 1;
+  // Meter quantization: reported watts are rounded to a multiple of this
+  // (1 W, like REDD). This is what makes `median` and `distinctmedian`
+  // genuinely different — standby plateaus repeat the same reading for
+  // hours. Set to 0 to disable.
+  double resolution_watts = 1.0;
+  // Seasonal modulation (Section 4's seasonal-change scenario, for
+  // CER-length simulations): consumption is scaled by
+  //   1 + seasonal_amplitude * cos(2*pi*(day - seasonal_peak_day)/period).
+  // 0 disables it. 0.4 roughly doubles winter vs summer consumption.
+  double seasonal_amplitude = 0.0;
+  int64_t seasonal_period_days = 365;
+  int64_t seasonal_peak_day = 15;  // mid-January heating peak
+  // Outage model: outages start as a Poisson process and last an
+  // exponential time; samples inside an outage are dropped (a gap, as in
+  // REDD).
+  double outages_per_day = 0.4;
+  double outage_mean_seconds = 2400.0;
+  // House index that mimics REDD's house 5 ("not enough data"): most of
+  // its days fail the 20-hour rule. Set >= num_houses to disable.
+  size_t sparse_house = 4;
+  double sparse_outages_per_day = 18.0;
+  double sparse_outage_mean_seconds = 9600.0;
+  uint64_t seed = 42;
+};
+
+// Generates one house's full (gappy) trace. Deterministic in
+// (options.seed, house_id).
+Result<TimeSeries> GenerateHouseSeries(size_t house_id,
+                                       const GeneratorOptions& options);
+
+// Streams one house's trace through `callback` without materializing it —
+// for histogram-style passes over weeks of 1 Hz data. The callback sees
+// exactly the samples GenerateHouseSeries would contain.
+Status ForEachHouseSample(size_t house_id, const GeneratorOptions& options,
+                          const std::function<void(const Sample&)>& callback);
+
+// All houses, materialized. Convenient for tests/examples; benches prefer
+// per-house streaming.
+Result<std::vector<TimeSeries>> GenerateFleet(const GeneratorOptions& options);
+
+}  // namespace smeter::data
+
+#endif  // SMETER_DATA_GENERATOR_H_

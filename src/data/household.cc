@@ -1,0 +1,183 @@
+#include "data/household.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smeter::data {
+
+double Household::Step(Timestamp t, Rng& rng) {
+  int64_t day = t / kSecondsPerDay;
+  if (t < 0 && t % kSecondsPerDay != 0) --day;
+  if (day != current_day_) {
+    current_day_ = day;
+    activity_scale_ =
+        daily_variability_ > 0.0
+            ? std::exp(rng.Gaussian(0.0, daily_variability_))
+            : 1.0;
+  }
+  double total = 0.0;
+  for (Appliance& a : appliances_) total += a.Step(t, rng, activity_scale_);
+  if (meter_noise_sd_ > 0.0) total += rng.Gaussian(0.0, meter_noise_sd_);
+  return std::max(total, 0.0);
+}
+
+Household MakeHousehold(size_t id, uint64_t seed) {
+  Rng rng(seed ^ (0x51ed270b * (id + 1)));
+  // Parameter jitter: houses built from the same personality but different
+  // seeds differ by up to ~10%; exotic ids (>= 6) vary more.
+  const double jitter_span = id < 8 ? 0.1 : 0.35;
+  auto jitter = [&](double v) {
+    return v * (1.0 + rng.Uniform(-jitter_span, jitter_span));
+  };
+
+  std::vector<Appliance> mix;
+  const size_t personality = id % 8;
+  switch (personality) {
+    case 0: {
+      // Family house, big consumer: electric water heater + tumble dryer.
+      mix.push_back(Appliance::AlwaysOn("standby", jitter(95.0), 4.0));
+      mix.push_back(Appliance::Thermostatic("fridge", jitter(140.0),
+                                            jitter(900.0), jitter(1500.0),
+                                            0.15));
+      mix.push_back(Appliance::Thermostatic("freezer", jitter(110.0),
+                                            jitter(700.0), jitter(2100.0),
+                                            0.15));
+      mix.push_back(Appliance::Stochastic("water_heater", jitter(2400.0), 0.10,
+                                          jitter(1500.0), 3.0,
+                                          DoublePeakProfile(), 1.3));
+      mix.push_back(Appliance::Stochastic("oven", jitter(2000.0), 0.15,
+                                          jitter(2400.0), 1.0,
+                                          EveningPeakProfile(), 1.5));
+      mix.push_back(Appliance::Stochastic("dryer", jitter(2600.0), 0.10,
+                                          jitter(3000.0), 0.6,
+                                          EveningPeakProfile(), 2.2));
+      mix.push_back(Appliance::Stochastic("lights_tv", jitter(260.0), 0.25,
+                                          jitter(5400.0), 4.0,
+                                          EveningPeakProfile(), 1.4));
+      break;
+    }
+    case 1: {
+      // Small apartment, low consumption.
+      mix.push_back(Appliance::AlwaysOn("standby", jitter(45.0), 2.0));
+      mix.push_back(Appliance::Thermostatic("fridge", jitter(90.0),
+                                            jitter(800.0), jitter(1900.0),
+                                            0.2));
+      mix.push_back(Appliance::Stochastic("kettle", jitter(1800.0), 0.05,
+                                          jitter(150.0), 4.0,
+                                          DoublePeakProfile(), 1.2));
+      mix.push_back(Appliance::Stochastic("laptop_tv", jitter(130.0), 0.3,
+                                          jitter(7200.0), 3.0,
+                                          EveningPeakProfile(), 1.5));
+      break;
+    }
+    case 2: {
+      // Working couple: pronounced morning/evening double peak.
+      mix.push_back(Appliance::AlwaysOn("standby", jitter(70.0), 3.0));
+      mix.push_back(Appliance::Thermostatic("fridge", jitter(120.0),
+                                            jitter(1000.0), jitter(1700.0),
+                                            0.15));
+      mix.push_back(Appliance::Stochastic("stove", jitter(1500.0), 0.12,
+                                          jitter(1500.0), 1.6,
+                                          DoublePeakProfile(), 1.6));
+      mix.push_back(Appliance::Stochastic("washer", jitter(500.0), 0.2,
+                                          jitter(3600.0), 0.5,
+                                          DoublePeakProfile(), 2.5));
+      mix.push_back(Appliance::Stochastic("lights_tv", jitter(220.0), 0.25,
+                                          jitter(6000.0), 3.2,
+                                          DoublePeakProfile(), 1.6));
+      break;
+    }
+    case 3: {
+      // Night-shift worker: activity shifted into the night.
+      mix.push_back(Appliance::AlwaysOn("standby", jitter(60.0), 3.0));
+      mix.push_back(Appliance::Thermostatic("fridge", jitter(100.0),
+                                            jitter(850.0), jitter(1800.0),
+                                            0.18));
+      mix.push_back(Appliance::Stochastic("microwave", jitter(1100.0), 0.1,
+                                          jitter(240.0), 3.0, NightProfile(),
+                                          1.0));
+      mix.push_back(Appliance::Stochastic("heater", jitter(1300.0), 0.15,
+                                          jitter(2700.0), 1.4, NightProfile(),
+                                          1.0));
+      mix.push_back(Appliance::Stochastic("lights_tv", jitter(180.0), 0.25,
+                                          jitter(5400.0), 3.0, NightProfile(),
+                                          1.1));
+      break;
+    }
+    case 4: {
+      // Home office: flat daytime plateau, modest peaks.
+      mix.push_back(Appliance::AlwaysOn("standby_it", jitter(150.0), 6.0));
+      mix.push_back(Appliance::Thermostatic("fridge", jitter(130.0),
+                                            jitter(950.0), jitter(1600.0),
+                                            0.15));
+      mix.push_back(Appliance::Stochastic("espresso", jitter(1300.0), 0.08,
+                                          jitter(120.0), 6.0, FlatProfile(),
+                                          0.8));
+      mix.push_back(Appliance::Stochastic("ac", jitter(900.0), 0.2,
+                                          jitter(3600.0), 2.0, FlatProfile(),
+                                          0.9));
+      mix.push_back(Appliance::Stochastic("lights_tv", jitter(200.0), 0.25,
+                                          jitter(4800.0), 2.5,
+                                          EveningPeakProfile(), 1.2));
+      break;
+    }
+    case 6: {
+      // EV commuter: unremarkable by day, a large charger most nights.
+      mix.push_back(Appliance::AlwaysOn("standby", jitter(75.0), 3.0));
+      mix.push_back(Appliance::Thermostatic("fridge", jitter(115.0),
+                                            jitter(900.0), jitter(1800.0),
+                                            0.15));
+      mix.push_back(Appliance::Stochastic("ev_charger", jitter(3600.0), 0.05,
+                                          jitter(3 * 3600.0), 0.9,
+                                          NightProfile(), 0.7));
+      mix.push_back(Appliance::Stochastic("stove", jitter(1400.0), 0.12,
+                                          jitter(1500.0), 1.2,
+                                          DoublePeakProfile(), 1.4));
+      mix.push_back(Appliance::Stochastic("lights_tv", jitter(210.0), 0.25,
+                                          jitter(5400.0), 3.0,
+                                          EveningPeakProfile(), 1.3));
+      break;
+    }
+    case 7: {
+      // Student studio: tiny base load, kettle and microwave bursts.
+      mix.push_back(Appliance::AlwaysOn("standby", jitter(35.0), 2.0));
+      mix.push_back(Appliance::Thermostatic("minifridge", jitter(70.0),
+                                            jitter(700.0), jitter(2100.0),
+                                            0.2));
+      mix.push_back(Appliance::Stochastic("kettle", jitter(2000.0), 0.05,
+                                          jitter(120.0), 5.0,
+                                          EveningPeakProfile(), 1.1));
+      mix.push_back(Appliance::Stochastic("microwave", jitter(900.0), 0.1,
+                                          jitter(180.0), 2.5,
+                                          EveningPeakProfile(), 1.2));
+      mix.push_back(Appliance::Stochastic("laptop", jitter(90.0), 0.3,
+                                          jitter(9000.0), 2.5,
+                                          NightProfile(), 1.4));
+      break;
+    }
+    default: {  // personality 5
+      // Retired couple: steady, moderate, cooking-centred.
+      mix.push_back(Appliance::AlwaysOn("standby", jitter(80.0), 3.0));
+      mix.push_back(Appliance::Thermostatic("fridge", jitter(125.0),
+                                            jitter(900.0), jitter(1700.0),
+                                            0.15));
+      mix.push_back(Appliance::Thermostatic("freezer", jitter(95.0),
+                                            jitter(750.0), jitter(2300.0),
+                                            0.15));
+      mix.push_back(Appliance::Stochastic("stove", jitter(1700.0), 0.12,
+                                          jitter(2100.0), 2.0,
+                                          EveningPeakProfile(), 1.0));
+      mix.push_back(Appliance::Stochastic("iron_vacuum", jitter(1100.0), 0.2,
+                                          jitter(1200.0), 0.8, FlatProfile(),
+                                          1.0));
+      mix.push_back(Appliance::Stochastic("lights_tv", jitter(240.0), 0.25,
+                                          jitter(7200.0), 3.5,
+                                          EveningPeakProfile(), 1.0));
+      break;
+    }
+  }
+  return Household("house " + std::to_string(id + 1), std::move(mix),
+                   jitter(3.0));
+}
+
+}  // namespace smeter::data

@@ -1,0 +1,59 @@
+// One simulated house: an appliance mix plus measurement noise. The six
+// default houses are parameterized to mimic the REDD spread — different
+// base loads, consumption magnitudes, appliance mixes, and daily rhythms —
+// so that per-house statistics (the quantiles the median tables learn) are
+// genuinely distinctive.
+
+#ifndef SMETER_DATA_HOUSEHOLD_H_
+#define SMETER_DATA_HOUSEHOLD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/time_series.h"
+#include "data/appliance.h"
+
+namespace smeter::data {
+
+class Household {
+ public:
+  // `daily_variability` is the log-space sigma of the per-day occupancy
+  // multiplier applied to occupant-driven appliances: real households cook
+  // or wash more on some days than others, which makes raw watt levels
+  // vary day to day even when the routine (which hours are active) stays
+  // stable.
+  Household(std::string name, std::vector<Appliance> appliances,
+            double meter_noise_sd, double daily_variability = 0.15)
+      : name_(std::move(name)),
+        appliances_(std::move(appliances)),
+        meter_noise_sd_(meter_noise_sd),
+        daily_variability_(daily_variability) {}
+
+  const std::string& name() const { return name_; }
+  size_t num_appliances() const { return appliances_.size(); }
+
+  // Total watts drawn during [t, t+1); never negative.
+  double Step(Timestamp t, Rng& rng);
+
+ private:
+  std::string name_;
+  std::vector<Appliance> appliances_;
+  double meter_noise_sd_;
+  double daily_variability_;
+  // Current day's occupancy multiplier.
+  int64_t current_day_ = INT64_MIN;
+  double activity_scale_ = 1.0;
+};
+
+// Builds one of the eight reference houses (id 0..7: family house, small
+// apartment, working couple, night-shift worker, home office, EV commuter,
+// student studio, retired couple). `seed` perturbs the parameters so
+// different fleets are not identical. Ids >= 8 synthesize further houses
+// by reusing the eight personalities with larger perturbations.
+Household MakeHousehold(size_t id, uint64_t seed);
+
+}  // namespace smeter::data
+
+#endif  // SMETER_DATA_HOUSEHOLD_H_

@@ -1,0 +1,65 @@
+#include "data/redd.h"
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace smeter::data {
+
+Result<TimeSeries> LoadReddChannel(const std::string& path) {
+  CsvOptions csv;
+  csv.delimiter = ' ';
+  Result<CsvTable> table = ReadCsvFile(path, csv);
+  if (!table.ok()) return table.status();
+
+  TimeSeries series;
+  for (size_t i = 0; i < table->rows.size(); ++i) {
+    const auto& row = table->rows[i];
+    if (row.size() < 2) {
+      return InvalidArgumentError(path + ": row " + std::to_string(i) +
+                                  " has fewer than 2 fields");
+    }
+    Result<int64_t> ts = ParseInt(row[0]);
+    if (!ts.ok()) return ts.status();
+    Result<double> value = ParseDouble(row[1]);
+    if (!value.ok()) return value.status();
+    Status appended = series.Append({*ts, *value});
+    if (!appended.ok()) {
+      return Status(appended.code(),
+                    path + ": row " + std::to_string(i) + ": " +
+                        appended.message());
+    }
+  }
+  return series;
+}
+
+Result<TimeSeries> LoadReddHouseMains(const std::string& house_dir) {
+  Result<TimeSeries> mains1 = LoadReddChannel(house_dir + "/channel_1.dat");
+  if (!mains1.ok()) return mains1.status();
+  Result<TimeSeries> mains2 = LoadReddChannel(house_dir + "/channel_2.dat");
+  if (!mains2.ok()) return mains2.status();
+
+  // Merge on shared timestamps (two-pointer walk).
+  TimeSeries total;
+  size_t i = 0, j = 0;
+  const TimeSeries& a = mains1.value();
+  const TimeSeries& b = mains2.value();
+  while (i < a.size() && j < b.size()) {
+    if (a[i].timestamp < b[j].timestamp) {
+      ++i;
+    } else if (b[j].timestamp < a[i].timestamp) {
+      ++j;
+    } else {
+      SMETER_RETURN_IF_ERROR(
+          total.Append({a[i].timestamp, a[i].value + b[j].value}));
+      ++i;
+      ++j;
+    }
+  }
+  if (total.empty()) {
+    return FailedPreconditionError(house_dir +
+                                   ": mains channels share no timestamps");
+  }
+  return total;
+}
+
+}  // namespace smeter::data

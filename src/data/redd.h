@@ -1,0 +1,27 @@
+// Loader for the REDD low_freq on-disk layout (Kolter & Johnson, 2011) —
+// for users who have the real dataset. Each channel is a text file of
+// "unix_timestamp watts" lines; channels 1 and 2 are the two mains, and the
+// paper sums them into the house total.
+
+#ifndef SMETER_DATA_REDD_H_
+#define SMETER_DATA_REDD_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/time_series.h"
+
+namespace smeter::data {
+
+// Reads one channel file (space-separated "timestamp value" rows, sorted by
+// time). Rejects malformed rows and timestamp regressions.
+Result<TimeSeries> LoadReddChannel(const std::string& path);
+
+// Loads `house_dir`/channel_1.dat + channel_2.dat and sums them into the
+// house's total consumption, aligning on the timestamps both channels
+// share (REDD mains are sampled together; stray singletons are dropped).
+Result<TimeSeries> LoadReddHouseMains(const std::string& house_dir);
+
+}  // namespace smeter::data
+
+#endif  // SMETER_DATA_REDD_H_

@@ -1,0 +1,232 @@
+#include "ml/arff.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace smeter::ml {
+namespace {
+
+// Quotes a token if it contains ARFF-significant characters.
+std::string QuoteIfNeeded(const std::string& token) {
+  bool needs = token.empty();
+  for (char c : token) {
+    if (c == ' ' || c == ',' || c == '{' || c == '}' || c == '\'') needs = true;
+  }
+  if (!needs) return token;
+  std::string out = "'";
+  for (char c : token) {
+    if (c == '\'') out += "\\'";
+    else out += c;
+  }
+  out += "'";
+  return out;
+}
+
+// Splits on `delim`, but not inside single- or double-quoted segments.
+std::vector<std::string> SplitQuoted(std::string_view text, char delim) {
+  std::vector<std::string> out;
+  std::string current;
+  char quote = '\0';
+  for (char c : text) {
+    if (quote != '\0') {
+      current += c;
+      if (c == quote) quote = '\0';
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      quote = c;
+      current += c;
+      continue;
+    }
+    if (c == delim) {
+      out.push_back(std::move(current));
+      current.clear();
+      continue;
+    }
+    current += c;
+  }
+  out.push_back(std::move(current));
+  return out;
+}
+
+// Strips surrounding quotes and unescapes.
+std::string Unquote(std::string_view token) {
+  if (token.size() >= 2 && (token.front() == '\'' || token.front() == '"') &&
+      token.back() == token.front()) {
+    std::string out;
+    for (size_t i = 1; i + 1 < token.size(); ++i) {
+      if (token[i] == '\\' && i + 2 < token.size()) continue;
+      out += token[i];
+    }
+    return out;
+  }
+  return std::string(token);
+}
+
+}  // namespace
+
+std::string ToArff(const Dataset& data) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "@relation " << QuoteIfNeeded(data.relation()) << "\n\n";
+  for (size_t a = 0; a < data.num_attributes(); ++a) {
+    const Attribute& attr = data.attribute(a);
+    out << "@attribute " << QuoteIfNeeded(attr.name()) << " ";
+    if (attr.is_numeric()) {
+      out << "numeric";
+    } else {
+      out << "{";
+      for (size_t v = 0; v < attr.num_values(); ++v) {
+        if (v > 0) out << ",";
+        out << QuoteIfNeeded(attr.values()[v]);
+      }
+      out << "}";
+    }
+    out << "\n";
+  }
+  out << "\n@data\n";
+  for (size_t r = 0; r < data.num_instances(); ++r) {
+    for (size_t a = 0; a < data.num_attributes(); ++a) {
+      if (a > 0) out << ",";
+      double v = data.value(r, a);
+      if (IsMissing(v)) {
+        out << "?";
+      } else if (data.attribute(a).is_nominal()) {
+        out << QuoteIfNeeded(
+            data.attribute(a).values()[static_cast<size_t>(v)]);
+      } else {
+        out << v;
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Result<Dataset> FromArff(const std::string& text, int class_index) {
+  std::vector<Attribute> attributes;
+  std::string relation = "unnamed";
+  bool in_data = false;
+  std::vector<std::vector<double>> pending_rows;
+
+  for (const std::string& raw_line : Split(text, '\n')) {
+    std::string_view line = Trim(raw_line);
+    if (line.empty() || line.front() == '%') continue;
+
+    if (!in_data) {
+      std::string lowered = ToLower(line.substr(0, 10));
+      if (StartsWith(lowered, "@relation")) {
+        relation = Unquote(Trim(line.substr(9)));
+        continue;
+      }
+      if (StartsWith(lowered, "@data")) {
+        in_data = true;
+        continue;
+      }
+      if (StartsWith(lowered, "@attribute")) {
+        std::string_view rest = Trim(line.substr(10));
+        // Name: quoted or up to whitespace.
+        std::string name;
+        size_t pos = 0;
+        if (!rest.empty() && (rest[0] == '\'' || rest[0] == '"')) {
+          char q = rest[0];
+          size_t close = rest.find(q, 1);
+          if (close == std::string_view::npos) {
+            return InvalidArgumentError("unterminated attribute name quote");
+          }
+          name = Unquote(rest.substr(0, close + 1));
+          pos = close + 1;
+        } else {
+          size_t space = rest.find_first_of(" \t");
+          if (space == std::string_view::npos) {
+            return InvalidArgumentError("attribute line missing type");
+          }
+          name = std::string(rest.substr(0, space));
+          pos = space;
+        }
+        std::string_view type = Trim(rest.substr(pos));
+        std::string type_lower = ToLower(type);
+        if (StartsWith(type_lower, "numeric") ||
+            StartsWith(type_lower, "real") ||
+            StartsWith(type_lower, "integer")) {
+          attributes.push_back(Attribute::Numeric(name));
+        } else if (!type.empty() && type.front() == '{') {
+          size_t close = type.rfind('}');
+          if (close == std::string_view::npos) {
+            return InvalidArgumentError("unterminated nominal value list");
+          }
+          std::vector<std::string> labels;
+          for (const std::string& part :
+               SplitQuoted(type.substr(1, close - 1), ',')) {
+            labels.push_back(Unquote(Trim(part)));
+          }
+          if (labels.empty()) {
+            return InvalidArgumentError("empty nominal value list");
+          }
+          attributes.push_back(Attribute::Nominal(name, std::move(labels)));
+        } else {
+          return UnimplementedError("unsupported ARFF attribute type: " +
+                                    std::string(type));
+        }
+        continue;
+      }
+      return InvalidArgumentError("unexpected header line: " +
+                                  std::string(line));
+    }
+
+    // Data section.
+    std::vector<std::string> fields = SplitQuoted(line, ',');
+    if (fields.size() != attributes.size()) {
+      return InvalidArgumentError("data row width mismatch");
+    }
+    std::vector<double> row(fields.size(), kMissing);
+    for (size_t a = 0; a < fields.size(); ++a) {
+      std::string field = Unquote(Trim(fields[a]));
+      if (field == "?") continue;
+      if (attributes[a].is_numeric()) {
+        Result<double> v = ParseDouble(field);
+        if (!v.ok()) return v.status();
+        row[a] = *v;
+      } else {
+        Result<size_t> idx = attributes[a].IndexOf(field);
+        if (!idx.ok()) return idx.status();
+        row[a] = static_cast<double>(*idx);
+      }
+    }
+    pending_rows.push_back(std::move(row));
+  }
+
+  if (attributes.empty()) {
+    return InvalidArgumentError("ARFF has no attributes");
+  }
+  size_t cls = class_index < 0 ? attributes.size() - 1
+                               : static_cast<size_t>(class_index);
+  Result<Dataset> data = Dataset::Create(relation, attributes, cls);
+  if (!data.ok()) return data.status();
+  for (auto& row : pending_rows) {
+    SMETER_RETURN_IF_ERROR(data->Add(std::move(row)));
+  }
+  return data;
+}
+
+Status WriteArffFile(const std::string& path, const Dataset& data) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return InternalError("cannot open for writing: " + path);
+  out << ToArff(data);
+  out.flush();
+  if (!out) return InternalError("I/O error writing: " + path);
+  return Status::Ok();
+}
+
+Result<Dataset> ReadArffFile(const std::string& path, int class_index) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError("cannot open: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return InternalError("I/O error reading: " + path);
+  return FromArff(buf.str(), class_index);
+}
+
+}  // namespace smeter::ml

@@ -1,0 +1,31 @@
+// ARFF import/export — the file format the paper fed to Weka ("the so
+// generated files were used as input for Weka"). Supports numeric and
+// nominal attributes and '?' missing values; that is the full feature set
+// the experiments need.
+
+#ifndef SMETER_ML_ARFF_H_
+#define SMETER_ML_ARFF_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "ml/instances.h"
+
+namespace smeter::ml {
+
+// Renders `data` as ARFF text. The class attribute is written in place
+// (its position is not encoded in ARFF; pass the same class index when
+// reading back).
+std::string ToArff(const Dataset& data);
+
+// Parses ARFF text. `class_index` selects the class attribute; the default
+// (-1) means the last attribute, Weka's convention.
+Result<Dataset> FromArff(const std::string& text, int class_index = -1);
+
+// Convenience wrappers.
+Status WriteArffFile(const std::string& path, const Dataset& data);
+Result<Dataset> ReadArffFile(const std::string& path, int class_index = -1);
+
+}  // namespace smeter::ml
+
+#endif  // SMETER_ML_ARFF_H_

@@ -1,0 +1,36 @@
+#include "ml/attribute.h"
+
+namespace smeter::ml {
+
+Attribute Attribute::Numeric(std::string name) {
+  return Attribute(AttributeKind::kNumeric, std::move(name), {});
+}
+
+Attribute Attribute::Nominal(std::string name,
+                             std::vector<std::string> values) {
+  return Attribute(AttributeKind::kNominal, std::move(name),
+                   std::move(values));
+}
+
+Result<std::string> Attribute::ValueName(size_t i) const {
+  if (!is_nominal()) {
+    return FailedPreconditionError("numeric attribute has no value names");
+  }
+  if (i >= values_.size()) {
+    return OutOfRangeError("nominal index " + std::to_string(i) +
+                           " out of range for attribute " + name_);
+  }
+  return values_[i];
+}
+
+Result<size_t> Attribute::IndexOf(const std::string& label) const {
+  if (!is_nominal()) {
+    return FailedPreconditionError("numeric attribute has no categories");
+  }
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] == label) return i;
+  }
+  return NotFoundError("category '" + label + "' not in attribute " + name_);
+}
+
+}  // namespace smeter::ml

@@ -1,0 +1,52 @@
+// Attribute metadata for ML datasets, mirroring Weka's nominal/numeric
+// attribute model. Symbolic time series become *nominal* attributes (the
+// paper's point: symbol streams unlock algorithms that need nominal or
+// string inputs), raw series become numeric ones.
+
+#ifndef SMETER_ML_ATTRIBUTE_H_
+#define SMETER_ML_ATTRIBUTE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace smeter::ml {
+
+enum class AttributeKind { kNumeric, kNominal };
+
+class Attribute {
+ public:
+  static Attribute Numeric(std::string name);
+  // `values` are the category labels; instance cells store indices into it.
+  static Attribute Nominal(std::string name, std::vector<std::string> values);
+
+  AttributeKind kind() const { return kind_; }
+  bool is_nominal() const { return kind_ == AttributeKind::kNominal; }
+  bool is_numeric() const { return kind_ == AttributeKind::kNumeric; }
+  const std::string& name() const { return name_; }
+
+  // Number of categories; 0 for numeric attributes.
+  size_t num_values() const { return values_.size(); }
+  const std::vector<std::string>& values() const { return values_; }
+
+  // Category label for index `i`; errors for numeric attributes or
+  // out-of-range indices.
+  Result<std::string> ValueName(size_t i) const;
+
+  // Index of category `label`; NotFound if absent or attribute is numeric.
+  Result<size_t> IndexOf(const std::string& label) const;
+
+ private:
+  Attribute(AttributeKind kind, std::string name,
+            std::vector<std::string> values)
+      : kind_(kind), name_(std::move(name)), values_(std::move(values)) {}
+
+  AttributeKind kind_;
+  std::string name_;
+  std::vector<std::string> values_;  // empty for numeric
+};
+
+}  // namespace smeter::ml
+
+#endif  // SMETER_ML_ATTRIBUTE_H_

@@ -1,0 +1,44 @@
+#include "ml/bagging.h"
+
+#include "common/random.h"
+
+namespace smeter::ml {
+
+Status Bagging::Train(const Dataset& data) {
+  SMETER_RETURN_IF_ERROR(CheckTrainable(data));
+  if (options_.num_members == 0) {
+    return InvalidArgumentError("num_members must be > 0");
+  }
+  num_classes_ = data.num_classes();
+  members_.clear();
+
+  const size_t n = data.num_instances();
+  Rng rng(options_.seed);
+  for (size_t m = 0; m < options_.num_members; ++m) {
+    std::vector<size_t> bag(n);
+    for (size_t i = 0; i < n; ++i) {
+      bag[i] = static_cast<size_t>(rng.UniformInt(n));
+    }
+    std::unique_ptr<Classifier> member = base_factory_();
+    SMETER_RETURN_IF_ERROR(member->Train(data.Subset(bag)));
+    members_.push_back(std::move(member));
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<double>> Bagging::PredictDistribution(
+    const std::vector<double>& row) const {
+  if (members_.empty()) {
+    return FailedPreconditionError("Bagging not trained");
+  }
+  std::vector<double> sum(num_classes_, 0.0);
+  for (const auto& member : members_) {
+    Result<std::vector<double>> dist = member->PredictDistribution(row);
+    if (!dist.ok()) return dist.status();
+    for (size_t c = 0; c < num_classes_; ++c) sum[c] += dist.value()[c];
+  }
+  for (double& v : sum) v /= static_cast<double>(members_.size());
+  return sum;
+}
+
+}  // namespace smeter::ml

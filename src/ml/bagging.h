@@ -1,0 +1,42 @@
+// Generic bagging meta-classifier (Weka `Bagging` analogue): trains N base
+// learners on bootstrap resamples and averages their distributions. Works
+// with any Classifier factory — e.g. bagged J48, which is the classical
+// step between a single tree and the random forest.
+
+#ifndef SMETER_ML_BAGGING_H_
+#define SMETER_ML_BAGGING_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/evaluation.h"
+
+namespace smeter::ml {
+
+struct BaggingOptions {
+  size_t num_members = 10;
+  uint64_t seed = 1;
+};
+
+class Bagging : public Classifier {
+ public:
+  Bagging(ClassifierFactory base_factory, const BaggingOptions& options = {})
+      : base_factory_(std::move(base_factory)), options_(options) {}
+
+  Status Train(const Dataset& data) override;
+  Result<std::vector<double>> PredictDistribution(
+      const std::vector<double>& row) const override;
+  std::string Name() const override { return "Bagging"; }
+
+  size_t num_members() const { return members_.size(); }
+
+ private:
+  ClassifierFactory base_factory_;
+  BaggingOptions options_;
+  std::vector<std::unique_ptr<Classifier>> members_;
+  size_t num_classes_ = 0;
+};
+
+}  // namespace smeter::ml
+
+#endif  // SMETER_ML_BAGGING_H_

@@ -1,0 +1,29 @@
+#include "ml/baseline.h"
+
+namespace smeter::ml {
+
+Status ZeroR::Train(const Dataset& data) {
+  SMETER_RETURN_IF_ERROR(CheckTrainable(data));
+  distribution_.assign(data.num_classes(), 0.0);
+  for (size_t r = 0; r < data.num_instances(); ++r) {
+    distribution_[data.ClassOf(r).value()] += 1.0;
+  }
+  for (double& v : distribution_) {
+    v /= static_cast<double>(data.num_instances());
+  }
+  width_ = data.num_attributes();
+  return Status::Ok();
+}
+
+Result<std::vector<double>> ZeroR::PredictDistribution(
+    const std::vector<double>& row) const {
+  if (distribution_.empty()) {
+    return FailedPreconditionError("ZeroR not trained");
+  }
+  if (row.size() != width_) {
+    return InvalidArgumentError("row width mismatch");
+  }
+  return distribution_;
+}
+
+}  // namespace smeter::ml

@@ -1,0 +1,29 @@
+// Trivial baselines: ZeroR (majority class) — Weka's sanity floor. Any
+// real encoding/classifier pair must clear it; the evaluation benches use
+// it to contextualize F-measures.
+
+#ifndef SMETER_ML_BASELINE_H_
+#define SMETER_ML_BASELINE_H_
+
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace smeter::ml {
+
+// Predicts the training majority class, always.
+class ZeroR : public Classifier {
+ public:
+  Status Train(const Dataset& data) override;
+  Result<std::vector<double>> PredictDistribution(
+      const std::vector<double>& row) const override;
+  std::string Name() const override { return "ZeroR"; }
+
+ private:
+  std::vector<double> distribution_;  // training class frequencies
+  size_t width_ = 0;
+};
+
+}  // namespace smeter::ml
+
+#endif  // SMETER_ML_BASELINE_H_

@@ -1,0 +1,36 @@
+#include "ml/classifier.h"
+
+namespace smeter::ml {
+
+Result<size_t> Classifier::Predict(const std::vector<double>& row) const {
+  Result<std::vector<double>> dist = PredictDistribution(row);
+  if (!dist.ok()) return dist.status();
+  const std::vector<double>& p = dist.value();
+  if (p.empty()) return InternalError("empty distribution");
+  size_t best = 0;
+  for (size_t i = 1; i < p.size(); ++i) {
+    if (p[i] > p[best]) best = i;
+  }
+  return best;
+}
+
+Status CheckTrainable(const Dataset& data) {
+  if (data.empty()) {
+    return FailedPreconditionError("training set is empty");
+  }
+  if (!data.class_attribute().is_nominal()) {
+    return InvalidArgumentError("class attribute must be nominal");
+  }
+  if (data.num_classes() < 2) {
+    return InvalidArgumentError("need at least two classes");
+  }
+  for (size_t r = 0; r < data.num_instances(); ++r) {
+    if (IsMissing(data.value(r, data.class_index()))) {
+      return InvalidArgumentError("missing class label in row " +
+                                  std::to_string(r));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace smeter::ml

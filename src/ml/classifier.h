@@ -1,0 +1,43 @@
+// Common interface for all classifiers (the Weka `Classifier` analogue).
+//
+// All learners are deterministic given their options (randomized learners
+// take an explicit seed), train on a Dataset with a nominal class, and
+// predict a class-probability distribution per instance.
+
+#ifndef SMETER_ML_CLASSIFIER_H_
+#define SMETER_ML_CLASSIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/instances.h"
+
+namespace smeter::ml {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  // Trains on `data`; the class attribute must be nominal with >= 2
+  // categories and every row must have a class label.
+  virtual Status Train(const Dataset& data) = 0;
+
+  // Returns P(class | row) over the training class categories. `row` uses
+  // the training schema; the class cell is ignored (may be kMissing).
+  virtual Result<std::vector<double>> PredictDistribution(
+      const std::vector<double>& row) const = 0;
+
+  virtual std::string Name() const = 0;
+
+  // Argmax of PredictDistribution (ties break toward the lower index,
+  // matching Weka).
+  Result<size_t> Predict(const std::vector<double>& row) const;
+};
+
+// Validates the shared Train() preconditions; learners call this first.
+Status CheckTrainable(const Dataset& data);
+
+}  // namespace smeter::ml
+
+#endif  // SMETER_ML_CLASSIFIER_H_

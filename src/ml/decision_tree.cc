@@ -1,0 +1,261 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smeter::ml {
+namespace {
+
+std::vector<double> CountClasses(const Dataset& data,
+                                 const std::vector<size_t>& rows) {
+  std::vector<double> counts(data.num_classes(), 0.0);
+  for (size_t r : rows) counts[data.ClassOf(r).value()] += 1.0;
+  return counts;
+}
+
+size_t Argmax(const std::vector<double>& v) {
+  size_t best = 0;
+  for (size_t i = 1; i < v.size(); ++i) {
+    if (v[i] > v[best]) best = i;
+  }
+  return best;
+}
+
+bool IsPure(const std::vector<double>& counts) {
+  size_t nonzero = 0;
+  for (double c : counts) {
+    if (c > 0.0) ++nonzero;
+  }
+  return nonzero <= 1;
+}
+
+}  // namespace
+
+Status DecisionTree::Train(const Dataset& data) {
+  SMETER_RETURN_IF_ERROR(CheckTrainable(data));
+  schema_ = data.attributes();
+  class_index_ = data.class_index();
+  num_classes_ = data.num_classes();
+
+  std::vector<size_t> rows(data.num_instances());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  Rng rng(options_.seed);
+  root_ = BuildNode(data, rows, 0, rng);
+  if (options_.prune) PruneNode(root_.get());
+  return Status::Ok();
+}
+
+std::unique_ptr<DecisionTree::Node> DecisionTree::BuildNode(
+    const Dataset& data, const std::vector<size_t>& rows, size_t depth,
+    Rng& rng) {
+  auto node = std::make_unique<Node>();
+  node->class_counts = CountClasses(data, rows);
+  node->majority_class = Argmax(node->class_counts);
+
+  const bool depth_capped =
+      options_.max_depth > 0 && depth >= options_.max_depth;
+  if (rows.size() < 2 * options_.min_leaf || IsPure(node->class_counts) ||
+      depth_capped) {
+    return node;
+  }
+
+  // Candidate attributes: all, or a random subset of the non-class ones.
+  std::vector<size_t> candidates;
+  for (size_t a = 0; a < schema_.size(); ++a) {
+    if (a != class_index_) candidates.push_back(a);
+  }
+  if (options_.random_feature_subset > 0 &&
+      options_.random_feature_subset < candidates.size()) {
+    rng.Shuffle(candidates);
+    candidates.resize(options_.random_feature_subset);
+  }
+
+  std::optional<SplitCandidate> best;
+  for (size_t attr : candidates) {
+    std::optional<SplitCandidate> cand =
+        schema_[attr].is_nominal()
+            ? EvaluateNominalSplit(data, rows, attr, options_.min_leaf)
+            : EvaluateNumericSplit(data, rows, attr, options_.min_leaf);
+    if (!cand.has_value()) continue;
+    double score = options_.use_gain_ratio ? cand->gain_ratio : cand->gain;
+    double best_score = !best.has_value()
+                            ? -1.0
+                            : (options_.use_gain_ratio ? best->gain_ratio
+                                                       : best->gain);
+    if (score > best_score) best = cand;
+  }
+  if (!best.has_value()) return node;
+
+  // Partition rows; missing values go to the most-populated branch.
+  const size_t n_branches =
+      best->is_numeric ? 2 : schema_[best->attribute].num_values();
+  std::vector<std::vector<size_t>> partitions(n_branches);
+  std::vector<size_t> missing_rows;
+  for (size_t r : rows) {
+    double v = data.value(r, best->attribute);
+    if (IsMissing(v)) {
+      missing_rows.push_back(r);
+      continue;
+    }
+    size_t branch = best->is_numeric
+                        ? (v <= best->threshold ? 0 : 1)
+                        : static_cast<size_t>(v);
+    partitions[branch].push_back(r);
+  }
+  size_t majority_branch = 0;
+  for (size_t b = 1; b < n_branches; ++b) {
+    if (partitions[b].size() > partitions[majority_branch].size()) {
+      majority_branch = b;
+    }
+  }
+  for (size_t r : missing_rows) partitions[majority_branch].push_back(r);
+
+  node->is_leaf = false;
+  node->attribute = best->attribute;
+  node->numeric_split = best->is_numeric;
+  node->threshold = best->threshold;
+  node->majority_child = majority_branch;
+  node->children.reserve(n_branches);
+  for (size_t b = 0; b < n_branches; ++b) {
+    if (partitions[b].empty()) {
+      // Empty branch: a leaf predicting the parent's majority.
+      auto leaf = std::make_unique<Node>();
+      leaf->class_counts.assign(num_classes_, 0.0);
+      leaf->majority_class = node->majority_class;
+      node->children.push_back(std::move(leaf));
+    } else {
+      node->children.push_back(BuildNode(data, partitions[b], depth + 1, rng));
+    }
+  }
+  return node;
+}
+
+double DecisionTree::PruneNode(Node* node) {
+  double n = 0.0;
+  for (double c : node->class_counts) n += c;
+  double errors = n - node->class_counts[node->majority_class];
+  double leaf_estimate =
+      errors + PessimisticExtraErrors(n, errors, options_.pruning_confidence);
+  if (node->is_leaf) return leaf_estimate;
+
+  double subtree_estimate = 0.0;
+  for (auto& child : node->children) {
+    subtree_estimate += PruneNode(child.get());
+  }
+  // Replace the subtree by a leaf when the leaf's pessimistic error is no
+  // worse (C4.5 subtree replacement; the +0.1 slack matches Weka).
+  if (leaf_estimate <= subtree_estimate + 0.1) {
+    node->is_leaf = true;
+    node->children.clear();
+    return leaf_estimate;
+  }
+  return subtree_estimate;
+}
+
+const DecisionTree::Node* DecisionTree::Route(
+    const Node* node, const std::vector<double>& row) const {
+  while (!node->is_leaf) {
+    double v = row[node->attribute];
+    size_t branch;
+    if (IsMissing(v)) {
+      branch = node->majority_child;
+    } else if (node->numeric_split) {
+      branch = v <= node->threshold ? 0 : 1;
+    } else {
+      branch = static_cast<size_t>(v);
+      if (branch >= node->children.size()) branch = node->majority_child;
+    }
+    node = node->children[branch].get();
+  }
+  return node;
+}
+
+Result<std::vector<double>> DecisionTree::PredictDistribution(
+    const std::vector<double>& row) const {
+  if (root_ == nullptr) return FailedPreconditionError("tree not trained");
+  if (row.size() != schema_.size()) {
+    return InvalidArgumentError("row width mismatch");
+  }
+  const Node* leaf = Route(root_.get(), row);
+  double total = 0.0;
+  for (double c : leaf->class_counts) total += c;
+  std::vector<double> dist(num_classes_, 0.0);
+  if (total <= 0.0) {
+    dist[leaf->majority_class] = 1.0;
+  } else {
+    // Laplace-smoothed leaf distribution.
+    double denom = total + static_cast<double>(num_classes_);
+    for (size_t c = 0; c < num_classes_; ++c) {
+      dist[c] = (leaf->class_counts[c] + 1.0) / denom;
+    }
+  }
+  return dist;
+}
+
+void DecisionTree::CollectStats(const Node* node, size_t depth, size_t* nodes,
+                                size_t* leaves, size_t* max_depth) const {
+  ++*nodes;
+  *max_depth = std::max(*max_depth, depth);
+  if (node->is_leaf) {
+    ++*leaves;
+    return;
+  }
+  for (const auto& child : node->children) {
+    CollectStats(child.get(), depth + 1, nodes, leaves, max_depth);
+  }
+}
+
+size_t DecisionTree::NumNodes() const {
+  if (!root_) return 0;
+  size_t nodes = 0, leaves = 0, depth = 0;
+  CollectStats(root_.get(), 0, &nodes, &leaves, &depth);
+  return nodes;
+}
+
+size_t DecisionTree::NumLeaves() const {
+  if (!root_) return 0;
+  size_t nodes = 0, leaves = 0, depth = 0;
+  CollectStats(root_.get(), 0, &nodes, &leaves, &depth);
+  return leaves;
+}
+
+size_t DecisionTree::Depth() const {
+  if (!root_) return 0;
+  size_t nodes = 0, leaves = 0, depth = 0;
+  CollectStats(root_.get(), 0, &nodes, &leaves, &depth);
+  return depth;
+}
+
+void DecisionTree::Render(const Node* node, size_t indent,
+                          std::string* out) const {
+  std::string pad(indent * 2, ' ');
+  if (node->is_leaf) {
+    const Attribute& cls = schema_[class_index_];
+    std::string label = cls.is_nominal() && node->majority_class < cls.num_values()
+                            ? cls.values()[node->majority_class]
+                            : std::to_string(node->majority_class);
+    *out += pad + "-> " + label + "\n";
+    return;
+  }
+  const std::string& name = schema_[node->attribute].name();
+  if (node->numeric_split) {
+    *out += pad + name + " <= " + std::to_string(node->threshold) + "\n";
+    Render(node->children[0].get(), indent + 1, out);
+    *out += pad + name + " > " + std::to_string(node->threshold) + "\n";
+    Render(node->children[1].get(), indent + 1, out);
+  } else {
+    for (size_t b = 0; b < node->children.size(); ++b) {
+      *out += pad + name + " = " + schema_[node->attribute].values()[b] + "\n";
+      Render(node->children[b].get(), indent + 1, out);
+    }
+  }
+}
+
+std::string DecisionTree::ToString() const {
+  if (!root_) return "(untrained)";
+  std::string out;
+  Render(root_.get(), 0, &out);
+  return out;
+}
+
+}  // namespace smeter::ml

@@ -1,0 +1,94 @@
+// C4.5-style decision tree — the J48 analogue — also used (unpruned, with a
+// random attribute subset per node) as the random forest's base learner.
+//
+// Splits: multiway on nominal attributes, binary threshold on numeric
+// attributes; selection by gain ratio (C4.5) or plain information gain.
+// Missing values: excluded from split scoring (gain scaled by the known
+// fraction) and routed to the most-populated branch when partitioning and
+// predicting. Pruning: C4.5 pessimistic subtree replacement at confidence
+// 0.25 by default.
+
+#ifndef SMETER_ML_DECISION_TREE_H_
+#define SMETER_ML_DECISION_TREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "ml/classifier.h"
+#include "ml/tree_utils.h"
+
+namespace smeter::ml {
+
+struct DecisionTreeOptions {
+  // C4.5 selects by gain ratio; random-forest trees use raw gain.
+  bool use_gain_ratio = true;
+  // Minimum instances per populated branch (Weka J48 -M, default 2).
+  size_t min_leaf = 2;
+  // 0 = unlimited depth.
+  size_t max_depth = 0;
+  // Pessimistic subtree-replacement pruning (J48 -C, default 0.25).
+  bool prune = true;
+  double pruning_confidence = 0.25;
+  // When > 0, each node considers only this many randomly chosen
+  // attributes (the forest's mtry). 0 = all attributes.
+  size_t random_feature_subset = 0;
+  uint64_t seed = 7;
+};
+
+class DecisionTree : public Classifier {
+ public:
+  explicit DecisionTree(const DecisionTreeOptions& options = {})
+      : options_(options) {}
+
+  Status Train(const Dataset& data) override;
+  Result<std::vector<double>> PredictDistribution(
+      const std::vector<double>& row) const override;
+  std::string Name() const override { return "J48"; }
+
+  // Structure metrics, for tests and ablations.
+  size_t NumNodes() const;
+  size_t NumLeaves() const;
+  size_t Depth() const;
+
+  // Indented textual rendering of the tree (attribute names from training).
+  std::string ToString() const;
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    // Split description (valid when !is_leaf).
+    size_t attribute = 0;
+    bool numeric_split = false;
+    double threshold = 0.0;
+    // Children: nominal -> one per category; numeric -> [<=, >].
+    std::vector<std::unique_ptr<Node>> children;
+    size_t majority_child = 0;  // route for missing values
+    // Training class counts reaching this node.
+    std::vector<double> class_counts;
+    size_t majority_class = 0;
+  };
+
+  std::unique_ptr<Node> BuildNode(const Dataset& data,
+                                  const std::vector<size_t>& rows,
+                                  size_t depth, Rng& rng);
+  // Returns the subtree's pessimistic error; replaces subtrees by leaves
+  // when that does not hurt the bound.
+  double PruneNode(Node* node);
+  const Node* Route(const Node* node, const std::vector<double>& row) const;
+
+  void CollectStats(const Node* node, size_t depth, size_t* nodes,
+                    size_t* leaves, size_t* max_depth) const;
+  void Render(const Node* node, size_t indent, std::string* out) const;
+
+  DecisionTreeOptions options_;
+  std::unique_ptr<Node> root_;
+  std::vector<Attribute> schema_;
+  size_t class_index_ = 0;
+  size_t num_classes_ = 0;
+};
+
+}  // namespace smeter::ml
+
+#endif  // SMETER_ML_DECISION_TREE_H_

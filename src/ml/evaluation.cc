@@ -1,0 +1,179 @@
+#include "ml/evaluation.h"
+
+#include <sstream>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+
+namespace smeter::ml {
+
+Status ClassificationMetrics::Merge(const ClassificationMetrics& other) {
+  if (other.confusion_.size() != confusion_.size()) {
+    return InvalidArgumentError("confusion matrix shapes differ");
+  }
+  for (size_t a = 0; a < confusion_.size(); ++a) {
+    for (size_t p = 0; p < confusion_.size(); ++p) {
+      confusion_[a][p] += other.confusion_[a][p];
+    }
+  }
+  total_ += other.total_;
+  return Status::Ok();
+}
+
+double ClassificationMetrics::Accuracy() const {
+  if (total_ == 0) return 0.0;
+  size_t correct = 0;
+  for (size_t c = 0; c < confusion_.size(); ++c) correct += confusion_[c][c];
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ClassificationMetrics::Precision(size_t c) const {
+  size_t predicted = 0;
+  for (size_t a = 0; a < confusion_.size(); ++a) predicted += confusion_[a][c];
+  if (predicted == 0) return 0.0;
+  return static_cast<double>(confusion_[c][c]) /
+         static_cast<double>(predicted);
+}
+
+double ClassificationMetrics::Recall(size_t c) const {
+  size_t actual = 0;
+  for (size_t p = 0; p < confusion_.size(); ++p) actual += confusion_[c][p];
+  if (actual == 0) return 0.0;
+  return static_cast<double>(confusion_[c][c]) / static_cast<double>(actual);
+}
+
+double ClassificationMetrics::F1(size_t c) const {
+  double precision = Precision(c);
+  double recall = Recall(c);
+  if (precision + recall <= 0.0) return 0.0;
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+double ClassificationMetrics::WeightedF1() const {
+  if (total_ == 0) return 0.0;
+  double weighted = 0.0;
+  for (size_t c = 0; c < confusion_.size(); ++c) {
+    size_t support = 0;
+    for (size_t p = 0; p < confusion_.size(); ++p) support += confusion_[c][p];
+    weighted += static_cast<double>(support) * F1(c);
+  }
+  return weighted / static_cast<double>(total_);
+}
+
+double ClassificationMetrics::Kappa() const {
+  if (total_ == 0) return 0.0;
+  double n = static_cast<double>(total_);
+  double expected = 0.0;
+  for (size_t c = 0; c < confusion_.size(); ++c) {
+    double actual = 0.0, predicted = 0.0;
+    for (size_t i = 0; i < confusion_.size(); ++i) {
+      actual += static_cast<double>(confusion_[c][i]);
+      predicted += static_cast<double>(confusion_[i][c]);
+    }
+    expected += (actual / n) * (predicted / n);
+  }
+  if (expected >= 1.0) return 0.0;
+  return (Accuracy() - expected) / (1.0 - expected);
+}
+
+std::string ClassificationMetrics::ToString(
+    const std::vector<std::string>& class_names) const {
+  std::ostringstream out;
+  out.precision(3);
+  out << std::fixed;
+  out << "accuracy " << Accuracy() << ", weighted F1 " << WeightedF1() << "\n";
+  for (size_t c = 0; c < confusion_.size(); ++c) {
+    std::string name =
+        c < class_names.size() ? class_names[c] : std::to_string(c);
+    out << "  " << name << ": P=" << Precision(c) << " R=" << Recall(c)
+        << " F1=" << F1(c) << "\n";
+  }
+  return out.str();
+}
+
+Result<ClassificationMetrics> EvaluateTrainTest(Classifier& classifier,
+                                                const Dataset& train,
+                                                const Dataset& test) {
+  if (train.num_attributes() != test.num_attributes() ||
+      train.class_index() != test.class_index()) {
+    return InvalidArgumentError("train/test schema mismatch");
+  }
+  for (size_t a = 0; a < train.num_attributes(); ++a) {
+    if (train.attribute(a).kind() != test.attribute(a).kind() ||
+        train.attribute(a).num_values() != test.attribute(a).num_values()) {
+      return InvalidArgumentError("train/test attribute " +
+                                  std::to_string(a) + " differs");
+    }
+  }
+  SMETER_RETURN_IF_ERROR(classifier.Train(train));
+  ClassificationMetrics metrics(train.num_classes());
+  for (size_t r = 0; r < test.num_instances(); ++r) {
+    Result<size_t> actual = test.ClassOf(r);
+    if (!actual.ok()) return actual.status();
+    Result<size_t> predicted = classifier.Predict(test.row(r));
+    if (!predicted.ok()) return predicted.status();
+    metrics.Record(*actual, *predicted);
+  }
+  return metrics;
+}
+
+Result<std::vector<std::vector<size_t>>> StratifiedFolds(const Dataset& data,
+                                                         size_t folds,
+                                                         uint64_t seed) {
+  if (folds < 2) return InvalidArgumentError("need at least 2 folds");
+  if (folds > data.num_instances()) {
+    return InvalidArgumentError("more folds than instances");
+  }
+  if (data.num_classes() == 0) {
+    return InvalidArgumentError("class attribute must be nominal");
+  }
+  // Group rows by class, shuffle within groups, then deal them round-robin.
+  std::vector<std::vector<size_t>> by_class(data.num_classes());
+  for (size_t r = 0; r < data.num_instances(); ++r) {
+    Result<size_t> cls = data.ClassOf(r);
+    if (!cls.ok()) return cls.status();
+    by_class[*cls].push_back(r);
+  }
+  Rng rng(seed);
+  std::vector<std::vector<size_t>> assignment(folds);
+  size_t next_fold = 0;
+  for (auto& rows : by_class) {
+    rng.Shuffle(rows);
+    for (size_t r : rows) {
+      assignment[next_fold].push_back(r);
+      next_fold = (next_fold + 1) % folds;
+    }
+  }
+  return assignment;
+}
+
+Result<CrossValidationResult> CrossValidate(const ClassifierFactory& factory,
+                                            const Dataset& data, size_t folds,
+                                            uint64_t seed) {
+  Result<std::vector<std::vector<size_t>>> fold_rows =
+      StratifiedFolds(data, folds, seed);
+  if (!fold_rows.ok()) return fold_rows.status();
+
+  CrossValidationResult result;
+  result.metrics = ClassificationMetrics(data.num_classes());
+  Stopwatch watch;
+  for (size_t f = 0; f < folds; ++f) {
+    std::vector<size_t> train_rows;
+    for (size_t g = 0; g < folds; ++g) {
+      if (g == f) continue;
+      train_rows.insert(train_rows.end(), (*fold_rows)[g].begin(),
+                        (*fold_rows)[g].end());
+    }
+    Dataset train = data.Subset(train_rows);
+    Dataset test = data.Subset((*fold_rows)[f]);
+    std::unique_ptr<Classifier> classifier = factory();
+    Result<ClassificationMetrics> fold_metrics =
+        EvaluateTrainTest(*classifier, train, test);
+    if (!fold_metrics.ok()) return fold_metrics.status();
+    SMETER_RETURN_IF_ERROR(result.metrics.Merge(*fold_metrics));
+  }
+  result.processing_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace smeter::ml

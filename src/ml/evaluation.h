@@ -1,0 +1,87 @@
+// Evaluation protocol matching the paper: stratified 10-fold
+// cross-validation, weighted F-measure ("the weighted harmonic mean of
+// Precision and Recall"), and wall-clock processing time.
+
+#ifndef SMETER_ML_EVALUATION_H_
+#define SMETER_ML_EVALUATION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/classifier.h"
+
+namespace smeter::ml {
+
+// Confusion-matrix-backed classification metrics.
+class ClassificationMetrics {
+ public:
+  explicit ClassificationMetrics(size_t num_classes)
+      : confusion_(num_classes, std::vector<size_t>(num_classes, 0)) {}
+
+  void Record(size_t actual, size_t predicted) {
+    ++confusion_[actual][predicted];
+    ++total_;
+  }
+
+  // Merges another matrix of the same shape (fold accumulation).
+  Status Merge(const ClassificationMetrics& other);
+
+  size_t num_classes() const { return confusion_.size(); }
+  size_t total() const { return total_; }
+  const std::vector<std::vector<size_t>>& confusion() const {
+    return confusion_;
+  }
+
+  double Accuracy() const;
+  // Per-class precision / recall / F1; 0 when undefined (no predictions or
+  // no instances of the class), matching Weka's convention.
+  double Precision(size_t c) const;
+  double Recall(size_t c) const;
+  double F1(size_t c) const;
+  // F-measure averaged over classes weighted by class support — the number
+  // the paper's figures and Table 1 report.
+  double WeightedF1() const;
+  // Cohen's kappa: agreement beyond chance; 0 for a ZeroR-like predictor.
+  double Kappa() const;
+
+  // Multi-line rendering with per-class rows.
+  std::string ToString(const std::vector<std::string>& class_names) const;
+
+ private:
+  std::vector<std::vector<size_t>> confusion_;  // [actual][predicted]
+  size_t total_ = 0;
+};
+
+// Creates fresh classifier instances for each CV fold.
+using ClassifierFactory = std::function<std::unique_ptr<Classifier>()>;
+
+// Trains `classifier` on `train` and scores it on `test` (same schema).
+Result<ClassificationMetrics> EvaluateTrainTest(Classifier& classifier,
+                                                const Dataset& train,
+                                                const Dataset& test);
+
+// Stratified fold assignment: returns `folds` disjoint row-index lists
+// covering the dataset, with class proportions approximately preserved.
+// Errors if folds < 2 or folds > #instances.
+Result<std::vector<std::vector<size_t>>> StratifiedFolds(const Dataset& data,
+                                                         size_t folds,
+                                                         uint64_t seed);
+
+struct CrossValidationResult {
+  ClassificationMetrics metrics{0};
+  // Wall time spent in Train + Predict across all folds (the paper's
+  // "processing time").
+  double processing_seconds = 0.0;
+};
+
+// Stratified k-fold cross-validation.
+Result<CrossValidationResult> CrossValidate(const ClassifierFactory& factory,
+                                            const Dataset& data, size_t folds,
+                                            uint64_t seed);
+
+}  // namespace smeter::ml
+
+#endif  // SMETER_ML_EVALUATION_H_

@@ -1,0 +1,71 @@
+#include "ml/instances.h"
+
+namespace smeter::ml {
+
+Result<Dataset> Dataset::Create(std::string relation,
+                                std::vector<Attribute> attributes,
+                                size_t class_index) {
+  if (attributes.empty()) {
+    return InvalidArgumentError("dataset needs at least one attribute");
+  }
+  if (class_index >= attributes.size()) {
+    return InvalidArgumentError("class_index out of range");
+  }
+  return Dataset(std::move(relation), std::move(attributes), class_index);
+}
+
+Status Dataset::Add(std::vector<double> row) {
+  if (row.size() != attributes_.size()) {
+    return InvalidArgumentError(
+        "row width " + std::to_string(row.size()) + " != " +
+        std::to_string(attributes_.size()) + " attributes");
+  }
+  for (size_t c = 0; c < row.size(); ++c) {
+    double v = row[c];
+    if (IsMissing(v)) continue;
+    if (std::isinf(v)) {
+      return InvalidArgumentError("infinite value in attribute " +
+                                  attributes_[c].name());
+    }
+    if (attributes_[c].is_nominal()) {
+      if (v < 0 || v != std::floor(v) ||
+          static_cast<size_t>(v) >= attributes_[c].num_values()) {
+        return InvalidArgumentError("bad nominal index for attribute " +
+                                    attributes_[c].name());
+      }
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::Ok();
+}
+
+Result<size_t> Dataset::ClassOf(size_t r) const {
+  double v = rows_[r][class_index_];
+  if (IsMissing(v)) {
+    return FailedPreconditionError("missing class in row " +
+                                   std::to_string(r));
+  }
+  return static_cast<size_t>(v);
+}
+
+Result<double> Dataset::TargetOf(size_t r) const {
+  double v = rows_[r][class_index_];
+  if (IsMissing(v)) {
+    return FailedPreconditionError("missing target in row " +
+                                   std::to_string(r));
+  }
+  return v;
+}
+
+Dataset Dataset::Subset(const std::vector<size_t>& indices) const {
+  Dataset out(relation_, attributes_, class_index_);
+  out.rows_.reserve(indices.size());
+  for (size_t i : indices) out.rows_.push_back(rows_[i]);
+  return out;
+}
+
+Dataset Dataset::EmptyCopy() const {
+  return Dataset(relation_, attributes_, class_index_);
+}
+
+}  // namespace smeter::ml

@@ -1,0 +1,82 @@
+// Dataset container (Weka "Instances" analogue).
+//
+// An instance is a row of doubles: numeric attributes hold their value,
+// nominal attributes hold a category index, and missing cells hold NaN
+// (IsMissing). One attribute is designated the class attribute.
+
+#ifndef SMETER_ML_INSTANCES_H_
+#define SMETER_ML_INSTANCES_H_
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/attribute.h"
+
+namespace smeter::ml {
+
+// Sentinel for missing cells.
+inline constexpr double kMissing = std::numeric_limits<double>::quiet_NaN();
+
+inline bool IsMissing(double v) { return std::isnan(v); }
+
+class Dataset {
+ public:
+  // `class_index` must address one of `attributes`. For classification the
+  // class attribute must be nominal; regression targets are numeric.
+  static Result<Dataset> Create(std::string relation,
+                                std::vector<Attribute> attributes,
+                                size_t class_index);
+
+  // Appends a row. Validates width, nominal index ranges, and finiteness
+  // (missing cells must be kMissing, not infinities).
+  Status Add(std::vector<double> row);
+
+  const std::string& relation() const { return relation_; }
+  size_t num_attributes() const { return attributes_.size(); }
+  size_t num_instances() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  const Attribute& attribute(size_t i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  size_t class_index() const { return class_index_; }
+  const Attribute& class_attribute() const {
+    return attributes_[class_index_];
+  }
+  // Number of classes (nominal class) — 0 for a numeric class attribute.
+  size_t num_classes() const { return class_attribute().num_values(); }
+
+  const std::vector<double>& row(size_t r) const { return rows_[r]; }
+  double value(size_t r, size_t c) const { return rows_[r][c]; }
+
+  // Class index of row `r`; errors if the class cell is missing.
+  Result<size_t> ClassOf(size_t r) const;
+
+  // Numeric class value of row `r` (regression); errors if missing.
+  Result<double> TargetOf(size_t r) const;
+
+  // A new dataset with the same schema containing the selected rows
+  // (indices may repeat — used by bagging).
+  Dataset Subset(const std::vector<size_t>& indices) const;
+
+  // A new dataset with the same schema and no rows.
+  Dataset EmptyCopy() const;
+
+ private:
+  Dataset(std::string relation, std::vector<Attribute> attributes,
+          size_t class_index)
+      : relation_(std::move(relation)),
+        attributes_(std::move(attributes)),
+        class_index_(class_index) {}
+
+  std::string relation_;
+  std::vector<Attribute> attributes_;
+  size_t class_index_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace smeter::ml
+
+#endif  // SMETER_ML_INSTANCES_H_

@@ -1,0 +1,34 @@
+#include "ml/kernel.h"
+
+#include <cmath>
+
+namespace smeter::ml {
+
+double KernelEval(const KernelOptions& options, const std::vector<double>& a,
+                  const std::vector<double>& b) {
+  switch (options.type) {
+    case KernelType::kLinear: {
+      double dot = 0.0;
+      for (size_t i = 0; i < a.size(); ++i) dot += a[i] * b[i];
+      return dot;
+    }
+    case KernelType::kRbf: {
+      double sq = 0.0;
+      for (size_t i = 0; i < a.size(); ++i) {
+        double d = a[i] - b[i];
+        sq += d * d;
+      }
+      return std::exp(-options.gamma * sq);
+    }
+  }
+  return 0.0;
+}
+
+Result<double> ResolveGamma(const KernelOptions& options, size_t dim) {
+  if (options.gamma < 0.0) return InvalidArgumentError("gamma must be >= 0");
+  if (options.gamma > 0.0) return options.gamma;
+  if (dim == 0) return InvalidArgumentError("zero-dimensional features");
+  return 1.0 / static_cast<double>(dim);
+}
+
+}  // namespace smeter::ml

@@ -1,0 +1,33 @@
+// Kernel functions for the support-vector regressor.
+
+#ifndef SMETER_ML_KERNEL_H_
+#define SMETER_ML_KERNEL_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace smeter::ml {
+
+enum class KernelType {
+  kRbf,     // exp(-gamma * ||x - y||^2)
+  kLinear,  // x . y
+};
+
+struct KernelOptions {
+  KernelType type = KernelType::kRbf;
+  // RBF width; 0 means "auto" = 1 / dimensionality.
+  double gamma = 0.0;
+};
+
+// Evaluates the kernel on two equal-length vectors. `gamma` must already be
+// resolved (> 0) for RBF.
+double KernelEval(const KernelOptions& options, const std::vector<double>& a,
+                  const std::vector<double>& b);
+
+// Resolves gamma == 0 to 1/dim; errors on dim == 0 or negative gamma.
+Result<double> ResolveGamma(const KernelOptions& options, size_t dim);
+
+}  // namespace smeter::ml
+
+#endif  // SMETER_ML_KERNEL_H_

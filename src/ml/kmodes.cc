@@ -1,0 +1,162 @@
+#include "ml/kmodes.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace smeter::ml {
+
+double KModes::Distance(const std::vector<double>& row,
+                        const std::vector<double>& mode) const {
+  double d = 0.0;
+  for (size_t j = 0; j < attribute_indices_.size(); ++j) {
+    double v = row[attribute_indices_[j]];
+    // Missing never matches (counts as a full mismatch).
+    if (IsMissing(v) || v != mode[j]) d += 1.0;
+  }
+  return d;
+}
+
+Status KModes::Fit(const Dataset& data) {
+  if (options_.k == 0) return InvalidArgumentError("k must be > 0");
+  if (data.num_instances() < options_.k) {
+    return InvalidArgumentError("fewer instances than clusters");
+  }
+  attribute_indices_.clear();
+  for (size_t a = 0; a < data.num_attributes(); ++a) {
+    if (a == data.class_index()) continue;
+    if (data.attribute(a).is_nominal()) attribute_indices_.push_back(a);
+  }
+  if (attribute_indices_.empty()) {
+    return FailedPreconditionError("no nominal attributes to cluster on");
+  }
+  schema_width_ = data.num_attributes();
+  const size_t n = data.num_instances();
+  const size_t m = attribute_indices_.size();
+
+  Rng rng(options_.seed);
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> best_modes;
+  std::vector<size_t> best_assignments;
+
+  for (size_t restart = 0; restart < options_.restarts; ++restart) {
+    // Initialize modes from distinct random rows.
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i) order[i] = i;
+    rng.Shuffle(order);
+    std::vector<std::vector<double>> modes;
+    for (size_t c = 0; c < options_.k; ++c) {
+      std::vector<double> mode(m, 0.0);
+      for (size_t j = 0; j < m; ++j) {
+        double v = data.value(order[c], attribute_indices_[j]);
+        mode[j] = IsMissing(v) ? 0.0 : v;
+      }
+      modes.push_back(std::move(mode));
+    }
+
+    std::vector<size_t> assignments(n, 0);
+    double cost = 0.0;
+    for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+      // Assignment step.
+      bool changed = iter == 0;
+      cost = 0.0;
+      for (size_t r = 0; r < n; ++r) {
+        size_t best_cluster = 0;
+        double best_distance = std::numeric_limits<double>::infinity();
+        for (size_t c = 0; c < options_.k; ++c) {
+          double d = Distance(data.row(r), modes[c]);
+          if (d < best_distance) {
+            best_distance = d;
+            best_cluster = c;
+          }
+        }
+        if (assignments[r] != best_cluster) changed = true;
+        assignments[r] = best_cluster;
+        cost += best_distance;
+      }
+      if (!changed) break;
+
+      // Mode-update step: per-cluster, per-attribute majority category.
+      for (size_t c = 0; c < options_.k; ++c) {
+        for (size_t j = 0; j < m; ++j) {
+          std::map<double, size_t> counts;
+          for (size_t r = 0; r < n; ++r) {
+            if (assignments[r] != c) continue;
+            double v = data.value(r, attribute_indices_[j]);
+            if (!IsMissing(v)) ++counts[v];
+          }
+          if (counts.empty()) continue;  // empty cluster keeps its mode
+          size_t best_count = 0;
+          double best_value = modes[c][j];
+          for (const auto& [value, count] : counts) {
+            if (count > best_count) {
+              best_count = count;
+              best_value = value;
+            }
+          }
+          modes[c][j] = best_value;
+        }
+      }
+    }
+
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_modes = modes;
+      best_assignments = assignments;
+    }
+  }
+
+  modes_ = std::move(best_modes);
+  assignments_ = std::move(best_assignments);
+  cost_ = best_cost;
+  fitted_ = true;
+  return Status::Ok();
+}
+
+Result<size_t> KModes::Predict(const std::vector<double>& row) const {
+  if (!fitted_) return FailedPreconditionError("KModes not fitted");
+  if (row.size() != schema_width_) {
+    return InvalidArgumentError("row width mismatch");
+  }
+  size_t best_cluster = 0;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < modes_.size(); ++c) {
+    double d = Distance(row, modes_[c]);
+    if (d < best_distance) {
+      best_distance = d;
+      best_cluster = c;
+    }
+  }
+  return best_cluster;
+}
+
+Result<double> AdjustedRandIndex(const std::vector<size_t>& a,
+                                 const std::vector<size_t>& b) {
+  if (a.size() != b.size()) {
+    return InvalidArgumentError("labelings differ in length");
+  }
+  if (a.empty()) return FailedPreconditionError("empty labelings");
+
+  // Contingency table.
+  std::map<std::pair<size_t, size_t>, double> joint;
+  std::map<size_t, double> row_sums, col_sums;
+  for (size_t i = 0; i < a.size(); ++i) {
+    joint[{a[i], b[i]}] += 1.0;
+    row_sums[a[i]] += 1.0;
+    col_sums[b[i]] += 1.0;
+  }
+  auto choose2 = [](double x) { return x * (x - 1.0) / 2.0; };
+  double sum_joint = 0.0;
+  for (const auto& [key, count] : joint) sum_joint += choose2(count);
+  double sum_rows = 0.0;
+  for (const auto& [key, count] : row_sums) sum_rows += choose2(count);
+  double sum_cols = 0.0;
+  for (const auto& [key, count] : col_sums) sum_cols += choose2(count);
+  double total = choose2(static_cast<double>(a.size()));
+  double expected = sum_rows * sum_cols / total;
+  double maximum = 0.5 * (sum_rows + sum_cols);
+  if (maximum == expected) return 1.0;  // both partitions trivial
+  return (sum_joint - expected) / (maximum - expected);
+}
+
+}  // namespace smeter::ml

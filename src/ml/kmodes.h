@@ -1,0 +1,68 @@
+// K-modes clustering over nominal attributes — the actual "customer
+// segmentation" task Section 3.1 motivates (the paper falls back to
+// classification because REDD has only six houses; with symbols, proper
+// unsupervised segmentation needs a nominal-attribute clusterer, which is
+// exactly k-modes: k-means with Hamming distance and per-attribute modes).
+
+#ifndef SMETER_ML_KMODES_H_
+#define SMETER_ML_KMODES_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "ml/instances.h"
+
+namespace smeter::ml {
+
+struct KModesOptions {
+  size_t k = 3;
+  size_t max_iterations = 100;
+  // Independent restarts; the best (lowest total cost) run wins.
+  size_t restarts = 5;
+  uint64_t seed = 1;
+};
+
+class KModes {
+ public:
+  explicit KModes(const KModesOptions& options = {}) : options_(options) {}
+
+  // Clusters `data` on its nominal non-class attributes (the class
+  // attribute and numeric attributes are ignored; missing cells never
+  // match any mode). Errors if no nominal attribute is usable or
+  // k > #instances.
+  Status Fit(const Dataset& data);
+
+  // Cluster id per training row.
+  const std::vector<size_t>& assignments() const { return assignments_; }
+
+  // Total Hamming cost of the best run.
+  double cost() const { return cost_; }
+
+  // The cluster modes (category index per used attribute).
+  const std::vector<std::vector<double>>& modes() const { return modes_; }
+
+  // Assigns a new row (training schema) to the nearest mode.
+  Result<size_t> Predict(const std::vector<double>& row) const;
+
+ private:
+  double Distance(const std::vector<double>& row,
+                  const std::vector<double>& mode) const;
+
+  KModesOptions options_;
+  std::vector<size_t> attribute_indices_;  // nominal, non-class
+  size_t schema_width_ = 0;
+  std::vector<std::vector<double>> modes_;  // [cluster][used attribute]
+  std::vector<size_t> assignments_;
+  double cost_ = 0.0;
+  bool fitted_ = false;
+};
+
+// Adjusted Rand index between two labelings of the same rows, in
+// [-1, 1]; 1 = identical partitions, ~0 = random agreement. Used to score
+// unsupervised segmentation against the known house identities.
+Result<double> AdjustedRandIndex(const std::vector<size_t>& a,
+                                 const std::vector<size_t>& b);
+
+}  // namespace smeter::ml
+
+#endif  // SMETER_ML_KMODES_H_

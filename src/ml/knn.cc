@@ -1,0 +1,98 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smeter::ml {
+
+Status Knn::Train(const Dataset& data) {
+  SMETER_RETURN_IF_ERROR(CheckTrainable(data));
+  if (options_.k == 0) return InvalidArgumentError("k must be > 0");
+  num_classes_ = data.num_classes();
+  class_index_ = data.class_index();
+
+  const size_t n_attr = data.num_attributes();
+  kinds_.assign(n_attr, AttributeKind::kNumeric);
+  numeric_min_.assign(n_attr, 0.0);
+  numeric_inv_range_.assign(n_attr, 0.0);
+  for (size_t a = 0; a < n_attr; ++a) {
+    kinds_[a] = data.attribute(a).kind();
+    if (a == class_index_ || data.attribute(a).is_nominal()) continue;
+    bool any = false;
+    double lo = 0.0, hi = 0.0;
+    for (size_t r = 0; r < data.num_instances(); ++r) {
+      double v = data.value(r, a);
+      if (IsMissing(v)) continue;
+      if (!any) {
+        lo = hi = v;
+        any = true;
+      } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    numeric_min_[a] = lo;
+    numeric_inv_range_[a] = hi > lo ? 1.0 / (hi - lo) : 0.0;
+  }
+
+  instances_.clear();
+  labels_.clear();
+  for (size_t r = 0; r < data.num_instances(); ++r) {
+    instances_.push_back(data.row(r));
+    labels_.push_back(data.ClassOf(r).value());
+  }
+  return Status::Ok();
+}
+
+double Knn::Distance(const std::vector<double>& a,
+                     const std::vector<double>& b) const {
+  double sum = 0.0;
+  for (size_t j = 0; j < kinds_.size(); ++j) {
+    if (j == class_index_) continue;
+    double va = a[j], vb = b[j];
+    double d;
+    if (IsMissing(va) || IsMissing(vb)) {
+      d = 1.0;  // maximal attribute distance
+    } else if (kinds_[j] == AttributeKind::kNominal) {
+      d = va == vb ? 0.0 : 1.0;
+    } else {
+      d = std::abs(va - vb) * numeric_inv_range_[j];
+      d = std::min(d, 1.0);
+    }
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+Result<std::vector<double>> Knn::PredictDistribution(
+    const std::vector<double>& row) const {
+  if (instances_.empty()) return FailedPreconditionError("kNN not trained");
+  if (row.size() != kinds_.size()) {
+    return InvalidArgumentError("row width mismatch");
+  }
+
+  // Partial sort of (distance, index).
+  std::vector<std::pair<double, size_t>> distances;
+  distances.reserve(instances_.size());
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    distances.emplace_back(Distance(row, instances_[i]), i);
+  }
+  size_t k = std::min(options_.k, distances.size());
+  std::partial_sort(distances.begin(),
+                    distances.begin() + static_cast<long>(k),
+                    distances.end());
+
+  std::vector<double> votes(num_classes_, 0.0);
+  for (size_t i = 0; i < k; ++i) {
+    double weight = options_.distance_weighted
+                        ? 1.0 / (distances[i].first + 1e-9)
+                        : 1.0;
+    votes[labels_[distances[i].second]] += weight;
+  }
+  double total = 0.0;
+  for (double v : votes) total += v;
+  for (double& v : votes) v /= total;
+  return votes;
+}
+
+}  // namespace smeter::ml

@@ -1,0 +1,50 @@
+// k-nearest-neighbours classifier (Weka `IBk` analogue) for mixed nominal/
+// numeric data — one of the "algorithms which usually work on nominal"
+// inputs the paper's symbolic representation unlocks.
+//
+// Distance: Hamming (0/1 mismatch) on nominal attributes, range-normalized
+// absolute difference on numeric attributes; a missing cell contributes
+// the maximal per-attribute distance of 1 (Weka's convention).
+
+#ifndef SMETER_ML_KNN_H_
+#define SMETER_ML_KNN_H_
+
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace smeter::ml {
+
+struct KnnOptions {
+  size_t k = 3;
+  // Weight votes by 1/(distance + epsilon) instead of uniformly.
+  bool distance_weighted = false;
+};
+
+class Knn : public Classifier {
+ public:
+  explicit Knn(const KnnOptions& options = {}) : options_(options) {}
+
+  Status Train(const Dataset& data) override;
+  Result<std::vector<double>> PredictDistribution(
+      const std::vector<double>& row) const override;
+  std::string Name() const override { return "IBk"; }
+
+ private:
+  double Distance(const std::vector<double>& a,
+                  const std::vector<double>& b) const;
+
+  KnnOptions options_;
+  size_t num_classes_ = 0;
+  size_t class_index_ = 0;
+  std::vector<AttributeKind> kinds_;
+  // Range normalization for numeric attributes.
+  std::vector<double> numeric_min_;
+  std::vector<double> numeric_inv_range_;
+  std::vector<std::vector<double>> instances_;
+  std::vector<size_t> labels_;
+};
+
+}  // namespace smeter::ml
+
+#endif  // SMETER_ML_KNN_H_

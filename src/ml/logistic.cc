@@ -1,0 +1,191 @@
+#include "ml/logistic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smeter::ml {
+namespace {
+
+// Softmax over raw scores, numerically stable.
+std::vector<double> Softmax(const std::vector<double>& scores) {
+  double max_score = *std::max_element(scores.begin(), scores.end());
+  std::vector<double> p(scores.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    p[i] = std::exp(scores[i] - max_score);
+    sum += p[i];
+  }
+  for (double& v : p) v /= sum;
+  return p;
+}
+
+}  // namespace
+
+std::vector<double> Logistic::Featurize(const std::vector<double>& row) const {
+  std::vector<double> x(feature_dim_, 0.0);
+  for (size_t a = 0; a < schema_.size(); ++a) {
+    if (a == class_index_) continue;
+    size_t off = feature_offset_[a];
+    double v = row[a];
+    if (schema_[a].is_numeric()) {
+      // Missing -> mean -> 0 after standardization.
+      x[off] = IsMissing(v) ? 0.0 : (v - mean_[a]) * inv_std_[a];
+    } else {
+      size_t cat = IsMissing(v) ? mode_[a] : static_cast<size_t>(v);
+      if (cat < schema_[a].num_values()) x[off + cat] = 1.0;
+    }
+  }
+  return x;
+}
+
+Status Logistic::Train(const Dataset& data) {
+  SMETER_RETURN_IF_ERROR(CheckTrainable(data));
+  schema_ = data.attributes();
+  class_index_ = data.class_index();
+  num_classes_ = data.num_classes();
+  const size_t n = data.num_instances();
+  const size_t n_attr = schema_.size();
+
+  // Feature layout + standardization / imputation statistics.
+  feature_offset_.assign(n_attr, 0);
+  mean_.assign(n_attr, 0.0);
+  inv_std_.assign(n_attr, 1.0);
+  mode_.assign(n_attr, 0);
+  feature_dim_ = 0;
+  for (size_t a = 0; a < n_attr; ++a) {
+    if (a == class_index_) continue;
+    feature_offset_[a] = feature_dim_;
+    if (schema_[a].is_numeric()) {
+      feature_dim_ += 1;
+      double sum = 0.0, sq = 0.0, cnt = 0.0;
+      for (size_t r = 0; r < n; ++r) {
+        double v = data.value(r, a);
+        if (IsMissing(v)) continue;
+        sum += v;
+        sq += v * v;
+        cnt += 1.0;
+      }
+      if (cnt > 0.0) {
+        double mean = sum / cnt;
+        double var = std::max(sq / cnt - mean * mean, 0.0);
+        mean_[a] = mean;
+        inv_std_[a] = 1.0 / std::max(std::sqrt(var), 1e-9);
+      }
+    } else {
+      feature_dim_ += schema_[a].num_values();
+      std::vector<size_t> counts(schema_[a].num_values(), 0);
+      for (size_t r = 0; r < n; ++r) {
+        double v = data.value(r, a);
+        if (!IsMissing(v)) ++counts[static_cast<size_t>(v)];
+      }
+      mode_[a] = static_cast<size_t>(
+          std::max_element(counts.begin(), counts.end()) - counts.begin());
+    }
+  }
+
+  // Pre-featurize the training set.
+  std::vector<std::vector<double>> features;
+  std::vector<size_t> labels;
+  features.reserve(n);
+  labels.reserve(n);
+  for (size_t r = 0; r < n; ++r) {
+    features.push_back(Featurize(data.row(r)));
+    labels.push_back(data.ClassOf(r).value());
+  }
+
+  const size_t dim = feature_dim_ + 1;  // + bias
+  weights_.assign(num_classes_, std::vector<double>(dim, 0.0));
+
+  auto objective_and_gradient =
+      [&](const std::vector<std::vector<double>>& w,
+          std::vector<std::vector<double>>* grad) -> double {
+    double nll = 0.0;
+    if (grad != nullptr) {
+      grad->assign(num_classes_, std::vector<double>(dim, 0.0));
+    }
+    std::vector<double> scores(num_classes_);
+    for (size_t r = 0; r < n; ++r) {
+      const std::vector<double>& x = features[r];
+      for (size_t c = 0; c < num_classes_; ++c) {
+        double s = w[c][feature_dim_];  // bias
+        for (size_t j = 0; j < feature_dim_; ++j) s += w[c][j] * x[j];
+        scores[c] = s;
+      }
+      std::vector<double> p = Softmax(scores);
+      nll -= std::log(std::max(p[labels[r]], 1e-300));
+      if (grad != nullptr) {
+        for (size_t c = 0; c < num_classes_; ++c) {
+          double delta = p[c] - (c == labels[r] ? 1.0 : 0.0);
+          for (size_t j = 0; j < feature_dim_; ++j) {
+            (*grad)[c][j] += delta * x[j];
+          }
+          (*grad)[c][feature_dim_] += delta;
+        }
+      }
+    }
+    // Ridge on non-bias weights.
+    for (size_t c = 0; c < num_classes_; ++c) {
+      for (size_t j = 0; j < feature_dim_; ++j) {
+        nll += 0.5 * options_.ridge * w[c][j] * w[c][j];
+        if (grad != nullptr) (*grad)[c][j] += options_.ridge * w[c][j];
+      }
+    }
+    return nll;
+  };
+
+  std::vector<std::vector<double>> grad;
+  double loss = objective_and_gradient(weights_, &grad);
+  double step = 1.0 / static_cast<double>(std::max<size_t>(n, 1));
+  iterations_used_ = 0;
+
+  for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    double grad_norm = 0.0;
+    for (const auto& gc : grad) {
+      for (double g : gc) grad_norm += g * g;
+    }
+    grad_norm = std::sqrt(grad_norm);
+    if (grad_norm < options_.gradient_tolerance) break;
+
+    // Backtracking line search along -grad.
+    bool improved = false;
+    for (int attempt = 0; attempt < 40; ++attempt) {
+      std::vector<std::vector<double>> trial = weights_;
+      for (size_t c = 0; c < num_classes_; ++c) {
+        for (size_t j = 0; j < dim; ++j) {
+          trial[c][j] -= step * grad[c][j];
+        }
+      }
+      double trial_loss = objective_and_gradient(trial, nullptr);
+      if (trial_loss < loss) {
+        weights_ = std::move(trial);
+        loss = trial_loss;
+        step *= 1.3;  // tentatively grow for the next iteration
+        improved = true;
+        break;
+      }
+      step *= 0.5;
+    }
+    ++iterations_used_;
+    if (!improved) break;
+    loss = objective_and_gradient(weights_, &grad);
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<double>> Logistic::PredictDistribution(
+    const std::vector<double>& row) const {
+  if (weights_.empty()) return FailedPreconditionError("Logistic not trained");
+  if (row.size() != schema_.size()) {
+    return InvalidArgumentError("row width mismatch");
+  }
+  std::vector<double> x = Featurize(row);
+  std::vector<double> scores(num_classes_);
+  for (size_t c = 0; c < num_classes_; ++c) {
+    double s = weights_[c][feature_dim_];
+    for (size_t j = 0; j < feature_dim_; ++j) s += weights_[c][j] * x[j];
+    scores[c] = s;
+  }
+  return Softmax(scores);
+}
+
+}  // namespace smeter::ml

@@ -1,0 +1,62 @@
+// Multinomial logistic regression with a ridge penalty (Weka `Logistic`
+// analogue, which is also ridge-regularized multinomial logistic).
+//
+// Nominal attributes are one-hot encoded; numeric attributes are
+// standardized internally. Missing numeric cells impute the training mean
+// (0 after standardization); missing nominal cells impute the training
+// mode. Trained by full-batch gradient descent with backtracking line
+// search — the day-vector datasets are tiny, so robustness beats speed.
+
+#ifndef SMETER_ML_LOGISTIC_H_
+#define SMETER_ML_LOGISTIC_H_
+
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace smeter::ml {
+
+struct LogisticOptions {
+  double ridge = 1e-4;  // Weka's default 1e-8 is numerically fragile here
+  size_t max_iterations = 300;
+  double gradient_tolerance = 1e-6;
+};
+
+class Logistic : public Classifier {
+ public:
+  explicit Logistic(const LogisticOptions& options = {}) : options_(options) {}
+
+  Status Train(const Dataset& data) override;
+  Result<std::vector<double>> PredictDistribution(
+      const std::vector<double>& row) const override;
+  std::string Name() const override { return "Logistic"; }
+
+  // Iterations the optimizer actually ran (for tests).
+  size_t iterations_used() const { return iterations_used_; }
+
+ private:
+  // Expands a schema row into the standardized one-hot feature vector
+  // (without bias).
+  std::vector<double> Featurize(const std::vector<double>& row) const;
+
+  LogisticOptions options_;
+  size_t num_classes_ = 0;
+  size_t class_index_ = 0;
+  std::vector<Attribute> schema_;
+  // Per original attribute: offset into the expanded feature vector.
+  std::vector<size_t> feature_offset_;
+  size_t feature_dim_ = 0;
+  // Standardization parameters for numeric attributes (indexed by original
+  // attribute; unused entries 0/1).
+  std::vector<double> mean_;
+  std::vector<double> inv_std_;
+  // Imputation mode for nominal attributes.
+  std::vector<size_t> mode_;
+  // Weights: [class][feature_dim_ + 1], bias last.
+  std::vector<std::vector<double>> weights_;
+  size_t iterations_used_ = 0;
+};
+
+}  // namespace smeter::ml
+
+#endif  // SMETER_ML_LOGISTIC_H_

@@ -1,0 +1,151 @@
+#include "ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smeter::ml {
+namespace {
+
+constexpr double kLogFloor = -700.0;  // exp() underflow guard
+
+// Normalizes log scores into a probability distribution.
+std::vector<double> SoftmaxFromLogs(const std::vector<double>& logs) {
+  double max_log = *std::max_element(logs.begin(), logs.end());
+  std::vector<double> p(logs.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < logs.size(); ++i) {
+    p[i] = std::exp(std::max(logs[i] - max_log, kLogFloor));
+    sum += p[i];
+  }
+  for (double& v : p) v /= sum;
+  return p;
+}
+
+}  // namespace
+
+Status NaiveBayes::Train(const Dataset& data) {
+  SMETER_RETURN_IF_ERROR(CheckTrainable(data));
+  const size_t n_attr = data.num_attributes();
+  const size_t n_rows = data.num_instances();
+  num_classes_ = data.num_classes();
+  class_index_ = data.class_index();
+
+  kinds_.assign(n_attr, AttributeKind::kNumeric);
+  nominal_.assign(n_attr, {});
+  numeric_.assign(n_attr, {});
+
+  // Priors.
+  std::vector<double> class_counts(num_classes_, 0.0);
+  for (size_t r = 0; r < n_rows; ++r) {
+    Result<size_t> cls = data.ClassOf(r);
+    if (!cls.ok()) return cls.status();
+    class_counts[*cls] += 1.0;
+  }
+  log_prior_.assign(num_classes_, 0.0);
+  double prior_denominator =
+      static_cast<double>(n_rows) +
+      options_.laplace * static_cast<double>(num_classes_);
+  for (size_t c = 0; c < num_classes_; ++c) {
+    log_prior_[c] =
+        std::log((class_counts[c] + options_.laplace) / prior_denominator);
+  }
+
+  for (size_t a = 0; a < n_attr; ++a) {
+    if (a == class_index_) continue;
+    const Attribute& attr = data.attribute(a);
+    kinds_[a] = attr.kind();
+    if (attr.is_nominal()) {
+      const size_t n_cat = attr.num_values();
+      std::vector<std::vector<double>> counts(
+          num_classes_, std::vector<double>(n_cat, 0.0));
+      std::vector<double> totals(num_classes_, 0.0);
+      for (size_t r = 0; r < n_rows; ++r) {
+        double v = data.value(r, a);
+        if (IsMissing(v)) continue;
+        size_t cls = data.ClassOf(r).value();
+        counts[cls][static_cast<size_t>(v)] += 1.0;
+        totals[cls] += 1.0;
+      }
+      NominalModel model;
+      model.log_likelihood.assign(num_classes_,
+                                  std::vector<double>(n_cat, 0.0));
+      for (size_t c = 0; c < num_classes_; ++c) {
+        double denom =
+            totals[c] + options_.laplace * static_cast<double>(n_cat);
+        for (size_t v = 0; v < n_cat; ++v) {
+          model.log_likelihood[c][v] =
+              std::log((counts[c][v] + options_.laplace) / denom);
+        }
+      }
+      nominal_[a] = std::move(model);
+    } else {
+      // Per-class Gaussian with a range-based variance floor.
+      double global_min = 0.0, global_max = 0.0;
+      bool any = false;
+      std::vector<double> sum(num_classes_, 0.0), sq(num_classes_, 0.0),
+          cnt(num_classes_, 0.0);
+      for (size_t r = 0; r < n_rows; ++r) {
+        double v = data.value(r, a);
+        if (IsMissing(v)) continue;
+        if (!any) {
+          global_min = global_max = v;
+          any = true;
+        } else {
+          global_min = std::min(global_min, v);
+          global_max = std::max(global_max, v);
+        }
+        size_t cls = data.ClassOf(r).value();
+        sum[cls] += v;
+        sq[cls] += v * v;
+        cnt[cls] += 1.0;
+      }
+      double range = any ? (global_max - global_min) : 1.0;
+      double floor_sd = std::max(options_.min_stddev_fraction * range, 1e-9);
+      NumericModel model;
+      model.mean.assign(num_classes_, 0.0);
+      model.stddev.assign(num_classes_, floor_sd);
+      for (size_t c = 0; c < num_classes_; ++c) {
+        if (cnt[c] < 1.0) continue;  // class never saw this attribute
+        double mean = sum[c] / cnt[c];
+        double var = sq[c] / cnt[c] - mean * mean;
+        model.mean[c] = mean;
+        model.stddev[c] = std::max(std::sqrt(std::max(var, 0.0)), floor_sd);
+      }
+      numeric_[a] = std::move(model);
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<double>> NaiveBayes::PredictDistribution(
+    const std::vector<double>& row) const {
+  if (num_classes_ == 0) {
+    return FailedPreconditionError("NaiveBayes not trained");
+  }
+  if (row.size() != kinds_.size()) {
+    return InvalidArgumentError("row width mismatch");
+  }
+  std::vector<double> logp = log_prior_;
+  for (size_t a = 0; a < row.size(); ++a) {
+    if (a == class_index_ || IsMissing(row[a])) continue;
+    if (kinds_[a] == AttributeKind::kNominal) {
+      size_t v = static_cast<size_t>(row[a]);
+      if (row[a] < 0 || v >= nominal_[a].log_likelihood[0].size()) {
+        return InvalidArgumentError("nominal index out of range at attr " +
+                                    std::to_string(a));
+      }
+      for (size_t c = 0; c < num_classes_; ++c) {
+        logp[c] += nominal_[a].log_likelihood[c][v];
+      }
+    } else {
+      for (size_t c = 0; c < num_classes_; ++c) {
+        double sd = numeric_[a].stddev[c];
+        double z = (row[a] - numeric_[a].mean[c]) / sd;
+        logp[c] += -0.5 * z * z - std::log(sd) - 0.9189385332046727;  // ln √2π
+      }
+    }
+  }
+  return SoftmaxFromLogs(logp);
+}
+
+}  // namespace smeter::ml

@@ -1,0 +1,58 @@
+// Naive Bayes classifier (Weka `NaiveBayes` analogue).
+//
+// Nominal attributes use Laplace-smoothed frequency estimates; numeric
+// attributes use per-class Gaussians with a variance floor. Missing cells
+// are skipped both in training counts and at prediction time, which is the
+// standard NB treatment and matches Weka.
+
+#ifndef SMETER_ML_NAIVE_BAYES_H_
+#define SMETER_ML_NAIVE_BAYES_H_
+
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace smeter::ml {
+
+struct NaiveBayesOptions {
+  // Laplace smoothing pseudo-count for nominal likelihoods and priors.
+  double laplace = 1.0;
+  // Minimum per-class standard deviation for numeric attributes, as a
+  // fraction of the attribute's global range (Weka uses a 0.1/precision
+  // floor; a range fraction is scale-free).
+  double min_stddev_fraction = 1e-3;
+};
+
+class NaiveBayes : public Classifier {
+ public:
+  explicit NaiveBayes(const NaiveBayesOptions& options = {})
+      : options_(options) {}
+
+  Status Train(const Dataset& data) override;
+  Result<std::vector<double>> PredictDistribution(
+      const std::vector<double>& row) const override;
+  std::string Name() const override { return "NaiveBayes"; }
+
+ private:
+  struct NominalModel {
+    // [class][category] -> smoothed log-likelihood.
+    std::vector<std::vector<double>> log_likelihood;
+  };
+  struct NumericModel {
+    std::vector<double> mean;    // per class
+    std::vector<double> stddev;  // per class, floored
+  };
+
+  NaiveBayesOptions options_;
+  size_t num_classes_ = 0;
+  size_t class_index_ = 0;
+  std::vector<double> log_prior_;
+  // One entry per attribute; the class attribute's entry is unused.
+  std::vector<NominalModel> nominal_;
+  std::vector<NumericModel> numeric_;
+  std::vector<AttributeKind> kinds_;
+};
+
+}  // namespace smeter::ml
+
+#endif  // SMETER_ML_NAIVE_BAYES_H_

@@ -1,0 +1,97 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/random.h"
+
+namespace smeter::ml {
+
+Status RandomForest::Train(const Dataset& data) {
+  SMETER_RETURN_IF_ERROR(CheckTrainable(data));
+  if (options_.num_trees == 0) {
+    return InvalidArgumentError("num_trees must be > 0");
+  }
+  num_classes_ = data.num_classes();
+  trees_.clear();
+
+  size_t mtry = options_.features_per_node;
+  if (mtry == 0) {
+    // Weka's default: log2(#predictors) + 1.
+    size_t predictors = data.num_attributes() - 1;
+    mtry = predictors <= 1
+               ? 1
+               : static_cast<size_t>(
+                     std::floor(std::log2(static_cast<double>(predictors)))) +
+                     1;
+  }
+
+  const size_t n = data.num_instances();
+  Rng rng(options_.seed);
+  // Out-of-bag vote tallies.
+  std::vector<std::vector<double>> oob_votes(
+      n, std::vector<double>(num_classes_, 0.0));
+
+  for (size_t t = 0; t < options_.num_trees; ++t) {
+    std::vector<size_t> bag(n);
+    std::vector<bool> in_bag(n, false);
+    for (size_t i = 0; i < n; ++i) {
+      bag[i] = static_cast<size_t>(rng.UniformInt(n));
+      in_bag[bag[i]] = true;
+    }
+    Dataset sample = data.Subset(bag);
+
+    DecisionTreeOptions tree_options;
+    tree_options.use_gain_ratio = false;  // RandomTree splits on raw gain
+    tree_options.min_leaf = options_.min_leaf;
+    tree_options.max_depth = options_.max_depth;
+    tree_options.prune = false;
+    tree_options.random_feature_subset = mtry;
+    tree_options.seed = rng.Next();
+    auto tree = std::make_unique<DecisionTree>(tree_options);
+    SMETER_RETURN_IF_ERROR(tree->Train(sample));
+
+    for (size_t i = 0; i < n; ++i) {
+      if (in_bag[i]) continue;
+      Result<std::vector<double>> dist = tree->PredictDistribution(data.row(i));
+      if (!dist.ok()) return dist.status();
+      for (size_t c = 0; c < num_classes_; ++c) {
+        oob_votes[i][c] += dist.value()[c];
+      }
+    }
+    trees_.push_back(std::move(tree));
+  }
+
+  // Out-of-bag accuracy.
+  size_t judged = 0, correct = 0;
+  for (size_t i = 0; i < n; ++i) {
+    double total = 0.0;
+    for (double v : oob_votes[i]) total += v;
+    if (total <= 0.0) continue;
+    size_t best = 0;
+    for (size_t c = 1; c < num_classes_; ++c) {
+      if (oob_votes[i][c] > oob_votes[i][best]) best = c;
+    }
+    ++judged;
+    if (best == data.ClassOf(i).value()) ++correct;
+  }
+  oob_accuracy_ = judged == 0 ? std::numeric_limits<double>::quiet_NaN()
+                              : static_cast<double>(correct) /
+                                    static_cast<double>(judged);
+  return Status::Ok();
+}
+
+Result<std::vector<double>> RandomForest::PredictDistribution(
+    const std::vector<double>& row) const {
+  if (trees_.empty()) return FailedPreconditionError("forest not trained");
+  std::vector<double> sum(num_classes_, 0.0);
+  for (const auto& tree : trees_) {
+    Result<std::vector<double>> dist = tree->PredictDistribution(row);
+    if (!dist.ok()) return dist.status();
+    for (size_t c = 0; c < num_classes_; ++c) sum[c] += dist.value()[c];
+  }
+  for (double& v : sum) v /= static_cast<double>(trees_.size());
+  return sum;
+}
+
+}  // namespace smeter::ml

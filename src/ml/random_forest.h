@@ -1,0 +1,53 @@
+// Random forest (Weka `RandomForest` analogue): bagged, unpruned,
+// gain-selected trees with a random attribute subset at every node;
+// prediction averages the trees' leaf distributions.
+
+#ifndef SMETER_ML_RANDOM_FOREST_H_
+#define SMETER_ML_RANDOM_FOREST_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/decision_tree.h"
+
+namespace smeter::ml {
+
+struct RandomForestOptions {
+  size_t num_trees = 50;
+  // Attributes examined per node; 0 = Weka's default
+  // floor(log2(num_attributes - 1) + 1).
+  size_t features_per_node = 0;
+  // 0 = unlimited (Weka default).
+  size_t max_depth = 0;
+  size_t min_leaf = 1;
+  uint64_t seed = 1;
+};
+
+class RandomForest : public Classifier {
+ public:
+  explicit RandomForest(const RandomForestOptions& options = {})
+      : options_(options) {}
+
+  Status Train(const Dataset& data) override;
+  Result<std::vector<double>> PredictDistribution(
+      const std::vector<double>& row) const override;
+  std::string Name() const override { return "RandomForest"; }
+
+  size_t num_trees() const { return trees_.size(); }
+
+  // Out-of-bag accuracy estimate computed during Train() (instances judged
+  // only by trees whose bootstrap missed them). NaN if no instance was ever
+  // out of bag.
+  double oob_accuracy() const { return oob_accuracy_; }
+
+ private:
+  RandomForestOptions options_;
+  std::vector<std::unique_ptr<DecisionTree>> trees_;
+  size_t num_classes_ = 0;
+  double oob_accuracy_ = 0.0;
+};
+
+}  // namespace smeter::ml
+
+#endif  // SMETER_ML_RANDOM_FOREST_H_

@@ -1,0 +1,186 @@
+#include "ml/svr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace smeter::ml {
+
+std::vector<double> Svr::Standardize(const std::vector<double>& x) const {
+  std::vector<double> out(x.size());
+  for (size_t j = 0; j < x.size(); ++j) {
+    out[j] = (x[j] - feat_mean_[j]) * feat_inv_std_[j];
+  }
+  return out;
+}
+
+Status Svr::Train(const std::vector<std::vector<double>>& x,
+                  const std::vector<double>& y) {
+  if (x.empty()) return FailedPreconditionError("empty training set");
+  if (x.size() != y.size()) {
+    return InvalidArgumentError("feature/target count mismatch");
+  }
+  dim_ = x[0].size();
+  if (dim_ == 0) return InvalidArgumentError("zero-dimensional features");
+  for (const auto& row : x) {
+    if (row.size() != dim_) return InvalidArgumentError("ragged feature rows");
+  }
+  if (options_.c <= 0.0) return InvalidArgumentError("C must be > 0");
+  if (options_.epsilon_tube < 0.0) {
+    return InvalidArgumentError("epsilon_tube must be >= 0");
+  }
+
+  const size_t n = x.size();
+
+  // Standardization statistics.
+  feat_mean_.assign(dim_, 0.0);
+  feat_inv_std_.assign(dim_, 1.0);
+  if (options_.standardize) {
+    for (size_t j = 0; j < dim_; ++j) {
+      double sum = 0.0, sq = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        sum += x[i][j];
+        sq += x[i][j] * x[i][j];
+      }
+      double mean = sum / static_cast<double>(n);
+      double var = std::max(sq / static_cast<double>(n) - mean * mean, 0.0);
+      feat_mean_[j] = mean;
+      feat_inv_std_[j] = 1.0 / std::max(std::sqrt(var), 1e-9);
+    }
+    double sum = 0.0, sq = 0.0;
+    for (double v : y) {
+      sum += v;
+      sq += v * v;
+    }
+    y_mean_ = sum / static_cast<double>(n);
+    y_std_ = std::max(
+        std::sqrt(std::max(sq / static_cast<double>(n) - y_mean_ * y_mean_,
+                           0.0)),
+        1e-9);
+  } else {
+    y_mean_ = 0.0;
+    y_std_ = 1.0;
+  }
+
+  std::vector<std::vector<double>> xs(n);
+  std::vector<double> ys(n);
+  for (size_t i = 0; i < n; ++i) {
+    xs[i] = Standardize(x[i]);
+    ys[i] = (y[i] - y_mean_) / y_std_;
+  }
+
+  resolved_kernel_ = options_.kernel;
+  Result<double> gamma = ResolveGamma(options_.kernel, dim_);
+  if (!gamma.ok()) return gamma.status();
+  resolved_kernel_.gamma = gamma.value();
+
+  // Precompute the kernel matrix (n is small in all our workloads).
+  std::vector<std::vector<double>> kernel(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      double v = KernelEval(resolved_kernel_, xs[i], xs[j]);
+      kernel[i][j] = v;
+      kernel[j][i] = v;
+    }
+  }
+
+  // Dual variables in the beta parameterization: u < n is the alpha half
+  // (b in [0, C]), u >= n the alpha* half (b in [-C, 0]).
+  const size_t m = 2 * n;
+  const double c_box = options_.c;
+  const double eps = options_.epsilon_tube;
+  std::vector<double> b(m, 0.0);
+  std::vector<double> lower(m), upper(m), lin(m);
+  for (size_t u = 0; u < m; ++u) {
+    size_t i = u % n;
+    bool alpha_half = u < n;
+    lower[u] = alpha_half ? 0.0 : -c_box;
+    upper[u] = alpha_half ? c_box : 0.0;
+    // z_u * p_u with p_u = eps - y_i (alpha half, z = +1) or eps + y_i
+    // (alpha* half, z = -1).
+    lin[u] = alpha_half ? (eps - ys[i]) : -(eps + ys[i]);
+  }
+  // Gradient g_u = lin_u + sum_v K(i(u), i(v)) b_v. Track the kernel-sum
+  // term via per-point beta sums.
+  std::vector<double> kb(n, 0.0);  // (K beta)_i
+  auto gradient = [&](size_t u) { return lin[u] + kb[u % n]; };
+
+  iterations_used_ = 0;
+  double last_low = 0.0, last_high = 0.0;
+  for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    // Maximal violating pair: i can increase (b_i < upper), j can decrease.
+    size_t best_i = m, best_j = m;
+    double min_gi = std::numeric_limits<double>::infinity();
+    double max_gj = -std::numeric_limits<double>::infinity();
+    for (size_t u = 0; u < m; ++u) {
+      double g = gradient(u);
+      if (b[u] < upper[u] - 1e-12 && g < min_gi) {
+        min_gi = g;
+        best_i = u;
+      }
+      if (b[u] > lower[u] + 1e-12 && g > max_gj) {
+        max_gj = g;
+        best_j = u;
+      }
+    }
+    last_low = min_gi;
+    last_high = max_gj;
+    if (best_i == m || best_j == m || max_gj - min_gi < options_.tolerance) {
+      break;
+    }
+
+    size_t pi = best_i % n, pj = best_j % n;
+    double eta =
+        kernel[pi][pi] + kernel[pj][pj] - 2.0 * kernel[pi][pj];
+    eta = std::max(eta, 1e-12);
+    double t = (max_gj - min_gi) / eta;
+    t = std::min(t, upper[best_i] - b[best_i]);
+    t = std::min(t, b[best_j] - lower[best_j]);
+    if (t <= 0.0) break;  // numerically stuck
+
+    b[best_i] += t;
+    b[best_j] -= t;
+    for (size_t i = 0; i < n; ++i) {
+      kb[i] += t * (kernel[i][pi] - kernel[i][pj]);
+    }
+    ++iterations_used_;
+  }
+
+  // Bias from free variables (KKT: g_u = -bias for strictly interior b_u).
+  double bias_sum = 0.0;
+  size_t bias_count = 0;
+  for (size_t u = 0; u < m; ++u) {
+    if (b[u] > lower[u] + 1e-8 && b[u] < upper[u] - 1e-8) {
+      bias_sum += -gradient(u);
+      ++bias_count;
+    }
+  }
+  bias_ = bias_count > 0 ? bias_sum / static_cast<double>(bias_count)
+                         : -0.5 * (last_low + last_high);
+
+  // Collapse to per-point coefficients; keep only support vectors.
+  support_.clear();
+  beta_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    double coeff = b[i] + b[i + n];
+    if (std::abs(coeff) > 1e-12) {
+      support_.push_back(xs[i]);
+      beta_.push_back(coeff);
+    }
+  }
+  trained_ = true;
+  return Status::Ok();
+}
+
+Result<double> Svr::Predict(const std::vector<double>& x) const {
+  if (!trained_) return FailedPreconditionError("SVR not trained");
+  if (x.size() != dim_) return InvalidArgumentError("feature width mismatch");
+  std::vector<double> xs = Standardize(x);
+  double f = bias_;
+  for (size_t s = 0; s < support_.size(); ++s) {
+    f += beta_[s] * KernelEval(resolved_kernel_, support_[s], xs);
+  }
+  return f * y_std_ + y_mean_;
+}
+
+}  // namespace smeter::ml

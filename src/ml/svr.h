@@ -1,0 +1,70 @@
+// Epsilon support-vector regression trained by SMO — the paper's raw-value
+// forecasting baseline ("we use support vector machine for regression to
+// forecast residential level consumption").
+//
+// The dual is solved in the symmetric beta parameterization
+//   min 1/2 b^T K b + sum_u z_u p_u b_u
+//   s.t. sum_u b_u = 0,   b_u in [0, C] (alpha half) or [-C, 0] (alpha*)
+// with maximal-violating-pair working-set selection, which is the LibSVM
+// formulation up to a change of variables. Features and target are
+// standardized internally (as Weka's SMOreg does), so epsilon is expressed
+// in target standard deviations.
+
+#ifndef SMETER_ML_SVR_H_
+#define SMETER_ML_SVR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/kernel.h"
+
+namespace smeter::ml {
+
+struct SvrOptions {
+  KernelOptions kernel;
+  double c = 1.0;              // box constraint
+  double epsilon_tube = 0.1;   // insensitivity tube (standardized units)
+  double tolerance = 1e-3;     // KKT violation stopping threshold
+  size_t max_iterations = 200000;  // SMO pair updates
+  bool standardize = true;
+};
+
+class Svr {
+ public:
+  explicit Svr(const SvrOptions& options = {}) : options_(options) {}
+
+  // Trains on feature rows `x` (equal lengths) and targets `y`. Errors on
+  // empty/ragged input or size mismatch.
+  Status Train(const std::vector<std::vector<double>>& x,
+               const std::vector<double>& y);
+
+  // Predicts the target for one feature vector.
+  Result<double> Predict(const std::vector<double>& x) const;
+
+  size_t num_support_vectors() const { return support_.size(); }
+  size_t iterations_used() const { return iterations_used_; }
+
+ private:
+  std::vector<double> Standardize(const std::vector<double>& x) const;
+
+  SvrOptions options_;
+  KernelOptions resolved_kernel_;
+  size_t dim_ = 0;
+  // Feature standardization.
+  std::vector<double> feat_mean_;
+  std::vector<double> feat_inv_std_;
+  // Target standardization.
+  double y_mean_ = 0.0;
+  double y_std_ = 1.0;
+  // Support vectors (standardized) and their beta coefficients.
+  std::vector<std::vector<double>> support_;
+  std::vector<double> beta_;
+  double bias_ = 0.0;
+  size_t iterations_used_ = 0;
+  bool trained_ = false;
+};
+
+}  // namespace smeter::ml
+
+#endif  // SMETER_ML_SVR_H_

@@ -1,0 +1,160 @@
+#include "ml/tree_utils.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/normal.h"
+
+namespace smeter::ml {
+
+double EntropyOfCounts(const std::vector<double>& counts) {
+  double total = 0.0;
+  for (double c : counts) total += c;
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double c : counts) {
+    if (c <= 0.0) continue;
+    double p = c / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+std::optional<SplitCandidate> EvaluateNominalSplit(
+    const Dataset& data, const std::vector<size_t>& rows, size_t attr,
+    size_t min_leaf) {
+  const size_t n_branches = data.attribute(attr).num_values();
+  const size_t n_classes = data.num_classes();
+  std::vector<std::vector<double>> branch_counts(
+      n_branches, std::vector<double>(n_classes, 0.0));
+  std::vector<double> known_counts(n_classes, 0.0);
+  double known = 0.0;
+  for (size_t r : rows) {
+    double v = data.value(r, attr);
+    if (IsMissing(v)) continue;
+    size_t cls = data.ClassOf(r).value();
+    branch_counts[static_cast<size_t>(v)][cls] += 1.0;
+    known_counts[cls] += 1.0;
+    known += 1.0;
+  }
+  if (known < 2.0) return std::nullopt;
+
+  size_t populated = 0;
+  double weighted_child_entropy = 0.0;
+  double split_info = 0.0;
+  for (const auto& counts : branch_counts) {
+    double branch_total = 0.0;
+    for (double c : counts) branch_total += c;
+    if (branch_total >= static_cast<double>(min_leaf)) ++populated;
+    if (branch_total <= 0.0) continue;
+    double frac = branch_total / known;
+    weighted_child_entropy += frac * EntropyOfCounts(counts);
+    split_info -= frac * std::log2(frac);
+  }
+  if (populated < 2) return std::nullopt;
+
+  double gain = EntropyOfCounts(known_counts) - weighted_child_entropy;
+  // Scale by the fraction of rows with a known value (C4.5).
+  gain *= known / static_cast<double>(rows.size());
+  if (gain <= 1e-12 || split_info <= 1e-12) return std::nullopt;
+
+  SplitCandidate out;
+  out.attribute = attr;
+  out.is_numeric = false;
+  out.gain = gain;
+  out.gain_ratio = gain / split_info;
+  out.populated_branches = populated;
+  return out;
+}
+
+std::optional<SplitCandidate> EvaluateNumericSplit(
+    const Dataset& data, const std::vector<size_t>& rows, size_t attr,
+    size_t min_leaf) {
+  const size_t n_classes = data.num_classes();
+  // (value, class) pairs with known values, sorted by value.
+  std::vector<std::pair<double, size_t>> known;
+  known.reserve(rows.size());
+  for (size_t r : rows) {
+    double v = data.value(r, attr);
+    if (IsMissing(v)) continue;
+    known.emplace_back(v, data.ClassOf(r).value());
+  }
+  if (known.size() < 2 * min_leaf) return std::nullopt;
+  std::sort(known.begin(), known.end());
+
+  std::vector<double> total_counts(n_classes, 0.0);
+  for (const auto& [v, cls] : known) total_counts[cls] += 1.0;
+  const double n_known = static_cast<double>(known.size());
+  const double parent_entropy = EntropyOfCounts(total_counts);
+
+  std::vector<double> left_counts(n_classes, 0.0);
+  double best_gain = -1.0;
+  double best_threshold = 0.0;
+  double best_left = 0.0;
+  for (size_t i = 0; i + 1 < known.size(); ++i) {
+    left_counts[known[i].second] += 1.0;
+    if (known[i].first == known[i + 1].first) continue;  // not a boundary
+    double n_left = static_cast<double>(i + 1);
+    double n_right = n_known - n_left;
+    if (n_left < static_cast<double>(min_leaf) ||
+        n_right < static_cast<double>(min_leaf)) {
+      continue;
+    }
+    std::vector<double> right_counts(n_classes, 0.0);
+    for (size_t c = 0; c < n_classes; ++c) {
+      right_counts[c] = total_counts[c] - left_counts[c];
+    }
+    double child_entropy =
+        (n_left / n_known) * EntropyOfCounts(left_counts) +
+        (n_right / n_known) * EntropyOfCounts(right_counts);
+    double gain = parent_entropy - child_entropy;
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_threshold = 0.5 * (known[i].first + known[i + 1].first);
+      best_left = n_left;
+    }
+  }
+  if (best_gain <= 1e-12) return std::nullopt;
+
+  // Scale by the known fraction, as with nominal splits.
+  double known_frac = n_known / static_cast<double>(rows.size());
+  double gain = best_gain * known_frac;
+
+  double p_left = best_left / n_known;
+  double split_info = 0.0;
+  if (p_left > 0.0 && p_left < 1.0) {
+    split_info = -p_left * std::log2(p_left) -
+                 (1.0 - p_left) * std::log2(1.0 - p_left);
+  }
+  if (split_info <= 1e-12) return std::nullopt;
+
+  SplitCandidate out;
+  out.attribute = attr;
+  out.is_numeric = true;
+  out.threshold = best_threshold;
+  out.gain = gain;
+  out.gain_ratio = gain / split_info;
+  out.populated_branches = 2;
+  return out;
+}
+
+double PessimisticExtraErrors(double n, double e, double cf) {
+  // Transliteration of Weka's weka.core.Utils-adjacent Stats.addErrs, the
+  // confidence-bound heuristic C4.5 uses for pruning.
+  if (cf > 0.5) return 0.0;  // degenerate confidence: no pessimism
+  if (e < 1.0) {
+    double base = n * (1.0 - std::pow(cf, 1.0 / n));
+    if (e == 0.0) return base;
+    return base + e * (PessimisticExtraErrors(n, 1.0, cf) - base);
+  }
+  if (e + 0.5 >= n) return std::max(n - e, 0.0);
+  double z = InverseNormalCdf(1.0 - cf).value();
+  double f = (e + 0.5) / n;
+  double r =
+      (f + z * z / (2.0 * n) +
+       z * std::sqrt(f / n - f * f / n + z * z / (4.0 * n * n))) /
+      (1.0 + z * z / n);
+  return r * n - e;
+}
+
+}  // namespace smeter::ml

@@ -1,0 +1,55 @@
+// Split-selection primitives shared by the C4.5-style tree (J48 analogue)
+// and the random forest's base trees: entropy, information gain, gain
+// ratio, numeric threshold search, and C4.5's pessimistic error bound.
+
+#ifndef SMETER_ML_TREE_UTILS_H_
+#define SMETER_ML_TREE_UTILS_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/instances.h"
+
+namespace smeter::ml {
+
+// Shannon entropy (bits) of a count vector; 0 for an all-zero vector.
+double EntropyOfCounts(const std::vector<double>& counts);
+
+// A scored candidate split of one attribute.
+struct SplitCandidate {
+  size_t attribute = 0;
+  bool is_numeric = false;
+  // Numeric splits send value <= threshold left, > threshold right.
+  double threshold = 0.0;
+  double gain = 0.0;        // information gain (bits)
+  double gain_ratio = 0.0;  // gain / split information
+  // Number of branches with at least `min_leaf` instances.
+  size_t populated_branches = 0;
+};
+
+// Evaluates the multiway split on nominal attribute `attr` over `rows` of
+// `data`. Rows with a missing value are excluded from the gain computation
+// and the gain is scaled by the known fraction (C4.5's treatment). Returns
+// nullopt if fewer than two branches would hold >= min_leaf rows.
+std::optional<SplitCandidate> EvaluateNominalSplit(
+    const Dataset& data, const std::vector<size_t>& rows, size_t attr,
+    size_t min_leaf);
+
+// Finds the best binary threshold on numeric attribute `attr` (midpoints
+// between consecutive distinct known values). Same missing-value treatment.
+// Returns nullopt if no threshold yields two branches with >= min_leaf rows.
+std::optional<SplitCandidate> EvaluateNumericSplit(
+    const Dataset& data, const std::vector<size_t>& rows, size_t attr,
+    size_t min_leaf);
+
+// C4.5's pessimistic extra-error estimate: given a leaf covering `n`
+// instances with `e` training errors, the expected additional errors at
+// confidence `cf` (Weka's Stats.addErrs). Used by subtree-replacement
+// pruning.
+double PessimisticExtraErrors(double n, double e, double cf);
+
+}  // namespace smeter::ml
+
+#endif  // SMETER_ML_TREE_UTILS_H_

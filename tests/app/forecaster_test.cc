@@ -1,0 +1,144 @@
+#include "app/forecaster.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+#include "testutil.h"
+
+namespace smeter::app {
+namespace {
+
+ml::ClassifierFactory NbFactory() {
+  return [] { return std::make_unique<ml::NaiveBayes>(); };
+}
+
+// A strongly diurnal hourly consumption pattern with mild noise.
+std::vector<double> DiurnalSeries(size_t hours, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(hours);
+  for (size_t h = 0; h < hours; ++h) {
+    double phase = 2.0 * 3.14159265358979 * static_cast<double>(h % 24) / 24.0;
+    double base = 300.0 + 250.0 * std::sin(phase);
+    values.push_back(std::max(base + rng.Gaussian(0.0, 20.0), 10.0));
+  }
+  return values;
+}
+
+ForecasterOptions SmallOptions() {
+  ForecasterOptions options;
+  options.level = 3;
+  options.lag = 6;
+  return options;
+}
+
+TEST(SymbolicForecasterTest, TrainValidatesInput) {
+  SymbolicForecaster forecaster(NbFactory(), SmallOptions());
+  EXPECT_FALSE(forecaster.Train({1.0, 2.0, 3.0}).ok());  // < lag + 2
+  EXPECT_FALSE(forecaster.trained());
+  ForecasterOptions zero_lag = SmallOptions();
+  zero_lag.lag = 0;
+  SymbolicForecaster bad(NbFactory(), zero_lag);
+  EXPECT_FALSE(bad.Train(DiurnalSeries(48, 1)).ok());
+}
+
+TEST(SymbolicForecasterTest, PredictBeforeTrainFails) {
+  SymbolicForecaster forecaster(NbFactory(), SmallOptions());
+  EXPECT_FALSE(forecaster.PredictNext(DiurnalSeries(12, 1)).ok());
+  EXPECT_FALSE(forecaster.Forecast(DiurnalSeries(12, 1), 3).ok());
+  EXPECT_FALSE(forecaster.EvaluateMae({1.0}, {1.0}).ok());
+}
+
+TEST(SymbolicForecasterTest, LearnsDiurnalPattern) {
+  std::vector<double> series = DiurnalSeries(7 * 24 + 24, 5);
+  std::vector<double> history(series.begin(), series.begin() + 7 * 24);
+  std::vector<double> next_day(series.begin() + 7 * 24, series.end());
+
+  SymbolicForecaster forecaster(NbFactory(), SmallOptions());
+  ASSERT_OK(forecaster.Train(history));
+  ASSERT_TRUE(forecaster.trained());
+
+  ASSERT_OK_AND_ASSIGN(double mae,
+                       forecaster.EvaluateMae(history, next_day));
+  // The mean predictor's MAE on a 250 W sinusoid is ~160 W; the symbolic
+  // forecaster must do far better on this clean pattern.
+  EXPECT_LT(mae, 100.0);
+}
+
+TEST(SymbolicForecasterTest, PredictionsStayInTableDomain) {
+  std::vector<double> history = DiurnalSeries(7 * 24, 7);
+  SymbolicForecaster forecaster(NbFactory(), SmallOptions());
+  ASSERT_OK(forecaster.Train(history));
+  ASSERT_OK_AND_ASSIGN(double next, forecaster.PredictNext(history));
+  EXPECT_GE(next, forecaster.table().domain_min());
+  EXPECT_LE(next, forecaster.table().domain_max());
+}
+
+TEST(SymbolicForecasterTest, IteratedForecastHasRequestedHorizon) {
+  std::vector<double> history = DiurnalSeries(7 * 24, 9);
+  SymbolicForecaster forecaster(NbFactory(), SmallOptions());
+  ASSERT_OK(forecaster.Train(history));
+  ASSERT_OK_AND_ASSIGN(std::vector<double> forecast,
+                       forecaster.Forecast(history, 24));
+  ASSERT_EQ(forecast.size(), 24u);
+  for (double v : forecast) {
+    EXPECT_GE(v, forecaster.table().domain_min());
+    EXPECT_LE(v, forecaster.table().domain_max());
+  }
+  EXPECT_FALSE(forecaster.Forecast(history, 0).ok());
+}
+
+TEST(SymbolicForecasterTest, IteratedForecastTracksDiurnalShape) {
+  std::vector<double> series = DiurnalSeries(7 * 24 + 24, 11);
+  std::vector<double> history(series.begin(), series.begin() + 7 * 24);
+  std::vector<double> next_day(series.begin() + 7 * 24, series.end());
+  SymbolicForecaster forecaster(NbFactory(), SmallOptions());
+  ASSERT_OK(forecaster.Train(history));
+  ASSERT_OK_AND_ASSIGN(std::vector<double> forecast,
+                       forecaster.Forecast(history, 24));
+  // Even without teacher forcing the forecast should correlate with the
+  // true day: high hours high, low hours low.
+  double mae = 0.0;
+  for (size_t i = 0; i < 24; ++i) mae += std::abs(forecast[i] - next_day[i]);
+  mae /= 24.0;
+  EXPECT_LT(mae, 160.0);  // clearly better than predicting the mean
+}
+
+TEST(SymbolicForecasterTest, RejectsShortOrBadRecentWindow) {
+  std::vector<double> history = DiurnalSeries(7 * 24, 13);
+  SymbolicForecaster forecaster(NbFactory(), SmallOptions());
+  ASSERT_OK(forecaster.Train(history));
+  EXPECT_FALSE(forecaster.PredictNext({1.0, 2.0}).ok());  // < lag
+  std::vector<double> with_nan(history.begin(), history.begin() + 6);
+  with_nan[3] = std::nan("");
+  EXPECT_FALSE(forecaster.PredictNext(with_nan).ok());
+}
+
+TEST(SymbolicForecasterTest, WorksWithRandomForest) {
+  std::vector<double> series = DiurnalSeries(7 * 24 + 12, 17);
+  std::vector<double> history(series.begin(), series.begin() + 7 * 24);
+  std::vector<double> tail(series.begin() + 7 * 24, series.end());
+  ml::RandomForestOptions rf;
+  rf.num_trees = 15;
+  SymbolicForecaster forecaster(
+      [rf] { return std::make_unique<ml::RandomForest>(rf); },
+      SmallOptions());
+  ASSERT_OK(forecaster.Train(history));
+  ASSERT_OK_AND_ASSIGN(double mae, forecaster.EvaluateMae(history, tail));
+  EXPECT_LT(mae, 120.0);
+}
+
+TEST(SymbolicForecasterTest, RangeMeanSemanticsSupported) {
+  ForecasterOptions options = SmallOptions();
+  options.semantics = ReconstructionMode::kRangeMean;
+  std::vector<double> history = DiurnalSeries(7 * 24, 19);
+  SymbolicForecaster forecaster(NbFactory(), options);
+  ASSERT_OK(forecaster.Train(history));
+  EXPECT_OK(forecaster.PredictNext(history).status());
+}
+
+}  // namespace
+}  // namespace smeter::app

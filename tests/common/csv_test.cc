@@ -1,0 +1,69 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+TEST(CsvTest, ParsesSimpleContent) {
+  ASSERT_OK_AND_ASSIGN(CsvTable t, ParseCsv("a,b\n1,2\n"));
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(t.rows[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvTest, SkipsCommentsAndBlankLines) {
+  ASSERT_OK_AND_ASSIGN(CsvTable t, ParseCsv("# header\n\n1,2\n  \n# x\n3,4"));
+  ASSERT_EQ(t.num_rows(), 2u);
+}
+
+TEST(CsvTest, HandlesCrlf) {
+  ASSERT_OK_AND_ASSIGN(CsvTable t, ParseCsv("1,2\r\n3,4\r\n"));
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.rows[0][1], "2");
+}
+
+TEST(CsvTest, SpaceDelimiter) {
+  CsvOptions options;
+  options.delimiter = ' ';
+  ASSERT_OK_AND_ASSIGN(CsvTable t, ParseCsv("1 200.5\n2 300.25\n", options));
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.rows[1][1], "300.25");
+}
+
+TEST(CsvTest, NoTrailingNewline) {
+  ASSERT_OK_AND_ASSIGN(CsvTable t, ParseCsv("1,2"));
+  ASSERT_EQ(t.num_rows(), 1u);
+}
+
+TEST(CsvTest, EmptyContent) {
+  ASSERT_OK_AND_ASSIGN(CsvTable t, ParseCsv(""));
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(CsvTest, CommentCharDisabled) {
+  CsvOptions options;
+  options.comment_char = '\0';
+  ASSERT_OK_AND_ASSIGN(CsvTable t, ParseCsv("#not,comment\n", options));
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.rows[0][0], "#not");
+}
+
+TEST(CsvFileTest, RoundTrip) {
+  std::string path = testing::TempPath("roundtrip.csv");
+  std::vector<std::vector<std::string>> rows = {{"a", "b"}, {"1", "2"}};
+  ASSERT_OK(WriteCsvFile(path, rows));
+  ASSERT_OK_AND_ASSIGN(CsvTable t, ReadCsvFile(path));
+  EXPECT_EQ(t.rows, rows);
+}
+
+TEST(CsvFileTest, MissingFileReturnsNotFound) {
+  Result<CsvTable> r = ReadCsvFile("/nonexistent/path/x.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace smeter

@@ -1,0 +1,61 @@
+#include "common/normal.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+TEST(InverseNormalCdfTest, KnownQuantiles) {
+  ASSERT_OK_AND_ASSIGN(double median, InverseNormalCdf(0.5));
+  EXPECT_NEAR(median, 0.0, 1e-9);
+  ASSERT_OK_AND_ASSIGN(double q975, InverseNormalCdf(0.975));
+  EXPECT_NEAR(q975, 1.959963985, 1e-6);
+  ASSERT_OK_AND_ASSIGN(double q25, InverseNormalCdf(0.25));
+  EXPECT_NEAR(q25, -0.6744897502, 1e-6);
+}
+
+TEST(InverseNormalCdfTest, Symmetry) {
+  for (double p : {0.01, 0.1, 0.3, 0.45}) {
+    ASSERT_OK_AND_ASSIGN(double lo, InverseNormalCdf(p));
+    ASSERT_OK_AND_ASSIGN(double hi, InverseNormalCdf(1.0 - p));
+    EXPECT_NEAR(lo, -hi, 1e-8);
+  }
+}
+
+TEST(InverseNormalCdfTest, MonotoneIncreasing) {
+  double prev = -1e9;
+  for (double p = 0.001; p < 1.0; p += 0.001) {
+    ASSERT_OK_AND_ASSIGN(double z, InverseNormalCdf(p));
+    EXPECT_GT(z, prev);
+    prev = z;
+  }
+}
+
+TEST(InverseNormalCdfTest, ConsistentWithErfc) {
+  // Phi(InverseNormalCdf(p)) == p, using the std::erfc-based CDF.
+  for (double p : {0.001, 0.02, 0.2, 0.5, 0.8, 0.99, 0.9999}) {
+    ASSERT_OK_AND_ASSIGN(double z, InverseNormalCdf(p));
+    double cdf = 0.5 * std::erfc(-z / std::sqrt(2.0));
+    EXPECT_NEAR(cdf, p, 1e-7) << "p=" << p;
+  }
+}
+
+TEST(InverseNormalCdfTest, TailValues) {
+  ASSERT_OK_AND_ASSIGN(double z, InverseNormalCdf(1e-10));
+  EXPECT_LT(z, -6.0);
+  EXPECT_TRUE(std::isfinite(z));
+}
+
+TEST(InverseNormalCdfTest, RejectsOutOfDomain) {
+  EXPECT_FALSE(InverseNormalCdf(0.0).ok());
+  EXPECT_FALSE(InverseNormalCdf(1.0).ok());
+  EXPECT_FALSE(InverseNormalCdf(-0.1).ok());
+  EXPECT_FALSE(InverseNormalCdf(1.5).ok());
+}
+
+}  // namespace
+}  // namespace smeter

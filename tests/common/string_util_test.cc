@@ -1,0 +1,72 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitTest, EmptyInputYieldsOneEmptyField) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(SplitTest, OtherDelimiter) {
+  EXPECT_EQ(Split("1 2 3", ' '), (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(TrimTest, TrimsBothEnds) {
+  EXPECT_EQ(Trim("  abc \t\n"), "abc");
+  EXPECT_EQ(Trim("abc"), "abc");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(ParseDoubleTest, ParsesValidNumbers) {
+  ASSERT_OK_AND_ASSIGN(double v, ParseDouble("3.5"));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  ASSERT_OK_AND_ASSIGN(double w, ParseDouble(" -1e3 "));
+  EXPECT_DOUBLE_EQ(w, -1000.0);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("   ").ok());
+}
+
+TEST(ParseIntTest, ParsesValidIntegers) {
+  ASSERT_OK_AND_ASSIGN(int64_t v, ParseInt("-42"));
+  EXPECT_EQ(v, -42);
+  ASSERT_OK_AND_ASSIGN(int64_t big, ParseInt("123456789012"));
+  EXPECT_EQ(big, 123456789012ll);
+}
+
+TEST(ParseIntTest, RejectsGarbageAndOverflow) {
+  EXPECT_FALSE(ParseInt("12.5").ok());
+  EXPECT_FALSE(ParseInt("").ok());
+  EXPECT_FALSE(ParseInt("999999999999999999999999").ok());
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("@attribute x", "@attribute"));
+  EXPECT_FALSE(StartsWith("@attr", "@attribute"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+}
+
+TEST(ToLowerTest, LowersAscii) {
+  EXPECT_EQ(ToLower("AbC@1"), "abc@1");
+}
+
+}  // namespace
+}  // namespace smeter

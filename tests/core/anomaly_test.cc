@@ -1,0 +1,166 @@
+#include "core/anomaly.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+// A strongly diurnal symbolic stream at hourly cadence: low symbols at
+// night, high in the evening, with mild jitter.
+SymbolicSeries DiurnalStream(size_t days, uint64_t seed, int level = 3) {
+  Rng rng(seed);
+  SymbolicSeries series(level);
+  uint32_t k = 1u << level;
+  for (size_t h = 0; h < days * 24; ++h) {
+    size_t hour = h % 24;
+    double base;
+    if (hour < 6) {
+      base = 0.5;
+    } else if (hour < 17) {
+      base = 2.5;
+    } else if (hour < 22) {
+      base = 5.5;
+    } else {
+      base = 1.5;
+    }
+    int jitter = static_cast<int>(rng.UniformInt(2));
+    uint32_t index = static_cast<uint32_t>(
+        std::min<double>(std::max(base + jitter, 0.0), k - 1));
+    EXPECT_OK(series.Append(
+        {static_cast<Timestamp>(h) * kSecondsPerHour,
+         Symbol::Create(level, index).value()}));
+  }
+  return series;
+}
+
+AnomalyOptions TestOptions() {
+  AnomalyOptions options;
+  options.time_buckets = 4;
+  options.ema_alpha = 0.6;
+  options.threshold_bits = 2.8;
+  return options;
+}
+
+TEST(AnomalyDetectorTest, FitValidates) {
+  SymbolicSeries reference = DiurnalStream(3, 1);
+  AnomalyOptions options = TestOptions();
+  options.time_buckets = 5;  // does not divide 24
+  EXPECT_FALSE(AnomalyDetector::Fit(reference, options).ok());
+  options = TestOptions();
+  options.smoothing = 0.0;
+  EXPECT_FALSE(AnomalyDetector::Fit(reference, options).ok());
+  options = TestOptions();
+  options.ema_alpha = 0.0;
+  EXPECT_FALSE(AnomalyDetector::Fit(reference, options).ok());
+  options = TestOptions();
+  options.threshold_bits = 0.0;
+  EXPECT_FALSE(AnomalyDetector::Fit(reference, options).ok());
+  SymbolicSeries tiny(3);
+  EXPECT_FALSE(AnomalyDetector::Fit(tiny, TestOptions()).ok());
+}
+
+TEST(AnomalyDetectorTest, TypicalBehaviourScoresLow) {
+  SymbolicSeries reference = DiurnalStream(14, 3);
+  ASSERT_OK_AND_ASSIGN(AnomalyDetector detector,
+                       AnomalyDetector::Fit(reference, TestOptions()));
+  // A fresh realization of the same routine must raise no alarms.
+  SymbolicSeries normal_day = DiurnalStream(2, 99);
+  ASSERT_OK_AND_ASSIGN(std::vector<TimeRange> ranges,
+                       detector.AnomalousRanges(normal_day));
+  EXPECT_TRUE(ranges.empty());
+}
+
+TEST(AnomalyDetectorTest, NightTimeBlastIsFlagged) {
+  SymbolicSeries reference = DiurnalStream(14, 5);
+  ASSERT_OK_AND_ASSIGN(AnomalyDetector detector,
+                       AnomalyDetector::Fit(reference, TestOptions()));
+  // Day 1 normal, day 2: maximum consumption all night (0-6 h).
+  SymbolicSeries stream(3);
+  Rng rng(7);
+  for (size_t h = 0; h < 48; ++h) {
+    size_t hour = h % 24;
+    uint32_t index;
+    if (h >= 24 && hour < 6) {
+      index = 7;  // anomaly: full blast at night
+    } else if (hour < 6) {
+      index = static_cast<uint32_t>(rng.UniformInt(2));
+    } else if (hour < 17) {
+      index = 2 + static_cast<uint32_t>(rng.UniformInt(2));
+    } else if (hour < 22) {
+      index = 5 + static_cast<uint32_t>(rng.UniformInt(2));
+    } else {
+      index = 1 + static_cast<uint32_t>(rng.UniformInt(2));
+    }
+    ASSERT_OK(stream.Append({static_cast<Timestamp>(h) * kSecondsPerHour,
+                             Symbol::Create(3, index).value()}));
+  }
+  ASSERT_OK_AND_ASSIGN(std::vector<TimeRange> ranges,
+                       detector.AnomalousRanges(stream));
+  ASSERT_FALSE(ranges.empty());
+  // The flagged region must overlap the injected night window (24-30 h).
+  bool overlaps = false;
+  for (const TimeRange& r : ranges) {
+    if (r.begin < 30 * kSecondsPerHour && r.end > 24 * kSecondsPerHour) {
+      overlaps = true;
+    }
+  }
+  EXPECT_TRUE(overlaps);
+}
+
+TEST(AnomalyDetectorTest, SurprisalReflectsModelProbabilities) {
+  // Reference alternates 0,1,0,1 ... : transition 0->1 is certain; a 0->0
+  // repeat must be highly surprising.
+  SymbolicSeries reference(1);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_OK(reference.Append(
+        {i * kSecondsPerHour,
+         Symbol::Create(1, static_cast<uint32_t>(i % 2)).value()}));
+  }
+  AnomalyOptions options = TestOptions();
+  options.time_buckets = 1;
+  ASSERT_OK_AND_ASSIGN(AnomalyDetector detector,
+                       AnomalyDetector::Fit(reference, options));
+  SymbolicSeries probe(1);
+  ASSERT_OK(probe.Append({0, Symbol::Create(1, 0).value()}));
+  ASSERT_OK(probe.Append({kSecondsPerHour, Symbol::Create(1, 1).value()}));
+  ASSERT_OK(probe.Append({2 * kSecondsPerHour, Symbol::Create(1, 1).value()}));
+  ASSERT_OK_AND_ASSIGN(std::vector<AnomalyScore> scores,
+                       detector.Score(probe));
+  ASSERT_EQ(scores.size(), 3u);
+  EXPECT_LT(scores[1].surprisal_bits, 0.1);   // expected transition
+  EXPECT_GT(scores[2].surprisal_bits, 5.0);   // never-seen repeat
+}
+
+TEST(AnomalyDetectorTest, ScoreRejectsLevelMismatch) {
+  SymbolicSeries reference = DiurnalStream(3, 9);
+  ASSERT_OK_AND_ASSIGN(AnomalyDetector detector,
+                       AnomalyDetector::Fit(reference, TestOptions()));
+  SymbolicSeries wrong(2);
+  ASSERT_OK(wrong.Append({0, Symbol::Create(2, 0).value()}));
+  EXPECT_FALSE(detector.Score(wrong).ok());
+}
+
+TEST(AnomalyDetectorTest, RangesMergeConsecutiveFlags) {
+  SymbolicSeries reference = DiurnalStream(10, 11);
+  AnomalyOptions options = TestOptions();
+  options.ema_alpha = 1.0;  // no smoothing: every symbol judged alone
+  options.threshold_bits = 2.5;
+  ASSERT_OK_AND_ASSIGN(AnomalyDetector detector,
+                       AnomalyDetector::Fit(reference, options));
+  // Three consecutive impossible night symbols -> exactly one range.
+  SymbolicSeries stream(3);
+  for (int h = 0; h < 6; ++h) {
+    uint32_t index = (h >= 2 && h <= 4) ? 7 : 0;
+    ASSERT_OK(stream.Append({h * kSecondsPerHour,
+                             Symbol::Create(3, index).value()}));
+  }
+  ASSERT_OK_AND_ASSIGN(std::vector<TimeRange> ranges,
+                       detector.AnomalousRanges(stream));
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].begin, 2 * kSecondsPerHour);
+}
+
+}  // namespace
+}  // namespace smeter

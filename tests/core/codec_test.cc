@@ -1,0 +1,132 @@
+#include "core/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+SymbolicSeries MakeSeries(int level, const std::vector<uint32_t>& indices,
+                          Timestamp start = 0, int64_t step = 900) {
+  SymbolicSeries series(level);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    EXPECT_OK(series.Append({start + static_cast<int64_t>(i) * step,
+                             Symbol::Create(level, indices[i]).value()}));
+  }
+  return series;
+}
+
+TEST(CodecTest, RoundTripPreservesEverything) {
+  SymbolicSeries original =
+      MakeSeries(4, {0, 15, 7, 8, 3, 12, 1}, 86400, 900);
+  ASSERT_OK_AND_ASSIGN(std::string blob, PackSymbolicSeries(original));
+  ASSERT_OK_AND_ASSIGN(SymbolicSeries decoded, UnpackSymbolicSeries(blob));
+  ASSERT_EQ(decoded.size(), original.size());
+  EXPECT_EQ(decoded.level(), original.level());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(decoded[i], original[i]) << "at " << i;
+  }
+}
+
+TEST(CodecTest, RoundTripAllLevels) {
+  Rng rng(5);
+  for (int level = 1; level <= kMaxSymbolLevel; ++level) {
+    std::vector<uint32_t> indices;
+    for (int i = 0; i < 100; ++i) {
+      indices.push_back(
+          static_cast<uint32_t>(rng.UniformInt(1u << level)));
+    }
+    SymbolicSeries original = MakeSeries(level, indices);
+    ASSERT_OK_AND_ASSIGN(std::string blob, PackSymbolicSeries(original));
+    ASSERT_OK_AND_ASSIGN(SymbolicSeries decoded, UnpackSymbolicSeries(blob));
+    ASSERT_EQ(decoded.size(), original.size()) << "level " << level;
+    for (size_t i = 0; i < original.size(); ++i) {
+      ASSERT_EQ(decoded[i], original[i]) << "level " << level << " at " << i;
+    }
+  }
+}
+
+TEST(CodecTest, PaperDaySizeIs384PayloadBits) {
+  // Section 2.3: 96 windows x 4 bits = 384 bits.
+  EXPECT_EQ(PackedPayloadBits(96, 4), 384);
+  std::vector<uint32_t> day(96, 9);
+  SymbolicSeries series = MakeSeries(4, day);
+  ASSERT_OK_AND_ASSIGN(std::string blob, PackSymbolicSeries(series));
+  EXPECT_EQ(blob.size(), PackedSizeBytes(96, 4));
+  // 26-byte header + 48-byte payload.
+  EXPECT_EQ(blob.size(), 26u + 48u);
+}
+
+TEST(CodecTest, SingleSampleSeries) {
+  SymbolicSeries series = MakeSeries(3, {5}, 1234);
+  ASSERT_OK_AND_ASSIGN(std::string blob, PackSymbolicSeries(series));
+  ASSERT_OK_AND_ASSIGN(SymbolicSeries decoded, UnpackSymbolicSeries(blob));
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].timestamp, 1234);
+  EXPECT_EQ(decoded[0].symbol.index(), 5u);
+}
+
+TEST(CodecTest, NonByteAlignedPayload) {
+  // 5 symbols x 3 bits = 15 bits -> 2 payload bytes with 1 padding bit.
+  SymbolicSeries series = MakeSeries(3, {1, 2, 3, 4, 5});
+  ASSERT_OK_AND_ASSIGN(std::string blob, PackSymbolicSeries(series));
+  EXPECT_EQ(blob.size(), 26u + 2u);
+  ASSERT_OK_AND_ASSIGN(SymbolicSeries decoded, UnpackSymbolicSeries(blob));
+  for (size_t i = 0; i < series.size(); ++i) {
+    EXPECT_EQ(decoded[i], series[i]);
+  }
+}
+
+TEST(CodecTest, RejectsEmptyAndIrregularSeries) {
+  SymbolicSeries empty(4);
+  EXPECT_FALSE(PackSymbolicSeries(empty).ok());
+
+  SymbolicSeries irregular(2);
+  ASSERT_OK(irregular.Append({0, Symbol::Create(2, 0).value()}));
+  ASSERT_OK(irregular.Append({900, Symbol::Create(2, 1).value()}));
+  ASSERT_OK(irregular.Append({2700, Symbol::Create(2, 2).value()}));  // gap
+  EXPECT_FALSE(PackSymbolicSeries(irregular).ok());
+
+  SymbolicSeries repeated(2);
+  ASSERT_OK(repeated.Append({0, Symbol::Create(2, 0).value()}));
+  ASSERT_OK(repeated.Append({0, Symbol::Create(2, 1).value()}));
+  EXPECT_FALSE(PackSymbolicSeries(repeated).ok());  // zero step
+}
+
+TEST(CodecTest, UnpackRejectsCorruptBlobs) {
+  EXPECT_FALSE(UnpackSymbolicSeries("").ok());
+  EXPECT_FALSE(UnpackSymbolicSeries("too short").ok());
+
+  SymbolicSeries series = MakeSeries(4, {1, 2, 3, 4});
+  std::string blob = PackSymbolicSeries(series).value();
+
+  std::string bad_magic = blob;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(UnpackSymbolicSeries(bad_magic).ok());
+
+  std::string bad_version = blob;
+  bad_version[4] = 9;
+  EXPECT_FALSE(UnpackSymbolicSeries(bad_version).ok());
+
+  std::string bad_level = blob;
+  bad_level[5] = 0;
+  EXPECT_FALSE(UnpackSymbolicSeries(bad_level).ok());
+
+  std::string truncated = blob.substr(0, blob.size() - 1);
+  EXPECT_FALSE(UnpackSymbolicSeries(truncated).ok());
+
+  std::string padded = blob + "x";
+  EXPECT_FALSE(UnpackSymbolicSeries(padded).ok());
+}
+
+TEST(CodecTest, PackedSizeArithmetic) {
+  EXPECT_EQ(PackedSizeBytes(0, 4), 26u);
+  EXPECT_EQ(PackedSizeBytes(1, 1), 27u);
+  EXPECT_EQ(PackedSizeBytes(8, 1), 27u);
+  EXPECT_EQ(PackedSizeBytes(9, 1), 28u);
+  EXPECT_EQ(PackedPayloadBits(24, 1), 24);
+}
+
+}  // namespace
+}  // namespace smeter

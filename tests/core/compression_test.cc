@@ -1,0 +1,89 @@
+#include "core/compression.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+TEST(CompressionTest, PaperHeadlineNumbers) {
+  // Section 2.3: doubles at 1 Hz ~ 680 kB/day; 16 symbols @ 15 min -> 384
+  // bits/day, three orders of magnitude lower.
+  CompressionModelOptions options;
+  options.sample_period_seconds = 1;
+  options.window_seconds = 900;
+  options.symbol_bits = 4;
+  ASSERT_OK_AND_ASSIGN(CompressionReport report,
+                       EvaluateCompression(options));
+  EXPECT_DOUBLE_EQ(report.raw_bits_per_day, 86400.0 * 64.0);
+  EXPECT_NEAR(report.raw_bits_per_day / 8.0 / 1024.0, 675.0, 1.0);  // ~680 kB
+  EXPECT_DOUBLE_EQ(report.symbolic_bits_per_day, 96.0 * 4.0);  // 384 bit
+  EXPECT_NEAR(report.ratio, 14400.0, 1e-9);
+  EXPECT_GT(report.ratio, 1000.0);  // three orders of magnitude
+}
+
+TEST(CompressionTest, OneHourTwoSymbols) {
+  CompressionModelOptions options;
+  options.window_seconds = 3600;
+  options.symbol_bits = 1;
+  ASSERT_OK_AND_ASSIGN(CompressionReport report,
+                       EvaluateCompression(options));
+  EXPECT_DOUBLE_EQ(report.symbolic_bits_per_day, 24.0);
+}
+
+TEST(CompressionTest, TableAmortizationAddsOverhead) {
+  CompressionModelOptions options;
+  options.window_seconds = 900;
+  options.symbol_bits = 4;
+  options.table_bits = 16 * 64;  // 16 doubles
+  options.table_amortization_days = 0.0;
+  ASSERT_OK_AND_ASSIGN(CompressionReport no_table,
+                       EvaluateCompression(options));
+  options.table_amortization_days = 30.0;
+  ASSERT_OK_AND_ASSIGN(CompressionReport with_table,
+                       EvaluateCompression(options));
+  EXPECT_GT(with_table.symbolic_bits_per_day, no_table.symbolic_bits_per_day);
+  EXPECT_LT(with_table.ratio, no_table.ratio);
+  EXPECT_NEAR(with_table.symbolic_bits_per_day,
+              384.0 + 1024.0 / 30.0, 1e-9);
+}
+
+TEST(CompressionTest, CoarserWindowsCompressMore) {
+  CompressionModelOptions options;
+  options.symbol_bits = 4;
+  options.window_seconds = 900;
+  ASSERT_OK_AND_ASSIGN(CompressionReport fifteen,
+                       EvaluateCompression(options));
+  options.window_seconds = 3600;
+  ASSERT_OK_AND_ASSIGN(CompressionReport hour, EvaluateCompression(options));
+  EXPECT_GT(hour.ratio, fifteen.ratio);
+}
+
+TEST(CompressionTest, RejectsBadOptions) {
+  CompressionModelOptions options;
+  options.sample_period_seconds = 0;
+  EXPECT_FALSE(EvaluateCompression(options).ok());
+  options = {};
+  options.window_seconds = 0;
+  EXPECT_FALSE(EvaluateCompression(options).ok());
+  options = {};
+  options.symbol_bits = 0;
+  EXPECT_FALSE(EvaluateCompression(options).ok());
+  options = {};
+  options.symbol_bits = 65;
+  EXPECT_FALSE(EvaluateCompression(options).ok());
+  options = {};
+  options.raw_sample_bits = 0;
+  EXPECT_FALSE(EvaluateCompression(options).ok());
+  options = {};
+  options.table_amortization_days = -1.0;
+  EXPECT_FALSE(EvaluateCompression(options).ok());
+  options = {};
+  options.sample_period_seconds = 3600;
+  options.window_seconds = 900;  // window < sample period
+  EXPECT_FALSE(EvaluateCompression(options).ok());
+}
+
+}  // namespace
+}  // namespace smeter

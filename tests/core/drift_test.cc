@@ -1,0 +1,99 @@
+#include "core/drift.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+DriftOptions SmallWindow() {
+  DriftOptions options;
+  options.window_size = 200;
+  options.min_samples = 50;
+  options.psi_threshold = 0.25;
+  return options;
+}
+
+TEST(DriftDetectorTest, CreateValidates) {
+  EXPECT_FALSE(DriftDetector::Create({}, SmallWindow()).ok());
+  EXPECT_FALSE(DriftDetector::Create({0, 0, 0, 0}, SmallWindow()).ok());
+  DriftOptions bad = SmallWindow();
+  bad.window_size = 0;
+  EXPECT_FALSE(DriftDetector::Create({10, 10}, bad).ok());
+  bad = SmallWindow();
+  bad.psi_threshold = 0.0;
+  EXPECT_FALSE(DriftDetector::Create({10, 10}, bad).ok());
+}
+
+TEST(DriftDetectorTest, NoVerdictBeforeMinSamples) {
+  ASSERT_OK_AND_ASSIGN(DriftDetector detector,
+                       DriftDetector::Create({100, 100}, SmallWindow()));
+  // Extreme skew, but below min_samples: PSI must stay 0.
+  for (int i = 0; i < 49; ++i) detector.Observe(0);
+  EXPECT_DOUBLE_EQ(detector.Psi(), 0.0);
+  EXPECT_FALSE(detector.DriftDetected());
+}
+
+TEST(DriftDetectorTest, MatchingDistributionStaysCalm) {
+  ASSERT_OK_AND_ASSIGN(DriftDetector detector,
+                       DriftDetector::Create({100, 100, 100, 100},
+                                             SmallWindow()));
+  Rng rng(5);
+  for (int i = 0; i < 400; ++i) {
+    detector.Observe(static_cast<uint32_t>(rng.UniformInt(4)));
+  }
+  EXPECT_LT(detector.Psi(), 0.05);
+  EXPECT_FALSE(detector.DriftDetected());
+}
+
+TEST(DriftDetectorTest, ShiftedDistributionFires) {
+  ASSERT_OK_AND_ASSIGN(DriftDetector detector,
+                       DriftDetector::Create({100, 100, 100, 100},
+                                             SmallWindow()));
+  // All mass collapses onto symbol 3: strong drift.
+  for (int i = 0; i < 200; ++i) detector.Observe(3);
+  EXPECT_GT(detector.Psi(), 1.0);
+  EXPECT_TRUE(detector.DriftDetected());
+}
+
+TEST(DriftDetectorTest, WindowEvictsOldObservations) {
+  ASSERT_OK_AND_ASSIGN(DriftDetector detector,
+                       DriftDetector::Create({100, 100}, SmallWindow()));
+  // Skewed prefix, then matching suffix long enough to flush the window.
+  for (int i = 0; i < 200; ++i) detector.Observe(1);
+  EXPECT_TRUE(detector.DriftDetected());
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    detector.Observe(static_cast<uint32_t>(rng.UniformInt(2)));
+  }
+  EXPECT_FALSE(detector.DriftDetected());
+  EXPECT_EQ(detector.window_count(), 200u);
+}
+
+TEST(DriftDetectorTest, ForeignSymbolIgnored) {
+  ASSERT_OK_AND_ASSIGN(DriftDetector detector,
+                       DriftDetector::Create({10, 10}, SmallWindow()));
+  detector.Observe(99);  // out of alphabet: ignored, not a crash
+  EXPECT_EQ(detector.window_count(), 0u);
+}
+
+TEST(DriftDetectorTest, RebaseResetsWindow) {
+  ASSERT_OK_AND_ASSIGN(DriftDetector detector,
+                       DriftDetector::Create({100, 100}, SmallWindow()));
+  for (int i = 0; i < 200; ++i) detector.Observe(1);
+  EXPECT_TRUE(detector.DriftDetected());
+  ASSERT_OK(detector.Rebase({50, 150}));
+  EXPECT_EQ(detector.window_count(), 0u);
+  EXPECT_FALSE(detector.DriftDetected());
+}
+
+TEST(DriftDetectorTest, RebaseValidates) {
+  ASSERT_OK_AND_ASSIGN(DriftDetector detector,
+                       DriftDetector::Create({100, 100}, SmallWindow()));
+  EXPECT_FALSE(detector.Rebase({1, 2, 3}).ok());  // size change
+  EXPECT_FALSE(detector.Rebase({0, 0}).ok());
+}
+
+}  // namespace
+}  // namespace smeter

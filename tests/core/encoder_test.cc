@@ -1,0 +1,103 @@
+#include "core/encoder.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+LookupTable UniformTable(double max, int level) {
+  LookupTableOptions options;
+  options.method = SeparatorMethod::kUniform;
+  options.level = level;
+  return LookupTable::Build({0.0, max}, options).value();
+}
+
+TEST(EncodeTest, EncodesEverySample) {
+  LookupTable table = UniformTable(100.0, 2);
+  TimeSeries s = TimeSeries::FromValues({10.0, 30.0, 60.0, 90.0});
+  ASSERT_OK_AND_ASSIGN(SymbolicSeries out, Encode(s, table));
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out.ToBitString(), "00 01 10 11");
+  EXPECT_EQ(out[2].timestamp, 2);
+}
+
+TEST(EncodeTest, EmptySeriesYieldsEmptySymbolicSeries) {
+  LookupTable table = UniformTable(100.0, 2);
+  ASSERT_OK_AND_ASSIGN(SymbolicSeries out, Encode(TimeSeries(), table));
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(out.level(), 2);
+}
+
+TEST(EncodeAtLevelTest, MatchesCoarsenedFullEncode) {
+  LookupTable table = UniformTable(100.0, 3);
+  TimeSeries s = TimeSeries::FromValues({5, 20, 45, 70, 95});
+  ASSERT_OK_AND_ASSIGN(SymbolicSeries full, Encode(s, table));
+  ASSERT_OK_AND_ASSIGN(SymbolicSeries coarse, EncodeAtLevel(s, table, 1));
+  ASSERT_OK_AND_ASSIGN(SymbolicSeries derived, full.Coarsen(1));
+  ASSERT_EQ(coarse.size(), derived.size());
+  for (size_t i = 0; i < coarse.size(); ++i) {
+    EXPECT_EQ(coarse[i].symbol, derived[i].symbol);
+  }
+}
+
+TEST(EncodeAtLevelTest, RejectsBadLevel) {
+  LookupTable table = UniformTable(100.0, 2);
+  TimeSeries s = TimeSeries::FromValues({1.0});
+  EXPECT_FALSE(EncodeAtLevel(s, table, 3).ok());
+  EXPECT_FALSE(EncodeAtLevel(s, table, 0).ok());
+}
+
+TEST(DecodeTest, RangeCenterRoundTripStaysInRange) {
+  LookupTable table = UniformTable(100.0, 2);
+  TimeSeries s = TimeSeries::FromValues({10.0, 30.0, 60.0, 90.0});
+  ASSERT_OK_AND_ASSIGN(SymbolicSeries encoded, Encode(s, table));
+  ASSERT_OK_AND_ASSIGN(
+      TimeSeries decoded,
+      Decode(encoded, table, ReconstructionMode::kRangeCenter));
+  ASSERT_EQ(decoded.size(), s.size());
+  EXPECT_DOUBLE_EQ(decoded[0].value, 12.5);
+  EXPECT_DOUBLE_EQ(decoded[1].value, 37.5);
+  EXPECT_DOUBLE_EQ(decoded[3].value, 87.5);
+  for (size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(decoded[i].timestamp, s[i].timestamp);
+  }
+}
+
+TEST(DecodeTest, CoarseSeriesDecodableByFineTable) {
+  // Section 4 flexibility: symbols of lower resolution are still
+  // meaningful under the finer table.
+  LookupTable table = UniformTable(100.0, 3);
+  TimeSeries s = TimeSeries::FromValues({10.0, 90.0});
+  ASSERT_OK_AND_ASSIGN(SymbolicSeries fine, Encode(s, table));
+  ASSERT_OK_AND_ASSIGN(SymbolicSeries coarse, fine.Coarsen(1));
+  ASSERT_OK_AND_ASSIGN(
+      TimeSeries decoded,
+      Decode(coarse, table, ReconstructionMode::kRangeCenter));
+  EXPECT_DOUBLE_EQ(decoded[0].value, 25.0);
+  EXPECT_DOUBLE_EQ(decoded[1].value, 75.0);
+}
+
+TEST(EncodePipelineTest, VerticalThenHorizontal) {
+  LookupTable table = UniformTable(100.0, 1);
+  // 1 Hz, 60 s of 10 W then 60 s of 90 W; 60 s windows.
+  std::vector<double> values(120, 10.0);
+  for (size_t i = 60; i < 120; ++i) values[i] = 90.0;
+  TimeSeries raw = TimeSeries::FromValues(values);
+  PipelineOptions options;
+  options.window_seconds = 60;
+  ASSERT_OK_AND_ASSIGN(SymbolicSeries out, EncodePipeline(raw, table, options));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.ToBitString(), "0 1");
+}
+
+TEST(EncodePipelineTest, PropagatesWindowErrors) {
+  LookupTable table = UniformTable(100.0, 1);
+  PipelineOptions options;
+  options.window_seconds = 0;
+  EXPECT_FALSE(EncodePipeline(TimeSeries(), table, options).ok());
+}
+
+}  // namespace
+}  // namespace smeter

@@ -1,0 +1,78 @@
+#include "core/entropy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/encoder.h"
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+TEST(EntropyBitsTest, UniformCountsAreMaximal) {
+  ASSERT_OK_AND_ASSIGN(double h, EntropyBits({10, 10, 10, 10}));
+  EXPECT_DOUBLE_EQ(h, 2.0);
+}
+
+TEST(EntropyBitsTest, DegenerateDistributionIsZero) {
+  ASSERT_OK_AND_ASSIGN(double h, EntropyBits({0, 42, 0, 0}));
+  EXPECT_DOUBLE_EQ(h, 0.0);
+}
+
+TEST(EntropyBitsTest, KnownMixedValue) {
+  // {3/4, 1/4}: H = 0.811278...
+  ASSERT_OK_AND_ASSIGN(double h, EntropyBits({3, 1}));
+  EXPECT_NEAR(h, 0.8112781245, 1e-9);
+}
+
+TEST(EntropyBitsTest, EmptyCountsError) {
+  EXPECT_FALSE(EntropyBits({}).ok());
+  EXPECT_FALSE(EntropyBits({0, 0}).ok());
+}
+
+TEST(SymbolEntropyTest, MedianEncodingMaximizesEntropy) {
+  // Section 2.2b: median "aims to maximize the entropy of the generated
+  // symbols". On skewed data it must beat uniform by a wide margin.
+  std::vector<double> values = testing::LogNormalValues(20000, 77);
+  TimeSeries series = testing::MakeSeries(values);
+
+  LookupTableOptions options;
+  options.level = 4;
+  options.method = SeparatorMethod::kMedian;
+  ASSERT_OK_AND_ASSIGN(LookupTable median_table,
+                       LookupTable::Build(values, options));
+  options.method = SeparatorMethod::kUniform;
+  ASSERT_OK_AND_ASSIGN(LookupTable uniform_table,
+                       LookupTable::Build(values, options));
+
+  ASSERT_OK_AND_ASSIGN(SymbolicSeries median_series,
+                       Encode(series, median_table));
+  ASSERT_OK_AND_ASSIGN(SymbolicSeries uniform_series,
+                       Encode(series, uniform_table));
+
+  ASSERT_OK_AND_ASSIGN(double h_median, SymbolEntropyBits(median_series));
+  ASSERT_OK_AND_ASSIGN(double h_uniform, SymbolEntropyBits(uniform_series));
+  EXPECT_GT(h_median, h_uniform);
+  EXPECT_GT(h_median, 3.95);  // near-maximal 4 bits
+  EXPECT_LE(h_median, 4.0 + 1e-9);
+}
+
+TEST(SymbolEntropyTest, NormalizedEntropyInUnitInterval) {
+  std::vector<double> values = testing::LogNormalValues(5000, 83);
+  TimeSeries series = testing::MakeSeries(values);
+  LookupTableOptions options;
+  options.level = 3;
+  options.method = SeparatorMethod::kMedian;
+  ASSERT_OK_AND_ASSIGN(LookupTable table, LookupTable::Build(values, options));
+  ASSERT_OK_AND_ASSIGN(SymbolicSeries encoded, Encode(series, table));
+  ASSERT_OK_AND_ASSIGN(double norm, NormalizedSymbolEntropy(encoded));
+  EXPECT_GT(norm, 0.95);
+  EXPECT_LE(norm, 1.0 + 1e-9);
+}
+
+TEST(SymbolEntropyTest, EmptySeriesErrors) {
+  SymbolicSeries empty(3);
+  EXPECT_FALSE(SymbolEntropyBits(empty).ok());
+}
+
+}  // namespace
+}  // namespace smeter

@@ -1,0 +1,260 @@
+#include "core/lookup_table.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+LookupTable MakeUniformTable(double max, int level) {
+  std::vector<double> training = {0.0, max};
+  LookupTableOptions options;
+  options.method = SeparatorMethod::kUniform;
+  options.level = level;
+  return LookupTable::Build(training, options).value();
+}
+
+TEST(LookupTableTest, BuildLearnsSeparators) {
+  std::vector<double> training = testing::LogNormalValues(1000, 7);
+  LookupTableOptions options;
+  options.method = SeparatorMethod::kMedian;
+  options.level = 4;
+  ASSERT_OK_AND_ASSIGN(LookupTable table,
+                       LookupTable::Build(training, options));
+  EXPECT_EQ(table.level(), 4);
+  EXPECT_EQ(table.alphabet_size(), 16u);
+  EXPECT_EQ(table.separators().size(), 15u);
+  EXPECT_EQ(table.method(), SeparatorMethod::kMedian);
+}
+
+TEST(LookupTableTest, EncodeFollowsDefinitionThree) {
+  // Separators at 25, 50, 75 over [0, 100].
+  LookupTable table = MakeUniformTable(100.0, 2);
+  // Rule (iii): beta_{j-1} < v <= beta_j -> a_j. Boundary inclusive above.
+  EXPECT_EQ(table.Encode(10.0).index(), 0u);
+  EXPECT_EQ(table.Encode(25.0).index(), 0u);   // v <= beta_1
+  EXPECT_EQ(table.Encode(25.001).index(), 1u);
+  EXPECT_EQ(table.Encode(50.0).index(), 1u);
+  EXPECT_EQ(table.Encode(75.0).index(), 2u);
+  EXPECT_EQ(table.Encode(76.0).index(), 3u);
+}
+
+TEST(LookupTableTest, EncodeClampsOutOfRange) {
+  LookupTable table = MakeUniformTable(100.0, 2);
+  EXPECT_EQ(table.Encode(-50.0).index(), 0u);   // rule (i)
+  EXPECT_EQ(table.Encode(1e9).index(), 3u);     // rule (ii)
+}
+
+TEST(LookupTableTest, EncodeMonotone) {
+  std::vector<double> training = testing::LogNormalValues(5000, 11);
+  LookupTableOptions options;
+  options.method = SeparatorMethod::kMedian;
+  options.level = 4;
+  ASSERT_OK_AND_ASSIGN(LookupTable table,
+                       LookupTable::Build(training, options));
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double a = rng.Uniform(0.0, 1000.0);
+    double b = rng.Uniform(0.0, 1000.0);
+    if (a > b) std::swap(a, b);
+    EXPECT_LE(table.Encode(a).index(), table.Encode(b).index());
+  }
+}
+
+TEST(LookupTableTest, EncodeAtLevelEqualsCoarsenedEncode) {
+  // The Figure-1 nesting property.
+  std::vector<double> training = testing::LogNormalValues(5000, 13);
+  for (SeparatorMethod method :
+       {SeparatorMethod::kUniform, SeparatorMethod::kMedian,
+        SeparatorMethod::kDistinctMedian}) {
+    LookupTableOptions options;
+    options.method = method;
+    options.level = 4;
+    ASSERT_OK_AND_ASSIGN(LookupTable table,
+                         LookupTable::Build(training, options));
+    Rng rng(17);
+    for (int i = 0; i < 500; ++i) {
+      double v = rng.Uniform(-10.0, 1500.0);
+      for (int level = 1; level <= 4; ++level) {
+        ASSERT_OK_AND_ASSIGN(Symbol direct, table.EncodeAtLevel(v, level));
+        ASSERT_OK_AND_ASSIGN(Symbol coarse, table.Encode(v).Coarsen(level));
+        EXPECT_EQ(direct, coarse) << "method "
+                                  << SeparatorMethodName(method) << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(LookupTableTest, SeparatorsAtLevelAreNestedSubsets) {
+  std::vector<double> training = testing::LogNormalValues(2000, 19);
+  LookupTableOptions options;
+  options.method = SeparatorMethod::kMedian;
+  options.level = 4;
+  ASSERT_OK_AND_ASSIGN(LookupTable table,
+                       LookupTable::Build(training, options));
+  ASSERT_OK_AND_ASSIGN(std::vector<double> level3,
+                       table.SeparatorsAtLevel(3));
+  ASSERT_EQ(level3.size(), 7u);
+  // Every level-3 separator must appear among the level-4 separators.
+  const std::vector<double>& fine = table.separators();
+  for (double s : level3) {
+    EXPECT_TRUE(std::find(fine.begin(), fine.end(), s) != fine.end());
+  }
+  ASSERT_OK_AND_ASSIGN(std::vector<double> level1,
+                       table.SeparatorsAtLevel(1));
+  ASSERT_EQ(level1.size(), 1u);
+  EXPECT_DOUBLE_EQ(level1[0], fine[7]);  // the middle separator
+}
+
+TEST(LookupTableTest, RangeBoundsBracketEncodeInput) {
+  std::vector<double> training = testing::LogNormalValues(3000, 23);
+  LookupTableOptions options;
+  options.method = SeparatorMethod::kMedian;
+  options.level = 3;
+  ASSERT_OK_AND_ASSIGN(LookupTable table,
+                       LookupTable::Build(training, options));
+  Rng rng(29);
+  for (int i = 0; i < 300; ++i) {
+    double v = rng.Uniform(table.domain_min(), table.domain_max());
+    Symbol s = table.Encode(v);
+    ASSERT_OK_AND_ASSIGN(double lo, table.RangeLow(s));
+    ASSERT_OK_AND_ASSIGN(double hi, table.RangeHigh(s));
+    EXPECT_LE(lo, v + 1e-9);
+    EXPECT_GE(hi, v - 1e-9);
+  }
+}
+
+TEST(LookupTableTest, ReconstructCenterIsRangeMidpoint) {
+  LookupTable table = MakeUniformTable(100.0, 2);
+  ASSERT_OK_AND_ASSIGN(Symbol s, Symbol::Create(2, 1));
+  ASSERT_OK_AND_ASSIGN(double center,
+                       table.Reconstruct(s, ReconstructionMode::kRangeCenter));
+  EXPECT_DOUBLE_EQ(center, 37.5);  // (25 + 50) / 2
+}
+
+TEST(LookupTableTest, ReconstructMeanUsesTrainingData) {
+  // Training values 10 and 20 both land in symbol 0 of [0, 100] k=2.
+  std::vector<double> training = {10.0, 20.0, 100.0};
+  LookupTableOptions options;
+  options.method = SeparatorMethod::kUniform;
+  options.level = 1;
+  ASSERT_OK_AND_ASSIGN(LookupTable table,
+                       LookupTable::Build(training, options));
+  ASSERT_OK_AND_ASSIGN(Symbol s0, Symbol::Create(1, 0));
+  ASSERT_OK_AND_ASSIGN(double mean,
+                       table.Reconstruct(s0, ReconstructionMode::kRangeMean));
+  EXPECT_DOUBLE_EQ(mean, 15.0);
+}
+
+TEST(LookupTableTest, ReconstructMeanFallsBackToCenterOnEmptyBucket) {
+  // With max = 100 and k = 4, no training value lies in (25, 50].
+  std::vector<double> training = {10.0, 100.0};
+  LookupTableOptions options;
+  options.method = SeparatorMethod::kUniform;
+  options.level = 2;
+  ASSERT_OK_AND_ASSIGN(LookupTable table,
+                       LookupTable::Build(training, options));
+  ASSERT_OK_AND_ASSIGN(Symbol s1, Symbol::Create(2, 1));
+  ASSERT_OK_AND_ASSIGN(double v,
+                       table.Reconstruct(s1, ReconstructionMode::kRangeMean));
+  EXPECT_DOUBLE_EQ(v, 37.5);
+}
+
+TEST(LookupTableTest, ReconstructCoarseSymbolAggregatesBuckets) {
+  std::vector<double> training = {10.0, 20.0, 40.0, 90.0};
+  LookupTableOptions options;
+  options.method = SeparatorMethod::kUniform;
+  options.level = 2;  // separators 22.5, 45, 67.5
+  ASSERT_OK_AND_ASSIGN(LookupTable table,
+                       LookupTable::Build(training, options));
+  ASSERT_OK_AND_ASSIGN(Symbol low_half, Symbol::Create(1, 0));
+  ASSERT_OK_AND_ASSIGN(
+      double mean, table.Reconstruct(low_half, ReconstructionMode::kRangeMean));
+  // Values <= 45: 10, 20, 40 -> mean 70/3.
+  EXPECT_NEAR(mean, 70.0 / 3.0, 1e-9);
+}
+
+TEST(LookupTableTest, RejectsSymbolFinerThanTable) {
+  LookupTable table = MakeUniformTable(100.0, 2);
+  ASSERT_OK_AND_ASSIGN(Symbol fine, Symbol::Create(3, 0));
+  EXPECT_FALSE(table.RangeLow(fine).ok());
+  EXPECT_FALSE(table.Reconstruct(fine, ReconstructionMode::kRangeCenter).ok());
+  EXPECT_FALSE(table.EncodeAtLevel(10.0, 3).ok());
+  EXPECT_FALSE(table.EncodeAtLevel(10.0, 0).ok());
+}
+
+TEST(LookupTableTest, FromSeparatorsExpertTable) {
+  // The Section 3.2 example: a 2-symbol low/high segmentation.
+  ASSERT_OK_AND_ASSIGN(LookupTable table,
+                       LookupTable::FromSeparators({500.0}, 0.0, 3000.0));
+  EXPECT_EQ(table.level(), 1);
+  EXPECT_EQ(table.method(), SeparatorMethod::kCustom);
+  EXPECT_EQ(table.Encode(100.0).ToBits(), "0");
+  EXPECT_EQ(table.Encode(2000.0).ToBits(), "1");
+}
+
+TEST(LookupTableTest, FromSeparatorsValidates) {
+  EXPECT_FALSE(LookupTable::FromSeparators({1.0, 2.0}, 0, 10).ok());  // k=3
+  EXPECT_FALSE(LookupTable::FromSeparators({2.0, 1.0, 3.0}, 0, 10).ok());
+  EXPECT_FALSE(LookupTable::FromSeparators({1.0}, 10.0, 0.0).ok());
+}
+
+TEST(LookupTableTest, SerializeDeserializeRoundTrip) {
+  std::vector<double> training = testing::LogNormalValues(500, 31);
+  LookupTableOptions options;
+  options.method = SeparatorMethod::kDistinctMedian;
+  options.level = 3;
+  ASSERT_OK_AND_ASSIGN(LookupTable table,
+                       LookupTable::Build(training, options));
+  std::string blob = table.Serialize();
+  ASSERT_OK_AND_ASSIGN(LookupTable restored, LookupTable::Deserialize(blob));
+  EXPECT_EQ(restored.level(), table.level());
+  EXPECT_EQ(restored.method(), table.method());
+  EXPECT_EQ(restored.separators(), table.separators());
+  EXPECT_DOUBLE_EQ(restored.domain_min(), table.domain_min());
+  EXPECT_DOUBLE_EQ(restored.domain_max(), table.domain_max());
+  // Same encode and reconstruct behaviour.
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) {
+    double v = rng.Uniform(0.0, 1000.0);
+    EXPECT_EQ(restored.Encode(v), table.Encode(v));
+    Symbol s = table.Encode(v);
+    EXPECT_DOUBLE_EQ(
+        restored.Reconstruct(s, ReconstructionMode::kRangeMean).value(),
+        table.Reconstruct(s, ReconstructionMode::kRangeMean).value());
+  }
+}
+
+TEST(LookupTableTest, DeserializeRejectsCorruptBlobs) {
+  EXPECT_FALSE(LookupTable::Deserialize("").ok());
+  EXPECT_FALSE(LookupTable::Deserialize("garbage\n\n\n\n\n\n\n").ok());
+  LookupTable table = MakeUniformTable(10.0, 1);
+  std::string blob = table.Serialize();
+  // Corrupt the separator count.
+  std::string bad = blob;
+  bad.replace(bad.find("separators"), 10, "separatorz");
+  EXPECT_FALSE(LookupTable::Deserialize(bad).ok());
+}
+
+TEST(LookupTableTest, BucketCountsSumToTrainingSize) {
+  std::vector<double> training = testing::LogNormalValues(999, 41);
+  LookupTableOptions options;
+  options.method = SeparatorMethod::kMedian;
+  options.level = 4;
+  ASSERT_OK_AND_ASSIGN(LookupTable table,
+                       LookupTable::Build(training, options));
+  size_t total = 0;
+  for (size_t c : table.bucket_counts()) total += c;
+  EXPECT_EQ(total, training.size());
+}
+
+TEST(LookupTableTest, BuildRejectsBadOptions) {
+  EXPECT_FALSE(LookupTable::Build({}, {}).ok());
+  LookupTableOptions options;
+  options.level = 0;
+  EXPECT_FALSE(LookupTable::Build({1.0}, options).ok());
+}
+
+}  // namespace
+}  // namespace smeter

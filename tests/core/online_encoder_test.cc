@@ -1,0 +1,179 @@
+#include "core/online_encoder.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+OnlineEncoderOptions BaseOptions() {
+  OnlineEncoderOptions options;
+  options.method = SeparatorMethod::kMedian;
+  options.level = 2;
+  options.warmup_seconds = 40;
+  options.window_seconds = 10;
+  options.window.sample_period_seconds = 1;
+  options.window.min_coverage = 0.5;
+  return options;
+}
+
+// Pushes a gapless 1 Hz ramp of `n` samples, returning all events.
+std::vector<EncoderEvent> PushRamp(OnlineEncoder& encoder, int n,
+                                   double scale = 1.0) {
+  std::vector<EncoderEvent> events;
+  for (int t = 0; t < n; ++t) {
+    auto batch = encoder.Push({t, scale * static_cast<double>(t % 40)});
+    EXPECT_TRUE(batch.ok());
+    for (const auto& e : batch.value()) events.push_back(e);
+  }
+  return events;
+}
+
+TEST(OnlineEncoderTest, CreateValidates) {
+  OnlineEncoderOptions options = BaseOptions();
+  options.level = 0;
+  EXPECT_FALSE(OnlineEncoder::Create(options).ok());
+  options = BaseOptions();
+  options.warmup_seconds = 5;  // shorter than one window
+  EXPECT_FALSE(OnlineEncoder::Create(options).ok());
+  options = BaseOptions();
+  options.window_seconds = 0;
+  EXPECT_FALSE(OnlineEncoder::Create(options).ok());
+}
+
+TEST(OnlineEncoderTest, NoSymbolsBeforeWarmup) {
+  ASSERT_OK_AND_ASSIGN(OnlineEncoder encoder,
+                       OnlineEncoder::Create(BaseOptions()));
+  std::vector<EncoderEvent> events = PushRamp(encoder, 39);
+  EXPECT_TRUE(events.empty());
+  EXPECT_FALSE(encoder.warmed_up());
+}
+
+TEST(OnlineEncoderTest, TableEmittedBeforeFirstSymbol) {
+  ASSERT_OK_AND_ASSIGN(OnlineEncoder encoder,
+                       OnlineEncoder::Create(BaseOptions()));
+  std::vector<EncoderEvent> events = PushRamp(encoder, 100);
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events[0].type, EncoderEvent::Type::kTableReady);
+  EXPECT_EQ(events[0].table_version, 1);
+  bool symbol_seen = false;
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].type, EncoderEvent::Type::kSymbol);
+    EXPECT_EQ(events[i].table_version, 1);
+    symbol_seen = true;
+  }
+  EXPECT_TRUE(symbol_seen);
+  EXPECT_TRUE(encoder.warmed_up());
+  EXPECT_EQ(encoder.table()->level(), 2);
+}
+
+TEST(OnlineEncoderTest, SymbolTimestampsAreWindowEnds) {
+  ASSERT_OK_AND_ASSIGN(OnlineEncoder encoder,
+                       OnlineEncoder::Create(BaseOptions()));
+  std::vector<EncoderEvent> events = PushRamp(encoder, 71);
+  // Warm-up covers windows ending at 10..40; symbols start with the window
+  // ending at 50.
+  std::vector<Timestamp> stamps;
+  for (const auto& e : events) {
+    if (e.type == EncoderEvent::Type::kSymbol) {
+      stamps.push_back(e.symbol.timestamp);
+    }
+  }
+  ASSERT_EQ(stamps.size(), 3u);
+  EXPECT_EQ(stamps[0], 50);
+  EXPECT_EQ(stamps[1], 60);
+  EXPECT_EQ(stamps[2], 70);
+}
+
+TEST(OnlineEncoderTest, FlushEmitsFinalPartialWindow) {
+  ASSERT_OK_AND_ASSIGN(OnlineEncoder encoder,
+                       OnlineEncoder::Create(BaseOptions()));
+  PushRamp(encoder, 76);  // 6 samples into the window [70, 80)
+  ASSERT_OK_AND_ASSIGN(std::vector<EncoderEvent> events, encoder.Flush());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, EncoderEvent::Type::kSymbol);
+  EXPECT_EQ(events[0].symbol.timestamp, 80);
+}
+
+TEST(OnlineEncoderTest, FlushDropsUnderCoveredWindow) {
+  ASSERT_OK_AND_ASSIGN(OnlineEncoder encoder,
+                       OnlineEncoder::Create(BaseOptions()));
+  PushRamp(encoder, 73);  // only 3 of 10 samples in the last window
+  ASSERT_OK_AND_ASSIGN(std::vector<EncoderEvent> events, encoder.Flush());
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(OnlineEncoderTest, RejectsRegressingTimestamps) {
+  ASSERT_OK_AND_ASSIGN(OnlineEncoder encoder,
+                       OnlineEncoder::Create(BaseOptions()));
+  ASSERT_OK(encoder.Push({100, 1.0}).status());
+  EXPECT_FALSE(encoder.Push({99, 1.0}).ok());
+}
+
+TEST(OnlineEncoderTest, RejectsNonFiniteValues) {
+  ASSERT_OK_AND_ASSIGN(OnlineEncoder encoder,
+                       OnlineEncoder::Create(BaseOptions()));
+  EXPECT_FALSE(encoder.Push({0, std::nan("")}).ok());
+}
+
+TEST(OnlineEncoderTest, DriftTriggersTableRebuild) {
+  OnlineEncoderOptions options = BaseOptions();
+  DriftOptions drift;
+  drift.window_size = 50;
+  drift.min_samples = 20;
+  drift.psi_threshold = 0.25;
+  options.drift = drift;
+  options.rebuild_history_windows = 60;
+  ASSERT_OK_AND_ASSIGN(OnlineEncoder encoder, OnlineEncoder::Create(options));
+
+  // Warm up on a ramp in [0, 40).
+  int t = 0;
+  for (; t < 60; ++t) {
+    ASSERT_OK(encoder.Push({t, static_cast<double>(t % 40)}).status());
+  }
+  ASSERT_TRUE(encoder.warmed_up());
+  EXPECT_EQ(encoder.table_version(), 1);
+
+  // Distribution jumps 100x: drift must eventually rebuild the table.
+  bool rebuilt = false;
+  for (; t < 2000 && !rebuilt; ++t) {
+    ASSERT_OK_AND_ASSIGN(std::vector<EncoderEvent> events,
+                         encoder.Push({t, 4000.0 + (t % 40)}));
+    for (const auto& e : events) {
+      if (e.type == EncoderEvent::Type::kTableReady && e.table_version == 2) {
+        rebuilt = true;
+      }
+    }
+  }
+  EXPECT_TRUE(rebuilt);
+  EXPECT_GE(encoder.table_version(), 2);
+  // The rebuilt table must cover the new regime.
+  EXPECT_GT(encoder.table()->domain_max(), 3000.0);
+}
+
+TEST(OnlineEncoderTest, GapsProduceNoSymbolsForMissingWindows) {
+  ASSERT_OK_AND_ASSIGN(OnlineEncoder encoder,
+                       OnlineEncoder::Create(BaseOptions()));
+  int t = 0;
+  for (; t < 50; ++t) {
+    ASSERT_OK(encoder.Push({t, 1.0}).status());
+  }
+  // Jump over two full windows.
+  std::vector<EncoderEvent> all;
+  for (t = 80; t < 100; ++t) {
+    ASSERT_OK_AND_ASSIGN(std::vector<EncoderEvent> events,
+                         encoder.Push({t, 1.0}));
+    for (const auto& e : events) all.push_back(e);
+  }
+  for (const auto& e : all) {
+    if (e.type != EncoderEvent::Type::kSymbol) continue;
+    EXPECT_TRUE(e.symbol.timestamp <= 60 || e.symbol.timestamp >= 90)
+        << "symbol emitted for a gapped window at " << e.symbol.timestamp;
+  }
+}
+
+}  // namespace
+}  // namespace smeter

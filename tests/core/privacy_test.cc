@@ -1,0 +1,140 @@
+#include "core/privacy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/encoder.h"
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+// A 1 Hz square-wave trace: `low` watts with a `high`-watt pulse of
+// `pulse_seconds` starting every `period` seconds.
+TimeSeries PulseTrace(int64_t total_seconds, int64_t period,
+                      int64_t pulse_seconds, double low, double high) {
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(total_seconds));
+  for (int64_t t = 0; t < total_seconds; ++t) {
+    values.push_back(t % period < pulse_seconds ? high : low);
+  }
+  return TimeSeries::FromValues(values);
+}
+
+LookupTable UniformTable(double max, int level) {
+  LookupTableOptions options;
+  options.method = SeparatorMethod::kUniform;
+  options.level = level;
+  return LookupTable::Build({0.0, max}, options).value();
+}
+
+TEST(EventObscurityTest, LongPulsesStayVisible) {
+  // Pulses spanning several windows flip the window means -> symbol
+  // changes across the pulse edges are visible.
+  TimeSeries raw = PulseTrace(4 * 3600, 3600, 1800, 100.0, 2000.0);
+  LookupTable table = UniformTable(2000.0, 2);
+  PipelineOptions pipeline;
+  pipeline.window_seconds = 900;
+  SymbolicSeries symbols = EncodePipeline(raw, table, pipeline).value();
+  EventObscurityOptions options;
+  options.window_seconds = 900;
+  ASSERT_OK_AND_ASSIGN(EventObscurityReport report,
+                       EvaluateEventObscurity(raw, symbols, options));
+  // Falls at 1800, 5400, 9000, 12600 and rises at 3600, 7200, 10800.
+  EXPECT_EQ(report.raw_events, 7u);
+  EXPECT_GT(report.visibility, 0.5);
+}
+
+TEST(EventObscurityTest, ShortPulsesVanishInCoarseWindows) {
+  // 10-second pulses inside 15-minute windows barely move the mean: with
+  // a coarse 4-symbol table the events disappear from the symbol stream.
+  TimeSeries raw = PulseTrace(4 * 3600, 900, 10, 100.0, 2000.0);
+  LookupTable table = UniformTable(2000.0, 2);
+  PipelineOptions pipeline;
+  pipeline.window_seconds = 900;
+  SymbolicSeries symbols = EncodePipeline(raw, table, pipeline).value();
+  ASSERT_OK_AND_ASSIGN(EventObscurityReport report,
+                       EvaluateEventObscurity(raw, symbols, {}));
+  EXPECT_GT(report.raw_events, 20u);
+  EXPECT_LT(report.visibility, 0.1);
+}
+
+TEST(EventObscurityTest, NoEventsYieldsZeroVisibility) {
+  TimeSeries raw = PulseTrace(3600, 900, 0, 100.0, 100.0);
+  LookupTable table = UniformTable(2000.0, 2);
+  SymbolicSeries symbols =
+      EncodePipeline(raw, table, {}).value();
+  ASSERT_OK_AND_ASSIGN(EventObscurityReport report,
+                       EvaluateEventObscurity(raw, symbols, {}));
+  EXPECT_EQ(report.raw_events, 0u);
+  EXPECT_DOUBLE_EQ(report.visibility, 0.0);
+}
+
+TEST(EventObscurityTest, Validates) {
+  TimeSeries raw = PulseTrace(3600, 900, 10, 100.0, 2000.0);
+  SymbolicSeries symbols(2);
+  EventObscurityOptions options;
+  options.jump_threshold_watts = 0.0;
+  EXPECT_FALSE(EvaluateEventObscurity(raw, symbols, options).ok());
+  options = {};
+  options.window_seconds = 0;
+  EXPECT_FALSE(EvaluateEventObscurity(raw, symbols, options).ok());
+}
+
+TEST(ConditionalEntropyTest, ConstantStreamIsFullyPredictable) {
+  SymbolicSeries series(2);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK(series.Append({i, Symbol::Create(2, 1).value()}));
+  }
+  ASSERT_OK_AND_ASSIGN(double h, ConditionalEntropyBits(series));
+  EXPECT_DOUBLE_EQ(h, 0.0);
+}
+
+TEST(ConditionalEntropyTest, DeterministicCycleIsPredictable) {
+  // 0,1,2,3,0,1,2,3... each symbol fully determines the next.
+  SymbolicSeries series(2);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK(series.Append(
+        {i, Symbol::Create(2, static_cast<uint32_t>(i % 4)).value()}));
+  }
+  ASSERT_OK_AND_ASSIGN(double h, ConditionalEntropyBits(series));
+  EXPECT_NEAR(h, 0.0, 1e-12);
+}
+
+TEST(ConditionalEntropyTest, RandomStreamApproachesLevelBits) {
+  SymbolicSeries series(2);
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_OK(series.Append(
+        {i, Symbol::Create(2, static_cast<uint32_t>(rng.UniformInt(4)))
+                .value()}));
+  }
+  ASSERT_OK_AND_ASSIGN(double h, ConditionalEntropyBits(series));
+  EXPECT_GT(h, 1.95);
+  EXPECT_LE(h, 2.0 + 1e-9);
+}
+
+TEST(ConditionalEntropyTest, BelowMarginalEntropyForStructuredStreams) {
+  // A sticky chain (repeat previous symbol with high probability) has low
+  // conditional entropy but near-uniform marginals.
+  SymbolicSeries series(2);
+  Rng rng(7);
+  uint32_t state = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.Bernoulli(0.05)) {
+      state = static_cast<uint32_t>(rng.UniformInt(4));
+    }
+    ASSERT_OK(series.Append({i, Symbol::Create(2, state).value()}));
+  }
+  ASSERT_OK_AND_ASSIGN(double conditional, ConditionalEntropyBits(series));
+  EXPECT_LT(conditional, 0.6);
+}
+
+TEST(ConditionalEntropyTest, NeedsTwoSymbols) {
+  SymbolicSeries series(2);
+  EXPECT_FALSE(ConditionalEntropyBits(series).ok());
+  ASSERT_OK(series.Append({0, Symbol::Create(2, 0).value()}));
+  EXPECT_FALSE(ConditionalEntropyBits(series).ok());
+}
+
+}  // namespace
+}  // namespace smeter

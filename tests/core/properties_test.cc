@@ -1,0 +1,166 @@
+// Property-style parameterized sweeps over (separator method, alphabet
+// level) for the core encoding invariants.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/encoder.h"
+#include "core/entropy.h"
+#include "core/reconstruction.h"
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+using PropertyParam = std::tuple<SeparatorMethod, int>;
+
+class EncodingPropertyTest : public ::testing::TestWithParam<PropertyParam> {
+ protected:
+  SeparatorMethod method() const { return std::get<0>(GetParam()); }
+  int level() const { return std::get<1>(GetParam()); }
+
+  LookupTable BuildTable(const std::vector<double>& training) {
+    LookupTableOptions options;
+    options.method = method();
+    options.level = level();
+    Result<LookupTable> table = LookupTable::Build(training, options);
+    EXPECT_TRUE(table.ok()) << table.status().ToString();
+    return std::move(table.value());
+  }
+};
+
+TEST_P(EncodingPropertyTest, EncodeIsMonotoneInValue) {
+  std::vector<double> training = testing::LogNormalValues(4000, 100 + level());
+  LookupTable table = BuildTable(training);
+  Rng rng(55);
+  for (int i = 0; i < 400; ++i) {
+    double a = rng.Uniform(-10.0, 2000.0);
+    double b = rng.Uniform(-10.0, 2000.0);
+    if (a > b) std::swap(a, b);
+    EXPECT_LE(table.Encode(a).index(), table.Encode(b).index())
+        << "a=" << a << " b=" << b;
+  }
+}
+
+TEST_P(EncodingPropertyTest, CoarsenCommutesWithEncode) {
+  std::vector<double> training = testing::LogNormalValues(4000, 200 + level());
+  LookupTable table = BuildTable(training);
+  Rng rng(66);
+  for (int i = 0; i < 300; ++i) {
+    double v = rng.Uniform(-5.0, 2500.0);
+    for (int l = 1; l <= level(); ++l) {
+      ASSERT_OK_AND_ASSIGN(Symbol direct, table.EncodeAtLevel(v, l));
+      ASSERT_OK_AND_ASSIGN(Symbol derived, table.Encode(v).Coarsen(l));
+      ASSERT_EQ(direct, derived) << "v=" << v << " l=" << l;
+    }
+  }
+}
+
+TEST_P(EncodingPropertyTest, DecodedValueLiesInSymbolRange) {
+  std::vector<double> training = testing::LogNormalValues(4000, 300 + level());
+  LookupTable table = BuildTable(training);
+  for (uint32_t idx = 0; idx < table.alphabet_size(); ++idx) {
+    ASSERT_OK_AND_ASSIGN(Symbol s, Symbol::Create(level(), idx));
+    ASSERT_OK_AND_ASSIGN(double lo, table.RangeLow(s));
+    ASSERT_OK_AND_ASSIGN(double hi, table.RangeHigh(s));
+    for (ReconstructionMode mode :
+         {ReconstructionMode::kRangeCenter, ReconstructionMode::kRangeMean}) {
+      ASSERT_OK_AND_ASSIGN(double v, table.Reconstruct(s, mode));
+      EXPECT_GE(v, lo - 1e-9);
+      EXPECT_LE(v, hi + 1e-9);
+    }
+  }
+}
+
+TEST_P(EncodingPropertyTest, ReEncodingDecodedValueIsStable) {
+  // encode(decode(encode(x))) == encode(x): the representative value of a
+  // symbol must itself encode to that symbol (when the bucket is
+  // non-degenerate).
+  std::vector<double> training = testing::LogNormalValues(6000, 400 + level());
+  LookupTable table = BuildTable(training);
+  TimeSeries series = testing::MakeSeries(training);
+  ASSERT_OK_AND_ASSIGN(SymbolicSeries encoded, Encode(series, table));
+  ASSERT_OK_AND_ASSIGN(
+      TimeSeries decoded,
+      Decode(encoded, table, ReconstructionMode::kRangeMean));
+  ASSERT_OK_AND_ASSIGN(SymbolicSeries re_encoded, Encode(decoded, table));
+  size_t mismatches = 0;
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    if (!(encoded[i].symbol == re_encoded[i].symbol)) ++mismatches;
+  }
+  // Ties exactly on separators can flip a bucket; allow a tiny fraction.
+  EXPECT_LT(static_cast<double>(mismatches),
+            0.01 * static_cast<double>(encoded.size()));
+}
+
+TEST_P(EncodingPropertyTest, RoundTripErrorShrinksWithFinerTables) {
+  if (level() == 1) GTEST_SKIP() << "needs a coarser comparison point";
+  std::vector<double> training = testing::LogNormalValues(6000, 500);
+  TimeSeries series = testing::MakeSeries(training);
+  LookupTableOptions options;
+  options.method = method();
+  options.level = level();
+  ASSERT_OK_AND_ASSIGN(LookupTable fine, LookupTable::Build(training, options));
+  options.level = level() - 1;
+  ASSERT_OK_AND_ASSIGN(LookupTable coarse,
+                       LookupTable::Build(training, options));
+  ASSERT_OK_AND_ASSIGN(
+      ReconstructionError fine_err,
+      RoundTripError(series, fine, ReconstructionMode::kRangeMean));
+  ASSERT_OK_AND_ASSIGN(
+      ReconstructionError coarse_err,
+      RoundTripError(series, coarse, ReconstructionMode::kRangeMean));
+  EXPECT_LE(fine_err.mae, coarse_err.mae * 1.02);
+}
+
+TEST_P(EncodingPropertyTest, SerializationPreservesEncoding) {
+  std::vector<double> training = testing::LogNormalValues(2000, 600 + level());
+  LookupTable table = BuildTable(training);
+  ASSERT_OK_AND_ASSIGN(LookupTable restored,
+                       LookupTable::Deserialize(table.Serialize()));
+  Rng rng(77);
+  for (int i = 0; i < 200; ++i) {
+    double v = rng.Uniform(-100.0, 3000.0);
+    EXPECT_EQ(table.Encode(v), restored.Encode(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethodsAndLevels, EncodingPropertyTest,
+    ::testing::Combine(::testing::Values(SeparatorMethod::kUniform,
+                                         SeparatorMethod::kMedian,
+                                         SeparatorMethod::kDistinctMedian),
+                       ::testing::Values(1, 2, 3, 4, 6)),
+    [](const ::testing::TestParamInfo<PropertyParam>& info) {
+      return SeparatorMethodName(std::get<0>(info.param)) + "_level" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// Entropy-ordering property: median >= distinctmedian-ish >= uniform on
+// skewed data, for every alphabet size.
+class EntropyOrderingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EntropyOrderingTest, MedianDominatesUniform) {
+  int level = GetParam();
+  std::vector<double> values = testing::LogNormalValues(20000, 900 + level);
+  TimeSeries series = testing::MakeSeries(values);
+  auto entropy_for = [&](SeparatorMethod method) {
+    LookupTableOptions options;
+    options.method = method;
+    options.level = level;
+    LookupTable table = LookupTable::Build(values, options).value();
+    SymbolicSeries encoded = Encode(series, table).value();
+    return SymbolEntropyBits(encoded).value();
+  };
+  double h_median = entropy_for(SeparatorMethod::kMedian);
+  double h_uniform = entropy_for(SeparatorMethod::kUniform);
+  EXPECT_GT(h_median, h_uniform);
+  EXPECT_GT(h_median, 0.97 * level);  // near-maximal by construction
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, EntropyOrderingTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace smeter

@@ -1,0 +1,157 @@
+#include "core/quantile.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+TEST(QuantileTest, MedianOfOddCount) {
+  ASSERT_OK_AND_ASSIGN(double m, Quantile({3, 1, 2}, 0.5));
+  EXPECT_DOUBLE_EQ(m, 2.0);
+}
+
+TEST(QuantileTest, MedianOfEvenCountInterpolates) {
+  ASSERT_OK_AND_ASSIGN(double m, Quantile({1, 2, 3, 4}, 0.5));
+  EXPECT_DOUBLE_EQ(m, 2.5);
+}
+
+TEST(QuantileTest, Extremes) {
+  ASSERT_OK_AND_ASSIGN(double lo, Quantile({5, 1, 9}, 0.0));
+  ASSERT_OK_AND_ASSIGN(double hi, Quantile({5, 1, 9}, 1.0));
+  EXPECT_DOUBLE_EQ(lo, 1.0);
+  EXPECT_DOUBLE_EQ(hi, 9.0);
+}
+
+TEST(QuantileTest, SingleValue) {
+  ASSERT_OK_AND_ASSIGN(double q, Quantile({7.0}, 0.3));
+  EXPECT_DOUBLE_EQ(q, 7.0);
+}
+
+TEST(QuantileTest, RejectsEmptyAndBadQ) {
+  EXPECT_FALSE(Quantile({}, 0.5).ok());
+  EXPECT_FALSE(Quantile({1.0}, -0.1).ok());
+  EXPECT_FALSE(Quantile({1.0}, 1.1).ok());
+}
+
+TEST(EqualFrequencySeparatorsTest, QuartilesOfUniformRamp) {
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) values.push_back(i);
+  ASSERT_OK_AND_ASSIGN(std::vector<double> seps,
+                       EqualFrequencySeparators(values, 3));
+  ASSERT_EQ(seps.size(), 3u);
+  EXPECT_NEAR(seps[0], 25.75, 1e-9);
+  EXPECT_NEAR(seps[1], 50.5, 1e-9);
+  EXPECT_NEAR(seps[2], 75.25, 1e-9);
+}
+
+TEST(EqualFrequencySeparatorsTest, SeparatorsSplitMassEvenly) {
+  std::vector<double> values = testing::LogNormalValues(20000, 99);
+  ASSERT_OK_AND_ASSIGN(std::vector<double> seps,
+                       EqualFrequencySeparators(values, 7));
+  // Each of the 8 buckets should hold ~1/8 of the data.
+  std::vector<size_t> counts(8, 0);
+  for (double v : values) {
+    size_t b = static_cast<size_t>(
+        std::lower_bound(seps.begin(), seps.end(), v) - seps.begin());
+    ++counts[b];
+  }
+  for (size_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), 2500.0, 150.0);
+  }
+}
+
+TEST(EqualFrequencySeparatorsTest, NonDecreasing) {
+  std::vector<double> values = testing::LogNormalValues(1000, 3);
+  ASSERT_OK_AND_ASSIGN(std::vector<double> seps,
+                       EqualFrequencySeparators(values, 15));
+  EXPECT_TRUE(std::is_sorted(seps.begin(), seps.end()));
+}
+
+TEST(DistinctSeparatorsTest, IgnoresMultiplicity) {
+  // 0 appears overwhelmingly often; distinct-median must not collapse all
+  // separators onto 0.
+  std::vector<double> values(1000, 0.0);
+  for (int i = 1; i <= 10; ++i) values.push_back(i);
+  ASSERT_OK_AND_ASSIGN(std::vector<double> plain,
+                       EqualFrequencySeparators(values, 3));
+  ASSERT_OK_AND_ASSIGN(std::vector<double> distinct,
+                       DistinctEqualFrequencySeparators(values, 3));
+  EXPECT_DOUBLE_EQ(plain[0], 0.0);
+  EXPECT_DOUBLE_EQ(plain[2], 0.0);
+  EXPECT_GT(distinct[0], 0.0);  // quantiles of {0,1,...,10}
+  EXPECT_GT(distinct[2], distinct[0]);
+}
+
+TEST(DistinctSeparatorsTest, EqualsPlainWhenAllValuesDistinct) {
+  std::vector<double> values;
+  for (int i = 0; i < 64; ++i) values.push_back(i * 1.5);
+  ASSERT_OK_AND_ASSIGN(std::vector<double> plain,
+                       EqualFrequencySeparators(values, 7));
+  ASSERT_OK_AND_ASSIGN(std::vector<double> distinct,
+                       DistinctEqualFrequencySeparators(values, 7));
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_DOUBLE_EQ(plain[i], distinct[i]);
+  }
+}
+
+TEST(RunningStatsTest, TracksBasicMoments) {
+  RunningStats stats;
+  for (double v : {4.0, 2.0, 6.0, 8.0}) stats.Add(v);
+  EXPECT_EQ(stats.count(), 4u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 8.0);
+}
+
+TEST(RunningStatsTest, MedianMatchesBatchQuantile) {
+  std::vector<double> values = testing::LogNormalValues(5001, 17);
+  RunningStats stats;
+  for (double v : values) stats.Add(v);
+  ASSERT_OK_AND_ASSIGN(double running, stats.Median());
+  ASSERT_OK_AND_ASSIGN(double batch, Quantile(values, 0.5));
+  EXPECT_NEAR(running, batch, 1e-9);
+}
+
+TEST(RunningStatsTest, RunningQuantileMatchesBatch) {
+  std::vector<double> values = testing::LogNormalValues(4000, 23);
+  RunningStats stats;
+  for (double v : values) stats.Add(v);
+  for (double q : {0.1, 0.25, 0.75, 0.9}) {
+    ASSERT_OK_AND_ASSIGN(double running, stats.RunningQuantile(q));
+    ASSERT_OK_AND_ASSIGN(double batch, Quantile(values, q));
+    EXPECT_NEAR(running, batch, 1e-9) << "q=" << q;
+  }
+}
+
+TEST(RunningStatsTest, DistinctMedianDiffersUnderSkew) {
+  RunningStats stats;
+  for (int i = 0; i < 100; ++i) stats.Add(0.0);
+  for (int i = 1; i <= 4; ++i) stats.Add(i);
+  ASSERT_OK_AND_ASSIGN(double median, stats.Median());
+  ASSERT_OK_AND_ASSIGN(double distinct, stats.DistinctMedian());
+  EXPECT_DOUBLE_EQ(median, 0.0);
+  EXPECT_DOUBLE_EQ(distinct, 2.0);  // median of {0,1,2,3,4}
+}
+
+TEST(RunningStatsTest, EmptyStreamErrors) {
+  RunningStats stats;
+  EXPECT_FALSE(stats.Median().ok());
+  EXPECT_FALSE(stats.DistinctMedian().ok());
+  EXPECT_FALSE(stats.RunningQuantile(0.5).ok());
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats stats;
+  stats.Add(3.0);
+  ASSERT_OK_AND_ASSIGN(double m, stats.Median());
+  EXPECT_DOUBLE_EQ(m, 3.0);
+  ASSERT_OK_AND_ASSIGN(double d, stats.DistinctMedian());
+  EXPECT_DOUBLE_EQ(d, 3.0);
+}
+
+}  // namespace
+}  // namespace smeter

@@ -1,0 +1,99 @@
+#include "core/reconstruction.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+LookupTable MedianTable(const std::vector<double>& training, int level) {
+  LookupTableOptions options;
+  options.method = SeparatorMethod::kMedian;
+  options.level = level;
+  return LookupTable::Build(training, options).value();
+}
+
+TEST(CompareSeriesTest, ComputesErrorStatistics) {
+  TimeSeries a = TimeSeries::FromValues({1.0, 2.0, 3.0});
+  TimeSeries b = TimeSeries::FromValues({1.5, 2.0, 1.0});
+  ASSERT_OK_AND_ASSIGN(ReconstructionError err, CompareSeries(a, b));
+  EXPECT_DOUBLE_EQ(err.mae, (0.5 + 0.0 + 2.0) / 3.0);
+  EXPECT_DOUBLE_EQ(err.max_abs, 2.0);
+  EXPECT_NEAR(err.rmse, std::sqrt((0.25 + 4.0) / 3.0), 1e-12);
+  EXPECT_EQ(err.count, 3u);
+}
+
+TEST(CompareSeriesTest, RejectsMismatch) {
+  TimeSeries a = TimeSeries::FromValues({1.0, 2.0});
+  TimeSeries b = TimeSeries::FromValues({1.0});
+  EXPECT_FALSE(CompareSeries(a, b).ok());
+  TimeSeries c = TimeSeries::FromValues({1.0, 2.0}, 5, 1);
+  EXPECT_FALSE(CompareSeries(a, c).ok());
+  EXPECT_FALSE(CompareSeries(TimeSeries(), TimeSeries()).ok());
+}
+
+TEST(RoundTripErrorTest, ErrorBoundedByLargestRange) {
+  std::vector<double> values = testing::LogNormalValues(2000, 3);
+  TimeSeries series = testing::MakeSeries(values);
+  LookupTable table = MedianTable(values, 4);
+  ASSERT_OK_AND_ASSIGN(
+      ReconstructionError err,
+      RoundTripError(series, table, ReconstructionMode::kRangeCenter));
+  // Every error is at most half the widest range.
+  double max_range = 0.0;
+  for (uint32_t i = 0; i < table.alphabet_size(); ++i) {
+    Symbol s = Symbol::Create(4, i).value();
+    double width = table.RangeHigh(s).value() - table.RangeLow(s).value();
+    max_range = std::max(max_range, width);
+  }
+  EXPECT_LE(err.max_abs, max_range / 2.0 + 1e-9);
+  EXPECT_GT(err.mae, 0.0);
+}
+
+TEST(RoundTripErrorTest, FinerAlphabetNeverWorse) {
+  std::vector<double> values = testing::LogNormalValues(3000, 9);
+  TimeSeries series = testing::MakeSeries(values);
+  double previous_mae = 1e300;
+  for (int level = 1; level <= 4; ++level) {
+    LookupTable table = MedianTable(values, level);
+    ASSERT_OK_AND_ASSIGN(
+        ReconstructionError err,
+        RoundTripError(series, table, ReconstructionMode::kRangeMean));
+    EXPECT_LT(err.mae, previous_mae * 1.05)
+        << "level " << level << " degraded reconstruction";
+    previous_mae = err.mae;
+  }
+}
+
+TEST(RoundTripErrorTest, RangeMeanBeatsRangeCenterOnSkewedData) {
+  // On log-normal data the in-range mean is a better representative than
+  // the midpoint (the mass sits near the low edge of wide high buckets).
+  std::vector<double> values = testing::LogNormalValues(5000, 21);
+  TimeSeries series = testing::MakeSeries(values);
+  LookupTable table = MedianTable(values, 3);
+  ASSERT_OK_AND_ASSIGN(
+      ReconstructionError center,
+      RoundTripError(series, table, ReconstructionMode::kRangeCenter));
+  ASSERT_OK_AND_ASSIGN(
+      ReconstructionError mean,
+      RoundTripError(series, table, ReconstructionMode::kRangeMean));
+  EXPECT_LT(mean.mae, center.mae);
+}
+
+TEST(MeanAbsoluteErrorTest, Basics) {
+  ASSERT_OK_AND_ASSIGN(double mae,
+                       MeanAbsoluteError({1.0, 2.0, 3.0}, {2.0, 2.0, 1.0}));
+  EXPECT_DOUBLE_EQ(mae, 1.0);
+}
+
+TEST(MeanAbsoluteErrorTest, RejectsBadInput) {
+  EXPECT_FALSE(MeanAbsoluteError({1.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(MeanAbsoluteError({}, {}).ok());
+}
+
+}  // namespace
+}  // namespace smeter

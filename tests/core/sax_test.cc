@@ -1,0 +1,145 @@
+#include "core/sax.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+TEST(GaussianBreakpointsTest, KnownTableForFourSymbols) {
+  // The SAX paper's table for a = 4: {-0.6745, 0, 0.6745}.
+  ASSERT_OK_AND_ASSIGN(std::vector<double> b, GaussianBreakpoints(4));
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_NEAR(b[0], -0.6745, 1e-3);
+  EXPECT_NEAR(b[1], 0.0, 1e-9);
+  EXPECT_NEAR(b[2], 0.6745, 1e-3);
+}
+
+TEST(GaussianBreakpointsTest, RejectsTooSmallAlphabet) {
+  EXPECT_FALSE(GaussianBreakpoints(1).ok());
+}
+
+TEST(SaxEncodeTest, EquiprobableSymbolsOnGaussianData) {
+  std::vector<double> values;
+  Rng rng(3);
+  for (int i = 0; i < 40000; ++i) values.push_back(rng.Gaussian(100.0, 15.0));
+  TimeSeries series = testing::MakeSeries(values);
+  SaxOptions options;
+  options.level = 2;
+  options.paa_frame = 1;  // no smoothing: direct discretization
+  ASSERT_OK_AND_ASSIGN(SymbolicSeries word, SaxEncode(series, options));
+  std::vector<size_t> hist = word.Histogram();
+  for (size_t c : hist) {
+    EXPECT_NEAR(static_cast<double>(c), 10000.0, 400.0);
+  }
+}
+
+TEST(SaxEncodeTest, PaaReducesLength) {
+  TimeSeries series = testing::MakeSeries(testing::LogNormalValues(100, 5));
+  SaxOptions options;
+  options.level = 3;
+  options.paa_frame = 10;
+  ASSERT_OK_AND_ASSIGN(SymbolicSeries word, SaxEncode(series, options));
+  EXPECT_EQ(word.size(), 10u);
+  EXPECT_EQ(word.level(), 3);
+}
+
+TEST(SaxEncodeTest, NormalizationErasesScale) {
+  // Figure 3's critique: a small and a big consumer with the same shape
+  // normalize to identical SAX words.
+  std::vector<double> shape = {1, 1, 5, 5, 2, 2, 8, 8, 1, 1};
+  std::vector<double> scaled;
+  for (double v : shape) scaled.push_back(100.0 * v);
+  SaxOptions options;
+  options.level = 2;
+  options.paa_frame = 2;
+  ASSERT_OK_AND_ASSIGN(SymbolicSeries small,
+                       SaxEncode(testing::MakeSeries(shape), options));
+  ASSERT_OK_AND_ASSIGN(SymbolicSeries big,
+                       SaxEncode(testing::MakeSeries(scaled), options));
+  EXPECT_EQ(small.ToBitString(), big.ToBitString());
+}
+
+TEST(SaxEncodeTest, WithoutNormalizationScaleSurvives) {
+  // Values straddling the Gaussian breakpoints keep their structure; the
+  // 100x-scaled copy saturates into the extreme symbols instead.
+  std::vector<double> shape = {-0.8, -0.8, 0.1, 0.1, -0.2, -0.2, 0.9, 0.9,
+                               -0.7, -0.7};
+  std::vector<double> scaled;
+  for (double v : shape) scaled.push_back(100.0 * v);
+  SaxOptions options;
+  options.level = 2;
+  options.paa_frame = 2;
+  options.normalize = false;
+  ASSERT_OK_AND_ASSIGN(SymbolicSeries small,
+                       SaxEncode(testing::MakeSeries(shape), options));
+  ASSERT_OK_AND_ASSIGN(SymbolicSeries big,
+                       SaxEncode(testing::MakeSeries(scaled), options));
+  EXPECT_NE(small.ToBitString(), big.ToBitString());
+}
+
+TEST(SaxEncodeTest, RejectsConstantSeriesWhenNormalizing) {
+  TimeSeries series = testing::MakeSeries(std::vector<double>(50, 3.0));
+  SaxOptions options;
+  EXPECT_FALSE(SaxEncode(series, options).ok());
+  options.normalize = false;
+  options.paa_frame = 5;
+  EXPECT_OK(SaxEncode(series, options).status());
+}
+
+TEST(SaxEncodeTest, RejectsBadOptions) {
+  TimeSeries series = testing::MakeSeries({1.0, 2.0});
+  SaxOptions options;
+  options.level = 0;
+  EXPECT_FALSE(SaxEncode(series, options).ok());
+  options = {};
+  options.paa_frame = 0;
+  EXPECT_FALSE(SaxEncode(series, options).ok());
+  EXPECT_FALSE(SaxEncode(TimeSeries(), {}).ok());
+}
+
+TEST(SaxMinDistTest, ZeroForAdjacentSymbols) {
+  // MINDIST treats symbols <= 1 apart as distance 0.
+  SymbolicSeries a(2), b(2);
+  ASSERT_OK(a.Append({0, Symbol::Create(2, 1).value()}));
+  ASSERT_OK(b.Append({0, Symbol::Create(2, 2).value()}));
+  ASSERT_OK_AND_ASSIGN(double d, SaxMinDist(a, b, 8));
+  EXPECT_DOUBLE_EQ(d, 0.0);
+}
+
+TEST(SaxMinDistTest, PositiveForDistantSymbols) {
+  SymbolicSeries a(2), b(2);
+  ASSERT_OK(a.Append({0, Symbol::Create(2, 0).value()}));
+  ASSERT_OK(b.Append({0, Symbol::Create(2, 3).value()}));
+  ASSERT_OK_AND_ASSIGN(double d, SaxMinDist(a, b, 8));
+  // dist = beta_3 - beta_1 = 0.6745 - (-0.6745), scaled by sqrt(8/1).
+  EXPECT_NEAR(d, std::sqrt(8.0) * 1.349, 0.01);
+}
+
+TEST(SaxMinDistTest, SymmetricAndSelfZero) {
+  SymbolicSeries a(3), b(3);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_OK(a.Append({i, Symbol::Create(3, (i * 3) % 8).value()}));
+    ASSERT_OK(b.Append({i, Symbol::Create(3, (i * 5) % 8).value()}));
+  }
+  ASSERT_OK_AND_ASSIGN(double ab, SaxMinDist(a, b, 16));
+  ASSERT_OK_AND_ASSIGN(double ba, SaxMinDist(b, a, 16));
+  ASSERT_OK_AND_ASSIGN(double aa, SaxMinDist(a, a, 16));
+  EXPECT_DOUBLE_EQ(ab, ba);
+  EXPECT_DOUBLE_EQ(aa, 0.0);
+}
+
+TEST(SaxMinDistTest, RejectsMismatchedWords) {
+  SymbolicSeries a(2), b(3), c(2);
+  ASSERT_OK(a.Append({0, Symbol::Create(2, 0).value()}));
+  ASSERT_OK(b.Append({0, Symbol::Create(3, 0).value()}));
+  EXPECT_FALSE(SaxMinDist(a, b, 8).ok());   // different alphabets
+  EXPECT_FALSE(SaxMinDist(a, c, 8).ok());   // different lengths
+  EXPECT_FALSE(SaxMinDist(a, a, 0).ok());   // bad original length
+}
+
+}  // namespace
+}  // namespace smeter

@@ -1,0 +1,123 @@
+#include "core/separators.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/symbol.h"
+
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+TEST(SeparatorMethodNameTest, PaperNames) {
+  EXPECT_EQ(SeparatorMethodName(SeparatorMethod::kUniform), "uniform");
+  EXPECT_EQ(SeparatorMethodName(SeparatorMethod::kMedian), "median");
+  EXPECT_EQ(SeparatorMethodName(SeparatorMethod::kDistinctMedian),
+            "distinctmedian");
+  EXPECT_EQ(SeparatorMethodName(SeparatorMethod::kCustom), "custom");
+}
+
+TEST(LearnSeparatorsTest, UniformDividesZeroToMax) {
+  // Section 2.2a: beta_i = i * max / k.
+  std::vector<double> values = {1.0, 7.0, 3.0, 8.0};
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<double> seps,
+      LearnSeparators(values, SeparatorMethod::kUniform, 2));  // k = 4
+  ASSERT_EQ(seps.size(), 3u);
+  EXPECT_DOUBLE_EQ(seps[0], 2.0);
+  EXPECT_DOUBLE_EQ(seps[1], 4.0);
+  EXPECT_DOUBLE_EQ(seps[2], 6.0);
+}
+
+TEST(LearnSeparatorsTest, UniformIgnoresMinimum) {
+  // The paper's uniform range starts at zero regardless of the data min.
+  std::vector<double> values = {100.0, 200.0};
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<double> seps,
+      LearnSeparators(values, SeparatorMethod::kUniform, 1));  // k = 2
+  ASSERT_EQ(seps.size(), 1u);
+  EXPECT_DOUBLE_EQ(seps[0], 100.0);  // max/2
+}
+
+TEST(LearnSeparatorsTest, MedianYieldsEqualFrequency) {
+  std::vector<double> values = testing::LogNormalValues(8000, 5);
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<double> seps,
+      LearnSeparators(values, SeparatorMethod::kMedian, 3));  // k = 8
+  ASSERT_EQ(seps.size(), 7u);
+  std::vector<size_t> counts(8, 0);
+  for (double v : values) {
+    size_t b = static_cast<size_t>(
+        std::lower_bound(seps.begin(), seps.end(), v) - seps.begin());
+    ++counts[b];
+  }
+  for (size_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), 1000.0, 80.0);
+  }
+}
+
+TEST(LearnSeparatorsTest, DistinctMedianAvoidsFrequentValueBias) {
+  std::vector<double> values(5000, 60.0);  // standby power dominates
+  for (int i = 0; i < 50; ++i) values.push_back(500.0 + i * 40.0);
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<double> median_seps,
+      LearnSeparators(values, SeparatorMethod::kMedian, 2));
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<double> distinct_seps,
+      LearnSeparators(values, SeparatorMethod::kDistinctMedian, 2));
+  // Plain median collapses onto the frequent value; distinct does not.
+  EXPECT_DOUBLE_EQ(median_seps[0], 60.0);
+  EXPECT_DOUBLE_EQ(median_seps[1], 60.0);
+  EXPECT_GT(distinct_seps[0], 60.0);
+  EXPECT_LT(distinct_seps[0], distinct_seps[2]);
+}
+
+TEST(LearnSeparatorsTest, MethodsCoincideOnUniformFixedRangeData) {
+  // Section 2.2: "if the distribution is perfectly uniform and limited to
+  // a fixed range, these three methods are equivalent." Use an exact
+  // arithmetic ramp over [0, max].
+  std::vector<double> values;
+  for (int i = 0; i <= 1000; ++i) values.push_back(i * 0.8);
+  ASSERT_OK_AND_ASSIGN(std::vector<double> uniform,
+                       LearnSeparators(values, SeparatorMethod::kUniform, 2));
+  ASSERT_OK_AND_ASSIGN(std::vector<double> median,
+                       LearnSeparators(values, SeparatorMethod::kMedian, 2));
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<double> distinct,
+      LearnSeparators(values, SeparatorMethod::kDistinctMedian, 2));
+  for (size_t i = 0; i < uniform.size(); ++i) {
+    EXPECT_NEAR(uniform[i], median[i], 1.0);
+    EXPECT_NEAR(median[i], distinct[i], 1e-9);
+  }
+}
+
+TEST(LearnSeparatorsTest, CountMatchesAlphabetSize) {
+  std::vector<double> values = testing::LogNormalValues(100, 1);
+  for (int level = 1; level <= 4; ++level) {
+    ASSERT_OK_AND_ASSIGN(
+        std::vector<double> seps,
+        LearnSeparators(values, SeparatorMethod::kMedian, level));
+    EXPECT_EQ(seps.size(), (size_t{1} << level) - 1);
+  }
+}
+
+TEST(LearnSeparatorsTest, RejectsBadInput) {
+  EXPECT_FALSE(LearnSeparators({}, SeparatorMethod::kMedian, 2).ok());
+  EXPECT_FALSE(LearnSeparators({1.0}, SeparatorMethod::kMedian, 0).ok());
+  EXPECT_FALSE(
+      LearnSeparators({1.0}, SeparatorMethod::kMedian, kMaxSymbolLevel + 1)
+          .ok());
+  EXPECT_FALSE(LearnSeparators({1.0}, SeparatorMethod::kCustom, 2).ok());
+}
+
+TEST(LearnSeparatorsTest, ConstantSeriesDegeneratesGracefully) {
+  std::vector<double> values(100, 42.0);
+  ASSERT_OK_AND_ASSIGN(std::vector<double> seps,
+                       LearnSeparators(values, SeparatorMethod::kMedian, 2));
+  for (double s : seps) EXPECT_DOUBLE_EQ(s, 42.0);
+}
+
+}  // namespace
+}  // namespace smeter

@@ -1,0 +1,93 @@
+#include "core/symbol.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+TEST(SymbolTest, CreateValidatesRange) {
+  EXPECT_TRUE(Symbol::Create(1, 0).ok());
+  EXPECT_TRUE(Symbol::Create(4, 15).ok());
+  EXPECT_FALSE(Symbol::Create(0, 0).ok());
+  EXPECT_FALSE(Symbol::Create(kMaxSymbolLevel + 1, 0).ok());
+  EXPECT_FALSE(Symbol::Create(2, 4).ok());  // index out of 2^2
+}
+
+TEST(SymbolTest, BitStringRoundTrip) {
+  ASSERT_OK_AND_ASSIGN(Symbol s, Symbol::FromBits("0101"));
+  EXPECT_EQ(s.level(), 4);
+  EXPECT_EQ(s.index(), 5u);
+  EXPECT_EQ(s.ToBits(), "0101");
+}
+
+TEST(SymbolTest, ToBitsPadsLeadingZeros) {
+  ASSERT_OK_AND_ASSIGN(Symbol s, Symbol::Create(3, 1));
+  EXPECT_EQ(s.ToBits(), "001");
+}
+
+TEST(SymbolTest, FromBitsRejectsBadInput) {
+  EXPECT_FALSE(Symbol::FromBits("").ok());
+  EXPECT_FALSE(Symbol::FromBits("012").ok());
+  EXPECT_FALSE(Symbol::FromBits(std::string(kMaxSymbolLevel + 1, '0')).ok());
+}
+
+TEST(SymbolTest, AlphabetSize) {
+  ASSERT_OK_AND_ASSIGN(Symbol s, Symbol::Create(4, 0));
+  EXPECT_EQ(s.AlphabetSize(), 16u);
+}
+
+TEST(SymbolTest, CoarsenTruncatesBits) {
+  ASSERT_OK_AND_ASSIGN(Symbol s, Symbol::FromBits("1011"));
+  ASSERT_OK_AND_ASSIGN(Symbol c2, s.Coarsen(2));
+  EXPECT_EQ(c2.ToBits(), "10");
+  ASSERT_OK_AND_ASSIGN(Symbol c4, s.Coarsen(4));
+  EXPECT_EQ(c4, s);
+  EXPECT_FALSE(s.Coarsen(5).ok());
+  EXPECT_FALSE(s.Coarsen(0).ok());
+}
+
+TEST(SymbolTest, AncestorIsPrefix) {
+  // The paper: '0' equals (covers) '01', '00', and so on.
+  ASSERT_OK_AND_ASSIGN(Symbol zero, Symbol::FromBits("0"));
+  ASSERT_OK_AND_ASSIGN(Symbol zero_one, Symbol::FromBits("01"));
+  ASSERT_OK_AND_ASSIGN(Symbol one_zero, Symbol::FromBits("10"));
+  EXPECT_TRUE(zero.IsAncestorOf(zero_one));
+  EXPECT_TRUE(zero.IsAncestorOf(zero));
+  EXPECT_FALSE(zero.IsAncestorOf(one_zero));
+  EXPECT_FALSE(zero_one.IsAncestorOf(zero));
+}
+
+TEST(SymbolTest, CompareAcrossResolutions) {
+  ASSERT_OK_AND_ASSIGN(Symbol zero, Symbol::FromBits("0"));
+  ASSERT_OK_AND_ASSIGN(Symbol ten, Symbol::FromBits("10"));
+  ASSERT_OK_AND_ASSIGN(Symbol zero_one, Symbol::FromBits("01"));
+  EXPECT_EQ(zero.Compare(ten), -1);
+  EXPECT_EQ(ten.Compare(zero), 1);
+  EXPECT_EQ(zero.Compare(zero_one), 0);  // refinement-related
+  EXPECT_EQ(zero_one.Compare(zero), 0);
+  EXPECT_EQ(zero.Compare(zero), 0);
+}
+
+TEST(SymbolTest, SameLevelOrdering) {
+  ASSERT_OK_AND_ASSIGN(Symbol a, Symbol::FromBits("001"));
+  ASSERT_OK_AND_ASSIGN(Symbol b, Symbol::FromBits("100"));
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(SymbolTest, CoarsenCommutesWithCompare) {
+  // If two fine symbols are strictly ordered and remain in different
+  // coarse buckets, the coarse symbols are equally ordered.
+  ASSERT_OK_AND_ASSIGN(Symbol a, Symbol::FromBits("0010"));
+  ASSERT_OK_AND_ASSIGN(Symbol b, Symbol::FromBits("1101"));
+  ASSERT_OK_AND_ASSIGN(Symbol ca, a.Coarsen(1));
+  ASSERT_OK_AND_ASSIGN(Symbol cb, b.Coarsen(1));
+  EXPECT_EQ(a.Compare(b), -1);
+  EXPECT_EQ(ca.Compare(cb), -1);
+}
+
+}  // namespace
+}  // namespace smeter

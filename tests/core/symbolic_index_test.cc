@@ -1,0 +1,181 @@
+#include "core/symbolic_index.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+LookupTable UniformTable(double max, int level) {
+  LookupTableOptions options;
+  options.method = SeparatorMethod::kUniform;
+  options.level = level;
+  return LookupTable::Build({0.0, max}, options).value();
+}
+
+std::vector<Symbol> WordOf(const LookupTable& table,
+                           const std::vector<double>& values) {
+  std::vector<Symbol> word;
+  for (double v : values) word.push_back(table.Encode(v));
+  return word;
+}
+
+TEST(SymbolRangeGapTest, OverlapAndGapCases) {
+  LookupTable table = UniformTable(160.0, 4);  // ranges of width 10
+  ASSERT_OK_AND_ASSIGN(Symbol s0, Symbol::Create(4, 0));
+  ASSERT_OK_AND_ASSIGN(Symbol s1, Symbol::Create(4, 1));
+  ASSERT_OK_AND_ASSIGN(Symbol s5, Symbol::Create(4, 5));
+  ASSERT_OK_AND_ASSIGN(double self, SymbolRangeGap(s0, s0, table));
+  EXPECT_DOUBLE_EQ(self, 0.0);
+  ASSERT_OK_AND_ASSIGN(double adjacent, SymbolRangeGap(s0, s1, table));
+  EXPECT_DOUBLE_EQ(adjacent, 0.0);  // ranges touch
+  ASSERT_OK_AND_ASSIGN(double far, SymbolRangeGap(s0, s5, table));
+  EXPECT_DOUBLE_EQ(far, 40.0);  // [0,10] vs [50,60]
+  ASSERT_OK_AND_ASSIGN(double sym, SymbolRangeGap(s5, s0, table));
+  EXPECT_DOUBLE_EQ(sym, far);
+}
+
+TEST(SymbolRangeGapTest, CoarseningNeverIncreasesGap) {
+  std::vector<double> training = testing::LogNormalValues(3000, 5);
+  LookupTableOptions options;
+  options.method = SeparatorMethod::kMedian;
+  options.level = 4;
+  LookupTable table = LookupTable::Build(training, options).value();
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    Symbol a = table.Encode(rng.Uniform(0.0, 1000.0));
+    Symbol b = table.Encode(rng.Uniform(0.0, 1000.0));
+    ASSERT_OK_AND_ASSIGN(double fine, SymbolRangeGap(a, b, table));
+    for (int level = 1; level < 4; ++level) {
+      ASSERT_OK_AND_ASSIGN(
+          double coarse,
+          SymbolRangeGap(a.Coarsen(level).value(), b.Coarsen(level).value(),
+                         table));
+      EXPECT_LE(coarse, fine + 1e-12);
+    }
+  }
+}
+
+TEST(WordDistanceTest, L2OfGaps) {
+  LookupTable table = UniformTable(160.0, 4);
+  std::vector<Symbol> a = WordOf(table, {5.0, 5.0});
+  std::vector<Symbol> b = WordOf(table, {55.0, 5.0});
+  ASSERT_OK_AND_ASSIGN(double d, WordLowerBoundDistance(a, b, table));
+  EXPECT_DOUBLE_EQ(d, 40.0);
+  EXPECT_FALSE(WordLowerBoundDistance(a, WordOf(table, {5.0}), table).ok());
+}
+
+SymbolicIndex DayIndex(int n_words, const LookupTable& table) {
+  SymbolicIndex index = SymbolicIndex::Create(table, 4).value();
+  Rng rng(11);
+  for (int i = 0; i < n_words; ++i) {
+    double base = rng.Uniform(0.0, 150.0);
+    std::vector<double> values = {base, base + 5.0, base - 5.0, base};
+    EXPECT_OK(index.InsertValues(static_cast<uint64_t>(i), values));
+  }
+  return index;
+}
+
+TEST(SymbolicIndexTest, InsertValidates) {
+  LookupTable table = UniformTable(160.0, 4);
+  ASSERT_OK_AND_ASSIGN(SymbolicIndex index, SymbolicIndex::Create(table, 2));
+  ASSERT_OK(index.InsertValues(1, {10.0, 20.0}));
+  EXPECT_FALSE(index.InsertValues(1, {10.0, 20.0}).ok());  // duplicate id
+  EXPECT_FALSE(index.InsertValues(2, {10.0}).ok());        // wrong length
+  ASSERT_OK_AND_ASSIGN(Symbol coarse, Symbol::Create(1, 0));
+  EXPECT_FALSE(index.Insert(3, {coarse, coarse}).ok());    // wrong level
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(SymbolicIndexTest, CreateValidates) {
+  LookupTable table = UniformTable(160.0, 4);
+  EXPECT_FALSE(SymbolicIndex::Create(table, 0).ok());
+  SymbolicIndex::Options options;
+  options.prune_level = 9;
+  EXPECT_FALSE(SymbolicIndex::Create(table, 2, options).ok());
+}
+
+TEST(SymbolicIndexTest, NearestNeighborMatchesBruteForce) {
+  LookupTable table = UniformTable(160.0, 4);
+  SymbolicIndex index = DayIndex(200, table);
+
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    double base = rng.Uniform(0.0, 150.0);
+    std::vector<double> query_values = {base, base, base, base};
+    std::vector<Symbol> query = WordOf(table, query_values);
+    ASSERT_OK_AND_ASSIGN(std::vector<IndexMatch> top,
+                         index.NearestNeighbors(query, 5));
+    ASSERT_EQ(top.size(), 5u);
+    // Brute force: radius query with huge radius gives the full ranking.
+    ASSERT_OK_AND_ASSIGN(std::vector<IndexMatch> all,
+                         index.RangeQuery(query, 1e18));
+    ASSERT_EQ(all.size(), index.size());
+    for (size_t i = 0; i < top.size(); ++i) {
+      EXPECT_EQ(top[i], all[i]) << "trial " << trial << " rank " << i;
+    }
+    // Distances ascend.
+    for (size_t i = 1; i < top.size(); ++i) {
+      EXPECT_GE(top[i].distance, top[i - 1].distance);
+    }
+  }
+}
+
+TEST(SymbolicIndexTest, PruningSkipsBuckets) {
+  LookupTable table = UniformTable(160.0, 4);
+  // A finer prune level separates the coarse signatures enough that
+  // distant buckets have a positive lower bound.
+  SymbolicIndex::Options options;
+  options.prune_level = 3;
+  ASSERT_OK_AND_ASSIGN(SymbolicIndex index,
+                       SymbolicIndex::Create(table, 4, options));
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    double base = rng.Uniform(0.0, 150.0);
+    ASSERT_OK(index.InsertValues(static_cast<uint64_t>(i),
+                                 {base, base + 5.0, base - 5.0, base}));
+  }
+  ASSERT_GT(index.num_buckets(), 4u);
+  std::vector<Symbol> query = WordOf(table, {5.0, 5.0, 5.0, 5.0});
+  ASSERT_OK_AND_ASSIGN(std::vector<IndexMatch> top,
+                       index.NearestNeighbors(query, 3));
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_LT(index.last_buckets_examined(), index.num_buckets());
+  // Pruning must not change the result: compare with an unpruned ranking.
+  ASSERT_OK_AND_ASSIGN(std::vector<IndexMatch> all,
+                       index.RangeQuery(query, 1e18));
+  for (size_t i = 0; i < top.size(); ++i) {
+    EXPECT_EQ(top[i], all[i]);
+  }
+}
+
+TEST(SymbolicIndexTest, RangeQueryFiltersByRadius) {
+  LookupTable table = UniformTable(160.0, 4);
+  ASSERT_OK_AND_ASSIGN(SymbolicIndex index, SymbolicIndex::Create(table, 1));
+  ASSERT_OK(index.InsertValues(0, {5.0}));
+  ASSERT_OK(index.InsertValues(1, {55.0}));
+  ASSERT_OK(index.InsertValues(2, {155.0}));
+  std::vector<Symbol> query = WordOf(table, {5.0});
+  ASSERT_OK_AND_ASSIGN(std::vector<IndexMatch> near,
+                       index.RangeQuery(query, 45.0));
+  ASSERT_EQ(near.size(), 2u);  // itself (0) and 40 away (1)
+  EXPECT_EQ(near[0].id, 0u);
+  EXPECT_EQ(near[1].id, 1u);
+  EXPECT_FALSE(index.RangeQuery(query, -1.0).ok());
+}
+
+TEST(SymbolicIndexTest, KLargerThanIndexReturnsAll) {
+  LookupTable table = UniformTable(160.0, 4);
+  ASSERT_OK_AND_ASSIGN(SymbolicIndex index, SymbolicIndex::Create(table, 1));
+  ASSERT_OK(index.InsertValues(7, {5.0}));
+  std::vector<Symbol> query = WordOf(table, {5.0});
+  ASSERT_OK_AND_ASSIGN(std::vector<IndexMatch> top,
+                       index.NearestNeighbors(query, 10));
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].id, 7u);
+  EXPECT_FALSE(index.NearestNeighbors(query, 0).ok());
+}
+
+}  // namespace
+}  // namespace smeter

@@ -1,0 +1,85 @@
+#include "core/symbolic_series.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+Symbol Sym(const std::string& bits) { return Symbol::FromBits(bits).value(); }
+
+TEST(SymbolicSeriesTest, AppendChecksLevel) {
+  SymbolicSeries series(2);
+  ASSERT_OK(series.Append({0, Sym("01")}));
+  Status bad = series.Append({1, Sym("011")});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(series.size(), 1u);
+}
+
+TEST(SymbolicSeriesTest, AppendChecksTimestampOrder) {
+  SymbolicSeries series(1);
+  ASSERT_OK(series.Append({10, Sym("0")}));
+  EXPECT_FALSE(series.Append({5, Sym("1")}).ok());
+}
+
+TEST(SymbolicSeriesTest, SliceHalfOpen) {
+  SymbolicSeries series(1);
+  for (int t = 0; t < 5; ++t) {
+    ASSERT_OK(series.Append({t, Sym(t % 2 == 0 ? "0" : "1")}));
+  }
+  SymbolicSeries mid = series.Slice({1, 4});
+  ASSERT_EQ(mid.size(), 3u);
+  EXPECT_EQ(mid[0].timestamp, 1);
+  EXPECT_EQ(mid[2].timestamp, 3);
+}
+
+TEST(SymbolicSeriesTest, CoarsenTruncatesEverySymbol) {
+  SymbolicSeries series(3);
+  ASSERT_OK(series.Append({0, Sym("101")}));
+  ASSERT_OK(series.Append({1, Sym("010")}));
+  ASSERT_OK_AND_ASSIGN(SymbolicSeries coarse, series.Coarsen(1));
+  EXPECT_EQ(coarse.level(), 1);
+  EXPECT_EQ(coarse[0].symbol.ToBits(), "1");
+  EXPECT_EQ(coarse[1].symbol.ToBits(), "0");
+  EXPECT_EQ(coarse[0].timestamp, 0);
+}
+
+TEST(SymbolicSeriesTest, CoarsenToSameLevelIsIdentity) {
+  SymbolicSeries series(2);
+  ASSERT_OK(series.Append({0, Sym("10")}));
+  ASSERT_OK_AND_ASSIGN(SymbolicSeries same, series.Coarsen(2));
+  EXPECT_EQ(same[0].symbol, series[0].symbol);
+}
+
+TEST(SymbolicSeriesTest, CoarsenRejectsFinerTarget) {
+  SymbolicSeries series(2);
+  EXPECT_FALSE(series.Coarsen(3).ok());
+  EXPECT_FALSE(series.Coarsen(0).ok());
+}
+
+TEST(SymbolicSeriesTest, ToBitString) {
+  SymbolicSeries series(3);
+  ASSERT_OK(series.Append({0, Sym("000")}));
+  ASSERT_OK(series.Append({1, Sym("101")}));
+  EXPECT_EQ(series.ToBitString(), "000 101");
+}
+
+TEST(SymbolicSeriesTest, HistogramCountsIndices) {
+  SymbolicSeries series(2);
+  ASSERT_OK(series.Append({0, Sym("01")}));
+  ASSERT_OK(series.Append({1, Sym("01")}));
+  ASSERT_OK(series.Append({2, Sym("11")}));
+  std::vector<size_t> hist = series.Histogram();
+  EXPECT_EQ(hist, (std::vector<size_t>{0, 2, 0, 1}));
+}
+
+TEST(SymbolicSeriesTest, EmptySeries) {
+  SymbolicSeries series(2);
+  EXPECT_TRUE(series.empty());
+  EXPECT_EQ(series.ToBitString(), "");
+  EXPECT_EQ(series.Histogram(), (std::vector<size_t>{0, 0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace smeter

@@ -1,0 +1,123 @@
+#include "core/time_series.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+TEST(TimeSeriesTest, FromValuesBuildsGaplessSeries) {
+  TimeSeries s = TimeSeries::FromValues({1.0, 2.0, 3.0}, 100, 2);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].timestamp, 100);
+  EXPECT_EQ(s[2].timestamp, 104);
+  EXPECT_DOUBLE_EQ(s[1].value, 2.0);
+}
+
+TEST(TimeSeriesTest, FromSamplesValidatesOrdering) {
+  Result<TimeSeries> bad =
+      TimeSeries::FromSamples({{10, 1.0}, {5, 2.0}});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TimeSeriesTest, FromSamplesAllowsEqualTimestamps) {
+  ASSERT_OK_AND_ASSIGN(TimeSeries s,
+                       TimeSeries::FromSamples({{5, 1.0}, {5, 2.0}}));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(TimeSeriesTest, FromSamplesRejectsNonFinite) {
+  EXPECT_FALSE(TimeSeries::FromSamples({{1, std::nan("")}}).ok());
+  EXPECT_FALSE(TimeSeries::FromSamples({{1, INFINITY}}).ok());
+}
+
+TEST(TimeSeriesTest, AppendEnforcesOrdering) {
+  TimeSeries s;
+  ASSERT_OK(s.Append({10, 1.0}));
+  ASSERT_OK(s.Append({10, 2.0}));
+  Status st = s.Append({9, 3.0});
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(s.size(), 2u);  // failed append does not mutate
+}
+
+TEST(TimeSeriesTest, ValuesColumn) {
+  TimeSeries s = TimeSeries::FromValues({1.5, 2.5});
+  EXPECT_EQ(s.Values(), (std::vector<double>{1.5, 2.5}));
+}
+
+TEST(TimeSeriesTest, SliceHalfOpen) {
+  TimeSeries s = TimeSeries::FromValues({0, 1, 2, 3, 4, 5});
+  TimeSeries mid = s.Slice({2, 5});
+  ASSERT_EQ(mid.size(), 3u);
+  EXPECT_EQ(mid.front().timestamp, 2);
+  EXPECT_EQ(mid.back().timestamp, 4);
+}
+
+TEST(TimeSeriesTest, SliceOutsideRangeIsEmpty) {
+  TimeSeries s = TimeSeries::FromValues({0, 1, 2});
+  EXPECT_TRUE(s.Slice({10, 20}).empty());
+  EXPECT_TRUE(s.Slice({-5, 0}).empty());
+}
+
+TEST(TimeSeriesTest, FindGaps) {
+  ASSERT_OK_AND_ASSIGN(
+      TimeSeries s,
+      TimeSeries::FromSamples({{0, 1.0}, {1, 1.0}, {100, 1.0}, {101, 1.0}}));
+  std::vector<TimeRange> gaps = s.FindGaps(1);
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0].begin, 1);
+  EXPECT_EQ(gaps[0].end, 100);
+}
+
+TEST(TimeSeriesTest, FindGapsNoneWhenDense) {
+  TimeSeries s = TimeSeries::FromValues({1, 2, 3});
+  EXPECT_TRUE(s.FindGaps(1).empty());
+}
+
+TEST(TimeSeriesTest, MinMaxMean) {
+  TimeSeries s = TimeSeries::FromValues({3.0, 1.0, 2.0});
+  ASSERT_OK_AND_ASSIGN(double lo, s.MinValue());
+  ASSERT_OK_AND_ASSIGN(double hi, s.MaxValue());
+  ASSERT_OK_AND_ASSIGN(double mean, s.MeanValue());
+  EXPECT_DOUBLE_EQ(lo, 1.0);
+  EXPECT_DOUBLE_EQ(hi, 3.0);
+  EXPECT_DOUBLE_EQ(mean, 2.0);
+}
+
+TEST(TimeSeriesTest, StatsOnEmptySeriesFail) {
+  TimeSeries s;
+  EXPECT_FALSE(s.MinValue().ok());
+  EXPECT_FALSE(s.MaxValue().ok());
+  EXPECT_FALSE(s.MeanValue().ok());
+}
+
+TEST(TimeSeriesTest, CoverageSeconds) {
+  TimeSeries s = TimeSeries::FromValues({1, 2, 3});
+  EXPECT_EQ(s.CoverageSeconds(2), 6);
+}
+
+TEST(SumAlignedTest, SumsMatchingTimestamps) {
+  TimeSeries a = TimeSeries::FromValues({1, 2, 3});
+  TimeSeries b = TimeSeries::FromValues({10, 20, 30});
+  ASSERT_OK_AND_ASSIGN(TimeSeries sum, SumAligned(a, b));
+  EXPECT_DOUBLE_EQ(sum[1].value, 22.0);
+}
+
+TEST(SumAlignedTest, RejectsSizeMismatch) {
+  TimeSeries a = TimeSeries::FromValues({1, 2});
+  TimeSeries b = TimeSeries::FromValues({1});
+  EXPECT_FALSE(SumAligned(a, b).ok());
+}
+
+TEST(SumAlignedTest, RejectsTimestampMismatch) {
+  TimeSeries a = TimeSeries::FromValues({1.0, 2.0}, 0, 1);
+  TimeSeries b = TimeSeries::FromValues({1.0, 2.0}, 0, 2);
+  EXPECT_FALSE(SumAligned(a, b).ok());
+}
+
+}  // namespace
+}  // namespace smeter

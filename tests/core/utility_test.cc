@@ -1,0 +1,129 @@
+#include "core/utility.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+TEST(LloydMaxTest, ValidatesInput) {
+  EXPECT_FALSE(LloydMaxSeparators({}, {}).ok());
+  LloydMaxOptions options;
+  options.level = 0;
+  EXPECT_FALSE(LloydMaxSeparators({1.0}, options).ok());
+  options.level = kMaxSymbolLevel + 1;
+  EXPECT_FALSE(LloydMaxSeparators({1.0}, options).ok());
+}
+
+TEST(LloydMaxTest, ConstantDataDegeneratesGracefully) {
+  LloydMaxOptions options;
+  options.level = 2;
+  ASSERT_OK_AND_ASSIGN(std::vector<double> seps,
+                       LloydMaxSeparators(std::vector<double>(10, 5.0),
+                                          options));
+  ASSERT_EQ(seps.size(), 3u);
+  for (double s : seps) EXPECT_DOUBLE_EQ(s, 5.0);
+}
+
+TEST(LloydMaxTest, SeparatorsAreSortedAndInRange) {
+  std::vector<double> values = testing::LogNormalValues(5000, 3);
+  LloydMaxOptions options;
+  options.level = 4;
+  ASSERT_OK_AND_ASSIGN(std::vector<double> seps,
+                       LloydMaxSeparators(values, options));
+  ASSERT_EQ(seps.size(), 15u);
+  EXPECT_TRUE(std::is_sorted(seps.begin(), seps.end()));
+  double lo = *std::min_element(values.begin(), values.end());
+  double hi = *std::max_element(values.begin(), values.end());
+  EXPECT_GE(seps.front(), lo);
+  EXPECT_LE(seps.back(), hi);
+}
+
+TEST(LloydMaxTest, TwoWellSeparatedClustersSplitBetweenThem) {
+  // Mass at ~10 and ~100: the single k=2 separator must fall between.
+  std::vector<double> values;
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    values.push_back(rng.Gaussian(10.0, 0.5));
+    values.push_back(rng.Gaussian(100.0, 0.5));
+  }
+  LloydMaxOptions options;
+  options.level = 1;
+  ASSERT_OK_AND_ASSIGN(std::vector<double> seps,
+                       LloydMaxSeparators(values, options));
+  ASSERT_EQ(seps.size(), 1u);
+  EXPECT_GT(seps[0], 20.0);
+  EXPECT_LT(seps[0], 90.0);
+}
+
+TEST(LloydMaxTest, MinimizesDistortionAgainstOtherMethods) {
+  // On skewed data, Lloyd-Max must beat both uniform and median in mean
+  // squared reconstruction error (its objective).
+  std::vector<double> values = testing::LogNormalValues(20000, 11);
+  LloydMaxOptions lm;
+  lm.level = 3;
+  ASSERT_OK_AND_ASSIGN(LookupTable lloyd, BuildLloydMaxTable(values, lm));
+
+  LookupTableOptions options;
+  options.level = 3;
+  options.method = SeparatorMethod::kUniform;
+  ASSERT_OK_AND_ASSIGN(LookupTable uniform,
+                       LookupTable::Build(values, options));
+  options.method = SeparatorMethod::kMedian;
+  ASSERT_OK_AND_ASSIGN(LookupTable median, LookupTable::Build(values, options));
+
+  ASSERT_OK_AND_ASSIGN(
+      double lloyd_mse,
+      MeanSquaredDistortion(lloyd, values, ReconstructionMode::kRangeMean));
+  ASSERT_OK_AND_ASSIGN(
+      double uniform_mse,
+      MeanSquaredDistortion(uniform, values, ReconstructionMode::kRangeMean));
+  ASSERT_OK_AND_ASSIGN(
+      double median_mse,
+      MeanSquaredDistortion(median, values, ReconstructionMode::kRangeMean));
+  EXPECT_LE(lloyd_mse, uniform_mse * 1.001);
+  EXPECT_LE(lloyd_mse, median_mse * 1.001);
+}
+
+TEST(LloydMaxTest, TableHasTrainingStatsAttached) {
+  std::vector<double> values = testing::LogNormalValues(2000, 13);
+  ASSERT_OK_AND_ASSIGN(LookupTable table, BuildLloydMaxTable(values, {}));
+  size_t total = 0;
+  for (size_t c : table.bucket_counts()) total += c;
+  EXPECT_EQ(total, values.size());
+  EXPECT_EQ(table.method(), SeparatorMethod::kCustom);
+}
+
+TEST(LloydMaxTest, IterationImprovesOverInitialization) {
+  // Lloyd-Max starts from the median solution; after convergence its
+  // distortion must not be worse.
+  std::vector<double> values = testing::LogNormalValues(10000, 17);
+  LloydMaxOptions zero_iters;
+  zero_iters.level = 4;
+  zero_iters.max_iterations = 0;
+  LloydMaxOptions full = zero_iters;
+  full.max_iterations = 100;
+  ASSERT_OK_AND_ASSIGN(LookupTable init, BuildLloydMaxTable(values, zero_iters));
+  ASSERT_OK_AND_ASSIGN(LookupTable converged, BuildLloydMaxTable(values, full));
+  ASSERT_OK_AND_ASSIGN(
+      double init_mse,
+      MeanSquaredDistortion(init, values, ReconstructionMode::kRangeMean));
+  ASSERT_OK_AND_ASSIGN(
+      double conv_mse,
+      MeanSquaredDistortion(converged, values,
+                            ReconstructionMode::kRangeMean));
+  EXPECT_LE(conv_mse, init_mse * 1.001);
+}
+
+TEST(MeanSquaredDistortionTest, ValidatesInput) {
+  std::vector<double> values = {1.0, 2.0};
+  ASSERT_OK_AND_ASSIGN(LookupTable table, BuildLloydMaxTable(values, {}));
+  EXPECT_FALSE(
+      MeanSquaredDistortion(table, {}, ReconstructionMode::kRangeMean).ok());
+}
+
+}  // namespace
+}  // namespace smeter

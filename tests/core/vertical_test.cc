@@ -1,0 +1,142 @@
+#include "core/vertical.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+TEST(VerticalByCountTest, AveragesGroupsOfN) {
+  TimeSeries s = TimeSeries::FromValues({1, 2, 3, 4, 5, 6});
+  ASSERT_OK_AND_ASSIGN(TimeSeries out, VerticalSegmentByCount(s, 2));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0].value, 1.5);
+  EXPECT_DOUBLE_EQ(out[1].value, 3.5);
+  EXPECT_DOUBLE_EQ(out[2].value, 5.5);
+}
+
+TEST(VerticalByCountTest, StampsLastTimestampOfWindow) {
+  // Definition 2: \bar{t}_i = t_{i*n}.
+  TimeSeries s = TimeSeries::FromValues({1, 2, 3, 4}, 100, 10);
+  ASSERT_OK_AND_ASSIGN(TimeSeries out, VerticalSegmentByCount(s, 2));
+  EXPECT_EQ(out[0].timestamp, 110);
+  EXPECT_EQ(out[1].timestamp, 130);
+}
+
+TEST(VerticalByCountTest, DropsTrailingPartialWindow) {
+  TimeSeries s = TimeSeries::FromValues({1, 2, 3, 4, 5});
+  ASSERT_OK_AND_ASSIGN(TimeSeries out, VerticalSegmentByCount(s, 2));
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(VerticalByCountTest, NEqualsOneIsIdentity) {
+  TimeSeries s = TimeSeries::FromValues({1, 2, 3});
+  ASSERT_OK_AND_ASSIGN(TimeSeries out, VerticalSegmentByCount(s, 1));
+  EXPECT_EQ(out.Values(), s.Values());
+}
+
+TEST(VerticalByCountTest, RejectsZeroN) {
+  TimeSeries s = TimeSeries::FromValues({1});
+  EXPECT_FALSE(VerticalSegmentByCount(s, 0).ok());
+}
+
+TEST(VerticalByCountTest, OtherAggregations) {
+  TimeSeries s = TimeSeries::FromValues({1, 5, 2, 8});
+  VerticalOptions options;
+  options.aggregation = Aggregation::kMax;
+  ASSERT_OK_AND_ASSIGN(TimeSeries mx, VerticalSegmentByCount(s, 2, options));
+  EXPECT_DOUBLE_EQ(mx[0].value, 5.0);
+  EXPECT_DOUBLE_EQ(mx[1].value, 8.0);
+  options.aggregation = Aggregation::kMin;
+  ASSERT_OK_AND_ASSIGN(TimeSeries mn, VerticalSegmentByCount(s, 2, options));
+  EXPECT_DOUBLE_EQ(mn[0].value, 1.0);
+  options.aggregation = Aggregation::kSum;
+  ASSERT_OK_AND_ASSIGN(TimeSeries sm, VerticalSegmentByCount(s, 2, options));
+  EXPECT_DOUBLE_EQ(sm[1].value, 10.0);
+}
+
+TEST(VerticalByWindowTest, AggregatesAlignedWindows) {
+  // 1 Hz data over [0, 20): windows of 10 s.
+  std::vector<double> values(20, 1.0);
+  values[15] = 21.0;  // second window mean: (19*1 + 21)/10... within window 2
+  TimeSeries s = TimeSeries::FromValues(values);
+  WindowOptions options;
+  options.sample_period_seconds = 1;
+  ASSERT_OK_AND_ASSIGN(TimeSeries out, VerticalSegmentByWindow(s, 10, options));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].timestamp, 10);  // stamped with window end
+  EXPECT_EQ(out[1].timestamp, 20);
+  EXPECT_DOUBLE_EQ(out[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(out[1].value, 3.0);
+}
+
+TEST(VerticalByWindowTest, SkipsUnderCoveredWindows) {
+  // Window [0,10) has only 3 of 10 expected samples -> dropped at 0.5 cov.
+  ASSERT_OK_AND_ASSIGN(
+      TimeSeries s, TimeSeries::FromSamples(
+                        {{0, 1.0}, {1, 1.0}, {2, 1.0},
+                         {10, 2.0}, {11, 2.0}, {12, 2.0}, {13, 2.0},
+                         {14, 2.0}, {15, 2.0}}));
+  WindowOptions options;
+  options.min_coverage = 0.5;
+  ASSERT_OK_AND_ASSIGN(TimeSeries out, VerticalSegmentByWindow(s, 10, options));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].timestamp, 20);
+}
+
+TEST(VerticalByWindowTest, ZeroCoverageKeepsAnySample) {
+  ASSERT_OK_AND_ASSIGN(TimeSeries s,
+                       TimeSeries::FromSamples({{3, 5.0}}));
+  WindowOptions options;
+  options.min_coverage = 0.0;
+  ASSERT_OK_AND_ASSIGN(TimeSeries out, VerticalSegmentByWindow(s, 10, options));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].value, 5.0);
+}
+
+TEST(VerticalByWindowTest, GapSpanningWindows) {
+  // Samples in windows 0 and 3 only; windows 1-2 produce nothing.
+  std::vector<Sample> samples;
+  for (int t = 0; t < 10; ++t) samples.push_back({t, 1.0});
+  for (int t = 30; t < 40; ++t) samples.push_back({t, 2.0});
+  ASSERT_OK_AND_ASSIGN(TimeSeries s, TimeSeries::FromSamples(samples));
+  ASSERT_OK_AND_ASSIGN(TimeSeries out, VerticalSegmentByWindow(s, 10));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].timestamp, 10);
+  EXPECT_EQ(out[1].timestamp, 40);
+}
+
+TEST(VerticalByWindowTest, NegativeTimestampsAlignCorrectly) {
+  ASSERT_OK_AND_ASSIGN(
+      TimeSeries s,
+      TimeSeries::FromSamples({{-15, 2.0}, {-12, 4.0}, {-5, 10.0}}));
+  WindowOptions options;
+  options.min_coverage = 0.0;
+  ASSERT_OK_AND_ASSIGN(TimeSeries out, VerticalSegmentByWindow(s, 10, options));
+  // Windows [-20,-10) and [-10,0).
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].timestamp, -10);
+  EXPECT_DOUBLE_EQ(out[0].value, 3.0);
+  EXPECT_EQ(out[1].timestamp, 0);
+}
+
+TEST(VerticalByWindowTest, RejectsBadOptions) {
+  TimeSeries s = TimeSeries::FromValues({1});
+  EXPECT_FALSE(VerticalSegmentByWindow(s, 0).ok());
+  WindowOptions options;
+  options.min_coverage = 1.5;
+  EXPECT_FALSE(VerticalSegmentByWindow(s, 10, options).ok());
+  options.min_coverage = 0.5;
+  options.sample_period_seconds = 0;
+  EXPECT_FALSE(VerticalSegmentByWindow(s, 10, options).ok());
+}
+
+TEST(VerticalByWindowTest, EmptyInputYieldsEmptyOutput) {
+  TimeSeries s;
+  ASSERT_OK_AND_ASSIGN(TimeSeries out, VerticalSegmentByWindow(s, 10));
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace smeter

@@ -1,0 +1,156 @@
+#include "data/appliance.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace smeter::data {
+namespace {
+
+TEST(IsWeekendTest, WeekStartsMonday) {
+  EXPECT_FALSE(IsWeekend(0));                      // Monday
+  EXPECT_FALSE(IsWeekend(4 * kSecondsPerDay));     // Friday
+  EXPECT_TRUE(IsWeekend(5 * kSecondsPerDay));      // Saturday
+  EXPECT_TRUE(IsWeekend(6 * kSecondsPerDay + 1));  // Sunday
+  EXPECT_FALSE(IsWeekend(7 * kSecondsPerDay));     // next Monday
+}
+
+TEST(IsWeekendTest, NegativeTimestamps) {
+  // t = -1 is the last second of the previous Sunday.
+  EXPECT_TRUE(IsWeekend(-1));
+  EXPECT_TRUE(IsWeekend(-2 * kSecondsPerDay));  // Saturday
+  EXPECT_FALSE(IsWeekend(-3 * kSecondsPerDay));
+}
+
+TEST(HourProfilesTest, AllPositive) {
+  for (const HourProfile& p :
+       {EveningPeakProfile(), DoublePeakProfile(), FlatProfile(),
+        NightProfile()}) {
+    for (double v : p) EXPECT_GT(v, 0.0);
+  }
+}
+
+TEST(AlwaysOnTest, DrawsAroundNominalWatts) {
+  Appliance a = Appliance::AlwaysOn("standby", 100.0, 5.0);
+  Rng rng(1);
+  double sum = 0.0;
+  const int n = 10000;
+  for (int t = 0; t < n; ++t) {
+    double w = a.Step(t, rng);
+    EXPECT_GE(w, 0.0);
+    sum += w;
+  }
+  EXPECT_NEAR(sum / n, 100.0, 1.0);
+}
+
+TEST(AlwaysOnTest, NoNoiseIsExact) {
+  Appliance a = Appliance::AlwaysOn("standby", 60.0, 0.0);
+  Rng rng(2);
+  EXPECT_DOUBLE_EQ(a.Step(0, rng), 60.0);
+}
+
+TEST(ThermostaticTest, CyclesBetweenOnAndOff) {
+  Appliance fridge = Appliance::Thermostatic("fridge", 120.0, 600.0, 1200.0,
+                                             0.0);
+  Rng rng(3);
+  int on_seconds = 0;
+  const int n = 18000;  // 10 nominal cycles
+  for (int t = 0; t < n; ++t) {
+    double w = fridge.Step(t, rng);
+    EXPECT_TRUE(w == 0.0 || w == 120.0);
+    if (w > 0.0) ++on_seconds;
+  }
+  // Duty cycle 600/1800 = 1/3.
+  EXPECT_NEAR(static_cast<double>(on_seconds) / n, 1.0 / 3.0, 0.05);
+}
+
+TEST(ThermostaticTest, JitterVariesCycleLengths) {
+  Appliance fridge = Appliance::Thermostatic("fridge", 100.0, 100.0, 100.0,
+                                             0.3);
+  Rng rng(4);
+  // Measure the lengths of the first several on-phases.
+  std::vector<int> on_lengths;
+  int current = 0;
+  bool was_on = false;
+  for (int t = 0; t < 5000; ++t) {
+    bool on = fridge.Step(t, rng) > 0.0;
+    if (on) {
+      ++current;
+    } else if (was_on) {
+      on_lengths.push_back(current);
+      current = 0;
+    }
+    was_on = on;
+  }
+  ASSERT_GE(on_lengths.size(), 3u);
+  bool varied = false;
+  for (size_t i = 1; i < on_lengths.size(); ++i) {
+    if (on_lengths[i] != on_lengths[0]) varied = true;
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(StochasticTest, EventsFollowHourProfile) {
+  // Rate concentrated exclusively in hour 19; the appliance must never run
+  // outside it (events can spill over a little past the hour).
+  HourProfile profile{};
+  profile.fill(0.0);
+  profile[19] = 24.0;
+  Appliance tv = Appliance::Stochastic("tv", 200.0, 0.1, 60.0, 200.0, profile,
+                                       1.0);
+  Rng rng(5);
+  double in_hour = 0.0, out_hour = 0.0;
+  for (int t = 0; t < 2 * kSecondsPerDay; ++t) {
+    double w = tv.Step(t, rng);
+    int hour = (t % kSecondsPerDay) / kSecondsPerHour;
+    if (hour >= 19 && hour <= 20) {
+      in_hour += w;
+    } else {
+      out_hour += w;
+    }
+  }
+  EXPECT_GT(in_hour, 0.0);
+  EXPECT_DOUBLE_EQ(out_hour, 0.0);
+}
+
+TEST(StochasticTest, WeekendMultiplierChangesActivity) {
+  Appliance washer = Appliance::Stochastic("washer", 500.0, 0.1, 600.0, 2.0,
+                                           FlatProfile(), 4.0);
+  Rng rng(6);
+  double weekday_energy = 0.0, weekend_energy = 0.0;
+  // Days 0-4 weekday, 5-6 weekend.
+  for (int t = 0; t < 7 * kSecondsPerDay; ++t) {
+    double w = washer.Step(t, rng);
+    if (IsWeekend(t)) {
+      weekend_energy += w;
+    } else {
+      weekday_energy += w;
+    }
+  }
+  // Weekend rate is 4x but only 2 of 7 days; per-day energy should still
+  // be clearly higher.
+  EXPECT_GT(weekend_energy / 2.0, weekday_energy / 5.0);
+}
+
+TEST(StochasticTest, EventPowersVaryLogNormally) {
+  Appliance oven = Appliance::Stochastic("oven", 2000.0, 0.3, 300.0, 50.0,
+                                         FlatProfile(), 1.0);
+  Rng rng(7);
+  std::vector<double> powers;
+  double last = 0.0;
+  for (int t = 0; t < kSecondsPerDay && powers.size() < 40; ++t) {
+    double w = oven.Step(t, rng);
+    if (w > 0.0 && w != last) powers.push_back(w);
+    last = w;
+  }
+  ASSERT_GE(powers.size(), 10u);
+  bool varied = false;
+  for (double p : powers) {
+    EXPECT_GT(p, 0.0);
+    if (std::abs(p - powers[0]) > 1.0) varied = true;
+  }
+  EXPECT_TRUE(varied);
+}
+
+}  // namespace
+}  // namespace smeter::data

@@ -1,0 +1,110 @@
+#include "data/cer.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace smeter::data {
+namespace {
+
+TEST(CerTest, ParsesBasicRecords) {
+  // Meter 1392, day 1 slots 1-2, and meter 1000 day 2 slot 1.
+  std::string content =
+      "1392 00101 0.140\n"
+      "1392 00102 0.138\n"
+      "1000 00201 1.0\n";
+  ASSERT_OK_AND_ASSIGN(auto meters, ParseCer(content));
+  ASSERT_EQ(meters.size(), 2u);
+  EXPECT_EQ(meters[0].first, 1000);  // ascending meter id
+  EXPECT_EQ(meters[1].first, 1392);
+  const TimeSeries& m1392 = meters[1].second;
+  ASSERT_EQ(m1392.size(), 2u);
+  EXPECT_EQ(m1392[0].timestamp, 0);
+  EXPECT_EQ(m1392[1].timestamp, 1800);
+  // kWh per half hour -> average watts (x2000).
+  EXPECT_DOUBLE_EQ(m1392[0].value, 280.0);
+  const TimeSeries& m1000 = meters[0].second;
+  EXPECT_EQ(m1000[0].timestamp, kSecondsPerDay);
+}
+
+TEST(CerTest, KeepsKwhWhenRequested) {
+  CerOptions options;
+  options.convert_to_watts = false;
+  ASSERT_OK_AND_ASSIGN(auto meters, ParseCer("1 00101 0.5\n", options));
+  EXPECT_DOUBLE_EQ(meters[0].second[0].value, 0.5);
+}
+
+TEST(CerTest, SortsOutOfOrderRecords) {
+  std::string content =
+      "5 00105 0.3\n"
+      "5 00101 0.1\n"
+      "5 00103 0.2\n";
+  ASSERT_OK_AND_ASSIGN(auto meters, ParseCer(content));
+  const TimeSeries& s = meters[0].second;
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].timestamp, 0);
+  EXPECT_EQ(s[1].timestamp, 2 * 1800);
+  EXPECT_EQ(s[2].timestamp, 4 * 1800);
+}
+
+TEST(CerTest, AcceptsDstSlots49And50) {
+  EXPECT_OK(ParseCer("7 00149 0.1\n7 00150 0.1\n").status());
+}
+
+TEST(CerTest, RejectsMalformedRows) {
+  EXPECT_FALSE(ParseCer("1 001 0.1\n").ok());         // short code
+  EXPECT_FALSE(ParseCer("1 0010x 0.1\n").ok());       // non-numeric slot
+  EXPECT_FALSE(ParseCer("1 00151 0.1\n").ok());       // slot 51
+  EXPECT_FALSE(ParseCer("1 00001 0.1\n").ok());       // day 0
+  EXPECT_FALSE(ParseCer("1 00101\n").ok());           // missing value
+  EXPECT_FALSE(ParseCer("x 00101 0.1\n").ok());       // bad meter id
+  EXPECT_FALSE(ParseCer("1 00101 watts\n").ok());     // bad value
+}
+
+TEST(CerTest, EmptyContentYieldsNoMeters) {
+  ASSERT_OK_AND_ASSIGN(auto meters, ParseCer(""));
+  EXPECT_TRUE(meters.empty());
+}
+
+TEST(CerTest, FormatRoundTrip) {
+  TimeSeries series;
+  ASSERT_OK(series.Append({0, 250.0}));
+  ASSERT_OK(series.Append({1800, 500.0}));
+  ASSERT_OK(series.Append({kSecondsPerDay, 125.0}));
+  ASSERT_OK_AND_ASSIGN(std::string text, FormatCer({{42, series}}));
+  ASSERT_OK_AND_ASSIGN(auto meters, ParseCer(text));
+  ASSERT_EQ(meters.size(), 1u);
+  EXPECT_EQ(meters[0].first, 42);
+  const TimeSeries& round = meters[0].second;
+  ASSERT_EQ(round.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(round[i].timestamp, series[i].timestamp);
+    EXPECT_NEAR(round[i].value, series[i].value, 0.1);
+  }
+}
+
+TEST(CerTest, FormatValidatesTimestamps) {
+  TimeSeries misaligned;
+  ASSERT_OK(misaligned.Append({17, 100.0}));
+  EXPECT_FALSE(FormatCer({{1, misaligned}}).ok());
+  TimeSeries too_late;
+  ASSERT_OK(too_late.Append({1000 * kSecondsPerDay, 100.0}));
+  EXPECT_FALSE(FormatCer({{1, too_late}}).ok());
+}
+
+TEST(CerTest, LoadFromFile) {
+  std::string path = smeter::testing::TempPath("cer.txt");
+  {
+    std::ofstream out(path);
+    out << "10 00101 0.25\n10 00102 0.5\n";
+  }
+  ASSERT_OK_AND_ASSIGN(auto meters, LoadCerFile(path));
+  ASSERT_EQ(meters.size(), 1u);
+  EXPECT_EQ(meters[0].second.size(), 2u);
+  EXPECT_FALSE(LoadCerFile("/no/such/cer.txt").ok());
+}
+
+}  // namespace
+}  // namespace smeter::data

@@ -1,0 +1,135 @@
+#include "data/day_splitter.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/instances.h"
+#include "testutil.h"
+
+namespace smeter::data {
+namespace {
+
+// A gapless 1 Hz day of constant `watts` starting at `day_start`.
+void AppendFullDay(std::vector<Sample>& samples, Timestamp day_start,
+                   double watts) {
+  for (int64_t s = 0; s < kSecondsPerDay; ++s) {
+    samples.push_back({day_start + s, watts});
+  }
+}
+
+TEST(EnumerateDaysTest, CoversSpannedDays) {
+  ASSERT_OK_AND_ASSIGN(
+      TimeSeries s,
+      TimeSeries::FromSamples({{10, 1.0}, {2 * kSecondsPerDay + 5, 2.0}}));
+  std::vector<TimeRange> days = EnumerateDays(s);
+  ASSERT_EQ(days.size(), 3u);
+  EXPECT_EQ(days[0].begin, 0);
+  EXPECT_EQ(days[2].end, 3 * kSecondsPerDay);
+}
+
+TEST(EnumerateDaysTest, EmptySeries) {
+  EXPECT_TRUE(EnumerateDays(TimeSeries()).empty());
+}
+
+TEST(DayVectorTest, FullDayProducesFullVector) {
+  std::vector<Sample> samples;
+  AppendFullDay(samples, 0, 100.0);
+  ASSERT_OK_AND_ASSIGN(TimeSeries s, TimeSeries::FromSamples(samples));
+  DayVectorOptions options;
+  options.window_seconds = kSecondsPerHour;
+  ASSERT_OK_AND_ASSIGN(std::vector<DayVector> days,
+                       BuildDayVectors(s, options));
+  ASSERT_EQ(days.size(), 1u);
+  EXPECT_EQ(days[0].day_start, 0);
+  ASSERT_EQ(days[0].values.size(), 24u);
+  EXPECT_EQ(days[0].windows_present, 24u);
+  for (double v : days[0].values) EXPECT_DOUBLE_EQ(v, 100.0);
+}
+
+TEST(DayVectorTest, FifteenMinuteWindowsYield96Cells) {
+  std::vector<Sample> samples;
+  AppendFullDay(samples, 0, 50.0);
+  ASSERT_OK_AND_ASSIGN(TimeSeries s, TimeSeries::FromSamples(samples));
+  DayVectorOptions options;
+  options.window_seconds = 900;
+  ASSERT_OK_AND_ASSIGN(std::vector<DayVector> days,
+                       BuildDayVectors(s, options));
+  ASSERT_EQ(days.size(), 1u);
+  EXPECT_EQ(days[0].values.size(), 96u);
+}
+
+TEST(DayVectorTest, SparseDayIsRejected) {
+  // Only 10 hours of data: below the paper's 20 h threshold.
+  std::vector<Sample> samples;
+  for (int64_t s = 0; s < 10 * kSecondsPerHour; ++s) {
+    samples.push_back({s, 10.0});
+  }
+  ASSERT_OK_AND_ASSIGN(TimeSeries series, TimeSeries::FromSamples(samples));
+  DayVectorOptions options;
+  ASSERT_OK_AND_ASSIGN(std::vector<DayVector> days,
+                       BuildDayVectors(series, options));
+  EXPECT_TRUE(days.empty());
+}
+
+TEST(DayVectorTest, TwentyHourDayIsKeptWithMissingCells) {
+  // 21 hours present (above threshold), 3 hours missing.
+  std::vector<Sample> samples;
+  for (int64_t s = 0; s < 21 * kSecondsPerHour; ++s) {
+    samples.push_back({s, 10.0});
+  }
+  ASSERT_OK_AND_ASSIGN(TimeSeries series, TimeSeries::FromSamples(samples));
+  DayVectorOptions options;
+  options.window_seconds = kSecondsPerHour;
+  ASSERT_OK_AND_ASSIGN(std::vector<DayVector> days,
+                       BuildDayVectors(series, options));
+  ASSERT_EQ(days.size(), 1u);
+  EXPECT_EQ(days[0].windows_present, 21u);
+  EXPECT_TRUE(ml::IsMissing(days[0].values[23]));
+  EXPECT_FALSE(ml::IsMissing(days[0].values[0]));
+}
+
+TEST(DayVectorTest, MultipleDaysSplitCorrectly) {
+  std::vector<Sample> samples;
+  AppendFullDay(samples, 0, 10.0);
+  AppendFullDay(samples, kSecondsPerDay, 20.0);
+  ASSERT_OK_AND_ASSIGN(TimeSeries s, TimeSeries::FromSamples(samples));
+  DayVectorOptions options;
+  ASSERT_OK_AND_ASSIGN(std::vector<DayVector> days, BuildDayVectors(s, options));
+  ASSERT_EQ(days.size(), 2u);
+  EXPECT_DOUBLE_EQ(days[0].values[5], 10.0);
+  EXPECT_DOUBLE_EQ(days[1].values[5], 20.0);
+  EXPECT_EQ(days[1].day_start, kSecondsPerDay);
+}
+
+TEST(DayVectorTest, UnderCoveredWindowIsMissing) {
+  // One hour has only 40% of its samples: below the 0.5 default coverage.
+  std::vector<Sample> samples;
+  for (int64_t s = 0; s < kSecondsPerDay; ++s) {
+    bool in_thin_hour = s >= 5 * kSecondsPerHour && s < 6 * kSecondsPerHour;
+    if (in_thin_hour && s % 3600 >= 1440) continue;  // keep 40%
+    samples.push_back({s, 10.0});
+  }
+  ASSERT_OK_AND_ASSIGN(TimeSeries series, TimeSeries::FromSamples(samples));
+  DayVectorOptions options;
+  options.window_seconds = kSecondsPerHour;
+  ASSERT_OK_AND_ASSIGN(std::vector<DayVector> days,
+                       BuildDayVectors(series, options));
+  ASSERT_EQ(days.size(), 1u);
+  EXPECT_TRUE(ml::IsMissing(days[0].values[5]));
+  EXPECT_EQ(days[0].windows_present, 23u);
+}
+
+TEST(DayVectorTest, RejectsBadOptions) {
+  TimeSeries s;
+  DayVectorOptions options;
+  options.window_seconds = 7;  // does not divide 86400
+  EXPECT_FALSE(BuildDayVectors(s, options).ok());
+  options = {};
+  options.min_hours = 25.0;
+  EXPECT_FALSE(BuildDayVectors(s, options).ok());
+  options = {};
+  options.sample_period_seconds = 0;
+  EXPECT_FALSE(BuildDayVectors(s, options).ok());
+}
+
+}  // namespace
+}  // namespace smeter::data

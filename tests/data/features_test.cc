@@ -1,0 +1,233 @@
+#include "data/features.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "testutil.h"
+
+namespace smeter::data {
+namespace {
+
+// A small fleet: 3 houses, 4 days, gapless (fast and deterministic).
+std::vector<TimeSeries> SmallFleet() {
+  GeneratorOptions options;
+  options.num_houses = 3;
+  options.duration_seconds = 4 * kSecondsPerDay;
+  options.outages_per_day = 0.0;
+  options.sparse_house = 99;
+  options.seed = 11;
+  return GenerateFleet(options).value();
+}
+
+ClassificationOptions HourlyOptions() {
+  ClassificationOptions options;
+  options.day.window_seconds = kSecondsPerHour;
+  options.level = 3;
+  options.method = SeparatorMethod::kMedian;
+  return options;
+}
+
+TEST(BuildHouseTablesTest, OneTablePerHouse) {
+  std::vector<TimeSeries> fleet = SmallFleet();
+  ASSERT_OK_AND_ASSIGN(std::vector<LookupTable> tables,
+                       BuildHouseTables(fleet, HourlyOptions()));
+  ASSERT_EQ(tables.size(), 3u);
+  // Per-house tables must differ (houses have different statistics).
+  EXPECT_NE(tables[0].separators(), tables[1].separators());
+  EXPECT_NE(tables[1].separators(), tables[2].separators());
+}
+
+TEST(BuildHouseTablesTest, GlobalTableIsShared) {
+  std::vector<TimeSeries> fleet = SmallFleet();
+  ClassificationOptions options = HourlyOptions();
+  options.global_table = true;
+  ASSERT_OK_AND_ASSIGN(std::vector<LookupTable> tables,
+                       BuildHouseTables(fleet, options));
+  ASSERT_EQ(tables.size(), 3u);
+  EXPECT_EQ(tables[0].separators(), tables[1].separators());
+  EXPECT_EQ(tables[0].separators(), tables[2].separators());
+}
+
+TEST(SymbolicDatasetTest, SchemaMatchesConfiguration) {
+  std::vector<TimeSeries> fleet = SmallFleet();
+  ASSERT_OK_AND_ASSIGN(ml::Dataset data, BuildSymbolicClassificationDataset(
+                                             fleet, HourlyOptions()));
+  EXPECT_EQ(data.num_attributes(), 25u);  // 24 windows + class
+  EXPECT_EQ(data.class_index(), 24u);
+  EXPECT_EQ(data.num_classes(), 3u);
+  for (size_t a = 0; a < 24; ++a) {
+    EXPECT_TRUE(data.attribute(a).is_nominal());
+    EXPECT_EQ(data.attribute(a).num_values(), 8u);  // level 3
+    // Categories are bit strings.
+    EXPECT_EQ(data.attribute(a).values()[0], "000");
+    EXPECT_EQ(data.attribute(a).values()[7], "111");
+  }
+  // 3 houses x 4 full days.
+  EXPECT_EQ(data.num_instances(), 12u);
+}
+
+TEST(SymbolicDatasetTest, FifteenMinuteWindows) {
+  std::vector<TimeSeries> fleet = SmallFleet();
+  ClassificationOptions options = HourlyOptions();
+  options.day.window_seconds = 900;
+  ASSERT_OK_AND_ASSIGN(ml::Dataset data,
+                       BuildSymbolicClassificationDataset(fleet, options));
+  EXPECT_EQ(data.num_attributes(), 97u);
+}
+
+TEST(SymbolicDatasetTest, ClassLabelsMatchHouseOrder) {
+  std::vector<TimeSeries> fleet = SmallFleet();
+  ASSERT_OK_AND_ASSIGN(ml::Dataset data, BuildSymbolicClassificationDataset(
+                                             fleet, HourlyOptions()));
+  // Instances are appended house by house: 4 days each.
+  EXPECT_EQ(data.ClassOf(0).value(), 0u);
+  EXPECT_EQ(data.ClassOf(4).value(), 1u);
+  EXPECT_EQ(data.ClassOf(8).value(), 2u);
+  EXPECT_EQ(data.class_attribute().values()[2], "house3");
+}
+
+TEST(RawDatasetTest, NumericAttributes) {
+  std::vector<TimeSeries> fleet = SmallFleet();
+  ASSERT_OK_AND_ASSIGN(ml::Dataset data, BuildRawClassificationDataset(
+                                             fleet, HourlyOptions()));
+  EXPECT_EQ(data.num_attributes(), 25u);
+  EXPECT_TRUE(data.attribute(0).is_numeric());
+  EXPECT_EQ(data.num_instances(), 12u);
+  // Values are plausible watts.
+  for (size_t r = 0; r < data.num_instances(); ++r) {
+    for (size_t a = 0; a < 24; ++a) {
+      double v = data.value(r, a);
+      if (!ml::IsMissing(v)) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 10000.0);
+      }
+    }
+  }
+}
+
+TEST(ClassificationDatasetTest, RejectsDegenerateInput) {
+  std::vector<TimeSeries> one_house(1);
+  EXPECT_FALSE(
+      BuildSymbolicClassificationDataset(one_house, HourlyOptions()).ok());
+  // Empty traces fail when learning tables.
+  std::vector<TimeSeries> empty_fleet(3);
+  EXPECT_FALSE(
+      BuildSymbolicClassificationDataset(empty_fleet, HourlyOptions()).ok());
+}
+
+TEST(CoarsenSymbolicDatasetTest, EqualsDirectCoarseEncoding) {
+  // The Figure-1 nesting property end to end: encode at level 4 and
+  // coarsen the dataset == encode directly at level 2.
+  std::vector<TimeSeries> fleet = SmallFleet();
+  ClassificationOptions fine = HourlyOptions();
+  fine.level = 4;
+  ClassificationOptions coarse = HourlyOptions();
+  coarse.level = 2;
+  ASSERT_OK_AND_ASSIGN(ml::Dataset fine_data,
+                       BuildSymbolicClassificationDataset(fleet, fine));
+  ASSERT_OK_AND_ASSIGN(ml::Dataset coarse_data,
+                       BuildSymbolicClassificationDataset(fleet, coarse));
+  ASSERT_OK_AND_ASSIGN(ml::Dataset converted,
+                       CoarsenSymbolicDataset(fine_data, 4, 2));
+  ASSERT_EQ(converted.num_instances(), coarse_data.num_instances());
+  ASSERT_EQ(converted.num_attributes(), coarse_data.num_attributes());
+  for (size_t a = 0; a < converted.num_attributes(); ++a) {
+    EXPECT_EQ(converted.attribute(a).num_values(),
+              coarse_data.attribute(a).num_values());
+  }
+  for (size_t r = 0; r < converted.num_instances(); ++r) {
+    for (size_t a = 0; a < converted.num_attributes(); ++a) {
+      if (ml::IsMissing(coarse_data.value(r, a))) {
+        EXPECT_TRUE(ml::IsMissing(converted.value(r, a)));
+      } else {
+        EXPECT_DOUBLE_EQ(converted.value(r, a), coarse_data.value(r, a))
+            << "row " << r << " attr " << a;
+      }
+    }
+  }
+}
+
+TEST(CoarsenSymbolicDatasetTest, SameLevelIsIdentity) {
+  std::vector<TimeSeries> fleet = SmallFleet();
+  ASSERT_OK_AND_ASSIGN(ml::Dataset data, BuildSymbolicClassificationDataset(
+                                             fleet, HourlyOptions()));
+  ASSERT_OK_AND_ASSIGN(ml::Dataset same, CoarsenSymbolicDataset(data, 3, 3));
+  for (size_t r = 0; r < data.num_instances(); ++r) {
+    for (size_t a = 0; a < data.num_attributes(); ++a) {
+      if (!ml::IsMissing(data.value(r, a))) {
+        EXPECT_DOUBLE_EQ(same.value(r, a), data.value(r, a));
+      }
+    }
+  }
+}
+
+TEST(CoarsenSymbolicDatasetTest, Validates) {
+  std::vector<TimeSeries> fleet = SmallFleet();
+  ASSERT_OK_AND_ASSIGN(ml::Dataset data, BuildSymbolicClassificationDataset(
+                                             fleet, HourlyOptions()));
+  EXPECT_FALSE(CoarsenSymbolicDataset(data, 3, 0).ok());
+  EXPECT_FALSE(CoarsenSymbolicDataset(data, 2, 3).ok());  // to > from
+  // Wrong declared from-level: attributes have 8 categories, not 16.
+  EXPECT_FALSE(CoarsenSymbolicDataset(data, 4, 2).ok());
+  // Raw (numeric) datasets are not symbolic.
+  ASSERT_OK_AND_ASSIGN(ml::Dataset raw, BuildRawClassificationDataset(
+                                            fleet, HourlyOptions()));
+  EXPECT_FALSE(CoarsenSymbolicDataset(raw, 3, 2).ok());
+}
+
+TEST(MakeSymbolicLagDatasetTest, BuildsLagRows) {
+  std::vector<uint32_t> symbols = {0, 1, 2, 3, 0, 1, 2, 3};
+  ASSERT_OK_AND_ASSIGN(ml::Dataset data,
+                       MakeSymbolicLagDataset(symbols, 3, 2, 0, 8));
+  // Targets at positions 3..7 -> 5 rows, 3 lag attrs + class.
+  EXPECT_EQ(data.num_instances(), 5u);
+  EXPECT_EQ(data.num_attributes(), 4u);
+  EXPECT_EQ(data.class_index(), 3u);
+  // Row 0: lags (0,1,2) -> target 3.
+  EXPECT_DOUBLE_EQ(data.value(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(data.value(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(data.value(0, 2), 2.0);
+  EXPECT_EQ(data.ClassOf(0).value(), 3u);
+}
+
+TEST(MakeSymbolicLagDatasetTest, RangeSelectsTestRows) {
+  std::vector<uint32_t> symbols(20, 1);
+  ASSERT_OK_AND_ASSIGN(ml::Dataset train,
+                       MakeSymbolicLagDataset(symbols, 4, 1, 0, 15));
+  ASSERT_OK_AND_ASSIGN(ml::Dataset test,
+                       MakeSymbolicLagDataset(symbols, 4, 1, 15, 20));
+  EXPECT_EQ(train.num_instances(), 11u);  // targets 4..14
+  EXPECT_EQ(test.num_instances(), 5u);    // targets 15..19
+}
+
+TEST(MakeSymbolicLagDatasetTest, Validates) {
+  std::vector<uint32_t> symbols = {0, 1, 5};
+  EXPECT_FALSE(MakeSymbolicLagDataset(symbols, 0, 2, 0, 3).ok());
+  EXPECT_FALSE(MakeSymbolicLagDataset(symbols, 1, 2, 0, 9).ok());
+  // Symbol 5 exceeds a level-2 alphabet.
+  EXPECT_FALSE(MakeSymbolicLagDataset(symbols, 1, 2, 0, 3).ok());
+}
+
+TEST(BuildLagMatrixTest, BuildsWindows) {
+  std::vector<double> values = {1, 2, 3, 4, 5};
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  ASSERT_OK(BuildLagMatrix(values, 2, 0, 5, &x, &y));
+  ASSERT_EQ(x.size(), 3u);
+  EXPECT_EQ(x[0], (std::vector<double>{1, 2}));
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_EQ(x[2], (std::vector<double>{3, 4}));
+  EXPECT_DOUBLE_EQ(y[2], 5.0);
+}
+
+TEST(BuildLagMatrixTest, Validates) {
+  std::vector<double> values = {1, 2, 3};
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  EXPECT_FALSE(BuildLagMatrix(values, 0, 0, 3, &x, &y).ok());
+  EXPECT_FALSE(BuildLagMatrix(values, 1, 0, 9, &x, &y).ok());
+  EXPECT_FALSE(BuildLagMatrix(values, 1, 0, 3, nullptr, &y).ok());
+}
+
+}  // namespace
+}  // namespace smeter::data

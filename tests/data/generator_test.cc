@@ -1,0 +1,177 @@
+#include "data/generator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace smeter::data {
+namespace {
+
+GeneratorOptions ShortOptions() {
+  GeneratorOptions options;
+  options.num_houses = 3;
+  options.duration_seconds = 2 * kSecondsPerHour;
+  options.seed = 7;
+  options.sparse_house = 99;  // disabled
+  return options;
+}
+
+TEST(GeneratorTest, ProducesOrderedGappySeries) {
+  ASSERT_OK_AND_ASSIGN(TimeSeries s, GenerateHouseSeries(0, ShortOptions()));
+  ASSERT_FALSE(s.empty());
+  for (size_t i = 1; i < s.size(); ++i) {
+    EXPECT_GT(s[i].timestamp, s[i - 1].timestamp);
+  }
+  EXPECT_GE(s.front().timestamp, 0);
+  EXPECT_LT(s.back().timestamp, ShortOptions().duration_seconds);
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  ASSERT_OK_AND_ASSIGN(TimeSeries a, GenerateHouseSeries(1, ShortOptions()));
+  ASSERT_OK_AND_ASSIGN(TimeSeries b, GenerateHouseSeries(1, ShortOptions()));
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(GeneratorTest, DifferentHousesDiffer) {
+  ASSERT_OK_AND_ASSIGN(TimeSeries a, GenerateHouseSeries(0, ShortOptions()));
+  ASSERT_OK_AND_ASSIGN(TimeSeries b, GenerateHouseSeries(1, ShortOptions()));
+  bool differ = a.size() != b.size();
+  if (!differ) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].value != b[i].value) {
+        differ = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(GeneratorTest, StreamingMatchesMaterialized) {
+  GeneratorOptions options = ShortOptions();
+  ASSERT_OK_AND_ASSIGN(TimeSeries materialized,
+                       GenerateHouseSeries(2, options));
+  std::vector<Sample> streamed;
+  ASSERT_OK(ForEachHouseSample(2, options, [&](const Sample& s) {
+    streamed.push_back(s);
+  }));
+  ASSERT_EQ(streamed.size(), materialized.size());
+  for (size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_EQ(streamed[i], materialized[i]);
+  }
+}
+
+TEST(GeneratorTest, OutagesCreateGaps) {
+  GeneratorOptions options = ShortOptions();
+  options.duration_seconds = kSecondsPerDay;
+  options.outages_per_day = 10.0;
+  options.outage_mean_seconds = 600.0;
+  ASSERT_OK_AND_ASSIGN(TimeSeries s, GenerateHouseSeries(0, options));
+  std::vector<TimeRange> gaps = s.FindGaps(1);
+  EXPECT_FALSE(gaps.empty());
+  // With ~10 outages of ~10 min, coverage should drop noticeably but the
+  // series must still hold most of the day.
+  EXPECT_LT(s.size(), static_cast<size_t>(kSecondsPerDay));
+  EXPECT_GT(s.size(), static_cast<size_t>(kSecondsPerDay) / 2);
+}
+
+TEST(GeneratorTest, ZeroOutageRateIsGapless) {
+  GeneratorOptions options = ShortOptions();
+  options.outages_per_day = 0.0;
+  ASSERT_OK_AND_ASSIGN(TimeSeries s, GenerateHouseSeries(0, options));
+  EXPECT_EQ(s.size(), static_cast<size_t>(options.duration_seconds));
+  EXPECT_TRUE(s.FindGaps(1).empty());
+}
+
+TEST(GeneratorTest, SparseHouseLosesMostData) {
+  GeneratorOptions options = ShortOptions();
+  options.num_houses = 6;
+  options.duration_seconds = kSecondsPerDay;
+  options.sparse_house = 4;
+  ASSERT_OK_AND_ASSIGN(TimeSeries normal, GenerateHouseSeries(0, options));
+  ASSERT_OK_AND_ASSIGN(TimeSeries sparse, GenerateHouseSeries(4, options));
+  EXPECT_LT(static_cast<double>(sparse.size()),
+            0.65 * static_cast<double>(normal.size()));
+}
+
+TEST(GeneratorTest, FleetHasOneSeriesPerHouse) {
+  ASSERT_OK_AND_ASSIGN(std::vector<TimeSeries> fleet,
+                       GenerateFleet(ShortOptions()));
+  EXPECT_EQ(fleet.size(), 3u);
+  for (const TimeSeries& s : fleet) EXPECT_FALSE(s.empty());
+}
+
+TEST(GeneratorTest, ValidatesOptions) {
+  GeneratorOptions options = ShortOptions();
+  options.num_houses = 0;
+  EXPECT_FALSE(GenerateFleet(options).ok());
+  options = ShortOptions();
+  options.duration_seconds = 0;
+  EXPECT_FALSE(GenerateHouseSeries(0, options).ok());
+  options = ShortOptions();
+  EXPECT_FALSE(GenerateHouseSeries(99, options).ok());
+  options = ShortOptions();
+  options.outages_per_day = -1.0;
+  EXPECT_FALSE(GenerateHouseSeries(0, options).ok());
+}
+
+TEST(GeneratorTest, MeterQuantizationRoundsToResolution) {
+  GeneratorOptions options = ShortOptions();
+  options.outages_per_day = 0.0;
+  options.resolution_watts = 5.0;
+  ASSERT_OK_AND_ASSIGN(TimeSeries s, GenerateHouseSeries(0, options));
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(std::fmod(s[i].value, 5.0), 0.0);
+  }
+}
+
+TEST(GeneratorTest, SeasonalModulationScalesConsumption) {
+  GeneratorOptions options;
+  options.num_houses = 1;
+  options.duration_seconds = 365 * kSecondsPerDay;
+  options.sample_period_seconds = 1800;  // keep it cheap
+  options.outages_per_day = 0.0;
+  options.sparse_house = 99;
+  options.seasonal_amplitude = 0.4;
+  options.seasonal_peak_day = 15;
+  options.seed = 3;
+  ASSERT_OK_AND_ASSIGN(TimeSeries s, GenerateHouseSeries(0, options));
+  // Mean consumption in the peak month must clearly exceed the trough
+  // month (day 15 + 182).
+  double winter = s.Slice({0, 30 * kSecondsPerDay}).MeanValue().value();
+  double summer = s.Slice({182 * kSecondsPerDay, 212 * kSecondsPerDay})
+                      .MeanValue()
+                      .value();
+  EXPECT_GT(winter, 1.5 * summer);
+}
+
+TEST(GeneratorTest, SeasonalOptionsValidated) {
+  GeneratorOptions options = ShortOptions();
+  options.seasonal_amplitude = 1.0;
+  EXPECT_FALSE(GenerateHouseSeries(0, options).ok());
+  options = ShortOptions();
+  options.seasonal_amplitude = -0.1;
+  EXPECT_FALSE(GenerateHouseSeries(0, options).ok());
+  options = ShortOptions();
+  options.seasonal_amplitude = 0.2;
+  options.seasonal_period_days = 0;
+  EXPECT_FALSE(GenerateHouseSeries(0, options).ok());
+}
+
+TEST(GeneratorTest, NonUnitSamplePeriod) {
+  GeneratorOptions options = ShortOptions();
+  options.sample_period_seconds = 30;
+  options.outages_per_day = 0.0;
+  ASSERT_OK_AND_ASSIGN(TimeSeries s, GenerateHouseSeries(0, options));
+  EXPECT_EQ(s.size(),
+            static_cast<size_t>(options.duration_seconds / 30));
+  EXPECT_EQ(s[1].timestamp - s[0].timestamp, 30);
+}
+
+}  // namespace
+}  // namespace smeter::data

@@ -1,0 +1,120 @@
+#include "data/household.h"
+
+#include <gtest/gtest.h>
+
+#include "core/quantile.h"
+#include "testutil.h"
+
+namespace smeter::data {
+namespace {
+
+// Simulates `seconds` of a house and returns the values.
+std::vector<double> Simulate(Household& house, int64_t seconds,
+                             uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(seconds));
+  for (Timestamp t = 0; t < seconds; ++t) {
+    values.push_back(house.Step(t, rng));
+  }
+  return values;
+}
+
+TEST(HouseholdTest, PowerIsNonNegativeAndBounded) {
+  Household house = MakeHousehold(0, 1);
+  std::vector<double> values = Simulate(house, 2 * kSecondsPerHour, 2);
+  for (double v : values) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 20000.0);  // sanity: well under 20 kW
+  }
+}
+
+TEST(HouseholdTest, BaseLoadIsAlwaysPresent) {
+  Household house = MakeHousehold(0, 1);
+  std::vector<double> values = Simulate(house, kSecondsPerDay, 3);
+  // The standby appliance keeps the minimum clearly above zero.
+  double min = *std::min_element(values.begin(), values.end());
+  EXPECT_GT(min, 10.0);
+}
+
+TEST(HouseholdTest, SixPersonalitiesHaveDistinctMedians) {
+  // The classification experiment requires per-house statistics to differ;
+  // check pairwise median separation over a simulated day.
+  std::vector<double> medians;
+  for (size_t id = 0; id < 6; ++id) {
+    Household house = MakeHousehold(id, 7);
+    std::vector<double> values = Simulate(house, kSecondsPerDay, 100 + id);
+    medians.push_back(Quantile(values, 0.5).value());
+  }
+  for (size_t a = 0; a < medians.size(); ++a) {
+    for (size_t b = a + 1; b < medians.size(); ++b) {
+      EXPECT_GT(std::abs(medians[a] - medians[b]),
+                0.02 * std::max(medians[a], medians[b]))
+          << "houses " << a << " and " << b << " are statistically identical";
+    }
+  }
+}
+
+TEST(HouseholdTest, DifferentSeedsPerturbParameters) {
+  Household a = MakeHousehold(1, 1);
+  Household b = MakeHousehold(1, 2);
+  std::vector<double> va = Simulate(a, kSecondsPerHour, 5);
+  std::vector<double> vb = Simulate(b, kSecondsPerHour, 5);
+  EXPECT_NE(va, vb);
+}
+
+TEST(HouseholdTest, SameSeedIsDeterministic) {
+  Household a = MakeHousehold(2, 9);
+  Household b = MakeHousehold(2, 9);
+  std::vector<double> va = Simulate(a, kSecondsPerHour, 5);
+  std::vector<double> vb = Simulate(b, kSecondsPerHour, 5);
+  EXPECT_EQ(va, vb);
+}
+
+TEST(HouseholdTest, ExoticIdsReusePersonalities) {
+  Household h8 = MakeHousehold(8, 1);
+  EXPECT_GT(h8.num_appliances(), 0u);
+  EXPECT_EQ(h8.name(), "house 9");
+}
+
+TEST(HouseholdTest, EvCommuterChargesAtNight) {
+  // Personality 6: the EV charger concentrates large draws into the night
+  // hours, unlike the family house (personality 0).
+  Household ev = MakeHousehold(6, 3);
+  Household family = MakeHousehold(0, 3);
+  auto night_heavy_seconds = [](Household& house, uint64_t seed) {
+    Rng rng(seed);
+    size_t heavy = 0;
+    for (Timestamp t = 0; t < 7 * kSecondsPerDay; ++t) {
+      double w = house.Step(t, rng);
+      int hour = static_cast<int>((t % kSecondsPerDay) / kSecondsPerHour);
+      if ((hour < 6 || hour >= 22) && w > 3000.0) ++heavy;
+    }
+    return heavy;
+  };
+  EXPECT_GT(night_heavy_seconds(ev, 5), 5 * night_heavy_seconds(family, 5));
+}
+
+TEST(HouseholdTest, StudioConsumesFarLessThanFamilyHouse) {
+  Household studio = MakeHousehold(7, 3);
+  Household family = MakeHousehold(0, 3);
+  std::vector<double> studio_values = Simulate(studio, kSecondsPerDay, 9);
+  std::vector<double> family_values = Simulate(family, kSecondsPerDay, 9);
+  double studio_mean = 0.0, family_mean = 0.0;
+  for (double v : studio_values) studio_mean += v;
+  for (double v : family_values) family_mean += v;
+  EXPECT_LT(studio_mean, 0.5 * family_mean);
+}
+
+TEST(HouseholdTest, HeavyTailInDailyDistribution) {
+  // Peak power must far exceed the median (log-normal-like shape,
+  // Figure 2): big appliances fire rarely.
+  Household house = MakeHousehold(0, 11);
+  std::vector<double> values = Simulate(house, kSecondsPerDay, 13);
+  double median = Quantile(values, 0.5).value();
+  double p999 = Quantile(values, 0.999).value();
+  EXPECT_GT(p999, 4.0 * median);
+}
+
+}  // namespace
+}  // namespace smeter::data

@@ -1,0 +1,94 @@
+#include "data/redd.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace smeter::data {
+namespace {
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+}
+
+TEST(ReddChannelTest, ParsesTimestampWattPairs) {
+  std::string path = smeter::testing::TempPath("channel.dat");
+  WriteFile(path, "1303132929 241.30\n1303132930 245.00\n1303132932 60.5\n");
+  ASSERT_OK_AND_ASSIGN(TimeSeries s, LoadReddChannel(path));
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].timestamp, 1303132929);
+  EXPECT_DOUBLE_EQ(s[0].value, 241.30);
+  EXPECT_DOUBLE_EQ(s[2].value, 60.5);
+}
+
+TEST(ReddChannelTest, RejectsMalformedRows) {
+  std::string path = smeter::testing::TempPath("bad.dat");
+  WriteFile(path, "1303132929 241.30\nnot_a_number 10\n");
+  EXPECT_FALSE(LoadReddChannel(path).ok());
+}
+
+TEST(ReddChannelTest, RejectsShortRows) {
+  std::string path = smeter::testing::TempPath("short.dat");
+  WriteFile(path, "1303132929\n");
+  EXPECT_FALSE(LoadReddChannel(path).ok());
+}
+
+TEST(ReddChannelTest, RejectsTimestampRegression) {
+  std::string path = smeter::testing::TempPath("regress.dat");
+  WriteFile(path, "100 1.0\n99 2.0\n");
+  Result<TimeSeries> r = LoadReddChannel(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("row 1"), std::string::npos);
+}
+
+TEST(ReddChannelTest, MissingFileIsNotFound) {
+  Result<TimeSeries> r = LoadReddChannel("/no/such/file.dat");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ReddHouseTest, SumsTheTwoMains) {
+  std::string dir = smeter::testing::TempPath("house_1");
+  ASSERT_EQ(::system(("mkdir -p " + dir).c_str()), 0);
+  WriteFile(dir + "/channel_1.dat", "100 10.0\n101 20.0\n102 30.0\n");
+  WriteFile(dir + "/channel_2.dat", "100 1.0\n101 2.0\n102 3.0\n");
+  ASSERT_OK_AND_ASSIGN(TimeSeries total, LoadReddHouseMains(dir));
+  ASSERT_EQ(total.size(), 3u);
+  EXPECT_DOUBLE_EQ(total[0].value, 11.0);
+  EXPECT_DOUBLE_EQ(total[2].value, 33.0);
+}
+
+TEST(ReddHouseTest, AlignsOnSharedTimestampsOnly) {
+  std::string dir = smeter::testing::TempPath("house_2");
+  ASSERT_EQ(::system(("mkdir -p " + dir).c_str()), 0);
+  // Channel 2 misses timestamp 101 and has an extra 103.
+  WriteFile(dir + "/channel_1.dat", "100 10.0\n101 20.0\n102 30.0\n");
+  WriteFile(dir + "/channel_2.dat", "100 1.0\n102 3.0\n103 4.0\n");
+  ASSERT_OK_AND_ASSIGN(TimeSeries total, LoadReddHouseMains(dir));
+  ASSERT_EQ(total.size(), 2u);
+  EXPECT_EQ(total[0].timestamp, 100);
+  EXPECT_EQ(total[1].timestamp, 102);
+}
+
+TEST(ReddHouseTest, ErrorsWhenNoOverlap) {
+  std::string dir = smeter::testing::TempPath("house_3");
+  ASSERT_EQ(::system(("mkdir -p " + dir).c_str()), 0);
+  WriteFile(dir + "/channel_1.dat", "100 10.0\n");
+  WriteFile(dir + "/channel_2.dat", "200 1.0\n");
+  EXPECT_FALSE(LoadReddHouseMains(dir).ok());
+}
+
+TEST(ReddHouseTest, MissingChannelIsNotFound) {
+  std::string dir = smeter::testing::TempPath("house_4");
+  ASSERT_EQ(::system(("mkdir -p " + dir).c_str()), 0);
+  WriteFile(dir + "/channel_1.dat", "100 10.0\n");
+  Result<TimeSeries> r = LoadReddHouseMains(dir);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace smeter::data

@@ -1,0 +1,137 @@
+// End-to-end forecasting (Section 3.2 at small scale): next-day hourly
+// consumption predicted as next-symbol classification, against the SVR
+// raw-value baseline.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/encoder.h"
+#include "core/reconstruction.h"
+#include "data/features.h"
+#include "data/generator.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+#include "ml/svr.h"
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+constexpr size_t kLag = 12;
+constexpr size_t kTrainHours = 7 * 24;
+constexpr size_t kTotalHours = 8 * 24;
+
+// Hourly consumption of one simulated house over 8 days.
+std::vector<double> HourlySeries(uint64_t seed) {
+  data::GeneratorOptions options;
+  options.num_houses = 1;
+  options.duration_seconds = 8 * kSecondsPerDay;
+  options.outages_per_day = 0.0;
+  options.sparse_house = 99;
+  options.seed = seed;
+  TimeSeries raw = data::GenerateHouseSeries(0, options).value();
+  TimeSeries hourly =
+      VerticalSegmentByWindow(raw, kSecondsPerHour, {}).value();
+  return hourly.Values();
+}
+
+// Runs the paper's symbolic forecasting protocol; returns test MAE in
+// watts.
+double SymbolicForecastMae(const std::vector<double>& hourly,
+                           ml::Classifier& classifier,
+                           SeparatorMethod method) {
+  LookupTableOptions table_options;
+  table_options.method = method;
+  table_options.level = 4;
+  std::vector<double> training(hourly.begin(), hourly.begin() + kTrainHours);
+  LookupTable table = LookupTable::Build(training, table_options).value();
+
+  std::vector<uint32_t> symbols;
+  for (double v : hourly) symbols.push_back(table.Encode(v).index());
+
+  ml::Dataset train =
+      data::MakeSymbolicLagDataset(symbols, kLag, 4, 0, kTrainHours).value();
+  ml::Dataset test = data::MakeSymbolicLagDataset(symbols, kLag, 4,
+                                                  kTrainHours, kTotalHours)
+                         .value();
+  EXPECT_TRUE(classifier.Train(train).ok());
+
+  std::vector<double> truth, predicted;
+  for (size_t r = 0; r < test.num_instances(); ++r) {
+    size_t target = kTrainHours + r;
+    truth.push_back(hourly[target]);
+    size_t symbol = classifier.Predict(test.row(r)).value();
+    // Symbol semantics: the center of its range (Section 3.2).
+    Symbol s = Symbol::Create(4, static_cast<uint32_t>(symbol)).value();
+    predicted.push_back(
+        table.Reconstruct(s, ReconstructionMode::kRangeCenter).value());
+  }
+  return MeanAbsoluteError(truth, predicted).value();
+}
+
+TEST(ForecastIntegrationTest, SymbolicForecastBeatsMeanPredictor) {
+  std::vector<double> hourly = HourlySeries(71);
+  ASSERT_EQ(hourly.size(), kTotalHours);
+
+  ml::NaiveBayes nb;
+  double mae = SymbolicForecastMae(hourly, nb, SeparatorMethod::kMedian);
+
+  // Baseline: always predict the training mean.
+  double mean = 0.0;
+  for (size_t i = 0; i < kTrainHours; ++i) mean += hourly[i];
+  mean /= static_cast<double>(kTrainHours);
+  std::vector<double> truth(hourly.begin() + kTrainHours, hourly.end());
+  std::vector<double> constant(truth.size(), mean);
+  double mean_mae = MeanAbsoluteError(truth, constant).value();
+
+  EXPECT_GT(mae, 0.0);
+  // Residential hourly load is extremely noisy; the paper only claims the
+  // symbolic forecast is *comparable* to real-value forecasting, so this
+  // sanity check is deliberately loose (the benches run the full protocol).
+  EXPECT_LT(mae, 2.0 * mean_mae);
+}
+
+TEST(ForecastIntegrationTest, AllThreeEncodingsProduceFiniteErrors) {
+  std::vector<double> hourly = HourlySeries(73);
+  for (SeparatorMethod method :
+       {SeparatorMethod::kUniform, SeparatorMethod::kMedian,
+        SeparatorMethod::kDistinctMedian}) {
+    ml::RandomForestOptions rf;
+    rf.num_trees = 15;
+    ml::RandomForest forest(rf);
+    double mae = SymbolicForecastMae(hourly, forest, method);
+    EXPECT_TRUE(std::isfinite(mae));
+    EXPECT_GT(mae, 0.0);
+    EXPECT_LT(mae, 2000.0) << SeparatorMethodName(method);
+  }
+}
+
+TEST(ForecastIntegrationTest, SvrBaselineRunsOnRawValues) {
+  std::vector<double> hourly = HourlySeries(79);
+  std::vector<std::vector<double>> x_train, x_test;
+  std::vector<double> y_train, y_test;
+  ASSERT_OK(data::BuildLagMatrix(hourly, kLag, 0, kTrainHours, &x_train,
+                                 &y_train));
+  ASSERT_OK(data::BuildLagMatrix(hourly, kLag, kTrainHours, kTotalHours,
+                                 &x_test, &y_test));
+  ASSERT_EQ(y_test.size(), 24u);
+
+  ml::SvrOptions options;
+  options.c = 10.0;
+  ml::Svr svr(options);
+  ASSERT_OK(svr.Train(x_train, y_train));
+  std::vector<double> predicted;
+  for (const auto& x : x_test) {
+    ASSERT_OK_AND_ASSIGN(double p, svr.Predict(x));
+    predicted.push_back(p);
+  }
+  ASSERT_OK_AND_ASSIGN(double mae, MeanAbsoluteError(y_test, predicted));
+  EXPECT_TRUE(std::isfinite(mae));
+  // SVR should comfortably beat the worst-case spread of the data.
+  double max = *std::max_element(hourly.begin(), hourly.end());
+  EXPECT_LT(mae, max);
+}
+
+}  // namespace
+}  // namespace smeter

@@ -1,0 +1,174 @@
+// The online two-phase encoder must agree exactly with the batch pipeline:
+// same table (trained on the warm-up aggregates) and same symbol stream for
+// the post-warm-up data.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/encoder.h"
+#include "core/online_encoder.h"
+#include "data/generator.h"
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+data::GeneratorOptions TraceOptions(double outages_per_day, uint64_t seed) {
+  data::GeneratorOptions options;
+  options.num_houses = 1;
+  options.duration_seconds = 4 * kSecondsPerDay;
+  options.outages_per_day = outages_per_day;
+  options.sparse_house = 99;
+  options.seed = seed;
+  return options;
+}
+
+void CheckEquivalence(const TimeSeries& trace, SeparatorMethod method,
+                      int level) {
+  const int64_t warmup = 2 * kSecondsPerDay;
+  const int64_t window = 900;
+
+  // --- online ---
+  OnlineEncoderOptions online_options;
+  online_options.method = method;
+  online_options.level = level;
+  online_options.warmup_seconds = warmup;
+  online_options.window_seconds = window;
+  ASSERT_OK_AND_ASSIGN(OnlineEncoder encoder,
+                       OnlineEncoder::Create(online_options));
+  std::vector<SymbolicSample> online_symbols;
+  for (const Sample& s : trace) {
+    ASSERT_OK_AND_ASSIGN(std::vector<EncoderEvent> events, encoder.Push(s));
+    for (const EncoderEvent& e : events) {
+      if (e.type == EncoderEvent::Type::kSymbol) {
+        online_symbols.push_back(e.symbol);
+      }
+    }
+  }
+  ASSERT_OK_AND_ASSIGN(std::vector<EncoderEvent> tail, encoder.Flush());
+  for (const EncoderEvent& e : tail) {
+    if (e.type == EncoderEvent::Type::kSymbol) online_symbols.push_back(e.symbol);
+  }
+  ASSERT_TRUE(encoder.warmed_up());
+
+  // --- batch ---
+  Timestamp start = trace.front().timestamp;
+  TimeSeries head = trace.Slice({start, start + warmup});
+  WindowOptions window_options;
+  ASSERT_OK_AND_ASSIGN(TimeSeries head_agg,
+                       VerticalSegmentByWindow(head, window, window_options));
+  LookupTableOptions table_options;
+  table_options.method = method;
+  table_options.level = level;
+  ASSERT_OK_AND_ASSIGN(LookupTable table,
+                       LookupTable::Build(head_agg.Values(), table_options));
+  // The online table must match.
+  EXPECT_EQ(encoder.table()->separators(), table.separators());
+
+  TimeSeries rest = trace.Slice({start + warmup, trace.back().timestamp + 1});
+  ASSERT_OK_AND_ASSIGN(TimeSeries rest_agg,
+                       VerticalSegmentByWindow(rest, window, window_options));
+  ASSERT_OK_AND_ASSIGN(SymbolicSeries batch_symbols, Encode(rest_agg, table));
+
+  ASSERT_EQ(online_symbols.size(), batch_symbols.size());
+  for (size_t i = 0; i < online_symbols.size(); ++i) {
+    EXPECT_EQ(online_symbols[i].timestamp, batch_symbols[i].timestamp)
+        << "at symbol " << i;
+    EXPECT_EQ(online_symbols[i].symbol, batch_symbols[i].symbol)
+        << "at symbol " << i;
+  }
+}
+
+// Parameterized sweep: every separator method at several window sizes and
+// gap densities must agree with the batch pipeline exactly.
+using EquivalenceParam = std::tuple<SeparatorMethod, int64_t, double>;
+
+class OnlineBatchEquivalenceSweep
+    : public ::testing::TestWithParam<EquivalenceParam> {};
+
+TEST_P(OnlineBatchEquivalenceSweep, StreamsMatchBatch) {
+  auto [method, window, outages] = GetParam();
+  ASSERT_OK_AND_ASSIGN(TimeSeries trace,
+                       data::GenerateHouseSeries(0, TraceOptions(outages, 61)));
+  const int64_t warmup = 2 * kSecondsPerDay;
+
+  OnlineEncoderOptions online_options;
+  online_options.method = method;
+  online_options.level = 3;
+  online_options.warmup_seconds = warmup;
+  online_options.window_seconds = window;
+  ASSERT_OK_AND_ASSIGN(OnlineEncoder encoder,
+                       OnlineEncoder::Create(online_options));
+  std::vector<SymbolicSample> online_symbols;
+  for (const Sample& s : trace) {
+    ASSERT_OK_AND_ASSIGN(std::vector<EncoderEvent> events, encoder.Push(s));
+    for (const EncoderEvent& e : events) {
+      if (e.type == EncoderEvent::Type::kSymbol) {
+        online_symbols.push_back(e.symbol);
+      }
+    }
+  }
+  ASSERT_OK_AND_ASSIGN(std::vector<EncoderEvent> tail, encoder.Flush());
+  for (const EncoderEvent& e : tail) {
+    if (e.type == EncoderEvent::Type::kSymbol) online_symbols.push_back(e.symbol);
+  }
+
+  Timestamp start = trace.front().timestamp;
+  WindowOptions window_options;
+  ASSERT_OK_AND_ASSIGN(
+      TimeSeries head_agg,
+      VerticalSegmentByWindow(trace.Slice({start, start + warmup}), window,
+                              window_options));
+  LookupTableOptions table_options;
+  table_options.method = method;
+  table_options.level = 3;
+  ASSERT_OK_AND_ASSIGN(LookupTable table,
+                       LookupTable::Build(head_agg.Values(), table_options));
+  ASSERT_OK_AND_ASSIGN(
+      TimeSeries rest_agg,
+      VerticalSegmentByWindow(
+          trace.Slice({start + warmup, trace.back().timestamp + 1}), window,
+          window_options));
+  ASSERT_OK_AND_ASSIGN(SymbolicSeries batch_symbols, Encode(rest_agg, table));
+
+  ASSERT_EQ(online_symbols.size(), batch_symbols.size());
+  for (size_t i = 0; i < online_symbols.size(); ++i) {
+    ASSERT_EQ(online_symbols[i].timestamp, batch_symbols[i].timestamp);
+    ASSERT_EQ(online_symbols[i].symbol, batch_symbols[i].symbol);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsWindowsGaps, OnlineBatchEquivalenceSweep,
+    ::testing::Combine(::testing::Values(SeparatorMethod::kUniform,
+                                         SeparatorMethod::kMedian,
+                                         SeparatorMethod::kDistinctMedian),
+                       ::testing::Values(int64_t{900}, int64_t{3600}),
+                       ::testing::Values(0.0, 4.0)),
+    [](const ::testing::TestParamInfo<EquivalenceParam>& info) {
+      return SeparatorMethodName(std::get<0>(info.param)) + "_w" +
+             std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) > 0.0 ? "_gappy" : "_gapless");
+    });
+
+TEST(OnlineBatchEquivalenceTest, GaplessTraceMedian) {
+  ASSERT_OK_AND_ASSIGN(TimeSeries trace,
+                       data::GenerateHouseSeries(0, TraceOptions(0.0, 51)));
+  CheckEquivalence(trace, SeparatorMethod::kMedian, 4);
+}
+
+TEST(OnlineBatchEquivalenceTest, GaplessTraceUniform) {
+  ASSERT_OK_AND_ASSIGN(TimeSeries trace,
+                       data::GenerateHouseSeries(0, TraceOptions(0.0, 53)));
+  CheckEquivalence(trace, SeparatorMethod::kUniform, 2);
+}
+
+TEST(OnlineBatchEquivalenceTest, GappyTraceDistinctMedian) {
+  ASSERT_OK_AND_ASSIGN(TimeSeries trace,
+                       data::GenerateHouseSeries(0, TraceOptions(6.0, 57)));
+  CheckEquivalence(trace, SeparatorMethod::kDistinctMedian, 3);
+}
+
+}  // namespace
+}  // namespace smeter

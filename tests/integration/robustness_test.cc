@@ -1,0 +1,155 @@
+// Failure injection across the parsing surfaces: deterministic garbage and
+// truncation sweeps must produce clean error Statuses (never crashes or
+// silent misparses), and the simulate -> files -> load round trips must be
+// lossless.
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "cli.h"
+#include "common/random.h"
+#include "core/codec.h"
+#include "core/lookup_table.h"
+#include "data/cer.h"
+#include "data/generator.h"
+#include "data/redd.h"
+#include "ml/arff.h"
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+// Deterministic printable garbage.
+std::string Garbage(size_t length, uint64_t seed) {
+  Rng rng(seed);
+  std::string out;
+  out.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    out.push_back(static_cast<char>(32 + rng.UniformInt(95)));
+  }
+  return out;
+}
+
+TEST(RobustnessTest, GarbageNeverCrashesTheParsers) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    std::string junk = Garbage(200 + seed * 17, seed);
+    // Every parser must return (not crash); most reject, none may abort.
+    (void)LookupTable::Deserialize(junk);
+    (void)UnpackSymbolicSeries(junk);
+    (void)ml::FromArff(junk);
+    (void)data::ParseCer(junk);
+  }
+  SUCCEED();
+}
+
+TEST(RobustnessTest, TruncationSweepOnPackedSymbols) {
+  SymbolicSeries series(4);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK(series.Append(
+        {i * 900, Symbol::Create(4, static_cast<uint32_t>(i % 16)).value()}));
+  }
+  std::string blob = PackSymbolicSeries(series).value();
+  // Every strict prefix must be rejected (never misparsed as valid).
+  for (size_t len = 0; len < blob.size(); ++len) {
+    Result<SymbolicSeries> parsed =
+        UnpackSymbolicSeries(blob.substr(0, len));
+    EXPECT_FALSE(parsed.ok()) << "prefix length " << len;
+  }
+  ASSERT_OK(UnpackSymbolicSeries(blob).status());
+}
+
+TEST(RobustnessTest, BitflipSweepOnSerializedTable) {
+  std::vector<double> training = testing::LogNormalValues(200, 3);
+  LookupTableOptions options;
+  options.level = 3;
+  LookupTable table = LookupTable::Build(training, options).value();
+  std::string blob = table.Serialize();
+  // Flip one character at a time across the header lines; each result must
+  // either be rejected or parse into a structurally valid table (never
+  // crash, never produce out-of-range state).
+  for (size_t pos = 0; pos < std::min<size_t>(blob.size(), 120); ++pos) {
+    std::string mutated = blob;
+    mutated[pos] = mutated[pos] == 'x' ? 'y' : 'x';
+    Result<LookupTable> parsed = LookupTable::Deserialize(mutated);
+    if (parsed.ok()) {
+      EXPECT_GE(parsed->level(), 1);
+      EXPECT_LE(parsed->level(), kMaxSymbolLevel);
+      EXPECT_EQ(parsed->separators().size(), parsed->alphabet_size() - 1);
+    }
+  }
+  SUCCEED();
+}
+
+TEST(RobustnessTest, CliSimulateReddRoundTripsThroughLoader) {
+  // The CLI writes REDD-format mains; LoadReddHouseMains must reassemble
+  // exactly the generator's trace (watt halves re-summed).
+  std::string dir = testing::TempPath("redd_roundtrip");
+  std::ostringstream out;
+  ASSERT_OK(cli::RunCli({"simulate", "--out", dir, "--houses", "1", "--days",
+                         "1", "--seed", "77", "--outages", "0"},
+                        out));
+  ASSERT_OK_AND_ASSIGN(TimeSeries loaded,
+                       data::LoadReddHouseMains(dir + "/house_1"));
+  data::GeneratorOptions gen;
+  gen.num_houses = 1;
+  gen.duration_seconds = kSecondsPerDay;
+  gen.outages_per_day = 0.0;
+  gen.seed = 77;
+  ASSERT_OK_AND_ASSIGN(TimeSeries original,
+                       data::GenerateHouseSeries(0, gen));
+  ASSERT_EQ(loaded.size(), original.size());
+  for (size_t i = 0; i < loaded.size(); ++i) {
+    ASSERT_EQ(loaded[i].timestamp, original[i].timestamp);
+    // Two %.2f halves re-summed: at most 0.01 W rounding.
+    ASSERT_NEAR(loaded[i].value, original[i].value, 0.011);
+  }
+}
+
+TEST(RobustnessTest, CerFormatRoundTripsGeneratorOutput) {
+  data::GeneratorOptions gen;
+  gen.num_houses = 2;
+  gen.duration_seconds = 3 * kSecondsPerDay;
+  gen.sample_period_seconds = 1800;
+  gen.outages_per_day = 0.0;
+  gen.sparse_house = 99;
+  gen.seed = 13;
+  ASSERT_OK_AND_ASSIGN(std::vector<TimeSeries> fleet,
+                       data::GenerateFleet(gen));
+  std::vector<std::pair<int64_t, TimeSeries>> meters = {
+      {7001, fleet[0]}, {7002, fleet[1]}};
+  ASSERT_OK_AND_ASSIGN(std::string text, data::FormatCer(meters));
+  ASSERT_OK_AND_ASSIGN(auto parsed, data::ParseCer(text));
+  ASSERT_EQ(parsed.size(), 2u);
+  for (size_t m = 0; m < 2; ++m) {
+    ASSERT_EQ(parsed[m].second.size(), meters[m].second.size());
+    for (size_t i = 0; i < parsed[m].second.size(); ++i) {
+      ASSERT_EQ(parsed[m].second[i].timestamp,
+                meters[m].second[i].timestamp);
+      ASSERT_NEAR(parsed[m].second[i].value, meters[m].second[i].value,
+                  0.05);
+    }
+  }
+}
+
+TEST(RobustnessTest, ArffSurvivesHostileFieldContents) {
+  // Attribute names and categories full of ARFF metacharacters must round
+  // trip through quoting.
+  ml::Dataset d =
+      ml::Dataset::Create(
+          "weird relation, with {braces}",
+          {ml::Attribute::Nominal("a,b {c}", {"x y", "z,w", "{}"}),
+           ml::Attribute::Nominal("class", {"p", "q"})},
+          1)
+          .value();
+  ASSERT_OK(d.Add({0.0, 0.0}));
+  ASSERT_OK(d.Add({2.0, 1.0}));
+  ASSERT_OK_AND_ASSIGN(ml::Dataset parsed, ml::FromArff(ml::ToArff(d), 1));
+  EXPECT_EQ(parsed.attribute(0).name(), "a,b {c}");
+  EXPECT_EQ(parsed.attribute(0).values()[1], "z,w");
+  EXPECT_DOUBLE_EQ(parsed.value(1, 0), 2.0);
+}
+
+}  // namespace
+}  // namespace smeter

@@ -1,0 +1,104 @@
+#include "ml/arff.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace smeter::ml {
+namespace {
+
+Dataset SampleDataset() {
+  Dataset d = Dataset::Create("meter days",
+                              {Attribute::Numeric("w0"),
+                               Attribute::Nominal("sym", {"00", "01"}),
+                               Attribute::Nominal("house", {"h1", "h2"})},
+                              2)
+                  .value();
+  (void)d.Add({1.5, 0.0, 0.0});
+  (void)d.Add({kMissing, 1.0, 1.0});
+  return d;
+}
+
+TEST(ArffTest, RoundTripPreservesEverything) {
+  Dataset original = SampleDataset();
+  std::string text = ToArff(original);
+  ASSERT_OK_AND_ASSIGN(Dataset parsed, FromArff(text, 2));
+  EXPECT_EQ(parsed.relation(), "meter days");
+  ASSERT_EQ(parsed.num_attributes(), 3u);
+  EXPECT_TRUE(parsed.attribute(0).is_numeric());
+  EXPECT_TRUE(parsed.attribute(1).is_nominal());
+  EXPECT_EQ(parsed.attribute(1).values(),
+            (std::vector<std::string>{"00", "01"}));
+  ASSERT_EQ(parsed.num_instances(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.value(0, 0), 1.5);
+  EXPECT_TRUE(IsMissing(parsed.value(1, 0)));
+  EXPECT_EQ(parsed.ClassOf(1).value(), 1u);
+}
+
+TEST(ArffTest, DefaultClassIsLastAttribute) {
+  std::string text = ToArff(SampleDataset());
+  ASSERT_OK_AND_ASSIGN(Dataset parsed, FromArff(text));
+  EXPECT_EQ(parsed.class_index(), 2u);
+}
+
+TEST(ArffTest, ParsesHandWrittenWekaStyle) {
+  std::string text =
+      "% comment line\n"
+      "@RELATION test\n"
+      "\n"
+      "@ATTRIBUTE temp NUMERIC\n"
+      "@ATTRIBUTE outlook {sunny, rainy}\n"
+      "@DATA\n"
+      "20.5, sunny\n"
+      "?, rainy\n";
+  ASSERT_OK_AND_ASSIGN(Dataset parsed, FromArff(text));
+  EXPECT_EQ(parsed.relation(), "test");
+  ASSERT_EQ(parsed.num_instances(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.value(0, 0), 20.5);
+  EXPECT_EQ(parsed.ClassOf(0).value(), 0u);
+  EXPECT_TRUE(IsMissing(parsed.value(1, 0)));
+}
+
+TEST(ArffTest, QuotedNamesSurvive) {
+  Dataset d = Dataset::Create("rel",
+                              {Attribute::Numeric("has space"),
+                               Attribute::Nominal("c", {"x,y", "z"})},
+                              1)
+                  .value();
+  ASSERT_OK(d.Add({1.0, 0.0}));
+  ASSERT_OK_AND_ASSIGN(Dataset parsed, FromArff(ToArff(d), 1));
+  EXPECT_EQ(parsed.attribute(0).name(), "has space");
+  EXPECT_EQ(parsed.attribute(1).values()[0], "x,y");
+  EXPECT_EQ(parsed.ClassOf(0).value(), 0u);
+}
+
+TEST(ArffTest, RejectsMalformedInput) {
+  EXPECT_FALSE(FromArff("").ok());
+  EXPECT_FALSE(FromArff("@data\n1,2\n").ok());
+  EXPECT_FALSE(
+      FromArff("@attribute x numeric\n@data\n1,2\n").ok());  // width
+  EXPECT_FALSE(
+      FromArff("@attribute x {a\n@data\na\n").ok());  // unterminated list
+  EXPECT_FALSE(
+      FromArff("@attribute x {a,b}\n@data\nc\n").ok());  // unknown label
+  EXPECT_FALSE(
+      FromArff("@attribute x string\n@data\nfoo\n").ok());  // unsupported
+  EXPECT_FALSE(FromArff("@attribute x numeric\n@data\nnotnum\n").ok());
+}
+
+TEST(ArffFileTest, WriteAndReadBack) {
+  std::string path = smeter::testing::TempPath("data.arff");
+  Dataset original = SampleDataset();
+  ASSERT_OK(WriteArffFile(path, original));
+  ASSERT_OK_AND_ASSIGN(Dataset parsed, ReadArffFile(path, 2));
+  EXPECT_EQ(parsed.num_instances(), original.num_instances());
+}
+
+TEST(ArffFileTest, MissingFileIsNotFound) {
+  Result<Dataset> r = ReadArffFile("/no/such/file.arff");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace smeter::ml

@@ -1,0 +1,43 @@
+#include "ml/attribute.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace smeter::ml {
+namespace {
+
+TEST(AttributeTest, NumericBasics) {
+  Attribute a = Attribute::Numeric("power");
+  EXPECT_TRUE(a.is_numeric());
+  EXPECT_FALSE(a.is_nominal());
+  EXPECT_EQ(a.name(), "power");
+  EXPECT_EQ(a.num_values(), 0u);
+}
+
+TEST(AttributeTest, NominalBasics) {
+  Attribute a = Attribute::Nominal("color", {"red", "green", "blue"});
+  EXPECT_TRUE(a.is_nominal());
+  EXPECT_EQ(a.num_values(), 3u);
+  ASSERT_OK_AND_ASSIGN(std::string name, a.ValueName(1));
+  EXPECT_EQ(name, "green");
+  ASSERT_OK_AND_ASSIGN(size_t idx, a.IndexOf("blue"));
+  EXPECT_EQ(idx, 2u);
+}
+
+TEST(AttributeTest, NominalErrors) {
+  Attribute a = Attribute::Nominal("c", {"x"});
+  EXPECT_FALSE(a.ValueName(1).ok());
+  Result<size_t> missing = a.IndexOf("y");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(AttributeTest, NumericHasNoCategories) {
+  Attribute a = Attribute::Numeric("n");
+  EXPECT_FALSE(a.ValueName(0).ok());
+  EXPECT_FALSE(a.IndexOf("x").ok());
+}
+
+}  // namespace
+}  // namespace smeter::ml

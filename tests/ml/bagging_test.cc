@@ -1,0 +1,90 @@
+#include "ml/bagging.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/decision_tree.h"
+#include "ml/naive_bayes.h"
+#include "ml_testutil.h"
+#include "testutil.h"
+
+namespace smeter::ml {
+namespace {
+
+ClassifierFactory TreeFactory() {
+  return [] {
+    DecisionTreeOptions options;
+    options.prune = false;
+    return std::make_unique<DecisionTree>(options);
+  };
+}
+
+double Accuracy(const Classifier& c, const Dataset& d) {
+  size_t correct = 0;
+  for (size_t r = 0; r < d.num_instances(); ++r) {
+    if (c.Predict(d.row(r)).value() == d.ClassOf(r).value()) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(d.num_instances());
+}
+
+TEST(BaggingTest, TrainsRequestedMembers) {
+  Dataset d = testing::GaussianBlobs(60, 3);
+  BaggingOptions options;
+  options.num_members = 7;
+  Bagging bagging(TreeFactory(), options);
+  ASSERT_OK(bagging.Train(d));
+  EXPECT_EQ(bagging.num_members(), 7u);
+  EXPECT_GT(Accuracy(bagging, d), 0.95);
+}
+
+TEST(BaggingTest, BootstrapDiversitySolvesXor) {
+  // Single greedy trees refuse to split balanced XOR; bootstrap imbalance
+  // breaks the gain tie and the ensemble recovers the function.
+  Dataset d = testing::NominalXor(15);
+  BaggingOptions options;
+  options.num_members = 25;
+  Bagging bagging(TreeFactory(), options);
+  ASSERT_OK(bagging.Train(d));
+  EXPECT_GT(Accuracy(bagging, d), 0.9);
+}
+
+TEST(BaggingTest, DistributionIsNormalized) {
+  Dataset d = testing::GaussianBlobs(40, 5);
+  Bagging bagging([] { return std::make_unique<NaiveBayes>(); });
+  ASSERT_OK(bagging.Train(d));
+  ASSERT_OK_AND_ASSIGN(std::vector<double> dist,
+                       bagging.PredictDistribution({2.0, 2.0, kMissing}));
+  double sum = 0.0;
+  for (double p : dist) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(BaggingTest, DeterministicGivenSeed) {
+  Dataset d = testing::GaussianBlobs(50, 7);
+  BaggingOptions options;
+  options.num_members = 5;
+  options.seed = 9;
+  Bagging a(TreeFactory(), options), b(TreeFactory(), options);
+  ASSERT_OK(a.Train(d));
+  ASSERT_OK(b.Train(d));
+  for (size_t r = 0; r < d.num_instances(); ++r) {
+    EXPECT_EQ(a.PredictDistribution(d.row(r)).value(),
+              b.PredictDistribution(d.row(r)).value());
+  }
+}
+
+TEST(BaggingTest, Validates) {
+  Bagging untrained(TreeFactory());
+  EXPECT_FALSE(untrained.PredictDistribution({1.0}).ok());
+  Dataset d = testing::GaussianBlobs(10, 11);
+  BaggingOptions options;
+  options.num_members = 0;
+  Bagging zero(TreeFactory(), options);
+  EXPECT_FALSE(zero.Train(d).ok());
+}
+
+}  // namespace
+}  // namespace smeter::ml

@@ -1,0 +1,72 @@
+#include "ml/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/evaluation.h"
+#include "ml_testutil.h"
+#include "testutil.h"
+
+namespace smeter::ml {
+namespace {
+
+TEST(ZeroRTest, PredictsMajorityClass) {
+  Dataset d = Dataset::Create("z",
+                              {Attribute::Numeric("x"),
+                               Attribute::Nominal("c", {"a", "b"})},
+                              1)
+                  .value();
+  for (int i = 0; i < 7; ++i) ASSERT_OK(d.Add({1.0 * i, 1.0}));
+  for (int i = 0; i < 3; ++i) ASSERT_OK(d.Add({1.0 * i, 0.0}));
+  ZeroR zero;
+  ASSERT_OK(zero.Train(d));
+  ASSERT_OK_AND_ASSIGN(size_t cls, zero.Predict({99.0, kMissing}));
+  EXPECT_EQ(cls, 1u);
+  ASSERT_OK_AND_ASSIGN(std::vector<double> dist,
+                       zero.PredictDistribution({0.0, kMissing}));
+  EXPECT_DOUBLE_EQ(dist[1], 0.7);
+  EXPECT_DOUBLE_EQ(dist[0], 0.3);
+}
+
+TEST(ZeroRTest, KappaIsZeroForZeroR) {
+  // ZeroR agrees with truth only by chance: kappa ~ 0 by construction.
+  Dataset d = testing::GaussianBlobs(50, 3);
+  ZeroR zero;
+  ASSERT_OK_AND_ASSIGN(ClassificationMetrics metrics,
+                       EvaluateTrainTest(zero, d, d));
+  EXPECT_NEAR(metrics.Kappa(), 0.0, 1e-9);
+  EXPECT_NEAR(metrics.Accuracy(), 0.5, 1e-9);
+}
+
+TEST(ZeroRTest, Validates) {
+  ZeroR zero;
+  EXPECT_FALSE(zero.PredictDistribution({1.0}).ok());
+  Dataset d = testing::GaussianBlobs(5, 5);
+  ASSERT_OK(zero.Train(d));
+  EXPECT_FALSE(zero.PredictDistribution({1.0}).ok());  // wrong width
+}
+
+TEST(KappaTest, PerfectAgreementIsOne) {
+  ClassificationMetrics m(3);
+  for (size_t c = 0; c < 3; ++c) {
+    for (int i = 0; i < 5; ++i) m.Record(c, c);
+  }
+  EXPECT_DOUBLE_EQ(m.Kappa(), 1.0);
+}
+
+TEST(KappaTest, EmptyMatrixIsZero) {
+  ClassificationMetrics m(2);
+  EXPECT_DOUBLE_EQ(m.Kappa(), 0.0);
+}
+
+TEST(KappaTest, KnownTwoByTwoValue) {
+  // Classic example: po = 0.7, pe = 0.5 -> kappa = 0.4.
+  ClassificationMetrics m(2);
+  for (int i = 0; i < 35; ++i) m.Record(0, 0);
+  for (int i = 0; i < 15; ++i) m.Record(0, 1);
+  for (int i = 0; i < 15; ++i) m.Record(1, 0);
+  for (int i = 0; i < 35; ++i) m.Record(1, 1);
+  EXPECT_NEAR(m.Kappa(), 0.4, 1e-12);
+}
+
+}  // namespace
+}  // namespace smeter::ml

@@ -1,0 +1,172 @@
+// Contract tests every Classifier implementation must satisfy, run as a
+// parameterized suite over all seven learners: trains on separable data,
+// emits normalized distributions, validates row width, predicts before
+// training with an error, and is deterministic.
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ml/bagging.h"
+#include "ml/baseline.h"
+#include "ml/decision_tree.h"
+#include "ml/knn.h"
+#include "ml/logistic.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+#include "ml_testutil.h"
+#include "testutil.h"
+
+namespace smeter::ml {
+namespace {
+
+struct ContractParam {
+  std::string name;
+  // Learners that cannot beat chance on blobs (only ZeroR).
+  bool expect_learning = true;
+};
+
+ClassifierFactory FactoryFor(const std::string& name) {
+  static const std::map<std::string, ClassifierFactory> kFactories = {
+      {"NaiveBayes", [] { return std::make_unique<NaiveBayes>(); }},
+      {"J48", [] { return std::make_unique<DecisionTree>(); }},
+      {"RandomForest",
+       [] {
+         RandomForestOptions options;
+         options.num_trees = 15;
+         return std::make_unique<RandomForest>(options);
+       }},
+      {"Logistic",
+       [] {
+         LogisticOptions options;
+         options.max_iterations = 80;
+         return std::make_unique<Logistic>(options);
+       }},
+      {"IBk", [] { return std::make_unique<Knn>(); }},
+      {"ZeroR", [] { return std::make_unique<ZeroR>(); }},
+      {"Bagging",
+       [] {
+         BaggingOptions options;
+         options.num_members = 8;
+         return std::make_unique<Bagging>(
+             [] { return std::make_unique<DecisionTree>(); }, options);
+       }},
+  };
+  return kFactories.at(name);
+}
+
+class ClassifierContractTest
+    : public ::testing::TestWithParam<ContractParam> {
+ protected:
+  std::unique_ptr<Classifier> Make() const {
+    return FactoryFor(GetParam().name)();
+  }
+};
+
+TEST_P(ClassifierContractTest, PredictBeforeTrainFails) {
+  std::unique_ptr<Classifier> classifier = Make();
+  EXPECT_FALSE(classifier->PredictDistribution({1.0, 2.0, 0.0}).ok());
+}
+
+TEST_P(ClassifierContractTest, RejectsUntrainableData) {
+  std::unique_ptr<Classifier> classifier = Make();
+  Dataset empty = Dataset::Create("e",
+                                  {Attribute::Numeric("x"),
+                                   Attribute::Nominal("c", {"a", "b"})},
+                                  1)
+                      .value();
+  EXPECT_FALSE(classifier->Train(empty).ok());
+  Dataset one_class = empty.EmptyCopy();
+  ASSERT_OK(one_class.Add({1.0, kMissing}));
+  EXPECT_FALSE(classifier->Train(one_class).ok());
+}
+
+TEST_P(ClassifierContractTest, LearnsSeparableBlobs) {
+  Dataset d = testing::GaussianBlobs(80, 101);
+  std::unique_ptr<Classifier> classifier = Make();
+  ASSERT_OK(classifier->Train(d));
+  size_t correct = 0;
+  for (size_t r = 0; r < d.num_instances(); ++r) {
+    if (classifier->Predict(d.row(r)).value() == d.ClassOf(r).value()) {
+      ++correct;
+    }
+  }
+  double accuracy =
+      static_cast<double>(correct) / static_cast<double>(d.num_instances());
+  if (GetParam().expect_learning) {
+    EXPECT_GT(accuracy, 0.9) << GetParam().name;
+  } else {
+    EXPECT_NEAR(accuracy, 0.5, 0.05) << GetParam().name;
+  }
+}
+
+TEST_P(ClassifierContractTest, DistributionsAreNormalized) {
+  Dataset d = testing::NominalSeparable(25, 103);
+  std::unique_ptr<Classifier> classifier = Make();
+  ASSERT_OK(classifier->Train(d));
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> row = {static_cast<double>(rng.UniformInt(3)),
+                               static_cast<double>(rng.UniformInt(2)),
+                               kMissing};
+    ASSERT_OK_AND_ASSIGN(std::vector<double> dist,
+                         classifier->PredictDistribution(row));
+    ASSERT_EQ(dist.size(), 3u);
+    double sum = 0.0;
+    for (double p : dist) {
+      EXPECT_GE(p, 0.0) << GetParam().name;
+      EXPECT_LE(p, 1.0 + 1e-9) << GetParam().name;
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-6) << GetParam().name;
+  }
+}
+
+TEST_P(ClassifierContractTest, RejectsWrongRowWidth) {
+  Dataset d = testing::GaussianBlobs(20, 107);
+  std::unique_ptr<Classifier> classifier = Make();
+  ASSERT_OK(classifier->Train(d));
+  EXPECT_FALSE(classifier->PredictDistribution({1.0}).ok());
+  EXPECT_FALSE(
+      classifier->PredictDistribution({1.0, 2.0, 0.0, 4.0}).ok());
+}
+
+TEST_P(ClassifierContractTest, DeterministicAcrossInstances) {
+  Dataset d = testing::GaussianBlobs(40, 109);
+  std::unique_ptr<Classifier> a = Make();
+  std::unique_ptr<Classifier> b = Make();
+  ASSERT_OK(a->Train(d));
+  ASSERT_OK(b->Train(d));
+  for (size_t r = 0; r < d.num_instances(); ++r) {
+    EXPECT_EQ(a->PredictDistribution(d.row(r)).value(),
+              b->PredictDistribution(d.row(r)).value())
+        << GetParam().name << " row " << r;
+  }
+}
+
+TEST_P(ClassifierContractTest, ToleratesMissingCells) {
+  Dataset d = testing::GaussianBlobs(40, 113);
+  std::unique_ptr<Classifier> classifier = Make();
+  ASSERT_OK(classifier->Train(d));
+  EXPECT_OK(
+      classifier->PredictDistribution({kMissing, kMissing, kMissing})
+          .status());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClassifiers, ClassifierContractTest,
+    ::testing::Values(ContractParam{"NaiveBayes", true},
+                      ContractParam{"J48", true},
+                      ContractParam{"RandomForest", true},
+                      ContractParam{"Logistic", true},
+                      ContractParam{"IBk", true},
+                      ContractParam{"ZeroR", false},
+                      ContractParam{"Bagging", true}),
+    [](const ::testing::TestParamInfo<ContractParam>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace smeter::ml

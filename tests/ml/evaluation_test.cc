@@ -1,0 +1,149 @@
+#include "ml/evaluation.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+#include "ml_testutil.h"
+#include "testutil.h"
+
+namespace smeter::ml {
+namespace {
+
+TEST(ClassificationMetricsTest, PerfectPredictions) {
+  ClassificationMetrics m(2);
+  for (int i = 0; i < 5; ++i) {
+    m.Record(0, 0);
+    m.Record(1, 1);
+  }
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(m.WeightedF1(), 1.0);
+  EXPECT_DOUBLE_EQ(m.Precision(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.Recall(1), 1.0);
+}
+
+TEST(ClassificationMetricsTest, KnownConfusionMatrix) {
+  // actual 0: 8 right, 2 predicted as 1; actual 1: 6 right, 4 as 0.
+  ClassificationMetrics m(2);
+  for (int i = 0; i < 8; ++i) m.Record(0, 0);
+  for (int i = 0; i < 2; ++i) m.Record(0, 1);
+  for (int i = 0; i < 6; ++i) m.Record(1, 1);
+  for (int i = 0; i < 4; ++i) m.Record(1, 0);
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 0.7);
+  EXPECT_DOUBLE_EQ(m.Precision(0), 8.0 / 12.0);
+  EXPECT_DOUBLE_EQ(m.Recall(0), 0.8);
+  double f1_0 = 2.0 * (8.0 / 12.0) * 0.8 / (8.0 / 12.0 + 0.8);
+  EXPECT_DOUBLE_EQ(m.F1(0), f1_0);
+  double f1_1 = 2.0 * 0.75 * 0.6 / (0.75 + 0.6);
+  EXPECT_NEAR(m.WeightedF1(), 0.5 * f1_0 + 0.5 * f1_1, 1e-12);
+}
+
+TEST(ClassificationMetricsTest, UndefinedMetricsAreZero) {
+  ClassificationMetrics m(3);
+  m.Record(0, 0);
+  EXPECT_DOUBLE_EQ(m.Precision(2), 0.0);
+  EXPECT_DOUBLE_EQ(m.Recall(2), 0.0);
+  EXPECT_DOUBLE_EQ(m.F1(2), 0.0);
+}
+
+TEST(ClassificationMetricsTest, MergeAccumulates) {
+  ClassificationMetrics a(2), b(2);
+  a.Record(0, 0);
+  b.Record(1, 0);
+  ASSERT_OK(a.Merge(b));
+  EXPECT_EQ(a.total(), 2u);
+  EXPECT_DOUBLE_EQ(a.Accuracy(), 0.5);
+  ClassificationMetrics c(3);
+  EXPECT_FALSE(a.Merge(c).ok());
+}
+
+TEST(ClassificationMetricsTest, ToStringMentionsClasses) {
+  ClassificationMetrics m(2);
+  m.Record(0, 0);
+  std::string text = m.ToString({"houseA", "houseB"});
+  EXPECT_NE(text.find("houseA"), std::string::npos);
+  EXPECT_NE(text.find("accuracy"), std::string::npos);
+}
+
+TEST(StratifiedFoldsTest, PartitionIsDisjointAndComplete) {
+  Dataset d = testing::GaussianBlobs(50, 3);
+  ASSERT_OK_AND_ASSIGN(std::vector<std::vector<size_t>> folds,
+                       StratifiedFolds(d, 10, 1));
+  ASSERT_EQ(folds.size(), 10u);
+  std::vector<int> seen(d.num_instances(), 0);
+  for (const auto& fold : folds) {
+    for (size_t r : fold) ++seen[r];
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(StratifiedFoldsTest, ClassBalancePreserved) {
+  Dataset d = testing::GaussianBlobs(50, 5);  // 50 per class
+  ASSERT_OK_AND_ASSIGN(std::vector<std::vector<size_t>> folds,
+                       StratifiedFolds(d, 5, 2));
+  for (const auto& fold : folds) {
+    size_t class0 = 0;
+    for (size_t r : fold) {
+      if (d.ClassOf(r).value() == 0) ++class0;
+    }
+    EXPECT_EQ(fold.size(), 20u);
+    EXPECT_EQ(class0, 10u);
+  }
+}
+
+TEST(StratifiedFoldsTest, Validates) {
+  Dataset d = testing::GaussianBlobs(3, 7);
+  EXPECT_FALSE(StratifiedFolds(d, 1, 1).ok());
+  EXPECT_FALSE(StratifiedFolds(d, 100, 1).ok());
+}
+
+TEST(EvaluateTrainTestTest, ScoresHeldOutData) {
+  Dataset train = testing::GaussianBlobs(100, 11);
+  Dataset test = testing::GaussianBlobs(30, 12);
+  NaiveBayes nb;
+  ASSERT_OK_AND_ASSIGN(ClassificationMetrics metrics,
+                       EvaluateTrainTest(nb, train, test));
+  EXPECT_EQ(metrics.total(), test.num_instances());
+  EXPECT_GT(metrics.Accuracy(), 0.95);
+}
+
+TEST(EvaluateTrainTestTest, RejectsSchemaMismatch) {
+  Dataset train = testing::GaussianBlobs(10, 13);
+  Dataset other = testing::NominalXor(2);
+  NaiveBayes nb;
+  EXPECT_FALSE(EvaluateTrainTest(nb, train, other).ok());
+}
+
+TEST(CrossValidateTest, TenFoldOnSeparableData) {
+  Dataset d = testing::GaussianBlobs(60, 17);
+  ASSERT_OK_AND_ASSIGN(
+      CrossValidationResult result,
+      CrossValidate([] { return std::make_unique<NaiveBayes>(); }, d, 10, 3));
+  EXPECT_EQ(result.metrics.total(), d.num_instances());
+  EXPECT_GT(result.metrics.WeightedF1(), 0.95);
+  EXPECT_GT(result.processing_seconds, 0.0);
+}
+
+TEST(CrossValidateTest, WorksWithRandomForest) {
+  Dataset d = testing::NominalSeparable(20, 19);
+  RandomForestOptions options;
+  options.num_trees = 10;
+  ASSERT_OK_AND_ASSIGN(
+      CrossValidationResult result,
+      CrossValidate([&] { return std::make_unique<RandomForest>(options); },
+                    d, 5, 7));
+  EXPECT_GT(result.metrics.WeightedF1(), 0.9);
+}
+
+TEST(CrossValidateTest, DeterministicGivenSeed) {
+  Dataset d = testing::GaussianBlobs(40, 23);
+  auto factory = [] { return std::make_unique<NaiveBayes>(); };
+  ASSERT_OK_AND_ASSIGN(CrossValidationResult a, CrossValidate(factory, d, 5, 9));
+  ASSERT_OK_AND_ASSIGN(CrossValidationResult b, CrossValidate(factory, d, 5, 9));
+  EXPECT_EQ(a.metrics.confusion(), b.metrics.confusion());
+}
+
+}  // namespace
+}  // namespace smeter::ml

@@ -1,0 +1,102 @@
+#include "ml/instances.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace smeter::ml {
+namespace {
+
+Dataset TwoAttrDataset() {
+  return Dataset::Create(
+             "rel",
+             {Attribute::Numeric("x"),
+              Attribute::Nominal("class", {"a", "b"})},
+             1)
+      .value();
+}
+
+TEST(DatasetTest, CreateValidates) {
+  EXPECT_FALSE(Dataset::Create("r", {}, 0).ok());
+  EXPECT_FALSE(
+      Dataset::Create("r", {Attribute::Numeric("x")}, 5).ok());
+  EXPECT_TRUE(Dataset::Create("r", {Attribute::Numeric("x")}, 0).ok());
+}
+
+TEST(DatasetTest, AddValidatesWidth) {
+  Dataset d = TwoAttrDataset();
+  EXPECT_FALSE(d.Add({1.0}).ok());
+  EXPECT_FALSE(d.Add({1.0, 0.0, 2.0}).ok());
+  EXPECT_OK(d.Add({1.0, 0.0}));
+  EXPECT_EQ(d.num_instances(), 1u);
+}
+
+TEST(DatasetTest, AddValidatesNominalRange) {
+  Dataset d = TwoAttrDataset();
+  EXPECT_FALSE(d.Add({1.0, 2.0}).ok());   // only 2 categories
+  EXPECT_FALSE(d.Add({1.0, -1.0}).ok());
+  EXPECT_FALSE(d.Add({1.0, 0.5}).ok());   // non-integer nominal
+  EXPECT_OK(d.Add({1.0, 1.0}));
+}
+
+TEST(DatasetTest, AddRejectsInfinities) {
+  Dataset d = TwoAttrDataset();
+  EXPECT_FALSE(d.Add({INFINITY, 0.0}).ok());
+}
+
+TEST(DatasetTest, MissingValuesAllowed) {
+  Dataset d = TwoAttrDataset();
+  EXPECT_OK(d.Add({kMissing, 0.0}));
+  EXPECT_TRUE(IsMissing(d.value(0, 0)));
+}
+
+TEST(DatasetTest, ClassOfReadsNominalIndex) {
+  Dataset d = TwoAttrDataset();
+  ASSERT_OK(d.Add({1.0, 1.0}));
+  ASSERT_OK_AND_ASSIGN(size_t cls, d.ClassOf(0));
+  EXPECT_EQ(cls, 1u);
+}
+
+TEST(DatasetTest, ClassOfMissingFails) {
+  Dataset d = TwoAttrDataset();
+  ASSERT_OK(d.Add({1.0, kMissing}));
+  EXPECT_FALSE(d.ClassOf(0).ok());
+}
+
+TEST(DatasetTest, NumClasses) {
+  Dataset d = TwoAttrDataset();
+  EXPECT_EQ(d.num_classes(), 2u);
+  Dataset numeric_class =
+      Dataset::Create("r", {Attribute::Numeric("y")}, 0).value();
+  EXPECT_EQ(numeric_class.num_classes(), 0u);
+}
+
+TEST(DatasetTest, TargetOfNumericClass) {
+  Dataset d = Dataset::Create("r", {Attribute::Numeric("y")}, 0).value();
+  ASSERT_OK(d.Add({3.5}));
+  ASSERT_OK_AND_ASSIGN(double y, d.TargetOf(0));
+  EXPECT_DOUBLE_EQ(y, 3.5);
+}
+
+TEST(DatasetTest, SubsetSelectsAndRepeats) {
+  Dataset d = TwoAttrDataset();
+  ASSERT_OK(d.Add({1.0, 0.0}));
+  ASSERT_OK(d.Add({2.0, 1.0}));
+  Dataset sub = d.Subset({1, 1, 0});
+  ASSERT_EQ(sub.num_instances(), 3u);
+  EXPECT_DOUBLE_EQ(sub.value(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(sub.value(2, 0), 1.0);
+  EXPECT_EQ(sub.num_attributes(), 2u);
+}
+
+TEST(DatasetTest, EmptyCopyKeepsSchema) {
+  Dataset d = TwoAttrDataset();
+  ASSERT_OK(d.Add({1.0, 0.0}));
+  Dataset copy = d.EmptyCopy();
+  EXPECT_EQ(copy.num_instances(), 0u);
+  EXPECT_EQ(copy.num_attributes(), 2u);
+  EXPECT_EQ(copy.class_index(), 1u);
+}
+
+}  // namespace
+}  // namespace smeter::ml

@@ -1,0 +1,125 @@
+#include "ml/knn.h"
+
+#include <gtest/gtest.h>
+
+#include "ml_testutil.h"
+#include "testutil.h"
+
+namespace smeter::ml {
+namespace {
+
+double Accuracy(const Classifier& c, const Dataset& d) {
+  size_t correct = 0;
+  for (size_t r = 0; r < d.num_instances(); ++r) {
+    if (c.Predict(d.row(r)).value() == d.ClassOf(r).value()) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(d.num_instances());
+}
+
+TEST(KnnTest, OneNearestNeighborMemorizesTraining) {
+  Dataset d = testing::GaussianBlobs(40, 3);
+  KnnOptions options;
+  options.k = 1;
+  Knn knn(options);
+  ASSERT_OK(knn.Train(d));
+  EXPECT_DOUBLE_EQ(Accuracy(knn, d), 1.0);
+}
+
+TEST(KnnTest, SeparatesBlobsWithKThree)  {
+  Dataset d = testing::GaussianBlobs(100, 5);
+  Knn knn;
+  ASSERT_OK(knn.Train(d));
+  ASSERT_OK_AND_ASSIGN(size_t lo, knn.Predict({0.0, 0.0, kMissing}));
+  ASSERT_OK_AND_ASSIGN(size_t hi, knn.Predict({4.0, 4.0, kMissing}));
+  EXPECT_EQ(lo, 0u);
+  EXPECT_EQ(hi, 1u);
+}
+
+TEST(KnnTest, NominalHammingDistance) {
+  Dataset d = testing::NominalSeparable(20, 7);
+  Knn knn;
+  ASSERT_OK(knn.Train(d));
+  ASSERT_OK_AND_ASSIGN(size_t cls, knn.Predict({2.0, 0.0, kMissing}));
+  EXPECT_EQ(cls, 2u);
+}
+
+TEST(KnnTest, LearnsXorUnlikeGreedyTree) {
+  // 1-NN handles XOR trivially (exact memorization).
+  Dataset d = testing::NominalXor(10);
+  KnnOptions options;
+  options.k = 1;
+  Knn knn(options);
+  ASSERT_OK(knn.Train(d));
+  EXPECT_DOUBLE_EQ(Accuracy(knn, d), 1.0);
+}
+
+TEST(KnnTest, DistributionSumsToOne) {
+  Dataset d = testing::GaussianBlobs(30, 9);
+  KnnOptions options;
+  options.k = 5;
+  options.distance_weighted = true;
+  Knn knn(options);
+  ASSERT_OK(knn.Train(d));
+  ASSERT_OK_AND_ASSIGN(std::vector<double> dist,
+                       knn.PredictDistribution({1.0, 1.0, kMissing}));
+  double sum = 0.0;
+  for (double p : dist) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(KnnTest, DistanceWeightingFavorsCloserNeighbors) {
+  // Two classes at distance 0 (x2) vs slightly further (x3): with k=5 and
+  // uniform votes the majority (3 far ones) wins; weighted, the 2 near
+  // ones win.
+  Dataset d = Dataset::Create("w",
+                              {Attribute::Numeric("x"),
+                               Attribute::Nominal("c", {"near", "far"})},
+                              1)
+                  .value();
+  ASSERT_OK(d.Add({0.0, 0.0}));
+  ASSERT_OK(d.Add({0.01, 0.0}));
+  ASSERT_OK(d.Add({0.5, 1.0}));
+  ASSERT_OK(d.Add({0.5, 1.0}));
+  ASSERT_OK(d.Add({0.5, 1.0}));
+  KnnOptions uniform;
+  uniform.k = 5;
+  Knn plain(uniform);
+  ASSERT_OK(plain.Train(d));
+  ASSERT_OK_AND_ASSIGN(size_t plain_cls, plain.Predict({0.0, kMissing}));
+  EXPECT_EQ(plain_cls, 1u);
+  KnnOptions weighted = uniform;
+  weighted.distance_weighted = true;
+  Knn smart(weighted);
+  ASSERT_OK(smart.Train(d));
+  ASSERT_OK_AND_ASSIGN(size_t smart_cls, smart.Predict({0.0, kMissing}));
+  EXPECT_EQ(smart_cls, 0u);
+}
+
+TEST(KnnTest, MissingValuesCountAsMaxDistance) {
+  Dataset d = testing::GaussianBlobs(20, 11);
+  Knn knn;
+  ASSERT_OK(knn.Train(d));
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<double> dist,
+      knn.PredictDistribution({kMissing, kMissing, kMissing}));
+  EXPECT_NEAR(dist[0] + dist[1], 1.0, 1e-9);
+}
+
+TEST(KnnTest, Validates) {
+  Knn knn;
+  EXPECT_FALSE(knn.PredictDistribution({1.0}).ok());
+  Dataset d = testing::GaussianBlobs(10, 13);
+  KnnOptions options;
+  options.k = 0;
+  Knn bad(options);
+  EXPECT_FALSE(bad.Train(d).ok());
+  ASSERT_OK(knn.Train(d));
+  EXPECT_FALSE(knn.PredictDistribution({1.0}).ok());
+}
+
+}  // namespace
+}  // namespace smeter::ml

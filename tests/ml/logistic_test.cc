@@ -1,0 +1,122 @@
+#include "ml/logistic.h"
+
+#include <gtest/gtest.h>
+
+#include "ml_testutil.h"
+#include "testutil.h"
+
+namespace smeter::ml {
+namespace {
+
+double Accuracy(const Classifier& c, const Dataset& d) {
+  size_t correct = 0;
+  for (size_t r = 0; r < d.num_instances(); ++r) {
+    if (c.Predict(d.row(r)).value() == d.ClassOf(r).value()) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(d.num_instances());
+}
+
+TEST(LogisticTest, SeparatesLinearlySeparableBlobs) {
+  Dataset d = testing::GaussianBlobs(100, 3);
+  Logistic model;
+  ASSERT_OK(model.Train(d));
+  EXPECT_GT(Accuracy(model, d), 0.97);
+  EXPECT_GT(model.iterations_used(), 0u);
+}
+
+TEST(LogisticTest, MulticlassNominalFeatures) {
+  Dataset d = testing::NominalSeparable(40, 5);
+  Logistic model;
+  ASSERT_OK(model.Train(d));
+  EXPECT_GT(Accuracy(model, d), 0.95);
+  ASSERT_OK_AND_ASSIGN(size_t cls, model.Predict({2.0, 1.0, kMissing}));
+  EXPECT_EQ(cls, 2u);
+}
+
+TEST(LogisticTest, ProbabilitiesSumToOne) {
+  Dataset d = testing::GaussianBlobs(50, 7);
+  Logistic model;
+  ASSERT_OK(model.Train(d));
+  ASSERT_OK_AND_ASSIGN(std::vector<double> dist,
+                       model.PredictDistribution({2.0, 2.0, kMissing}));
+  double sum = 0.0;
+  for (double p : dist) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(LogisticTest, ConfidenceGrowsAwayFromBoundary) {
+  Dataset d = testing::GaussianBlobs(200, 9);
+  Logistic model;
+  ASSERT_OK(model.Train(d));
+  ASSERT_OK_AND_ASSIGN(std::vector<double> near,
+                       model.PredictDistribution({2.0, 2.0, kMissing}));
+  ASSERT_OK_AND_ASSIGN(std::vector<double> far,
+                       model.PredictDistribution({8.0, 8.0, kMissing}));
+  EXPECT_GT(far[1], near[1]);
+  EXPECT_GT(far[1], 0.99);
+}
+
+TEST(LogisticTest, MissingValuesImputed) {
+  Dataset d = testing::GaussianBlobs(100, 11);
+  Logistic model;
+  ASSERT_OK(model.Train(d));
+  // A fully-missing row imputes the global mean: probabilities stay finite.
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<double> dist,
+      model.PredictDistribution({kMissing, kMissing, kMissing}));
+  EXPECT_NEAR(dist[0] + dist[1], 1.0, 1e-9);
+}
+
+TEST(LogisticTest, XorStaysHard) {
+  // A linear model cannot do better than chance on XOR — a useful negative
+  // control that the paper's classifier ordering depends on.
+  Dataset d = testing::NominalXor(25);
+  Logistic model;
+  ASSERT_OK(model.Train(d));
+  EXPECT_LT(Accuracy(model, d), 0.8);
+}
+
+TEST(LogisticTest, RidgeShrinksConfidence) {
+  Dataset d = testing::GaussianBlobs(60, 13);
+  LogisticOptions strong;
+  strong.ridge = 100.0;
+  Logistic regularized(strong);
+  Logistic plain;
+  ASSERT_OK(regularized.Train(d));
+  ASSERT_OK(plain.Train(d));
+  std::vector<double> reg_dist =
+      regularized.PredictDistribution({6.0, 6.0, kMissing}).value();
+  std::vector<double> plain_dist =
+      plain.PredictDistribution({6.0, 6.0, kMissing}).value();
+  EXPECT_LT(reg_dist[1], plain_dist[1]);
+}
+
+TEST(LogisticTest, PredictBeforeTrainFails) {
+  Logistic model;
+  EXPECT_FALSE(model.PredictDistribution({1.0}).ok());
+}
+
+TEST(LogisticTest, RejectsWrongRowWidth) {
+  Dataset d = testing::GaussianBlobs(20, 17);
+  Logistic model;
+  ASSERT_OK(model.Train(d));
+  EXPECT_FALSE(model.PredictDistribution({1.0}).ok());
+}
+
+TEST(LogisticTest, DeterministicTraining) {
+  Dataset d = testing::GaussianBlobs(60, 19);
+  Logistic a, b;
+  ASSERT_OK(a.Train(d));
+  ASSERT_OK(b.Train(d));
+  for (size_t r = 0; r < d.num_instances(); ++r) {
+    EXPECT_EQ(a.PredictDistribution(d.row(r)).value(),
+              b.PredictDistribution(d.row(r)).value());
+  }
+}
+
+}  // namespace
+}  // namespace smeter::ml

@@ -1,0 +1,67 @@
+// Shared dataset builders for the ML test suites.
+
+#ifndef SMETER_TESTS_ML_ML_TESTUTIL_H_
+#define SMETER_TESTS_ML_ML_TESTUTIL_H_
+
+#include "common/random.h"
+#include "ml/instances.h"
+
+namespace smeter::ml::testing {
+
+// Two numeric attributes, two well-separated Gaussian blobs.
+// Class 0 around (0, 0), class 1 around (4, 4), unit-ish variance.
+inline Dataset GaussianBlobs(size_t per_class, uint64_t seed,
+                             double separation = 4.0) {
+  Dataset d = Dataset::Create("blobs",
+                              {Attribute::Numeric("x"),
+                               Attribute::Numeric("y"),
+                               Attribute::Nominal("class", {"a", "b"})},
+                              2)
+                  .value();
+  Rng rng(seed);
+  for (size_t i = 0; i < per_class; ++i) {
+    (void)d.Add({rng.Gaussian(0.0, 1.0), rng.Gaussian(0.0, 1.0), 0.0});
+    (void)d.Add({rng.Gaussian(separation, 1.0), rng.Gaussian(separation, 1.0),
+                 1.0});
+  }
+  return d;
+}
+
+// Nominal XOR-ish dataset: class = (a XOR b). Linearly inseparable but
+// perfectly tree/NB-with-interaction separable by trees.
+inline Dataset NominalXor(size_t copies) {
+  Dataset d = Dataset::Create("xor",
+                              {Attribute::Nominal("a", {"0", "1"}),
+                               Attribute::Nominal("b", {"0", "1"}),
+                               Attribute::Nominal("class", {"no", "yes"})},
+                              2)
+                  .value();
+  for (size_t i = 0; i < copies; ++i) {
+    (void)d.Add({0.0, 0.0, 0.0});
+    (void)d.Add({0.0, 1.0, 1.0});
+    (void)d.Add({1.0, 0.0, 1.0});
+    (void)d.Add({1.0, 1.0, 0.0});
+  }
+  return d;
+}
+
+// One perfectly predictive nominal attribute plus a noise attribute.
+inline Dataset NominalSeparable(size_t per_class, uint64_t seed) {
+  Dataset d = Dataset::Create("sep",
+                              {Attribute::Nominal("key", {"k0", "k1", "k2"}),
+                               Attribute::Nominal("noise", {"n0", "n1"}),
+                               Attribute::Nominal("class", {"c0", "c1", "c2"})},
+                              2)
+                  .value();
+  Rng rng(seed);
+  for (size_t i = 0; i < per_class; ++i) {
+    for (double cls = 0.0; cls < 3.0; cls += 1.0) {
+      (void)d.Add({cls, static_cast<double>(rng.UniformInt(2)), cls});
+    }
+  }
+  return d;
+}
+
+}  // namespace smeter::ml::testing
+
+#endif  // SMETER_TESTS_ML_ML_TESTUTIL_H_

@@ -1,0 +1,141 @@
+#include "ml/naive_bayes.h"
+
+#include <gtest/gtest.h>
+
+#include "ml_testutil.h"
+#include "testutil.h"
+
+namespace smeter::ml {
+namespace {
+
+TEST(NaiveBayesTest, TrainRejectsBadData) {
+  NaiveBayes nb;
+  Dataset empty = Dataset::Create("e",
+                                  {Attribute::Numeric("x"),
+                                   Attribute::Nominal("c", {"a", "b"})},
+                                  1)
+                      .value();
+  EXPECT_FALSE(nb.Train(empty).ok());
+
+  Dataset numeric_class =
+      Dataset::Create("n", {Attribute::Numeric("y")}, 0).value();
+  ASSERT_OK(numeric_class.Add({1.0}));
+  EXPECT_FALSE(nb.Train(numeric_class).ok());
+}
+
+TEST(NaiveBayesTest, PredictBeforeTrainFails) {
+  NaiveBayes nb;
+  EXPECT_FALSE(nb.PredictDistribution({1.0, 0.0}).ok());
+}
+
+TEST(NaiveBayesTest, SeparatesGaussianBlobs) {
+  Dataset d = testing::GaussianBlobs(100, 5);
+  NaiveBayes nb;
+  ASSERT_OK(nb.Train(d));
+  ASSERT_OK_AND_ASSIGN(size_t lo, nb.Predict({0.0, 0.0, kMissing}));
+  ASSERT_OK_AND_ASSIGN(size_t hi, nb.Predict({4.0, 4.0, kMissing}));
+  EXPECT_EQ(lo, 0u);
+  EXPECT_EQ(hi, 1u);
+}
+
+TEST(NaiveBayesTest, NominalLikelihoodsDriveProbabilities) {
+  Dataset d = testing::NominalSeparable(30, 7);
+  NaiveBayes nb;
+  ASSERT_OK(nb.Train(d));
+  ASSERT_OK_AND_ASSIGN(std::vector<double> dist,
+                       nb.PredictDistribution({1.0, 0.0, kMissing}));
+  ASSERT_EQ(dist.size(), 3u);
+  EXPECT_GT(dist[1], 0.9);
+}
+
+TEST(NaiveBayesTest, DistributionSumsToOne) {
+  Dataset d = testing::GaussianBlobs(50, 11);
+  NaiveBayes nb;
+  ASSERT_OK(nb.Train(d));
+  ASSERT_OK_AND_ASSIGN(std::vector<double> dist,
+                       nb.PredictDistribution({1.0, -2.0, kMissing}));
+  double sum = 0.0;
+  for (double p : dist) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(NaiveBayesTest, MissingAttributesAreSkipped) {
+  Dataset d = testing::GaussianBlobs(100, 13);
+  NaiveBayes nb;
+  ASSERT_OK(nb.Train(d));
+  // All-missing row falls back to the prior: balanced classes -> ~0.5.
+  ASSERT_OK_AND_ASSIGN(std::vector<double> dist,
+                       nb.PredictDistribution({kMissing, kMissing, kMissing}));
+  EXPECT_NEAR(dist[0], 0.5, 1e-6);
+}
+
+TEST(NaiveBayesTest, LaplaceSmoothingAvoidsZeroProbabilities) {
+  // Category "n1" never occurs with class c0; an unsmoothed model would
+  // zero it out entirely.
+  Dataset d = Dataset::Create("s",
+                              {Attribute::Nominal("f", {"n0", "n1"}),
+                               Attribute::Nominal("c", {"c0", "c1"})},
+                              1)
+                  .value();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(d.Add({0.0, 0.0}));
+    ASSERT_OK(d.Add({1.0, 1.0}));
+  }
+  NaiveBayes nb;
+  ASSERT_OK(nb.Train(d));
+  ASSERT_OK_AND_ASSIGN(std::vector<double> dist,
+                       nb.PredictDistribution({1.0, kMissing}));
+  EXPECT_GT(dist[0], 0.0);
+  EXPECT_GT(dist[1], dist[0]);
+}
+
+TEST(NaiveBayesTest, UnbalancedPriorsMatter) {
+  Dataset d = Dataset::Create("p",
+                              {Attribute::Nominal("f", {"x", "y"}),
+                               Attribute::Nominal("c", {"rare", "common"})},
+                              1)
+                  .value();
+  // The feature is uninformative; class "common" is 9x more frequent.
+  for (int i = 0; i < 90; ++i) ASSERT_OK(d.Add({static_cast<double>(i % 2), 1.0}));
+  for (int i = 0; i < 10; ++i) ASSERT_OK(d.Add({static_cast<double>(i % 2), 0.0}));
+  NaiveBayes nb;
+  ASSERT_OK(nb.Train(d));
+  ASSERT_OK_AND_ASSIGN(size_t predicted, nb.Predict({0.0, kMissing}));
+  EXPECT_EQ(predicted, 1u);
+}
+
+TEST(NaiveBayesTest, ConstantNumericAttributeDoesNotCrash) {
+  Dataset d = Dataset::Create("k",
+                              {Attribute::Numeric("x"),
+                               Attribute::Nominal("c", {"a", "b"})},
+                              1)
+                  .value();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(d.Add({5.0, static_cast<double>(i % 2)}));
+  }
+  NaiveBayes nb;
+  ASSERT_OK(nb.Train(d));
+  ASSERT_OK_AND_ASSIGN(std::vector<double> dist,
+                       nb.PredictDistribution({5.0, kMissing}));
+  EXPECT_NEAR(dist[0] + dist[1], 1.0, 1e-9);
+}
+
+TEST(NaiveBayesTest, RejectsWrongRowWidth) {
+  Dataset d = testing::GaussianBlobs(10, 3);
+  NaiveBayes nb;
+  ASSERT_OK(nb.Train(d));
+  EXPECT_FALSE(nb.PredictDistribution({1.0}).ok());
+}
+
+TEST(NaiveBayesTest, RejectsOutOfRangeNominal) {
+  Dataset d = testing::NominalSeparable(5, 1);
+  NaiveBayes nb;
+  ASSERT_OK(nb.Train(d));
+  EXPECT_FALSE(nb.PredictDistribution({9.0, 0.0, kMissing}).ok());
+}
+
+}  // namespace
+}  // namespace smeter::ml

@@ -1,0 +1,127 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ml_testutil.h"
+#include "testutil.h"
+
+namespace smeter::ml {
+namespace {
+
+double Accuracy(const Classifier& c, const Dataset& d) {
+  size_t correct = 0;
+  for (size_t r = 0; r < d.num_instances(); ++r) {
+    if (c.Predict(d.row(r)).value() == d.ClassOf(r).value()) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(d.num_instances());
+}
+
+TEST(RandomForestTest, SeparatesBlobs) {
+  Dataset d = testing::GaussianBlobs(100, 3);
+  RandomForestOptions options;
+  options.num_trees = 20;
+  RandomForest forest(options);
+  ASSERT_OK(forest.Train(d));
+  EXPECT_EQ(forest.num_trees(), 20u);
+  EXPECT_GT(Accuracy(forest, d), 0.97);
+}
+
+TEST(RandomForestTest, LearnsXor) {
+  Dataset d = testing::NominalXor(20);
+  RandomForestOptions options;
+  options.num_trees = 30;
+  RandomForest forest(options);
+  ASSERT_OK(forest.Train(d));
+  EXPECT_GT(Accuracy(forest, d), 0.95);
+}
+
+TEST(RandomForestTest, OobAccuracyIsComputedAndPlausible) {
+  Dataset d = testing::GaussianBlobs(150, 7);
+  RandomForestOptions options;
+  options.num_trees = 25;
+  RandomForest forest(options);
+  ASSERT_OK(forest.Train(d));
+  EXPECT_FALSE(std::isnan(forest.oob_accuracy()));
+  EXPECT_GT(forest.oob_accuracy(), 0.9);
+  EXPECT_LE(forest.oob_accuracy(), 1.0);
+}
+
+TEST(RandomForestTest, DistributionAveragesTrees) {
+  Dataset d = testing::GaussianBlobs(60, 11);
+  RandomForestOptions options;
+  options.num_trees = 10;
+  RandomForest forest(options);
+  ASSERT_OK(forest.Train(d));
+  ASSERT_OK_AND_ASSIGN(std::vector<double> dist,
+                       forest.PredictDistribution({2.0, 2.0, kMissing}));
+  double sum = 0.0;
+  for (double p : dist) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(RandomForestTest, DeterministicGivenSeed) {
+  Dataset d = testing::GaussianBlobs(80, 13);
+  RandomForestOptions options;
+  options.num_trees = 8;
+  options.seed = 5;
+  RandomForest a(options), b(options);
+  ASSERT_OK(a.Train(d));
+  ASSERT_OK(b.Train(d));
+  for (size_t r = 0; r < d.num_instances(); ++r) {
+    EXPECT_EQ(a.Predict(d.row(r)).value(), b.Predict(d.row(r)).value());
+  }
+}
+
+TEST(RandomForestTest, DifferentSeedsGrowDifferentForests) {
+  Dataset d = testing::GaussianBlobs(60, 17, /*separation=*/1.0);
+  RandomForestOptions options;
+  options.num_trees = 5;
+  options.seed = 1;
+  RandomForest a(options);
+  options.seed = 2;
+  RandomForest b(options);
+  ASSERT_OK(a.Train(d));
+  ASSERT_OK(b.Train(d));
+  bool any_diff = false;
+  for (size_t r = 0; r < d.num_instances() && !any_diff; ++r) {
+    std::vector<double> da = a.PredictDistribution(d.row(r)).value();
+    std::vector<double> db = b.PredictDistribution(d.row(r)).value();
+    if (std::abs(da[0] - db[0]) > 1e-12) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomForestTest, MoreTreesNotWorseOnHardData) {
+  Dataset d = testing::GaussianBlobs(200, 19, /*separation=*/1.5);
+  RandomForestOptions options;
+  options.num_trees = 1;
+  options.seed = 3;
+  RandomForest tiny(options);
+  options.num_trees = 40;
+  RandomForest big(options);
+  ASSERT_OK(tiny.Train(d));
+  ASSERT_OK(big.Train(d));
+  EXPECT_GE(Accuracy(big, d) + 0.02, Accuracy(tiny, d));
+}
+
+TEST(RandomForestTest, ValidatesOptions) {
+  Dataset d = testing::GaussianBlobs(10, 23);
+  RandomForestOptions options;
+  options.num_trees = 0;
+  RandomForest forest(options);
+  EXPECT_FALSE(forest.Train(d).ok());
+}
+
+TEST(RandomForestTest, PredictBeforeTrainFails) {
+  RandomForest forest;
+  EXPECT_FALSE(forest.PredictDistribution({1.0, 2.0, kMissing}).ok());
+}
+
+}  // namespace
+}  // namespace smeter::ml

@@ -1,0 +1,161 @@
+#include "ml/svr.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "testutil.h"
+
+namespace smeter::ml {
+namespace {
+
+TEST(SvrTest, FitsLinearFunctionWithLinearKernel) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    double v = static_cast<double>(i);
+    x.push_back({v});
+    y.push_back(3.0 * v + 7.0);
+  }
+  SvrOptions options;
+  options.kernel.type = KernelType::kLinear;
+  options.c = 10.0;
+  options.epsilon_tube = 0.01;
+  Svr svr(options);
+  ASSERT_OK(svr.Train(x, y));
+  for (double v : {5.0, 20.0, 45.0}) {
+    ASSERT_OK_AND_ASSIGN(double pred, svr.Predict({v}));
+    EXPECT_NEAR(pred, 3.0 * v + 7.0, 3.0);
+  }
+}
+
+TEST(SvrTest, FitsSineWithRbfKernel) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    double v = static_cast<double>(i) / 200.0 * 6.28;
+    x.push_back({v});
+    y.push_back(std::sin(v));
+  }
+  SvrOptions options;
+  options.c = 10.0;
+  options.epsilon_tube = 0.02;
+  options.kernel.gamma = 2.0;
+  Svr svr(options);
+  ASSERT_OK(svr.Train(x, y));
+  double max_err = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    double v = static_cast<double>(i) / 50.0 * 6.28;
+    ASSERT_OK_AND_ASSIGN(double pred, svr.Predict({v}));
+    max_err = std::max(max_err, std::abs(pred - std::sin(v)));
+  }
+  EXPECT_LT(max_err, 0.15);
+}
+
+TEST(SvrTest, EpsilonTubeSparsifiesSupportVectors) {
+  Rng rng(3);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    double v = rng.Uniform(0.0, 10.0);
+    x.push_back({v});
+    y.push_back(2.0 * v + rng.Gaussian(0.0, 0.05));
+  }
+  SvrOptions narrow;
+  narrow.kernel.type = KernelType::kLinear;
+  narrow.epsilon_tube = 0.001;
+  SvrOptions wide = narrow;
+  wide.epsilon_tube = 1.0;
+  Svr svr_narrow(narrow), svr_wide(wide);
+  ASSERT_OK(svr_narrow.Train(x, y));
+  ASSERT_OK(svr_wide.Train(x, y));
+  EXPECT_LT(svr_wide.num_support_vectors(), svr_narrow.num_support_vectors());
+}
+
+TEST(SvrTest, HandlesConstantTarget) {
+  std::vector<std::vector<double>> x = {{1.0}, {2.0}, {3.0}};
+  std::vector<double> y = {5.0, 5.0, 5.0};
+  Svr svr;
+  ASSERT_OK(svr.Train(x, y));
+  ASSERT_OK_AND_ASSIGN(double pred, svr.Predict({2.5}));
+  EXPECT_NEAR(pred, 5.0, 0.5);
+}
+
+TEST(SvrTest, StandardizationMakesScalesIrrelevant) {
+  // Same function at two feature scales; standardized fits should agree
+  // after mapping.
+  std::vector<std::vector<double>> x_small, x_big;
+  std::vector<double> y;
+  Rng rng(7);
+  for (int i = 0; i < 80; ++i) {
+    double v = rng.Uniform(0.0, 1.0);
+    x_small.push_back({v});
+    x_big.push_back({v * 1e6});
+    y.push_back(v * v);
+  }
+  Svr a, b;
+  ASSERT_OK(a.Train(x_small, y));
+  ASSERT_OK(b.Train(x_big, y));
+  ASSERT_OK_AND_ASSIGN(double pa, a.Predict({0.5}));
+  ASSERT_OK_AND_ASSIGN(double pb, b.Predict({0.5e6}));
+  EXPECT_NEAR(pa, pb, 0.02);
+}
+
+TEST(SvrTest, RejectsBadInput) {
+  Svr svr;
+  EXPECT_FALSE(svr.Train({}, {}).ok());
+  EXPECT_FALSE(svr.Train({{1.0}}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(svr.Train({{1.0}, {1.0, 2.0}}, {1.0, 2.0}).ok());
+  SvrOptions options;
+  options.c = 0.0;
+  Svr bad_c(options);
+  EXPECT_FALSE(bad_c.Train({{1.0}}, {1.0}).ok());
+  options = {};
+  options.epsilon_tube = -1.0;
+  Svr bad_eps(options);
+  EXPECT_FALSE(bad_eps.Train({{1.0}}, {1.0}).ok());
+}
+
+TEST(SvrTest, PredictBeforeTrainFails) {
+  Svr svr;
+  EXPECT_FALSE(svr.Predict({1.0}).ok());
+}
+
+TEST(SvrTest, PredictRejectsWrongWidth) {
+  Svr svr;
+  ASSERT_OK(svr.Train({{1.0, 2.0}, {2.0, 3.0}, {0.5, 2.5}}, {1.0, 2.0, 1.5}));
+  EXPECT_FALSE(svr.Predict({1.0}).ok());
+}
+
+TEST(KernelTest, RbfBasics) {
+  KernelOptions options;
+  options.type = KernelType::kRbf;
+  options.gamma = 0.5;
+  EXPECT_DOUBLE_EQ(KernelEval(options, {1.0, 2.0}, {1.0, 2.0}), 1.0);
+  double far = KernelEval(options, {0.0}, {10.0});
+  EXPECT_GT(far, 0.0);
+  EXPECT_LT(far, 1e-10);
+}
+
+TEST(KernelTest, LinearIsDotProduct) {
+  KernelOptions options;
+  options.type = KernelType::kLinear;
+  EXPECT_DOUBLE_EQ(KernelEval(options, {1.0, 2.0}, {3.0, 4.0}), 11.0);
+}
+
+TEST(KernelTest, ResolveGamma) {
+  KernelOptions options;
+  ASSERT_OK_AND_ASSIGN(double g, ResolveGamma(options, 4));
+  EXPECT_DOUBLE_EQ(g, 0.25);
+  options.gamma = 2.0;
+  ASSERT_OK_AND_ASSIGN(double g2, ResolveGamma(options, 4));
+  EXPECT_DOUBLE_EQ(g2, 2.0);
+  options.gamma = -1.0;
+  EXPECT_FALSE(ResolveGamma(options, 4).ok());
+  options.gamma = 0.0;
+  EXPECT_FALSE(ResolveGamma(options, 0).ok());
+}
+
+}  // namespace
+}  // namespace smeter::ml

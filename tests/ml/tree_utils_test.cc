@@ -1,0 +1,149 @@
+#include "ml/tree_utils.h"
+
+#include <gtest/gtest.h>
+
+#include "ml_testutil.h"
+#include "testutil.h"
+
+namespace smeter::ml {
+namespace {
+
+TEST(EntropyOfCountsTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(EntropyOfCounts({5, 5}), 1.0);
+  EXPECT_DOUBLE_EQ(EntropyOfCounts({4, 4, 4, 4}), 2.0);
+  EXPECT_DOUBLE_EQ(EntropyOfCounts({10, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(EntropyOfCounts({}), 0.0);
+  EXPECT_DOUBLE_EQ(EntropyOfCounts({0, 0}), 0.0);
+  EXPECT_NEAR(EntropyOfCounts({3, 1}), 0.8112781245, 1e-9);
+}
+
+std::vector<size_t> AllRows(const Dataset& d) {
+  std::vector<size_t> rows(d.num_instances());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  return rows;
+}
+
+TEST(NominalSplitTest, PerfectPredictorHasMaximalGain) {
+  Dataset d = testing::NominalSeparable(20, 3);
+  std::optional<SplitCandidate> key =
+      EvaluateNominalSplit(d, AllRows(d), 0, 2);
+  std::optional<SplitCandidate> noise =
+      EvaluateNominalSplit(d, AllRows(d), 1, 2);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_NEAR(key->gain, std::log2(3.0), 1e-9);  // full class entropy
+  EXPECT_EQ(key->populated_branches, 3u);
+  // The noise attribute provides (almost) no gain; it may not even qualify.
+  if (noise.has_value()) {
+    EXPECT_LT(noise->gain, 0.05);
+    EXPECT_LT(noise->gain_ratio, key->gain_ratio);
+  }
+}
+
+TEST(NominalSplitTest, RejectsSplitsWithoutTwoPopulatedBranches) {
+  Dataset d = Dataset::Create("r",
+                              {Attribute::Nominal("f", {"only", "never"}),
+                               Attribute::Nominal("c", {"a", "b"})},
+                              1)
+                  .value();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(d.Add({0.0, static_cast<double>(i % 2)}));
+  }
+  EXPECT_FALSE(EvaluateNominalSplit(d, AllRows(d), 0, 2).has_value());
+}
+
+TEST(NominalSplitTest, MissingValuesScaleGain) {
+  Dataset d = Dataset::Create("m",
+                              {Attribute::Nominal("f", {"x", "y"}),
+                               Attribute::Nominal("c", {"a", "b"})},
+                              1)
+                  .value();
+  // Perfect predictor on the half of the rows where it is known.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_OK(d.Add({static_cast<double>(i % 2),
+                     static_cast<double>(i % 2)}));
+  }
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_OK(d.Add({kMissing, static_cast<double>(i % 2)}));
+  }
+  std::optional<SplitCandidate> split =
+      EvaluateNominalSplit(d, AllRows(d), 0, 2);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_NEAR(split->gain, 0.5, 1e-9);  // 1 bit x 50% known
+}
+
+TEST(NumericSplitTest, FindsSeparatingThreshold) {
+  Dataset d = Dataset::Create("n",
+                              {Attribute::Numeric("x"),
+                               Attribute::Nominal("c", {"lo", "hi"})},
+                              1)
+                  .value();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_OK(d.Add({static_cast<double>(i), i < 10 ? 0.0 : 1.0}));
+  }
+  std::optional<SplitCandidate> split =
+      EvaluateNumericSplit(d, AllRows(d), 0, 2);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_TRUE(split->is_numeric);
+  EXPECT_NEAR(split->threshold, 9.5, 1e-9);
+  EXPECT_NEAR(split->gain, 1.0, 1e-9);
+  EXPECT_NEAR(split->gain_ratio, 1.0, 1e-9);
+}
+
+TEST(NumericSplitTest, NoThresholdOnConstantAttribute) {
+  Dataset d = Dataset::Create("n",
+                              {Attribute::Numeric("x"),
+                               Attribute::Nominal("c", {"a", "b"})},
+                              1)
+                  .value();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(d.Add({1.0, static_cast<double>(i % 2)}));
+  }
+  EXPECT_FALSE(EvaluateNumericSplit(d, AllRows(d), 0, 2).has_value());
+}
+
+TEST(NumericSplitTest, MinLeafRespected) {
+  Dataset d = Dataset::Create("n",
+                              {Attribute::Numeric("x"),
+                               Attribute::Nominal("c", {"a", "b"})},
+                              1)
+                  .value();
+  // The only informative boundary strands a single row.
+  ASSERT_OK(d.Add({0.0, 0.0}));
+  for (int i = 1; i < 10; ++i) {
+    ASSERT_OK(d.Add({static_cast<double>(i), 1.0}));
+  }
+  std::optional<SplitCandidate> strict =
+      EvaluateNumericSplit(d, AllRows(d), 0, 3);
+  // With min_leaf 3 the 1-vs-9 boundary is unavailable.
+  if (strict.has_value()) {
+    EXPECT_GE(strict->populated_branches, 2u);
+    EXPECT_GT(strict->threshold, 1.0);
+  }
+  std::optional<SplitCandidate> loose =
+      EvaluateNumericSplit(d, AllRows(d), 0, 1);
+  ASSERT_TRUE(loose.has_value());
+  EXPECT_NEAR(loose->threshold, 0.5, 1e-9);
+}
+
+TEST(PessimisticExtraErrorsTest, MatchesC45Behaviour) {
+  // Zero observed errors still yield a positive pessimistic estimate.
+  double zero = PessimisticExtraErrors(10.0, 0.0, 0.25);
+  EXPECT_GT(zero, 0.0);
+  EXPECT_LT(zero, 10.0);
+  // More data with the same error rate -> relatively less pessimism.
+  double small = PessimisticExtraErrors(10.0, 2.0, 0.25) / 10.0;
+  double large = PessimisticExtraErrors(1000.0, 200.0, 0.25) / 1000.0;
+  EXPECT_GT(small, large);
+  // Estimates increase with observed errors.
+  EXPECT_LT(PessimisticExtraErrors(100.0, 1.0, 0.25),
+            PessimisticExtraErrors(100.0, 1.0, 0.25) +
+                PessimisticExtraErrors(100.0, 10.0, 0.25));
+  // Lower confidence value -> more pessimism.
+  EXPECT_GT(PessimisticExtraErrors(100.0, 10.0, 0.05),
+            PessimisticExtraErrors(100.0, 10.0, 0.25));
+  // Saturated error count.
+  EXPECT_DOUBLE_EQ(PessimisticExtraErrors(10.0, 10.0, 0.25), 0.0);
+}
+
+}  // namespace
+}  // namespace smeter::ml

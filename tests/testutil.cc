@@ -1,0 +1,28 @@
+#include "testutil.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace smeter::testing {
+
+TimeSeries MakeSeries(const std::vector<double>& values) {
+  return TimeSeries::FromValues(values, /*start=*/0, /*step=*/1);
+}
+
+std::vector<double> LogNormalValues(size_t n, uint64_t seed, double mu,
+                                    double sigma) {
+  Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) values.push_back(rng.LogNormal(mu, sigma));
+  return values;
+}
+
+std::string TempPath(const std::string& name) {
+  static std::atomic<int> counter{0};
+  const char* base = std::getenv("TMPDIR");
+  std::string dir = base != nullptr ? base : "/tmp";
+  return dir + "/smeter_test_" + std::to_string(counter++) + "_" + name;
+}
+
+}  // namespace smeter::testing

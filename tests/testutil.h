@@ -1,0 +1,50 @@
+// Shared helpers for the smeter test suite.
+
+#ifndef SMETER_TESTS_TESTUTIL_H_
+#define SMETER_TESTS_TESTUTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/time_series.h"
+
+// Asserts that a Status is OK, printing the message otherwise. The status
+// is copied so that `result.status()` on a temporary Result is safe.
+#define ASSERT_OK(expr)                                            \
+  do {                                                             \
+    const ::smeter::Status _st = (expr);                           \
+    ASSERT_TRUE(_st.ok()) << "status: " << _st.ToString();         \
+  } while (false)
+
+#define EXPECT_OK(expr)                                            \
+  do {                                                             \
+    const ::smeter::Status _st = (expr);                           \
+    EXPECT_TRUE(_st.ok()) << "status: " << _st.ToString();         \
+  } while (false)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)                           \
+  ASSERT_OK_AND_ASSIGN_IMPL(SMETER_CONCAT(_res_, __LINE__), lhs, rexpr)
+#define ASSERT_OK_AND_ASSIGN_IMPL(res, lhs, rexpr)                 \
+  auto res = (rexpr);                                              \
+  ASSERT_TRUE(res.ok()) << "status: " << res.status().ToString();  \
+  lhs = std::move(res.value())
+#define SMETER_CONCAT_INNER(a, b) a##b
+#define SMETER_CONCAT(a, b) SMETER_CONCAT_INNER(a, b)
+
+namespace smeter::testing {
+
+// A gapless 1 Hz series with the given values starting at t = 0.
+TimeSeries MakeSeries(const std::vector<double>& values);
+
+// `n` log-normal draws (the smart-meter-like marginal), deterministic.
+std::vector<double> LogNormalValues(size_t n, uint64_t seed, double mu = 5.0,
+                                    double sigma = 1.0);
+
+// A unique writable temp path under the test's scratch directory.
+std::string TempPath(const std::string& name);
+
+}  // namespace smeter::testing
+
+#endif  // SMETER_TESTS_TESTUTIL_H_

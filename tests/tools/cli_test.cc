@@ -1,0 +1,153 @@
+#include "cli.h"
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace smeter::cli {
+namespace {
+
+// Runs a CLI command and returns its stdout; asserts success.
+std::string RunOk(const std::vector<std::string>& args) {
+  std::ostringstream out;
+  Status status = RunCli(args, out);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return out.str();
+}
+
+Status RunErr(const std::vector<std::string>& args) {
+  std::ostringstream out;
+  return RunCli(args, out);
+}
+
+TEST(FlagsTest, ParsesFlagValuePairs) {
+  ASSERT_OK_AND_ASSIGN(Flags flags,
+                       Flags::Parse({"--a", "1", "--name", "x y"}));
+  EXPECT_TRUE(flags.Has("a"));
+  EXPECT_FALSE(flags.Has("b"));
+  ASSERT_OK_AND_ASSIGN(std::string name, flags.Get("name"));
+  EXPECT_EQ(name, "x y");
+  ASSERT_OK_AND_ASSIGN(int64_t a, flags.GetInt("a", 9));
+  EXPECT_EQ(a, 1);
+  ASSERT_OK_AND_ASSIGN(int64_t missing, flags.GetInt("zzz", 9));
+  EXPECT_EQ(missing, 9);
+  EXPECT_EQ(flags.GetOr("zzz", "dflt"), "dflt");
+}
+
+TEST(FlagsTest, RejectsMalformedArguments) {
+  EXPECT_FALSE(Flags::Parse({"positional"}).ok());
+  EXPECT_FALSE(Flags::Parse({"--dangling"}).ok());
+  EXPECT_FALSE(Flags::Parse({"--a", "1", "--a", "2"}).ok());
+}
+
+TEST(FlagsTest, TracksUnreadFlags) {
+  ASSERT_OK_AND_ASSIGN(Flags flags, Flags::Parse({"--used", "1", "--stray",
+                                                  "2"}));
+  (void)flags.Get("used");
+  std::vector<std::string> stray = flags.UnreadFlags();
+  ASSERT_EQ(stray.size(), 1u);
+  EXPECT_EQ(stray[0], "stray");
+}
+
+TEST(CliTest, HelpAndUnknownCommand) {
+  std::string help = RunOk({"help"});
+  EXPECT_NE(help.find("simulate"), std::string::npos);
+  EXPECT_NE(help.find("encode"), std::string::npos);
+  Status unknown = RunErr({"frobnicate"});
+  EXPECT_FALSE(unknown.ok());
+  std::string empty_help = RunOk({});
+  EXPECT_EQ(empty_help, UsageText());
+}
+
+// Full workflow: simulate -> stats -> learn-table -> encode -> info ->
+// decode, all through the CLI surface.
+TEST(CliTest, EndToEndWorkflow) {
+  std::string dir = smeter::testing::TempPath("cli_e2e");
+  RunOk({"simulate", "--out", dir, "--houses", "1", "--days", "3",
+         "--seed", "9", "--outages", "0"});
+  std::string channel = dir + "/house_1/channel_1.dat";
+
+  std::string stats = RunOk({"stats", "--input", channel});
+  EXPECT_NE(stats.find("median"), std::string::npos);
+  EXPECT_NE(stats.find("samples"), std::string::npos);
+
+  std::string table_path = dir + "/table.txt";
+  std::string learn = RunOk({"learn-table", "--input", channel, "--out",
+                             table_path, "--method", "median", "--level",
+                             "4", "--history-seconds", "172800"});
+  EXPECT_NE(learn.find("16 symbols"), std::string::npos);
+
+  std::string symbols_path = dir + "/day.sym";
+  std::string encode =
+      RunOk({"encode", "--input", channel, "--table", table_path, "--out",
+             symbols_path, "--window", "900"});
+  EXPECT_NE(encode.find("encoded"), std::string::npos);
+
+  std::string info = RunOk({"info", "--input", symbols_path});
+  EXPECT_NE(info.find("packed symbolic series"), std::string::npos);
+  EXPECT_NE(info.find("level 4"), std::string::npos);
+
+  std::string table_info = RunOk({"info", "--input", table_path});
+  EXPECT_NE(table_info.find("lookup table"), std::string::npos);
+  EXPECT_NE(table_info.find("median"), std::string::npos);
+
+  std::string csv = RunOk(
+      {"decode", "--input", symbols_path, "--table", table_path});
+  EXPECT_NE(csv.find("timestamp,watts"), std::string::npos);
+  // 3 days at 15-minute windows -> 288 decoded rows + header.
+  size_t lines = static_cast<size_t>(
+      std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(lines, 289u);
+}
+
+TEST(CliTest, CerWorkflow) {
+  std::string dir = smeter::testing::TempPath("cli_cer");
+  RunOk({"simulate", "--out", dir, "--houses", "2", "--days", "2",
+         "--format", "cer"});
+  std::string file = dir + "/meters.cer";
+  std::string stats =
+      RunOk({"stats", "--input", file, "--format", "cer", "--meter",
+             "1001"});
+  // 2 days at 30-minute cadence = 96 slots (minus any simulated outage).
+  EXPECT_NE(stats.find("samples"), std::string::npos);
+  EXPECT_NE(stats.find("median"), std::string::npos);
+  Status missing_meter = RunErr(
+      {"stats", "--input", file, "--format", "cer", "--meter", "7"});
+  EXPECT_FALSE(missing_meter.ok());
+}
+
+TEST(CliTest, UsefulErrors) {
+  EXPECT_FALSE(RunErr({"stats"}).ok());  // missing --input
+  EXPECT_FALSE(RunErr({"stats", "--input", "/no/such/file"}).ok());
+  EXPECT_FALSE(
+      RunErr({"stats", "--input", "/tmp", "--format", "exotic"}).ok());
+  // Unknown flags are rejected, not ignored.
+  std::string dir = smeter::testing::TempPath("cli_err");
+  Status stray = RunErr({"simulate", "--out", dir, "--typo", "1"});
+  ASSERT_FALSE(stray.ok());
+  EXPECT_NE(stray.message().find("--typo"), std::string::npos);
+}
+
+TEST(CliTest, DecodeModeValidation) {
+  std::string dir = smeter::testing::TempPath("cli_mode");
+  RunOk({"simulate", "--out", dir, "--houses", "1", "--days", "3",
+         "--outages", "0"});
+  std::string channel = dir + "/house_1/channel_1.dat";
+  std::string table_path = dir + "/t.txt";
+  RunOk({"learn-table", "--input", channel, "--out", table_path});
+  std::string symbols_path = dir + "/s.sym";
+  RunOk({"encode", "--input", channel, "--table", table_path, "--out",
+         symbols_path});
+  EXPECT_FALSE(RunErr({"decode", "--input", symbols_path, "--table",
+                       table_path, "--mode", "exotic"})
+                   .ok());
+  std::string center = RunOk({"decode", "--input", symbols_path, "--table",
+                              table_path, "--mode", "center"});
+  EXPECT_NE(center.find("timestamp,watts"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smeter::cli

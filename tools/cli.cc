@@ -1,0 +1,419 @@
+#include "cli.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "core/codec.h"
+#include "core/encoder.h"
+#include "core/entropy.h"
+#include "core/quantile.h"
+#include "core/reconstruction.h"
+#include "data/cer.h"
+#include "data/generator.h"
+#include "data/redd.h"
+
+namespace smeter::cli {
+namespace {
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return InternalError("cannot open for writing: " + path);
+  out << content;
+  out.flush();
+  if (!out) return InternalError("I/O error writing: " + path);
+  return Status::Ok();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return InternalError("I/O error reading: " + path);
+  return buffer.str();
+}
+
+Result<SeparatorMethod> MethodFromName(const std::string& name) {
+  if (name == "uniform") return SeparatorMethod::kUniform;
+  if (name == "median") return SeparatorMethod::kMedian;
+  if (name == "distinctmedian") return SeparatorMethod::kDistinctMedian;
+  return InvalidArgumentError(
+      "unknown method '" + name +
+      "' (expected uniform|median|distinctmedian)");
+}
+
+// Loads a meter trace: REDD channel ("<ts> <watts>" lines) or CER.
+Result<TimeSeries> LoadTrace(const Flags& flags) {
+  Result<std::string> input = flags.Get("input");
+  if (!input.ok()) return input.status();
+  std::string format = flags.GetOr("format", "redd");
+  if (format == "redd") {
+    return data::LoadReddChannel(*input);
+  }
+  if (format == "cer") {
+    Result<std::vector<std::pair<int64_t, TimeSeries>>> meters =
+        data::LoadCerFile(*input);
+    if (!meters.ok()) return meters.status();
+    if (meters->empty()) return FailedPreconditionError("no meters in file");
+    Result<int64_t> meter = flags.GetInt("meter", meters->front().first);
+    if (!meter.ok()) return meter.status();
+    for (auto& [id, series] : *meters) {
+      if (id == *meter) return std::move(series);
+    }
+    return NotFoundError("meter " + std::to_string(*meter) + " not in file");
+  }
+  return InvalidArgumentError("unknown format '" + format +
+                              "' (expected redd|cer)");
+}
+
+Status CheckNoStrayFlags(const Flags& flags) {
+  std::vector<std::string> stray = flags.UnreadFlags();
+  if (stray.empty()) return Status::Ok();
+  std::string joined;
+  for (const std::string& name : stray) {
+    if (!joined.empty()) joined += ", ";
+    joined += "--" + name;
+  }
+  return InvalidArgumentError("unknown flag(s): " + joined);
+}
+
+// --- subcommands -----------------------------------------------------------
+
+Status CmdSimulate(const Flags& flags, std::ostream& out) {
+  data::GeneratorOptions options;
+  Result<int64_t> houses = flags.GetInt("houses", 6);
+  if (!houses.ok()) return houses.status();
+  Result<int64_t> days = flags.GetInt("days", 7);
+  if (!days.ok()) return days.status();
+  Result<int64_t> seed = flags.GetInt("seed", 42);
+  if (!seed.ok()) return seed.status();
+  std::string format = flags.GetOr("format", "redd");
+  Result<double> outages = flags.GetDouble("outages", 0.4);
+  if (!outages.ok()) return outages.status();
+  Result<std::string> dir = flags.Get("out");
+  if (!dir.ok()) return dir.status();
+  SMETER_RETURN_IF_ERROR(CheckNoStrayFlags(flags));
+
+  options.num_houses = static_cast<size_t>(*houses);
+  options.duration_seconds = *days * kSecondsPerDay;
+  options.seed = static_cast<uint64_t>(*seed);
+  options.outages_per_day = *outages;
+  if (format == "cer") options.sample_period_seconds = 1800;
+
+  if (format == "redd") {
+    for (size_t h = 0; h < options.num_houses; ++h) {
+      Result<TimeSeries> series = data::GenerateHouseSeries(h, options);
+      if (!series.ok()) return series.status();
+      // REDD splits the house total across two mains; emit half into each
+      // channel so LoadReddHouseMains reassembles the original.
+      std::string mains1, mains2;
+      char line[64];
+      for (const Sample& s : *series) {
+        std::snprintf(line, sizeof(line), "%lld %.2f\n",
+                      static_cast<long long>(s.timestamp), s.value / 2.0);
+        mains1 += line;
+        mains2 += line;
+      }
+      std::string house_dir =
+          *dir + "/house_" + std::to_string(h + 1);
+      if (::system(("mkdir -p '" + house_dir + "'").c_str()) != 0) {
+        return InternalError("cannot create " + house_dir);
+      }
+      SMETER_RETURN_IF_ERROR(
+          WriteFile(house_dir + "/channel_1.dat", mains1));
+      SMETER_RETURN_IF_ERROR(
+          WriteFile(house_dir + "/channel_2.dat", mains2));
+      out << "wrote " << house_dir << " (" << series->size()
+          << " samples)\n";
+    }
+    return Status::Ok();
+  }
+  if (format == "cer") {
+    std::vector<std::pair<int64_t, TimeSeries>> meters;
+    for (size_t h = 0; h < options.num_houses; ++h) {
+      Result<TimeSeries> series = data::GenerateHouseSeries(h, options);
+      if (!series.ok()) return series.status();
+      meters.emplace_back(static_cast<int64_t>(1000 + h),
+                          std::move(series.value()));
+    }
+    Result<std::string> text = data::FormatCer(meters);
+    if (!text.ok()) return text.status();
+    std::string path = *dir + "/meters.cer";
+    if (::system(("mkdir -p '" + *dir + "'").c_str()) != 0) {
+      return InternalError("cannot create " + *dir);
+    }
+    SMETER_RETURN_IF_ERROR(WriteFile(path, *text));
+    out << "wrote " << path << " (" << meters.size() << " meters)\n";
+    return Status::Ok();
+  }
+  return InvalidArgumentError("unknown format '" + format + "'");
+}
+
+Status CmdStats(const Flags& flags, std::ostream& out) {
+  Result<TimeSeries> trace = LoadTrace(flags);
+  if (!trace.ok()) return trace.status();
+  SMETER_RETURN_IF_ERROR(CheckNoStrayFlags(flags));
+  if (trace->empty()) return FailedPreconditionError("empty trace");
+  RunningStats stats;
+  for (const Sample& s : *trace) stats.Add(s.value);
+  out << "samples        " << stats.count() << "\n";
+  out << "span [s]       "
+      << trace->back().timestamp - trace->front().timestamp << "\n";
+  out << "mean           " << stats.mean() << "\n";
+  out << "median         " << stats.Median().value() << "\n";
+  out << "distinctmedian " << stats.DistinctMedian().value() << "\n";
+  out << "min            " << stats.min() << "\n";
+  out << "max            " << stats.max() << "\n";
+  out << "gaps > 60s     " << trace->FindGaps(60).size() << "\n";
+  return Status::Ok();
+}
+
+Status CmdLearnTable(const Flags& flags, std::ostream& out) {
+  Result<TimeSeries> trace = LoadTrace(flags);
+  if (!trace.ok()) return trace.status();
+  Result<SeparatorMethod> method =
+      MethodFromName(flags.GetOr("method", "median"));
+  if (!method.ok()) return method.status();
+  Result<int64_t> level = flags.GetInt("level", 4);
+  if (!level.ok()) return level.status();
+  Result<int64_t> history = flags.GetInt("history-seconds", 0);
+  if (!history.ok()) return history.status();
+  Result<std::string> output = flags.Get("out");
+  if (!output.ok()) return output.status();
+  SMETER_RETURN_IF_ERROR(CheckNoStrayFlags(flags));
+
+  TimeSeries training = *trace;
+  if (*history > 0 && !trace->empty()) {
+    training = trace->Slice(
+        {trace->front().timestamp, trace->front().timestamp + *history});
+  }
+  if (training.empty()) {
+    return FailedPreconditionError("no training data in the history span");
+  }
+  LookupTableOptions options;
+  options.method = *method;
+  options.level = static_cast<int>(*level);
+  Result<LookupTable> table =
+      LookupTable::Build(training.Values(), options);
+  if (!table.ok()) return table.status();
+  SMETER_RETURN_IF_ERROR(WriteFile(*output, table->Serialize()));
+  out << "learned " << SeparatorMethodName(*method) << " table, "
+      << table->alphabet_size() << " symbols, domain ["
+      << table->domain_min() << ", " << table->domain_max() << "] from "
+      << training.size() << " samples -> " << *output << "\n";
+  return Status::Ok();
+}
+
+Result<LookupTable> LoadTable(const Flags& flags) {
+  Result<std::string> path = flags.Get("table");
+  if (!path.ok()) return path.status();
+  Result<std::string> blob = ReadFile(*path);
+  if (!blob.ok()) return blob.status();
+  return LookupTable::Deserialize(*blob);
+}
+
+Status CmdEncode(const Flags& flags, std::ostream& out) {
+  Result<TimeSeries> trace = LoadTrace(flags);
+  if (!trace.ok()) return trace.status();
+  Result<LookupTable> table = LoadTable(flags);
+  if (!table.ok()) return table.status();
+  Result<int64_t> window = flags.GetInt("window", 900);
+  if (!window.ok()) return window.status();
+  Result<int64_t> sample_period = flags.GetInt("sample-period", 1);
+  if (!sample_period.ok()) return sample_period.status();
+  Result<std::string> output = flags.Get("out");
+  if (!output.ok()) return output.status();
+  SMETER_RETURN_IF_ERROR(CheckNoStrayFlags(flags));
+
+  PipelineOptions pipeline;
+  pipeline.window_seconds = *window;
+  pipeline.window.sample_period_seconds = *sample_period;
+  Result<SymbolicSeries> symbols =
+      EncodePipeline(*trace, *table, pipeline);
+  if (!symbols.ok()) return symbols.status();
+  Result<std::string> blob = PackSymbolicSeries(*symbols);
+  if (!blob.ok()) {
+    return Status(blob.status().code(),
+                  blob.status().message() +
+                      " (the trace has gaps; encode gapless spans)");
+  }
+  SMETER_RETURN_IF_ERROR(WriteFile(*output, *blob));
+  double raw_bytes = static_cast<double>(trace->size()) * 8.0;
+  out << "encoded " << symbols->size() << " symbols (level "
+      << symbols->level() << ") -> " << *output << " (" << blob->size()
+      << " bytes; raw was " << raw_bytes << " bytes, "
+      << raw_bytes / static_cast<double>(blob->size()) << "x)\n";
+  out << "symbol entropy: " << SymbolEntropyBits(*symbols).value() << " of "
+      << symbols->level() << " bits\n";
+  return Status::Ok();
+}
+
+Status CmdDecode(const Flags& flags, std::ostream& out) {
+  Result<std::string> input = flags.Get("input");
+  if (!input.ok()) return input.status();
+  Result<LookupTable> table = LoadTable(flags);
+  if (!table.ok()) return table.status();
+  std::string mode_name = flags.GetOr("mode", "mean");
+  SMETER_RETURN_IF_ERROR(CheckNoStrayFlags(flags));
+  ReconstructionMode mode;
+  if (mode_name == "mean") {
+    mode = ReconstructionMode::kRangeMean;
+  } else if (mode_name == "center") {
+    mode = ReconstructionMode::kRangeCenter;
+  } else {
+    return InvalidArgumentError("unknown mode '" + mode_name +
+                                "' (expected mean|center)");
+  }
+  Result<std::string> blob = ReadFile(*input);
+  if (!blob.ok()) return blob.status();
+  Result<SymbolicSeries> symbols = UnpackSymbolicSeries(*blob);
+  if (!symbols.ok()) return symbols.status();
+  Result<TimeSeries> decoded = Decode(*symbols, *table, mode);
+  if (!decoded.ok()) return decoded.status();
+  out << "timestamp,watts\n";
+  for (const Sample& s : *decoded) {
+    out << s.timestamp << "," << s.value << "\n";
+  }
+  return Status::Ok();
+}
+
+Status CmdInfo(const Flags& flags, std::ostream& out) {
+  Result<std::string> input = flags.Get("input");
+  if (!input.ok()) return input.status();
+  SMETER_RETURN_IF_ERROR(CheckNoStrayFlags(flags));
+  Result<std::string> blob = ReadFile(*input);
+  if (!blob.ok()) return blob.status();
+
+  if (Result<SymbolicSeries> symbols = UnpackSymbolicSeries(*blob);
+      symbols.ok()) {
+    out << "packed symbolic series\n";
+    out << "  symbols " << symbols->size() << ", level " << symbols->level()
+        << "\n";
+    out << "  start " << symbols->samples().front().timestamp << ", end "
+        << symbols->samples().back().timestamp << "\n";
+    out << "  entropy " << SymbolEntropyBits(*symbols).value() << " bits\n";
+    return Status::Ok();
+  }
+  if (Result<LookupTable> table = LookupTable::Deserialize(*blob);
+      table.ok()) {
+    out << "lookup table\n";
+    out << "  method " << SeparatorMethodName(table->method()) << ", "
+        << table->alphabet_size() << " symbols\n";
+    out << "  domain [" << table->domain_min() << ", "
+        << table->domain_max() << "]\n";
+    out << "  separators:";
+    for (double s : table->separators()) out << " " << s;
+    out << "\n";
+    return Status::Ok();
+  }
+  return InvalidArgumentError(
+      "not a packed symbolic series or serialized lookup table");
+}
+
+}  // namespace
+
+Result<Flags> Flags::Parse(const std::vector<std::string>& args) {
+  Flags flags;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (!StartsWith(args[i], "--")) {
+      return InvalidArgumentError("unexpected positional argument '" +
+                                  args[i] + "'");
+    }
+    if (i + 1 >= args.size()) {
+      return InvalidArgumentError("flag " + args[i] + " needs a value");
+    }
+    std::string name = args[i].substr(2);
+    if (flags.values_.count(name) > 0) {
+      return InvalidArgumentError("duplicate flag --" + name);
+    }
+    flags.values_[name] = args[i + 1];
+    ++i;
+  }
+  return flags;
+}
+
+bool Flags::Has(const std::string& name) const {
+  read_[name] = true;
+  return values_.count(name) > 0;
+}
+
+Result<std::string> Flags::Get(const std::string& name) const {
+  read_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return InvalidArgumentError("missing required flag --" + name);
+  }
+  return it->second;
+}
+
+std::string Flags::GetOr(const std::string& name,
+                         const std::string& fallback) const {
+  read_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+Result<int64_t> Flags::GetInt(const std::string& name,
+                              int64_t fallback) const {
+  read_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return ParseInt(it->second);
+}
+
+Result<double> Flags::GetDouble(const std::string& name,
+                                double fallback) const {
+  read_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return ParseDouble(it->second);
+}
+
+std::vector<std::string> Flags::UnreadFlags() const {
+  std::vector<std::string> stray;
+  for (const auto& [name, value] : values_) {
+    auto it = read_.find(name);
+    if (it == read_.end() || !it->second) stray.push_back(name);
+  }
+  return stray;
+}
+
+std::string UsageText() {
+  return
+      "smeter <command> [--flag value]...\n"
+      "\n"
+      "commands:\n"
+      "  simulate     --out DIR [--houses 6] [--days 7] [--seed 42]\n"
+      "               [--format redd|cer] [--outages 0.4]\n"
+      "  stats        --input FILE [--format redd|cer] [--meter ID]\n"
+      "  learn-table  --input FILE --out TABLE [--method median]\n"
+      "               [--level 4] [--history-seconds 0] [--format redd|cer]\n"
+      "  encode       --input FILE --table TABLE --out SYMBOLS\n"
+      "               [--window 900] [--sample-period 1] [--format redd|cer]\n"
+      "  decode       --input SYMBOLS --table TABLE [--mode mean|center]\n"
+      "  info         --input FILE\n"
+      "  help\n";
+}
+
+Status RunCli(const std::vector<std::string>& args, std::ostream& out) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    out << UsageText();
+    return Status::Ok();
+  }
+  const std::string& command = args[0];
+  Result<Flags> flags =
+      Flags::Parse(std::vector<std::string>(args.begin() + 1, args.end()));
+  if (!flags.ok()) return flags.status();
+
+  if (command == "simulate") return CmdSimulate(*flags, out);
+  if (command == "stats") return CmdStats(*flags, out);
+  if (command == "learn-table") return CmdLearnTable(*flags, out);
+  if (command == "encode") return CmdEncode(*flags, out);
+  if (command == "decode") return CmdDecode(*flags, out);
+  if (command == "info") return CmdInfo(*flags, out);
+  return InvalidArgumentError("unknown command '" + command +
+                              "'; run `smeter help`");
+}
+
+}  // namespace smeter::cli

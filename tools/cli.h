@@ -1,0 +1,59 @@
+// The `smeter` command-line tool: end-to-end access to the library without
+// writing C++. Subcommands:
+//
+//   simulate     generate synthetic smart-meter traces (REDD or CER format)
+//   stats        accumulative statistics of a trace (Figure 4's numbers)
+//   learn-table  learn a lookup table from historical data
+//   encode       vertical+horizontal segmentation -> packed symbol file
+//   decode       packed symbol file -> reconstructed values (CSV)
+//   info         inspect a packed symbol file or serialized table
+//
+// The command layer is a library (this header) so the test suite can drive
+// it in-process; `smeter_cli.cc` is a thin main().
+
+#ifndef SMETER_TOOLS_CLI_H_
+#define SMETER_TOOLS_CLI_H_
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace smeter::cli {
+
+// Parsed "--flag value" arguments.
+class Flags {
+ public:
+  // Parses ["--a", "1", "--b", "x"]; rejects positional arguments and
+  // flags without values.
+  static Result<Flags> Parse(const std::vector<std::string>& args);
+
+  bool Has(const std::string& name) const;
+  // Errors if absent.
+  Result<std::string> Get(const std::string& name) const;
+  std::string GetOr(const std::string& name,
+                    const std::string& fallback) const;
+  Result<int64_t> GetInt(const std::string& name, int64_t fallback) const;
+  Result<double> GetDouble(const std::string& name, double fallback) const;
+
+  // Names that were never read — for unknown-flag diagnostics.
+  std::vector<std::string> UnreadFlags() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> read_;
+};
+
+// Executes one subcommand: args = {subcommand, --flag, value, ...}.
+// Human-readable output goes to `out`. Returns a non-OK status on any
+// usage or processing error (main() maps it to exit code 1).
+Status RunCli(const std::vector<std::string>& args, std::ostream& out);
+
+// The usage text printed by `help` and on errors.
+std::string UsageText();
+
+}  // namespace smeter::cli
+
+#endif  // SMETER_TOOLS_CLI_H_
