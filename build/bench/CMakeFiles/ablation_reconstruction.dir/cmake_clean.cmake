@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reconstruction.dir/ablation_reconstruction.cc.o"
+  "CMakeFiles/ablation_reconstruction.dir/ablation_reconstruction.cc.o.d"
+  "ablation_reconstruction"
+  "ablation_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_ratio.dir/compression_ratio.cc.o"
+  "CMakeFiles/compression_ratio.dir/compression_ratio.cc.o.d"
+  "compression_ratio"
+  "compression_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

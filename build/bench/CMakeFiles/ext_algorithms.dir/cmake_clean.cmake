@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_algorithms.dir/ext_algorithms.cc.o"
+  "CMakeFiles/ext_algorithms.dir/ext_algorithms.cc.o.d"
+  "ext_algorithms"
+  "ext_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

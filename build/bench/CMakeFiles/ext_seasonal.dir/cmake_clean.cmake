@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_seasonal.dir/ext_seasonal.cc.o"
+  "CMakeFiles/ext_seasonal.dir/ext_seasonal.cc.o.d"
+  "ext_seasonal"
+  "ext_seasonal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_seasonal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

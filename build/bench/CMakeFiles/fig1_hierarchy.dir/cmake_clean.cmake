@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_hierarchy.dir/fig1_hierarchy.cc.o"
+  "CMakeFiles/fig1_hierarchy.dir/fig1_hierarchy.cc.o.d"
+  "fig1_hierarchy"
+  "fig1_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

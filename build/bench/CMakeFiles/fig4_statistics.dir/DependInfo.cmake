@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig4_statistics.cc" "bench/CMakeFiles/fig4_statistics.dir/fig4_statistics.cc.o" "gcc" "bench/CMakeFiles/fig4_statistics.dir/fig4_statistics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/smeter_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smeter_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smeter_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smeter_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smeter_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smeter_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_statistics.dir/fig4_statistics.cc.o"
+  "CMakeFiles/fig4_statistics.dir/fig4_statistics.cc.o.d"
+  "fig4_statistics"
+  "fig4_statistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_naive_bayes.dir/fig5_naive_bayes.cc.o"
+  "CMakeFiles/fig5_naive_bayes.dir/fig5_naive_bayes.cc.o.d"
+  "fig5_naive_bayes"
+  "fig5_naive_bayes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_naive_bayes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

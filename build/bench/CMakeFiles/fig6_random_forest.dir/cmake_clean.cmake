@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_random_forest.dir/fig6_random_forest.cc.o"
+  "CMakeFiles/fig6_random_forest.dir/fig6_random_forest.cc.o.d"
+  "fig6_random_forest"
+  "fig6_random_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_random_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

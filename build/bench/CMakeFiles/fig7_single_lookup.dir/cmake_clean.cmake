@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_single_lookup.dir/fig7_single_lookup.cc.o"
+  "CMakeFiles/fig7_single_lookup.dir/fig7_single_lookup.cc.o.d"
+  "fig7_single_lookup"
+  "fig7_single_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_single_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_forecast_nb.dir/fig8_forecast_nb.cc.o"
+  "CMakeFiles/fig8_forecast_nb.dir/fig8_forecast_nb.cc.o.d"
+  "fig8_forecast_nb"
+  "fig8_forecast_nb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_forecast_nb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_forecast_rf.dir/fig9_forecast_rf.cc.o"
+  "CMakeFiles/fig9_forecast_rf.dir/fig9_forecast_rf.cc.o.d"
+  "fig9_forecast_rf"
+  "fig9_forecast_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_forecast_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

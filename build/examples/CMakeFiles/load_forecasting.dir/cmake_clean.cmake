@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_forecasting.dir/load_forecasting.cc.o"
+  "CMakeFiles/load_forecasting.dir/load_forecasting.cc.o.d"
+  "load_forecasting"
+  "load_forecasting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_forecasting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

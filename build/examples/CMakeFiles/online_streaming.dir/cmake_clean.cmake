@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_streaming.dir/online_streaming.cc.o"
+  "CMakeFiles/online_streaming.dir/online_streaming.cc.o.d"
+  "online_streaming"
+  "online_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

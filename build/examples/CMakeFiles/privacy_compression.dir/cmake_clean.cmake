@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_compression.dir/privacy_compression.cc.o"
+  "CMakeFiles/privacy_compression.dir/privacy_compression.cc.o.d"
+  "privacy_compression"
+  "privacy_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

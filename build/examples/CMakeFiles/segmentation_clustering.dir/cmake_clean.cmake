@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segmentation_clustering.dir/segmentation_clustering.cc.o"
+  "CMakeFiles/segmentation_clustering.dir/segmentation_clustering.cc.o.d"
+  "segmentation_clustering"
+  "segmentation_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segmentation_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

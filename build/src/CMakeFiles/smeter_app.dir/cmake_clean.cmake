@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smeter_app.dir/app/forecaster.cc.o"
+  "CMakeFiles/smeter_app.dir/app/forecaster.cc.o.d"
+  "libsmeter_app.a"
+  "libsmeter_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smeter_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

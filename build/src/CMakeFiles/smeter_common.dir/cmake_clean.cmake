@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smeter_common.dir/common/csv.cc.o"
+  "CMakeFiles/smeter_common.dir/common/csv.cc.o.d"
+  "CMakeFiles/smeter_common.dir/common/normal.cc.o"
+  "CMakeFiles/smeter_common.dir/common/normal.cc.o.d"
+  "CMakeFiles/smeter_common.dir/common/random.cc.o"
+  "CMakeFiles/smeter_common.dir/common/random.cc.o.d"
+  "CMakeFiles/smeter_common.dir/common/status.cc.o"
+  "CMakeFiles/smeter_common.dir/common/status.cc.o.d"
+  "CMakeFiles/smeter_common.dir/common/string_util.cc.o"
+  "CMakeFiles/smeter_common.dir/common/string_util.cc.o.d"
+  "libsmeter_common.a"
+  "libsmeter_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smeter_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

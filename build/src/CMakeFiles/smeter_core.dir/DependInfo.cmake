@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/anomaly.cc" "src/CMakeFiles/smeter_core.dir/core/anomaly.cc.o" "gcc" "src/CMakeFiles/smeter_core.dir/core/anomaly.cc.o.d"
+  "/root/repo/src/core/codec.cc" "src/CMakeFiles/smeter_core.dir/core/codec.cc.o" "gcc" "src/CMakeFiles/smeter_core.dir/core/codec.cc.o.d"
+  "/root/repo/src/core/compression.cc" "src/CMakeFiles/smeter_core.dir/core/compression.cc.o" "gcc" "src/CMakeFiles/smeter_core.dir/core/compression.cc.o.d"
+  "/root/repo/src/core/drift.cc" "src/CMakeFiles/smeter_core.dir/core/drift.cc.o" "gcc" "src/CMakeFiles/smeter_core.dir/core/drift.cc.o.d"
+  "/root/repo/src/core/encoder.cc" "src/CMakeFiles/smeter_core.dir/core/encoder.cc.o" "gcc" "src/CMakeFiles/smeter_core.dir/core/encoder.cc.o.d"
+  "/root/repo/src/core/entropy.cc" "src/CMakeFiles/smeter_core.dir/core/entropy.cc.o" "gcc" "src/CMakeFiles/smeter_core.dir/core/entropy.cc.o.d"
+  "/root/repo/src/core/lookup_table.cc" "src/CMakeFiles/smeter_core.dir/core/lookup_table.cc.o" "gcc" "src/CMakeFiles/smeter_core.dir/core/lookup_table.cc.o.d"
+  "/root/repo/src/core/online_encoder.cc" "src/CMakeFiles/smeter_core.dir/core/online_encoder.cc.o" "gcc" "src/CMakeFiles/smeter_core.dir/core/online_encoder.cc.o.d"
+  "/root/repo/src/core/privacy.cc" "src/CMakeFiles/smeter_core.dir/core/privacy.cc.o" "gcc" "src/CMakeFiles/smeter_core.dir/core/privacy.cc.o.d"
+  "/root/repo/src/core/quantile.cc" "src/CMakeFiles/smeter_core.dir/core/quantile.cc.o" "gcc" "src/CMakeFiles/smeter_core.dir/core/quantile.cc.o.d"
+  "/root/repo/src/core/reconstruction.cc" "src/CMakeFiles/smeter_core.dir/core/reconstruction.cc.o" "gcc" "src/CMakeFiles/smeter_core.dir/core/reconstruction.cc.o.d"
+  "/root/repo/src/core/sax.cc" "src/CMakeFiles/smeter_core.dir/core/sax.cc.o" "gcc" "src/CMakeFiles/smeter_core.dir/core/sax.cc.o.d"
+  "/root/repo/src/core/separators.cc" "src/CMakeFiles/smeter_core.dir/core/separators.cc.o" "gcc" "src/CMakeFiles/smeter_core.dir/core/separators.cc.o.d"
+  "/root/repo/src/core/symbol.cc" "src/CMakeFiles/smeter_core.dir/core/symbol.cc.o" "gcc" "src/CMakeFiles/smeter_core.dir/core/symbol.cc.o.d"
+  "/root/repo/src/core/symbolic_index.cc" "src/CMakeFiles/smeter_core.dir/core/symbolic_index.cc.o" "gcc" "src/CMakeFiles/smeter_core.dir/core/symbolic_index.cc.o.d"
+  "/root/repo/src/core/symbolic_series.cc" "src/CMakeFiles/smeter_core.dir/core/symbolic_series.cc.o" "gcc" "src/CMakeFiles/smeter_core.dir/core/symbolic_series.cc.o.d"
+  "/root/repo/src/core/time_series.cc" "src/CMakeFiles/smeter_core.dir/core/time_series.cc.o" "gcc" "src/CMakeFiles/smeter_core.dir/core/time_series.cc.o.d"
+  "/root/repo/src/core/utility.cc" "src/CMakeFiles/smeter_core.dir/core/utility.cc.o" "gcc" "src/CMakeFiles/smeter_core.dir/core/utility.cc.o.d"
+  "/root/repo/src/core/vertical.cc" "src/CMakeFiles/smeter_core.dir/core/vertical.cc.o" "gcc" "src/CMakeFiles/smeter_core.dir/core/vertical.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/smeter_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/appliance.cc" "src/CMakeFiles/smeter_data.dir/data/appliance.cc.o" "gcc" "src/CMakeFiles/smeter_data.dir/data/appliance.cc.o.d"
+  "/root/repo/src/data/cer.cc" "src/CMakeFiles/smeter_data.dir/data/cer.cc.o" "gcc" "src/CMakeFiles/smeter_data.dir/data/cer.cc.o.d"
+  "/root/repo/src/data/day_splitter.cc" "src/CMakeFiles/smeter_data.dir/data/day_splitter.cc.o" "gcc" "src/CMakeFiles/smeter_data.dir/data/day_splitter.cc.o.d"
+  "/root/repo/src/data/features.cc" "src/CMakeFiles/smeter_data.dir/data/features.cc.o" "gcc" "src/CMakeFiles/smeter_data.dir/data/features.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/CMakeFiles/smeter_data.dir/data/generator.cc.o" "gcc" "src/CMakeFiles/smeter_data.dir/data/generator.cc.o.d"
+  "/root/repo/src/data/household.cc" "src/CMakeFiles/smeter_data.dir/data/household.cc.o" "gcc" "src/CMakeFiles/smeter_data.dir/data/household.cc.o.d"
+  "/root/repo/src/data/redd.cc" "src/CMakeFiles/smeter_data.dir/data/redd.cc.o" "gcc" "src/CMakeFiles/smeter_data.dir/data/redd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/smeter_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smeter_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smeter_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smeter_data.dir/data/appliance.cc.o"
+  "CMakeFiles/smeter_data.dir/data/appliance.cc.o.d"
+  "CMakeFiles/smeter_data.dir/data/cer.cc.o"
+  "CMakeFiles/smeter_data.dir/data/cer.cc.o.d"
+  "CMakeFiles/smeter_data.dir/data/day_splitter.cc.o"
+  "CMakeFiles/smeter_data.dir/data/day_splitter.cc.o.d"
+  "CMakeFiles/smeter_data.dir/data/features.cc.o"
+  "CMakeFiles/smeter_data.dir/data/features.cc.o.d"
+  "CMakeFiles/smeter_data.dir/data/generator.cc.o"
+  "CMakeFiles/smeter_data.dir/data/generator.cc.o.d"
+  "CMakeFiles/smeter_data.dir/data/household.cc.o"
+  "CMakeFiles/smeter_data.dir/data/household.cc.o.d"
+  "CMakeFiles/smeter_data.dir/data/redd.cc.o"
+  "CMakeFiles/smeter_data.dir/data/redd.cc.o.d"
+  "libsmeter_data.a"
+  "libsmeter_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smeter_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

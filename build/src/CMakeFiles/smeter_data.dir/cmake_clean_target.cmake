@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmeter_data.a"
+)

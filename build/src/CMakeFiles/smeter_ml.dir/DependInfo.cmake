@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/arff.cc" "src/CMakeFiles/smeter_ml.dir/ml/arff.cc.o" "gcc" "src/CMakeFiles/smeter_ml.dir/ml/arff.cc.o.d"
+  "/root/repo/src/ml/attribute.cc" "src/CMakeFiles/smeter_ml.dir/ml/attribute.cc.o" "gcc" "src/CMakeFiles/smeter_ml.dir/ml/attribute.cc.o.d"
+  "/root/repo/src/ml/bagging.cc" "src/CMakeFiles/smeter_ml.dir/ml/bagging.cc.o" "gcc" "src/CMakeFiles/smeter_ml.dir/ml/bagging.cc.o.d"
+  "/root/repo/src/ml/baseline.cc" "src/CMakeFiles/smeter_ml.dir/ml/baseline.cc.o" "gcc" "src/CMakeFiles/smeter_ml.dir/ml/baseline.cc.o.d"
+  "/root/repo/src/ml/classifier.cc" "src/CMakeFiles/smeter_ml.dir/ml/classifier.cc.o" "gcc" "src/CMakeFiles/smeter_ml.dir/ml/classifier.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/CMakeFiles/smeter_ml.dir/ml/decision_tree.cc.o" "gcc" "src/CMakeFiles/smeter_ml.dir/ml/decision_tree.cc.o.d"
+  "/root/repo/src/ml/evaluation.cc" "src/CMakeFiles/smeter_ml.dir/ml/evaluation.cc.o" "gcc" "src/CMakeFiles/smeter_ml.dir/ml/evaluation.cc.o.d"
+  "/root/repo/src/ml/instances.cc" "src/CMakeFiles/smeter_ml.dir/ml/instances.cc.o" "gcc" "src/CMakeFiles/smeter_ml.dir/ml/instances.cc.o.d"
+  "/root/repo/src/ml/kernel.cc" "src/CMakeFiles/smeter_ml.dir/ml/kernel.cc.o" "gcc" "src/CMakeFiles/smeter_ml.dir/ml/kernel.cc.o.d"
+  "/root/repo/src/ml/kmodes.cc" "src/CMakeFiles/smeter_ml.dir/ml/kmodes.cc.o" "gcc" "src/CMakeFiles/smeter_ml.dir/ml/kmodes.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/CMakeFiles/smeter_ml.dir/ml/knn.cc.o" "gcc" "src/CMakeFiles/smeter_ml.dir/ml/knn.cc.o.d"
+  "/root/repo/src/ml/logistic.cc" "src/CMakeFiles/smeter_ml.dir/ml/logistic.cc.o" "gcc" "src/CMakeFiles/smeter_ml.dir/ml/logistic.cc.o.d"
+  "/root/repo/src/ml/naive_bayes.cc" "src/CMakeFiles/smeter_ml.dir/ml/naive_bayes.cc.o" "gcc" "src/CMakeFiles/smeter_ml.dir/ml/naive_bayes.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/CMakeFiles/smeter_ml.dir/ml/random_forest.cc.o" "gcc" "src/CMakeFiles/smeter_ml.dir/ml/random_forest.cc.o.d"
+  "/root/repo/src/ml/svr.cc" "src/CMakeFiles/smeter_ml.dir/ml/svr.cc.o" "gcc" "src/CMakeFiles/smeter_ml.dir/ml/svr.cc.o.d"
+  "/root/repo/src/ml/tree_utils.cc" "src/CMakeFiles/smeter_ml.dir/ml/tree_utils.cc.o" "gcc" "src/CMakeFiles/smeter_ml.dir/ml/tree_utils.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/smeter_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

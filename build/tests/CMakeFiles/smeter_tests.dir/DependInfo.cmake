@@ -1,0 +1,78 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/app/forecaster_test.cc" "tests/CMakeFiles/smeter_tests.dir/app/forecaster_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/app/forecaster_test.cc.o.d"
+  "/root/repo/tests/common/csv_test.cc" "tests/CMakeFiles/smeter_tests.dir/common/csv_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/common/csv_test.cc.o.d"
+  "/root/repo/tests/common/normal_test.cc" "tests/CMakeFiles/smeter_tests.dir/common/normal_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/common/normal_test.cc.o.d"
+  "/root/repo/tests/common/random_test.cc" "tests/CMakeFiles/smeter_tests.dir/common/random_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/common/random_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/smeter_tests.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/common/string_util_test.cc" "tests/CMakeFiles/smeter_tests.dir/common/string_util_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/common/string_util_test.cc.o.d"
+  "/root/repo/tests/core/anomaly_test.cc" "tests/CMakeFiles/smeter_tests.dir/core/anomaly_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/core/anomaly_test.cc.o.d"
+  "/root/repo/tests/core/codec_test.cc" "tests/CMakeFiles/smeter_tests.dir/core/codec_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/core/codec_test.cc.o.d"
+  "/root/repo/tests/core/compression_test.cc" "tests/CMakeFiles/smeter_tests.dir/core/compression_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/core/compression_test.cc.o.d"
+  "/root/repo/tests/core/drift_test.cc" "tests/CMakeFiles/smeter_tests.dir/core/drift_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/core/drift_test.cc.o.d"
+  "/root/repo/tests/core/encoder_test.cc" "tests/CMakeFiles/smeter_tests.dir/core/encoder_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/core/encoder_test.cc.o.d"
+  "/root/repo/tests/core/entropy_test.cc" "tests/CMakeFiles/smeter_tests.dir/core/entropy_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/core/entropy_test.cc.o.d"
+  "/root/repo/tests/core/lookup_table_test.cc" "tests/CMakeFiles/smeter_tests.dir/core/lookup_table_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/core/lookup_table_test.cc.o.d"
+  "/root/repo/tests/core/online_encoder_test.cc" "tests/CMakeFiles/smeter_tests.dir/core/online_encoder_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/core/online_encoder_test.cc.o.d"
+  "/root/repo/tests/core/privacy_test.cc" "tests/CMakeFiles/smeter_tests.dir/core/privacy_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/core/privacy_test.cc.o.d"
+  "/root/repo/tests/core/properties_test.cc" "tests/CMakeFiles/smeter_tests.dir/core/properties_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/core/properties_test.cc.o.d"
+  "/root/repo/tests/core/quantile_test.cc" "tests/CMakeFiles/smeter_tests.dir/core/quantile_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/core/quantile_test.cc.o.d"
+  "/root/repo/tests/core/reconstruction_test.cc" "tests/CMakeFiles/smeter_tests.dir/core/reconstruction_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/core/reconstruction_test.cc.o.d"
+  "/root/repo/tests/core/sax_test.cc" "tests/CMakeFiles/smeter_tests.dir/core/sax_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/core/sax_test.cc.o.d"
+  "/root/repo/tests/core/separators_test.cc" "tests/CMakeFiles/smeter_tests.dir/core/separators_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/core/separators_test.cc.o.d"
+  "/root/repo/tests/core/symbol_test.cc" "tests/CMakeFiles/smeter_tests.dir/core/symbol_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/core/symbol_test.cc.o.d"
+  "/root/repo/tests/core/symbolic_index_test.cc" "tests/CMakeFiles/smeter_tests.dir/core/symbolic_index_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/core/symbolic_index_test.cc.o.d"
+  "/root/repo/tests/core/symbolic_series_test.cc" "tests/CMakeFiles/smeter_tests.dir/core/symbolic_series_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/core/symbolic_series_test.cc.o.d"
+  "/root/repo/tests/core/time_series_test.cc" "tests/CMakeFiles/smeter_tests.dir/core/time_series_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/core/time_series_test.cc.o.d"
+  "/root/repo/tests/core/utility_test.cc" "tests/CMakeFiles/smeter_tests.dir/core/utility_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/core/utility_test.cc.o.d"
+  "/root/repo/tests/core/vertical_test.cc" "tests/CMakeFiles/smeter_tests.dir/core/vertical_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/core/vertical_test.cc.o.d"
+  "/root/repo/tests/data/appliance_test.cc" "tests/CMakeFiles/smeter_tests.dir/data/appliance_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/data/appliance_test.cc.o.d"
+  "/root/repo/tests/data/cer_test.cc" "tests/CMakeFiles/smeter_tests.dir/data/cer_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/data/cer_test.cc.o.d"
+  "/root/repo/tests/data/day_splitter_test.cc" "tests/CMakeFiles/smeter_tests.dir/data/day_splitter_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/data/day_splitter_test.cc.o.d"
+  "/root/repo/tests/data/features_test.cc" "tests/CMakeFiles/smeter_tests.dir/data/features_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/data/features_test.cc.o.d"
+  "/root/repo/tests/data/generator_test.cc" "tests/CMakeFiles/smeter_tests.dir/data/generator_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/data/generator_test.cc.o.d"
+  "/root/repo/tests/data/household_test.cc" "tests/CMakeFiles/smeter_tests.dir/data/household_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/data/household_test.cc.o.d"
+  "/root/repo/tests/data/redd_test.cc" "tests/CMakeFiles/smeter_tests.dir/data/redd_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/data/redd_test.cc.o.d"
+  "/root/repo/tests/integration/forecast_test.cc" "tests/CMakeFiles/smeter_tests.dir/integration/forecast_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/integration/forecast_test.cc.o.d"
+  "/root/repo/tests/integration/online_batch_equivalence_test.cc" "tests/CMakeFiles/smeter_tests.dir/integration/online_batch_equivalence_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/integration/online_batch_equivalence_test.cc.o.d"
+  "/root/repo/tests/integration/pipeline_test.cc" "tests/CMakeFiles/smeter_tests.dir/integration/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/integration/pipeline_test.cc.o.d"
+  "/root/repo/tests/integration/robustness_test.cc" "tests/CMakeFiles/smeter_tests.dir/integration/robustness_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/integration/robustness_test.cc.o.d"
+  "/root/repo/tests/ml/arff_test.cc" "tests/CMakeFiles/smeter_tests.dir/ml/arff_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/ml/arff_test.cc.o.d"
+  "/root/repo/tests/ml/attribute_test.cc" "tests/CMakeFiles/smeter_tests.dir/ml/attribute_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/ml/attribute_test.cc.o.d"
+  "/root/repo/tests/ml/bagging_test.cc" "tests/CMakeFiles/smeter_tests.dir/ml/bagging_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/ml/bagging_test.cc.o.d"
+  "/root/repo/tests/ml/baseline_test.cc" "tests/CMakeFiles/smeter_tests.dir/ml/baseline_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/ml/baseline_test.cc.o.d"
+  "/root/repo/tests/ml/classifier_contract_test.cc" "tests/CMakeFiles/smeter_tests.dir/ml/classifier_contract_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/ml/classifier_contract_test.cc.o.d"
+  "/root/repo/tests/ml/decision_tree_test.cc" "tests/CMakeFiles/smeter_tests.dir/ml/decision_tree_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/ml/decision_tree_test.cc.o.d"
+  "/root/repo/tests/ml/evaluation_test.cc" "tests/CMakeFiles/smeter_tests.dir/ml/evaluation_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/ml/evaluation_test.cc.o.d"
+  "/root/repo/tests/ml/instances_test.cc" "tests/CMakeFiles/smeter_tests.dir/ml/instances_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/ml/instances_test.cc.o.d"
+  "/root/repo/tests/ml/kmodes_test.cc" "tests/CMakeFiles/smeter_tests.dir/ml/kmodes_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/ml/kmodes_test.cc.o.d"
+  "/root/repo/tests/ml/knn_test.cc" "tests/CMakeFiles/smeter_tests.dir/ml/knn_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/ml/knn_test.cc.o.d"
+  "/root/repo/tests/ml/logistic_test.cc" "tests/CMakeFiles/smeter_tests.dir/ml/logistic_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/ml/logistic_test.cc.o.d"
+  "/root/repo/tests/ml/naive_bayes_test.cc" "tests/CMakeFiles/smeter_tests.dir/ml/naive_bayes_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/ml/naive_bayes_test.cc.o.d"
+  "/root/repo/tests/ml/random_forest_test.cc" "tests/CMakeFiles/smeter_tests.dir/ml/random_forest_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/ml/random_forest_test.cc.o.d"
+  "/root/repo/tests/ml/svr_test.cc" "tests/CMakeFiles/smeter_tests.dir/ml/svr_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/ml/svr_test.cc.o.d"
+  "/root/repo/tests/ml/tree_utils_test.cc" "tests/CMakeFiles/smeter_tests.dir/ml/tree_utils_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/ml/tree_utils_test.cc.o.d"
+  "/root/repo/tests/testutil.cc" "tests/CMakeFiles/smeter_tests.dir/testutil.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/testutil.cc.o.d"
+  "/root/repo/tests/tools/cli_test.cc" "tests/CMakeFiles/smeter_tests.dir/tools/cli_test.cc.o" "gcc" "tests/CMakeFiles/smeter_tests.dir/tools/cli_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tools/CMakeFiles/smeter_cli_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smeter_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smeter_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smeter_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smeter_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smeter_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

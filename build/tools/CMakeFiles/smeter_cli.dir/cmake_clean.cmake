@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smeter_cli.dir/smeter_cli.cc.o"
+  "CMakeFiles/smeter_cli.dir/smeter_cli.cc.o.d"
+  "smeter"
+  "smeter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smeter_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libsmeter_cli_lib.a"
+  "../lib/libsmeter_cli_lib.pdb"
+  "CMakeFiles/smeter_cli_lib.dir/cli.cc.o"
+  "CMakeFiles/smeter_cli_lib.dir/cli.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smeter_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libsmeter_cli_lib.a"
+)
