@@ -1,0 +1,15 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace smeter::internal {
+
+void CheckFailed(const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "[smeter fatal] %s:%d: %s\n", file, line,
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace smeter::internal

@@ -1,0 +1,160 @@
+// Contract-checking macros for the smeter library.
+//
+// Two tiers, mirroring the usual CHECK/DCHECK split:
+//
+//   SMETER_CHECK(cond)        — always-on invariant; aborts with a message
+//                               naming the file, line, and condition.
+//   SMETER_DCHECK(cond)       — debug/sanitizer-build invariant; compiles to
+//                               nothing in NDEBUG builds unless
+//                               SMETER_FORCE_DCHECKS is defined (the
+//                               sanitizer presets define it so fuzzing and
+//                               ASan/UBSan runs keep the cheap contracts).
+//   SMETER_CHECK_OK(expr)     — expr must yield an OK smeter::Status;
+//                               aborts with the status message otherwise.
+//
+// Comparison forms (SMETER_CHECK_EQ/NE/LT/LE/GT/GE and DCHECK variants)
+// exist so failure messages include both operand values.
+//
+// These macros are for *programming errors* — broken invariants that no
+// caller input should be able to trigger. Anything reachable from untrusted
+// input (file contents, wire blobs, user parameters) must return a Status
+// instead; the fuzz harnesses treat an abort as a crash, which keeps the
+// distinction honest.
+//
+// `CheckedIndex` / `CheckedFinite` are checked-accessor helpers for hot
+// paths that historically indexed or clamped silently.
+
+#ifndef SMETER_COMMON_CHECK_H_
+#define SMETER_COMMON_CHECK_H_
+
+#include <cmath>
+#include <cstddef>
+#include <sstream>
+#include <string>
+
+#include "common/status.h"
+
+namespace smeter {
+namespace internal {
+
+// Prints `message` to stderr and aborts. Marked noreturn so control-flow
+// analysis (and the optimizer) knows a failed check does not fall through.
+[[noreturn]] void CheckFailed(const char* file, int line,
+                              const std::string& message);
+
+// Stringifies a pair of operands for comparison-check failures.
+template <typename A, typename B>
+std::string FormatOperands(const char* a_text, const A& a, const char* op,
+                           const char* b_text, const B& b) {
+  std::ostringstream out;
+  out << a_text << " " << op << " " << b_text << " (" << a << " vs " << b
+      << ")";
+  return out.str();
+}
+
+}  // namespace internal
+
+// True when SMETER_DCHECK is active in this translation unit.
+#if !defined(NDEBUG) || defined(SMETER_FORCE_DCHECKS)
+inline constexpr bool kDchecksEnabled = true;
+#else
+inline constexpr bool kDchecksEnabled = false;
+#endif
+
+// Bounds-checked indexing: aborts (always, even in release builds) instead
+// of reading out of bounds. Use in code where an out-of-range index means a
+// broken internal invariant, not bad input.
+template <typename Container>
+decltype(auto) CheckedIndex(Container& c, size_t i, const char* file,
+                            int line) {
+  if (i >= c.size()) {
+    internal::CheckFailed(
+        file, line,
+        "index " + std::to_string(i) + " out of range for size " +
+            std::to_string(c.size()));
+  }
+  return c[i];
+}
+
+// NaN/Inf guard for values that must be finite by construction.
+inline double CheckedFinite(double v, const char* what, const char* file,
+                            int line) {
+  if (!std::isfinite(v)) {
+    internal::CheckFailed(file, line,
+                          std::string(what) + " must be finite, got " +
+                              std::to_string(v));
+  }
+  return v;
+}
+
+}  // namespace smeter
+
+#define SMETER_CHECK(cond)                                            \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::smeter::internal::CheckFailed(__FILE__, __LINE__,             \
+                                      "check failed: " #cond);        \
+    }                                                                 \
+  } while (false)
+
+#define SMETER_CHECK_OK(expr)                                         \
+  do {                                                                \
+    ::smeter::Status _smeter_check_st = (expr);                       \
+    if (!_smeter_check_st.ok()) {                                     \
+      ::smeter::internal::CheckFailed(                                \
+          __FILE__, __LINE__,                                         \
+          "check failed: (" #expr ") is " +                           \
+              _smeter_check_st.ToString());                           \
+    }                                                                 \
+  } while (false)
+
+#define SMETER_CHECK_OP(a, op, b)                                     \
+  do {                                                                \
+    if (!((a)op(b))) {                                                \
+      ::smeter::internal::CheckFailed(                                \
+          __FILE__, __LINE__,                                         \
+          "check failed: " +                                          \
+              ::smeter::internal::FormatOperands(#a, (a), #op, #b,    \
+                                                 (b)));               \
+    }                                                                 \
+  } while (false)
+
+#define SMETER_CHECK_EQ(a, b) SMETER_CHECK_OP(a, ==, b)
+#define SMETER_CHECK_NE(a, b) SMETER_CHECK_OP(a, !=, b)
+#define SMETER_CHECK_LT(a, b) SMETER_CHECK_OP(a, <, b)
+#define SMETER_CHECK_LE(a, b) SMETER_CHECK_OP(a, <=, b)
+#define SMETER_CHECK_GT(a, b) SMETER_CHECK_OP(a, >, b)
+#define SMETER_CHECK_GE(a, b) SMETER_CHECK_OP(a, >=, b)
+
+#if !defined(NDEBUG) || defined(SMETER_FORCE_DCHECKS)
+#define SMETER_DCHECK(cond) SMETER_CHECK(cond)
+#define SMETER_DCHECK_EQ(a, b) SMETER_CHECK_EQ(a, b)
+#define SMETER_DCHECK_NE(a, b) SMETER_CHECK_NE(a, b)
+#define SMETER_DCHECK_LT(a, b) SMETER_CHECK_LT(a, b)
+#define SMETER_DCHECK_LE(a, b) SMETER_CHECK_LE(a, b)
+#define SMETER_DCHECK_GT(a, b) SMETER_CHECK_GT(a, b)
+#define SMETER_DCHECK_GE(a, b) SMETER_CHECK_GE(a, b)
+#else
+// Unevaluated in NDEBUG builds, but still "uses" the operands so variables
+// referenced only from DCHECKs do not trip -Wunused.
+#define SMETER_DCHECK(cond)          \
+  do {                               \
+    (void)sizeof(static_cast<bool>(cond)); \
+  } while (false)
+#define SMETER_DCHECK_EQ(a, b) SMETER_DCHECK((a) == (b))
+#define SMETER_DCHECK_NE(a, b) SMETER_DCHECK((a) != (b))
+#define SMETER_DCHECK_LT(a, b) SMETER_DCHECK((a) < (b))
+#define SMETER_DCHECK_LE(a, b) SMETER_DCHECK((a) <= (b))
+#define SMETER_DCHECK_GT(a, b) SMETER_DCHECK((a) > (b))
+#define SMETER_DCHECK_GE(a, b) SMETER_DCHECK((a) >= (b))
+#endif
+
+// Bounds-checked element access with source location attached.
+#define SMETER_CHECKED_AT(container, index) \
+  ::smeter::CheckedIndex((container), (index), __FILE__, __LINE__)
+
+// Finite-value guard with source location attached.
+#define SMETER_CHECKED_FINITE(value) \
+  ::smeter::CheckedFinite((value), #value, __FILE__, __LINE__)
+
+#endif  // SMETER_COMMON_CHECK_H_

@@ -10,8 +10,10 @@ namespace smeter {
 Result<CsvTable> ParseCsv(const std::string& content,
                           const CsvOptions& options) {
   CsvTable table;
+  // '\n' is a line *terminator*: "a\n" is one line, and a final unterminated
+  // segment ("...\nabc") still counts. The empty string has no lines.
   size_t line_start = 0;
-  while (line_start <= content.size()) {
+  while (line_start < content.size()) {
     size_t line_end = content.find('\n', line_start);
     if (line_end == std::string::npos) line_end = content.size();
     std::string_view line(content.data() + line_start, line_end - line_start);
@@ -19,16 +21,12 @@ Result<CsvTable> ParseCsv(const std::string& content,
     line_start = line_end + 1;
 
     std::string_view trimmed = Trim(line);
-    if (options.skip_blank_lines && trimmed.empty()) {
-      if (line_end == content.size()) break;
-      continue;
-    }
+    if (options.skip_blank_lines && trimmed.empty()) continue;
     if (options.comment_char != '\0' && !trimmed.empty() &&
         trimmed.front() == options.comment_char) {
       continue;
     }
     table.rows.push_back(Split(line, options.delimiter));
-    if (line_end == content.size()) break;
   }
   return table;
 }

@@ -1,6 +1,20 @@
 #include "common/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace smeter {
+
+namespace internal {
+
+void ResultAccessFailed(const char* message, const Status& status) {
+  std::fprintf(stderr, "[smeter fatal] %s (status: %s)\n", message,
+               status.ToString().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
 
 std::string StatusCodeToString(StatusCode code) {
   switch (code) {

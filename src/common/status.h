@@ -10,7 +10,6 @@
 #ifndef SMETER_COMMON_STATUS_H_
 #define SMETER_COMMON_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <utility>
@@ -32,7 +31,11 @@ enum class StatusCode {
 std::string StatusCodeToString(StatusCode code);
 
 // A lightweight success-or-error value. Default-constructed Status is OK.
-class Status {
+//
+// [[nodiscard]]: ignoring a returned Status silently swallows the error, so
+// every call site must consume it (check it, propagate it, or SMETER_CHECK_OK
+// it).
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -64,33 +67,45 @@ Status FailedPreconditionError(std::string message);
 Status InternalError(std::string message);
 Status UnimplementedError(std::string message);
 
+namespace internal {
+// Prints `message` (with the offending status, if any) and aborts. Lives in
+// status.cc so the template below stays light; intentionally not the
+// check.h machinery, which layers on top of this header.
+[[noreturn]] void ResultAccessFailed(const char* message,
+                                     const Status& status);
+}  // namespace internal
+
 // Holds either a value of type T or a non-OK Status.
 //
 // Accessing value() on an error Result is a programming error and aborts in
-// debug builds.
+// every build mode — an unconditional branch here is cheaper than the
+// use-after-invalid it would otherwise become.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so functions can `return value;` or
   // `return SomeError(...);` directly, as with absl::StatusOr.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
   Result(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      internal::ResultAccessFailed(
+          "Result constructed from OK status without a value", status_);
+    }
   }
 
   bool ok() const { return value_.has_value(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    if (!ok()) internal::ResultAccessFailed("value() on error Result", status_);
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    if (!ok()) internal::ResultAccessFailed("value() on error Result", status_);
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    if (!ok()) internal::ResultAccessFailed("value() on error Result", status_);
     return *std::move(value_);
   }
 

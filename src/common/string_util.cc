@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 namespace smeter {
@@ -42,7 +43,11 @@ Result<double> ParseDouble(std::string_view text) {
   if (end != buf.c_str() + buf.size()) {
     return InvalidArgumentError("not a number: '" + buf + "'");
   }
-  if (errno == ERANGE) {
+  // strtod sets ERANGE for underflow too, but then returns the correctly
+  // rounded subnormal (or zero) — a representable value, not an error.
+  // Only magnitude overflow (±HUGE_VAL) is unrepresentable. Found by the
+  // fuzz harness: Serialize can legitimately emit subnormal separators.
+  if (errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL)) {
     return OutOfRangeError("numeric overflow: '" + buf + "'");
   }
   return value;

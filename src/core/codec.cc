@@ -45,12 +45,18 @@ Result<std::string> PackSymbolicSeries(const SymbolicSeries& series) {
   }
   int64_t step = 0;
   if (series.size() > 1) {
-    step = series[1].timestamp - series[0].timestamp;
+    if (__builtin_sub_overflow(series[1].timestamp, series[0].timestamp,
+                               &step)) {
+      return InvalidArgumentError("timestamp span overflows int64");
+    }
     if (step <= 0) {
       return InvalidArgumentError("non-increasing timestamps");
     }
     for (size_t i = 2; i < series.size(); ++i) {
-      if (series[i].timestamp - series[i - 1].timestamp != step) {
+      int64_t delta = 0;
+      if (__builtin_sub_overflow(series[i].timestamp, series[i - 1].timestamp,
+                                 &delta) ||
+          delta != step) {
         return InvalidArgumentError(
             "irregular cadence at index " + std::to_string(i) +
             "; pack gapless segments separately");
@@ -108,6 +114,16 @@ Result<SymbolicSeries> UnpackSymbolicSeries(const std::string& blob) {
   if (count == 0) return InvalidArgumentError("empty payload");
   if (count > 1 && step <= 0) {
     return InvalidArgumentError("non-positive step");
+  }
+  // An adversarial (start, step, count) triple can push the last timestamp
+  // past int64 — reject the blob instead of overflowing (UB) below.
+  if (count > 1) {
+    int64_t span = 0;
+    int64_t last = 0;
+    if (__builtin_mul_overflow(step, static_cast<int64_t>(count - 1), &span) ||
+        __builtin_add_overflow(start, span, &last)) {
+      return InvalidArgumentError("timestamp range overflows int64");
+    }
   }
   size_t expected = PackedSizeBytes(count, level);
   if (blob.size() != expected) {

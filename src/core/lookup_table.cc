@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
+#include "common/check.h"
 #include "common/string_util.h"
 
 namespace smeter {
@@ -42,6 +44,13 @@ Result<LookupTable> LookupTable::FromSeparators(std::vector<double> separators,
                                                 double domain_min,
                                                 double domain_max) {
   const size_t k = separators.size() + 1;
+  if (k == 1) {
+    // A one-symbol alphabet has level 0, which the Symbol type (and the
+    // wire format's level byte) cannot represent; it also carries zero
+    // information, so reject it instead of producing a degenerate table.
+    return InvalidArgumentError(
+        "alphabet needs at least one separator (k = 1 is degenerate)");
+  }
   if (!IsPowerOfTwo(k)) {
     return InvalidArgumentError(
         "alphabet size (separators + 1) must be a power of two, got " +
@@ -50,11 +59,24 @@ Result<LookupTable> LookupTable::FromSeparators(std::vector<double> separators,
   if (k > (size_t{1} << kMaxSymbolLevel)) {
     return InvalidArgumentError("alphabet too large");
   }
+  for (double s : separators) {
+    if (!std::isfinite(s)) {
+      return InvalidArgumentError("separators must be finite");
+    }
+  }
   if (!std::is_sorted(separators.begin(), separators.end())) {
     return InvalidArgumentError("separators must be non-decreasing");
   }
+  if (!std::isfinite(domain_min) || !std::isfinite(domain_max)) {
+    return InvalidArgumentError("domain bounds must be finite");
+  }
   if (domain_min > domain_max) {
     return InvalidArgumentError("domain_min > domain_max");
+  }
+  if (separators.front() < domain_min || separators.back() > domain_max) {
+    // Separators partition [domain_min, domain_max]; one outside the domain
+    // would invert a symbol's [RangeLow, RangeHigh] interval.
+    return InvalidArgumentError("separators outside domain bounds");
   }
   LookupTable table;
   table.method_ = SeparatorMethod::kCustom;
@@ -71,28 +93,36 @@ Status LookupTable::AttachTrainingData(const std::vector<double>& training) {
   if (training.empty()) {
     return FailedPreconditionError("no training data");
   }
+  for (double v : training) {
+    if (!std::isfinite(v)) {
+      return InvalidArgumentError("training data contains non-finite values");
+    }
+  }
   ComputeBucketStats(training);
   return Status::Ok();
 }
 
 void LookupTable::ComputeBucketStats(const std::vector<double>& training) {
   const size_t k = alphabet_size();
-  std::vector<double> sums(k, 0.0);
   bucket_counts_.assign(k, 0);
+  bucket_means_.assign(k, 0.0);
   for (double v : training) {
     uint32_t idx = Encode(v).index();
-    sums[idx] += v;
-    ++bucket_counts_[idx];
-  }
-  bucket_means_.assign(k, 0.0);
-  for (size_t i = 0; i < k; ++i) {
-    if (bucket_counts_[i] > 0) {
-      bucket_means_[i] = sums[i] / static_cast<double>(bucket_counts_[i]);
-    }
+    const double n = static_cast<double>(++bucket_counts_[idx]);
+    // Running convex combination instead of sum/count: the mean stays inside
+    // the hull of the data, so finite values near DBL_MAX cannot overflow the
+    // accumulator and poison Serialize with an inf. The clamp covers the
+    // last-ulp rounding case when both operands sit at ±DBL_MAX.
+    constexpr double kMax = std::numeric_limits<double>::max();
+    bucket_means_[idx] = std::clamp(
+        bucket_means_[idx] * ((n - 1.0) / n) + v / n, -kMax, kMax);
   }
 }
 
 Symbol LookupTable::Encode(double value) const {
+  // Contract: a NaN reading has no defined bucket; callers on untrusted
+  // paths must use EncodeChecked instead.
+  SMETER_DCHECK(!std::isnan(value));
   // Definition 3 rule (iii): symbol j iff beta_{j-1} < v <= beta_j, with
   // rules (i)/(ii) clamping the extremes. lower_bound gives the first
   // separator >= value, which is exactly that j.
@@ -101,6 +131,13 @@ Symbol LookupTable::Encode(double value) const {
   Result<Symbol> symbol = Symbol::Create(level_, index);
   // index <= separators_.size() == 2^level - 1, always valid.
   return symbol.value();
+}
+
+Result<Symbol> LookupTable::EncodeChecked(double value) const {
+  if (std::isnan(value)) {
+    return InvalidArgumentError("cannot encode a NaN reading");
+  }
+  return Encode(value);
 }
 
 Result<Symbol> LookupTable::EncodeAtLevel(double value, int level) const {
@@ -121,7 +158,7 @@ Result<double> LookupTable::RangeLow(const Symbol& symbol) const {
   // the separator just before its first finest bucket.
   int d = level_ - symbol.level();
   size_t first = static_cast<size_t>(symbol.index()) << d;
-  return separators_[first - 1];
+  return SMETER_CHECKED_AT(separators_, first - 1);
 }
 
 Result<double> LookupTable::RangeHigh(const Symbol& symbol) const {
@@ -131,7 +168,7 @@ Result<double> LookupTable::RangeHigh(const Symbol& symbol) const {
   if (symbol.index() + 1 == (1u << symbol.level())) return domain_max_;
   int d = level_ - symbol.level();
   size_t last = (static_cast<size_t>(symbol.index() + 1) << d) - 1;
-  return separators_[last];
+  return SMETER_CHECKED_AT(separators_, last);
 }
 
 Result<double> LookupTable::Reconstruct(const Symbol& symbol,
@@ -140,21 +177,31 @@ Result<double> LookupTable::Reconstruct(const Symbol& symbol,
   if (!lo.ok()) return lo.status();
   Result<double> hi = RangeHigh(symbol);
   if (!hi.ok()) return hi.status();
+  // The representative value must land inside [lo, hi]; accumulation
+  // rounding can overshoot by an ulp (found by the fuzz harness), and
+  // lo + hi can overflow for domains near DBL_MAX, so every return is the
+  // overflow-safe midpoint or mean clamped into the range.
+  const double center =
+      std::clamp(0.5 * lo.value() + 0.5 * hi.value(), lo.value(), hi.value());
   if (mode == ReconstructionMode::kRangeCenter) {
-    return 0.5 * (lo.value() + hi.value());
+    return center;
   }
-  // Weighted mean of the finest buckets under this symbol.
+  // Weighted mean of the finest buckets under this symbol, accumulated as a
+  // running convex combination so it stays finite.
   int d = level_ - symbol.level();
   size_t first = static_cast<size_t>(symbol.index()) << d;
   size_t count = size_t{1} << d;
-  double sum = 0.0;
+  double mean = 0.0;
   size_t n = 0;
   for (size_t i = first; i < first + count; ++i) {
-    sum += bucket_means_[i] * static_cast<double>(bucket_counts_[i]);
-    n += bucket_counts_[i];
+    const size_t c = bucket_counts_[i];
+    if (c == 0) continue;
+    n += c;
+    const double w = static_cast<double>(c) / static_cast<double>(n);
+    mean = mean * (1.0 - w) + bucket_means_[i] * w;
   }
-  if (n == 0) return 0.5 * (lo.value() + hi.value());
-  return sum / static_cast<double>(n);
+  if (n == 0) return center;
+  return std::clamp(mean, lo.value(), hi.value());
 }
 
 Result<std::vector<double>> LookupTable::SeparatorsAtLevel(int l) const {
@@ -231,6 +278,9 @@ Result<LookupTable> LookupTable::Deserialize(const std::string& text) {
   Result<double> dmax = ParseDouble(domain_f[2]);
   if (!dmin.ok()) return dmin.status();
   if (!dmax.ok()) return dmax.status();
+  if (!std::isfinite(*dmin) || !std::isfinite(*dmax) || *dmin > *dmax) {
+    return InvalidArgumentError("bad domain bounds");
+  }
   table.domain_min_ = *dmin;
   table.domain_max_ = *dmax;
 
@@ -255,11 +305,25 @@ Result<LookupTable> LookupTable::Deserialize(const std::string& text) {
 
   SMETER_RETURN_IF_ERROR(
       parse_doubles(lines[4], "separators", k - 1, table.separators_));
+  for (double s : table.separators_) {
+    if (!std::isfinite(s)) {
+      return InvalidArgumentError("non-finite separator");
+    }
+  }
   if (!std::is_sorted(table.separators_.begin(), table.separators_.end())) {
     return InvalidArgumentError("separators not sorted");
   }
+  if (table.separators_.front() < table.domain_min_ ||
+      table.separators_.back() > table.domain_max_) {
+    return InvalidArgumentError("separators outside domain bounds");
+  }
   SMETER_RETURN_IF_ERROR(
       parse_doubles(lines[5], "means", k, table.bucket_means_));
+  for (double m : table.bucket_means_) {
+    if (!std::isfinite(m)) {
+      return InvalidArgumentError("non-finite bucket mean");
+    }
+  }
 
   std::vector<std::string> count_f = fields(lines[6]);
   if (count_f.size() != k + 1 || count_f[0] != "counts") {

@@ -64,7 +64,13 @@ class LookupTable {
 
   // Definition 3: maps a value to its finest-level symbol. Values outside
   // [domain_min, domain_max] clamp to the first/last symbol (rules i, ii).
+  // The value must not be NaN (contract-checked in debug/sanitizer builds);
+  // use EncodeChecked on paths fed by untrusted readings.
   Symbol Encode(double value) const;
+
+  // Encode with the NaN contract surfaced as a Status instead of a crash.
+  // (+Inf/-Inf clamp to the last/first symbol like any out-of-domain value.)
+  Result<Symbol> EncodeChecked(double value) const;
 
   // Maps a value to its symbol at a coarser `level` in [1, level()].
   // Identical to Encode(value).Coarsen(level) — the nesting property.
@@ -86,6 +92,12 @@ class LookupTable {
 
   // Number of training values that fell into each finest-level range.
   const std::vector<size_t>& bucket_counts() const { return bucket_counts_; }
+
+  // Mean training value per finest-level range (0 where the count is 0).
+  // Always finite — the running-mean accumulation stays inside the hull of
+  // the training data, so Serialize round-trips even for values near
+  // DBL_MAX.
+  const std::vector<double>& bucket_means() const { return bucket_means_; }
 
   // Recomputes the per-bucket reconstruction statistics from `training`
   // (Build does this automatically; FromSeparators leaves them empty).

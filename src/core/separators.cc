@@ -1,6 +1,7 @@
 #include "core/separators.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/quantile.h"
 #include "core/symbol.h"
@@ -31,11 +32,28 @@ Result<std::vector<double>> LearnSeparators(const std::vector<double>& training,
   if (training.empty()) {
     return FailedPreconditionError("separator learning needs training data");
   }
+  for (size_t i = 0; i < training.size(); ++i) {
+    if (!std::isfinite(training[i])) {
+      return InvalidArgumentError("training value at index " +
+                                  std::to_string(i) +
+                                  " is not finite: " +
+                                  std::to_string(training[i]));
+    }
+  }
   const size_t k = size_t{1} << level;
 
   switch (method) {
     case SeparatorMethod::kUniform: {
       // beta_i = i * max / k  (Section 2.2a: uniform division of [0, max]).
+      // The method's domain is [0, max]; a negative reading would make the
+      // separator sequence decrease, which breaks every consumer of the
+      // table, so reject it here rather than UB later.
+      double min = *std::min_element(training.begin(), training.end());
+      if (min < 0.0) {
+        return InvalidArgumentError(
+            "uniform separators need non-negative readings, got " +
+            std::to_string(min));
+      }
       double max = *std::max_element(training.begin(), training.end());
       std::vector<double> seps;
       seps.reserve(k - 1);

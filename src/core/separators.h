@@ -35,8 +35,11 @@ enum class SeparatorMethod {
 std::string SeparatorMethodName(SeparatorMethod method);
 
 // Learns the `k - 1` separators for an alphabet of size `k = 2^level` from
-// `training` values. Errors on empty training data or level out of
-// [1, kMaxSymbolLevel].
+// `training` values. Errors on empty training data, level out of
+// [1, kMaxSymbolLevel], non-finite (NaN/Inf) readings, and — for the
+// uniform method, whose domain is [0, max] by construction — negative
+// readings. Constant histories are fine: every separator collapses to the
+// same value and all readings encode to the first/last symbol.
 Result<std::vector<double>> LearnSeparators(const std::vector<double>& training,
                                             SeparatorMethod method, int level);
 

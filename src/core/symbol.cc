@@ -1,6 +1,8 @@
 #include "core/symbol.h"
 
-#include <cassert>
+#include <algorithm>
+
+#include "common/check.h"
 
 namespace smeter {
 
@@ -69,8 +71,8 @@ int Symbol::Compare(const Symbol& other) const {
 }
 
 bool operator<(const Symbol& a, const Symbol& b) {
-  assert(a.level_ == b.level_ &&
-         "operator< requires same-level symbols; use Compare()");
+  // operator< requires same-level symbols; use Compare() across levels.
+  SMETER_DCHECK_EQ(a.level_, b.level_);
   return a.index_ < b.index_;
 }
 

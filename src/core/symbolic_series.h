@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "core/symbol.h"
 #include "core/time_series.h"
@@ -40,7 +41,10 @@ class SymbolicSeries {
   int level() const { return level_; }
   bool empty() const { return samples_.empty(); }
   size_t size() const { return samples_.size(); }
-  const SymbolicSample& operator[](size_t i) const { return samples_[i]; }
+  const SymbolicSample& operator[](size_t i) const {
+    SMETER_DCHECK_LT(i, samples_.size());
+    return samples_[i];
+  }
   const std::vector<SymbolicSample>& samples() const { return samples_; }
 
   std::vector<SymbolicSample>::const_iterator begin() const {

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 
 namespace smeter {
@@ -63,14 +64,24 @@ class TimeSeries {
 
   bool empty() const { return samples_.empty(); }
   size_t size() const { return samples_.size(); }
-  const Sample& operator[](size_t i) const { return samples_[i]; }
+  const Sample& operator[](size_t i) const {
+    SMETER_DCHECK_LT(i, samples_.size());
+    return samples_[i];
+  }
   const std::vector<Sample>& samples() const { return samples_; }
 
   std::vector<Sample>::const_iterator begin() const { return samples_.begin(); }
   std::vector<Sample>::const_iterator end() const { return samples_.end(); }
 
-  const Sample& front() const { return samples_.front(); }
-  const Sample& back() const { return samples_.back(); }
+  // Contract: the series must be non-empty.
+  const Sample& front() const {
+    SMETER_DCHECK(!samples_.empty());
+    return samples_.front();
+  }
+  const Sample& back() const {
+    SMETER_DCHECK(!samples_.empty());
+    return samples_.back();
+  }
 
   // Copies out the value column.
   std::vector<double> Values() const;

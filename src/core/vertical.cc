@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/check.h"
+
 namespace smeter {
 namespace {
 
@@ -28,6 +30,9 @@ class Accumulator {
   size_t count() const { return count_; }
 
   double Value() const {
+    // Contract: an empty window has no aggregate (mean would be 0/0, min
+    // and max would be infinities that Append then rejects confusingly).
+    SMETER_DCHECK_GT(count_, 0u);
     switch (mode_) {
       case Aggregation::kMean:
         return sum_ / static_cast<double>(count_);

@@ -8,31 +8,59 @@
 namespace smeter::ml {
 namespace {
 
-// Quotes a token if it contains ARFF-significant characters.
+// Quotes a token if written bare it would change meaning on re-read:
+// delimiters and braces, quote characters, the escape character, `%`
+// (comment when it starts a line), `?` (the missing-value marker), and
+// whitespace (attribute-name/type delimiter). The writer and the reader
+// below agree on backslash escapes for `'` and `\` inside quoted tokens —
+// the round-trip closure the fuzz harness checks.
 std::string QuoteIfNeeded(const std::string& token) {
-  bool needs = token.empty();
+  bool needs = token.empty() || token == "?";
   for (char c : token) {
-    if (c == ' ' || c == ',' || c == '{' || c == '}' || c == '\'') needs = true;
+    if (c == ' ' || c == '\t' || c == ',' || c == '{' || c == '}' ||
+        c == '\'' || c == '"' || c == '\\' || c == '%') {
+      needs = true;
+    }
   }
   if (!needs) return token;
   std::string out = "'";
   for (char c : token) {
-    if (c == '\'') out += "\\'";
-    else out += c;
+    if (c == '\'' || c == '\\') out += '\\';
+    out += c;
   }
   out += "'";
   return out;
 }
 
-// Splits on `delim`, but not inside single- or double-quoted segments.
+// Index of the quote closing the one at `start`, honoring backslash
+// escapes; npos when unterminated.
+size_t FindClosingQuote(std::string_view text, size_t start) {
+  const char q = text[start];
+  for (size_t i = start + 1; i < text.size(); ++i) {
+    if (text[i] == '\\') {
+      ++i;  // skip the escaped character
+    } else if (text[i] == q) {
+      return i;
+    }
+  }
+  return std::string_view::npos;
+}
+
+// Splits on `delim`, but not inside single- or double-quoted segments
+// (backslash escapes a character inside a quoted segment).
 std::vector<std::string> SplitQuoted(std::string_view text, char delim) {
   std::vector<std::string> out;
   std::string current;
   char quote = '\0';
-  for (char c : text) {
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
     if (quote != '\0') {
       current += c;
-      if (c == quote) quote = '\0';
+      if (c == '\\' && i + 1 < text.size()) {
+        current += text[++i];
+      } else if (c == quote) {
+        quote = '\0';
+      }
       continue;
     }
     if (c == '\'' || c == '"') {
@@ -51,13 +79,17 @@ std::vector<std::string> SplitQuoted(std::string_view text, char delim) {
   return out;
 }
 
-// Strips surrounding quotes and unescapes.
+// Strips surrounding quotes and resolves backslash escapes.
 std::string Unquote(std::string_view token) {
   if (token.size() >= 2 && (token.front() == '\'' || token.front() == '"') &&
       token.back() == token.front()) {
     std::string out;
     for (size_t i = 1; i + 1 < token.size(); ++i) {
-      if (token[i] == '\\' && i + 2 < token.size()) continue;
+      if (token[i] == '\\' && i + 2 < token.size()) {
+        out += token[i + 1];
+        ++i;
+        continue;
+      }
       out += token[i];
     }
     return out;
@@ -131,8 +163,7 @@ Result<Dataset> FromArff(const std::string& text, int class_index) {
         std::string name;
         size_t pos = 0;
         if (!rest.empty() && (rest[0] == '\'' || rest[0] == '"')) {
-          char q = rest[0];
-          size_t close = rest.find(q, 1);
+          size_t close = FindClosingQuote(rest, 0);
           if (close == std::string_view::npos) {
             return InvalidArgumentError("unterminated attribute name quote");
           }
@@ -183,8 +214,10 @@ Result<Dataset> FromArff(const std::string& text, int class_index) {
     }
     std::vector<double> row(fields.size(), kMissing);
     for (size_t a = 0; a < fields.size(); ++a) {
-      std::string field = Unquote(Trim(fields[a]));
-      if (field == "?") continue;
+      std::string_view raw = Trim(fields[a]);
+      // Only a bare `?` is the missing marker; a quoted `'?'` is a value.
+      if (raw == "?") continue;
+      std::string field = Unquote(raw);
       if (attributes[a].is_numeric()) {
         Result<double> v = ParseDouble(field);
         if (!v.ok()) return v.status();

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "ml/attribute.h"
 
@@ -39,7 +40,10 @@ class Dataset {
   size_t num_instances() const { return rows_.size(); }
   bool empty() const { return rows_.empty(); }
 
-  const Attribute& attribute(size_t i) const { return attributes_[i]; }
+  const Attribute& attribute(size_t i) const {
+    SMETER_DCHECK_LT(i, attributes_.size());
+    return attributes_[i];
+  }
   const std::vector<Attribute>& attributes() const { return attributes_; }
   size_t class_index() const { return class_index_; }
   const Attribute& class_attribute() const {
@@ -48,8 +52,15 @@ class Dataset {
   // Number of classes (nominal class) — 0 for a numeric class attribute.
   size_t num_classes() const { return class_attribute().num_values(); }
 
-  const std::vector<double>& row(size_t r) const { return rows_[r]; }
-  double value(size_t r, size_t c) const { return rows_[r][c]; }
+  const std::vector<double>& row(size_t r) const {
+    SMETER_DCHECK_LT(r, rows_.size());
+    return rows_[r];
+  }
+  double value(size_t r, size_t c) const {
+    SMETER_DCHECK_LT(r, rows_.size());
+    SMETER_DCHECK_LT(c, rows_[r].size());
+    return rows_[r][c];
+  }
 
   // Class index of row `r`; errors if the class cell is missing.
   Result<size_t> ClassOf(size_t r) const;

@@ -4,10 +4,14 @@
 #include <limits>
 #include <map>
 
+#include "common/check.h"
+
 namespace smeter::ml {
 
 double KModes::Distance(const std::vector<double>& row,
                         const std::vector<double>& mode) const {
+  SMETER_DCHECK_EQ(mode.size(), attribute_indices_.size());
+  SMETER_DCHECK_EQ(row.size(), schema_width_);
   double d = 0.0;
   for (size_t j = 0; j < attribute_indices_.size(); ++j) {
     double v = row[attribute_indices_[j]];

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
+
 namespace smeter::ml {
 namespace {
 
@@ -10,6 +12,7 @@ constexpr double kLogFloor = -700.0;  // exp() underflow guard
 
 // Normalizes log scores into a probability distribution.
 std::vector<double> SoftmaxFromLogs(const std::vector<double>& logs) {
+  SMETER_DCHECK(!logs.empty());
   double max_log = *std::max_element(logs.begin(), logs.end());
   std::vector<double> p(logs.size());
   double sum = 0.0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "common/normal.h"
 
 namespace smeter::ml {
@@ -33,6 +34,8 @@ std::optional<SplitCandidate> EvaluateNominalSplit(
     double v = data.value(r, attr);
     if (IsMissing(v)) continue;
     size_t cls = data.ClassOf(r).value();
+    // Dataset::Add guarantees nominal cells index into the value list.
+    SMETER_DCHECK_LT(static_cast<size_t>(v), n_branches);
     branch_counts[static_cast<size_t>(v)][cls] += 1.0;
     known_counts[cls] += 1.0;
     known += 1.0;

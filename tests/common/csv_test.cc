@@ -43,6 +43,22 @@ TEST(CsvTest, EmptyContent) {
   EXPECT_EQ(t.num_rows(), 0u);
 }
 
+// Found by the fuzz harness: '\n' must terminate lines, not separate them,
+// or a write→read round-trip grows a phantom empty row when blank-line
+// skipping is disabled.
+TEST(CsvTest, TrailingNewlineDoesNotAddARow) {
+  CsvOptions options;
+  options.skip_blank_lines = false;
+  ASSERT_OK_AND_ASSIGN(CsvTable unterminated, ParseCsv("a,b", options));
+  ASSERT_OK_AND_ASSIGN(CsvTable terminated, ParseCsv("a,b\n", options));
+  EXPECT_EQ(unterminated.num_rows(), 1u);
+  EXPECT_EQ(terminated.num_rows(), 1u);
+  EXPECT_EQ(unterminated.rows, terminated.rows);
+  // An explicitly blank interior line still counts when skipping is off.
+  ASSERT_OK_AND_ASSIGN(CsvTable blank, ParseCsv("a,b\n\nc,d\n", options));
+  EXPECT_EQ(blank.num_rows(), 3u);
+}
+
 TEST(CsvTest, CommentCharDisabled) {
   CsvOptions options;
   options.comment_char = '\0';

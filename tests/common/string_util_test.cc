@@ -45,6 +45,19 @@ TEST(ParseDoubleTest, RejectsGarbage) {
   EXPECT_FALSE(ParseDouble("   ").ok());
 }
 
+// Found by the fuzz harness: strtod reports underflow via the same ERANGE
+// as overflow, but a subnormal is a perfectly representable double (and
+// Serialize can legitimately emit one). Only ±HUGE_VAL is an error.
+TEST(ParseDoubleTest, AcceptsSubnormalsRejectsOverflow) {
+  ASSERT_OK_AND_ASSIGN(double sub, ParseDouble("8.7432969301635788e-318"));
+  EXPECT_GT(sub, 0.0);
+  EXPECT_LT(sub, 1e-300);
+  ASSERT_OK_AND_ASSIGN(double zero, ParseDouble("1e-5000"));
+  EXPECT_EQ(zero, 0.0);
+  EXPECT_FALSE(ParseDouble("1e5000").ok());
+  EXPECT_FALSE(ParseDouble("-1e5000").ok());
+}
+
 TEST(ParseIntTest, ParsesValidIntegers) {
   ASSERT_OK_AND_ASSIGN(int64_t v, ParseInt("-42"));
   EXPECT_EQ(v, -42);

@@ -1,0 +1,297 @@
+// Regression tests for the contract-check layer: degenerate inputs that
+// used to be silent UB (or silently wrong) must now fail with a Status, and
+// the full encode→pack→unpack→decode round-trip must hold at every
+// resolution level for every separator-learning method.
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/codec.h"
+#include "core/encoder.h"
+#include "core/lookup_table.h"
+#include "core/separators.h"
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<SeparatorMethod> AllMethods() {
+  return {SeparatorMethod::kUniform, SeparatorMethod::kMedian,
+          SeparatorMethod::kDistinctMedian};
+}
+
+// --- Full-pipeline round-trip at every level and method -------------------
+
+TEST(CodecRoundTripTest, EveryLevelAndMethodRoundTrips) {
+  std::vector<double> training = testing::LogNormalValues(512, 17);
+  std::vector<double> readings = testing::LogNormalValues(96, 18);
+  TimeSeries raw = testing::MakeSeries(readings);
+
+  for (SeparatorMethod method : AllMethods()) {
+    for (int level = 1; level <= kMaxSymbolLevel; ++level) {
+      SCOPED_TRACE(SeparatorMethodName(method) + " level " +
+                   std::to_string(level));
+      LookupTableOptions options;
+      options.method = method;
+      options.level = level;
+      ASSERT_OK_AND_ASSIGN(LookupTable table,
+                           LookupTable::Build(training, options));
+      ASSERT_OK_AND_ASSIGN(SymbolicSeries encoded, Encode(raw, table));
+      ASSERT_OK_AND_ASSIGN(std::string blob, PackSymbolicSeries(encoded));
+      ASSERT_OK_AND_ASSIGN(SymbolicSeries unpacked,
+                           UnpackSymbolicSeries(blob));
+      ASSERT_EQ(unpacked.size(), encoded.size());
+      for (size_t i = 0; i < encoded.size(); ++i) {
+        EXPECT_EQ(unpacked[i], encoded[i]) << "at " << i;
+      }
+      // Decode side: every reconstruction stays within its symbol's range.
+      ASSERT_OK_AND_ASSIGN(
+          TimeSeries decoded,
+          Decode(unpacked, table, ReconstructionMode::kRangeMean));
+      ASSERT_EQ(decoded.size(), raw.size());
+      for (size_t i = 0; i < decoded.size(); ++i) {
+        ASSERT_OK_AND_ASSIGN(double lo, table.RangeLow(unpacked[i].symbol));
+        ASSERT_OK_AND_ASSIGN(double hi, table.RangeHigh(unpacked[i].symbol));
+        EXPECT_GE(decoded[i].value, lo) << "at " << i;
+        EXPECT_LE(decoded[i].value, hi) << "at " << i;
+      }
+    }
+  }
+}
+
+// --- Separator learning on degenerate histories ---------------------------
+
+TEST(SeparatorDegenerateTest, ConstantHistoryWorksForAllMethods) {
+  std::vector<double> constant(64, 2.5);
+  for (SeparatorMethod method : AllMethods()) {
+    SCOPED_TRACE(SeparatorMethodName(method));
+    for (int level = 1; level <= 4; ++level) {
+      ASSERT_OK_AND_ASSIGN(std::vector<double> seps,
+                           LearnSeparators(constant, method, level));
+      ASSERT_EQ(seps.size(), (size_t{1} << level) - 1);
+      // A constant history still yields a usable (if trivial) table.
+      LookupTableOptions options;
+      options.method = method;
+      options.level = level;
+      ASSERT_OK_AND_ASSIGN(LookupTable table,
+                           LookupTable::Build(constant, options));
+      Symbol s = table.Encode(2.5);
+      EXPECT_EQ(s.level(), level);
+    }
+  }
+}
+
+TEST(SeparatorDegenerateTest, SingleValueHistoryWorks) {
+  for (SeparatorMethod method : AllMethods()) {
+    SCOPED_TRACE(SeparatorMethodName(method));
+    ASSERT_OK_AND_ASSIGN(std::vector<double> seps,
+                         LearnSeparators({7.0}, method, 3));
+    EXPECT_EQ(seps.size(), 7u);
+  }
+}
+
+TEST(SeparatorDegenerateTest, EmptyHistoryFails) {
+  for (SeparatorMethod method : AllMethods()) {
+    SCOPED_TRACE(SeparatorMethodName(method));
+    Result<std::vector<double>> r = LearnSeparators({}, method, 3);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST(SeparatorDegenerateTest, NanReadingFailsForAllMethods) {
+  for (SeparatorMethod method : AllMethods()) {
+    SCOPED_TRACE(SeparatorMethodName(method));
+    Result<std::vector<double>> r =
+        LearnSeparators({1.0, kNan, 3.0}, method, 2);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(SeparatorDegenerateTest, InfiniteReadingFailsForAllMethods) {
+  for (SeparatorMethod method : AllMethods()) {
+    SCOPED_TRACE(SeparatorMethodName(method));
+    Result<std::vector<double>> r =
+        LearnSeparators({1.0, kInf, 3.0}, method, 2);
+    ASSERT_FALSE(r.ok());
+  }
+}
+
+TEST(SeparatorDegenerateTest, NegativeReadingFailsForUniformOnly) {
+  Result<std::vector<double>> uniform =
+      LearnSeparators({-1.0, 2.0, 3.0}, SeparatorMethod::kUniform, 2);
+  ASSERT_FALSE(uniform.ok());
+  EXPECT_EQ(uniform.status().code(), StatusCode::kInvalidArgument);
+
+  // Quantile-based methods handle negative values fine.
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<double> median,
+      LearnSeparators({-1.0, 2.0, 3.0}, SeparatorMethod::kMedian, 2));
+  EXPECT_TRUE(std::is_sorted(median.begin(), median.end()));
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<double> distinct,
+      LearnSeparators({-1.0, 2.0, 3.0}, SeparatorMethod::kDistinctMedian, 2));
+  EXPECT_TRUE(std::is_sorted(distinct.begin(), distinct.end()));
+}
+
+TEST(SeparatorDegenerateTest, LevelZeroFails) {
+  for (SeparatorMethod method : AllMethods()) {
+    EXPECT_FALSE(LearnSeparators({1.0, 2.0}, method, 0).ok());
+    EXPECT_FALSE(LearnSeparators({1.0, 2.0}, method, -3).ok());
+    EXPECT_FALSE(
+        LearnSeparators({1.0, 2.0}, method, kMaxSymbolLevel + 1).ok());
+  }
+}
+
+// --- LookupTable contracts -------------------------------------------------
+
+TEST(LookupTableContractTest, SingleSymbolAlphabetFails) {
+  // k = 1 would need a level-0 symbol, which neither the Symbol type nor
+  // the wire format can represent.
+  Result<LookupTable> r = LookupTable::FromSeparators({}, 0.0, 1.0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LookupTableContractTest, NonFiniteSeparatorsFail) {
+  EXPECT_FALSE(LookupTable::FromSeparators({kNan}, 0.0, 1.0).ok());
+  EXPECT_FALSE(LookupTable::FromSeparators({kInf}, 0.0, 1.0).ok());
+  EXPECT_FALSE(LookupTable::FromSeparators({0.5}, kNan, 1.0).ok());
+  EXPECT_FALSE(LookupTable::FromSeparators({0.5}, 0.0, kInf).ok());
+}
+
+TEST(LookupTableContractTest, EncodeCheckedRejectsNan) {
+  ASSERT_OK_AND_ASSIGN(LookupTable table,
+                       LookupTable::FromSeparators({1.0}, 0.0, 2.0));
+  Result<Symbol> r = table.EncodeChecked(kNan);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LookupTableContractTest, EncodeCheckedClampsInfinities) {
+  ASSERT_OK_AND_ASSIGN(LookupTable table,
+                       LookupTable::FromSeparators({1.0}, 0.0, 2.0));
+  ASSERT_OK_AND_ASSIGN(Symbol lo, table.EncodeChecked(-kInf));
+  EXPECT_EQ(lo.index(), 0u);
+  ASSERT_OK_AND_ASSIGN(Symbol hi, table.EncodeChecked(kInf));
+  EXPECT_EQ(hi.index(), 1u);
+}
+
+TEST(LookupTableContractTest, AttachTrainingDataRejectsNonFinite) {
+  ASSERT_OK_AND_ASSIGN(LookupTable table,
+                       LookupTable::FromSeparators({1.0}, 0.0, 2.0));
+  for (double hostile : {kNan, kInf, -kInf}) {
+    Status st = table.AttachTrainingData({0.5, hostile});
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  }
+}
+
+// Found by the fuzz harness: summing finite values near DBL_MAX overflowed
+// the bucket-mean accumulator to inf, so Serialize produced a blob its own
+// Deserialize rejected. The running-mean accumulation keeps the mean finite.
+TEST(LookupTableContractTest, HugeFiniteTrainingKeepsSerializeClosed) {
+  constexpr double kHuge = 1.7e308;
+  LookupTableOptions options;
+  options.level = 1;
+  options.method = SeparatorMethod::kMedian;
+  ASSERT_OK_AND_ASSIGN(LookupTable table,
+                       LookupTable::Build({kHuge, kHuge, kHuge}, options));
+  for (double m : table.bucket_means()) {
+    EXPECT_TRUE(std::isfinite(m)) << m;
+  }
+  ASSERT_OK_AND_ASSIGN(LookupTable reread,
+                       LookupTable::Deserialize(table.Serialize()));
+  EXPECT_EQ(reread.level(), table.level());
+}
+
+TEST(LookupTableContractTest, BuildRejectsNanTraining) {
+  LookupTableOptions options;
+  for (SeparatorMethod method : AllMethods()) {
+    options.method = method;
+    EXPECT_FALSE(LookupTable::Build({1.0, kNan}, options).ok());
+  }
+}
+
+TEST(LookupTableContractTest, DeserializeRejectsHostileNumerics) {
+  // Template blob; each case patches one line.
+  auto blob = [](const std::string& domain, const std::string& seps,
+                 const std::string& means) {
+    return "smeter-lookup-table v1\nmethod median\nlevel 1\ndomain " + domain +
+           "\nseparators " + seps + "\nmeans " + means + "\ncounts 1 1\n";
+  };
+  EXPECT_TRUE(LookupTable::Deserialize(blob("0 2", "1", "0.5 1.5")).ok());
+  EXPECT_FALSE(LookupTable::Deserialize(blob("0 nan", "1", "0.5 1.5")).ok());
+  EXPECT_FALSE(LookupTable::Deserialize(blob("2 0", "1", "0.5 1.5")).ok());
+  EXPECT_FALSE(LookupTable::Deserialize(blob("0 2", "inf", "0.5 1.5")).ok());
+  EXPECT_FALSE(LookupTable::Deserialize(blob("0 2", "1", "nan 1.5")).ok());
+  // A separator outside [domain_min, domain_max] would invert a symbol's
+  // range interval.
+  EXPECT_FALSE(LookupTable::Deserialize(blob("0 2", "5", "0.5 1.5")).ok());
+  EXPECT_FALSE(LookupTable::Deserialize(blob("0 2", "-1", "0.5 1.5")).ok());
+}
+
+TEST(LookupTableContractTest, FromSeparatorsRejectsSeparatorOutsideDomain) {
+  EXPECT_FALSE(LookupTable::FromSeparators({5.0}, 0.0, 2.0).ok());
+  EXPECT_FALSE(LookupTable::FromSeparators({-1.0}, 0.0, 2.0).ok());
+  EXPECT_TRUE(LookupTable::FromSeparators({0.0}, 0.0, 2.0).ok());
+  EXPECT_TRUE(LookupTable::FromSeparators({2.0}, 0.0, 2.0).ok());
+}
+
+// Found by the fuzz harness: accumulation rounding let the weighted bucket
+// mean overshoot RangeHigh by an ulp; Reconstruct must clamp into the
+// symbol's range for every mode.
+TEST(LookupTableContractTest, ReconstructStaysInsideSymbolRange) {
+  // Values whose running mean rounds above the value itself (0.1 is the
+  // classic non-representable case).
+  std::vector<double> training(3, 0.1);
+  training.insert(training.end(), 3, 0.05);
+  LookupTableOptions options;
+  options.level = 1;
+  options.method = SeparatorMethod::kMedian;
+  ASSERT_OK_AND_ASSIGN(LookupTable table, LookupTable::Build(training, options));
+  for (uint32_t i = 0; i < table.alphabet_size(); ++i) {
+    ASSERT_OK_AND_ASSIGN(Symbol s, Symbol::Create(table.level(), i));
+    ASSERT_OK_AND_ASSIGN(double lo, table.RangeLow(s));
+    ASSERT_OK_AND_ASSIGN(double hi, table.RangeHigh(s));
+    for (ReconstructionMode mode :
+         {ReconstructionMode::kRangeCenter, ReconstructionMode::kRangeMean}) {
+      ASSERT_OK_AND_ASSIGN(double mid, table.Reconstruct(s, mode));
+      EXPECT_GE(mid, lo);
+      EXPECT_LE(mid, hi);
+    }
+  }
+}
+
+// --- Codec overflow contracts ---------------------------------------------
+
+TEST(CodecContractTest, AdversarialTimestampRangeIsRejected) {
+  // Hand-build a header whose (start, step, count) triple overflows int64:
+  // start = INT64_MAX - 1, step = INT64_MAX / 2, count = 3.
+  std::string blob = "SMSY";
+  blob.push_back(1);  // version
+  blob.push_back(1);  // level
+  auto append_le = [&blob](uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      blob.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  };
+  append_le(3, 4);                                            // count
+  append_le(static_cast<uint64_t>(INT64_MAX - 1), 8);         // start
+  append_le(static_cast<uint64_t>(INT64_MAX / 2), 8);         // step
+  blob.push_back('\x00');  // payload: 3 symbols * 1 bit, padded
+  Result<SymbolicSeries> r = UnpackSymbolicSeries(blob);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace smeter

@@ -1,0 +1,28 @@
+// Fuzz harness for the ARFF reader/writer: arbitrary text through FromArff,
+// and for inputs that parse, a ToArff→FromArff round-trip that must succeed
+// and preserve the dataset shape.
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.h"
+#include "fuzz_input.h"
+#include "ml/arff.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  smeter::fuzz::FuzzInput in(data, size);
+  const int class_index = in.TakeIntInRange(-1, 8);
+  const std::string text = in.TakeRemainingString();
+
+  smeter::Result<smeter::ml::Dataset> parsed =
+      smeter::ml::FromArff(text, class_index);
+  if (!parsed.ok()) return 0;
+
+  const std::string rendered = smeter::ml::ToArff(parsed.value());
+  smeter::Result<smeter::ml::Dataset> again =
+      smeter::ml::FromArff(rendered, class_index);
+  SMETER_CHECK(again.ok());
+  SMETER_CHECK_EQ(again->num_attributes(), parsed->num_attributes());
+  SMETER_CHECK_EQ(again->num_instances(), parsed->num_instances());
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Fuzz harness for the symbolic codec: lookup-table construction over
+// arbitrary training data, encode→pack→unpack→decode round-trips, and the
+// wire-format parser on raw bytes.
+//
+// Crash conditions (beyond sanitizer reports): a round-trip that does not
+// reproduce the packed symbols, a reconstruction outside the symbol's
+// range, or a Serialize blob its own Deserialize rejects.
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "core/codec.h"
+#include "core/lookup_table.h"
+#include "core/symbolic_series.h"
+#include "fuzz_input.h"
+
+namespace smeter {
+namespace {
+
+using fuzz::FuzzInput;
+
+// Raw bytes through the wire-format parser; a successful parse must
+// re-pack to a blob that parses to the same series.
+void FuzzUnpack(const std::string& blob) {
+  Result<SymbolicSeries> series = UnpackSymbolicSeries(blob);
+  if (!series.ok()) return;
+  Result<std::string> repacked = PackSymbolicSeries(series.value());
+  SMETER_CHECK(repacked.ok());
+  Result<SymbolicSeries> again = UnpackSymbolicSeries(repacked.value());
+  SMETER_CHECK(again.ok());
+  SMETER_CHECK_EQ(again->size(), series->size());
+  for (size_t i = 0; i < series->size(); ++i) {
+    SMETER_CHECK((*series)[i] == (*again)[i]);
+  }
+}
+
+// Arbitrary (level, method, training data) through table construction, then
+// the full encode→pack→unpack→decode pipeline.
+void FuzzTableRoundTrip(FuzzInput& in) {
+  // Deliberately includes out-of-range levels and hostile values; those
+  // must surface as Status errors, never UB.
+  const int level = in.TakeIntInRange(0, kMaxSymbolLevel + 2);
+  LookupTableOptions options;
+  options.level = level;
+  switch (in.TakeByte() % 3) {
+    case 0: options.method = SeparatorMethod::kUniform; break;
+    case 1: options.method = SeparatorMethod::kMedian; break;
+    default: options.method = SeparatorMethod::kDistinctMedian; break;
+  }
+  const size_t n_train = static_cast<size_t>(in.TakeIntInRange(0, 64));
+  std::vector<double> training;
+  training.reserve(n_train);
+  for (size_t i = 0; i < n_train; ++i) training.push_back(in.TakeDouble());
+
+  Result<LookupTable> table = LookupTable::Build(training, options);
+  if (!table.ok()) return;
+
+  // Encode a short series at fixed cadence and round-trip it.
+  SymbolicSeries series(table->level());
+  const size_t n_values = static_cast<size_t>(in.TakeIntInRange(1, 32));
+  Timestamp t = static_cast<Timestamp>(in.TakeIntInRange(0, 1 << 20));
+  for (size_t i = 0; i < n_values; ++i) {
+    Result<Symbol> symbol = table->EncodeChecked(in.TakeDouble());
+    if (!symbol.ok()) continue;  // non-finite reading
+    SMETER_CHECK_OK(series.Append({t, symbol.value()}));
+    t += 900;
+  }
+  if (!series.empty()) {
+    Result<std::string> packed = PackSymbolicSeries(series);
+    SMETER_CHECK(packed.ok());
+    Result<SymbolicSeries> unpacked = UnpackSymbolicSeries(packed.value());
+    SMETER_CHECK(unpacked.ok());
+    SMETER_CHECK_EQ(unpacked->size(), series.size());
+    for (size_t i = 0; i < series.size(); ++i) {
+      SMETER_CHECK(series[i] == (*unpacked)[i]);
+      // Decode side: the representative value must lie in the symbol range.
+      Result<double> lo = table->RangeLow(series[i].symbol);
+      Result<double> hi = table->RangeHigh(series[i].symbol);
+      SMETER_CHECK(lo.ok() && hi.ok());
+      Result<double> mid =
+          table->Reconstruct(series[i].symbol, ReconstructionMode::kRangeMean);
+      SMETER_CHECK(mid.ok());
+      if (std::isfinite(lo.value()) && std::isfinite(hi.value())) {
+        SMETER_CHECK_LE(lo.value(), mid.value());
+        SMETER_CHECK_LE(mid.value(), hi.value());
+      }
+    }
+  }
+
+  // Wire format for the table itself.
+  std::string blob = table->Serialize();
+  Result<LookupTable> reread = LookupTable::Deserialize(blob);
+  SMETER_CHECK(reread.ok());
+  SMETER_CHECK_EQ(reread->level(), table->level());
+  SMETER_CHECK_EQ(reread->separators().size(), table->separators().size());
+}
+
+// Arbitrary text through the lookup-table deserializer.
+void FuzzTableDeserialize(const std::string& text) {
+  Result<LookupTable> table = LookupTable::Deserialize(text);
+  if (!table.ok()) return;
+  Result<LookupTable> again = LookupTable::Deserialize(table->Serialize());
+  SMETER_CHECK(again.ok());
+}
+
+// Expert-provided separators (possibly unsorted / non-finite).
+void FuzzFromSeparators(FuzzInput& in) {
+  const size_t n = static_cast<size_t>(in.TakeIntInRange(0, 33));
+  std::vector<double> seps;
+  seps.reserve(n);
+  for (size_t i = 0; i < n; ++i) seps.push_back(in.TakeDouble());
+  double lo = in.TakeDouble();
+  double hi = in.TakeDouble();
+  Result<LookupTable> table = LookupTable::FromSeparators(seps, lo, hi);
+  if (!table.ok()) return;
+  Result<Symbol> s = table->EncodeChecked(in.TakeDouble());
+  if (s.ok()) {
+    SMETER_CHECK_EQ(s->level(), table->level());
+  }
+}
+
+}  // namespace
+}  // namespace smeter
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  smeter::fuzz::FuzzInput in(data, size);
+  switch (in.TakeByte() % 4) {
+    case 0:
+      smeter::FuzzUnpack(in.TakeRemainingString());
+      break;
+    case 1:
+      smeter::FuzzTableRoundTrip(in);
+      break;
+    case 2:
+      smeter::FuzzTableDeserialize(in.TakeRemainingString());
+      break;
+    default:
+      smeter::FuzzFromSeparators(in);
+      break;
+  }
+  return 0;
+}

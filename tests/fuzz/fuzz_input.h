@@ -1,0 +1,81 @@
+// Minimal structured-input helper for fuzz harnesses, in the spirit of
+// LLVM's FuzzedDataProvider but dependency-free so the harnesses build with
+// any toolchain. Consumes from the front of the buffer; every accessor is
+// total (returns a default when the buffer runs dry) so harness control
+// flow depends only on the input bytes.
+
+#ifndef SMETER_TESTS_FUZZ_FUZZ_INPUT_H_
+#define SMETER_TESTS_FUZZ_FUZZ_INPUT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace smeter::fuzz {
+
+class FuzzInput {
+ public:
+  FuzzInput(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  bool empty() const { return pos_ >= size_; }
+
+  uint8_t TakeByte() { return empty() ? 0 : data_[pos_++]; }
+
+  // Little-endian fixed-width integer; zero-padded when bytes run out.
+  uint64_t TakeUint64() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(TakeByte()) << (8 * i);
+    }
+    return v;
+  }
+
+  // Uniform-ish value in [lo, hi] (inclusive); lo when the range is empty.
+  int TakeIntInRange(int lo, int hi) {
+    if (lo >= hi) return lo;
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int>(TakeUint64() % span);
+  }
+
+  // A finite double scaled into a plausible meter-reading magnitude, or a
+  // raw bit pattern (possibly NaN/Inf) when `raw` draws true — harnesses
+  // must survive both.
+  double TakeDouble() {
+    uint64_t bits = TakeUint64();
+    if ((bits & 1) == 0) {
+      // Scaled: keep the value within ~[-1e6, 1e6].
+      return (static_cast<double>(bits >> 1) /
+              static_cast<double>(UINT64_MAX >> 1)) *
+                 2e6 -
+             1e6;
+    }
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  // Remaining bytes as a string (consumes everything).
+  std::string TakeRemainingString() {
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), remaining());
+    pos_ = size_;
+    return s;
+  }
+
+  // Up to `n` bytes as a string.
+  std::string TakeString(size_t n) {
+    size_t take = n < remaining() ? n : remaining();
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), take);
+    pos_ += take;
+    return s;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace smeter::fuzz
+
+#endif  // SMETER_TESTS_FUZZ_FUZZ_INPUT_H_

@@ -1,0 +1,174 @@
+// Standalone driver for the fuzz harnesses, used when libFuzzer is not
+// available (e.g. gcc-only environments). Links against the same
+// LLVMFuzzerTestOneInput entry point the libFuzzer build uses.
+//
+// Usage:
+//   fuzz_foo CORPUS_DIR_OR_FILE... [--seconds=N] [--max-len=N] [--seed=N]
+//
+// With --seconds=0 (default) every corpus input is executed once — a
+// regression run. With --seconds=N the driver additionally loops for N
+// seconds, feeding deterministic random mutations of corpus inputs through
+// the harness: flip/insert/erase/truncate/splice, libFuzzer's basic
+// mutation set. Any sanitizer report or SMETER_CHECK failure aborts the
+// process, which is the crash signal CI looks for; the offending input is
+// written to ./crash-input first, and replaying it is `fuzz_foo crash-input`.
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+// The input currently inside LLVMFuzzerTestOneInput, dumped to
+// `crash-input` (cwd) when the harness aborts so the failure is
+// reproducible: `fuzz_foo crash-input` replays it.
+const uint8_t* g_current_data = nullptr;
+size_t g_current_size = 0;
+
+void DumpCrashInput(int sig) {
+  // Async-signal-safe only: open/write/close, no stdio buffering.
+  int fd = ::open("crash-input", O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    size_t off = 0;
+    while (off < g_current_size) {
+      ssize_t n = ::write(fd, g_current_data + off, g_current_size - off);
+      if (n <= 0) break;
+      off += static_cast<size_t>(n);
+    }
+    ::close(fd);
+    const char msg[] = "[driver] crashing input written to ./crash-input\n";
+    ssize_t ignored = ::write(STDERR_FILENO, msg, sizeof(msg) - 1);
+    (void)ignored;
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+int RunOne(const uint8_t* data, size_t size) {
+  g_current_data = data;
+  g_current_size = size;
+  int rc = LLVMFuzzerTestOneInput(data, size);
+  g_current_data = nullptr;
+  g_current_size = 0;
+  return rc;
+}
+
+std::vector<uint8_t> ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void Mutate(std::vector<uint8_t>& data, std::mt19937_64& rng,
+            size_t max_len) {
+  const int rounds = 1 + static_cast<int>(rng() % 8);
+  for (int r = 0; r < rounds; ++r) {
+    switch (rng() % 5) {
+      case 0:  // bit flip
+        if (!data.empty()) {
+          data[rng() % data.size()] ^=
+              static_cast<uint8_t>(1u << (rng() % 8));
+        }
+        break;
+      case 1:  // overwrite with random byte
+        if (!data.empty()) {
+          data[rng() % data.size()] = static_cast<uint8_t>(rng());
+        }
+        break;
+      case 2:  // insert a random byte
+        if (data.size() < max_len) {
+          data.insert(data.begin() + static_cast<long>(rng() % (data.size() + 1)),
+                      static_cast<uint8_t>(rng()));
+        }
+        break;
+      case 3:  // erase a byte
+        if (!data.empty()) {
+          data.erase(data.begin() + static_cast<long>(rng() % data.size()));
+        }
+        break;
+      case 4:  // truncate
+        if (!data.empty()) {
+          data.resize(rng() % data.size());
+        }
+        break;
+    }
+  }
+  if (data.size() > max_len) data.resize(max_len);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::signal(SIGABRT, DumpCrashInput);
+  std::signal(SIGSEGV, DumpCrashInput);
+  long seconds = 0;
+  size_t max_len = 1 << 16;
+  uint64_t seed = 0x5eedf00dULL;
+  std::vector<std::filesystem::path> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--seconds=", 0) == 0) {
+      seconds = std::stol(arg.substr(10));
+    } else if (arg.rfind("--max-len=", 0) == 0) {
+      max_len = static_cast<size_t>(std::stoul(arg.substr(10)));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::stoull(arg.substr(7));
+    } else if (std::filesystem::is_directory(arg)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(arg)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path());
+      }
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+
+  std::vector<std::vector<uint8_t>> corpus;
+  corpus.reserve(inputs.size());
+  for (const auto& path : inputs) corpus.push_back(ReadFile(path));
+
+  // Regression pass: every corpus entry once, plus the empty input.
+  RunOne(nullptr, 0);
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    RunOne(corpus[i].data(), corpus[i].size());
+  }
+  std::fprintf(stderr, "[driver] %zu corpus inputs replayed cleanly\n",
+               corpus.size());
+  if (seconds <= 0) return 0;
+
+  // Mutation loop.
+  std::mt19937_64 rng(seed);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
+  uint64_t execs = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (int batch = 0; batch < 512; ++batch) {
+      std::vector<uint8_t> data;
+      if (!corpus.empty() && rng() % 8 != 0) {
+        data = corpus[rng() % corpus.size()];
+      } else {
+        data.resize(rng() % 256);
+        for (auto& b : data) b = static_cast<uint8_t>(rng());
+      }
+      Mutate(data, rng, max_len);
+      RunOne(data.data(), data.size());
+      ++execs;
+    }
+  }
+  std::fprintf(stderr, "[driver] %llu mutated executions, no crash\n",
+               static_cast<unsigned long long>(execs));
+  return 0;
+}

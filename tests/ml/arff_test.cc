@@ -72,6 +72,32 @@ TEST(ArffTest, QuotedNamesSurvive) {
   EXPECT_EQ(parsed.ClassOf(0).value(), 0u);
 }
 
+// Found by the fuzz harness: names/labels containing quote characters,
+// backslashes, `%`, or a literal `?` parsed once but did not survive a
+// ToArff → FromArff round-trip (the writer's escapes were unreadable, and
+// bare tokens changed meaning on re-read).
+TEST(ArffTest, HostileNamesAndLabelsRoundTrip) {
+  Dataset d = Dataset::Create("it's a 100% 'test'",
+                              {Attribute::Numeric("clas'"),
+                               Attribute::Nominal("a\\b", {"?", "%c", "d'e\\"}),
+                               Attribute::Nominal("tab\there", {"'", "\""})},
+                              2)
+                  .value();
+  ASSERT_OK(d.Add({1.0, 0.0, 1.0}));
+  ASSERT_OK(d.Add({kMissing, 2.0, 0.0}));
+  ASSERT_OK_AND_ASSIGN(Dataset parsed, FromArff(ToArff(d), 2));
+  EXPECT_EQ(parsed.relation(), "it's a 100% 'test'");
+  EXPECT_EQ(parsed.attribute(0).name(), "clas'");
+  EXPECT_EQ(parsed.attribute(1).name(), "a\\b");
+  EXPECT_EQ(parsed.attribute(1).values(),
+            (std::vector<std::string>{"?", "%c", "d'e\\"}));
+  EXPECT_EQ(parsed.attribute(2).name(), "tab\there");
+  ASSERT_EQ(parsed.num_instances(), 2u);
+  EXPECT_EQ(parsed.value(0, 1), 0.0);   // label "?" is a value, not missing
+  EXPECT_TRUE(IsMissing(parsed.value(1, 0)));
+  EXPECT_EQ(parsed.value(1, 1), 2.0);
+}
+
 TEST(ArffTest, RejectsMalformedInput) {
   EXPECT_FALSE(FromArff("").ok());
   EXPECT_FALSE(FromArff("@data\n1,2\n").ok());
