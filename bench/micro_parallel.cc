@@ -1,0 +1,167 @@
+// Micro-benchmarks for the parallel batch layer: SoA batch kernels vs the
+// per-sample scalar path, fleet encoding across thread-pool sizes, and
+// parallel vs serial forest training. `run_bench.sh` turns the JSON output
+// into BENCH_micro.json.
+//
+// Note on thread scaling: the fleet/forest numbers only show speedup on
+// multi-core hosts; on a single-core container every pool size degenerates
+// to serial throughput (the caller lane does all the work) plus a little
+// scheduling overhead, which is itself worth measuring.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/batch_encoder.h"
+#include "core/encoder.h"
+#include "core/fleet_encoder.h"
+#include "ml/random_forest.h"
+
+namespace smeter {
+namespace {
+
+constexpr size_t kDaySamples = 86400;  // one day at the paper's 1 Hz
+
+std::vector<double> BenchValues(size_t n, uint64_t seed = 42) {
+  Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) values.push_back(rng.LogNormal(5.0, 1.0));
+  return values;
+}
+
+LookupTable BenchTable(int level) {
+  LookupTableOptions options;
+  options.method = SeparatorMethod::kMedian;
+  options.level = level;
+  return LookupTable::Build(BenchValues(10000), options).value();
+}
+
+// The pre-batch per-sample path, exactly what Encode() used to do: one
+// scalar lower_bound lookup, one validated SymbolicSeries::Append (level
+// check, timestamp-order check, unreserved push_back) per reading.
+void BM_EncodeScalar(benchmark::State& state) {
+  LookupTable table = BenchTable(static_cast<int>(state.range(0)));
+  TimeSeries series = TimeSeries::FromValues(BenchValues(kDaySamples));
+  for (auto _ : state) {
+    SymbolicSeries out(table.level());
+    for (const Sample& s : series) {
+      Status append = out.Append({s.timestamp, table.Encode(s.value)});
+      benchmark::DoNotOptimize(append);
+    }
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kDaySamples));
+}
+BENCHMARK(BM_EncodeScalar)->Arg(4)->Arg(8);
+
+// Just the scalar table lookup into a preallocated array — isolates the
+// descent-kernel speedup from the Result/Append overhead above.
+void BM_EncodeScalarLookup(benchmark::State& state) {
+  LookupTable table = BenchTable(static_cast<int>(state.range(0)));
+  std::vector<double> values = BenchValues(kDaySamples);
+  std::vector<Symbol> out(values.size(), Symbol());
+  for (auto _ : state) {
+    for (size_t i = 0; i < values.size(); ++i) out[i] = table.Encode(values[i]);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kDaySamples));
+}
+BENCHMARK(BM_EncodeScalarLookup)->Arg(4)->Arg(8);
+
+void BM_EncodeBatch(benchmark::State& state) {
+  LookupTable table = BenchTable(static_cast<int>(state.range(0)));
+  std::vector<double> values = BenchValues(kDaySamples);
+  std::vector<Symbol> out(values.size(), Symbol());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeBatch(table, values, out.data()));
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kDaySamples));
+}
+BENCHMARK(BM_EncodeBatch)->Arg(4)->Arg(8);
+
+void BM_DecodeBatch(benchmark::State& state) {
+  LookupTable table = BenchTable(4);
+  std::vector<Symbol> symbols =
+      EncodeBatch(table, BenchValues(kDaySamples)).value();
+  std::vector<double> out(symbols.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecodeBatch(table, symbols,
+                                         ReconstructionMode::kRangeCenter,
+                                         out.data()));
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kDaySamples));
+}
+BENCHMARK(BM_DecodeBatch);
+
+// Full fleet pipeline (per-household table build + vertical windows +
+// encode) sharded across state.range(0) threads.
+void BM_FleetEncode(benchmark::State& state) {
+  constexpr size_t kHouses = 8;
+  constexpr size_t kSamplesPerHouse = 21600;  // 6 h at 1 Hz
+  std::vector<TimeSeries> fleet;
+  for (size_t h = 0; h < kHouses; ++h) {
+    fleet.push_back(
+        TimeSeries::FromValues(BenchValues(kSamplesPerHouse, 100 + h)));
+  }
+  FleetEncodeOptions options;
+  options.table.level = 4;
+  options.pipeline.window_seconds = 60;
+  ThreadPool pool(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeFleet(fleet, options, &pool));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kHouses * kSamplesPerHouse));
+}
+BENCHMARK(BM_FleetEncode)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+ml::Dataset BenchBlobs(size_t per_class) {
+  ml::Dataset d =
+      ml::Dataset::Create("blobs",
+                          {ml::Attribute::Numeric("x"),
+                           ml::Attribute::Numeric("y"),
+                           ml::Attribute::Nominal("class", {"a", "b"})},
+                          2)
+          .value();
+  Rng rng(17);
+  for (size_t i = 0; i < per_class; ++i) {
+    (void)d.Add({rng.Gaussian(0.0, 1.0), rng.Gaussian(0.0, 1.0), 0.0});
+    (void)d.Add({rng.Gaussian(4.0, 1.0), rng.Gaussian(4.0, 1.0), 1.0});
+  }
+  return d;
+}
+
+// Forest training across pool sizes; Arg(0) is the serial (no pool) path.
+// Bags and seeds are pre-drawn, so every variant grows the same forest.
+void BM_ForestTrain(benchmark::State& state) {
+  ml::Dataset d = BenchBlobs(300);
+  ml::RandomForestOptions options;
+  options.num_trees = 16;
+  options.seed = 3;
+  ThreadPool pool(state.range(0) == 0 ? 1 : static_cast<size_t>(state.range(0)));
+  options.pool = state.range(0) == 0 ? nullptr : &pool;
+  for (auto _ : state) {
+    ml::RandomForest forest(options);
+    benchmark::DoNotOptimize(forest.Train(d));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(options.num_trees));
+}
+BENCHMARK(BM_ForestTrain)->Arg(0)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace smeter
+
+BENCHMARK_MAIN();

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Builds the release preset and runs the parallel micro-benchmarks,
+# leaving google-benchmark's JSON report in BENCH_micro.json at the repo
+# root. Usage: bench/run_bench.sh [extra benchmark args...]
+#
+# The acceptance numbers to look for:
+#   BM_EncodeBatch vs BM_EncodeScalar  -- SoA kernel speedup (single thread)
+#   BM_FleetEncode/1..8                -- household sharding across the pool
+#   BM_ForestTrain/0 vs /2 /4         -- serial vs pooled forest training
+# On single-core hosts the thread-count sweeps collapse to serial
+# throughput; the per-sample kernel speedup is machine-independent.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "${repo_root}"
+
+cmake --preset release >/dev/null
+cmake --build build-release --target micro_parallel -j"$(nproc)"
+
+build-release/bench/micro_parallel \
+  --benchmark_out="${repo_root}/BENCH_micro.json" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  "$@"
+
+echo "wrote ${repo_root}/BENCH_micro.json"

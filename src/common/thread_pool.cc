@@ -1,0 +1,163 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace smeter {
+namespace {
+
+size_t ResolveThreadCount(size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+// Shared state of one ParallelFor call. Held by shared_ptr because helper
+// tasks may be dequeued after the call has already completed (all chunks
+// claimed by other lanes); they must still be able to read `next` safely.
+struct ParallelForState {
+  size_t begin = 0;
+  size_t grain = 1;
+  size_t num_chunks = 0;
+  const std::function<Status(size_t, size_t)>* fn = nullptr;
+
+  std::atomic<size_t> next{0};
+
+  std::mutex mutex;
+  std::condition_variable done;
+  size_t completed = 0;
+  // Error from the lowest-indexed failing chunk — the one a serial loop
+  // would report first.
+  size_t first_error_chunk = 0;
+  Status first_error;
+  bool has_error = false;
+};
+
+// Claims chunks until none remain. Returns the number of chunks this lane
+// ran; completion bookkeeping happens under the state mutex.
+void DrainChunks(ParallelForState& state) {
+  size_t ran = 0;
+  size_t error_chunk = 0;
+  Status error;
+  bool failed = false;
+  for (size_t chunk = state.next.fetch_add(1, std::memory_order_relaxed);
+       chunk < state.num_chunks;
+       chunk = state.next.fetch_add(1, std::memory_order_relaxed)) {
+    const size_t lo = state.begin + chunk * state.grain;
+    const size_t hi = lo + state.grain;
+    Status status = (*state.fn)(lo, hi);
+    ++ran;
+    if (!status.ok() && (!failed || chunk < error_chunk)) {
+      failed = true;
+      error_chunk = chunk;
+      error = std::move(status);
+    }
+  }
+  if (ran == 0) return;
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (failed &&
+      (!state.has_error || error_chunk < state.first_error_chunk)) {
+    state.has_error = true;
+    state.first_error_chunk = error_chunk;
+    state.first_error = std::move(error);
+  }
+  state.completed += ran;
+  if (state.completed == state.num_chunks) state.done.notify_all();
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t total = ResolveThreadCount(num_threads);
+  workers_.reserve(total - 1);
+  for (size_t i = 0; i + 1 < total; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+Status ThreadPool::ParallelFor(
+    size_t begin, size_t end, size_t grain,
+    const std::function<Status(size_t, size_t)>& fn) {
+  if (end <= begin) return Status::Ok();
+  if (grain == 0) grain = 1;
+  const size_t count = end - begin;
+  const size_t num_chunks = (count + grain - 1) / grain;
+
+  // One chunk, or a pool with no workers: plain serial loop, no handoff.
+  if (num_chunks == 1 || workers_.empty()) {
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      const size_t lo = begin + chunk * grain;
+      SMETER_RETURN_IF_ERROR(fn(lo, std::min(end, lo + grain)));
+    }
+    return Status::Ok();
+  }
+
+  auto state = std::make_shared<ParallelForState>();
+  state->begin = begin;
+  state->grain = grain;
+  state->num_chunks = num_chunks;
+
+  // DrainChunks hands fn a raw [lo, lo + grain) window; clamp the last
+  // chunk's end here once instead of inside every lane.
+  const std::function<Status(size_t, size_t)> clamped =
+      [&fn, end](size_t lo, size_t hi) { return fn(lo, std::min(end, hi)); };
+  state->fn = &clamped;
+
+  // Enqueue at most one helper per worker; each helper drains chunks until
+  // the shared counter runs out, so extra tasks beyond num_chunks - 1 would
+  // only wake threads to do nothing.
+  const size_t helpers = std::min(workers_.size(), num_chunks - 1);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t i = 0; i < helpers; ++i) {
+      queue_.emplace_back([state] { DrainChunks(*state); });
+    }
+  }
+  if (helpers == 1) {
+    wake_.notify_one();
+  } else {
+    wake_.notify_all();
+  }
+
+  // The calling thread is a lane too.
+  DrainChunks(*state);
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done.wait(lock,
+                   [&] { return state->completed == state->num_chunks; });
+  if (state->has_error) return state->first_error;
+  return Status::Ok();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // Leaked on purpose: workers must not be joined during static
+  // destruction, when other globals they could touch are already gone.
+  static ThreadPool* shared = new ThreadPool(0);
+  return *shared;
+}
+
+}  // namespace smeter

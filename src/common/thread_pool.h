@@ -1,0 +1,87 @@
+// A fixed-size worker pool with a data-parallel ParallelFor primitive.
+//
+// The pool exists for the fleet-scale workloads of the ROADMAP ("heavy
+// traffic from millions of users"): encoding many households, training the
+// trees of a random forest, running cross-validation folds. All of these
+// are embarrassingly parallel loops over an index range, so the only
+// primitive exposed is ParallelFor(begin, end, grain, fn).
+//
+// Ownership model: a ThreadPool is an ordinary object — create one, share
+// it across as many ParallelFor calls (and calling threads) as you like,
+// destroy it when done. Components that can use a pool take a
+// `ThreadPool*` and treat nullptr as "run serially inline"; none of them
+// own the pool. For convenience a lazily-created process-wide pool sized
+// to the hardware is available via ThreadPool::Shared().
+//
+// Status propagation is deterministic: every chunk runs to completion even
+// after another chunk has failed (no cancellation), and the error returned
+// is the one from the lowest-indexed failing chunk — exactly the error a
+// serial left-to-right loop would have hit first. This keeps parallel and
+// serial execution observationally identical, which the determinism tests
+// (parallel RandomForest == serial RandomForest) rely on.
+//
+// The library is exception-free by policy (see common/status.h); `fn` must
+// report failure through its returned Status and must not throw.
+
+#ifndef SMETER_COMMON_THREAD_POOL_H_
+#define SMETER_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace smeter {
+
+class ThreadPool {
+ public:
+  // A pool with `num_threads` total lanes of execution. The calling thread
+  // of ParallelFor always participates as one lane, so the pool spawns
+  // `num_threads - 1` background workers; ThreadPool(1) spawns none and
+  // ParallelFor degenerates to a serial inline loop. `num_threads == 0`
+  // means one lane per hardware thread.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total parallelism (background workers + the calling thread).
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  // Splits [begin, end) into chunks of at most `grain` indices and runs
+  // `fn(chunk_begin, chunk_end)` for each, using the calling thread plus
+  // the pool's workers. Blocks until every chunk has run. Returns the
+  // Status of the lowest-indexed failing chunk, or OK.
+  //
+  // `grain` 0 is treated as 1. fn is invoked concurrently from multiple
+  // threads: it must be safe to run on disjoint chunks in parallel.
+  // Reentrant calls (fn itself calling ParallelFor on the same pool) are
+  // safe — the inner call's chunks run on the already-busy calling thread.
+  Status ParallelFor(size_t begin, size_t end, size_t grain,
+                     const std::function<Status(size_t, size_t)>& fn);
+
+  // A process-wide pool sized to the hardware, created on first use and
+  // never destroyed (intentionally leaked so worker threads outlive static
+  // destruction). Use for CLI-style entry points; tests and libraries that
+  // care about sizing should create their own.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace smeter
+
+#endif  // SMETER_COMMON_THREAD_POOL_H_

@@ -1,0 +1,146 @@
+#include "core/batch_encoder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <string>
+
+namespace smeter {
+namespace {
+
+// Chunk size for the once-per-chunk validation passes: big enough to
+// amortize the scan, small enough to stay in L1 while the encode pass
+// re-reads the same values.
+constexpr size_t kChunk = 4096;
+
+// The alphabet of a level, materialized once per batch call so the hot
+// loop writes symbols by table lookup instead of through Result<Symbol>.
+std::vector<Symbol> Alphabet(int level) {
+  std::vector<Symbol> symbols;
+  const uint32_t k = 1u << level;
+  symbols.reserve(k);
+  for (uint32_t i = 0; i < k; ++i) {
+    symbols.push_back(Symbol::Create(level, i).value());
+  }
+  return symbols;
+}
+
+Status EncodeBatchImpl(const LookupTable& table,
+                       std::span<const double> values, int out_level,
+                       Symbol* out) {
+  const std::vector<Symbol> alphabet = Alphabet(out_level);
+  const double* separators = table.separators().data();
+  const int level = table.level();
+  const int shift = level - out_level;
+  // Per-chunk scratch for the level-major descent below.
+  uint32_t idx[kChunk];
+  for (size_t base = 0; base < values.size(); base += kChunk) {
+    const size_t n = std::min(kChunk, values.size() - base);
+    const double* chunk = values.data() + base;
+    // Validation once per chunk: OR-accumulate the NaN predicate instead
+    // of branching per sample; comparisons against NaN are all false, so
+    // an unvalidated NaN would silently encode as symbol 0.
+    bool nan_seen = false;
+    for (size_t i = 0; i < n; ++i) nan_seen |= std::isnan(chunk[i]);
+    if (nan_seen) {
+      for (size_t i = 0; i < n; ++i) {
+        if (std::isnan(chunk[i])) {
+          return InvalidArgumentError("cannot encode a NaN reading (index " +
+                                      std::to_string(base + i) + ")");
+        }
+      }
+    }
+    // Branchless lower_bound over the 2^level - 1 sorted separators,
+    // level-major: one pass over the chunk per descent step. idx[i] ends
+    // as the number of separators < chunk[i], which is Definition 3's
+    // symbol index (the same index std::lower_bound yields in
+    // LookupTable::Encode). Running the passes level-major instead of
+    // sample-major turns each sample's chain of `level` dependent loads
+    // into independent per-sample updates, so the loop is bound by load
+    // throughput, not load latency.
+    std::fill_n(idx, n, 0u);
+    for (int b = level - 1; b >= 0; --b) {
+      const uint32_t step = 1u << b;
+      for (size_t i = 0; i < n; ++i) {
+        idx[i] += (separators[idx[i] + step - 1] < chunk[i]) ? step : 0;
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      out[base + i] = alphabet[idx[i] >> shift];
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status EncodeBatch(const LookupTable& table, std::span<const double> values,
+                   Symbol* out) {
+  return EncodeBatchImpl(table, values, table.level(), out);
+}
+
+Result<std::vector<Symbol>> EncodeBatch(const LookupTable& table,
+                                        std::span<const double> values) {
+  std::vector<Symbol> out(values.size());
+  SMETER_RETURN_IF_ERROR(EncodeBatch(table, values, out.data()));
+  return out;
+}
+
+Status EncodeBatchAtLevel(const LookupTable& table,
+                          std::span<const double> values, int level,
+                          Symbol* out) {
+  if (level < 1 || level > table.level()) {
+    return InvalidArgumentError("encode level outside table range");
+  }
+  return EncodeBatchImpl(table, values, level, out);
+}
+
+Status DecodeBatch(const LookupTable& table, std::span<const Symbol> symbols,
+                   ReconstructionMode mode, double* out) {
+  if (symbols.empty()) return Status::Ok();
+  const int level = symbols[0].level();
+  if (level > table.level()) {
+    return InvalidArgumentError("symbol finer than table");
+  }
+  // Representative values per index, computed once per batch; the scalar
+  // Reconstruct pins the semantics (range center / clamped range mean).
+  const uint32_t k = 1u << level;
+  std::vector<double> representatives(k);
+  for (uint32_t i = 0; i < k; ++i) {
+    Result<double> value =
+        table.Reconstruct(Symbol::Create(level, i).value(), mode);
+    if (!value.ok()) return value.status();
+    representatives[i] = value.value();
+  }
+  for (size_t base = 0; base < symbols.size(); base += kChunk) {
+    const size_t n = std::min(kChunk, symbols.size() - base);
+    const Symbol* chunk = symbols.data() + base;
+    bool mismatch = false;
+    for (size_t i = 0; i < n; ++i) mismatch |= (chunk[i].level() != level);
+    if (mismatch) {
+      for (size_t i = 0; i < n; ++i) {
+        if (chunk[i].level() != level) {
+          return InvalidArgumentError(
+              "mixed symbol levels in batch (index " +
+              std::to_string(base + i) + ": level " +
+              std::to_string(chunk[i].level()) + " vs " +
+              std::to_string(level) + ")");
+        }
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      out[base + i] = representatives[chunk[i].index()];
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<double>> DecodeBatch(const LookupTable& table,
+                                        std::span<const Symbol> symbols,
+                                        ReconstructionMode mode) {
+  std::vector<double> out(symbols.size());
+  SMETER_RETURN_IF_ERROR(DecodeBatch(table, symbols, mode, out.data()));
+  return out;
+}
+
+}  // namespace smeter

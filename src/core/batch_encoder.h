@@ -1,0 +1,62 @@
+// Structure-of-arrays batch kernels for horizontal segmentation.
+//
+// These are the hot loops behind Encode/Decode in core/encoder.h, hoisted
+// out of the per-sample Result/Append pattern: input is a contiguous value
+// (or symbol) column, output is a caller-provided column, and validation
+// (NaN readings, symbol levels) happens once per chunk instead of once per
+// sample. The symbol mapping itself is a branchless fixed-depth descent
+// over the separator array — `level` conditional-move steps per value
+// instead of a branchy lower_bound — which is what makes fleet-scale
+// encoding ("millions of customers", Section 1) CPU-bound on memory
+// bandwidth rather than on branch mispredictions and error plumbing.
+//
+// Semantics are pinned to the scalar path: EncodeBatch produces exactly
+// LookupTable::Encode(v) for every finite v (the codec fuzz harness keeps
+// the two byte-identical on the wire), and DecodeBatch produces exactly
+// LookupTable::Reconstruct(s, mode).
+
+#ifndef SMETER_CORE_BATCH_ENCODER_H_
+#define SMETER_CORE_BATCH_ENCODER_H_
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "core/lookup_table.h"
+#include "core/symbol.h"
+
+namespace smeter {
+
+// Encodes values[i] into out[i] at the table's finest level. `out` must
+// have room for values.size() symbols. A NaN reading anywhere in the input
+// is an InvalidArgument error naming the first offending index; `out` is
+// scratch in that case. Infinities clamp to the extreme symbols, like any
+// out-of-domain value (Definition 3 rules i/ii).
+Status EncodeBatch(const LookupTable& table, std::span<const double> values,
+                   Symbol* out);
+
+// Convenience overload allocating the output column.
+Result<std::vector<Symbol>> EncodeBatch(const LookupTable& table,
+                                        std::span<const double> values);
+
+// Encodes at a coarser `level` (in [1, table.level()]): identical to
+// EncodeBatch followed by Symbol::Coarsen(level) on every symbol.
+Status EncodeBatchAtLevel(const LookupTable& table,
+                          std::span<const double> values, int level,
+                          Symbol* out);
+
+// Decodes symbols[i] into out[i] using `mode`. All symbols must share one
+// level <= table.level() (a SymbolicSeries column satisfies this by
+// construction); a mismatched symbol is an InvalidArgument error naming
+// the first offending index.
+Status DecodeBatch(const LookupTable& table, std::span<const Symbol> symbols,
+                   ReconstructionMode mode, double* out);
+
+// Convenience overload allocating the output column.
+Result<std::vector<double>> DecodeBatch(const LookupTable& table,
+                                        std::span<const Symbol> symbols,
+                                        ReconstructionMode mode);
+
+}  // namespace smeter
+
+#endif  // SMETER_CORE_BATCH_ENCODER_H_

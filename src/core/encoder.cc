@@ -1,39 +1,66 @@
 #include "core/encoder.h"
 
+#include "core/batch_encoder.h"
+
 namespace smeter {
+namespace {
+
+// Gathers the value column out of the AoS sample layout so the batch
+// kernel runs over contiguous doubles.
+std::vector<double> ValueColumn(const TimeSeries& series) {
+  std::vector<double> values;
+  values.reserve(series.size());
+  for (const Sample& s : series) values.push_back(s.value);
+  return values;
+}
+
+// Zips timestamps back onto an encoded symbol column. The inputs come from
+// a TimeSeries (timestamps already non-decreasing) and one batch-encode
+// call (symbols already at `level`), so FromSamples' validation pass is a
+// formality, but it keeps this path on the same contract as Append.
+Result<SymbolicSeries> ZipSeries(const TimeSeries& series,
+                                 const std::vector<Symbol>& symbols,
+                                 int level) {
+  std::vector<SymbolicSample> samples;
+  samples.reserve(series.size());
+  for (size_t i = 0; i < series.size(); ++i) {
+    samples.push_back({series[i].timestamp, symbols[i]});
+  }
+  return SymbolicSeries::FromSamples(level, std::move(samples));
+}
+
+}  // namespace
 
 Result<SymbolicSeries> Encode(const TimeSeries& series,
                               const LookupTable& table) {
-  SymbolicSeries out(table.level());
-  for (const Sample& s : series) {
-    SMETER_RETURN_IF_ERROR(out.Append({s.timestamp, table.Encode(s.value)}));
-  }
-  return out;
+  std::vector<double> values = ValueColumn(series);
+  std::vector<Symbol> symbols(values.size());
+  SMETER_RETURN_IF_ERROR(EncodeBatch(table, values, symbols.data()));
+  return ZipSeries(series, symbols, table.level());
 }
 
 Result<SymbolicSeries> EncodeAtLevel(const TimeSeries& series,
                                      const LookupTable& table, int level) {
-  if (level < 1 || level > table.level()) {
-    return InvalidArgumentError("encode level outside table range");
-  }
-  SymbolicSeries out(level);
-  for (const Sample& s : series) {
-    Result<Symbol> symbol = table.EncodeAtLevel(s.value, level);
-    if (!symbol.ok()) return symbol.status();
-    SMETER_RETURN_IF_ERROR(out.Append({s.timestamp, symbol.value()}));
-  }
-  return out;
+  std::vector<double> values = ValueColumn(series);
+  std::vector<Symbol> symbols(values.size());
+  SMETER_RETURN_IF_ERROR(
+      EncodeBatchAtLevel(table, values, level, symbols.data()));
+  return ZipSeries(series, symbols, level);
 }
 
 Result<TimeSeries> Decode(const SymbolicSeries& series,
                           const LookupTable& table, ReconstructionMode mode) {
-  TimeSeries out;
-  for (const SymbolicSample& s : series) {
-    Result<double> value = table.Reconstruct(s.symbol, mode);
-    if (!value.ok()) return value.status();
-    SMETER_RETURN_IF_ERROR(out.Append({s.timestamp, value.value()}));
+  std::vector<Symbol> symbols;
+  symbols.reserve(series.size());
+  for (const SymbolicSample& s : series) symbols.push_back(s.symbol);
+  std::vector<double> values(symbols.size());
+  SMETER_RETURN_IF_ERROR(DecodeBatch(table, symbols, mode, values.data()));
+  std::vector<Sample> samples;
+  samples.reserve(series.size());
+  for (size_t i = 0; i < series.size(); ++i) {
+    samples.push_back({series[i].timestamp, values[i]});
   }
-  return out;
+  return TimeSeries::FromSamples(std::move(samples));
 }
 
 Result<SymbolicSeries> EncodePipeline(const TimeSeries& raw,

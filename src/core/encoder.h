@@ -1,6 +1,11 @@
-// Batch horizontal segmentation (Definition 3): TimeSeries -> SymbolicSeries
+// Horizontal segmentation (Definition 3): TimeSeries -> SymbolicSeries
 // through a LookupTable, and the inverse decoding through the table's
 // reconstruction values.
+//
+// Encode/Decode are thin wrappers over the SoA batch kernels in
+// core/batch_encoder.h (gather the value column, EncodeBatch, zip the
+// timestamps back); call the kernels directly when the data is already a
+// flat array. For many households at once, see core/fleet_encoder.h.
 //
 // The full paper pipeline "vertical then horizontal" is provided as
 // EncodePipeline for convenience; it is exactly

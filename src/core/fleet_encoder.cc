@@ -1,0 +1,71 @@
+#include "core/fleet_encoder.h"
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace smeter {
+namespace {
+
+Status AnnotateHousehold(size_t index, const Status& status) {
+  return Status(status.code(), "household " + std::to_string(index) + ": " +
+                                   status.message());
+}
+
+Result<HouseholdEncoding> EncodeHousehold(const TimeSeries& trace,
+                                          const FleetEncodeOptions& options) {
+  if (trace.empty()) return FailedPreconditionError("empty trace");
+  TimeSeries training = trace;
+  if (options.history_seconds > 0) {
+    training = trace.Slice({trace.front().timestamp,
+                            trace.front().timestamp + options.history_seconds});
+    if (training.empty()) {
+      return FailedPreconditionError("no training data in the history span");
+    }
+  }
+  Result<LookupTable> table =
+      LookupTable::Build(training.Values(), options.table);
+  if (!table.ok()) return table.status();
+  Result<SymbolicSeries> symbols =
+      EncodePipeline(trace, *table, options.pipeline);
+  if (!symbols.ok()) return symbols.status();
+  return HouseholdEncoding{std::move(table.value()),
+                           std::move(symbols.value())};
+}
+
+}  // namespace
+
+Result<std::vector<HouseholdEncoding>> EncodeFleet(
+    const std::vector<TimeSeries>& households,
+    const FleetEncodeOptions& options, ThreadPool* pool) {
+  // Slots, not a result vector: HouseholdEncoding is not default
+  // constructible (LookupTable has no empty state), and each lane writes
+  // only its own disjoint indices.
+  std::vector<std::optional<HouseholdEncoding>> slots(households.size());
+  auto encode_range = [&](size_t begin, size_t end) -> Status {
+    for (size_t h = begin; h < end; ++h) {
+      Result<HouseholdEncoding> encoded =
+          EncodeHousehold(households[h], options);
+      if (!encoded.ok()) return AnnotateHousehold(h, encoded.status());
+      slots[h] = std::move(encoded.value());
+    }
+    return Status::Ok();
+  };
+  if (pool != nullptr) {
+    // Grain 1: one household is already a large work item (a day of 1 Hz
+    // data is 86400 samples), so per-chunk overhead is negligible and the
+    // finest sharding keeps all lanes busy on uneven trace lengths.
+    SMETER_RETURN_IF_ERROR(
+        pool->ParallelFor(0, households.size(), 1, encode_range));
+  } else {
+    SMETER_RETURN_IF_ERROR(encode_range(0, households.size()));
+  }
+  std::vector<HouseholdEncoding> out;
+  out.reserve(households.size());
+  for (std::optional<HouseholdEncoding>& slot : slots) {
+    out.push_back(std::move(*slot));
+  }
+  return out;
+}
+
+}  // namespace smeter

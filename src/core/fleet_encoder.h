@@ -1,0 +1,54 @@
+// Fleet-scale encoding: shards N households across a thread pool, builds
+// one lookup table per household (the paper's per-customer tables — each
+// sensor learns its own separators from its own history), and runs the
+// vertical+horizontal pipeline on every trace.
+//
+// This is the aggregation-server-side counterpart of the per-sensor
+// encoder: the workload Section 1 motivates ("millions of customers"
+// emitting 1 Hz data) is embarrassingly parallel across households, so
+// throughput scales with the pool size while each household's output stays
+// bit-identical to a serial EncodePipeline call.
+
+#ifndef SMETER_CORE_FLEET_ENCODER_H_
+#define SMETER_CORE_FLEET_ENCODER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/encoder.h"
+#include "core/lookup_table.h"
+#include "core/symbolic_series.h"
+#include "core/time_series.h"
+
+namespace smeter {
+
+struct FleetEncodeOptions {
+  // Per-household table construction (Section 2.2 separator learning).
+  LookupTableOptions table;
+  // Vertical window + encode (Definitions 2 and 3).
+  PipelineOptions pipeline;
+  // Learn each household's table from only the first `history_seconds` of
+  // its trace — the paper trains tables on the first two days and encodes
+  // the rest. 0 = learn from the whole trace.
+  int64_t history_seconds = 0;
+};
+
+// One household's encoding: its personal table plus its symbol stream.
+struct HouseholdEncoding {
+  LookupTable table;
+  SymbolicSeries symbols;
+};
+
+// Encodes every household, using `pool` to spread households across
+// threads (nullptr = serial). Results arrive in input order regardless of
+// scheduling. On failure the error names the offending household and is
+// deterministic: the lowest-indexed failing household wins, exactly as a
+// serial loop would report.
+Result<std::vector<HouseholdEncoding>> EncodeFleet(
+    const std::vector<TimeSeries>& households,
+    const FleetEncodeOptions& options, ThreadPool* pool = nullptr);
+
+}  // namespace smeter
+
+#endif  // SMETER_CORE_FLEET_ENCODER_H_

@@ -4,6 +4,25 @@
 
 namespace smeter {
 
+Result<SymbolicSeries> SymbolicSeries::FromSamples(
+    int level, std::vector<SymbolicSample> samples) {
+  for (size_t i = 0; i < samples.size(); ++i) {
+    if (samples[i].symbol.level() != level) {
+      return InvalidArgumentError(
+          "symbol level " + std::to_string(samples[i].symbol.level()) +
+          " != series level " + std::to_string(level) + " at index " +
+          std::to_string(i));
+    }
+    if (i > 0 && samples[i].timestamp < samples[i - 1].timestamp) {
+      return InvalidArgumentError("timestamp regresses at index " +
+                                  std::to_string(i));
+    }
+  }
+  SymbolicSeries out(level);
+  out.samples_ = std::move(samples);
+  return out;
+}
+
 Status SymbolicSeries::Append(SymbolicSample sample) {
   if (sample.symbol.level() != level_) {
     return InvalidArgumentError("symbol level " +

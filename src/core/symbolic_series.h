@@ -34,9 +34,19 @@ class SymbolicSeries {
   // An empty series at the given resolution.
   explicit SymbolicSeries(int level = 1) : level_(level) {}
 
+  // Bulk construction: validates the invariants (every symbol at `level`,
+  // timestamps non-decreasing) in one pass instead of per-Append, then
+  // adopts the vector. This is the batch-encoder path; it avoids both the
+  // per-sample Status plumbing and the push_back reallocation churn.
+  static Result<SymbolicSeries> FromSamples(
+      int level, std::vector<SymbolicSample> samples);
+
   // Appends a sample; the symbol's level must match the series' level and
   // timestamps must be non-decreasing.
   Status Append(SymbolicSample sample);
+
+  // Pre-allocates capacity for `n` samples (Append still validates each).
+  void Reserve(size_t n) { samples_.reserve(n); }
 
   int level() const { return level_; }
   bool empty() const { return samples_.empty(); }

@@ -13,16 +13,36 @@ Status Bagging::Train(const Dataset& data) {
   members_.clear();
 
   const size_t n = data.num_instances();
+  const size_t num_members = options_.num_members;
+
+  // Bootstrap bags are drawn serially from the master stream (the same
+  // order the serial loop consumes it), so member training can fan out
+  // across the pool and stay bit-identical to serial.
   Rng rng(options_.seed);
-  for (size_t m = 0; m < options_.num_members; ++m) {
-    std::vector<size_t> bag(n);
+  std::vector<std::vector<size_t>> bags(num_members);
+  for (size_t m = 0; m < num_members; ++m) {
+    bags[m].resize(n);
     for (size_t i = 0; i < n; ++i) {
-      bag[i] = static_cast<size_t>(rng.UniformInt(n));
+      bags[m][i] = static_cast<size_t>(rng.UniformInt(n));
     }
-    std::unique_ptr<Classifier> member = base_factory_();
-    SMETER_RETURN_IF_ERROR(member->Train(data.Subset(bag)));
-    members_.push_back(std::move(member));
   }
+
+  std::vector<std::unique_ptr<Classifier>> members(num_members);
+  auto train_range = [&](size_t begin, size_t end) -> Status {
+    for (size_t m = begin; m < end; ++m) {
+      std::unique_ptr<Classifier> member = base_factory_();
+      SMETER_RETURN_IF_ERROR(member->Train(data.Subset(bags[m])));
+      members[m] = std::move(member);
+    }
+    return Status::Ok();
+  };
+  if (options_.pool != nullptr) {
+    SMETER_RETURN_IF_ERROR(
+        options_.pool->ParallelFor(0, num_members, 1, train_range));
+  } else {
+    SMETER_RETURN_IF_ERROR(train_range(0, num_members));
+  }
+  members_ = std::move(members);
   return Status::Ok();
 }
 

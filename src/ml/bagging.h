@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "ml/evaluation.h"
 
 namespace smeter::ml {
@@ -16,6 +17,12 @@ namespace smeter::ml {
 struct BaggingOptions {
   size_t num_members = 10;
   uint64_t seed = 1;
+  // Trains members on this pool when set (not owned; nullptr = serial).
+  // Bootstrap bags are pre-drawn from the master stream, so the ensemble
+  // is bit-identical for any pool size. The base factory is invoked
+  // concurrently from pool threads and must be safe to call in parallel
+  // (a lambda that only constructs a classifier is).
+  ThreadPool* pool = nullptr;
 };
 
 class Bagging : public Classifier {

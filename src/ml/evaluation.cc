@@ -1,5 +1,6 @@
 #include "ml/evaluation.h"
 
+#include <optional>
 #include <sstream>
 
 #include "common/random.h"
@@ -149,28 +150,44 @@ Result<std::vector<std::vector<size_t>>> StratifiedFolds(const Dataset& data,
 
 Result<CrossValidationResult> CrossValidate(const ClassifierFactory& factory,
                                             const Dataset& data, size_t folds,
-                                            uint64_t seed) {
+                                            uint64_t seed, ThreadPool* pool) {
   Result<std::vector<std::vector<size_t>>> fold_rows =
       StratifiedFolds(data, folds, seed);
   if (!fold_rows.ok()) return fold_rows.status();
 
+  Stopwatch watch;
+  // Folds are independent; each lane writes only its own slot, and the
+  // slots merge in fold order below so the confusion matrix is identical
+  // for any pool size.
+  std::vector<std::optional<ClassificationMetrics>> per_fold(folds);
+  auto run_folds = [&](size_t begin, size_t end) -> Status {
+    for (size_t f = begin; f < end; ++f) {
+      std::vector<size_t> train_rows;
+      for (size_t g = 0; g < folds; ++g) {
+        if (g == f) continue;
+        train_rows.insert(train_rows.end(), (*fold_rows)[g].begin(),
+                          (*fold_rows)[g].end());
+      }
+      Dataset train = data.Subset(train_rows);
+      Dataset test = data.Subset((*fold_rows)[f]);
+      std::unique_ptr<Classifier> classifier = factory();
+      Result<ClassificationMetrics> fold_metrics =
+          EvaluateTrainTest(*classifier, train, test);
+      if (!fold_metrics.ok()) return fold_metrics.status();
+      per_fold[f] = std::move(fold_metrics.value());
+    }
+    return Status::Ok();
+  };
+  if (pool != nullptr) {
+    SMETER_RETURN_IF_ERROR(pool->ParallelFor(0, folds, 1, run_folds));
+  } else {
+    SMETER_RETURN_IF_ERROR(run_folds(0, folds));
+  }
+
   CrossValidationResult result;
   result.metrics = ClassificationMetrics(data.num_classes());
-  Stopwatch watch;
   for (size_t f = 0; f < folds; ++f) {
-    std::vector<size_t> train_rows;
-    for (size_t g = 0; g < folds; ++g) {
-      if (g == f) continue;
-      train_rows.insert(train_rows.end(), (*fold_rows)[g].begin(),
-                        (*fold_rows)[g].end());
-    }
-    Dataset train = data.Subset(train_rows);
-    Dataset test = data.Subset((*fold_rows)[f]);
-    std::unique_ptr<Classifier> classifier = factory();
-    Result<ClassificationMetrics> fold_metrics =
-        EvaluateTrainTest(*classifier, train, test);
-    if (!fold_metrics.ok()) return fold_metrics.status();
-    SMETER_RETURN_IF_ERROR(result.metrics.Merge(*fold_metrics));
+    SMETER_RETURN_IF_ERROR(result.metrics.Merge(*per_fold[f]));
   }
   result.processing_seconds = watch.ElapsedSeconds();
   return result;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "ml/classifier.h"
 
 namespace smeter::ml {
@@ -77,10 +78,16 @@ struct CrossValidationResult {
   double processing_seconds = 0.0;
 };
 
-// Stratified k-fold cross-validation.
+// Stratified k-fold cross-validation. Folds are independent, so when
+// `pool` is set (not owned; nullptr = serial) they train and score in
+// parallel; metrics merge in fold order, making the result identical for
+// any pool size. The factory is invoked concurrently from pool threads and
+// must be safe to call in parallel. `processing_seconds` is wall time, so
+// it shrinks with the pool.
 Result<CrossValidationResult> CrossValidate(const ClassifierFactory& factory,
                                             const Dataset& data, size_t folds,
-                                            uint64_t seed);
+                                            uint64_t seed,
+                                            ThreadPool* pool = nullptr);
 
 }  // namespace smeter::ml
 

@@ -2,10 +2,18 @@
 
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "common/random.h"
 
 namespace smeter::ml {
+namespace {
+
+// One tree's contribution to the out-of-bag tally: the predicted
+// distribution for every instance the tree's bootstrap missed.
+using OobVotes = std::vector<std::pair<size_t, std::vector<double>>>;
+
+}  // namespace
 
 Status RandomForest::Train(const Dataset& data) {
   SMETER_RETURN_IF_ERROR(CheckTrainable(data));
@@ -27,39 +35,68 @@ Status RandomForest::Train(const Dataset& data) {
   }
 
   const size_t n = data.num_instances();
+  const size_t num_trees = options_.num_trees;
+
+  // Draw every tree's bootstrap bag and RNG seed serially, in the exact
+  // order a serial training loop consumes the master stream. Training can
+  // then run in any order across threads and still be bit-identical to
+  // serial: each tree's randomness is fully determined here.
   Rng rng(options_.seed);
-  // Out-of-bag vote tallies.
+  std::vector<std::vector<size_t>> bags(num_trees);
+  std::vector<uint64_t> seeds(num_trees);
+  for (size_t t = 0; t < num_trees; ++t) {
+    bags[t].resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      bags[t][i] = static_cast<size_t>(rng.UniformInt(n));
+    }
+    seeds[t] = rng.Next();
+  }
+
+  std::vector<std::unique_ptr<DecisionTree>> trees(num_trees);
+  std::vector<OobVotes> oob_per_tree(num_trees);
+  auto train_range = [&](size_t begin, size_t end) -> Status {
+    for (size_t t = begin; t < end; ++t) {
+      std::vector<bool> in_bag(n, false);
+      for (size_t i : bags[t]) in_bag[i] = true;
+      Dataset sample = data.Subset(bags[t]);
+
+      DecisionTreeOptions tree_options;
+      tree_options.use_gain_ratio = false;  // RandomTree splits on raw gain
+      tree_options.min_leaf = options_.min_leaf;
+      tree_options.max_depth = options_.max_depth;
+      tree_options.prune = false;
+      tree_options.random_feature_subset = mtry;
+      tree_options.seed = seeds[t];
+      auto tree = std::make_unique<DecisionTree>(tree_options);
+      SMETER_RETURN_IF_ERROR(tree->Train(sample));
+
+      for (size_t i = 0; i < n; ++i) {
+        if (in_bag[i]) continue;
+        Result<std::vector<double>> dist =
+            tree->PredictDistribution(data.row(i));
+        if (!dist.ok()) return dist.status();
+        oob_per_tree[t].emplace_back(i, std::move(dist.value()));
+      }
+      trees[t] = std::move(tree);
+    }
+    return Status::Ok();
+  };
+  if (options_.pool != nullptr) {
+    SMETER_RETURN_IF_ERROR(
+        options_.pool->ParallelFor(0, num_trees, 1, train_range));
+  } else {
+    SMETER_RETURN_IF_ERROR(train_range(0, num_trees));
+  }
+  trees_ = std::move(trees);
+
+  // Merge out-of-bag tallies in tree order so the floating-point
+  // accumulation order matches the serial loop exactly.
   std::vector<std::vector<double>> oob_votes(
       n, std::vector<double>(num_classes_, 0.0));
-
-  for (size_t t = 0; t < options_.num_trees; ++t) {
-    std::vector<size_t> bag(n);
-    std::vector<bool> in_bag(n, false);
-    for (size_t i = 0; i < n; ++i) {
-      bag[i] = static_cast<size_t>(rng.UniformInt(n));
-      in_bag[bag[i]] = true;
+  for (size_t t = 0; t < num_trees; ++t) {
+    for (const auto& [i, dist] : oob_per_tree[t]) {
+      for (size_t c = 0; c < num_classes_; ++c) oob_votes[i][c] += dist[c];
     }
-    Dataset sample = data.Subset(bag);
-
-    DecisionTreeOptions tree_options;
-    tree_options.use_gain_ratio = false;  // RandomTree splits on raw gain
-    tree_options.min_leaf = options_.min_leaf;
-    tree_options.max_depth = options_.max_depth;
-    tree_options.prune = false;
-    tree_options.random_feature_subset = mtry;
-    tree_options.seed = rng.Next();
-    auto tree = std::make_unique<DecisionTree>(tree_options);
-    SMETER_RETURN_IF_ERROR(tree->Train(sample));
-
-    for (size_t i = 0; i < n; ++i) {
-      if (in_bag[i]) continue;
-      Result<std::vector<double>> dist = tree->PredictDistribution(data.row(i));
-      if (!dist.ok()) return dist.status();
-      for (size_t c = 0; c < num_classes_; ++c) {
-        oob_votes[i][c] += dist.value()[c];
-      }
-    }
-    trees_.push_back(std::move(tree));
   }
 
   // Out-of-bag accuracy.

@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "ml/classifier.h"
 #include "ml/decision_tree.h"
 
@@ -22,6 +23,11 @@ struct RandomForestOptions {
   size_t max_depth = 0;
   size_t min_leaf = 1;
   uint64_t seed = 1;
+  // Trains trees on this pool when set (not owned; nullptr = serial).
+  // Every tree's bootstrap bag and RNG seed are drawn from the master
+  // stream up front, so the trained forest — trees, predictions, and
+  // oob_accuracy — is bit-identical for any pool size, including none.
+  ThreadPool* pool = nullptr;
 };
 
 class RandomForest : public Classifier {

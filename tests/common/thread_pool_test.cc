@@ -1,0 +1,170 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  ASSERT_OK(pool.ParallelFor(0, n, 64, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+    return Status::Ok();
+  }));
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ChunkBoundsCoverExactlyTheRange) {
+  ThreadPool pool(3);
+  std::atomic<size_t> total{0};
+  ASSERT_OK(pool.ParallelFor(7, 1000, 13, [&](size_t begin, size_t end) {
+    EXPECT_LT(begin, end);
+    EXPECT_LE(end, 1000u);
+    EXPECT_LE(end - begin, 13u);
+    total.fetch_add(end - begin, std::memory_order_relaxed);
+    return Status::Ok();
+  }));
+  EXPECT_EQ(total.load(), 1000u - 7u);
+}
+
+TEST(ThreadPoolTest, EmptyAndSingleElementRanges) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  ASSERT_OK(pool.ParallelFor(5, 5, 1, [&](size_t, size_t) {
+    calls.fetch_add(1);
+    return Status::Ok();
+  }));
+  EXPECT_EQ(calls.load(), 0);
+  ASSERT_OK(pool.ParallelFor(5, 6, 1, [&](size_t begin, size_t end) {
+    EXPECT_EQ(begin, 5u);
+    EXPECT_EQ(end, 6u);
+    calls.fetch_add(1);
+    return Status::Ok();
+  }));
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, GrainLargerThanRangeIsOneChunk) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  ASSERT_OK(pool.ParallelFor(0, 10, 1000, [&](size_t begin, size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 10u);
+    calls.fetch_add(1);
+    return Status::Ok();
+  }));
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroGrainIsTreatedAsOne) {
+  ThreadPool pool(2);
+  std::atomic<size_t> total{0};
+  ASSERT_OK(pool.ParallelFor(0, 100, 0, [&](size_t begin, size_t end) {
+    EXPECT_EQ(end, begin + 1);
+    total.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }));
+  EXPECT_EQ(total.load(), 100u);
+}
+
+TEST(ThreadPoolTest, FirstErrorByChunkIndexWinsAndAllChunksDrain) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> ran(100);
+  Status status = pool.ParallelFor(0, 100, 1, [&](size_t begin, size_t) {
+    ran[begin].fetch_add(1, std::memory_order_relaxed);
+    if (begin == 17 || begin == 63) {
+      return InvalidArgumentError("chunk " + std::to_string(begin));
+    }
+    return Status::Ok();
+  });
+  ASSERT_FALSE(status.ok());
+  // Deterministic: the lowest-indexed failure is reported, never chunk 63.
+  EXPECT_EQ(status.message(), "chunk 17");
+  // No cancellation: every chunk still ran exactly once.
+  for (size_t i = 0; i < 100; ++i) EXPECT_EQ(ran[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int64_t> sum{0};
+    ASSERT_OK(pool.ParallelFor(0, 1000, 7, [&](size_t begin, size_t end) {
+      int64_t local = 0;
+      for (size_t i = begin; i < end; ++i) {
+        local += static_cast<int64_t>(i);
+      }
+      sum.fetch_add(local, std::memory_order_relaxed);
+      return Status::Ok();
+    }));
+    EXPECT_EQ(sum.load(), 999 * 1000 / 2);
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAfterAnError) {
+  ThreadPool pool(2);
+  Status failed = pool.ParallelFor(0, 10, 1, [](size_t, size_t) {
+    return InternalError("boom");
+  });
+  EXPECT_FALSE(failed.ok());
+  std::atomic<int> calls{0};
+  ASSERT_OK(pool.ParallelFor(0, 10, 1, [&](size_t, size_t) {
+    calls.fetch_add(1);
+    return Status::Ok();
+  }));
+  EXPECT_EQ(calls.load(), 10);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  ASSERT_OK(pool.ParallelFor(0, 20, 3, [&](size_t, size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    return Status::Ok();
+  }));
+}
+
+TEST(ThreadPoolTest, ReentrantParallelForDoesNotDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<size_t> inner_total{0};
+  ASSERT_OK(pool.ParallelFor(0, 8, 1, [&](size_t, size_t) {
+    return pool.ParallelFor(0, 16, 1, [&](size_t, size_t) {
+      inner_total.fetch_add(1, std::memory_order_relaxed);
+      return Status::Ok();
+    });
+  }));
+  EXPECT_EQ(inner_total.load(), 8u * 16u);
+}
+
+TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+  std::atomic<int> calls{0};
+  ASSERT_OK(pool.ParallelFor(0, 5, 1, [&](size_t, size_t) {
+    calls.fetch_add(1);
+    return Status::Ok();
+  }));
+  EXPECT_EQ(calls.load(), 5);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsUsable) {
+  std::atomic<int> calls{0};
+  ASSERT_OK(ThreadPool::Shared().ParallelFor(0, 4, 1, [&](size_t, size_t) {
+    calls.fetch_add(1);
+    return Status::Ok();
+  }));
+  EXPECT_EQ(calls.load(), 4);
+}
+
+}  // namespace
+}  // namespace smeter

@@ -1,0 +1,179 @@
+#include "core/batch_encoder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/random.h"
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+LookupTable MedianTable(int level, uint64_t seed = 42, size_t n = 5000) {
+  Rng rng(seed);
+  std::vector<double> training;
+  training.reserve(n);
+  for (size_t i = 0; i < n; ++i) training.push_back(rng.LogNormal(5.0, 1.0));
+  LookupTableOptions options;
+  options.method = SeparatorMethod::kMedian;
+  options.level = level;
+  return LookupTable::Build(training, options).value();
+}
+
+TEST(EncodeBatchTest, MatchesScalarEncodeOnRandomData) {
+  for (int level = 1; level <= 8; ++level) {
+    LookupTable table = MedianTable(level);
+    Rng rng(7);
+    std::vector<double> values;
+    for (size_t i = 0; i < 2000; ++i) {
+      values.push_back(rng.LogNormal(5.0, 1.5));
+    }
+    ASSERT_OK_AND_ASSIGN(std::vector<Symbol> batch,
+                         EncodeBatch(table, values));
+    ASSERT_EQ(batch.size(), values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      EXPECT_EQ(batch[i], table.Encode(values[i]))
+          << "level " << level << " index " << i << " value " << values[i];
+    }
+  }
+}
+
+TEST(EncodeBatchTest, MatchesScalarOnSeparatorsAndExtremes) {
+  LookupTable table = MedianTable(4);
+  std::vector<double> values;
+  for (double s : table.separators()) {
+    values.push_back(s);  // ties go to the lower bucket (v <= beta_j)
+    values.push_back(std::nextafter(s, -1e300));
+    values.push_back(std::nextafter(s, 1e300));
+  }
+  values.push_back(table.domain_min());
+  values.push_back(table.domain_max());
+  values.push_back(-std::numeric_limits<double>::infinity());
+  values.push_back(std::numeric_limits<double>::infinity());
+  values.push_back(-1e300);
+  values.push_back(1e300);
+  ASSERT_OK_AND_ASSIGN(std::vector<Symbol> batch, EncodeBatch(table, values));
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(batch[i], table.Encode(values[i])) << "value " << values[i];
+  }
+}
+
+TEST(EncodeBatchTest, MatchesScalarOnDuplicateSeparators) {
+  // Constant-ish training data produces runs of equal separators; the
+  // branchless descent must agree with lower_bound on them.
+  ASSERT_OK_AND_ASSIGN(
+      LookupTable table,
+      LookupTable::FromSeparators({5.0, 5.0, 5.0}, 0.0, 10.0));
+  std::vector<double> values = {4.0, 5.0, 5.0000001, 6.0, 0.0, 10.0};
+  ASSERT_OK_AND_ASSIGN(std::vector<Symbol> batch, EncodeBatch(table, values));
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(batch[i], table.Encode(values[i])) << "value " << values[i];
+  }
+}
+
+TEST(EncodeBatchTest, EmptyInput) {
+  LookupTable table = MedianTable(4);
+  ASSERT_OK_AND_ASSIGN(std::vector<Symbol> batch,
+                       EncodeBatch(table, std::vector<double>{}));
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST(EncodeBatchTest, NanIsAnErrorNamingTheFirstIndex) {
+  LookupTable table = MedianTable(4);
+  std::vector<double> values(100, 1.0);
+  values[37] = std::numeric_limits<double>::quiet_NaN();
+  values[90] = std::numeric_limits<double>::quiet_NaN();
+  Result<std::vector<Symbol>> batch = EncodeBatch(table, values);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_NE(batch.status().message().find("index 37"), std::string::npos)
+      << batch.status().message();
+}
+
+TEST(EncodeBatchAtLevelTest, MatchesScalarEncodeAtLevel) {
+  LookupTable table = MedianTable(6);
+  Rng rng(9);
+  std::vector<double> values;
+  for (size_t i = 0; i < 500; ++i) values.push_back(rng.LogNormal(5.0, 1.0));
+  for (int level = 1; level <= 6; ++level) {
+    std::vector<Symbol> batch(values.size());
+    ASSERT_OK(EncodeBatchAtLevel(table, values, level, batch.data()));
+    for (size_t i = 0; i < values.size(); ++i) {
+      ASSERT_OK_AND_ASSIGN(Symbol scalar,
+                           table.EncodeAtLevel(values[i], level));
+      EXPECT_EQ(batch[i], scalar) << "level " << level << " index " << i;
+    }
+  }
+}
+
+TEST(EncodeBatchAtLevelTest, RejectsBadLevels) {
+  LookupTable table = MedianTable(3);
+  std::vector<double> values = {1.0};
+  std::vector<Symbol> out(1);
+  EXPECT_FALSE(EncodeBatchAtLevel(table, values, 0, out.data()).ok());
+  EXPECT_FALSE(EncodeBatchAtLevel(table, values, 4, out.data()).ok());
+}
+
+TEST(DecodeBatchTest, MatchesScalarReconstructBothModes) {
+  LookupTable table = MedianTable(5);
+  Rng rng(11);
+  std::vector<double> values;
+  for (size_t i = 0; i < 1000; ++i) values.push_back(rng.LogNormal(5.0, 1.0));
+  ASSERT_OK_AND_ASSIGN(std::vector<Symbol> symbols,
+                       EncodeBatch(table, values));
+  for (ReconstructionMode mode :
+       {ReconstructionMode::kRangeCenter, ReconstructionMode::kRangeMean}) {
+    ASSERT_OK_AND_ASSIGN(std::vector<double> decoded,
+                         DecodeBatch(table, symbols, mode));
+    ASSERT_EQ(decoded.size(), symbols.size());
+    for (size_t i = 0; i < symbols.size(); ++i) {
+      ASSERT_OK_AND_ASSIGN(double scalar,
+                           table.Reconstruct(symbols[i], mode));
+      EXPECT_EQ(decoded[i], scalar) << i;
+    }
+  }
+}
+
+TEST(DecodeBatchTest, DecodesCoarserSymbols) {
+  LookupTable table = MedianTable(4);
+  std::vector<Symbol> symbols = {Symbol::Create(2, 0).value(),
+                                 Symbol::Create(2, 3).value()};
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<double> decoded,
+      DecodeBatch(table, symbols, ReconstructionMode::kRangeCenter));
+  for (size_t i = 0; i < symbols.size(); ++i) {
+    EXPECT_EQ(decoded[i],
+              table.Reconstruct(symbols[i], ReconstructionMode::kRangeCenter)
+                  .value());
+  }
+}
+
+TEST(DecodeBatchTest, RejectsFinerThanTableAndMixedLevels) {
+  LookupTable table = MedianTable(2);
+  std::vector<Symbol> finer = {Symbol::Create(3, 0).value()};
+  std::vector<double> out(2);
+  EXPECT_FALSE(
+      DecodeBatch(table, finer, ReconstructionMode::kRangeCenter, out.data())
+          .ok());
+  std::vector<Symbol> mixed = {Symbol::Create(2, 0).value(),
+                               Symbol::Create(1, 1).value()};
+  Status status =
+      DecodeBatch(table, mixed, ReconstructionMode::kRangeCenter, out.data());
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("index 1"), std::string::npos)
+      << status.message();
+}
+
+TEST(DecodeBatchTest, EmptyInput) {
+  LookupTable table = MedianTable(2);
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<double> decoded,
+      DecodeBatch(table, std::vector<Symbol>{},
+                  ReconstructionMode::kRangeMean));
+  EXPECT_TRUE(decoded.empty());
+}
+
+}  // namespace
+}  // namespace smeter

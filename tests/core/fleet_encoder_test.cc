@@ -1,0 +1,134 @@
+#include "core/fleet_encoder.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+TimeSeries SyntheticTrace(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) values.push_back(rng.LogNormal(5.0, 1.0));
+  return TimeSeries::FromValues(values);
+}
+
+std::vector<TimeSeries> SyntheticFleet(size_t households, size_t n) {
+  std::vector<TimeSeries> fleet;
+  fleet.reserve(households);
+  for (size_t h = 0; h < households; ++h) {
+    fleet.push_back(SyntheticTrace(100 + h, n));
+  }
+  return fleet;
+}
+
+FleetEncodeOptions SmallOptions() {
+  FleetEncodeOptions options;
+  options.table.level = 3;
+  options.pipeline.window_seconds = 60;
+  return options;
+}
+
+void ExpectSameEncoding(const HouseholdEncoding& a,
+                        const HouseholdEncoding& b) {
+  EXPECT_EQ(a.table.separators(), b.table.separators());
+  EXPECT_EQ(a.symbols.level(), b.symbols.level());
+  EXPECT_EQ(a.symbols.samples(), b.symbols.samples());
+}
+
+TEST(FleetEncoderTest, MatchesPerHouseholdPipeline) {
+  std::vector<TimeSeries> fleet = SyntheticFleet(4, 600);
+  FleetEncodeOptions options = SmallOptions();
+  ASSERT_OK_AND_ASSIGN(std::vector<HouseholdEncoding> encoded,
+                       EncodeFleet(fleet, options));
+  ASSERT_EQ(encoded.size(), fleet.size());
+  for (size_t h = 0; h < fleet.size(); ++h) {
+    std::vector<double> training;
+    for (const Sample& s : fleet[h]) training.push_back(s.value);
+    ASSERT_OK_AND_ASSIGN(LookupTable table,
+                         LookupTable::Build(training, options.table));
+    EXPECT_EQ(encoded[h].table.separators(), table.separators());
+    ASSERT_OK_AND_ASSIGN(SymbolicSeries symbols,
+                         EncodePipeline(fleet[h], table, options.pipeline));
+    EXPECT_EQ(encoded[h].symbols.samples(), symbols.samples()) << "house " << h;
+  }
+}
+
+TEST(FleetEncoderTest, ParallelMatchesSerialForAnyPoolSize) {
+  std::vector<TimeSeries> fleet = SyntheticFleet(7, 400);
+  FleetEncodeOptions options = SmallOptions();
+  ASSERT_OK_AND_ASSIGN(std::vector<HouseholdEncoding> serial,
+                       EncodeFleet(fleet, options, /*pool=*/nullptr));
+  for (size_t threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    ASSERT_OK_AND_ASSIGN(std::vector<HouseholdEncoding> parallel,
+                         EncodeFleet(fleet, options, &pool));
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t h = 0; h < serial.size(); ++h) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " house=" + std::to_string(h));
+      ExpectSameEncoding(parallel[h], serial[h]);
+    }
+  }
+}
+
+TEST(FleetEncoderTest, ZeroAndOneHouseholds) {
+  FleetEncodeOptions options = SmallOptions();
+  ThreadPool pool(4);
+  ASSERT_OK_AND_ASSIGN(std::vector<HouseholdEncoding> none,
+                       EncodeFleet({}, options, &pool));
+  EXPECT_TRUE(none.empty());
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<HouseholdEncoding> one,
+      EncodeFleet({SyntheticTrace(1, 300)}, options, &pool));
+  EXPECT_EQ(one.size(), 1u);
+}
+
+TEST(FleetEncoderTest, ErrorNamesLowestFailingHousehold) {
+  // Households 2 and 5 are empty; the reported error must name household 2
+  // regardless of scheduling, matching what a serial loop would report.
+  std::vector<TimeSeries> fleet = SyntheticFleet(8, 200);
+  fleet[2] = TimeSeries();
+  fleet[5] = TimeSeries();
+  FleetEncodeOptions options = SmallOptions();
+  for (int round = 0; round < 5; ++round) {
+    ThreadPool pool(4);
+    Result<std::vector<HouseholdEncoding>> encoded =
+        EncodeFleet(fleet, options, &pool);
+    ASSERT_FALSE(encoded.ok());
+    EXPECT_NE(encoded.status().message().find("household 2"),
+              std::string::npos)
+        << encoded.status().message();
+    EXPECT_EQ(encoded.status().message().find("household 5"),
+              std::string::npos)
+        << encoded.status().message();
+  }
+}
+
+TEST(FleetEncoderTest, HistorySecondsLimitsTableTraining) {
+  TimeSeries trace = SyntheticTrace(3, 1000);
+  FleetEncodeOptions options = SmallOptions();
+  options.history_seconds = 250;  // 1 Hz trace -> first 250 samples
+  ASSERT_OK_AND_ASSIGN(std::vector<HouseholdEncoding> encoded,
+                       EncodeFleet({trace}, options));
+  std::vector<double> history;
+  for (size_t i = 0; i < 250; ++i) history.push_back(trace[i].value);
+  ASSERT_OK_AND_ASSIGN(LookupTable table,
+                       LookupTable::Build(history, options.table));
+  EXPECT_EQ(encoded[0].table.separators(), table.separators());
+  // The whole-trace table differs, proving the slice mattered.
+  std::vector<double> all;
+  for (const Sample& s : trace) all.push_back(s.value);
+  ASSERT_OK_AND_ASSIGN(LookupTable full_table,
+                       LookupTable::Build(all, options.table));
+  EXPECT_NE(encoded[0].table.separators(), full_table.separators());
+}
+
+}  // namespace
+}  // namespace smeter

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "core/batch_encoder.h"
 #include "core/codec.h"
 #include "core/lookup_table.h"
 #include "core/symbolic_series.h"
@@ -62,11 +63,39 @@ void FuzzTableRoundTrip(FuzzInput& in) {
   SymbolicSeries series(table->level());
   const size_t n_values = static_cast<size_t>(in.TakeIntInRange(1, 32));
   Timestamp t = static_cast<Timestamp>(in.TakeIntInRange(0, 1 << 20));
+  std::vector<double> readings;
+  readings.reserve(n_values);
   for (size_t i = 0; i < n_values; ++i) {
-    Result<Symbol> symbol = table->EncodeChecked(in.TakeDouble());
+    const double reading = in.TakeDouble();
+    readings.push_back(reading);
+    Result<Symbol> symbol = table->EncodeChecked(reading);
     if (!symbol.ok()) continue;  // non-finite reading
     SMETER_CHECK_OK(series.Append({t, symbol.value()}));
     t += 900;
+  }
+
+  // Batch/scalar oracle: the SoA kernel must stay byte-identical to the
+  // scalar lookup. A NaN anywhere must surface as a Status error; any
+  // other input (±inf included — Encode clamps, EncodeChecked rejects)
+  // must produce exactly the symbols table->Encode would.
+  bool has_nan = false;
+  for (double v : readings) has_nan = has_nan || std::isnan(v);
+  Result<std::vector<Symbol>> batch = EncodeBatch(*table, readings);
+  SMETER_CHECK_EQ(batch.ok(), !has_nan);
+  if (batch.ok()) {
+    SMETER_CHECK_EQ(batch->size(), readings.size());
+    for (size_t i = 0; i < readings.size(); ++i) {
+      SMETER_CHECK((*batch)[i] == table->Encode(readings[i]));
+    }
+    Result<std::vector<double>> decoded =
+        DecodeBatch(*table, *batch, ReconstructionMode::kRangeMean);
+    SMETER_CHECK(decoded.ok());
+    for (size_t i = 0; i < batch->size(); ++i) {
+      Result<double> scalar =
+          table->Reconstruct((*batch)[i], ReconstructionMode::kRangeMean);
+      SMETER_CHECK(scalar.ok());
+      SMETER_CHECK((*decoded)[i] == scalar.value());
+    }
   }
   if (!series.empty()) {
     Result<std::string> packed = PackSymbolicSeries(series);

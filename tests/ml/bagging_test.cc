@@ -76,6 +76,26 @@ TEST(BaggingTest, DeterministicGivenSeed) {
   }
 }
 
+TEST(BaggingTest, ParallelTrainingIsBitIdenticalToSerial) {
+  Dataset d = testing::GaussianBlobs(80, 13);
+  BaggingOptions options;
+  options.num_members = 9;
+  options.seed = 4;
+  Bagging serial(TreeFactory(), options);
+  ASSERT_OK(serial.Train(d));
+  for (size_t threads : {2, 4}) {
+    ThreadPool pool(threads);
+    options.pool = &pool;
+    Bagging parallel(TreeFactory(), options);
+    ASSERT_OK(parallel.Train(d));
+    for (size_t r = 0; r < d.num_instances(); ++r) {
+      EXPECT_EQ(parallel.PredictDistribution(d.row(r)).value(),
+                serial.PredictDistribution(d.row(r)).value())
+          << "threads=" << threads << " row=" << r;
+    }
+  }
+}
+
 TEST(BaggingTest, Validates) {
   Bagging untrained(TreeFactory());
   EXPECT_FALSE(untrained.PredictDistribution({1.0}).ok());

@@ -145,5 +145,21 @@ TEST(CrossValidateTest, DeterministicGivenSeed) {
   EXPECT_EQ(a.metrics.confusion(), b.metrics.confusion());
 }
 
+TEST(CrossValidateTest, ParallelFoldsMatchSerial) {
+  Dataset d = testing::GaussianBlobs(60, 29);
+  auto factory = [] { return std::make_unique<NaiveBayes>(); };
+  ASSERT_OK_AND_ASSIGN(CrossValidationResult serial,
+                       CrossValidate(factory, d, 6, 11));
+  for (size_t threads : {2, 4}) {
+    ThreadPool pool(threads);
+    ASSERT_OK_AND_ASSIGN(CrossValidationResult parallel,
+                         CrossValidate(factory, d, 6, 11, &pool));
+    // Folds merge in order, so the confusion matrix is identical for any
+    // pool size; only processing_seconds (wall time) may differ.
+    EXPECT_EQ(parallel.metrics.confusion(), serial.metrics.confusion())
+        << "threads=" << threads;
+  }
+}
+
 }  // namespace
 }  // namespace smeter::ml

@@ -110,6 +110,31 @@ TEST(RandomForestTest, MoreTreesNotWorseOnHardData) {
   EXPECT_GE(Accuracy(big, d) + 0.02, Accuracy(tiny, d));
 }
 
+TEST(RandomForestTest, ParallelTrainingIsBitIdenticalToSerial) {
+  Dataset d = testing::GaussianBlobs(120, 29);
+  RandomForestOptions options;
+  options.num_trees = 12;
+  options.seed = 7;
+  RandomForest serial(options);
+  ASSERT_OK(serial.Train(d));
+  for (size_t threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    options.pool = &pool;
+    RandomForest parallel(options);
+    ASSERT_OK(parallel.Train(d));
+    // Bags and tree seeds are pre-drawn serially, so the forest must be
+    // bit-identical regardless of pool size — including FP-sensitive
+    // quantities like distributions and OOB accuracy.
+    EXPECT_EQ(parallel.oob_accuracy(), serial.oob_accuracy())
+        << "threads=" << threads;
+    for (size_t r = 0; r < d.num_instances(); ++r) {
+      EXPECT_EQ(parallel.PredictDistribution(d.row(r)).value(),
+                serial.PredictDistribution(d.row(r)).value())
+          << "threads=" << threads << " row=" << r;
+    }
+  }
+}
+
 TEST(RandomForestTest, ValidatesOptions) {
   Dataset d = testing::GaussianBlobs(10, 23);
   RandomForestOptions options;

@@ -119,6 +119,59 @@ TEST(CliTest, CerWorkflow) {
   EXPECT_FALSE(missing_meter.ok());
 }
 
+TEST(CliTest, EncodeFleetWorkflow) {
+  std::string dir = smeter::testing::TempPath("cli_fleet");
+  RunOk({"simulate", "--out", dir, "--houses", "3", "--days", "2",
+         "--seed", "4", "--outages", "0"});
+  std::string out_dir = dir + "/encoded";
+  std::string fleet =
+      RunOk({"encode-fleet", "--input", dir, "--out", out_dir, "--level",
+             "3", "--window", "900", "--threads", "2"});
+  EXPECT_NE(fleet.find("house_1:"), std::string::npos);
+  EXPECT_NE(fleet.find("house_3:"), std::string::npos);
+  EXPECT_NE(fleet.find("3 households"), std::string::npos);
+  EXPECT_NE(fleet.find("2 threads"), std::string::npos);
+
+  // The per-household artifacts are real: info can read them back.
+  std::string info = RunOk({"info", "--input", out_dir + "/house_2.symbols"});
+  EXPECT_NE(info.find("packed symbolic series"), std::string::npos);
+  EXPECT_NE(info.find("level 3"), std::string::npos);
+  std::string table_info =
+      RunOk({"info", "--input", out_dir + "/house_2.table"});
+  EXPECT_NE(table_info.find("lookup table"), std::string::npos);
+
+  // Thread count must be non-negative, and the input must hold houses.
+  EXPECT_FALSE(RunErr({"encode-fleet", "--input", dir, "--out", out_dir,
+                       "--threads", "-1"})
+                   .ok());
+  std::string empty = smeter::testing::TempPath("cli_fleet_empty");
+  RunOk({"simulate", "--out", empty, "--houses", "1", "--days", "1",
+         "--format", "cer"});
+  EXPECT_FALSE(
+      RunErr({"encode-fleet", "--input", empty, "--out", out_dir}).ok());
+}
+
+TEST(CliTest, EncodeFleetMatchesSerialSingleHouseEncode) {
+  std::string dir = smeter::testing::TempPath("cli_fleet_eq");
+  RunOk({"simulate", "--out", dir, "--houses", "2", "--days", "2",
+         "--seed", "6", "--outages", "0"});
+  std::string out_a = dir + "/threads1";
+  std::string out_b = dir + "/threads4";
+  RunOk({"encode-fleet", "--input", dir, "--out", out_a, "--threads", "1"});
+  RunOk({"encode-fleet", "--input", dir, "--out", out_b, "--threads", "4"});
+  for (const char* name : {"house_1", "house_2"}) {
+    for (const char* ext : {".table", ".symbols"}) {
+      std::ifstream a(out_a + "/" + name + ext, std::ios::binary);
+      std::ifstream b(out_b + "/" + name + ext, std::ios::binary);
+      std::stringstream sa, sb;
+      sa << a.rdbuf();
+      sb << b.rdbuf();
+      EXPECT_EQ(sa.str(), sb.str()) << name << ext;
+      EXPECT_FALSE(sa.str().empty()) << name << ext;
+    }
+  }
+}
+
 TEST(CliTest, UsefulErrors) {
   EXPECT_FALSE(RunErr({"stats"}).ok());  // missing --input
   EXPECT_FALSE(RunErr({"stats", "--input", "/no/such/file"}).ok());

@@ -1,12 +1,17 @@
 #include "cli.h"
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <utility>
 
+#include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "core/codec.h"
 #include "core/encoder.h"
 #include "core/entropy.h"
+#include "core/fleet_encoder.h"
 #include "core/quantile.h"
 #include "core/reconstruction.h"
 #include "data/cer.h"
@@ -15,6 +20,15 @@
 
 namespace smeter::cli {
 namespace {
+
+Status MakeDirectories(const std::string& path) {
+  std::error_code error;
+  std::filesystem::create_directories(path, error);
+  if (error) {
+    return InternalError("cannot create " + path + ": " + error.message());
+  }
+  return Status::Ok();
+}
 
 Status WriteFile(const std::string& path, const std::string& content) {
   std::ofstream out(path, std::ios::binary);
@@ -117,9 +131,7 @@ Status CmdSimulate(const Flags& flags, std::ostream& out) {
       }
       std::string house_dir =
           *dir + "/house_" + std::to_string(h + 1);
-      if (::system(("mkdir -p '" + house_dir + "'").c_str()) != 0) {
-        return InternalError("cannot create " + house_dir);
-      }
+      SMETER_RETURN_IF_ERROR(MakeDirectories(house_dir));
       SMETER_RETURN_IF_ERROR(
           WriteFile(house_dir + "/channel_1.dat", mains1));
       SMETER_RETURN_IF_ERROR(
@@ -140,9 +152,7 @@ Status CmdSimulate(const Flags& flags, std::ostream& out) {
     Result<std::string> text = data::FormatCer(meters);
     if (!text.ok()) return text.status();
     std::string path = *dir + "/meters.cer";
-    if (::system(("mkdir -p '" + *dir + "'").c_str()) != 0) {
-      return InternalError("cannot create " + *dir);
-    }
+    SMETER_RETURN_IF_ERROR(MakeDirectories(*dir));
     SMETER_RETURN_IF_ERROR(WriteFile(path, *text));
     out << "wrote " << path << " (" << meters.size() << " meters)\n";
     return Status::Ok();
@@ -278,6 +288,111 @@ Status CmdDecode(const Flags& flags, std::ostream& out) {
   return Status::Ok();
 }
 
+// Loads every household of a fleet: REDD layout (a directory of
+// house_<i>/ subdirectories) or a CER file (all meters). Returns
+// (name, series) pairs in a stable order.
+Result<std::vector<std::pair<std::string, TimeSeries>>> LoadFleet(
+    const std::string& input, const std::string& format) {
+  std::vector<std::pair<std::string, TimeSeries>> fleet;
+  if (format == "redd") {
+    for (int h = 1;; ++h) {
+      std::string house_dir = input + "/house_" + std::to_string(h);
+      if (!std::filesystem::is_directory(house_dir)) break;
+      Result<TimeSeries> series = data::LoadReddHouseMains(house_dir);
+      if (!series.ok()) return series.status();
+      fleet.emplace_back("house_" + std::to_string(h),
+                         std::move(series.value()));
+    }
+    if (fleet.empty()) {
+      return NotFoundError("no house_<i> directories under " + input);
+    }
+    return fleet;
+  }
+  if (format == "cer") {
+    Result<std::vector<std::pair<int64_t, TimeSeries>>> meters =
+        data::LoadCerFile(input);
+    if (!meters.ok()) return meters.status();
+    if (meters->empty()) return FailedPreconditionError("no meters in file");
+    for (auto& [id, series] : *meters) {
+      fleet.emplace_back("meter_" + std::to_string(id), std::move(series));
+    }
+    return fleet;
+  }
+  return InvalidArgumentError("unknown format '" + format +
+                              "' (expected redd|cer)");
+}
+
+Status CmdEncodeFleet(const Flags& flags, std::ostream& out) {
+  Result<std::string> input = flags.Get("input");
+  if (!input.ok()) return input.status();
+  std::string format = flags.GetOr("format", "redd");
+  Result<std::string> dir = flags.Get("out");
+  if (!dir.ok()) return dir.status();
+  Result<SeparatorMethod> method =
+      MethodFromName(flags.GetOr("method", "median"));
+  if (!method.ok()) return method.status();
+  Result<int64_t> level = flags.GetInt("level", 4);
+  if (!level.ok()) return level.status();
+  Result<int64_t> window = flags.GetInt("window", 900);
+  if (!window.ok()) return window.status();
+  Result<int64_t> sample_period = flags.GetInt("sample-period", 1);
+  if (!sample_period.ok()) return sample_period.status();
+  Result<int64_t> history = flags.GetInt("history-seconds", 0);
+  if (!history.ok()) return history.status();
+  Result<int64_t> threads = flags.GetInt("threads", 0);
+  if (!threads.ok()) return threads.status();
+  SMETER_RETURN_IF_ERROR(CheckNoStrayFlags(flags));
+  if (*threads < 0) return InvalidArgumentError("--threads must be >= 0");
+
+  Result<std::vector<std::pair<std::string, TimeSeries>>> fleet =
+      LoadFleet(*input, format);
+  if (!fleet.ok()) return fleet.status();
+  std::vector<TimeSeries> households;
+  households.reserve(fleet->size());
+  for (auto& [name, series] : *fleet) households.push_back(std::move(series));
+
+  FleetEncodeOptions options;
+  options.table.method = *method;
+  options.table.level = static_cast<int>(*level);
+  options.pipeline.window_seconds = *window;
+  options.pipeline.window.sample_period_seconds = *sample_period;
+  options.history_seconds = *history;
+
+  ThreadPool pool(static_cast<size_t>(*threads));
+  Stopwatch watch;
+  Result<std::vector<HouseholdEncoding>> encoded =
+      EncodeFleet(households, options, &pool);
+  if (!encoded.ok()) return encoded.status();
+  const double seconds = watch.ElapsedSeconds();
+
+  SMETER_RETURN_IF_ERROR(MakeDirectories(*dir));
+  size_t total_symbols = 0;
+  size_t total_samples = 0;
+  for (size_t h = 0; h < encoded->size(); ++h) {
+    const std::string& name = (*fleet)[h].first;
+    const HouseholdEncoding& enc = (*encoded)[h];
+    SMETER_RETURN_IF_ERROR(
+        WriteFile(*dir + "/" + name + ".table", enc.table.Serialize()));
+    Result<std::string> blob = PackSymbolicSeries(enc.symbols);
+    if (!blob.ok()) {
+      return Status(blob.status().code(),
+                    name + ": " + blob.status().message() +
+                        " (the trace has gaps; encode gapless spans)");
+    }
+    SMETER_RETURN_IF_ERROR(
+        WriteFile(*dir + "/" + name + ".symbols", *blob));
+    total_symbols += enc.symbols.size();
+    total_samples += households[h].size();
+    out << name << ": " << enc.symbols.size() << " symbols (level "
+        << enc.symbols.level() << ") -> " << *dir << "/" << name
+        << ".{table,symbols}\n";
+  }
+  out << "fleet: " << encoded->size() << " households, " << total_samples
+      << " samples -> " << total_symbols << " symbols on "
+      << pool.num_threads() << " threads in " << seconds << " s\n";
+  return Status::Ok();
+}
+
 Status CmdInfo(const Flags& flags, std::ostream& out) {
   Result<std::string> input = flags.Get("input");
   if (!input.ok()) return input.status();
@@ -391,6 +506,10 @@ std::string UsageText() {
       "               [--level 4] [--history-seconds 0] [--format redd|cer]\n"
       "  encode       --input FILE --table TABLE --out SYMBOLS\n"
       "               [--window 900] [--sample-period 1] [--format redd|cer]\n"
+      "  encode-fleet --input DIR|FILE --out DIR [--format redd|cer]\n"
+      "               [--method median] [--level 4] [--window 900]\n"
+      "               [--sample-period 1] [--history-seconds 0]\n"
+      "               [--threads 0]   (0 = one per hardware thread)\n"
       "  decode       --input SYMBOLS --table TABLE [--mode mean|center]\n"
       "  info         --input FILE\n"
       "  help\n";
@@ -410,6 +529,7 @@ Status RunCli(const std::vector<std::string>& args, std::ostream& out) {
   if (command == "stats") return CmdStats(*flags, out);
   if (command == "learn-table") return CmdLearnTable(*flags, out);
   if (command == "encode") return CmdEncode(*flags, out);
+  if (command == "encode-fleet") return CmdEncodeFleet(*flags, out);
   if (command == "decode") return CmdDecode(*flags, out);
   if (command == "info") return CmdInfo(*flags, out);
   return InvalidArgumentError("unknown command '" + command +

@@ -5,6 +5,8 @@
 //   stats        accumulative statistics of a trace (Figure 4's numbers)
 //   learn-table  learn a lookup table from historical data
 //   encode       vertical+horizontal segmentation -> packed symbol file
+//   encode-fleet per-household tables + encoding for a whole fleet,
+//                sharded across a thread pool (--threads)
 //   decode       packed symbol file -> reconstructed values (CSV)
 //   info         inspect a packed symbol file or serialized table
 //
