@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 
 namespace smeter {
@@ -10,15 +11,26 @@ namespace smeter {
 Result<CsvTable> ParseCsv(const std::string& content,
                           const CsvOptions& options) {
   CsvTable table;
-  // '\n' is a line *terminator*: "a\n" is one line, and a final unterminated
-  // segment ("...\nabc") still counts. The empty string has no lines.
+  // '\n', '\r', and "\r\n" are line *terminators*: "a\n" is one line, and a
+  // final unterminated segment ("...\nabc") still counts but is flagged via
+  // last_row_unterminated. The empty string has no lines.
   size_t line_start = 0;
   while (line_start < content.size()) {
-    size_t line_end = content.find('\n', line_start);
-    if (line_end == std::string::npos) line_end = content.size();
+    size_t line_end = content.find_first_of("\r\n", line_start);
+    bool terminated = line_end != std::string::npos;
+    if (!terminated) line_end = content.size();
     std::string_view line(content.data() + line_start, line_end - line_start);
-    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-    line_start = line_end + 1;
+    line_start = line_end;
+    if (terminated) {
+      // Swallow "\r\n" as a single terminator; a lone '\r' or '\n' also
+      // ends the line (classic-Mac exports and CRLF files mid-stream both
+      // parse the same as Unix line endings).
+      ++line_start;
+      if (content[line_end] == '\r' && line_start < content.size() &&
+          content[line_start] == '\n') {
+        ++line_start;
+      }
+    }
 
     std::string_view trimmed = Trim(line);
     if (options.skip_blank_lines && trimmed.empty()) continue;
@@ -27,12 +39,14 @@ Result<CsvTable> ParseCsv(const std::string& content,
       continue;
     }
     table.rows.push_back(Split(line, options.delimiter));
+    table.last_row_unterminated = !terminated;
   }
   return table;
 }
 
 Result<CsvTable> ReadCsvFile(const std::string& path,
                              const CsvOptions& options) {
+  SMETER_FAULT_POINT("csv.read");
   std::ifstream in(path, std::ios::binary);
   if (!in) return NotFoundError("cannot open file: " + path);
   std::ostringstream buf;

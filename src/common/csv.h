@@ -25,6 +25,11 @@ struct CsvOptions {
 // A fully-parsed delimiter-separated file.
 struct CsvTable {
   std::vector<std::vector<std::string>> rows;
+  // True when the final data row had no line terminator — the signature of
+  // a truncated write (a crashed logger, a partial download). The row is
+  // still parsed; loaders that cannot trust a torn record should drop
+  // rows.back() when this is set.
+  bool last_row_unterminated = false;
 
   size_t num_rows() const { return rows.size(); }
 };

@@ -1,0 +1,121 @@
+#include "common/fault_injection.h"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace smeter::fault {
+namespace {
+
+struct PlanState {
+  std::vector<FaultRule> rules;
+  Rng rng;
+  std::map<std::string, size_t, std::less<>> calls;
+  std::map<std::string, size_t, std::less<>> injected;
+
+  PlanState(std::vector<FaultRule> r, uint64_t seed)
+      : rules(std::move(r)), rng(seed) {}
+};
+
+// The active plan plus the mutex guarding its mutable state. The pointer
+// itself is atomic so the disabled fast path in Check() costs one relaxed
+// load and no lock.
+std::atomic<PlanState*> g_plan{nullptr};
+std::mutex g_mutex;
+
+bool SeamMatches(const std::string& pattern, std::string_view seam) {
+  if (!pattern.empty() && pattern.back() == '*') {
+    return seam.substr(0, pattern.size() - 1) ==
+           std::string_view(pattern).substr(0, pattern.size() - 1);
+  }
+  return seam == pattern;
+}
+
+}  // namespace
+
+bool Active() {
+  return g_plan.load(std::memory_order_relaxed) != nullptr;
+}
+
+Status Check(std::string_view seam) {
+  if (g_plan.load(std::memory_order_relaxed) == nullptr) return Status::Ok();
+  std::lock_guard<std::mutex> lock(g_mutex);
+  PlanState* plan = g_plan.load(std::memory_order_relaxed);
+  if (plan == nullptr) return Status::Ok();  // raced with teardown
+  auto it = plan->calls.find(seam);
+  if (it == plan->calls.end()) {
+    it = plan->calls.emplace(std::string(seam), 0).first;
+  }
+  const size_t call = ++it->second;  // 1-based per-seam numbering
+  for (const FaultRule& rule : plan->rules) {
+    if (!SeamMatches(rule.seam, seam)) continue;
+    bool fire = false;
+    if (rule.first_call > 0) {
+      fire = call >= static_cast<size_t>(rule.first_call) &&
+             (rule.last_call == 0 ||
+              call <= static_cast<size_t>(rule.last_call));
+    }
+    if (!fire && rule.probability > 0.0) {
+      fire = plan->rng.Uniform() < rule.probability;
+    }
+    if (!fire) continue;
+    ++plan->injected[std::string(seam)];
+    std::string message = rule.message.empty()
+                              ? "injected fault at " + std::string(seam)
+                              : rule.message;
+    return Status(rule.code, std::move(message));
+  }
+  return Status::Ok();
+}
+
+ScopedFaultPlan::ScopedFaultPlan(std::vector<FaultRule> rules, uint64_t seed) {
+  auto* state = new PlanState(std::move(rules), seed);
+  std::lock_guard<std::mutex> lock(g_mutex);
+  PlanState* expected = nullptr;
+  const bool installed =
+      g_plan.compare_exchange_strong(expected, state,
+                                     std::memory_order_relaxed);
+  // Plans do not nest: a second live plan would make seam counters
+  // ambiguous, which is a test bug worth failing loudly.
+  SMETER_CHECK(installed);
+}
+
+ScopedFaultPlan::~ScopedFaultPlan() {
+  PlanState* state = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    state = g_plan.exchange(nullptr, std::memory_order_relaxed);
+  }
+  delete state;
+}
+
+size_t ScopedFaultPlan::CallCount(const std::string& seam) const {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  PlanState* plan = g_plan.load(std::memory_order_relaxed);
+  if (plan == nullptr) return 0;
+  auto it = plan->calls.find(seam);
+  return it == plan->calls.end() ? 0 : it->second;
+}
+
+size_t ScopedFaultPlan::InjectedCount(const std::string& seam) const {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  PlanState* plan = g_plan.load(std::memory_order_relaxed);
+  if (plan == nullptr) return 0;
+  auto it = plan->injected.find(seam);
+  return it == plan->injected.end() ? 0 : it->second;
+}
+
+size_t ScopedFaultPlan::TotalInjected() const {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  PlanState* plan = g_plan.load(std::memory_order_relaxed);
+  if (plan == nullptr) return 0;
+  size_t total = 0;
+  for (const auto& [seam, count] : plan->injected) total += count;
+  return total;
+}
+
+}  // namespace smeter::fault

@@ -1,0 +1,105 @@
+// Deterministic fault injection for Status-returning seams.
+//
+// Production code marks its fallible seams with a call to
+// `fault::Check("seam.name")` (or the SMETER_FAULT_POINT macro, which
+// wraps it in SMETER_RETURN_IF_ERROR). With no plan installed — the normal
+// state — Check is a single relaxed atomic load returning OK, so seams are
+// free to sit on I/O and per-household paths.
+//
+// Tests install a ScopedFaultPlan to flip chosen seams: fail the Nth call,
+// a call range, every call, or each call with a fixed probability drawn
+// from a seeded deterministic RNG. Per-seam call counters and injection
+// counters are exposed so tests can assert a fault actually fired (a plan
+// that never triggers is a test bug, not a pass).
+//
+// Threading: Check may be called concurrently from pool workers; counters
+// and the RNG live behind one mutex. Call numbering is global across
+// threads, so "fail the Nth call" is deterministic only when the seam is
+// reached serially — parallel tests should key rules to per-item seam
+// names (e.g. "pool.chunk.3") or assert scheduling-independent invariants.
+
+#ifndef SMETER_COMMON_FAULT_INJECTION_H_
+#define SMETER_COMMON_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace smeter::fault {
+
+// One injection rule. A call to Check(seam) fails when `seam` matches and
+// either its (1-based, per-seam) call number falls in
+// [first_call, last_call] or a probability draw fires.
+struct FaultRule {
+  // Exact seam name, or a prefix match when it ends with '*'
+  // (e.g. "fleet.*" hits every fleet seam).
+  std::string seam;
+  // Call-range trigger: fail calls numbered [first_call, last_call].
+  // first_call == 0 disables the range; last_call == 0 means "forever".
+  // "Fail exactly the Nth call" is first_call == last_call == N.
+  int first_call = 0;
+  int last_call = 0;
+  // Probability trigger: when > 0, each matching call fails with this
+  // probability, drawn from the plan's seeded RNG. Mutually exclusive with
+  // the call range in intent; if both are set the range is checked first.
+  double probability = 0.0;
+  // The injected error.
+  StatusCode code = StatusCode::kInternal;
+  std::string message;  // empty -> "injected fault at <seam>"
+
+  // Fails calls numbered [first, last] (last == 0 -> every call from
+  // `first` on).
+  static FaultRule FailCalls(std::string seam, int first, int last = 0) {
+    FaultRule rule;
+    rule.seam = std::move(seam);
+    rule.first_call = first;
+    rule.last_call = last;
+    return rule;
+  }
+  // Fails each matching call with probability `p` from the plan's RNG.
+  static FaultRule FailWithProbability(std::string seam, double p) {
+    FaultRule rule;
+    rule.seam = std::move(seam);
+    rule.probability = p;
+    return rule;
+  }
+};
+
+// Returns OK, or the injected error if the active plan decides this call
+// fails. Seams are free-form dotted names ("csv.read", "fleet.household").
+Status Check(std::string_view seam);
+
+// True when a plan is installed (cheap; for code that wants to skip
+// expensive seam-name construction in the common case).
+bool Active();
+
+// Installs a set of rules for the lifetime of the object. Plans do not
+// nest: constructing a second ScopedFaultPlan while one is alive aborts
+// (tests own the process-global injector one at a time).
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(std::vector<FaultRule> rules, uint64_t seed = 1);
+  ~ScopedFaultPlan();
+
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+
+  // Number of Check() calls that named exactly `seam` so far.
+  size_t CallCount(const std::string& seam) const;
+  // Number of those calls that failed.
+  size_t InjectedCount(const std::string& seam) const;
+  // Total injected failures across all seams.
+  size_t TotalInjected() const;
+};
+
+}  // namespace smeter::fault
+
+// Marks a fallible seam: propagates an injected error, otherwise falls
+// through. Usage:  SMETER_FAULT_POINT("csv.read");
+#define SMETER_FAULT_POINT(seam) \
+  SMETER_RETURN_IF_ERROR(::smeter::fault::Check(seam))
+
+#endif  // SMETER_COMMON_FAULT_INJECTION_H_

@@ -108,12 +108,17 @@ Status ThreadPool::ParallelFor(
   const size_t num_chunks = (count + grain - 1) / grain;
 
   // One chunk, or a pool with no workers: plain serial loop, no handoff.
+  // Still no short-circuit — the class contract is that every chunk runs
+  // even after a failure, at every pool size, so a ThreadPool(1) run is
+  // observationally identical to a ThreadPool(8) run.
   if (num_chunks == 1 || workers_.empty()) {
+    Status first_error;
     for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
       const size_t lo = begin + chunk * grain;
-      SMETER_RETURN_IF_ERROR(fn(lo, std::min(end, lo + grain)));
+      Status status = fn(lo, std::min(end, lo + grain));
+      if (!status.ok() && first_error.ok()) first_error = std::move(status);
     }
-    return Status::Ok();
+    return first_error;
   }
 
   auto state = std::make_shared<ParallelForState>();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <limits>
 #include <string>
 
 namespace smeter {
@@ -25,10 +26,15 @@ std::vector<Symbol> Alphabet(int level) {
   return symbols;
 }
 
+// What to do with a NaN reading: the strict kernels reject the batch, the
+// gap-aware kernel emits the out-of-alphabet GAP symbol.
+enum class NanPolicy { kReject, kGap };
+
 Status EncodeBatchImpl(const LookupTable& table,
                        std::span<const double> values, int out_level,
-                       Symbol* out) {
+                       NanPolicy nan_policy, Symbol* out) {
   const std::vector<Symbol> alphabet = Alphabet(out_level);
+  const Symbol gap = Symbol::Gap(out_level);
   const double* separators = table.separators().data();
   const int level = table.level();
   const int shift = level - out_level;
@@ -42,7 +48,7 @@ Status EncodeBatchImpl(const LookupTable& table,
     // an unvalidated NaN would silently encode as symbol 0.
     bool nan_seen = false;
     for (size_t i = 0; i < n; ++i) nan_seen |= std::isnan(chunk[i]);
-    if (nan_seen) {
+    if (nan_seen && nan_policy == NanPolicy::kReject) {
       for (size_t i = 0; i < n; ++i) {
         if (std::isnan(chunk[i])) {
           return InvalidArgumentError("cannot encode a NaN reading (index " +
@@ -65,8 +71,17 @@ Status EncodeBatchImpl(const LookupTable& table,
         idx[i] += (separators[idx[i] + step - 1] < chunk[i]) ? step : 0;
       }
     }
-    for (size_t i = 0; i < n; ++i) {
-      out[base + i] = alphabet[idx[i] >> shift];
+    if (nan_seen) {
+      // Gap policy: a NaN descended to idx 0 (all comparisons false);
+      // overwrite those lanes with the GAP symbol.
+      for (size_t i = 0; i < n; ++i) {
+        out[base + i] =
+            std::isnan(chunk[i]) ? gap : alphabet[idx[i] >> shift];
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        out[base + i] = alphabet[idx[i] >> shift];
+      }
     }
   }
   return Status::Ok();
@@ -76,7 +91,8 @@ Status EncodeBatchImpl(const LookupTable& table,
 
 Status EncodeBatch(const LookupTable& table, std::span<const double> values,
                    Symbol* out) {
-  return EncodeBatchImpl(table, values, table.level(), out);
+  return EncodeBatchImpl(table, values, table.level(), NanPolicy::kReject,
+                         out);
 }
 
 Result<std::vector<Symbol>> EncodeBatch(const LookupTable& table,
@@ -92,7 +108,19 @@ Status EncodeBatchAtLevel(const LookupTable& table,
   if (level < 1 || level > table.level()) {
     return InvalidArgumentError("encode level outside table range");
   }
-  return EncodeBatchImpl(table, values, level, out);
+  return EncodeBatchImpl(table, values, level, NanPolicy::kReject, out);
+}
+
+Status EncodeBatchWithGaps(const LookupTable& table,
+                           std::span<const double> values, Symbol* out) {
+  return EncodeBatchImpl(table, values, table.level(), NanPolicy::kGap, out);
+}
+
+Result<std::vector<Symbol>> EncodeBatchWithGaps(
+    const LookupTable& table, std::span<const double> values) {
+  std::vector<Symbol> out(values.size());
+  SMETER_RETURN_IF_ERROR(EncodeBatchWithGaps(table, values, out.data()));
+  return out;
 }
 
 Status DecodeBatch(const LookupTable& table, std::span<const Symbol> symbols,
@@ -102,6 +130,7 @@ Status DecodeBatch(const LookupTable& table, std::span<const Symbol> symbols,
   if (level > table.level()) {
     return InvalidArgumentError("symbol finer than table");
   }
+  const double nan = std::numeric_limits<double>::quiet_NaN();
   // Representative values per index, computed once per batch; the scalar
   // Reconstruct pins the semantics (range center / clamped range mean).
   const uint32_t k = 1u << level;
@@ -116,7 +145,11 @@ Status DecodeBatch(const LookupTable& table, std::span<const Symbol> symbols,
     const size_t n = std::min(kChunk, symbols.size() - base);
     const Symbol* chunk = symbols.data() + base;
     bool mismatch = false;
-    for (size_t i = 0; i < n; ++i) mismatch |= (chunk[i].level() != level);
+    bool gap_seen = false;
+    for (size_t i = 0; i < n; ++i) {
+      mismatch |= (chunk[i].level() != level);
+      gap_seen |= chunk[i].is_gap();
+    }
     if (mismatch) {
       for (size_t i = 0; i < n; ++i) {
         if (chunk[i].level() != level) {
@@ -128,8 +161,17 @@ Status DecodeBatch(const LookupTable& table, std::span<const Symbol> symbols,
         }
       }
     }
-    for (size_t i = 0; i < n; ++i) {
-      out[base + i] = representatives[chunk[i].index()];
+    if (gap_seen) {
+      // GAP symbols sit outside the representatives table; they decode to
+      // NaN (the inverse of EncodeBatchWithGaps).
+      for (size_t i = 0; i < n; ++i) {
+        out[base + i] =
+            chunk[i].is_gap() ? nan : representatives[chunk[i].index()];
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        out[base + i] = representatives[chunk[i].index()];
+      }
     }
   }
   return Status::Ok();

@@ -45,10 +45,23 @@ Status EncodeBatchAtLevel(const LookupTable& table,
                           std::span<const double> values, int level,
                           Symbol* out);
 
+// Gap-aware encode: like EncodeBatch, but a NaN reading means "missing
+// sample" and encodes to Symbol::Gap(table.level()) instead of failing the
+// batch. Every finite (and infinite) value produces exactly the symbol
+// EncodeBatch would. This is the kernel behind the fault-tolerant fleet
+// path, where the vertical layer marks empty windows with NaN.
+Status EncodeBatchWithGaps(const LookupTable& table,
+                           std::span<const double> values, Symbol* out);
+
+// Convenience overload allocating the output column.
+Result<std::vector<Symbol>> EncodeBatchWithGaps(const LookupTable& table,
+                                                std::span<const double> values);
+
 // Decodes symbols[i] into out[i] using `mode`. All symbols must share one
 // level <= table.level() (a SymbolicSeries column satisfies this by
 // construction); a mismatched symbol is an InvalidArgument error naming
-// the first offending index.
+// the first offending index. GAP symbols decode to NaN — the inverse of
+// EncodeBatchWithGaps — so callers building a TimeSeries must drop them.
 Status DecodeBatch(const LookupTable& table, std::span<const Symbol> symbols,
                    ReconstructionMode mode, double* out);
 

@@ -1,12 +1,14 @@
 #include "core/codec.h"
 
 #include <cstring>
+#include <vector>
 
 namespace smeter {
 namespace {
 
 constexpr char kMagic[4] = {'S', 'M', 'S', 'Y'};
-constexpr uint8_t kVersion = 1;
+constexpr uint8_t kVersionGapless = 1;
+constexpr uint8_t kVersionWithGaps = 2;
 constexpr size_t kHeaderBytes = 4 + 1 + 1 + 4 + 8 + 8;
 
 void AppendLittleEndian(std::string& out, uint64_t value, int bytes) {
@@ -36,6 +38,11 @@ size_t PackedSizeBytes(size_t count, int level) {
   return kHeaderBytes + (payload_bits + 7) / 8;
 }
 
+size_t PackedSizeBytesWithGaps(size_t count, size_t gaps, int level) {
+  size_t payload_bits = (count - gaps) * static_cast<size_t>(level);
+  return kHeaderBytes + (count + 7) / 8 + (payload_bits + 7) / 8;
+}
+
 Result<std::string> PackSymbolicSeries(const SymbolicSeries& series) {
   if (series.empty()) {
     return FailedPreconditionError("cannot pack an empty series");
@@ -43,6 +50,7 @@ Result<std::string> PackSymbolicSeries(const SymbolicSeries& series) {
   if (series.size() > UINT32_MAX) {
     return InvalidArgumentError("series too long for the wire format");
   }
+  const size_t gaps = series.GapCount();
   int64_t step = 0;
   if (series.size() > 1) {
     if (__builtin_sub_overflow(series[1].timestamp, series[0].timestamp,
@@ -65,19 +73,44 @@ Result<std::string> PackSymbolicSeries(const SymbolicSeries& series) {
   }
 
   std::string out;
-  out.reserve(PackedSizeBytes(series.size(), series.level()));
+  out.reserve(gaps == 0
+                  ? PackedSizeBytes(series.size(), series.level())
+                  : PackedSizeBytesWithGaps(series.size(), gaps,
+                                            series.level()));
   out.append(kMagic, sizeof(kMagic));
-  out.push_back(static_cast<char>(kVersion));
+  out.push_back(static_cast<char>(gaps == 0 ? kVersionGapless
+                                            : kVersionWithGaps));
   out.push_back(static_cast<char>(series.level()));
   AppendLittleEndian(out, static_cast<uint32_t>(series.size()), 4);
   AppendLittleEndian(out, static_cast<uint64_t>(series[0].timestamp), 8);
   AppendLittleEndian(out, static_cast<uint64_t>(step), 8);
 
-  // MSB-first bit packing.
+  if (gaps > 0) {
+    // Version 2: presence bitmap (MSB-first, bit set = GAP), then the value
+    // symbols only — a gap has no alphabet index to pack.
+    uint8_t bitmap_byte = 0;
+    int bits_in_byte = 0;
+    for (const SymbolicSample& s : series) {
+      bitmap_byte = static_cast<uint8_t>(
+          (bitmap_byte << 1) | (s.symbol.is_gap() ? 1u : 0u));
+      if (++bits_in_byte == 8) {
+        out.push_back(static_cast<char>(bitmap_byte));
+        bitmap_byte = 0;
+        bits_in_byte = 0;
+      }
+    }
+    if (bits_in_byte > 0) {
+      out.push_back(
+          static_cast<char>(bitmap_byte << (8 - bits_in_byte)));
+    }
+  }
+
+  // MSB-first bit packing of the value symbols.
   uint32_t accumulator = 0;
   int bits_held = 0;
   const int level = series.level();
   for (const SymbolicSample& s : series) {
+    if (s.symbol.is_gap()) continue;
     accumulator = (accumulator << level) | s.symbol.index();
     bits_held += level;
     while (bits_held >= 8) {
@@ -100,7 +133,7 @@ Result<SymbolicSeries> UnpackSymbolicSeries(const std::string& blob) {
     return InvalidArgumentError("bad magic");
   }
   uint8_t version = static_cast<uint8_t>(blob[4]);
-  if (version != kVersion) {
+  if (version != kVersionGapless && version != kVersionWithGaps) {
     return UnimplementedError("unsupported version " +
                               std::to_string(version));
   }
@@ -125,7 +158,43 @@ Result<SymbolicSeries> UnpackSymbolicSeries(const std::string& blob) {
       return InvalidArgumentError("timestamp range overflows int64");
     }
   }
-  size_t expected = PackedSizeBytes(count, level);
+  // Version 2 carries a presence bitmap between the header and the payload;
+  // decode it (and the gap count it implies) before sizing the payload.
+  std::vector<bool> is_gap;
+  size_t gaps = 0;
+  size_t payload_start = kHeaderBytes;
+  if (version == kVersionWithGaps) {
+    const size_t bitmap_bytes = (count + 7) / 8;
+    if (blob.size() < kHeaderBytes + bitmap_bytes) {
+      return InvalidArgumentError("blob shorter than gap bitmap");
+    }
+    is_gap.resize(count);
+    for (size_t i = 0; i < count; ++i) {
+      const auto byte = static_cast<unsigned char>(
+          blob[kHeaderBytes + i / 8]);
+      const bool gap = ((byte >> (7 - i % 8)) & 1u) != 0;
+      is_gap[i] = gap;
+      gaps += gap ? 1 : 0;
+    }
+    // Trailing pad bits of the final bitmap byte must be zero — anything
+    // else is a malformed (or ambiguous) encoding.
+    if (count % 8 != 0) {
+      const auto last = static_cast<unsigned char>(
+          blob[kHeaderBytes + bitmap_bytes - 1]);
+      if ((last & ((1u << (8 - count % 8)) - 1u)) != 0) {
+        return InvalidArgumentError("nonzero padding in gap bitmap");
+      }
+    }
+    if (gaps == 0) {
+      // A gapless series packs as version 1; a version-2 blob claiming no
+      // gaps is not something the encoder emits.
+      return InvalidArgumentError("version 2 blob with empty gap bitmap");
+    }
+    payload_start = kHeaderBytes + bitmap_bytes;
+  }
+  size_t expected = version == kVersionWithGaps
+                        ? PackedSizeBytesWithGaps(count, gaps, level)
+                        : PackedSizeBytes(count, level);
   if (blob.size() != expected) {
     return InvalidArgumentError("payload size mismatch: have " +
                                 std::to_string(blob.size()) + ", want " +
@@ -135,9 +204,14 @@ Result<SymbolicSeries> UnpackSymbolicSeries(const std::string& blob) {
   SymbolicSeries series(level);
   uint32_t accumulator = 0;
   int bits_held = 0;
-  size_t byte_index = kHeaderBytes;
+  size_t byte_index = payload_start;
   const uint32_t mask = (1u << level) - 1;
   for (size_t i = 0; i < count; ++i) {
+    const Timestamp ts = start + static_cast<int64_t>(i) * step;
+    if (version == kVersionWithGaps && is_gap[i]) {
+      SMETER_RETURN_IF_ERROR(series.Append({ts, Symbol::Gap(level)}));
+      continue;
+    }
     while (bits_held < level) {
       accumulator = (accumulator << 8) |
                     static_cast<unsigned char>(blob[byte_index++]);
@@ -147,8 +221,7 @@ Result<SymbolicSeries> UnpackSymbolicSeries(const std::string& blob) {
     bits_held -= level;
     Result<Symbol> symbol = Symbol::Create(level, index);
     if (!symbol.ok()) return symbol.status();
-    SMETER_RETURN_IF_ERROR(series.Append(
-        {start + static_cast<int64_t>(i) * step, symbol.value()}));
+    SMETER_RETURN_IF_ERROR(series.Append({ts, symbol.value()}));
   }
   return series;
 }

@@ -4,15 +4,22 @@
 //
 // Layout (little-endian):
 //   magic   "SMSY"            4 bytes
-//   version u8                (= 1)
+//   version u8                (1 = gapless, 2 = with GAP symbols)
 //   level   u8                bits per symbol
-//   count   u32               number of symbols
+//   count   u32               number of symbols (gaps included)
 //   start   i64               timestamp of the first symbol
 //   step    i64               seconds between consecutive symbols
-//   payload ceil(count*level/8) bytes, symbols packed MSB-first
+//   gapmap  ceil(count/8) bytes, MSB-first, bit set = GAP   (version 2 only)
+//   payload ceil(values*level/8) bytes, value symbols packed MSB-first,
+//           where values = count minus the gap positions
 //
-// Only fixed-cadence series are packable (gaps carry no timestamps on the
-// wire); Pack rejects irregular series — send those as separate segments.
+// A gapless series always packs as version 1 (bit-identical to the
+// pre-GAP format); a series containing GAP symbols packs as version 2.
+//
+// Only fixed-cadence series are packable; a missing window must be an
+// explicit GAP symbol (the gap-aware pipeline emits those), not an absent
+// timestamp. Pack rejects irregular series — send those as separate
+// segments.
 
 #ifndef SMETER_CORE_CODEC_H_
 #define SMETER_CORE_CODEC_H_
@@ -38,8 +45,13 @@ Result<SymbolicSeries> UnpackSymbolicSeries(const std::string& blob);
 // excluding the header).
 int64_t PackedPayloadBits(size_t count, int level);
 
-// Total wire size in bytes (header + payload).
+// Total wire size in bytes (header + payload) for a gapless (version 1)
+// blob.
 size_t PackedSizeBytes(size_t count, int level);
+
+// Total wire size in bytes for a version-2 blob of `count` slots of which
+// `gaps` are GAP symbols (header + gap bitmap + value payload).
+size_t PackedSizeBytesWithGaps(size_t count, size_t gaps, int level);
 
 }  // namespace smeter
 

@@ -1,5 +1,9 @@
 #include "core/encoder.h"
 
+#include <limits>
+#include <utility>
+
+#include "common/fault_injection.h"
 #include "core/batch_encoder.h"
 
 namespace smeter {
@@ -58,6 +62,9 @@ Result<TimeSeries> Decode(const SymbolicSeries& series,
   std::vector<Sample> samples;
   samples.reserve(series.size());
   for (size_t i = 0; i < series.size(); ++i) {
+    // GAP symbols decode to NaN: the window had no data, so the
+    // reconstruction has none either.
+    if (series[i].symbol.is_gap()) continue;
     samples.push_back({series[i].timestamp, values[i]});
   }
   return TimeSeries::FromSamples(std::move(samples));
@@ -66,10 +73,55 @@ Result<TimeSeries> Decode(const SymbolicSeries& series,
 Result<SymbolicSeries> EncodePipeline(const TimeSeries& raw,
                                       const LookupTable& table,
                                       const PipelineOptions& options) {
+  SMETER_FAULT_POINT("encode.pipeline");
   Result<TimeSeries> aggregated =
       VerticalSegmentByWindow(raw, options.window_seconds, options.window);
   if (!aggregated.ok()) return aggregated.status();
   return Encode(aggregated.value(), table);
+}
+
+Result<QualityEncoding> EncodePipelineWithGaps(const TimeSeries& raw,
+                                               const LookupTable& table,
+                                               const PipelineOptions& options) {
+  SMETER_FAULT_POINT("encode.pipeline");
+  GapAwareWindowOptions gap_options;
+  gap_options.window = options.window;
+  Result<std::vector<AggregatedWindow>> windows =
+      VerticalSegmentByWindowWithGaps(raw, options.window_seconds,
+                                      gap_options);
+  if (!windows.ok()) return windows.status();
+
+  QualityEncoding out;
+  std::vector<double> values;
+  values.reserve(windows->size());
+  for (const AggregatedWindow& w : *windows) {
+    switch (w.quality) {
+      case WindowQuality::kValid:
+        ++out.quality.windows_valid;
+        values.push_back(w.value);
+        break;
+      case WindowQuality::kPartial:
+        ++out.quality.windows_partial;
+        values.push_back(w.value);
+        break;
+      case WindowQuality::kGap:
+        ++out.quality.windows_gap;
+        values.push_back(std::numeric_limits<double>::quiet_NaN());
+        break;
+    }
+  }
+  std::vector<Symbol> symbols(values.size());
+  SMETER_RETURN_IF_ERROR(EncodeBatchWithGaps(table, values, symbols.data()));
+  std::vector<SymbolicSample> samples;
+  samples.reserve(windows->size());
+  for (size_t i = 0; i < windows->size(); ++i) {
+    samples.push_back({(*windows)[i].timestamp, symbols[i]});
+  }
+  Result<SymbolicSeries> series =
+      SymbolicSeries::FromSamples(table.level(), std::move(samples));
+  if (!series.ok()) return series.status();
+  out.symbols = std::move(series.value());
+  return out;
 }
 
 }  // namespace smeter

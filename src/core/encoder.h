@@ -32,7 +32,9 @@ Result<SymbolicSeries> EncodeAtLevel(const TimeSeries& series,
                                      const LookupTable& table, int level);
 
 // Decodes a symbolic series back to real values using `mode`. Symbols must
-// not be finer than the table.
+// not be finer than the table. GAP symbols produce no output sample — the
+// reconstructed series simply has a hole at that timestamp, which is the
+// honest inverse of a missing window.
 Result<TimeSeries> Decode(const SymbolicSeries& series,
                           const LookupTable& table, ReconstructionMode mode);
 
@@ -46,6 +48,38 @@ struct PipelineOptions {
 Result<SymbolicSeries> EncodePipeline(const TimeSeries& raw,
                                       const LookupTable& table,
                                       const PipelineOptions& options);
+
+// Per-trace data-quality summary of a gap-aware encode.
+struct EncodeQuality {
+  size_t windows_valid = 0;
+  size_t windows_partial = 0;  // aggregated below min_coverage
+  size_t windows_gap = 0;      // no readings; encoded as GAP symbols
+  size_t windows_total() const {
+    return windows_valid + windows_partial + windows_gap;
+  }
+  // Fraction of windows with no data (0 for an empty trace).
+  double gap_ratio() const {
+    const size_t total = windows_total();
+    return total == 0 ? 0.0
+                      : static_cast<double>(windows_gap) /
+                            static_cast<double>(total);
+  }
+};
+
+struct QualityEncoding {
+  SymbolicSeries symbols;
+  EncodeQuality quality;
+};
+
+// Gap-aware pipeline: vertical segmentation that keeps every aligned
+// window (missing ones become GAP symbols, under-covered ones are encoded
+// but counted as partial), then horizontal segmentation. The output always
+// has a fixed window cadence, so it packs into one wire blob even when the
+// raw trace has outages. Identical to EncodePipeline on a gapless,
+// fully-covered trace.
+Result<QualityEncoding> EncodePipelineWithGaps(const TimeSeries& raw,
+                                               const LookupTable& table,
+                                               const PipelineOptions& options);
 
 }  // namespace smeter
 

@@ -1,8 +1,14 @@
 #include "core/fleet_encoder.h"
 
+#include <chrono>
+#include <cstdio>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
+
+#include "common/check.h"
+#include "common/fault_injection.h"
 
 namespace smeter {
 namespace {
@@ -12,8 +18,13 @@ Status AnnotateHousehold(size_t index, const Status& status) {
                                    status.message());
 }
 
-Result<HouseholdEncoding> EncodeHousehold(const TimeSeries& trace,
-                                          const FleetEncodeOptions& options) {
+struct EncodedHousehold {
+  HouseholdEncoding encoding;
+  EncodeQuality quality;
+};
+
+Result<EncodedHousehold> EncodeHousehold(const TimeSeries& trace,
+                                         const FleetEncodeOptions& options) {
   if (trace.empty()) return FailedPreconditionError("empty trace");
   TimeSeries training = trace;
   if (options.history_seconds > 0) {
@@ -26,11 +37,88 @@ Result<HouseholdEncoding> EncodeHousehold(const TimeSeries& trace,
   Result<LookupTable> table =
       LookupTable::Build(training.Values(), options.table);
   if (!table.ok()) return table.status();
-  Result<SymbolicSeries> symbols =
-      EncodePipeline(trace, *table, options.pipeline);
-  if (!symbols.ok()) return symbols.status();
-  return HouseholdEncoding{std::move(table.value()),
-                           std::move(symbols.value())};
+  EncodedHousehold out{{std::move(table.value()), SymbolicSeries(1)}, {}};
+  if (options.gap_aware) {
+    Result<QualityEncoding> encoded =
+        EncodePipelineWithGaps(trace, out.encoding.table, options.pipeline);
+    if (!encoded.ok()) return encoded.status();
+    out.quality = encoded->quality;
+    out.encoding.symbols = std::move(encoded.value().symbols);
+  } else {
+    Result<SymbolicSeries> symbols =
+        EncodePipeline(trace, out.encoding.table, options.pipeline);
+    if (!symbols.ok()) return symbols.status();
+    out.quality.windows_valid = symbols->size();
+    out.encoding.symbols = std::move(symbols.value());
+  }
+  return out;
+}
+
+// One full attempt for one household: injection point, trace-load check,
+// encode, then the sink. Any failing step fails the attempt as a unit, so
+// the retry loop re-runs all of it.
+Status AttemptHousehold(size_t index, const FleetInput& input,
+                        const FleetEncodeOptions& options,
+                        const HouseholdSink& sink, HouseholdReport* report,
+                        std::optional<HouseholdEncoding>* kept) {
+  SMETER_FAULT_POINT("fleet.household");
+  if (!input.trace.ok()) return input.trace.status();
+  Result<EncodedHousehold> encoded =
+      EncodeHousehold(input.trace.value(), options);
+  if (!encoded.ok()) return encoded.status();
+  report->quality = encoded->quality;
+  if (sink) {
+    SMETER_RETURN_IF_ERROR(sink(index, *report, encoded->encoding));
+    kept->reset();
+  } else {
+    *kept = std::move(encoded.value().encoding);
+  }
+  return Status::Ok();
+}
+
+int64_t BackoffMs(const RetryOptions& retry, int retry_number) {
+  double backoff = static_cast<double>(retry.initial_backoff_ms);
+  for (int i = 1; i < retry_number; ++i) backoff *= retry.backoff_multiplier;
+  return static_cast<int64_t>(backoff);
+}
+
+void AppendJsonString(std::string& out, const std::string& value) {
+  out.push_back('"');
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+std::string FormatRatio(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", value);
+  return buf;
 }
 
 }  // namespace
@@ -44,10 +132,10 @@ Result<std::vector<HouseholdEncoding>> EncodeFleet(
   std::vector<std::optional<HouseholdEncoding>> slots(households.size());
   auto encode_range = [&](size_t begin, size_t end) -> Status {
     for (size_t h = begin; h < end; ++h) {
-      Result<HouseholdEncoding> encoded =
+      Result<EncodedHousehold> encoded =
           EncodeHousehold(households[h], options);
       if (!encoded.ok()) return AnnotateHousehold(h, encoded.status());
-      slots[h] = std::move(encoded.value());
+      slots[h] = std::move(encoded.value().encoding);
     }
     return Status::Ok();
   };
@@ -65,6 +153,143 @@ Result<std::vector<HouseholdEncoding>> EncodeFleet(
   for (std::optional<HouseholdEncoding>& slot : slots) {
     out.push_back(std::move(*slot));
   }
+  return out;
+}
+
+std::string HouseholdOutcomeToString(HouseholdOutcome outcome) {
+  switch (outcome) {
+    case HouseholdOutcome::kOk:
+      return "ok";
+    case HouseholdOutcome::kDegraded:
+      return "degraded";
+    case HouseholdOutcome::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
+
+Result<std::vector<HouseholdReport>> EncodeFleetTolerant(
+    const std::vector<FleetInput>& inputs, const FleetEncodeOptions& options,
+    ThreadPool* pool, const HouseholdSink& sink) {
+  const RetryOptions& retry = options.retry;
+  if (retry.max_retries < 0) {
+    return InvalidArgumentError("max_retries must be >= 0");
+  }
+  if (retry.initial_backoff_ms < 0) {
+    return InvalidArgumentError("initial_backoff_ms must be >= 0");
+  }
+  if (retry.backoff_multiplier < 1.0) {
+    return InvalidArgumentError("backoff_multiplier must be >= 1.0");
+  }
+  std::function<void(int64_t)> sleep_ms = retry.sleep_ms;
+  if (!sleep_ms) {
+    sleep_ms = [](int64_t ms) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    };
+  }
+
+  std::vector<HouseholdReport> reports(inputs.size());
+  // The range function never returns an error: every household failure is
+  // captured in its own report, so ParallelFor's lowest-failing-chunk
+  // contract is never exercised and all households always run.
+  auto encode_range = [&](size_t begin, size_t end) -> Status {
+    for (size_t h = begin; h < end; ++h) {
+      HouseholdReport& report = reports[h];
+      report.name = inputs[h].name;
+      std::optional<HouseholdEncoding> kept;
+      for (int attempt = 1; attempt <= 1 + retry.max_retries; ++attempt) {
+        report.attempts = attempt;
+        if (attempt > 1) sleep_ms(BackoffMs(retry, attempt - 1));
+        Status attempted =
+            AttemptHousehold(h, inputs[h], options, sink, &report, &kept);
+        if (attempted.ok()) {
+          const bool clean = attempt == 1 &&
+                             report.quality.windows_partial == 0 &&
+                             report.quality.windows_gap == 0;
+          report.outcome = clean ? HouseholdOutcome::kOk
+                                 : HouseholdOutcome::kDegraded;
+          report.error = Status::Ok();
+          report.encoding = std::move(kept);
+          break;
+        }
+        report.outcome = HouseholdOutcome::kQuarantined;
+        report.error = Status(attempted.code(), "household " + inputs[h].name +
+                                                    ": " + attempted.message());
+        report.encoding.reset();
+      }
+      // A quarantined household produced no output; don't let the window
+      // counts of a half-succeeded attempt leak into the report.
+      if (report.outcome == HouseholdOutcome::kQuarantined) {
+        report.quality = EncodeQuality{};
+      }
+    }
+    return Status::Ok();
+  };
+  if (pool != nullptr) {
+    Status st = pool->ParallelFor(0, inputs.size(), 1, encode_range);
+    SMETER_CHECK(st.ok());  // encode_range is infallible
+  } else {
+    Status st = encode_range(0, inputs.size());
+    SMETER_CHECK(st.ok());
+  }
+  return reports;
+}
+
+FleetQualityReport SummarizeFleet(
+    const std::vector<HouseholdReport>& reports) {
+  FleetQualityReport summary;
+  for (const HouseholdReport& r : reports) {
+    switch (r.outcome) {
+      case HouseholdOutcome::kOk:
+        ++summary.households_ok;
+        break;
+      case HouseholdOutcome::kDegraded:
+        ++summary.households_degraded;
+        break;
+      case HouseholdOutcome::kQuarantined:
+        ++summary.households_quarantined;
+        break;
+    }
+    if (r.outcome != HouseholdOutcome::kQuarantined) {
+      summary.windows_total += r.quality.windows_total();
+      summary.windows_gap += r.quality.windows_gap;
+    }
+  }
+  return summary;
+}
+
+std::string FleetQualityReportToJson(
+    const FleetQualityReport& summary,
+    const std::vector<HouseholdReport>& reports) {
+  std::string out = "{\n";
+  out += "  \"households_ok\": " + std::to_string(summary.households_ok) +
+         ",\n";
+  out += "  \"households_degraded\": " +
+         std::to_string(summary.households_degraded) + ",\n";
+  out += "  \"households_quarantined\": " +
+         std::to_string(summary.households_quarantined) + ",\n";
+  out += "  \"windows_total\": " + std::to_string(summary.windows_total) +
+         ",\n";
+  out += "  \"windows_gap\": " + std::to_string(summary.windows_gap) + ",\n";
+  out += "  \"gap_ratio\": " + FormatRatio(summary.gap_ratio()) + ",\n";
+  out += "  \"households\": [\n";
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const HouseholdReport& r = reports[i];
+    out += "    {\"name\": ";
+    AppendJsonString(out, r.name);
+    out += ", \"outcome\": ";
+    AppendJsonString(out, HouseholdOutcomeToString(r.outcome));
+    out += ", \"attempts\": " + std::to_string(r.attempts);
+    out += ", \"windows_valid\": " + std::to_string(r.quality.windows_valid);
+    out += ", \"windows_partial\": " +
+           std::to_string(r.quality.windows_partial);
+    out += ", \"windows_gap\": " + std::to_string(r.quality.windows_gap);
+    out += ", \"gap_ratio\": " + FormatRatio(r.quality.gap_ratio());
+    out += ", \"error\": ";
+    AppendJsonString(out, r.error.ok() ? "" : r.error.ToString());
+    out += i + 1 < reports.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
   return out;
 }
 

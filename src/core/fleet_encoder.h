@@ -8,10 +8,26 @@
 // emitting 1 Hz data) is embarrassingly parallel across households, so
 // throughput scales with the pool size while each household's output stays
 // bit-identical to a serial EncodePipeline call.
+//
+// Two entry points with different failure models:
+//   EncodeFleet          — all-or-nothing. Any failing household fails the
+//                          run (lowest-indexed failure wins, as a serial
+//                          loop would report). Right for benchmarks and
+//                          pipelines where partial output is useless.
+//   EncodeFleetTolerant  — per-household quarantine. A failing household is
+//                          retried with exponential backoff and, if it
+//                          never succeeds, quarantined; the other
+//                          households encode normally and the run reports
+//                          per-household outcomes. Right for ingestion,
+//                          where one meter's corrupt file must not discard
+//                          a fleet's worth of good data.
 
 #ifndef SMETER_CORE_FLEET_ENCODER_H_
 #define SMETER_CORE_FLEET_ENCODER_H_
 
+#include <functional>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -23,6 +39,23 @@
 
 namespace smeter {
 
+// Retry policy for EncodeFleetTolerant. An "attempt" is the whole
+// per-household unit of work: load result check, table build, encode, and
+// the sink callback — a transient write failure retries the same way a
+// transient read failure does.
+struct RetryOptions {
+  // Extra attempts after the first failure (0 = fail fast).
+  int max_retries = 2;
+  // Backoff before retry k (1-based) is initial_backoff_ms *
+  // backoff_multiplier^(k-1).
+  int64_t initial_backoff_ms = 100;
+  double backoff_multiplier = 2.0;
+  // Sleep hook, for tests: receives the backoff in milliseconds. Defaults
+  // to std::this_thread::sleep_for; inject a recorder to keep tests
+  // wall-clock free.
+  std::function<void(int64_t)> sleep_ms;
+};
+
 struct FleetEncodeOptions {
   // Per-household table construction (Section 2.2 separator learning).
   LookupTableOptions table;
@@ -32,6 +65,12 @@ struct FleetEncodeOptions {
   // its trace — the paper trains tables on the first two days and encodes
   // the rest. 0 = learn from the whole trace.
   int64_t history_seconds = 0;
+  // Tolerant path only: encode through EncodePipelineWithGaps, so a trace
+  // with outages produces GAP symbols (and a degraded outcome) instead of
+  // an error.
+  bool gap_aware = false;
+  // Tolerant path only: retry policy for failing households.
+  RetryOptions retry;
 };
 
 // One household's encoding: its personal table plus its symbol stream.
@@ -48,6 +87,85 @@ struct HouseholdEncoding {
 Result<std::vector<HouseholdEncoding>> EncodeFleet(
     const std::vector<TimeSeries>& households,
     const FleetEncodeOptions& options, ThreadPool* pool = nullptr);
+
+// One household heading into the tolerant encoder. The trace is a Result
+// so a failed load (unreadable file, malformed CSV) flows into the same
+// quarantine machinery as an encode failure, instead of aborting before
+// the fleet call.
+struct FleetInput {
+  std::string name;
+  Result<TimeSeries> trace;
+};
+
+enum class HouseholdOutcome {
+  kOk = 0,       // encoded cleanly, no gaps, first attempt
+  kDegraded,     // encoded, but with gap/partial windows or after retries
+  kQuarantined,  // all attempts failed; no output for this household
+};
+
+std::string HouseholdOutcomeToString(HouseholdOutcome outcome);
+
+// Per-household result of a tolerant fleet run.
+struct HouseholdReport {
+  std::string name;
+  HouseholdOutcome outcome = HouseholdOutcome::kQuarantined;
+  // Attempts actually made (>= 1; > 1 means retries happened).
+  int attempts = 0;
+  // The final error for a quarantined household; OK otherwise.
+  Status error;
+  // Window-quality counts (all-valid unless gap_aware was set).
+  EncodeQuality quality;
+  // The encoding, present unless quarantined. Absent when a sink consumed
+  // the outputs (see HouseholdSink below) to keep fleet-scale memory flat.
+  std::optional<HouseholdEncoding> encoding;
+};
+
+// Fleet-level rollup of a tolerant run.
+struct FleetQualityReport {
+  size_t households_ok = 0;
+  size_t households_degraded = 0;
+  size_t households_quarantined = 0;
+  size_t windows_total = 0;
+  size_t windows_gap = 0;
+  size_t total() const {
+    return households_ok + households_degraded + households_quarantined;
+  }
+  double gap_ratio() const {
+    return windows_total == 0 ? 0.0
+                              : static_cast<double>(windows_gap) /
+                                    static_cast<double>(windows_total);
+  }
+};
+
+FleetQualityReport SummarizeFleet(const std::vector<HouseholdReport>& reports);
+
+// Renders the fleet report as a stable, human-readable JSON document:
+// the rollup counts plus a per-household array with outcome, attempts,
+// gap ratio, and the quarantine error message.
+std::string FleetQualityReportToJson(
+    const FleetQualityReport& summary,
+    const std::vector<HouseholdReport>& reports);
+
+// Optional per-household output hook, called once per successful attempt
+// (from the encoding thread) with the household's index, its in-progress
+// report (name, attempts, and quality are valid; outcome and error are
+// finalized only after the sink returns), and the encoding. A non-OK
+// return fails that attempt — it retries under the same policy as an
+// encode failure. When a sink is provided the encoding is handed to it and
+// NOT kept in the report, so a large fleet streams to disk instead of
+// accumulating in memory. Sinks run concurrently under a pool; they must
+// be thread-safe across distinct households.
+using HouseholdSink =
+    std::function<Status(size_t index, const HouseholdReport& report,
+                         const HouseholdEncoding& encoding)>;
+
+// Encodes the fleet with per-household fault isolation: every household
+// gets up to 1 + retry.max_retries attempts, failures are quarantined
+// rather than propagated, and the run itself only fails on infrastructure
+// errors (never on a household's data). Reports arrive in input order.
+Result<std::vector<HouseholdReport>> EncodeFleetTolerant(
+    const std::vector<FleetInput>& inputs, const FleetEncodeOptions& options,
+    ThreadPool* pool = nullptr, const HouseholdSink& sink = nullptr);
 
 }  // namespace smeter
 

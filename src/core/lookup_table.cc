@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 
 namespace smeter {
@@ -23,6 +24,7 @@ int LevelForAlphabetSize(size_t k) {
 
 Result<LookupTable> LookupTable::Build(const std::vector<double>& training,
                                        const LookupTableOptions& options) {
+  SMETER_FAULT_POINT("table.build");
   Result<std::vector<double>> seps =
       LearnSeparators(training, options.method, options.level);
   if (!seps.ok()) return seps.status();
@@ -150,6 +152,9 @@ Result<Symbol> LookupTable::EncodeAtLevel(double value, int level) const {
 }
 
 Result<double> LookupTable::RangeLow(const Symbol& symbol) const {
+  if (symbol.is_gap()) {
+    return InvalidArgumentError("GAP symbol has no value range");
+  }
   if (symbol.level() > level_) {
     return InvalidArgumentError("symbol finer than table");
   }
@@ -162,6 +167,9 @@ Result<double> LookupTable::RangeLow(const Symbol& symbol) const {
 }
 
 Result<double> LookupTable::RangeHigh(const Symbol& symbol) const {
+  if (symbol.is_gap()) {
+    return InvalidArgumentError("GAP symbol has no value range");
+  }
   if (symbol.level() > level_) {
     return InvalidArgumentError("symbol finer than table");
   }

@@ -20,6 +20,17 @@ Result<Symbol> Symbol::Create(int level, uint32_t index) {
   return Symbol(level, index);
 }
 
+Symbol Symbol::Gap(int level) {
+  SMETER_CHECK_GE(level, 1);
+  SMETER_CHECK_LE(level, kMaxSymbolLevel);
+  return Symbol(level, kGapIndex);
+}
+
+uint32_t Symbol::index() const {
+  SMETER_DCHECK(!is_gap());
+  return index_;
+}
+
 Result<Symbol> Symbol::FromBits(const std::string& bits) {
   if (bits.empty()) return InvalidArgumentError("empty symbol bit string");
   if (bits.size() > static_cast<size_t>(kMaxSymbolLevel)) {
@@ -36,6 +47,7 @@ Result<Symbol> Symbol::FromBits(const std::string& bits) {
 }
 
 std::string Symbol::ToBits() const {
+  if (is_gap()) return std::string(static_cast<size_t>(level_), '_');
   std::string bits(static_cast<size_t>(level_), '0');
   for (int i = 0; i < level_; ++i) {
     if ((index_ >> (level_ - 1 - i)) & 1u) bits[static_cast<size_t>(i)] = '1';
@@ -49,15 +61,18 @@ Result<Symbol> Symbol::Coarsen(int level) const {
                                 std::to_string(level_) + " symbol to level " +
                                 std::to_string(level));
   }
+  if (is_gap()) return Symbol(level, kGapIndex);
   return Symbol(level, index_ >> (level_ - level));
 }
 
 bool Symbol::IsAncestorOf(const Symbol& other) const {
+  if (is_gap() || other.is_gap()) return false;
   if (level_ > other.level_) return false;
   return (other.index_ >> (other.level_ - level_)) == index_;
 }
 
 int Symbol::Compare(const Symbol& other) const {
+  if (is_gap() || other.is_gap()) return 0;
   // Compare the two ranges by aligning both to the finer level.
   int common = std::max(level_, other.level_);
   uint64_t a_lo = static_cast<uint64_t>(index_) << (common - level_);

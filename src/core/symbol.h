@@ -26,33 +26,56 @@ inline constexpr int kMaxSymbolLevel = 12;
 //
 // Value type; totally ordered only within one level. Across levels, use
 // IsAncestorOf / Comparable helpers.
+//
+// Besides the 2^level value symbols, every level has one out-of-alphabet
+// GAP symbol (Symbol::Gap) standing for a window with no usable readings —
+// real fleets deliver gappy data, and dropping the window would silently
+// break the fixed cadence the wire format and downstream alignment rely
+// on. A GAP carries a level (so it travels in a SymbolicSeries) but no
+// value range: Encode never produces it from a reading, index() on it is a
+// contract violation, and histograms/entropy skip it.
 class Symbol {
  public:
   Symbol() : level_(1), index_(0) {}
 
   // `level` in [1, kMaxSymbolLevel]; `index` in [0, 2^level).
-  // Invalid combinations are reported via Create().
+  // Invalid combinations are reported via Create(). GAP symbols are only
+  // constructible via Gap().
   static Result<Symbol> Create(int level, uint32_t index);
+
+  // The GAP (missing-window) symbol at `level`. `level` must be in
+  // [1, kMaxSymbolLevel] (contract-checked).
+  static Symbol Gap(int level);
 
   // Parses a bit string such as "0101". Errors on empty, too long, or
   // non-binary input.
   static Result<Symbol> FromBits(const std::string& bits);
 
   int level() const { return level_; }
-  uint32_t index() const { return index_; }
+  // The value-symbol index. Contract: !is_gap() — a GAP has no position in
+  // the value alphabet, and indexing an array of 2^level entries with it
+  // would read out of bounds.
+  uint32_t index() const;
+
+  // True for the out-of-alphabet GAP symbol.
+  bool is_gap() const { return index_ == kGapIndex; }
 
   // Alphabet size at this symbol's level (2^level).
   uint32_t AlphabetSize() const { return 1u << level_; }
 
-  // Renders the symbol as its bit string, e.g. (3, 5) -> "101".
+  // Renders the symbol as its bit string, e.g. (3, 5) -> "101"; a GAP
+  // renders as level underscores, e.g. "___".
   std::string ToBits() const;
 
   // Drops resolution to `level` (a prefix of the bit string). Errors if
-  // `level` exceeds this symbol's level or is < 1.
+  // `level` exceeds this symbol's level or is < 1. A GAP coarsens to the
+  // GAP of the coarser level (a window with no data has no data at any
+  // resolution).
   Result<Symbol> Coarsen(int level) const;
 
   // True if this symbol's range contains `other`'s range, i.e. this
-  // symbol's bits are a (non-strict) prefix of `other`'s.
+  // symbol's bits are a (non-strict) prefix of `other`'s. A GAP has no
+  // range: false whenever either side is a GAP.
   bool IsAncestorOf(const Symbol& other) const;
 
   // Cross-resolution comparison (Section 4: "lower resolution symbols can
@@ -61,15 +84,21 @@ class Symbol {
   //   +1 for the converse,
   //    0 if the ranges are related by refinement (one is a prefix of the
   //      other) or equal.
+  // A GAP has no value range, so it is unordered against everything: 0.
   int Compare(const Symbol& other) const;
 
   // Total order *within a level*; mixing levels is a bug guarded by assert.
+  // The GAP sorts after every value symbol of its level.
   friend bool operator<(const Symbol& a, const Symbol& b);
   friend bool operator==(const Symbol& a, const Symbol& b) {
     return a.level_ == b.level_ && a.index_ == b.index_;
   }
 
  private:
+  // Sentinel index for the GAP symbol; deliberately far outside any
+  // alphabet (max level is 12 -> max valid index 4095).
+  static constexpr uint32_t kGapIndex = 0xffffffffu;
+
   Symbol(int level, uint32_t index) : level_(level), index_(index) {}
 
   int level_;

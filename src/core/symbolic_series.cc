@@ -75,8 +75,18 @@ std::string SymbolicSeries::ToBitString() const {
 
 std::vector<size_t> SymbolicSeries::Histogram() const {
   std::vector<size_t> counts(size_t{1} << level_, 0);
-  for (const SymbolicSample& s : samples_) ++counts[s.symbol.index()];
+  for (const SymbolicSample& s : samples_) {
+    if (!s.symbol.is_gap()) ++counts[s.symbol.index()];
+  }
   return counts;
+}
+
+size_t SymbolicSeries::GapCount() const {
+  size_t gaps = 0;
+  for (const SymbolicSample& s : samples_) {
+    if (s.symbol.is_gap()) ++gaps;
+  }
+  return gaps;
 }
 
 }  // namespace smeter

@@ -71,11 +71,16 @@ class SymbolicSeries {
   // string truncated). Errors if `level` > level().
   Result<SymbolicSeries> Coarsen(int level) const;
 
-  // Renders the series as a string of bit groups, e.g. "010 110 001".
+  // Renders the series as a string of bit groups, e.g. "010 110 001"
+  // (GAP symbols render as underscores).
   std::string ToBitString() const;
 
-  // Per-symbol-index occurrence counts (size 2^level).
+  // Per-symbol-index occurrence counts (size 2^level). GAP symbols are not
+  // part of the value alphabet and are excluded; see GapCount().
   std::vector<size_t> Histogram() const;
+
+  // Number of GAP (missing-window) symbols in the series.
+  size_t GapCount() const;
 
  private:
   int level_;

@@ -120,4 +120,77 @@ Result<TimeSeries> VerticalSegmentByWindow(const TimeSeries& series,
   return out;
 }
 
+Result<std::vector<AggregatedWindow>> VerticalSegmentByWindowWithGaps(
+    const TimeSeries& series, int64_t window_seconds,
+    const GapAwareWindowOptions& options) {
+  if (window_seconds <= 0) {
+    return InvalidArgumentError("window_seconds must be > 0");
+  }
+  if (options.window.sample_period_seconds <= 0) {
+    return InvalidArgumentError("sample_period_seconds must be > 0");
+  }
+  if (options.window.min_coverage < 0.0 || options.window.min_coverage > 1.0) {
+    return InvalidArgumentError("min_coverage must be in [0, 1]");
+  }
+  std::vector<AggregatedWindow> out;
+  if (series.empty()) return out;
+
+  const auto align = [window_seconds](Timestamp t) {
+    Timestamp ws = t / window_seconds * window_seconds;
+    if (ws > t) ws -= window_seconds;
+    return ws;
+  };
+  const Timestamp first_window = align(series.front().timestamp);
+  const Timestamp last_window = align(series.back().timestamp);
+  // Windows from first to last inclusive; the subtraction cannot overflow
+  // for any series a TimeSeries can hold (timestamps non-decreasing), but
+  // the count can still be astronomically large for sparse traces.
+  const uint64_t num_windows =
+      static_cast<uint64_t>(last_window - first_window) /
+          static_cast<uint64_t>(window_seconds) +
+      1;
+  if (num_windows > options.max_windows) {
+    return InvalidArgumentError(
+        "gap-aware segmentation would emit " + std::to_string(num_windows) +
+        " windows (max " + std::to_string(options.max_windows) +
+        "); the trace is too sparse for this window size");
+  }
+  out.reserve(static_cast<size_t>(num_windows));
+
+  const double expected =
+      static_cast<double>(window_seconds) /
+      static_cast<double>(options.window.sample_period_seconds);
+  Accumulator acc(options.window.aggregation);
+  Timestamp window_start = first_window;
+
+  auto flush = [&]() {
+    AggregatedWindow w;
+    w.timestamp = window_start + window_seconds;
+    w.coverage = static_cast<double>(acc.count()) / expected;
+    if (acc.count() == 0) {
+      w.quality = WindowQuality::kGap;
+      w.value = std::numeric_limits<double>::quiet_NaN();
+    } else {
+      w.quality = (w.coverage + 1e-12 >= options.window.min_coverage)
+                      ? WindowQuality::kValid
+                      : WindowQuality::kPartial;
+      w.value = acc.Value();
+    }
+    out.push_back(w);
+    acc.Reset();
+  };
+
+  for (const Sample& s : series) {
+    const Timestamp ws = align(s.timestamp);
+    // Emit every window up to the sample's, the intervening ones as gaps.
+    while (window_start < ws) {
+      flush();
+      window_start += window_seconds;
+    }
+    acc.Add(s.value);
+  }
+  flush();
+  return out;
+}
+
 }  // namespace smeter

@@ -15,6 +15,7 @@
 #define SMETER_CORE_VERTICAL_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/status.h"
 #include "core/time_series.h"
@@ -56,6 +57,45 @@ struct WindowOptions {
 Result<TimeSeries> VerticalSegmentByWindow(const TimeSeries& series,
                                            int64_t window_seconds,
                                            const WindowOptions& options = {});
+
+// Per-window data quality for the gap-aware segmentation below.
+enum class WindowQuality {
+  kValid,    // coverage >= min_coverage
+  kPartial,  // some samples, but coverage < min_coverage
+  kGap,      // no samples at all
+};
+
+// One aligned window of the gap-aware segmentation.
+struct AggregatedWindow {
+  Timestamp timestamp = 0;  // window end (Definition 2's last-element stamp)
+  // Aggregate of the window's samples; NaN when quality == kGap (a window
+  // with no readings has no aggregate).
+  double value = 0.0;
+  WindowQuality quality = WindowQuality::kGap;
+  // Fraction of expected samples present, in [0, 1+] (over-dense inputs can
+  // exceed 1).
+  double coverage = 0.0;
+};
+
+struct GapAwareWindowOptions {
+  WindowOptions window;
+  // Upper bound on the number of emitted windows. The gap-aware path emits
+  // EVERY aligned window between the first and last sample, so a trace with
+  // two samples eons apart would otherwise allocate without bound — reject
+  // it instead. 2^20 windows is ~28 years of 15-minute data.
+  size_t max_windows = size_t{1} << 20;
+};
+
+// Gap-aware variant of VerticalSegmentByWindow: emits one AggregatedWindow
+// for EVERY aligned window from the first sample's window through the last
+// sample's window, inclusive — missing stretches appear as explicit
+// kGap/kPartial windows instead of silently breaking the cadence. The
+// result always has a fixed window_seconds cadence, which is what lets a
+// gappy trace round-trip through the wire codec (GAP symbols) without
+// splitting into segments.
+Result<std::vector<AggregatedWindow>> VerticalSegmentByWindowWithGaps(
+    const TimeSeries& series, int64_t window_seconds,
+    const GapAwareWindowOptions& options = {});
 
 }  // namespace smeter
 

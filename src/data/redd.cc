@@ -11,8 +11,14 @@ Result<TimeSeries> LoadReddChannel(const std::string& path) {
   Result<CsvTable> table = ReadCsvFile(path, csv);
   if (!table.ok()) return table.status();
 
+  // A final row with no line terminator is the signature of a truncated
+  // write (logger crash mid-record); its fields cannot be trusted, so drop
+  // just that row instead of failing the whole channel on a short field.
+  size_t usable_rows = table->rows.size();
+  if (table->last_row_unterminated && usable_rows > 0) --usable_rows;
+
   TimeSeries series;
-  for (size_t i = 0; i < table->rows.size(); ++i) {
+  for (size_t i = 0; i < usable_rows; ++i) {
     const auto& row = table->rows[i];
     if (row.size() < 2) {
       return InvalidArgumentError(path + ": row " + std::to_string(i) +

@@ -67,6 +67,53 @@ TEST(CsvTest, CommentCharDisabled) {
   EXPECT_EQ(t.rows[0][0], "#not");
 }
 
+// A final record without a line terminator is the signature of a
+// truncated write; the row still parses but the flag lets loaders drop it.
+TEST(CsvTest, FlagsTruncatedFinalRecord) {
+  ASSERT_OK_AND_ASSIGN(CsvTable torn, ParseCsv("1,2\n3,"));
+  ASSERT_EQ(torn.num_rows(), 2u);
+  EXPECT_TRUE(torn.last_row_unterminated);
+  ASSERT_OK_AND_ASSIGN(CsvTable clean, ParseCsv("1,2\n3,4\n"));
+  EXPECT_FALSE(clean.last_row_unterminated);
+  // A trailing comment or blank after a terminated data row does not flag:
+  // the torn tail is not a data record.
+  ASSERT_OK_AND_ASSIGN(CsvTable comment_tail, ParseCsv("1,2\n# partial com"));
+  ASSERT_EQ(comment_tail.num_rows(), 1u);
+  EXPECT_FALSE(comment_tail.last_row_unterminated);
+}
+
+// CRLF appearing mid-file (a file assembled from chunks with mixed line
+// endings) must not leave '\r' glued onto field values or split rows
+// wrongly.
+TEST(CsvTest, MixedLineEndingsMidFile) {
+  ASSERT_OK_AND_ASSIGN(CsvTable t, ParseCsv("1,2\r\n3,4\n5,6\r\n7,8"));
+  ASSERT_EQ(t.num_rows(), 4u);
+  EXPECT_EQ(t.rows[0], (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(t.rows[2], (std::vector<std::string>{"5", "6"}));
+  EXPECT_EQ(t.rows[3], (std::vector<std::string>{"7", "8"}));
+  EXPECT_TRUE(t.last_row_unterminated);
+}
+
+// Classic-Mac exports terminate lines with a lone '\r'.
+TEST(CsvTest, LoneCarriageReturnTerminatesLines) {
+  ASSERT_OK_AND_ASSIGN(CsvTable t, ParseCsv("1,2\r3,4\r"));
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.rows[0], (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(t.rows[1], (std::vector<std::string>{"3", "4"}));
+  EXPECT_FALSE(t.last_row_unterminated);
+}
+
+TEST(CsvTest, CrLfPairIsOneTerminatorNotTwo) {
+  CsvOptions options;
+  options.skip_blank_lines = false;
+  // "\r\n" must produce one line break; "\n\r" is two breaks (an empty
+  // line between them).
+  ASSERT_OK_AND_ASSIGN(CsvTable crlf, ParseCsv("a\r\nb\n", options));
+  EXPECT_EQ(crlf.num_rows(), 2u);
+  ASSERT_OK_AND_ASSIGN(CsvTable lfcr, ParseCsv("a\n\rb\n", options));
+  EXPECT_EQ(lfcr.num_rows(), 3u);
+}
+
 TEST(CsvFileTest, RoundTrip) {
   std::string path = testing::TempPath("roundtrip.csv");
   std::vector<std::vector<std::string>> rows = {{"a", "b"}, {"1", "2"}};

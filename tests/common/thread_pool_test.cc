@@ -4,8 +4,10 @@
 
 #include <atomic>
 #include <numeric>
+#include <string>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "testutil.h"
 
 namespace smeter {
@@ -156,6 +158,71 @@ TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
   }));
   EXPECT_EQ(calls.load(), 5);
 }
+
+// Injected chunk failures exercise the same contract as hand-rolled error
+// returns, across serial and parallel pool shapes: the lowest-indexed
+// failing chunk's error is reported, every chunk runs to completion, and
+// no chunk's work is consumed after the error (the output below is only
+// read when the call succeeds).
+class ThreadPoolFaultTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ThreadPoolFaultTest, InjectedChunkFailuresKeepLowestIndexContract) {
+  ThreadPool pool(GetParam());
+  // Per-chunk seam names make injection scheduling-independent: chunks 5
+  // and 11 fail no matter which worker runs them or in what order.
+  fault::ScopedFaultPlan plan({
+      fault::FaultRule::FailCalls("pool.chunk.5", 1),
+      fault::FaultRule::FailCalls("pool.chunk.11", 1),
+  });
+  const size_t n = 16;
+  std::vector<std::atomic<int>> ran(n);
+  std::vector<int> results(n, 0);
+  Status status = pool.ParallelFor(0, n, 1, [&](size_t begin, size_t) {
+    ran[begin].fetch_add(1, std::memory_order_relaxed);
+    SMETER_FAULT_POINT("pool.chunk." + std::to_string(begin));
+    results[begin] = static_cast<int>(begin) + 1;
+    return Status::Ok();
+  });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  // Deterministic winner: chunk 5, never chunk 11, at every pool size.
+  EXPECT_NE(status.message().find("pool.chunk.5"), std::string::npos);
+  EXPECT_EQ(status.message().find("pool.chunk.11"), std::string::npos);
+  // No cancellation: every chunk ran exactly once, and exactly the two
+  // injected chunks produced no result.
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(ran[i].load(), 1) << i;
+    if (i == 5 || i == 11) {
+      EXPECT_EQ(results[i], 0) << i;
+    } else {
+      EXPECT_EQ(results[i], static_cast<int>(i) + 1) << i;
+    }
+  }
+  EXPECT_EQ(plan.TotalInjected(), 2u);
+}
+
+TEST_P(ThreadPoolFaultTest, PoolHealsAfterInjectionPlanEnds) {
+  ThreadPool pool(GetParam());
+  {
+    fault::ScopedFaultPlan plan(
+        {fault::FaultRule::FailCalls("pool.chunk.*", 1)});
+    Status status = pool.ParallelFor(0, 8, 1, [&](size_t begin, size_t) {
+      SMETER_FAULT_POINT("pool.chunk." + std::to_string(begin));
+      return Status::Ok();
+    });
+    EXPECT_FALSE(status.ok());
+  }
+  // Same pool, no plan: clean run.
+  std::atomic<int> calls{0};
+  ASSERT_OK(pool.ParallelFor(0, 8, 1, [&](size_t, size_t) {
+    calls.fetch_add(1);
+    return Status::Ok();
+  }));
+  EXPECT_EQ(calls.load(), 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolSizes, ThreadPoolFaultTest,
+                         ::testing::Values(1, 2, 8));
 
 TEST(ThreadPoolTest, SharedPoolIsUsable) {
   std::atomic<int> calls{0};

@@ -175,5 +175,93 @@ TEST(DecodeBatchTest, EmptyInput) {
   EXPECT_TRUE(decoded.empty());
 }
 
+// --- gap-aware kernels ------------------------------------------------------
+
+TEST(EncodeBatchGapTest, NansBecomeGapSymbolsOthersMatchStrictKernel) {
+  LookupTable table = MedianTable(4);
+  Rng rng(21);
+  std::vector<double> values;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (size_t i = 0; i < 9000; ++i) {
+    values.push_back(rng.Uniform() < 0.25 ? nan : rng.LogNormal(5.0, 1.0));
+  }
+  ASSERT_OK_AND_ASSIGN(std::vector<Symbol> gappy,
+                       EncodeBatchWithGaps(table, values));
+  ASSERT_EQ(gappy.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (std::isnan(values[i])) {
+      EXPECT_TRUE(gappy[i].is_gap()) << i;
+      EXPECT_EQ(gappy[i].level(), 4) << i;
+    } else {
+      EXPECT_EQ(gappy[i], table.Encode(values[i])) << i;
+    }
+  }
+}
+
+TEST(EncodeBatchGapTest, StrictKernelStillRejectsNans) {
+  LookupTable table = MedianTable(3);
+  std::vector<double> values = {1.0,
+                                std::numeric_limits<double>::quiet_NaN()};
+  std::vector<Symbol> out(values.size());
+  Status strict = EncodeBatch(table, values, out.data());
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.message().find("index 1"), std::string::npos);
+}
+
+TEST(EncodeBatchGapTest, GapFreeInputMatchesStrictKernelExactly) {
+  LookupTable table = MedianTable(5);
+  Rng rng(3);
+  std::vector<double> values;
+  for (size_t i = 0; i < 5000; ++i) values.push_back(rng.LogNormal(5.0, 1.2));
+  ASSERT_OK_AND_ASSIGN(std::vector<Symbol> strict,
+                       EncodeBatch(table, values));
+  ASSERT_OK_AND_ASSIGN(std::vector<Symbol> gappy,
+                       EncodeBatchWithGaps(table, values));
+  EXPECT_EQ(strict, gappy);
+}
+
+TEST(DecodeBatchGapTest, GapSymbolsDecodeToNan) {
+  LookupTable table = MedianTable(4);
+  std::vector<Symbol> symbols;
+  for (uint32_t i = 0; i < 16; ++i) {
+    symbols.push_back(Symbol::Create(4, i).value());
+    symbols.push_back(Symbol::Gap(4));
+  }
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<double> decoded,
+      DecodeBatch(table, symbols, ReconstructionMode::kRangeCenter));
+  ASSERT_EQ(decoded.size(), symbols.size());
+  for (size_t i = 0; i < symbols.size(); ++i) {
+    if (symbols[i].is_gap()) {
+      EXPECT_TRUE(std::isnan(decoded[i])) << i;
+    } else {
+      EXPECT_FALSE(std::isnan(decoded[i])) << i;
+      EXPECT_DOUBLE_EQ(
+          decoded[i],
+          table.Reconstruct(symbols[i], ReconstructionMode::kRangeCenter)
+              .value())
+          << i;
+    }
+  }
+}
+
+TEST(DecodeBatchGapTest, EncodeDecodeRoundTripPreservesNanPositions) {
+  LookupTable table = MedianTable(6);
+  Rng rng(33);
+  std::vector<double> values;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (size_t i = 0; i < 4097; ++i) {  // crosses a chunk boundary
+    values.push_back(i % 7 == 0 ? nan : rng.LogNormal(5.0, 1.0));
+  }
+  ASSERT_OK_AND_ASSIGN(std::vector<Symbol> symbols,
+                       EncodeBatchWithGaps(table, values));
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<double> decoded,
+      DecodeBatch(table, symbols, ReconstructionMode::kRangeMean));
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(std::isnan(decoded[i]), std::isnan(values[i])) << i;
+  }
+}
+
 }  // namespace
 }  // namespace smeter

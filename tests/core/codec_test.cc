@@ -126,6 +126,112 @@ TEST(CodecTest, PackedSizeArithmetic) {
   EXPECT_EQ(PackedSizeBytes(8, 1), 27u);
   EXPECT_EQ(PackedSizeBytes(9, 1), 28u);
   EXPECT_EQ(PackedPayloadBits(24, 1), 24);
+  // v2: header + ceil(count/8) bitmap + ceil((count-gaps)*level/8) payload.
+  EXPECT_EQ(PackedSizeBytesWithGaps(8, 2, 4), 26u + 1u + 3u);
+  EXPECT_EQ(PackedSizeBytesWithGaps(9, 9, 4), 26u + 2u + 0u);
+}
+
+// Inserts GAP symbols at `gap_positions` into an otherwise value-bearing
+// series.
+SymbolicSeries MakeGappySeries(int level, size_t count,
+                               const std::vector<size_t>& gap_positions,
+                               Timestamp start = 0, int64_t step = 900) {
+  SymbolicSeries series(level);
+  for (size_t i = 0; i < count; ++i) {
+    bool gap = false;
+    for (size_t g : gap_positions) gap |= (g == i);
+    Symbol s = gap ? Symbol::Gap(level)
+                   : Symbol::Create(level, static_cast<uint32_t>(
+                                               i % (1u << level)))
+                         .value();
+    EXPECT_OK(series.Append({start + static_cast<int64_t>(i) * step, s}));
+  }
+  return series;
+}
+
+TEST(CodecGapTest, GappySeriesRoundTripsThroughVersion2) {
+  SymbolicSeries original = MakeGappySeries(4, 12, {0, 5, 6, 11}, 3600);
+  ASSERT_OK_AND_ASSIGN(std::string blob, PackSymbolicSeries(original));
+  EXPECT_EQ(static_cast<unsigned char>(blob[4]), 2u);  // version
+  EXPECT_EQ(blob.size(), PackedSizeBytesWithGaps(12, 4, 4));
+  ASSERT_OK_AND_ASSIGN(SymbolicSeries decoded, UnpackSymbolicSeries(blob));
+  ASSERT_EQ(decoded.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(decoded[i].timestamp, original[i].timestamp) << i;
+    EXPECT_EQ(decoded[i].symbol.is_gap(), original[i].symbol.is_gap()) << i;
+    EXPECT_EQ(decoded[i].symbol, original[i].symbol) << i;
+  }
+  EXPECT_EQ(decoded.GapCount(), 4u);
+}
+
+TEST(CodecGapTest, GaplessSeriesStillPacksAsVersion1BitIdentical) {
+  // Back-compat: no gaps -> the exact pre-GAP wire bytes.
+  SymbolicSeries series = MakeSeries(4, {0, 15, 7, 8});
+  ASSERT_OK_AND_ASSIGN(std::string blob, PackSymbolicSeries(series));
+  EXPECT_EQ(static_cast<unsigned char>(blob[4]), 1u);
+  EXPECT_EQ(blob.size(), PackedSizeBytes(4, 4));
+}
+
+TEST(CodecGapTest, AllGapSeriesRoundTrips) {
+  SymbolicSeries original = MakeGappySeries(3, 10,
+                                            {0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  ASSERT_OK_AND_ASSIGN(std::string blob, PackSymbolicSeries(original));
+  // Bitmap only; zero payload bytes.
+  EXPECT_EQ(blob.size(), PackedSizeBytesWithGaps(10, 10, 3));
+  ASSERT_OK_AND_ASSIGN(SymbolicSeries decoded, UnpackSymbolicSeries(blob));
+  EXPECT_EQ(decoded.GapCount(), 10u);
+}
+
+TEST(CodecGapTest, RoundTripAllLevelsWithRandomGaps) {
+  Rng rng(17);
+  for (int level = 1; level <= kMaxSymbolLevel; ++level) {
+    SymbolicSeries original(level);
+    size_t gaps = 0;
+    for (int i = 0; i < 100; ++i) {
+      Symbol s = Symbol::Create(
+                     level, static_cast<uint32_t>(rng.UniformInt(1u << level)))
+                     .value();
+      if (rng.Uniform() < 0.3) {
+        s = Symbol::Gap(level);
+        ++gaps;
+      }
+      ASSERT_OK(original.Append({static_cast<int64_t>(i) * 900, s}));
+    }
+    if (gaps == 0) continue;
+    ASSERT_OK_AND_ASSIGN(std::string blob, PackSymbolicSeries(original));
+    ASSERT_EQ(blob.size(), PackedSizeBytesWithGaps(100, gaps, level))
+        << "level " << level;
+    ASSERT_OK_AND_ASSIGN(SymbolicSeries decoded, UnpackSymbolicSeries(blob));
+    ASSERT_EQ(decoded.size(), original.size());
+    for (size_t i = 0; i < original.size(); ++i) {
+      ASSERT_EQ(decoded[i], original[i]) << "level " << level << " at " << i;
+    }
+  }
+}
+
+TEST(CodecGapTest, UnpackRejectsMalformedVersion2Blobs) {
+  SymbolicSeries original = MakeGappySeries(4, 12, {3, 7});
+  std::string blob = PackSymbolicSeries(original).value();
+
+  // Truncation anywhere (bitmap or payload) fails the size check.
+  for (size_t cut = 1; cut < blob.size(); ++cut) {
+    EXPECT_FALSE(UnpackSymbolicSeries(blob.substr(0, cut)).ok()) << cut;
+  }
+  EXPECT_FALSE(UnpackSymbolicSeries(blob + "x").ok());
+
+  // Nonzero padding bits in the final bitmap byte are ambiguous encodings.
+  std::string dirty_pad = blob;
+  dirty_pad[26 + 1] = static_cast<char>(
+      static_cast<unsigned char>(dirty_pad[26 + 1]) | 0x01);
+  EXPECT_FALSE(UnpackSymbolicSeries(dirty_pad).ok());
+
+  // A v2 blob whose bitmap claims zero gaps is not something Pack emits.
+  SymbolicSeries gapless = MakeSeries(4, {1, 2, 3, 4, 5, 6, 7, 8});
+  std::string v1 = PackSymbolicSeries(gapless).value();
+  std::string fake_v2 = v1;
+  fake_v2[4] = 2;
+  fake_v2.insert(26, 1, '\0');  // empty bitmap for 8 symbols
+  EXPECT_FALSE(UnpackSymbolicSeries(fake_v2).ok());
 }
 
 }  // namespace

@@ -99,5 +99,64 @@ TEST(EncodePipelineTest, PropagatesWindowErrors) {
   EXPECT_FALSE(EncodePipeline(TimeSeries(), table, options).ok());
 }
 
+// --- gap-aware pipeline -----------------------------------------------------
+
+TEST(EncodePipelineWithGapsTest, OutageBecomesGapSymbolsNotMissingWindows) {
+  LookupTable table = UniformTable(100.0, 2);
+  // 60 s windows: [0,60) at 10 W, [60,120) missing entirely, [120,180) at
+  // 90 W.
+  std::vector<Sample> samples;
+  for (int t = 0; t < 60; ++t) samples.push_back({t, 10.0});
+  for (int t = 120; t < 180; ++t) samples.push_back({t, 90.0});
+  TimeSeries raw = TimeSeries::FromSamples(std::move(samples)).value();
+  PipelineOptions options;
+  options.window_seconds = 60;
+  ASSERT_OK_AND_ASSIGN(QualityEncoding out,
+                       EncodePipelineWithGaps(raw, table, options));
+  ASSERT_EQ(out.symbols.size(), 3u);
+  EXPECT_FALSE(out.symbols[0].symbol.is_gap());
+  EXPECT_TRUE(out.symbols[1].symbol.is_gap());
+  EXPECT_FALSE(out.symbols[2].symbol.is_gap());
+  EXPECT_EQ(out.quality.windows_valid, 2u);
+  EXPECT_EQ(out.quality.windows_gap, 1u);
+  EXPECT_EQ(out.quality.windows_partial, 0u);
+  EXPECT_DOUBLE_EQ(out.quality.gap_ratio(), 1.0 / 3.0);
+  // The cadence is fixed, so the gappy encoding packs into one wire blob.
+  EXPECT_EQ(out.symbols[1].timestamp - out.symbols[0].timestamp, 60);
+  EXPECT_EQ(out.symbols[2].timestamp - out.symbols[1].timestamp, 60);
+}
+
+TEST(EncodePipelineWithGapsTest, MatchesStrictPipelineOnCleanTraces) {
+  LookupTable table = UniformTable(100.0, 3);
+  TimeSeries raw = TimeSeries::FromValues(
+      smeter::testing::LogNormalValues(600, 5, 3.0, 0.5));
+  PipelineOptions options;
+  options.window_seconds = 60;
+  ASSERT_OK_AND_ASSIGN(SymbolicSeries strict,
+                       EncodePipeline(raw, table, options));
+  ASSERT_OK_AND_ASSIGN(QualityEncoding gap_aware,
+                       EncodePipelineWithGaps(raw, table, options));
+  ASSERT_EQ(gap_aware.symbols.size(), strict.size());
+  for (size_t i = 0; i < strict.size(); ++i) {
+    EXPECT_EQ(gap_aware.symbols[i], strict[i]) << i;
+  }
+  EXPECT_EQ(gap_aware.quality.windows_gap, 0u);
+  EXPECT_EQ(gap_aware.quality.windows_partial, 0u);
+}
+
+TEST(DecodeTest, GapSymbolsProduceNoOutputSamples) {
+  LookupTable table = UniformTable(100.0, 2);
+  SymbolicSeries series(2);
+  ASSERT_OK(series.Append({60, Symbol::Create(2, 1).value()}));
+  ASSERT_OK(series.Append({120, Symbol::Gap(2)}));
+  ASSERT_OK(series.Append({180, Symbol::Create(2, 3).value()}));
+  ASSERT_OK_AND_ASSIGN(
+      TimeSeries decoded,
+      Decode(series, table, ReconstructionMode::kRangeCenter));
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].timestamp, 60);
+  EXPECT_EQ(decoded[1].timestamp, 180);
+}
+
 }  // namespace
 }  // namespace smeter

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "testutil.h"
@@ -128,6 +130,212 @@ TEST(FleetEncoderTest, HistorySecondsLimitsTableTraining) {
   ASSERT_OK_AND_ASSIGN(LookupTable full_table,
                        LookupTable::Build(all, options.table));
   EXPECT_NE(encoded[0].table.separators(), full_table.separators());
+}
+
+// --- tolerant path ----------------------------------------------------------
+
+std::vector<FleetInput> SyntheticInputs(size_t households, size_t n) {
+  std::vector<FleetInput> inputs;
+  for (size_t h = 0; h < households; ++h) {
+    inputs.push_back({"house_" + std::to_string(h + 1),
+                      SyntheticTrace(100 + h, n)});
+  }
+  return inputs;
+}
+
+// A 1 Hz trace with a dead hour: values over [0, 600) and [1200, 1800).
+TimeSeries GappyTrace(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Sample> samples;
+  for (int t = 0; t < 600; ++t) samples.push_back({t, rng.LogNormal(5.0, 1.0)});
+  for (int t = 1200; t < 1800; ++t) {
+    samples.push_back({t, rng.LogNormal(5.0, 1.0)});
+  }
+  return TimeSeries::FromSamples(std::move(samples)).value();
+}
+
+TEST(FleetTolerantTest, BadInputQuarantinesOnlyThatHousehold) {
+  std::vector<FleetInput> inputs = SyntheticInputs(3, 400);
+  inputs[1].trace = InternalError("disk on fire");
+  FleetEncodeOptions options = SmallOptions();
+  options.retry.max_retries = 0;
+  ASSERT_OK_AND_ASSIGN(std::vector<HouseholdReport> reports,
+                       EncodeFleetTolerant(inputs, options));
+  ASSERT_EQ(reports.size(), 3u);
+  EXPECT_EQ(reports[0].outcome, HouseholdOutcome::kOk);
+  EXPECT_EQ(reports[2].outcome, HouseholdOutcome::kOk);
+  EXPECT_TRUE(reports[0].encoding.has_value());
+  EXPECT_EQ(reports[1].outcome, HouseholdOutcome::kQuarantined);
+  EXPECT_FALSE(reports[1].encoding.has_value());
+  EXPECT_NE(reports[1].error.message().find("disk on fire"),
+            std::string::npos)
+      << reports[1].error.message();
+  EXPECT_NE(reports[1].error.message().find("house_2"), std::string::npos)
+      << reports[1].error.message();
+  FleetQualityReport summary = SummarizeFleet(reports);
+  EXPECT_EQ(summary.households_ok, 2u);
+  EXPECT_EQ(summary.households_quarantined, 1u);
+  EXPECT_EQ(summary.total(), 3u);
+}
+
+TEST(FleetTolerantTest, TransientFaultRecoversWithinRetryBudget) {
+  std::vector<FleetInput> inputs = SyntheticInputs(1, 300);
+  FleetEncodeOptions options = SmallOptions();
+  options.retry.max_retries = 2;
+  std::vector<int64_t> slept;
+  options.retry.sleep_ms = [&slept](int64_t ms) { slept.push_back(ms); };
+  fault::ScopedFaultPlan plan(
+      {fault::FaultRule::FailCalls("fleet.household", 1, 2)});
+  ASSERT_OK_AND_ASSIGN(std::vector<HouseholdReport> reports,
+                       EncodeFleetTolerant(inputs, options));
+  ASSERT_EQ(reports.size(), 1u);
+  // Two injected failures then success: attempt 3 lands, so the household
+  // survives but is flagged degraded.
+  EXPECT_EQ(reports[0].attempts, 3);
+  EXPECT_EQ(reports[0].outcome, HouseholdOutcome::kDegraded);
+  EXPECT_TRUE(reports[0].error.ok());
+  EXPECT_TRUE(reports[0].encoding.has_value());
+  // Exponential backoff before retries 1 and 2: 100 ms then 200 ms.
+  EXPECT_EQ(slept, (std::vector<int64_t>{100, 200}));
+}
+
+TEST(FleetTolerantTest, ExhaustedRetriesQuarantineWithAttemptCount) {
+  std::vector<FleetInput> inputs = SyntheticInputs(1, 300);
+  FleetEncodeOptions options = SmallOptions();
+  options.retry.max_retries = 1;
+  options.retry.initial_backoff_ms = 7;
+  std::vector<int64_t> slept;
+  options.retry.sleep_ms = [&slept](int64_t ms) { slept.push_back(ms); };
+  fault::ScopedFaultPlan plan(
+      {fault::FaultRule::FailCalls("fleet.household", 1)});
+  ASSERT_OK_AND_ASSIGN(std::vector<HouseholdReport> reports,
+                       EncodeFleetTolerant(inputs, options));
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].outcome, HouseholdOutcome::kQuarantined);
+  EXPECT_EQ(reports[0].attempts, 2);
+  EXPECT_FALSE(reports[0].error.ok());
+  EXPECT_EQ(slept, (std::vector<int64_t>{7}));
+  // Quarantined households contribute no windows to the rollup.
+  FleetQualityReport summary = SummarizeFleet(reports);
+  EXPECT_EQ(summary.windows_total, 0u);
+}
+
+TEST(FleetTolerantTest, GappyTraceIsDegradedWhenGapAware) {
+  std::vector<FleetInput> inputs;
+  inputs.push_back({"gappy", GappyTrace(9)});
+  FleetEncodeOptions options = SmallOptions();
+  options.gap_aware = true;
+  ASSERT_OK_AND_ASSIGN(std::vector<HouseholdReport> reports,
+                       EncodeFleetTolerant(inputs, options));
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].outcome, HouseholdOutcome::kDegraded);
+  EXPECT_EQ(reports[0].attempts, 1);
+  EXPECT_EQ(reports[0].quality.windows_valid, 20u);
+  EXPECT_EQ(reports[0].quality.windows_gap, 10u);
+  ASSERT_TRUE(reports[0].encoding.has_value());
+  EXPECT_EQ(reports[0].encoding->symbols.GapCount(), 10u);
+  EXPECT_EQ(reports[0].encoding->symbols.size(), 30u);
+  // Without gap awareness the outage is silently dropped: the household
+  // looks clean but the hour of missing windows leaves no trace in the
+  // symbol stream or the quality counts.
+  options.gap_aware = false;
+  ASSERT_OK_AND_ASSIGN(reports, EncodeFleetTolerant(inputs, options));
+  EXPECT_EQ(reports[0].outcome, HouseholdOutcome::kOk);
+  EXPECT_EQ(reports[0].quality.windows_valid, 20u);
+  EXPECT_EQ(reports[0].quality.windows_gap, 0u);
+  EXPECT_EQ(reports[0].encoding->symbols.size(), 20u);
+}
+
+TEST(FleetTolerantTest, SinkConsumesEncodingAndItsFailuresRetry) {
+  std::vector<FleetInput> inputs = SyntheticInputs(2, 300);
+  FleetEncodeOptions options = SmallOptions();
+  options.retry.max_retries = 1;
+  options.retry.sleep_ms = [](int64_t) {};
+  int house_1_sink_calls = 0;
+  HouseholdSink sink = [&house_1_sink_calls](
+                           size_t index, const HouseholdReport& report,
+                           const HouseholdEncoding& encoding) -> Status {
+    EXPECT_FALSE(report.name.empty());
+    EXPECT_GT(encoding.symbols.size(), 0u);
+    if (index == 0) {
+      // First sink call for house_1 fails; the retry must call it again.
+      if (++house_1_sink_calls == 1) return InternalError("sink hiccup");
+    }
+    return Status();
+  };
+  ASSERT_OK_AND_ASSIGN(std::vector<HouseholdReport> reports,
+                       EncodeFleetTolerant(inputs, options, nullptr, sink));
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(house_1_sink_calls, 2);
+  EXPECT_EQ(reports[0].attempts, 2);
+  EXPECT_EQ(reports[0].outcome, HouseholdOutcome::kDegraded);
+  EXPECT_EQ(reports[1].outcome, HouseholdOutcome::kOk);
+  // With a sink, encodings stream out instead of accumulating.
+  EXPECT_FALSE(reports[0].encoding.has_value());
+  EXPECT_FALSE(reports[1].encoding.has_value());
+}
+
+TEST(FleetTolerantTest, RejectsBadRetryOptions) {
+  std::vector<FleetInput> inputs = SyntheticInputs(1, 100);
+  FleetEncodeOptions options = SmallOptions();
+  options.retry.max_retries = -1;
+  EXPECT_FALSE(EncodeFleetTolerant(inputs, options).ok());
+  options = SmallOptions();
+  options.retry.initial_backoff_ms = -5;
+  EXPECT_FALSE(EncodeFleetTolerant(inputs, options).ok());
+  options = SmallOptions();
+  options.retry.backoff_multiplier = 0.5;
+  EXPECT_FALSE(EncodeFleetTolerant(inputs, options).ok());
+}
+
+TEST(FleetTolerantTest, ParallelReportsMatchSerial) {
+  std::vector<FleetInput> inputs = SyntheticInputs(6, 300);
+  inputs[3].trace = NotFoundError("no such meter");
+  FleetEncodeOptions options = SmallOptions();
+  options.gap_aware = true;
+  options.retry.max_retries = 0;
+  ASSERT_OK_AND_ASSIGN(std::vector<HouseholdReport> serial,
+                       EncodeFleetTolerant(inputs, options));
+  for (size_t threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    ASSERT_OK_AND_ASSIGN(std::vector<HouseholdReport> parallel,
+                         EncodeFleetTolerant(inputs, options, &pool));
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t h = 0; h < serial.size(); ++h) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " house=" + std::to_string(h));
+      EXPECT_EQ(parallel[h].name, serial[h].name);
+      EXPECT_EQ(parallel[h].outcome, serial[h].outcome);
+      EXPECT_EQ(parallel[h].attempts, serial[h].attempts);
+      EXPECT_EQ(parallel[h].quality.windows_valid,
+                serial[h].quality.windows_valid);
+      EXPECT_EQ(parallel[h].quality.windows_gap,
+                serial[h].quality.windows_gap);
+      EXPECT_EQ(parallel[h].encoding.has_value(),
+                serial[h].encoding.has_value());
+      if (parallel[h].encoding.has_value()) {
+        ExpectSameEncoding(*parallel[h].encoding, *serial[h].encoding);
+      }
+    }
+  }
+}
+
+TEST(FleetTolerantTest, JsonReportNamesEveryHouseholdAndOutcome) {
+  std::vector<FleetInput> inputs = SyntheticInputs(2, 200);
+  inputs[1].trace = InternalError("bad \"quote\" in message");
+  FleetEncodeOptions options = SmallOptions();
+  options.retry.max_retries = 0;
+  ASSERT_OK_AND_ASSIGN(std::vector<HouseholdReport> reports,
+                       EncodeFleetTolerant(inputs, options));
+  std::string json = FleetQualityReportToJson(SummarizeFleet(reports), reports);
+  EXPECT_NE(json.find("\"house_1\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"house_2\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ok\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"quarantined\""), std::string::npos) << json;
+  // The quote inside the error message must be escaped.
+  EXPECT_NE(json.find("bad \\\"quote\\\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"households_quarantined\": 1"), std::string::npos)
+      << json;
 }
 
 }  // namespace

@@ -89,5 +89,43 @@ TEST(SymbolTest, CoarsenCommutesWithCompare) {
   EXPECT_EQ(ca.Compare(cb), -1);
 }
 
+TEST(SymbolGapTest, GapIsOutOfAlphabetButCarriesALevel) {
+  Symbol gap = Symbol::Gap(4);
+  EXPECT_TRUE(gap.is_gap());
+  EXPECT_EQ(gap.level(), 4);
+  EXPECT_EQ(gap.ToBits(), "____");
+  // No value symbol is a gap, at any index.
+  ASSERT_OK_AND_ASSIGN(Symbol last, Symbol::Create(4, 15));
+  EXPECT_FALSE(last.is_gap());
+  // Create never yields the sentinel.
+  EXPECT_FALSE(Symbol::Create(4, 0xffffffffu).ok());
+}
+
+TEST(SymbolGapTest, GapEqualityAndOrdering) {
+  Symbol gap = Symbol::Gap(3);
+  EXPECT_EQ(gap, Symbol::Gap(3));
+  EXPECT_FALSE(gap == Symbol::Gap(2));
+  // Within a level, GAP sorts after every value symbol.
+  for (uint32_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(Symbol::Create(3, i).value() < gap) << i;
+  }
+}
+
+TEST(SymbolGapTest, GapCoarsensToGap) {
+  ASSERT_OK_AND_ASSIGN(Symbol coarse, Symbol::Gap(4).Coarsen(2));
+  EXPECT_TRUE(coarse.is_gap());
+  EXPECT_EQ(coarse.level(), 2);
+}
+
+TEST(SymbolGapTest, GapHasNoRangeRelations) {
+  Symbol gap = Symbol::Gap(2);
+  ASSERT_OK_AND_ASSIGN(Symbol value, Symbol::Create(1, 0));
+  EXPECT_FALSE(gap.IsAncestorOf(value));
+  EXPECT_FALSE(value.IsAncestorOf(gap));
+  EXPECT_EQ(gap.Compare(value), 0);
+  EXPECT_EQ(value.Compare(gap), 0);
+  EXPECT_EQ(gap.Compare(Symbol::Gap(2)), 0);
+}
+
 }  // namespace
 }  // namespace smeter

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <utility>
+#include <vector>
+
 #include "testutil.h"
 
 namespace smeter {
@@ -136,6 +140,91 @@ TEST(VerticalByWindowTest, EmptyInputYieldsEmptyOutput) {
   TimeSeries s;
   ASSERT_OK_AND_ASSIGN(TimeSeries out, VerticalSegmentByWindow(s, 10));
   EXPECT_TRUE(out.empty());
+}
+
+// --- gap-aware segmentation -------------------------------------------------
+
+TEST(VerticalWithGapsTest, EmitsEveryAlignedWindowIncludingGaps) {
+  // 1 Hz samples covering [0, 10) and [30, 40): windows of 10 s. The
+  // strict path emits 2 windows; the gap-aware path emits all 4 aligned
+  // windows, with [10,20) and [20,30) as explicit gaps.
+  std::vector<Sample> samples;
+  for (int t = 0; t < 10; ++t) samples.push_back({t, 1.0});
+  for (int t = 30; t < 40; ++t) samples.push_back({t, 3.0});
+  TimeSeries s = TimeSeries::FromSamples(std::move(samples)).value();
+  ASSERT_OK_AND_ASSIGN(std::vector<AggregatedWindow> windows,
+                       VerticalSegmentByWindowWithGaps(s, 10));
+  ASSERT_EQ(windows.size(), 4u);
+  EXPECT_EQ(windows[0].quality, WindowQuality::kValid);
+  EXPECT_DOUBLE_EQ(windows[0].value, 1.0);
+  EXPECT_EQ(windows[0].timestamp, 10);
+  EXPECT_EQ(windows[1].quality, WindowQuality::kGap);
+  EXPECT_TRUE(std::isnan(windows[1].value));
+  EXPECT_EQ(windows[1].timestamp, 20);
+  EXPECT_EQ(windows[2].quality, WindowQuality::kGap);
+  EXPECT_EQ(windows[3].quality, WindowQuality::kValid);
+  EXPECT_DOUBLE_EQ(windows[3].value, 3.0);
+  EXPECT_EQ(windows[3].timestamp, 40);
+}
+
+TEST(VerticalWithGapsTest, UnderCoveredWindowIsPartialNotDropped) {
+  // 3 of 10 expected samples in the second window: below the 0.5 default.
+  std::vector<Sample> samples;
+  for (int t = 0; t < 10; ++t) samples.push_back({t, 2.0});
+  for (int t = 10; t < 13; ++t) samples.push_back({t, 8.0});
+  TimeSeries s = TimeSeries::FromSamples(std::move(samples)).value();
+  ASSERT_OK_AND_ASSIGN(std::vector<AggregatedWindow> windows,
+                       VerticalSegmentByWindowWithGaps(s, 10));
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].quality, WindowQuality::kValid);
+  EXPECT_EQ(windows[1].quality, WindowQuality::kPartial);
+  EXPECT_DOUBLE_EQ(windows[1].value, 8.0);  // still aggregated
+  EXPECT_NEAR(windows[1].coverage, 0.3, 1e-12);
+}
+
+TEST(VerticalWithGapsTest, MatchesStrictPathOnGaplessTraces) {
+  TimeSeries s = TimeSeries::FromValues(
+      smeter::testing::LogNormalValues(600, 11), 0, 1);
+  ASSERT_OK_AND_ASSIGN(TimeSeries strict, VerticalSegmentByWindow(s, 60));
+  ASSERT_OK_AND_ASSIGN(std::vector<AggregatedWindow> gap_aware,
+                       VerticalSegmentByWindowWithGaps(s, 60));
+  ASSERT_EQ(gap_aware.size(), strict.size());
+  for (size_t i = 0; i < strict.size(); ++i) {
+    EXPECT_EQ(gap_aware[i].timestamp, strict[i].timestamp) << i;
+    EXPECT_DOUBLE_EQ(gap_aware[i].value, strict[i].value) << i;
+    EXPECT_EQ(gap_aware[i].quality, WindowQuality::kValid) << i;
+  }
+}
+
+TEST(VerticalWithGapsTest, EmptySeriesYieldsNoWindows) {
+  TimeSeries empty;
+  ASSERT_OK_AND_ASSIGN(std::vector<AggregatedWindow> windows,
+                       VerticalSegmentByWindowWithGaps(empty, 10));
+  EXPECT_TRUE(windows.empty());
+}
+
+TEST(VerticalWithGapsTest, RejectsBadArgumentsAndSparseBlowups) {
+  TimeSeries s = TimeSeries::FromValues({1, 2, 3});
+  EXPECT_FALSE(VerticalSegmentByWindowWithGaps(s, 0).ok());
+  EXPECT_FALSE(VerticalSegmentByWindowWithGaps(s, -5).ok());
+
+  // Two samples eons apart would enumerate billions of aligned windows;
+  // the max_windows guard rejects instead of allocating.
+  TimeSeries sparse =
+      TimeSeries::FromSamples({{0, 1.0}, {int64_t{1} << 40, 2.0}}).value();
+  Result<std::vector<AggregatedWindow>> blown =
+      VerticalSegmentByWindowWithGaps(sparse, 10);
+  ASSERT_FALSE(blown.ok());
+  EXPECT_EQ(blown.status().code(), StatusCode::kInvalidArgument);
+
+  // A tight explicit budget rejects even modest traces...
+  GapAwareWindowOptions tight;
+  tight.max_windows = 2;
+  TimeSeries modest = TimeSeries::FromValues({1, 2, 3, 4, 5, 6}, 0, 10);
+  EXPECT_FALSE(VerticalSegmentByWindowWithGaps(modest, 10, tight).ok());
+  // ...and a sufficient one admits them.
+  tight.max_windows = 6;
+  EXPECT_TRUE(VerticalSegmentByWindowWithGaps(modest, 10, tight).ok());
 }
 
 }  // namespace

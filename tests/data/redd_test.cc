@@ -24,6 +24,27 @@ TEST(ReddChannelTest, ParsesTimestampWattPairs) {
   EXPECT_DOUBLE_EQ(s[2].value, 60.5);
 }
 
+// A logger killed mid-write leaves a torn final record ("1303132931 2" for
+// what would have been "1303132931 250.0"). The torn row's fields look
+// numeric, so only the missing terminator betrays it — drop that one row,
+// keep the rest of the channel.
+TEST(ReddChannelTest, DropsTruncatedFinalRecord) {
+  std::string path = smeter::testing::TempPath("torn.dat");
+  WriteFile(path, "1303132929 241.30\n1303132930 245.00\n1303132931 2");
+  ASSERT_OK_AND_ASSIGN(TimeSeries s, LoadReddChannel(path));
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[1].timestamp, 1303132930);
+}
+
+// The torn tail can even be a half-written timestamp with no value field;
+// that must not surface as a "fewer than 2 fields" error.
+TEST(ReddChannelTest, TruncatedSingleFieldTailIsDroppedNotRejected) {
+  std::string path = smeter::testing::TempPath("torn_short.dat");
+  WriteFile(path, "1303132929 241.30\n13031329");
+  ASSERT_OK_AND_ASSIGN(TimeSeries s, LoadReddChannel(path));
+  ASSERT_EQ(s.size(), 1u);
+}
+
 TEST(ReddChannelTest, RejectsMalformedRows) {
   std::string path = smeter::testing::TempPath("bad.dat");
   WriteFile(path, "1303132929 241.30\nnot_a_number 10\n");

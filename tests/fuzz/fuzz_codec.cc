@@ -8,6 +8,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -151,12 +152,77 @@ void FuzzFromSeparators(FuzzInput& in) {
   }
 }
 
+// Gap-aware surfaces: a symbol stream with GAP sentinels must survive the
+// version-2 wire format bit-exactly, and the gap-tolerant batch kernels
+// must agree with the scalar encoder everywhere the scalar path is
+// defined — NaN in, GAP out; GAP in, NaN out; nothing else remapped.
+void FuzzGappySeries(FuzzInput& in) {
+  const int level = in.TakeIntInRange(1, kMaxSymbolLevel);
+  const size_t n = static_cast<size_t>(in.TakeIntInRange(1, 48));
+  SymbolicSeries series(level);
+  Timestamp t = static_cast<Timestamp>(in.TakeIntInRange(0, 1 << 20));
+  for (size_t i = 0; i < n; ++i) {
+    Symbol s =
+        (in.TakeByte() % 4 == 0)
+            ? Symbol::Gap(level)
+            : Symbol::Create(level, static_cast<uint32_t>(in.TakeIntInRange(
+                                        0, (1 << level) - 1)))
+                  .value();
+    SMETER_CHECK_OK(series.Append({t, s}));
+    t += 60;
+  }
+  Result<std::string> packed = PackSymbolicSeries(series);
+  SMETER_CHECK(packed.ok());
+  Result<SymbolicSeries> unpacked = UnpackSymbolicSeries(packed.value());
+  SMETER_CHECK(unpacked.ok());
+  SMETER_CHECK_EQ(unpacked->size(), series.size());
+  SMETER_CHECK_EQ(unpacked->GapCount(), series.GapCount());
+  for (size_t i = 0; i < series.size(); ++i) {
+    SMETER_CHECK(series[i] == (*unpacked)[i]);
+  }
+
+  LookupTableOptions options;
+  options.level = level;
+  options.method = SeparatorMethod::kUniform;
+  const size_t n_train = static_cast<size_t>(in.TakeIntInRange(2, 32));
+  std::vector<double> training;
+  training.reserve(n_train);
+  for (size_t i = 0; i < n_train; ++i) training.push_back(in.TakeDouble());
+  Result<LookupTable> table = LookupTable::Build(training, options);
+  if (!table.ok()) return;
+
+  const size_t n_values = static_cast<size_t>(in.TakeIntInRange(1, 48));
+  std::vector<double> values;
+  values.reserve(n_values);
+  for (size_t i = 0; i < n_values; ++i) {
+    values.push_back(in.TakeByte() % 5 == 0
+                         ? std::numeric_limits<double>::quiet_NaN()
+                         : in.TakeDouble());
+  }
+  Result<std::vector<Symbol>> gappy = EncodeBatchWithGaps(*table, values);
+  SMETER_CHECK(gappy.ok());
+  SMETER_CHECK_EQ(gappy->size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (std::isnan(values[i])) {
+      SMETER_CHECK((*gappy)[i].is_gap());
+    } else {
+      SMETER_CHECK((*gappy)[i] == table->Encode(values[i]));
+    }
+  }
+  Result<std::vector<double>> decoded =
+      DecodeBatch(*table, *gappy, ReconstructionMode::kRangeCenter);
+  SMETER_CHECK(decoded.ok());
+  for (size_t i = 0; i < values.size(); ++i) {
+    SMETER_CHECK_EQ(std::isnan((*decoded)[i]), std::isnan(values[i]));
+  }
+}
+
 }  // namespace
 }  // namespace smeter
 
 extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   smeter::fuzz::FuzzInput in(data, size);
-  switch (in.TakeByte() % 4) {
+  switch (in.TakeByte() % 5) {
     case 0:
       smeter::FuzzUnpack(in.TakeRemainingString());
       break;
@@ -166,8 +232,11 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
     case 2:
       smeter::FuzzTableDeserialize(in.TakeRemainingString());
       break;
-    default:
+    case 3:
       smeter::FuzzFromSeparators(in);
+      break;
+    default:
+      smeter::FuzzGappySeries(in);
       break;
   }
   return 0;

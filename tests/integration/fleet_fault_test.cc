@@ -1,0 +1,180 @@
+// End-to-end fault drills for the tolerant fleet path, driven through the
+// CLI surface: an ingestion run interrupted by injected failures must,
+// after `encode-fleet --resume`, leave outputs bit-identical to a run that
+// was never interrupted; and a corrupt household must cost the fleet
+// exactly that household, never the run.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli.h"
+#include "common/fault_injection.h"
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+std::string RunCliOk(const std::vector<std::string>& args) {
+  std::ostringstream out;
+  Status status = cli::RunCli(args, out);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return out.str();
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Every artifact a completed N-house fleet run leaves behind.
+std::vector<std::string> FleetArtifacts(size_t houses) {
+  std::vector<std::string> names;
+  for (size_t h = 1; h <= houses; ++h) {
+    names.push_back("house_" + std::to_string(h) + ".table");
+    names.push_back("house_" + std::to_string(h) + ".symbols");
+  }
+  names.push_back("fleet.manifest");
+  names.push_back("quality.json");
+  return names;
+}
+
+void ExpectDirsBitIdentical(const std::string& a, const std::string& b,
+                            const std::vector<std::string>& names) {
+  for (const std::string& name : names) {
+    SCOPED_TRACE(name);
+    std::string contents = ReadAll(a + "/" + name);
+    EXPECT_FALSE(contents.empty());
+    EXPECT_EQ(contents, ReadAll(b + "/" + name));
+  }
+}
+
+std::vector<std::string> FleetArgs(const std::string& input,
+                                   const std::string& out_dir) {
+  return {"encode-fleet", "--input", input,       "--out",
+          out_dir,        "--threads", "1",       "--max-retries",
+          "0"};
+}
+
+TEST(FleetFaultTest, InterruptedRunResumesBitIdentical) {
+  std::string dir = smeter::testing::TempPath("fleet_fault_resume");
+  std::filesystem::remove_all(dir);  // TempPath is stable across runs
+  RunCliOk({"simulate", "--out", dir, "--houses", "3", "--days", "1",
+            "--seed", "13", "--outages", "0"});
+
+  std::string clean_dir = dir + "/clean";
+  RunCliOk(FleetArgs(dir, clean_dir));
+
+  // Interrupt a second run mid-flight: the manifest seed and house_1's two
+  // files land (writes 1-3), then the disk "dies" and every later write —
+  // including the final manifest rewrite — fails.
+  std::string crash_dir = dir + "/crashed";
+  {
+    fault::ScopedFaultPlan plan(
+        {fault::FaultRule::FailCalls("file.write", 4)});
+    std::ostringstream out;
+    Status status = cli::RunCli(FleetArgs(dir, crash_dir), out);
+    EXPECT_FALSE(status.ok());
+    EXPECT_GT(plan.InjectedCount("file.write"), 0u);
+  }
+  EXPECT_TRUE(std::filesystem::exists(crash_dir + "/house_1.symbols"));
+  EXPECT_FALSE(std::filesystem::exists(crash_dir + "/house_2.symbols"));
+  EXPECT_FALSE(std::filesystem::exists(crash_dir + "/quality.json"));
+
+  // Resume with the fault gone: house_1 is carried from the checkpoint,
+  // the rest encode fresh, and the result is indistinguishable from a run
+  // that never crashed.
+  std::vector<std::string> resume_args = FleetArgs(dir, crash_dir);
+  resume_args.insert(resume_args.end(), {"--resume", "true"});
+  std::string resumed = RunCliOk(resume_args);
+  EXPECT_NE(resumed.find("[resumed]"), std::string::npos) << resumed;
+  ExpectDirsBitIdentical(clean_dir, crash_dir, FleetArtifacts(3));
+}
+
+TEST(FleetFaultTest, CorruptHouseholdCostsOnlyItself) {
+  std::string dir = smeter::testing::TempPath("fleet_fault_corrupt");
+  std::filesystem::remove_all(dir);
+  RunCliOk({"simulate", "--out", dir, "--houses", "3", "--days", "1",
+            "--seed", "21", "--outages", "0"});
+  {
+    std::ofstream corrupt(dir + "/house_3/channel_1.dat",
+                          std::ios::binary | std::ios::trunc);
+    corrupt << "1303132929 1.1\nnot a number at all\n";
+  }
+  std::string out_dir = dir + "/encoded";
+  // Real retry policy (1 retry, 1 ms backoff): a persistent parse error
+  // must exhaust it and quarantine, with the run still exiting cleanly.
+  std::string fleet =
+      RunCliOk({"encode-fleet", "--input", dir, "--out", out_dir,
+                "--threads", "2", "--max-retries", "1", "--retry-backoff-ms",
+                "1"});
+  EXPECT_NE(fleet.find("house_3: quarantined after 2 attempt(s)"),
+            std::string::npos)
+      << fleet;
+  EXPECT_NE(fleet.find("3 households"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(out_dir + "/house_1.symbols"));
+  EXPECT_TRUE(std::filesystem::exists(out_dir + "/house_2.symbols"));
+  EXPECT_FALSE(std::filesystem::exists(out_dir + "/house_3.symbols"));
+
+  std::string quality = ReadAll(out_dir + "/quality.json");
+  EXPECT_NE(quality.find("\"households_ok\": 2"), std::string::npos)
+      << quality;
+  EXPECT_NE(quality.find("\"households_quarantined\": 1"), std::string::npos);
+  EXPECT_NE(quality.find("\"house_3\""), std::string::npos);
+  EXPECT_NE(quality.find("\"attempts\": 2"), std::string::npos);
+  // The underlying loader error surfaces in the report, not a generic
+  // "household failed".
+  EXPECT_NE(quality.find("house_3"), std::string::npos);
+  EXPECT_NE(quality.find("\"quarantined\""), std::string::npos);
+}
+
+// Soak entry point: CI runs this test repeatedly with SMETER_FAULT_SEED
+// randomized (see .github/workflows). Every seed drives a different
+// deterministic storm of read/write/encode failures; the invariant is
+// always the same — after one fault-free --resume, the outputs are
+// bit-identical to a run that saw no faults at all.
+TEST(FleetFaultSoakTest, RandomizedInjectionThenResumeConverges) {
+  uint64_t seed = 1;
+  if (const char* env = std::getenv("SMETER_FAULT_SEED")) {
+    uint64_t parsed = std::strtoull(env, nullptr, 10);
+    if (parsed != 0) seed = parsed;
+  }
+  SCOPED_TRACE("SMETER_FAULT_SEED=" + std::to_string(seed));
+  std::string dir =
+      smeter::testing::TempPath("fleet_fault_soak_" + std::to_string(seed));
+  std::filesystem::remove_all(dir);
+  RunCliOk({"simulate", "--out", dir, "--houses", "4", "--days", "1",
+            "--seed", "3", "--outages", "0"});
+
+  std::string clean_dir = dir + "/clean";
+  RunCliOk(FleetArgs(dir, clean_dir));
+
+  std::string soak_dir = dir + "/soak";
+  {
+    fault::ScopedFaultPlan plan(
+        {fault::FaultRule::FailWithProbability("csv.read", 0.2),
+         fault::FaultRule::FailWithProbability("file.write", 0.2),
+         fault::FaultRule::FailWithProbability("fleet.household", 0.2)},
+        seed);
+    std::ostringstream out;
+    // May fail outright or complete with quarantined households; either is
+    // a legal crash signature for the resume path to absorb.
+    Status status = cli::RunCli(FleetArgs(dir, soak_dir), out);
+    (void)status;
+  }
+
+  std::vector<std::string> resume_args = FleetArgs(dir, soak_dir);
+  resume_args.insert(resume_args.end(), {"--resume", "true"});
+  RunCliOk(resume_args);
+  ExpectDirsBitIdentical(clean_dir, soak_dir, FleetArtifacts(4));
+}
+
+}  // namespace
+}  // namespace smeter

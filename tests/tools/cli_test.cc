@@ -1,5 +1,6 @@
 #include "cli.h"
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -41,6 +42,19 @@ TEST(FlagsTest, RejectsMalformedArguments) {
   EXPECT_FALSE(Flags::Parse({"positional"}).ok());
   EXPECT_FALSE(Flags::Parse({"--dangling"}).ok());
   EXPECT_FALSE(Flags::Parse({"--a", "1", "--a", "2"}).ok());
+}
+
+TEST(FlagsTest, ParsesBooleans) {
+  ASSERT_OK_AND_ASSIGN(Flags flags,
+                       Flags::Parse({"--yes", "true", "--no", "0", "--bad",
+                                     "maybe"}));
+  ASSERT_OK_AND_ASSIGN(bool yes, flags.GetBool("yes", false));
+  EXPECT_TRUE(yes);
+  ASSERT_OK_AND_ASSIGN(bool no, flags.GetBool("no", true));
+  EXPECT_FALSE(no);
+  ASSERT_OK_AND_ASSIGN(bool fallback, flags.GetBool("absent", true));
+  EXPECT_TRUE(fallback);
+  EXPECT_FALSE(flags.GetBool("bad", false).ok());
 }
 
 TEST(FlagsTest, TracksUnreadFlags) {
@@ -149,6 +163,87 @@ TEST(CliTest, EncodeFleetWorkflow) {
          "--format", "cer"});
   EXPECT_FALSE(
       RunErr({"encode-fleet", "--input", empty, "--out", out_dir}).ok());
+}
+
+TEST(CliTest, EncodeFleetQuarantinesCorruptHouseholdAndStillSucceeds) {
+  std::string dir = smeter::testing::TempPath("cli_fleet_corrupt");
+  std::filesystem::remove_all(dir);  // TempPath is stable across runs
+  RunOk({"simulate", "--out", dir, "--houses", "3", "--days", "1",
+         "--seed", "8", "--outages", "0"});
+  {
+    std::ofstream corrupt(dir + "/house_2/channel_1.dat",
+                          std::ios::binary | std::ios::trunc);
+    corrupt << "this is not a meter reading\n";
+  }
+  std::string out_dir = dir + "/encoded";
+  std::string fleet =
+      RunOk({"encode-fleet", "--input", dir, "--out", out_dir,
+             "--max-retries", "0", "--threads", "1"});
+  EXPECT_NE(fleet.find("house_2: quarantined"), std::string::npos) << fleet;
+  EXPECT_NE(fleet.find("2 ok, 0 degraded, 1 quarantined"), std::string::npos)
+      << fleet;
+  // The healthy households encoded; the corrupt one left no outputs.
+  EXPECT_TRUE(std::filesystem::exists(out_dir + "/house_1.symbols"));
+  EXPECT_TRUE(std::filesystem::exists(out_dir + "/house_3.symbols"));
+  EXPECT_FALSE(std::filesystem::exists(out_dir + "/house_2.symbols"));
+  // quality.json names the quarantined household and its underlying error.
+  std::ifstream in(out_dir + "/quality.json", std::ios::binary);
+  std::stringstream quality;
+  quality << in.rdbuf();
+  EXPECT_NE(quality.str().find("\"house_2\""), std::string::npos)
+      << quality.str();
+  EXPECT_NE(quality.str().find("\"quarantined\""), std::string::npos);
+  EXPECT_NE(quality.str().find("\"households_quarantined\": 1"),
+            std::string::npos);
+}
+
+TEST(CliTest, EncodeFleetResumeSkipsFinishedHouseholds) {
+  std::string dir = smeter::testing::TempPath("cli_fleet_resume");
+  std::filesystem::remove_all(dir);
+  RunOk({"simulate", "--out", dir, "--houses", "2", "--days", "1",
+         "--seed", "5", "--outages", "0"});
+  std::string clean_dir = dir + "/clean";
+  RunOk({"encode-fleet", "--input", dir, "--out", clean_dir, "--threads",
+         "1"});
+
+  // Replay a killed run: only house_1's checkpoint line survives, and
+  // house_2's outputs are gone. A torn trailing line must be ignored.
+  std::string resumed_dir = dir + "/resumed";
+  RunOk({"encode-fleet", "--input", dir, "--out", resumed_dir, "--threads",
+         "1"});
+  std::string manifest_path = resumed_dir + "/fleet.manifest";
+  std::string first_line;
+  {
+    std::ifstream manifest(manifest_path, std::ios::binary);
+    std::getline(manifest, first_line);
+  }
+  ASSERT_NE(first_line.find("house_1"), std::string::npos) << first_line;
+  {
+    std::ofstream manifest(manifest_path, std::ios::binary | std::ios::trunc);
+    manifest << first_line << "\n"
+             << "{\"name\":\"hou";  // torn mid-write by the "crash"
+  }
+  std::filesystem::remove(resumed_dir + "/house_2.table");
+  std::filesystem::remove(resumed_dir + "/house_2.symbols");
+
+  std::string resumed =
+      RunOk({"encode-fleet", "--input", dir, "--out", resumed_dir,
+             "--resume", "true", "--threads", "1"});
+  EXPECT_NE(resumed.find("house_1: "), std::string::npos);
+  EXPECT_NE(resumed.find("[resumed]"), std::string::npos) << resumed;
+
+  // The resumed run's outputs are bit-identical to the clean run's.
+  for (const char* name :
+       {"house_1.table", "house_1.symbols", "house_2.table",
+        "house_2.symbols", "fleet.manifest", "quality.json"}) {
+    std::ifstream a(clean_dir + "/" + name, std::ios::binary);
+    std::ifstream b(resumed_dir + "/" + name, std::ios::binary);
+    std::stringstream sa, sb;
+    sa << a.rdbuf();
+    sb << b.rdbuf();
+    EXPECT_EQ(sa.str(), sb.str()) << name;
+    EXPECT_FALSE(sa.str().empty()) << name;
+  }
 }
 
 TEST(CliTest, EncodeFleetMatchesSerialSingleHouseEncode) {

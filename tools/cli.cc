@@ -1,10 +1,15 @@
 #include "cli.h"
 
+#include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <mutex>
+#include <optional>
 #include <sstream>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -31,6 +36,7 @@ Status MakeDirectories(const std::string& path) {
 }
 
 Status WriteFile(const std::string& path, const std::string& content) {
+  SMETER_FAULT_POINT("file.write");
   std::ofstream out(path, std::ios::binary);
   if (!out) return InternalError("cannot open for writing: " + path);
   out << content;
@@ -289,19 +295,21 @@ Status CmdDecode(const Flags& flags, std::ostream& out) {
 }
 
 // Loads every household of a fleet: REDD layout (a directory of
-// house_<i>/ subdirectories) or a CER file (all meters). Returns
-// (name, series) pairs in a stable order.
-Result<std::vector<std::pair<std::string, TimeSeries>>> LoadFleet(
-    const std::string& input, const std::string& format) {
-  std::vector<std::pair<std::string, TimeSeries>> fleet;
+// house_<i>/ subdirectories) or a CER file (all meters). Returns one
+// FleetInput per household in a stable order; a household whose files are
+// unreadable carries its load error into the tolerant encoder (quarantine)
+// instead of failing the whole fleet. A CER file that cannot be read at
+// all is a fleet-level error — the households inside it cannot even be
+// enumerated.
+Result<std::vector<FleetInput>> LoadFleet(const std::string& input,
+                                          const std::string& format) {
+  std::vector<FleetInput> fleet;
   if (format == "redd") {
     for (int h = 1;; ++h) {
       std::string house_dir = input + "/house_" + std::to_string(h);
       if (!std::filesystem::is_directory(house_dir)) break;
-      Result<TimeSeries> series = data::LoadReddHouseMains(house_dir);
-      if (!series.ok()) return series.status();
-      fleet.emplace_back("house_" + std::to_string(h),
-                         std::move(series.value()));
+      fleet.push_back({"house_" + std::to_string(h),
+                       data::LoadReddHouseMains(house_dir)});
     }
     if (fleet.empty()) {
       return NotFoundError("no house_<i> directories under " + input);
@@ -314,12 +322,130 @@ Result<std::vector<std::pair<std::string, TimeSeries>>> LoadFleet(
     if (!meters.ok()) return meters.status();
     if (meters->empty()) return FailedPreconditionError("no meters in file");
     for (auto& [id, series] : *meters) {
-      fleet.emplace_back("meter_" + std::to_string(id), std::move(series));
+      fleet.push_back({"meter_" + std::to_string(id), std::move(series)});
     }
     return fleet;
   }
   return InvalidArgumentError("unknown format '" + format +
                               "' (expected redd|cer)");
+}
+
+// --- fleet checkpoint manifest ---------------------------------------------
+//
+// `<out>/fleet.manifest` is JSONL: one self-contained line per finished
+// household, appended as households complete (so a killed run leaves a
+// valid prefix) and rewritten in fleet order once the run ends. A resumed
+// run skips households whose line says ok/degraded — their outputs are
+// already on disk — and re-encodes everything else. A torn final line
+// (the crash signature) parses as "not finished" and is ignored.
+
+std::optional<std::string> JsonStringField(const std::string& line,
+                                           const std::string& key) {
+  const std::string marker = "\"" + key + "\":\"";
+  size_t start = line.find(marker);
+  if (start == std::string::npos) return std::nullopt;
+  start += marker.size();
+  std::string value;
+  for (size_t i = start; i < line.size(); ++i) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      value.push_back(line[++i]);
+    } else if (line[i] == '"') {
+      return value;
+    } else {
+      value.push_back(line[i]);
+    }
+  }
+  return std::nullopt;  // unterminated string: torn line
+}
+
+std::optional<int64_t> JsonIntField(const std::string& line,
+                                    const std::string& key) {
+  const std::string marker = "\"" + key + "\":";
+  size_t start = line.find(marker);
+  if (start == std::string::npos) return std::nullopt;
+  start += marker.size();
+  size_t end = start;
+  while (end < line.size() &&
+         (std::isdigit(static_cast<unsigned char>(line[end])) ||
+          line[end] == '-')) {
+    ++end;
+  }
+  if (end == start) return std::nullopt;
+  Result<int64_t> parsed = ParseInt(line.substr(start, end - start));
+  if (!parsed.ok()) return std::nullopt;
+  return parsed.value();
+}
+
+std::string JsonEscape(const std::string& value) {
+  std::string out;
+  for (char c : value) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string ManifestLine(const HouseholdReport& report) {
+  std::string line = "{\"name\":\"" + JsonEscape(report.name) +
+                     "\",\"status\":\"" +
+                     HouseholdOutcomeToString(report.outcome) +
+                     "\",\"attempts\":" + std::to_string(report.attempts) +
+                     ",\"windows_valid\":" +
+                     std::to_string(report.quality.windows_valid) +
+                     ",\"windows_partial\":" +
+                     std::to_string(report.quality.windows_partial) +
+                     ",\"windows_gap\":" +
+                     std::to_string(report.quality.windows_gap) + "}\n";
+  return line;
+}
+
+// Parses one manifest line back into a report. Returns nullopt for torn or
+// malformed lines — the resume path treats those households as unfinished.
+std::optional<HouseholdReport> ParseManifestLine(const std::string& line) {
+  if (line.empty() || line.back() != '}') return std::nullopt;
+  std::optional<std::string> name = JsonStringField(line, "name");
+  std::optional<std::string> status = JsonStringField(line, "status");
+  std::optional<int64_t> attempts = JsonIntField(line, "attempts");
+  std::optional<int64_t> valid = JsonIntField(line, "windows_valid");
+  std::optional<int64_t> partial = JsonIntField(line, "windows_partial");
+  std::optional<int64_t> gap = JsonIntField(line, "windows_gap");
+  if (!name || !status || !attempts || !valid || !partial || !gap) {
+    return std::nullopt;
+  }
+  HouseholdReport report;
+  report.name = *name;
+  if (*status == "ok") {
+    report.outcome = HouseholdOutcome::kOk;
+  } else if (*status == "degraded") {
+    report.outcome = HouseholdOutcome::kDegraded;
+  } else if (*status == "quarantined") {
+    report.outcome = HouseholdOutcome::kQuarantined;
+  } else {
+    return std::nullopt;
+  }
+  report.attempts = static_cast<int>(*attempts);
+  report.quality.windows_valid = static_cast<size_t>(*valid);
+  report.quality.windows_partial = static_cast<size_t>(*partial);
+  report.quality.windows_gap = static_cast<size_t>(*gap);
+  return report;
+}
+
+// Households already finished by an earlier run, keyed by name. Only
+// ok/degraded entries count: their .table/.symbols are on disk. A missing
+// or unreadable manifest simply resumes nothing.
+std::map<std::string, HouseholdReport> LoadManifest(
+    const std::string& manifest_path) {
+  std::map<std::string, HouseholdReport> carried;
+  std::ifstream in(manifest_path, std::ios::binary);
+  if (!in) return carried;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::optional<HouseholdReport> report = ParseManifestLine(line);
+    if (!report) continue;
+    if (report->outcome == HouseholdOutcome::kQuarantined) continue;
+    carried[report->name] = std::move(*report);
+  }
+  return carried;
 }
 
 Status CmdEncodeFleet(const Flags& flags, std::ostream& out) {
@@ -341,15 +467,26 @@ Status CmdEncodeFleet(const Flags& flags, std::ostream& out) {
   if (!history.ok()) return history.status();
   Result<int64_t> threads = flags.GetInt("threads", 0);
   if (!threads.ok()) return threads.status();
+  Result<bool> resume = flags.GetBool("resume", false);
+  if (!resume.ok()) return resume.status();
+  Result<bool> gap_aware = flags.GetBool("gap-aware", true);
+  if (!gap_aware.ok()) return gap_aware.status();
+  Result<int64_t> max_retries = flags.GetInt("max-retries", 2);
+  if (!max_retries.ok()) return max_retries.status();
+  Result<int64_t> backoff = flags.GetInt("retry-backoff-ms", 100);
+  if (!backoff.ok()) return backoff.status();
   SMETER_RETURN_IF_ERROR(CheckNoStrayFlags(flags));
   if (*threads < 0) return InvalidArgumentError("--threads must be >= 0");
+  if (*max_retries < 0) {
+    return InvalidArgumentError("--max-retries must be >= 0");
+  }
 
-  Result<std::vector<std::pair<std::string, TimeSeries>>> fleet =
-      LoadFleet(*input, format);
+  Result<std::vector<FleetInput>> fleet = LoadFleet(*input, format);
   if (!fleet.ok()) return fleet.status();
-  std::vector<TimeSeries> households;
-  households.reserve(fleet->size());
-  for (auto& [name, series] : *fleet) households.push_back(std::move(series));
+
+  const std::string manifest_path = *dir + "/fleet.manifest";
+  std::map<std::string, HouseholdReport> carried;
+  if (*resume) carried = LoadManifest(manifest_path);
 
   FleetEncodeOptions options;
   options.table.method = *method;
@@ -357,39 +494,130 @@ Status CmdEncodeFleet(const Flags& flags, std::ostream& out) {
   options.pipeline.window_seconds = *window;
   options.pipeline.window.sample_period_seconds = *sample_period;
   options.history_seconds = *history;
-
-  ThreadPool pool(static_cast<size_t>(*threads));
-  Stopwatch watch;
-  Result<std::vector<HouseholdEncoding>> encoded =
-      EncodeFleet(households, options, &pool);
-  if (!encoded.ok()) return encoded.status();
-  const double seconds = watch.ElapsedSeconds();
+  options.gap_aware = *gap_aware;
+  options.retry.max_retries = static_cast<int>(*max_retries);
+  options.retry.initial_backoff_ms = *backoff;
 
   SMETER_RETURN_IF_ERROR(MakeDirectories(*dir));
-  size_t total_symbols = 0;
-  size_t total_samples = 0;
-  for (size_t h = 0; h < encoded->size(); ++h) {
-    const std::string& name = (*fleet)[h].first;
-    const HouseholdEncoding& enc = (*encoded)[h];
-    SMETER_RETURN_IF_ERROR(
-        WriteFile(*dir + "/" + name + ".table", enc.table.Serialize()));
+
+  // The households an earlier run didn't finish; everything else is
+  // carried over verbatim.
+  std::vector<FleetInput> todo;
+  std::vector<size_t> todo_index;  // position in the full fleet
+  for (size_t h = 0; h < fleet->size(); ++h) {
+    if (carried.count((*fleet)[h].name) > 0) continue;
+    todo_index.push_back(h);
+    todo.push_back(std::move((*fleet)[h]));
+  }
+
+  // Seed the manifest with the carried entries, then append each household
+  // as it finishes so a killed run leaves a usable checkpoint.
+  {
+    std::string seed;
+    for (size_t h = 0; h < fleet->size(); ++h) {
+      auto it = carried.find((*fleet)[h].name);
+      if (it != carried.end()) seed += ManifestLine(it->second);
+    }
+    SMETER_RETURN_IF_ERROR(WriteFile(manifest_path, seed));
+  }
+
+  std::mutex manifest_mutex;
+  std::ofstream manifest(manifest_path,
+                         std::ios::binary | std::ios::app);
+  if (!manifest) {
+    return InternalError("cannot open for appending: " + manifest_path);
+  }
+  HouseholdSink sink = [&](size_t /*index*/, const HouseholdReport& report,
+                           const HouseholdEncoding& enc) -> Status {
+    SMETER_RETURN_IF_ERROR(WriteFile(*dir + "/" + report.name + ".table",
+                                     enc.table.Serialize()));
     Result<std::string> blob = PackSymbolicSeries(enc.symbols);
     if (!blob.ok()) {
       return Status(blob.status().code(),
-                    name + ": " + blob.status().message() +
-                        " (the trace has gaps; encode gapless spans)");
+                    blob.status().message() +
+                        " (encode gapless spans, or use --gap-aware true)");
     }
     SMETER_RETURN_IF_ERROR(
-        WriteFile(*dir + "/" + name + ".symbols", *blob));
-    total_symbols += enc.symbols.size();
-    total_samples += households[h].size();
-    out << name << ": " << enc.symbols.size() << " symbols (level "
-        << enc.symbols.level() << ") -> " << *dir << "/" << name
-        << ".{table,symbols}\n";
+        WriteFile(*dir + "/" + report.name + ".symbols", *blob));
+    // Checkpoint only after both files are durably written. The outcome is
+    // derived the same way the encoder will finalize it.
+    HouseholdReport done = report;
+    const bool clean = report.attempts == 1 &&
+                       report.quality.windows_partial == 0 &&
+                       report.quality.windows_gap == 0;
+    done.outcome =
+        clean ? HouseholdOutcome::kOk : HouseholdOutcome::kDegraded;
+    std::lock_guard<std::mutex> lock(manifest_mutex);
+    manifest << ManifestLine(done);
+    manifest.flush();
+    return manifest ? Status::Ok()
+                    : InternalError("I/O error writing: " + manifest_path);
+  };
+
+  ThreadPool pool(static_cast<size_t>(*threads));
+  Stopwatch watch;
+  Result<std::vector<HouseholdReport>> encoded =
+      EncodeFleetTolerant(todo, options, &pool, sink);
+  if (!encoded.ok()) return encoded.status();
+  const double seconds = watch.ElapsedSeconds();
+  manifest.close();
+
+  // Merge carried and fresh reports back into fleet order.
+  std::vector<HouseholdReport> reports;
+  reports.reserve(fleet->size());
+  {
+    size_t next_todo = 0;
+    for (size_t h = 0; h < fleet->size(); ++h) {
+      if (next_todo < todo_index.size() && todo_index[next_todo] == h) {
+        reports.push_back(std::move((*encoded)[next_todo]));
+        ++next_todo;
+      } else {
+        reports.push_back(carried.at((*fleet)[h].name));
+      }
+    }
   }
-  out << "fleet: " << encoded->size() << " households, " << total_samples
+
+  // Rewrite the manifest in fleet order (quarantined lines included) so a
+  // completed run's checkpoint is deterministic.
+  {
+    std::string full;
+    for (const HouseholdReport& r : reports) full += ManifestLine(r);
+    SMETER_RETURN_IF_ERROR(WriteFile(manifest_path, full));
+  }
+
+  FleetQualityReport summary = SummarizeFleet(reports);
+  SMETER_RETURN_IF_ERROR(WriteFile(
+      *dir + "/quality.json", FleetQualityReportToJson(summary, reports)));
+
+  size_t total_symbols = 0;
+  size_t total_samples = 0;
+  for (const FleetInput& in : todo) {
+    if (in.trace.ok()) total_samples += in.trace->size();
+  }
+  for (const HouseholdReport& r : reports) {
+    if (r.outcome == HouseholdOutcome::kQuarantined) {
+      out << r.name << ": quarantined after " << r.attempts
+          << " attempt(s): " << r.error.ToString() << "\n";
+      continue;
+    }
+    total_symbols += r.quality.windows_total();
+    out << r.name << ": " << r.quality.windows_total()
+        << " symbols (level " << *level << ") -> " << *dir << "/" << r.name
+        << ".{table,symbols}";
+    if (carried.count(r.name) > 0) out << " [resumed]";
+    if (r.outcome == HouseholdOutcome::kDegraded) {
+      out << " [degraded: " << r.quality.windows_gap << " gap, "
+          << r.quality.windows_partial << " partial windows]";
+    }
+    out << "\n";
+  }
+  out << "fleet: " << reports.size() << " households, " << total_samples
       << " samples -> " << total_symbols << " symbols on "
       << pool.num_threads() << " threads in " << seconds << " s\n";
+  out << "quality: " << summary.households_ok << " ok, "
+      << summary.households_degraded << " degraded, "
+      << summary.households_quarantined << " quarantined -> " << *dir
+      << "/quality.json\n";
   return Status::Ok();
 }
 
@@ -485,6 +713,17 @@ Result<double> Flags::GetDouble(const std::string& name,
   return ParseDouble(it->second);
 }
 
+Result<bool> Flags::GetBool(const std::string& name, bool fallback) const {
+  read_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  if (it->second == "true" || it->second == "1") return true;
+  if (it->second == "false" || it->second == "0") return false;
+  return InvalidArgumentError("flag --" + name +
+                              " expects true|false, got '" + it->second +
+                              "'");
+}
+
 std::vector<std::string> Flags::UnreadFlags() const {
   std::vector<std::string> stray;
   for (const auto& [name, value] : values_) {
@@ -510,6 +749,12 @@ std::string UsageText() {
       "               [--method median] [--level 4] [--window 900]\n"
       "               [--sample-period 1] [--history-seconds 0]\n"
       "               [--threads 0]   (0 = one per hardware thread)\n"
+      "               [--gap-aware true] [--max-retries 2]\n"
+      "               [--retry-backoff-ms 100] [--resume false]\n"
+      "               a failing household is retried, then quarantined\n"
+      "               (run still exits 0; see <out>/quality.json);\n"
+      "               --resume true skips households already recorded in\n"
+      "               <out>/fleet.manifest from an interrupted run\n"
       "  decode       --input SYMBOLS --table TABLE [--mode mean|center]\n"
       "  info         --input FILE\n"
       "  help\n";

@@ -39,6 +39,8 @@ class Flags {
                     const std::string& fallback) const;
   Result<int64_t> GetInt(const std::string& name, int64_t fallback) const;
   Result<double> GetDouble(const std::string& name, double fallback) const;
+  // Accepts "true"/"1" and "false"/"0".
+  Result<bool> GetBool(const std::string& name, bool fallback) const;
 
   // Names that were never read — for unknown-flag diagnostics.
   std::vector<std::string> UnreadFlags() const;
