@@ -7,6 +7,10 @@
 #   BM_EncodeBatch vs BM_EncodeScalar  -- SoA kernel speedup (single thread)
 #   BM_FleetEncode/1..8                -- household sharding across the pool
 #   BM_ForestTrain/0 vs /2 /4         -- serial vs pooled forest training
+#   BM_Crc32c vs BM_Crc32cSoftware    -- hardware CRC32C dispatch speedup
+#   BM_PackFramed vs BM_PackLegacy    -- checksummed v3 write cost; its
+#                                        wire_overhead_pct counter is the
+#                                        v3 size premium over the v1 blob
 # On single-core hosts the thread-count sweeps collapse to serial
 # throughput; the per-sample kernel speedup is machine-independent.
 

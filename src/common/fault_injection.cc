@@ -52,6 +52,7 @@ Status Check(std::string_view seam) {
   }
   const size_t call = ++it->second;  // 1-based per-seam numbering
   for (const FaultRule& rule : plan->rules) {
+    if (rule.corrupt_bits > 0) continue;  // corruption rules: MaybeCorrupt only
     if (!SeamMatches(rule.seam, seam)) continue;
     bool fire = false;
     if (rule.first_call > 0) {
@@ -70,6 +71,55 @@ Status Check(std::string_view seam) {
     return Status(rule.code, std::move(message));
   }
   return Status::Ok();
+}
+
+bool MaybeCorrupt(std::string_view seam, std::string_view data,
+                  std::string* out) {
+  if (g_plan.load(std::memory_order_relaxed) == nullptr) return false;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  PlanState* plan = g_plan.load(std::memory_order_relaxed);
+  if (plan == nullptr) return false;  // raced with teardown
+  auto it = plan->calls.find(seam);
+  if (it == plan->calls.end()) {
+    it = plan->calls.emplace(std::string(seam), 0).first;
+  }
+  const size_t call = ++it->second;  // shared 1-based per-seam numbering
+  for (const FaultRule& rule : plan->rules) {
+    if (rule.corrupt_bits <= 0) continue;  // error rules belong to Check()
+    if (!SeamMatches(rule.seam, seam)) continue;
+    bool fire = false;
+    if (rule.first_call > 0) {
+      fire = call >= static_cast<size_t>(rule.first_call) &&
+             (rule.last_call == 0 ||
+              call <= static_cast<size_t>(rule.last_call));
+    }
+    if (!fire && rule.probability > 0.0) {
+      fire = plan->rng.Uniform() < rule.probability;
+    }
+    if (!fire) continue;
+    if (data.empty()) continue;  // nothing to damage; don't count an injection
+    *out = std::string(data);
+    // Flip distinct seeded bit offsets. Distinctness matters: flipping the
+    // same bit twice restores it, which would under-deliver the promised
+    // damage and could make a "corruption injected" test silently vacuous.
+    const uint64_t total_bits = static_cast<uint64_t>(data.size()) * 8;
+    const int flips = rule.corrupt_bits;
+    std::vector<uint64_t> chosen;
+    chosen.reserve(static_cast<size_t>(flips));
+    while (chosen.size() < static_cast<size_t>(flips) &&
+           chosen.size() < total_bits) {
+      const uint64_t bit = plan->rng.UniformInt(total_bits);
+      bool dup = false;
+      for (uint64_t prev : chosen) dup = dup || prev == bit;
+      if (dup) continue;
+      chosen.push_back(bit);
+      (*out)[bit / 8] = static_cast<char>(
+          static_cast<unsigned char>((*out)[bit / 8]) ^ (1u << (bit % 8)));
+    }
+    ++plan->injected[std::string(seam)];
+    return true;
+  }
+  return false;
 }
 
 ScopedFaultPlan::ScopedFaultPlan(std::vector<FaultRule> rules, uint64_t seed) {

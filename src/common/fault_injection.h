@@ -49,6 +49,12 @@ struct FaultRule {
   // The injected error.
   StatusCode code = StatusCode::kInternal;
   std::string message;  // empty -> "injected fault at <seam>"
+  // Corruption trigger: when > 0 this rule does not fail the call — it
+  // flips this many bits of the payload offered to MaybeCorrupt(), at
+  // offsets drawn from the plan's seeded RNG. Check() ignores corruption
+  // rules, and MaybeCorrupt() ignores error rules, so one plan can mix
+  // "this write fails" with "that write lands damaged".
+  int corrupt_bits = 0;
 
   // Fails calls numbered [first, last] (last == 0 -> every call from
   // `first` on).
@@ -66,6 +72,27 @@ struct FaultRule {
     rule.probability = p;
     return rule;
   }
+  // Flips `bits` deterministic seeded bits in the payload of calls
+  // numbered [first, last] to MaybeCorrupt(seam) (last == 0 -> every call
+  // from `first` on).
+  static FaultRule CorruptBytes(std::string seam, int bits, int first = 1,
+                                int last = 0) {
+    FaultRule rule;
+    rule.seam = std::move(seam);
+    rule.corrupt_bits = bits;
+    rule.first_call = first;
+    rule.last_call = last;
+    return rule;
+  }
+  // Flips `bits` seeded bits with probability `p` per matching call.
+  static FaultRule CorruptBytesWithProbability(std::string seam, int bits,
+                                               double p) {
+    FaultRule rule;
+    rule.seam = std::move(seam);
+    rule.corrupt_bits = bits;
+    rule.probability = p;
+    return rule;
+  }
 };
 
 // Returns OK, or the injected error if the active plan decides this call
@@ -75,6 +102,14 @@ Status Check(std::string_view seam);
 // True when a plan is installed (cheap; for code that wants to skip
 // expensive seam-name construction in the common case).
 bool Active();
+
+// Corruption seam: when an active plan has a CorruptBytes rule matching
+// `seam` that fires for this call, copies `data` into `*out` with the
+// rule's bit flips applied (deterministic per plan seed) and returns true.
+// Returns false — and leaves `*out` alone — otherwise. Counts toward the
+// same per-seam call/injection counters as Check().
+bool MaybeCorrupt(std::string_view seam, std::string_view data,
+                  std::string* out);
 
 // Installs a set of rules for the lifetime of the object. Plans do not
 // nest: constructing a second ScopedFaultPlan while one is alive aborts

@@ -1,0 +1,373 @@
+#include "common/io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "common/fault_injection.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <nmmintrin.h>
+#endif
+
+namespace smeter::io {
+namespace {
+
+std::string ErrnoMessage(int err) {
+  return std::error_code(err, std::generic_category()).message();
+}
+
+// --- CRC-32C ---------------------------------------------------------------
+
+// Slice-by-8 tables for the Castagnoli polynomial (reflected 0x82F63B78).
+// Built once at first use; ~8 KiB.
+struct Crc32cTables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+  Crc32cTables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      for (size_t s = 1; s < 8; ++s) {
+        t[s][i] = (t[s - 1][i] >> 8) ^ t[0][t[s - 1][i] & 0xffu];
+      }
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+#if defined(__x86_64__)
+__attribute__((target("sse4.2"))) uint32_t Crc32cHardware(
+    std::string_view data, uint32_t crc) {
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(data.data());
+  size_t n = data.size();
+  crc = ~crc;
+  while (n >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    crc = static_cast<uint32_t>(_mm_crc32_u64(crc, chunk));
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = _mm_crc32_u8(crc, *p);
+    ++p;
+    --n;
+  }
+  return ~crc;
+}
+
+bool HasSse42() {
+  static const bool has = __builtin_cpu_supports("sse4.2");
+  return has;
+}
+#endif
+
+}  // namespace
+
+uint32_t Crc32cSoftware(std::string_view data, uint32_t crc) {
+  const auto& t = Tables().t;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(data.data());
+  size_t n = data.size();
+  crc = ~crc;
+  while (n >= 8) {
+    // One table lookup per byte, eight bytes per round; the XOR tree keeps
+    // the dependency chain at one crc update per 8 bytes.
+    const uint32_t low = crc ^ (static_cast<uint32_t>(p[0]) |
+                                static_cast<uint32_t>(p[1]) << 8 |
+                                static_cast<uint32_t>(p[2]) << 16 |
+                                static_cast<uint32_t>(p[3]) << 24);
+    crc = t[7][low & 0xffu] ^ t[6][(low >> 8) & 0xffu] ^
+          t[5][(low >> 16) & 0xffu] ^ t[4][low >> 24] ^ t[3][p[4]] ^
+          t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = (crc >> 8) ^ t[0][(crc ^ *p) & 0xffu];
+    ++p;
+    --n;
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(std::string_view data, uint32_t crc) {
+#if defined(__x86_64__)
+  if (HasSse42()) return Crc32cHardware(data, crc);
+#endif
+  return Crc32cSoftware(data, crc);
+}
+
+// --- atomic writes ---------------------------------------------------------
+
+namespace {
+
+Status WriteAll(int fd, std::string_view data, const std::string& path) {
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return InternalError("write failed for " + path + ": " +
+                           ErrnoMessage(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status FsyncFd(int fd, const std::string& what) {
+  SMETER_FAULT_POINT("io.fsync");
+  if (::fsync(fd) != 0) {
+    return InternalError("fsync failed for " + what + ": " +
+                         ErrnoMessage(errno));
+  }
+  return Status::Ok();
+}
+
+Status FsyncDirectoryOf(const std::string& path) {
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  std::string dir = parent.empty() ? "." : parent.string();
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return InternalError("cannot open directory " + dir + ": " +
+                         ErrnoMessage(errno));
+  }
+  Status synced = FsyncFd(fd, dir);
+  ::close(fd);
+  return synced;
+}
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path, std::string_view content) {
+  SMETER_FAULT_POINT("file.write");
+  // The corruption seam: under a CorruptBytes plan the payload is copied
+  // and bit-flipped before it reaches disk, simulating a storage-layer
+  // flip that the durability protocol cannot prevent — only detect.
+  std::string corrupted;
+  std::string_view payload = content;
+  if (fault::Active() &&
+      fault::MaybeCorrupt("io.write", content, &corrupted)) {
+    payload = corrupted;
+  }
+
+  const std::string tmp = path + kTmpSuffix;
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    return InternalError("cannot open for writing: " + tmp + ": " +
+                         ErrnoMessage(errno));
+  }
+  Status written = WriteAll(fd, payload, tmp);
+  if (written.ok()) written = FsyncFd(fd, tmp);
+  if (::close(fd) != 0 && written.ok()) {
+    written = InternalError("close failed for " + tmp + ": " +
+                            ErrnoMessage(errno));
+  }
+  if (written.ok()) {
+    Status renamed = fault::Check("io.rename");
+    if (renamed.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+      renamed = InternalError("rename " + tmp + " -> " + path + ": " +
+                              ErrnoMessage(errno));
+    }
+    written = renamed;
+  }
+  if (!written.ok()) {
+    ::unlink(tmp.c_str());
+    return written;
+  }
+  // Durability of the rename itself: the directory entry must survive a
+  // crash, or the "atomic" replace can roll back on reboot.
+  return FsyncDirectoryOf(path);
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return NotFoundError("cannot open: " + path + ": " +
+                         ErrnoMessage(errno));
+  }
+  std::string out;
+  char buffer[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      ::close(fd);
+      return InternalError("I/O error reading: " + path + ": " +
+                           ErrnoMessage(err));
+    }
+    if (n == 0) break;
+    out.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+// --- append log ------------------------------------------------------------
+
+namespace {
+
+void AppendU32Le(std::string& out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xffu));
+  }
+}
+
+uint32_t ReadU32Le(const std::string& data, size_t offset) {
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(static_cast<unsigned char>(
+                 data[offset + static_cast<size_t>(i)]))
+             << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string EncodeAppendRecord(std::string_view record) {
+  std::string frame;
+  frame.reserve(8 + record.size());
+  AppendU32Le(frame, static_cast<uint32_t>(record.size()));
+  AppendU32Le(frame, Crc32c(record));
+  frame.append(record);
+  return frame;
+}
+
+std::string BuildAppendLog(const std::vector<std::string>& records) {
+  std::string out(kAppendLogMagic, kAppendLogMagicSize);
+  for (const std::string& record : records) {
+    out += EncodeAppendRecord(record);
+  }
+  return out;
+}
+
+Result<AppendLogContents> ReadAppendLog(const std::string& path) {
+  Result<std::string> raw = ReadFileToString(path);
+  if (!raw.ok()) return raw.status();
+  const std::string& data = raw.value();
+  if (data.size() < kAppendLogMagicSize ||
+      data.compare(0, kAppendLogMagicSize, kAppendLogMagic) != 0) {
+    return InvalidArgumentError("not an smeter append log: " + path);
+  }
+  AppendLogContents contents;
+  size_t offset = kAppendLogMagicSize;
+  contents.valid_bytes = offset;
+  while (offset < data.size()) {
+    bool frame_ok = data.size() - offset >= 8;
+    uint32_t length = 0;
+    if (frame_ok) {
+      length = ReadU32Le(data, offset);
+      frame_ok = length <= kMaxAppendRecordBytes &&
+                 data.size() - offset - 8 >= length;
+    }
+    if (frame_ok) {
+      const uint32_t want_crc = ReadU32Le(data, offset + 4);
+      std::string_view payload(data.data() + offset + 8, length);
+      frame_ok = Crc32c(payload) == want_crc;
+      if (frame_ok) {
+        contents.records.emplace_back(payload);
+        offset += 8 + length;
+        contents.valid_bytes = offset;
+        continue;
+      }
+    }
+    // The frame at `offset` is damaged. If its claimed extent reaches (or
+    // overruns) end-of-file this is the torn-final-append signature;
+    // a damaged frame with trustworthy bytes after it is mid-file
+    // corruption. Either way nothing past this point is usable.
+    const bool runs_to_eof = data.size() - offset < 8 ||
+                             length > kMaxAppendRecordBytes ||
+                             offset + 8 + length >= data.size();
+    contents.torn_tail = runs_to_eof;
+    contents.corrupt_midfile = !runs_to_eof;
+    break;
+  }
+  return contents;
+}
+
+Status TruncateFile(const std::string& path, size_t size) {
+  std::error_code error;
+  std::filesystem::resize_file(path, size, error);
+  if (error) {
+    return InternalError("cannot truncate " + path + ": " + error.message());
+  }
+  return Status::Ok();
+}
+
+Result<AppendLogWriter> AppendLogWriter::OpenForAppend(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd < 0) {
+    return InternalError("cannot open for appending: " + path + ": " +
+                         ErrnoMessage(errno));
+  }
+  return AppendLogWriter(fd, path);
+}
+
+AppendLogWriter::AppendLogWriter(AppendLogWriter&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+AppendLogWriter& AppendLogWriter::operator=(
+    AppendLogWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+AppendLogWriter::~AppendLogWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status AppendLogWriter::Append(std::string_view record) {
+  SMETER_FAULT_POINT("manifest.append");
+  if (fd_ < 0) return FailedPreconditionError("append log writer is closed");
+  if (record.size() > kMaxAppendRecordBytes) {
+    return InvalidArgumentError("append record too large");
+  }
+  // One write() for the whole frame: O_APPEND makes the frame land as a
+  // contiguous unit, so a concurrent reader sees whole frames or a single
+  // torn tail, never interleaved halves.
+  std::string frame = EncodeAppendRecord(record);
+  SMETER_RETURN_IF_ERROR(WriteAll(fd_, frame, path_));
+  return FsyncFd(fd_, path_);
+}
+
+Status AppendLogWriter::Close() {
+  if (fd_ < 0) return Status::Ok();
+  int fd = fd_;
+  fd_ = -1;
+  if (::close(fd) != 0) {
+    return InternalError("close failed for " + path_ + ": " +
+                         ErrnoMessage(errno));
+  }
+  return Status::Ok();
+}
+
+}  // namespace smeter::io

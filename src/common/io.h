@@ -1,0 +1,144 @@
+// Durable file I/O primitives: checksums, atomic writes, and a
+// checksummed append-only record log.
+//
+// Every artifact the pipeline persists (symbol blobs, lookup tables,
+// quality reports, the fleet checkpoint manifest) goes through this layer,
+// so a crash, torn write, or bit flip is either impossible to observe
+// (atomic replace) or impossible to miss (CRC32C on every frame).
+//
+// Three pieces:
+//
+//   Crc32c           — CRC-32C (Castagnoli), the polynomial with hardware
+//                      support on x86 (SSE4.2) and ARM. Slice-by-8 software
+//                      fallback; the two implementations are bit-identical
+//                      and the dispatch is per-process, not per-call.
+//   AtomicWriteFile  — tmp file → write → fsync → rename → directory fsync.
+//                      Readers see the old bytes or the new bytes, never a
+//                      prefix. Fault seams: `file.write` (entry),
+//                      `io.fsync`, `io.rename`; the `io.write` corruption
+//                      seam lets tests flip bits in the payload en route to
+//                      disk (fsck must catch every one of them).
+//   Append log       — length-prefixed records, each with its own CRC32C,
+//                      behind a magic header. An append-mode producer
+//                      (the fleet manifest) survives kill -9 mid-append: a
+//                      partial trailing record is detected and dropped by
+//                      the reader instead of poisoning the whole log.
+//
+// All functions are Status-based and exception-free, like the rest of the
+// tree. POSIX-only (the project targets Linux).
+
+#ifndef SMETER_COMMON_IO_H_
+#define SMETER_COMMON_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace smeter::io {
+
+// CRC-32C of `data`, continuing from `crc` (pass the previous return value
+// to checksum a buffer in pieces; 0 starts a fresh checksum). Uses the
+// SSE4.2 instruction when the CPU has it, slice-by-8 otherwise.
+uint32_t Crc32c(std::string_view data, uint32_t crc = 0);
+
+// The portable slice-by-8 implementation, exposed so tests can pin the
+// hardware path against it. Production code calls Crc32c.
+uint32_t Crc32cSoftware(std::string_view data, uint32_t crc = 0);
+
+// Suffix appended to `path` for the scratch file during AtomicWriteFile; a
+// crash between create and rename leaves it behind, and fsck removes it.
+inline constexpr char kTmpSuffix[] = ".tmp";
+
+// Durably replaces `path` with `content`: write to `path + kTmpSuffix`,
+// fsync, rename over `path`, fsync the parent directory. On any failure the
+// previous contents of `path` are untouched and the tmp file is removed
+// (when the failure is an error return; an actual crash can leave the tmp
+// file, which is harmless and cleaned by fsck).
+Status AtomicWriteFile(const std::string& path, std::string_view content);
+
+// Reads a whole file. NotFound if it cannot be opened.
+Result<std::string> ReadFileToString(const std::string& path);
+
+// --- checksummed append log -------------------------------------------------
+//
+// Layout: 6-byte magic "SMLG1\n", then zero or more frames of
+//   u32le payload_length | u32le crc32c(payload) | payload bytes
+// A reader walks frames until the bytes run out; anything that does not
+// frame-check (short header, short payload, CRC mismatch) ends the valid
+// region. At end-of-file that is the expected kill -9 signature and is
+// merely flagged; before end-of-file it means corruption.
+
+inline constexpr char kAppendLogMagic[] = "SMLG1\n";
+inline constexpr size_t kAppendLogMagicSize = sizeof(kAppendLogMagic) - 1;
+// Upper bound on one record; a length field above this is corruption, not
+// a real record, so the reader never allocates from a damaged length.
+inline constexpr uint32_t kMaxAppendRecordBytes = 1u << 24;
+
+// Serializes `records` as a complete log (magic + frames) for an atomic
+// rewrite.
+std::string BuildAppendLog(const std::vector<std::string>& records);
+
+// One frame (length + CRC + payload), for incremental appends.
+std::string EncodeAppendRecord(std::string_view record);
+
+struct AppendLogContents {
+  std::vector<std::string> records;  // every frame that checked out, in order
+  // Bytes of magic + valid frames; the file can be truncated to this length
+  // to drop a torn tail.
+  size_t valid_bytes = 0;
+  // A frame after the valid region failed to parse and ran to end-of-file:
+  // the torn-final-write crash signature. Safe to truncate away.
+  bool torn_tail = false;
+  // A frame failed its CRC (or length check) with more bytes after it:
+  // mid-file corruption, not a torn append. Everything from the damaged
+  // frame on is untrusted.
+  bool corrupt_midfile = false;
+  bool clean() const { return !torn_tail && !corrupt_midfile; }
+};
+
+// Parses an append log. Errors only on unreadable files or a bad magic;
+// damaged frames are reported through the flags above so callers can
+// salvage the valid prefix.
+Result<AppendLogContents> ReadAppendLog(const std::string& path);
+
+// Truncates `path` to `size` bytes (for dropping a torn tail on resume).
+Status TruncateFile(const std::string& path, size_t size);
+
+// Appends checksummed frames to an existing log, fsyncing after each append
+// so a record on disk is a durable checkpoint. Not thread-safe; callers
+// serialize appends (the fleet sink holds a mutex).
+class AppendLogWriter {
+ public:
+  // Opens `path` (which must already exist, e.g. written via
+  // AtomicWriteFile with BuildAppendLog) for appending.
+  static Result<AppendLogWriter> OpenForAppend(const std::string& path);
+
+  AppendLogWriter(AppendLogWriter&& other) noexcept;
+  AppendLogWriter& operator=(AppendLogWriter&& other) noexcept;
+  AppendLogWriter(const AppendLogWriter&) = delete;
+  AppendLogWriter& operator=(const AppendLogWriter&) = delete;
+  ~AppendLogWriter();
+
+  // Frames, writes, and fsyncs one record. Fault seams: `manifest.append`
+  // (entry), `io.fsync`. Any failure is reported — a full disk or failed
+  // flush can never silently drop a checkpoint record.
+  Status Append(std::string_view record);
+
+  // Closes the descriptor; further Appends fail. Also called by the
+  // destructor (best-effort).
+  Status Close();
+
+ private:
+  explicit AppendLogWriter(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace smeter::io
+
+#endif  // SMETER_COMMON_IO_H_

@@ -32,6 +32,8 @@ std::string StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }
@@ -58,6 +60,9 @@ Status InternalError(std::string message) {
 }
 Status UnimplementedError(std::string message) {
   return Status(StatusCode::kUnimplemented, std::move(message));
+}
+Status DataLossError(std::string message) {
+  return Status(StatusCode::kDataLoss, std::move(message));
 }
 
 }  // namespace smeter

@@ -25,6 +25,10 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kUnimplemented,
+  // Stored data failed an integrity check (checksum mismatch, torn write,
+  // truncated frame). Distinct from kInvalidArgument — the bytes were once
+  // valid and have been damaged, so recovery tooling (fsck, salvage) applies.
+  kDataLoss,
 };
 
 // Returns a human-readable name for `code`, e.g. "InvalidArgument".
@@ -66,6 +70,7 @@ Status OutOfRangeError(std::string message);
 Status FailedPreconditionError(std::string message);
 Status InternalError(std::string message);
 Status UnimplementedError(std::string message);
+Status DataLossError(std::string message);
 
 namespace internal {
 // Prints `message` (with the offending status, if any) and aborts. Lives in

@@ -20,6 +20,31 @@
 // explicit GAP symbol (the gap-aware pipeline emits those), not an absent
 // timestamp. Pack rejects irregular series — send those as separate
 // segments.
+//
+// Version 3 — the crash-safe framed format (PackSymbolicSeriesFramed):
+//   header  the 26 bytes above with version = 3,
+//           followed by u32 crc32c of those 26 bytes   (30 bytes total)
+//   blocks  each covering a contiguous run of slots:
+//     sync        4 bytes  F5 'S' 'M' 'B'  (resynchronization marker)
+//     first_slot  u32      index of the block's first slot
+//     slot_count  u32      low 31 bits: slots in this block
+//                          (1..kMaxBlockSlots); high bit set iff the
+//                          payload opens with a gap bitmap
+//     payload_len u32      bytes of payload that follow the CRC
+//     crc         u32      crc32c over the 12 field bytes + payload
+//     payload     gap bitmap (ceil(slot_count/8), MSB-first, set = GAP)
+//                 — present only when the block contains a GAP; gapless
+//                 blocks skip it so clean data pays just the 20-byte
+//                 header per block —
+//                 then value symbols bit-packed MSB-first, `level` bits
+//                 each; the bit accumulator resets at every block edge so
+//                 blocks decode independently
+//   Blocks tile [0, count) in order with no gaps or trailing bytes.
+//
+// Every byte of a v3 blob is covered by a checksum, so UnpackSymbolicSeries
+// pinpoints the damaged block (index and byte offset) instead of returning
+// garbage, and SalvageSymbolicSeries re-locks onto the sync markers to
+// recover every intact block, representing the destroyed slots as GAP runs.
 
 #ifndef SMETER_CORE_CODEC_H_
 #define SMETER_CORE_CODEC_H_
@@ -32,14 +57,51 @@
 
 namespace smeter {
 
+// Slots per v3 block unless the caller asks otherwise: small enough that a
+// damaged block loses at most ~43 hours of 15-minute data, large enough
+// that the 20-byte block header is noise (~1% overhead at level 4 on
+// gapless data, which omits the per-block gap bitmap).
+inline constexpr size_t kDefaultBlockSlots = 4096;
+// Hard ceiling on slot_count; a larger value in a block header is damage.
+inline constexpr size_t kMaxBlockSlots = 32768;
+
 // Serializes a fixed-cadence symbolic series. Errors on an empty series or
 // non-constant timestamp spacing (a single-sample series is fine, with
 // `step` recorded as 0).
 Result<std::string> PackSymbolicSeries(const SymbolicSeries& series);
 
-// Parses a blob produced by PackSymbolicSeries. Validates magic, version,
-// level range, and payload size.
+// Serializes as the checksummed v3 framed format. Same cadence rules as
+// PackSymbolicSeries. `max_block_slots` caps slots per block
+// (1..kMaxBlockSlots); the default suits archive files, tests use small
+// blocks to exercise many frames.
+Result<std::string> PackSymbolicSeriesFramed(
+    const SymbolicSeries& series, size_t max_block_slots = kDefaultBlockSlots);
+
+// Parses a blob produced by PackSymbolicSeries or PackSymbolicSeriesFramed
+// (the version byte selects the grammar). Validates magic, version, level
+// range, and payload size; for v3 additionally verifies the header CRC and
+// every block CRC, failing with StatusCode::kDataLoss naming the damaged
+// block and its byte offset.
 Result<SymbolicSeries> UnpackSymbolicSeries(const std::string& blob);
+
+// What SalvageSymbolicSeries managed to recover.
+struct SalvageSummary {
+  size_t total_slots = 0;      // count from the (verified) header
+  size_t recovered_slots = 0;  // slots covered by blocks that passed CRC
+  size_t lost_slots = 0;       // slots returned as GAP because their block
+                               // was damaged (total - recovered)
+  size_t recovered_blocks = 0;
+};
+
+// Best-effort recovery for a damaged v3 blob: verifies the header, then
+// scans for sync markers and decodes every block whose checksum holds,
+// returning a full-length series in which slots from damaged or missing
+// blocks are GAP symbols. Errors (kDataLoss) only when the header itself is
+// too damaged to trust — without level/count/start/step there is no
+// timebase to rebuild onto. Also accepts an undamaged v3 blob, returning
+// the same series as UnpackSymbolicSeries.
+Result<SymbolicSeries> SalvageSymbolicSeries(const std::string& blob,
+                                             SalvageSummary* summary = nullptr);
 
 // Payload bits for `count` symbols at `level` bits each (the §2.3 figure,
 // excluding the header).

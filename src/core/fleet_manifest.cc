@@ -1,0 +1,142 @@
+#include "core/fleet_manifest.h"
+
+#include <cctype>
+#include <utility>
+
+#include "common/io.h"
+#include "common/string_util.h"
+
+namespace smeter {
+namespace {
+
+std::optional<std::string> JsonStringField(const std::string& record,
+                                           const std::string& key) {
+  const std::string marker = "\"" + key + "\":\"";
+  size_t start = record.find(marker);
+  if (start == std::string::npos) return std::nullopt;
+  start += marker.size();
+  std::string value;
+  for (size_t i = start; i < record.size(); ++i) {
+    if (record[i] == '\\' && i + 1 < record.size()) {
+      value.push_back(record[++i]);
+    } else if (record[i] == '"') {
+      return value;
+    } else {
+      value.push_back(record[i]);
+    }
+  }
+  return std::nullopt;  // unterminated string
+}
+
+std::optional<int64_t> JsonIntField(const std::string& record,
+                                    const std::string& key) {
+  const std::string marker = "\"" + key + "\":";
+  size_t start = record.find(marker);
+  if (start == std::string::npos) return std::nullopt;
+  start += marker.size();
+  size_t end = start;
+  while (end < record.size() &&
+         (std::isdigit(static_cast<unsigned char>(record[end])) ||
+          record[end] == '-')) {
+    ++end;
+  }
+  if (end == start) return std::nullopt;
+  Result<int64_t> parsed = ParseInt(record.substr(start, end - start));
+  if (!parsed.ok()) return std::nullopt;
+  return parsed.value();
+}
+
+std::string JsonEscape(const std::string& value) {
+  std::string out;
+  for (char c : value) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ManifestRecord(const HouseholdReport& report) {
+  return "{\"name\":\"" + JsonEscape(report.name) + "\",\"status\":\"" +
+         HouseholdOutcomeToString(report.outcome) +
+         "\",\"attempts\":" + std::to_string(report.attempts) +
+         ",\"windows_valid\":" +
+         std::to_string(report.quality.windows_valid) +
+         ",\"windows_partial\":" +
+         std::to_string(report.quality.windows_partial) +
+         ",\"windows_gap\":" + std::to_string(report.quality.windows_gap) +
+         "}";
+}
+
+std::optional<HouseholdReport> ParseManifestRecord(
+    const std::string& record) {
+  if (record.empty() || record.back() != '}') return std::nullopt;
+  std::optional<std::string> name = JsonStringField(record, "name");
+  std::optional<std::string> status = JsonStringField(record, "status");
+  std::optional<int64_t> attempts = JsonIntField(record, "attempts");
+  std::optional<int64_t> valid = JsonIntField(record, "windows_valid");
+  std::optional<int64_t> partial = JsonIntField(record, "windows_partial");
+  std::optional<int64_t> gap = JsonIntField(record, "windows_gap");
+  if (!name || !status || !attempts || !valid || !partial || !gap) {
+    return std::nullopt;
+  }
+  HouseholdReport report;
+  report.name = *name;
+  if (*status == "ok") {
+    report.outcome = HouseholdOutcome::kOk;
+  } else if (*status == "degraded") {
+    report.outcome = HouseholdOutcome::kDegraded;
+  } else if (*status == "quarantined") {
+    report.outcome = HouseholdOutcome::kQuarantined;
+  } else {
+    return std::nullopt;
+  }
+  report.attempts = static_cast<int>(*attempts);
+  report.quality.windows_valid = static_cast<size_t>(*valid);
+  report.quality.windows_partial = static_cast<size_t>(*partial);
+  report.quality.windows_gap = static_cast<size_t>(*gap);
+  return report;
+}
+
+std::string BuildManifestLog(const std::vector<HouseholdReport>& reports) {
+  std::vector<std::string> records;
+  records.reserve(reports.size());
+  for (const HouseholdReport& report : reports) {
+    records.push_back(ManifestRecord(report));
+  }
+  return io::BuildAppendLog(records);
+}
+
+Result<ManifestContents> LoadFleetManifest(const std::string& path) {
+  ManifestContents contents;
+  Result<io::AppendLogContents> log = io::ReadAppendLog(path);
+  if (!log.ok()) {
+    if (log.status().code() == StatusCode::kNotFound) {
+      contents.missing = true;
+      return contents;
+    }
+    return log.status();
+  }
+  contents.valid_bytes = log->valid_bytes;
+  contents.torn_tail = log->torn_tail;
+  contents.corrupt_midfile = log->corrupt_midfile;
+  for (const std::string& record : log->records) {
+    std::optional<HouseholdReport> report = ParseManifestRecord(record);
+    if (!report) continue;
+    contents.reports.push_back(std::move(*report));
+  }
+  return contents;
+}
+
+std::map<std::string, HouseholdReport> CarriedHouseholds(
+    const ManifestContents& contents) {
+  std::map<std::string, HouseholdReport> carried;
+  for (const HouseholdReport& report : contents.reports) {
+    if (report.outcome == HouseholdOutcome::kQuarantined) continue;
+    carried[report.name] = report;
+  }
+  return carried;
+}
+
+}  // namespace smeter

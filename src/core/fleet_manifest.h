@@ -1,0 +1,68 @@
+// The fleet checkpoint manifest: a checksummed append log of per-household
+// JSON records.
+//
+// `<out>/fleet.manifest` records every finished household of an
+// encode-fleet run. Each record is one self-contained JSON object; the
+// records travel inside the io::AppendLog framing (per-record CRC32C,
+// length-prefixed), so a record on disk is durable and verifiable, a
+// kill -9 mid-append leaves a detectable torn tail instead of a half-line,
+// and a bit flip anywhere in the file is caught rather than parsed.
+//
+// Writers append records as households complete and atomically rewrite the
+// whole log in fleet order when the run ends. Readers (resume, fsck)
+// tolerate a torn tail — the crash signature — and surface mid-file
+// corruption separately so fsck can quarantine it.
+
+#ifndef SMETER_CORE_FLEET_MANIFEST_H_
+#define SMETER_CORE_FLEET_MANIFEST_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/fleet_encoder.h"
+
+namespace smeter {
+
+// File name of the checkpoint manifest inside a fleet output directory.
+inline constexpr char kFleetManifestFile[] = "fleet.manifest";
+
+// One manifest record: a self-contained JSON object (no trailing newline;
+// the append-log framing delimits records).
+std::string ManifestRecord(const HouseholdReport& report);
+
+// Parses one record back into a report. Returns nullopt for malformed
+// records — callers treat those households as unfinished.
+std::optional<HouseholdReport> ParseManifestRecord(const std::string& record);
+
+// The complete framed manifest for `reports`, for an atomic rewrite.
+std::string BuildManifestLog(const std::vector<HouseholdReport>& reports);
+
+struct ManifestContents {
+  // Every record that frame-checked and parsed, in file order.
+  std::vector<HouseholdReport> reports;
+  // Magic + frames that checked out, in bytes (truncation point for
+  // dropping a torn tail).
+  size_t valid_bytes = 0;
+  bool missing = false;          // no manifest file at all
+  bool torn_tail = false;        // partial final append (crash signature)
+  bool corrupt_midfile = false;  // damage with valid-looking bytes after it
+  bool clean() const { return !missing && !torn_tail && !corrupt_midfile; }
+};
+
+// Reads the framed manifest at `path`. A missing file is not an error
+// (contents.missing is set; nothing to resume); damage is reported through
+// the flags with the valid prefix still parsed. Errors only when the file
+// exists but is not an append log at all (wrong magic) or is unreadable.
+Result<ManifestContents> LoadFleetManifest(const std::string& path);
+
+// The households a resumed run can skip: ok/degraded records from
+// `contents`, keyed by name. Quarantined households are always retried.
+std::map<std::string, HouseholdReport> CarriedHouseholds(
+    const ManifestContents& contents);
+
+}  // namespace smeter
+
+#endif  // SMETER_CORE_FLEET_MANIFEST_H_

@@ -1,0 +1,278 @@
+#include "core/fsck.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/io.h"
+#include "core/codec.h"
+#include "core/fleet_manifest.h"
+#include "core/lookup_table.h"
+
+namespace smeter {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool EndsWith(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+std::string JsonEscape(const std::string& value) {
+  std::string out;
+  for (char c : value) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+// Renames a damaged artifact to `<path>.corrupt` so it is out of the
+// archive's read path but still available for forensics.
+Status QuarantineFile(const std::string& path) {
+  std::error_code error;
+  fs::rename(path, path + ".corrupt", error);
+  if (error) {
+    return InternalError("cannot quarantine " + path + ": " +
+                         error.message());
+  }
+  return Status::Ok();
+}
+
+Status RemoveFile(const std::string& path) {
+  std::error_code error;
+  fs::remove(path, error);
+  if (error) {
+    return InternalError("cannot remove " + path + ": " + error.message());
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<FsckReport> FsckArchive(const std::string& dir,
+                               const FsckOptions& options) {
+  FsckReport report;
+  report.dir = dir;
+  report.repair_attempted = options.repair;
+
+  std::error_code error;
+  if (!fs::is_directory(dir, error) || error) {
+    return NotFoundError("not a directory: " + dir);
+  }
+  std::vector<std::string> names;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, error)) {
+    if (entry.is_regular_file()) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  if (error) {
+    return InternalError("cannot walk " + dir + ": " + error.message());
+  }
+  std::sort(names.begin(), names.end());
+  const std::set<std::string> present(names.begin(), names.end());
+
+  auto add_issue = [&](std::string path, std::string kind,
+                       std::string detail) -> FsckIssue& {
+    FsckIssue issue;
+    issue.path = std::move(path);
+    issue.kind = std::move(kind);
+    issue.detail = std::move(detail);
+    report.issues.push_back(std::move(issue));
+    return report.issues.back();
+  };
+  // Runs one repair action and records the outcome on `issue`; a failing
+  // repair leaves the issue unrepaired with the failure in `detail`.
+  auto repair_with = [&](FsckIssue& issue, const std::string& action,
+                         const Status& outcome) {
+    if (outcome.ok()) {
+      issue.repaired = true;
+      issue.action = action;
+    } else {
+      issue.detail += "; repair failed: " + outcome.message();
+    }
+  };
+
+  // Households whose artifacts turned out damaged or missing; their
+  // manifest records must be dropped so --resume re-encodes them.
+  std::set<std::string> dropped_households;
+
+  for (const std::string& name : names) {
+    const std::string path = dir + "/" + name;
+    if (EndsWith(name, io::kTmpSuffix)) {
+      FsckIssue& issue = add_issue(
+          name, "stray_tmp", "leftover scratch file from an interrupted write");
+      if (options.repair) repair_with(issue, "removed", RemoveFile(path));
+      continue;
+    }
+    const bool is_symbols = EndsWith(name, ".symbols");
+    const bool is_table = EndsWith(name, ".table");
+    if (!is_symbols && !is_table) continue;
+    ++report.files_checked;
+    const std::string household = name.substr(0, name.rfind('.'));
+    Result<std::string> blob = io::ReadFileToString(path);
+    Status verified = blob.status();
+    if (blob.ok()) {
+      if (is_symbols) {
+        Result<SymbolicSeries> series = UnpackSymbolicSeries(*blob);
+        verified = series.ok() ? Status::Ok() : series.status();
+      } else {
+        Result<LookupTable> table = LookupTable::Deserialize(*blob);
+        verified = table.ok() ? Status::Ok() : table.status();
+      }
+    }
+    if (verified.ok()) {
+      if (is_symbols) {
+        ++report.symbols_ok;
+      } else {
+        ++report.tables_ok;
+      }
+      continue;
+    }
+    FsckIssue& issue =
+        add_issue(name, is_symbols ? "corrupt_symbols" : "corrupt_table",
+                  verified.ToString());
+    dropped_households.insert(household);
+    if (options.repair) {
+      repair_with(issue, "quarantined", QuarantineFile(path));
+    }
+  }
+
+  // The manifest: framing, record CRCs, and the cross-check that every
+  // ok/degraded record still has its artifacts on disk.
+  const std::string manifest_path =
+      dir + "/" + std::string(kFleetManifestFile);
+  ManifestContents manifest;
+  bool manifest_unusable = false;
+  if (present.count(kFleetManifestFile) > 0) {
+    ++report.files_checked;
+    Result<ManifestContents> loaded = LoadFleetManifest(manifest_path);
+    if (!loaded.ok()) {
+      manifest_unusable = true;
+      FsckIssue& issue = add_issue(kFleetManifestFile, "invalid_manifest",
+                                   loaded.status().ToString());
+      if (options.repair) {
+        repair_with(issue, "rewritten",
+                    io::AtomicWriteFile(manifest_path, BuildManifestLog({})));
+      }
+    } else {
+      manifest = std::move(*loaded);
+      report.manifest_records = manifest.reports.size();
+    }
+  } else if (report.files_checked > 0) {
+    // Artifacts with no checkpoint at all: resume cannot skip anything.
+    FsckIssue& issue =
+        add_issue(kFleetManifestFile, "missing_artifact",
+                  "archive has artifacts but no manifest");
+    manifest_unusable = true;
+    if (options.repair) {
+      repair_with(issue, "rewritten",
+                  io::AtomicWriteFile(manifest_path, BuildManifestLog({})));
+    }
+  }
+
+  if (!manifest_unusable && !manifest.missing) {
+    for (const HouseholdReport& record : manifest.reports) {
+      if (record.outcome == HouseholdOutcome::kQuarantined) continue;
+      if (dropped_households.count(record.name) > 0) continue;
+      for (const std::string& suffix : {std::string(".table"),
+                                        std::string(".symbols")}) {
+        if (present.count(record.name + suffix) > 0) continue;
+        FsckIssue& issue = add_issue(
+            record.name + suffix, "missing_artifact",
+            "manifest lists household '" + record.name +
+                "' as finished but the file is gone");
+        dropped_households.insert(record.name);
+        if (options.repair) {
+          // The drop itself happens in the manifest rewrite below; record
+          // the intent here so the issue reads as handled.
+          issue.repaired = true;
+          issue.action = "dropped_record";
+        }
+      }
+    }
+
+    FsckIssue* damage_issue = nullptr;
+    if (manifest.corrupt_midfile) {
+      damage_issue = &add_issue(
+          kFleetManifestFile, "corrupt_manifest",
+          "record failed its checksum before end-of-file; records after "
+          "the damage are untrusted");
+    } else if (manifest.torn_tail) {
+      damage_issue = &add_issue(
+          kFleetManifestFile, "torn_manifest",
+          "partial trailing record (interrupted append)");
+    }
+
+    if (options.repair) {
+      const bool drop_records = !dropped_households.empty();
+      if (manifest.corrupt_midfile || drop_records) {
+        // Rewrite the log from the surviving records; --resume re-encodes
+        // everything that no longer has a trustworthy checkpoint.
+        std::vector<HouseholdReport> kept;
+        for (const HouseholdReport& record : manifest.reports) {
+          if (dropped_households.count(record.name) > 0) continue;
+          kept.push_back(record);
+        }
+        Status rewritten =
+            io::AtomicWriteFile(manifest_path, BuildManifestLog(kept));
+        if (damage_issue != nullptr) {
+          repair_with(*damage_issue, "rewritten", rewritten);
+        }
+        if (!rewritten.ok()) {
+          // The dropped_record issues above claimed success; retract.
+          for (FsckIssue& issue : report.issues) {
+            if (issue.action == "dropped_record") {
+              issue.repaired = false;
+              issue.action = "";
+              issue.detail += "; manifest rewrite failed";
+            }
+          }
+        }
+      } else if (manifest.torn_tail) {
+        repair_with(*damage_issue, "truncated",
+                    io::TruncateFile(manifest_path, manifest.valid_bytes));
+      }
+    }
+  }
+
+  return report;
+}
+
+std::string FsckReportToJson(const FsckReport& report) {
+  std::string out = "{\"dir\":\"" + JsonEscape(report.dir) + "\"";
+  out += ",\"clean\":" + std::string(report.clean() ? "true" : "false");
+  out += ",\"files_checked\":" + std::to_string(report.files_checked);
+  out += ",\"symbols_ok\":" + std::to_string(report.symbols_ok);
+  out += ",\"tables_ok\":" + std::to_string(report.tables_ok);
+  out += ",\"manifest_records\":" + std::to_string(report.manifest_records);
+  out += ",\"repair_attempted\":" +
+         std::string(report.repair_attempted ? "true" : "false");
+  out += ",\"exit_code\":" + std::to_string(FsckExitCode(report));
+  out += ",\"issues\":[";
+  for (size_t i = 0; i < report.issues.size(); ++i) {
+    const FsckIssue& issue = report.issues[i];
+    if (i > 0) out += ",";
+    out += "{\"path\":\"" + JsonEscape(issue.path) + "\"";
+    out += ",\"kind\":\"" + JsonEscape(issue.kind) + "\"";
+    out += ",\"detail\":\"" + JsonEscape(issue.detail) + "\"";
+    out += ",\"repaired\":" + std::string(issue.repaired ? "true" : "false");
+    out += ",\"action\":\"" + JsonEscape(issue.action) + "\"}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+int FsckExitCode(const FsckReport& report) {
+  if (report.issues.empty()) return 0;
+  for (const FsckIssue& issue : report.issues) {
+    if (!issue.repaired) return 4;
+  }
+  return 1;
+}
+
+}  // namespace smeter

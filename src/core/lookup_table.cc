@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/fault_injection.h"
+#include "common/io.h"
 #include "common/string_util.h"
 
 namespace smeter {
@@ -18,6 +19,38 @@ int LevelForAlphabetSize(size_t k) {
   int level = 0;
   while ((size_t{1} << level) < k) ++level;
   return level;
+}
+
+// Footer appended by Serialize (v2): "crc32c " + 8 lowercase hex digits of
+// the CRC-32C over every preceding byte, newline-terminated. A table blob
+// that loses any suffix loses (part of) this line, so truncation is always
+// detected, not just bit flips.
+std::string Crc32cHex(uint32_t crc) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHex[crc & 0xfu];
+    crc >>= 4;
+  }
+  return out;
+}
+
+bool ParseCrc32cHex(std::string_view hex, uint32_t* crc) {
+  if (hex.size() != 8) return false;
+  uint32_t value = 0;
+  for (char c : hex) {
+    uint32_t nibble = 0;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<uint32_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | nibble;
+  }
+  *crc = value;
+  return true;
 }
 
 }  // namespace
@@ -227,7 +260,7 @@ Result<std::vector<double>> LookupTable::SeparatorsAtLevel(int l) const {
 std::string LookupTable::Serialize() const {
   std::ostringstream out;
   out.precision(17);
-  out << "smeter-lookup-table v1\n";
+  out << "smeter-lookup-table v2\n";
   out << "method " << SeparatorMethodName(method_) << "\n";
   out << "level " << level_ << "\n";
   out << "domain " << domain_min_ << " " << domain_max_ << "\n";
@@ -238,13 +271,52 @@ std::string LookupTable::Serialize() const {
   out << "\ncounts";
   for (size_t c : bucket_counts_) out << " " << c;
   out << "\n";
-  return out.str();
+  std::string body = out.str();
+  body += "crc32c " + Crc32cHex(io::Crc32c(body)) + "\n";
+  return body;
 }
 
 Result<LookupTable> LookupTable::Deserialize(const std::string& text) {
-  std::vector<std::string> lines = Split(text, '\n');
-  if (lines.size() < 7 || Trim(lines[0]) != "smeter-lookup-table v1") {
-    return InvalidArgumentError("not a v1 lookup table blob");
+  const size_t first_eol = text.find('\n');
+  const std::string_view first_line =
+      Trim(first_eol == std::string::npos
+               ? std::string_view(text)
+               : std::string_view(text).substr(0, first_eol));
+  std::string body = text;
+  if (first_line == "smeter-lookup-table v2") {
+    // v2 carries a mandatory CRC footer over everything before it. Verify
+    // before parsing a single field: a blob that fails here is damaged
+    // (kDataLoss), and any truncation destroys the footer line itself.
+    const size_t footer = text.rfind("\ncrc32c ");
+    if (footer == std::string::npos) {
+      return DataLossError("v2 lookup table missing crc32c footer");
+    }
+    const size_t footer_line = footer + 1;  // keep the preceding '\n' in body
+    // The footer must be the exact canonical trailer Serialize emits —
+    // "crc32c " + 8 hex digits + '\n', ending the blob. Anything looser
+    // would let a flipped byte in the trailer itself slip through.
+    const std::string_view footer_text =
+        std::string_view(text).substr(footer_line);
+    constexpr std::string_view kFooterPrefix = "crc32c ";
+    uint32_t want_crc = 0;
+    if (footer_text.size() != kFooterPrefix.size() + 9 ||
+        footer_text.substr(0, kFooterPrefix.size()) != kFooterPrefix ||
+        footer_text.back() != '\n' ||
+        !ParseCrc32cHex(
+            footer_text.substr(kFooterPrefix.size(), 8), &want_crc)) {
+      return DataLossError("malformed crc32c footer");
+    }
+    body = text.substr(0, footer_line);
+    if (io::Crc32c(body) != want_crc) {
+      return DataLossError("lookup table checksum mismatch");
+    }
+  } else if (first_line != "smeter-lookup-table v1") {
+    // v1 is the legacy, pre-checksum format and stays readable.
+    return InvalidArgumentError("not a smeter lookup table blob");
+  }
+  std::vector<std::string> lines = Split(body, '\n');
+  if (lines.size() < 7) {
+    return InvalidArgumentError("lookup table blob too short");
   }
   LookupTable table;
 

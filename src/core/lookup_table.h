@@ -103,7 +103,11 @@ class LookupTable {
   // (Build does this automatically; FromSeparators leaves them empty).
   Status AttachTrainingData(const std::vector<double>& training);
 
-  // Wire format: a small line-oriented text blob, versioned.
+  // Wire format: a small line-oriented text blob, versioned. Serialize
+  // emits "smeter-lookup-table v2", which ends with a mandatory
+  // `crc32c <8 hex>` footer over every preceding byte — any bit flip or
+  // truncation fails Deserialize with kDataLoss. Legacy v1 blobs (no
+  // footer) remain readable.
   std::string Serialize() const;
   static Result<LookupTable> Deserialize(const std::string& text);
 

@@ -115,5 +115,85 @@ TEST(FaultInjectionTest, ConcurrentChecksInjectExactlyTheConfiguredRange) {
   EXPECT_EQ(plan.InjectedCount("mt"), 10u);
 }
 
+int CountBitFlips(const std::string& a, const std::string& b) {
+  EXPECT_EQ(a.size(), b.size());
+  int bits = 0;
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    unsigned char x = static_cast<unsigned char>(a[i]) ^
+                      static_cast<unsigned char>(b[i]);
+    while (x != 0) {
+      bits += x & 1;
+      x >>= 1;
+    }
+  }
+  return bits;
+}
+
+TEST(FaultCorruptionTest, NoPlanMeansNoCorruption) {
+  std::string out = "untouched";
+  EXPECT_FALSE(MaybeCorrupt("io.write", "payload", &out));
+  EXPECT_EQ(out, "untouched");
+}
+
+TEST(FaultCorruptionTest, FlipsExactlyTheConfiguredDistinctBits) {
+  const std::string data(64, '\0');
+  for (int bits : {1, 2, 3, 8}) {
+    SCOPED_TRACE(bits);
+    ScopedFaultPlan plan({FaultRule::CorruptBytes("io.write", bits, 1, 1)});
+    std::string out;
+    ASSERT_TRUE(MaybeCorrupt("io.write", data, &out));
+    EXPECT_EQ(CountBitFlips(data, out), bits);
+    EXPECT_EQ(plan.InjectedCount("io.write"), 1u);
+  }
+}
+
+TEST(FaultCorruptionTest, RespectsTheCallRange) {
+  ScopedFaultPlan plan({FaultRule::CorruptBytes("io.write", 2, 2, 3)});
+  const std::string data = "some payload bytes";
+  std::string out;
+  EXPECT_FALSE(MaybeCorrupt("io.write", data, &out));  // call 1
+  EXPECT_TRUE(MaybeCorrupt("io.write", data, &out));   // call 2
+  EXPECT_EQ(CountBitFlips(data, out), 2);
+  EXPECT_TRUE(MaybeCorrupt("io.write", data, &out));   // call 3
+  EXPECT_FALSE(MaybeCorrupt("io.write", data, &out));  // call 4
+  EXPECT_EQ(plan.CallCount("io.write"), 4u);
+  EXPECT_EQ(plan.InjectedCount("io.write"), 2u);
+}
+
+TEST(FaultCorruptionTest, DeterministicPerSeed) {
+  const std::string data(128, '\x5a');
+  auto corrupt_once = [&](uint64_t seed) {
+    ScopedFaultPlan plan({FaultRule::CorruptBytes("io.write", 4)}, seed);
+    std::string out;
+    EXPECT_TRUE(MaybeCorrupt("io.write", data, &out));
+    return out;
+  };
+  std::string a = corrupt_once(7);
+  std::string b = corrupt_once(7);
+  std::string c = corrupt_once(8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // different seed draws different bit offsets
+}
+
+TEST(FaultCorruptionTest, EmptyPayloadIsNeverCorrupted) {
+  ScopedFaultPlan plan({FaultRule::CorruptBytes("io.write", 3)});
+  std::string out = "untouched";
+  EXPECT_FALSE(MaybeCorrupt("io.write", "", &out));
+  EXPECT_EQ(out, "untouched");
+  EXPECT_EQ(plan.InjectedCount("io.write"), 0u);
+}
+
+TEST(FaultCorruptionTest, ErrorAndCorruptionRulesDoNotCrossFire) {
+  // One plan can mix "this call fails" with "that payload lands damaged";
+  // Check() must ignore corruption rules and MaybeCorrupt() error rules.
+  ScopedFaultPlan plan({FaultRule::CorruptBytes("io.write", 3),
+                        FaultRule::FailCalls("io.fsync", 1)});
+  ASSERT_OK(Check("io.write"));  // corruption rule never fails a Check
+  std::string out;
+  EXPECT_FALSE(MaybeCorrupt("io.fsync", "data", &out));  // and vice versa
+  EXPECT_FALSE(Check("io.fsync").ok());
+  EXPECT_TRUE(MaybeCorrupt("io.write", "data", &out));
+}
+
 }  // namespace
 }  // namespace smeter::fault

@@ -1,0 +1,307 @@
+#include "common/io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/random.h"
+#include "testutil.h"
+
+namespace smeter::io {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void WriteRaw(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+  ASSERT_TRUE(out.good());
+}
+
+int BitsDiffering(const std::string& a, const std::string& b) {
+  EXPECT_EQ(a.size(), b.size());
+  int bits = 0;
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    unsigned char x = static_cast<unsigned char>(a[i]) ^
+                      static_cast<unsigned char>(b[i]);
+    while (x != 0) {
+      bits += x & 1;
+      x >>= 1;
+    }
+  }
+  return bits;
+}
+
+// --- CRC-32C ----------------------------------------------------------------
+
+TEST(Crc32cTest, KnownVectors) {
+  // The standard CRC-32C check values (RFC 3720 appendix B.4).
+  EXPECT_EQ(Crc32c(""), 0u);
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32c(std::string(32, '\0')), 0x8A9136AAu);
+  EXPECT_EQ(Crc32c(std::string(32, '\xff')), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, HardwareAndSoftwareAgree) {
+  Rng rng(41);
+  std::string buf(4096, '\0');
+  for (char& c : buf) c = static_cast<char>(rng.UniformInt(256));
+  // All lengths up to a few words, then a sweep of offsets to exercise
+  // every alignment of the 8-byte fast path.
+  for (size_t len = 0; len <= 64; ++len) {
+    std::string_view s(buf.data(), len);
+    ASSERT_EQ(Crc32c(s), Crc32cSoftware(s)) << "len " << len;
+  }
+  for (size_t off = 0; off < 16; ++off) {
+    std::string_view s(buf.data() + off, buf.size() - off);
+    ASSERT_EQ(Crc32c(s), Crc32cSoftware(s)) << "offset " << off;
+  }
+}
+
+TEST(Crc32cTest, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32c(data);
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t crc = Crc32c(data.substr(0, split));
+    crc = Crc32c(data.substr(split), crc);
+    ASSERT_EQ(crc, whole) << "split " << split;
+    uint32_t soft = Crc32cSoftware(data.substr(0, split));
+    soft = Crc32cSoftware(data.substr(split), soft);
+    ASSERT_EQ(soft, whole) << "split " << split;
+  }
+}
+
+// --- AtomicWriteFile --------------------------------------------------------
+
+TEST(AtomicWriteFileTest, WritesAndReplaces) {
+  std::string dir = smeter::testing::TempPath("io_atomic_write");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  std::string path = dir + "/artifact.bin";
+
+  ASSERT_OK(AtomicWriteFile(path, "first"));
+  EXPECT_EQ(ReadAll(path), "first");
+  ASSERT_OK(AtomicWriteFile(path, "second, longer content"));
+  EXPECT_EQ(ReadAll(path), "second, longer content");
+  EXPECT_FALSE(std::filesystem::exists(path + kTmpSuffix));
+
+  ASSERT_OK_AND_ASSIGN(std::string read, ReadFileToString(path));
+  EXPECT_EQ(read, "second, longer content");
+}
+
+TEST(AtomicWriteFileTest, MissingFileReadsAsNotFound) {
+  std::string dir = smeter::testing::TempPath("io_read_missing");
+  Result<std::string> missing = ReadFileToString(dir + "/nope");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(AtomicWriteFileTest, FailurePreservesOldContentAndRemovesTmp) {
+  std::string dir = smeter::testing::TempPath("io_atomic_fail");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  std::string path = dir + "/artifact.bin";
+  ASSERT_OK(AtomicWriteFile(path, "durable old bytes"));
+
+  for (const char* seam : {"file.write", "io.fsync", "io.rename"}) {
+    SCOPED_TRACE(seam);
+    fault::ScopedFaultPlan plan({fault::FaultRule::FailCalls(seam, 1, 1)});
+    Status status = AtomicWriteFile(path, "never visible");
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(plan.InjectedCount(seam), 1u);
+    // The old bytes survive and no scratch file is left behind.
+    EXPECT_EQ(ReadAll(path), "durable old bytes");
+    EXPECT_FALSE(std::filesystem::exists(path + kTmpSuffix));
+  }
+}
+
+TEST(AtomicWriteFileTest, CorruptionSeamFlipsExactlyTheConfiguredBits) {
+  std::string dir = smeter::testing::TempPath("io_atomic_corrupt");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  std::string path = dir + "/artifact.bin";
+  const std::string payload(256, 'x');
+  {
+    fault::ScopedFaultPlan plan(
+        {fault::FaultRule::CorruptBytes("io.write", 3, 1, 1)});
+    ASSERT_OK(AtomicWriteFile(path, payload));
+    EXPECT_EQ(plan.InjectedCount("io.write"), 1u);
+  }
+  std::string on_disk = ReadAll(path);
+  ASSERT_EQ(on_disk.size(), payload.size());
+  EXPECT_EQ(BitsDiffering(on_disk, payload), 3);
+}
+
+// --- append log -------------------------------------------------------------
+
+TEST(AppendLogTest, RoundTripsRecords) {
+  std::string dir = smeter::testing::TempPath("io_append_roundtrip");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  std::string path = dir + "/log";
+
+  std::vector<std::string> records = {"alpha", "", R"({"json":1})",
+                                      std::string(1000, 'z')};
+  ASSERT_OK(AtomicWriteFile(path, BuildAppendLog(records)));
+  ASSERT_OK_AND_ASSIGN(AppendLogContents log, ReadAppendLog(path));
+  EXPECT_TRUE(log.clean());
+  EXPECT_EQ(log.records, records);
+  EXPECT_EQ(log.valid_bytes, std::filesystem::file_size(path));
+
+  // An empty log is just the magic.
+  ASSERT_OK(AtomicWriteFile(path, BuildAppendLog({})));
+  ASSERT_OK_AND_ASSIGN(AppendLogContents empty, ReadAppendLog(path));
+  EXPECT_TRUE(empty.clean());
+  EXPECT_TRUE(empty.records.empty());
+  EXPECT_EQ(empty.valid_bytes, kAppendLogMagicSize);
+}
+
+TEST(AppendLogTest, RejectsBadMagic) {
+  std::string dir = smeter::testing::TempPath("io_append_magic");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  std::string path = dir + "/log";
+  WriteRaw(path, "XXLG1\n");
+  EXPECT_FALSE(ReadAppendLog(path).ok());
+  WriteRaw(path, "SM");  // shorter than the magic
+  EXPECT_FALSE(ReadAppendLog(path).ok());
+}
+
+TEST(AppendLogTest, TornTailIsDetectedAndTruncatable) {
+  std::string dir = smeter::testing::TempPath("io_append_torn");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  std::string path = dir + "/log";
+
+  const std::string intact = BuildAppendLog({"one", "two"});
+  const std::string last = EncodeAppendRecord("three");
+  // Every strict prefix of the final frame is a legal kill -9 signature.
+  for (size_t cut = 0; cut < last.size(); ++cut) {
+    SCOPED_TRACE(cut);
+    WriteRaw(path, intact + last.substr(0, cut));
+    ASSERT_OK_AND_ASSIGN(AppendLogContents log, ReadAppendLog(path));
+    EXPECT_EQ(log.records, (std::vector<std::string>{"one", "two"}));
+    EXPECT_EQ(log.torn_tail, cut != 0);
+    EXPECT_FALSE(log.corrupt_midfile);
+    EXPECT_EQ(log.valid_bytes, intact.size());
+  }
+
+  // Truncating to valid_bytes restores a clean log.
+  WriteRaw(path, intact + last.substr(0, last.size() - 1));
+  ASSERT_OK_AND_ASSIGN(AppendLogContents torn, ReadAppendLog(path));
+  ASSERT_TRUE(torn.torn_tail);
+  ASSERT_OK(TruncateFile(path, torn.valid_bytes));
+  ASSERT_OK_AND_ASSIGN(AppendLogContents fixed, ReadAppendLog(path));
+  EXPECT_TRUE(fixed.clean());
+  EXPECT_EQ(fixed.records, (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(AppendLogTest, MidfileBitFlipIsCorruptionNotATornTail) {
+  std::string dir = smeter::testing::TempPath("io_append_midfile");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  std::string path = dir + "/log";
+
+  std::string bytes = BuildAppendLog({"record one", "record two"});
+  // Flip a payload bit inside the FIRST frame: the damage sits strictly
+  // before more well-formed bytes, so this is mid-file corruption.
+  bytes[kAppendLogMagicSize + 8 + 2] ^= 0x10;
+  WriteRaw(path, bytes);
+  ASSERT_OK_AND_ASSIGN(AppendLogContents log, ReadAppendLog(path));
+  EXPECT_TRUE(log.records.empty());
+  EXPECT_TRUE(log.corrupt_midfile);
+  EXPECT_EQ(log.valid_bytes, kAppendLogMagicSize);
+
+  // The same flip in the LAST frame reaches end-of-file, which is
+  // indistinguishable from a torn final append — flagged as such.
+  bytes = BuildAppendLog({"record one", "record two"});
+  bytes[bytes.size() - 3] ^= 0x10;
+  WriteRaw(path, bytes);
+  ASSERT_OK_AND_ASSIGN(AppendLogContents tail, ReadAppendLog(path));
+  EXPECT_EQ(tail.records, (std::vector<std::string>{"record one"}));
+  EXPECT_TRUE(tail.torn_tail);
+  EXPECT_FALSE(tail.corrupt_midfile);
+}
+
+TEST(AppendLogTest, OversizedLengthFieldNeverAllocates) {
+  std::string dir = smeter::testing::TempPath("io_append_huge");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  std::string path = dir + "/log";
+
+  std::string bytes = BuildAppendLog({"ok"});
+  std::string frame(8, '\0');
+  frame[0] = '\xff';  // length 0xFFFFFFFF, far past kMaxAppendRecordBytes
+  frame[1] = '\xff';
+  frame[2] = '\xff';
+  frame[3] = '\xff';
+  WriteRaw(path, bytes + frame);
+  ASSERT_OK_AND_ASSIGN(AppendLogContents log, ReadAppendLog(path));
+  EXPECT_EQ(log.records, (std::vector<std::string>{"ok"}));
+  EXPECT_FALSE(log.clean());
+  EXPECT_EQ(log.valid_bytes, bytes.size());
+}
+
+TEST(AppendLogWriterTest, AppendsMatchTheBatchBuilderByteForByte) {
+  std::string dir = smeter::testing::TempPath("io_append_writer");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  std::string path = dir + "/log";
+
+  ASSERT_OK(AtomicWriteFile(path, BuildAppendLog({"seed"})));
+  {
+    ASSERT_OK_AND_ASSIGN(AppendLogWriter writer,
+                         AppendLogWriter::OpenForAppend(path));
+    ASSERT_OK(writer.Append("second"));
+    ASSERT_OK(writer.Append("third"));
+    ASSERT_OK(writer.Close());
+    EXPECT_FALSE(writer.Append("after close").ok());
+  }
+  EXPECT_EQ(ReadAll(path), BuildAppendLog({"seed", "second", "third"}));
+  ASSERT_OK_AND_ASSIGN(AppendLogContents log, ReadAppendLog(path));
+  EXPECT_TRUE(log.clean());
+  EXPECT_EQ(log.records,
+            (std::vector<std::string>{"seed", "second", "third"}));
+}
+
+TEST(AppendLogWriterTest, AppendFailuresAreLoud) {
+  std::string dir = smeter::testing::TempPath("io_append_writer_fault");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  std::string path = dir + "/log";
+  ASSERT_OK(AtomicWriteFile(path, BuildAppendLog({})));
+
+  ASSERT_OK_AND_ASSIGN(AppendLogWriter writer,
+                       AppendLogWriter::OpenForAppend(path));
+  {
+    fault::ScopedFaultPlan plan(
+        {fault::FaultRule::FailCalls("manifest.append", 1, 1)});
+    EXPECT_FALSE(writer.Append("checkpoint").ok());
+    EXPECT_EQ(plan.InjectedCount("manifest.append"), 1u);
+  }
+  // The failed append wrote nothing; the next one lands normally.
+  ASSERT_OK(writer.Append("checkpoint"));
+  ASSERT_OK(writer.Close());
+  ASSERT_OK_AND_ASSIGN(AppendLogContents log, ReadAppendLog(path));
+  EXPECT_TRUE(log.clean());
+  EXPECT_EQ(log.records, (std::vector<std::string>{"checkpoint"}));
+}
+
+TEST(AppendLogWriterTest, OpenForAppendRequiresAnExistingLog) {
+  std::string dir = smeter::testing::TempPath("io_append_writer_missing");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  EXPECT_FALSE(AppendLogWriter::OpenForAppend(dir + "/absent").ok());
+}
+
+}  // namespace
+}  // namespace smeter::io

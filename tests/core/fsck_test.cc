@@ -1,0 +1,293 @@
+// Tests for `smeter fsck`: archive verification, the fsck(8)-style exit
+// codes (0 clean / 1 repaired / 4 unrepaired), the JSON report, and the
+// repair -> resume convergence contract on every damage class.
+
+#include "core/fsck.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli.h"
+#include "common/io.h"
+#include "core/fleet_manifest.h"
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+std::string RunCliOk(const std::vector<std::string>& args) {
+  std::ostringstream out;
+  Status status = cli::RunCli(args, out);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return out.str();
+}
+
+int RunExit(const std::vector<std::string>& args, std::string* stdout_text,
+            std::string* stderr_text = nullptr) {
+  std::ostringstream out;
+  std::ostringstream err;
+  int code = cli::RunCliExitCode(args, out, err);
+  if (stdout_text != nullptr) *stdout_text = out.str();
+  if (stderr_text != nullptr) *stderr_text = err.str();
+  return code;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void WriteRaw(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+  ASSERT_TRUE(out.good());
+}
+
+// One simulated two-house fleet plus a pristine encode of it; each test
+// damages a fresh copy of the encoded archive.
+class FsckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = smeter::testing::TempPath(
+        std::string("fsck_") +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(root_);
+    RunCliOk({"simulate", "--out", root_, "--houses", "2", "--days", "1",
+              "--seed", "5", "--outages", "0"});
+    clean_ = root_ + "/clean";
+    RunCliOk(FleetArgs(clean_));
+    work_ = root_ + "/work";
+    std::filesystem::create_directories(work_);
+    for (const auto& entry : std::filesystem::directory_iterator(clean_)) {
+      std::filesystem::copy(entry.path(), work_ + "/" +
+                                              entry.path().filename().string());
+    }
+  }
+
+  std::vector<std::string> FleetArgs(const std::string& out_dir) const {
+    return {"encode-fleet", "--input", root_,       "--out",
+            out_dir,        "--threads", "1",       "--max-retries",
+            "0"};
+  }
+
+  void ResumeAndExpectCleanArchive() {
+    std::vector<std::string> args = FleetArgs(work_);
+    args.insert(args.end(), {"--resume", "true"});
+    RunCliOk(args);
+    for (const char* name : {"house_1.table", "house_1.symbols",
+                             "house_2.table", "house_2.symbols",
+                             "fleet.manifest", "quality.json"}) {
+      SCOPED_TRACE(name);
+      EXPECT_EQ(ReadAll(work_ + "/" + name), ReadAll(clean_ + "/" + name));
+    }
+    ASSERT_OK_AND_ASSIGN(FsckReport report, FsckArchive(work_, {}));
+    EXPECT_TRUE(report.clean()) << FsckReportToJson(report);
+  }
+
+  std::string root_;
+  std::string clean_;
+  std::string work_;
+};
+
+TEST_F(FsckTest, CleanArchivePassesWithExitZero) {
+  ASSERT_OK_AND_ASSIGN(FsckReport report, FsckArchive(work_, {}));
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(FsckExitCode(report), 0);
+  EXPECT_EQ(report.symbols_ok, 2u);
+  EXPECT_EQ(report.tables_ok, 2u);
+  EXPECT_EQ(report.manifest_records, 2u);
+
+  std::string json = FsckReportToJson(report);
+  EXPECT_NE(json.find("\"clean\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"exit_code\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"issues\":[]"), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+
+  std::string out;
+  EXPECT_EQ(RunExit({"fsck", "--dir", work_}, &out), 0);
+  EXPECT_NE(out.find("\"clean\":true"), std::string::npos) << out;
+}
+
+TEST_F(FsckTest, TruncatedSymbolsReportedThenQuarantinedAndReEncoded) {
+  std::string blob = ReadAll(work_ + "/house_1.symbols");
+  WriteRaw(work_ + "/house_1.symbols", blob.substr(0, blob.size() - 5));
+
+  // Report-only: the damage is named but nothing moves; exit 4.
+  ASSERT_OK_AND_ASSIGN(FsckReport report, FsckArchive(work_, {}));
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].path, "house_1.symbols");
+  EXPECT_EQ(report.issues[0].kind, "corrupt_symbols");
+  EXPECT_FALSE(report.issues[0].repaired);
+  EXPECT_EQ(FsckExitCode(report), 4);
+  EXPECT_TRUE(std::filesystem::exists(work_ + "/house_1.symbols"));
+
+  // Repair: quarantine the blob, drop its manifest record; exit 1.
+  FsckOptions repair;
+  repair.repair = true;
+  ASSERT_OK_AND_ASSIGN(FsckReport repaired, FsckArchive(work_, repair));
+  EXPECT_EQ(FsckExitCode(repaired), 1) << FsckReportToJson(repaired);
+  EXPECT_FALSE(std::filesystem::exists(work_ + "/house_1.symbols"));
+  EXPECT_TRUE(std::filesystem::exists(work_ + "/house_1.symbols.corrupt"));
+  ASSERT_OK_AND_ASSIGN(ManifestContents manifest,
+                       LoadFleetManifest(work_ + "/" + kFleetManifestFile));
+  EXPECT_TRUE(manifest.clean());
+  EXPECT_EQ(CarriedHouseholds(manifest).count("house_1"), 0u);
+  EXPECT_EQ(CarriedHouseholds(manifest).count("house_2"), 1u);
+
+  std::filesystem::remove(work_ + "/house_1.symbols.corrupt");
+  ResumeAndExpectCleanArchive();
+}
+
+TEST_F(FsckTest, BitFlippedTableIsDetected) {
+  std::string table = ReadAll(work_ + "/house_2.table");
+  table[table.size() / 2] =
+      static_cast<char>(static_cast<unsigned char>(table[table.size() / 2]) ^
+                        0x20);
+  WriteRaw(work_ + "/house_2.table", table);
+
+  ASSERT_OK_AND_ASSIGN(FsckReport report, FsckArchive(work_, {}));
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].path, "house_2.table");
+  EXPECT_EQ(report.issues[0].kind, "corrupt_table");
+  EXPECT_EQ(FsckExitCode(report), 4);
+
+  std::string out;
+  EXPECT_EQ(RunExit({"fsck", "--dir", work_}, &out), 4);
+  EXPECT_NE(out.find("corrupt_table"), std::string::npos) << out;
+
+  FsckOptions repair;
+  repair.repair = true;
+  ASSERT_OK_AND_ASSIGN(FsckReport repaired, FsckArchive(work_, repair));
+  EXPECT_EQ(FsckExitCode(repaired), 1);
+  std::filesystem::remove(work_ + "/house_2.table.corrupt");
+  ResumeAndExpectCleanArchive();
+}
+
+TEST_F(FsckTest, MissingArtifactDropsTheManifestRecord) {
+  std::filesystem::remove(work_ + "/house_1.symbols");
+
+  ASSERT_OK_AND_ASSIGN(FsckReport report, FsckArchive(work_, {}));
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].kind, "missing_artifact");
+  EXPECT_EQ(FsckExitCode(report), 4);
+
+  FsckOptions repair;
+  repair.repair = true;
+  ASSERT_OK_AND_ASSIGN(FsckReport repaired, FsckArchive(work_, repair));
+  EXPECT_EQ(FsckExitCode(repaired), 1);
+  ASSERT_OK_AND_ASSIGN(ManifestContents manifest,
+                       LoadFleetManifest(work_ + "/" + kFleetManifestFile));
+  EXPECT_EQ(CarriedHouseholds(manifest).count("house_1"), 0u);
+  ResumeAndExpectCleanArchive();
+}
+
+TEST_F(FsckTest, StrayTmpFilesAreRemovedByRepair) {
+  WriteRaw(work_ + "/house_9.table.tmp", "half-written scratch bytes");
+
+  ASSERT_OK_AND_ASSIGN(FsckReport report, FsckArchive(work_, {}));
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].path, "house_9.table.tmp");
+  EXPECT_EQ(report.issues[0].kind, "stray_tmp");
+  EXPECT_EQ(FsckExitCode(report), 4);
+  EXPECT_TRUE(std::filesystem::exists(work_ + "/house_9.table.tmp"));
+
+  FsckOptions repair;
+  repair.repair = true;
+  ASSERT_OK_AND_ASSIGN(FsckReport repaired, FsckArchive(work_, repair));
+  EXPECT_EQ(FsckExitCode(repaired), 1);
+  EXPECT_FALSE(std::filesystem::exists(work_ + "/house_9.table.tmp"));
+  ResumeAndExpectCleanArchive();
+}
+
+TEST_F(FsckTest, TornManifestTailIsTruncated) {
+  std::string manifest_path = work_ + "/" + kFleetManifestFile;
+  std::string partial = io::EncodeAppendRecord("{\"name\":\"hou");
+  WriteRaw(manifest_path,
+           ReadAll(manifest_path) + partial.substr(0, partial.size() - 4));
+
+  ASSERT_OK_AND_ASSIGN(FsckReport report, FsckArchive(work_, {}));
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].kind, "torn_manifest");
+  EXPECT_EQ(FsckExitCode(report), 4);
+
+  FsckOptions repair;
+  repair.repair = true;
+  ASSERT_OK_AND_ASSIGN(FsckReport repaired, FsckArchive(work_, repair));
+  EXPECT_EQ(FsckExitCode(repaired), 1);
+  // Truncation kept both completed records; nothing is re-encoded.
+  ASSERT_OK_AND_ASSIGN(ManifestContents manifest,
+                       LoadFleetManifest(manifest_path));
+  EXPECT_TRUE(manifest.clean());
+  EXPECT_EQ(CarriedHouseholds(manifest).size(), 2u);
+  ResumeAndExpectCleanArchive();
+}
+
+TEST_F(FsckTest, CorruptManifestIsRewrittenFromItsValidRecords) {
+  std::string manifest_path = work_ + "/" + kFleetManifestFile;
+  std::string bytes = ReadAll(manifest_path);
+  // Flip a bit inside the first frame: everything after it is untrusted, so
+  // repair rewrites the manifest from the (empty) valid prefix and resume
+  // re-encodes both households.
+  bytes[io::kAppendLogMagicSize + 10] =
+      static_cast<char>(
+          static_cast<unsigned char>(bytes[io::kAppendLogMagicSize + 10]) ^
+          0x01);
+  WriteRaw(manifest_path, bytes);
+
+  ASSERT_OK_AND_ASSIGN(FsckReport report, FsckArchive(work_, {}));
+  bool found = false;
+  for (const FsckIssue& issue : report.issues) {
+    found |= issue.kind == "corrupt_manifest";
+  }
+  EXPECT_TRUE(found) << FsckReportToJson(report);
+  EXPECT_EQ(FsckExitCode(report), 4);
+
+  FsckOptions repair;
+  repair.repair = true;
+  ASSERT_OK_AND_ASSIGN(FsckReport repaired, FsckArchive(work_, repair));
+  EXPECT_EQ(FsckExitCode(repaired), 1) << FsckReportToJson(repaired);
+  ASSERT_OK_AND_ASSIGN(ManifestContents manifest,
+                       LoadFleetManifest(manifest_path));
+  EXPECT_TRUE(manifest.clean());
+  ResumeAndExpectCleanArchive();
+}
+
+TEST_F(FsckTest, ReportFlagWritesTheJsonToAFile) {
+  std::string report_path = root_ + "/fsck_report.json";
+  std::string out;
+  EXPECT_EQ(RunExit({"fsck", "--dir", work_, "--report", report_path}, &out),
+            0);
+  std::string json = ReadAll(report_path);
+  EXPECT_NE(json.find("\"clean\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"exit_code\":0"), std::string::npos);
+}
+
+TEST_F(FsckTest, RepairFlagDrivesTheExitOneContract) {
+  std::string blob = ReadAll(work_ + "/house_1.symbols");
+  WriteRaw(work_ + "/house_1.symbols", blob.substr(0, blob.size() - 3));
+  std::string out;
+  EXPECT_EQ(RunExit({"fsck", "--dir", work_, "--repair", "true"}, &out), 1);
+  EXPECT_NE(out.find("\"repair_attempted\":true"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"repaired\":true"), std::string::npos);
+}
+
+TEST(FsckCliTest, UsageErrorsExitOne) {
+  std::string out;
+  std::string err;
+  EXPECT_EQ(RunExit({"fsck"}, &out, &err), 1);  // --dir is required
+  EXPECT_NE(err.find("error"), std::string::npos) << err;
+  EXPECT_EQ(RunExit({"fsck", "--dir", smeter::testing::TempPath(
+                                          "fsck_cli_no_such_dir")},
+                    &out, &err),
+            1);
+}
+
+}  // namespace
+}  // namespace smeter

@@ -217,12 +217,91 @@ void FuzzGappySeries(FuzzInput& in) {
   }
 }
 
+// v3 framing and the salvage oracle: build a valid framed blob, damage it
+// with fuzz-chosen bit flips and truncation, then require
+//   (a) the strict parser never accepts modified bytes as different data,
+//   (b) salvage never fabricates — every slot of a salvaged series is
+//       either the original symbol or a GAP standing in for a damaged
+//       block, on the original timebase.
+void FuzzSalvageOracle(FuzzInput& in) {
+  const int level = in.TakeIntInRange(1, kMaxSymbolLevel);
+  const size_t n = static_cast<size_t>(in.TakeIntInRange(1, 96));
+  const size_t block = static_cast<size_t>(in.TakeIntInRange(1, 32));
+  SymbolicSeries series(level);
+  Timestamp t = static_cast<Timestamp>(in.TakeIntInRange(0, 1 << 20));
+  for (size_t i = 0; i < n; ++i) {
+    Symbol s =
+        (in.TakeByte() % 4 == 0)
+            ? Symbol::Gap(level)
+            : Symbol::Create(level, static_cast<uint32_t>(in.TakeIntInRange(
+                                        0, (1 << level) - 1)))
+                  .value();
+    SMETER_CHECK_OK(series.Append({t, s}));
+    t += 900;
+  }
+  Result<std::string> packed = PackSymbolicSeriesFramed(series, block);
+  SMETER_CHECK(packed.ok());
+  const std::string& blob = packed.value();
+
+  // An undamaged blob must salvage to exactly the original series.
+  SalvageSummary clean_summary;
+  Result<SymbolicSeries> clean = SalvageSymbolicSeries(blob, &clean_summary);
+  SMETER_CHECK(clean.ok());
+  SMETER_CHECK_EQ(clean->size(), series.size());
+  SMETER_CHECK_EQ(clean_summary.lost_slots, 0u);
+  for (size_t i = 0; i < series.size(); ++i) {
+    SMETER_CHECK(series[i] == (*clean)[i]);
+  }
+
+  // Damage: up to eight bit flips, then possibly a truncation.
+  std::string damaged = blob;
+  const int flips = in.TakeIntInRange(0, 8);
+  for (int f = 0; f < flips; ++f) {
+    const size_t pos = static_cast<size_t>(
+        in.TakeIntInRange(0, static_cast<int>(damaged.size()) - 1));
+    damaged[pos] = static_cast<char>(static_cast<unsigned char>(damaged[pos]) ^
+                                     (1u << (in.TakeByte() % 8)));
+  }
+  if (in.TakeByte() % 4 == 0) {
+    damaged = damaged.substr(
+        0, static_cast<size_t>(
+               in.TakeIntInRange(0, static_cast<int>(damaged.size()))));
+  }
+  if (damaged == blob) return;
+
+  // Strict parse: accepting modified bytes is only legal if they decode to
+  // the identical series (which a checksummed format cannot produce — so
+  // in practice this demands rejection).
+  Result<SymbolicSeries> strict = UnpackSymbolicSeries(damaged);
+  if (strict.ok()) {
+    SMETER_CHECK_EQ(strict->size(), series.size());
+    for (size_t i = 0; i < series.size(); ++i) {
+      SMETER_CHECK(series[i] == (*strict)[i]);
+    }
+  }
+
+  // Salvage: errors only when the header is beyond trust; a recovered
+  // series is the original with GAPs where blocks were destroyed.
+  SalvageSummary summary;
+  Result<SymbolicSeries> salvaged = SalvageSymbolicSeries(damaged, &summary);
+  if (!salvaged.ok()) return;
+  SMETER_CHECK_EQ(salvaged->size(), series.size());
+  SMETER_CHECK_EQ(summary.total_slots, series.size());
+  SMETER_CHECK_EQ(summary.recovered_slots + summary.lost_slots,
+                  summary.total_slots);
+  for (size_t i = 0; i < series.size(); ++i) {
+    SMETER_CHECK((*salvaged)[i].timestamp == series[i].timestamp);
+    SMETER_CHECK((*salvaged)[i].symbol.is_gap() ||
+                 (*salvaged)[i].symbol == series[i].symbol);
+  }
+}
+
 }  // namespace
 }  // namespace smeter
 
 extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   smeter::fuzz::FuzzInput in(data, size);
-  switch (in.TakeByte() % 5) {
+  switch (in.TakeByte() % 6) {
     case 0:
       smeter::FuzzUnpack(in.TakeRemainingString());
       break;
@@ -235,8 +314,11 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
     case 3:
       smeter::FuzzFromSeparators(in);
       break;
-    default:
+    case 4:
       smeter::FuzzGappySeries(in);
+      break;
+    default:
+      smeter::FuzzSalvageOracle(in);
       break;
   }
   return 0;

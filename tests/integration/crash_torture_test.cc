@@ -1,0 +1,273 @@
+// Crash-torture drills for the durable storage layer. Each case simulates
+// a process death or silent disk corruption at a chosen write seam during
+// an encode-fleet run, then demands the full recovery contract:
+//
+//   fsck --repair exits 0 or 1 (every finding is repairable), and one
+//   fault-free `encode-fleet --resume` yields an archive bit-identical to
+//   a run that never saw a fault.
+//
+// The CorruptBytes cases additionally pin the zero-false-negatives
+// contract: whenever the corrupted write landed in a checksummed artifact
+// (.symbols, .table, fleet.manifest), fsck must flag it — a silent pass
+// would let --resume carry damaged data forward, which the final
+// bit-identical comparison would expose.
+//
+// CI soaks the seeded test (CrashTortureSoakTest) across many
+// SMETER_FAULT_SEED values under ASan; see .github/workflows.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli.h"
+#include "common/fault_injection.h"
+#include "core/fsck.h"
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+std::string RunCliOk(const std::vector<std::string>& args) {
+  std::ostringstream out;
+  Status status = cli::RunCli(args, out);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return out.str();
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<std::string> FleetArtifacts(size_t houses) {
+  std::vector<std::string> names;
+  for (size_t h = 1; h <= houses; ++h) {
+    names.push_back("house_" + std::to_string(h) + ".table");
+    names.push_back("house_" + std::to_string(h) + ".symbols");
+  }
+  names.push_back("fleet.manifest");
+  names.push_back("quality.json");
+  return names;
+}
+
+void ExpectDirsBitIdentical(const std::string& a, const std::string& b,
+                            const std::vector<std::string>& names) {
+  for (const std::string& name : names) {
+    SCOPED_TRACE(name);
+    std::string contents = ReadAll(a + "/" + name);
+    EXPECT_FALSE(contents.empty());
+    EXPECT_EQ(contents, ReadAll(b + "/" + name));
+  }
+}
+
+std::vector<std::string> FleetArgs(const std::string& input,
+                                   const std::string& out_dir) {
+  return {"encode-fleet", "--input", input,       "--out",
+          out_dir,        "--threads", "1",       "--max-retries",
+          "0"};
+}
+
+// Runs fsck --repair on `dir` (tolerating a directory the crash never
+// created) and requires every finding to be repairable: exit 0 or 1,
+// never 4.
+void FsckRepairMustConverge(const std::string& dir) {
+  if (!std::filesystem::exists(dir)) return;  // died before the first write
+  FsckOptions options;
+  options.repair = true;
+  Result<FsckReport> report = FsckArchive(dir, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  int code = FsckExitCode(*report);
+  EXPECT_TRUE(code == 0 || code == 1)
+      << "unrepairable archive: " << FsckReportToJson(*report);
+}
+
+void ResumeFleet(const std::string& input, const std::string& out_dir) {
+  std::vector<std::string> args = FleetArgs(input, out_dir);
+  args.insert(args.end(), {"--resume", "true"});
+  RunCliOk(args);
+}
+
+// Shared fixture data: one simulated fleet and its fault-free encode.
+class CrashTortureTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    input_ = new std::string(smeter::testing::TempPath("crash_torture"));
+    std::filesystem::remove_all(*input_);
+    RunCliOk({"simulate", "--out", *input_, "--houses", "3", "--days", "1",
+              "--seed", "9", "--outages", "0"});
+    clean_ = new std::string(*input_ + "/clean");
+    RunCliOk(FleetArgs(*input_, *clean_));
+  }
+
+  static void TearDownTestSuite() {
+    delete input_;
+    delete clean_;
+    input_ = nullptr;
+    clean_ = nullptr;
+  }
+
+  static std::string* input_;
+  static std::string* clean_;
+};
+
+std::string* CrashTortureTest::input_ = nullptr;
+std::string* CrashTortureTest::clean_ = nullptr;
+
+// Dies at the Nth call of a write seam (and every call after it — the
+// disk is gone), like kill -9 at that exact point in the write schedule.
+void RunKillPoint(const std::string& input, const std::string& clean,
+                  const std::string& crash_dir, const std::string& seam,
+                  int call) {
+  SCOPED_TRACE(seam + " from call " + std::to_string(call));
+  std::filesystem::remove_all(crash_dir);
+  {
+    fault::ScopedFaultPlan plan(
+        {fault::FaultRule::FailCalls(seam, call)});
+    std::ostringstream out;
+    // The run may fail outright or limp home with quarantined households;
+    // both are legal crash signatures.
+    Status status = cli::RunCli(FleetArgs(input, crash_dir), out);
+    (void)status;
+  }
+  FsckRepairMustConverge(crash_dir);
+  ResumeFleet(input, crash_dir);
+  ExpectDirsBitIdentical(clean, crash_dir, FleetArtifacts(3));
+}
+
+TEST_F(CrashTortureTest, EveryKillPointConvergesAfterFsckAndResume) {
+  const std::string crash_dir = *input_ + "/crashed";
+  // file.write counts atomic whole-file writes (manifest seed, tables,
+  // symbol blobs, final manifest, quality.json); sweeping the first eight
+  // kills the run inside every artifact class.
+  for (int call = 1; call <= 8; ++call) {
+    RunKillPoint(*input_, *clean_, crash_dir, "file.write", call);
+  }
+  // Lower seams: fsync (file and directory), the rename that publishes an
+  // atomic write — each leaves a different on-disk residue (stray .tmp,
+  // unpublished file) for fsck to mop up.
+  for (int call = 1; call <= 4; ++call) {
+    RunKillPoint(*input_, *clean_, crash_dir, "io.fsync", call);
+    RunKillPoint(*input_, *clean_, crash_dir, "io.rename", call);
+  }
+  // Death inside a manifest checkpoint append.
+  for (int call = 1; call <= 3; ++call) {
+    RunKillPoint(*input_, *clean_, crash_dir, "manifest.append", call);
+  }
+}
+
+TEST_F(CrashTortureTest, SilentWriteCorruptionIsCaughtRepairedAndReEncoded) {
+  const std::string corrupt_dir = *input_ + "/silent";
+  // Corrupt exactly the k-th durable write, one write at a time. The run
+  // itself succeeds — the damage is silent — so fsck is the only line of
+  // defense for every checksummed artifact.
+  for (int call = 1; call <= 9; ++call) {
+    SCOPED_TRACE("corrupting write " + std::to_string(call));
+    std::filesystem::remove_all(corrupt_dir);
+    size_t injected = 0;
+    {
+      fault::ScopedFaultPlan plan(
+          {fault::FaultRule::CorruptBytes("io.write", 3, call, call)},
+          1000 + static_cast<uint64_t>(call));
+      std::ostringstream out;
+      Status status = cli::RunCli(FleetArgs(*input_, corrupt_dir), out);
+      EXPECT_TRUE(status.ok()) << status.ToString();
+      injected = plan.InjectedCount("io.write");
+    }
+    if (injected == 0) break;  // past the run's last write; sweep is done
+    // Which artifact took the hit? (A corrupted write that a later write
+    // of the same file replaced — e.g. the manifest seed — leaves no
+    // trace, and that is itself correct behavior.)
+    std::string damaged_name;
+    for (const std::string& name : FleetArtifacts(3)) {
+      if (ReadAll(corrupt_dir + "/" + name) != ReadAll(*clean_ + "/" + name)) {
+        damaged_name = name;
+        break;
+      }
+    }
+    const bool checksummed =
+        !damaged_name.empty() && damaged_name != "quality.json";
+    ASSERT_OK_AND_ASSIGN(FsckReport report, FsckArchive(corrupt_dir, {}));
+    if (checksummed) {
+      // Zero false negatives: damage under a checksum must be flagged.
+      EXPECT_FALSE(report.clean())
+          << damaged_name << " corrupt but fsck saw nothing";
+    }
+    FsckRepairMustConverge(corrupt_dir);
+    ResumeFleet(*input_, corrupt_dir);
+    ExpectDirsBitIdentical(*clean_, corrupt_dir, FleetArtifacts(3));
+  }
+}
+
+// Satellite regression: a failed manifest checkpoint append must surface
+// as that household failing loudly (quarantine with the injection's error
+// attached), never as an "ok" household whose checkpoint silently went
+// missing.
+TEST_F(CrashTortureTest, ManifestAppendFailureIsNeverSilent) {
+  const std::string out_dir = *input_ + "/append_fault";
+  std::filesystem::remove_all(out_dir);
+  std::string output;
+  {
+    fault::ScopedFaultPlan plan(
+        {fault::FaultRule::FailCalls("manifest.append", 1, 1)});
+    std::ostringstream out;
+    Status status = cli::RunCli(FleetArgs(*input_, out_dir), out);
+    EXPECT_TRUE(status.ok()) << status.ToString();  // fleet survives
+    EXPECT_EQ(plan.InjectedCount("manifest.append"), 1u);
+    output = out.str();
+  }
+  // The household whose checkpoint could not be written is quarantined and
+  // the failure is visible in the run summary and quality report.
+  EXPECT_NE(output.find("quarantined"), std::string::npos) << output;
+  std::string quality = ReadAll(out_dir + "/quality.json");
+  EXPECT_NE(quality.find("\"households_quarantined\": 1"), std::string::npos)
+      << quality;
+  EXPECT_NE(quality.find("manifest.append"), std::string::npos) << quality;
+  // And the usual contract holds: one clean resume completes the fleet.
+  ResumeFleet(*input_, out_dir);
+  ExpectDirsBitIdentical(*clean_, out_dir, FleetArtifacts(3));
+}
+
+// Seeded soak: a randomized storm of write failures and silent bit flips,
+// then repair + resume must still converge. CI sweeps SMETER_FAULT_SEED.
+TEST(CrashTortureSoakTest, RandomizedFaultsThenRepairAndResumeConverge) {
+  uint64_t seed = 1;
+  if (const char* env = std::getenv("SMETER_FAULT_SEED")) {
+    uint64_t parsed = std::strtoull(env, nullptr, 10);
+    if (parsed != 0) seed = parsed;
+  }
+  SCOPED_TRACE("SMETER_FAULT_SEED=" + std::to_string(seed));
+  std::string dir = smeter::testing::TempPath("crash_torture_soak_" +
+                                              std::to_string(seed));
+  std::filesystem::remove_all(dir);
+  RunCliOk({"simulate", "--out", dir, "--houses", "3", "--days", "1",
+            "--seed", "11", "--outages", "0"});
+  std::string clean_dir = dir + "/clean";
+  RunCliOk(FleetArgs(dir, clean_dir));
+
+  std::string soak_dir = dir + "/soak";
+  {
+    fault::ScopedFaultPlan plan(
+        {fault::FaultRule::FailWithProbability("file.write", 0.15),
+         fault::FaultRule::FailWithProbability("io.fsync", 0.1),
+         fault::FaultRule::FailWithProbability("io.rename", 0.1),
+         fault::FaultRule::FailWithProbability("manifest.append", 0.1),
+         fault::FaultRule::CorruptBytesWithProbability("io.write", 3, 0.25)},
+        seed);
+    std::ostringstream out;
+    Status status = cli::RunCli(FleetArgs(dir, soak_dir), out);
+    (void)status;  // any outcome is a legal crash signature
+  }
+  FsckRepairMustConverge(soak_dir);
+  ResumeFleet(dir, soak_dir);
+  ExpectDirsBitIdentical(clean_dir, soak_dir, FleetArtifacts(3));
+}
+
+}  // namespace
+}  // namespace smeter

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/io.h"
 #include "testutil.h"
 
 namespace smeter::cli {
@@ -206,22 +207,27 @@ TEST(CliTest, EncodeFleetResumeSkipsFinishedHouseholds) {
   RunOk({"encode-fleet", "--input", dir, "--out", clean_dir, "--threads",
          "1"});
 
-  // Replay a killed run: only house_1's checkpoint line survives, and
-  // house_2's outputs are gone. A torn trailing line must be ignored.
+  // Replay a killed run: only house_1's checkpoint record survives, and
+  // house_2's outputs are gone. A torn trailing append (the crash
+  // signature) must be ignored.
   std::string resumed_dir = dir + "/resumed";
   RunOk({"encode-fleet", "--input", dir, "--out", resumed_dir, "--threads",
          "1"});
   std::string manifest_path = resumed_dir + "/fleet.manifest";
-  std::string first_line;
-  {
-    std::ifstream manifest(manifest_path, std::ios::binary);
-    std::getline(manifest, first_line);
+  ASSERT_OK_AND_ASSIGN(io::AppendLogContents log,
+                       io::ReadAppendLog(manifest_path));
+  ASSERT_TRUE(log.clean());
+  std::string house1_record;
+  for (const std::string& record : log.records) {
+    if (record.find("house_1") != std::string::npos) house1_record = record;
   }
-  ASSERT_NE(first_line.find("house_1"), std::string::npos) << first_line;
+  ASSERT_FALSE(house1_record.empty());
   {
+    std::string damaged = io::BuildAppendLog({house1_record});
+    const std::string torn = io::EncodeAppendRecord("{\"name\":\"hou");
+    damaged += torn.substr(0, torn.size() - 5);  // cut mid-frame
     std::ofstream manifest(manifest_path, std::ios::binary | std::ios::trunc);
-    manifest << first_line << "\n"
-             << "{\"name\":\"hou";  // torn mid-write by the "crash"
+    manifest << damaged;
   }
   std::filesystem::remove(resumed_dir + "/house_2.table");
   std::filesystem::remove(resumed_dir + "/house_2.symbols");

@@ -1,15 +1,11 @@
 #include "cli.h"
 
-#include <cctype>
 #include <filesystem>
-#include <fstream>
 #include <map>
 #include <mutex>
-#include <optional>
-#include <sstream>
 #include <utility>
 
-#include "common/fault_injection.h"
+#include "common/io.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -17,6 +13,8 @@
 #include "core/encoder.h"
 #include "core/entropy.h"
 #include "core/fleet_encoder.h"
+#include "core/fleet_manifest.h"
+#include "core/fsck.h"
 #include "core/quantile.h"
 #include "core/reconstruction.h"
 #include "data/cer.h"
@@ -35,23 +33,15 @@ Status MakeDirectories(const std::string& path) {
   return Status::Ok();
 }
 
+// Every producer goes through the durable path: tmp file, fsync, rename,
+// directory fsync. Readers of a killed run see old bytes or new bytes,
+// never a torn file.
 Status WriteFile(const std::string& path, const std::string& content) {
-  SMETER_FAULT_POINT("file.write");
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return InternalError("cannot open for writing: " + path);
-  out << content;
-  out.flush();
-  if (!out) return InternalError("I/O error writing: " + path);
-  return Status::Ok();
+  return io::AtomicWriteFile(path, content);
 }
 
 Result<std::string> ReadFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return NotFoundError("cannot open: " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (in.bad()) return InternalError("I/O error reading: " + path);
-  return buffer.str();
+  return io::ReadFileToString(path);
 }
 
 Result<SeparatorMethod> MethodFromName(const std::string& name) {
@@ -240,6 +230,8 @@ Status CmdEncode(const Flags& flags, std::ostream& out) {
   if (!sample_period.ok()) return sample_period.status();
   Result<std::string> output = flags.Get("out");
   if (!output.ok()) return output.status();
+  Result<bool> framed = flags.GetBool("framed", false);
+  if (!framed.ok()) return framed.status();
   SMETER_RETURN_IF_ERROR(CheckNoStrayFlags(flags));
 
   PipelineOptions pipeline;
@@ -248,7 +240,8 @@ Status CmdEncode(const Flags& flags, std::ostream& out) {
   Result<SymbolicSeries> symbols =
       EncodePipeline(*trace, *table, pipeline);
   if (!symbols.ok()) return symbols.status();
-  Result<std::string> blob = PackSymbolicSeries(*symbols);
+  Result<std::string> blob = *framed ? PackSymbolicSeriesFramed(*symbols)
+                                     : PackSymbolicSeries(*symbols);
   if (!blob.ok()) {
     return Status(blob.status().code(),
                   blob.status().message() +
@@ -330,122 +323,15 @@ Result<std::vector<FleetInput>> LoadFleet(const std::string& input,
                               "' (expected redd|cer)");
 }
 
-// --- fleet checkpoint manifest ---------------------------------------------
-//
-// `<out>/fleet.manifest` is JSONL: one self-contained line per finished
-// household, appended as households complete (so a killed run leaves a
-// valid prefix) and rewritten in fleet order once the run ends. A resumed
-// run skips households whose line says ok/degraded — their outputs are
-// already on disk — and re-encodes everything else. A torn final line
-// (the crash signature) parses as "not finished" and is ignored.
-
-std::optional<std::string> JsonStringField(const std::string& line,
-                                           const std::string& key) {
-  const std::string marker = "\"" + key + "\":\"";
-  size_t start = line.find(marker);
-  if (start == std::string::npos) return std::nullopt;
-  start += marker.size();
-  std::string value;
-  for (size_t i = start; i < line.size(); ++i) {
-    if (line[i] == '\\' && i + 1 < line.size()) {
-      value.push_back(line[++i]);
-    } else if (line[i] == '"') {
-      return value;
-    } else {
-      value.push_back(line[i]);
-    }
-  }
-  return std::nullopt;  // unterminated string: torn line
-}
-
-std::optional<int64_t> JsonIntField(const std::string& line,
-                                    const std::string& key) {
-  const std::string marker = "\"" + key + "\":";
-  size_t start = line.find(marker);
-  if (start == std::string::npos) return std::nullopt;
-  start += marker.size();
-  size_t end = start;
-  while (end < line.size() &&
-         (std::isdigit(static_cast<unsigned char>(line[end])) ||
-          line[end] == '-')) {
-    ++end;
-  }
-  if (end == start) return std::nullopt;
-  Result<int64_t> parsed = ParseInt(line.substr(start, end - start));
-  if (!parsed.ok()) return std::nullopt;
-  return parsed.value();
-}
-
-std::string JsonEscape(const std::string& value) {
-  std::string out;
-  for (char c : value) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
-
-std::string ManifestLine(const HouseholdReport& report) {
-  std::string line = "{\"name\":\"" + JsonEscape(report.name) +
-                     "\",\"status\":\"" +
-                     HouseholdOutcomeToString(report.outcome) +
-                     "\",\"attempts\":" + std::to_string(report.attempts) +
-                     ",\"windows_valid\":" +
-                     std::to_string(report.quality.windows_valid) +
-                     ",\"windows_partial\":" +
-                     std::to_string(report.quality.windows_partial) +
-                     ",\"windows_gap\":" +
-                     std::to_string(report.quality.windows_gap) + "}\n";
-  return line;
-}
-
-// Parses one manifest line back into a report. Returns nullopt for torn or
-// malformed lines — the resume path treats those households as unfinished.
-std::optional<HouseholdReport> ParseManifestLine(const std::string& line) {
-  if (line.empty() || line.back() != '}') return std::nullopt;
-  std::optional<std::string> name = JsonStringField(line, "name");
-  std::optional<std::string> status = JsonStringField(line, "status");
-  std::optional<int64_t> attempts = JsonIntField(line, "attempts");
-  std::optional<int64_t> valid = JsonIntField(line, "windows_valid");
-  std::optional<int64_t> partial = JsonIntField(line, "windows_partial");
-  std::optional<int64_t> gap = JsonIntField(line, "windows_gap");
-  if (!name || !status || !attempts || !valid || !partial || !gap) {
-    return std::nullopt;
-  }
-  HouseholdReport report;
-  report.name = *name;
-  if (*status == "ok") {
-    report.outcome = HouseholdOutcome::kOk;
-  } else if (*status == "degraded") {
-    report.outcome = HouseholdOutcome::kDegraded;
-  } else if (*status == "quarantined") {
-    report.outcome = HouseholdOutcome::kQuarantined;
-  } else {
-    return std::nullopt;
-  }
-  report.attempts = static_cast<int>(*attempts);
-  report.quality.windows_valid = static_cast<size_t>(*valid);
-  report.quality.windows_partial = static_cast<size_t>(*partial);
-  report.quality.windows_gap = static_cast<size_t>(*gap);
-  return report;
-}
-
-// Households already finished by an earlier run, keyed by name. Only
-// ok/degraded entries count: their .table/.symbols are on disk. A missing
-// or unreadable manifest simply resumes nothing.
+// Households already finished by an earlier run, keyed by name (the
+// manifest format itself lives in core/fleet_manifest). A missing,
+// damaged, or legacy-format manifest simply resumes nothing — or, for a
+// torn tail, resumes the valid prefix.
 std::map<std::string, HouseholdReport> LoadManifest(
     const std::string& manifest_path) {
-  std::map<std::string, HouseholdReport> carried;
-  std::ifstream in(manifest_path, std::ios::binary);
-  if (!in) return carried;
-  std::string line;
-  while (std::getline(in, line)) {
-    std::optional<HouseholdReport> report = ParseManifestLine(line);
-    if (!report) continue;
-    if (report->outcome == HouseholdOutcome::kQuarantined) continue;
-    carried[report->name] = std::move(*report);
-  }
-  return carried;
+  Result<ManifestContents> contents = LoadFleetManifest(manifest_path);
+  if (!contents.ok()) return {};
+  return CarriedHouseholds(*contents);
 }
 
 Status CmdEncodeFleet(const Flags& flags, std::ostream& out) {
@@ -513,25 +399,23 @@ Status CmdEncodeFleet(const Flags& flags, std::ostream& out) {
   // Seed the manifest with the carried entries, then append each household
   // as it finishes so a killed run leaves a usable checkpoint.
   {
-    std::string seed;
+    std::vector<HouseholdReport> seed;
     for (size_t h = 0; h < fleet->size(); ++h) {
       auto it = carried.find((*fleet)[h].name);
-      if (it != carried.end()) seed += ManifestLine(it->second);
+      if (it != carried.end()) seed.push_back(it->second);
     }
-    SMETER_RETURN_IF_ERROR(WriteFile(manifest_path, seed));
+    SMETER_RETURN_IF_ERROR(WriteFile(manifest_path, BuildManifestLog(seed)));
   }
 
   std::mutex manifest_mutex;
-  std::ofstream manifest(manifest_path,
-                         std::ios::binary | std::ios::app);
-  if (!manifest) {
-    return InternalError("cannot open for appending: " + manifest_path);
-  }
+  Result<io::AppendLogWriter> manifest =
+      io::AppendLogWriter::OpenForAppend(manifest_path);
+  if (!manifest.ok()) return manifest.status();
   HouseholdSink sink = [&](size_t /*index*/, const HouseholdReport& report,
                            const HouseholdEncoding& enc) -> Status {
     SMETER_RETURN_IF_ERROR(WriteFile(*dir + "/" + report.name + ".table",
                                      enc.table.Serialize()));
-    Result<std::string> blob = PackSymbolicSeries(enc.symbols);
+    Result<std::string> blob = PackSymbolicSeriesFramed(enc.symbols);
     if (!blob.ok()) {
       return Status(blob.status().code(),
                     blob.status().message() +
@@ -547,11 +431,10 @@ Status CmdEncodeFleet(const Flags& flags, std::ostream& out) {
                        report.quality.windows_gap == 0;
     done.outcome =
         clean ? HouseholdOutcome::kOk : HouseholdOutcome::kDegraded;
+    // Append returns the write/fsync outcome, so a full disk or failed
+    // flush fails the household loudly instead of dropping its checkpoint.
     std::lock_guard<std::mutex> lock(manifest_mutex);
-    manifest << ManifestLine(done);
-    manifest.flush();
-    return manifest ? Status::Ok()
-                    : InternalError("I/O error writing: " + manifest_path);
+    return manifest->Append(ManifestRecord(done));
   };
 
   ThreadPool pool(static_cast<size_t>(*threads));
@@ -560,7 +443,7 @@ Status CmdEncodeFleet(const Flags& flags, std::ostream& out) {
       EncodeFleetTolerant(todo, options, &pool, sink);
   if (!encoded.ok()) return encoded.status();
   const double seconds = watch.ElapsedSeconds();
-  manifest.close();
+  SMETER_RETURN_IF_ERROR(manifest->Close());
 
   // Merge carried and fresh reports back into fleet order.
   std::vector<HouseholdReport> reports;
@@ -577,13 +460,10 @@ Status CmdEncodeFleet(const Flags& flags, std::ostream& out) {
     }
   }
 
-  // Rewrite the manifest in fleet order (quarantined lines included) so a
-  // completed run's checkpoint is deterministic.
-  {
-    std::string full;
-    for (const HouseholdReport& r : reports) full += ManifestLine(r);
-    SMETER_RETURN_IF_ERROR(WriteFile(manifest_path, full));
-  }
+  // Rewrite the manifest in fleet order (quarantined records included) so
+  // a completed run's checkpoint is deterministic.
+  SMETER_RETURN_IF_ERROR(
+      WriteFile(manifest_path, BuildManifestLog(reports)));
 
   FleetQualityReport summary = SummarizeFleet(reports);
   SMETER_RETURN_IF_ERROR(WriteFile(
@@ -630,7 +510,10 @@ Status CmdInfo(const Flags& flags, std::ostream& out) {
 
   if (Result<SymbolicSeries> symbols = UnpackSymbolicSeries(*blob);
       symbols.ok()) {
-    out << "packed symbolic series\n";
+    const int version =
+        blob->size() > 4 ? static_cast<unsigned char>((*blob)[4]) : 0;
+    out << "packed symbolic series (v" << version
+        << (version == 3 ? ", framed + checksummed" : "") << ")\n";
     out << "  symbols " << symbols->size() << ", level " << symbols->level()
         << "\n";
     out << "  start " << symbols->samples().front().timestamp << ", end "
@@ -652,6 +535,56 @@ Status CmdInfo(const Flags& flags, std::ostream& out) {
   }
   return InvalidArgumentError(
       "not a packed symbolic series or serialized lookup table");
+}
+
+Status CmdFsck(const Flags& flags, std::ostream& out, int* exit_code) {
+  Result<std::string> dir = flags.Get("dir");
+  if (!dir.ok()) return dir.status();
+  Result<bool> repair = flags.GetBool("repair", false);
+  if (!repair.ok()) return repair.status();
+  std::string report_path = flags.GetOr("report", "");
+  SMETER_RETURN_IF_ERROR(CheckNoStrayFlags(flags));
+
+  FsckOptions options;
+  options.repair = *repair;
+  Result<FsckReport> report = FsckArchive(*dir, options);
+  if (!report.ok()) return report.status();
+  const std::string json = FsckReportToJson(*report);
+  if (report_path.empty()) {
+    out << json;
+  } else {
+    SMETER_RETURN_IF_ERROR(WriteFile(report_path, json));
+    out << "fsck report -> " << report_path << "\n";
+  }
+  *exit_code = FsckExitCode(*report);
+  return Status::Ok();
+}
+
+// Dispatches one subcommand. `exit_code` is the fsck(8)-style process code
+// for commands that grade their findings (only fsck today); commands that
+// either succeed or fail leave it at 0 and speak through the Status.
+Status RunCliWithCode(const std::vector<std::string>& args,
+                      std::ostream& out, int* exit_code) {
+  *exit_code = 0;
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    out << UsageText();
+    return Status::Ok();
+  }
+  const std::string& command = args[0];
+  Result<Flags> flags =
+      Flags::Parse(std::vector<std::string>(args.begin() + 1, args.end()));
+  if (!flags.ok()) return flags.status();
+
+  if (command == "simulate") return CmdSimulate(*flags, out);
+  if (command == "stats") return CmdStats(*flags, out);
+  if (command == "learn-table") return CmdLearnTable(*flags, out);
+  if (command == "encode") return CmdEncode(*flags, out);
+  if (command == "encode-fleet") return CmdEncodeFleet(*flags, out);
+  if (command == "decode") return CmdDecode(*flags, out);
+  if (command == "info") return CmdInfo(*flags, out);
+  if (command == "fsck") return CmdFsck(*flags, out, exit_code);
+  return InvalidArgumentError("unknown command '" + command +
+                              "'; run `smeter help`");
 }
 
 }  // namespace
@@ -745,6 +678,8 @@ std::string UsageText() {
       "               [--level 4] [--history-seconds 0] [--format redd|cer]\n"
       "  encode       --input FILE --table TABLE --out SYMBOLS\n"
       "               [--window 900] [--sample-period 1] [--format redd|cer]\n"
+      "               [--framed false]   (true = checksummed v3 wire format\n"
+      "               with per-block CRC32C and salvage sync markers)\n"
       "  encode-fleet --input DIR|FILE --out DIR [--format redd|cer]\n"
       "               [--method median] [--level 4] [--window 900]\n"
       "               [--sample-period 1] [--history-seconds 0]\n"
@@ -757,28 +692,40 @@ std::string UsageText() {
       "               <out>/fleet.manifest from an interrupted run\n"
       "  decode       --input SYMBOLS --table TABLE [--mode mean|center]\n"
       "  info         --input FILE\n"
+      "  fsck         --dir DIR [--repair false] [--report PATH]\n"
+      "               verify every checksum in a fleet archive (symbol\n"
+      "               blobs, tables, manifest) and cross-check the manifest\n"
+      "               against the files on disk; prints a JSON report.\n"
+      "               --repair true quarantines damaged files (<f>.corrupt),\n"
+      "               drops their manifest records, truncates torn appends,\n"
+      "               and removes stray .tmp files — then run\n"
+      "               `encode-fleet --resume true` to re-encode the rest.\n"
+      "               exit codes: 0 clean, 1 repaired, 4 unrepaired\n"
       "  help\n";
 }
 
 Status RunCli(const std::vector<std::string>& args, std::ostream& out) {
-  if (args.empty() || args[0] == "help" || args[0] == "--help") {
-    out << UsageText();
-    return Status::Ok();
+  int exit_code = 0;
+  Status status = RunCliWithCode(args, out, &exit_code);
+  if (status.ok() && exit_code != 0) {
+    // Legacy Status-only surface: a graded non-zero result (fsck findings)
+    // must not read as success.
+    return DataLossError("fsck found issues (exit code " +
+                         std::to_string(exit_code) +
+                         "); see the JSON report");
   }
-  const std::string& command = args[0];
-  Result<Flags> flags =
-      Flags::Parse(std::vector<std::string>(args.begin() + 1, args.end()));
-  if (!flags.ok()) return flags.status();
+  return status;
+}
 
-  if (command == "simulate") return CmdSimulate(*flags, out);
-  if (command == "stats") return CmdStats(*flags, out);
-  if (command == "learn-table") return CmdLearnTable(*flags, out);
-  if (command == "encode") return CmdEncode(*flags, out);
-  if (command == "encode-fleet") return CmdEncodeFleet(*flags, out);
-  if (command == "decode") return CmdDecode(*flags, out);
-  if (command == "info") return CmdInfo(*flags, out);
-  return InvalidArgumentError("unknown command '" + command +
-                              "'; run `smeter help`");
+int RunCliExitCode(const std::vector<std::string>& args, std::ostream& out,
+                   std::ostream& err) {
+  int exit_code = 0;
+  Status status = RunCliWithCode(args, out, &exit_code);
+  if (!status.ok()) {
+    err << "error: " << status.ToString() << "\n";
+    return exit_code != 0 ? exit_code : 1;
+  }
+  return exit_code;
 }
 
 }  // namespace smeter::cli

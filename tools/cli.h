@@ -9,6 +9,8 @@
 //                sharded across a thread pool (--threads)
 //   decode       packed symbol file -> reconstructed values (CSV)
 //   info         inspect a packed symbol file or serialized table
+//   fsck         verify (and with --repair, fix) a fleet archive's
+//                checksums, manifest, and stray tmp files
 //
 // The command layer is a library (this header) so the test suite can drive
 // it in-process; `smeter_cli.cc` is a thin main().
@@ -52,8 +54,17 @@ class Flags {
 
 // Executes one subcommand: args = {subcommand, --flag, value, ...}.
 // Human-readable output goes to `out`. Returns a non-OK status on any
-// usage or processing error (main() maps it to exit code 1).
+// usage or processing error; commands that grade their findings (fsck)
+// surface a non-clean result as a non-OK status through this legacy
+// surface. Prefer RunCliExitCode for process exit codes.
 Status RunCli(const std::vector<std::string>& args, std::ostream& out);
+
+// Like RunCli but returns the process exit code and prints errors to
+// `err`: 0 success, 1 usage/processing error, and for `fsck` the fsck(8)
+// convention — 0 clean, 1 issues repaired (resume required), 4 issues
+// unrepaired.
+int RunCliExitCode(const std::vector<std::string>& args, std::ostream& out,
+                   std::ostream& err);
 
 // The usage text printed by `help` and on errors.
 std::string UsageText();

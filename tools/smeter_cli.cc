@@ -1,7 +1,6 @@
 // Entry point for the `smeter` command-line tool; all logic lives in
 // cli.{h,cc} so the test suite can exercise it in-process.
 
-#include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -11,10 +10,5 @@
 int main(int argc, char** argv) {
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
-  smeter::Status status = smeter::cli::RunCli(args, std::cout);
-  if (!status.ok()) {
-    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-    return 1;
-  }
-  return 0;
+  return smeter::cli::RunCliExitCode(args, std::cout, std::cerr);
 }
