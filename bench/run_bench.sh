@@ -11,6 +11,9 @@
 #   BM_PackFramed vs BM_PackLegacy    -- checksummed v3 write cost; its
 #                                        wire_overhead_pct counter is the
 #                                        v3 size premium over the v1 blob
+#   BM_SessionIngest                  -- symbols/s through the full wire
+#                                        protocol state machine (the
+#                                        single-connection ingest ceiling)
 # On single-core hosts the thread-count sweeps collapse to serial
 # throughput; the per-sample kernel speedup is machine-independent.
 
@@ -20,7 +23,8 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "${repo_root}"
 
 cmake --preset release >/dev/null
-cmake --build build-release --target micro_parallel -j"$(nproc)"
+cmake --build build-release --target micro_parallel --target net_ingest \
+  -j"$(nproc)"
 
 build-release/bench/micro_parallel \
   --benchmark_out="${repo_root}/BENCH_micro.json" \
@@ -28,5 +32,26 @@ build-release/bench/micro_parallel \
   --benchmark_repetitions=3 \
   --benchmark_report_aggregates_only=true \
   "$@"
+
+build-release/bench/net_ingest \
+  --benchmark_out="${repo_root}/BENCH_net.json" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  "$@"
+
+# Append the net-ingest benchmarks into the single BENCH_micro.json report.
+python3 - "${repo_root}/BENCH_micro.json" "${repo_root}/BENCH_net.json" <<'PY'
+import json, sys
+micro_path, net_path = sys.argv[1], sys.argv[2]
+with open(micro_path) as f:
+    micro = json.load(f)
+with open(net_path) as f:
+    net = json.load(f)
+micro["benchmarks"].extend(net["benchmarks"])
+with open(micro_path, "w") as f:
+    json.dump(micro, f, indent=2)
+PY
+rm -f "${repo_root}/BENCH_net.json"
 
 echo "wrote ${repo_root}/BENCH_micro.json"

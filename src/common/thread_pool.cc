@@ -21,6 +21,8 @@ struct ParallelForState {
   size_t grain = 1;
   size_t num_chunks = 0;
   const std::function<Status(size_t, size_t)>* fn = nullptr;
+  // The owning pool's in-flight gauge; bumped while a lane runs a chunk.
+  std::atomic<size_t>* in_flight = nullptr;
 
   std::atomic<size_t> next{0};
 
@@ -46,7 +48,9 @@ void DrainChunks(ParallelForState& state) {
        chunk = state.next.fetch_add(1, std::memory_order_relaxed)) {
     const size_t lo = state.begin + chunk * state.grain;
     const size_t hi = lo + state.grain;
+    state.in_flight->fetch_add(1, std::memory_order_relaxed);
     Status status = (*state.fn)(lo, hi);
+    state.in_flight->fetch_sub(1, std::memory_order_relaxed);
     ++ran;
     if (!status.ok() && (!failed || chunk < error_chunk)) {
       failed = true;
@@ -115,7 +119,9 @@ Status ThreadPool::ParallelFor(
     Status first_error;
     for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
       const size_t lo = begin + chunk * grain;
+      in_flight_.fetch_add(1, std::memory_order_relaxed);
       Status status = fn(lo, std::min(end, lo + grain));
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
       if (!status.ok() && first_error.ok()) first_error = std::move(status);
     }
     return first_error;
@@ -125,6 +131,7 @@ Status ThreadPool::ParallelFor(
   state->begin = begin;
   state->grain = grain;
   state->num_chunks = num_chunks;
+  state->in_flight = &in_flight_;
 
   // DrainChunks hands fn a raw [lo, lo + grain) window; clamp the last
   // chunk's end here once instead of inside every lane.
@@ -156,6 +163,11 @@ Status ThreadPool::ParallelFor(
                    [&] { return state->completed == state->num_chunks; });
   if (state->has_error) return state->first_error;
   return Status::Ok();
+}
+
+size_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
 }
 
 ThreadPool& ThreadPool::Shared() {

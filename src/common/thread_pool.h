@@ -26,6 +26,7 @@
 #ifndef SMETER_COMMON_THREAD_POOL_H_
 #define SMETER_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -66,6 +67,15 @@ class ThreadPool {
   Status ParallelFor(size_t begin, size_t end, size_t grain,
                      const std::function<Status(size_t, size_t)>& fn);
 
+  // Observability counters, for load monitoring (the ingestion daemon's
+  // stats dump) and for tests that assert scheduling behavior. Both are
+  // instantaneous snapshots — racy by nature, exact only at quiescence.
+  //
+  // Helper tasks enqueued but not yet picked up by a worker.
+  size_t QueueDepth() const;
+  // Lanes (workers + participating callers) currently inside a chunk.
+  size_t InFlight() const { return in_flight_.load(); }
+
   // A process-wide pool sized to the hardware, created on first use and
   // never destroyed (intentionally leaked so worker threads outlive static
   // destruction). Use for CLI-style entry points; tests and libraries that
@@ -75,11 +85,12 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable wake_;
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+  std::atomic<size_t> in_flight_{0};
 };
 
 }  // namespace smeter

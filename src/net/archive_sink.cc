@@ -1,0 +1,140 @@
+#include "net/archive_sink.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "core/codec.h"
+#include "core/fleet_manifest.h"
+
+namespace smeter::net {
+namespace {
+
+Status MakeDirectories(const std::string& path) {
+  std::error_code error;
+  std::filesystem::create_directories(path, error);
+  if (error) {
+    return InternalError("cannot create " + path + ": " + error.message());
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ArchiveSink>> ArchiveSink::Open(const std::string& dir,
+                                                       bool resume) {
+  SMETER_RETURN_IF_ERROR(MakeDirectories(dir));
+  const std::string manifest_path = dir + "/" + kFleetManifestFile;
+
+  std::map<std::string, HouseholdReport> carried;
+  if (resume) {
+    // A missing/damaged manifest simply resumes nothing; a torn tail (the
+    // crash signature) resumes its valid prefix — same policy as
+    // encode-fleet --resume.
+    Result<ManifestContents> contents = LoadFleetManifest(manifest_path);
+    if (contents.ok()) carried = CarriedHouseholds(*contents);
+  }
+
+  // Seed the manifest with the carried entries, then append per meter as
+  // sessions complete so a killed daemon leaves a usable checkpoint.
+  std::vector<HouseholdReport> seed;
+  seed.reserve(carried.size());
+  for (const auto& [name, report] : carried) seed.push_back(report);
+  SMETER_RETURN_IF_ERROR(
+      io::AtomicWriteFile(manifest_path, BuildManifestLog(seed)));
+
+  Result<io::AppendLogWriter> manifest =
+      io::AppendLogWriter::OpenForAppend(manifest_path);
+  if (!manifest.ok()) return manifest.status();
+
+  return std::unique_ptr<ArchiveSink>(new ArchiveSink(
+      dir, std::move(manifest.value()), std::move(carried)));
+}
+
+ArchiveSink::ArchiveSink(std::string dir, io::AppendLogWriter manifest,
+                         std::map<std::string, HouseholdReport> carried)
+    : dir_(std::move(dir)),
+      manifest_(std::move(manifest)),
+      records_(std::move(carried)) {}
+
+bool ArchiveSink::AlreadyPersisted(const std::string& meter) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.count(meter) > 0;
+}
+
+Status ArchiveSink::Persist(const std::string& meter,
+                            const std::string& table_blob,
+                            const SymbolicSeries& series,
+                            const EncodeQuality& quality) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (finalized_) {
+      return FailedPreconditionError("archive sink is finalized");
+    }
+    if (records_.count(meter) > 0) return Status::Ok();
+  }
+
+  // Same file order as encode-fleet's sink: table, symbols, then the
+  // manifest record — the checkpoint only lands after both payload files
+  // are durable.
+  SMETER_RETURN_IF_ERROR(
+      io::AtomicWriteFile(dir_ + "/" + meter + ".table", table_blob));
+  Result<std::string> blob = PackSymbolicSeriesFramed(series);
+  if (!blob.ok()) return blob.status();
+  SMETER_RETURN_IF_ERROR(
+      io::AtomicWriteFile(dir_ + "/" + meter + ".symbols", *blob));
+
+  HouseholdReport done;
+  done.name = meter;
+  done.attempts = 1;  // a network session that completed is one attempt
+  done.quality = quality;
+  const bool clean =
+      quality.windows_partial == 0 && quality.windows_gap == 0;
+  done.outcome = clean ? HouseholdOutcome::kOk : HouseholdOutcome::kDegraded;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (finalized_) return FailedPreconditionError("archive sink is finalized");
+  if (records_.count(meter) > 0) return Status::Ok();
+  SMETER_RETURN_IF_ERROR(manifest_.Append(ManifestRecord(done)));
+  records_.emplace(meter, std::move(done));
+  ++persisted_;
+  symbols_ += series.size();
+  return Status::Ok();
+}
+
+Status ArchiveSink::Finalize() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (finalized_) return Status::Ok();
+  finalized_ = true;
+  SMETER_RETURN_IF_ERROR(manifest_.Close());
+
+  // records_ is a std::map, so iteration is already name-sorted — the
+  // deterministic end state the equivalence tests compare against.
+  std::vector<HouseholdReport> reports;
+  reports.reserve(records_.size());
+  for (const auto& [name, report] : records_) reports.push_back(report);
+
+  const std::string manifest_path = dir_ + "/" + kFleetManifestFile;
+  SMETER_RETURN_IF_ERROR(
+      io::AtomicWriteFile(manifest_path, BuildManifestLog(reports)));
+
+  FleetQualityReport summary = SummarizeFleet(reports);
+  return io::AtomicWriteFile(dir_ + "/quality.json",
+                             FleetQualityReportToJson(summary, reports));
+}
+
+uint64_t ArchiveSink::households_persisted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return persisted_;
+}
+
+uint64_t ArchiveSink::households_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+uint64_t ArchiveSink::symbols_persisted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return symbols_;
+}
+
+}  // namespace smeter::net

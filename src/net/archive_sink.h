@@ -1,0 +1,97 @@
+// Durable session sink: persists completed ingestion sessions into the
+// same v3 framed archive layout that `smeter encode-fleet` writes, so one
+// archive directory serves both the offline and the networked pipeline and
+// the existing fsck/resume tooling applies unchanged.
+//
+// Per completed meter the sink writes, in order:
+//   <dir>/<meter>.table    the announced table blob, byte-for-byte as
+//                          received (already crc32c-validated by the
+//                          session) — identical to Serialize() output
+//   <dir>/<meter>.symbols  PackSymbolicSeriesFramed(series), the v3
+//                          checksummed symbol format
+//   fleet.manifest         one appended checkpoint record
+//
+// All file writes go through io::AtomicWriteFile and the manifest through
+// io::AppendLogWriter, so a SIGKILL mid-persist leaves either a complete
+// durable household or a detectable torn tail — never a half-written
+// archive. `fsck --repair` plus a daemon restart with --resume then
+// converges to the clean-run archive (the crash-recovery contract from the
+// storage layer, inherited wholesale).
+//
+// Finalize() rewrites the manifest with all records ordered by meter name
+// and emits quality.json, matching encode-fleet's deterministic end-state
+// for fleets whose input order is the name order (the loadgen fleet).
+//
+// Thread-safety: Persist() may be called concurrently for distinct meters
+// (the server persists batches on a thread pool); the manifest append and
+// the carried/persisted bookkeeping are mutex-guarded.
+
+#ifndef SMETER_NET_ARCHIVE_SINK_H_
+#define SMETER_NET_ARCHIVE_SINK_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/io.h"
+#include "common/status.h"
+#include "core/encoder.h"
+#include "core/fleet_encoder.h"
+#include "core/symbolic_series.h"
+
+namespace smeter::net {
+
+class ArchiveSink {
+ public:
+  // Opens (creating if needed) the archive directory. With `resume`, the
+  // existing fleet.manifest is loaded and its ok/degraded households are
+  // carried: a reconnecting meter that already persisted is acknowledged
+  // without being rewritten, exactly like encode-fleet --resume.
+  static Result<std::unique_ptr<ArchiveSink>> Open(const std::string& dir,
+                                                   bool resume);
+
+  // True when `meter` already has a durable record (carried from a prior
+  // run or persisted in this one). The server uses this to short-circuit
+  // re-uploads after a crash/reconnect.
+  bool AlreadyPersisted(const std::string& meter) const;
+
+  // Durably writes one completed session's outputs and checkpoints it in
+  // the manifest. Idempotent per meter: a second call for an
+  // already-persisted meter is a no-op success.
+  Status Persist(const std::string& meter, const std::string& table_blob,
+                 const SymbolicSeries& series, const EncodeQuality& quality);
+
+  // Closes the append log, rewrites the manifest with every record sorted
+  // by meter name, and writes quality.json. Call once, at drain/shutdown.
+  Status Finalize();
+
+  const std::string& dir() const { return dir_; }
+  // Households persisted by THIS run (excludes carried records).
+  uint64_t households_persisted() const;
+  // All durable households: carried plus this run's. This is what
+  // completion checks ("drain once N households landed") must use — after
+  // a crash restart, part of the fleet is carried, not re-persisted.
+  uint64_t households_total() const;
+  uint64_t symbols_persisted() const;
+
+ private:
+  ArchiveSink(std::string dir, io::AppendLogWriter manifest,
+              std::map<std::string, HouseholdReport> carried);
+
+  const std::string dir_;
+
+  mutable std::mutex mutex_;
+  io::AppendLogWriter manifest_;
+  // Every durable household: carried entries plus this run's persists.
+  std::map<std::string, HouseholdReport> records_;
+  uint64_t persisted_ = 0;
+  uint64_t symbols_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace smeter::net
+
+#endif  // SMETER_NET_ARCHIVE_SINK_H_

@@ -1,0 +1,179 @@
+// A single-threaded, non-blocking event loop: epoll for fd readiness,
+// one timerfd for the timer queue, one eventfd for cross-thread (and
+// async-signal-safe) wakeups.
+//
+// Threading model: everything except Wakeup() must be called from the
+// thread running Run() (or before Run() starts). Wakeup() is the only
+// cross-thread entry point — it is a single write(2) on an eventfd, which
+// is async-signal-safe, so signal handlers (SIGTERM drain, SIGUSR1 stats)
+// set an atomic flag and call Wakeup(); the loop thread reads the flag
+// from the wakeup handler.
+//
+// Edge-triggered: fds are registered with EPOLLET, so handlers must drain
+// (read/write until EAGAIN) on every event. BufferedFd below implements
+// that contract once — per-connection read/write buffering with a
+// backpressure high-watermark — so protocol code only sees complete byte
+// streams and never touches errno.
+
+#ifndef SMETER_NET_EVENT_LOOP_H_
+#define SMETER_NET_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace smeter::net {
+
+class EventLoop {
+ public:
+  // Receives the raw epoll event mask (EPOLLIN/EPOLLOUT/EPOLLHUP/...).
+  using FdHandler = std::function<void(uint32_t events)>;
+
+  // Creates the epoll instance plus its timerfd and eventfd.
+  static Result<std::unique_ptr<EventLoop>> Create();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Registers `fd` for `events` (caller includes EPOLLET for edge
+  // triggering). The loop does not own the fd.
+  Status Add(int fd, uint32_t events, FdHandler handler);
+  Status Modify(int fd, uint32_t events);
+  Status Remove(int fd);
+
+  // Schedules `callback` once, `delay_ms` from now (monotonic clock).
+  // Returns an id for CancelTimer. Safe to call from handlers and timer
+  // callbacks; a 0 delay fires on the next loop iteration.
+  uint64_t RunAfter(int64_t delay_ms, std::function<void()> callback);
+  void CancelTimer(uint64_t id);
+
+  // Runs until Stop(). Dispatches fd events, due timers, and wakeups.
+  Status Run();
+  // One dispatch pass with the given epoll timeout; for tests.
+  Status RunOnce(int timeout_ms);
+  // Ends Run() after the current dispatch pass. Loop-thread only; from
+  // another thread, set a flag and Wakeup() instead.
+  void Stop();
+
+  // Invoked on the loop thread after every Wakeup().
+  void SetWakeupHandler(std::function<void()> handler);
+  // Async-signal-safe and thread-safe: one write(2) to the eventfd.
+  void Wakeup();
+
+  // Milliseconds on the loop's monotonic clock (for idle accounting).
+  static int64_t NowMs();
+
+ private:
+  EventLoop(int epoll_fd, int timer_fd, int wakeup_fd);
+
+  void ArmTimer();
+  void RunDueTimers();
+  void DrainWakeup();
+
+  struct Timer {
+    int64_t deadline_ms = 0;
+    uint64_t id = 0;
+    std::function<void()> callback;
+  };
+
+  int epoll_fd_ = -1;
+  int timer_fd_ = -1;
+  int wakeup_fd_ = -1;
+  bool running_ = false;
+  uint64_t next_timer_id_ = 1;
+  // Sorted by (deadline, id); small enough that a vector beats a heap.
+  std::vector<Timer> timers_;
+  std::map<int, std::shared_ptr<FdHandler>> handlers_;
+  std::function<void()> wakeup_handler_;
+};
+
+// A non-blocking fd (socket end) wired into an EventLoop with read/write
+// buffering and backpressure:
+//
+//   * readable  -> read until EAGAIN, pass the accumulated buffer to
+//     on_data, which returns how many bytes it consumed (a frame decoder
+//     keeps partial frames in the buffer by consuming less than offered).
+//   * Send()    -> appended to the output buffer and flushed as far as the
+//     socket allows; the remainder goes out on EPOLLOUT.
+//   * backpressure -> while the output buffer holds more than
+//     `high_watermark` bytes, reading is paused (a slow peer cannot make
+//     the server buffer its own replies without bound); reading resumes
+//     once the buffer drains below half the watermark. Each pause is one
+//     `stalls` count.
+//   * on_close  -> called exactly once: clean EOF (OK), a read/write error,
+//     or an explicit Close(status). The fd is closed by the destructor.
+//
+// Fault seams: `net.read` and `net.write` fail the respective I/O path
+// (the connection drops; the daemon lives), and the `net.frame`
+// CorruptBytes seam flips bits in received chunks so tests can prove the
+// frame CRC catches wire damage.
+class BufferedFd {
+ public:
+  struct Callbacks {
+    std::function<size_t(std::string_view data)> on_data;
+    std::function<void(const Status& reason)> on_close;
+  };
+
+  // Takes ownership of `fd` (sets it non-blocking). Register() wires it
+  // into the loop; the object must outlive its registration and must be
+  // destroyed on the loop thread.
+  BufferedFd(EventLoop* loop, int fd, Callbacks callbacks,
+             size_t high_watermark);
+  ~BufferedFd();
+
+  BufferedFd(const BufferedFd&) = delete;
+  BufferedFd& operator=(const BufferedFd&) = delete;
+
+  Status Register();
+
+  // Buffers `data` and flushes what the socket will take now.
+  Status Send(std::string_view data);
+
+  // Closes after the output buffer drains (or immediately when empty).
+  // Further input is ignored.
+  void CloseAfterFlush(Status reason);
+  // Tears the connection down now; on_close fires with `reason`.
+  void Close(Status reason);
+
+  int fd() const { return fd_; }
+  bool closed() const { return closed_; }
+  size_t pending_out() const { return out_.size(); }
+  bool paused() const { return paused_; }
+  uint64_t stalls() const { return stalls_; }
+  uint64_t bytes_in() const { return bytes_in_; }
+  uint64_t bytes_out() const { return bytes_out_; }
+
+ private:
+  void OnEvents(uint32_t events);
+  void HandleReadable();
+  void HandleWritable();
+  Status FlushSome();
+  void UpdateInterest();
+
+  EventLoop* loop_;
+  int fd_;
+  Callbacks callbacks_;
+  size_t high_watermark_;
+  std::string in_;
+  std::string out_;
+  bool registered_ = false;
+  bool closed_ = false;
+  bool close_after_flush_ = false;
+  Status close_reason_;
+  bool paused_ = false;
+  bool want_write_ = false;
+  uint64_t stalls_ = 0;
+  uint64_t bytes_in_ = 0;
+  uint64_t bytes_out_ = 0;
+};
+
+}  // namespace smeter::net
+
+#endif  // SMETER_NET_EVENT_LOOP_H_

@@ -1,0 +1,412 @@
+#include "net/ingest_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <utility>
+
+#include "common/fault_injection.h"
+
+namespace smeter::net {
+namespace {
+
+Status Errno(const std::string& what) {
+  return InternalError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Status ParseListenAddress(const std::string& address, std::string* host,
+                          uint16_t* port) {
+  std::string host_part = "127.0.0.1";
+  std::string port_part = address;
+  const size_t colon = address.rfind(':');
+  if (colon != std::string::npos) {
+    if (colon > 0) host_part = address.substr(0, colon);
+    port_part = address.substr(colon + 1);
+  }
+  if (port_part.empty()) {
+    return InvalidArgumentError("missing port in '" + address + "'");
+  }
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(port_part.c_str(), &end, 10);
+  if (end == port_part.c_str() || *end != '\0' || value > 65535) {
+    return InvalidArgumentError("bad port '" + port_part + "' in '" +
+                                address + "'");
+  }
+  *host = host_part;
+  *port = static_cast<uint16_t>(value);
+  return Status::Ok();
+}
+
+std::string IngestCounters::ToJson() const {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"sessions_accepted\": " << sessions_accepted << ",\n"
+      << "  \"sessions_active\": " << sessions_active << ",\n"
+      << "  \"sessions_completed\": " << sessions_completed << ",\n"
+      << "  \"sessions_dropped\": " << sessions_dropped << ",\n"
+      << "  \"frames_in\": " << frames_in << ",\n"
+      << "  \"frames_out\": " << frames_out << ",\n"
+      << "  \"bytes_in\": " << bytes_in << ",\n"
+      << "  \"bytes_out\": " << bytes_out << ",\n"
+      << "  \"decode_errors\": " << decode_errors << ",\n"
+      << "  \"backpressure_stalls\": " << backpressure_stalls << ",\n"
+      << "  \"households_persisted\": " << households_persisted << ",\n"
+      << "  \"symbols_persisted\": " << symbols_persisted << "\n"
+      << "}";
+  return out.str();
+}
+
+Result<std::unique_ptr<IngestServer>> IngestServer::Create(
+    IngestServerOptions options) {
+  if (options.archive_dir.empty()) {
+    return InvalidArgumentError("ingest server needs an archive directory");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  const int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return InvalidArgumentError("bad listen host '" + options.host + "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Errno("bind " + options.host + ":" +
+                          std::to_string(options.port));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    Status status = Errno("listen");
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    Status status = Errno("getsockname");
+    ::close(fd);
+    return status;
+  }
+  const uint16_t port = ntohs(bound.sin_port);
+
+  Result<std::unique_ptr<EventLoop>> loop = EventLoop::Create();
+  if (!loop.ok()) {
+    ::close(fd);
+    return loop.status();
+  }
+  Result<std::unique_ptr<ArchiveSink>> sink =
+      ArchiveSink::Open(options.archive_dir, options.resume);
+  if (!sink.ok()) {
+    ::close(fd);
+    return sink.status();
+  }
+
+  std::unique_ptr<IngestServer> server(
+      new IngestServer(std::move(options), fd, port, std::move(loop.value()),
+                       std::move(sink.value())));
+  SMETER_RETURN_IF_ERROR(server->loop_->Add(
+      fd, EPOLLIN | EPOLLET, [raw = server.get()](uint32_t) {
+        raw->OnAcceptable();
+      }));
+  server->loop_->SetWakeupHandler([raw = server.get()] { raw->OnWakeup(); });
+  if (server->options_.idle_timeout_ms > 0) {
+    const int64_t sweep = std::max<int64_t>(
+        server->options_.idle_timeout_ms / 2, 100);
+    server->loop_->RunAfter(sweep, [raw = server.get()] { raw->SweepIdle(); });
+  }
+  return server;
+}
+
+IngestServer::IngestServer(IngestServerOptions options, int listen_fd,
+                           uint16_t port, std::unique_ptr<EventLoop> loop,
+                           std::unique_ptr<ArchiveSink> sink)
+    : options_(std::move(options)),
+      listen_fd_(listen_fd),
+      port_(port),
+      loop_(std::move(loop)),
+      sink_(std::move(sink)),
+      stats_out_(&std::cerr) {}
+
+IngestServer::~IngestServer() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void IngestServer::OnAcceptable() {
+  for (;;) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      // Transient accept failures (EMFILE and friends) must never kill the
+      // daemon; the meter retries.
+      return;
+    }
+    // Fault seam: a dropped accept costs one connection, not the server.
+    if (Status fault = fault::Check("net.accept"); !fault.ok()) {
+      ::close(fd);
+      ++counters_.sessions_dropped;
+      continue;
+    }
+    AdoptConnection(fd);
+  }
+}
+
+void IngestServer::AdoptConnection(int fd) {
+  const int enable = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+
+  SessionOptions session_options = options_.session;
+  session_options.auth_token = options_.auth_token;
+  session_options.draining = draining_;
+
+  auto conn = std::make_unique<Connection>(next_conn_id_++,
+                                           std::move(session_options));
+  Connection* raw = conn.get();
+  raw->last_active_ms = EventLoop::NowMs();
+  raw->io = std::make_unique<BufferedFd>(
+      loop_.get(), fd,
+      BufferedFd::Callbacks{
+          [this, raw](std::string_view data) { return OnData(raw, data); },
+          [this, raw](const Status& reason) {
+            OnConnectionClosed(raw, reason);
+          }},
+      options_.high_watermark);
+  if (Status status = raw->io->Register(); !status.ok()) {
+    // Registration failed before on_close could be wired in; the
+    // connection never existed as far as the counters are concerned.
+    return;
+  }
+  ++counters_.sessions_accepted;
+  ++counters_.sessions_active;
+  connections_.emplace(raw->id, std::move(conn));
+}
+
+size_t IngestServer::OnData(Connection* conn, std::string_view data) {
+  size_t consumed = 0;
+  conn->last_active_ms = EventLoop::NowMs();
+  while (consumed < data.size()) {
+    DecodeResult decoded = DecodeFrame(data.substr(consumed));
+    if (decoded.outcome == DecodeResult::Outcome::kNeedMore) break;
+    if (decoded.outcome == DecodeResult::Outcome::kError) {
+      // A torn or corrupted frame: tell the meter why, then quarantine
+      // this connection. The stream is unrecoverable past this point, so
+      // consume everything.
+      ++counters_.decode_errors;
+      FailConnection(conn, WireStatus::kBadFrame, decoded.error);
+      return data.size();
+    }
+    consumed += decoded.consumed;
+    ++counters_.frames_in;
+    std::vector<Frame> replies;
+    conn->session.OnFrame(decoded.frame, &replies);
+    SendFrames(conn, replies);
+    if (conn->io->closed()) return data.size();
+    if (conn->session.state() == Session::State::kFailed) {
+      conn->io->CloseAfterFlush(conn->session.error());
+      return data.size();
+    }
+    if (conn->session.state() == Session::State::kComplete) {
+      FinishSession(conn);
+      return data.size();
+    }
+  }
+  return consumed;
+}
+
+void IngestServer::SendFrames(Connection* conn,
+                              const std::vector<Frame>& frames) {
+  for (const Frame& frame : frames) {
+    if (conn->io->closed()) return;
+    ++counters_.frames_out;
+    if (!conn->io->Send(EncodeFrame(frame)).ok()) return;
+  }
+}
+
+void IngestServer::FinishSession(Connection* conn) {
+  Session& session = conn->session;
+  AckPayload ack;
+  if (sink_->AlreadyPersisted(session.meter_id())) {
+    // Crash/reconnect re-upload: the archive already holds this meter
+    // durably; acknowledge without rewriting.
+    ack.status = WireStatus::kOk;
+    ack.message = "duplicate";
+    ++counters_.sessions_completed;
+  } else {
+    Result<SymbolicSeries> series = session.TakeSeries();
+    Status persisted =
+        series.ok()
+            ? sink_->Persist(session.meter_id(), session.table_blob(),
+                             *series, session.quality())
+            : series.status();
+    if (persisted.ok()) {
+      ack.status = WireStatus::kOk;
+      ack.message = "persisted";
+      ++counters_.sessions_completed;
+      counters_.households_persisted = sink_->households_persisted();
+      counters_.symbols_persisted = sink_->symbols_persisted();
+    } else {
+      // Persist failed (disk fault seam, full disk): the meter must know
+      // its upload is NOT durable, so the GOODBYE_ACK carries the error
+      // and the session counts as dropped, not completed.
+      ack.status = WireStatus::kServerError;
+      ack.message = persisted.message();
+    }
+  }
+  std::vector<Frame> replies;
+  replies.push_back(MakeAck(FrameType::kGoodbyeAck, ack));
+  SendFrames(conn, replies);
+  if (!conn->io->closed()) conn->io->CloseAfterFlush(Status::Ok());
+  if (options_.exit_after_households > 0 &&
+      sink_->households_total() >= options_.exit_after_households) {
+    BeginDrain();
+  }
+}
+
+void IngestServer::FailConnection(Connection* conn, WireStatus status,
+                                  Status error) {
+  AckPayload ack;
+  ack.status = status;
+  ack.message = error.message();
+  std::vector<Frame> replies;
+  replies.push_back(MakeAck(FrameType::kGoodbyeAck, ack));
+  SendFrames(conn, replies);
+  if (!conn->io->closed()) conn->io->CloseAfterFlush(std::move(error));
+}
+
+void IngestServer::OnConnectionClosed(Connection* conn,
+                                      const Status& reason) {
+  (void)reason;
+  --counters_.sessions_active;
+  counters_.bytes_in += conn->io->bytes_in();
+  counters_.bytes_out += conn->io->bytes_out();
+  counters_.backpressure_stalls += conn->io->stalls();
+  if (conn->session.state() != Session::State::kComplete) {
+    // Disconnected mid-stream, protocol violation, timed out, or torn
+    // frame — nothing persisted; the meter reconnects and resends.
+    ++counters_.sessions_dropped;
+  }
+  // on_close can fire while this connection's own BufferedFd callbacks are
+  // on the stack, so defer destruction to the next loop pass.
+  auto it = connections_.find(conn->id);
+  if (it != connections_.end()) {
+    graveyard_.push_back(std::move(it->second));
+    connections_.erase(it);
+  }
+  if (!reap_scheduled_) {
+    reap_scheduled_ = true;
+    loop_->RunAfter(0, [this] { ReapClosed(); });
+  }
+  if (draining_) FinishDrainIfIdle();
+}
+
+void IngestServer::ReapClosed() {
+  reap_scheduled_ = false;
+  graveyard_.clear();
+  if (draining_) FinishDrainIfIdle();
+}
+
+void IngestServer::SweepIdle() {
+  const int64_t now = EventLoop::NowMs();
+  std::vector<uint64_t> idle;
+  for (const auto& [id, conn] : connections_) {
+    if (now - conn->last_active_ms > options_.idle_timeout_ms) {
+      idle.push_back(id);
+    }
+  }
+  for (uint64_t id : idle) {
+    auto it = connections_.find(id);
+    if (it == connections_.end()) continue;
+    it->second->io->Close(
+        InternalError("idle timeout"));  // fires OnConnectionClosed
+  }
+  if (options_.idle_timeout_ms > 0 && !draining_) {
+    const int64_t sweep =
+        std::max<int64_t>(options_.idle_timeout_ms / 2, 100);
+    loop_->RunAfter(sweep, [this] { SweepIdle(); });
+  }
+}
+
+void IngestServer::OnWakeup() {
+  if (stats_requested_.exchange(false)) {
+    IngestCounters snapshot = counters_;
+    for (const auto& [id, conn] : connections_) {
+      snapshot.bytes_in += conn->io->bytes_in();
+      snapshot.bytes_out += conn->io->bytes_out();
+      snapshot.backpressure_stalls += conn->io->stalls();
+    }
+    (*stats_out_) << snapshot.ToJson() << "\n" << std::flush;
+  }
+  if (drain_requested_.exchange(false)) BeginDrain();
+}
+
+void IngestServer::RequestDrain() {
+  drain_requested_.store(true);
+  loop_->Wakeup();
+}
+
+void IngestServer::RequestStatsDump() {
+  stats_requested_.store(true);
+  loop_->Wakeup();
+}
+
+void IngestServer::BeginDrain() {
+  if (draining_) return;
+  draining_ = true;
+  // Stop accepting: new meters get connection-refused and retry elsewhere
+  // or later.
+  (void)loop_->Remove(listen_fd_);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  // Sessions that have not said HELLO yet are refused with kDraining;
+  // in-flight uploads get drain_grace_ms to finish.
+  for (const auto& [id, conn] : connections_) conn->session.SetDraining();
+  loop_->RunAfter(options_.drain_grace_ms, [this] {
+    std::vector<uint64_t> remaining;
+    for (const auto& [id, conn] : connections_) remaining.push_back(id);
+    for (uint64_t id : remaining) {
+      auto it = connections_.find(id);
+      if (it == connections_.end()) continue;
+      it->second->io->Close(InternalError("drain deadline"));
+    }
+    FinishDrainIfIdle();
+  });
+  FinishDrainIfIdle();
+}
+
+void IngestServer::FinishDrainIfIdle() {
+  if (!draining_ || finalized_ || !connections_.empty()) return;
+  finalized_ = true;
+  exit_status_ = sink_->Finalize();
+  counters_.households_persisted = sink_->households_persisted();
+  counters_.symbols_persisted = sink_->symbols_persisted();
+  loop_->Stop();
+}
+
+Status IngestServer::Run() {
+  SMETER_RETURN_IF_ERROR(loop_->Run());
+  if (!finalized_) {
+    finalized_ = true;
+    exit_status_ = sink_->Finalize();
+  }
+  return exit_status_;
+}
+
+}  // namespace smeter::net

@@ -1,0 +1,163 @@
+// The aggregation-server ingestion daemon: a single-threaded epoll accept
+// loop that speaks the symbolic wire protocol with thousands of meters and
+// streams completed sessions into a durable v3 archive.
+//
+// Architecture (one connection, left to right):
+//
+//   accept -> BufferedFd (edge-triggered read/write buffers, backpressure)
+//          -> DecodeFrame (length-prefixed, crc32c-checked)
+//          -> Session (per-meter protocol state machine)
+//          -> ArchiveSink (atomic table/symbols files + manifest record)
+//
+// Failure containment: a torn frame, a bad table, an out-of-order batch,
+// or a mid-stream disconnect quarantines THAT session — the server sends
+// the closing status ack, drops the connection, counts it, and keeps
+// serving. The `net.accept` fault seam drops individual accepts the same
+// way. The daemon only exits on Stop()/drain.
+//
+// Drain (SIGTERM/SIGINT path): RequestDrain() is thread- and
+// async-signal-safe. The loop thread then stops accepting, refuses new
+// HELLOs with kDraining, gives in-flight sessions `drain_grace_ms` to
+// finish, force-closes stragglers, finalizes the sink (sorted manifest +
+// quality.json), and returns from Run(). RequestStatsDump() (SIGUSR1)
+// prints the counters JSON without stopping.
+
+#ifndef SMETER_NET_INGEST_SERVER_H_
+#define SMETER_NET_INGEST_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/archive_sink.h"
+#include "net/event_loop.h"
+#include "net/session.h"
+#include "net/wire.h"
+
+namespace smeter::net {
+
+struct IngestServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 binds an ephemeral port (see IngestServer::port)
+  std::string archive_dir;
+  bool resume = false;  // carry prior manifest records (crash restart)
+  std::string auth_token;
+  // A connection silent for this long is closed (0 disables the sweep).
+  int64_t idle_timeout_ms = 30'000;
+  // Output-buffer backpressure high-watermark per connection.
+  size_t high_watermark = 1u << 20;
+  // How long draining sessions get to finish before being force-closed.
+  int64_t drain_grace_ms = 5'000;
+  // Drain automatically once this many households persisted (0 = never);
+  // lets tests and soak jobs run the real binary to a deterministic end.
+  uint64_t exit_after_households = 0;
+  // Per-session protocol limits (auth_token/draining are overwritten).
+  SessionOptions session;
+};
+
+// Monotonic counters, dumped as JSON on SIGUSR1 and at exit. Plain
+// uint64_t: mutated only on the loop thread, read via Counters() snapshot.
+struct IngestCounters {
+  uint64_t sessions_accepted = 0;
+  uint64_t sessions_active = 0;
+  uint64_t sessions_completed = 0;
+  uint64_t sessions_dropped = 0;  // protocol/decode/io failures + timeouts
+  uint64_t frames_in = 0;
+  uint64_t frames_out = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t decode_errors = 0;
+  uint64_t backpressure_stalls = 0;
+  uint64_t households_persisted = 0;
+  uint64_t symbols_persisted = 0;
+
+  std::string ToJson() const;
+};
+
+class IngestServer {
+ public:
+  // Binds and listens, opens the archive sink, creates the event loop.
+  static Result<std::unique_ptr<IngestServer>> Create(
+      IngestServerOptions options);
+  ~IngestServer();
+
+  IngestServer(const IngestServer&) = delete;
+  IngestServer& operator=(const IngestServer&) = delete;
+
+  // Serves until drained/stopped, then finalizes the archive. Returns the
+  // first fatal error (a finalize failure), OK on a clean drain.
+  Status Run();
+
+  // Thread- and async-signal-safe: begin a graceful drain.
+  void RequestDrain();
+  // Thread- and async-signal-safe: dump counters JSON to `stats_out`.
+  void RequestStatsDump();
+
+  // The bound port (useful when options.port was 0).
+  uint16_t port() const { return port_; }
+  const IngestCounters& counters() const { return counters_; }
+  // Where RequestStatsDump() writes; defaults to std::cerr.
+  void set_stats_out(std::ostream* out) { stats_out_ = out; }
+
+ private:
+  struct Connection {
+    uint64_t id = 0;
+    std::unique_ptr<BufferedFd> io;
+    Session session;
+    int64_t last_active_ms = 0;
+
+    Connection(uint64_t id, SessionOptions session_options)
+        : id(id), session(std::move(session_options)) {}
+  };
+
+  IngestServer(IngestServerOptions options, int listen_fd, uint16_t port,
+               std::unique_ptr<EventLoop> loop,
+               std::unique_ptr<ArchiveSink> sink);
+
+  void OnAcceptable();
+  void AdoptConnection(int fd);
+  // Feeds `data` to the connection's frame decoder; returns bytes consumed.
+  size_t OnData(Connection* conn, std::string_view data);
+  void OnConnectionClosed(Connection* conn, const Status& reason);
+  void SendFrames(Connection* conn, const std::vector<Frame>& frames);
+  void FinishSession(Connection* conn);
+  void FailConnection(Connection* conn, WireStatus status, Status error);
+  void SweepIdle();
+  void OnWakeup();
+  void BeginDrain();
+  void FinishDrainIfIdle();
+  void ReapClosed();
+
+  IngestServerOptions options_;
+  int listen_fd_;
+  uint16_t port_;
+  std::unique_ptr<EventLoop> loop_;
+  std::unique_ptr<ArchiveSink> sink_;
+  std::ostream* stats_out_;
+
+  uint64_t next_conn_id_ = 1;
+  std::map<uint64_t, std::unique_ptr<Connection>> connections_;
+  // Connections whose on_close fired mid-callback; freed next loop pass.
+  std::vector<std::unique_ptr<Connection>> graveyard_;
+  bool reap_scheduled_ = false;
+
+  std::atomic<bool> drain_requested_{false};
+  std::atomic<bool> stats_requested_{false};
+  bool draining_ = false;
+  bool finalized_ = false;
+  Status exit_status_;
+  IngestCounters counters_;
+};
+
+// Parses "host:port" (or ":port" / "port") into options fields.
+Status ParseListenAddress(const std::string& address, std::string* host,
+                          uint16_t* port);
+
+}  // namespace smeter::net
+
+#endif  // SMETER_NET_INGEST_SERVER_H_

@@ -1,0 +1,387 @@
+#include "net/loadgen.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "core/encoder.h"
+#include "core/lookup_table.h"
+#include "data/cer.h"
+#include "net/wire.h"
+
+namespace smeter::net {
+namespace {
+
+Status Errno(const std::string& what) {
+  return InternalError(what + ": " + std::strerror(errno));
+}
+
+// One meter's sensor-side result, computed before any socket is opened.
+struct PreparedMeter {
+  std::string name;
+  std::string table_blob;
+  SymbolicSeries symbols{1};
+  EncodeQuality quality;
+};
+
+// The sensor-side pipeline, step for step what encode-fleet runs per
+// household — shared inputs therefore yield bit-identical tables and
+// symbol streams on both paths.
+Result<PreparedMeter> PrepareMeter(const std::string& name,
+                                   const TimeSeries& trace,
+                                   const FleetEncodeOptions& options) {
+  if (trace.empty()) {
+    return FailedPreconditionError(name + ": empty trace");
+  }
+  TimeSeries training = trace;
+  if (options.history_seconds > 0) {
+    training = trace.Slice(
+        {trace.front().timestamp,
+         trace.front().timestamp + options.history_seconds});
+    if (training.empty()) {
+      return FailedPreconditionError(name + ": no training data");
+    }
+  }
+  Result<LookupTable> table =
+      LookupTable::Build(training.Values(), options.table);
+  if (!table.ok()) return table.status();
+  PreparedMeter prepared;
+  prepared.name = name;
+  prepared.table_blob = table->Serialize();
+  if (options.gap_aware) {
+    Result<QualityEncoding> encoded =
+        EncodePipelineWithGaps(trace, *table, options.pipeline);
+    if (!encoded.ok()) return encoded.status();
+    prepared.quality = encoded->quality;
+    prepared.symbols = std::move(encoded.value().symbols);
+  } else {
+    Result<SymbolicSeries> symbols =
+        EncodePipeline(trace, *table, options.pipeline);
+    if (!symbols.ok()) return symbols.status();
+    prepared.quality.windows_valid = symbols->size();
+    prepared.symbols = std::move(symbols.value());
+  }
+  if (prepared.symbols.empty()) {
+    return FailedPreconditionError(name + ": trace encoded to no symbols");
+  }
+  return prepared;
+}
+
+// Blocking framed-protocol client over one TCP connection.
+class MeterClient {
+ public:
+  ~MeterClient() { CloseFd(); }
+
+  Status Connect(const std::string& host, uint16_t port,
+                 int64_t timeout_ms) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) return Errno("socket");
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    const int enable = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      return InvalidArgumentError("bad host '" + host + "'");
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      return Errno("connect " + host + ":" + std::to_string(port));
+    }
+    return Status::Ok();
+  }
+
+  Status SendFrame(const Frame& frame) {
+    const std::string bytes = EncodeFrame(frame);
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      ssize_t n = ::write(fd_, bytes.data() + sent, bytes.size() - sent);
+      if (n > 0) {
+        sent += static_cast<size_t>(n);
+        continue;
+      }
+      if (errno == EINTR) continue;
+      return Errno("write");
+    }
+    return Status::Ok();
+  }
+
+  Result<Frame> RecvFrame() {
+    for (;;) {
+      DecodeResult decoded = DecodeFrame(in_);
+      if (decoded.outcome == DecodeResult::Outcome::kFrame) {
+        in_.erase(0, decoded.consumed);
+        return std::move(decoded.frame);
+      }
+      if (decoded.outcome == DecodeResult::Outcome::kError) {
+        return decoded.error;
+      }
+      char chunk[16 * 1024];
+      ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n > 0) {
+        in_.append(chunk, static_cast<size_t>(n));
+        continue;
+      }
+      if (n == 0) {
+        return InternalError("server closed the connection");
+      }
+      if (errno == EINTR) continue;
+      return Errno("read");
+    }
+  }
+
+  // Abrupt teardown, mid-frame if need be — the dying-meter simulation.
+  void Abort() {
+    if (fd_ >= 0) {
+      ::shutdown(fd_, SHUT_RDWR);
+      CloseFd();
+    }
+  }
+
+ private:
+  void CloseFd() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  int fd_ = -1;
+  std::string in_;
+};
+
+// Expects `frame` to be `type` carrying an OK ack.
+Status ExpectOkAck(const Frame& frame, FrameType type) {
+  if (frame.type != type) {
+    return InternalError("expected ack type " +
+                         std::to_string(static_cast<int>(type)) + ", got " +
+                         std::to_string(static_cast<int>(frame.type)));
+  }
+  Result<AckPayload> ack = ParseAck(frame);
+  if (!ack.ok()) return ack.status();
+  if (ack->status != WireStatus::kOk) {
+    return InternalError(std::string("server refused: [") +
+                         WireStatusName(ack->status) + "] " + ack->message);
+  }
+  return Status::Ok();
+}
+
+struct SharedStats {
+  std::atomic<uint64_t> frames_sent{0};
+  std::atomic<uint64_t> symbols_sent{0};
+  std::atomic<uint64_t> reconnects{0};
+  std::atomic<uint64_t> batches_dropped{0};
+  std::atomic<size_t> meters_ok{0};
+  std::atomic<size_t> meters_failed{0};
+};
+
+// One complete upload conversation. Any error aborts the attempt; the
+// caller decides whether to reconnect.
+Status UploadOnce(const LoadgenOptions& options,
+                  const PreparedMeter& meter, SharedStats* stats) {
+  MeterClient client;
+  SMETER_RETURN_IF_ERROR(
+      client.Connect(options.host, options.port, options.io_timeout_ms));
+
+  HelloPayload hello;
+  hello.protocol_version = kProtocolVersion;
+  hello.meter_id = meter.name;
+  hello.auth_token = options.auth_token;
+  SMETER_RETURN_IF_ERROR(client.SendFrame(MakeHello(hello)));
+  stats->frames_sent.fetch_add(1, std::memory_order_relaxed);
+  Result<Frame> reply = client.RecvFrame();
+  if (!reply.ok()) return reply.status();
+  SMETER_RETURN_IF_ERROR(ExpectOkAck(*reply, FrameType::kHelloAck));
+
+  TableAnnouncePayload announce;
+  announce.table_version = 1;
+  announce.table_blob = meter.table_blob;
+  SMETER_RETURN_IF_ERROR(client.SendFrame(MakeTableAnnounce(announce)));
+  stats->frames_sent.fetch_add(1, std::memory_order_relaxed);
+  reply = client.RecvFrame();
+  if (!reply.ok()) return reply.status();
+  SMETER_RETURN_IF_ERROR(ExpectOkAck(*reply, FrameType::kTableAck));
+
+  const auto& samples = meter.symbols.samples();
+  const int64_t step =
+      samples.size() >= 2
+          ? samples[1].timestamp - samples[0].timestamp
+          : options.encode.pipeline.window_seconds;
+  const size_t batch_size =
+      options.batch_symbols == 0 ? 512 : options.batch_symbols;
+  uint64_t seq = 1;
+  for (size_t begin = 0; begin < samples.size(); begin += batch_size) {
+    // The dying-meter seam: drop the socket mid-stream, after the server
+    // has already buffered part of this session.
+    if (!fault::Check("loadgen.drop").ok()) {
+      stats->batches_dropped.fetch_add(1, std::memory_order_relaxed);
+      client.Abort();
+      return InternalError(meter.name + ": injected mid-batch disconnect");
+    }
+    const size_t end = std::min(begin + batch_size, samples.size());
+    SymbolBatchPayload batch;
+    batch.seq = seq++;
+    batch.start_timestamp = samples[begin].timestamp;
+    batch.step_seconds = step;
+    batch.level = meter.symbols.level();
+    batch.symbols.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      batch.symbols.push_back(
+          samples[i].symbol.is_gap()
+              ? kWireGapSymbol
+              : static_cast<uint16_t>(samples[i].symbol.index()));
+    }
+    SMETER_RETURN_IF_ERROR(client.SendFrame(MakeSymbolBatch(batch)));
+    stats->frames_sent.fetch_add(1, std::memory_order_relaxed);
+    stats->symbols_sent.fetch_add(end - begin, std::memory_order_relaxed);
+    reply = client.RecvFrame();
+    if (!reply.ok()) return reply.status();
+    Result<BatchAckPayload> ack = ParseBatchAck(*reply);
+    if (!ack.ok()) return ack.status();
+    if (ack->status != WireStatus::kOk) {
+      return InternalError(std::string("batch refused: [") +
+                           WireStatusName(ack->status) + "] " +
+                           ack->message);
+    }
+    if (options.batches_per_second > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          static_cast<int64_t>(1e6 / options.batches_per_second)));
+    }
+  }
+
+  GoodbyePayload goodbye;
+  goodbye.windows_valid = meter.quality.windows_valid;
+  goodbye.windows_partial = meter.quality.windows_partial;
+  goodbye.windows_gap = meter.quality.windows_gap;
+  SMETER_RETURN_IF_ERROR(client.SendFrame(MakeGoodbye(goodbye)));
+  stats->frames_sent.fetch_add(1, std::memory_order_relaxed);
+  reply = client.RecvFrame();
+  if (!reply.ok()) return reply.status();
+  return ExpectOkAck(*reply, FrameType::kGoodbyeAck);
+}
+
+void RunMeter(const LoadgenOptions& options, const PreparedMeter& meter,
+              SharedStats* stats) {
+  const int attempts = options.max_attempts < 1 ? 1 : options.max_attempts;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) {
+      stats->reconnects.fetch_add(1, std::memory_order_relaxed);
+      // Linear backoff: enough for a restarting server to come back.
+      std::this_thread::sleep_for(std::chrono::milliseconds(50 * attempt));
+    }
+    if (UploadOnce(options, meter, stats).ok()) {
+      stats->meters_ok.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  stats->meters_failed.fetch_add(1, std::memory_order_relaxed);
+}
+
+Result<std::vector<std::pair<std::string, TimeSeries>>> LoadTraces(
+    const LoadgenOptions& options) {
+  std::vector<std::pair<std::string, TimeSeries>> traces;
+  if (!options.input_cer.empty()) {
+    Result<std::vector<std::pair<int64_t, TimeSeries>>> meters =
+        data::LoadCerFile(options.input_cer);
+    if (!meters.ok()) return meters.status();
+    for (auto& [id, series] : *meters) {
+      traces.emplace_back("meter_" + std::to_string(id), std::move(series));
+    }
+  } else {
+    data::GeneratorOptions generator = options.generator;
+    generator.num_houses = options.meters;
+    for (size_t h = 0; h < options.meters; ++h) {
+      Result<TimeSeries> series = data::GenerateHouseSeries(h, generator);
+      if (!series.ok()) return series.status();
+      // Same naming as the simulator's CER export: meter ids 1000+house.
+      traces.emplace_back("meter_" + std::to_string(1000 + h),
+                          std::move(series.value()));
+    }
+  }
+  if (traces.empty()) return FailedPreconditionError("no meters to replay");
+  return traces;
+}
+
+}  // namespace
+
+std::string LoadgenReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"meters_total\": " << meters_total << ",\n"
+      << "  \"meters_ok\": " << meters_ok << ",\n"
+      << "  \"meters_failed\": " << meters_failed << ",\n"
+      << "  \"frames_sent\": " << frames_sent << ",\n"
+      << "  \"symbols_sent\": " << symbols_sent << ",\n"
+      << "  \"reconnects\": " << reconnects << ",\n"
+      << "  \"batches_dropped\": " << batches_dropped << "\n"
+      << "}";
+  return out.str();
+}
+
+Result<LoadgenReport> RunLoadgen(const LoadgenOptions& options) {
+  Result<std::vector<std::pair<std::string, TimeSeries>>> traces =
+      LoadTraces(options);
+  if (!traces.ok()) return traces.status();
+
+  // Sensor-side encode up front (CPU-bound, deterministic), then the
+  // network phase replays the prepared uploads.
+  std::vector<PreparedMeter> prepared;
+  prepared.reserve(traces->size());
+  for (const auto& [name, trace] : *traces) {
+    Result<PreparedMeter> meter =
+        PrepareMeter(name, trace, options.encode);
+    if (!meter.ok()) {
+      return Status(meter.status().code(),
+                    name + ": " + meter.status().message());
+    }
+    prepared.push_back(std::move(meter.value()));
+  }
+
+  SharedStats stats;
+  std::atomic<size_t> next{0};
+  const size_t workers =
+      std::min(options.concurrency == 0 ? 1 : options.concurrency,
+               prepared.size());
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const size_t index = next.fetch_add(1, std::memory_order_relaxed);
+        if (index >= prepared.size()) return;
+        RunMeter(options, prepared[index], &stats);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  LoadgenReport report;
+  report.meters_total = prepared.size();
+  report.meters_ok = stats.meters_ok.load();
+  report.meters_failed = stats.meters_failed.load();
+  report.frames_sent = stats.frames_sent.load();
+  report.symbols_sent = stats.symbols_sent.load();
+  report.reconnects = stats.reconnects.load();
+  report.batches_dropped = stats.batches_dropped.load();
+  return report;
+}
+
+}  // namespace smeter::net

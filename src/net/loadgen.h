@@ -1,0 +1,76 @@
+// Load generator: replays a fleet of meters against a running ingestd over
+// real TCP sockets.
+//
+// Each simulated meter runs the full sensor-side pipeline before touching
+// the network — exactly the steps `smeter encode-fleet` performs per
+// household (history slice, per-meter LookupTable::Build, gap-aware
+// encode) — and then uploads the result through the wire protocol:
+// HELLO, TABLE_ANNOUNCE (the table's Serialize() bytes verbatim),
+// SYMBOL_BATCH stream, GOODBYE carrying the client-side quality counts.
+// Because both paths share the encoding code and the sink writes the
+// announced table blob untouched, a loadgen run against ingestd yields a
+// byte-identical archive to an offline encode-fleet run over the same
+// input.
+//
+// Fault seam `loadgen.drop` aborts the socket mid-conversation (a meter
+// dying mid-SYMBOL_BATCH); the worker then reconnects and re-uploads from
+// scratch, which the server answers with either a fresh persist or a
+// "duplicate" ack — the reconnect-convergence test drives exactly this.
+
+#ifndef SMETER_NET_LOADGEN_H_
+#define SMETER_NET_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/fleet_encoder.h"
+#include "data/generator.h"
+
+namespace smeter::net {
+
+struct LoadgenOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::string auth_token;
+
+  // Fleet source. With `input_cer` set, the CER file is loaded exactly as
+  // encode-fleet --format cer would (names "meter_<id>"); otherwise
+  // `meters` traces are synthesized from `generator` (meter ids 1000+i,
+  // the simulator's CER convention).
+  std::string input_cer;
+  size_t meters = 10;
+  data::GeneratorOptions generator;
+
+  // Sensor-side encoding parameters; must match the offline encode-fleet
+  // flags when comparing archives.
+  FleetEncodeOptions encode;
+
+  // Upload shaping.
+  size_t batch_symbols = 512;   // symbols per SYMBOL_BATCH frame
+  size_t concurrency = 8;       // parallel meter connections
+  double batches_per_second = 0;  // per-connection throttle; 0 = full rate
+  int max_attempts = 5;         // connection attempts per meter
+  int64_t io_timeout_ms = 10'000;  // per-socket send/recv timeout
+};
+
+struct LoadgenReport {
+  size_t meters_total = 0;
+  size_t meters_ok = 0;        // GOODBYE acked kOk
+  size_t meters_failed = 0;    // all attempts exhausted
+  uint64_t frames_sent = 0;
+  uint64_t symbols_sent = 0;
+  uint64_t reconnects = 0;     // attempts beyond each meter's first
+  uint64_t batches_dropped = 0;  // aborts from the loadgen.drop seam
+
+  std::string ToJson() const;
+};
+
+// Runs the whole fleet to completion (or failure) and reports. Errors only
+// on setup problems (bad input file, no traces); per-meter upload failures
+// are counted, not fatal.
+Result<LoadgenReport> RunLoadgen(const LoadgenOptions& options);
+
+}  // namespace smeter::net
+
+#endif  // SMETER_NET_LOADGEN_H_

@@ -1,0 +1,295 @@
+#include "net/session.h"
+
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "core/symbol.h"
+
+namespace smeter::net {
+
+FrameType AckTypeFor(FrameType request) {
+  switch (request) {
+    case FrameType::kHello: return FrameType::kHelloAck;
+    case FrameType::kTableAnnounce: return FrameType::kTableAck;
+    case FrameType::kSymbolBatch: return FrameType::kBatchAck;
+    case FrameType::kPing: return FrameType::kPong;
+    case FrameType::kGoodbye: return FrameType::kGoodbyeAck;
+    default: return FrameType::kGoodbyeAck;  // client-bound types
+  }
+}
+
+Session::Session(SessionOptions options) : options_(std::move(options)) {}
+
+void Session::Fail(WireStatus status, Status error,
+                   std::vector<Frame>* replies) {
+  state_ = State::kFailed;
+  error_status_ = status;
+  error_ = std::move(error);
+  AckPayload ack;
+  ack.status = status;
+  ack.message = error_.message();
+  replies->push_back(MakeAck(FrameType::kGoodbyeAck, ack));
+}
+
+void Session::OnFrame(const Frame& frame, std::vector<Frame>* replies) {
+  if (state_ == State::kComplete || state_ == State::kFailed) {
+    // The server should have closed already; ignore trailing frames.
+    return;
+  }
+  // PING is legal in any live state once the peer said HELLO.
+  if (frame.type == FrameType::kPing && state_ != State::kExpectHello) {
+    Result<PingPayload> ping = ParsePing(frame);
+    if (!ping.ok()) {
+      Fail(WireStatus::kBadFrame, ping.status(), replies);
+      return;
+    }
+    replies->push_back(MakePong(ping->nonce));
+    return;
+  }
+  switch (state_) {
+    case State::kExpectHello:
+      if (frame.type != FrameType::kHello) {
+        Fail(WireStatus::kBadState,
+             FailedPreconditionError("expected HELLO first"), replies);
+        return;
+      }
+      OnHello(frame, replies);
+      return;
+    case State::kExpectTable:
+      if (frame.type != FrameType::kTableAnnounce) {
+        Fail(WireStatus::kBadState,
+             FailedPreconditionError(
+                 "expected TABLE_ANNOUNCE before symbol data"),
+             replies);
+        return;
+      }
+      OnTable(frame, replies);
+      return;
+    case State::kStreaming:
+      if (frame.type == FrameType::kSymbolBatch) {
+        OnBatch(frame, replies);
+        return;
+      }
+      if (frame.type == FrameType::kGoodbye) {
+        OnGoodbye(frame, replies);
+        return;
+      }
+      if (frame.type == FrameType::kTableAnnounce) {
+        Fail(WireStatus::kBadState,
+             FailedPreconditionError(
+                 "table re-announcement mid-stream is not supported"),
+             replies);
+        return;
+      }
+      Fail(WireStatus::kBadState,
+           FailedPreconditionError("unexpected frame while streaming"),
+           replies);
+      return;
+    case State::kComplete:
+    case State::kFailed:
+      return;
+  }
+}
+
+void Session::OnHello(const Frame& frame, std::vector<Frame>* replies) {
+  Result<HelloPayload> hello = ParseHello(frame);
+  if (!hello.ok()) {
+    Fail(WireStatus::kBadFrame, hello.status(), replies);
+    return;
+  }
+  if (hello->protocol_version != kProtocolVersion) {
+    Fail(WireStatus::kUnauthorized,
+         InvalidArgumentError(
+             "unsupported protocol version " +
+             std::to_string(hello->protocol_version)),
+         replies);
+    return;
+  }
+  if (!options_.auth_token.empty() &&
+      hello->auth_token != options_.auth_token) {
+    Fail(WireStatus::kUnauthorized,
+         InvalidArgumentError("auth token rejected for meter '" +
+                              hello->meter_id + "'"),
+         replies);
+    return;
+  }
+  if (options_.draining) {
+    Fail(WireStatus::kDraining,
+         FailedPreconditionError("server is draining"), replies);
+    return;
+  }
+  meter_id_ = std::move(hello->meter_id);
+  state_ = State::kExpectTable;
+  AckPayload ack;
+  ack.status = WireStatus::kOk;
+  replies->push_back(MakeAck(FrameType::kHelloAck, ack));
+}
+
+void Session::OnTable(const Frame& frame, std::vector<Frame>* replies) {
+  Result<TableAnnouncePayload> announce = ParseTableAnnounce(frame);
+  if (!announce.ok()) {
+    Fail(WireStatus::kBadFrame, announce.status(), replies);
+    return;
+  }
+  // The `session.table` seam injects validation failures so tests can
+  // prove a refused table quarantines the session, not the daemon.
+  if (Status fault = fault::Check("session.table"); !fault.ok()) {
+    Fail(WireStatus::kBadTable, std::move(fault), replies);
+    return;
+  }
+  // Deserialize validates the blob end to end, crc32c footer included.
+  Result<LookupTable> table = LookupTable::Deserialize(announce->table_blob);
+  if (!table.ok()) {
+    Fail(WireStatus::kBadTable,
+         Status(table.status().code(), "meter '" + meter_id_ +
+                                           "' announced a bad table: " +
+                                           table.status().message()),
+         replies);
+    return;
+  }
+  table_ = std::move(table.value());
+  table_blob_ = std::move(announce->table_blob);
+  table_version_ = announce->table_version;
+  state_ = State::kStreaming;
+  AckPayload ack;
+  ack.status = WireStatus::kOk;
+  replies->push_back(MakeAck(FrameType::kTableAck, ack));
+}
+
+void Session::OnBatch(const Frame& frame, std::vector<Frame>* replies) {
+  Result<SymbolBatchPayload> batch = ParseSymbolBatch(frame);
+  if (!batch.ok()) {
+    Fail(WireStatus::kBadFrame, batch.status(), replies);
+    return;
+  }
+  if (batch->seq != next_seq_) {
+    Fail(WireStatus::kOutOfOrder,
+         InvalidArgumentError("batch seq " + std::to_string(batch->seq) +
+                              ", expected " + std::to_string(next_seq_)),
+         replies);
+    return;
+  }
+  if (batch->level != table_->level()) {
+    Fail(WireStatus::kBadBatch,
+         InvalidArgumentError(
+             "batch level " + std::to_string(batch->level) +
+             " does not match the announced table's level " +
+             std::to_string(table_->level())),
+         replies);
+    return;
+  }
+  size_t gap_fill = 0;
+  if (samples_.empty()) {
+    // First batch fixes the cadence.
+    step_seconds_ = batch->step_seconds;
+    next_timestamp_ = batch->start_timestamp;
+  } else {
+    if (batch->step_seconds != step_seconds_) {
+      Fail(WireStatus::kBadBatch,
+           InvalidArgumentError("batch step changed mid-stream"), replies);
+      return;
+    }
+    const int64_t delta = batch->start_timestamp - next_timestamp_;
+    if (delta < 0 || delta % step_seconds_ != 0) {
+      // Rewinds, overlaps, and off-grid starts are out-of-order input: the
+      // windows already streamed are immutable, so refuse instead of
+      // guessing.
+      Fail(WireStatus::kOutOfOrder,
+           InvalidArgumentError(
+               "batch starts at " + std::to_string(batch->start_timestamp) +
+               ", expected " + std::to_string(next_timestamp_) +
+               " (step " + std::to_string(step_seconds_) + ")"),
+           replies);
+      return;
+    }
+    gap_fill = static_cast<size_t>(delta / step_seconds_);
+    if (gap_fill > options_.max_gap_fill) {
+      Fail(WireStatus::kOutOfOrder,
+           InvalidArgumentError("batch skips " + std::to_string(gap_fill) +
+                                " windows, more than the server will "
+                                "GAP-fill"),
+           replies);
+      return;
+    }
+  }
+  if (samples_.size() + gap_fill + batch->symbols.size() >
+      options_.max_session_symbols) {
+    Fail(WireStatus::kBadBatch,
+         InvalidArgumentError("session exceeds the per-meter symbol cap"),
+         replies);
+    return;
+  }
+  // Missing windows between batches become explicit GAP symbols — the
+  // cadence stays fixed, exactly as the gap-aware offline pipeline would
+  // have encoded the outage.
+  const int level = table_->level();
+  samples_.reserve(samples_.size() + gap_fill + batch->symbols.size());
+  for (size_t i = 0; i < gap_fill; ++i) {
+    samples_.push_back({next_timestamp_, Symbol::Gap(level)});
+    next_timestamp_ += step_seconds_;
+    ++gaps_received_;
+  }
+  for (uint16_t wire_symbol : batch->symbols) {
+    if (wire_symbol == kWireGapSymbol) {
+      samples_.push_back({next_timestamp_, Symbol::Gap(level)});
+      ++gaps_received_;
+    } else {
+      Result<Symbol> symbol = Symbol::Create(level, wire_symbol);
+      if (!symbol.ok()) {
+        Fail(WireStatus::kBadBatch, symbol.status(), replies);
+        return;
+      }
+      samples_.push_back({next_timestamp_, symbol.value()});
+    }
+    next_timestamp_ += step_seconds_;
+  }
+  next_seq_ = batch->seq + 1;
+  BatchAckPayload ack;
+  ack.seq = batch->seq;
+  ack.status = WireStatus::kOk;
+  replies->push_back(MakeBatchAck(ack));
+}
+
+void Session::OnGoodbye(const Frame& frame, std::vector<Frame>* replies) {
+  Result<GoodbyePayload> goodbye = ParseGoodbye(frame);
+  if (!goodbye.ok()) {
+    Fail(WireStatus::kBadFrame, goodbye.status(), replies);
+    return;
+  }
+  if (samples_.empty()) {
+    Fail(WireStatus::kBadState,
+         FailedPreconditionError("GOODBYE before any symbol batch"),
+         replies);
+    return;
+  }
+  const uint64_t client_total = goodbye->windows_valid +
+                                goodbye->windows_partial +
+                                goodbye->windows_gap;
+  if (client_total != samples_.size() ||
+      goodbye->windows_gap != gaps_received_) {
+    Fail(WireStatus::kBadBatch,
+         InvalidArgumentError(
+             "GOODBYE quality counts disagree with the received stream "
+             "(client total " + std::to_string(client_total) + "/gap " +
+             std::to_string(goodbye->windows_gap) + ", server total " +
+             std::to_string(samples_.size()) + "/gap " +
+             std::to_string(gaps_received_) + ")"),
+         replies);
+    return;
+  }
+  quality_.windows_valid = static_cast<size_t>(goodbye->windows_valid);
+  quality_.windows_partial = static_cast<size_t>(goodbye->windows_partial);
+  quality_.windows_gap = static_cast<size_t>(goodbye->windows_gap);
+  state_ = State::kComplete;
+  // No reply here: the server persists first, then acks the GOODBYE with
+  // the persist outcome, so an acked upload is a durable upload.
+}
+
+Result<SymbolicSeries> Session::TakeSeries() {
+  if (state_ != State::kComplete) {
+    return FailedPreconditionError("session is not complete");
+  }
+  return SymbolicSeries::FromSamples(table_->level(), std::move(samples_));
+}
+
+}  // namespace smeter::net

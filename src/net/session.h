@@ -1,0 +1,148 @@
+// Per-meter protocol state machine for the ingestion daemon.
+//
+// A Session consumes decoded wire frames and produces reply frames plus a
+// small amount of state the server acts on (close, completed, persist).
+// It is deliberately pure — no sockets, no clocks, no disk — so the whole
+// protocol surface is unit-testable and fuzzable frame-by-frame.
+//
+// State machine:
+//
+//   ExpectHello --HELLO ok--> ExpectTable --TABLE ok--> Streaming
+//       |                         |                        |
+//       |  (anything else)        |  (bad table/CRC)       |-- SYMBOL_BATCH
+//       v                         v                        |   (seq, cadence
+//     Failed <-------------------------------------------- |    checks)
+//                                                          |-- GOODBYE ok
+//                                                          v
+//                                                      Complete
+//
+// Protocol rules enforced here:
+//   * TABLE_ANNOUNCE must precede any SYMBOL_BATCH — the paper's contract
+//     ("the lookup table is ... sent to the aggregation server before
+//     starting to send the symbolic data").
+//   * The announced table must deserialize, which includes its crc32c
+//     footer check; a damaged table is refused with kBadTable.
+//   * Batches carry strictly consecutive `seq` numbers, a fixed positive
+//     step, and non-overlapping timestamps. A batch starting later than
+//     expected has its missing windows GAP-filled (PR 3 semantics: a
+//     missing window is an explicit GAP, never a silent cadence break); a
+//     batch starting earlier (rewind/overlap) or off the step grid is
+//     refused with kOutOfOrder.
+//   * GOODBYE carries the client's quality counts; they must agree with
+//     the symbols actually received (total and gap count) or the session
+//     fails instead of persisting wrong metadata.
+//
+// A failed session is quarantined: the server sends the error ack, closes
+// the connection, and persists nothing — the meter can reconnect and
+// resend. The daemon itself never dies on a bad session.
+
+#ifndef SMETER_NET_SESSION_H_
+#define SMETER_NET_SESSION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/encoder.h"
+#include "core/lookup_table.h"
+#include "core/symbolic_series.h"
+#include "net/wire.h"
+
+namespace smeter::net {
+
+struct SessionOptions {
+  // Expected auth token; empty accepts any client token.
+  std::string auth_token;
+  // Upper bound on symbols accumulated per session (gap fill included), so
+  // a hostile or broken meter cannot grow server memory without bound.
+  size_t max_session_symbols = 4u << 20;
+  // Largest gap (in windows) the server will fill between two batches;
+  // anything larger is treated as a protocol error rather than an
+  // allocation request.
+  size_t max_gap_fill = 1u << 20;
+  // Refuse new sessions at HELLO when the server is draining.
+  bool draining = false;
+};
+
+class Session {
+ public:
+  enum class State {
+    kExpectHello,
+    kExpectTable,
+    kStreaming,
+    kComplete,  // GOODBYE accepted; data ready to persist
+    kFailed,    // protocol violation; persist nothing
+  };
+
+  explicit Session(SessionOptions options);
+
+  // Consumes one frame and appends any replies to send (in order) to
+  // `replies`. After each call the server checks state(): kFailed means
+  // flush replies then close; kComplete means persist, then send the
+  // GOODBYE_ACK the server builds from the persist outcome.
+  void OnFrame(const Frame& frame, std::vector<Frame>* replies);
+
+  // Refuses a HELLO that arrives after the server began draining (sessions
+  // already past HELLO are allowed to finish).
+  void SetDraining() { options_.draining = true; }
+
+  State state() const { return state_; }
+  // Why the session failed (kFailed only).
+  const Status& error() const { return error_; }
+  // Wire status describing the failure, for the closing ack.
+  WireStatus error_status() const { return error_status_; }
+
+  const std::string& meter_id() const { return meter_id_; }
+  // The announced serialized table, byte-for-byte as received (persisted
+  // verbatim so the archive matches the sensor's own Serialize output).
+  const std::string& table_blob() const { return table_blob_; }
+  uint32_t table_version() const { return table_version_; }
+  int level() const { return table_ ? table_->level() : 0; }
+
+  // Total symbols accepted (gap fill included) and how many are GAPs.
+  size_t symbols_received() const { return samples_.size(); }
+  size_t gaps_received() const { return gaps_received_; }
+
+  // Client-reported quality from GOODBYE (kComplete only).
+  const EncodeQuality& quality() const { return quality_; }
+
+  // The accumulated series (kComplete only); destroys the buffer.
+  Result<SymbolicSeries> TakeSeries();
+
+ private:
+  void Fail(WireStatus status, Status error,
+            std::vector<Frame>* replies);
+  void OnHello(const Frame& frame, std::vector<Frame>* replies);
+  void OnTable(const Frame& frame, std::vector<Frame>* replies);
+  void OnBatch(const Frame& frame, std::vector<Frame>* replies);
+  void OnGoodbye(const Frame& frame,
+                 std::vector<Frame>* replies);
+
+  SessionOptions options_;
+  State state_ = State::kExpectHello;
+  Status error_;
+  WireStatus error_status_ = WireStatus::kOk;
+
+  std::string meter_id_;
+  std::string table_blob_;
+  uint32_t table_version_ = 0;
+  std::optional<LookupTable> table_;
+
+  uint64_t next_seq_ = 1;
+  int64_t step_seconds_ = 0;
+  int64_t next_timestamp_ = 0;  // expected start of the next batch
+  size_t gaps_received_ = 0;
+  std::vector<SymbolicSample> samples_;
+  EncodeQuality quality_;
+};
+
+// In wire namespace terms the session's replies always carry an explicit
+// status; this helper names the ack type matching a request type (HELLO ->
+// HELLO_ACK etc.) for the error path.
+FrameType AckTypeFor(FrameType request);
+
+}  // namespace smeter::net
+
+#endif  // SMETER_NET_SESSION_H_

@@ -1,0 +1,452 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "common/io.h"
+#include "core/symbol.h"
+
+namespace smeter::net {
+namespace {
+
+// --- little-endian field writers / readers ---------------------------------
+
+void PutU8(std::string& out, uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void PutU16(std::string& out, uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutI64(std::string& out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutString(std::string& out, const std::string& s) {
+  PutU16(out, static_cast<uint16_t>(s.size()));
+  out += s;
+}
+
+// Strict cursor over a payload: every Take errors on truncation, and the
+// caller asserts exhaustion at the end, so Parse*(Make*(x)) == x and
+// nothing hides in trailing bytes.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+  Result<uint8_t> TakeU8() {
+    if (remaining() < 1) return Truncated();
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  Result<uint16_t> TakeU16() {
+    if (remaining() < 2) return Truncated();
+    uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) {
+      v |= static_cast<uint16_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 2;
+    return v;
+  }
+
+  Result<uint32_t> TakeU32() {
+    if (remaining() < 4) return Truncated();
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> TakeU64() {
+    if (remaining() < 8) return Truncated();
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  Result<int64_t> TakeI64() {
+    Result<uint64_t> v = TakeU64();
+    if (!v.ok()) return v.status();
+    return static_cast<int64_t>(*v);
+  }
+
+  Result<std::string> TakeString(size_t max_len) {
+    Result<uint16_t> len = TakeU16();
+    if (!len.ok()) return len.status();
+    if (*len > max_len) {
+      return InvalidArgumentError("wire string longer than " +
+                                  std::to_string(max_len));
+    }
+    if (remaining() < *len) return Truncated();
+    std::string s(data_.substr(pos_, *len));
+    pos_ += *len;
+    return s;
+  }
+
+  // A payload with bytes after its last field is malformed.
+  Status ExpectExhausted() const {
+    if (pos_ != data_.size()) {
+      return InvalidArgumentError("trailing bytes after payload fields");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  static Status Truncated() {
+    return InvalidArgumentError("truncated payload field");
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+Status ExpectType(const Frame& frame, FrameType want, const char* name) {
+  if (frame.type != want) {
+    return InvalidArgumentError(std::string("frame is not a ") + name);
+  }
+  return Status::Ok();
+}
+
+uint32_t FrameCrc(uint8_t type, std::string_view payload) {
+  const char type_byte = static_cast<char>(type);
+  uint32_t crc = io::Crc32c(std::string_view(&type_byte, 1));
+  return io::Crc32c(payload, crc);
+}
+
+}  // namespace
+
+bool IsKnownFrameType(uint8_t type) {
+  return type >= static_cast<uint8_t>(FrameType::kHello) &&
+         type <= static_cast<uint8_t>(FrameType::kGoodbyeAck);
+}
+
+std::string WireStatusName(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk: return "ok";
+    case WireStatus::kBadFrame: return "bad_frame";
+    case WireStatus::kBadState: return "bad_state";
+    case WireStatus::kUnauthorized: return "unauthorized";
+    case WireStatus::kBadTable: return "bad_table";
+    case WireStatus::kOutOfOrder: return "out_of_order";
+    case WireStatus::kBadBatch: return "bad_batch";
+    case WireStatus::kDraining: return "draining";
+    case WireStatus::kServerError: return "server_error";
+  }
+  return "unknown";
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + frame.payload.size());
+  PutU32(out, static_cast<uint32_t>(frame.payload.size()));
+  PutU8(out, static_cast<uint8_t>(frame.type));
+  PutU32(out, FrameCrc(static_cast<uint8_t>(frame.type), frame.payload));
+  out += frame.payload;
+  return out;
+}
+
+DecodeResult DecodeFrame(std::string_view buffer) {
+  DecodeResult result;
+  if (buffer.size() < kFrameHeaderBytes) {
+    result.outcome = DecodeResult::Outcome::kNeedMore;
+    return result;
+  }
+  uint32_t payload_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    payload_len |= static_cast<uint32_t>(static_cast<uint8_t>(buffer[i]))
+                   << (8 * i);
+  }
+  if (payload_len > kMaxFramePayload) {
+    result.outcome = DecodeResult::Outcome::kError;
+    result.error = InvalidArgumentError(
+        "frame payload length " + std::to_string(payload_len) +
+        " exceeds the " + std::to_string(kMaxFramePayload) + " byte cap");
+    return result;
+  }
+  const uint8_t type = static_cast<uint8_t>(buffer[4]);
+  if (!IsKnownFrameType(type)) {
+    result.outcome = DecodeResult::Outcome::kError;
+    result.error = InvalidArgumentError("unknown frame type " +
+                                        std::to_string(type));
+    return result;
+  }
+  if (buffer.size() < kFrameHeaderBytes + payload_len) {
+    result.outcome = DecodeResult::Outcome::kNeedMore;
+    return result;
+  }
+  uint32_t wire_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    wire_crc |= static_cast<uint32_t>(static_cast<uint8_t>(buffer[5 + i]))
+                << (8 * i);
+  }
+  std::string_view payload = buffer.substr(kFrameHeaderBytes, payload_len);
+  if (FrameCrc(type, payload) != wire_crc) {
+    result.outcome = DecodeResult::Outcome::kError;
+    result.error = DataLossError("frame CRC mismatch (type " +
+                                 std::to_string(type) + ", " +
+                                 std::to_string(payload_len) +
+                                 " payload bytes)");
+    return result;
+  }
+  result.outcome = DecodeResult::Outcome::kFrame;
+  result.frame.type = static_cast<FrameType>(type);
+  result.frame.payload = std::string(payload);
+  result.consumed = kFrameHeaderBytes + payload_len;
+  return result;
+}
+
+// --- typed payloads ---------------------------------------------------------
+
+Frame MakeHello(const HelloPayload& payload) {
+  Frame frame;
+  frame.type = FrameType::kHello;
+  PutU16(frame.payload, payload.protocol_version);
+  PutString(frame.payload, payload.meter_id);
+  PutString(frame.payload, payload.auth_token);
+  return frame;
+}
+
+Result<HelloPayload> ParseHello(const Frame& frame) {
+  SMETER_RETURN_IF_ERROR(ExpectType(frame, FrameType::kHello, "HELLO"));
+  Reader reader(frame.payload);
+  HelloPayload hello;
+  Result<uint16_t> version = reader.TakeU16();
+  if (!version.ok()) return version.status();
+  hello.protocol_version = *version;
+  Result<std::string> meter = reader.TakeString(kMaxWireString);
+  if (!meter.ok()) return meter.status();
+  hello.meter_id = std::move(*meter);
+  Result<std::string> token = reader.TakeString(kMaxWireString);
+  if (!token.ok()) return token.status();
+  hello.auth_token = std::move(*token);
+  SMETER_RETURN_IF_ERROR(reader.ExpectExhausted());
+  if (hello.meter_id.empty()) {
+    return InvalidArgumentError("HELLO with empty meter id");
+  }
+  return hello;
+}
+
+Frame MakeAck(FrameType type, const AckPayload& payload) {
+  Frame frame;
+  frame.type = type;
+  PutU8(frame.payload, static_cast<uint8_t>(payload.status));
+  PutString(frame.payload, payload.message);
+  return frame;
+}
+
+Result<AckPayload> ParseAck(const Frame& frame) {
+  if (frame.type != FrameType::kHelloAck &&
+      frame.type != FrameType::kTableAck &&
+      frame.type != FrameType::kGoodbyeAck) {
+    return InvalidArgumentError("frame is not an ack");
+  }
+  Reader reader(frame.payload);
+  AckPayload ack;
+  Result<uint8_t> status = reader.TakeU8();
+  if (!status.ok()) return status.status();
+  if (*status > static_cast<uint8_t>(WireStatus::kServerError)) {
+    return InvalidArgumentError("unknown wire status " +
+                                std::to_string(*status));
+  }
+  ack.status = static_cast<WireStatus>(*status);
+  Result<std::string> message = reader.TakeString(kMaxWireString);
+  if (!message.ok()) return message.status();
+  ack.message = std::move(*message);
+  SMETER_RETURN_IF_ERROR(reader.ExpectExhausted());
+  return ack;
+}
+
+Frame MakeTableAnnounce(const TableAnnouncePayload& payload) {
+  Frame frame;
+  frame.type = FrameType::kTableAnnounce;
+  PutU32(frame.payload, payload.table_version);
+  PutU32(frame.payload, static_cast<uint32_t>(payload.table_blob.size()));
+  frame.payload += payload.table_blob;
+  return frame;
+}
+
+Result<TableAnnouncePayload> ParseTableAnnounce(const Frame& frame) {
+  SMETER_RETURN_IF_ERROR(
+      ExpectType(frame, FrameType::kTableAnnounce, "TABLE_ANNOUNCE"));
+  Reader reader(frame.payload);
+  TableAnnouncePayload announce;
+  Result<uint32_t> version = reader.TakeU32();
+  if (!version.ok()) return version.status();
+  announce.table_version = *version;
+  Result<uint32_t> blob_len = reader.TakeU32();
+  if (!blob_len.ok()) return blob_len.status();
+  if (*blob_len != reader.remaining()) {
+    return InvalidArgumentError("table blob length disagrees with payload");
+  }
+  announce.table_blob =
+      std::string(frame.payload.substr(frame.payload.size() - *blob_len));
+  return announce;
+}
+
+Frame MakeSymbolBatch(const SymbolBatchPayload& payload) {
+  Frame frame;
+  frame.type = FrameType::kSymbolBatch;
+  PutU64(frame.payload, payload.seq);
+  PutI64(frame.payload, payload.start_timestamp);
+  PutI64(frame.payload, payload.step_seconds);
+  PutU8(frame.payload, payload.level);
+  PutU32(frame.payload, static_cast<uint32_t>(payload.symbols.size()));
+  for (uint16_t symbol : payload.symbols) PutU16(frame.payload, symbol);
+  return frame;
+}
+
+Result<SymbolBatchPayload> ParseSymbolBatch(const Frame& frame) {
+  SMETER_RETURN_IF_ERROR(
+      ExpectType(frame, FrameType::kSymbolBatch, "SYMBOL_BATCH"));
+  Reader reader(frame.payload);
+  SymbolBatchPayload batch;
+  Result<uint64_t> seq = reader.TakeU64();
+  if (!seq.ok()) return seq.status();
+  batch.seq = *seq;
+  Result<int64_t> start = reader.TakeI64();
+  if (!start.ok()) return start.status();
+  batch.start_timestamp = *start;
+  Result<int64_t> step = reader.TakeI64();
+  if (!step.ok()) return step.status();
+  batch.step_seconds = *step;
+  Result<uint8_t> level = reader.TakeU8();
+  if (!level.ok()) return level.status();
+  batch.level = *level;
+  if (batch.level < 1 || batch.level > kMaxSymbolLevel) {
+    return InvalidArgumentError("batch level " + std::to_string(batch.level) +
+                                " outside [1, " +
+                                std::to_string(kMaxSymbolLevel) + "]");
+  }
+  if (batch.step_seconds <= 0) {
+    return InvalidArgumentError("batch step must be positive");
+  }
+  Result<uint32_t> count = reader.TakeU32();
+  if (!count.ok()) return count.status();
+  if (*count == 0) return InvalidArgumentError("empty symbol batch");
+  if (reader.remaining() != static_cast<size_t>(*count) * 2) {
+    return InvalidArgumentError("symbol count disagrees with payload size");
+  }
+  const uint32_t alphabet = 1u << batch.level;
+  batch.symbols.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    Result<uint16_t> symbol = reader.TakeU16();
+    if (!symbol.ok()) return symbol.status();
+    if (*symbol != kWireGapSymbol && *symbol >= alphabet) {
+      return InvalidArgumentError("symbol " + std::to_string(*symbol) +
+                                  " outside the level-" +
+                                  std::to_string(batch.level) + " alphabet");
+    }
+    batch.symbols.push_back(*symbol);
+  }
+  SMETER_RETURN_IF_ERROR(reader.ExpectExhausted());
+  return batch;
+}
+
+Frame MakeBatchAck(const BatchAckPayload& payload) {
+  Frame frame;
+  frame.type = FrameType::kBatchAck;
+  PutU64(frame.payload, payload.seq);
+  PutU8(frame.payload, static_cast<uint8_t>(payload.status));
+  PutString(frame.payload, payload.message);
+  return frame;
+}
+
+Result<BatchAckPayload> ParseBatchAck(const Frame& frame) {
+  SMETER_RETURN_IF_ERROR(
+      ExpectType(frame, FrameType::kBatchAck, "BATCH_ACK"));
+  Reader reader(frame.payload);
+  BatchAckPayload ack;
+  Result<uint64_t> seq = reader.TakeU64();
+  if (!seq.ok()) return seq.status();
+  ack.seq = *seq;
+  Result<uint8_t> status = reader.TakeU8();
+  if (!status.ok()) return status.status();
+  if (*status > static_cast<uint8_t>(WireStatus::kServerError)) {
+    return InvalidArgumentError("unknown wire status " +
+                                std::to_string(*status));
+  }
+  ack.status = static_cast<WireStatus>(*status);
+  Result<std::string> message = reader.TakeString(kMaxWireString);
+  if (!message.ok()) return message.status();
+  ack.message = std::move(*message);
+  SMETER_RETURN_IF_ERROR(reader.ExpectExhausted());
+  return ack;
+}
+
+Frame MakePing(uint64_t nonce) {
+  Frame frame;
+  frame.type = FrameType::kPing;
+  PutU64(frame.payload, nonce);
+  return frame;
+}
+
+Frame MakePong(uint64_t nonce) {
+  Frame frame;
+  frame.type = FrameType::kPong;
+  PutU64(frame.payload, nonce);
+  return frame;
+}
+
+Result<PingPayload> ParsePing(const Frame& frame) {
+  if (frame.type != FrameType::kPing && frame.type != FrameType::kPong) {
+    return InvalidArgumentError("frame is not a PING/PONG");
+  }
+  Reader reader(frame.payload);
+  PingPayload ping;
+  Result<uint64_t> nonce = reader.TakeU64();
+  if (!nonce.ok()) return nonce.status();
+  ping.nonce = *nonce;
+  SMETER_RETURN_IF_ERROR(reader.ExpectExhausted());
+  return ping;
+}
+
+Frame MakeGoodbye(const GoodbyePayload& payload) {
+  Frame frame;
+  frame.type = FrameType::kGoodbye;
+  PutU64(frame.payload, payload.windows_valid);
+  PutU64(frame.payload, payload.windows_partial);
+  PutU64(frame.payload, payload.windows_gap);
+  return frame;
+}
+
+Result<GoodbyePayload> ParseGoodbye(const Frame& frame) {
+  SMETER_RETURN_IF_ERROR(ExpectType(frame, FrameType::kGoodbye, "GOODBYE"));
+  Reader reader(frame.payload);
+  GoodbyePayload goodbye;
+  Result<uint64_t> valid = reader.TakeU64();
+  if (!valid.ok()) return valid.status();
+  goodbye.windows_valid = *valid;
+  Result<uint64_t> partial = reader.TakeU64();
+  if (!partial.ok()) return partial.status();
+  goodbye.windows_partial = *partial;
+  Result<uint64_t> gap = reader.TakeU64();
+  if (!gap.ok()) return gap.status();
+  goodbye.windows_gap = *gap;
+  SMETER_RETURN_IF_ERROR(reader.ExpectExhausted());
+  return goodbye;
+}
+
+}  // namespace smeter::net

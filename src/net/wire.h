@@ -1,0 +1,199 @@
+// Length-prefixed binary wire protocol between meters and the ingestion
+// daemon (the paper's deployment model, Section 2 / Figure 2: "the lookup
+// table is built once at the sensor level and then sent to the aggregation
+// server before starting to send the symbolic data").
+//
+// Frame layout (little-endian):
+//   payload_len  u32   bytes of payload after the 9-byte frame header
+//   type         u8    FrameType
+//   crc          u32   crc32c over the type byte followed by the payload
+//   payload      payload_len bytes
+//
+// Every frame carries its own CRC32C, so a torn TCP stream, a damaged
+// middlebox, or a hostile peer is detected at the frame boundary — the
+// receiver either gets the exact bytes the sender framed or a kDataLoss
+// error, never a silently wrong symbol. payload_len is bounded by
+// kMaxFramePayload before any allocation, so a corrupt length can not ask
+// the server for gigabytes.
+//
+// Conversation (client = meter, server = ingestd):
+//   HELLO(meter id, auth token)        -> HELLO_ACK(status)
+//   TABLE_ANNOUNCE(version, table)     -> TABLE_ACK(status)
+//   SYMBOL_BATCH(seq, t0, step, syms)  -> BATCH_ACK(seq, status)   (repeat)
+//   PING(nonce)                        -> PONG(nonce)        (any time after
+//                                                             HELLO)
+//   GOODBYE(quality counts)            -> GOODBYE_ACK(status), then close
+//
+// Every server reply carries an explicit WireStatus; a non-kOk status on
+// any ack fails the session (the server also closes it). The payload
+// codecs below are strict — trailing bytes, truncated fields, and
+// out-of-range enums are errors — so Encode/Parse are exact inverses and
+// the pair is closed under fuzzing (see tests/fuzz/fuzz_wire.cc).
+//
+// This layer is pure: no sockets, no I/O, no global state.
+
+#ifndef SMETER_NET_WIRE_H_
+#define SMETER_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace smeter::net {
+
+// Protocol revision spoken by this tree; HELLO carries the client's.
+inline constexpr uint16_t kProtocolVersion = 1;
+
+// Hard ceiling on one frame's payload. A serialized lookup table is a few
+// KB and a symbol batch a few KB, so 4 MiB is generous headroom while
+// keeping a corrupt or hostile length harmless.
+inline constexpr uint32_t kMaxFramePayload = 1u << 22;
+
+// Bytes before the payload: u32 len + u8 type + u32 crc.
+inline constexpr size_t kFrameHeaderBytes = 9;
+
+// On-wire symbol value standing for the GAP (missing window) symbol.
+// Value symbols are their alphabet index (< 2^12, see kMaxSymbolLevel).
+inline constexpr uint16_t kWireGapSymbol = 0xffff;
+
+enum class FrameType : uint8_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kTableAnnounce = 3,
+  kTableAck = 4,
+  kSymbolBatch = 5,
+  kBatchAck = 6,
+  kPing = 7,
+  kPong = 8,
+  kGoodbye = 9,
+  kGoodbyeAck = 10,
+};
+
+// True for the types above; anything else on the wire is a protocol error.
+bool IsKnownFrameType(uint8_t type);
+
+// Status code carried by every server reply.
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  kBadFrame = 1,      // unparseable payload
+  kBadState = 2,      // frame legal but not in this session state
+  kUnauthorized = 3,  // HELLO rejected (token/version)
+  kBadTable = 4,      // TABLE_ANNOUNCE failed CRC or parse
+  kOutOfOrder = 5,    // batch timestamps rewind or misalign
+  kBadBatch = 6,      // batch internally inconsistent (level, symbols)
+  kDraining = 7,      // server is shutting down; retry elsewhere/later
+  kServerError = 8,   // persistence or internal failure
+};
+
+std::string WireStatusName(WireStatus status);
+
+// One decoded frame: the type byte plus the raw payload (already
+// CRC-verified by DecodeFrame).
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::string payload;
+
+  friend bool operator==(const Frame& a, const Frame& b) {
+    return a.type == b.type && a.payload == b.payload;
+  }
+};
+
+// Serializes one frame (header + CRC + payload).
+std::string EncodeFrame(const Frame& frame);
+
+// Outcome of one DecodeFrame call over a byte buffer.
+struct DecodeResult {
+  enum class Outcome {
+    kFrame,     // `frame` holds the next frame; `consumed` bytes are done
+    kNeedMore,  // buffer holds a valid prefix; read more bytes
+    kError,     // stream is unrecoverable at this point (see `error`)
+  };
+  Outcome outcome = Outcome::kNeedMore;
+  Frame frame;
+  size_t consumed = 0;
+  Status error;
+};
+
+// Decodes the first frame of `buffer`. kError covers an oversized or
+// zero-confidence length field (kInvalidArgument), an unknown frame type
+// (kInvalidArgument), and a CRC mismatch (kDataLoss); a short buffer is
+// kNeedMore, never an error, so a streaming reader can accumulate bytes.
+DecodeResult DecodeFrame(std::string_view buffer);
+
+// --- typed payloads ---------------------------------------------------------
+//
+// Every payload struct has a Make* builder (returns a ready-to-encode
+// Frame) and a strict Parse* that errors (kInvalidArgument) on truncation,
+// trailing bytes, or field values outside the domain. Strings are u16
+// length-prefixed and capped at kMaxWireString.
+
+inline constexpr size_t kMaxWireString = 1024;
+
+struct HelloPayload {
+  uint16_t protocol_version = kProtocolVersion;
+  std::string meter_id;    // non-empty
+  std::string auth_token;  // may be empty (server decides)
+};
+
+struct AckPayload {  // HELLO_ACK, TABLE_ACK, GOODBYE_ACK
+  WireStatus status = WireStatus::kOk;
+  std::string message;  // empty on kOk
+};
+
+struct TableAnnouncePayload {
+  uint32_t table_version = 1;
+  // LookupTable::Serialize() bytes, crc32c footer included; the server
+  // validates the footer via Deserialize before accepting.
+  std::string table_blob;
+};
+
+struct SymbolBatchPayload {
+  uint64_t seq = 0;           // 1-based, strictly consecutive per session
+  int64_t start_timestamp = 0;
+  int64_t step_seconds = 0;   // > 0
+  uint8_t level = 1;          // bits per symbol, [1, kMaxSymbolLevel]
+  // Symbol alphabet indices (< 2^level), or kWireGapSymbol for GAP.
+  std::vector<uint16_t> symbols;  // non-empty
+};
+
+struct BatchAckPayload {
+  uint64_t seq = 0;
+  WireStatus status = WireStatus::kOk;
+  std::string message;
+};
+
+struct PingPayload {
+  uint64_t nonce = 0;
+};
+
+struct GoodbyePayload {
+  // The client's own EncodeQuality counts; the server cross-checks them
+  // against the symbols it received before persisting.
+  uint64_t windows_valid = 0;
+  uint64_t windows_partial = 0;
+  uint64_t windows_gap = 0;
+};
+
+Frame MakeHello(const HelloPayload& payload);
+Frame MakeAck(FrameType type, const AckPayload& payload);
+Frame MakeTableAnnounce(const TableAnnouncePayload& payload);
+Frame MakeSymbolBatch(const SymbolBatchPayload& payload);
+Frame MakeBatchAck(const BatchAckPayload& payload);
+Frame MakePing(uint64_t nonce);
+Frame MakePong(uint64_t nonce);
+Frame MakeGoodbye(const GoodbyePayload& payload);
+
+Result<HelloPayload> ParseHello(const Frame& frame);
+Result<AckPayload> ParseAck(const Frame& frame);  // any of the three acks
+Result<TableAnnouncePayload> ParseTableAnnounce(const Frame& frame);
+Result<SymbolBatchPayload> ParseSymbolBatch(const Frame& frame);
+Result<BatchAckPayload> ParseBatchAck(const Frame& frame);
+Result<PingPayload> ParsePing(const Frame& frame);  // kPing or kPong
+Result<GoodbyePayload> ParseGoodbye(const Frame& frame);
+
+}  // namespace smeter::net
+
+#endif  // SMETER_NET_WIRE_H_

@@ -1,0 +1,417 @@
+// Fuzz harness for the ingestion wire protocol and the session state
+// machine. Two attack surfaces:
+//
+//   * raw bytes through DecodeFrame and the typed payload parsers — an
+//     accepted frame must re-encode to exactly the bytes consumed, and an
+//     accepted payload must survive Make*/Parse* bit-exactly (the codec is
+//     closed under fuzzing);
+//   * decoded frames through Session::OnFrame — arbitrary frame sequences,
+//     hostile or well-formed, must never crash the state machine, and a
+//     session that reaches kComplete must hand over a series consistent
+//     with its own counters.
+//
+// Crash conditions (beyond sanitizer reports): a round-trip mismatch, a
+// decode that consumes bytes without producing a frame, a streaming decode
+// that disagrees with the single-pass decode, or a completed session whose
+// series disagrees with symbols_received()/gaps_received().
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.h"
+#include "core/lookup_table.h"
+#include "core/symbol.h"
+#include "core/symbolic_series.h"
+#include "fuzz_input.h"
+#include "net/session.h"
+#include "net/wire.h"
+
+namespace smeter::net {
+namespace {
+
+using fuzz::FuzzInput;
+
+// Raw bytes through the frame decoder. kFrame must consume exactly the
+// bytes EncodeFrame would produce for the decoded frame; kNeedMore must
+// consume nothing; typed parsers on an accepted frame must round-trip.
+void FuzzDecodeFrame(const std::string& bytes) {
+  DecodeResult result = DecodeFrame(bytes);
+  switch (result.outcome) {
+    case DecodeResult::Outcome::kNeedMore:
+      SMETER_CHECK_EQ(result.consumed, 0u);
+      return;
+    case DecodeResult::Outcome::kError:
+      SMETER_CHECK(!result.error.ok());
+      return;
+    case DecodeResult::Outcome::kFrame:
+      break;
+  }
+  SMETER_CHECK_EQ(result.consumed,
+                  kFrameHeaderBytes + result.frame.payload.size());
+  SMETER_CHECK(EncodeFrame(result.frame) == bytes.substr(0, result.consumed));
+
+  // Typed payload closure: whatever parses must rebuild to the same frame.
+  switch (result.frame.type) {
+    case FrameType::kHello: {
+      Result<HelloPayload> p = ParseHello(result.frame);
+      if (p.ok()) SMETER_CHECK(MakeHello(p.value()) == result.frame);
+      break;
+    }
+    case FrameType::kHelloAck:
+    case FrameType::kTableAck:
+    case FrameType::kGoodbyeAck: {
+      Result<AckPayload> p = ParseAck(result.frame);
+      if (p.ok()) {
+        SMETER_CHECK(MakeAck(result.frame.type, p.value()) == result.frame);
+      }
+      break;
+    }
+    case FrameType::kTableAnnounce: {
+      Result<TableAnnouncePayload> p = ParseTableAnnounce(result.frame);
+      if (p.ok()) SMETER_CHECK(MakeTableAnnounce(p.value()) == result.frame);
+      break;
+    }
+    case FrameType::kSymbolBatch: {
+      Result<SymbolBatchPayload> p = ParseSymbolBatch(result.frame);
+      if (p.ok()) SMETER_CHECK(MakeSymbolBatch(p.value()) == result.frame);
+      break;
+    }
+    case FrameType::kBatchAck: {
+      Result<BatchAckPayload> p = ParseBatchAck(result.frame);
+      if (p.ok()) SMETER_CHECK(MakeBatchAck(p.value()) == result.frame);
+      break;
+    }
+    case FrameType::kPing:
+    case FrameType::kPong: {
+      Result<PingPayload> p = ParsePing(result.frame);
+      if (p.ok()) {
+        Frame rebuilt = result.frame.type == FrameType::kPing
+                            ? MakePing(p->nonce)
+                            : MakePong(p->nonce);
+        SMETER_CHECK(rebuilt == result.frame);
+      }
+      break;
+    }
+    case FrameType::kGoodbye: {
+      Result<GoodbyePayload> p = ParseGoodbye(result.frame);
+      if (p.ok()) SMETER_CHECK(MakeGoodbye(p.value()) == result.frame);
+      break;
+    }
+  }
+}
+
+// A fuzz-built (mostly in-domain) frame must survive encode→decode
+// bit-exactly, every truncation must read as kNeedMore, and decoding a
+// stream at fuzz-chosen split points must agree with the one-shot decode.
+void FuzzEncodeDecodeClosure(FuzzInput& in) {
+  std::vector<Frame> frames;
+  const int n_frames = in.TakeIntInRange(1, 4);
+  for (int f = 0; f < n_frames; ++f) {
+    switch (in.TakeByte() % 8) {
+      case 0: {
+        HelloPayload p;
+        p.protocol_version = static_cast<uint16_t>(in.TakeUint64());
+        p.meter_id = in.TakeString(in.TakeIntInRange(0, 32));
+        p.auth_token = in.TakeString(in.TakeIntInRange(0, 32));
+        frames.push_back(MakeHello(p));
+        break;
+      }
+      case 1: {
+        AckPayload p;
+        p.status = static_cast<WireStatus>(in.TakeByte() % 9);
+        p.message = in.TakeString(in.TakeIntInRange(0, 48));
+        FrameType t = (in.TakeByte() % 2) == 0 ? FrameType::kHelloAck
+                                               : FrameType::kGoodbyeAck;
+        frames.push_back(MakeAck(t, p));
+        break;
+      }
+      case 2: {
+        TableAnnouncePayload p;
+        p.table_version = static_cast<uint32_t>(in.TakeUint64());
+        p.table_blob = in.TakeString(in.TakeIntInRange(0, 256));
+        frames.push_back(MakeTableAnnounce(p));
+        break;
+      }
+      case 3: {
+        SymbolBatchPayload p;
+        p.seq = in.TakeUint64();
+        p.start_timestamp = static_cast<int64_t>(in.TakeUint64());
+        p.step_seconds = in.TakeIntInRange(1, 86400);
+        p.level = static_cast<uint8_t>(in.TakeIntInRange(1, kMaxSymbolLevel));
+        const int n = in.TakeIntInRange(1, 64);
+        for (int i = 0; i < n; ++i) {
+          p.symbols.push_back(
+              (in.TakeByte() % 5 == 0)
+                  ? kWireGapSymbol
+                  : static_cast<uint16_t>(
+                        in.TakeIntInRange(0, (1 << p.level) - 1)));
+        }
+        frames.push_back(MakeSymbolBatch(p));
+        break;
+      }
+      case 4: {
+        BatchAckPayload p;
+        p.seq = in.TakeUint64();
+        p.status = static_cast<WireStatus>(in.TakeByte() % 9);
+        p.message = in.TakeString(in.TakeIntInRange(0, 48));
+        frames.push_back(MakeBatchAck(p));
+        break;
+      }
+      case 5:
+        frames.push_back(MakePing(in.TakeUint64()));
+        break;
+      case 6:
+        frames.push_back(MakePong(in.TakeUint64()));
+        break;
+      default: {
+        GoodbyePayload p;
+        p.windows_valid = in.TakeUint64();
+        p.windows_partial = in.TakeUint64();
+        p.windows_gap = in.TakeUint64();
+        frames.push_back(MakeGoodbye(p));
+        break;
+      }
+    }
+  }
+
+  std::string stream;
+  for (const Frame& frame : frames) stream += EncodeFrame(frame);
+
+  // One-shot: each frame decodes back bit-exactly.
+  {
+    std::string_view view = stream;
+    for (const Frame& frame : frames) {
+      DecodeResult r = DecodeFrame(view);
+      SMETER_CHECK(r.outcome == DecodeResult::Outcome::kFrame);
+      SMETER_CHECK(r.frame == frame);
+      view.remove_prefix(r.consumed);
+    }
+    SMETER_CHECK(view.empty());
+  }
+
+  // Every truncation of the first frame is kNeedMore, never an error.
+  {
+    const size_t first_len = kFrameHeaderBytes + frames[0].payload.size();
+    const size_t cut =
+        static_cast<size_t>(in.TakeIntInRange(0, static_cast<int>(first_len)));
+    if (cut < first_len) {
+      DecodeResult r = DecodeFrame(std::string_view(stream).substr(0, cut));
+      SMETER_CHECK(r.outcome == DecodeResult::Outcome::kNeedMore);
+    }
+  }
+
+  // Streaming: feed the bytes in fuzz-chosen slices; the decoded sequence
+  // must equal the one-shot sequence.
+  {
+    std::string buffer;
+    std::vector<Frame> decoded;
+    size_t fed = 0;
+    while (fed < stream.size()) {
+      const size_t chunk = static_cast<size_t>(in.TakeIntInRange(
+          1, static_cast<int>(stream.size() - fed)));
+      buffer.append(stream, fed, chunk);
+      fed += chunk;
+      for (;;) {
+        DecodeResult r = DecodeFrame(buffer);
+        if (r.outcome != DecodeResult::Outcome::kFrame) {
+          SMETER_CHECK(r.outcome == DecodeResult::Outcome::kNeedMore);
+          break;
+        }
+        decoded.push_back(r.frame);
+        buffer.erase(0, r.consumed);
+      }
+    }
+    SMETER_CHECK(buffer.empty());
+    SMETER_CHECK_EQ(decoded.size(), frames.size());
+    for (size_t i = 0; i < frames.size(); ++i) {
+      SMETER_CHECK(decoded[i] == frames[i]);
+    }
+  }
+
+  // Single bit flip anywhere: the stream must never yield a different
+  // accepted first frame (the CRC catches payload/type damage; a length
+  // flip reads as short/oversized).
+  {
+    std::string damaged = stream;
+    const size_t pos = static_cast<size_t>(
+        in.TakeIntInRange(0, static_cast<int>(damaged.size()) - 1));
+    damaged[pos] = static_cast<char>(static_cast<unsigned char>(damaged[pos]) ^
+                                     (1u << (in.TakeByte() % 8)));
+    DecodeResult r = DecodeFrame(damaged);
+    if (r.outcome == DecodeResult::Outcome::kFrame) {
+      SMETER_CHECK(r.frame == frames[0]);  // only an identical re-read is ok
+    }
+  }
+}
+
+// A serialized table for session handshakes, built once.
+const std::string& TestTableBlob() {
+  static const std::string* blob = [] {
+    std::vector<double> training;
+    for (int i = 1; i <= 64; ++i) training.push_back(10.0 * i);
+    LookupTableOptions options;
+    options.level = 4;
+    options.method = SeparatorMethod::kMedian;
+    Result<LookupTable> table = LookupTable::Build(training, options);
+    SMETER_CHECK(table.ok());
+    return new std::string(table->Serialize());
+  }();
+  return *blob;
+}
+
+// Drives a Session with a fuzz-chosen frame sequence — a mix of protocol-
+// shaped traffic and hostile garbage — and checks the machine's contract:
+// it never crashes, terminal states are sticky decisions the driver sees,
+// and a completed session's series matches its counters.
+void FuzzSession(FuzzInput& in) {
+  SessionOptions options;
+  if (in.TakeByte() % 4 == 0) options.auth_token = "secret";
+  if (in.TakeByte() % 8 == 0) options.max_session_symbols = 64;
+  if (in.TakeByte() % 8 == 0) options.max_gap_fill = 4;
+  Session session(options);
+
+  uint64_t seq = 1;
+  int64_t next_start = 0;
+  const int64_t step = 900;
+  const int steps = in.TakeIntInRange(1, 12);
+  for (int i = 0; i < steps; ++i) {
+    if (session.state() == Session::State::kComplete ||
+        session.state() == Session::State::kFailed) {
+      break;
+    }
+    Frame frame;
+    switch (in.TakeByte() % 8) {
+      case 0: {
+        HelloPayload p;
+        p.protocol_version =
+            (in.TakeByte() % 4 == 0) ? 0 : kProtocolVersion;
+        p.meter_id = "meter_fuzz";
+        p.auth_token = (in.TakeByte() % 3 == 0) ? "secret" : "";
+        frame = MakeHello(p);
+        break;
+      }
+      case 1: {
+        TableAnnouncePayload p;
+        p.table_version = 1;
+        p.table_blob = TestTableBlob();
+        if (in.TakeByte() % 4 == 0 && !p.table_blob.empty()) {
+          p.table_blob[in.TakeIntInRange(
+              0, static_cast<int>(p.table_blob.size()) - 1)] ^= 0x20;
+        }
+        frame = MakeTableAnnounce(p);
+        break;
+      }
+      case 2: {
+        SymbolBatchPayload p;
+        p.seq = (in.TakeByte() % 4 == 0) ? in.TakeUint64() : seq;
+        p.start_timestamp = (in.TakeByte() % 4 == 0)
+                                ? static_cast<int64_t>(in.TakeUint64())
+                                : next_start;
+        p.step_seconds = (in.TakeByte() % 8 == 0) ? 60 : step;
+        p.level = (in.TakeByte() % 8 == 0) ? 5 : 4;
+        const int n = in.TakeIntInRange(1, 16);
+        for (int k = 0; k < n; ++k) {
+          p.symbols.push_back(
+              (in.TakeByte() % 6 == 0)
+                  ? kWireGapSymbol
+                  : static_cast<uint16_t>(in.TakeIntInRange(0, 15)));
+        }
+        frame = MakeSymbolBatch(p);
+        if (p.seq == seq) {
+          ++seq;
+          next_start = p.start_timestamp +
+                       static_cast<int64_t>(p.symbols.size()) * p.step_seconds;
+        }
+        break;
+      }
+      case 3:
+        frame = MakePing(in.TakeUint64());
+        break;
+      case 4: {
+        GoodbyePayload p;
+        p.windows_valid = static_cast<uint64_t>(in.TakeIntInRange(0, 64));
+        p.windows_partial = 0;
+        p.windows_gap = static_cast<uint64_t>(in.TakeIntInRange(0, 64));
+        frame = MakeGoodbye(p);
+        break;
+      }
+      case 5: {
+        // Hostile: a server-side frame type the client must never send.
+        frame = MakeBatchAck({seq, WireStatus::kOk, ""});
+        break;
+      }
+      case 6: {
+        // Hostile: a known type carrying an unparseable payload.
+        frame.type = static_cast<FrameType>(in.TakeIntInRange(1, 10));
+        frame.payload = in.TakeString(in.TakeIntInRange(0, 24));
+        break;
+      }
+      default: {
+        // The happy-path prefix, so deep states are reachable often.
+        if (session.state() == Session::State::kExpectHello) {
+          frame = MakeHello({kProtocolVersion, "meter_fuzz",
+                             options.auth_token});
+        } else if (session.state() == Session::State::kExpectTable) {
+          frame = MakeTableAnnounce({1, TestTableBlob()});
+        } else {
+          SymbolBatchPayload p;
+          p.seq = seq++;
+          p.start_timestamp = next_start;
+          p.step_seconds = step;
+          p.level = 4;
+          const int n = in.TakeIntInRange(1, 8);
+          for (int k = 0; k < n; ++k) {
+            p.symbols.push_back(
+                static_cast<uint16_t>(in.TakeIntInRange(0, 15)));
+          }
+          next_start += static_cast<int64_t>(n) * step;
+          frame = MakeSymbolBatch(p);
+        }
+        break;
+      }
+    }
+
+    std::vector<Frame> replies;
+    session.OnFrame(frame, &replies);
+    // Every reply the machine produces must itself be encodable and
+    // re-decodable — the server sends these bytes to real sockets.
+    for (const Frame& reply : replies) {
+      DecodeResult r = DecodeFrame(EncodeFrame(reply));
+      SMETER_CHECK(r.outcome == DecodeResult::Outcome::kFrame);
+      SMETER_CHECK(r.frame == reply);
+    }
+    if (session.state() == Session::State::kFailed) {
+      SMETER_CHECK(!session.error().ok());
+      SMETER_CHECK(session.error_status() != WireStatus::kOk);
+    }
+  }
+
+  SMETER_CHECK_LE(session.gaps_received(), session.symbols_received());
+  if (session.state() == Session::State::kComplete) {
+    const size_t total = session.symbols_received();
+    Result<SymbolicSeries> series = session.TakeSeries();
+    SMETER_CHECK(series.ok());
+    SMETER_CHECK_EQ(series->size(), total);
+  }
+}
+
+}  // namespace
+}  // namespace smeter::net
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  smeter::fuzz::FuzzInput in(data, size);
+  switch (in.TakeByte() % 3) {
+    case 0:
+      smeter::net::FuzzDecodeFrame(in.TakeRemainingString());
+      break;
+    case 1:
+      smeter::net::FuzzEncodeDecodeClosure(in);
+      break;
+    default:
+      smeter::net::FuzzSession(in);
+      break;
+  }
+  return 0;
+}

@@ -1,0 +1,446 @@
+// End-to-end drills for the ingestion daemon over real loopback sockets:
+// a loadgen fleet streamed through ingestd must leave an archive
+// byte-identical to the offline `encode-fleet` run on the same traces;
+// dropped connections must reconnect and converge; and a damaged archive
+// must come back through fsck --repair plus a --resume restart — the same
+// crash-recovery contract the storage layer gives the offline pipeline.
+//
+// CI soaks the seeded test (NetIngestSoakTest) across many
+// SMETER_FAULT_SEED values under ASan; see .github/workflows.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli.h"
+#include "common/fault_injection.h"
+#include "net/ingest_server.h"
+#include "net/loadgen.h"
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+constexpr size_t kMeters = 6;
+
+std::string RunCliOk(const std::vector<std::string>& args) {
+  std::ostringstream out;
+  Status status = cli::RunCli(args, out);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return out.str();
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// A fresh scratch dir with a simulated CER fleet at <dir>/meters.cer.
+std::string MakeFleetDir(const std::string& name) {
+  std::string dir = smeter::testing::TempPath(name);
+  std::filesystem::remove_all(dir);
+  RunCliOk({"simulate", "--format", "cer", "--out", dir, "--houses",
+            std::to_string(kMeters), "--days", "2", "--seed", "17",
+            "--outages", "1.0"});
+  return dir;
+}
+
+// The offline reference: encode-fleet over the same CER file with the
+// same sensor-side parameters the loadgen meters use.
+void EncodeFleetOffline(const std::string& cer, const std::string& out_dir) {
+  RunCliOk({"encode-fleet", "--input", cer, "--format", "cer", "--out",
+            out_dir, "--window", "1800", "--sample-period", "1800",
+            "--threads", "1", "--max-retries", "0"});
+}
+
+// Every artifact a completed kMeters CER fleet leaves behind (simulate
+// numbers CER meters from 1000).
+std::vector<std::string> NetArtifacts() {
+  std::vector<std::string> names;
+  for (size_t m = 0; m < kMeters; ++m) {
+    names.push_back("meter_" + std::to_string(1000 + m) + ".table");
+    names.push_back("meter_" + std::to_string(1000 + m) + ".symbols");
+  }
+  names.push_back("fleet.manifest");
+  names.push_back("quality.json");
+  return names;
+}
+
+void ExpectDirsBitIdentical(const std::string& a, const std::string& b) {
+  for (const std::string& name : NetArtifacts()) {
+    SCOPED_TRACE(name);
+    std::string contents = ReadAll(a + "/" + name);
+    EXPECT_FALSE(contents.empty());
+    EXPECT_EQ(contents, ReadAll(b + "/" + name));
+  }
+}
+
+// An ingest server running on its own thread; joins on destruction.
+// Not movable: the serving thread holds `this`.
+struct RunningServer {
+  std::unique_ptr<net::IngestServer> server;
+  std::thread thread;
+  Status result;
+
+  RunningServer() = default;
+  RunningServer(const RunningServer&) = delete;
+  RunningServer& operator=(const RunningServer&) = delete;
+
+  void Start(net::IngestServerOptions options) {
+    auto created = net::IngestServer::Create(std::move(options));
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    if (!created.ok()) return;
+    server = std::move(created.value());
+    thread = std::thread([this] { result = server->Run(); });
+  }
+
+  void DrainAndJoin() {
+    if (!thread.joinable()) return;
+    server->RequestDrain();
+    thread.join();
+  }
+
+  ~RunningServer() {
+    if (thread.joinable()) {
+      server->RequestDrain();
+      thread.join();
+    }
+  }
+};
+
+net::IngestServerOptions ServerOptions(const std::string& archive_dir) {
+  net::IngestServerOptions options;
+  options.archive_dir = archive_dir;
+  options.port = 0;  // ephemeral
+  options.drain_grace_ms = 500;
+  return options;
+}
+
+// Loadgen options mirroring EncodeFleetOffline's sensor-side parameters.
+net::LoadgenOptions LoadgenOptions(uint16_t port, const std::string& cer) {
+  net::LoadgenOptions options;
+  options.port = port;
+  options.input_cer = cer;
+  options.encode.pipeline.window_seconds = 1800;
+  options.encode.pipeline.window.sample_period_seconds = 1800;
+  options.encode.gap_aware = true;
+  options.batch_symbols = 16;  // several SYMBOL_BATCH frames per meter
+  options.concurrency = 3;
+  return options;
+}
+
+net::LoadgenReport RunLoadgenOk(const net::LoadgenOptions& options) {
+  Result<net::LoadgenReport> report = net::RunLoadgen(options);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return report.ok() ? report.value() : net::LoadgenReport{};
+}
+
+TEST(NetIngestTest, LoopbackArchiveMatchesOfflineEncodeFleet) {
+  std::string dir = MakeFleetDir("net_ingest_equivalence");
+  const std::string cer = dir + "/meters.cer";
+  EncodeFleetOffline(cer, dir + "/offline");
+
+  net::IngestServerOptions server_options = ServerOptions(dir + "/online");
+  server_options.exit_after_households = kMeters;
+  RunningServer running;
+  running.Start(std::move(server_options));
+  ASSERT_NE(running.server, nullptr);
+
+  net::LoadgenReport report =
+      RunLoadgenOk(LoadgenOptions(running.server->port(), cer));
+  running.thread.join();  // exit_after_households drains the server
+  ASSERT_OK(running.result);
+
+  EXPECT_EQ(report.meters_total, kMeters);
+  EXPECT_EQ(report.meters_ok, kMeters);
+  EXPECT_EQ(report.meters_failed, 0u);
+  EXPECT_EQ(report.reconnects, 0u);
+  EXPECT_GT(report.symbols_sent, 0u);
+
+  const net::IngestCounters& counters = running.server->counters();
+  EXPECT_EQ(counters.sessions_completed, kMeters);
+  EXPECT_EQ(counters.households_persisted, kMeters);
+  EXPECT_EQ(counters.symbols_persisted, report.symbols_sent);
+  EXPECT_EQ(counters.decode_errors, 0u);
+
+  // The tentpole acceptance bar: the networked archive is byte-identical
+  // to the offline one, so fsck/decode/info tooling applies unchanged.
+  ExpectDirsBitIdentical(dir + "/offline", dir + "/online");
+}
+
+TEST(NetIngestTest, DroppedConnectionsReconnectAndConverge) {
+  std::string dir = MakeFleetDir("net_ingest_reconnect");
+  const std::string cer = dir + "/meters.cer";
+  EncodeFleetOffline(cer, dir + "/offline");
+
+  net::IngestServerOptions server_options = ServerOptions(dir + "/online");
+  server_options.exit_after_households = kMeters;
+  RunningServer running;
+  running.Start(std::move(server_options));
+  ASSERT_NE(running.server, nullptr);
+
+  net::LoadgenReport report;
+  {
+    // Kill the socket under the 2nd and 3rd batch sends: the affected
+    // meters die mid-upload and must reconnect and re-upload from scratch.
+    fault::ScopedFaultPlan plan(
+        {fault::FaultRule::FailCalls("loadgen.drop", 2, 3)});
+    report = RunLoadgenOk(LoadgenOptions(running.server->port(), cer));
+    EXPECT_EQ(plan.TotalInjected(), 2u);
+  }
+  running.thread.join();
+  ASSERT_OK(running.result);
+
+  EXPECT_EQ(report.meters_ok, kMeters);
+  EXPECT_GE(report.reconnects, 1u);
+  EXPECT_GE(report.batches_dropped, 1u);
+  // The server saw the dropped sessions and quarantined them.
+  EXPECT_GE(running.server->counters().sessions_dropped, 1u);
+  EXPECT_GT(running.server->counters().sessions_accepted, kMeters);
+
+  ExpectDirsBitIdentical(dir + "/offline", dir + "/online");
+}
+
+TEST(NetIngestTest, RefusedTableQuarantinesSessionNotDaemon) {
+  std::string dir = MakeFleetDir("net_ingest_bad_table");
+  const std::string cer = dir + "/meters.cer";
+  EncodeFleetOffline(cer, dir + "/offline");
+
+  net::IngestServerOptions server_options = ServerOptions(dir + "/online");
+  server_options.exit_after_households = kMeters;
+  RunningServer running;
+  running.Start(std::move(server_options));
+  ASSERT_NE(running.server, nullptr);
+
+  net::LoadgenReport report;
+  {
+    // The first TABLE_ANNOUNCE the server validates is refused with
+    // kBadTable; that meter's retry (and everyone else) goes through.
+    fault::ScopedFaultPlan plan(
+        {fault::FaultRule::FailCalls("session.table", 1, 1)});
+    report = RunLoadgenOk(LoadgenOptions(running.server->port(), cer));
+    EXPECT_EQ(plan.TotalInjected(), 1u);
+  }
+  running.thread.join();
+  ASSERT_OK(running.result);
+
+  EXPECT_EQ(report.meters_ok, kMeters);
+  EXPECT_GE(report.reconnects, 1u);
+  EXPECT_GE(running.server->counters().sessions_dropped, 1u);
+  ExpectDirsBitIdentical(dir + "/offline", dir + "/online");
+}
+
+TEST(NetIngestTest, ReUploadedFleetIsAcknowledgedAsDuplicates) {
+  std::string dir = MakeFleetDir("net_ingest_duplicate");
+  const std::string cer = dir + "/meters.cer";
+  EncodeFleetOffline(cer, dir + "/offline");
+
+  RunningServer running;
+  running.Start(ServerOptions(dir + "/online"));
+  ASSERT_NE(running.server, nullptr);
+
+  net::LoadgenOptions loadgen = LoadgenOptions(running.server->port(), cer);
+  net::LoadgenReport first = RunLoadgenOk(loadgen);
+  EXPECT_EQ(first.meters_ok, kMeters);
+  // The whole fleet re-uploads (a fleet-wide reconnect after, say, a
+  // power cut): every GOODBYE is acked OK without rewriting anything.
+  net::LoadgenReport second = RunLoadgenOk(loadgen);
+  EXPECT_EQ(second.meters_ok, kMeters);
+
+  running.DrainAndJoin();
+  ASSERT_OK(running.result);
+  EXPECT_EQ(running.server->counters().households_persisted, kMeters);
+  EXPECT_EQ(running.server->counters().sessions_completed, 2 * kMeters);
+  ExpectDirsBitIdentical(dir + "/offline", dir + "/online");
+}
+
+TEST(NetIngestTest, DrainedServerRefusesNewSessions) {
+  std::string dir = MakeFleetDir("net_ingest_drain_partial");
+  const std::string cer = dir + "/meters.cer";
+
+  // The server stops after half the fleet; the rest of the meters find a
+  // closed listen socket and report failure instead of hanging.
+  net::IngestServerOptions server_options = ServerOptions(dir + "/online");
+  server_options.exit_after_households = kMeters / 2;
+  RunningServer running;
+  running.Start(std::move(server_options));
+  ASSERT_NE(running.server, nullptr);
+
+  net::LoadgenOptions loadgen = LoadgenOptions(running.server->port(), cer);
+  loadgen.concurrency = 1;  // deterministic: meters land in name order
+  loadgen.max_attempts = 1;
+  Result<net::LoadgenReport> report = net::RunLoadgen(loadgen);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  running.thread.join();
+  ASSERT_OK(running.result);
+
+  EXPECT_EQ(report->meters_ok, kMeters / 2);
+  EXPECT_EQ(report->meters_failed, kMeters - kMeters / 2);
+  EXPECT_EQ(running.server->counters().households_persisted, kMeters / 2);
+
+  // The partial archive is valid as far as it goes: fsck grades it clean.
+  std::ostringstream out, err;
+  EXPECT_EQ(cli::RunCliExitCode({"fsck", "--dir", dir + "/online"}, out,
+                                err),
+            0)
+      << out.str() << err.str();
+}
+
+// The satellite drill: a partially-ingested archive is damaged on disk
+// (torn manifest tail, a corrupted symbol file, a stray tmp), then
+// fsck --repair plus a --resume restart plus a fleet-wide reconnect must
+// converge to the bit-identical clean-run archive.
+TEST(NetIngestTest, DamagedArchiveRepairsResumesAndConverges) {
+  std::string dir = MakeFleetDir("net_ingest_crash_resume");
+  const std::string cer = dir + "/meters.cer";
+  EncodeFleetOffline(cer, dir + "/offline");
+  const std::string online = dir + "/online";
+
+  {
+    net::IngestServerOptions server_options = ServerOptions(online);
+    server_options.exit_after_households = 3;
+    RunningServer running;
+    running.Start(std::move(server_options));
+    ASSERT_NE(running.server, nullptr);
+    net::LoadgenOptions loadgen =
+        LoadgenOptions(running.server->port(), cer);
+    loadgen.concurrency = 1;
+    loadgen.max_attempts = 1;
+    Result<net::LoadgenReport> report = net::RunLoadgen(loadgen);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    running.thread.join();
+    ASSERT_OK(running.result);
+    ASSERT_EQ(running.server->counters().households_persisted, 3u);
+  }
+
+  // Damage the partial archive the way a crash plus a bad disk would.
+  {
+    std::string symbols = ReadAll(online + "/meter_1001.symbols");
+    ASSERT_FALSE(symbols.empty());
+    symbols[symbols.size() / 2] ^= 0x20;  // silent media corruption
+    std::ofstream(online + "/meter_1001.symbols", std::ios::binary)
+        << symbols;
+    std::ofstream(online + "/fleet.manifest", std::ios::app)
+        << "{\"name\":\"meter_10";  // torn mid-record append
+    std::ofstream(online + "/meter_1099.symbols.tmp") << "leftover";
+  }
+
+  // fsck --repair: issues found and repaired -> exit 1, resume required;
+  // a second pass must grade the repaired archive clean.
+  {
+    std::ostringstream out, err;
+    EXPECT_EQ(cli::RunCliExitCode(
+                  {"fsck", "--dir", online, "--repair", "true"}, out, err),
+              1)
+        << out.str() << err.str();
+    std::ostringstream out2, err2;
+    EXPECT_EQ(cli::RunCliExitCode({"fsck", "--dir", online}, out2, err2), 0)
+        << out2.str() << err2.str();
+  }
+
+  // Restart with --resume; the whole fleet reconnects. Households that
+  // survived the repair are acked as duplicates, the rest re-upload.
+  {
+    net::IngestServerOptions server_options = ServerOptions(online);
+    server_options.resume = true;
+    server_options.exit_after_households = kMeters;
+    RunningServer running;
+    running.Start(std::move(server_options));
+    ASSERT_NE(running.server, nullptr);
+    net::LoadgenReport report =
+        RunLoadgenOk(LoadgenOptions(running.server->port(), cer));
+    running.thread.join();
+    ASSERT_OK(running.result);
+    EXPECT_EQ(report.meters_ok, kMeters);
+    // At least meter_1001 was re-persisted; at least meter_1000 carried.
+    EXPECT_GE(running.server->counters().households_persisted, 1u);
+    EXPECT_LT(running.server->counters().households_persisted, kMeters);
+  }
+
+  ExpectDirsBitIdentical(dir + "/offline", online);
+}
+
+// Seeded soak: a randomized storm of connection drops, refused tables,
+// server I/O failures, and silent bit flips on archive writes — then
+// repair + resume + reconnect must still converge. CI sweeps
+// SMETER_FAULT_SEED.
+TEST(NetIngestSoakTest, RandomizedFaultsThenRepairResumeConverge) {
+  uint64_t seed = 1;
+  if (const char* env = std::getenv("SMETER_FAULT_SEED")) {
+    uint64_t parsed = std::strtoull(env, nullptr, 10);
+    if (parsed != 0) seed = parsed;
+  }
+  SCOPED_TRACE("SMETER_FAULT_SEED=" + std::to_string(seed));
+  std::string dir =
+      MakeFleetDir("net_ingest_soak_" + std::to_string(seed));
+  const std::string cer = dir + "/meters.cer";
+  EncodeFleetOffline(cer, dir + "/offline");
+  const std::string online = dir + "/online";
+
+  // Storm phase: any per-meter outcome is a legal crash signature; the
+  // daemon itself must survive and drain cleanly.
+  {
+    net::IngestServerOptions server_options = ServerOptions(online);
+    RunningServer running;
+    running.Start(std::move(server_options));
+    ASSERT_NE(running.server, nullptr);
+    net::LoadgenOptions loadgen =
+        LoadgenOptions(running.server->port(), cer);
+    loadgen.max_attempts = 2;
+    loadgen.io_timeout_ms = 2'000;
+    {
+      fault::ScopedFaultPlan plan(
+          {fault::FaultRule::FailWithProbability("loadgen.drop", 0.05),
+           fault::FaultRule::FailWithProbability("net.read", 0.02),
+           fault::FaultRule::FailWithProbability("net.write", 0.02),
+           fault::FaultRule::FailWithProbability("session.table", 0.1),
+           fault::FaultRule::FailWithProbability("file.write", 0.05),
+           fault::FaultRule::CorruptBytesWithProbability("io.write", 3,
+                                                         0.1)},
+          seed);
+      Result<net::LoadgenReport> report = net::RunLoadgen(loadgen);
+      EXPECT_TRUE(report.ok()) << report.status().ToString();
+    }
+    running.DrainAndJoin();
+    ASSERT_OK(running.result);
+  }
+
+  // Repair must converge: one --repair pass, then a clean bill.
+  {
+    std::ostringstream out, err;
+    int code = cli::RunCliExitCode(
+        {"fsck", "--dir", online, "--repair", "true"}, out, err);
+    EXPECT_NE(code, 4) << out.str() << err.str();
+    std::ostringstream out2, err2;
+    EXPECT_EQ(cli::RunCliExitCode({"fsck", "--dir", online}, out2, err2), 0)
+        << out2.str() << err2.str();
+  }
+
+  // Recovery: resume + full reconnect, no faults.
+  {
+    net::IngestServerOptions server_options = ServerOptions(online);
+    server_options.resume = true;
+    server_options.exit_after_households = kMeters;
+    RunningServer running;
+    running.Start(std::move(server_options));
+    ASSERT_NE(running.server, nullptr);
+    net::LoadgenReport report =
+        RunLoadgenOk(LoadgenOptions(running.server->port(), cer));
+    running.thread.join();
+    ASSERT_OK(running.result);
+    EXPECT_EQ(report.meters_ok, kMeters);
+  }
+
+  ExpectDirsBitIdentical(dir + "/offline", online);
+}
+
+}  // namespace
+}  // namespace smeter

@@ -1,0 +1,274 @@
+// Event loop and BufferedFd tests over socketpairs: timer ordering and
+// cancellation, cross-thread wakeups, partial-frame consumption, clean-EOF
+// close semantics, and the output-buffer backpressure watermark.
+
+#include "net/event_loop.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "testutil.h"
+
+namespace smeter::net {
+namespace {
+
+// A connected non-blocking socket pair; the caller owns both fds.
+void MakeSocketPair(int fds[2]) {
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0, fds), 0);
+}
+
+TEST(EventLoopTest, TimersFireInDeadlineOrder) {
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<EventLoop> loop, EventLoop::Create());
+  std::vector<int> fired;
+  loop->RunAfter(30, [&] { fired.push_back(3); });
+  loop->RunAfter(10, [&] { fired.push_back(1); });
+  loop->RunAfter(20, [&] {
+    fired.push_back(2);
+    loop->Stop();
+  });
+  // Stop() arrives with the 20 ms timer; the 30 ms one must not fire.
+  ASSERT_OK(loop->Run());
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+TEST(EventLoopTest, ZeroDelayTimerFiresOnNextPass) {
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<EventLoop> loop, EventLoop::Create());
+  bool fired = false;
+  loop->RunAfter(0, [&] {
+    fired = true;
+    loop->Stop();
+  });
+  ASSERT_OK(loop->Run());
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventLoopTest, CancelledTimerNeverFires) {
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<EventLoop> loop, EventLoop::Create());
+  bool cancelled_fired = false;
+  uint64_t id = loop->RunAfter(5, [&] { cancelled_fired = true; });
+  loop->CancelTimer(id);
+  loop->RunAfter(20, [&] { loop->Stop(); });
+  ASSERT_OK(loop->Run());
+  EXPECT_FALSE(cancelled_fired);
+}
+
+TEST(EventLoopTest, TimerCallbackMayScheduleAnotherTimer) {
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<EventLoop> loop, EventLoop::Create());
+  int hops = 0;
+  std::function<void()> hop = [&] {
+    if (++hops == 3) {
+      loop->Stop();
+      return;
+    }
+    loop->RunAfter(1, hop);
+  };
+  loop->RunAfter(1, hop);
+  ASSERT_OK(loop->Run());
+  EXPECT_EQ(hops, 3);
+}
+
+TEST(EventLoopTest, WakeupFromAnotherThreadRunsTheHandler) {
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<EventLoop> loop, EventLoop::Create());
+  int wakeups = 0;
+  loop->SetWakeupHandler([&] {
+    ++wakeups;
+    loop->Stop();
+  });
+  std::thread poker([&] { loop->Wakeup(); });
+  ASSERT_OK(loop->Run());
+  poker.join();
+  EXPECT_EQ(wakeups, 1);
+}
+
+// Harness around one BufferedFd end of a socketpair; the other end is
+// driven with raw read/write calls from the test body.
+struct FdHarness {
+  std::unique_ptr<EventLoop> loop;
+  int peer_fd = -1;
+  std::unique_ptr<BufferedFd> buffered;
+  std::string received;
+  size_t consume_limit = SIZE_MAX;  // bytes on_data consumes per call
+  bool closed = false;
+  Status close_reason;
+
+  void Init(size_t high_watermark = 1 << 20) {
+    auto created = EventLoop::Create();
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    loop = std::move(created.value());
+    int fds[2];
+    MakeSocketPair(fds);
+    peer_fd = fds[1];
+    BufferedFd::Callbacks callbacks;
+    callbacks.on_data = [this](std::string_view data) {
+      size_t take = std::min(consume_limit, data.size());
+      received.append(data.substr(0, take));
+      return take;
+    };
+    callbacks.on_close = [this](const Status& reason) {
+      closed = true;
+      close_reason = reason;
+    };
+    buffered = std::make_unique<BufferedFd>(loop.get(), fds[0],
+                                            std::move(callbacks),
+                                            high_watermark);
+    ASSERT_OK(buffered->Register());
+  }
+
+  ~FdHarness() {
+    buffered.reset();
+    if (peer_fd >= 0) close(peer_fd);
+  }
+
+  void Spin(int passes = 10) {
+    for (int i = 0; i < passes; ++i) {
+      ASSERT_OK(loop->RunOnce(10));
+    }
+  }
+};
+
+TEST(BufferedFdTest, DeliversBytesAndCountsThem) {
+  FdHarness h;
+  h.Init();
+  ASSERT_EQ(write(h.peer_fd, "hello", 5), 5);
+  h.Spin();
+  EXPECT_EQ(h.received, "hello");
+  EXPECT_EQ(h.buffered->bytes_in(), 5u);
+  EXPECT_FALSE(h.closed);
+}
+
+TEST(BufferedFdTest, UnconsumedBytesStayBufferedAcrossReads) {
+  FdHarness h;
+  h.Init();
+  // on_data refuses to consume anything until 10 bytes have arrived —
+  // the partial-frame pattern a frame decoder uses.
+  h.consume_limit = 0;
+  ASSERT_EQ(write(h.peer_fd, "01234", 5), 5);
+  h.Spin();
+  EXPECT_EQ(h.received, "");
+  ASSERT_EQ(write(h.peer_fd, "56789", 5), 5);
+  h.consume_limit = SIZE_MAX;
+  h.Spin();
+  // The buffer was re-offered in full once more bytes arrived.
+  EXPECT_EQ(h.received, "0123456789");
+}
+
+TEST(BufferedFdTest, SendReachesThePeer) {
+  FdHarness h;
+  h.Init();
+  ASSERT_OK(h.buffered->Send("ping!"));
+  h.Spin();
+  char buf[16];
+  ssize_t n = read(h.peer_fd, buf, sizeof(buf));
+  ASSERT_EQ(n, 5);
+  EXPECT_EQ(std::string(buf, 5), "ping!");
+  EXPECT_EQ(h.buffered->bytes_out(), 5u);
+}
+
+TEST(BufferedFdTest, PeerEofClosesWithOkExactlyOnce) {
+  FdHarness h;
+  h.Init();
+  ASSERT_EQ(write(h.peer_fd, "bye", 3), 3);
+  close(h.peer_fd);
+  h.peer_fd = -1;
+  h.Spin();
+  EXPECT_EQ(h.received, "bye");  // data before EOF is still delivered
+  EXPECT_TRUE(h.closed);
+  EXPECT_OK(h.close_reason);
+  EXPECT_TRUE(h.buffered->closed());
+}
+
+TEST(BufferedFdTest, BackpressurePausesReadsAtTheHighWatermark) {
+  FdHarness h;
+  // Tiny watermark: any unflushed output beyond 64 bytes pauses reads.
+  h.Init(/*high_watermark=*/64);
+  // Fill the peer's receive path: the socketpair buffer is finite, so a
+  // large enough Send leaves bytes queued in the BufferedFd.
+  std::string big(1 << 20, 'x');
+  ASSERT_OK(h.buffered->Send(big));
+  h.Spin(3);
+  ASSERT_GT(h.buffered->pending_out(), 64u);
+  EXPECT_TRUE(h.buffered->paused());
+  EXPECT_GE(h.buffered->stalls(), 1u);
+
+  // While paused, inbound bytes are not offered to on_data.
+  ASSERT_EQ(write(h.peer_fd, "inbound", 7), 7);
+  h.Spin(3);
+  EXPECT_EQ(h.received, "");
+
+  // Drain the peer side; the output empties, reading resumes, and the
+  // inbound bytes finally arrive.
+  std::string sunk;
+  char buf[65536];
+  for (int i = 0; i < 200 && sunk.size() < big.size(); ++i) {
+    ssize_t n = read(h.peer_fd, buf, sizeof(buf));
+    if (n > 0) sunk.append(buf, static_cast<size_t>(n));
+    h.Spin(2);
+  }
+  EXPECT_EQ(sunk.size(), big.size());
+  EXPECT_FALSE(h.buffered->paused());
+  EXPECT_EQ(h.received, "inbound");
+}
+
+TEST(BufferedFdTest, CloseAfterFlushDrainsTheOutputFirst) {
+  FdHarness h;
+  h.Init();
+  std::string payload(1 << 18, 'y');
+  ASSERT_OK(h.buffered->Send(payload));
+  h.buffered->CloseAfterFlush(Status::Ok());
+  // on_close fires once the output buffer has drained into the kernel;
+  // the peer may still have socket-buffered bytes to read after that, so
+  // keep reading until EOF rather than stopping at the close signal.
+  std::string sunk;
+  char buf[65536];
+  for (int i = 0; i < 400 && sunk.size() < payload.size(); ++i) {
+    ssize_t n = read(h.peer_fd, buf, sizeof(buf));
+    if (n == 0) break;  // EOF: the fd really closed
+    if (n > 0) sunk.append(buf, static_cast<size_t>(n));
+    h.Spin(2);
+  }
+  EXPECT_TRUE(h.closed);
+  EXPECT_EQ(sunk.size(), payload.size());
+}
+
+TEST(BufferedFdTest, ReadFaultSeamDropsTheConnectionNotTheLoop) {
+  FdHarness h;
+  h.Init();
+  fault::ScopedFaultPlan plan(
+      {fault::FaultRule::FailCalls("net.read", 1, 1)});
+  ASSERT_EQ(write(h.peer_fd, "doomed", 6), 6);
+  h.Spin();
+  EXPECT_TRUE(h.closed);
+  EXPECT_FALSE(h.close_reason.ok());
+  EXPECT_EQ(plan.TotalInjected(), 1u);
+  // The loop itself still runs fine.
+  bool fired = false;
+  h.loop->RunAfter(0, [&] { fired = true; });
+  h.Spin(2);
+  EXPECT_TRUE(fired);
+}
+
+TEST(BufferedFdTest, FrameCorruptionSeamDamagesInboundBytes) {
+  FdHarness h;
+  h.Init();
+  fault::ScopedFaultPlan plan(
+      {fault::FaultRule::CorruptBytes("net.frame", /*bits=*/4)});
+  std::string original(256, 'z');
+  ASSERT_EQ(write(h.peer_fd, original.data(), original.size()),
+            static_cast<ssize_t>(original.size()));
+  h.Spin();
+  ASSERT_EQ(h.received.size(), original.size());
+  EXPECT_NE(h.received, original);  // the seam flipped bits in transit
+  EXPECT_GE(plan.TotalInjected(), 1u);
+}
+
+}  // namespace
+}  // namespace smeter::net

@@ -1,0 +1,334 @@
+// Session state-machine tests, frame by frame: the happy path must yield a
+// persistable series, and every protocol violation must fail the session
+// with the documented WireStatus — while the table blob, cadence, and gap
+// accounting stay exactly what the archive layer needs.
+
+#include "net/session.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/fault_injection.h"
+#include "core/lookup_table.h"
+#include "core/symbol.h"
+#include "net/wire.h"
+#include "testutil.h"
+
+namespace smeter::net {
+namespace {
+
+constexpr int kLevel = 4;
+
+// A small valid serialized table at kLevel.
+std::string TableBlob() {
+  LookupTableOptions options;
+  options.level = kLevel;
+  options.method = SeparatorMethod::kMedian;
+  std::vector<double> training;
+  for (int i = 1; i <= 64; ++i) training.push_back(10.0 * i);
+  Result<LookupTable> table = LookupTable::Build(training, options);
+  SMETER_CHECK(table.ok());
+  return table->Serialize();
+}
+
+Frame Hello(const std::string& meter = "meter_1", const std::string& token = "") {
+  return MakeHello({kProtocolVersion, meter, token});
+}
+
+Frame Table() { return MakeTableAnnounce({1, TableBlob()}); }
+
+Frame Batch(uint64_t seq, int64_t start, int64_t step,
+            std::vector<uint16_t> symbols, uint8_t level = kLevel) {
+  SymbolBatchPayload batch;
+  batch.seq = seq;
+  batch.start_timestamp = start;
+  batch.step_seconds = step;
+  batch.level = level;
+  batch.symbols = std::move(symbols);
+  return MakeSymbolBatch(batch);
+}
+
+// Feeds one frame and returns the replies.
+std::vector<Frame> Feed(Session& session, const Frame& frame) {
+  std::vector<Frame> replies;
+  session.OnFrame(frame, &replies);
+  return replies;
+}
+
+// Asserts the single reply is an ack of `type` with `status`.
+void ExpectAck(const std::vector<Frame>& replies, FrameType type,
+               WireStatus status) {
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].type, type);
+  ASSERT_OK_AND_ASSIGN(AckPayload ack, ParseAck(replies[0]));
+  EXPECT_EQ(ack.status, status) << ack.message;
+}
+
+// Drives a session to kStreaming.
+void Handshake(Session& session) {
+  ExpectAck(Feed(session, Hello()), FrameType::kHelloAck, WireStatus::kOk);
+  ExpectAck(Feed(session, Table()), FrameType::kTableAck, WireStatus::kOk);
+  ASSERT_EQ(session.state(), Session::State::kStreaming);
+}
+
+TEST(SessionTest, HappyPathProducesTheSeries) {
+  Session session(SessionOptions{});
+  Handshake(session);
+  EXPECT_EQ(session.meter_id(), "meter_1");
+  EXPECT_EQ(session.table_blob(), TableBlob());
+  EXPECT_EQ(session.table_version(), 1u);
+  EXPECT_EQ(session.level(), kLevel);
+
+  std::vector<Frame> replies =
+      Feed(session, Batch(1, 1000, 900, {3, 7, kWireGapSymbol}));
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(BatchAckPayload ack1, ParseBatchAck(replies[0]));
+  EXPECT_EQ(ack1.seq, 1u);
+  EXPECT_EQ(ack1.status, WireStatus::kOk);
+
+  replies = Feed(session, Batch(2, 1000 + 3 * 900, 900, {0, 15}));
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(session.symbols_received(), 5u);
+  EXPECT_EQ(session.gaps_received(), 1u);
+
+  // GOODBYE gets no immediate reply: the server acks after persisting.
+  replies = Feed(session, MakeGoodbye({4, 0, 1}));
+  EXPECT_TRUE(replies.empty());
+  ASSERT_EQ(session.state(), Session::State::kComplete);
+  EXPECT_EQ(session.quality().windows_valid, 4u);
+  EXPECT_EQ(session.quality().windows_gap, 1u);
+
+  ASSERT_OK_AND_ASSIGN(SymbolicSeries series, session.TakeSeries());
+  ASSERT_EQ(series.size(), 5u);
+  EXPECT_EQ(series[0].timestamp, 1000);
+  EXPECT_EQ(series[0].symbol, Symbol::Create(kLevel, 3).value());
+  EXPECT_TRUE(series[2].symbol.is_gap());
+  EXPECT_EQ(series[4].timestamp, 1000 + 4 * 900);
+}
+
+TEST(SessionTest, MissingWindowsBetweenBatchesAreGapFilled) {
+  Session session(SessionOptions{});
+  Handshake(session);
+  Feed(session, Batch(1, 0, 900, {1, 2}));
+  // Next expected start is 1800; starting at 4500 skips three windows.
+  std::vector<Frame> replies = Feed(session, Batch(2, 4500, 900, {3}));
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(BatchAckPayload ack, ParseBatchAck(replies[0]));
+  EXPECT_EQ(ack.status, WireStatus::kOk);
+  EXPECT_EQ(session.symbols_received(), 6u);
+  EXPECT_EQ(session.gaps_received(), 3u);
+
+  Feed(session, MakeGoodbye({3, 0, 3}));
+  ASSERT_EQ(session.state(), Session::State::kComplete);
+  ASSERT_OK_AND_ASSIGN(SymbolicSeries series, session.TakeSeries());
+  ASSERT_EQ(series.size(), 6u);
+  for (size_t i = 2; i < 5; ++i) {
+    EXPECT_TRUE(series[i].symbol.is_gap()) << i;
+    EXPECT_EQ(series[i].timestamp, static_cast<int64_t>(i) * 900) << i;
+  }
+}
+
+TEST(SessionTest, BatchBeforeTableIsBadState) {
+  Session session(SessionOptions{});
+  Feed(session, Hello());
+  std::vector<Frame> replies = Feed(session, Batch(1, 0, 900, {1}));
+  ExpectAck(replies, FrameType::kGoodbyeAck, WireStatus::kBadState);
+  EXPECT_EQ(session.state(), Session::State::kFailed);
+  EXPECT_EQ(session.error_status(), WireStatus::kBadState);
+}
+
+TEST(SessionTest, NonHelloFirstFrameIsBadState) {
+  Session session(SessionOptions{});
+  std::vector<Frame> replies = Feed(session, Table());
+  ExpectAck(replies, FrameType::kGoodbyeAck, WireStatus::kBadState);
+  // A pre-HELLO ping is not allowed either.
+  Session session2(SessionOptions{});
+  Feed(session2, MakePing(1));
+  EXPECT_EQ(session2.state(), Session::State::kFailed);
+}
+
+TEST(SessionTest, WrongProtocolVersionIsUnauthorized) {
+  Session session(SessionOptions{});
+  std::vector<Frame> replies =
+      Feed(session, MakeHello({kProtocolVersion + 1, "m", ""}));
+  ExpectAck(replies, FrameType::kGoodbyeAck, WireStatus::kUnauthorized);
+}
+
+TEST(SessionTest, AuthTokenEnforcedWhenConfigured) {
+  SessionOptions options;
+  options.auth_token = "sesame";
+  Session wrong(options);
+  ExpectAck(Feed(wrong, Hello("m", "guess")), FrameType::kGoodbyeAck,
+            WireStatus::kUnauthorized);
+  Session right(options);
+  ExpectAck(Feed(right, Hello("m", "sesame")), FrameType::kHelloAck,
+            WireStatus::kOk);
+}
+
+TEST(SessionTest, DrainingRefusesNewHellos) {
+  Session session(SessionOptions{});
+  session.SetDraining();
+  ExpectAck(Feed(session, Hello()), FrameType::kGoodbyeAck,
+            WireStatus::kDraining);
+  EXPECT_EQ(session.state(), Session::State::kFailed);
+}
+
+TEST(SessionTest, DamagedTableBlobIsBadTable) {
+  Session session(SessionOptions{});
+  Feed(session, Hello());
+  std::string blob = TableBlob();
+  blob[blob.size() / 2] ^= 0x10;  // break the crc32c footer check
+  std::vector<Frame> replies =
+      Feed(session, MakeTableAnnounce({1, blob}));
+  ExpectAck(replies, FrameType::kGoodbyeAck, WireStatus::kBadTable);
+}
+
+TEST(SessionTest, TableFaultSeamQuarantinesTheSession) {
+  fault::ScopedFaultPlan plan(
+      {fault::FaultRule::FailCalls("session.table", 1, 1)});
+  Session session(SessionOptions{});
+  Feed(session, Hello());
+  ExpectAck(Feed(session, Table()), FrameType::kGoodbyeAck,
+            WireStatus::kBadTable);
+  EXPECT_EQ(plan.TotalInjected(), 1u);
+}
+
+TEST(SessionTest, NonConsecutiveSeqIsOutOfOrder) {
+  Session session(SessionOptions{});
+  Handshake(session);
+  Feed(session, Batch(1, 0, 900, {1}));
+  ExpectAck(Feed(session, Batch(3, 1800, 900, {1})), FrameType::kGoodbyeAck,
+            WireStatus::kOutOfOrder);
+}
+
+TEST(SessionTest, TimestampRewindAndOffGridAreOutOfOrder) {
+  Session session(SessionOptions{});
+  Handshake(session);
+  Feed(session, Batch(1, 9000, 900, {1, 2}));
+  // Rewind: starts before the expected 10800.
+  ExpectAck(Feed(session, Batch(2, 9000, 900, {3})), FrameType::kGoodbyeAck,
+            WireStatus::kOutOfOrder);
+
+  Session session2(SessionOptions{});
+  Handshake(session2);
+  Feed(session2, Batch(1, 0, 900, {1}));
+  // Off the 900 s grid.
+  ExpectAck(Feed(session2, Batch(2, 901, 900, {1})), FrameType::kGoodbyeAck,
+            WireStatus::kOutOfOrder);
+}
+
+TEST(SessionTest, StepChangeMidStreamIsBadBatch) {
+  Session session(SessionOptions{});
+  Handshake(session);
+  Feed(session, Batch(1, 0, 900, {1}));
+  ExpectAck(Feed(session, Batch(2, 900, 600, {1})), FrameType::kGoodbyeAck,
+            WireStatus::kBadBatch);
+}
+
+TEST(SessionTest, LevelMismatchIsBadBatch) {
+  Session session(SessionOptions{});
+  Handshake(session);
+  ExpectAck(Feed(session, Batch(1, 0, 900, {1}, kLevel + 1)),
+            FrameType::kGoodbyeAck, WireStatus::kBadBatch);
+}
+
+TEST(SessionTest, SymbolAboveAlphabetIsRejectedAtParse) {
+  Session session(SessionOptions{});
+  Handshake(session);
+  // kLevel = 4 bits -> indices 0..15; 16 is out of alphabet (and not GAP).
+  // The strict wire parser refuses it before the session layer ever sees
+  // the batch, so this surfaces as a frame error, not a batch error.
+  ExpectAck(Feed(session, Batch(1, 0, 900, {16})), FrameType::kGoodbyeAck,
+            WireStatus::kBadFrame);
+}
+
+TEST(SessionTest, OversizedGapJumpIsRefusedNotFilled) {
+  SessionOptions options;
+  options.max_gap_fill = 4;
+  Session session(options);
+  Handshake(session);
+  Feed(session, Batch(1, 0, 900, {1}));
+  // Skips 5 windows > max_gap_fill of 4.
+  ExpectAck(Feed(session, Batch(2, 900 + 5 * 900, 900, {1})),
+            FrameType::kGoodbyeAck, WireStatus::kOutOfOrder);
+}
+
+TEST(SessionTest, SymbolCapBoundsSessionMemory) {
+  SessionOptions options;
+  options.max_session_symbols = 3;
+  Session session(options);
+  Handshake(session);
+  Feed(session, Batch(1, 0, 900, {1, 2}));
+  ExpectAck(Feed(session, Batch(2, 1800, 900, {3, 4})),
+            FrameType::kGoodbyeAck, WireStatus::kBadBatch);
+}
+
+TEST(SessionTest, GoodbyeQualityMismatchFailsInsteadOfPersisting) {
+  Session session(SessionOptions{});
+  Handshake(session);
+  Feed(session, Batch(1, 0, 900, {1, 2, kWireGapSymbol}));
+  // Server saw 3 symbols / 1 gap; the client claims 3 / 0.
+  ExpectAck(Feed(session, MakeGoodbye({3, 0, 0})), FrameType::kGoodbyeAck,
+            WireStatus::kBadBatch);
+  EXPECT_EQ(session.state(), Session::State::kFailed);
+  EXPECT_FALSE(session.TakeSeries().ok());
+}
+
+TEST(SessionTest, GoodbyeWithoutAnyBatchIsBadState) {
+  Session session(SessionOptions{});
+  Handshake(session);
+  ExpectAck(Feed(session, MakeGoodbye({0, 0, 0})), FrameType::kGoodbyeAck,
+            WireStatus::kBadState);
+}
+
+TEST(SessionTest, PingWorksInAnyLiveStateAfterHello) {
+  Session session(SessionOptions{});
+  Feed(session, Hello());
+  std::vector<Frame> replies = Feed(session, MakePing(17));
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(PingPayload pong, ParsePing(replies[0]));
+  EXPECT_EQ(replies[0].type, FrameType::kPong);
+  EXPECT_EQ(pong.nonce, 17u);
+  EXPECT_EQ(session.state(), Session::State::kExpectTable);
+
+  Feed(session, Table());
+  replies = Feed(session, MakePing(18));
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(session.state(), Session::State::kStreaming);
+}
+
+TEST(SessionTest, FramesAfterTerminalStatesAreIgnored) {
+  Session session(SessionOptions{});
+  Handshake(session);
+  Feed(session, Batch(1, 0, 900, {1}));
+  Feed(session, MakeGoodbye({1, 0, 0}));
+  ASSERT_EQ(session.state(), Session::State::kComplete);
+  EXPECT_TRUE(Feed(session, Batch(2, 900, 900, {1})).empty());
+  EXPECT_EQ(session.state(), Session::State::kComplete);
+
+  Session failed(SessionOptions{});
+  Feed(failed, Table());
+  ASSERT_EQ(failed.state(), Session::State::kFailed);
+  EXPECT_TRUE(Feed(failed, Hello()).empty());
+}
+
+TEST(SessionTest, TakeSeriesRequiresCompletion) {
+  Session session(SessionOptions{});
+  Handshake(session);
+  Feed(session, Batch(1, 0, 900, {1}));
+  EXPECT_FALSE(session.TakeSeries().ok());
+}
+
+TEST(SessionTest, AckTypeForCoversEveryRequest) {
+  EXPECT_EQ(AckTypeFor(FrameType::kHello), FrameType::kHelloAck);
+  EXPECT_EQ(AckTypeFor(FrameType::kTableAnnounce), FrameType::kTableAck);
+  EXPECT_EQ(AckTypeFor(FrameType::kSymbolBatch), FrameType::kBatchAck);
+  EXPECT_EQ(AckTypeFor(FrameType::kPing), FrameType::kPong);
+  EXPECT_EQ(AckTypeFor(FrameType::kGoodbye), FrameType::kGoodbyeAck);
+}
+
+}  // namespace
+}  // namespace smeter::net

@@ -1,0 +1,250 @@
+// Frame codec tests: Encode/Decode and Make*/Parse* must be exact
+// inverses, and every malformed input — truncation, CRC damage, unknown
+// types, oversized lengths, trailing bytes — must be refused with the
+// documented outcome, never accepted or crashed on.
+
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "testutil.h"
+
+namespace smeter::net {
+namespace {
+
+Frame DecodeOk(const std::string& bytes) {
+  DecodeResult result = DecodeFrame(bytes);
+  EXPECT_EQ(result.outcome, DecodeResult::Outcome::kFrame)
+      << result.error.ToString();
+  EXPECT_EQ(result.consumed, bytes.size());
+  return result.frame;
+}
+
+TEST(WireFrameTest, EncodeDecodeRoundTrip) {
+  Frame frame;
+  frame.type = FrameType::kSymbolBatch;
+  frame.payload = std::string("\x00\x01\x02\xff payload", 12);
+  std::string bytes = EncodeFrame(frame);
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes + frame.payload.size());
+  EXPECT_EQ(DecodeOk(bytes), frame);
+}
+
+TEST(WireFrameTest, EmptyPayloadRoundTrips) {
+  Frame frame;
+  frame.type = FrameType::kPing;
+  EXPECT_EQ(DecodeOk(EncodeFrame(frame)), frame);
+}
+
+TEST(WireFrameTest, StreamingDecodeConsumesExactlyOneFrame) {
+  std::string stream = EncodeFrame(MakePing(7)) + EncodeFrame(MakePong(7));
+  DecodeResult first = DecodeFrame(stream);
+  ASSERT_EQ(first.outcome, DecodeResult::Outcome::kFrame);
+  EXPECT_EQ(first.frame.type, FrameType::kPing);
+  DecodeResult second = DecodeFrame(
+      std::string_view(stream).substr(first.consumed));
+  ASSERT_EQ(second.outcome, DecodeResult::Outcome::kFrame);
+  EXPECT_EQ(second.frame.type, FrameType::kPong);
+  EXPECT_EQ(first.consumed + second.consumed, stream.size());
+}
+
+TEST(WireFrameTest, EveryTruncationIsNeedMoreNeverError) {
+  std::string bytes = EncodeFrame(MakeHello({kProtocolVersion, "m1", "t"}));
+  for (size_t n = 0; n < bytes.size(); ++n) {
+    SCOPED_TRACE(n);
+    DecodeResult result = DecodeFrame(std::string_view(bytes).substr(0, n));
+    EXPECT_EQ(result.outcome, DecodeResult::Outcome::kNeedMore);
+    EXPECT_EQ(result.consumed, 0u);
+  }
+}
+
+TEST(WireFrameTest, EverySingleBitFlipIsDetected) {
+  std::string bytes = EncodeFrame(MakePing(0x0123456789abcdefull));
+  for (size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string damaged = bytes;
+      damaged[byte] = static_cast<char>(
+          static_cast<unsigned char>(damaged[byte]) ^ (1u << bit));
+      DecodeResult result = DecodeFrame(damaged);
+      // A flipped length byte may legitimately turn the buffer into a
+      // valid prefix of a longer frame (kNeedMore); anything that decodes
+      // to a complete frame identical to the original is a codec bug.
+      if (result.outcome == DecodeResult::Outcome::kFrame) {
+        ADD_FAILURE() << "bit " << bit << " of byte " << byte
+                      << " flipped but the frame still decoded";
+      }
+    }
+  }
+}
+
+TEST(WireFrameTest, UnknownFrameTypeIsError) {
+  Frame frame;
+  frame.type = FrameType::kHello;
+  frame.payload = "x";
+  std::string bytes = EncodeFrame(frame);
+  bytes[4] = 99;  // type byte, not a FrameType
+  DecodeResult result = DecodeFrame(bytes);
+  EXPECT_EQ(result.outcome, DecodeResult::Outcome::kError);
+  EXPECT_EQ(result.error.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(IsKnownFrameType(0));
+  EXPECT_FALSE(IsKnownFrameType(11));
+  EXPECT_TRUE(IsKnownFrameType(1));
+  EXPECT_TRUE(IsKnownFrameType(10));
+}
+
+TEST(WireFrameTest, OversizedLengthIsRefusedBeforeAllocation) {
+  std::string bytes(kFrameHeaderBytes, '\0');
+  const uint32_t huge = kMaxFramePayload + 1;
+  bytes[0] = static_cast<char>(huge & 0xff);
+  bytes[1] = static_cast<char>((huge >> 8) & 0xff);
+  bytes[2] = static_cast<char>((huge >> 16) & 0xff);
+  bytes[3] = static_cast<char>((huge >> 24) & 0xff);
+  bytes[4] = 1;  // kHello
+  DecodeResult result = DecodeFrame(bytes);
+  EXPECT_EQ(result.outcome, DecodeResult::Outcome::kError);
+  EXPECT_EQ(result.error.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireFrameTest, CrcDamageIsDataLoss) {
+  std::string bytes = EncodeFrame(MakeGoodbye({10, 2, 1}));
+  bytes.back() = static_cast<char>(bytes.back() ^ 0x40);  // payload bit
+  DecodeResult result = DecodeFrame(bytes);
+  ASSERT_EQ(result.outcome, DecodeResult::Outcome::kError);
+  EXPECT_EQ(result.error.code(), StatusCode::kDataLoss);
+}
+
+TEST(WirePayloadTest, HelloRoundTrip) {
+  HelloPayload hello;
+  hello.protocol_version = kProtocolVersion;
+  hello.meter_id = "meter_1042";
+  hello.auth_token = "secret token";
+  ASSERT_OK_AND_ASSIGN(HelloPayload parsed, ParseHello(MakeHello(hello)));
+  EXPECT_EQ(parsed.protocol_version, hello.protocol_version);
+  EXPECT_EQ(parsed.meter_id, hello.meter_id);
+  EXPECT_EQ(parsed.auth_token, hello.auth_token);
+}
+
+TEST(WirePayloadTest, HelloRejectsTruncationAndTrailingBytes) {
+  Frame frame = MakeHello({kProtocolVersion, "m", ""});
+  for (size_t n = 0; n < frame.payload.size(); ++n) {
+    Frame cut = frame;
+    cut.payload.resize(n);
+    EXPECT_FALSE(ParseHello(cut).ok()) << "truncated to " << n;
+  }
+  Frame padded = frame;
+  padded.payload += '\0';
+  EXPECT_FALSE(ParseHello(padded).ok());
+}
+
+TEST(WirePayloadTest, AckRoundTripAllThreeTypes) {
+  for (FrameType type : {FrameType::kHelloAck, FrameType::kTableAck,
+                         FrameType::kGoodbyeAck}) {
+    AckPayload ack;
+    ack.status = WireStatus::kBadTable;
+    ack.message = "crc mismatch";
+    ASSERT_OK_AND_ASSIGN(AckPayload parsed, ParseAck(MakeAck(type, ack)));
+    EXPECT_EQ(parsed.status, ack.status);
+    EXPECT_EQ(parsed.message, ack.message);
+  }
+}
+
+TEST(WirePayloadTest, AckRejectsOutOfRangeStatus) {
+  Frame frame = MakeAck(FrameType::kHelloAck, {WireStatus::kOk, ""});
+  frame.payload[0] = 120;  // not a WireStatus
+  EXPECT_FALSE(ParseAck(frame).ok());
+}
+
+TEST(WirePayloadTest, TableAnnounceRoundTripsBlobVerbatim) {
+  TableAnnouncePayload announce;
+  announce.table_version = 7;
+  announce.table_blob = std::string("blob with\0 embedded nul", 23);
+  ASSERT_OK_AND_ASSIGN(TableAnnouncePayload parsed,
+                       ParseTableAnnounce(MakeTableAnnounce(announce)));
+  EXPECT_EQ(parsed.table_version, 7u);
+  EXPECT_EQ(parsed.table_blob, announce.table_blob);
+}
+
+TEST(WirePayloadTest, SymbolBatchRoundTripIncludingGapSentinel) {
+  SymbolBatchPayload batch;
+  batch.seq = 3;
+  batch.start_timestamp = 1'600'000'000;
+  batch.step_seconds = 900;
+  batch.level = 4;
+  batch.symbols = {0, 15, kWireGapSymbol, 7, kWireGapSymbol};
+  ASSERT_OK_AND_ASSIGN(SymbolBatchPayload parsed,
+                       ParseSymbolBatch(MakeSymbolBatch(batch)));
+  EXPECT_EQ(parsed.seq, batch.seq);
+  EXPECT_EQ(parsed.start_timestamp, batch.start_timestamp);
+  EXPECT_EQ(parsed.step_seconds, batch.step_seconds);
+  EXPECT_EQ(parsed.level, batch.level);
+  EXPECT_EQ(parsed.symbols, batch.symbols);
+}
+
+TEST(WirePayloadTest, SymbolBatchRejectsBadFields) {
+  SymbolBatchPayload batch;
+  batch.seq = 1;
+  batch.start_timestamp = 0;
+  batch.step_seconds = 900;
+  batch.level = 4;
+  batch.symbols = {1, 2, 3};
+  Frame good = MakeSymbolBatch(batch);
+  ASSERT_TRUE(ParseSymbolBatch(good).ok());
+
+  Frame trailing = good;
+  trailing.payload += "xx";
+  EXPECT_FALSE(ParseSymbolBatch(trailing).ok());
+
+  Frame truncated = good;
+  truncated.payload.pop_back();
+  EXPECT_FALSE(ParseSymbolBatch(truncated).ok());
+
+  batch.step_seconds = 0;
+  EXPECT_FALSE(ParseSymbolBatch(MakeSymbolBatch(batch)).ok());
+  batch.step_seconds = 900;
+  batch.symbols.clear();
+  EXPECT_FALSE(ParseSymbolBatch(MakeSymbolBatch(batch)).ok());
+}
+
+TEST(WirePayloadTest, BatchAckPingGoodbyeRoundTrip) {
+  ASSERT_OK_AND_ASSIGN(
+      BatchAckPayload ack,
+      ParseBatchAck(MakeBatchAck({42, WireStatus::kOutOfOrder, "rewind"})));
+  EXPECT_EQ(ack.seq, 42u);
+  EXPECT_EQ(ack.status, WireStatus::kOutOfOrder);
+  EXPECT_EQ(ack.message, "rewind");
+
+  ASSERT_OK_AND_ASSIGN(PingPayload ping, ParsePing(MakePing(99)));
+  EXPECT_EQ(ping.nonce, 99u);
+  ASSERT_OK_AND_ASSIGN(PingPayload pong, ParsePing(MakePong(99)));
+  EXPECT_EQ(pong.nonce, 99u);
+
+  ASSERT_OK_AND_ASSIGN(GoodbyePayload bye,
+                       ParseGoodbye(MakeGoodbye({96, 3, 12})));
+  EXPECT_EQ(bye.windows_valid, 96u);
+  EXPECT_EQ(bye.windows_partial, 3u);
+  EXPECT_EQ(bye.windows_gap, 12u);
+}
+
+TEST(WirePayloadTest, ParsersCheckTheFrameType) {
+  Frame ping = MakePing(1);
+  EXPECT_FALSE(ParseHello(ping).ok());
+  EXPECT_FALSE(ParseAck(ping).ok());
+  EXPECT_FALSE(ParseTableAnnounce(ping).ok());
+  EXPECT_FALSE(ParseSymbolBatch(ping).ok());
+  EXPECT_FALSE(ParseBatchAck(ping).ok());
+  EXPECT_FALSE(ParseGoodbye(ping).ok());
+  EXPECT_FALSE(ParsePing(MakeHello({kProtocolVersion, "m", ""})).ok());
+}
+
+TEST(WireStatusTest, EveryStatusHasAName) {
+  for (uint8_t s = 0; s <= 8; ++s) {
+    EXPECT_FALSE(WireStatusName(static_cast<WireStatus>(s)).empty());
+  }
+  EXPECT_EQ(WireStatusName(WireStatus::kOk), "ok");
+  EXPECT_EQ(WireStatusName(WireStatus::kDraining), "draining");
+}
+
+}  // namespace
+}  // namespace smeter::net

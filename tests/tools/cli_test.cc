@@ -303,5 +303,60 @@ TEST(CliTest, DecodeModeValidation) {
   EXPECT_NE(center.find("timestamp,watts"), std::string::npos);
 }
 
+TEST(CliExitCodeTest, UnknownSubcommandExitsNonZeroWithUsage) {
+  std::ostringstream out, err;
+  int code = RunCliExitCode({"frobnicate"}, out, err);
+  EXPECT_NE(code, 0);
+  EXPECT_NE(err.str().find("unknown command 'frobnicate'"),
+            std::string::npos);
+  // Usage errors reprint the full usage text so the fix is one screen away.
+  EXPECT_NE(err.str().find(UsageText()), std::string::npos);
+}
+
+TEST(CliExitCodeTest, UnknownFlagExitsNonZeroWithUsage) {
+  std::ostringstream out, err;
+  // --out is required and parsed before the stray-flag check, so supply it;
+  // the stray check still refuses --bogus before anything is written.
+  const std::string dir = smeter::testing::TempPath("cli_unknown_flag");
+  int code =
+      RunCliExitCode({"simulate", "--out", dir, "--bogus", "1"}, out, err);
+  EXPECT_NE(code, 0);
+  EXPECT_NE(err.str().find("unknown flag(s): --bogus"), std::string::npos);
+  EXPECT_NE(err.str().find(UsageText()), std::string::npos);
+}
+
+TEST(CliExitCodeTest, MalformedFlagSyntaxExitsNonZeroWithUsage) {
+  std::ostringstream out, err;
+  EXPECT_NE(RunCliExitCode({"stats", "--input"}, out, err), 0);
+  EXPECT_NE(err.str().find(UsageText()), std::string::npos);
+
+  std::ostringstream out2, err2;
+  EXPECT_NE(RunCliExitCode({"stats", "stray_positional"}, out2, err2), 0);
+  EXPECT_NE(err2.str().find(UsageText()), std::string::npos);
+}
+
+TEST(CliExitCodeTest, ProcessingErrorsDoNotReprintUsage) {
+  // A missing input file is the operator's problem, not a usage problem;
+  // drowning the real error in the usage text would hide it.
+  std::ostringstream out, err;
+  int code = RunCliExitCode(
+      {"stats", "--input", "/nonexistent/trace.dat"}, out, err);
+  EXPECT_NE(code, 0);
+  EXPECT_FALSE(err.str().empty());
+  EXPECT_EQ(err.str().find(UsageText()), std::string::npos);
+}
+
+TEST(CliExitCodeTest, UsageTextDocumentsTheNetCommands) {
+  const std::string usage = UsageText();
+  EXPECT_NE(usage.find("ingestd"), std::string::npos);
+  EXPECT_NE(usage.find("loadgen"), std::string::npos);
+}
+
+TEST(CliExitCodeTest, SuccessIsExitZero) {
+  std::ostringstream out, err;
+  EXPECT_EQ(RunCliExitCode({"help"}, out, err), 0);
+  EXPECT_TRUE(err.str().empty());
+}
+
 }  // namespace
 }  // namespace smeter::cli

@@ -1,5 +1,6 @@
 #include "cli.h"
 
+#include <csignal>
 #include <filesystem>
 #include <map>
 #include <mutex>
@@ -20,6 +21,8 @@
 #include "data/cer.h"
 #include "data/generator.h"
 #include "data/redd.h"
+#include "net/ingest_server.h"
+#include "net/loadgen.h"
 
 namespace smeter::cli {
 namespace {
@@ -560,6 +563,152 @@ Status CmdFsck(const Flags& flags, std::ostream& out, int* exit_code) {
   return Status::Ok();
 }
 
+// The running daemon, for the signal handlers. Written on the main thread
+// before signals are installed; the handlers only call the two
+// async-signal-safe entry points (atomic flag + one eventfd write each).
+net::IngestServer* g_ingest_server = nullptr;
+
+void HandleDrainSignal(int) {
+  if (g_ingest_server != nullptr) g_ingest_server->RequestDrain();
+}
+
+void HandleStatsSignal(int) {
+  if (g_ingest_server != nullptr) g_ingest_server->RequestStatsDump();
+}
+
+Status CmdIngestd(const Flags& flags, std::ostream& out) {
+  Result<std::string> listen = flags.Get("listen");
+  if (!listen.ok()) return listen.status();
+  Result<std::string> dir = flags.Get("dir");
+  if (!dir.ok()) return dir.status();
+  Result<bool> resume = flags.GetBool("resume", false);
+  if (!resume.ok()) return resume.status();
+  std::string auth_token = flags.GetOr("auth-token", "");
+  Result<int64_t> idle = flags.GetInt("idle-timeout-ms", 30'000);
+  if (!idle.ok()) return idle.status();
+  Result<int64_t> grace = flags.GetInt("drain-grace-ms", 5'000);
+  if (!grace.ok()) return grace.status();
+  Result<int64_t> exit_after = flags.GetInt("exit-after-households", 0);
+  if (!exit_after.ok()) return exit_after.status();
+  Result<int64_t> watermark = flags.GetInt("high-watermark", 1 << 20);
+  if (!watermark.ok()) return watermark.status();
+  SMETER_RETURN_IF_ERROR(CheckNoStrayFlags(flags));
+  if (*exit_after < 0) {
+    return InvalidArgumentError("--exit-after-households must be >= 0");
+  }
+  if (*watermark <= 0) {
+    return InvalidArgumentError("--high-watermark must be > 0");
+  }
+
+  net::IngestServerOptions options;
+  SMETER_RETURN_IF_ERROR(
+      net::ParseListenAddress(*listen, &options.host, &options.port));
+  options.archive_dir = *dir;
+  options.resume = *resume;
+  options.auth_token = auth_token;
+  options.idle_timeout_ms = *idle;
+  options.drain_grace_ms = *grace;
+  options.exit_after_households = static_cast<uint64_t>(*exit_after);
+  options.high_watermark = static_cast<size_t>(*watermark);
+
+  Result<std::unique_ptr<net::IngestServer>> server =
+      net::IngestServer::Create(std::move(options));
+  if (!server.ok()) return server.status();
+
+  out << "ingestd listening on " << (*server)->port() << ", archive "
+      << *dir << "\n"
+      << std::flush;
+
+  // SIGTERM/SIGINT drain gracefully (stop accepting, flush sessions,
+  // checkpoint); SIGUSR1 dumps the counters JSON without stopping.
+  g_ingest_server = server->get();
+  struct sigaction action{};
+  action.sa_handler = HandleDrainSignal;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+  action.sa_handler = HandleStatsSignal;
+  sigaction(SIGUSR1, &action, nullptr);
+
+  Status status = (*server)->Run();
+  g_ingest_server = nullptr;
+  out << (*server)->counters().ToJson() << "\n";
+  return status;
+}
+
+Status CmdLoadgen(const Flags& flags, std::ostream& out, int* exit_code) {
+  Result<std::string> connect = flags.Get("connect");
+  if (!connect.ok()) return connect.status();
+  Result<int64_t> meters = flags.GetInt("meters", 10);
+  if (!meters.ok()) return meters.status();
+  std::string input = flags.GetOr("input", "");
+  std::string auth_token = flags.GetOr("auth-token", "");
+  Result<int64_t> concurrency = flags.GetInt("concurrency", 8);
+  if (!concurrency.ok()) return concurrency.status();
+  Result<int64_t> batch = flags.GetInt("batch-symbols", 512);
+  if (!batch.ok()) return batch.status();
+  Result<double> rate = flags.GetDouble("rate", 0);
+  if (!rate.ok()) return rate.status();
+  Result<int64_t> attempts = flags.GetInt("max-attempts", 5);
+  if (!attempts.ok()) return attempts.status();
+  Result<int64_t> io_timeout = flags.GetInt("io-timeout-ms", 10'000);
+  if (!io_timeout.ok()) return io_timeout.status();
+  // Sensor-side encoding — keep in lockstep with encode-fleet's flags when
+  // comparing archives.
+  Result<SeparatorMethod> method =
+      MethodFromName(flags.GetOr("method", "median"));
+  if (!method.ok()) return method.status();
+  Result<int64_t> level = flags.GetInt("level", 4);
+  if (!level.ok()) return level.status();
+  Result<int64_t> window = flags.GetInt("window", 900);
+  if (!window.ok()) return window.status();
+  Result<int64_t> sample_period = flags.GetInt("sample-period", 1);
+  if (!sample_period.ok()) return sample_period.status();
+  Result<int64_t> history = flags.GetInt("history-seconds", 0);
+  if (!history.ok()) return history.status();
+  Result<bool> gap_aware = flags.GetBool("gap-aware", true);
+  if (!gap_aware.ok()) return gap_aware.status();
+  // Synthetic-fleet shape (ignored with --input).
+  Result<int64_t> days = flags.GetInt("days", 1);
+  if (!days.ok()) return days.status();
+  Result<int64_t> gen_period = flags.GetInt("gen-period", 60);
+  if (!gen_period.ok()) return gen_period.status();
+  Result<int64_t> seed = flags.GetInt("seed", 42);
+  if (!seed.ok()) return seed.status();
+  Result<double> outages = flags.GetDouble("outages", 0.4);
+  if (!outages.ok()) return outages.status();
+  SMETER_RETURN_IF_ERROR(CheckNoStrayFlags(flags));
+  if (*meters <= 0) return InvalidArgumentError("--meters must be > 0");
+
+  net::LoadgenOptions options;
+  SMETER_RETURN_IF_ERROR(
+      net::ParseListenAddress(*connect, &options.host, &options.port));
+  options.auth_token = auth_token;
+  options.input_cer = input;
+  options.meters = static_cast<size_t>(*meters);
+  options.generator.duration_seconds = *days * kSecondsPerDay;
+  options.generator.sample_period_seconds = *gen_period;
+  options.generator.seed = static_cast<uint64_t>(*seed);
+  options.generator.outages_per_day = *outages;
+  options.encode.table.method = *method;
+  options.encode.table.level = static_cast<int>(*level);
+  options.encode.pipeline.window_seconds = *window;
+  options.encode.pipeline.window.sample_period_seconds = *sample_period;
+  options.encode.history_seconds = *history;
+  options.encode.gap_aware = *gap_aware;
+  options.batch_symbols = static_cast<size_t>(*batch);
+  options.concurrency = static_cast<size_t>(*concurrency);
+  options.batches_per_second = *rate;
+  options.max_attempts = static_cast<int>(*attempts);
+  options.io_timeout_ms = *io_timeout;
+
+  Result<net::LoadgenReport> report = net::RunLoadgen(options);
+  if (!report.ok()) return report.status();
+  out << report->ToJson() << "\n";
+  // A fleet that did not fully land is a graded failure, like fsck's.
+  if (report->meters_failed > 0) *exit_code = 1;
+  return Status::Ok();
+}
+
 // Dispatches one subcommand. `exit_code` is the fsck(8)-style process code
 // for commands that grade their findings (only fsck today); commands that
 // either succeed or fail leave it at 0 and speak through the Status.
@@ -583,8 +732,22 @@ Status RunCliWithCode(const std::vector<std::string>& args,
   if (command == "decode") return CmdDecode(*flags, out);
   if (command == "info") return CmdInfo(*flags, out);
   if (command == "fsck") return CmdFsck(*flags, out, exit_code);
+  if (command == "ingestd") return CmdIngestd(*flags, out);
+  if (command == "loadgen") return CmdLoadgen(*flags, out, exit_code);
   return InvalidArgumentError("unknown command '" + command +
                               "'; run `smeter help`");
+}
+
+// True for errors where the fix is reading the usage text: an unknown
+// subcommand, an unknown/stray flag, or malformed flag syntax.
+bool IsUsageError(const Status& status) {
+  const std::string& message = status.message();
+  return message.find("unknown command") != std::string::npos ||
+         message.find("unknown flag(s)") != std::string::npos ||
+         message.find("unexpected positional argument") !=
+             std::string::npos ||
+         message.find("needs a value") != std::string::npos ||
+         message.find("duplicate flag") != std::string::npos;
 }
 
 }  // namespace
@@ -701,6 +864,25 @@ std::string UsageText() {
       "               and removes stray .tmp files — then run\n"
       "               `encode-fleet --resume true` to re-encode the rest.\n"
       "               exit codes: 0 clean, 1 repaired, 4 unrepaired\n"
+      "  ingestd      --listen HOST:PORT --dir ARCHIVE [--resume false]\n"
+      "               [--auth-token T] [--idle-timeout-ms 30000]\n"
+      "               [--drain-grace-ms 5000] [--exit-after-households 0]\n"
+      "               [--high-watermark 1048576]\n"
+      "               non-blocking epoll ingestion daemon speaking the\n"
+      "               symbolic wire protocol; completed sessions land in\n"
+      "               the same v3 archive layout encode-fleet writes.\n"
+      "               SIGTERM/SIGINT drain gracefully; SIGUSR1 dumps\n"
+      "               counters JSON to stderr\n"
+      "  loadgen      --connect HOST:PORT [--meters 10] [--input CER_FILE]\n"
+      "               [--concurrency 8] [--batch-symbols 512] [--rate 0]\n"
+      "               [--max-attempts 5] [--auth-token T]\n"
+      "               [--method median] [--level 4] [--window 900]\n"
+      "               [--sample-period 1] [--history-seconds 0]\n"
+      "               [--gap-aware true] [--days 1] [--gen-period 60]\n"
+      "               [--seed 42] [--outages 0.4]\n"
+      "               replay a simulated (or CER) meter fleet against a\n"
+      "               running ingestd over real sockets; exits 1 if any\n"
+      "               meter failed to land\n"
       "  help\n";
 }
 
@@ -723,6 +905,9 @@ int RunCliExitCode(const std::vector<std::string>& args, std::ostream& out,
   Status status = RunCliWithCode(args, out, &exit_code);
   if (!status.ok()) {
     err << "error: " << status.ToString() << "\n";
+    // A usage mistake gets the usage text, not just the error: the exit
+    // code stays non-zero either way.
+    if (IsUsageError(status)) err << "\n" << UsageText();
     return exit_code != 0 ? exit_code : 1;
   }
   return exit_code;
