@@ -5,6 +5,7 @@
 
 #include "core/codec.h"
 #include "core/fleet_manifest.h"
+#include "net/wire.h"
 
 namespace smeter::net {
 namespace {
@@ -65,6 +66,14 @@ Status ArchiveSink::Persist(const std::string& meter,
                             const std::string& table_blob,
                             const SymbolicSeries& series,
                             const EncodeQuality& quality) {
+  // ParseHello already refused unsafe ids; re-check here so no future
+  // caller can turn a meter name into a path escape or a forged manifest
+  // line.
+  if (!IsValidMeterId(meter)) {
+    return InvalidArgumentError(
+        "meter id is not a safe archive file stem (must match "
+        "[A-Za-z0-9_.-]+ and not be all dots)");
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (finalized_) {

@@ -20,15 +20,27 @@ FrameType AckTypeFor(FrameType request) {
 
 Session::Session(SessionOptions options) : options_(std::move(options)) {}
 
-void Session::Fail(WireStatus status, Status error,
-                   std::vector<Frame>* replies) {
+void Session::Fail(FrameType request, WireStatus status, Status error,
+                   std::vector<Frame>* replies, uint64_t batch_seq) {
   state_ = State::kFailed;
   error_status_ = status;
   error_ = std::move(error);
+  FrameType ack_type = AckTypeFor(request);
+  if (ack_type == FrameType::kBatchAck) {
+    BatchAckPayload ack;
+    ack.seq = batch_seq;
+    ack.status = status;
+    ack.message = error_.message();
+    replies->push_back(MakeBatchAck(ack));
+    return;
+  }
+  // PONG carries only the nonce, so a refused PING closes with the
+  // session-terminating ack instead.
+  if (ack_type == FrameType::kPong) ack_type = FrameType::kGoodbyeAck;
   AckPayload ack;
   ack.status = status;
   ack.message = error_.message();
-  replies->push_back(MakeAck(FrameType::kGoodbyeAck, ack));
+  replies->push_back(MakeAck(ack_type, ack));
 }
 
 void Session::OnFrame(const Frame& frame, std::vector<Frame>* replies) {
@@ -40,7 +52,7 @@ void Session::OnFrame(const Frame& frame, std::vector<Frame>* replies) {
   if (frame.type == FrameType::kPing && state_ != State::kExpectHello) {
     Result<PingPayload> ping = ParsePing(frame);
     if (!ping.ok()) {
-      Fail(WireStatus::kBadFrame, ping.status(), replies);
+      Fail(frame.type, WireStatus::kBadFrame, ping.status(), replies);
       return;
     }
     replies->push_back(MakePong(ping->nonce));
@@ -49,7 +61,7 @@ void Session::OnFrame(const Frame& frame, std::vector<Frame>* replies) {
   switch (state_) {
     case State::kExpectHello:
       if (frame.type != FrameType::kHello) {
-        Fail(WireStatus::kBadState,
+        Fail(frame.type, WireStatus::kBadState,
              FailedPreconditionError("expected HELLO first"), replies);
         return;
       }
@@ -57,7 +69,7 @@ void Session::OnFrame(const Frame& frame, std::vector<Frame>* replies) {
       return;
     case State::kExpectTable:
       if (frame.type != FrameType::kTableAnnounce) {
-        Fail(WireStatus::kBadState,
+        Fail(frame.type, WireStatus::kBadState,
              FailedPreconditionError(
                  "expected TABLE_ANNOUNCE before symbol data"),
              replies);
@@ -75,13 +87,13 @@ void Session::OnFrame(const Frame& frame, std::vector<Frame>* replies) {
         return;
       }
       if (frame.type == FrameType::kTableAnnounce) {
-        Fail(WireStatus::kBadState,
+        Fail(frame.type, WireStatus::kBadState,
              FailedPreconditionError(
                  "table re-announcement mid-stream is not supported"),
              replies);
         return;
       }
-      Fail(WireStatus::kBadState,
+      Fail(frame.type, WireStatus::kBadState,
            FailedPreconditionError("unexpected frame while streaming"),
            replies);
       return;
@@ -94,11 +106,13 @@ void Session::OnFrame(const Frame& frame, std::vector<Frame>* replies) {
 void Session::OnHello(const Frame& frame, std::vector<Frame>* replies) {
   Result<HelloPayload> hello = ParseHello(frame);
   if (!hello.ok()) {
-    Fail(WireStatus::kBadFrame, hello.status(), replies);
+    // Covers meter ids that fail IsValidMeterId (path traversal, control
+    // bytes): the strict parser refuses them before any state is stored.
+    Fail(frame.type, WireStatus::kBadFrame, hello.status(), replies);
     return;
   }
   if (hello->protocol_version != kProtocolVersion) {
-    Fail(WireStatus::kUnauthorized,
+    Fail(frame.type, WireStatus::kUnauthorized,
          InvalidArgumentError(
              "unsupported protocol version " +
              std::to_string(hello->protocol_version)),
@@ -107,14 +121,14 @@ void Session::OnHello(const Frame& frame, std::vector<Frame>* replies) {
   }
   if (!options_.auth_token.empty() &&
       hello->auth_token != options_.auth_token) {
-    Fail(WireStatus::kUnauthorized,
+    Fail(frame.type, WireStatus::kUnauthorized,
          InvalidArgumentError("auth token rejected for meter '" +
                               hello->meter_id + "'"),
          replies);
     return;
   }
   if (options_.draining) {
-    Fail(WireStatus::kDraining,
+    Fail(frame.type, WireStatus::kDraining,
          FailedPreconditionError("server is draining"), replies);
     return;
   }
@@ -128,19 +142,19 @@ void Session::OnHello(const Frame& frame, std::vector<Frame>* replies) {
 void Session::OnTable(const Frame& frame, std::vector<Frame>* replies) {
   Result<TableAnnouncePayload> announce = ParseTableAnnounce(frame);
   if (!announce.ok()) {
-    Fail(WireStatus::kBadFrame, announce.status(), replies);
+    Fail(frame.type, WireStatus::kBadFrame, announce.status(), replies);
     return;
   }
   // The `session.table` seam injects validation failures so tests can
   // prove a refused table quarantines the session, not the daemon.
   if (Status fault = fault::Check("session.table"); !fault.ok()) {
-    Fail(WireStatus::kBadTable, std::move(fault), replies);
+    Fail(frame.type, WireStatus::kBadTable, std::move(fault), replies);
     return;
   }
   // Deserialize validates the blob end to end, crc32c footer included.
   Result<LookupTable> table = LookupTable::Deserialize(announce->table_blob);
   if (!table.ok()) {
-    Fail(WireStatus::kBadTable,
+    Fail(frame.type, WireStatus::kBadTable,
          Status(table.status().code(), "meter '" + meter_id_ +
                                            "' announced a bad table: " +
                                            table.status().message()),
@@ -159,23 +173,25 @@ void Session::OnTable(const Frame& frame, std::vector<Frame>* replies) {
 void Session::OnBatch(const Frame& frame, std::vector<Frame>* replies) {
   Result<SymbolBatchPayload> batch = ParseSymbolBatch(frame);
   if (!batch.ok()) {
-    Fail(WireStatus::kBadFrame, batch.status(), replies);
+    // The seq is unparseable, so the refusal ack carries the expected one.
+    Fail(frame.type, WireStatus::kBadFrame, batch.status(), replies,
+         next_seq_);
     return;
   }
   if (batch->seq != next_seq_) {
-    Fail(WireStatus::kOutOfOrder,
+    Fail(frame.type, WireStatus::kOutOfOrder,
          InvalidArgumentError("batch seq " + std::to_string(batch->seq) +
                               ", expected " + std::to_string(next_seq_)),
-         replies);
+         replies, batch->seq);
     return;
   }
   if (batch->level != table_->level()) {
-    Fail(WireStatus::kBadBatch,
+    Fail(frame.type, WireStatus::kBadBatch,
          InvalidArgumentError(
              "batch level " + std::to_string(batch->level) +
              " does not match the announced table's level " +
              std::to_string(table_->level())),
-         replies);
+         replies, batch->seq);
     return;
   }
   size_t gap_fill = 0;
@@ -185,38 +201,57 @@ void Session::OnBatch(const Frame& frame, std::vector<Frame>* replies) {
     next_timestamp_ = batch->start_timestamp;
   } else {
     if (batch->step_seconds != step_seconds_) {
-      Fail(WireStatus::kBadBatch,
-           InvalidArgumentError("batch step changed mid-stream"), replies);
+      Fail(frame.type, WireStatus::kBadBatch,
+           InvalidArgumentError("batch step changed mid-stream"), replies,
+           batch->seq);
       return;
     }
-    const int64_t delta = batch->start_timestamp - next_timestamp_;
-    if (delta < 0 || delta % step_seconds_ != 0) {
+    // ParseSymbolBatch bounds both operands to ±kMaxWireTimestamp, but
+    // next_timestamp_ has advanced since, so do the subtraction with an
+    // explicit overflow check rather than trusting the headroom.
+    int64_t delta = 0;
+    if (__builtin_sub_overflow(batch->start_timestamp, next_timestamp_,
+                               &delta) ||
+        delta < 0 || delta % step_seconds_ != 0) {
       // Rewinds, overlaps, and off-grid starts are out-of-order input: the
       // windows already streamed are immutable, so refuse instead of
       // guessing.
-      Fail(WireStatus::kOutOfOrder,
+      Fail(frame.type, WireStatus::kOutOfOrder,
            InvalidArgumentError(
                "batch starts at " + std::to_string(batch->start_timestamp) +
                ", expected " + std::to_string(next_timestamp_) +
                " (step " + std::to_string(step_seconds_) + ")"),
-           replies);
+           replies, batch->seq);
       return;
     }
     gap_fill = static_cast<size_t>(delta / step_seconds_);
     if (gap_fill > options_.max_gap_fill) {
-      Fail(WireStatus::kOutOfOrder,
+      Fail(frame.type, WireStatus::kOutOfOrder,
            InvalidArgumentError("batch skips " + std::to_string(gap_fill) +
                                 " windows, more than the server will "
                                 "GAP-fill"),
-           replies);
+           replies, batch->seq);
       return;
     }
   }
   if (samples_.size() + gap_fill + batch->symbols.size() >
       options_.max_session_symbols) {
-    Fail(WireStatus::kBadBatch,
+    Fail(frame.type, WireStatus::kBadBatch,
          InvalidArgumentError("session exceeds the per-meter symbol cap"),
-         replies);
+         replies, batch->seq);
+    return;
+  }
+  // Refuse up front if this batch's windows would run the cadence past
+  // int64 — the per-sample additions below can then never overflow (UB).
+  const int64_t windows =
+      static_cast<int64_t>(gap_fill + batch->symbols.size());
+  int64_t span = 0;
+  int64_t end_timestamp = 0;
+  if (__builtin_mul_overflow(step_seconds_, windows, &span) ||
+      __builtin_add_overflow(next_timestamp_, span, &end_timestamp)) {
+    Fail(frame.type, WireStatus::kBadBatch,
+         InvalidArgumentError("batch timestamps overflow the epoch range"),
+         replies, batch->seq);
     return;
   }
   // Missing windows between batches become explicit GAP symbols — the
@@ -236,7 +271,8 @@ void Session::OnBatch(const Frame& frame, std::vector<Frame>* replies) {
     } else {
       Result<Symbol> symbol = Symbol::Create(level, wire_symbol);
       if (!symbol.ok()) {
-        Fail(WireStatus::kBadBatch, symbol.status(), replies);
+        Fail(frame.type, WireStatus::kBadBatch, symbol.status(), replies,
+             batch->seq);
         return;
       }
       samples_.push_back({next_timestamp_, symbol.value()});
@@ -253,11 +289,11 @@ void Session::OnBatch(const Frame& frame, std::vector<Frame>* replies) {
 void Session::OnGoodbye(const Frame& frame, std::vector<Frame>* replies) {
   Result<GoodbyePayload> goodbye = ParseGoodbye(frame);
   if (!goodbye.ok()) {
-    Fail(WireStatus::kBadFrame, goodbye.status(), replies);
+    Fail(frame.type, WireStatus::kBadFrame, goodbye.status(), replies);
     return;
   }
   if (samples_.empty()) {
-    Fail(WireStatus::kBadState,
+    Fail(frame.type, WireStatus::kBadState,
          FailedPreconditionError("GOODBYE before any symbol batch"),
          replies);
     return;
@@ -267,7 +303,7 @@ void Session::OnGoodbye(const Frame& frame, std::vector<Frame>* replies) {
                                 goodbye->windows_gap;
   if (client_total != samples_.size() ||
       goodbye->windows_gap != gaps_received_) {
-    Fail(WireStatus::kBadBatch,
+    Fail(frame.type, WireStatus::kBadBatch,
          InvalidArgumentError(
              "GOODBYE quality counts disagree with the received stream "
              "(client total " + std::to_string(client_total) + "/gap " +

@@ -112,8 +112,13 @@ class Session {
   Result<SymbolicSeries> TakeSeries();
 
  private:
-  void Fail(WireStatus status, Status error,
-            std::vector<Frame>* replies);
+  // Fails the session and replies with the ack type matching the offending
+  // request (AckTypeFor), so a refused SYMBOL_BATCH yields a BATCH_ACK
+  // carrying `batch_seq` and the real status instead of a generic
+  // GOODBYE_ACK. A bad PING closes with a GOODBYE_ACK since PONG has no
+  // status field.
+  void Fail(FrameType request, WireStatus status, Status error,
+            std::vector<Frame>* replies, uint64_t batch_seq = 0);
   void OnHello(const Frame& frame, std::vector<Frame>* replies);
   void OnTable(const Frame& frame, std::vector<Frame>* replies);
   void OnBatch(const Frame& frame, std::vector<Frame>* replies);

@@ -1,5 +1,6 @@
 #include "net/wire.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/io.h"
@@ -36,8 +37,12 @@ void PutI64(std::string& out, int64_t v) {
 }
 
 void PutString(std::string& out, const std::string& s) {
-  PutU16(out, static_cast<uint16_t>(s.size()));
-  out += s;
+  // Clamp to the protocol cap so the u16 length prefix can never wrap and
+  // the strict TakeString bound always accepts what a Make* built — an
+  // oversized server message is truncated, never framed unparseably.
+  const size_t len = std::min(s.size(), kMaxWireString);
+  PutU16(out, static_cast<uint16_t>(len));
+  out.append(s, 0, len);
 }
 
 // Strict cursor over a payload: every Take errors on truncation, and the
@@ -137,6 +142,20 @@ uint32_t FrameCrc(uint8_t type, std::string_view payload) {
 }
 
 }  // namespace
+
+bool IsValidMeterId(std::string_view meter_id) {
+  if (meter_id.empty() || meter_id.size() > kMaxWireString) return false;
+  bool all_dots = true;
+  for (char c : meter_id) {
+    const bool allowed = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                         (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                         c == '-';
+    if (!allowed) return false;
+    if (c != '.') all_dots = false;
+  }
+  // "." and ".." (and longer dot runs) are path components, not names.
+  return !all_dots;
+}
 
 bool IsKnownFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kHello) &&
@@ -243,8 +262,13 @@ Result<HelloPayload> ParseHello(const Frame& frame) {
   if (!token.ok()) return token.status();
   hello.auth_token = std::move(*token);
   SMETER_RETURN_IF_ERROR(reader.ExpectExhausted());
-  if (hello.meter_id.empty()) {
-    return InvalidArgumentError("HELLO with empty meter id");
+  // The meter id becomes an archive file stem and a manifest record, so
+  // the strict parser refuses anything outside [A-Za-z0-9_.-] (path
+  // separators, "..", control bytes) before the session layer sees it.
+  if (!IsValidMeterId(hello.meter_id)) {
+    return InvalidArgumentError(
+        "HELLO meter id is empty, all dots, or has bytes outside "
+        "[A-Za-z0-9_.-]");
   }
   return hello;
 }
@@ -340,8 +364,16 @@ Result<SymbolBatchPayload> ParseSymbolBatch(const Frame& frame) {
                                 " outside [1, " +
                                 std::to_string(kMaxSymbolLevel) + "]");
   }
-  if (batch.step_seconds <= 0) {
-    return InvalidArgumentError("batch step must be positive");
+  if (batch.step_seconds <= 0 || batch.step_seconds > kMaxWireStepSeconds) {
+    return InvalidArgumentError(
+        "batch step " + std::to_string(batch.step_seconds) +
+        " outside (0, " + std::to_string(kMaxWireStepSeconds) + "]");
+  }
+  if (batch.start_timestamp < -kMaxWireTimestamp ||
+      batch.start_timestamp > kMaxWireTimestamp) {
+    return InvalidArgumentError(
+        "batch start timestamp " + std::to_string(batch.start_timestamp) +
+        " outside ±" + std::to_string(kMaxWireTimestamp));
   }
   Result<uint32_t> count = reader.TakeU32();
   if (!count.ok()) return count.status();

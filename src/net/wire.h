@@ -128,13 +128,30 @@ DecodeResult DecodeFrame(std::string_view buffer);
 // Every payload struct has a Make* builder (returns a ready-to-encode
 // Frame) and a strict Parse* that errors (kInvalidArgument) on truncation,
 // trailing bytes, or field values outside the domain. Strings are u16
-// length-prefixed and capped at kMaxWireString.
+// length-prefixed and capped at kMaxWireString; the builders clamp longer
+// strings to that cap so every frame a Make* produces parses.
 
 inline constexpr size_t kMaxWireString = 1024;
 
+// Timestamp/step bounds enforced by ParseSymbolBatch. ±2^53 seconds is
+// ~285 million years around the epoch, and one step is capped at 2^31
+// seconds (~68 years), so all server-side cadence arithmetic
+// (start + step * windows, with windows bounded by kMaxFramePayload and
+// the per-session symbol cap) stays far inside int64 — a hostile batch
+// can not drive the session into signed-overflow UB.
+inline constexpr int64_t kMaxWireTimestamp = int64_t{1} << 53;
+inline constexpr int64_t kMaxWireStepSeconds = int64_t{1} << 31;
+
+// True iff `meter_id` is safe to use verbatim as an archive file stem and
+// a fleet.manifest record: non-empty, at most kMaxWireString bytes, every
+// byte in [A-Za-z0-9_.-], and not made of dots only. The charset excludes
+// '/', '\', NUL, and newlines, so a hostile HELLO can neither traverse
+// out of the archive directory nor forge manifest records.
+bool IsValidMeterId(std::string_view meter_id);
+
 struct HelloPayload {
   uint16_t protocol_version = kProtocolVersion;
-  std::string meter_id;    // non-empty
+  std::string meter_id;    // must satisfy IsValidMeterId
   std::string auth_token;  // may be empty (server decides)
 };
 

@@ -67,6 +67,18 @@ void ExpectAck(const std::vector<Frame>& replies, FrameType type,
   EXPECT_EQ(ack.status, status) << ack.message;
 }
 
+// Asserts the single reply is a BATCH_ACK carrying `status` and `seq` —
+// refused batches must answer in the batch channel so clients see the real
+// refusal reason, not a generic GOODBYE_ACK.
+void ExpectBatchAck(const std::vector<Frame>& replies, WireStatus status,
+                    uint64_t seq) {
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].type, FrameType::kBatchAck);
+  ASSERT_OK_AND_ASSIGN(BatchAckPayload ack, ParseBatchAck(replies[0]));
+  EXPECT_EQ(ack.status, status) << ack.message;
+  EXPECT_EQ(ack.seq, seq);
+}
+
 // Drives a session to kStreaming.
 void Handshake(Session& session) {
   ExpectAck(Feed(session, Hello()), FrameType::kHelloAck, WireStatus::kOk);
@@ -135,7 +147,8 @@ TEST(SessionTest, BatchBeforeTableIsBadState) {
   Session session(SessionOptions{});
   Feed(session, Hello());
   std::vector<Frame> replies = Feed(session, Batch(1, 0, 900, {1}));
-  ExpectAck(replies, FrameType::kGoodbyeAck, WireStatus::kBadState);
+  // The offending request was a batch, so the refusal answers in kind.
+  ExpectBatchAck(replies, WireStatus::kBadState, 0);
   EXPECT_EQ(session.state(), Session::State::kFailed);
   EXPECT_EQ(session.error_status(), WireStatus::kBadState);
 }
@@ -143,7 +156,7 @@ TEST(SessionTest, BatchBeforeTableIsBadState) {
 TEST(SessionTest, NonHelloFirstFrameIsBadState) {
   Session session(SessionOptions{});
   std::vector<Frame> replies = Feed(session, Table());
-  ExpectAck(replies, FrameType::kGoodbyeAck, WireStatus::kBadState);
+  ExpectAck(replies, FrameType::kTableAck, WireStatus::kBadState);
   // A pre-HELLO ping is not allowed either.
   Session session2(SessionOptions{});
   Feed(session2, MakePing(1));
@@ -154,14 +167,30 @@ TEST(SessionTest, WrongProtocolVersionIsUnauthorized) {
   Session session(SessionOptions{});
   std::vector<Frame> replies =
       Feed(session, MakeHello({kProtocolVersion + 1, "m", ""}));
-  ExpectAck(replies, FrameType::kGoodbyeAck, WireStatus::kUnauthorized);
+  ExpectAck(replies, FrameType::kHelloAck, WireStatus::kUnauthorized);
+}
+
+TEST(SessionTest, TraversalMeterIdIsRefusedAtHello) {
+  // A hostile meter id must never reach the archive sink: ParseHello
+  // refuses path separators, "..", and control bytes, and the session
+  // fails before storing any id.
+  for (const std::string& evil :
+       {std::string("../../etc/cron.d/x"), std::string("a/b"),
+        std::string(".."), std::string("m\nforged manifest line"),
+        std::string("m\0id", 4)}) {
+    Session session(SessionOptions{});
+    std::vector<Frame> replies = Feed(session, Hello(evil));
+    ExpectAck(replies, FrameType::kHelloAck, WireStatus::kBadFrame);
+    EXPECT_EQ(session.state(), Session::State::kFailed);
+    EXPECT_TRUE(session.meter_id().empty());
+  }
 }
 
 TEST(SessionTest, AuthTokenEnforcedWhenConfigured) {
   SessionOptions options;
   options.auth_token = "sesame";
   Session wrong(options);
-  ExpectAck(Feed(wrong, Hello("m", "guess")), FrameType::kGoodbyeAck,
+  ExpectAck(Feed(wrong, Hello("m", "guess")), FrameType::kHelloAck,
             WireStatus::kUnauthorized);
   Session right(options);
   ExpectAck(Feed(right, Hello("m", "sesame")), FrameType::kHelloAck,
@@ -171,7 +200,7 @@ TEST(SessionTest, AuthTokenEnforcedWhenConfigured) {
 TEST(SessionTest, DrainingRefusesNewHellos) {
   Session session(SessionOptions{});
   session.SetDraining();
-  ExpectAck(Feed(session, Hello()), FrameType::kGoodbyeAck,
+  ExpectAck(Feed(session, Hello()), FrameType::kHelloAck,
             WireStatus::kDraining);
   EXPECT_EQ(session.state(), Session::State::kFailed);
 }
@@ -183,7 +212,7 @@ TEST(SessionTest, DamagedTableBlobIsBadTable) {
   blob[blob.size() / 2] ^= 0x10;  // break the crc32c footer check
   std::vector<Frame> replies =
       Feed(session, MakeTableAnnounce({1, blob}));
-  ExpectAck(replies, FrameType::kGoodbyeAck, WireStatus::kBadTable);
+  ExpectAck(replies, FrameType::kTableAck, WireStatus::kBadTable);
 }
 
 TEST(SessionTest, TableFaultSeamQuarantinesTheSession) {
@@ -191,7 +220,7 @@ TEST(SessionTest, TableFaultSeamQuarantinesTheSession) {
       {fault::FaultRule::FailCalls("session.table", 1, 1)});
   Session session(SessionOptions{});
   Feed(session, Hello());
-  ExpectAck(Feed(session, Table()), FrameType::kGoodbyeAck,
+  ExpectAck(Feed(session, Table()), FrameType::kTableAck,
             WireStatus::kBadTable);
   EXPECT_EQ(plan.TotalInjected(), 1u);
 }
@@ -200,8 +229,8 @@ TEST(SessionTest, NonConsecutiveSeqIsOutOfOrder) {
   Session session(SessionOptions{});
   Handshake(session);
   Feed(session, Batch(1, 0, 900, {1}));
-  ExpectAck(Feed(session, Batch(3, 1800, 900, {1})), FrameType::kGoodbyeAck,
-            WireStatus::kOutOfOrder);
+  ExpectBatchAck(Feed(session, Batch(3, 1800, 900, {1})),
+                 WireStatus::kOutOfOrder, 3);
 }
 
 TEST(SessionTest, TimestampRewindAndOffGridAreOutOfOrder) {
@@ -209,30 +238,30 @@ TEST(SessionTest, TimestampRewindAndOffGridAreOutOfOrder) {
   Handshake(session);
   Feed(session, Batch(1, 9000, 900, {1, 2}));
   // Rewind: starts before the expected 10800.
-  ExpectAck(Feed(session, Batch(2, 9000, 900, {3})), FrameType::kGoodbyeAck,
-            WireStatus::kOutOfOrder);
+  ExpectBatchAck(Feed(session, Batch(2, 9000, 900, {3})),
+                 WireStatus::kOutOfOrder, 2);
 
   Session session2(SessionOptions{});
   Handshake(session2);
   Feed(session2, Batch(1, 0, 900, {1}));
   // Off the 900 s grid.
-  ExpectAck(Feed(session2, Batch(2, 901, 900, {1})), FrameType::kGoodbyeAck,
-            WireStatus::kOutOfOrder);
+  ExpectBatchAck(Feed(session2, Batch(2, 901, 900, {1})),
+                 WireStatus::kOutOfOrder, 2);
 }
 
 TEST(SessionTest, StepChangeMidStreamIsBadBatch) {
   Session session(SessionOptions{});
   Handshake(session);
   Feed(session, Batch(1, 0, 900, {1}));
-  ExpectAck(Feed(session, Batch(2, 900, 600, {1})), FrameType::kGoodbyeAck,
-            WireStatus::kBadBatch);
+  ExpectBatchAck(Feed(session, Batch(2, 900, 600, {1})),
+                 WireStatus::kBadBatch, 2);
 }
 
 TEST(SessionTest, LevelMismatchIsBadBatch) {
   Session session(SessionOptions{});
   Handshake(session);
-  ExpectAck(Feed(session, Batch(1, 0, 900, {1}, kLevel + 1)),
-            FrameType::kGoodbyeAck, WireStatus::kBadBatch);
+  ExpectBatchAck(Feed(session, Batch(1, 0, 900, {1}, kLevel + 1)),
+                 WireStatus::kBadBatch, 1);
 }
 
 TEST(SessionTest, SymbolAboveAlphabetIsRejectedAtParse) {
@@ -240,9 +269,9 @@ TEST(SessionTest, SymbolAboveAlphabetIsRejectedAtParse) {
   Handshake(session);
   // kLevel = 4 bits -> indices 0..15; 16 is out of alphabet (and not GAP).
   // The strict wire parser refuses it before the session layer ever sees
-  // the batch, so this surfaces as a frame error, not a batch error.
-  ExpectAck(Feed(session, Batch(1, 0, 900, {16})), FrameType::kGoodbyeAck,
-            WireStatus::kBadFrame);
+  // the batch, so the refusal carries the expected seq, not the sent one.
+  ExpectBatchAck(Feed(session, Batch(1, 0, 900, {16})),
+                 WireStatus::kBadFrame, 1);
 }
 
 TEST(SessionTest, OversizedGapJumpIsRefusedNotFilled) {
@@ -252,8 +281,8 @@ TEST(SessionTest, OversizedGapJumpIsRefusedNotFilled) {
   Handshake(session);
   Feed(session, Batch(1, 0, 900, {1}));
   // Skips 5 windows > max_gap_fill of 4.
-  ExpectAck(Feed(session, Batch(2, 900 + 5 * 900, 900, {1})),
-            FrameType::kGoodbyeAck, WireStatus::kOutOfOrder);
+  ExpectBatchAck(Feed(session, Batch(2, 900 + 5 * 900, 900, {1})),
+                 WireStatus::kOutOfOrder, 2);
 }
 
 TEST(SessionTest, SymbolCapBoundsSessionMemory) {
@@ -262,8 +291,34 @@ TEST(SessionTest, SymbolCapBoundsSessionMemory) {
   Session session(options);
   Handshake(session);
   Feed(session, Batch(1, 0, 900, {1, 2}));
-  ExpectAck(Feed(session, Batch(2, 1800, 900, {3, 4})),
-            FrameType::kGoodbyeAck, WireStatus::kBadBatch);
+  ExpectBatchAck(Feed(session, Batch(2, 1800, 900, {3, 4})),
+                 WireStatus::kBadBatch, 2);
+}
+
+TEST(SessionTest, ExtremeTimestampsNeverOverflowTheCadence) {
+  // Batches at the very edge of the wire's timestamp bounds must either
+  // stream cleanly or be refused — never run the cadence arithmetic into
+  // signed-overflow UB (the UBSan matrix enforces the "never").
+  Session session(SessionOptions{});
+  Handshake(session);
+  const int64_t start = kMaxWireTimestamp - kMaxWireStepSeconds;
+  std::vector<Frame> replies =
+      Feed(session, Batch(1, start, kMaxWireStepSeconds, {1, 2, 3}));
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(BatchAckPayload ack, ParseBatchAck(replies[0]));
+  EXPECT_EQ(ack.status, WireStatus::kOk);
+  EXPECT_EQ(session.symbols_received(), 3u);
+
+  // A second batch continuing the cadence still works past the wire's
+  // start-timestamp bound (next expected start is start + 3 * step).
+  Session rewind(SessionOptions{});
+  Handshake(rewind);
+  Feed(rewind, Batch(1, kMaxWireTimestamp, kMaxWireStepSeconds, {1}));
+  // Rewind to the far negative edge: delta is huge but must be computed
+  // without overflow and refused as out of order.
+  ExpectBatchAck(
+      Feed(rewind, Batch(2, -kMaxWireTimestamp, kMaxWireStepSeconds, {1})),
+      WireStatus::kOutOfOrder, 2);
 }
 
 TEST(SessionTest, GoodbyeQualityMismatchFailsInsteadOfPersisting) {

@@ -126,6 +126,50 @@ TEST(WirePayloadTest, HelloRoundTrip) {
   EXPECT_EQ(parsed.auth_token, hello.auth_token);
 }
 
+TEST(WirePayloadTest, MeterIdCharsetIsEnforced) {
+  EXPECT_TRUE(IsValidMeterId("meter_1042"));
+  EXPECT_TRUE(IsValidMeterId("A-9._x"));
+  EXPECT_TRUE(IsValidMeterId("..x"));  // has a non-dot byte: a plain name
+  EXPECT_FALSE(IsValidMeterId(""));
+  EXPECT_FALSE(IsValidMeterId("."));
+  EXPECT_FALSE(IsValidMeterId(".."));
+  EXPECT_FALSE(IsValidMeterId("..."));
+  EXPECT_FALSE(IsValidMeterId("a/b"));
+  EXPECT_FALSE(IsValidMeterId("../../escape"));
+  EXPECT_FALSE(IsValidMeterId("a\\b"));
+  EXPECT_FALSE(IsValidMeterId("a b"));
+  EXPECT_FALSE(IsValidMeterId("a\nb"));
+  EXPECT_FALSE(IsValidMeterId(std::string_view("a\0b", 3)));
+  EXPECT_FALSE(IsValidMeterId(std::string(kMaxWireString + 1, 'a')));
+
+  // ParseHello applies the same rule, so a hostile meter id dies at the
+  // strict parser, before the session or the archive sink can see it.
+  EXPECT_FALSE(
+      ParseHello(MakeHello({kProtocolVersion, "../../evil", ""})).ok());
+  EXPECT_FALSE(ParseHello(MakeHello({kProtocolVersion, "..", ""})).ok());
+  EXPECT_FALSE(ParseHello(MakeHello({kProtocolVersion, "m\nx", ""})).ok());
+  EXPECT_TRUE(ParseHello(MakeHello({kProtocolVersion, "m-1.cer", ""})).ok());
+}
+
+TEST(WirePayloadTest, OversizedStringsAreClampedNotMisframed) {
+  // A server-built message longer than kMaxWireString must still produce a
+  // parseable frame: PutString clamps instead of letting the u16 length
+  // prefix wrap or the strict TakeString bound refuse the ack.
+  AckPayload ack;
+  ack.status = WireStatus::kBadTable;
+  ack.message = std::string(200'000, 'x');  // > u16 range, > kMaxWireString
+  ASSERT_OK_AND_ASSIGN(AckPayload parsed,
+                       ParseAck(MakeAck(FrameType::kGoodbyeAck, ack)));
+  EXPECT_EQ(parsed.status, WireStatus::kBadTable);
+  EXPECT_EQ(parsed.message, std::string(kMaxWireString, 'x'));
+
+  ASSERT_OK_AND_ASSIGN(
+      BatchAckPayload batch_ack,
+      ParseBatchAck(MakeBatchAck(
+          {7, WireStatus::kBadBatch, std::string(70'000, 'y')})));
+  EXPECT_EQ(batch_ack.message.size(), kMaxWireString);
+}
+
 TEST(WirePayloadTest, HelloRejectsTruncationAndTrailingBytes) {
   Frame frame = MakeHello({kProtocolVersion, "m", ""});
   for (size_t n = 0; n < frame.payload.size(); ++n) {
@@ -204,6 +248,32 @@ TEST(WirePayloadTest, SymbolBatchRejectsBadFields) {
   EXPECT_FALSE(ParseSymbolBatch(MakeSymbolBatch(batch)).ok());
   batch.step_seconds = 900;
   batch.symbols.clear();
+  EXPECT_FALSE(ParseSymbolBatch(MakeSymbolBatch(batch)).ok());
+}
+
+TEST(WirePayloadTest, SymbolBatchBoundsTimestampAndStep) {
+  // Hostile timestamps/steps are refused at parse so the session's cadence
+  // arithmetic (start + step * windows) can never overflow int64.
+  SymbolBatchPayload batch;
+  batch.seq = 1;
+  batch.level = 4;
+  batch.symbols = {1};
+
+  batch.start_timestamp = kMaxWireTimestamp;
+  batch.step_seconds = kMaxWireStepSeconds;
+  EXPECT_TRUE(ParseSymbolBatch(MakeSymbolBatch(batch)).ok());
+  batch.start_timestamp = -kMaxWireTimestamp;
+  EXPECT_TRUE(ParseSymbolBatch(MakeSymbolBatch(batch)).ok());
+
+  batch.start_timestamp = kMaxWireTimestamp + 1;
+  EXPECT_FALSE(ParseSymbolBatch(MakeSymbolBatch(batch)).ok());
+  batch.start_timestamp = -kMaxWireTimestamp - 1;
+  EXPECT_FALSE(ParseSymbolBatch(MakeSymbolBatch(batch)).ok());
+
+  batch.start_timestamp = 0;
+  batch.step_seconds = kMaxWireStepSeconds + 1;
+  EXPECT_FALSE(ParseSymbolBatch(MakeSymbolBatch(batch)).ok());
+  batch.step_seconds = -900;
   EXPECT_FALSE(ParseSymbolBatch(MakeSymbolBatch(batch)).ok());
 }
 
