@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/sync.h"
 #include "core/lookup_table.h"
 #include "net/session.h"
 #include "net/wire.h"
@@ -122,6 +123,8 @@ void BM_SessionIngest(benchmark::State& state) {
 
   for (auto _ : state) {
     Session session((SessionOptions()));
+    // The benchmark thread is the session's single writer.
+    ScopedThreadRole writer(session.writer_role());
     std::vector<Frame> replies;
     for (const std::string& bytes : conversation) {
       DecodeResult result = DecodeFrame(bytes);

@@ -1,0 +1,26 @@
+// Configure-time thread-safety probe, the failing half: this TU reads a
+// GUARDED_BY field with no lock held and MUST be rejected when
+// -Wthread-safety -Werror is live. If it compiles, the analysis is not
+// firing and the configure aborts rather than pretend the concurrency
+// contracts are being checked.
+
+#include "common/sync.h"
+
+namespace {
+
+class Guarded {
+ public:
+  // Deliberate violation: no REQUIRES, no lock, guarded read.
+  int Read() const { return count_; }
+
+ private:
+  mutable smeter::Mutex mutex_;
+  int count_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded guarded;
+  return guarded.Read();
+}

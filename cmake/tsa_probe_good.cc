@@ -1,0 +1,28 @@
+// Configure-time thread-safety probe, the passing half: a correctly
+// annotated class using the common/sync.h wrappers must compile cleanly
+// under -Wthread-safety -Werror. If this TU fails, the annotations
+// themselves are broken for the active compiler and the configure aborts.
+
+#include "common/sync.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void Increment() REQUIRES(!mutex_) {
+    smeter::MutexLock lock(mutex_);
+    ++count_;
+  }
+
+ private:
+  smeter::Mutex mutex_;
+  int count_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded guarded;
+  guarded.Increment();
+  return 0;
+}

@@ -2,30 +2,31 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <utility>
 
 #include "common/check.h"
 #include "common/random.h"
+#include "common/sync.h"
 
 namespace smeter::fault {
 namespace {
 
+// Guards every mutable field of the active plan (counters and the RNG).
+Mutex g_mutex;
+
 struct PlanState {
-  std::vector<FaultRule> rules;
-  Rng rng;
-  std::map<std::string, size_t, std::less<>> calls;
-  std::map<std::string, size_t, std::less<>> injected;
+  std::vector<FaultRule> rules;  // immutable after construction
+  Rng rng GUARDED_BY(g_mutex);
+  std::map<std::string, size_t, std::less<>> calls GUARDED_BY(g_mutex);
+  std::map<std::string, size_t, std::less<>> injected GUARDED_BY(g_mutex);
 
   PlanState(std::vector<FaultRule> r, uint64_t seed)
       : rules(std::move(r)), rng(seed) {}
 };
 
-// The active plan plus the mutex guarding its mutable state. The pointer
-// itself is atomic so the disabled fast path in Check() costs one relaxed
-// load and no lock.
+// The active plan. The pointer itself is atomic so the disabled fast path
+// in Check() costs one relaxed load and no lock.
 std::atomic<PlanState*> g_plan{nullptr};
-std::mutex g_mutex;
 
 bool SeamMatches(const std::string& pattern, std::string_view seam) {
   if (!pattern.empty() && pattern.back() == '*') {
@@ -43,7 +44,7 @@ bool Active() {
 
 Status Check(std::string_view seam) {
   if (g_plan.load(std::memory_order_relaxed) == nullptr) return Status::Ok();
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   PlanState* plan = g_plan.load(std::memory_order_relaxed);
   if (plan == nullptr) return Status::Ok();  // raced with teardown
   auto it = plan->calls.find(seam);
@@ -76,7 +77,7 @@ Status Check(std::string_view seam) {
 bool MaybeCorrupt(std::string_view seam, std::string_view data,
                   std::string* out) {
   if (g_plan.load(std::memory_order_relaxed) == nullptr) return false;
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   PlanState* plan = g_plan.load(std::memory_order_relaxed);
   if (plan == nullptr) return false;  // raced with teardown
   auto it = plan->calls.find(seam);
@@ -124,7 +125,7 @@ bool MaybeCorrupt(std::string_view seam, std::string_view data,
 
 ScopedFaultPlan::ScopedFaultPlan(std::vector<FaultRule> rules, uint64_t seed) {
   auto* state = new PlanState(std::move(rules), seed);
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   PlanState* expected = nullptr;
   const bool installed =
       g_plan.compare_exchange_strong(expected, state,
@@ -137,14 +138,14 @@ ScopedFaultPlan::ScopedFaultPlan(std::vector<FaultRule> rules, uint64_t seed) {
 ScopedFaultPlan::~ScopedFaultPlan() {
   PlanState* state = nullptr;
   {
-    std::lock_guard<std::mutex> lock(g_mutex);
+    MutexLock lock(g_mutex);
     state = g_plan.exchange(nullptr, std::memory_order_relaxed);
   }
   delete state;
 }
 
 size_t ScopedFaultPlan::CallCount(const std::string& seam) const {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   PlanState* plan = g_plan.load(std::memory_order_relaxed);
   if (plan == nullptr) return 0;
   auto it = plan->calls.find(seam);
@@ -152,7 +153,7 @@ size_t ScopedFaultPlan::CallCount(const std::string& seam) const {
 }
 
 size_t ScopedFaultPlan::InjectedCount(const std::string& seam) const {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   PlanState* plan = g_plan.load(std::memory_order_relaxed);
   if (plan == nullptr) return 0;
   auto it = plan->injected.find(seam);
@@ -160,7 +161,7 @@ size_t ScopedFaultPlan::InjectedCount(const std::string& seam) const {
 }
 
 size_t ScopedFaultPlan::TotalInjected() const {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   PlanState* plan = g_plan.load(std::memory_order_relaxed);
   if (plan == nullptr) return 0;
   size_t total = 0;

@@ -1,0 +1,170 @@
+// Annotated synchronization primitives for Clang Thread Safety Analysis.
+//
+// Every mutex in this codebase goes through the wrappers below so that the
+// compiler — not just TSan at runtime — checks the locking contracts. The
+// attribute macros expand to Clang's thread-safety attributes under Clang
+// and to nothing elsewhere, so GCC builds are unaffected; the dedicated
+// `thread-safety` CI job builds the whole tree with Clang and
+// `-Wthread-safety -Werror` to keep the annotations honest (and a
+// configure-time probe in CMakeLists.txt proves the analysis fires at
+// all — see cmake/tsa_probe_bad.cc).
+//
+// The invariant linter (tools/lint_invariants.py) rejects any direct use
+// of <mutex> / <condition_variable> primitives outside this header, so new
+// shared state cannot silently opt out of the analysis.
+//
+// Model (see DESIGN.md §13 for the full write-up):
+//   * `Mutex` + `MutexLock` + `CondVar` — data guarded by a real lock.
+//     Annotate the data with GUARDED_BY(mu) and internal helpers with
+//     REQUIRES(mu); public entry points that take the lock themselves are
+//     annotated REQUIRES(!mu) (the lock is non-reentrant).
+//   * `ThreadRole` + `ScopedThreadRole` — a zero-cost capability that
+//     models single-writer ownership (the event-loop thread, a Session's
+//     one writer). Claiming a role costs nothing at runtime; it is a
+//     machine-checked comment. Methods that must only run on the owning
+//     thread are annotated REQUIRES(role_); the owning thread claims the
+//     role with a ScopedThreadRole at the ownership boundary.
+
+#ifndef SMETER_COMMON_SYNC_H_
+#define SMETER_COMMON_SYNC_H_
+
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------------------
+// Attribute macros (the canonical set from the Clang TSA documentation).
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__) && (!defined(SWIG))
+#define SMETER_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SMETER_THREAD_ANNOTATION(x)  // no-op on GCC/MSVC
+#endif
+
+#define CAPABILITY(x) SMETER_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY SMETER_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) SMETER_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) SMETER_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) \
+  SMETER_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  SMETER_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) \
+  SMETER_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  SMETER_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) SMETER_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  SMETER_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) SMETER_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  SMETER_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  SMETER_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) SMETER_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) SMETER_THREAD_ANNOTATION(assert_capability(x))
+#define RETURN_CAPABILITY(x) SMETER_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  SMETER_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace smeter {
+
+// ---------------------------------------------------------------------------
+// Mutex / MutexLock / CondVar
+// ---------------------------------------------------------------------------
+
+// A std::mutex the analysis knows about. Non-reentrant; prefer MutexLock
+// over manual Lock/Unlock pairs.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII lock for a Mutex — the annotated std::lock_guard.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable bound to the annotated Mutex. Wait() requires the
+// mutex held, releases it while blocked, and reacquires before returning —
+// exactly std::condition_variable semantics, but visible to the analysis.
+//
+// Note for callers: write waits as explicit loops over guarded state,
+//     while (!predicate_over_guarded_members) cv.Wait(mu);
+// not as predicate lambdas — the analysis checks the enclosing function,
+// so the guarded reads must appear there, under the held lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller still owns the mutex
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+// ---------------------------------------------------------------------------
+// ThreadRole / ScopedThreadRole
+// ---------------------------------------------------------------------------
+
+// A capability with no runtime state: it models "this code runs on the
+// thread that owns X" (the event-loop thread, a Session's single writer).
+// Acquire/Release are free; the value is that methods annotated
+// REQUIRES(role) refuse to compile unless the caller visibly claimed the
+// role, which makes ownership handoffs explicit in the source.
+class CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+
+  void Acquire() ACQUIRE() {}
+  void Release() RELEASE() {}
+};
+
+// Scoped claim of a ThreadRole — assert "I am the owning thread" for the
+// enclosing scope. Zero cost; purely a compile-time contract.
+class SCOPED_CAPABILITY ScopedThreadRole {
+ public:
+  explicit ScopedThreadRole(ThreadRole& role) ACQUIRE(role) : role_(role) {
+    role_.Acquire();
+  }
+  ~ScopedThreadRole() RELEASE() { role_.Release(); }
+
+  ScopedThreadRole(const ScopedThreadRole&) = delete;
+  ScopedThreadRole& operator=(const ScopedThreadRole&) = delete;
+
+ private:
+  ThreadRole& role_;
+};
+
+}  // namespace smeter
+
+#endif  // SMETER_COMMON_SYNC_H_

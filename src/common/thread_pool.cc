@@ -26,14 +26,14 @@ struct ParallelForState {
 
   std::atomic<size_t> next{0};
 
-  std::mutex mutex;
-  std::condition_variable done;
-  size_t completed = 0;
+  Mutex mutex;
+  CondVar done;
+  size_t completed GUARDED_BY(mutex) = 0;
   // Error from the lowest-indexed failing chunk — the one a serial loop
   // would report first.
-  size_t first_error_chunk = 0;
-  Status first_error;
-  bool has_error = false;
+  size_t first_error_chunk GUARDED_BY(mutex) = 0;
+  Status first_error GUARDED_BY(mutex);
+  bool has_error GUARDED_BY(mutex) = false;
 };
 
 // Claims chunks until none remain. Returns the number of chunks this lane
@@ -59,7 +59,7 @@ void DrainChunks(ParallelForState& state) {
     }
   }
   if (ran == 0) return;
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   if (failed &&
       (!state.has_error || error_chunk < state.first_error_chunk)) {
     state.has_error = true;
@@ -67,7 +67,7 @@ void DrainChunks(ParallelForState& state) {
     state.first_error = std::move(error);
   }
   state.completed += ran;
-  if (state.completed == state.num_chunks) state.done.notify_all();
+  if (state.completed == state.num_chunks) state.done.NotifyAll();
 }
 
 }  // namespace
@@ -82,10 +82,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -93,8 +93,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      // Explicit loop (not a predicate lambda) so the analysis sees the
+      // guarded reads under the held lock.
+      while (!stopping_ && queue_.empty()) wake_.Wait(mutex_);
       if (queue_.empty()) return;  // stopping_ with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -144,29 +146,28 @@ Status ThreadPool::ParallelFor(
   // only wake threads to do nothing.
   const size_t helpers = std::min(workers_.size(), num_chunks - 1);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (size_t i = 0; i < helpers; ++i) {
       queue_.emplace_back([state] { DrainChunks(*state); });
     }
   }
   if (helpers == 1) {
-    wake_.notify_one();
+    wake_.NotifyOne();
   } else {
-    wake_.notify_all();
+    wake_.NotifyAll();
   }
 
   // The calling thread is a lane too.
   DrainChunks(*state);
 
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->done.wait(lock,
-                   [&] { return state->completed == state->num_chunks; });
+  MutexLock lock(state->mutex);
+  while (state->completed != state->num_chunks) state->done.Wait(state->mutex);
   if (state->has_error) return state->first_error;
   return Status::Ok();
 }
 
 size_t ThreadPool::QueueDepth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size();
 }
 

@@ -27,15 +27,14 @@
 #define SMETER_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace smeter {
 
@@ -65,14 +64,15 @@ class ThreadPool {
   // Reentrant calls (fn itself calling ParallelFor on the same pool) are
   // safe — the inner call's chunks run on the already-busy calling thread.
   Status ParallelFor(size_t begin, size_t end, size_t grain,
-                     const std::function<Status(size_t, size_t)>& fn);
+                     const std::function<Status(size_t, size_t)>& fn)
+      REQUIRES(!mutex_);
 
   // Observability counters, for load monitoring (the ingestion daemon's
   // stats dump) and for tests that assert scheduling behavior. Both are
   // instantaneous snapshots — racy by nature, exact only at quiescence.
   //
   // Helper tasks enqueued but not yet picked up by a worker.
-  size_t QueueDepth() const;
+  size_t QueueDepth() const REQUIRES(!mutex_);
   // Lanes (workers + participating callers) currently inside a chunk.
   size_t InFlight() const { return in_flight_.load(); }
 
@@ -83,12 +83,12 @@ class ThreadPool {
   static ThreadPool& Shared();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() REQUIRES(!mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable wake_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  mutable Mutex mutex_;
+  CondVar wake_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  bool stopping_ GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
   std::atomic<size_t> in_flight_{0};
 };

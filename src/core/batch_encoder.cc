@@ -21,7 +21,7 @@ std::vector<Symbol> Alphabet(int level) {
   const uint32_t k = 1u << level;
   symbols.reserve(k);
   for (uint32_t i = 0; i < k; ++i) {
-    symbols.push_back(Symbol::Create(level, i).value());
+    symbols.push_back(Symbol::Create(level, i).value());  // lint: checked: i < 2^level is always a valid index
   }
   return symbols;
 }
@@ -137,7 +137,7 @@ Status DecodeBatch(const LookupTable& table, std::span<const Symbol> symbols,
   std::vector<double> representatives(k);
   for (uint32_t i = 0; i < k; ++i) {
     Result<double> value =
-        table.Reconstruct(Symbol::Create(level, i).value(), mode);
+        table.Reconstruct(Symbol::Create(level, i).value(), mode);  // lint: checked: i < 2^level is always a valid index
     if (!value.ok()) return value.status();
     representatives[i] = value.value();
   }

@@ -168,9 +168,31 @@ std::string HouseholdOutcomeToString(HouseholdOutcome outcome) {
   return "unknown";
 }
 
+void FleetProgress::Record(HouseholdOutcome outcome, int attempts) {
+  MutexLock lock(mutex_);
+  ++counts_.completed;
+  switch (outcome) {
+    case HouseholdOutcome::kOk:
+      ++counts_.ok;
+      break;
+    case HouseholdOutcome::kDegraded:
+      ++counts_.degraded;
+      break;
+    case HouseholdOutcome::kQuarantined:
+      ++counts_.quarantined;
+      break;
+  }
+  if (attempts > 1) counts_.retries += static_cast<size_t>(attempts - 1);
+}
+
+FleetProgress::Snapshot FleetProgress::Get() const {
+  MutexLock lock(mutex_);
+  return counts_;
+}
+
 Result<std::vector<HouseholdReport>> EncodeFleetTolerant(
     const std::vector<FleetInput>& inputs, const FleetEncodeOptions& options,
-    ThreadPool* pool, const HouseholdSink& sink) {
+    ThreadPool* pool, const HouseholdSink& sink, FleetProgress* progress) {
   const RetryOptions& retry = options.retry;
   if (retry.max_retries < 0) {
     return InvalidArgumentError("max_retries must be >= 0");
@@ -221,6 +243,9 @@ Result<std::vector<HouseholdReport>> EncodeFleetTolerant(
       // counts of a half-succeeded attempt leak into the report.
       if (report.outcome == HouseholdOutcome::kQuarantined) {
         report.quality = EncodeQuality{};
+      }
+      if (progress != nullptr) {
+        progress->Record(report.outcome, report.attempts);
       }
     }
     return Status::Ok();

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "core/encoder.h"
 #include "core/lookup_table.h"
@@ -159,13 +160,40 @@ using HouseholdSink =
     std::function<Status(size_t index, const HouseholdReport& report,
                          const HouseholdEncoding& encoding)>;
 
+// Live progress of a tolerant fleet run. Encoding lanes record each
+// household's final outcome as it lands; any other thread (a CLI status
+// line, the daemon's stats dump) may snapshot the counts mid-run. All
+// mutable state sits behind one annotated mutex, so the cross-thread
+// contract is machine-checked (DESIGN.md §13).
+class FleetProgress {
+ public:
+  struct Snapshot {
+    size_t completed = 0;    // households with a final outcome
+    size_t ok = 0;
+    size_t degraded = 0;
+    size_t quarantined = 0;
+    size_t retries = 0;      // attempts beyond each household's first
+  };
+
+  // Called once per household by the encoding lane that finished it.
+  void Record(HouseholdOutcome outcome, int attempts) REQUIRES(!mutex_);
+  Snapshot Get() const REQUIRES(!mutex_);
+
+ private:
+  mutable Mutex mutex_;
+  Snapshot counts_ GUARDED_BY(mutex_);
+};
+
 // Encodes the fleet with per-household fault isolation: every household
 // gets up to 1 + retry.max_retries attempts, failures are quarantined
 // rather than propagated, and the run itself only fails on infrastructure
 // errors (never on a household's data). Reports arrive in input order.
+// `progress`, when non-null, receives one Record per finished household
+// and may be polled concurrently from other threads.
 Result<std::vector<HouseholdReport>> EncodeFleetTolerant(
     const std::vector<FleetInput>& inputs, const FleetEncodeOptions& options,
-    ThreadPool* pool = nullptr, const HouseholdSink& sink = nullptr);
+    ThreadPool* pool = nullptr, const HouseholdSink& sink = nullptr,
+    FleetProgress* progress = nullptr);
 
 }  // namespace smeter
 

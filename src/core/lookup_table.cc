@@ -165,7 +165,7 @@ Symbol LookupTable::Encode(double value) const {
   uint32_t index = static_cast<uint32_t>(it - separators_.begin());
   Result<Symbol> symbol = Symbol::Create(level_, index);
   // index <= separators_.size() == 2^level - 1, always valid.
-  return symbol.value();
+  return symbol.value();  // lint: checked: index <= 2^level - 1 above
 }
 
 Result<Symbol> LookupTable::EncodeChecked(double value) const {
@@ -242,7 +242,7 @@ Result<double> LookupTable::Reconstruct(const Symbol& symbol,
     mean = mean * (1.0 - w) + bucket_means_[i] * w;
   }
   if (n == 0) return center;
-  return std::clamp(mean, lo.value(), hi.value());
+  return std::clamp(mean, lo.value(), hi.value());  // lint: checked: lo/hi .ok()-guarded at function top
 }
 
 Result<std::vector<double>> LookupTable::SeparatorsAtLevel(int l) const {

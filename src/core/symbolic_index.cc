@@ -65,7 +65,7 @@ std::vector<uint32_t> SymbolicIndex::CoarseSignature(
   std::vector<uint32_t> signature;
   signature.reserve(word.size());
   for (const Symbol& s : word) {
-    signature.push_back(s.Coarsen(options_.prune_level).value().index());
+    signature.push_back(s.Coarsen(options_.prune_level).value().index());  // lint: checked: words are validated finest-level
   }
   return signature;
 }
@@ -107,7 +107,7 @@ Result<std::vector<IndexMatch>> SymbolicIndex::NearestNeighbors(
     double bucket_bound_sq = 0.0;
     for (size_t i = 0; i < signature.size(); ++i) {
       Symbol coarse =
-          Symbol::Create(options_.prune_level, signature[i]).value();
+          Symbol::Create(options_.prune_level, signature[i]).value();  // lint: checked: query validated finest-level
       Result<double> gap = SymbolRangeGap(coarse_query[i], coarse, table_);
       if (!gap.ok()) return gap.status();
       bucket_bound_sq += gap.value() * gap.value();

@@ -63,7 +63,7 @@ std::vector<std::string> SymbolNames(int level) {
   names.reserve(k);
   for (size_t i = 0; i < k; ++i) {
     names.push_back(
-        Symbol::Create(level, static_cast<uint32_t>(i)).value().ToBits());
+        Symbol::Create(level, static_cast<uint32_t>(i)).value().ToBits());  // lint: checked: i < 2^level is always a valid index
   }
   return names;
 }

@@ -9,7 +9,7 @@ namespace {
 std::vector<double> CountClasses(const Dataset& data,
                                  const std::vector<size_t>& rows) {
   std::vector<double> counts(data.num_classes(), 0.0);
-  for (size_t r : rows) counts[data.ClassOf(r).value()] += 1.0;
+  for (size_t r : rows) counts[data.ClassOf(r).value()] += 1.0;  // lint: checked: Dataset::Add validated the label
   return counts;
 }
 

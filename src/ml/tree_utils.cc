@@ -33,7 +33,7 @@ std::optional<SplitCandidate> EvaluateNominalSplit(
   for (size_t r : rows) {
     double v = data.value(r, attr);
     if (IsMissing(v)) continue;
-    size_t cls = data.ClassOf(r).value();
+    size_t cls = data.ClassOf(r).value();  // lint: checked: Dataset::Add validated the label
     // Dataset::Add guarantees nominal cells index into the value list.
     SMETER_DCHECK_LT(static_cast<size_t>(v), n_branches);
     branch_counts[static_cast<size_t>(v)][cls] += 1.0;
@@ -80,7 +80,7 @@ std::optional<SplitCandidate> EvaluateNumericSplit(
   for (size_t r : rows) {
     double v = data.value(r, attr);
     if (IsMissing(v)) continue;
-    known.emplace_back(v, data.ClassOf(r).value());
+    known.emplace_back(v, data.ClassOf(r).value());  // lint: checked: Dataset::Add validated the label
   }
   if (known.size() < 2 * min_leaf) return std::nullopt;
   std::sort(known.begin(), known.end());
@@ -151,7 +151,7 @@ double PessimisticExtraErrors(double n, double e, double cf) {
     return base + e * (PessimisticExtraErrors(n, 1.0, cf) - base);
   }
   if (e + 0.5 >= n) return std::max(n - e, 0.0);
-  double z = InverseNormalCdf(1.0 - cf).value();
+  double z = InverseNormalCdf(1.0 - cf).value();  // lint: checked: cf in (0, 0.5] keeps the arg in domain
   double f = (e + 0.5) / n;
   double r =
       (f + z * z / (2.0 * n) +

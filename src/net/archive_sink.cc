@@ -58,7 +58,7 @@ ArchiveSink::ArchiveSink(std::string dir, io::AppendLogWriter manifest,
       records_(std::move(carried)) {}
 
 bool ArchiveSink::AlreadyPersisted(const std::string& meter) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return records_.count(meter) > 0;
 }
 
@@ -75,7 +75,7 @@ Status ArchiveSink::Persist(const std::string& meter,
         "[A-Za-z0-9_.-]+ and not be all dots)");
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (finalized_) {
       return FailedPreconditionError("archive sink is finalized");
     }
@@ -100,7 +100,7 @@ Status ArchiveSink::Persist(const std::string& meter,
       quality.windows_partial == 0 && quality.windows_gap == 0;
   done.outcome = clean ? HouseholdOutcome::kOk : HouseholdOutcome::kDegraded;
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (finalized_) return FailedPreconditionError("archive sink is finalized");
   if (records_.count(meter) > 0) return Status::Ok();
   SMETER_RETURN_IF_ERROR(manifest_.Append(ManifestRecord(done)));
@@ -111,7 +111,7 @@ Status ArchiveSink::Persist(const std::string& meter,
 }
 
 Status ArchiveSink::Finalize() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (finalized_) return Status::Ok();
   finalized_ = true;
   SMETER_RETURN_IF_ERROR(manifest_.Close());
@@ -132,17 +132,17 @@ Status ArchiveSink::Finalize() {
 }
 
 uint64_t ArchiveSink::households_persisted() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return persisted_;
 }
 
 uint64_t ArchiveSink::households_total() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return records_.size();
 }
 
 uint64_t ArchiveSink::symbols_persisted() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return symbols_;
 }
 

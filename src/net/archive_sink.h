@@ -32,12 +32,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/io.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "core/encoder.h"
 #include "core/fleet_encoder.h"
 #include "core/symbolic_series.h"
@@ -56,26 +56,27 @@ class ArchiveSink {
   // True when `meter` already has a durable record (carried from a prior
   // run or persisted in this one). The server uses this to short-circuit
   // re-uploads after a crash/reconnect.
-  bool AlreadyPersisted(const std::string& meter) const;
+  bool AlreadyPersisted(const std::string& meter) const REQUIRES(!mutex_);
 
   // Durably writes one completed session's outputs and checkpoints it in
   // the manifest. Idempotent per meter: a second call for an
   // already-persisted meter is a no-op success.
   Status Persist(const std::string& meter, const std::string& table_blob,
-                 const SymbolicSeries& series, const EncodeQuality& quality);
+                 const SymbolicSeries& series, const EncodeQuality& quality)
+      REQUIRES(!mutex_);
 
   // Closes the append log, rewrites the manifest with every record sorted
   // by meter name, and writes quality.json. Call once, at drain/shutdown.
-  Status Finalize();
+  Status Finalize() REQUIRES(!mutex_);
 
   const std::string& dir() const { return dir_; }
   // Households persisted by THIS run (excludes carried records).
-  uint64_t households_persisted() const;
+  uint64_t households_persisted() const REQUIRES(!mutex_);
   // All durable households: carried plus this run's. This is what
   // completion checks ("drain once N households landed") must use — after
   // a crash restart, part of the fleet is carried, not re-persisted.
-  uint64_t households_total() const;
-  uint64_t symbols_persisted() const;
+  uint64_t households_total() const REQUIRES(!mutex_);
+  uint64_t symbols_persisted() const REQUIRES(!mutex_);
 
  private:
   ArchiveSink(std::string dir, io::AppendLogWriter manifest,
@@ -83,13 +84,13 @@ class ArchiveSink {
 
   const std::string dir_;
 
-  mutable std::mutex mutex_;
-  io::AppendLogWriter manifest_;
+  mutable Mutex mutex_;
+  io::AppendLogWriter manifest_ GUARDED_BY(mutex_);
   // Every durable household: carried entries plus this run's persists.
-  std::map<std::string, HouseholdReport> records_;
-  uint64_t persisted_ = 0;
-  uint64_t symbols_ = 0;
-  bool finalized_ = false;
+  std::map<std::string, HouseholdReport> records_ GUARDED_BY(mutex_);
+  uint64_t persisted_ GUARDED_BY(mutex_) = 0;
+  uint64_t symbols_ GUARDED_BY(mutex_) = 0;
+  bool finalized_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace smeter::net

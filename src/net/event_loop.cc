@@ -210,6 +210,8 @@ Status EventLoop::RunOnce(int timeout_ms) {
 }
 
 Status EventLoop::Run() {
+  // The calling thread is the loop thread until Run() returns.
+  ScopedThreadRole loop_thread(role_);
   running_ = true;
   while (running_) {
     SMETER_RETURN_IF_ERROR(RunOnce(-1));
@@ -232,13 +234,20 @@ BufferedFd::BufferedFd(EventLoop* loop, int fd, Callbacks callbacks,
 }
 
 BufferedFd::~BufferedFd() {
+  // Destruction happens on the loop thread (class contract), so claiming
+  // the loop role for the deregistration is sound.
+  ScopedThreadRole loop_thread(loop_->role());
   if (registered_) (void)loop_->Remove(fd_);
   ::close(fd_);
 }
 
 Status BufferedFd::Register() {
+  ScopedThreadRole loop_thread(loop_->role());
   SMETER_RETURN_IF_ERROR(loop_->Add(fd_, EPOLLIN | EPOLLET,
                                     [this](uint32_t events) {
+                                      // Dispatched on the loop thread, the
+                                      // one owner of this connection.
+                                      ScopedThreadRole owner(role_);
                                       OnEvents(events);
                                     }));
   registered_ = true;
@@ -250,6 +259,7 @@ void BufferedFd::UpdateInterest() {
   uint32_t events = EPOLLET;
   if (!paused_) events |= EPOLLIN;
   if (want_write_) events |= EPOLLOUT;
+  ScopedThreadRole loop_thread(loop_->role());
   (void)loop_->Modify(fd_, events);
 }
 
@@ -374,6 +384,7 @@ void BufferedFd::Close(Status reason) {
   if (closed_) return;
   closed_ = true;
   if (registered_) {
+    ScopedThreadRole loop_thread(loop_->role());
     (void)loop_->Remove(fd_);
     registered_ = false;
   }

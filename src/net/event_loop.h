@@ -9,6 +9,12 @@
 // set an atomic flag and call Wakeup(); the loop thread reads the flag
 // from the wakeup handler.
 //
+// The single-writer rule is machine-checked (DESIGN.md §13): each loop and
+// each BufferedFd carries a zero-cost ThreadRole capability, loop-thread-
+// only methods are annotated REQUIRES(role_), and the owning thread claims
+// the role with a ScopedThreadRole at the ownership boundary (Run() claims
+// it for the loop's lifetime; tests claim it around direct driving).
+//
 // Edge-triggered: fds are registered with EPOLLET, so handlers must drain
 // (read/write until EAGAIN) on every event. BufferedFd below implements
 // that contract once — per-connection read/write buffering with a
@@ -27,6 +33,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace smeter::net {
 
@@ -44,38 +51,46 @@ class EventLoop {
 
   // Registers `fd` for `events` (caller includes EPOLLET for edge
   // triggering). The loop does not own the fd.
-  Status Add(int fd, uint32_t events, FdHandler handler);
-  Status Modify(int fd, uint32_t events);
-  Status Remove(int fd);
+  Status Add(int fd, uint32_t events, FdHandler handler) REQUIRES(role_);
+  Status Modify(int fd, uint32_t events) REQUIRES(role_);
+  Status Remove(int fd) REQUIRES(role_);
 
   // Schedules `callback` once, `delay_ms` from now (monotonic clock).
   // Returns an id for CancelTimer. Safe to call from handlers and timer
   // callbacks; a 0 delay fires on the next loop iteration.
-  uint64_t RunAfter(int64_t delay_ms, std::function<void()> callback);
-  void CancelTimer(uint64_t id);
+  uint64_t RunAfter(int64_t delay_ms, std::function<void()> callback)
+      REQUIRES(role_);
+  void CancelTimer(uint64_t id) REQUIRES(role_);
 
   // Runs until Stop(). Dispatches fd events, due timers, and wakeups.
+  // Claims the loop role for its duration: the calling thread IS the loop
+  // thread until Run() returns.
   Status Run();
   // One dispatch pass with the given epoll timeout; for tests.
-  Status RunOnce(int timeout_ms);
+  Status RunOnce(int timeout_ms) REQUIRES(role_);
   // Ends Run() after the current dispatch pass. Loop-thread only; from
   // another thread, set a flag and Wakeup() instead.
-  void Stop();
+  void Stop() REQUIRES(role_);
 
   // Invoked on the loop thread after every Wakeup().
-  void SetWakeupHandler(std::function<void()> handler);
-  // Async-signal-safe and thread-safe: one write(2) to the eventfd.
+  void SetWakeupHandler(std::function<void()> handler) REQUIRES(role_);
+  // Async-signal-safe and thread-safe: one write(2) to the eventfd. The
+  // only member deliberately NOT annotated with the loop role.
   void Wakeup();
 
   // Milliseconds on the loop's monotonic clock (for idle accounting).
   static int64_t NowMs();
 
+  // The loop-thread capability. Owners claim it with a ScopedThreadRole
+  // before driving the loop directly (tests, setup before Run()).
+  ThreadRole& role() RETURN_CAPABILITY(role_) { return role_; }
+
  private:
   EventLoop(int epoll_fd, int timer_fd, int wakeup_fd);
 
-  void ArmTimer();
-  void RunDueTimers();
-  void DrainWakeup();
+  void ArmTimer() REQUIRES(role_);
+  void RunDueTimers() REQUIRES(role_);
+  void DrainWakeup() REQUIRES(role_);
 
   struct Timer {
     int64_t deadline_ms = 0;
@@ -86,12 +101,13 @@ class EventLoop {
   int epoll_fd_ = -1;
   int timer_fd_ = -1;
   int wakeup_fd_ = -1;
-  bool running_ = false;
-  uint64_t next_timer_id_ = 1;
+  ThreadRole role_;
+  bool running_ GUARDED_BY(role_) = false;
+  uint64_t next_timer_id_ GUARDED_BY(role_) = 1;
   // Sorted by (deadline, id); small enough that a vector beats a heap.
-  std::vector<Timer> timers_;
-  std::map<int, std::shared_ptr<FdHandler>> handlers_;
-  std::function<void()> wakeup_handler_;
+  std::vector<Timer> timers_ GUARDED_BY(role_);
+  std::map<int, std::shared_ptr<FdHandler>> handlers_ GUARDED_BY(role_);
+  std::function<void()> wakeup_handler_ GUARDED_BY(role_);
 };
 
 // A non-blocking fd (socket end) wired into an EventLoop with read/write
@@ -123,7 +139,8 @@ class BufferedFd {
 
   // Takes ownership of `fd` (sets it non-blocking). Register() wires it
   // into the loop; the object must outlive its registration and must be
-  // destroyed on the loop thread.
+  // destroyed on the loop thread. Like the loop, every method below is
+  // loop-thread-only, checked against this object's own role capability.
   BufferedFd(EventLoop* loop, int fd, Callbacks callbacks,
              size_t high_watermark);
   ~BufferedFd();
@@ -131,47 +148,52 @@ class BufferedFd {
   BufferedFd(const BufferedFd&) = delete;
   BufferedFd& operator=(const BufferedFd&) = delete;
 
-  Status Register();
+  Status Register() REQUIRES(role_);
 
   // Buffers `data` and flushes what the socket will take now.
-  Status Send(std::string_view data);
+  Status Send(std::string_view data) REQUIRES(role_);
 
   // Closes after the output buffer drains (or immediately when empty).
   // Further input is ignored.
-  void CloseAfterFlush(Status reason);
+  void CloseAfterFlush(Status reason) REQUIRES(role_);
   // Tears the connection down now; on_close fires with `reason`.
-  void Close(Status reason);
+  void Close(Status reason) REQUIRES(role_);
 
   int fd() const { return fd_; }
-  bool closed() const { return closed_; }
-  size_t pending_out() const { return out_.size(); }
-  bool paused() const { return paused_; }
-  uint64_t stalls() const { return stalls_; }
-  uint64_t bytes_in() const { return bytes_in_; }
-  uint64_t bytes_out() const { return bytes_out_; }
+  bool closed() const REQUIRES(role_) { return closed_; }
+  size_t pending_out() const REQUIRES(role_) { return out_.size(); }
+  bool paused() const REQUIRES(role_) { return paused_; }
+  uint64_t stalls() const REQUIRES(role_) { return stalls_; }
+  uint64_t bytes_in() const REQUIRES(role_) { return bytes_in_; }
+  uint64_t bytes_out() const REQUIRES(role_) { return bytes_out_; }
+
+  // This connection's single-owner capability (claimed by the loop-side
+  // event handler and, at ownership boundaries, by the owning server).
+  ThreadRole& role() RETURN_CAPABILITY(role_) { return role_; }
 
  private:
-  void OnEvents(uint32_t events);
-  void HandleReadable();
-  void HandleWritable();
-  Status FlushSome();
-  void UpdateInterest();
+  void OnEvents(uint32_t events) REQUIRES(role_);
+  void HandleReadable() REQUIRES(role_);
+  void HandleWritable() REQUIRES(role_);
+  Status FlushSome() REQUIRES(role_);
+  void UpdateInterest() REQUIRES(role_);
 
   EventLoop* loop_;
   int fd_;
+  ThreadRole role_;
   Callbacks callbacks_;
   size_t high_watermark_;
-  std::string in_;
-  std::string out_;
-  bool registered_ = false;
-  bool closed_ = false;
-  bool close_after_flush_ = false;
-  Status close_reason_;
-  bool paused_ = false;
-  bool want_write_ = false;
-  uint64_t stalls_ = 0;
-  uint64_t bytes_in_ = 0;
-  uint64_t bytes_out_ = 0;
+  std::string in_ GUARDED_BY(role_);
+  std::string out_ GUARDED_BY(role_);
+  bool registered_ GUARDED_BY(role_) = false;
+  bool closed_ GUARDED_BY(role_) = false;
+  bool close_after_flush_ GUARDED_BY(role_) = false;
+  Status close_reason_ GUARDED_BY(role_);
+  bool paused_ GUARDED_BY(role_) = false;
+  bool want_write_ GUARDED_BY(role_) = false;
+  uint64_t stalls_ GUARDED_BY(role_) = 0;
+  uint64_t bytes_in_ GUARDED_BY(role_) = 0;
+  uint64_t bytes_out_ GUARDED_BY(role_) = 0;
 };
 
 }  // namespace smeter::net

@@ -30,10 +30,12 @@
 #include <map>
 #include <memory>
 #include <ostream>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "net/archive_sink.h"
 #include "net/event_loop.h"
 #include "net/session.h"
@@ -53,8 +55,12 @@ struct IngestServerOptions {
   size_t high_watermark = 1u << 20;
   // How long draining sessions get to finish before being force-closed.
   int64_t drain_grace_ms = 5'000;
-  // Drain automatically once this many households persisted (0 = never);
-  // lets tests and soak jobs run the real binary to a deterministic end.
+  // Drain automatically once this many DISTINCT meters have completed a
+  // session in this run (0 = never); lets tests and soak jobs run the real
+  // binary to a deterministic end. Records carried from a prior run via
+  // --resume do not count by themselves — a resumed server waits until
+  // every counted meter has been (re-)acknowledged this run, so it cannot
+  // drain before slow reconnecting meters get their duplicate acks.
   uint64_t exit_after_households = 0;
   // Per-session protocol limits (auth_token/draining are overwritten).
   SessionOptions session;
@@ -90,19 +96,30 @@ class IngestServer {
   IngestServer& operator=(const IngestServer&) = delete;
 
   // Serves until drained/stopped, then finalizes the archive. Returns the
-  // first fatal error (a finalize failure), OK on a clean drain.
+  // first fatal error (a finalize failure), OK on a clean drain. Claims
+  // the server role for its duration: the calling thread owns all server
+  // state until Run() returns.
   Status Run();
 
-  // Thread- and async-signal-safe: begin a graceful drain.
+  // Thread- and async-signal-safe: begin a graceful drain. The only
+  // methods callable while another thread runs the server.
   void RequestDrain();
   // Thread- and async-signal-safe: dump counters JSON to `stats_out`.
   void RequestStatsDump();
 
   // The bound port (useful when options.port was 0).
   uint16_t port() const { return port_; }
-  const IngestCounters& counters() const { return counters_; }
-  // Where RequestStatsDump() writes; defaults to std::cerr.
-  void set_stats_out(std::ostream* out) { stats_out_ = out; }
+  const IngestCounters& counters() const REQUIRES(role_) {
+    return counters_;
+  }
+  // Where RequestStatsDump() writes; defaults to std::cerr. Owner-only:
+  // call before handing the server to its loop thread, or after Run()
+  // returned.
+  void set_stats_out(std::ostream* out) REQUIRES(role_) { stats_out_ = out; }
+
+  // The server's single-owner capability (the loop thread while Run() is
+  // live; tests claim it around setup and post-run assertions).
+  ThreadRole& role() RETURN_CAPABILITY(role_) { return role_; }
 
  private:
   struct Connection {
@@ -119,39 +136,48 @@ class IngestServer {
                std::unique_ptr<EventLoop> loop,
                std::unique_ptr<ArchiveSink> sink);
 
-  void OnAcceptable();
-  void AdoptConnection(int fd);
+  void OnAcceptable() REQUIRES(role_);
+  void AdoptConnection(int fd) REQUIRES(role_);
   // Feeds `data` to the connection's frame decoder; returns bytes consumed.
-  size_t OnData(Connection* conn, std::string_view data);
-  void OnConnectionClosed(Connection* conn, const Status& reason);
-  void SendFrames(Connection* conn, const std::vector<Frame>& frames);
-  void FinishSession(Connection* conn);
-  void FailConnection(Connection* conn, WireStatus status, Status error);
-  void SweepIdle();
-  void OnWakeup();
-  void BeginDrain();
-  void FinishDrainIfIdle();
-  void ReapClosed();
+  size_t OnData(Connection* conn, std::string_view data) REQUIRES(role_);
+  void OnConnectionClosed(Connection* conn, const Status& reason)
+      REQUIRES(role_);
+  void SendFrames(Connection* conn, const std::vector<Frame>& frames)
+      REQUIRES(role_);
+  void FinishSession(Connection* conn) REQUIRES(role_);
+  void FailConnection(Connection* conn, WireStatus status, Status error)
+      REQUIRES(role_);
+  void SweepIdle() REQUIRES(role_);
+  void OnWakeup() REQUIRES(role_);
+  void BeginDrain() REQUIRES(role_);
+  void FinishDrainIfIdle() REQUIRES(role_);
+  void ReapClosed() REQUIRES(role_);
 
   IngestServerOptions options_;
-  int listen_fd_;
+  int listen_fd_ GUARDED_BY(role_);
   uint16_t port_;
   std::unique_ptr<EventLoop> loop_;
   std::unique_ptr<ArchiveSink> sink_;
-  std::ostream* stats_out_;
+  ThreadRole role_;
+  std::ostream* stats_out_ GUARDED_BY(role_);
 
-  uint64_t next_conn_id_ = 1;
-  std::map<uint64_t, std::unique_ptr<Connection>> connections_;
+  uint64_t next_conn_id_ GUARDED_BY(role_) = 1;
+  std::map<uint64_t, std::unique_ptr<Connection>> connections_
+      GUARDED_BY(role_);
   // Connections whose on_close fired mid-callback; freed next loop pass.
-  std::vector<std::unique_ptr<Connection>> graveyard_;
-  bool reap_scheduled_ = false;
+  std::vector<std::unique_ptr<Connection>> graveyard_ GUARDED_BY(role_);
+  bool reap_scheduled_ GUARDED_BY(role_) = false;
 
   std::atomic<bool> drain_requested_{false};
   std::atomic<bool> stats_requested_{false};
-  bool draining_ = false;
-  bool finalized_ = false;
-  Status exit_status_;
-  IngestCounters counters_;
+  bool draining_ GUARDED_BY(role_) = false;
+  bool finalized_ GUARDED_BY(role_) = false;
+  Status exit_status_ GUARDED_BY(role_);
+  IngestCounters counters_ GUARDED_BY(role_);
+  // Meters acknowledged in THIS run (fresh persists and duplicate acks,
+  // not failed persists) — the completion set behind
+  // options_.exit_after_households.
+  std::set<std::string> completed_this_run_ GUARDED_BY(role_);
 };
 
 // Parses "host:port" (or ":port" / "port") into options fields.

@@ -10,7 +10,6 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
-#include <mutex>
 #include <sstream>
 #include <thread>
 #include <utility>

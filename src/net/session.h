@@ -35,6 +35,12 @@
 // A failed session is quarantined: the server sends the error ack, closes
 // the connection, and persists nothing — the meter can reconnect and
 // resend. The daemon itself never dies on a bad session.
+//
+// Ownership: a Session has exactly one writer at a time (the loop thread
+// of the server that owns the connection, or the test/fuzz driver). That
+// single-writer rule is machine-checked: every method requires the
+// session's `writer_role()` capability, which the owner claims with a
+// zero-cost ScopedThreadRole (DESIGN.md §13).
 
 #ifndef SMETER_NET_SESSION_H_
 #define SMETER_NET_SESSION_H_
@@ -45,6 +51,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "core/encoder.h"
 #include "core/lookup_table.h"
 #include "core/symbolic_series.h"
@@ -82,34 +89,57 @@ class Session {
   // `replies`. After each call the server checks state(): kFailed means
   // flush replies then close; kComplete means persist, then send the
   // GOODBYE_ACK the server builds from the persist outcome.
-  void OnFrame(const Frame& frame, std::vector<Frame>* replies);
+  void OnFrame(const Frame& frame, std::vector<Frame>* replies)
+      REQUIRES(writer_role_);
 
   // Refuses a HELLO that arrives after the server began draining (sessions
   // already past HELLO are allowed to finish).
-  void SetDraining() { options_.draining = true; }
+  void SetDraining() REQUIRES(writer_role_) { options_.draining = true; }
 
-  State state() const { return state_; }
+  State state() const REQUIRES(writer_role_) { return state_; }
   // Why the session failed (kFailed only).
-  const Status& error() const { return error_; }
+  const Status& error() const REQUIRES(writer_role_) { return error_; }
   // Wire status describing the failure, for the closing ack.
-  WireStatus error_status() const { return error_status_; }
+  WireStatus error_status() const REQUIRES(writer_role_) {
+    return error_status_;
+  }
 
-  const std::string& meter_id() const { return meter_id_; }
+  const std::string& meter_id() const REQUIRES(writer_role_) {
+    return meter_id_;
+  }
   // The announced serialized table, byte-for-byte as received (persisted
   // verbatim so the archive matches the sensor's own Serialize output).
-  const std::string& table_blob() const { return table_blob_; }
-  uint32_t table_version() const { return table_version_; }
-  int level() const { return table_ ? table_->level() : 0; }
+  const std::string& table_blob() const REQUIRES(writer_role_) {
+    return table_blob_;
+  }
+  uint32_t table_version() const REQUIRES(writer_role_) {
+    return table_version_;
+  }
+  int level() const REQUIRES(writer_role_) {
+    return table_ ? table_->level() : 0;
+  }
 
   // Total symbols accepted (gap fill included) and how many are GAPs.
-  size_t symbols_received() const { return samples_.size(); }
-  size_t gaps_received() const { return gaps_received_; }
+  size_t symbols_received() const REQUIRES(writer_role_) {
+    return samples_.size();
+  }
+  size_t gaps_received() const REQUIRES(writer_role_) {
+    return gaps_received_;
+  }
 
   // Client-reported quality from GOODBYE (kComplete only).
-  const EncodeQuality& quality() const { return quality_; }
+  const EncodeQuality& quality() const REQUIRES(writer_role_) {
+    return quality_;
+  }
 
   // The accumulated series (kComplete only); destroys the buffer.
-  Result<SymbolicSeries> TakeSeries();
+  Result<SymbolicSeries> TakeSeries() REQUIRES(writer_role_);
+
+  // The single-writer capability; the owning thread claims it with a
+  // ScopedThreadRole around any use of this session.
+  ThreadRole& writer_role() RETURN_CAPABILITY(writer_role_) {
+    return writer_role_;
+  }
 
  private:
   // Fails the session and replies with the ack type matching the offending
@@ -118,29 +148,35 @@ class Session {
   // GOODBYE_ACK. A bad PING closes with a GOODBYE_ACK since PONG has no
   // status field.
   void Fail(FrameType request, WireStatus status, Status error,
-            std::vector<Frame>* replies, uint64_t batch_seq = 0);
-  void OnHello(const Frame& frame, std::vector<Frame>* replies);
-  void OnTable(const Frame& frame, std::vector<Frame>* replies);
-  void OnBatch(const Frame& frame, std::vector<Frame>* replies);
-  void OnGoodbye(const Frame& frame,
-                 std::vector<Frame>* replies);
+            std::vector<Frame>* replies, uint64_t batch_seq = 0)
+      REQUIRES(writer_role_);
+  void OnHello(const Frame& frame, std::vector<Frame>* replies)
+      REQUIRES(writer_role_);
+  void OnTable(const Frame& frame, std::vector<Frame>* replies)
+      REQUIRES(writer_role_);
+  void OnBatch(const Frame& frame, std::vector<Frame>* replies)
+      REQUIRES(writer_role_);
+  void OnGoodbye(const Frame& frame, std::vector<Frame>* replies)
+      REQUIRES(writer_role_);
 
-  SessionOptions options_;
-  State state_ = State::kExpectHello;
-  Status error_;
-  WireStatus error_status_ = WireStatus::kOk;
+  ThreadRole writer_role_;
+  SessionOptions options_ GUARDED_BY(writer_role_);
+  State state_ GUARDED_BY(writer_role_) = State::kExpectHello;
+  Status error_ GUARDED_BY(writer_role_);
+  WireStatus error_status_ GUARDED_BY(writer_role_) = WireStatus::kOk;
 
-  std::string meter_id_;
-  std::string table_blob_;
-  uint32_t table_version_ = 0;
-  std::optional<LookupTable> table_;
+  std::string meter_id_ GUARDED_BY(writer_role_);
+  std::string table_blob_ GUARDED_BY(writer_role_);
+  uint32_t table_version_ GUARDED_BY(writer_role_) = 0;
+  std::optional<LookupTable> table_ GUARDED_BY(writer_role_);
 
-  uint64_t next_seq_ = 1;
-  int64_t step_seconds_ = 0;
-  int64_t next_timestamp_ = 0;  // expected start of the next batch
-  size_t gaps_received_ = 0;
-  std::vector<SymbolicSample> samples_;
-  EncodeQuality quality_;
+  uint64_t next_seq_ GUARDED_BY(writer_role_) = 1;
+  int64_t step_seconds_ GUARDED_BY(writer_role_) = 0;
+  // Expected start of the next batch.
+  int64_t next_timestamp_ GUARDED_BY(writer_role_) = 0;
+  size_t gaps_received_ GUARDED_BY(writer_role_) = 0;
+  std::vector<SymbolicSample> samples_ GUARDED_BY(writer_role_);
+  EncodeQuality quality_ GUARDED_BY(writer_role_);
 };
 
 // In wire namespace terms the session's replies always carry an explicit

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault_injection.h"
 #include "testutil.h"
 
 namespace smeter {
@@ -142,6 +143,29 @@ TEST(EncodePipelineWithGapsTest, MatchesStrictPipelineOnCleanTraces) {
   }
   EXPECT_EQ(gap_aware.quality.windows_gap, 0u);
   EXPECT_EQ(gap_aware.quality.windows_partial, 0u);
+}
+
+TEST(EncodePipelineTest, PipelineFaultSeamFailsBothEntryPoints) {
+  LookupTable table = UniformTable(100.0, 3);
+  TimeSeries raw = TimeSeries::FromValues(
+      smeter::testing::LogNormalValues(600, 5, 3.0, 0.5));
+  PipelineOptions options;
+  options.window_seconds = 60;
+  {
+    fault::ScopedFaultPlan plan(
+        {fault::FaultRule::FailCalls("encode.pipeline", 1, 1)});
+    EXPECT_FALSE(EncodePipeline(raw, table, options).ok());
+    EXPECT_EQ(plan.TotalInjected(), 1u);
+  }
+  {
+    fault::ScopedFaultPlan plan(
+        {fault::FaultRule::FailCalls("encode.pipeline", 1, 1)});
+    EXPECT_FALSE(EncodePipelineWithGaps(raw, table, options).ok());
+    EXPECT_EQ(plan.TotalInjected(), 1u);
+  }
+  // With the seam disarmed both entry points work again: the failure was
+  // injected, not structural.
+  EXPECT_TRUE(EncodePipeline(raw, table, options).ok());
 }
 
 TEST(DecodeTest, GapSymbolsProduceNoOutputSamples) {

@@ -320,6 +320,39 @@ TEST(FleetTolerantTest, ParallelReportsMatchSerial) {
   }
 }
 
+TEST(FleetTolerantTest, ProgressCountsMatchTheReports) {
+  std::vector<FleetInput> inputs = SyntheticInputs(6, 300);
+  inputs[2].trace = InternalError("dead meter");
+  FleetEncodeOptions options = SmallOptions();
+  options.retry.max_retries = 1;
+  options.retry.sleep_ms = [](int64_t) {};
+  // One injected transient failure: some household (scheduling-dependent
+  // under the pool) burns a retry; the progress totals must still agree
+  // with the final reports exactly.
+  fault::ScopedFaultPlan plan(
+      {fault::FaultRule::FailCalls("fleet.household", 1, 1)});
+  ThreadPool pool(3);
+  FleetProgress progress;
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<HouseholdReport> reports,
+      EncodeFleetTolerant(inputs, options, &pool, nullptr, &progress));
+  ASSERT_EQ(reports.size(), inputs.size());
+
+  FleetProgress::Snapshot snap = progress.Get();
+  FleetQualityReport summary = SummarizeFleet(reports);
+  EXPECT_EQ(snap.completed, inputs.size());
+  EXPECT_EQ(snap.ok, summary.households_ok);
+  EXPECT_EQ(snap.degraded, summary.households_degraded);
+  EXPECT_EQ(snap.quarantined, summary.households_quarantined);
+  EXPECT_EQ(snap.quarantined, 1u);  // only the dead meter
+  size_t retries = 0;
+  for (const HouseholdReport& r : reports) {
+    retries += static_cast<size_t>(r.attempts - 1);
+  }
+  EXPECT_EQ(snap.retries, retries);
+  EXPECT_GE(snap.retries, 1u);  // the injected failure forced at least one
+}
+
 TEST(FleetTolerantTest, JsonReportNamesEveryHouseholdAndOutcome) {
   std::vector<FleetInput> inputs = SyntheticInputs(2, 200);
   inputs[1].trace = InternalError("bad \"quote\" in message");

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/sync.h"
 #include "core/lookup_table.h"
 #include "core/symbol.h"
 #include "core/symbolic_series.h"
@@ -271,6 +272,8 @@ void FuzzSession(FuzzInput& in) {
   if (in.TakeByte() % 8 == 0) options.max_session_symbols = 64;
   if (in.TakeByte() % 8 == 0) options.max_gap_fill = 4;
   Session session(options);
+  // The fuzz driver is the session's single writer.
+  ScopedThreadRole writer(session.writer_role());
 
   uint64_t seq = 1;
   int64_t next_start = 0;

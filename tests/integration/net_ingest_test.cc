@@ -20,6 +20,7 @@
 
 #include "cli.h"
 #include "common/fault_injection.h"
+#include "common/sync.h"
 #include "net/ingest_server.h"
 #include "net/loadgen.h"
 #include "testutil.h"
@@ -165,6 +166,8 @@ TEST(NetIngestTest, LoopbackArchiveMatchesOfflineEncodeFleet) {
   EXPECT_EQ(report.reconnects, 0u);
   EXPECT_GT(report.symbols_sent, 0u);
 
+  // The serving thread has joined; the test thread owns the server again.
+  ScopedThreadRole owner(running.server->role());
   const net::IngestCounters& counters = running.server->counters();
   EXPECT_EQ(counters.sessions_completed, kMeters);
   EXPECT_EQ(counters.households_persisted, kMeters);
@@ -203,9 +206,41 @@ TEST(NetIngestTest, DroppedConnectionsReconnectAndConverge) {
   EXPECT_GE(report.reconnects, 1u);
   EXPECT_GE(report.batches_dropped, 1u);
   // The server saw the dropped sessions and quarantined them.
+  ScopedThreadRole owner(running.server->role());
   EXPECT_GE(running.server->counters().sessions_dropped, 1u);
   EXPECT_GT(running.server->counters().sessions_accepted, kMeters);
 
+  ExpectDirsBitIdentical(dir + "/offline", dir + "/online");
+}
+
+TEST(NetIngestTest, AcceptFaultSeamCostsOneConnectionNotTheListener) {
+  std::string dir = MakeFleetDir("net_ingest_accept_fault");
+  const std::string cer = dir + "/meters.cer";
+  EncodeFleetOffline(cer, dir + "/offline");
+
+  net::IngestServerOptions server_options = ServerOptions(dir + "/online");
+  server_options.exit_after_households = kMeters;
+  RunningServer running;
+  running.Start(std::move(server_options));
+  ASSERT_NE(running.server, nullptr);
+
+  net::LoadgenReport report;
+  {
+    // The seam fails the first accept: the server closes that socket, the
+    // affected meter sees a dead connection and retries, and the listener
+    // itself keeps serving the rest of the fleet.
+    fault::ScopedFaultPlan plan(
+        {fault::FaultRule::FailCalls("net.accept", 1, 1)});
+    report = RunLoadgenOk(LoadgenOptions(running.server->port(), cer));
+    EXPECT_EQ(plan.TotalInjected(), 1u);
+  }
+  running.thread.join();
+  ASSERT_OK(running.result);
+
+  EXPECT_EQ(report.meters_ok, kMeters);
+  EXPECT_GE(report.reconnects, 1u);
+  ScopedThreadRole owner(running.server->role());
+  EXPECT_GE(running.server->counters().sessions_dropped, 1u);
   ExpectDirsBitIdentical(dir + "/offline", dir + "/online");
 }
 
@@ -234,6 +269,7 @@ TEST(NetIngestTest, RefusedTableQuarantinesSessionNotDaemon) {
 
   EXPECT_EQ(report.meters_ok, kMeters);
   EXPECT_GE(report.reconnects, 1u);
+  ScopedThreadRole owner(running.server->role());
   EXPECT_GE(running.server->counters().sessions_dropped, 1u);
   ExpectDirsBitIdentical(dir + "/offline", dir + "/online");
 }
@@ -257,6 +293,7 @@ TEST(NetIngestTest, ReUploadedFleetIsAcknowledgedAsDuplicates) {
 
   running.DrainAndJoin();
   ASSERT_OK(running.result);
+  ScopedThreadRole owner(running.server->role());
   EXPECT_EQ(running.server->counters().households_persisted, kMeters);
   EXPECT_EQ(running.server->counters().sessions_completed, 2 * kMeters);
   ExpectDirsBitIdentical(dir + "/offline", dir + "/online");
@@ -284,6 +321,7 @@ TEST(NetIngestTest, DrainedServerRefusesNewSessions) {
 
   EXPECT_EQ(report->meters_ok, kMeters / 2);
   EXPECT_EQ(report->meters_failed, kMeters - kMeters / 2);
+  ScopedThreadRole owner(running.server->role());
   EXPECT_EQ(running.server->counters().households_persisted, kMeters / 2);
 
   // The partial archive is valid as far as it goes: fsck grades it clean.
@@ -318,6 +356,7 @@ TEST(NetIngestTest, DamagedArchiveRepairsResumesAndConverges) {
     ASSERT_TRUE(report.ok()) << report.status().ToString();
     running.thread.join();
     ASSERT_OK(running.result);
+    ScopedThreadRole owner(running.server->role());
     ASSERT_EQ(running.server->counters().households_persisted, 3u);
   }
 
@@ -361,6 +400,7 @@ TEST(NetIngestTest, DamagedArchiveRepairsResumesAndConverges) {
     ASSERT_OK(running.result);
     EXPECT_EQ(report.meters_ok, kMeters);
     // At least meter_1001 was re-persisted; at least meter_1000 carried.
+    ScopedThreadRole owner(running.server->role());
     EXPECT_GE(running.server->counters().households_persisted, 1u);
     EXPECT_LT(running.server->counters().households_persisted, kMeters);
   }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/fault_injection.h"
+#include "common/sync.h"
 #include "testutil.h"
 
 namespace smeter::net {
@@ -28,10 +29,14 @@ void MakeSocketPair(int fds[2]) {
 
 TEST(EventLoopTest, TimersFireInDeadlineOrder) {
   ASSERT_OK_AND_ASSIGN(std::unique_ptr<EventLoop> loop, EventLoop::Create());
+  // The test thread is the loop thread: it seeds timers, then runs the loop.
+  ScopedThreadRole loop_owner(loop->role());
   std::vector<int> fired;
   loop->RunAfter(30, [&] { fired.push_back(3); });
   loop->RunAfter(10, [&] { fired.push_back(1); });
   loop->RunAfter(20, [&] {
+    // Timer callbacks run on the loop thread.
+    ScopedThreadRole owner(loop->role());
     fired.push_back(2);
     loop->Stop();
   });
@@ -42,8 +47,10 @@ TEST(EventLoopTest, TimersFireInDeadlineOrder) {
 
 TEST(EventLoopTest, ZeroDelayTimerFiresOnNextPass) {
   ASSERT_OK_AND_ASSIGN(std::unique_ptr<EventLoop> loop, EventLoop::Create());
+  ScopedThreadRole loop_owner(loop->role());
   bool fired = false;
   loop->RunAfter(0, [&] {
+    ScopedThreadRole owner(loop->role());
     fired = true;
     loop->Stop();
   });
@@ -53,18 +60,24 @@ TEST(EventLoopTest, ZeroDelayTimerFiresOnNextPass) {
 
 TEST(EventLoopTest, CancelledTimerNeverFires) {
   ASSERT_OK_AND_ASSIGN(std::unique_ptr<EventLoop> loop, EventLoop::Create());
+  ScopedThreadRole loop_owner(loop->role());
   bool cancelled_fired = false;
   uint64_t id = loop->RunAfter(5, [&] { cancelled_fired = true; });
   loop->CancelTimer(id);
-  loop->RunAfter(20, [&] { loop->Stop(); });
+  loop->RunAfter(20, [&] {
+    ScopedThreadRole owner(loop->role());
+    loop->Stop();
+  });
   ASSERT_OK(loop->Run());
   EXPECT_FALSE(cancelled_fired);
 }
 
 TEST(EventLoopTest, TimerCallbackMayScheduleAnotherTimer) {
   ASSERT_OK_AND_ASSIGN(std::unique_ptr<EventLoop> loop, EventLoop::Create());
+  ScopedThreadRole loop_owner(loop->role());
   int hops = 0;
   std::function<void()> hop = [&] {
+    ScopedThreadRole owner(loop->role());
     if (++hops == 3) {
       loop->Stop();
       return;
@@ -78,11 +91,14 @@ TEST(EventLoopTest, TimerCallbackMayScheduleAnotherTimer) {
 
 TEST(EventLoopTest, WakeupFromAnotherThreadRunsTheHandler) {
   ASSERT_OK_AND_ASSIGN(std::unique_ptr<EventLoop> loop, EventLoop::Create());
+  ScopedThreadRole loop_owner(loop->role());
   int wakeups = 0;
   loop->SetWakeupHandler([&] {
+    ScopedThreadRole owner(loop->role());
     ++wakeups;
     loop->Stop();
   });
+  // Wakeup() is the one cross-thread entry point — no role needed.
   std::thread poker([&] { loop->Wakeup(); });
   ASSERT_OK(loop->Run());
   poker.join();
@@ -120,6 +136,8 @@ struct FdHarness {
     buffered = std::make_unique<BufferedFd>(loop.get(), fds[0],
                                             std::move(callbacks),
                                             high_watermark);
+    // The test thread drives the loop, so it owns the connection too.
+    ScopedThreadRole io_owner(buffered->role());
     ASSERT_OK(buffered->Register());
   }
 
@@ -129,6 +147,7 @@ struct FdHarness {
   }
 
   void Spin(int passes = 10) {
+    ScopedThreadRole loop_owner(loop->role());
     for (int i = 0; i < passes; ++i) {
       ASSERT_OK(loop->RunOnce(10));
     }
@@ -138,6 +157,7 @@ struct FdHarness {
 TEST(BufferedFdTest, DeliversBytesAndCountsThem) {
   FdHarness h;
   h.Init();
+  ScopedThreadRole io(h.buffered->role());
   ASSERT_EQ(write(h.peer_fd, "hello", 5), 5);
   h.Spin();
   EXPECT_EQ(h.received, "hello");
@@ -164,6 +184,7 @@ TEST(BufferedFdTest, UnconsumedBytesStayBufferedAcrossReads) {
 TEST(BufferedFdTest, SendReachesThePeer) {
   FdHarness h;
   h.Init();
+  ScopedThreadRole io(h.buffered->role());
   ASSERT_OK(h.buffered->Send("ping!"));
   h.Spin();
   char buf[16];
@@ -176,6 +197,7 @@ TEST(BufferedFdTest, SendReachesThePeer) {
 TEST(BufferedFdTest, PeerEofClosesWithOkExactlyOnce) {
   FdHarness h;
   h.Init();
+  ScopedThreadRole io(h.buffered->role());
   ASSERT_EQ(write(h.peer_fd, "bye", 3), 3);
   close(h.peer_fd);
   h.peer_fd = -1;
@@ -190,6 +212,7 @@ TEST(BufferedFdTest, BackpressurePausesReadsAtTheHighWatermark) {
   FdHarness h;
   // Tiny watermark: any unflushed output beyond 64 bytes pauses reads.
   h.Init(/*high_watermark=*/64);
+  ScopedThreadRole io(h.buffered->role());
   // Fill the peer's receive path: the socketpair buffer is finite, so a
   // large enough Send leaves bytes queued in the BufferedFd.
   std::string big(1 << 20, 'x');
@@ -221,6 +244,7 @@ TEST(BufferedFdTest, BackpressurePausesReadsAtTheHighWatermark) {
 TEST(BufferedFdTest, CloseAfterFlushDrainsTheOutputFirst) {
   FdHarness h;
   h.Init();
+  ScopedThreadRole io(h.buffered->role());
   std::string payload(1 << 18, 'y');
   ASSERT_OK(h.buffered->Send(payload));
   h.buffered->CloseAfterFlush(Status::Ok());
@@ -251,6 +275,7 @@ TEST(BufferedFdTest, ReadFaultSeamDropsTheConnectionNotTheLoop) {
   EXPECT_EQ(plan.TotalInjected(), 1u);
   // The loop itself still runs fine.
   bool fired = false;
+  ScopedThreadRole loop_owner(h.loop->role());
   h.loop->RunAfter(0, [&] { fired = true; });
   h.Spin(2);
   EXPECT_TRUE(fired);

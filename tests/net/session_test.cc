@@ -12,6 +12,7 @@
 
 #include "common/check.h"
 #include "common/fault_injection.h"
+#include "common/sync.h"
 #include "core/lookup_table.h"
 #include "core/symbol.h"
 #include "net/wire.h"
@@ -51,8 +52,11 @@ Frame Batch(uint64_t seq, int64_t start, int64_t step,
   return MakeSymbolBatch(batch);
 }
 
-// Feeds one frame and returns the replies.
+// Feeds one frame and returns the replies. The test thread is the
+// session's single writer; claiming the role per call keeps the helpers
+// honest under -Wthread-safety without each test repeating the claim.
 std::vector<Frame> Feed(Session& session, const Frame& frame) {
+  ScopedThreadRole writer(session.writer_role());
   std::vector<Frame> replies;
   session.OnFrame(frame, &replies);
   return replies;
@@ -83,12 +87,15 @@ void ExpectBatchAck(const std::vector<Frame>& replies, WireStatus status,
 void Handshake(Session& session) {
   ExpectAck(Feed(session, Hello()), FrameType::kHelloAck, WireStatus::kOk);
   ExpectAck(Feed(session, Table()), FrameType::kTableAck, WireStatus::kOk);
+  ScopedThreadRole writer(session.writer_role());
   ASSERT_EQ(session.state(), Session::State::kStreaming);
 }
 
 TEST(SessionTest, HappyPathProducesTheSeries) {
   Session session(SessionOptions{});
   Handshake(session);
+  // The test body is the session's single writer for its whole lifetime.
+  ScopedThreadRole writer(session.writer_role());
   EXPECT_EQ(session.meter_id(), "meter_1");
   EXPECT_EQ(session.table_blob(), TableBlob());
   EXPECT_EQ(session.table_version(), 1u);
@@ -124,6 +131,7 @@ TEST(SessionTest, HappyPathProducesTheSeries) {
 TEST(SessionTest, MissingWindowsBetweenBatchesAreGapFilled) {
   Session session(SessionOptions{});
   Handshake(session);
+  ScopedThreadRole writer(session.writer_role());
   Feed(session, Batch(1, 0, 900, {1, 2}));
   // Next expected start is 1800; starting at 4500 skips three windows.
   std::vector<Frame> replies = Feed(session, Batch(2, 4500, 900, {3}));
@@ -145,6 +153,7 @@ TEST(SessionTest, MissingWindowsBetweenBatchesAreGapFilled) {
 
 TEST(SessionTest, BatchBeforeTableIsBadState) {
   Session session(SessionOptions{});
+  ScopedThreadRole writer(session.writer_role());
   Feed(session, Hello());
   std::vector<Frame> replies = Feed(session, Batch(1, 0, 900, {1}));
   // The offending request was a batch, so the refusal answers in kind.
@@ -159,6 +168,7 @@ TEST(SessionTest, NonHelloFirstFrameIsBadState) {
   ExpectAck(replies, FrameType::kTableAck, WireStatus::kBadState);
   // A pre-HELLO ping is not allowed either.
   Session session2(SessionOptions{});
+  ScopedThreadRole writer2(session2.writer_role());
   Feed(session2, MakePing(1));
   EXPECT_EQ(session2.state(), Session::State::kFailed);
 }
@@ -179,6 +189,7 @@ TEST(SessionTest, TraversalMeterIdIsRefusedAtHello) {
         std::string(".."), std::string("m\nforged manifest line"),
         std::string("m\0id", 4)}) {
     Session session(SessionOptions{});
+    ScopedThreadRole writer(session.writer_role());
     std::vector<Frame> replies = Feed(session, Hello(evil));
     ExpectAck(replies, FrameType::kHelloAck, WireStatus::kBadFrame);
     EXPECT_EQ(session.state(), Session::State::kFailed);
@@ -199,6 +210,7 @@ TEST(SessionTest, AuthTokenEnforcedWhenConfigured) {
 
 TEST(SessionTest, DrainingRefusesNewHellos) {
   Session session(SessionOptions{});
+  ScopedThreadRole writer(session.writer_role());
   session.SetDraining();
   ExpectAck(Feed(session, Hello()), FrameType::kHelloAck,
             WireStatus::kDraining);
@@ -301,6 +313,7 @@ TEST(SessionTest, ExtremeTimestampsNeverOverflowTheCadence) {
   // signed-overflow UB (the UBSan matrix enforces the "never").
   Session session(SessionOptions{});
   Handshake(session);
+  ScopedThreadRole writer(session.writer_role());
   const int64_t start = kMaxWireTimestamp - kMaxWireStepSeconds;
   std::vector<Frame> replies =
       Feed(session, Batch(1, start, kMaxWireStepSeconds, {1, 2, 3}));
@@ -324,6 +337,7 @@ TEST(SessionTest, ExtremeTimestampsNeverOverflowTheCadence) {
 TEST(SessionTest, GoodbyeQualityMismatchFailsInsteadOfPersisting) {
   Session session(SessionOptions{});
   Handshake(session);
+  ScopedThreadRole writer(session.writer_role());
   Feed(session, Batch(1, 0, 900, {1, 2, kWireGapSymbol}));
   // Server saw 3 symbols / 1 gap; the client claims 3 / 0.
   ExpectAck(Feed(session, MakeGoodbye({3, 0, 0})), FrameType::kGoodbyeAck,
@@ -341,6 +355,7 @@ TEST(SessionTest, GoodbyeWithoutAnyBatchIsBadState) {
 
 TEST(SessionTest, PingWorksInAnyLiveStateAfterHello) {
   Session session(SessionOptions{});
+  ScopedThreadRole writer(session.writer_role());
   Feed(session, Hello());
   std::vector<Frame> replies = Feed(session, MakePing(17));
   ASSERT_EQ(replies.size(), 1u);
@@ -358,6 +373,7 @@ TEST(SessionTest, PingWorksInAnyLiveStateAfterHello) {
 TEST(SessionTest, FramesAfterTerminalStatesAreIgnored) {
   Session session(SessionOptions{});
   Handshake(session);
+  ScopedThreadRole writer(session.writer_role());
   Feed(session, Batch(1, 0, 900, {1}));
   Feed(session, MakeGoodbye({1, 0, 0}));
   ASSERT_EQ(session.state(), Session::State::kComplete);
@@ -365,6 +381,7 @@ TEST(SessionTest, FramesAfterTerminalStatesAreIgnored) {
   EXPECT_EQ(session.state(), Session::State::kComplete);
 
   Session failed(SessionOptions{});
+  ScopedThreadRole failed_writer(failed.writer_role());
   Feed(failed, Table());
   ASSERT_EQ(failed.state(), Session::State::kFailed);
   EXPECT_TRUE(Feed(failed, Hello()).empty());
@@ -373,6 +390,7 @@ TEST(SessionTest, FramesAfterTerminalStatesAreIgnored) {
 TEST(SessionTest, TakeSeriesRequiresCompletion) {
   Session session(SessionOptions{});
   Handshake(session);
+  ScopedThreadRole writer(session.writer_role());
   Feed(session, Batch(1, 0, 900, {1}));
   EXPECT_FALSE(session.TakeSeries().ok());
 }

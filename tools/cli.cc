@@ -3,12 +3,12 @@
 #include <csignal>
 #include <filesystem>
 #include <map>
-#include <mutex>
 #include <utility>
 
 #include "common/io.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "core/codec.h"
 #include "core/encoder.h"
@@ -171,7 +171,7 @@ Status CmdStats(const Flags& flags, std::ostream& out) {
       << trace->back().timestamp - trace->front().timestamp << "\n";
   out << "mean           " << stats.mean() << "\n";
   out << "median         " << stats.Median().value() << "\n";
-  out << "distinctmedian " << stats.DistinctMedian().value() << "\n";
+  out << "distinctmedian " << stats.DistinctMedian().value() << "\n";  // lint: checked: non-empty trace checked above
   out << "min            " << stats.min() << "\n";
   out << "max            " << stats.max() << "\n";
   out << "gaps > 60s     " << trace->FindGaps(60).size() << "\n";
@@ -410,7 +410,7 @@ Status CmdEncodeFleet(const Flags& flags, std::ostream& out) {
     SMETER_RETURN_IF_ERROR(WriteFile(manifest_path, BuildManifestLog(seed)));
   }
 
-  std::mutex manifest_mutex;
+  Mutex manifest_mutex;
   Result<io::AppendLogWriter> manifest =
       io::AppendLogWriter::OpenForAppend(manifest_path);
   if (!manifest.ok()) return manifest.status();
@@ -436,7 +436,7 @@ Status CmdEncodeFleet(const Flags& flags, std::ostream& out) {
         clean ? HouseholdOutcome::kOk : HouseholdOutcome::kDegraded;
     // Append returns the write/fsync outcome, so a full disk or failed
     // flush fails the household loudly instead of dropping its checkpoint.
-    std::lock_guard<std::mutex> lock(manifest_mutex);
+    MutexLock lock(manifest_mutex);
     return manifest->Append(ManifestRecord(done));
   };
 
@@ -521,7 +521,7 @@ Status CmdInfo(const Flags& flags, std::ostream& out) {
         << "\n";
     out << "  start " << symbols->samples().front().timestamp << ", end "
         << symbols->samples().back().timestamp << "\n";
-    out << "  entropy " << SymbolEntropyBits(*symbols).value() << " bits\n";
+    out << "  entropy " << SymbolEntropyBits(*symbols).value() << " bits\n";  // lint: checked: non-empty series printed above
     return Status::Ok();
   }
   if (Result<LookupTable> table = LookupTable::Deserialize(*blob);
@@ -631,6 +631,8 @@ Status CmdIngestd(const Flags& flags, std::ostream& out) {
 
   Status status = (*server)->Run();
   g_ingest_server = nullptr;
+  // Run() has returned, so this thread is the server's owner again.
+  ScopedThreadRole owner((*server)->role());
   out << (*server)->counters().ToJson() << "\n";
   return status;
 }
@@ -871,6 +873,9 @@ std::string UsageText() {
       "               non-blocking epoll ingestion daemon speaking the\n"
       "               symbolic wire protocol; completed sessions land in\n"
       "               the same v3 archive layout encode-fleet writes.\n"
+      "               --exit-after-households N drains once N distinct\n"
+      "               meters complete a session in this run (carried\n"
+      "               --resume records count only when re-acknowledged).\n"
       "               SIGTERM/SIGINT drain gracefully; SIGUSR1 dumps\n"
       "               counters JSON to stderr\n"
       "  loadgen      --connect HOST:PORT [--meters 10] [--input CER_FILE]\n"

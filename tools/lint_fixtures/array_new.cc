@@ -1,0 +1,10 @@
+// Seeded violation for lint_invariants.py --self-test: a raw array new
+// (instead of a container) must trip `array-new`. Never compiled.
+
+namespace smeter {
+
+double* AllocateBuffer(unsigned n) {
+  return new double[n];
+}
+
+}  // namespace smeter

@@ -1,0 +1,32 @@
+// Clean fixture for lint_invariants.py --self-test: idiomatic use of the
+// repo's contracts — a guarded .value(), the annotated sync wrappers —
+// must trip no rule at all. Never compiled.
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/sync.h"
+
+namespace smeter {
+
+Result<int> MightFail();
+
+int Careful() {
+  Result<int> result = MightFail();
+  if (!result.ok()) return 0;
+  return result.value();
+}
+
+class Counter {
+ public:
+  void Increment() REQUIRES(!mutex_) {
+    MutexLock lock(mutex_);
+    ++count_;
+  }
+
+ private:
+  Mutex mutex_;
+  int count_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace smeter

@@ -1,0 +1,17 @@
+// Seeded violation for lint_invariants.py --self-test: a wire builder
+// with no matching parser must trip `wire-codec-closure`. Never compiled.
+
+#ifndef SMETER_TOOLS_LINT_FIXTURES_MAKE_WITHOUT_PARSE_H_
+#define SMETER_TOOLS_LINT_FIXTURES_MAKE_WITHOUT_PARSE_H_
+
+namespace smeter::net {
+
+struct Frame;
+struct LonelyPayload;
+
+// One direction only: nothing declares ParseLonely.
+Frame MakeLonely(const LonelyPayload& payload);
+
+}  // namespace smeter::net
+
+#endif  // SMETER_TOOLS_LINT_FIXTURES_MAKE_WITHOUT_PARSE_H_

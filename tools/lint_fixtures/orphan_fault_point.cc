@@ -1,0 +1,13 @@
+// Seeded violation for lint_invariants.py --self-test: a fault seam no
+// test ever exercises must trip `fault-point-untested`. Never compiled.
+
+#include "common/fault_injection.h"
+
+namespace smeter {
+
+int OrphanSeam() {
+  SMETER_FAULT_POINT("fixture.orphan");
+  return 0;
+}
+
+}  // namespace smeter

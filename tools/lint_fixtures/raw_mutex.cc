@@ -1,0 +1,16 @@
+// Seeded violation for lint_invariants.py --self-test: locking with the
+// raw standard-library types instead of the annotated wrappers in
+// common/sync.h must trip `raw-mutex`. Never compiled.
+
+#include <mutex>
+
+namespace smeter {
+
+std::mutex g_bare_mutex;
+
+void TouchUnderBareLock(int* counter) {
+  std::lock_guard<std::mutex> lock(g_bare_mutex);
+  ++*counter;
+}
+
+}  // namespace smeter

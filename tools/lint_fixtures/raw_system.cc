@@ -1,0 +1,13 @@
+// Seeded violation for lint_invariants.py --self-test: shelling out with
+// ::system bypasses the Status contract and must trip `raw-system`.
+// Never compiled.
+
+#include <cstdlib>
+
+namespace smeter {
+
+void NukeScratchDir() {
+  ::system("rm -rf /tmp/smeter_scratch");
+}
+
+}  // namespace smeter

@@ -1,0 +1,16 @@
+// Seeded violation for lint_invariants.py --self-test: dereferencing a
+// Result with .value() and no .ok()/has_value() guard in sight must trip
+// `unchecked-value`. Never compiled.
+
+#include "common/status.h"
+
+namespace smeter {
+
+Result<int> MightFail();
+
+int Careless() {
+  Result<int> result = MightFail();
+  return result.value();
+}
+
+}  // namespace smeter
