@@ -257,4 +257,19 @@ BENCHMARK(BM_UnpackFramed);
 }  // namespace
 }  // namespace smeter
 
-BENCHMARK_MAIN();
+// run_bench.sh refuses to record numbers unless this compiled-in marker
+// says release: the Debian-packaged benchmark *library* is assert-enabled
+// (its own library_build_type always reads "debug"), so the marker has to
+// come from the translation unit whose kernels are actually being timed.
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("smeter_build_type", "release");
+#else
+  benchmark::AddCustomContext("smeter_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

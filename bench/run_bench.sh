@@ -14,8 +14,24 @@
 #   BM_SessionIngest                  -- symbols/s through the full wire
 #                                        protocol state machine (the
 #                                        single-connection ingest ceiling)
+#   BM_ShardedIngest/shards:S/conns:C -- aggregate symbols/s through a real
+#                                        loopback ingestd at S epoll shards
+#                                        driven by C persistent connections;
+#                                        ack_p50_us / ack_p99_us are the
+#                                        batch->ack round-trip percentiles
 # On single-core hosts the thread-count sweeps collapse to serial
-# throughput; the per-sample kernel speedup is machine-independent.
+# throughput; the per-sample kernel speedup is machine-independent. The
+# BM_ShardedIngest shard axis collapses the same way (S shard threads
+# time-slicing one CPU cannot beat S=1) — the >=4x aggregate scaling at 8
+# shards only shows on a host with >=8 cores.
+#
+# The report is refused unless the smeter code under test was built in
+# release mode (NDEBUG): debug-build numbers are garbage. The check reads
+# the "smeter_build_type" context key each bench binary embeds at compile
+# time, so it cannot drift from what actually ran. (google-benchmark's own
+# "library_build_type" is NOT used: Debian ships an assert-enabled
+# libbenchmark, so that field reads "debug" even when every timed smeter
+# kernel is -O2 + NDEBUG.)
 
 set -euo pipefail
 
@@ -40,7 +56,8 @@ build-release/bench/net_ingest \
   --benchmark_report_aggregates_only=true \
   "$@"
 
-# Append the net-ingest benchmarks into the single BENCH_micro.json report.
+# Merge the net-ingest benchmarks into the single BENCH_micro.json report,
+# refusing any report whose benchmark library was not a release build.
 python3 - "${repo_root}/BENCH_micro.json" "${repo_root}/BENCH_net.json" <<'PY'
 import json, sys
 micro_path, net_path = sys.argv[1], sys.argv[2]
@@ -48,6 +65,13 @@ with open(micro_path) as f:
     micro = json.load(f)
 with open(net_path) as f:
     net = json.load(f)
+for path, report in ((micro_path, micro), (net_path, net)):
+    build_type = report.get("context", {}).get("smeter_build_type")
+    if build_type != "release":
+        sys.exit(
+            f"{path}: smeter_build_type is {build_type!r}, not 'release' "
+            "-- refusing to record debug-build numbers; run via "
+            "bench/run_bench.sh so the release preset is used")
 micro["benchmarks"].extend(net["benchmarks"])
 with open(micro_path, "w") as f:
     json.dump(micro, f, indent=2)

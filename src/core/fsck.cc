@@ -175,7 +175,51 @@ Result<FsckReport> FsckArchive(const std::string& dir,
     }
   }
 
+  // Leftover per-shard checkpoint logs (fleet.manifest.shard<k>): a
+  // sharded ingest daemon was killed before Finalize could union them into
+  // the main manifest. Their valid records are merged here (main manifest
+  // wins on duplicates) so --repair leaves one authoritative manifest and
+  // removes the logs — the same union ArchiveSink::Open(resume) performs.
+  std::vector<std::string> shard_logs;
+  {
+    const std::string shard_prefix =
+        std::string(kFleetManifestFile) + ".shard";
+    for (const std::string& name : names) {
+      if (name.rfind(shard_prefix, 0) == 0) shard_logs.push_back(name);
+    }
+  }
+  std::vector<size_t> shard_issue_index;
+
   if (!manifest_unusable && !manifest.missing) {
+    std::set<std::string> known;
+    for (const HouseholdReport& record : manifest.reports) {
+      known.insert(record.name);
+    }
+    for (const std::string& name : shard_logs) {
+      ++report.files_checked;
+      Result<ManifestContents> contents = LoadFleetManifest(dir + "/" + name);
+      size_t merged = 0;
+      std::string detail =
+          "leftover per-shard checkpoint log from an interrupted sharded "
+          "run";
+      if (contents.ok()) {
+        // Torn/corrupt shard logs contribute their valid prefix, same as
+        // the main manifest's resume policy.
+        for (const HouseholdReport& record : contents->reports) {
+          if (record.outcome == HouseholdOutcome::kQuarantined) continue;
+          if (!known.insert(record.name).second) continue;
+          manifest.reports.push_back(record);
+          ++merged;
+        }
+        detail += "; " + std::to_string(merged) + " record(s) to merge";
+      } else {
+        detail += "; unreadable: " + contents.status().message();
+      }
+      add_issue(name, "shard_manifest", std::move(detail));
+      shard_issue_index.push_back(report.issues.size() - 1);
+    }
+    report.manifest_records = manifest.reports.size();
+
     for (const HouseholdReport& record : manifest.reports) {
       if (record.outcome == HouseholdOutcome::kQuarantined) continue;
       if (dropped_households.count(record.name) > 0) continue;
@@ -210,7 +254,8 @@ Result<FsckReport> FsckArchive(const std::string& dir,
 
     if (options.repair) {
       const bool drop_records = !dropped_households.empty();
-      if (manifest.corrupt_midfile || drop_records) {
+      const bool merge_shards = !shard_logs.empty();
+      if (manifest.corrupt_midfile || drop_records || merge_shards) {
         // Rewrite the log from the surviving records; --resume re-encodes
         // everything that no longer has a trustworthy checkpoint.
         std::vector<HouseholdReport> kept;
@@ -222,6 +267,16 @@ Result<FsckReport> FsckArchive(const std::string& dir,
             io::AtomicWriteFile(manifest_path, BuildManifestLog(kept));
         if (damage_issue != nullptr) {
           repair_with(*damage_issue, "rewritten", rewritten);
+        }
+        for (size_t index : shard_issue_index) {
+          // A shard log counts as merged only once the unioned manifest is
+          // durable and the log is gone.
+          FsckIssue& issue = report.issues[index];
+          if (rewritten.ok()) {
+            repair_with(issue, "merged", RemoveFile(dir + "/" + issue.path));
+          } else {
+            issue.detail += "; manifest rewrite failed";
+          }
         }
         if (!rewritten.ok()) {
           // The dropped_record issues above claimed success; retract.

@@ -26,6 +26,12 @@ Symbol Symbol::Gap(int level) {
   return Symbol(level, kGapIndex);
 }
 
+Symbol Symbol::FromValidated(int level, uint32_t index) {
+  SMETER_DCHECK(level >= 1 && level <= kMaxSymbolLevel);
+  SMETER_DCHECK(index < (1u << level));
+  return Symbol(level, index);
+}
+
 uint32_t Symbol::index() const {
   SMETER_DCHECK(!is_gap());
   return index_;

@@ -47,6 +47,12 @@ class Symbol {
   // [1, kMaxSymbolLevel] (contract-checked).
   static Symbol Gap(int level);
 
+  // Bulk-ingest fast path: a value symbol from an (level, index) pair the
+  // caller has already range-checked for the whole batch, skipping the
+  // per-symbol Result<> of Create(). Contract (DCHECK'd): `level` in
+  // [1, kMaxSymbolLevel], `index` < 2^level.
+  static Symbol FromValidated(int level, uint32_t index);
+
   // Parses a bit string such as "0101". Errors on empty, too long, or
   // non-binary input.
   static Result<Symbol> FromBits(const std::string& bits);

@@ -19,10 +19,31 @@ Status MakeDirectories(const std::string& path) {
   return Status::Ok();
 }
 
+// Best-effort union of one manifest log into `carried` (first record per
+// name wins, matching CarriedHouseholds' skip-quarantined policy). A
+// missing or damaged log resumes its valid prefix, same as the main
+// manifest.
+void UnionCarried(const std::string& path,
+                  std::map<std::string, HouseholdReport>* carried) {
+  Result<ManifestContents> contents = LoadFleetManifest(path);
+  if (!contents.ok()) return;
+  for (auto& [name, report] : CarriedHouseholds(*contents)) {
+    carried->emplace(name, std::move(report));
+  }
+}
+
 }  // namespace
 
+std::string ShardManifestFile(int shard) {
+  return std::string(kFleetManifestFile) + ".shard" + std::to_string(shard);
+}
+
 Result<std::unique_ptr<ArchiveSink>> ArchiveSink::Open(const std::string& dir,
-                                                       bool resume) {
+                                                       bool resume,
+                                                       int shards) {
+  if (shards < 1) {
+    return InvalidArgumentError("archive sink needs at least one shard");
+  }
   SMETER_RETURN_IF_ERROR(MakeDirectories(dir));
   const std::string manifest_path = dir + "/" + kFleetManifestFile;
 
@@ -30,42 +51,74 @@ Result<std::unique_ptr<ArchiveSink>> ArchiveSink::Open(const std::string& dir,
   if (resume) {
     // A missing/damaged manifest simply resumes nothing; a torn tail (the
     // crash signature) resumes its valid prefix — same policy as
-    // encode-fleet --resume.
-    Result<ManifestContents> contents = LoadFleetManifest(manifest_path);
-    if (contents.ok()) carried = CarriedHouseholds(*contents);
+    // encode-fleet --resume. Leftover shard logs (a sharded run killed
+    // before Finalize could union them) are folded in the same way, so a
+    // crashed --threads N daemon resumes every household any shard had
+    // checkpointed.
+    UnionCarried(manifest_path, &carried);
+    std::error_code error;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(dir, error)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind(std::string(kFleetManifestFile) + ".shard", 0) == 0) {
+        UnionCarried(entry.path().string(), &carried);
+      }
+    }
   }
 
-  // Seed the manifest with the carried entries, then append per meter as
-  // sessions complete so a killed daemon leaves a usable checkpoint.
+  // Seed the main manifest with the carried entries, then append per meter
+  // as sessions complete (single stripe) so a killed daemon leaves a
+  // usable checkpoint. Sharded runs append to per-shard logs instead and
+  // leave the main manifest at the carried seed until Finalize.
   std::vector<HouseholdReport> seed;
   seed.reserve(carried.size());
   for (const auto& [name, report] : carried) seed.push_back(report);
   SMETER_RETURN_IF_ERROR(
       io::AtomicWriteFile(manifest_path, BuildManifestLog(seed)));
 
-  Result<io::AppendLogWriter> manifest =
-      io::AppendLogWriter::OpenForAppend(manifest_path);
-  if (!manifest.ok()) return manifest.status();
+  std::vector<std::unique_ptr<Stripe>> stripes;
+  stripes.reserve(static_cast<size_t>(shards));
+  for (int shard = 0; shard < shards; ++shard) {
+    std::string log_path = manifest_path;
+    if (shards > 1) {
+      log_path = dir + "/" + ShardManifestFile(shard);
+      SMETER_RETURN_IF_ERROR(
+          io::AtomicWriteFile(log_path, BuildManifestLog({})));
+    }
+    Result<io::AppendLogWriter> log =
+        io::AppendLogWriter::OpenForAppend(log_path);
+    if (!log.ok()) return log.status();
+    stripes.push_back(std::make_unique<Stripe>(std::move(log.value())));
+  }
 
   return std::unique_ptr<ArchiveSink>(new ArchiveSink(
-      dir, std::move(manifest.value()), std::move(carried)));
+      dir, std::move(carried), std::move(stripes)));
 }
 
-ArchiveSink::ArchiveSink(std::string dir, io::AppendLogWriter manifest,
-                         std::map<std::string, HouseholdReport> carried)
+ArchiveSink::ArchiveSink(std::string dir,
+                         std::map<std::string, HouseholdReport> carried,
+                         std::vector<std::unique_ptr<Stripe>> stripes)
     : dir_(std::move(dir)),
-      manifest_(std::move(manifest)),
-      records_(std::move(carried)) {}
+      carried_(std::move(carried)),
+      stripes_(std::move(stripes)) {}
 
 bool ArchiveSink::AlreadyPersisted(const std::string& meter) const {
-  MutexLock lock(mutex_);
-  return records_.count(meter) > 0;
+  if (carried_.count(meter) > 0) return true;
+  for (const std::unique_ptr<Stripe>& stripe : stripes_) {
+    MutexLock lock(stripe->mutex);
+    if (stripe->records.count(meter) > 0) return true;
+  }
+  return false;
 }
 
 Status ArchiveSink::Persist(const std::string& meter,
                             const std::string& table_blob,
                             const SymbolicSeries& series,
-                            const EncodeQuality& quality) {
+                            const EncodeQuality& quality, int shard) {
+  if (shard < 0 || shard >= static_cast<int>(stripes_.size())) {
+    return InvalidArgumentError("persist on unknown sink shard " +
+                                std::to_string(shard));
+  }
   // ParseHello already refused unsafe ids; re-check here so no future
   // caller can turn a meter name into a path escape or a forged manifest
   // line.
@@ -79,8 +132,8 @@ Status ArchiveSink::Persist(const std::string& meter,
     if (finalized_) {
       return FailedPreconditionError("archive sink is finalized");
     }
-    if (records_.count(meter) > 0) return Status::Ok();
   }
+  if (AlreadyPersisted(meter)) return Status::Ok();
 
   // Same file order as encode-fleet's sink: table, symbols, then the
   // manifest record — the checkpoint only lands after both payload files
@@ -100,50 +153,87 @@ Status ArchiveSink::Persist(const std::string& meter,
       quality.windows_partial == 0 && quality.windows_gap == 0;
   done.outcome = clean ? HouseholdOutcome::kOk : HouseholdOutcome::kDegraded;
 
-  MutexLock lock(mutex_);
-  if (finalized_) return FailedPreconditionError("archive sink is finalized");
-  if (records_.count(meter) > 0) return Status::Ok();
-  SMETER_RETURN_IF_ERROR(manifest_.Append(ManifestRecord(done)));
-  records_.emplace(meter, std::move(done));
-  ++persisted_;
-  symbols_ += series.size();
+  Stripe& stripe = *stripes_[static_cast<size_t>(shard)];
+  MutexLock lock(stripe.mutex);
+  if (stripe.records.count(meter) > 0) return Status::Ok();
+  SMETER_RETURN_IF_ERROR(stripe.log.Append(ManifestRecord(done)));
+  stripe.records.emplace(meter, std::move(done));
+  ++stripe.persisted;
+  stripe.symbols += series.size();
   return Status::Ok();
 }
 
 Status ArchiveSink::Finalize() {
-  MutexLock lock(mutex_);
-  if (finalized_) return Status::Ok();
-  finalized_ = true;
-  SMETER_RETURN_IF_ERROR(manifest_.Close());
+  {
+    MutexLock lock(mutex_);
+    if (finalized_) return Status::Ok();
+    finalized_ = true;
+  }
 
-  // records_ is a std::map, so iteration is already name-sorted — the
-  // deterministic end state the equivalence tests compare against.
+  // Union carried + every stripe into one name-sorted record set (a
+  // std::map keyed by name — the deterministic end state the equivalence
+  // tests compare against; duplicate records across stripes collapse).
+  std::map<std::string, HouseholdReport> merged = carried_;
+  for (const std::unique_ptr<Stripe>& stripe : stripes_) {
+    MutexLock lock(stripe->mutex);
+    SMETER_RETURN_IF_ERROR(stripe->log.Close());
+    for (const auto& [name, report] : stripe->records) {
+      merged.emplace(name, report);
+    }
+  }
+
   std::vector<HouseholdReport> reports;
-  reports.reserve(records_.size());
-  for (const auto& [name, report] : records_) reports.push_back(report);
+  reports.reserve(merged.size());
+  for (const auto& [name, report] : merged) reports.push_back(report);
 
   const std::string manifest_path = dir_ + "/" + kFleetManifestFile;
   SMETER_RETURN_IF_ERROR(
       io::AtomicWriteFile(manifest_path, BuildManifestLog(reports)));
 
   FleetQualityReport summary = SummarizeFleet(reports);
-  return io::AtomicWriteFile(dir_ + "/quality.json",
-                             FleetQualityReportToJson(summary, reports));
+  SMETER_RETURN_IF_ERROR(io::AtomicWriteFile(
+      dir_ + "/quality.json", FleetQualityReportToJson(summary, reports)));
+
+  // Shard logs are now folded into the main manifest; delete them so the
+  // drained sharded archive is byte-identical (file set included) to a
+  // single-threaded run.
+  if (stripes_.size() > 1) {
+    for (size_t shard = 0; shard < stripes_.size(); ++shard) {
+      std::error_code error;
+      std::filesystem::remove(
+          dir_ + "/" + ShardManifestFile(static_cast<int>(shard)), error);
+    }
+  }
+  return Status::Ok();
 }
 
 uint64_t ArchiveSink::households_persisted() const {
-  MutexLock lock(mutex_);
-  return persisted_;
+  uint64_t total = 0;
+  for (const std::unique_ptr<Stripe>& stripe : stripes_) {
+    MutexLock lock(stripe->mutex);
+    total += stripe->persisted;
+  }
+  return total;
 }
 
 uint64_t ArchiveSink::households_total() const {
-  MutexLock lock(mutex_);
-  return records_.size();
+  // Stripes only ever hold meters absent from carried_ and from each
+  // other (AlreadyPersisted gates Persist), so the sizes add up.
+  uint64_t total = carried_.size();
+  for (const std::unique_ptr<Stripe>& stripe : stripes_) {
+    MutexLock lock(stripe->mutex);
+    total += stripe->records.size();
+  }
+  return total;
 }
 
 uint64_t ArchiveSink::symbols_persisted() const {
-  MutexLock lock(mutex_);
-  return symbols_;
+  uint64_t total = 0;
+  for (const std::unique_ptr<Stripe>& stripe : stripes_) {
+    MutexLock lock(stripe->mutex);
+    total += stripe->symbols;
+  }
+  return total;
 }
 
 }  // namespace smeter::net

@@ -18,13 +18,25 @@
 // converges to the clean-run archive (the crash-recovery contract from the
 // storage layer, inherited wholesale).
 //
+// Sharded mode (shards > 1, the multi-core ingest daemon): each shard
+// appends its checkpoint records to its OWN log, fleet.manifest.shard<k>,
+// so completing sessions never serialize on one append fd across cores.
+// The main fleet.manifest holds only the carried (resumed) records until
+// Finalize() unions every shard log into the single sorted manifest and
+// deletes the shard logs — a cleanly drained sharded archive is therefore
+// byte-identical to a single-threaded one. A crash mid-run leaves shard
+// logs behind; Open(resume=true) and `fsck` both union them back in.
+//
 // Finalize() rewrites the manifest with all records ordered by meter name
 // and emits quality.json, matching encode-fleet's deterministic end-state
 // for fleets whose input order is the name order (the loadgen fleet).
 //
 // Thread-safety: Persist() may be called concurrently for distinct meters
-// (the server persists batches on a thread pool); the manifest append and
-// the carried/persisted bookkeeping are mutex-guarded.
+// (one ingest shard per core); bookkeeping is striped per shard, each
+// stripe behind its own mutex, and the carried map is immutable after
+// Open. Duplicate records across stripes (a meter racing two shards) are
+// deduplicated by name at Finalize/resume, and artifact writes are atomic,
+// so the worst case is a redundant record, never a torn archive.
 
 #ifndef SMETER_NET_ARCHIVE_SINK_H_
 #define SMETER_NET_ARCHIVE_SINK_H_
@@ -44,52 +56,72 @@
 
 namespace smeter::net {
 
+// Shard-log file name: "<fleet.manifest>.shard<k>".
+std::string ShardManifestFile(int shard);
+
 class ArchiveSink {
  public:
-  // Opens (creating if needed) the archive directory. With `resume`, the
-  // existing fleet.manifest is loaded and its ok/degraded households are
-  // carried: a reconnecting meter that already persisted is acknowledged
-  // without being rewritten, exactly like encode-fleet --resume.
+  // Opens (creating if needed) the archive directory with `shards` append
+  // stripes (one per ingest shard; 1 = the classic single-log layout).
+  // With `resume`, the existing fleet.manifest AND any leftover
+  // fleet.manifest.shard<k> logs (a previous sharded run that was killed
+  // before Finalize) are unioned and their ok/degraded households carried:
+  // a reconnecting meter that already persisted is acknowledged without
+  // being rewritten, exactly like encode-fleet --resume.
   static Result<std::unique_ptr<ArchiveSink>> Open(const std::string& dir,
-                                                   bool resume);
+                                                   bool resume,
+                                                   int shards = 1);
 
   // True when `meter` already has a durable record (carried from a prior
-  // run or persisted in this one). The server uses this to short-circuit
-  // re-uploads after a crash/reconnect.
-  bool AlreadyPersisted(const std::string& meter) const REQUIRES(!mutex_);
+  // run or persisted in this one, on any stripe). The server uses this to
+  // short-circuit re-uploads after a crash/reconnect.
+  bool AlreadyPersisted(const std::string& meter) const;
 
   // Durably writes one completed session's outputs and checkpoints it in
-  // the manifest. Idempotent per meter: a second call for an
-  // already-persisted meter is a no-op success.
+  // stripe `shard`'s manifest log. Idempotent per meter: a second call for
+  // an already-persisted meter is a no-op success.
   Status Persist(const std::string& meter, const std::string& table_blob,
-                 const SymbolicSeries& series, const EncodeQuality& quality)
-      REQUIRES(!mutex_);
+                 const SymbolicSeries& series, const EncodeQuality& quality,
+                 int shard = 0);
 
-  // Closes the append log, rewrites the manifest with every record sorted
-  // by meter name, and writes quality.json. Call once, at drain/shutdown.
-  Status Finalize() REQUIRES(!mutex_);
+  // Closes every append log, rewrites the main manifest with every record
+  // (carried plus all stripes) sorted by meter name, writes quality.json,
+  // and deletes the shard logs. Call once, at drain/shutdown.
+  Status Finalize();
 
   const std::string& dir() const { return dir_; }
+  int shards() const { return static_cast<int>(stripes_.size()); }
   // Households persisted by THIS run (excludes carried records).
-  uint64_t households_persisted() const REQUIRES(!mutex_);
+  uint64_t households_persisted() const;
   // All durable households: carried plus this run's. This is what
   // completion checks ("drain once N households landed") must use — after
   // a crash restart, part of the fleet is carried, not re-persisted.
-  uint64_t households_total() const REQUIRES(!mutex_);
-  uint64_t symbols_persisted() const REQUIRES(!mutex_);
+  uint64_t households_total() const;
+  uint64_t symbols_persisted() const;
 
  private:
-  ArchiveSink(std::string dir, io::AppendLogWriter manifest,
-              std::map<std::string, HouseholdReport> carried);
+  // One shard's append state; sessions completing on different shards
+  // touch disjoint stripes (different mutexes, different log fds).
+  struct Stripe {
+    Mutex mutex;
+    io::AppendLogWriter log GUARDED_BY(mutex);
+    std::map<std::string, HouseholdReport> records GUARDED_BY(mutex);
+    uint64_t persisted GUARDED_BY(mutex) = 0;
+    uint64_t symbols GUARDED_BY(mutex) = 0;
+
+    explicit Stripe(io::AppendLogWriter writer) : log(std::move(writer)) {}
+  };
+
+  ArchiveSink(std::string dir,
+              std::map<std::string, HouseholdReport> carried,
+              std::vector<std::unique_ptr<Stripe>> stripes);
 
   const std::string dir_;
+  // Immutable after Open: records resumed from a prior run.
+  const std::map<std::string, HouseholdReport> carried_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
 
   mutable Mutex mutex_;
-  io::AppendLogWriter manifest_ GUARDED_BY(mutex_);
-  // Every durable household: carried entries plus this run's persists.
-  std::map<std::string, HouseholdReport> records_ GUARDED_BY(mutex_);
-  uint64_t persisted_ GUARDED_BY(mutex_) = 0;
-  uint64_t symbols_ GUARDED_BY(mutex_) = 0;
   bool finalized_ GUARDED_BY(mutex_) = false;
 };
 

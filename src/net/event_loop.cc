@@ -5,6 +5,7 @@
 #include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/timerfd.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -309,6 +310,12 @@ void BufferedFd::HandleReadable() {
     Close(Errno("read"));
     return;
   }
+  DeliverInput();
+  if (closed_) return;
+  if (eof) Close(Status::Ok());
+}
+
+void BufferedFd::DeliverInput() {
   if (!in_.empty() && callbacks_.on_data) {
     const size_t consumed = callbacks_.on_data(in_);
     if (closed_) return;
@@ -318,7 +325,32 @@ void BufferedFd::HandleReadable() {
       in_.erase(0, consumed);
     }
   }
-  if (eof) Close(Status::Ok());
+}
+
+void BufferedFd::InjectInput(std::string_view data) {
+  if (closed_) return;
+  in_ += data;
+}
+
+void BufferedFd::Pump() {
+  if (closed_) return;
+  DeliverInput();
+}
+
+BufferedFd::Released BufferedFd::ReleaseFd() {
+  Released released;
+  if (closed_) return released;
+  if (registered_) {
+    ScopedThreadRole loop_thread(loop_->role());
+    (void)loop_->Remove(fd_);
+    registered_ = false;
+  }
+  closed_ = true;
+  released.fd = fd_;
+  fd_ = -1;  // the destructor's ::close(-1) is harmless
+  released.pending_in = std::move(in_);
+  in_.clear();
+  return released;
 }
 
 Status BufferedFd::FlushSome() {
@@ -362,6 +394,57 @@ void BufferedFd::HandleWritable() {
 Status BufferedFd::Send(std::string_view data) {
   if (closed_) return FailedPreconditionError("send on closed connection");
   out_ += data;
+  Status status = FlushSome();
+  if (!status.ok()) {
+    Close(status);
+    return status;
+  }
+  if (close_after_flush_ && out_.empty()) Close(close_reason_);
+  return Status::Ok();
+}
+
+Status BufferedFd::SendVec(const std::string_view* parts, size_t count) {
+  if (closed_) return FailedPreconditionError("send on closed connection");
+  if (count == 0) return Status::Ok();
+  size_t index = 0;  // first part not yet fully written
+  size_t skip = 0;   // bytes of parts[index] already written
+  if (out_.empty()) {
+    // Hot path: everything leaves in one writev(2), no buffer copy.
+    constexpr size_t kMaxIov = 64;
+    iovec iov[kMaxIov];
+    const size_t segments = std::min(count, kMaxIov);
+    for (size_t i = 0; i < segments; ++i) {
+      iov[i].iov_base = const_cast<char*>(parts[i].data());
+      iov[i].iov_len = parts[i].size();
+    }
+    if (Status fault = fault::Check("net.write"); !fault.ok()) {
+      Close(fault);
+      return fault;
+    }
+    ssize_t n = 0;
+    do {
+      n = ::writev(fd_, iov, static_cast<int>(segments));
+    } while (n < 0 && errno == EINTR);
+    if (n >= 0) {
+      ++writev_calls_;
+      writev_segments_ += segments;
+      bytes_out_ += static_cast<uint64_t>(n);
+      size_t written = static_cast<size_t>(n);
+      while (index < count && written >= parts[index].size()) {
+        written -= parts[index].size();
+        ++index;
+      }
+      skip = written;
+    } else if (errno != EAGAIN && errno != EWOULDBLOCK) {
+      Status status = Errno("writev");
+      Close(status);
+      return status;
+    }
+  }
+  for (; index < count; ++index) {
+    out_ += parts[index].substr(skip);
+    skip = 0;
+  }
   Status status = FlushSome();
   if (!status.ok()) {
     Close(status);

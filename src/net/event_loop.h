@@ -153,6 +153,31 @@ class BufferedFd {
   // Buffers `data` and flushes what the socket will take now.
   Status Send(std::string_view data) REQUIRES(role_);
 
+  // Scatter-gather send: all `parts` leave in one writev(2) when the
+  // output buffer is empty (the hot path — per-event ack coalescing);
+  // whatever the socket does not take is buffered, same contract as Send.
+  Status SendVec(const std::string_view* parts, size_t count)
+      REQUIRES(role_);
+
+  // Detaches and returns the fd (still open, nonblocking) together with
+  // any unconsumed input bytes, deregistering from the loop WITHOUT firing
+  // on_close — the cross-shard connection handoff. The object is closed_
+  // afterwards and only destruction is legal. Pending output must be empty
+  // (handoff happens at HELLO time, before any reply is queued).
+  struct Released {
+    int fd = -1;
+    std::string pending_in;
+  };
+  Released ReleaseFd() REQUIRES(role_);
+
+  // Seeds the input buffer with bytes that arrived before a cross-shard
+  // handoff (the adopting shard replays what the source shard had read).
+  void InjectInput(std::string_view data) REQUIRES(role_);
+  // Delivers the current input buffer to on_data now — needed after
+  // InjectInput because the socket shows no new readable edge for bytes
+  // the source shard already pulled off it.
+  void Pump() REQUIRES(role_);
+
   // Closes after the output buffer drains (or immediately when empty).
   // Further input is ignored.
   void CloseAfterFlush(Status reason) REQUIRES(role_);
@@ -166,6 +191,10 @@ class BufferedFd {
   uint64_t stalls() const REQUIRES(role_) { return stalls_; }
   uint64_t bytes_in() const REQUIRES(role_) { return bytes_in_; }
   uint64_t bytes_out() const REQUIRES(role_) { return bytes_out_; }
+  uint64_t writev_calls() const REQUIRES(role_) { return writev_calls_; }
+  uint64_t writev_segments() const REQUIRES(role_) {
+    return writev_segments_;
+  }
 
   // This connection's single-owner capability (claimed by the loop-side
   // event handler and, at ownership boundaries, by the owning server).
@@ -175,6 +204,7 @@ class BufferedFd {
   void OnEvents(uint32_t events) REQUIRES(role_);
   void HandleReadable() REQUIRES(role_);
   void HandleWritable() REQUIRES(role_);
+  void DeliverInput() REQUIRES(role_);
   Status FlushSome() REQUIRES(role_);
   void UpdateInterest() REQUIRES(role_);
 
@@ -194,6 +224,8 @@ class BufferedFd {
   uint64_t stalls_ GUARDED_BY(role_) = 0;
   uint64_t bytes_in_ GUARDED_BY(role_) = 0;
   uint64_t bytes_out_ GUARDED_BY(role_) = 0;
+  uint64_t writev_calls_ GUARDED_BY(role_) = 0;
+  uint64_t writev_segments_ GUARDED_BY(role_) = 0;
 };
 
 }  // namespace smeter::net

@@ -13,6 +13,7 @@
 #include <cstring>
 #include <iostream>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "common/fault_injection.h"
@@ -22,6 +23,59 @@ namespace {
 
 Status Errno(const std::string& what) {
   return InternalError(what + ": " + std::strerror(errno));
+}
+
+// Reply frames queued per epoll event before one scatter-gather flush;
+// matches BufferedFd::SendVec's single-writev segment budget.
+constexpr size_t kReplyFlushBatch = 64;
+
+// Creates a nonblocking listening socket on host:port. With `reuseport`,
+// SO_REUSEPORT is set before bind so every shard can own a listener on the
+// same address and the kernel spreads accepts across them; a kernel that
+// refuses the option surfaces as an error here and the caller falls back
+// to the single-acceptor topology.
+Result<int> BindListener(const std::string& host, uint16_t port,
+                         bool reuseport, uint16_t* bound_port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  const int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  if (reuseport &&
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &enable, sizeof(enable)) !=
+          0) {
+    Status status = Errno("setsockopt(SO_REUSEPORT)");
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return InvalidArgumentError("bad listen host '" + host + "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Errno("bind " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    Status status = Errno("listen");
+    ::close(fd);
+    return status;
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+        0) {
+      Status status = Errno("getsockname");
+      ::close(fd);
+      return status;
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return fd;
 }
 
 }  // namespace
@@ -49,6 +103,44 @@ Status ParseListenAddress(const std::string& address, std::string* host,
   return Status::Ok();
 }
 
+uint64_t MeterShardHash(std::string_view meter_id) {
+  // FNV-1a. Stability matters: reconnecting meters must land on the same
+  // shard across runs, and the per-shard sink stripes rely on it for
+  // locality (never for correctness).
+  uint64_t hash = 1469598103934665603ull;
+  for (char c : meter_id) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+int ShardForMeter(std::string_view meter_id, int shards) {
+  if (shards <= 1) return 0;
+  return static_cast<int>(MeterShardHash(meter_id) %
+                          static_cast<uint64_t>(shards));
+}
+
+void IngestCounters::Add(const IngestCounters& other) {
+  sessions_accepted += other.sessions_accepted;
+  sessions_active += other.sessions_active;
+  sessions_completed += other.sessions_completed;
+  sessions_dropped += other.sessions_dropped;
+  frames_in += other.frames_in;
+  frames_out += other.frames_out;
+  bytes_in += other.bytes_in;
+  bytes_out += other.bytes_out;
+  decode_errors += other.decode_errors;
+  backpressure_stalls += other.backpressure_stalls;
+  handoffs_in += other.handoffs_in;
+  handoffs_out += other.handoffs_out;
+  acks_batched += other.acks_batched;
+  writev_calls += other.writev_calls;
+  writev_segments += other.writev_segments;
+  households_persisted += other.households_persisted;
+  symbols_persisted += other.symbols_persisted;
+}
+
 std::string IngestCounters::ToJson() const {
   std::ostringstream out;
   out << "{\n"
@@ -62,286 +154,459 @@ std::string IngestCounters::ToJson() const {
       << "  \"bytes_out\": " << bytes_out << ",\n"
       << "  \"decode_errors\": " << decode_errors << ",\n"
       << "  \"backpressure_stalls\": " << backpressure_stalls << ",\n"
+      << "  \"handoffs_in\": " << handoffs_in << ",\n"
+      << "  \"handoffs_out\": " << handoffs_out << ",\n"
+      << "  \"acks_batched\": " << acks_batched << ",\n"
+      << "  \"writev_calls\": " << writev_calls << ",\n"
+      << "  \"writev_segments\": " << writev_segments << ",\n"
       << "  \"households_persisted\": " << households_persisted << ",\n"
       << "  \"symbols_persisted\": " << symbols_persisted << "\n"
       << "}";
   return out.str();
 }
 
-Result<std::unique_ptr<IngestServer>> IngestServer::Create(
-    IngestServerOptions options) {
-  if (options.archive_dir.empty()) {
-    return InvalidArgumentError("ingest server needs an archive directory");
-  }
-  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (fd < 0) return Errno("socket");
-  const int enable = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+// --- IngestShard ------------------------------------------------------------
+//
+// One core's worth of the daemon: an EventLoop, an (optional) listener,
+// a connection table, and counters — all single-writer under this shard's
+// own role capability. Cross-shard traffic happens through exactly two
+// thread-safe doors: the handoff mailbox (mutex + eventfd wakeup) and the
+// server-level upcalls (NoteCompleted/PublishStats).
+class IngestShard {
+ public:
+  IngestShard(IngestServer* server, int index, int listen_fd,
+              std::unique_ptr<EventLoop> loop, bool deal_round_robin)
+      : server_(server),
+        index_(index),
+        deal_round_robin_(deal_round_robin),
+        listen_fd_(listen_fd),
+        loop_(std::move(loop)) {}
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options.port);
-  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return InvalidArgumentError("bad listen host '" + options.host + "'");
-  }
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status status = Errno("bind " + options.host + ":" +
-                          std::to_string(options.port));
-    ::close(fd);
-    return status;
-  }
-  if (::listen(fd, SOMAXCONN) != 0) {
-    Status status = Errno("listen");
-    ::close(fd);
-    return status;
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
-      0) {
-    Status status = Errno("getsockname");
-    ::close(fd);
-    return status;
-  }
-  const uint16_t port = ntohs(bound.sin_port);
-
-  Result<std::unique_ptr<EventLoop>> loop = EventLoop::Create();
-  if (!loop.ok()) {
-    ::close(fd);
-    return loop.status();
-  }
-  Result<std::unique_ptr<ArchiveSink>> sink =
-      ArchiveSink::Open(options.archive_dir, options.resume);
-  if (!sink.ok()) {
-    ::close(fd);
-    return sink.status();
+  ~IngestShard() {
+    ScopedThreadRole owner(role_);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    // Handoffs that arrived after this shard stopped never became
+    // connections; close their fds so nothing leaks.
+    MutexLock lock(handoff_mutex_);
+    for (const Handoff& handoff : handoff_queue_) ::close(handoff.fd);
   }
 
-  std::unique_ptr<IngestServer> server(
-      new IngestServer(std::move(options), fd, port, std::move(loop.value()),
-                       std::move(sink.value())));
-  // The creating thread owns the loop until it hands the server off.
-  ScopedThreadRole loop_owner(server->loop_->role());
-  SMETER_RETURN_IF_ERROR(server->loop_->Add(
-      fd, EPOLLIN | EPOLLET, [raw = server.get()](uint32_t) {
-        ScopedThreadRole owner(raw->role_);
-        raw->OnAcceptable();
-      }));
-  server->loop_->SetWakeupHandler([raw = server.get()] {
-    ScopedThreadRole owner(raw->role_);
-    raw->OnWakeup();
-  });
-  if (server->options_.idle_timeout_ms > 0) {
-    const int64_t sweep = std::max<int64_t>(
-        server->options_.idle_timeout_ms / 2, 100);
-    server->loop_->RunAfter(sweep, [raw = server.get()] {
-      ScopedThreadRole owner(raw->role_);
-      raw->SweepIdle();
+  IngestShard(const IngestShard&) = delete;
+  IngestShard& operator=(const IngestShard&) = delete;
+
+  // Wires the acceptor, wakeup handler, and idle sweep into the loop.
+  // Called by the creating thread before any shard thread starts.
+  Status Setup() {
+    ScopedThreadRole owner(role_);
+    ScopedThreadRole loop_owner(loop_->role());
+    if (listen_fd_ >= 0) {
+      SMETER_RETURN_IF_ERROR(
+          loop_->Add(listen_fd_, EPOLLIN | EPOLLET, [this](uint32_t) {
+            ScopedThreadRole owner(role_);
+            OnAcceptable();
+          }));
+    }
+    loop_->SetWakeupHandler([this] {
+      ScopedThreadRole owner(role_);
+      OnWakeup();
     });
+    const int64_t idle = server_->options().idle_timeout_ms;
+    if (idle > 0) {
+      loop_->RunAfter(std::max<int64_t>(idle / 2, 100), [this] {
+        ScopedThreadRole owner(role_);
+        SweepIdle();
+      });
+    }
+    return Status::Ok();
   }
-  return server;
-}
 
-IngestServer::IngestServer(IngestServerOptions options, int listen_fd,
-                           uint16_t port, std::unique_ptr<EventLoop> loop,
-                           std::unique_ptr<ArchiveSink> sink)
-    : options_(std::move(options)),
-      listen_fd_(listen_fd),
-      port_(port),
-      loop_(std::move(loop)),
-      sink_(std::move(sink)),
-      stats_out_(&std::cerr) {}
+  // The shard thread's main: claims this shard's role for the loop's
+  // lifetime. A loop failure drains the whole server so Run() can join.
+  Status Run() {
+    Status status;
+    {
+      ScopedThreadRole owner(role_);
+      status = loop_->Run();
+    }
+    if (!status.ok()) server_->RequestDrain();
+    return status;
+  }
 
-IngestServer::~IngestServer() {
-  if (listen_fd_ >= 0) ::close(listen_fd_);
-}
+  // Thread- and async-signal-safe (atomic store + eventfd write).
+  void RequestDrain() {
+    drain_requested_.store(true);
+    loop_->Wakeup();
+  }
+  void RequestStats() {
+    stats_requested_.store(true);
+    loop_->Wakeup();
+  }
 
-void IngestServer::OnAcceptable() {
-  for (;;) {
-    int fd = ::accept4(listen_fd_, nullptr, nullptr,
-                       SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-      if (errno == EINTR) continue;
-      // Transient accept failures (EMFILE and friends) must never kill the
-      // daemon; the meter retries.
+  // Thread-safe: queues a connection (fd + bytes its source shard already
+  // read) for adoption on this shard's loop thread.
+  void EnqueueHandoff(int fd, std::string pending) {
+    {
+      MutexLock lock(handoff_mutex_);
+      handoff_queue_.push_back(Handoff{fd, std::move(pending)});
+    }
+    loop_->Wakeup();
+  }
+
+  // Owner-only snapshot (after the shard thread joined, or before it
+  // started).
+  IngestCounters SnapshotCountersOwned() {
+    ScopedThreadRole owner(role_);
+    return LiveSnapshot();
+  }
+
+ private:
+  struct Connection {
+    uint64_t id = 0;
+    std::unique_ptr<BufferedFd> io;
+    Session session;
+    int64_t last_active_ms = 0;
+    // Home shard decided (the HELLO peek ran, or the first frame was not a
+    // parseable HELLO and the connection stays here).
+    bool pinned = false;
+    // Sessions finished on this connection (keep-alive multiplexing); an
+    // EOF at ExpectHello after a completed session is a clean end, not a
+    // drop.
+    uint64_t completed = 0;
+
+    Connection(uint64_t id, SessionOptions session_options)
+        : id(id), session(std::move(session_options)) {}
+  };
+
+  struct Handoff {
+    int fd = -1;
+    std::string pending;
+  };
+
+  void OnAcceptable() REQUIRES(role_) {
+    for (;;) {
+      int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                         SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        // Transient accept failures (EMFILE and friends) must never kill
+        // the daemon; the meter retries.
+        return;
+      }
+      // Fault seam: a dropped accept costs one connection, not the server.
+      if (Status fault = fault::Check("net.accept"); !fault.ok()) {
+        ::close(fd);
+        ++counters_.sessions_dropped;
+        continue;
+      }
+      ++counters_.sessions_accepted;
+      if (deal_round_robin_) {
+        // Single-acceptor fallback: deal raw fds round-robin before any
+        // byte is read; the receiving shard's HELLO peek re-homes the
+        // connection by meter hash if the deal missed.
+        const int target = static_cast<int>(
+            next_deal_++ % static_cast<uint64_t>(server_->shard_count()));
+        if (target != index_) {
+          ++counters_.handoffs_out;
+          server_->shard(target)->EnqueueHandoff(fd, std::string());
+          continue;
+        }
+      }
+      AdoptConnection(fd, std::string(), /*via_handoff=*/false);
+    }
+  }
+
+  void AdoptConnection(int fd, std::string pending, bool via_handoff)
+      REQUIRES(role_) {
+    const int enable = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+
+    SessionOptions session_options = server_->options().session;
+    session_options.auth_token = server_->options().auth_token;
+    session_options.draining = draining_;
+
+    auto conn = std::make_unique<Connection>(next_conn_id_++,
+                                             std::move(session_options));
+    Connection* raw = conn.get();
+    raw->last_active_ms = EventLoop::NowMs();
+    raw->io = std::make_unique<BufferedFd>(
+        loop_.get(), fd,
+        BufferedFd::Callbacks{
+            [this, raw](std::string_view data) {
+              ScopedThreadRole owner(role_);
+              return OnData(raw, data);
+            },
+            [this, raw](const Status& reason) {
+              ScopedThreadRole owner(role_);
+              OnConnectionClosed(raw, reason);
+            }},
+        server_->options().high_watermark);
+    ScopedThreadRole io_owner(raw->io->role());
+    if (Status status = raw->io->Register(); !status.ok()) {
+      // Registration failed before on_close could be wired in; the
+      // connection never existed as far as the counters are concerned
+      // (the BufferedFd destructor closes the fd).
       return;
     }
-    // Fault seam: a dropped accept costs one connection, not the server.
-    if (Status fault = fault::Check("net.accept"); !fault.ok()) {
-      ::close(fd);
-      ++counters_.sessions_dropped;
-      continue;
+    if (via_handoff) ++counters_.handoffs_in;
+    ++counters_.sessions_active;
+    connections_.emplace(raw->id, std::move(conn));
+    if (!pending.empty()) {
+      // Replay what the source shard already read: edge-triggered epoll
+      // shows no edge for bytes that left the socket on another shard.
+      raw->io->InjectInput(pending);
+      raw->io->Pump();
     }
-    AdoptConnection(fd);
   }
-}
 
-void IngestServer::AdoptConnection(int fd) {
-  const int enable = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
-
-  SessionOptions session_options = options_.session;
-  session_options.auth_token = options_.auth_token;
-  session_options.draining = draining_;
-
-  auto conn = std::make_unique<Connection>(next_conn_id_++,
-                                           std::move(session_options));
-  Connection* raw = conn.get();
-  raw->last_active_ms = EventLoop::NowMs();
-  raw->io = std::make_unique<BufferedFd>(
-      loop_.get(), fd,
-      BufferedFd::Callbacks{
-          [this, raw](std::string_view data) {
-            ScopedThreadRole owner(role_);
-            return OnData(raw, data);
-          },
-          [this, raw](const Status& reason) {
-            ScopedThreadRole owner(role_);
-            OnConnectionClosed(raw, reason);
-          }},
-      options_.high_watermark);
-  ScopedThreadRole io_owner(raw->io->role());
-  if (Status status = raw->io->Register(); !status.ok()) {
-    // Registration failed before on_close could be wired in; the
-    // connection never existed as far as the counters are concerned.
-    return;
-  }
-  ++counters_.sessions_accepted;
-  ++counters_.sessions_active;
-  connections_.emplace(raw->id, std::move(conn));
-}
-
-size_t IngestServer::OnData(Connection* conn, std::string_view data) {
-  // On the loop thread this server is the one writer of the connection's
-  // session and the one driver of its BufferedFd.
-  ScopedThreadRole writer(conn->session.writer_role());
-  ScopedThreadRole io_owner(conn->io->role());
-  size_t consumed = 0;
-  conn->last_active_ms = EventLoop::NowMs();
-  while (consumed < data.size()) {
-    DecodeResult decoded = DecodeFrame(data.substr(consumed));
-    if (decoded.outcome == DecodeResult::Outcome::kNeedMore) break;
-    if (decoded.outcome == DecodeResult::Outcome::kError) {
-      // A torn or corrupted frame: tell the meter why, then quarantine
-      // this connection. The stream is unrecoverable past this point, so
-      // consume everything.
-      ++counters_.decode_errors;
-      FailConnection(conn, WireStatus::kBadFrame, decoded.error);
-      return data.size();
+  void AdoptHandoffs() REQUIRES(role_) {
+    std::vector<Handoff> pending;
+    {
+      MutexLock lock(handoff_mutex_);
+      pending.swap(handoff_queue_);
     }
-    consumed += decoded.consumed;
-    ++counters_.frames_in;
+    for (Handoff& handoff : pending) {
+      AdoptConnection(handoff.fd, std::move(handoff.pending),
+                      /*via_handoff=*/true);
+    }
+  }
+
+  // Feeds `data` to the connection's frame decoder; returns bytes
+  // consumed. The hot path: zero-copy frame views straight out of the
+  // receive buffer, replies coalesced into one writev per event.
+  size_t OnData(Connection* conn, std::string_view data) REQUIRES(role_) {
+    // On this shard's loop thread, the shard is the one writer of the
+    // connection's session and the one driver of its BufferedFd.
+    ScopedThreadRole writer(conn->session.writer_role());
+    ScopedThreadRole io_owner(conn->io->role());
+    conn->last_active_ms = EventLoop::NowMs();
+
+    if (!conn->pinned) {
+      // HELLO peek: decide this connection's home shard before consuming
+      // anything, so a re-homed connection travels with its bytes intact.
+      const DecodeViewResult peek = DecodeFrameView(data);
+      if (peek.outcome == DecodeResult::Outcome::kNeedMore) return 0;
+      if (peek.outcome == DecodeResult::Outcome::kFrame &&
+          peek.frame.type == FrameType::kHello &&
+          server_->shard_count() > 1) {
+        Frame hello;
+        hello.type = FrameType::kHello;
+        hello.payload.assign(peek.frame.payload);
+        if (Result<HelloPayload> parsed = ParseHello(hello); parsed.ok()) {
+          const int target =
+              ShardForMeter(parsed->meter_id, server_->shard_count());
+          if (target != index_) {
+            HandoffConnection(conn, target);
+            return 0;  // the bytes travel with the fd
+          }
+        }
+      }
+      // Anything else (decode error, non-HELLO opener, unparseable HELLO)
+      // stays here; the normal loop below produces the protocol error.
+      conn->pinned = true;
+    }
+
+    size_t consumed = 0;
     std::vector<Frame> replies;
-    conn->session.OnFrame(decoded.frame, &replies);
-    SendFrames(conn, replies);
+    while (consumed < data.size()) {
+      DecodeViewResult decoded = DecodeFrameView(data.substr(consumed));
+      if (decoded.outcome == DecodeResult::Outcome::kNeedMore) break;
+      if (decoded.outcome == DecodeResult::Outcome::kError) {
+        // A torn or corrupted frame: tell the meter why, then quarantine
+        // this connection. The stream is unrecoverable past this point,
+        // so consume everything.
+        ++counters_.decode_errors;
+        FailConnection(conn, WireStatus::kBadFrame, decoded.error);
+        return data.size();
+      }
+      consumed += decoded.consumed;
+      ++counters_.frames_in;
+      replies.clear();
+      conn->session.OnWireFrame(decoded.frame, &replies);
+      for (const Frame& reply : replies) QueueReply(reply);
+      if (conn->session.state() == Session::State::kFailed) {
+        FlushReplies(conn);
+        if (!conn->io->closed()) {
+          conn->io->CloseAfterFlush(conn->session.error());
+        }
+        return data.size();
+      }
+      if (conn->session.state() == Session::State::kComplete) {
+        if (!FinishSession(conn)) return data.size();
+        // Keep-alive: the session reset to ExpectHello and the client may
+        // have pipelined the next meter's HELLO already — keep decoding.
+      }
+      if (reply_bytes_.size() >= kReplyFlushBatch) FlushReplies(conn);
+      if (conn->io->closed()) return data.size();
+    }
+    FlushReplies(conn);
     if (conn->io->closed()) return data.size();
-    if (conn->session.state() == Session::State::kFailed) {
-      conn->io->CloseAfterFlush(conn->session.error());
-      return data.size();
-    }
-    if (conn->session.state() == Session::State::kComplete) {
-      FinishSession(conn);
-      return data.size();
-    }
+    return consumed;
   }
-  return consumed;
-}
 
-void IngestServer::SendFrames(Connection* conn,
-                              const std::vector<Frame>& frames) {
-  ScopedThreadRole io_owner(conn->io->role());
-  for (const Frame& frame : frames) {
-    if (conn->io->closed()) return;
+  void QueueReply(const Frame& frame) REQUIRES(role_) {
+    reply_bytes_.push_back(EncodeFrame(frame));
     ++counters_.frames_out;
-    if (!conn->io->Send(EncodeFrame(frame)).ok()) return;
   }
-}
 
-void IngestServer::FinishSession(Connection* conn) {
-  ScopedThreadRole writer(conn->session.writer_role());
-  ScopedThreadRole io_owner(conn->io->role());
-  Session& session = conn->session;
-  AckPayload ack;
-  if (sink_->AlreadyPersisted(session.meter_id())) {
-    // Crash/reconnect re-upload: the archive already holds this meter
-    // durably; acknowledge without rewriting.
-    ack.status = WireStatus::kOk;
-    ack.message = "duplicate";
-    ++counters_.sessions_completed;
-    completed_this_run_.insert(session.meter_id());
-  } else {
-    Result<SymbolicSeries> series = session.TakeSeries();
-    Status persisted =
-        series.ok()
-            ? sink_->Persist(session.meter_id(), session.table_blob(),
-                             *series, session.quality())
-            : series.status();
-    if (persisted.ok()) {
-      ack.status = WireStatus::kOk;
-      ack.message = "persisted";
-      ++counters_.sessions_completed;
-      completed_this_run_.insert(session.meter_id());
-      counters_.households_persisted = sink_->households_persisted();
-      counters_.symbols_persisted = sink_->symbols_persisted();
-    } else {
-      // Persist failed (disk fault seam, full disk): the meter must know
-      // its upload is NOT durable, so the GOODBYE_ACK carries the error
-      // and the session counts as dropped, not completed.
-      ack.status = WireStatus::kServerError;
-      ack.message = persisted.message();
+  // Sends every queued reply in one scatter-gather writev (SendVec buffers
+  // whatever the socket refuses).
+  void FlushReplies(Connection* conn) REQUIRES(role_) {
+    if (reply_bytes_.empty()) return;
+    ScopedThreadRole io_owner(conn->io->role());
+    if (conn->io->closed()) {
+      reply_bytes_.clear();
+      return;
     }
+    reply_views_.clear();
+    reply_views_.reserve(reply_bytes_.size());
+    for (const std::string& bytes : reply_bytes_) {
+      reply_views_.push_back(bytes);
+    }
+    if (reply_views_.size() > 1) counters_.acks_batched += reply_views_.size();
+    (void)conn->io->SendVec(reply_views_.data(), reply_views_.size());
+    reply_bytes_.clear();
   }
-  std::vector<Frame> replies;
-  replies.push_back(MakeAck(FrameType::kGoodbyeAck, ack));
-  SendFrames(conn, replies);
-  if (!conn->io->closed()) conn->io->CloseAfterFlush(Status::Ok());
-  // Exit-after trigger counts DISTINCT meters acknowledged this run, not
-  // sink_->households_total(): on a --resume restart the sink starts out
-  // holding every carried record, and draining on that total let the
-  // server finalize before slow reconnecting meters got their duplicate
-  // acks (the old ASan soak flake).
-  if (options_.exit_after_households > 0 &&
-      completed_this_run_.size() >= options_.exit_after_households) {
-    BeginDrain();
-  }
-}
 
-void IngestServer::FailConnection(Connection* conn, WireStatus status,
-                                  Status error) {
-  ScopedThreadRole io_owner(conn->io->role());
-  AckPayload ack;
-  ack.status = status;
-  ack.message = error.message();
-  std::vector<Frame> replies;
-  replies.push_back(MakeAck(FrameType::kGoodbyeAck, ack));
-  SendFrames(conn, replies);
-  if (!conn->io->closed()) conn->io->CloseAfterFlush(std::move(error));
-}
+  // Detaches the connection and mails fd + unread bytes to its home
+  // shard. Must run before any frame is consumed or reply queued (HELLO
+  // peek time), so no output can be stranded here.
+  void HandoffConnection(Connection* conn, int target) REQUIRES(role_) {
+    ScopedThreadRole io_owner(conn->io->role());
+    BufferedFd::Released released = conn->io->ReleaseFd();
+    ++counters_.handoffs_out;
+    --counters_.sessions_active;
+    HarvestIoCounters(conn);
+    auto it = connections_.find(conn->id);
+    if (it != connections_.end()) {
+      graveyard_.push_back(std::move(it->second));
+      connections_.erase(it);
+    }
+    ScheduleReap();
+    server_->shard(target)->EnqueueHandoff(released.fd,
+                                           std::move(released.pending_in));
+  }
 
-void IngestServer::OnConnectionClosed(Connection* conn,
-                                      const Status& reason) {
-  (void)reason;
-  ScopedThreadRole writer(conn->session.writer_role());
-  ScopedThreadRole io_owner(conn->io->role());
-  --counters_.sessions_active;
-  counters_.bytes_in += conn->io->bytes_in();
-  counters_.bytes_out += conn->io->bytes_out();
-  counters_.backpressure_stalls += conn->io->stalls();
-  if (conn->session.state() != Session::State::kComplete) {
-    // Disconnected mid-stream, protocol violation, timed out, or torn
-    // frame — nothing persisted; the meter reconnects and resends.
-    ++counters_.sessions_dropped;
+  // Folds a departing connection's BufferedFd statistics into the shard
+  // counters (close and handoff both end the fd's life on this shard).
+  void HarvestIoCounters(Connection* conn) REQUIRES(role_) {
+    ScopedThreadRole io_owner(conn->io->role());
+    counters_.bytes_in += conn->io->bytes_in();
+    counters_.bytes_out += conn->io->bytes_out();
+    counters_.backpressure_stalls += conn->io->stalls();
+    counters_.writev_calls += conn->io->writev_calls();
+    counters_.writev_segments += conn->io->writev_segments();
   }
-  // on_close can fire while this connection's own BufferedFd callbacks are
-  // on the stack, so defer destruction to the next loop pass.
-  auto it = connections_.find(conn->id);
-  if (it != connections_.end()) {
-    graveyard_.push_back(std::move(it->second));
-    connections_.erase(it);
+
+  // Persists (or duplicate-acks) a completed session and queues the
+  // GOODBYE_ACK. Returns true when the connection stays open for another
+  // session (keep-alive), false when the caller must stop feeding it.
+  bool FinishSession(Connection* conn) REQUIRES(role_) {
+    ScopedThreadRole writer(conn->session.writer_role());
+    ScopedThreadRole io_owner(conn->io->role());
+    Session& session = conn->session;
+    const std::string meter = session.meter_id();
+    AckPayload ack;
+    bool completed = false;
+    ArchiveSink* sink = server_->sink();
+    if (sink->AlreadyPersisted(meter)) {
+      // Crash/reconnect re-upload: the archive already holds this meter
+      // durably; acknowledge without rewriting.
+      ack.status = WireStatus::kOk;
+      ack.message = "duplicate";
+      ++counters_.sessions_completed;
+      completed = true;
+    } else {
+      Result<SymbolicSeries> series = session.TakeSeries();
+      const uint64_t symbols = series.ok() ? series->size() : 0;
+      Status persisted =
+          series.ok() ? sink->Persist(meter, session.table_blob(), *series,
+                                      session.quality(), index_)
+                      : series.status();
+      if (persisted.ok()) {
+        ack.status = WireStatus::kOk;
+        ack.message = "persisted";
+        ++counters_.sessions_completed;
+        ++counters_.households_persisted;
+        counters_.symbols_persisted += symbols;
+        completed = true;
+      } else {
+        // Persist failed (disk fault seam, full disk): the meter must know
+        // its upload is NOT durable, so the GOODBYE_ACK carries the error
+        // and the session counts as dropped, not completed.
+        ack.status = WireStatus::kServerError;
+        ack.message = persisted.message();
+      }
+    }
+    QueueReply(MakeAck(FrameType::kGoodbyeAck, ack));
+    bool keep_alive;
+    if (draining_) {
+      // No next session during drain: flush the ack and close.
+      FlushReplies(conn);
+      if (!conn->io->closed()) conn->io->CloseAfterFlush(Status::Ok());
+      keep_alive = false;
+    } else {
+      // Connection keep-alive: back to ExpectHello so the same socket can
+      // carry the next meter (loadgen --connections). Follow-on sessions
+      // stay on this shard; the sink's cross-stripe dedup keeps that
+      // correct regardless of the next meter's hash.
+      session.Reset();
+      ++conn->completed;
+      keep_alive = true;
+    }
+    // Exit-after trigger counts DISTINCT meters acknowledged this run
+    // across all shards, not sink totals: on a --resume restart the sink
+    // starts out holding every carried record, and draining on that total
+    // let the server finalize before slow reconnecting meters got their
+    // duplicate acks (the old ASan soak flake). Draining synchronously on
+    // the tripping shard keeps the single-shard tests deterministic.
+    if (completed && server_->NoteCompleted(meter)) {
+      FlushReplies(conn);
+      BeginDrain();
+      server_->RequestDrain();
+    }
+    return keep_alive && !conn->io->closed();
   }
-  if (!reap_scheduled_) {
+
+  void FailConnection(Connection* conn, WireStatus status, Status error)
+      REQUIRES(role_) {
+    ScopedThreadRole io_owner(conn->io->role());
+    AckPayload ack;
+    ack.status = status;
+    ack.message = error.message();
+    QueueReply(MakeAck(FrameType::kGoodbyeAck, ack));
+    FlushReplies(conn);
+    if (!conn->io->closed()) conn->io->CloseAfterFlush(std::move(error));
+  }
+
+  void OnConnectionClosed(Connection* conn, const Status& reason)
+      REQUIRES(role_) {
+    (void)reason;
+    ScopedThreadRole writer(conn->session.writer_role());
+    --counters_.sessions_active;
+    HarvestIoCounters(conn);
+    const Session::State state = conn->session.state();
+    const bool clean_end =
+        state == Session::State::kComplete ||
+        (state == Session::State::kExpectHello && conn->completed > 0);
+    if (!clean_end) {
+      // Disconnected mid-stream, protocol violation, timed out, or torn
+      // frame — nothing persisted; the meter reconnects and resends.
+      ++counters_.sessions_dropped;
+    }
+    // on_close can fire while this connection's own BufferedFd callbacks
+    // are on the stack, so defer destruction to the next loop pass.
+    auto it = connections_.find(conn->id);
+    if (it != connections_.end()) {
+      graveyard_.push_back(std::move(it->second));
+      connections_.erase(it);
+    }
+    ScheduleReap();
+    if (draining_) FinishDrainIfIdle();
+  }
+
+  void ScheduleReap() REQUIRES(role_) {
+    if (reap_scheduled_) return;
     reap_scheduled_ = true;
     ScopedThreadRole loop_owner(loop_->role());
     loop_->RunAfter(0, [this] {
@@ -349,115 +614,296 @@ void IngestServer::OnConnectionClosed(Connection* conn,
       ReapClosed();
     });
   }
-  if (draining_) FinishDrainIfIdle();
-}
 
-void IngestServer::ReapClosed() {
-  reap_scheduled_ = false;
-  graveyard_.clear();
-  if (draining_) FinishDrainIfIdle();
-}
+  void ReapClosed() REQUIRES(role_) {
+    reap_scheduled_ = false;
+    graveyard_.clear();
+    if (draining_) FinishDrainIfIdle();
+  }
 
-void IngestServer::SweepIdle() {
-  const int64_t now = EventLoop::NowMs();
-  std::vector<uint64_t> idle;
-  for (const auto& [id, conn] : connections_) {
-    if (now - conn->last_active_ms > options_.idle_timeout_ms) {
-      idle.push_back(id);
+  void SweepIdle() REQUIRES(role_) {
+    const int64_t timeout = server_->options().idle_timeout_ms;
+    const int64_t now = EventLoop::NowMs();
+    std::vector<uint64_t> idle;
+    for (const auto& [id, conn] : connections_) {
+      if (now - conn->last_active_ms > timeout) idle.push_back(id);
+    }
+    for (uint64_t id : idle) {
+      auto it = connections_.find(id);
+      if (it == connections_.end()) continue;
+      ScopedThreadRole io_owner(it->second->io->role());
+      it->second->io->Close(
+          InternalError("idle timeout"));  // fires OnConnectionClosed
+    }
+    if (timeout > 0 && !draining_) {
+      ScopedThreadRole loop_owner(loop_->role());
+      loop_->RunAfter(std::max<int64_t>(timeout / 2, 100), [this] {
+        ScopedThreadRole owner(role_);
+        SweepIdle();
+      });
     }
   }
-  for (uint64_t id : idle) {
-    auto it = connections_.find(id);
-    if (it == connections_.end()) continue;
-    ScopedThreadRole io_owner(it->second->io->role());
-    it->second->io->Close(
-        InternalError("idle timeout"));  // fires OnConnectionClosed
-  }
-  if (options_.idle_timeout_ms > 0 && !draining_) {
-    const int64_t sweep =
-        std::max<int64_t>(options_.idle_timeout_ms / 2, 100);
-    ScopedThreadRole loop_owner(loop_->role());
-    loop_->RunAfter(sweep, [this] {
-      ScopedThreadRole owner(role_);
-      SweepIdle();
-    });
-  }
-}
 
-void IngestServer::OnWakeup() {
-  if (stats_requested_.exchange(false)) {
+  void OnWakeup() REQUIRES(role_) {
+    AdoptHandoffs();
+    if (stats_requested_.exchange(false)) {
+      server_->PublishStats(index_, LiveSnapshot());
+    }
+    if (drain_requested_.exchange(false)) BeginDrain();
+  }
+
+  void BeginDrain() REQUIRES(role_) {
+    if (draining_) return;
+    draining_ = true;
+    if (listen_fd_ >= 0) {
+      ScopedThreadRole loop_owner(loop_->role());
+      // Stop accepting: new meters get connection-refused and retry
+      // elsewhere or later.
+      (void)loop_->Remove(listen_fd_);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    // Mailbox stragglers become connections now so their HELLOs are
+    // refused with kDraining instead of stranding open fds.
+    AdoptHandoffs();
+    // Sessions that have not said HELLO yet are refused with kDraining;
+    // in-flight uploads get drain_grace_ms to finish.
+    for (const auto& [id, conn] : connections_) {
+      ScopedThreadRole writer(conn->session.writer_role());
+      conn->session.SetDraining();
+    }
+    {
+      ScopedThreadRole loop_owner(loop_->role());
+      loop_->RunAfter(server_->options().drain_grace_ms, [this] {
+        ScopedThreadRole owner(role_);
+        std::vector<uint64_t> remaining;
+        for (const auto& [id, conn] : connections_) remaining.push_back(id);
+        for (uint64_t id : remaining) {
+          auto it = connections_.find(id);
+          if (it == connections_.end()) continue;
+          ScopedThreadRole io_owner(it->second->io->role());
+          it->second->io->Close(InternalError("drain deadline"));
+        }
+        FinishDrainIfIdle();
+      });
+    }
+    FinishDrainIfIdle();
+  }
+
+  void FinishDrainIfIdle() REQUIRES(role_) {
+    if (!draining_ || stopped_ || !connections_.empty()) return;
+    stopped_ = true;
+    ScopedThreadRole loop_owner(loop_->role());
+    loop_->Stop();
+  }
+
+  IngestCounters LiveSnapshot() REQUIRES(role_) {
     IngestCounters snapshot = counters_;
     for (const auto& [id, conn] : connections_) {
       ScopedThreadRole io_owner(conn->io->role());
       snapshot.bytes_in += conn->io->bytes_in();
       snapshot.bytes_out += conn->io->bytes_out();
       snapshot.backpressure_stalls += conn->io->stalls();
+      snapshot.writev_calls += conn->io->writev_calls();
+      snapshot.writev_segments += conn->io->writev_segments();
     }
-    (*stats_out_) << snapshot.ToJson() << "\n" << std::flush;
+    return snapshot;
   }
-  if (drain_requested_.exchange(false)) BeginDrain();
-}
 
-void IngestServer::RequestDrain() {
-  drain_requested_.store(true);
-  loop_->Wakeup();
-}
+  IngestServer* const server_;
+  const int index_;
+  const bool deal_round_robin_;
+  int listen_fd_ GUARDED_BY(role_);
+  std::unique_ptr<EventLoop> loop_;
+  ThreadRole role_;
 
-void IngestServer::RequestStatsDump() {
-  stats_requested_.store(true);
-  loop_->Wakeup();
-}
+  uint64_t next_conn_id_ GUARDED_BY(role_) = 1;
+  uint64_t next_deal_ GUARDED_BY(role_) = 0;
+  std::map<uint64_t, std::unique_ptr<Connection>> connections_
+      GUARDED_BY(role_);
+  // Connections whose on_close fired mid-callback; freed next loop pass.
+  std::vector<std::unique_ptr<Connection>> graveyard_ GUARDED_BY(role_);
+  bool reap_scheduled_ GUARDED_BY(role_) = false;
+  bool draining_ GUARDED_BY(role_) = false;
+  bool stopped_ GUARDED_BY(role_) = false;
+  IngestCounters counters_ GUARDED_BY(role_);
+  // Per-event reply batch scratch (strings own the encoded frames until
+  // the writev; views are rebuilt per flush).
+  std::vector<std::string> reply_bytes_ GUARDED_BY(role_);
+  std::vector<std::string_view> reply_views_ GUARDED_BY(role_);
 
-void IngestServer::BeginDrain() {
-  if (draining_) return;
-  draining_ = true;
-  ScopedThreadRole loop_owner(loop_->role());
-  // Stop accepting: new meters get connection-refused and retry elsewhere
-  // or later.
-  (void)loop_->Remove(listen_fd_);
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-  // Sessions that have not said HELLO yet are refused with kDraining;
-  // in-flight uploads get drain_grace_ms to finish.
-  for (const auto& [id, conn] : connections_) {
-    ScopedThreadRole writer(conn->session.writer_role());
-    conn->session.SetDraining();
+  std::atomic<bool> drain_requested_{false};
+  std::atomic<bool> stats_requested_{false};
+  Mutex handoff_mutex_;
+  std::vector<Handoff> handoff_queue_ GUARDED_BY(handoff_mutex_);
+};
+
+// --- IngestServer -----------------------------------------------------------
+
+IngestServer::IngestServer(IngestServerOptions options)
+    : options_(std::move(options)), stats_out_(&std::cerr) {}
+
+IngestServer::~IngestServer() = default;
+
+Result<std::unique_ptr<IngestServer>> IngestServer::Create(
+    IngestServerOptions options) {
+  if (options.archive_dir.empty()) {
+    return InvalidArgumentError("ingest server needs an archive directory");
   }
-  loop_->RunAfter(options_.drain_grace_ms, [this] {
-    ScopedThreadRole owner(role_);
-    std::vector<uint64_t> remaining;
-    for (const auto& [id, conn] : connections_) remaining.push_back(id);
-    for (uint64_t id : remaining) {
-      auto it = connections_.find(id);
-      if (it == connections_.end()) continue;
-      ScopedThreadRole io_owner(it->second->io->role());
-      it->second->io->Close(InternalError("drain deadline"));
+  options.threads = std::clamp(options.threads, 1, 64);
+  const int threads = options.threads;
+  bool single_acceptor = options.force_single_acceptor || threads == 1;
+
+  std::vector<int> listeners(static_cast<size_t>(threads), -1);
+  uint16_t port = 0;
+  Result<int> first =
+      BindListener(options.host, options.port, !single_acceptor, &port);
+  if (!first.ok() && !single_acceptor) {
+    // SO_REUSEPORT unavailable: fall back to the single-acceptor deal.
+    single_acceptor = true;
+    first = BindListener(options.host, options.port, false, &port);
+  }
+  if (!first.ok()) return first.status();
+  listeners[0] = *first;
+  if (!single_acceptor) {
+    for (int i = 1; i < threads; ++i) {
+      Result<int> fd = BindListener(options.host, port, true, nullptr);
+      if (!fd.ok()) {
+        for (int j = 1; j < i; ++j) {
+          ::close(listeners[static_cast<size_t>(j)]);
+          listeners[static_cast<size_t>(j)] = -1;
+        }
+        single_acceptor = true;
+        break;
+      }
+      listeners[static_cast<size_t>(i)] = *fd;
     }
-    FinishDrainIfIdle();
-  });
-  FinishDrainIfIdle();
-}
+  }
+  auto close_unowned = [&listeners] {
+    for (int& fd : listeners) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+  };
 
-void IngestServer::FinishDrainIfIdle() {
-  if (!draining_ || finalized_ || !connections_.empty()) return;
-  finalized_ = true;
-  exit_status_ = sink_->Finalize();
-  counters_.households_persisted = sink_->households_persisted();
-  counters_.symbols_persisted = sink_->symbols_persisted();
-  ScopedThreadRole loop_owner(loop_->role());
-  loop_->Stop();
+  Result<std::unique_ptr<ArchiveSink>> sink =
+      ArchiveSink::Open(options.archive_dir, options.resume, threads);
+  if (!sink.ok()) {
+    close_unowned();
+    return sink.status();
+  }
+
+  std::unique_ptr<IngestServer> server(new IngestServer(std::move(options)));
+  server->port_ = port;
+  server->sink_ = std::move(sink.value());
+  {
+    MutexLock lock(server->stats_mutex_);
+    server->pending_stats_.resize(static_cast<size_t>(threads));
+  }
+  for (int i = 0; i < threads; ++i) {
+    Result<std::unique_ptr<EventLoop>> loop = EventLoop::Create();
+    if (!loop.ok()) {
+      close_unowned();
+      return loop.status();
+    }
+    const bool deal = single_acceptor && threads > 1 && i == 0;
+    server->shards_.push_back(std::make_unique<IngestShard>(
+        server.get(), i, listeners[static_cast<size_t>(i)],
+        std::move(loop.value()), deal));
+    listeners[static_cast<size_t>(i)] = -1;  // the shard owns it now
+    if (Status status = server->shards_.back()->Setup(); !status.ok()) {
+      close_unowned();
+      return status;
+    }
+  }
+  return server;
 }
 
 Status IngestServer::Run() {
-  // The calling thread owns every piece of server state until Run()
-  // returns (the loop claims its own role inside EventLoop::Run).
+  // The calling thread owns the cross-shard state until Run() returns;
+  // each shard thread owns its shard's state via the shard role.
   ScopedThreadRole owner(role_);
-  SMETER_RETURN_IF_ERROR(loop_->Run());
-  if (!finalized_) {
-    finalized_ = true;
-    exit_status_ = sink_->Finalize();
+  const size_t n = shards_.size();
+  std::vector<Status> results(n);
+  std::vector<std::thread> threads;
+  threads.reserve(n > 0 ? n - 1 : 0);
+  for (size_t i = 1; i < n; ++i) {
+    threads.emplace_back(
+        [this, i, &results] { results[i] = shards_[i]->Run(); });
   }
-  return exit_status_;
+  results[0] = shards_[0]->Run();
+  for (std::thread& thread : threads) thread.join();
+  Status exit_status = sink_->Finalize();
+  for (const Status& result : results) {
+    if (exit_status.ok() && !result.ok()) exit_status = result;
+  }
+  return exit_status;
+}
+
+void IngestServer::RequestDrain() {
+  for (const std::unique_ptr<IngestShard>& shard : shards_) {
+    shard->RequestDrain();
+  }
+}
+
+void IngestServer::RequestStatsDump() {
+  for (const std::unique_ptr<IngestShard>& shard : shards_) {
+    shard->RequestStats();
+  }
+}
+
+IngestCounters IngestServer::counters() const {
+  IngestCounters total;
+  for (const std::unique_ptr<IngestShard>& shard : shards_) {
+    total.Add(shard->SnapshotCountersOwned());
+  }
+  return total;
+}
+
+IngestCounters IngestServer::shard_counters(int shard) const {
+  return shards_[static_cast<size_t>(shard)]->SnapshotCountersOwned();
+}
+
+bool IngestServer::NoteCompleted(const std::string& meter) {
+  // The set only feeds the exit_after threshold; skip the bookkeeping
+  // entirely for a run-forever daemon so it cannot grow without bound.
+  if (options_.exit_after_households == 0) return false;
+  MutexLock lock(completed_mutex_);
+  completed_this_run_.insert(meter);
+  if (drain_triggered_) return false;
+  if (completed_this_run_.size() >= options_.exit_after_households) {
+    drain_triggered_ = true;
+    return true;
+  }
+  return false;
+}
+
+void IngestServer::PublishStats(int shard, const IngestCounters& snapshot) {
+  std::vector<IngestCounters> per_shard;
+  {
+    MutexLock lock(stats_mutex_);
+    pending_stats_[static_cast<size_t>(shard)] = snapshot;
+    for (const std::optional<IngestCounters>& slot : pending_stats_) {
+      if (!slot.has_value()) return;  // still waiting on another shard
+    }
+    per_shard.reserve(pending_stats_.size());
+    for (std::optional<IngestCounters>& slot : pending_stats_) {
+      per_shard.push_back(*slot);
+      slot.reset();
+    }
+  }
+  // Last shard in: emit the whole dump as one JSON blob.
+  IngestCounters total;
+  for (const IngestCounters& counters : per_shard) total.Add(counters);
+  std::ostringstream out;
+  out << "{\n\"shards\": [\n";
+  for (size_t i = 0; i < per_shard.size(); ++i) {
+    if (i > 0) out << ",\n";
+    out << per_shard[i].ToJson();
+  }
+  out << "\n],\n\"total\": " << total.ToJson() << "\n}";
+  (*stats_out_) << out.str() << "\n" << std::flush;
+  stats_dumps_.fetch_add(1);
 }
 
 }  // namespace smeter::net

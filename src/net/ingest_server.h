@@ -1,26 +1,52 @@
-// The aggregation-server ingestion daemon: a single-threaded epoll accept
-// loop that speaks the symbolic wire protocol with thousands of meters and
-// streams completed sessions into a durable v3 archive.
+// The aggregation-server ingestion daemon: N independent per-core epoll
+// shards that speak the symbolic wire protocol with thousands of meters
+// and stream completed sessions into one durable v3 archive.
 //
 // Architecture (one connection, left to right):
 //
-//   accept -> BufferedFd (edge-triggered read/write buffers, backpressure)
-//          -> DecodeFrame (length-prefixed, crc32c-checked)
-//          -> Session (per-meter protocol state machine)
-//          -> ArchiveSink (atomic table/symbols files + manifest record)
+//   accept (per-shard SO_REUSEPORT listener)
+//          -> HELLO peek: hash(meter id) pins the connection to its home
+//             shard; a connection accepted elsewhere is handed off fd +
+//             buffered bytes through the target shard's mailbox (eventfd
+//             wakeup) before any frame is consumed
+//          -> BufferedFd (edge-triggered read/write buffers, backpressure)
+//          -> DecodeFrameView (length-prefixed, crc32c-checked, zero-copy:
+//             payloads are views into the receive buffer)
+//          -> Session (per-meter protocol state machine; SYMBOL_BATCH is
+//             validated in one vectorizable sweep and bulk-appended)
+//          -> per-event acks coalesce into one scatter-gather writev
+//          -> ArchiveSink (atomic table/symbols files + per-shard manifest
+//             append log, unioned at Finalize/resume/fsck)
+//
+// Sharding model: `threads` shards, each one EventLoop on its own thread
+// with its own listener (SO_REUSEPORT spreads accepts), connection table,
+// and counters. A meter's HELLO hash-pins its connection to shard
+// ShardForMeter(meter, threads), so a Session has exactly one writer
+// thread for its whole life and reconnects always land on the same shard
+// — the single-writer rule stays machine-checked per shard (DESIGN.md
+// §13/§14). Where SO_REUSEPORT is unavailable (or force_single_acceptor
+// is set), shard 0 owns the only listener and deals fds round-robin
+// through the same mailbox; the HELLO peek then re-homes them by hash.
+//
+// Connections are kept alive after GOODBYE_ACK: the session resets to
+// ExpectHello so one TCP connection can carry many meters back-to-back
+// (loadgen --connections). Follow-on sessions stay on the connection's
+// shard; correctness never depends on placement (the sink deduplicates by
+// meter across shards), only locality does.
 //
 // Failure containment: a torn frame, a bad table, an out-of-order batch,
-// or a mid-stream disconnect quarantines THAT session — the server sends
+// or a mid-stream disconnect quarantines THAT session — the shard sends
 // the closing status ack, drops the connection, counts it, and keeps
 // serving. The `net.accept` fault seam drops individual accepts the same
 // way. The daemon only exits on Stop()/drain.
 //
 // Drain (SIGTERM/SIGINT path): RequestDrain() is thread- and
-// async-signal-safe. The loop thread then stops accepting, refuses new
-// HELLOs with kDraining, gives in-flight sessions `drain_grace_ms` to
-// finish, force-closes stragglers, finalizes the sink (sorted manifest +
-// quality.json), and returns from Run(). RequestStatsDump() (SIGUSR1)
-// prints the counters JSON without stopping.
+// async-signal-safe; every shard then stops accepting, refuses new HELLOs
+// with kDraining, gives in-flight sessions `drain_grace_ms` to finish,
+// force-closes stragglers, and stops its loop. Run() joins the shard
+// threads, finalizes the sink once (sorted manifest + quality.json), and
+// returns. RequestStatsDump() (SIGUSR1) aggregates every shard's counters
+// into one JSON blob {"shards":[...],"total":{...}} without stopping.
 
 #ifndef SMETER_NET_INGEST_SERVER_H_
 #define SMETER_NET_INGEST_SERVER_H_
@@ -29,9 +55,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <ostream>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -49,6 +77,14 @@ struct IngestServerOptions {
   std::string archive_dir;
   bool resume = false;  // carry prior manifest records (crash restart)
   std::string auth_token;
+  // Shard (event-loop thread) count; clamped to [1, 64]. Each shard gets
+  // its own SO_REUSEPORT listener unless force_single_acceptor is set.
+  int threads = 1;
+  // Fallback topology: only shard 0 listens and deals accepted fds
+  // round-robin to the shards through the handoff mailboxes. Chosen
+  // automatically when SO_REUSEPORT is unavailable; tests force it to
+  // drill the handoff path deterministically.
+  bool force_single_acceptor = false;
   // A connection silent for this long is closed (0 disables the sweep).
   int64_t idle_timeout_ms = 30'000;
   // Output-buffer backpressure high-watermark per connection.
@@ -57,17 +93,19 @@ struct IngestServerOptions {
   int64_t drain_grace_ms = 5'000;
   // Drain automatically once this many DISTINCT meters have completed a
   // session in this run (0 = never); lets tests and soak jobs run the real
-  // binary to a deterministic end. Records carried from a prior run via
-  // --resume do not count by themselves — a resumed server waits until
-  // every counted meter has been (re-)acknowledged this run, so it cannot
-  // drain before slow reconnecting meters get their duplicate acks.
+  // binary to a deterministic end. The completion set is shared across
+  // shards. Records carried from a prior run via --resume do not count by
+  // themselves — a resumed server waits until every counted meter has been
+  // (re-)acknowledged this run, so it cannot drain before slow
+  // reconnecting meters get their duplicate acks.
   uint64_t exit_after_households = 0;
   // Per-session protocol limits (auth_token/draining are overwritten).
   SessionOptions session;
 };
 
-// Monotonic counters, dumped as JSON on SIGUSR1 and at exit. Plain
-// uint64_t: mutated only on the loop thread, read via Counters() snapshot.
+// Monotonic counters, aggregated across shards on SIGUSR1 and at exit.
+// Plain uint64_t: each shard mutates only its own copy on its own loop
+// thread; cross-shard reads go through snapshots.
 struct IngestCounters {
   uint64_t sessions_accepted = 0;
   uint64_t sessions_active = 0;
@@ -79,15 +117,32 @@ struct IngestCounters {
   uint64_t bytes_out = 0;
   uint64_t decode_errors = 0;
   uint64_t backpressure_stalls = 0;
+  uint64_t handoffs_in = 0;   // connections adopted from another shard
+  uint64_t handoffs_out = 0;  // connections re-homed to another shard
+  uint64_t acks_batched = 0;  // reply frames coalesced into writev batches
+  uint64_t writev_calls = 0;
+  uint64_t writev_segments = 0;
   uint64_t households_persisted = 0;
   uint64_t symbols_persisted = 0;
 
+  // Field-wise sum (sessions_active included: a live total).
+  void Add(const IngestCounters& other);
   std::string ToJson() const;
 };
 
+// Stable meter -> shard pinning hash (FNV-1a over the meter id). Exposed
+// so tests and capacity tooling can predict a meter's home shard; changing
+// this function reshuffles the whole fleet's shard affinity.
+uint64_t MeterShardHash(std::string_view meter_id);
+int ShardForMeter(std::string_view meter_id, int shards);
+
+class IngestShard;
+
 class IngestServer {
  public:
-  // Binds and listens, opens the archive sink, creates the event loop.
+  // Binds and listens (one socket per shard, or one total in
+  // single-acceptor mode), opens the archive sink with one stripe per
+  // shard, creates the per-shard event loops.
   static Result<std::unique_ptr<IngestServer>> Create(
       IngestServerOptions options);
   ~IngestServer();
@@ -95,89 +150,81 @@ class IngestServer {
   IngestServer(const IngestServer&) = delete;
   IngestServer& operator=(const IngestServer&) = delete;
 
-  // Serves until drained/stopped, then finalizes the archive. Returns the
-  // first fatal error (a finalize failure), OK on a clean drain. Claims
-  // the server role for its duration: the calling thread owns all server
-  // state until Run() returns.
+  // Serves until drained/stopped: runs shard 0 on the calling thread and
+  // shards 1..N-1 on their own threads, joins them all, then finalizes the
+  // archive. Returns the first fatal error (a shard loop or finalize
+  // failure), OK on a clean drain. Claims the server role for its
+  // duration: the calling thread owns all cross-shard state until Run()
+  // returns.
   Status Run();
 
-  // Thread- and async-signal-safe: begin a graceful drain. The only
-  // methods callable while another thread runs the server.
+  // Thread- and async-signal-safe: begin a graceful drain on every shard.
+  // The only methods callable while other threads run the server.
   void RequestDrain();
-  // Thread- and async-signal-safe: dump counters JSON to `stats_out`.
+  // Thread- and async-signal-safe: collect every shard's counters and
+  // write one aggregated JSON blob to `stats_out`.
   void RequestStatsDump();
 
   // The bound port (useful when options.port was 0).
   uint16_t port() const { return port_; }
-  const IngestCounters& counters() const REQUIRES(role_) {
-    return counters_;
-  }
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  // Aggregate counters across shards. Owner-only: call after Run()
+  // returned (or before it starts).
+  IngestCounters counters() const REQUIRES(role_);
+  // One shard's counters, same ownership contract.
+  IngestCounters shard_counters(int shard) const REQUIRES(role_);
+  // Completed aggregate stats dumps (each SIGUSR1 increments this once the
+  // JSON hit stats_out); lets tests await an in-flight dump.
+  uint64_t stats_dumps() const { return stats_dumps_.load(); }
   // Where RequestStatsDump() writes; defaults to std::cerr. Owner-only:
-  // call before handing the server to its loop thread, or after Run()
+  // call before handing the server to its loop threads, or after Run()
   // returned.
   void set_stats_out(std::ostream* out) REQUIRES(role_) { stats_out_ = out; }
 
-  // The server's single-owner capability (the loop thread while Run() is
-  // live; tests claim it around setup and post-run assertions).
+  // The server's owner capability (the thread calling Run(); tests claim
+  // it around setup and post-run assertions). Per-shard state is guarded
+  // by each shard's own role.
   ThreadRole& role() RETURN_CAPABILITY(role_) { return role_; }
 
  private:
-  struct Connection {
-    uint64_t id = 0;
-    std::unique_ptr<BufferedFd> io;
-    Session session;
-    int64_t last_active_ms = 0;
+  friend class IngestShard;
 
-    Connection(uint64_t id, SessionOptions session_options)
-        : id(id), session(std::move(session_options)) {}
-  };
+  explicit IngestServer(IngestServerOptions options);
 
-  IngestServer(IngestServerOptions options, int listen_fd, uint16_t port,
-               std::unique_ptr<EventLoop> loop,
-               std::unique_ptr<ArchiveSink> sink);
+  // Shard -> server upcalls (thread-safe; called from shard loop threads).
+  //
+  // Records a completed meter in the shared this-run set; returns true
+  // when exit_after_households just tripped (the calling shard drains
+  // itself synchronously, the server wakes the rest).
+  bool NoteCompleted(const std::string& meter);
+  // One shard's stats snapshot for an in-flight SIGUSR1 dump; the last
+  // shard to publish writes the aggregate blob.
+  void PublishStats(int shard, const IngestCounters& snapshot);
 
-  void OnAcceptable() REQUIRES(role_);
-  void AdoptConnection(int fd) REQUIRES(role_);
-  // Feeds `data` to the connection's frame decoder; returns bytes consumed.
-  size_t OnData(Connection* conn, std::string_view data) REQUIRES(role_);
-  void OnConnectionClosed(Connection* conn, const Status& reason)
-      REQUIRES(role_);
-  void SendFrames(Connection* conn, const std::vector<Frame>& frames)
-      REQUIRES(role_);
-  void FinishSession(Connection* conn) REQUIRES(role_);
-  void FailConnection(Connection* conn, WireStatus status, Status error)
-      REQUIRES(role_);
-  void SweepIdle() REQUIRES(role_);
-  void OnWakeup() REQUIRES(role_);
-  void BeginDrain() REQUIRES(role_);
-  void FinishDrainIfIdle() REQUIRES(role_);
-  void ReapClosed() REQUIRES(role_);
+  IngestShard* shard(int index) { return shards_[size_t(index)].get(); }
+  ArchiveSink* sink() { return sink_.get(); }
+  const IngestServerOptions& options() const { return options_; }
 
   IngestServerOptions options_;
-  int listen_fd_ GUARDED_BY(role_);
-  uint16_t port_;
-  std::unique_ptr<EventLoop> loop_;
+  uint16_t port_ = 0;
   std::unique_ptr<ArchiveSink> sink_;
+  std::vector<std::unique_ptr<IngestShard>> shards_;
   ThreadRole role_;
-  std::ostream* stats_out_ GUARDED_BY(role_);
+  std::ostream* stats_out_;
 
-  uint64_t next_conn_id_ GUARDED_BY(role_) = 1;
-  std::map<uint64_t, std::unique_ptr<Connection>> connections_
-      GUARDED_BY(role_);
-  // Connections whose on_close fired mid-callback; freed next loop pass.
-  std::vector<std::unique_ptr<Connection>> graveyard_ GUARDED_BY(role_);
-  bool reap_scheduled_ GUARDED_BY(role_) = false;
-
-  std::atomic<bool> drain_requested_{false};
-  std::atomic<bool> stats_requested_{false};
-  bool draining_ GUARDED_BY(role_) = false;
-  bool finalized_ GUARDED_BY(role_) = false;
-  Status exit_status_ GUARDED_BY(role_);
-  IngestCounters counters_ GUARDED_BY(role_);
-  // Meters acknowledged in THIS run (fresh persists and duplicate acks,
-  // not failed persists) — the completion set behind
+  // Shared across shards: meters acknowledged in THIS run (fresh persists
+  // and duplicate acks, not failed persists) — the completion set behind
   // options_.exit_after_households.
-  std::set<std::string> completed_this_run_ GUARDED_BY(role_);
+  Mutex completed_mutex_;
+  std::set<std::string> completed_this_run_ GUARDED_BY(completed_mutex_);
+  bool drain_triggered_ GUARDED_BY(completed_mutex_) = false;
+
+  // In-flight SIGUSR1 aggregation: slots fill as shards publish; the last
+  // one prints.
+  Mutex stats_mutex_;
+  std::vector<std::optional<IngestCounters>> pending_stats_
+      GUARDED_BY(stats_mutex_);
+  std::atomic<uint64_t> stats_dumps_{0};
 };
 
 // Parses "host:port" (or ":port" / "port") into options fields.

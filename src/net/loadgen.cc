@@ -86,6 +86,10 @@ class MeterClient {
 
   Status Connect(const std::string& host, uint16_t port,
                  int64_t timeout_ms) {
+    // Reconnecting a used client: drop the old fd and any half-decoded
+    // input from the previous conversation.
+    CloseFd();
+    in_.clear();
     fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd_ < 0) return Errno("socket");
     timeval tv{};
@@ -188,18 +192,19 @@ struct SharedStats {
   std::atomic<uint64_t> symbols_sent{0};
   std::atomic<uint64_t> reconnects{0};
   std::atomic<uint64_t> batches_dropped{0};
+  std::atomic<uint64_t> connections_opened{0};
   std::atomic<size_t> meters_ok{0};
   std::atomic<size_t> meters_failed{0};
 };
 
-// One complete upload conversation. Any error aborts the attempt; the
-// caller decides whether to reconnect.
-Status UploadOnce(const LoadgenOptions& options,
-                  const PreparedMeter& meter, SharedStats* stats) {
-  MeterClient client;
-  SMETER_RETURN_IF_ERROR(
-      client.Connect(options.host, options.port, options.io_timeout_ms));
-
+// One complete upload conversation over an already-connected client. Any
+// error aborts the attempt; the caller decides whether to reconnect. The
+// connection is left open after the GOODBYE_ACK, ready for the next
+// meter's HELLO (the server resets the session to ExpectHello).
+Status UploadConversation(const LoadgenOptions& options,
+                          const PreparedMeter& meter, MeterClient* client_ptr,
+                          SharedStats* stats) {
+  MeterClient& client = *client_ptr;
   HelloPayload hello;
   hello.protocol_version = kProtocolVersion;
   hello.meter_id = meter.name;
@@ -277,6 +282,16 @@ Status UploadOnce(const LoadgenOptions& options,
   return ExpectOkAck(*reply, FrameType::kGoodbyeAck);
 }
 
+// Classic mode: one fresh connection per attempt.
+Status UploadOnce(const LoadgenOptions& options, const PreparedMeter& meter,
+                  SharedStats* stats) {
+  MeterClient client;
+  SMETER_RETURN_IF_ERROR(
+      client.Connect(options.host, options.port, options.io_timeout_ms));
+  stats->connections_opened.fetch_add(1, std::memory_order_relaxed);
+  return UploadConversation(options, meter, &client, stats);
+}
+
 void RunMeter(const LoadgenOptions& options, const PreparedMeter& meter,
               SharedStats* stats) {
   const int attempts = options.max_attempts < 1 ? 1 : options.max_attempts;
@@ -290,6 +305,37 @@ void RunMeter(const LoadgenOptions& options, const PreparedMeter& meter,
       stats->meters_ok.fetch_add(1, std::memory_order_relaxed);
       return;
     }
+  }
+  stats->meters_failed.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Multiplexed mode: run one meter's session on a shared persistent
+// connection, reconnecting (only this connection) on failure. The server
+// cannot resynchronize a connection whose conversation died mid-frame, so
+// any error tears the socket down before retrying.
+void RunMeterMultiplexed(const LoadgenOptions& options,
+                         const PreparedMeter& meter, MeterClient* client,
+                         bool* connected, SharedStats* stats) {
+  const int attempts = options.max_attempts < 1 ? 1 : options.max_attempts;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) {
+      stats->reconnects.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(50 * attempt));
+    }
+    if (!*connected) {
+      if (!client->Connect(options.host, options.port, options.io_timeout_ms)
+               .ok()) {
+        continue;
+      }
+      stats->connections_opened.fetch_add(1, std::memory_order_relaxed);
+      *connected = true;
+    }
+    if (UploadConversation(options, meter, client, stats).ok()) {
+      stats->meters_ok.fetch_add(1, std::memory_order_relaxed);
+      return;  // connection stays open for the next meter
+    }
+    client->Abort();
+    *connected = false;
   }
   stats->meters_failed.fetch_add(1, std::memory_order_relaxed);
 }
@@ -330,7 +376,8 @@ std::string LoadgenReport::ToJson() const {
       << "  \"frames_sent\": " << frames_sent << ",\n"
       << "  \"symbols_sent\": " << symbols_sent << ",\n"
       << "  \"reconnects\": " << reconnects << ",\n"
-      << "  \"batches_dropped\": " << batches_dropped << "\n"
+      << "  \"batches_dropped\": " << batches_dropped << ",\n"
+      << "  \"connections_opened\": " << connections_opened << "\n"
       << "}";
   return out.str();
 }
@@ -355,20 +402,38 @@ Result<LoadgenReport> RunLoadgen(const LoadgenOptions& options) {
   }
 
   SharedStats stats;
-  std::atomic<size_t> next{0};
-  const size_t workers =
-      std::min(options.concurrency == 0 ? 1 : options.concurrency,
-               prepared.size());
   std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (size_t w = 0; w < workers; ++w) {
-    threads.emplace_back([&] {
-      for (;;) {
-        const size_t index = next.fetch_add(1, std::memory_order_relaxed);
-        if (index >= prepared.size()) return;
-        RunMeter(options, prepared[index], &stats);
-      }
-    });
+  std::atomic<size_t> next{0};
+  if (options.connections > 0) {
+    // Multiplexed mode: meter i rides persistent connection i % N. The
+    // static stride keeps each connection's meter set deterministic, which
+    // the shard-pinning regression test relies on.
+    const size_t conns = std::min(options.connections, prepared.size());
+    threads.reserve(conns);
+    for (size_t c = 0; c < conns; ++c) {
+      threads.emplace_back([&, c] {
+        MeterClient client;
+        bool connected = false;
+        for (size_t index = c; index < prepared.size(); index += conns) {
+          RunMeterMultiplexed(options, prepared[index], &client, &connected,
+                              &stats);
+        }
+      });
+    }
+  } else {
+    const size_t workers =
+        std::min(options.concurrency == 0 ? 1 : options.concurrency,
+                 prepared.size());
+    threads.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      threads.emplace_back([&] {
+        for (;;) {
+          const size_t index = next.fetch_add(1, std::memory_order_relaxed);
+          if (index >= prepared.size()) return;
+          RunMeter(options, prepared[index], &stats);
+        }
+      });
+    }
   }
   for (std::thread& thread : threads) thread.join();
 
@@ -380,6 +445,7 @@ Result<LoadgenReport> RunLoadgen(const LoadgenOptions& options) {
   report.symbols_sent = stats.symbols_sent.load();
   report.reconnects = stats.reconnects.load();
   report.batches_dropped = stats.batches_dropped.load();
+  report.connections_opened = stats.connections_opened.load();
   return report;
 }
 

@@ -52,6 +52,14 @@ struct LoadgenOptions {
   double batches_per_second = 0;  // per-connection throttle; 0 = full rate
   int max_attempts = 5;         // connection attempts per meter
   int64_t io_timeout_ms = 10'000;  // per-socket send/recv timeout
+  // Connection multiplexing: with N > 0, the fleet is partitioned across N
+  // persistent TCP connections (meter i rides connection i % N) and each
+  // connection carries its meters' sessions back-to-back — HELLO ..
+  // GOODBYE_ACK, then the next meter's HELLO on the same socket, exercising
+  // the server's keep-alive session reset. A failed conversation drops and
+  // reopens only that connection. 0 keeps the classic
+  // one-connection-per-meter mode driven by `concurrency`.
+  size_t connections = 0;
 };
 
 struct LoadgenReport {
@@ -62,6 +70,7 @@ struct LoadgenReport {
   uint64_t symbols_sent = 0;
   uint64_t reconnects = 0;     // attempts beyond each meter's first
   uint64_t batches_dropped = 0;  // aborts from the loadgen.drop seam
+  uint64_t connections_opened = 0;  // actual TCP connects performed
 
   std::string ToJson() const;
 };

@@ -43,6 +43,37 @@ void Session::Fail(FrameType request, WireStatus status, Status error,
   replies->push_back(MakeAck(ack_type, ack));
 }
 
+void Session::OnWireFrame(const FrameView& frame,
+                          std::vector<Frame>* replies) {
+  if (frame.type == FrameType::kSymbolBatch &&
+      state_ == State::kStreaming) {
+    OnBatchView(frame, replies);
+    return;
+  }
+  // Everything else is rare (a handful of frames per session) — pay the
+  // copy and reuse the canonical state machine.
+  Frame copy;
+  copy.type = frame.type;
+  copy.payload = std::string(frame.payload);
+  OnFrame(copy, replies);
+}
+
+void Session::Reset() {
+  state_ = State::kExpectHello;
+  error_ = Status::Ok();
+  error_status_ = WireStatus::kOk;
+  meter_id_.clear();
+  table_blob_.clear();
+  table_version_ = 0;
+  table_.reset();
+  next_seq_ = 1;
+  step_seconds_ = 0;
+  next_timestamp_ = 0;
+  gaps_received_ = 0;
+  samples_.clear();
+  quality_ = EncodeQuality{};
+}
+
 void Session::OnFrame(const Frame& frame, std::vector<Frame>* replies) {
   if (state_ == State::kComplete || state_ == State::kFailed) {
     // The server should have closed already; ignore trailing frames.
@@ -79,7 +110,7 @@ void Session::OnFrame(const Frame& frame, std::vector<Frame>* replies) {
       return;
     case State::kStreaming:
       if (frame.type == FrameType::kSymbolBatch) {
-        OnBatch(frame, replies);
+        OnBatchView({frame.type, frame.payload}, replies);
         return;
       }
       if (frame.type == FrameType::kGoodbye) {
@@ -170,12 +201,44 @@ void Session::OnTable(const Frame& frame, std::vector<Frame>* replies) {
   replies->push_back(MakeAck(FrameType::kTableAck, ack));
 }
 
-void Session::OnBatch(const Frame& frame, std::vector<Frame>* replies) {
-  Result<SymbolBatchPayload> batch = ParseSymbolBatch(frame);
+void Session::OnBatchView(const FrameView& frame,
+                          std::vector<Frame>* replies) {
+  Result<SymbolBatchView> batch = ParseSymbolBatchView(frame);
   if (!batch.ok()) {
     // The seq is unparseable, so the refusal ack carries the expected one.
     Fail(frame.type, WireStatus::kBadFrame, batch.status(), replies,
          next_seq_);
+    return;
+  }
+  // One branchless sweep over the raw little-endian u16s replaces the old
+  // per-symbol cursor + Result<Symbol> walk: validate the whole array and
+  // count GAPs in a loop the compiler can vectorize, then (cold path)
+  // rescan for the first offender's error message.
+  const uint32_t count = batch->count;
+  const uint16_t alphabet = static_cast<uint16_t>(1u << batch->level);
+  uint32_t bad = 0;
+  uint32_t wire_gaps = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint16_t s = batch->symbol(i);
+    bad |= static_cast<uint32_t>(s != kWireGapSymbol && s >= alphabet);
+    wire_gaps += static_cast<uint32_t>(s == kWireGapSymbol);
+  }
+  if (bad != 0) {
+    uint16_t offender = 0;
+    for (uint32_t i = 0; i < count; ++i) {
+      const uint16_t s = batch->symbol(i);
+      if (s != kWireGapSymbol && s >= alphabet) {
+        offender = s;
+        break;
+      }
+    }
+    // Same refusal the strict copying parser produces, so both batch
+    // paths are observably identical.
+    Fail(frame.type, WireStatus::kBadFrame,
+         InvalidArgumentError("symbol " + std::to_string(offender) +
+                              " outside the level-" +
+                              std::to_string(batch->level) + " alphabet"),
+         replies, next_seq_);
     return;
   }
   if (batch->seq != next_seq_) {
@@ -206,7 +269,7 @@ void Session::OnBatch(const Frame& frame, std::vector<Frame>* replies) {
            batch->seq);
       return;
     }
-    // ParseSymbolBatch bounds both operands to ±kMaxWireTimestamp, but
+    // ParseSymbolBatchView bounds both operands to ±kMaxWireTimestamp, but
     // next_timestamp_ has advanced since, so do the subtraction with an
     // explicit overflow check rather than trusting the headroom.
     int64_t delta = 0;
@@ -234,8 +297,7 @@ void Session::OnBatch(const Frame& frame, std::vector<Frame>* replies) {
       return;
     }
   }
-  if (samples_.size() + gap_fill + batch->symbols.size() >
-      options_.max_session_symbols) {
+  if (samples_.size() + gap_fill + count > options_.max_session_symbols) {
     Fail(frame.type, WireStatus::kBadBatch,
          InvalidArgumentError("session exceeds the per-meter symbol cap"),
          replies, batch->seq);
@@ -243,8 +305,7 @@ void Session::OnBatch(const Frame& frame, std::vector<Frame>* replies) {
   }
   // Refuse up front if this batch's windows would run the cadence past
   // int64 — the per-sample additions below can then never overflow (UB).
-  const int64_t windows =
-      static_cast<int64_t>(gap_fill + batch->symbols.size());
+  const int64_t windows = static_cast<int64_t>(gap_fill + count);
   int64_t span = 0;
   int64_t end_timestamp = 0;
   if (__builtin_mul_overflow(step_seconds_, windows, &span) ||
@@ -254,31 +315,32 @@ void Session::OnBatch(const Frame& frame, std::vector<Frame>* replies) {
          replies, batch->seq);
     return;
   }
-  // Missing windows between batches become explicit GAP symbols — the
-  // cadence stays fixed, exactly as the gap-aware offline pipeline would
-  // have encoded the outage.
+  // Bulk append: missing windows between batches become explicit GAP
+  // symbols (the cadence stays fixed, exactly as the gap-aware offline
+  // pipeline would have encoded the outage), then the batch itself lands
+  // with grid timestamps — every symbol already validated above, so the
+  // loop is pure stores.
   const int level = table_->level();
-  samples_.reserve(samples_.size() + gap_fill + batch->symbols.size());
+  const size_t base = samples_.size();
+  samples_.resize(base + gap_fill + count);
+  SymbolicSample* out = samples_.data() + base;
+  const Symbol gap = Symbol::Gap(level);
+  int64_t ts = next_timestamp_;
   for (size_t i = 0; i < gap_fill; ++i) {
-    samples_.push_back({next_timestamp_, Symbol::Gap(level)});
-    next_timestamp_ += step_seconds_;
-    ++gaps_received_;
+    out[i].timestamp = ts;
+    out[i].symbol = gap;
+    ts += step_seconds_;
   }
-  for (uint16_t wire_symbol : batch->symbols) {
-    if (wire_symbol == kWireGapSymbol) {
-      samples_.push_back({next_timestamp_, Symbol::Gap(level)});
-      ++gaps_received_;
-    } else {
-      Result<Symbol> symbol = Symbol::Create(level, wire_symbol);
-      if (!symbol.ok()) {
-        Fail(frame.type, WireStatus::kBadBatch, symbol.status(), replies,
-             batch->seq);
-        return;
-      }
-      samples_.push_back({next_timestamp_, symbol.value()});
-    }
-    next_timestamp_ += step_seconds_;
+  out += gap_fill;
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint16_t s = batch->symbol(i);
+    out[i].timestamp = ts;
+    out[i].symbol =
+        s == kWireGapSymbol ? gap : Symbol::FromValidated(level, s);
+    ts += step_seconds_;
   }
+  next_timestamp_ = ts;
+  gaps_received_ += gap_fill + wire_gaps;
   next_seq_ = batch->seq + 1;
   BatchAckPayload ack;
   ack.seq = batch->seq;

@@ -92,6 +92,20 @@ class Session {
   void OnFrame(const Frame& frame, std::vector<Frame>* replies)
       REQUIRES(writer_role_);
 
+  // Zero-copy entry point for the server's hot path: a SYMBOL_BATCH in
+  // kStreaming is parsed in place from the receive buffer (no payload
+  // copy, one vectorizable validation sweep); every other (rare) frame is
+  // materialized and routed through OnFrame. Semantics are identical to
+  // OnFrame on the same bytes.
+  void OnWireFrame(const FrameView& frame, std::vector<Frame>* replies)
+      REQUIRES(writer_role_);
+
+  // Returns the session to a fresh kExpectHello so the same connection can
+  // carry another meter's upload after a GOODBYE_ACK (connection
+  // keep-alive / multiplexing). Options survive — a draining session stays
+  // draining and refuses the next HELLO.
+  void Reset() REQUIRES(writer_role_);
+
   // Refuses a HELLO that arrives after the server began draining (sessions
   // already past HELLO are allowed to finish).
   void SetDraining() REQUIRES(writer_role_) { options_.draining = true; }
@@ -154,7 +168,10 @@ class Session {
       REQUIRES(writer_role_);
   void OnTable(const Frame& frame, std::vector<Frame>* replies)
       REQUIRES(writer_role_);
-  void OnBatch(const Frame& frame, std::vector<Frame>* replies)
+  // Both batch paths funnel here: header parse, one branchless validation
+  // sweep over the raw little-endian symbols, seq/cadence admission, then
+  // a bulk append with grid timestamps.
+  void OnBatchView(const FrameView& frame, std::vector<Frame>* replies)
       REQUIRES(writer_role_);
   void OnGoodbye(const Frame& frame, std::vector<Frame>* replies)
       REQUIRES(writer_role_);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
 #include "common/io.h"
 #include "core/symbol.h"
@@ -187,8 +188,8 @@ std::string EncodeFrame(const Frame& frame) {
   return out;
 }
 
-DecodeResult DecodeFrame(std::string_view buffer) {
-  DecodeResult result;
+DecodeViewResult DecodeFrameView(std::string_view buffer) {
+  DecodeViewResult result;
   if (buffer.size() < kFrameHeaderBytes) {
     result.outcome = DecodeResult::Outcome::kNeedMore;
     return result;
@@ -232,8 +233,21 @@ DecodeResult DecodeFrame(std::string_view buffer) {
   }
   result.outcome = DecodeResult::Outcome::kFrame;
   result.frame.type = static_cast<FrameType>(type);
-  result.frame.payload = std::string(payload);
+  result.frame.payload = payload;
   result.consumed = kFrameHeaderBytes + payload_len;
+  return result;
+}
+
+DecodeResult DecodeFrame(std::string_view buffer) {
+  DecodeViewResult view = DecodeFrameView(buffer);
+  DecodeResult result;
+  result.outcome = view.outcome;
+  result.consumed = view.consumed;
+  result.error = std::move(view.error);
+  if (view.outcome == DecodeResult::Outcome::kFrame) {
+    result.frame.type = view.frame.type;
+    result.frame.payload = std::string(view.frame.payload);
+  }
   return result;
 }
 
@@ -342,11 +356,12 @@ Frame MakeSymbolBatch(const SymbolBatchPayload& payload) {
   return frame;
 }
 
-Result<SymbolBatchPayload> ParseSymbolBatch(const Frame& frame) {
-  SMETER_RETURN_IF_ERROR(
-      ExpectType(frame, FrameType::kSymbolBatch, "SYMBOL_BATCH"));
+Result<SymbolBatchView> ParseSymbolBatchView(const FrameView& frame) {
+  if (frame.type != FrameType::kSymbolBatch) {
+    return InvalidArgumentError("frame is not a SYMBOL_BATCH");
+  }
   Reader reader(frame.payload);
-  SymbolBatchPayload batch;
+  SymbolBatchView batch;
   Result<uint64_t> seq = reader.TakeU64();
   if (!seq.ok()) return seq.status();
   batch.seq = *seq;
@@ -381,19 +396,34 @@ Result<SymbolBatchPayload> ParseSymbolBatch(const Frame& frame) {
   if (reader.remaining() != static_cast<size_t>(*count) * 2) {
     return InvalidArgumentError("symbol count disagrees with payload size");
   }
+  batch.count = *count;
+  // The remaining payload IS the symbol array; hand out a pointer instead
+  // of cursoring through it so the caller can scan it in bulk.
+  batch.symbols = reinterpret_cast<const unsigned char*>(
+      frame.payload.data() + (frame.payload.size() - reader.remaining()));
+  return batch;
+}
+
+Result<SymbolBatchPayload> ParseSymbolBatch(const Frame& frame) {
+  Result<SymbolBatchView> view =
+      ParseSymbolBatchView({frame.type, frame.payload});
+  if (!view.ok()) return view.status();
+  SymbolBatchPayload batch;
+  batch.seq = view->seq;
+  batch.start_timestamp = view->start_timestamp;
+  batch.step_seconds = view->step_seconds;
+  batch.level = view->level;
   const uint32_t alphabet = 1u << batch.level;
-  batch.symbols.reserve(*count);
-  for (uint32_t i = 0; i < *count; ++i) {
-    Result<uint16_t> symbol = reader.TakeU16();
-    if (!symbol.ok()) return symbol.status();
-    if (*symbol != kWireGapSymbol && *symbol >= alphabet) {
-      return InvalidArgumentError("symbol " + std::to_string(*symbol) +
+  batch.symbols.reserve(view->count);
+  for (uint32_t i = 0; i < view->count; ++i) {
+    const uint16_t symbol = view->symbol(i);
+    if (symbol != kWireGapSymbol && symbol >= alphabet) {
+      return InvalidArgumentError("symbol " + std::to_string(symbol) +
                                   " outside the level-" +
                                   std::to_string(batch.level) + " alphabet");
     }
-    batch.symbols.push_back(*symbol);
+    batch.symbols.push_back(symbol);
   }
-  SMETER_RETURN_IF_ERROR(reader.ExpectExhausted());
   return batch;
 }
 

@@ -123,6 +123,26 @@ struct DecodeResult {
 // kNeedMore, never an error, so a streaming reader can accumulate bytes.
 DecodeResult DecodeFrame(std::string_view buffer);
 
+// Zero-copy decoded frame: `payload` points INTO the caller's receive
+// buffer (already CRC-verified), valid only until that buffer mutates.
+// The server's hot path decodes views straight out of the BufferedFd ring
+// so a SYMBOL_BATCH never pays a per-frame payload copy.
+struct FrameView {
+  FrameType type = FrameType::kHello;
+  std::string_view payload;
+};
+
+struct DecodeViewResult {
+  DecodeResult::Outcome outcome = DecodeResult::Outcome::kNeedMore;
+  FrameView frame;
+  size_t consumed = 0;
+  Status error;
+};
+
+// Identical validation and outcomes to DecodeFrame (which is a thin
+// copying wrapper over this), minus the payload copy.
+DecodeViewResult DecodeFrameView(std::string_view buffer);
+
 // --- typed payloads ---------------------------------------------------------
 //
 // Every payload struct has a Make* builder (returns a ready-to-encode
@@ -175,6 +195,29 @@ struct SymbolBatchPayload {
   // Symbol alphabet indices (< 2^level), or kWireGapSymbol for GAP.
   std::vector<uint16_t> symbols;  // non-empty
 };
+
+// Zero-copy SYMBOL_BATCH header: `symbols` points at `count` little-endian
+// u16 values inside the frame payload. Header fields are fully validated
+// (level/step/timestamp ranges, count vs payload size) but the symbol
+// values are NOT range-checked here — the session's ingest loop does that
+// in one vectorizable pass instead of a per-symbol cursor walk
+// (ParseSymbolBatch, the copying parser, still checks every symbol).
+struct SymbolBatchView {
+  uint64_t seq = 0;
+  int64_t start_timestamp = 0;
+  int64_t step_seconds = 0;
+  uint8_t level = 1;
+  uint32_t count = 0;
+  const unsigned char* symbols = nullptr;
+
+  uint16_t symbol(uint32_t i) const {
+    return static_cast<uint16_t>(
+        static_cast<uint16_t>(symbols[2 * i]) |
+        (static_cast<uint16_t>(symbols[2 * i + 1]) << 8));
+  }
+};
+
+Result<SymbolBatchView> ParseSymbolBatchView(const FrameView& frame);
 
 struct BatchAckPayload {
   uint64_t seq = 0;

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -21,6 +22,8 @@
 #include "cli.h"
 #include "common/fault_injection.h"
 #include "common/sync.h"
+#include "core/fleet_manifest.h"
+#include "net/archive_sink.h"
 #include "net/ingest_server.h"
 #include "net/loadgen.h"
 #include "testutil.h"
@@ -100,6 +103,21 @@ struct RunningServer {
     EXPECT_TRUE(created.ok()) << created.status().ToString();
     if (!created.ok()) return;
     server = std::move(created.value());
+    thread = std::thread([this] { result = server->Run(); });
+  }
+
+  // Like Start, but routes RequestStatsDump's JSON into `stats_out`
+  // (redirected before the serving thread can claim the server role).
+  void StartWithStats(net::IngestServerOptions options,
+                      std::ostream* stats_out) {
+    auto created = net::IngestServer::Create(std::move(options));
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    if (!created.ok()) return;
+    server = std::move(created.value());
+    {
+      ScopedThreadRole owner(server->role());
+      server->set_stats_out(stats_out);
+    }
     thread = std::thread([this] { result = server->Run(); });
   }
 
@@ -408,6 +426,340 @@ TEST(NetIngestTest, DamagedArchiveRepairsResumesAndConverges) {
   ExpectDirsBitIdentical(dir + "/offline", online);
 }
 
+// Meters whose hash-pinned home is each shard (simulate numbers CER
+// meters from 1000, the same ids loadgen replays).
+std::vector<uint64_t> HomesPerShard(int shards) {
+  std::vector<uint64_t> counts(static_cast<size_t>(shards), 0);
+  for (size_t m = 0; m < kMeters; ++m) {
+    const std::string meter = "meter_" + std::to_string(1000 + m);
+    ++counts[static_cast<size_t>(net::ShardForMeter(meter, shards))];
+  }
+  return counts;
+}
+
+// The multi-core tentpole acceptance bar: a --threads 4 run must leave an
+// archive byte-identical to the offline single-threaded reference — shard
+// logs unioned, records name-sorted, no per-shard files left behind.
+TEST(NetIngestTest, ShardedArchiveIsByteIdenticalToSingleThreaded) {
+  std::string dir = MakeFleetDir("net_ingest_sharded");
+  const std::string cer = dir + "/meters.cer";
+  EncodeFleetOffline(cer, dir + "/offline");
+
+  net::IngestServerOptions server_options = ServerOptions(dir + "/online");
+  server_options.threads = 4;
+  server_options.exit_after_households = kMeters;
+  RunningServer running;
+  running.Start(std::move(server_options));
+  ASSERT_NE(running.server, nullptr);
+  EXPECT_EQ(running.server->shard_count(), 4);
+
+  net::LoadgenReport report =
+      RunLoadgenOk(LoadgenOptions(running.server->port(), cer));
+  running.thread.join();
+  ASSERT_OK(running.result);
+  EXPECT_EQ(report.meters_ok, kMeters);
+
+  ScopedThreadRole owner(running.server->role());
+  const net::IngestCounters counters = running.server->counters();
+  EXPECT_EQ(counters.sessions_completed, kMeters);
+  EXPECT_EQ(counters.households_persisted, kMeters);
+  EXPECT_EQ(counters.decode_errors, 0u);
+  // Every connection re-homed by the HELLO peek was adopted somewhere.
+  EXPECT_EQ(counters.handoffs_in, counters.handoffs_out);
+  // Each meter persisted on its hash-pinned home shard, wherever the
+  // kernel's SO_REUSEPORT choice first landed the connection.
+  const std::vector<uint64_t> homes = HomesPerShard(4);
+  for (int shard = 0; shard < 4; ++shard) {
+    SCOPED_TRACE("shard " + std::to_string(shard));
+    EXPECT_EQ(running.server->shard_counters(shard).households_persisted,
+              homes[static_cast<size_t>(shard)]);
+  }
+
+  EXPECT_FALSE(
+      std::filesystem::exists(dir + "/online/fleet.manifest.shard0"));
+  ExpectDirsBitIdentical(dir + "/offline", dir + "/online");
+}
+
+// Satellite regression: meter-hash pinning is stable across reconnects —
+// a meter that dies mid-upload and reconnects lands back on the same
+// shard, so its Session state machine always has the same single writer.
+TEST(NetIngestTest, MeterHashPinningIsStableAcrossReconnects) {
+  std::string dir = MakeFleetDir("net_ingest_pinning");
+  const std::string cer = dir + "/meters.cer";
+  EncodeFleetOffline(cer, dir + "/offline");
+
+  net::IngestServerOptions server_options = ServerOptions(dir + "/online");
+  server_options.threads = 4;
+  server_options.exit_after_households = kMeters;
+  RunningServer running;
+  running.Start(std::move(server_options));
+  ASSERT_NE(running.server, nullptr);
+
+  net::LoadgenReport report;
+  {
+    fault::ScopedFaultPlan plan(
+        {fault::FaultRule::FailCalls("loadgen.drop", 2, 3)});
+    report = RunLoadgenOk(LoadgenOptions(running.server->port(), cer));
+    EXPECT_EQ(plan.TotalInjected(), 2u);
+  }
+  running.thread.join();
+  ASSERT_OK(running.result);
+  EXPECT_EQ(report.meters_ok, kMeters);
+  EXPECT_GE(report.reconnects, 1u);
+
+  // The loadgen.drop seam fires before any persist, so each meter
+  // persists exactly once — and the pinning hash puts that persist on the
+  // meter's home shard no matter how many times it reconnected.
+  ScopedThreadRole owner(running.server->role());
+  const std::vector<uint64_t> homes = HomesPerShard(4);
+  for (int shard = 0; shard < 4; ++shard) {
+    SCOPED_TRACE("shard " + std::to_string(shard));
+    EXPECT_EQ(running.server->shard_counters(shard).households_persisted,
+              homes[static_cast<size_t>(shard)]);
+    EXPECT_EQ(running.server->shard_counters(shard).sessions_completed,
+              homes[static_cast<size_t>(shard)]);
+  }
+  ExpectDirsBitIdentical(dir + "/offline", dir + "/online");
+}
+
+// The no-SO_REUSEPORT fallback: shard 0 owns the only listener and deals
+// raw fds round-robin; the HELLO peek then re-homes each connection to its
+// hash-pinned shard through the same mailbox.
+TEST(NetIngestTest, SingleAcceptorFallbackRehomesByMeterHash) {
+  std::string dir = MakeFleetDir("net_ingest_single_acceptor");
+  const std::string cer = dir + "/meters.cer";
+  EncodeFleetOffline(cer, dir + "/offline");
+
+  net::IngestServerOptions server_options = ServerOptions(dir + "/online");
+  server_options.threads = 3;
+  server_options.force_single_acceptor = true;
+  server_options.exit_after_households = kMeters;
+  RunningServer running;
+  running.Start(std::move(server_options));
+  ASSERT_NE(running.server, nullptr);
+
+  net::LoadgenReport report =
+      RunLoadgenOk(LoadgenOptions(running.server->port(), cer));
+  running.thread.join();
+  ASSERT_OK(running.result);
+  EXPECT_EQ(report.meters_ok, kMeters);
+
+  ScopedThreadRole owner(running.server->role());
+  const net::IngestCounters counters = running.server->counters();
+  // All accepts happened on the dealing shard; with 3 shards at least some
+  // fds were dealt or re-homed across the mailbox.
+  EXPECT_EQ(running.server->shard_counters(1).sessions_accepted, 0u);
+  EXPECT_EQ(running.server->shard_counters(2).sessions_accepted, 0u);
+  EXPECT_GT(counters.handoffs_out, 0u);
+  EXPECT_EQ(counters.handoffs_in, counters.handoffs_out);
+  const std::vector<uint64_t> homes = HomesPerShard(3);
+  for (int shard = 0; shard < 3; ++shard) {
+    SCOPED_TRACE("shard " + std::to_string(shard));
+    EXPECT_EQ(running.server->shard_counters(shard).households_persisted,
+              homes[static_cast<size_t>(shard)]);
+  }
+  ExpectDirsBitIdentical(dir + "/offline", dir + "/online");
+}
+
+// loadgen --connections: the fleet multiplexes over two persistent TCP
+// connections, sessions back-to-back on each socket; the server resets
+// the session to ExpectHello after every GOODBYE_ACK instead of closing.
+TEST(NetIngestTest, MultiplexedConnectionsCarrySessionsBackToBack) {
+  std::string dir = MakeFleetDir("net_ingest_multiplexed");
+  const std::string cer = dir + "/meters.cer";
+  EncodeFleetOffline(cer, dir + "/offline");
+
+  net::IngestServerOptions server_options = ServerOptions(dir + "/online");
+  server_options.threads = 2;
+  server_options.exit_after_households = kMeters;
+  RunningServer running;
+  running.Start(std::move(server_options));
+  ASSERT_NE(running.server, nullptr);
+
+  net::LoadgenOptions loadgen = LoadgenOptions(running.server->port(), cer);
+  loadgen.connections = 2;
+  net::LoadgenReport report = RunLoadgenOk(loadgen);
+  running.thread.join();
+  ASSERT_OK(running.result);
+
+  EXPECT_EQ(report.meters_ok, kMeters);
+  EXPECT_EQ(report.meters_failed, 0u);
+  // Two sockets carried all six sessions.
+  EXPECT_EQ(report.connections_opened, 2u);
+  ScopedThreadRole owner(running.server->role());
+  const net::IngestCounters counters = running.server->counters();
+  EXPECT_EQ(counters.sessions_accepted, 2u);
+  EXPECT_EQ(counters.sessions_completed, kMeters);
+  // Completed keep-alive conversations are clean ends, not drops.
+  EXPECT_EQ(counters.sessions_dropped, 0u);
+  ExpectDirsBitIdentical(dir + "/offline", dir + "/online");
+}
+
+// SIGUSR1 path (the handler calls exactly RequestStatsDump): every shard
+// snapshots its own counters and the last one to publish emits a single
+// aggregated JSON blob.
+TEST(NetIngestTest, StatsDumpAggregatesEveryShard) {
+  std::string dir = MakeFleetDir("net_ingest_stats");
+  const std::string cer = dir + "/meters.cer";
+
+  std::ostringstream stats;
+  net::IngestServerOptions server_options = ServerOptions(dir + "/online");
+  server_options.threads = 3;
+  RunningServer running;
+  running.StartWithStats(std::move(server_options), &stats);
+  ASSERT_NE(running.server, nullptr);
+
+  net::LoadgenReport report =
+      RunLoadgenOk(LoadgenOptions(running.server->port(), cer));
+  EXPECT_EQ(report.meters_ok, kMeters);
+
+  running.server->RequestStatsDump();
+  for (int i = 0; i < 500 && running.server->stats_dumps() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(running.server->stats_dumps(), 1u);
+  running.DrainAndJoin();
+  ASSERT_OK(running.result);
+
+  const std::string blob = stats.str();
+  EXPECT_NE(blob.find("\"shards\": ["), std::string::npos) << blob;
+  EXPECT_NE(blob.find("\"total\":"), std::string::npos) << blob;
+  // Three shard objects plus the total, each with the full counter set.
+  size_t occurrences = 0;
+  for (size_t pos = blob.find("\"sessions_accepted\"");
+       pos != std::string::npos;
+       pos = blob.find("\"sessions_accepted\"", pos + 1)) {
+    ++occurrences;
+  }
+  EXPECT_EQ(occurrences, 4u) << blob;
+}
+
+// Fabricates the on-disk signature of a --threads N daemon killed before
+// Finalize: a partial single-log run is re-split so the main manifest
+// holds one record and per-shard append logs hold the rest (one of them
+// torn mid-append). Leaves 3 households durably checkpointed.
+void FabricateShardedCrash(const std::string& online,
+                           const std::string& cer) {
+  net::IngestServerOptions server_options = ServerOptions(online);
+  server_options.exit_after_households = 3;
+  RunningServer running;
+  running.Start(std::move(server_options));
+  ASSERT_NE(running.server, nullptr);
+  net::LoadgenOptions loadgen = LoadgenOptions(running.server->port(), cer);
+  loadgen.concurrency = 1;  // deterministic: meters land in name order
+  loadgen.max_attempts = 1;
+  Result<net::LoadgenReport> report = net::RunLoadgen(loadgen);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  running.thread.join();
+  ASSERT_OK(running.result);
+
+  Result<ManifestContents> manifest =
+      LoadFleetManifest(online + "/fleet.manifest");
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+  ASSERT_EQ(manifest->reports.size(), 3u);
+  // Main manifest keeps only the first record; the other two move into
+  // shard logs, as if two shards had checkpointed them when the daemon
+  // died. Shard 2's log is empty; shard 3's has a torn trailing append.
+  std::ofstream(online + "/fleet.manifest", std::ios::binary)
+      << BuildManifestLog({manifest->reports[0]});
+  std::ofstream(online + "/" + net::ShardManifestFile(1), std::ios::binary)
+      << BuildManifestLog({manifest->reports[1]});
+  std::ofstream(online + "/" + net::ShardManifestFile(2), std::ios::binary)
+      << BuildManifestLog({});
+  std::ofstream(online + "/" + net::ShardManifestFile(3), std::ios::binary)
+      << BuildManifestLog({manifest->reports[2]}) << "{\"name\":\"met";
+}
+
+// Kill-and-resume at --threads 4, sink-level recovery: Open(resume) unions
+// the leftover shard logs directly (no fsck pass) and the restarted
+// sharded daemon converges to the clean-run archive.
+TEST(NetIngestTest, KilledShardedRunResumesDirectlyAndConverges) {
+  std::string dir = MakeFleetDir("net_ingest_sharded_kill");
+  const std::string cer = dir + "/meters.cer";
+  EncodeFleetOffline(cer, dir + "/offline");
+  const std::string online = dir + "/online";
+  FabricateShardedCrash(online, cer);
+
+  net::IngestServerOptions server_options = ServerOptions(online);
+  server_options.threads = 4;
+  server_options.resume = true;
+  server_options.exit_after_households = kMeters;
+  RunningServer running;
+  running.Start(std::move(server_options));
+  ASSERT_NE(running.server, nullptr);
+  net::LoadgenReport report =
+      RunLoadgenOk(LoadgenOptions(running.server->port(), cer));
+  running.thread.join();
+  ASSERT_OK(running.result);
+  EXPECT_EQ(report.meters_ok, kMeters);
+  // The three checkpointed households were carried, not re-persisted.
+  ScopedThreadRole owner(running.server->role());
+  EXPECT_EQ(running.server->counters().households_persisted, kMeters - 3);
+
+  EXPECT_FALSE(std::filesystem::exists(online + "/" +
+                                       net::ShardManifestFile(1)));
+  ExpectDirsBitIdentical(dir + "/offline", online);
+}
+
+// Kill-and-resume via fsck: --repair unions the shard logs into the main
+// manifest (torn tails contribute their valid prefix), removes them, and
+// grades the archive clean on the second pass.
+TEST(NetIngestTest, FsckMergesLeftoverShardLogs) {
+  std::string dir = MakeFleetDir("net_ingest_sharded_fsck");
+  const std::string cer = dir + "/meters.cer";
+  EncodeFleetOffline(cer, dir + "/offline");
+  const std::string online = dir + "/online";
+  FabricateShardedCrash(online, cer);
+
+  {
+    std::ostringstream out, err;
+    EXPECT_EQ(cli::RunCliExitCode(
+                  {"fsck", "--dir", online, "--repair", "true"}, out, err),
+              1)
+        << out.str() << err.str();
+    EXPECT_NE(out.str().find("shard_manifest"), std::string::npos)
+        << out.str();
+    std::ostringstream out2, err2;
+    EXPECT_EQ(cli::RunCliExitCode({"fsck", "--dir", online}, out2, err2), 0)
+        << out2.str() << err2.str();
+  }
+  for (int shard = 1; shard <= 3; ++shard) {
+    EXPECT_FALSE(std::filesystem::exists(
+        online + "/" + net::ShardManifestFile(shard)));
+  }
+  Result<ManifestContents> merged =
+      LoadFleetManifest(online + "/fleet.manifest");
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(merged->reports.size(), 3u);
+
+  // A resumed sharded daemon finishes the fleet from the merged manifest.
+  net::IngestServerOptions server_options = ServerOptions(online);
+  server_options.threads = 4;
+  server_options.resume = true;
+  server_options.exit_after_households = kMeters;
+  RunningServer running;
+  running.Start(std::move(server_options));
+  ASSERT_NE(running.server, nullptr);
+  net::LoadgenReport report =
+      RunLoadgenOk(LoadgenOptions(running.server->port(), cer));
+  running.thread.join();
+  ASSERT_OK(running.result);
+  EXPECT_EQ(report.meters_ok, kMeters);
+  ExpectDirsBitIdentical(dir + "/offline", online);
+}
+
+// Shard count for the randomized soak below: the storm and the recovery
+// both run against a sharded server so every fault seam also fires across
+// the handoff / per-shard-manifest paths. SMETER_SOAK_THREADS overrides
+// (CI pins it to 4 explicitly; 1 reproduces the single-loop storm).
+int SoakThreads() {
+  if (const char* env = std::getenv("SMETER_SOAK_THREADS")) {
+    int parsed = std::atoi(env);
+    if (parsed >= 1 && parsed <= 64) return parsed;
+  }
+  return 4;
+}
+
 // Seeded soak: a randomized storm of connection drops, refused tables,
 // server I/O failures, and silent bit flips on archive writes — then
 // repair + resume + reconnect must still converge. CI sweeps
@@ -429,6 +781,7 @@ TEST(NetIngestSoakTest, RandomizedFaultsThenRepairResumeConverge) {
   // daemon itself must survive and drain cleanly.
   {
     net::IngestServerOptions server_options = ServerOptions(online);
+    server_options.threads = SoakThreads();
     RunningServer running;
     running.Start(std::move(server_options));
     ASSERT_NE(running.server, nullptr);
@@ -464,9 +817,11 @@ TEST(NetIngestSoakTest, RandomizedFaultsThenRepairResumeConverge) {
         << out2.str() << err2.str();
   }
 
-  // Recovery: resume + full reconnect, no faults.
+  // Recovery: resume + full reconnect, no faults — sharded too, so the
+  // resume path unions whatever per-shard logs the storm left behind.
   {
     net::IngestServerOptions server_options = ServerOptions(online);
+    server_options.threads = SoakThreads();
     server_options.resume = true;
     server_options.exit_after_households = kMeters;
     RunningServer running;

@@ -281,6 +281,60 @@ TEST(BufferedFdTest, ReadFaultSeamDropsTheConnectionNotTheLoop) {
   EXPECT_TRUE(fired);
 }
 
+TEST(BufferedFdTest, SendVecCoalescesSegmentsIntoOneWritev) {
+  FdHarness h;
+  h.Init();
+  ScopedThreadRole io(h.buffered->role());
+  const std::string_view parts[] = {"alpha", "-", "beta", "-", "gamma"};
+  ASSERT_OK(h.buffered->SendVec(parts, 5));
+  // One syscall carried all five segments (the batched-ack hot path).
+  EXPECT_EQ(h.buffered->writev_calls(), 1u);
+  EXPECT_EQ(h.buffered->writev_segments(), 5u);
+  EXPECT_EQ(h.buffered->bytes_out(), 16u);
+  h.Spin();
+  char buf[64];
+  ssize_t n = read(h.peer_fd, buf, sizeof(buf));
+  ASSERT_EQ(n, 16);
+  EXPECT_EQ(std::string(buf, 16), "alpha-beta-gamma");
+}
+
+TEST(BufferedFdTest, ReleaseFdDetachesWithoutClosingTheSocket) {
+  FdHarness h;
+  h.Init();
+  h.consume_limit = 0;  // keep inbound bytes buffered, unconsumed
+  ASSERT_EQ(write(h.peer_fd, "carried", 7), 7);
+  h.Spin();
+  ScopedThreadRole io(h.buffered->role());
+  BufferedFd::Released released = h.buffered->ReleaseFd();
+  ASSERT_GE(released.fd, 0);
+  // The unconsumed input travels with the fd (the shard-handoff contract).
+  EXPECT_EQ(released.pending_in, "carried");
+  EXPECT_TRUE(h.buffered->closed());
+  EXPECT_FALSE(h.closed);  // detached, not closed: on_close never fires
+  // The fd is still a live socket: it can ship bytes to the peer.
+  ASSERT_EQ(::write(released.fd, "ok", 2), 2);
+  char buf[8];
+  ASSERT_EQ(read(h.peer_fd, buf, sizeof(buf)), 2);
+  EXPECT_EQ(std::string(buf, 2), "ok");
+  ::close(released.fd);
+}
+
+TEST(BufferedFdTest, InjectedInputIsDeliveredByPump) {
+  // The adoption path for handed-off connections: bytes already read by
+  // another loop are injected and pumped explicitly, because
+  // edge-triggered epoll never signals an edge for them.
+  FdHarness h;
+  h.Init();
+  ScopedThreadRole io(h.buffered->role());
+  h.buffered->InjectInput("hand");
+  h.buffered->Pump();
+  EXPECT_EQ(h.received, "hand");
+  // Injected bytes interleave cleanly with bytes from the socket itself.
+  ASSERT_EQ(write(h.peer_fd, "off", 3), 3);
+  h.Spin();
+  EXPECT_EQ(h.received, "handoff");
+}
+
 TEST(BufferedFdTest, FrameCorruptionSeamDamagesInboundBytes) {
   FdHarness h;
   h.Init();

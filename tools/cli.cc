@@ -592,12 +592,19 @@ Status CmdIngestd(const Flags& flags, std::ostream& out) {
   if (!exit_after.ok()) return exit_after.status();
   Result<int64_t> watermark = flags.GetInt("high-watermark", 1 << 20);
   if (!watermark.ok()) return watermark.status();
+  Result<int64_t> threads = flags.GetInt("threads", 1);
+  if (!threads.ok()) return threads.status();
+  Result<bool> single_acceptor = flags.GetBool("single-acceptor", false);
+  if (!single_acceptor.ok()) return single_acceptor.status();
   SMETER_RETURN_IF_ERROR(CheckNoStrayFlags(flags));
   if (*exit_after < 0) {
     return InvalidArgumentError("--exit-after-households must be >= 0");
   }
   if (*watermark <= 0) {
     return InvalidArgumentError("--high-watermark must be > 0");
+  }
+  if (*threads < 1 || *threads > 64) {
+    return InvalidArgumentError("--threads must be in [1, 64]");
   }
 
   net::IngestServerOptions options;
@@ -610,13 +617,15 @@ Status CmdIngestd(const Flags& flags, std::ostream& out) {
   options.drain_grace_ms = *grace;
   options.exit_after_households = static_cast<uint64_t>(*exit_after);
   options.high_watermark = static_cast<size_t>(*watermark);
+  options.threads = static_cast<int>(*threads);
+  options.force_single_acceptor = *single_acceptor;
 
   Result<std::unique_ptr<net::IngestServer>> server =
       net::IngestServer::Create(std::move(options));
   if (!server.ok()) return server.status();
 
   out << "ingestd listening on " << (*server)->port() << ", archive "
-      << *dir << "\n"
+      << *dir << ", " << (*server)->shard_count() << " shard(s)\n"
       << std::flush;
 
   // SIGTERM/SIGINT drain gracefully (stop accepting, flush sessions,
@@ -654,6 +663,8 @@ Status CmdLoadgen(const Flags& flags, std::ostream& out, int* exit_code) {
   if (!attempts.ok()) return attempts.status();
   Result<int64_t> io_timeout = flags.GetInt("io-timeout-ms", 10'000);
   if (!io_timeout.ok()) return io_timeout.status();
+  Result<int64_t> connections = flags.GetInt("connections", 0);
+  if (!connections.ok()) return connections.status();
   // Sensor-side encoding — keep in lockstep with encode-fleet's flags when
   // comparing archives.
   Result<SeparatorMethod> method =
@@ -680,6 +691,9 @@ Status CmdLoadgen(const Flags& flags, std::ostream& out, int* exit_code) {
   if (!outages.ok()) return outages.status();
   SMETER_RETURN_IF_ERROR(CheckNoStrayFlags(flags));
   if (*meters <= 0) return InvalidArgumentError("--meters must be > 0");
+  if (*connections < 0) {
+    return InvalidArgumentError("--connections must be >= 0");
+  }
 
   net::LoadgenOptions options;
   SMETER_RETURN_IF_ERROR(
@@ -702,6 +716,7 @@ Status CmdLoadgen(const Flags& flags, std::ostream& out, int* exit_code) {
   options.batches_per_second = *rate;
   options.max_attempts = static_cast<int>(*attempts);
   options.io_timeout_ms = *io_timeout;
+  options.connections = static_cast<size_t>(*connections);
 
   Result<net::LoadgenReport> report = net::RunLoadgen(options);
   if (!report.ok()) return report.status();
@@ -867,19 +882,28 @@ std::string UsageText() {
       "               `encode-fleet --resume true` to re-encode the rest.\n"
       "               exit codes: 0 clean, 1 repaired, 4 unrepaired\n"
       "  ingestd      --listen HOST:PORT --dir ARCHIVE [--resume false]\n"
-      "               [--auth-token T] [--idle-timeout-ms 30000]\n"
-      "               [--drain-grace-ms 5000] [--exit-after-households 0]\n"
-      "               [--high-watermark 1048576]\n"
+      "               [--threads 1] [--auth-token T]\n"
+      "               [--idle-timeout-ms 30000] [--drain-grace-ms 5000]\n"
+      "               [--exit-after-households 0]\n"
+      "               [--high-watermark 1048576] [--single-acceptor false]\n"
       "               non-blocking epoll ingestion daemon speaking the\n"
       "               symbolic wire protocol; completed sessions land in\n"
       "               the same v3 archive layout encode-fleet writes.\n"
+      "               --threads N runs N per-core epoll shards, each with\n"
+      "               its own SO_REUSEPORT listener; connections are pinned\n"
+      "               to shards by meter-id hash, and the drained archive\n"
+      "               is byte-identical to a --threads 1 run.\n"
+      "               --single-acceptor true forces the one-listener\n"
+      "               round-robin handoff topology (also the automatic\n"
+      "               fallback where SO_REUSEPORT is unavailable).\n"
       "               --exit-after-households N drains once N distinct\n"
       "               meters complete a session in this run (carried\n"
       "               --resume records count only when re-acknowledged).\n"
-      "               SIGTERM/SIGINT drain gracefully; SIGUSR1 dumps\n"
-      "               counters JSON to stderr\n"
+      "               SIGTERM/SIGINT drain gracefully; SIGUSR1 dumps one\n"
+      "               aggregated per-shard counters JSON to stderr\n"
       "  loadgen      --connect HOST:PORT [--meters 10] [--input CER_FILE]\n"
-      "               [--concurrency 8] [--batch-symbols 512] [--rate 0]\n"
+      "               [--concurrency 8] [--connections 0]\n"
+      "               [--batch-symbols 512] [--rate 0]\n"
       "               [--max-attempts 5] [--auth-token T]\n"
       "               [--method median] [--level 4] [--window 900]\n"
       "               [--sample-period 1] [--history-seconds 0]\n"
@@ -887,7 +911,11 @@ std::string UsageText() {
       "               [--seed 42] [--outages 0.4]\n"
       "               replay a simulated (or CER) meter fleet against a\n"
       "               running ingestd over real sockets; exits 1 if any\n"
-      "               meter failed to land\n"
+      "               meter failed to land.\n"
+      "               --connections N multiplexes the fleet over N\n"
+      "               persistent TCP connections (meter i rides connection\n"
+      "               i % N, sessions back-to-back on one socket) instead\n"
+      "               of one connection per meter\n"
       "  help\n";
 }
 
