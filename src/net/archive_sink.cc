@@ -38,11 +38,26 @@ std::string ShardManifestFile(int shard) {
   return std::string(kFleetManifestFile) + ".shard" + std::to_string(shard);
 }
 
-Result<std::unique_ptr<ArchiveSink>> ArchiveSink::Open(const std::string& dir,
-                                                       bool resume,
-                                                       int shards) {
+bool IsDiskFullStatus(const Status& status) {
+  if (status.ok()) return false;
+  const std::string& message = status.message();
+  // strerror(ENOSPC) = "No space left on device",
+  // strerror(EDQUOT) = "Disk quota exceeded"; the errno names cover seams
+  // and wrappers that report the symbolic name instead.
+  return message.find("No space left") != std::string::npos ||
+         message.find("Disk quota") != std::string::npos ||
+         message.find("ENOSPC") != std::string::npos ||
+         message.find("EDQUOT") != std::string::npos;
+}
+
+Result<std::unique_ptr<ArchiveSink>> ArchiveSink::Open(
+    const std::string& dir, bool resume, int shards,
+    int64_t probe_interval_ms) {
   if (shards < 1) {
     return InvalidArgumentError("archive sink needs at least one shard");
+  }
+  if (probe_interval_ms < 1) {
+    return InvalidArgumentError("probe interval must be positive");
   }
   SMETER_RETURN_IF_ERROR(MakeDirectories(dir));
   const std::string manifest_path = dir + "/" + kFleetManifestFile;
@@ -92,15 +107,17 @@ Result<std::unique_ptr<ArchiveSink>> ArchiveSink::Open(const std::string& dir,
   }
 
   return std::unique_ptr<ArchiveSink>(new ArchiveSink(
-      dir, std::move(carried), std::move(stripes)));
+      dir, std::move(carried), std::move(stripes), probe_interval_ms));
 }
 
 ArchiveSink::ArchiveSink(std::string dir,
                          std::map<std::string, HouseholdReport> carried,
-                         std::vector<std::unique_ptr<Stripe>> stripes)
+                         std::vector<std::unique_ptr<Stripe>> stripes,
+                         int64_t probe_interval_ms)
     : dir_(std::move(dir)),
       carried_(std::move(carried)),
-      stripes_(std::move(stripes)) {}
+      stripes_(std::move(stripes)),
+      probe_interval_ms_(probe_interval_ms) {}
 
 bool ArchiveSink::AlreadyPersisted(const std::string& meter) const {
   if (carried_.count(meter) > 0) return true;
@@ -133,17 +150,40 @@ Status ArchiveSink::Persist(const std::string& meter,
       return FailedPreconditionError("archive sink is finalized");
     }
   }
+  // Duplicates need no disk write, so they succeed even while the
+  // circuit below is open — a reconnecting already-persisted meter is
+  // never held hostage by a full disk.
   if (AlreadyPersisted(meter)) return Status::Ok();
+  {
+    MutexLock lock(mutex_);
+    if (circuit_open_) {
+      // Fail fast while the disk is known-full: no point attempting more
+      // atomic writes (each costs a tmp file create) until a probe
+      // succeeds. Keeping the disk-full text in the message lets callers
+      // classify this exactly like the failure that opened the circuit.
+      return InternalError(
+          "archive sink circuit open (No space left on device); "
+          "persist paused until a space probe succeeds");
+    }
+  }
 
   // Same file order as encode-fleet's sink: table, symbols, then the
   // manifest record — the checkpoint only lands after both payload files
-  // are durable.
-  SMETER_RETURN_IF_ERROR(
-      io::AtomicWriteFile(dir_ + "/" + meter + ".table", table_blob));
+  // are durable. Any disk-full failure opens the circuit breaker: the
+  // session stays unacked and unrecorded (atomic writes leave no torn
+  // artifact), so it retries cleanly once space returns.
+  if (Status status =
+          io::AtomicWriteFile(dir_ + "/" + meter + ".table", table_blob);
+      !status.ok()) {
+    return NoteWriteFailure(std::move(status));
+  }
   Result<std::string> blob = PackSymbolicSeriesFramed(series);
   if (!blob.ok()) return blob.status();
-  SMETER_RETURN_IF_ERROR(
-      io::AtomicWriteFile(dir_ + "/" + meter + ".symbols", *blob));
+  if (Status status =
+          io::AtomicWriteFile(dir_ + "/" + meter + ".symbols", *blob);
+      !status.ok()) {
+    return NoteWriteFailure(std::move(status));
+  }
 
   HouseholdReport done;
   done.name = meter;
@@ -156,11 +196,53 @@ Status ArchiveSink::Persist(const std::string& meter,
   Stripe& stripe = *stripes_[static_cast<size_t>(shard)];
   MutexLock lock(stripe.mutex);
   if (stripe.records.count(meter) > 0) return Status::Ok();
-  SMETER_RETURN_IF_ERROR(stripe.log.Append(ManifestRecord(done)));
+  if (Status status = stripe.log.Append(ManifestRecord(done));
+      !status.ok()) {
+    return NoteWriteFailure(std::move(status));
+  }
   stripe.records.emplace(meter, std::move(done));
   ++stripe.persisted;
   stripe.symbols += series.size();
   return Status::Ok();
+}
+
+Status ArchiveSink::NoteWriteFailure(Status status) {
+  if (IsDiskFullStatus(status)) {
+    MutexLock lock(mutex_);
+    circuit_open_ = true;
+    // Start the probe clock at zero so the first MaybeProbe after the
+    // trip is allowed to try immediately.
+    last_probe_ms_ = 0;
+  }
+  return status;
+}
+
+bool ArchiveSink::circuit_open() const {
+  MutexLock lock(mutex_);
+  return circuit_open_;
+}
+
+bool ArchiveSink::MaybeProbe(int64_t now_ms) {
+  {
+    MutexLock lock(mutex_);
+    if (!circuit_open_) return true;
+    if (last_probe_ms_ != 0 && now_ms - last_probe_ms_ < probe_interval_ms_) {
+      return false;
+    }
+    last_probe_ms_ = now_ms;
+  }
+  // The probe goes through the same seam-instrumented atomic-write path
+  // the persists use, so an injected ENOSPC plan controls recovery
+  // deterministically: while the plan fails `file.write` the probe fails
+  // too, and the first probe past the plan's range re-closes the circuit.
+  const std::string probe_path = dir_ + "/" + kSpaceProbeFile;
+  Status status = io::AtomicWriteFile(probe_path, "probe");
+  std::error_code ignored;
+  std::filesystem::remove(probe_path, ignored);
+  if (!status.ok()) return false;
+  MutexLock lock(mutex_);
+  circuit_open_ = false;
+  return true;
 }
 
 Status ArchiveSink::Finalize() {

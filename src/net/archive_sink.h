@@ -59,6 +59,16 @@ namespace smeter::net {
 // Shard-log file name: "<fleet.manifest>.shard<k>".
 std::string ShardManifestFile(int shard);
 
+// True when `status` reads like a disk-exhaustion failure (ENOSPC or
+// EDQUOT strerror text, or the errno names themselves). StatusCode has no
+// resource-exhausted category, so the circuit breaker keys off the message
+// — the same text the `file.write` fault seam injects in tests.
+bool IsDiskFullStatus(const Status& status);
+
+// Scratch file MaybeProbe writes (and removes) to test whether the disk
+// has space again.
+inline constexpr const char kSpaceProbeFile[] = ".smeter_space_probe";
+
 class ArchiveSink {
  public:
   // Opens (creating if needed) the archive directory with `shards` append
@@ -68,9 +78,11 @@ class ArchiveSink {
   // before Finalize) are unioned and their ok/degraded households carried:
   // a reconnecting meter that already persisted is acknowledged without
   // being rewritten, exactly like encode-fleet --resume.
-  static Result<std::unique_ptr<ArchiveSink>> Open(const std::string& dir,
-                                                   bool resume,
-                                                   int shards = 1);
+  // `probe_interval_ms` rate-limits the disk-space probes MaybeProbe
+  // issues while the ENOSPC circuit is open.
+  static Result<std::unique_ptr<ArchiveSink>> Open(
+      const std::string& dir, bool resume, int shards = 1,
+      int64_t probe_interval_ms = 200);
 
   // True when `meter` already has a durable record (carried from a prior
   // run or persisted in this one, on any stripe). The server uses this to
@@ -80,9 +92,27 @@ class ArchiveSink {
   // Durably writes one completed session's outputs and checkpoints it in
   // stripe `shard`'s manifest log. Idempotent per meter: a second call for
   // an already-persisted meter is a no-op success.
+  //
+  // Disk-exhaustion degradation: a failure that IsDiskFullStatus opens the
+  // circuit breaker; while it is open every Persist fails fast (the
+  // returned status keeps the disk-full message, so callers see
+  // circuit_open() flip and withhold the session's ack instead of
+  // rewriting a full disk). MaybeProbe re-closes the circuit when space
+  // returns; the affected sessions then retry Persist.
   Status Persist(const std::string& meter, const std::string& table_blob,
                  const SymbolicSeries& series, const EncodeQuality& quality,
                  int shard = 0);
+
+  // True while the breaker is open (persists are paused on a full disk).
+  bool circuit_open() const;
+  // While the circuit is open and `probe_interval_ms` has elapsed since
+  // the last probe, writes and removes a tiny scratch file (through the
+  // same `file.write` seam the persists use) and closes the circuit on
+  // success. Returns true when the circuit is closed after the call, so a
+  // shard's probe timer knows when to retry the paused sessions. Cheap
+  // no-op (false) when the interval has not elapsed; true when the
+  // circuit was never open.
+  bool MaybeProbe(int64_t now_ms);
 
   // Closes every append log, rewrites the main manifest with every record
   // (carried plus all stripes) sorted by meter name, writes quality.json,
@@ -114,15 +144,25 @@ class ArchiveSink {
 
   ArchiveSink(std::string dir,
               std::map<std::string, HouseholdReport> carried,
-              std::vector<std::unique_ptr<Stripe>> stripes);
+              std::vector<std::unique_ptr<Stripe>> stripes,
+              int64_t probe_interval_ms);
+
+  // Opens the circuit when `status` is a disk-full failure; returns the
+  // status unchanged either way.
+  Status NoteWriteFailure(Status status);
 
   const std::string dir_;
   // Immutable after Open: records resumed from a prior run.
   const std::map<std::string, HouseholdReport> carried_;
   std::vector<std::unique_ptr<Stripe>> stripes_;
+  const int64_t probe_interval_ms_;
 
   mutable Mutex mutex_;
   bool finalized_ GUARDED_BY(mutex_) = false;
+  // ENOSPC circuit breaker: open = persists fail fast until a probe
+  // succeeds. last_probe_ms_ rate-limits probe writes.
+  bool circuit_open_ GUARDED_BY(mutex_) = false;
+  int64_t last_probe_ms_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace smeter::net

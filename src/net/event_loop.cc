@@ -372,12 +372,17 @@ Status BufferedFd::FlushSome() {
     UpdateInterest();
   }
   // Backpressure: pause reading while the peer is slower than our output.
+  // stalled_since_ms_ marks when the stall began (write-stall deadline
+  // accounting); only this peer-not-draining path sets it, never
+  // CloseAfterFlush's read pause.
   if (!paused_ && out_.size() > high_watermark_) {
     paused_ = true;
     ++stalls_;
+    stalled_since_ms_ = EventLoop::NowMs();
     UpdateInterest();
   } else if (paused_ && out_.size() <= high_watermark_ / 2) {
     paused_ = false;
+    stalled_since_ms_ = 0;
     UpdateInterest();
   }
   return Status::Ok();

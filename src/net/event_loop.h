@@ -195,6 +195,20 @@ class BufferedFd {
   uint64_t writev_segments() const REQUIRES(role_) {
     return writev_segments_;
   }
+  // Bytes this connection currently holds in userspace (input + output
+  // buffers) — the per-connection term of the server's ingest-memory
+  // budget.
+  size_t buffered_bytes() const REQUIRES(role_) {
+    return in_.size() + out_.size();
+  }
+  // Monotonic ms when the output buffer last crossed the high-watermark
+  // with the peer not draining, or 0 while the peer is keeping up. Set in
+  // the backpressure pause path only — CloseAfterFlush also pauses reads
+  // but is not a peer stall. The server's sweep drops connections whose
+  // stall has outlived the write-stall deadline.
+  int64_t stalled_since_ms() const REQUIRES(role_) {
+    return stalled_since_ms_;
+  }
 
   // This connection's single-owner capability (claimed by the loop-side
   // event handler and, at ownership boundaries, by the owning server).
@@ -221,6 +235,7 @@ class BufferedFd {
   Status close_reason_ GUARDED_BY(role_);
   bool paused_ GUARDED_BY(role_) = false;
   bool want_write_ GUARDED_BY(role_) = false;
+  int64_t stalled_since_ms_ GUARDED_BY(role_) = 0;
   uint64_t stalls_ GUARDED_BY(role_) = 0;
   uint64_t bytes_in_ GUARDED_BY(role_) = 0;
   uint64_t bytes_out_ GUARDED_BY(role_) = 0;

@@ -1,6 +1,7 @@
 #include "net/ingest_server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
@@ -8,6 +9,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -139,6 +141,16 @@ void IngestCounters::Add(const IngestCounters& other) {
   writev_segments += other.writev_segments;
   households_persisted += other.households_persisted;
   symbols_persisted += other.symbols_persisted;
+  connections_shed += other.connections_shed;
+  accepts_emfile += other.accepts_emfile;
+  throttles_sent += other.throttles_sent;
+  rate_limited += other.rate_limited;
+  memory_throttled += other.memory_throttled;
+  idle_drops += other.idle_drops;
+  write_stall_drops += other.write_stall_drops;
+  persists_paused += other.persists_paused;
+  circuit_opens += other.circuit_opens;
+  ingest_memory_bytes += other.ingest_memory_bytes;
 }
 
 std::string IngestCounters::ToJson() const {
@@ -160,7 +172,17 @@ std::string IngestCounters::ToJson() const {
       << "  \"writev_calls\": " << writev_calls << ",\n"
       << "  \"writev_segments\": " << writev_segments << ",\n"
       << "  \"households_persisted\": " << households_persisted << ",\n"
-      << "  \"symbols_persisted\": " << symbols_persisted << "\n"
+      << "  \"symbols_persisted\": " << symbols_persisted << ",\n"
+      << "  \"connections_shed\": " << connections_shed << ",\n"
+      << "  \"accepts_emfile\": " << accepts_emfile << ",\n"
+      << "  \"throttles_sent\": " << throttles_sent << ",\n"
+      << "  \"rate_limited\": " << rate_limited << ",\n"
+      << "  \"memory_throttled\": " << memory_throttled << ",\n"
+      << "  \"idle_drops\": " << idle_drops << ",\n"
+      << "  \"write_stall_drops\": " << write_stall_drops << ",\n"
+      << "  \"persists_paused\": " << persists_paused << ",\n"
+      << "  \"circuit_opens\": " << circuit_opens << ",\n"
+      << "  \"ingest_memory_bytes\": " << ingest_memory_bytes << "\n"
       << "}";
   return out.str();
 }
@@ -185,10 +207,15 @@ class IngestShard {
   ~IngestShard() {
     ScopedThreadRole owner(role_);
     if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (reserve_fd_ >= 0) ::close(reserve_fd_);
     // Handoffs that arrived after this shard stopped never became
-    // connections; close their fds so nothing leaks.
+    // connections; close their fds (and return their admission charges)
+    // so nothing leaks.
     MutexLock lock(handoff_mutex_);
-    for (const Handoff& handoff : handoff_queue_) ::close(handoff.fd);
+    for (const Handoff& handoff : handoff_queue_) {
+      ::close(handoff.fd);
+      server_->ReleaseAdmission();
+    }
   }
 
   IngestShard(const IngestShard&) = delete;
@@ -210,11 +237,15 @@ class IngestShard {
       ScopedThreadRole owner(role_);
       OnWakeup();
     });
-    const int64_t idle = server_->options().idle_timeout_ms;
-    if (idle > 0) {
-      loop_->RunAfter(std::max<int64_t>(idle / 2, 100), [this] {
+    // Reserved fd for the EMFILE escape hatch: when accept4 hits the fd
+    // limit, this slot is briefly freed so the backlog can be accepted
+    // and refused instead of spinning on a level that never clears.
+    reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+    const int64_t sweep = SweepPeriodMs();
+    if (sweep > 0) {
+      loop_->RunAfter(sweep, [this] {
         ScopedThreadRole owner(role_);
-        SweepIdle();
+        SweepTimeouts();
       });
     }
     return Status::Ok();
@@ -272,6 +303,10 @@ class IngestShard {
     // EOF at ExpectHello after a completed session is a clean end, not a
     // drop.
     uint64_t completed = 0;
+    // Bytes this connection currently charges against the global
+    // ingest-memory budget (userspace buffers + unpersisted samples);
+    // kept in sync by UpdateTrackedMemory.
+    size_t tracked_bytes = 0;
 
     Connection(uint64_t id, SessionOptions session_options)
         : id(id), session(std::move(session_options)) {}
@@ -289,14 +324,29 @@ class IngestShard {
       if (fd < 0) {
         if (errno == EAGAIN || errno == EWOULDBLOCK) return;
         if (errno == EINTR) continue;
-        // Transient accept failures (EMFILE and friends) must never kill
-        // the daemon; the meter retries.
+        if (errno == EMFILE || errno == ENFILE) {
+          // Fd exhaustion: the listener is edge-triggered, so leaving the
+          // backlog unaccepted would wedge the acceptor (no new edge until
+          // a new connection arrives). Burn the reserved fd to accept and
+          // refuse the backlog cleanly.
+          ShedBacklogViaReserve();
+          return;
+        }
+        // Other transient accept failures must never kill the daemon; the
+        // meter retries.
         return;
       }
       // Fault seam: a dropped accept costs one connection, not the server.
       if (Status fault = fault::Check("net.accept"); !fault.ok()) {
         ::close(fd);
         ++counters_.sessions_dropped;
+        continue;
+      }
+      // Admission control: over the global budget, the connection gets a
+      // THROTTLE and an immediate close — a clean refusal the client can
+      // back off from, instead of a SYN backlog it can't read.
+      if (!server_->TryAdmit()) {
+        ShedConnection(fd, ThrottleScope::kAdmission);
         continue;
       }
       ++counters_.sessions_accepted;
@@ -318,8 +368,21 @@ class IngestShard {
 
   void AdoptConnection(int fd, std::string pending, bool via_handoff)
       REQUIRES(role_) {
+    // Per-shard cap binds where the connection would actually live (after
+    // the deal in single-acceptor mode). The global admission charge from
+    // accept time is returned on the refusal.
+    const int shard_cap = server_->options().max_connections_per_shard;
+    if (shard_cap > 0 &&
+        connections_.size() >= static_cast<size_t>(shard_cap)) {
+      ShedConnection(fd, ThrottleScope::kAdmission);
+      server_->ReleaseAdmission();
+      return;
+    }
     const int enable = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+    if (const int sndbuf = server_->options().sndbuf_bytes; sndbuf > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof(sndbuf));
+    }
 
     SessionOptions session_options = server_->options().session;
     session_options.auth_token = server_->options().auth_token;
@@ -345,7 +408,9 @@ class IngestShard {
     if (Status status = raw->io->Register(); !status.ok()) {
       // Registration failed before on_close could be wired in; the
       // connection never existed as far as the counters are concerned
-      // (the BufferedFd destructor closes the fd).
+      // (the BufferedFd destructor closes the fd), so its admission
+      // charge goes back too.
+      server_->ReleaseAdmission();
       return;
     }
     if (via_handoff) ++counters_.handoffs_in;
@@ -369,6 +434,159 @@ class IngestShard {
       AdoptConnection(handoff.fd, std::move(handoff.pending),
                       /*via_handoff=*/true);
     }
+  }
+
+  // Pre-encoded accept-time THROTTLE frame for `scope`, built once per
+  // shard (the shed path must not allocate per flood connection).
+  const std::string& ThrottleFrameFor(ThrottleScope scope) REQUIRES(role_) {
+    const size_t slot = static_cast<size_t>(scope) - 1;
+    if (throttle_frames_[slot].empty()) {
+      ThrottlePayload payload;
+      payload.retry_after_ms = server_->options().throttle_retry_ms;
+      payload.scope = scope;
+      payload.message = ThrottleScopeName(scope) + " limit; retry later";
+      throttle_frames_[slot] = EncodeFrame(MakeThrottle(payload));
+    }
+    return throttle_frames_[slot];
+  }
+
+  // Refuses a connection before it becomes a session: one best-effort
+  // THROTTLE write (a fresh socket's send buffer always has room for the
+  // handful of bytes, so the refusal usually reaches the peer), then
+  // close.
+  void ShedConnection(int fd, ThrottleScope scope) REQUIRES(role_) {
+    const std::string& frame = ThrottleFrameFor(scope);
+    const ssize_t n = ::write(fd, frame.data(), frame.size());
+    if (n == static_cast<ssize_t>(frame.size())) ++counters_.throttles_sent;
+    ::close(fd);
+    ++counters_.connections_shed;
+  }
+
+  // The EMFILE escape hatch: free the reserved fd, accept-and-refuse the
+  // backlog until it drains (each shed close frees the slot the next
+  // accept uses), then re-arm the reserve. Without this, an fd-exhausted
+  // edge-triggered acceptor never sees another readable edge for the
+  // connections already queued and the backlog sits until the peers give
+  // up.
+  void ShedBacklogViaReserve() REQUIRES(role_) {
+    ++counters_.accepts_emfile;
+    if (reserve_fd_ < 0) {
+      // The reserve itself could not be (re)opened under pressure; try
+      // again now — if even that fails the backlog must wait for a slot.
+      reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+      if (reserve_fd_ < 0) return;
+    }
+    ::close(reserve_fd_);
+    reserve_fd_ = -1;
+    for (;;) {
+      int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                         SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // EAGAIN: backlog drained; EMFILE: the slot vanished
+      }
+      ShedConnection(fd, ThrottleScope::kAdmission);
+    }
+    reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+  }
+
+  // Per-meter token bucket (rate = options.rate_limit HELLOs/s, burst =
+  // max(1, rate)). Returns false with a retry hint when the meter must
+  // wait; the bucket lives on the meter's home shard so reconnects always
+  // meet the same bucket.
+  bool AllowSession(const std::string& meter, int64_t now_ms,
+                    uint32_t* retry_after_ms) REQUIRES(role_) {
+    const double rate = server_->options().rate_limit;
+    if (rate <= 0) return true;
+    const double burst = std::max(1.0, rate);
+    auto [it, inserted] =
+        buckets_.try_emplace(meter, TokenBucket{burst, now_ms});
+    TokenBucket& bucket = it->second;
+    if (!inserted) {
+      const double refill =
+          static_cast<double>(now_ms - bucket.last_ms) * rate / 1000.0;
+      bucket.tokens = std::min(burst, bucket.tokens + refill);
+      bucket.last_ms = now_ms;
+    }
+    if (bucket.tokens >= 1.0) {
+      bucket.tokens -= 1.0;
+      return true;
+    }
+    // Time until one full token, capped at an hour so a corrupt clock
+    // can not produce a forever hint.
+    const double deficit_ms = (1.0 - bucket.tokens) / rate * 1000.0;
+    *retry_after_ms =
+        static_cast<uint32_t>(std::min(deficit_ms, 3.6e6)) + 1;
+    return false;
+  }
+
+  // Re-measures one connection's ingest-memory charge (userspace buffers
+  // plus unpersisted session samples) and folds the delta into the shard
+  // gauge and the fleet-wide atomic.
+  void UpdateTrackedMemory(Connection* conn) REQUIRES(role_) {
+    size_t now_bytes = 0;
+    {
+      ScopedThreadRole io_owner(conn->io->role());
+      if (!conn->io->closed()) now_bytes = conn->io->buffered_bytes();
+    }
+    {
+      ScopedThreadRole writer(conn->session.writer_role());
+      now_bytes +=
+          conn->session.symbols_received() * sizeof(SymbolicSample);
+    }
+    const int64_t delta = static_cast<int64_t>(now_bytes) -
+                          static_cast<int64_t>(conn->tracked_bytes);
+    if (delta != 0) {
+      server_->AddMemoryUsage(delta);
+      tracked_memory_ += delta;
+      conn->tracked_bytes = now_bytes;
+    }
+  }
+
+  // Returns a departing connection's whole memory charge (close and
+  // handoff both end its tenancy on this shard).
+  void ReleaseTrackedMemory(Connection* conn) REQUIRES(role_) {
+    if (conn->tracked_bytes == 0) return;
+    server_->AddMemoryUsage(-static_cast<int64_t>(conn->tracked_bytes));
+    tracked_memory_ -= static_cast<int64_t>(conn->tracked_bytes);
+    conn->tracked_bytes = 0;
+  }
+
+  // Pushes back on an established connection: a THROTTLE in place of the
+  // awaited ack, then close — dropping the connection is what actually
+  // frees the buffers the budgets protect.
+  void ThrottleConnection(Connection* conn, ThrottleScope scope,
+                          uint32_t retry_after_ms, std::string message)
+      REQUIRES(role_) {
+    ThrottlePayload payload;
+    payload.retry_after_ms = retry_after_ms;
+    payload.scope = scope;
+    payload.message = std::move(message);
+    QueueReply(MakeThrottle(payload));
+    ++counters_.throttles_sent;
+    FlushReplies(conn);
+    ScopedThreadRole io_owner(conn->io->role());
+    if (!conn->io->closed()) {
+      conn->io->CloseAfterFlush(
+          InternalError("throttled: " + ThrottleScopeName(scope)));
+    }
+  }
+
+  // While the sink's ENOSPC circuit is open, poll MaybeProbe on a timer.
+  // The probe interval is enforced inside the sink, so several shards
+  // polling concurrently still cost one probe write per interval; the
+  // timer stops the first time the circuit reads closed.
+  void ScheduleDiskProbe() REQUIRES(role_) {
+    if (probe_scheduled_) return;
+    probe_scheduled_ = true;
+    ScopedThreadRole loop_owner(loop_->role());
+    loop_->RunAfter(server_->options().probe_interval_ms, [this] {
+      ScopedThreadRole owner(role_);
+      probe_scheduled_ = false;
+      if (!server_->sink()->MaybeProbe(EventLoop::NowMs())) {
+        ScheduleDiskProbe();
+      }
+    });
   }
 
   // Feeds `data` to the connection's frame decoder; returns bytes
@@ -421,6 +639,42 @@ class IngestShard {
       }
       consumed += decoded.consumed;
       ++counters_.frames_in;
+      // Overload interception runs here at the shard, before the Session
+      // sees the frame, so the protocol state machine stays pure (no
+      // clocks, no budgets). By this point the connection is pinned, so
+      // the rate bucket consulted is the meter's home-shard bucket.
+      if (decoded.frame.type == FrameType::kHello &&
+          server_->options().rate_limit > 0) {
+        Frame hello;
+        hello.type = FrameType::kHello;
+        hello.payload.assign(decoded.frame.payload);
+        if (Result<HelloPayload> parsed = ParseHello(hello); parsed.ok()) {
+          uint32_t retry_after_ms = 0;
+          if (!AllowSession(parsed->meter_id, EventLoop::NowMs(),
+                            &retry_after_ms)) {
+            ++counters_.rate_limited;
+            ThrottleConnection(conn, ThrottleScope::kRate, retry_after_ms,
+                               "per-meter session rate limit");
+            return data.size();
+          }
+        }
+        // An unparseable HELLO falls through; the session produces the
+        // protocol error ack.
+      }
+      if (decoded.frame.type == FrameType::kSymbolBatch &&
+          server_->options().memory_budget > 0) {
+        UpdateTrackedMemory(conn);
+        if (static_cast<uint64_t>(std::max<int64_t>(
+                server_->memory_usage(), 0)) +
+                decoded.frame.payload.size() >
+            server_->options().memory_budget) {
+          ++counters_.memory_throttled;
+          ThrottleConnection(conn, ThrottleScope::kMemory,
+                             server_->options().throttle_retry_ms,
+                             "ingest memory budget exceeded");
+          return data.size();
+        }
+      }
       replies.clear();
       conn->session.OnWireFrame(decoded.frame, &replies);
       for (const Frame& reply : replies) QueueReply(reply);
@@ -440,6 +694,7 @@ class IngestShard {
       if (conn->io->closed()) return data.size();
     }
     FlushReplies(conn);
+    UpdateTrackedMemory(conn);
     if (conn->io->closed()) return data.size();
     return consumed;
   }
@@ -476,6 +731,10 @@ class IngestShard {
     BufferedFd::Released released = conn->io->ReleaseFd();
     ++counters_.handoffs_out;
     --counters_.sessions_active;
+    // The memory charge moves with the connection (the target re-measures
+    // on adoption); the global admission charge just stays put — it is
+    // still one live connection.
+    ReleaseTrackedMemory(conn);
     HarvestIoCounters(conn);
     auto it = connections_.find(conn->id);
     if (it != connections_.end()) {
@@ -517,6 +776,7 @@ class IngestShard {
       ++counters_.sessions_completed;
       completed = true;
     } else {
+      const bool circuit_was_open = sink->circuit_open();
       Result<SymbolicSeries> series = session.TakeSeries();
       const uint64_t symbols = series.ok() ? series->size() : 0;
       Status persisted =
@@ -530,10 +790,27 @@ class IngestShard {
         ++counters_.households_persisted;
         counters_.symbols_persisted += symbols;
         completed = true;
+      } else if (IsDiskFullStatus(persisted)) {
+        // Disk exhaustion: withhold the success ack entirely and push
+        // back with a THROTTLE instead of a kServerError ack — the upload
+        // is fine, the server is (temporarily) not. The circuit breaker
+        // keeps later sessions off the full disk and the probe timer
+        // reopens intake; atomic writes guarantee no torn artifact
+        // exists, so the meter's eventual retry persists cleanly (and a
+        // kill during this paused window converges via fsck + resume).
+        if (!circuit_was_open && sink->circuit_open()) {
+          ++counters_.circuit_opens;
+        }
+        ++counters_.persists_paused;
+        ScheduleDiskProbe();
+        ThrottleConnection(conn, ThrottleScope::kDisk,
+                           server_->options().throttle_retry_ms,
+                           "archive paused: " + persisted.message());
+        return false;
       } else {
-        // Persist failed (disk fault seam, full disk): the meter must know
-        // its upload is NOT durable, so the GOODBYE_ACK carries the error
-        // and the session counts as dropped, not completed.
+        // Persist failed (disk fault seam): the meter must know its
+        // upload is NOT durable, so the GOODBYE_ACK carries the error and
+        // the session counts as dropped, not completed.
         ack.status = WireStatus::kServerError;
         ack.message = persisted.message();
       }
@@ -584,6 +861,8 @@ class IngestShard {
     (void)reason;
     ScopedThreadRole writer(conn->session.writer_role());
     --counters_.sessions_active;
+    server_->ReleaseAdmission();
+    ReleaseTrackedMemory(conn);
     HarvestIoCounters(conn);
     const Session::State state = conn->session.state();
     const bool clean_end =
@@ -621,26 +900,76 @@ class IngestShard {
     if (draining_) FinishDrainIfIdle();
   }
 
-  void SweepIdle() REQUIRES(role_) {
-    const int64_t timeout = server_->options().idle_timeout_ms;
+  // Sweep cadence: half the tightest enabled deadline, floored at 100 ms;
+  // 0 when both timeout mechanisms are off.
+  int64_t SweepPeriodMs() const {
+    const int64_t idle = server_->options().idle_timeout_ms;
+    const int64_t stall = server_->options().write_stall_ms;
+    int64_t tightest = 0;
+    if (idle > 0) tightest = idle;
+    if (stall > 0 && (tightest == 0 || stall < tightest)) tightest = stall;
+    if (tightest == 0) return 0;
+    return std::max<int64_t>(tightest / 2, 100);
+  }
+
+  // One pass of the per-connection deadline police: the write-stall
+  // deadline (peer stopped draining acks past the high-watermark) and the
+  // idle timeout (peer stopped talking). A stalled connection is also
+  // idle by definition (paused reads see no activity), so the stall check
+  // runs first and claims the drop.
+  void SweepTimeouts() REQUIRES(role_) {
+    const int64_t idle_timeout = server_->options().idle_timeout_ms;
+    const int64_t stall_timeout = server_->options().write_stall_ms;
     const int64_t now = EventLoop::NowMs();
-    std::vector<uint64_t> idle;
+    std::vector<std::pair<uint64_t, bool>> victims;  // (id, stalled)
     for (const auto& [id, conn] : connections_) {
-      if (now - conn->last_active_ms > timeout) idle.push_back(id);
+      ScopedThreadRole io_owner(conn->io->role());
+      const int64_t stalled_since = conn->io->stalled_since_ms();
+      if (stall_timeout > 0 && stalled_since > 0 &&
+          now - stalled_since > stall_timeout) {
+        victims.emplace_back(id, true);
+      } else if (idle_timeout > 0 &&
+                 now - conn->last_active_ms > idle_timeout) {
+        victims.emplace_back(id, false);
+      }
     }
-    for (uint64_t id : idle) {
+    for (const auto& [id, stalled] : victims) {
       auto it = connections_.find(id);
       if (it == connections_.end()) continue;
+      if (stalled) {
+        ++counters_.write_stall_drops;
+      } else {
+        ++counters_.idle_drops;
+      }
       ScopedThreadRole io_owner(it->second->io->role());
-      it->second->io->Close(
-          InternalError("idle timeout"));  // fires OnConnectionClosed
+      it->second->io->Close(InternalError(
+          stalled ? "write-stall deadline"
+                  : "idle timeout"));  // fires OnConnectionClosed
     }
-    if (timeout > 0 && !draining_) {
-      ScopedThreadRole loop_owner(loop_->role());
-      loop_->RunAfter(std::max<int64_t>(timeout / 2, 100), [this] {
-        ScopedThreadRole owner(role_);
-        SweepIdle();
-      });
+    // Rate buckets that have refilled to burst hold no information;
+    // prune them so the map only tracks meters currently being limited.
+    const double rate = server_->options().rate_limit;
+    if (rate > 0 && !buckets_.empty()) {
+      const double burst = std::max(1.0, rate);
+      for (auto it = buckets_.begin(); it != buckets_.end();) {
+        const double refill =
+            static_cast<double>(now - it->second.last_ms) * rate / 1000.0;
+        if (it->second.tokens + refill >= burst) {
+          it = buckets_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    if (!draining_) {
+      const int64_t sweep = SweepPeriodMs();
+      if (sweep > 0) {
+        ScopedThreadRole loop_owner(loop_->role());
+        loop_->RunAfter(sweep, [this] {
+          ScopedThreadRole owner(role_);
+          SweepTimeouts();
+        });
+      }
     }
   }
 
@@ -699,6 +1028,8 @@ class IngestShard {
 
   IngestCounters LiveSnapshot() REQUIRES(role_) {
     IngestCounters snapshot = counters_;
+    snapshot.ingest_memory_bytes =
+        static_cast<uint64_t>(std::max<int64_t>(tracked_memory_, 0));
     for (const auto& [id, conn] : connections_) {
       ScopedThreadRole io_owner(conn->io->role());
       snapshot.bytes_in += conn->io->bytes_in();
@@ -719,6 +1050,21 @@ class IngestShard {
 
   uint64_t next_conn_id_ GUARDED_BY(role_) = 1;
   uint64_t next_deal_ GUARDED_BY(role_) = 0;
+  // EMFILE escape hatch: a slot held open so ShedBacklogViaReserve always
+  // has one fd to accept-and-refuse with. -1 when even /dev/null was
+  // unopenable (retried on the next EMFILE).
+  int reserve_fd_ GUARDED_BY(role_) = -1;
+  // Per-meter session-rate buckets (options.rate_limit); pruned when full.
+  struct TokenBucket {
+    double tokens = 0;
+    int64_t last_ms = 0;
+  };
+  std::map<std::string, TokenBucket> buckets_ GUARDED_BY(role_);
+  // This shard's share of the global ingest-memory gauge.
+  int64_t tracked_memory_ GUARDED_BY(role_) = 0;
+  bool probe_scheduled_ GUARDED_BY(role_) = false;
+  // Pre-encoded per-scope THROTTLE frames for the accept-time shed path.
+  std::array<std::string, 4> throttle_frames_ GUARDED_BY(role_);
   std::map<uint64_t, std::unique_ptr<Connection>> connections_
       GUARDED_BY(role_);
   // Connections whose on_close fired mid-callback; freed next loop pass.
@@ -749,6 +1095,15 @@ Result<std::unique_ptr<IngestServer>> IngestServer::Create(
     IngestServerOptions options) {
   if (options.archive_dir.empty()) {
     return InvalidArgumentError("ingest server needs an archive directory");
+  }
+  if (options.max_connections < 0 || options.max_connections_per_shard < 0 ||
+      options.rate_limit < 0 || options.write_stall_ms < 0 ||
+      options.sndbuf_bytes < 0) {
+    return InvalidArgumentError(
+        "overload limits must be non-negative (0 disables)");
+  }
+  if (options.probe_interval_ms < 1) {
+    return InvalidArgumentError("probe interval must be positive");
   }
   options.threads = std::clamp(options.threads, 1, 64);
   const int threads = options.threads;
@@ -787,7 +1142,8 @@ Result<std::unique_ptr<IngestServer>> IngestServer::Create(
   };
 
   Result<std::unique_ptr<ArchiveSink>> sink =
-      ArchiveSink::Open(options.archive_dir, options.resume, threads);
+      ArchiveSink::Open(options.archive_dir, options.resume, threads,
+                        options.probe_interval_ms);
   if (!sink.ok()) {
     close_unowned();
     return sink.status();
@@ -862,6 +1218,22 @@ IngestCounters IngestServer::counters() const {
 
 IngestCounters IngestServer::shard_counters(int shard) const {
   return shards_[static_cast<size_t>(shard)]->SnapshotCountersOwned();
+}
+
+bool IngestServer::TryAdmit() {
+  const int budget = options_.max_connections;
+  const int64_t now = admitted_.fetch_add(1) + 1;
+  if (budget > 0 && now > budget) {
+    admitted_.fetch_sub(1);
+    return false;
+  }
+  return true;
+}
+
+void IngestServer::ReleaseAdmission() { admitted_.fetch_sub(1); }
+
+void IngestServer::AddMemoryUsage(int64_t delta) {
+  memory_usage_.fetch_add(delta);
 }
 
 bool IngestServer::NoteCompleted(const std::string& meter) {

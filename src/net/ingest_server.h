@@ -89,6 +89,38 @@ struct IngestServerOptions {
   int64_t idle_timeout_ms = 30'000;
   // Output-buffer backpressure high-watermark per connection.
   size_t high_watermark = 1u << 20;
+  // --- overload protection (0 = the mechanism is off) ---
+  //
+  // Global admitted-connection budget across all shards. A connection
+  // over budget is shed at accept time: one best-effort THROTTLE frame
+  // (scope=admission) and an immediate close.
+  int max_connections = 0;
+  // Per-shard admitted-connection cap, enforced where the connection is
+  // adopted (in single-acceptor mode the deal happens before adoption, so
+  // the cap binds on the shard that would host the connection).
+  int max_connections_per_shard = 0;
+  // Global ingest-memory budget in bytes: the sum over all connections of
+  // userspace read/write buffers plus in-flight (unpersisted) session
+  // samples. A SYMBOL_BATCH that would land while usage is over budget
+  // gets a THROTTLE (scope=memory) and the connection is dropped so its
+  // buffers free immediately.
+  size_t memory_budget = 0;
+  // Per-meter session-start rate limit, in HELLOs per second per meter
+  // (token bucket, burst = max(1, rate_limit)). The bucket lives on the
+  // meter's home shard, so reconnects and handoffs see one bucket.
+  double rate_limit = 0;
+  // Drop a connection whose output buffer has sat past the backpressure
+  // high-watermark (the peer is not draining its acks) for this long.
+  int64_t write_stall_ms = 0;
+  // Baseline retry_after_ms hint in THROTTLE frames; rate-limit throttles
+  // compute a tighter hint from the token deficit instead.
+  uint32_t throttle_retry_ms = 250;
+  // SO_SNDBUF for accepted connections (0 = kernel default). Bounding the
+  // kernel's send buffer makes the write-stall deadline testable: a
+  // non-reading peer then backs the output up into BufferedFd quickly.
+  int sndbuf_bytes = 0;
+  // Cadence of the ENOSPC circuit breaker's disk-space probes.
+  int64_t probe_interval_ms = 200;
   // How long draining sessions get to finish before being force-closed.
   int64_t drain_grace_ms = 5'000;
   // Drain automatically once this many DISTINCT meters have completed a
@@ -124,8 +156,21 @@ struct IngestCounters {
   uint64_t writev_segments = 0;
   uint64_t households_persisted = 0;
   uint64_t symbols_persisted = 0;
+  // Overload-protection counters (PR 8). Every field here must appear in
+  // ToJson(): tools/lint_invariants.py's counters-dumped rule enforces it.
+  uint64_t connections_shed = 0;   // refused at accept (budget or EMFILE)
+  uint64_t accepts_emfile = 0;     // reserved-fd EMFILE hatch activations
+  uint64_t throttles_sent = 0;     // THROTTLE frames sent, all scopes
+  uint64_t rate_limited = 0;       // HELLOs refused by the token bucket
+  uint64_t memory_throttled = 0;   // batches refused by the memory budget
+  uint64_t idle_drops = 0;         // connections dropped by idle timeout
+  uint64_t write_stall_drops = 0;  // dropped by the write-stall deadline
+  uint64_t persists_paused = 0;    // persists deferred while circuit open
+  uint64_t circuit_opens = 0;      // disk-full trips of the breaker
+  uint64_t ingest_memory_bytes = 0;  // gauge: tracked buffer+batch bytes
 
-  // Field-wise sum (sessions_active included: a live total).
+  // Field-wise sum (the gauges sessions_active and ingest_memory_bytes
+  // included: live totals).
   void Add(const IngestCounters& other);
   std::string ToJson() const;
 };
@@ -200,6 +245,16 @@ class IngestServer {
   // One shard's stats snapshot for an in-flight SIGUSR1 dump; the last
   // shard to publish writes the aggregate blob.
   void PublishStats(int shard, const IngestCounters& snapshot);
+  // Global admission budget (options.max_connections). TryAdmit charges
+  // one slot and refuses (without charging) when the budget is exhausted;
+  // every admitted connection releases exactly once when it dies on
+  // whichever shard hosts it then (handoffs carry the charge along).
+  bool TryAdmit();
+  void ReleaseAdmission();
+  // Global ingest-memory gauge (options.memory_budget): shards fold their
+  // per-connection tracked deltas in and read the fleet-wide total.
+  void AddMemoryUsage(int64_t delta);
+  int64_t memory_usage() const { return memory_usage_.load(); }
 
   IngestShard* shard(int index) { return shards_[size_t(index)].get(); }
   ArchiveSink* sink() { return sink_.get(); }
@@ -225,6 +280,12 @@ class IngestServer {
   std::vector<std::optional<IngestCounters>> pending_stats_
       GUARDED_BY(stats_mutex_);
   std::atomic<uint64_t> stats_dumps_{0};
+
+  // Shared overload gauges (lock-free: shards touch these on their hot
+  // paths). admitted_ counts live connections fleet-wide; memory_usage_
+  // sums every shard's tracked per-connection bytes.
+  std::atomic<int64_t> admitted_{0};
+  std::atomic<int64_t> memory_usage_{0};
 };
 
 // Parses "host:port" (or ":port" / "port") into options fields.

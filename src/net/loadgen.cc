@@ -22,10 +22,44 @@
 #include "net/wire.h"
 
 namespace smeter::net {
+
+uint64_t XorShift64(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  *state = x;
+  return x;
+}
+
+int64_t FullJitterBackoffMs(int attempt, const BackoffPolicy& policy,
+                            uint64_t* rng_state) {
+  if (attempt <= 1) return 0;
+  const int64_t base = policy.base_ms < 1 ? 1 : policy.base_ms;
+  const int64_t cap = policy.cap_ms < base ? base : policy.cap_ms;
+  // base * 2^(attempt-2), saturating at the cap long before overflow.
+  int64_t ceiling = base;
+  for (int i = 2; i < attempt && ceiling < cap; ++i) ceiling *= 2;
+  if (ceiling > cap) ceiling = cap;
+  if (*rng_state == 0) *rng_state = 0x9e3779b97f4a7c15ull;
+  return static_cast<int64_t>(XorShift64(rng_state) %
+                              static_cast<uint64_t>(ceiling + 1));
+}
+
 namespace {
 
 Status Errno(const std::string& what) {
   return InternalError(what + ": " + std::strerror(errno));
+}
+
+// Per-meter deterministic jitter seed (FNV-1a of the name): distinct
+// meters draw distinct backoff schedules without sharing rng state.
+uint64_t JitterSeed(const std::string& name) {
+  uint64_t seed = 0xcbf29ce484222325ull;
+  for (char ch : name) {
+    seed = (seed ^ static_cast<unsigned char>(ch)) * 0x100000001b3ull;
+  }
+  return seed == 0 ? 0x9e3779b97f4a7c15ull : seed;
 }
 
 // One meter's sensor-side result, computed before any socket is opened.
@@ -193,9 +227,31 @@ struct SharedStats {
   std::atomic<uint64_t> reconnects{0};
   std::atomic<uint64_t> batches_dropped{0};
   std::atomic<uint64_t> connections_opened{0};
+  std::atomic<uint64_t> throttled{0};
   std::atomic<size_t> meters_ok{0};
   std::atomic<size_t> meters_failed{0};
 };
+
+// A THROTTLE frame in place of any awaited ack fails the attempt (the
+// server closes the connection after pushing back) and records the
+// server's retry_after_ms hint, which the retry loop adds to its next
+// jittered backoff so the client never comes back sooner than asked.
+Status CheckThrottle(const Frame& frame, const std::string& meter_name,
+                     SharedStats* stats, uint32_t* retry_hint_ms) {
+  if (frame.type != FrameType::kThrottle) return Status::Ok();
+  stats->throttled.fetch_add(1, std::memory_order_relaxed);
+  Result<ThrottlePayload> throttle = ParseThrottle(frame);
+  if (!throttle.ok()) {
+    return InternalError(meter_name + ": malformed THROTTLE: " +
+                         throttle.status().message());
+  }
+  if (throttle->retry_after_ms > *retry_hint_ms) {
+    *retry_hint_ms = throttle->retry_after_ms;
+  }
+  return InternalError(meter_name + ": throttled [" +
+                       ThrottleScopeName(throttle->scope) + "] " +
+                       throttle->message);
+}
 
 // One complete upload conversation over an already-connected client. Any
 // error aborts the attempt; the caller decides whether to reconnect. The
@@ -203,7 +259,7 @@ struct SharedStats {
 // meter's HELLO (the server resets the session to ExpectHello).
 Status UploadConversation(const LoadgenOptions& options,
                           const PreparedMeter& meter, MeterClient* client_ptr,
-                          SharedStats* stats) {
+                          SharedStats* stats, uint32_t* retry_hint_ms) {
   MeterClient& client = *client_ptr;
   HelloPayload hello;
   hello.protocol_version = kProtocolVersion;
@@ -213,6 +269,8 @@ Status UploadConversation(const LoadgenOptions& options,
   stats->frames_sent.fetch_add(1, std::memory_order_relaxed);
   Result<Frame> reply = client.RecvFrame();
   if (!reply.ok()) return reply.status();
+  SMETER_RETURN_IF_ERROR(
+      CheckThrottle(*reply, meter.name, stats, retry_hint_ms));
   SMETER_RETURN_IF_ERROR(ExpectOkAck(*reply, FrameType::kHelloAck));
 
   TableAnnouncePayload announce;
@@ -222,6 +280,8 @@ Status UploadConversation(const LoadgenOptions& options,
   stats->frames_sent.fetch_add(1, std::memory_order_relaxed);
   reply = client.RecvFrame();
   if (!reply.ok()) return reply.status();
+  SMETER_RETURN_IF_ERROR(
+      CheckThrottle(*reply, meter.name, stats, retry_hint_ms));
   SMETER_RETURN_IF_ERROR(ExpectOkAck(*reply, FrameType::kTableAck));
 
   const auto& samples = meter.symbols.samples();
@@ -258,6 +318,8 @@ Status UploadConversation(const LoadgenOptions& options,
     stats->symbols_sent.fetch_add(end - begin, std::memory_order_relaxed);
     reply = client.RecvFrame();
     if (!reply.ok()) return reply.status();
+    SMETER_RETURN_IF_ERROR(
+        CheckThrottle(*reply, meter.name, stats, retry_hint_ms));
     Result<BatchAckPayload> ack = ParseBatchAck(*reply);
     if (!ack.ok()) return ack.status();
     if (ack->status != WireStatus::kOk) {
@@ -279,29 +341,37 @@ Status UploadConversation(const LoadgenOptions& options,
   stats->frames_sent.fetch_add(1, std::memory_order_relaxed);
   reply = client.RecvFrame();
   if (!reply.ok()) return reply.status();
+  SMETER_RETURN_IF_ERROR(
+      CheckThrottle(*reply, meter.name, stats, retry_hint_ms));
   return ExpectOkAck(*reply, FrameType::kGoodbyeAck);
 }
 
 // Classic mode: one fresh connection per attempt.
 Status UploadOnce(const LoadgenOptions& options, const PreparedMeter& meter,
-                  SharedStats* stats) {
+                  SharedStats* stats, uint32_t* retry_hint_ms) {
   MeterClient client;
   SMETER_RETURN_IF_ERROR(
       client.Connect(options.host, options.port, options.io_timeout_ms));
   stats->connections_opened.fetch_add(1, std::memory_order_relaxed);
-  return UploadConversation(options, meter, &client, stats);
+  return UploadConversation(options, meter, &client, stats, retry_hint_ms);
 }
 
 void RunMeter(const LoadgenOptions& options, const PreparedMeter& meter,
               SharedStats* stats) {
   const int attempts = options.max_attempts < 1 ? 1 : options.max_attempts;
+  uint64_t rng = JitterSeed(meter.name);
+  uint32_t retry_hint_ms = 0;
   for (int attempt = 1; attempt <= attempts; ++attempt) {
     if (attempt > 1) {
       stats->reconnects.fetch_add(1, std::memory_order_relaxed);
-      // Linear backoff: enough for a restarting server to come back.
-      std::this_thread::sleep_for(std::chrono::milliseconds(50 * attempt));
+      // Full-jitter backoff spreads a storm of retrying meters flat; the
+      // server's THROTTLE hint, when present, sets the floor.
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          retry_hint_ms +
+          FullJitterBackoffMs(attempt, options.backoff, &rng)));
     }
-    if (UploadOnce(options, meter, stats).ok()) {
+    retry_hint_ms = 0;
+    if (UploadOnce(options, meter, stats, &retry_hint_ms).ok()) {
       stats->meters_ok.fetch_add(1, std::memory_order_relaxed);
       return;
     }
@@ -317,11 +387,16 @@ void RunMeterMultiplexed(const LoadgenOptions& options,
                          const PreparedMeter& meter, MeterClient* client,
                          bool* connected, SharedStats* stats) {
   const int attempts = options.max_attempts < 1 ? 1 : options.max_attempts;
+  uint64_t rng = JitterSeed(meter.name);
+  uint32_t retry_hint_ms = 0;
   for (int attempt = 1; attempt <= attempts; ++attempt) {
     if (attempt > 1) {
       stats->reconnects.fetch_add(1, std::memory_order_relaxed);
-      std::this_thread::sleep_for(std::chrono::milliseconds(50 * attempt));
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          retry_hint_ms +
+          FullJitterBackoffMs(attempt, options.backoff, &rng)));
     }
+    retry_hint_ms = 0;
     if (!*connected) {
       if (!client->Connect(options.host, options.port, options.io_timeout_ms)
                .ok()) {
@@ -330,7 +405,8 @@ void RunMeterMultiplexed(const LoadgenOptions& options,
       stats->connections_opened.fetch_add(1, std::memory_order_relaxed);
       *connected = true;
     }
-    if (UploadConversation(options, meter, client, stats).ok()) {
+    if (UploadConversation(options, meter, client, stats, &retry_hint_ms)
+            .ok()) {
       stats->meters_ok.fetch_add(1, std::memory_order_relaxed);
       return;  // connection stays open for the next meter
     }
@@ -377,7 +453,8 @@ std::string LoadgenReport::ToJson() const {
       << "  \"symbols_sent\": " << symbols_sent << ",\n"
       << "  \"reconnects\": " << reconnects << ",\n"
       << "  \"batches_dropped\": " << batches_dropped << ",\n"
-      << "  \"connections_opened\": " << connections_opened << "\n"
+      << "  \"connections_opened\": " << connections_opened << ",\n"
+      << "  \"throttled\": " << throttled << "\n"
       << "}";
   return out.str();
 }
@@ -446,6 +523,7 @@ Result<LoadgenReport> RunLoadgen(const LoadgenOptions& options) {
   report.reconnects = stats.reconnects.load();
   report.batches_dropped = stats.batches_dropped.load();
   report.connections_opened = stats.connections_opened.load();
+  report.throttled = stats.throttled.load();
   return report;
 }
 

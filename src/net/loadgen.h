@@ -29,6 +29,27 @@
 
 namespace smeter::net {
 
+// Retry backoff shape: full-jitter exponential (delay drawn uniformly
+// from [0, min(cap, base * 2^(attempt-2))]). Deterministic exponential
+// backoff resynchronizes a fleet that failed together — every meter
+// sleeps the same schedule and the whole storm returns as one wave; the
+// jitter spreads the wave flat.
+struct BackoffPolicy {
+  int64_t base_ms = 50;    // ceiling of the first retry's draw
+  int64_t cap_ms = 2'000;  // exponential growth clamp
+};
+
+// xorshift64: the tiny deterministic PRNG behind the jitter draw. `state`
+// must be non-zero; returns the next state.
+uint64_t XorShift64(uint64_t* state);
+
+// The delay before `attempt` (attempt 2 = the first retry; attempt <= 1
+// returns 0). Pure and clock-free: unit tests drive the schedule with a
+// seeded rng state. Callers add any server-provided retry_after_ms hint
+// on top.
+int64_t FullJitterBackoffMs(int attempt, const BackoffPolicy& policy,
+                            uint64_t* rng_state);
+
 struct LoadgenOptions {
   std::string host = "127.0.0.1";
   uint16_t port = 0;
@@ -52,6 +73,10 @@ struct LoadgenOptions {
   double batches_per_second = 0;  // per-connection throttle; 0 = full rate
   int max_attempts = 5;         // connection attempts per meter
   int64_t io_timeout_ms = 10'000;  // per-socket send/recv timeout
+  // Retry pacing between attempts. A THROTTLE push-back's retry_after_ms
+  // hint is added on top of the jittered draw, so a shed client waits at
+  // least as long as the server asked.
+  BackoffPolicy backoff;
   // Connection multiplexing: with N > 0, the fleet is partitioned across N
   // persistent TCP connections (meter i rides connection i % N) and each
   // connection carries its meters' sessions back-to-back — HELLO ..
@@ -71,6 +96,7 @@ struct LoadgenReport {
   uint64_t reconnects = 0;     // attempts beyond each meter's first
   uint64_t batches_dropped = 0;  // aborts from the loadgen.drop seam
   uint64_t connections_opened = 0;  // actual TCP connects performed
+  uint64_t throttled = 0;  // THROTTLE push-backs received in place of acks
 
   std::string ToJson() const;
 };

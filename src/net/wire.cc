@@ -160,7 +160,7 @@ bool IsValidMeterId(std::string_view meter_id) {
 
 bool IsKnownFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kHello) &&
-         type <= static_cast<uint8_t>(FrameType::kGoodbyeAck);
+         type <= static_cast<uint8_t>(FrameType::kThrottle);
 }
 
 std::string WireStatusName(WireStatus status) {
@@ -492,6 +492,48 @@ Frame MakeGoodbye(const GoodbyePayload& payload) {
   PutU64(frame.payload, payload.windows_partial);
   PutU64(frame.payload, payload.windows_gap);
   return frame;
+}
+
+std::string ThrottleScopeName(ThrottleScope scope) {
+  switch (scope) {
+    case ThrottleScope::kAdmission: return "admission";
+    case ThrottleScope::kRate: return "rate";
+    case ThrottleScope::kMemory: return "memory";
+    case ThrottleScope::kDisk: return "disk";
+  }
+  return "unknown";
+}
+
+Frame MakeThrottle(const ThrottlePayload& payload) {
+  Frame frame;
+  frame.type = FrameType::kThrottle;
+  PutU32(frame.payload, payload.retry_after_ms);
+  PutU8(frame.payload, static_cast<uint8_t>(payload.scope));
+  PutString(frame.payload, payload.message);
+  return frame;
+}
+
+Result<ThrottlePayload> ParseThrottle(const Frame& frame) {
+  SMETER_RETURN_IF_ERROR(
+      ExpectType(frame, FrameType::kThrottle, "THROTTLE"));
+  Reader reader(frame.payload);
+  ThrottlePayload throttle;
+  Result<uint32_t> retry = reader.TakeU32();
+  if (!retry.ok()) return retry.status();
+  throttle.retry_after_ms = *retry;
+  Result<uint8_t> scope = reader.TakeU8();
+  if (!scope.ok()) return scope.status();
+  if (*scope < static_cast<uint8_t>(ThrottleScope::kAdmission) ||
+      *scope > static_cast<uint8_t>(ThrottleScope::kDisk)) {
+    return InvalidArgumentError("unknown throttle scope " +
+                                std::to_string(*scope));
+  }
+  throttle.scope = static_cast<ThrottleScope>(*scope);
+  Result<std::string> message = reader.TakeString(kMaxWireString);
+  if (!message.ok()) return message.status();
+  throttle.message = std::move(*message);
+  SMETER_RETURN_IF_ERROR(reader.ExpectExhausted());
+  return throttle;
 }
 
 Result<GoodbyePayload> ParseGoodbye(const Frame& frame) {

@@ -45,7 +45,11 @@
 namespace smeter::net {
 
 // Protocol revision spoken by this tree; HELLO carries the client's.
-inline constexpr uint16_t kProtocolVersion = 1;
+// v2 adds the THROTTLE push-back frame. The server still accepts v1
+// clients; a v1 peer that receives a THROTTLE treats it as an unknown
+// frame and drops the connection, which degrades to the same observable
+// outcome (refused, retry later) without the retry_after_ms hint.
+inline constexpr uint16_t kProtocolVersion = 2;
 
 // Hard ceiling on one frame's payload. A serialized lookup table is a few
 // KB and a symbol batch a few KB, so 4 MiB is generous headroom while
@@ -70,6 +74,11 @@ enum class FrameType : uint8_t {
   kPong = 8,
   kGoodbye = 9,
   kGoodbyeAck = 10,
+  // Server push-back (v2): "not now — retry in retry_after_ms". Sent in
+  // place of the ack the client was waiting for (or as the only frame on
+  // a shed connection, immediately before close). Carries the overload
+  // scope so clients and operators can tell a flood from a full disk.
+  kThrottle = 11,
 };
 
 // True for the types above; anything else on the wire is a protocol error.
@@ -229,6 +238,23 @@ struct PingPayload {
   uint64_t nonce = 0;
 };
 
+// Which overload mechanism produced a THROTTLE. Parsed strictly: any
+// value outside [kAdmission, kDisk] is a kInvalidArgument.
+enum class ThrottleScope : uint8_t {
+  kAdmission = 1,  // connection budget exceeded or fd exhaustion shed
+  kRate = 2,       // per-meter token bucket empty
+  kMemory = 3,     // global ingest-memory budget exceeded
+  kDisk = 4,       // archive sink circuit open (ENOSPC/EDQUOT)
+};
+
+std::string ThrottleScopeName(ThrottleScope scope);
+
+struct ThrottlePayload {
+  uint32_t retry_after_ms = 0;  // 0 = "soon"; client adds its own jitter
+  ThrottleScope scope = ThrottleScope::kAdmission;
+  std::string message;  // human-readable detail, may be empty
+};
+
 struct GoodbyePayload {
   // The client's own EncodeQuality counts; the server cross-checks them
   // against the symbols it received before persisting.
@@ -245,6 +271,7 @@ Frame MakeBatchAck(const BatchAckPayload& payload);
 Frame MakePing(uint64_t nonce);
 Frame MakePong(uint64_t nonce);
 Frame MakeGoodbye(const GoodbyePayload& payload);
+Frame MakeThrottle(const ThrottlePayload& payload);
 
 Result<HelloPayload> ParseHello(const Frame& frame);
 Result<AckPayload> ParseAck(const Frame& frame);  // any of the three acks
@@ -253,6 +280,7 @@ Result<SymbolBatchPayload> ParseSymbolBatch(const Frame& frame);
 Result<BatchAckPayload> ParseBatchAck(const Frame& frame);
 Result<PingPayload> ParsePing(const Frame& frame);  // kPing or kPong
 Result<GoodbyePayload> ParseGoodbye(const Frame& frame);
+Result<ThrottlePayload> ParseThrottle(const Frame& frame);
 
 }  // namespace smeter::net
 

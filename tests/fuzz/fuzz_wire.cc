@@ -100,6 +100,11 @@ void FuzzDecodeFrame(const std::string& bytes) {
       if (p.ok()) SMETER_CHECK(MakeGoodbye(p.value()) == result.frame);
       break;
     }
+    case FrameType::kThrottle: {
+      Result<ThrottlePayload> p = ParseThrottle(result.frame);
+      if (p.ok()) SMETER_CHECK(MakeThrottle(p.value()) == result.frame);
+      break;
+    }
   }
 }
 
@@ -110,7 +115,7 @@ void FuzzEncodeDecodeClosure(FuzzInput& in) {
   std::vector<Frame> frames;
   const int n_frames = in.TakeIntInRange(1, 4);
   for (int f = 0; f < n_frames; ++f) {
-    switch (in.TakeByte() % 8) {
+    switch (in.TakeByte() % 9) {
       case 0: {
         HelloPayload p;
         p.protocol_version = static_cast<uint16_t>(in.TakeUint64());
@@ -166,6 +171,16 @@ void FuzzEncodeDecodeClosure(FuzzInput& in) {
       case 6:
         frames.push_back(MakePong(in.TakeUint64()));
         break;
+      case 7: {
+        ThrottlePayload p;
+        p.retry_after_ms = static_cast<uint32_t>(in.TakeUint64());
+        p.scope = static_cast<ThrottleScope>(in.TakeIntInRange(
+            static_cast<int>(ThrottleScope::kAdmission),
+            static_cast<int>(ThrottleScope::kDisk)));
+        p.message = in.TakeString(in.TakeIntInRange(0, 48));
+        frames.push_back(MakeThrottle(p));
+        break;
+      }
       default: {
         GoodbyePayload p;
         p.windows_valid = in.TakeUint64();
@@ -347,7 +362,7 @@ void FuzzSession(FuzzInput& in) {
       }
       case 6: {
         // Hostile: a known type carrying an unparseable payload.
-        frame.type = static_cast<FrameType>(in.TakeIntInRange(1, 10));
+        frame.type = static_cast<FrameType>(in.TakeIntInRange(1, 11));
         frame.payload = in.TakeString(in.TakeIntInRange(0, 24));
         break;
       }

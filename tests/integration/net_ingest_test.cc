@@ -10,6 +10,14 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
@@ -26,7 +34,12 @@
 #include "net/archive_sink.h"
 #include "net/ingest_server.h"
 #include "net/loadgen.h"
+#include "net/wire.h"
 #include "testutil.h"
+
+#ifndef POLLRDHUP
+#define POLLRDHUP 0x2000
+#endif
 
 namespace smeter {
 namespace {
@@ -834,6 +847,649 @@ TEST(NetIngestSoakTest, RandomizedFaultsThenRepairResumeConverge) {
     EXPECT_EQ(report.meters_ok, kMeters);
   }
 
+  ExpectDirsBitIdentical(dir + "/offline", online);
+}
+
+// ---------------------------------------------------------------------------
+// Overload protection & graceful degradation (PR 8). The loadgen client is
+// deliberately well-behaved, so the drills below also need raw peers that
+// are not: sockets that hold admission slots, go silent, or refuse to
+// drain their acks.
+
+// Minimal blocking loopback client. `rcvbuf_bytes` (set before connect so
+// it binds the negotiated window) shrinks the kernel's receive capacity,
+// which is what makes the write-stall deadline reachable fast.
+int DialLoopback(uint16_t port, int rcvbuf_bytes = 0) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  if (rcvbuf_bytes > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                 sizeof(rcvbuf_bytes));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAllBytes(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Reads (and discards) until the peer closes. True when EOF or a reset
+// arrived within `timeout_ms`.
+bool DrainUntilPeerClose(int fd, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  char buf[4096];
+  for (;;) {
+    const auto remain = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remain.count() <= 0) return false;
+    pollfd p{fd, POLLIN, 0};
+    const int rc = ::poll(&p, 1, static_cast<int>(remain.count()));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (rc == 0) return false;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) return true;
+    if (n < 0 && errno != EINTR && errno != EAGAIN) return true;  // reset
+  }
+}
+
+// NOTE on observing the write-stall drop from the client side: a peer
+// whose receive window is zero (the whole point of the jam) can never see
+// the server's FIN without reading — the FIN queues behind data the
+// window won't admit. So the drills below keep the jam up well past the
+// deadline, then switch to draining; the buffered pongs arrive, then EOF.
+
+std::string HelloBytes(const std::string& meter) {
+  net::HelloPayload hello;
+  hello.meter_id = meter;
+  return net::EncodeFrame(net::MakeHello(hello));
+}
+
+// A syntactically valid meter id hash-pinned to `shard` of `shards`.
+std::string MeterPinnedTo(int shard, int shards, const std::string& prefix) {
+  for (int i = 0; i < 10'000; ++i) {
+    std::string name = prefix + std::to_string(i);
+    if (net::ShardForMeter(name, shards) == shard) return name;
+  }
+  ADD_FAILURE() << "no meter id pinned to shard " << shard;
+  return prefix + "0";
+}
+
+// Admission control: with the whole connection budget held by parked
+// peers, every loadgen connect is shed with an accept-time THROTTLE; once
+// the slots free, the same fleet retries through and converges.
+TEST(NetOverloadTest, AdmissionBudgetShedsFloodAndFreedSlotsAdmit) {
+  std::string dir = MakeFleetDir("net_overload_admission");
+  const std::string cer = dir + "/meters.cer";
+  EncodeFleetOffline(cer, dir + "/offline");
+
+  net::IngestServerOptions server_options = ServerOptions(dir + "/online");
+  server_options.max_connections = 2;
+  server_options.idle_timeout_ms = 0;  // the parked peers must survive
+  server_options.throttle_retry_ms = 50;
+  RunningServer running;
+  running.Start(std::move(server_options));
+  ASSERT_NE(running.server, nullptr);
+
+  // Two parked connections exhaust the budget without ever speaking.
+  int parked_a = DialLoopback(running.server->port());
+  int parked_b = DialLoopback(running.server->port());
+  ASSERT_GE(parked_a, 0);
+  ASSERT_GE(parked_b, 0);
+
+  // Phase 1: single attempts, budget full -> every meter is refused with a
+  // THROTTLE(admission) frame the client can account for.
+  net::LoadgenOptions loadgen = LoadgenOptions(running.server->port(), cer);
+  loadgen.max_attempts = 1;
+  net::LoadgenReport shed = RunLoadgenOk(loadgen);
+  EXPECT_EQ(shed.meters_ok, 0u);
+  EXPECT_EQ(shed.meters_failed, kMeters);
+  EXPECT_EQ(shed.throttled, kMeters);
+
+  // Phase 2: slots freed, retries with jittered backoff land the fleet.
+  ::close(parked_a);
+  ::close(parked_b);
+  loadgen.max_attempts = 5;
+  loadgen.backoff.base_ms = 20;
+  loadgen.backoff.cap_ms = 300;
+  net::LoadgenReport landed = RunLoadgenOk(loadgen);
+  EXPECT_EQ(landed.meters_ok, kMeters);
+
+  running.DrainAndJoin();
+  ASSERT_OK(running.result);
+  ScopedThreadRole owner(running.server->role());
+  const net::IngestCounters counters = running.server->counters();
+  EXPECT_GE(counters.connections_shed, kMeters);
+  EXPECT_GE(counters.throttles_sent, kMeters);
+  EXPECT_EQ(counters.households_persisted, kMeters);
+  ExpectDirsBitIdentical(dir + "/offline", dir + "/online");
+}
+
+// Per-meter token bucket: the first session per meter spends the burst
+// token; an immediate fleet-wide re-upload is pushed back with
+// THROTTLE(rate) and a refill-derived retry hint instead of being served.
+TEST(NetOverloadTest, RateLimitThrottlesImmediateRepeatSessions) {
+  std::string dir = MakeFleetDir("net_overload_rate");
+  const std::string cer = dir + "/meters.cer";
+  EncodeFleetOffline(cer, dir + "/offline");
+
+  net::IngestServerOptions server_options = ServerOptions(dir + "/online");
+  // 1 token per 5 s: even a slow sanitizer run cannot refill between the
+  // first upload and the immediate re-upload.
+  server_options.rate_limit = 0.2;
+  RunningServer running;
+  running.Start(std::move(server_options));
+  ASSERT_NE(running.server, nullptr);
+
+  net::LoadgenOptions loadgen = LoadgenOptions(running.server->port(), cer);
+  loadgen.max_attempts = 1;
+  net::LoadgenReport first = RunLoadgenOk(loadgen);
+  EXPECT_EQ(first.meters_ok, kMeters);
+  EXPECT_EQ(first.throttled, 0u);
+
+  net::LoadgenReport second = RunLoadgenOk(loadgen);
+  EXPECT_EQ(second.meters_ok, 0u);
+  EXPECT_EQ(second.meters_failed, kMeters);
+  EXPECT_EQ(second.throttled, kMeters);
+
+  running.DrainAndJoin();
+  ASSERT_OK(running.result);
+  ScopedThreadRole owner(running.server->role());
+  const net::IngestCounters counters = running.server->counters();
+  EXPECT_GE(counters.rate_limited, kMeters);
+  EXPECT_GE(counters.throttles_sent, kMeters);
+  // The throttled re-uploads changed nothing on disk.
+  EXPECT_EQ(counters.households_persisted, kMeters);
+  ExpectDirsBitIdentical(dir + "/offline", dir + "/online");
+}
+
+// Ingest-memory budget: a budget no session can fit under pushes back with
+// THROTTLE(memory) mid-stream and drops the connection (freeing its
+// buffers); nothing is persisted and the daemon stays healthy.
+TEST(NetOverloadTest, MemoryBudgetThrottlesOversizedBacklog) {
+  std::string dir = MakeFleetDir("net_overload_memory");
+  const std::string cer = dir + "/meters.cer";
+
+  net::IngestServerOptions server_options = ServerOptions(dir + "/online");
+  server_options.memory_budget = 512;  // ~96 samples/meter = 1.5 KiB
+  RunningServer running;
+  running.Start(std::move(server_options));
+  ASSERT_NE(running.server, nullptr);
+
+  net::LoadgenOptions loadgen = LoadgenOptions(running.server->port(), cer);
+  loadgen.max_attempts = 2;
+  loadgen.concurrency = 2;
+  loadgen.backoff.base_ms = 20;
+  loadgen.backoff.cap_ms = 100;
+  net::LoadgenReport report = RunLoadgenOk(loadgen);
+  EXPECT_EQ(report.meters_ok, 0u);
+  EXPECT_EQ(report.meters_failed, kMeters);
+  EXPECT_GE(report.throttled, kMeters);
+
+  running.DrainAndJoin();
+  ASSERT_OK(running.result);
+  ScopedThreadRole owner(running.server->role());
+  const net::IngestCounters counters = running.server->counters();
+  EXPECT_GE(counters.memory_throttled, kMeters);
+  EXPECT_GE(counters.throttles_sent, kMeters);
+  EXPECT_EQ(counters.households_persisted, 0u);
+  // Every dropped connection returned its tracked bytes: the gauge is flat.
+  EXPECT_EQ(counters.ingest_memory_bytes, 0u);
+}
+
+// Idle timeout on a sharded server: a peer that HELLOs onto a non-zero
+// shard and goes silent is swept there, counted there, and the rest of the
+// fleet is untouched.
+TEST(NetOverloadTest, IdleTimeoutDropsSilentPeerOnItsHomeShard) {
+  std::string dir = MakeFleetDir("net_overload_idle");
+  const std::string cer = dir + "/meters.cer";
+  EncodeFleetOffline(cer, dir + "/offline");
+
+  net::IngestServerOptions server_options = ServerOptions(dir + "/online");
+  server_options.threads = 2;
+  server_options.idle_timeout_ms = 250;
+  server_options.exit_after_households = kMeters;
+  RunningServer running;
+  running.Start(std::move(server_options));
+  ASSERT_NE(running.server, nullptr);
+
+  const std::string idler = MeterPinnedTo(1, 2, "idler_");
+  int fd = DialLoopback(running.server->port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(SendAllBytes(fd, HelloBytes(idler)));
+  // The HELLO peek re-homed the connection to shard 1; silence past the
+  // deadline gets it swept (we see the hello ack, then EOF).
+  EXPECT_TRUE(DrainUntilPeerClose(fd, 10'000));
+  ::close(fd);
+
+  net::LoadgenReport report =
+      RunLoadgenOk(LoadgenOptions(running.server->port(), cer));
+  running.thread.join();
+  ASSERT_OK(running.result);
+  EXPECT_EQ(report.meters_ok, kMeters);
+  ScopedThreadRole owner(running.server->role());
+  EXPECT_GE(running.server->shard_counters(1).idle_drops, 1u);
+  ExpectDirsBitIdentical(dir + "/offline", dir + "/online");
+}
+
+// Write-stall deadline on a sharded server: a peer that floods PINGs and
+// never drains the pongs jams its output buffer past the backpressure
+// high-watermark; after write_stall_ms it is dropped on its home shard.
+TEST(NetOverloadTest, WriteStallDeadlineDropsNonDrainingPeer) {
+  std::string dir = MakeFleetDir("net_overload_stall");
+  const std::string cer = dir + "/meters.cer";
+  EncodeFleetOffline(cer, dir + "/offline");
+
+  net::IngestServerOptions server_options = ServerOptions(dir + "/online");
+  server_options.threads = 2;
+  server_options.idle_timeout_ms = 0;  // isolate the stall deadline
+  server_options.write_stall_ms = 250;
+  server_options.high_watermark = 1024;
+  server_options.sndbuf_bytes = 4096;  // small kernel buffer: jam fast
+  server_options.exit_after_households = kMeters;
+  RunningServer running;
+  running.Start(std::move(server_options));
+  ASSERT_NE(running.server, nullptr);
+
+  const std::string staller = MeterPinnedTo(1, 2, "staller_");
+  int fd = DialLoopback(running.server->port(), /*rcvbuf_bytes=*/2048);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(SendAllBytes(fd, HelloBytes(staller)));
+  // Consume the hello ack (the session is established on shard 1), then
+  // stop reading forever and flood PINGs; the pongs back up through the
+  // kernel buffers into BufferedFd and past the high-watermark.
+  {
+    char ack[64];
+    pollfd p{fd, POLLIN, 0};
+    ASSERT_GT(::poll(&p, 1, 10'000), 0);
+    ASSERT_GT(::recv(fd, ack, sizeof(ack), 0), 0);
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ASSERT_EQ(::fcntl(fd, F_SETFL, flags | O_NONBLOCK), 0);
+  std::string burst;
+  for (int i = 0; i < 256; ++i) {
+    burst += net::EncodeFrame(net::MakePing(static_cast<uint64_t>(i)));
+  }
+  for (int round = 0; round < 24; ++round) {  // ~100 KiB of pings max
+    const ssize_t n = ::send(fd, burst.data(), burst.size(), MSG_NOSIGNAL);
+    if (n < 0) break;  // EAGAIN: both kernel directions are full — jammed
+  }
+  // Hold the jam far past write_stall_ms (sweeps run every 125 ms), then
+  // drain: the server closed long ago, so the leftover pongs end in EOF.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2'000));
+  EXPECT_TRUE(DrainUntilPeerClose(fd, 10'000));
+  ::close(fd);
+
+  net::LoadgenReport report =
+      RunLoadgenOk(LoadgenOptions(running.server->port(), cer));
+  running.thread.join();
+  ASSERT_OK(running.result);
+  EXPECT_EQ(report.meters_ok, kMeters);
+  ScopedThreadRole owner(running.server->role());
+  EXPECT_GE(running.server->shard_counters(1).write_stall_drops, 1u);
+  EXPECT_EQ(running.server->counters().idle_drops, 0u);
+  ExpectDirsBitIdentical(dir + "/offline", dir + "/online");
+}
+
+// The EMFILE escape hatch: with the process fd limit exhausted, the
+// acceptor burns its reserved fd to accept-and-refuse the backlog instead
+// of wedging the edge-triggered listener; once the crunch clears, the
+// fleet uploads normally.
+TEST(NetOverloadTest, EmfileAcceptCrunchShedsBacklogViaReservedFd) {
+  std::string dir = MakeFleetDir("net_overload_emfile");
+  const std::string cer = dir + "/meters.cer";
+  EncodeFleetOffline(cer, dir + "/offline");
+
+  net::IngestServerOptions server_options = ServerOptions(dir + "/online");
+  server_options.exit_after_households = kMeters;
+  RunningServer running;
+  running.Start(std::move(server_options));
+  ASSERT_NE(running.server, nullptr);
+
+  // Clamp the soft fd limit a hair above current usage, then consume every
+  // remaining slot but one — the client socket below takes that last one,
+  // so the server's accept4 has nothing left and must hit EMFILE.
+  size_t open_fds = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/fd")) {
+    (void)entry;
+    ++open_fds;
+  }
+  rlimit old_limit{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &old_limit), 0);
+  rlimit tight = old_limit;
+  tight.rlim_cur = static_cast<rlim_t>(open_fds + 10);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &tight), 0);
+  std::vector<int> fillers;
+  for (;;) {
+    const int filler = ::dup(0);
+    if (filler < 0) break;
+    fillers.push_back(filler);
+  }
+  ASSERT_FALSE(fillers.empty());
+  ::close(fillers.back());
+  fillers.pop_back();
+
+  int fd = DialLoopback(running.server->port());
+  ASSERT_GE(fd, 0);
+  // The hatch accepts and refuses: THROTTLE (best effort) then close.
+  EXPECT_TRUE(DrainUntilPeerClose(fd, 10'000));
+  ::close(fd);
+  for (int filler : fillers) ::close(filler);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &old_limit), 0);
+
+  net::LoadgenReport report =
+      RunLoadgenOk(LoadgenOptions(running.server->port(), cer));
+  running.thread.join();
+  ASSERT_OK(running.result);
+  EXPECT_EQ(report.meters_ok, kMeters);
+  ScopedThreadRole owner(running.server->role());
+  EXPECT_GE(running.server->counters().accepts_emfile, 1u);
+  EXPECT_GE(running.server->counters().connections_shed, 1u);
+  ExpectDirsBitIdentical(dir + "/offline", dir + "/online");
+}
+
+// Disk exhaustion: ENOSPC on archive writes opens the circuit breaker
+// (acks withheld, sessions pushed back with THROTTLE(disk)), the probe
+// timer notices when space returns, and the retrying fleet then converges
+// to the byte-identical archive.
+TEST(NetOverloadTest, DiskFullPausesPersistsUntilProbeReopens) {
+  std::string dir = MakeFleetDir("net_overload_enospc");
+  const std::string cer = dir + "/meters.cer";
+  EncodeFleetOffline(cer, dir + "/offline");
+
+  net::IngestServerOptions server_options = ServerOptions(dir + "/online");
+  server_options.probe_interval_ms = 25;
+  server_options.throttle_retry_ms = 50;
+  server_options.exit_after_households = kMeters;
+  RunningServer running;
+  running.Start(std::move(server_options));
+  ASSERT_NE(running.server, nullptr);
+
+  net::LoadgenOptions loadgen = LoadgenOptions(running.server->port(), cer);
+  loadgen.max_attempts = 10;
+  loadgen.backoff.base_ms = 25;
+  loadgen.backoff.cap_ms = 400;
+  net::LoadgenReport report;
+  {
+    // The first persist trips the breaker; probes then chew through the
+    // injected window (8 failing writes) until the disk "has space" again.
+    fault::ScopedFaultPlan plan({[] {
+      fault::FaultRule rule = fault::FaultRule::FailCalls("file.write", 1, 8);
+      rule.message = "No space left on device";
+      return rule;
+    }()});
+    report = RunLoadgenOk(loadgen);
+  }
+  running.thread.join();
+  ASSERT_OK(running.result);
+  EXPECT_EQ(report.meters_ok, kMeters);
+  EXPECT_GE(report.throttled, 1u);
+  ScopedThreadRole owner(running.server->role());
+  const net::IngestCounters counters = running.server->counters();
+  EXPECT_GE(counters.circuit_opens, 1u);
+  EXPECT_GE(counters.persists_paused, 1u);
+  EXPECT_GE(counters.throttles_sent, 1u);
+  EXPECT_EQ(counters.households_persisted, kMeters);
+  ExpectDirsBitIdentical(dir + "/offline", dir + "/online");
+}
+
+// A daemon killed while paused on a full disk must leave a salvageable
+// archive: fsck --repair grades and fixes what the interrupted Finalize
+// left behind, and a --resume restart plus a fleet-wide reconnect
+// converges bit-identically.
+TEST(NetOverloadTest, KilledDuringDiskPauseConvergesViaFsckAndResume) {
+  std::string dir = MakeFleetDir("net_overload_enospc_kill");
+  const std::string cer = dir + "/meters.cer";
+  EncodeFleetOffline(cer, dir + "/offline");
+  const std::string online = dir + "/online";
+
+  {
+    net::IngestServerOptions server_options = ServerOptions(online);
+    // Probes effectively never fire: the pause outlives the daemon.
+    server_options.probe_interval_ms = 600'000;
+    RunningServer running;
+    running.Start(std::move(server_options));
+    ASSERT_NE(running.server, nullptr);
+
+    // Calls 1-2 are meter_1000's table+symbols; call 3 (the next meter's
+    // first write) hits the full disk and the circuit stays open forever.
+    fault::ScopedFaultPlan plan({[] {
+      fault::FaultRule rule = fault::FaultRule::FailCalls("file.write", 3);
+      rule.message = "No space left on device";
+      return rule;
+    }()});
+    net::LoadgenOptions loadgen = LoadgenOptions(running.server->port(), cer);
+    loadgen.concurrency = 1;  // deterministic: meter_1000 lands first
+    loadgen.max_attempts = 1;
+    Result<net::LoadgenReport> report = net::RunLoadgen(loadgen);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->meters_ok, 1u);
+    EXPECT_EQ(report->meters_failed, kMeters - 1);
+    EXPECT_GE(report->throttled, kMeters - 1);
+
+    // The "kill": drain while the disk is still full. Finalize cannot
+    // write the manifest, so Run() itself reports the failure.
+    running.DrainAndJoin();
+    EXPECT_FALSE(running.result.ok());
+    ScopedThreadRole owner(running.server->role());
+    EXPECT_GE(running.server->counters().circuit_opens, 1u);
+    EXPECT_GE(running.server->counters().persists_paused, 1u);
+    EXPECT_EQ(running.server->counters().households_persisted, 1u);
+  }
+
+  // Space returns (the plan died with the scope). Repair, then resume.
+  {
+    std::ostringstream out, err;
+    const int code = cli::RunCliExitCode(
+        {"fsck", "--dir", online, "--repair", "true"}, out, err);
+    EXPECT_NE(code, 4) << out.str() << err.str();
+    std::ostringstream out2, err2;
+    EXPECT_EQ(cli::RunCliExitCode({"fsck", "--dir", online}, out2, err2), 0)
+        << out2.str() << err2.str();
+  }
+  {
+    net::IngestServerOptions server_options = ServerOptions(online);
+    server_options.resume = true;
+    server_options.exit_after_households = kMeters;
+    RunningServer running;
+    running.Start(std::move(server_options));
+    ASSERT_NE(running.server, nullptr);
+    net::LoadgenReport report =
+        RunLoadgenOk(LoadgenOptions(running.server->port(), cer));
+    running.thread.join();
+    ASSERT_OK(running.result);
+    EXPECT_EQ(report.meters_ok, kMeters);
+    // meter_1000 carried as a duplicate; the rest re-persisted.
+    ScopedThreadRole owner(running.server->role());
+    EXPECT_EQ(running.server->counters().households_persisted, kMeters - 1);
+  }
+  ExpectDirsBitIdentical(dir + "/offline", online);
+}
+
+// The chaos soak: a flooding fleet, parked and non-draining peers, a full
+// disk, and random connection drops — all at once, on a sharded server
+// with every overload knob engaged. Admitted sessions must converge
+// bit-identically, every degradation mechanism must demonstrably fire,
+// and the SIGUSR1 dump must carry all of the new counters. CI sweeps
+// SMETER_FAULT_SEED over this test under ASan.
+TEST(NetOverloadSoakTest, FloodEnospcSlowClientsConvergeBitIdentical) {
+  uint64_t seed = 1;
+  if (const char* env = std::getenv("SMETER_FAULT_SEED")) {
+    uint64_t parsed = std::strtoull(env, nullptr, 10);
+    if (parsed != 0) seed = parsed;
+  }
+  SCOPED_TRACE("SMETER_FAULT_SEED=" + std::to_string(seed));
+  std::string dir =
+      MakeFleetDir("net_overload_soak_" + std::to_string(seed));
+  const std::string cer = dir + "/meters.cer";
+  EncodeFleetOffline(cer, dir + "/offline");
+  const std::string online = dir + "/online";
+
+  std::ostringstream stats;
+  net::IngestServerOptions server_options = ServerOptions(online);
+  server_options.threads = 2;
+  server_options.max_connections = 4;
+  server_options.memory_budget = 4096;
+  server_options.rate_limit = 0.5;  // refused retries come back in < 2 s
+  server_options.idle_timeout_ms = 350;
+  server_options.write_stall_ms = 250;
+  server_options.high_watermark = 2048;
+  server_options.sndbuf_bytes = 4096;
+  server_options.probe_interval_ms = 25;
+  server_options.throttle_retry_ms = 100;
+  RunningServer running;
+  running.StartWithStats(std::move(server_options), &stats);
+  ASSERT_NE(running.server, nullptr);
+  const uint16_t port = running.server->port();
+
+  // Two slow clients occupy half the admission budget. The idler HELLOs
+  // and goes silent (idle sweep); the staller floods PINGs and never
+  // drains the pongs (write-stall sweep). While the staller lives, its
+  // pong backlog alone holds the memory gauge over budget, so the first
+  // loadgen batches are memory-throttled too.
+  int idler = DialLoopback(port);
+  ASSERT_GE(idler, 0);
+  ASSERT_TRUE(SendAllBytes(idler, HelloBytes(MeterPinnedTo(1, 2, "idler_"))));
+  int staller = DialLoopback(port, /*rcvbuf_bytes=*/2048);
+  ASSERT_GE(staller, 0);
+  ASSERT_TRUE(
+      SendAllBytes(staller, HelloBytes(MeterPinnedTo(1, 2, "staller_"))));
+  {
+    char ack[64];
+    pollfd p{staller, POLLIN, 0};
+    ASSERT_GT(::poll(&p, 1, 10'000), 0);
+    ASSERT_GT(::recv(staller, ack, sizeof(ack), 0), 0);
+  }
+  const int flags = ::fcntl(staller, F_GETFL, 0);
+  ASSERT_EQ(::fcntl(staller, F_SETFL, flags | O_NONBLOCK), 0);
+  std::string burst;
+  for (int i = 0; i < 256; ++i) {
+    burst += net::EncodeFrame(net::MakePing(static_cast<uint64_t>(i)));
+  }
+  for (int round = 0; round < 24; ++round) {
+    if (::send(staller, burst.data(), burst.size(), MSG_NOSIGNAL) < 0) break;
+  }
+
+  // The storm: the fleet floods in over the remaining slots while the
+  // first 6 archive writes hit a full disk and the seeded seam drops
+  // random client sockets mid-upload.
+  {
+    fault::ScopedFaultPlan plan(
+        {[] {
+           fault::FaultRule rule =
+               fault::FaultRule::FailCalls("file.write", 1, 6);
+           rule.message = "No space left on device";
+           return rule;
+         }(),
+         fault::FaultRule::FailWithProbability("loadgen.drop", 0.05)},
+        seed);
+    net::LoadgenOptions loadgen = LoadgenOptions(port, cer);
+    loadgen.concurrency = 6;
+    loadgen.max_attempts = 16;
+    loadgen.io_timeout_ms = 2'000;
+    loadgen.backoff.base_ms = 25;
+    loadgen.backoff.cap_ms = 500;
+    net::LoadgenReport report = RunLoadgenOk(loadgen);
+    EXPECT_EQ(report.meters_ok, kMeters);
+    EXPECT_GE(report.throttled, 1u);
+  }
+
+  // Both slow clients were swept long ago (their deadlines are far below
+  // the fleet's upload time); draining surfaces the deferred EOFs.
+  EXPECT_TRUE(DrainUntilPeerClose(staller, 10'000));
+  EXPECT_TRUE(DrainUntilPeerClose(idler, 10'000));
+  ::close(staller);
+  ::close(idler);
+
+  // Deterministic admission overflow: five fresh connections race for four
+  // slots, so exactly one is shed — watch for its close.
+  {
+    std::vector<int> conns;
+    for (int i = 0; i < 5; ++i) {
+      const int fd = DialLoopback(port);
+      ASSERT_GE(fd, 0);
+      conns.push_back(fd);
+    }
+    bool one_shed = false;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(10);
+    while (!one_shed && std::chrono::steady_clock::now() < deadline) {
+      for (int fd : conns) {
+        pollfd p{fd, POLLIN, 0};
+        if (::poll(&p, 1, 50) > 0 &&
+            (p.revents & (POLLIN | POLLERR | POLLHUP))) {
+          char buf[64];
+          const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+          if (n >= 0) {
+            one_shed = true;  // THROTTLE bytes or EOF: this one was refused
+            break;
+          }
+        }
+      }
+    }
+    EXPECT_TRUE(one_shed);
+    for (int fd : conns) ::close(fd);
+  }
+
+  // The SIGUSR1 dump carries every overload counter.
+  running.server->RequestStatsDump();
+  for (int i = 0; i < 500 && running.server->stats_dumps() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(running.server->stats_dumps(), 1u);
+  running.DrainAndJoin();
+  ASSERT_OK(running.result);
+
+  const std::string blob = stats.str();
+  for (const char* key :
+       {"connections_shed", "accepts_emfile", "throttles_sent",
+        "rate_limited", "memory_throttled", "idle_drops",
+        "write_stall_drops", "persists_paused", "circuit_opens",
+        "ingest_memory_bytes"}) {
+    EXPECT_NE(blob.find("\"" + std::string(key) + "\""), std::string::npos)
+        << "missing counter in stats dump: " << key << "\n"
+        << blob;
+  }
+
+  // Every engineered degradation actually fired.
+  ScopedThreadRole owner(running.server->role());
+  const net::IngestCounters counters = running.server->counters();
+  EXPECT_GE(counters.connections_shed, 1u);
+  EXPECT_GE(counters.throttles_sent, 1u);
+  EXPECT_GE(counters.rate_limited, 1u);
+  EXPECT_GE(counters.memory_throttled, 1u);
+  EXPECT_GE(counters.idle_drops, 1u);
+  EXPECT_GE(counters.write_stall_drops, 1u);
+  EXPECT_GE(counters.persists_paused, 1u);
+  EXPECT_GE(counters.circuit_opens, 1u);
+  EXPECT_EQ(counters.households_persisted, kMeters);
+
+  // And none of it dented durability: clean fsck, byte-identical archive.
+  std::ostringstream out, err;
+  EXPECT_EQ(cli::RunCliExitCode({"fsck", "--dir", online}, out, err), 0)
+      << out.str() << err.str();
   ExpectDirsBitIdentical(dir + "/offline", online);
 }
 

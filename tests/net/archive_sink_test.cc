@@ -1,0 +1,160 @@
+// ArchiveSink disk-exhaustion circuit breaker tests: an ENOSPC-style
+// write failure must open the circuit, further persists must fail fast
+// (classifiable as disk-full, no more write attempts), duplicates must
+// keep succeeding, and the space probe must re-close the circuit exactly
+// when the injected fault plan stops failing `file.write`.
+
+#include "net/archive_sink.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "core/symbol.h"
+#include "core/symbolic_series.h"
+#include "testutil.h"
+
+namespace smeter::net {
+namespace {
+
+using smeter::testing::TempPath;
+
+SymbolicSeries TinySeries() {
+  SymbolicSeries series(4);
+  for (int i = 0; i < 8; ++i) {
+    SymbolicSample sample;
+    sample.timestamp = 900 * i;
+    sample.symbol = Symbol::FromValidated(4, static_cast<uint32_t>(i % 16));
+    EXPECT_OK(series.Append(sample));
+  }
+  return series;
+}
+
+EncodeQuality CleanQuality() {
+  EncodeQuality quality;
+  quality.windows_valid = 8;
+  return quality;
+}
+
+TEST(IsDiskFullStatusTest, ClassifiesEnospcShapedMessagesOnly) {
+  EXPECT_FALSE(IsDiskFullStatus(Status::Ok()));
+  EXPECT_FALSE(IsDiskFullStatus(InternalError("connection reset by peer")));
+  EXPECT_TRUE(IsDiskFullStatus(InternalError(
+      "write /tmp/x: No space left on device")));
+  EXPECT_TRUE(IsDiskFullStatus(InternalError("Disk quota exceeded")));
+  EXPECT_TRUE(IsDiskFullStatus(InternalError("injected ENOSPC")));
+  EXPECT_TRUE(IsDiskFullStatus(DataLossError("EDQUOT on append")));
+}
+
+TEST(ArchiveSinkCircuitTest, DiskFullOpensCircuitAndFailsFast) {
+  const std::string dir = TempPath("sink_circuit");
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<ArchiveSink> sink,
+                       ArchiveSink::Open(dir, /*resume=*/false));
+  EXPECT_FALSE(sink->circuit_open());
+
+  // First meter lands normally.
+  ASSERT_OK(sink->Persist("meter_ok", "blob", TinySeries(), CleanQuality()));
+
+  {
+    fault::ScopedFaultPlan plan({[] {
+      fault::FaultRule rule =
+          fault::FaultRule::FailCalls("file.write", 1);
+      rule.message = "No space left on device";
+      return rule;
+    }()});
+    Status full =
+        sink->Persist("meter_full", "blob", TinySeries(), CleanQuality());
+    ASSERT_FALSE(full.ok());
+    EXPECT_TRUE(IsDiskFullStatus(full)) << full.ToString();
+    EXPECT_TRUE(sink->circuit_open());
+
+    // While open: fail fast, still disk-full-classifiable, and no write
+    // attempt reaches the seam.
+    const size_t writes_before = plan.CallCount("file.write");
+    Status paused =
+        sink->Persist("meter_next", "blob", TinySeries(), CleanQuality());
+    ASSERT_FALSE(paused.ok());
+    EXPECT_TRUE(IsDiskFullStatus(paused)) << paused.ToString();
+    EXPECT_EQ(plan.CallCount("file.write"), writes_before);
+
+    // Duplicates are never held hostage by a full disk.
+    EXPECT_OK(
+        sink->Persist("meter_ok", "blob", TinySeries(), CleanQuality()));
+
+    // Probes fail while the plan keeps injecting; the circuit stays open.
+    EXPECT_FALSE(sink->MaybeProbe(/*now_ms=*/1'000));
+    EXPECT_TRUE(sink->circuit_open());
+  }
+
+  // Plan gone = space back. The first allowed probe closes the circuit and
+  // the paused meter persists cleanly.
+  EXPECT_TRUE(sink->MaybeProbe(/*now_ms=*/2'000));
+  EXPECT_FALSE(sink->circuit_open());
+  EXPECT_OK(
+      sink->Persist("meter_full", "blob", TinySeries(), CleanQuality()));
+  EXPECT_OK(sink->Finalize());
+}
+
+TEST(ArchiveSinkCircuitTest, ProbesAreIntervalLimited) {
+  const std::string dir = TempPath("sink_probe_interval");
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<ArchiveSink> sink,
+      ArchiveSink::Open(dir, /*resume=*/false, /*shards=*/1,
+                        /*probe_interval_ms=*/500));
+
+  {
+    fault::ScopedFaultPlan plan({[] {
+      fault::FaultRule rule =
+          fault::FaultRule::FailCalls("file.write", 1);
+      rule.message = "injected ENOSPC";
+      return rule;
+    }()});
+    ASSERT_FALSE(
+        sink->Persist("m", "blob", TinySeries(), CleanQuality()).ok());
+    ASSERT_TRUE(sink->circuit_open());
+
+    // The trip resets the probe clock: the first probe may run at once.
+    EXPECT_FALSE(sink->MaybeProbe(100));
+    const size_t probes_after_first = plan.CallCount("file.write");
+    EXPECT_GT(probes_after_first, 0u);
+
+    // Within the interval, MaybeProbe is a cheap no-op — this is what
+    // keeps N shard timers from multiplying the probe write rate.
+    EXPECT_FALSE(sink->MaybeProbe(101));
+    EXPECT_FALSE(sink->MaybeProbe(599));
+    EXPECT_EQ(plan.CallCount("file.write"), probes_after_first);
+
+    // Past the interval, the probe actually runs again.
+    EXPECT_FALSE(sink->MaybeProbe(601));
+    EXPECT_GT(plan.CallCount("file.write"), probes_after_first);
+  }
+
+  EXPECT_TRUE(sink->MaybeProbe(1'200));
+  EXPECT_FALSE(sink->circuit_open());
+  // A closed circuit's probe is the true-fast-path.
+  EXPECT_TRUE(sink->MaybeProbe(1'201));
+}
+
+TEST(ArchiveSinkCircuitTest, NonDiskFailuresDoNotOpenTheCircuit) {
+  const std::string dir = TempPath("sink_nondisk");
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<ArchiveSink> sink,
+                       ArchiveSink::Open(dir, /*resume=*/false));
+  {
+    fault::ScopedFaultPlan plan({[] {
+      fault::FaultRule rule =
+          fault::FaultRule::FailCalls("file.write", 1, 1);
+      rule.message = "transient injected I/O error";
+      return rule;
+    }()});
+    ASSERT_FALSE(
+        sink->Persist("m", "blob", TinySeries(), CleanQuality()).ok());
+  }
+  EXPECT_FALSE(sink->circuit_open());
+  // The very next persist goes straight to disk and succeeds.
+  EXPECT_OK(sink->Persist("m", "blob", TinySeries(), CleanQuality()));
+}
+
+}  // namespace
+}  // namespace smeter::net

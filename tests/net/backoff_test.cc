@@ -1,0 +1,108 @@
+// Full-jitter backoff schedule tests. The helper is pure (caller-owned
+// rng state, no clocks), so the whole schedule is checkable exactly:
+// bounds, determinism per seed, exponential ceiling growth, cap
+// saturation, and degenerate policies.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "net/loadgen.h"
+
+namespace smeter::net {
+namespace {
+
+TEST(FullJitterBackoffTest, FirstAttemptNeverWaits) {
+  BackoffPolicy policy;
+  uint64_t rng = 1;
+  EXPECT_EQ(FullJitterBackoffMs(1, policy, &rng), 0);
+  EXPECT_EQ(FullJitterBackoffMs(0, policy, &rng), 0);
+  EXPECT_EQ(FullJitterBackoffMs(-3, policy, &rng), 0);
+}
+
+TEST(FullJitterBackoffTest, DrawsStayInsideTheExponentialCeiling) {
+  BackoffPolicy policy;
+  policy.base_ms = 50;
+  policy.cap_ms = 2'000;
+  uint64_t rng = 0x12345678u;
+  for (int attempt = 2; attempt <= 12; ++attempt) {
+    // ceiling = min(cap, base * 2^(attempt-2))
+    int64_t ceiling = policy.base_ms;
+    for (int i = 2; i < attempt && ceiling < policy.cap_ms; ++i) {
+      ceiling *= 2;
+    }
+    if (ceiling > policy.cap_ms) ceiling = policy.cap_ms;
+    for (int draw = 0; draw < 200; ++draw) {
+      const int64_t delay = FullJitterBackoffMs(attempt, policy, &rng);
+      ASSERT_GE(delay, 0) << "attempt " << attempt;
+      ASSERT_LE(delay, ceiling) << "attempt " << attempt;
+    }
+  }
+}
+
+TEST(FullJitterBackoffTest, SameSeedSameSchedule) {
+  BackoffPolicy policy;
+  uint64_t a = 42, b = 42;
+  for (int attempt = 2; attempt <= 8; ++attempt) {
+    EXPECT_EQ(FullJitterBackoffMs(attempt, policy, &a),
+              FullJitterBackoffMs(attempt, policy, &b));
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(FullJitterBackoffTest, SchedulesActuallyJitter) {
+  // The whole point: two meters that failed together must not retry in
+  // lockstep. With a 2000 ms cap the odds of 8 identical draws from
+  // distinct seeds are negligible.
+  BackoffPolicy policy;
+  uint64_t a = 42, b = 43;
+  std::vector<int64_t> sa, sb;
+  for (int attempt = 5; attempt <= 12; ++attempt) {
+    sa.push_back(FullJitterBackoffMs(attempt, policy, &a));
+    sb.push_back(FullJitterBackoffMs(attempt, policy, &b));
+  }
+  EXPECT_NE(sa, sb);
+  // And a single seed's schedule is not a constant either.
+  EXPECT_GT(std::set<int64_t>(sa.begin(), sa.end()).size(), 1u);
+}
+
+TEST(FullJitterBackoffTest, CapBoundsLateAttempts) {
+  BackoffPolicy policy;
+  policy.base_ms = 100;
+  policy.cap_ms = 400;
+  uint64_t rng = 7;
+  for (int attempt = 2; attempt <= 40; ++attempt) {
+    EXPECT_LE(FullJitterBackoffMs(attempt, policy, &rng), 400);
+  }
+}
+
+TEST(FullJitterBackoffTest, DegeneratePoliciesAreClamped) {
+  // base < 1 acts as 1; cap < base acts as base; a zero rng seed is
+  // reseeded instead of dividing by zero or returning a constant.
+  BackoffPolicy policy;
+  policy.base_ms = 0;
+  policy.cap_ms = -5;
+  uint64_t rng = 0;
+  for (int attempt = 2; attempt <= 6; ++attempt) {
+    const int64_t delay = FullJitterBackoffMs(attempt, policy, &rng);
+    EXPECT_GE(delay, 0);
+    EXPECT_LE(delay, 1);
+  }
+  EXPECT_NE(rng, 0u);
+}
+
+TEST(XorShift64Test, AdvancesAndNeverYieldsZero) {
+  uint64_t state = 1;
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t value = XorShift64(&state);
+    EXPECT_NE(value, 0u);
+    seen.insert(value);
+  }
+  EXPECT_EQ(seen.size(), 1000u);  // no short cycle from the unit seed
+}
+
+}  // namespace
+}  // namespace smeter::net

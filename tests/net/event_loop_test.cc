@@ -241,6 +241,36 @@ TEST(BufferedFdTest, BackpressurePausesReadsAtTheHighWatermark) {
   EXPECT_EQ(h.received, "inbound");
 }
 
+TEST(BufferedFdTest, StallClockStartsAtPauseAndClearsOnDrain) {
+  FdHarness h;
+  h.Init(/*high_watermark=*/64);
+  ScopedThreadRole io(h.buffered->role());
+  EXPECT_EQ(h.buffered->stalled_since_ms(), 0);
+
+  // Jam the peer: the watermark pause must stamp the stall clock — this is
+  // what the server's write-stall sweep reads to drop non-draining peers.
+  std::string big(1 << 20, 'x');
+  ASSERT_OK(h.buffered->Send(big));
+  h.Spin(3);
+  ASSERT_TRUE(h.buffered->paused());
+  const int64_t stalled_at = h.buffered->stalled_since_ms();
+  EXPECT_GT(stalled_at, 0);
+  EXPECT_LE(stalled_at, EventLoop::NowMs());
+  // buffered_bytes covers the jammed output (the memory-budget gauge).
+  EXPECT_GE(h.buffered->buffered_bytes(), h.buffered->pending_out());
+
+  // Draining the peer un-pauses and resets the clock to "not stalled".
+  std::string sunk;
+  char buf[65536];
+  for (int i = 0; i < 200 && sunk.size() < big.size(); ++i) {
+    ssize_t n = read(h.peer_fd, buf, sizeof(buf));
+    if (n > 0) sunk.append(buf, static_cast<size_t>(n));
+    h.Spin(2);
+  }
+  ASSERT_FALSE(h.buffered->paused());
+  EXPECT_EQ(h.buffered->stalled_since_ms(), 0);
+}
+
 TEST(BufferedFdTest, CloseAfterFlushDrainsTheOutputFirst) {
   FdHarness h;
   h.Init();

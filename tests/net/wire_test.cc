@@ -89,9 +89,9 @@ TEST(WireFrameTest, UnknownFrameTypeIsError) {
   EXPECT_EQ(result.outcome, DecodeResult::Outcome::kError);
   EXPECT_EQ(result.error.code(), StatusCode::kInvalidArgument);
   EXPECT_FALSE(IsKnownFrameType(0));
-  EXPECT_FALSE(IsKnownFrameType(11));
+  EXPECT_FALSE(IsKnownFrameType(12));
   EXPECT_TRUE(IsKnownFrameType(1));
-  EXPECT_TRUE(IsKnownFrameType(10));
+  EXPECT_TRUE(IsKnownFrameType(11));  // kThrottle, the v2 push-back
 }
 
 TEST(WireFrameTest, OversizedLengthIsRefusedBeforeAllocation) {
@@ -305,7 +305,57 @@ TEST(WirePayloadTest, ParsersCheckTheFrameType) {
   EXPECT_FALSE(ParseSymbolBatch(ping).ok());
   EXPECT_FALSE(ParseBatchAck(ping).ok());
   EXPECT_FALSE(ParseGoodbye(ping).ok());
+  EXPECT_FALSE(ParseThrottle(ping).ok());
   EXPECT_FALSE(ParsePing(MakeHello({kProtocolVersion, "m", ""})).ok());
+}
+
+TEST(WirePayloadTest, ThrottleRoundTripAllScopes) {
+  for (ThrottleScope scope :
+       {ThrottleScope::kAdmission, ThrottleScope::kRate,
+        ThrottleScope::kMemory, ThrottleScope::kDisk}) {
+    ThrottlePayload throttle;
+    throttle.retry_after_ms = 1'250;
+    throttle.scope = scope;
+    throttle.message = "come back later";
+    ASSERT_OK_AND_ASSIGN(ThrottlePayload parsed,
+                         ParseThrottle(MakeThrottle(throttle)));
+    EXPECT_EQ(parsed.retry_after_ms, 1'250u);
+    EXPECT_EQ(parsed.scope, scope);
+    EXPECT_EQ(parsed.message, "come back later");
+    EXPECT_FALSE(ThrottleScopeName(scope).empty());
+  }
+  EXPECT_EQ(ThrottleScopeName(ThrottleScope::kAdmission), "admission");
+  EXPECT_EQ(ThrottleScopeName(ThrottleScope::kRate), "rate");
+  EXPECT_EQ(ThrottleScopeName(ThrottleScope::kMemory), "memory");
+  EXPECT_EQ(ThrottleScopeName(ThrottleScope::kDisk), "disk");
+}
+
+TEST(WirePayloadTest, ThrottleRejectsBadScopeTruncationAndTrailing) {
+  Frame good = MakeThrottle({250, ThrottleScope::kRate, "slow down"});
+  ASSERT_TRUE(ParseThrottle(good).ok());
+
+  // Scope byte sits right after the u32 retry hint; 0 and 5 are outside
+  // the enum.
+  Frame bad_scope = good;
+  bad_scope.payload[4] = 0;
+  EXPECT_FALSE(ParseThrottle(bad_scope).ok());
+  bad_scope.payload[4] = 5;
+  EXPECT_FALSE(ParseThrottle(bad_scope).ok());
+
+  for (size_t n = 0; n < good.payload.size(); ++n) {
+    Frame cut = good;
+    cut.payload.resize(n);
+    EXPECT_FALSE(ParseThrottle(cut).ok()) << "truncated to " << n;
+  }
+  Frame padded = good;
+  padded.payload += '\0';
+  EXPECT_FALSE(ParseThrottle(padded).ok());
+}
+
+TEST(WirePayloadTest, ThrottleFrameSurvivesEncodeDecode) {
+  Frame frame = MakeThrottle({60'000, ThrottleScope::kDisk,
+                              "archive paused: no space left"});
+  EXPECT_EQ(DecodeOk(EncodeFrame(frame)), frame);
 }
 
 TEST(WireStatusTest, EveryStatusHasAName) {

@@ -1,5 +1,7 @@
 #include "testutil.h"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdlib>
 
@@ -22,7 +24,11 @@ std::string TempPath(const std::string& name) {
   static std::atomic<int> counter{0};
   const char* base = std::getenv("TMPDIR");
   std::string dir = base != nullptr ? base : "/tmp";
-  return dir + "/smeter_test_" + std::to_string(counter++) + "_" + name;
+  // Pid-salted: ctest runs every gtest case as its own process, so tests
+  // sharing a fixture (same name, counter restarts at 0 per process) would
+  // otherwise collide on one directory when run in parallel.
+  return dir + "/smeter_test_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter++) + "_" + name;
 }
 
 }  // namespace smeter::testing

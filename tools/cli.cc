@@ -596,6 +596,23 @@ Status CmdIngestd(const Flags& flags, std::ostream& out) {
   if (!threads.ok()) return threads.status();
   Result<bool> single_acceptor = flags.GetBool("single-acceptor", false);
   if (!single_acceptor.ok()) return single_acceptor.status();
+  // Overload-protection knobs; 0 disables each mechanism.
+  Result<int64_t> max_conns = flags.GetInt("max-connections", 0);
+  if (!max_conns.ok()) return max_conns.status();
+  Result<int64_t> max_conns_shard = flags.GetInt("max-connections-per-shard", 0);
+  if (!max_conns_shard.ok()) return max_conns_shard.status();
+  Result<int64_t> memory_budget = flags.GetInt("memory-budget", 0);
+  if (!memory_budget.ok()) return memory_budget.status();
+  Result<double> rate_limit = flags.GetDouble("rate-limit", 0);
+  if (!rate_limit.ok()) return rate_limit.status();
+  Result<int64_t> write_stall = flags.GetInt("write-stall-ms", 0);
+  if (!write_stall.ok()) return write_stall.status();
+  Result<int64_t> throttle_retry = flags.GetInt("throttle-retry-ms", 250);
+  if (!throttle_retry.ok()) return throttle_retry.status();
+  Result<int64_t> sndbuf = flags.GetInt("sndbuf-bytes", 0);
+  if (!sndbuf.ok()) return sndbuf.status();
+  Result<int64_t> probe_interval = flags.GetInt("probe-interval-ms", 200);
+  if (!probe_interval.ok()) return probe_interval.status();
   SMETER_RETURN_IF_ERROR(CheckNoStrayFlags(flags));
   if (*exit_after < 0) {
     return InvalidArgumentError("--exit-after-households must be >= 0");
@@ -605,6 +622,9 @@ Status CmdIngestd(const Flags& flags, std::ostream& out) {
   }
   if (*threads < 1 || *threads > 64) {
     return InvalidArgumentError("--threads must be in [1, 64]");
+  }
+  if (*throttle_retry < 0 || *throttle_retry > 3'600'000) {
+    return InvalidArgumentError("--throttle-retry-ms must be in [0, 3600000]");
   }
 
   net::IngestServerOptions options;
@@ -619,6 +639,14 @@ Status CmdIngestd(const Flags& flags, std::ostream& out) {
   options.high_watermark = static_cast<size_t>(*watermark);
   options.threads = static_cast<int>(*threads);
   options.force_single_acceptor = *single_acceptor;
+  options.max_connections = static_cast<int>(*max_conns);
+  options.max_connections_per_shard = static_cast<int>(*max_conns_shard);
+  options.memory_budget = static_cast<size_t>(*memory_budget);
+  options.rate_limit = *rate_limit;
+  options.write_stall_ms = *write_stall;
+  options.throttle_retry_ms = static_cast<uint32_t>(*throttle_retry);
+  options.sndbuf_bytes = static_cast<int>(*sndbuf);
+  options.probe_interval_ms = *probe_interval;
 
   Result<std::unique_ptr<net::IngestServer>> server =
       net::IngestServer::Create(std::move(options));
@@ -886,6 +914,10 @@ std::string UsageText() {
       "               [--idle-timeout-ms 30000] [--drain-grace-ms 5000]\n"
       "               [--exit-after-households 0]\n"
       "               [--high-watermark 1048576] [--single-acceptor false]\n"
+      "               [--max-connections 0] [--max-connections-per-shard 0]\n"
+      "               [--memory-budget 0] [--rate-limit 0]\n"
+      "               [--write-stall-ms 0] [--throttle-retry-ms 250]\n"
+      "               [--sndbuf-bytes 0] [--probe-interval-ms 200]\n"
       "               non-blocking epoll ingestion daemon speaking the\n"
       "               symbolic wire protocol; completed sessions land in\n"
       "               the same v3 archive layout encode-fleet writes.\n"
@@ -900,7 +932,16 @@ std::string UsageText() {
       "               meters complete a session in this run (carried\n"
       "               --resume records count only when re-acknowledged).\n"
       "               SIGTERM/SIGINT drain gracefully; SIGUSR1 dumps one\n"
-      "               aggregated per-shard counters JSON to stderr\n"
+      "               aggregated per-shard counters JSON to stderr.\n"
+      "               overload protection (each knob 0 = off):\n"
+      "               --max-connections caps concurrent connections across\n"
+      "               all shards (excess accepts are shed with a THROTTLE);\n"
+      "               --memory-budget caps total buffered ingest bytes;\n"
+      "               --rate-limit caps per-meter sessions/sec (token\n"
+      "               bucket); --write-stall-ms drops peers that stop\n"
+      "               draining acks; a full disk (ENOSPC) pauses persists\n"
+      "               and withholds acks until a space probe (every\n"
+      "               --probe-interval-ms) succeeds\n"
       "  loadgen      --connect HOST:PORT [--meters 10] [--input CER_FILE]\n"
       "               [--concurrency 8] [--connections 0]\n"
       "               [--batch-symbols 512] [--rate 0]\n"

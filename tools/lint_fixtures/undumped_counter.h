@@ -1,0 +1,15 @@
+// Seeded violation for the counters-dumped rule: `secretly_dropped` is a
+// real counter field but never reaches the stats-dump JSON below, so an
+// operator watching SIGUSR1 output could never see it move.
+
+#include <cstdint>
+#include <string>
+
+struct IngestCounters {
+  uint64_t sessions_accepted = 0;
+  uint64_t secretly_dropped = 0;
+};
+
+inline std::string ToJson() {
+  return "{\"sessions_accepted\": 1}";
+}

@@ -29,6 +29,12 @@ Rules (each finding is `rule: path:line: message`, exit 1 if any fire):
                         goes through the annotated wrappers so Clang's
                         -Wthread-safety sees every acquisition
                         (DESIGN.md section 13).
+  counters-dumped       Every uint64_t field of IngestCounters
+                        (src/net/ingest_server.h) must appear as a quoted
+                        JSON key in src/net/ingest_server.cc — a counter
+                        that never reaches the SIGUSR1 stats dump is an
+                        overload signal nobody can observe (DESIGN.md
+                        section 15).
 
 `--self-test` runs the rules against the seeded-violation fixtures in
 tools/lint_fixtures/ and fails unless every fixture trips exactly its
@@ -74,6 +80,9 @@ MUTEX_RE = re.compile(
 )
 # Pong frames parse through ParsePing (one nonce payload, two directions).
 PARSER_ALIASES = {"Pong": "Ping"}
+COUNTERS_STRUCT_RE = re.compile(r"struct\s+IngestCounters\s*\{(.*?)\};",
+                                re.DOTALL)
+COUNTER_FIELD_RE = re.compile(r"\buint64_t\s+(\w+)\s*=")
 
 
 def strip_line_comment(line):
@@ -156,6 +165,27 @@ def lint_wire_closure(rel, wire_text, test_blob):
     return findings
 
 
+def lint_counters_dumped(header_rel, header_text, impl_text):
+    """Every IngestCounters field must surface in the stats-dump JSON."""
+    findings = []
+    struct = COUNTERS_STRUCT_RE.search(header_text)
+    if not struct:
+        return findings
+    for field_match in COUNTER_FIELD_RE.finditer(struct.group(1)):
+        field = field_match.group(1)
+        # The dump builds its JSON inside C++ string literals, so the key
+        # usually appears escaped (\"key\"); accept the raw form too.
+        if (f'"{field}"' not in impl_text
+                and f'\\"{field}\\"' not in impl_text):
+            lineno = header_text[:struct.start(1) +
+                                 field_match.start()].count("\n") + 1
+            findings.append((
+                "counters-dumped", header_rel, lineno,
+                f'IngestCounters.{field} never appears as a quoted JSON '
+                f'key in the stats dump (ToJson must emit every counter)'))
+    return findings
+
+
 def collect(root, subdir):
     out = {}
     base = root / subdir
@@ -188,6 +218,11 @@ def lint_tree(root):
     if wire_rel in src_texts:
         findings.extend(lint_wire_closure(wire_rel, src_texts[wire_rel],
                                           test_blob))
+    counters_rel = "src/net/ingest_server.h"
+    if counters_rel in src_texts:
+        findings.extend(lint_counters_dumped(
+            counters_rel, src_texts[counters_rel],
+            src_texts.get("src/net/ingest_server.cc", "")))
     return findings
 
 
@@ -200,6 +235,10 @@ def lint_fixture(path):
     findings.extend(lint_fault_points({rel: text}, test_blob=""))
     if MAKE_RE.search(text) or PARSE_RE.search(text):
         findings.extend(lint_wire_closure(rel, text, test_blob=""))
+    if "IngestCounters" in text:
+        # The fixture plays both header and impl: its own JSON-ish string
+        # is the dump the fields must reach.
+        findings.extend(lint_counters_dumped(rel, text, text))
     return findings
 
 
@@ -211,6 +250,7 @@ FIXTURE_EXPECTATIONS = {
     "unchecked_value.cc": "unchecked-value",
     "raw_system.cc": "raw-system",
     "array_new.cc": "array-new",
+    "undumped_counter.h": "counters-dumped",
     "clean.cc": None,
 }
 
