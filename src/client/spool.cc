@@ -1,0 +1,484 @@
+#include "client/spool.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "core/symbol.h"
+#include "net/wire.h"
+
+namespace smeter::client {
+namespace {
+
+// --- little-endian field writers / readers ---------------------------------
+//
+// Same layout discipline as the wire codecs (net/wire.cc keeps its helpers
+// file-local on purpose — the two formats must be free to diverge), strict
+// in the same way: every Take errors on truncation and the caller asserts
+// exhaustion, so ParseSpoolRecord(EncodeSpoolRecord(x)) == x.
+
+void PutU8(std::string& out, uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void PutU16(std::string& out, uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutI64(std::string& out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+  Result<uint8_t> TakeU8() {
+    if (remaining() < 1) return Truncated();
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  Result<uint16_t> TakeU16() {
+    if (remaining() < 2) return Truncated();
+    uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) {
+      v |= static_cast<uint16_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 2;
+    return v;
+  }
+
+  Result<uint32_t> TakeU32() {
+    if (remaining() < 4) return Truncated();
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> TakeU64() {
+    if (remaining() < 8) return Truncated();
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  Result<int64_t> TakeI64() {
+    Result<uint64_t> v = TakeU64();
+    if (!v.ok()) return v.status();
+    return static_cast<int64_t>(*v);
+  }
+
+  Result<std::string> TakeBytes(size_t len) {
+    if (remaining() < len) return Truncated();
+    std::string s(data_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+
+  Status ExpectExhausted() const {
+    if (pos_ != data_.size()) {
+      return InvalidArgumentError("trailing bytes after spool record fields");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  static Status Truncated() {
+    return InvalidArgumentError("truncated spool record field");
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+Status ValidateHeader(const SpoolHeader& header) {
+  if (header.format_version != kSpoolFormatVersion) {
+    return InvalidArgumentError("spool format version " +
+                                std::to_string(header.format_version) +
+                                " is not " +
+                                std::to_string(kSpoolFormatVersion));
+  }
+  if (!net::IsValidMeterId(header.meter_id)) {
+    return InvalidArgumentError(
+        "spool meter id is empty, all dots, or has bytes outside "
+        "[A-Za-z0-9_.-]");
+  }
+  if (header.level < 1 || header.level > kMaxSymbolLevel) {
+    return InvalidArgumentError("spool level " +
+                                std::to_string(header.level) +
+                                " outside [1, " +
+                                std::to_string(kMaxSymbolLevel) + "]");
+  }
+  if (header.step_seconds <= 0 ||
+      header.step_seconds > net::kMaxWireStepSeconds) {
+    return InvalidArgumentError(
+        "spool step " + std::to_string(header.step_seconds) +
+        " outside (0, " + std::to_string(net::kMaxWireStepSeconds) + "]");
+  }
+  return Status::Ok();
+}
+
+Status ValidateBatch(const SpoolBatch& batch, uint8_t level) {
+  if (batch.seq == 0) {
+    return InvalidArgumentError("spool batch seq 0 (seqs are 1-based)");
+  }
+  if (batch.symbols.empty()) {
+    return InvalidArgumentError("empty spool batch");
+  }
+  if (batch.start_timestamp < -net::kMaxWireTimestamp ||
+      batch.start_timestamp > net::kMaxWireTimestamp) {
+    return InvalidArgumentError(
+        "spool batch start timestamp " +
+        std::to_string(batch.start_timestamp) + " outside ±" +
+        std::to_string(net::kMaxWireTimestamp));
+  }
+  const uint32_t alphabet = 1u << level;
+  for (uint16_t symbol : batch.symbols) {
+    if (symbol != net::kWireGapSymbol && symbol >= alphabet) {
+      return InvalidArgumentError("spool symbol " + std::to_string(symbol) +
+                                  " outside the level-" +
+                                  std::to_string(level) + " alphabet");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string EncodeSpoolRecord(const SpoolRecord& record) {
+  std::string out;
+  PutU8(out, static_cast<uint8_t>(record.type));
+  switch (record.type) {
+    case SpoolRecordType::kHeader: {
+      const SpoolHeader& header = record.header;
+      PutU16(out, header.format_version);
+      PutU16(out, static_cast<uint16_t>(
+                      std::min(header.meter_id.size(), net::kMaxWireString)));
+      out.append(header.meter_id, 0, net::kMaxWireString);
+      PutU32(out, header.table_version);
+      PutU8(out, header.level);
+      PutI64(out, header.step_seconds);
+      PutU32(out, static_cast<uint32_t>(header.table_blob.size()));
+      out += header.table_blob;
+      break;
+    }
+    case SpoolRecordType::kBatch: {
+      const SpoolBatch& batch = record.batch;
+      PutU64(out, batch.seq);
+      PutI64(out, batch.start_timestamp);
+      PutU32(out, static_cast<uint32_t>(batch.symbols.size()));
+      for (uint16_t symbol : batch.symbols) PutU16(out, symbol);
+      break;
+    }
+    case SpoolRecordType::kSeal:
+      PutU64(out, record.seal.windows_valid);
+      PutU64(out, record.seal.windows_partial);
+      PutU64(out, record.seal.windows_gap);
+      break;
+    case SpoolRecordType::kDone:
+      break;
+  }
+  return out;
+}
+
+Result<SpoolRecord> ParseSpoolRecord(std::string_view payload) {
+  Reader reader(payload);
+  SpoolRecord record;
+  Result<uint8_t> type = reader.TakeU8();
+  if (!type.ok()) return type.status();
+  if (*type < static_cast<uint8_t>(SpoolRecordType::kHeader) ||
+      *type > static_cast<uint8_t>(SpoolRecordType::kDone)) {
+    return InvalidArgumentError("unknown spool record type " +
+                                std::to_string(*type));
+  }
+  record.type = static_cast<SpoolRecordType>(*type);
+  switch (record.type) {
+    case SpoolRecordType::kHeader: {
+      SpoolHeader& header = record.header;
+      Result<uint16_t> version = reader.TakeU16();
+      if (!version.ok()) return version.status();
+      header.format_version = *version;
+      Result<uint16_t> id_len = reader.TakeU16();
+      if (!id_len.ok()) return id_len.status();
+      if (*id_len > net::kMaxWireString) {
+        return InvalidArgumentError("spool meter id longer than " +
+                                    std::to_string(net::kMaxWireString));
+      }
+      Result<std::string> meter = reader.TakeBytes(*id_len);
+      if (!meter.ok()) return meter.status();
+      header.meter_id = std::move(*meter);
+      Result<uint32_t> table_version = reader.TakeU32();
+      if (!table_version.ok()) return table_version.status();
+      header.table_version = *table_version;
+      Result<uint8_t> level = reader.TakeU8();
+      if (!level.ok()) return level.status();
+      header.level = *level;
+      Result<int64_t> step = reader.TakeI64();
+      if (!step.ok()) return step.status();
+      header.step_seconds = *step;
+      Result<uint32_t> blob_len = reader.TakeU32();
+      if (!blob_len.ok()) return blob_len.status();
+      if (*blob_len != reader.remaining()) {
+        return InvalidArgumentError(
+            "spool table blob length disagrees with record size");
+      }
+      Result<std::string> blob = reader.TakeBytes(*blob_len);
+      if (!blob.ok()) return blob.status();
+      header.table_blob = std::move(*blob);
+      SMETER_RETURN_IF_ERROR(ValidateHeader(header));
+      break;
+    }
+    case SpoolRecordType::kBatch: {
+      SpoolBatch& batch = record.batch;
+      Result<uint64_t> seq = reader.TakeU64();
+      if (!seq.ok()) return seq.status();
+      batch.seq = *seq;
+      Result<int64_t> start = reader.TakeI64();
+      if (!start.ok()) return start.status();
+      batch.start_timestamp = *start;
+      Result<uint32_t> count = reader.TakeU32();
+      if (!count.ok()) return count.status();
+      if (*count == 0) return InvalidArgumentError("empty spool batch");
+      if (reader.remaining() != static_cast<size_t>(*count) * 2) {
+        return InvalidArgumentError(
+            "spool symbol count disagrees with record size");
+      }
+      batch.symbols.reserve(*count);
+      for (uint32_t i = 0; i < *count; ++i) {
+        Result<uint16_t> symbol = reader.TakeU16();
+        if (!symbol.ok()) return symbol.status();
+        batch.symbols.push_back(*symbol);
+      }
+      // Symbol values are validated against the header's level at the
+      // file level (ReadSpool) — a lone record does not know the level,
+      // so only the structural checks run here.
+      SMETER_RETURN_IF_ERROR(ValidateBatch(batch, kMaxSymbolLevel));
+      break;
+    }
+    case SpoolRecordType::kSeal: {
+      Result<uint64_t> valid = reader.TakeU64();
+      if (!valid.ok()) return valid.status();
+      record.seal.windows_valid = *valid;
+      Result<uint64_t> partial = reader.TakeU64();
+      if (!partial.ok()) return partial.status();
+      record.seal.windows_partial = *partial;
+      Result<uint64_t> gap = reader.TakeU64();
+      if (!gap.ok()) return gap.status();
+      record.seal.windows_gap = *gap;
+      break;
+    }
+    case SpoolRecordType::kDone:
+      break;
+  }
+  SMETER_RETURN_IF_ERROR(reader.ExpectExhausted());
+  return record;
+}
+
+Result<SpoolContents> ReadSpool(const std::string& path) {
+  Result<io::AppendLogContents> log = io::ReadAppendLog(path);
+  if (!log.ok()) return log.status();
+  if (log->corrupt_midfile) {
+    return DataLossError(
+        path + ": spool record failed its checksum before end-of-file; "
+               "records after the damage are untrusted (quarantine via "
+               "fsck)");
+  }
+  SpoolContents contents;
+  contents.torn_tail = log->torn_tail;
+  contents.valid_bytes = log->valid_bytes;
+  if (log->records.empty()) {
+    // Creation is atomic with the header record inside, so an empty log
+    // never comes from this SDK — only from truncation to the magic.
+    return InvalidArgumentError(path + ": spool has no header record");
+  }
+  for (size_t i = 0; i < log->records.size(); ++i) {
+    Result<SpoolRecord> record = ParseSpoolRecord(log->records[i]);
+    if (!record.ok()) {
+      return Status(record.status().code(),
+                    path + ": record " + std::to_string(i) + ": " +
+                        record.status().message());
+    }
+    if (contents.done) {
+      return InvalidArgumentError(path + ": record after the DONE marker");
+    }
+    switch (record->type) {
+      case SpoolRecordType::kHeader:
+        if (i != 0) {
+          return InvalidArgumentError(path + ": duplicate spool header");
+        }
+        contents.header = std::move(record->header);
+        break;
+      case SpoolRecordType::kBatch: {
+        if (i == 0) {
+          return InvalidArgumentError(path +
+                                      ": first spool record is not a header");
+        }
+        if (contents.sealed) {
+          return InvalidArgumentError(path + ": batch after the SEAL record");
+        }
+        SpoolBatch& batch = record->batch;
+        if (batch.seq != contents.next_seq()) {
+          return InvalidArgumentError(
+              path + ": batch seq " + std::to_string(batch.seq) +
+              ", expected " + std::to_string(contents.next_seq()));
+        }
+        SMETER_RETURN_IF_ERROR(ValidateBatch(batch, contents.header.level));
+        contents.batches.push_back(std::move(batch));
+        break;
+      }
+      case SpoolRecordType::kSeal:
+        if (i == 0) {
+          return InvalidArgumentError(path +
+                                      ": first spool record is not a header");
+        }
+        if (contents.sealed) {
+          return InvalidArgumentError(path + ": duplicate SEAL record");
+        }
+        contents.sealed = true;
+        contents.seal = record->seal;
+        break;
+      case SpoolRecordType::kDone:
+        if (i == 0) {
+          return InvalidArgumentError(path +
+                                      ": first spool record is not a header");
+        }
+        if (!contents.sealed) {
+          return InvalidArgumentError(path + ": DONE before SEAL");
+        }
+        contents.done = true;
+        break;
+    }
+  }
+  return contents;
+}
+
+Result<Spool> Spool::Create(const std::string& path,
+                            const SpoolHeader& header) {
+  SMETER_RETURN_IF_ERROR(ValidateHeader(header));
+  std::error_code error;
+  if (std::filesystem::exists(path, error)) {
+    return FailedPreconditionError(path + ": spool already exists");
+  }
+  SpoolRecord record;
+  record.type = SpoolRecordType::kHeader;
+  record.header = header;
+  SMETER_RETURN_IF_ERROR(io::AtomicWriteFile(
+      path, io::BuildAppendLog({EncodeSpoolRecord(record)})));
+  Result<io::AppendLogWriter> writer = io::AppendLogWriter::OpenForAppend(path);
+  if (!writer.ok()) return writer.status();
+  return Spool(path, header, std::move(writer.value()));
+}
+
+Result<Spool> Spool::Resume(const std::string& path) {
+  Result<SpoolContents> contents = ReadSpool(path);
+  if (!contents.ok()) return contents.status();
+  if (contents->torn_tail) {
+    // The kill -9 signature: drop the partial trailing record so the next
+    // append starts on a frame boundary. Everything before it is intact.
+    SMETER_RETURN_IF_ERROR(
+        io::TruncateFile(path, contents->valid_bytes));
+  }
+  Result<io::AppendLogWriter> writer = io::AppendLogWriter::OpenForAppend(path);
+  if (!writer.ok()) return writer.status();
+  Spool spool(path, std::move(contents->header), std::move(writer.value()));
+  spool.next_seq_ = contents->next_seq();
+  spool.symbols_spooled_ = contents->symbols_spooled();
+  spool.sealed_ = contents->sealed;
+  spool.done_ = contents->done;
+  return spool;
+}
+
+Result<Spool> Spool::OpenOrCreate(const std::string& path,
+                                  const SpoolHeader& header) {
+  std::error_code error;
+  if (!std::filesystem::exists(path, error)) return Create(path, header);
+  Result<Spool> spool = Resume(path);
+  if (!spool.ok()) return spool.status();
+  if (!(spool->header() == header)) {
+    return FailedPreconditionError(
+        path + ": spool header disagrees with the requested upload "
+               "(meter re-encoded with different parameters?); refusing to "
+               "interleave two streams");
+  }
+  return spool;
+}
+
+Status Spool::Append(const SpoolRecord& record) {
+  // The client-side durability seam: tests kill the upload pipeline here
+  // at every call and prove Resume() continues from the last durable
+  // record (tests/integration/client_soak_test.cc).
+  SMETER_FAULT_POINT("client.spool.append");
+  return writer_.Append(EncodeSpoolRecord(record));
+}
+
+Status Spool::AppendBatch(const SpoolBatch& batch) {
+  if (done_) return FailedPreconditionError(path_ + ": spool is done");
+  if (sealed_) {
+    return FailedPreconditionError(path_ + ": spool is sealed");
+  }
+  if (batch.seq != next_seq_) {
+    return InvalidArgumentError(path_ + ": batch seq " +
+                                std::to_string(batch.seq) + ", expected " +
+                                std::to_string(next_seq_));
+  }
+  SMETER_RETURN_IF_ERROR(ValidateBatch(batch, header_.level));
+  SpoolRecord record;
+  record.type = SpoolRecordType::kBatch;
+  record.batch = batch;
+  SMETER_RETURN_IF_ERROR(Append(record));
+  ++next_seq_;
+  symbols_spooled_ += batch.symbols.size();
+  return Status::Ok();
+}
+
+Status Spool::Seal(const SpoolSeal& seal) {
+  if (done_) return FailedPreconditionError(path_ + ": spool is done");
+  if (sealed_) {
+    return FailedPreconditionError(path_ + ": spool is already sealed");
+  }
+  SpoolRecord record;
+  record.type = SpoolRecordType::kSeal;
+  record.seal = seal;
+  SMETER_RETURN_IF_ERROR(Append(record));
+  sealed_ = true;
+  return Status::Ok();
+}
+
+Status Spool::MarkDone() {
+  if (done_) return FailedPreconditionError(path_ + ": spool is already done");
+  if (!sealed_) {
+    return FailedPreconditionError(path_ + ": cannot mark an unsealed spool "
+                                           "done");
+  }
+  SpoolRecord record;
+  record.type = SpoolRecordType::kDone;
+  SMETER_RETURN_IF_ERROR(Append(record));
+  done_ = true;
+  return Status::Ok();
+}
+
+}  // namespace smeter::client

@@ -1,0 +1,228 @@
+// Crash-safe on-disk spool of pending symbol uploads (the client half of
+// end-to-end exactly-once delivery).
+//
+// A meter that encodes readings faster than it can reach the aggregation
+// server — or that crashes, reboots, or sits behind a partition — must not
+// lose them. The spool is the store-and-forward buffer: one append-only
+// file per meter, layered on the common/io checksummed append log (magic
+// "SMLG1\n", u32 length + crc32c per record), so every durability property
+// the fleet manifest already enjoys carries over wholesale:
+//
+//   * creation is atomic (AtomicWriteFile: tmp -> fsync -> rename -> dir
+//     fsync), so a spool either exists with a valid header or not at all;
+//   * every append is fsynced before it returns, so a batch on disk is a
+//     durable checkpoint;
+//   * a kill -9 mid-append leaves a torn tail the reader detects and
+//     Resume() truncates away — the valid prefix is never poisoned;
+//   * a bit flip anywhere fails that record's CRC32C and is reported as
+//     mid-file corruption, which fsck quarantines (`.spool` triage).
+//
+// Record stream (each record is one append-log frame):
+//
+//   HEADER  exactly once, first: format version, meter id, table version,
+//           symbol level, cadence step, and the serialized lookup table
+//           verbatim — everything the uploader needs to replay HELLO and
+//           TABLE_ANNOUNCE without re-encoding.
+//   BATCH   zero or more: durable sequence number (1-based, strictly
+//           consecutive), start timestamp, and the symbol values exactly
+//           as they will ride a SYMBOL_BATCH frame (kWireGapSymbol for
+//           GAP). A restarted client reads next_seq() and continues
+//           spooling where it stopped — no batch is ever re-encoded or
+//           skipped.
+//   SEAL    at most once, after the last batch: the client's EncodeQuality
+//           counts, i.e. the GOODBYE payload. A sealed spool is a complete
+//           upload unit; only sealed spools are eligible for uplink.
+//   DONE    at most once, last: the server acknowledged GOODBYE with kOk.
+//           Appended AFTER the ack so "done on disk" implies "durable on
+//           the server" (the server persists before GOODBYE_ACK). A done
+//           spool is safe to delete; re-uploading it is also safe because
+//           the server's duplicate-ack path acknowledges an already
+//           persisted meter without rewriting it — that pairing is the
+//           exactly-once argument (DESIGN.md section 16).
+//
+// The record codecs are strict exact inverses (trailing bytes, truncated
+// fields, and out-of-range values are errors), so Encode/Parse is closed
+// under fuzzing — see tests/fuzz/fuzz_spool.cc.
+//
+// Fault seam: every append passes `client.spool.append`, so tests can kill
+// the client at any durability point and prove Resume() continues exactly
+// where the last fsynced record left off.
+
+#ifndef SMETER_CLIENT_SPOOL_H_
+#define SMETER_CLIENT_SPOOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/io.h"
+#include "common/status.h"
+
+namespace smeter::client {
+
+// Bumped when the record layout changes; readers refuse versions they do
+// not speak rather than misparse them.
+inline constexpr uint16_t kSpoolFormatVersion = 1;
+
+// File extension the SDK, the uplink CLI, and fsck's spool triage agree on.
+inline constexpr char kSpoolSuffix[] = ".spool";
+
+enum class SpoolRecordType : uint8_t {
+  kHeader = 1,
+  kBatch = 2,
+  kSeal = 3,
+  kDone = 4,
+};
+
+struct SpoolHeader {
+  uint16_t format_version = kSpoolFormatVersion;
+  std::string meter_id;       // must satisfy net::IsValidMeterId
+  uint32_t table_version = 1;
+  uint8_t level = 1;          // bits per symbol, [1, kMaxSymbolLevel]
+  int64_t step_seconds = 0;   // cadence, > 0
+  std::string table_blob;     // LookupTable::Serialize() bytes verbatim
+
+  friend bool operator==(const SpoolHeader& a, const SpoolHeader& b) {
+    return a.format_version == b.format_version && a.meter_id == b.meter_id &&
+           a.table_version == b.table_version && a.level == b.level &&
+           a.step_seconds == b.step_seconds && a.table_blob == b.table_blob;
+  }
+};
+
+struct SpoolBatch {
+  uint64_t seq = 0;            // 1-based, strictly consecutive
+  int64_t start_timestamp = 0;
+  // Symbol alphabet indices (< 2^level), or kWireGapSymbol for GAP —
+  // the exact values a SYMBOL_BATCH frame will carry.
+  std::vector<uint16_t> symbols;  // non-empty
+
+  friend bool operator==(const SpoolBatch& a, const SpoolBatch& b) {
+    return a.seq == b.seq && a.start_timestamp == b.start_timestamp &&
+           a.symbols == b.symbols;
+  }
+};
+
+struct SpoolSeal {
+  uint64_t windows_valid = 0;
+  uint64_t windows_partial = 0;
+  uint64_t windows_gap = 0;
+
+  friend bool operator==(const SpoolSeal& a, const SpoolSeal& b) {
+    return a.windows_valid == b.windows_valid &&
+           a.windows_partial == b.windows_partial &&
+           a.windows_gap == b.windows_gap;
+  }
+};
+
+// One decoded record; `type` selects which member is meaningful.
+struct SpoolRecord {
+  SpoolRecordType type = SpoolRecordType::kHeader;
+  SpoolHeader header;  // kHeader
+  SpoolBatch batch;    // kBatch
+  SpoolSeal seal;      // kSeal
+};
+
+// Serializes one record's payload (the bytes inside an append-log frame;
+// the frame's own length + CRC32C wrapper comes from common/io).
+std::string EncodeSpoolRecord(const SpoolRecord& record);
+
+// Strict inverse of EncodeSpoolRecord: kInvalidArgument on an unknown
+// record type, truncated or trailing bytes, or out-of-domain fields
+// (level, step, timestamp, symbol values, empty batches, zero seq).
+Result<SpoolRecord> ParseSpoolRecord(std::string_view payload);
+
+// A whole spool file, structurally validated: header first and exactly
+// once, batch seqs consecutive from 1, seal before done, nothing after
+// done.
+struct SpoolContents {
+  SpoolHeader header;
+  std::vector<SpoolBatch> batches;
+  bool sealed = false;
+  SpoolSeal seal;
+  bool done = false;
+  // A partial trailing record ran to end-of-file (kill -9 mid-append).
+  // `valid_bytes` is where the intact prefix ends; Resume() truncates to
+  // it, and fsck repairs standalone files the same way.
+  bool torn_tail = false;
+  size_t valid_bytes = 0;
+
+  uint64_t next_seq() const {
+    return batches.empty() ? 1 : batches.back().seq + 1;
+  }
+  size_t symbols_spooled() const {
+    size_t total = 0;
+    for (const SpoolBatch& batch : batches) total += batch.symbols.size();
+    return total;
+  }
+};
+
+// Reads and validates a spool file. Errors on an unreadable file or bad
+// magic (propagated from io::ReadAppendLog), on mid-file corruption
+// (kDataLoss — fsck quarantines these), and on any structural violation;
+// a torn tail is NOT an error (flags above), matching the manifest's
+// crash-recovery policy.
+Result<SpoolContents> ReadSpool(const std::string& path);
+
+// Append handle over one spool file. Single-writer, like AppendLogWriter
+// underneath; the uploader and the spooling loop never share one Spool.
+class Spool {
+ public:
+  // Creates `path` atomically with the header as its first record, then
+  // opens it for appending. Fails if the file already exists.
+  static Result<Spool> Create(const std::string& path,
+                              const SpoolHeader& header);
+
+  // Opens an existing spool: truncates a torn tail (the crash signature),
+  // validates the record stream, and positions the writer after the last
+  // durable record. The caller continues at next_seq().
+  static Result<Spool> Resume(const std::string& path);
+
+  // Resume() when `path` exists, Create() otherwise. On resume the stored
+  // header must equal `header` — a mismatch means the caller re-encoded
+  // with different parameters, and appending to the old stream would
+  // interleave two incompatible uploads, so it is refused.
+  static Result<Spool> OpenOrCreate(const std::string& path,
+                                    const SpoolHeader& header);
+
+  Spool(Spool&&) = default;
+  Spool& operator=(Spool&&) = default;
+
+  // Durably appends one batch; `batch.seq` must equal next_seq(). Fault
+  // seams: `client.spool.append` (entry), plus the append log's own
+  // `manifest.append` / `io.fsync` underneath.
+  Status AppendBatch(const SpoolBatch& batch);
+
+  // Durably appends the SEAL record; no batches may follow.
+  Status Seal(const SpoolSeal& seal);
+
+  // Durably appends the DONE record (server acked GOODBYE with kOk).
+  Status MarkDone();
+
+  const std::string& path() const { return path_; }
+  const SpoolHeader& header() const { return header_; }
+  uint64_t next_seq() const { return next_seq_; }
+  size_t symbols_spooled() const { return symbols_spooled_; }
+  bool sealed() const { return sealed_; }
+  bool done() const { return done_; }
+
+ private:
+  Spool(std::string path, SpoolHeader header, io::AppendLogWriter writer)
+      : path_(std::move(path)),
+        header_(std::move(header)),
+        writer_(std::move(writer)) {}
+
+  Status Append(const SpoolRecord& record);
+
+  std::string path_;
+  SpoolHeader header_;
+  io::AppendLogWriter writer_;
+  uint64_t next_seq_ = 1;
+  size_t symbols_spooled_ = 0;
+  bool sealed_ = false;
+  bool done_ = false;
+};
+
+}  // namespace smeter::client
+
+#endif  // SMETER_CLIENT_SPOOL_H_

@@ -1,0 +1,116 @@
+// Client-SDK uploader: drains crash-safe spools into a running ingestd
+// over real TCP sockets, with retry, jittered backoff, and THROTTLE
+// push-back honoring — the connect/retry state machine half of the
+// store-and-forward client (client/spool.h is the durability half).
+//
+// Delivery contract (DESIGN.md section 16): a spool is uploaded by
+// replaying its records as the standard wire conversation — HELLO from the
+// spool header, TABLE_ANNOUNCE with the stored table blob verbatim, one
+// SYMBOL_BATCH per spooled batch (same seq, timestamps, and symbol
+// values), GOODBYE from the SEAL record. Any failure aborts the attempt;
+// the next attempt replays the conversation from the start, which is safe
+// because the server persists a session only at GOODBYE and acknowledges
+// an already persisted meter without rewriting it (ArchiveSink's
+// duplicate-ack path). Only after GOODBYE_ACK(kOk) — i.e. after the server
+// made the upload durable — is the spool's DONE marker appended, so every
+// reachable crash point resolves to "will retry" or "durable on both
+// ends", never to silent loss and never to duplicated readings.
+//
+// Fault seams: `client.connect` (before each TCP connect) and
+// `client.send` (before each frame write) let tests partition the network
+// and kill the client at every frame boundary deterministically.
+//
+// All functions are synchronous and exception-free; per-spool failures are
+// reported in the outcome structs, not thrown as errors, so one dead meter
+// never aborts a fleet drain.
+
+#ifndef SMETER_CLIENT_UPLOADER_H_
+#define SMETER_CLIENT_UPLOADER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/loadgen.h"
+
+namespace smeter::client {
+
+struct UploaderOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::string auth_token;
+  int max_attempts = 5;            // connection attempts per spool
+  int64_t io_timeout_ms = 10'000;  // per-socket send/recv timeout
+  // Retry pacing; a THROTTLE's retry_after_ms hint is added on top of the
+  // jittered draw, exactly like the load generator's retry loop.
+  net::BackoffPolicy backoff;
+  // Delete a spool file once its DONE marker is durable. Off by default:
+  // a done spool is inert (drains skip it) and useful for audits.
+  bool remove_done = false;
+};
+
+// What happened to one spool file.
+struct UploadOutcome {
+  std::string path;
+  std::string meter_id;
+  bool delivered = false;     // GOODBYE acked kOk this run
+  bool already_done = false;  // spool carried a DONE marker; nothing sent
+  bool skipped_unsealed = false;  // spool still accumulating; not eligible
+  uint64_t attempts = 0;
+  uint64_t throttled = 0;
+  uint64_t frames_sent = 0;
+  uint64_t symbols_sent = 0;
+  // Why the spool was not delivered (unreadable file, attempts exhausted);
+  // OK for delivered / already-done / skipped outcomes.
+  Status status;
+};
+
+// Aggregate over a drain (or a spool-fleet run).
+struct UplinkReport {
+  size_t spools_total = 0;
+  size_t delivered = 0;
+  size_t already_done = 0;
+  size_t skipped_unsealed = 0;
+  size_t failed = 0;
+  uint64_t attempts = 0;
+  uint64_t reconnects = 0;  // attempts beyond each spool's first
+  uint64_t throttled = 0;
+  uint64_t frames_sent = 0;
+  uint64_t symbols_sent = 0;
+
+  std::string ToJson() const;
+};
+
+// Uploads one spool file end to end: read + validate, replay the
+// conversation with retry/backoff, append DONE on success (and unlink when
+// options.remove_done). Never returns a Status error — every failure mode
+// lands in the outcome so fleet drains can keep going.
+UploadOutcome UploadSpool(const UploaderOptions& options,
+                          const std::string& path);
+
+// Uploads every `*.spool` under `dir` (sorted by name, `concurrency`
+// parallel workers; 0 acts as 1). Errors only when the directory itself
+// cannot be walked.
+Result<UplinkReport> DrainSpoolDir(const UploaderOptions& options,
+                                   const std::string& dir,
+                                   size_t concurrency = 1);
+
+// Store-and-forward fleet mode (`smeter loadgen --spool-dir`): runs the
+// shared sensor-side
+// pipeline (net::PrepareFleetUploads), spools every meter's batches and
+// SEAL durably under `spool_dir` — resuming mid-spool files exactly where
+// their last durable record left off — then drains the directory through
+// UploadSpool with `options.concurrency` workers. Crash-restart at ANY
+// point re-runs to the same archive: the spool layer dedupes the spooling
+// half, the server's duplicate-ack path dedupes the upload half. Errors on
+// setup problems (bad input, unwritable spool dir, spool append failure —
+// the process-crash signal in chaos tests); per-spool upload failures are
+// counted in the report instead.
+Result<UplinkReport> RunSpoolFleet(const net::LoadgenOptions& options,
+                                   const std::string& spool_dir,
+                                   bool remove_done = false);
+
+}  // namespace smeter::client
+
+#endif  // SMETER_CLIENT_UPLOADER_H_

@@ -101,12 +101,61 @@ Result<FsckReport> FsckArchive(const std::string& dir,
   // manifest records must be dropped so --resume re-encodes them.
   std::set<std::string> dropped_households;
 
+  // Spools checked this pass. They are client-side artifacts: a directory
+  // of nothing but spools (a client's spool dir fsck'd directly) is not an
+  // archive and must not be asked to produce a fleet manifest.
+  size_t spool_files = 0;
+
   for (const std::string& name : names) {
     const std::string path = dir + "/" + name;
     if (EndsWith(name, io::kTmpSuffix)) {
       FsckIssue& issue = add_issue(
           name, "stray_tmp", "leftover scratch file from an interrupted write");
       if (options.repair) repair_with(issue, "removed", RemoveFile(path));
+      continue;
+    }
+    if (EndsWith(name, ".spool")) {
+      // Client upload spools parked in the archive dir (or a spool dir
+      // fsck'd directly). Triage at the append-log framing level only —
+      // record semantics belong to the client SDK, which re-validates on
+      // resume. A torn tail is the signature of a crash mid-append: safe
+      // to truncate, the client re-spools the lost suffix. Mid-file CRC
+      // damage means the file can no longer be trusted as a whole, so it
+      // is quarantined like any other corrupt artifact.
+      ++report.files_checked;
+      ++spool_files;
+      Result<io::AppendLogContents> log = io::ReadAppendLog(path);
+      if (!log.ok()) {
+        FsckIssue& issue =
+            add_issue(name, "corrupt_spool", log.status().ToString());
+        if (options.repair) {
+          repair_with(issue, "quarantined", QuarantineFile(path));
+        }
+        continue;
+      }
+      if (log->corrupt_midfile || log->records.empty()) {
+        FsckIssue& issue = add_issue(
+            name, "corrupt_spool",
+            log->corrupt_midfile
+                ? "record checksum mismatch before the tail"
+                : "no intact records (torn or empty beyond the magic)");
+        if (options.repair) {
+          repair_with(issue, "quarantined", QuarantineFile(path));
+        }
+        continue;
+      }
+      if (log->torn_tail) {
+        FsckIssue& issue = add_issue(
+            name, "torn_spool",
+            "torn tail after " + std::to_string(log->valid_bytes) +
+                " valid bytes (crash mid-append)");
+        if (options.repair) {
+          repair_with(issue, "truncated",
+                      io::TruncateFile(path, log->valid_bytes));
+        }
+        continue;
+      }
+      ++report.spools_ok;
       continue;
     }
     const bool is_symbols = EndsWith(name, ".symbols");
@@ -163,7 +212,7 @@ Result<FsckReport> FsckArchive(const std::string& dir,
       manifest = std::move(*loaded);
       report.manifest_records = manifest.reports.size();
     }
-  } else if (report.files_checked > 0) {
+  } else if (report.files_checked > spool_files) {
     // Artifacts with no checkpoint at all: resume cannot skip anything.
     FsckIssue& issue =
         add_issue(kFleetManifestFile, "missing_artifact",
@@ -304,6 +353,7 @@ std::string FsckReportToJson(const FsckReport& report) {
   out += ",\"files_checked\":" + std::to_string(report.files_checked);
   out += ",\"symbols_ok\":" + std::to_string(report.symbols_ok);
   out += ",\"tables_ok\":" + std::to_string(report.tables_ok);
+  out += ",\"spools_ok\":" + std::to_string(report.spools_ok);
   out += ",\"manifest_records\":" + std::to_string(report.manifest_records);
   out += ",\"repair_attempted\":" +
          std::string(report.repair_attempted ? "true" : "false");

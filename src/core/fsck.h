@@ -7,6 +7,9 @@
 //                    (crash signature) and mid-file corruption are distinct
 //   *.symbols        wire-format parse including v3 header/block checksums
 //   *.table          lookup-table parse including the v2 crc32c footer
+//   *.spool          client upload spools: append-log framing and record
+//                    CRC32C (torn tails are truncated, mid-file damage is
+//                    quarantined; record semantics stay with the client SDK)
 //   *.tmp            stray scratch files from an interrupted AtomicWriteFile
 //   cross-check      every ok/degraded manifest record must have its
 //                    .table and .symbols on disk
@@ -42,7 +45,8 @@ struct FsckOptions {
 struct FsckIssue {
   std::string path;  // file name relative to the archive directory
   // One of: corrupt_symbols, corrupt_table, torn_manifest,
-  // corrupt_manifest, invalid_manifest, missing_artifact, stray_tmp.
+  // corrupt_manifest, invalid_manifest, missing_artifact, stray_tmp,
+  // torn_spool, corrupt_spool.
   std::string kind;
   std::string detail;    // human-readable specifics (e.g. which block)
   bool repaired = false;
@@ -56,6 +60,7 @@ struct FsckReport {
   size_t files_checked = 0;
   size_t symbols_ok = 0;
   size_t tables_ok = 0;
+  size_t spools_ok = 0;
   size_t manifest_records = 0;
   bool repair_attempted = false;
   std::vector<FsckIssue> issues;

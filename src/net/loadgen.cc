@@ -37,13 +37,24 @@ int64_t FullJitterBackoffMs(int attempt, const BackoffPolicy& policy,
   if (attempt <= 1) return 0;
   const int64_t base = policy.base_ms < 1 ? 1 : policy.base_ms;
   const int64_t cap = policy.cap_ms < base ? base : policy.cap_ms;
-  // base * 2^(attempt-2), saturating at the cap long before overflow.
+  // base * 2^(attempt-2), saturating at the cap. The doubling must not be
+  // allowed to run first and clamp after: with a cap near INT64_MAX the
+  // multiply itself is signed overflow (UB) around attempt 63, so saturate
+  // BEFORE doubling whenever another doubling could pass the cap.
   int64_t ceiling = base;
-  for (int i = 2; i < attempt && ceiling < cap; ++i) ceiling *= 2;
+  for (int i = 2; i < attempt && ceiling < cap; ++i) {
+    if (ceiling > cap / 2) {
+      ceiling = cap;
+      break;
+    }
+    ceiling *= 2;
+  }
   if (ceiling > cap) ceiling = cap;
   if (*rng_state == 0) *rng_state = 0x9e3779b97f4a7c15ull;
+  // The +1 (inclusive upper bound) happens in uint64 space: ceiling may
+  // legitimately be INT64_MAX, where `ceiling + 1` as int64 is UB.
   return static_cast<int64_t>(XorShift64(rng_state) %
-                              static_cast<uint64_t>(ceiling + 1));
+                              (static_cast<uint64_t>(ceiling) + 1));
 }
 
 namespace {
@@ -62,20 +73,12 @@ uint64_t JitterSeed(const std::string& name) {
   return seed == 0 ? 0x9e3779b97f4a7c15ull : seed;
 }
 
-// One meter's sensor-side result, computed before any socket is opened.
-struct PreparedMeter {
-  std::string name;
-  std::string table_blob;
-  SymbolicSeries symbols{1};
-  EncodeQuality quality;
-};
-
 // The sensor-side pipeline, step for step what encode-fleet runs per
 // household — shared inputs therefore yield bit-identical tables and
 // symbol streams on both paths.
-Result<PreparedMeter> PrepareMeter(const std::string& name,
-                                   const TimeSeries& trace,
-                                   const FleetEncodeOptions& options) {
+Result<PreparedUpload> PrepareMeter(const std::string& name,
+                                    const TimeSeries& trace,
+                                    const FleetEncodeOptions& options) {
   if (trace.empty()) {
     return FailedPreconditionError(name + ": empty trace");
   }
@@ -91,7 +94,7 @@ Result<PreparedMeter> PrepareMeter(const std::string& name,
   Result<LookupTable> table =
       LookupTable::Build(training.Values(), options.table);
   if (!table.ok()) return table.status();
-  PreparedMeter prepared;
+  PreparedUpload prepared;
   prepared.name = name;
   prepared.table_blob = table->Serialize();
   if (options.gap_aware) {
@@ -258,7 +261,7 @@ Status CheckThrottle(const Frame& frame, const std::string& meter_name,
 // connection is left open after the GOODBYE_ACK, ready for the next
 // meter's HELLO (the server resets the session to ExpectHello).
 Status UploadConversation(const LoadgenOptions& options,
-                          const PreparedMeter& meter, MeterClient* client_ptr,
+                          const PreparedUpload& meter, MeterClient* client_ptr,
                           SharedStats* stats, uint32_t* retry_hint_ms) {
   MeterClient& client = *client_ptr;
   HelloPayload hello;
@@ -347,7 +350,7 @@ Status UploadConversation(const LoadgenOptions& options,
 }
 
 // Classic mode: one fresh connection per attempt.
-Status UploadOnce(const LoadgenOptions& options, const PreparedMeter& meter,
+Status UploadOnce(const LoadgenOptions& options, const PreparedUpload& meter,
                   SharedStats* stats, uint32_t* retry_hint_ms) {
   MeterClient client;
   SMETER_RETURN_IF_ERROR(
@@ -356,7 +359,7 @@ Status UploadOnce(const LoadgenOptions& options, const PreparedMeter& meter,
   return UploadConversation(options, meter, &client, stats, retry_hint_ms);
 }
 
-void RunMeter(const LoadgenOptions& options, const PreparedMeter& meter,
+void RunMeter(const LoadgenOptions& options, const PreparedUpload& meter,
               SharedStats* stats) {
   const int attempts = options.max_attempts < 1 ? 1 : options.max_attempts;
   uint64_t rng = JitterSeed(meter.name);
@@ -384,7 +387,7 @@ void RunMeter(const LoadgenOptions& options, const PreparedMeter& meter,
 // cannot resynchronize a connection whose conversation died mid-frame, so
 // any error tears the socket down before retrying.
 void RunMeterMultiplexed(const LoadgenOptions& options,
-                         const PreparedMeter& meter, MeterClient* client,
+                         const PreparedUpload& meter, MeterClient* client,
                          bool* connected, SharedStats* stats) {
   const int attempts = options.max_attempts < 1 ? 1 : options.max_attempts;
   uint64_t rng = JitterSeed(meter.name);
@@ -459,24 +462,31 @@ std::string LoadgenReport::ToJson() const {
   return out.str();
 }
 
-Result<LoadgenReport> RunLoadgen(const LoadgenOptions& options) {
+Result<std::vector<PreparedUpload>> PrepareFleetUploads(
+    const LoadgenOptions& options) {
   Result<std::vector<std::pair<std::string, TimeSeries>>> traces =
       LoadTraces(options);
   if (!traces.ok()) return traces.status();
-
-  // Sensor-side encode up front (CPU-bound, deterministic), then the
-  // network phase replays the prepared uploads.
-  std::vector<PreparedMeter> prepared;
+  std::vector<PreparedUpload> prepared;
   prepared.reserve(traces->size());
   for (const auto& [name, trace] : *traces) {
-    Result<PreparedMeter> meter =
-        PrepareMeter(name, trace, options.encode);
+    Result<PreparedUpload> meter = PrepareMeter(name, trace, options.encode);
     if (!meter.ok()) {
       return Status(meter.status().code(),
                     name + ": " + meter.status().message());
     }
     prepared.push_back(std::move(meter.value()));
   }
+  return prepared;
+}
+
+Result<LoadgenReport> RunLoadgen(const LoadgenOptions& options) {
+  // Sensor-side encode up front (CPU-bound, deterministic), then the
+  // network phase replays the prepared uploads.
+  Result<std::vector<PreparedUpload>> prepared_or =
+      PrepareFleetUploads(options);
+  if (!prepared_or.ok()) return prepared_or.status();
+  std::vector<PreparedUpload> prepared = std::move(prepared_or.value());
 
   SharedStats stats;
   std::vector<std::thread> threads;

@@ -22,9 +22,12 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
+#include "core/encoder.h"
 #include "core/fleet_encoder.h"
+#include "core/symbolic_series.h"
 #include "data/generator.h"
 
 namespace smeter::net {
@@ -86,6 +89,24 @@ struct LoadgenOptions {
   // one-connection-per-meter mode driven by `concurrency`.
   size_t connections = 0;
 };
+
+// One meter's sensor-side result, computed before any socket is opened:
+// the serialized table plus the symbol stream and quality counts, i.e.
+// everything an upload conversation (or a client-SDK spool) needs.
+struct PreparedUpload {
+  std::string name;
+  std::string table_blob;
+  SymbolicSeries symbols{1};
+  EncodeQuality quality;
+};
+
+// Runs the sensor-side pipeline for the whole fleet described by
+// `options` (CER file or generator; encode parameters) without touching
+// the network. This is the shared front half of RunLoadgen and of the
+// client SDK's spool-and-forward mode (client/uploader.h), so both paths
+// produce bit-identical tables and symbol streams from the same input.
+Result<std::vector<PreparedUpload>> PrepareFleetUploads(
+    const LoadgenOptions& options);
 
 struct LoadgenReport {
   size_t meters_total = 0;

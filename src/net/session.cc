@@ -79,6 +79,21 @@ void Session::OnFrame(const Frame& frame, std::vector<Frame>* replies) {
     // The server should have closed already; ignore trailing frames.
     return;
   }
+  // Forward compatibility: a CRC-valid frame of a type this revision does
+  // not speak (a future protocol feature, probed by a newer client) is
+  // refused per-frame with a typed kUnsupported ack and NO state change —
+  // the session stays exactly where it was and the connection stays
+  // usable, so old servers degrade gracefully instead of desyncing. The
+  // refusal rides a GOODBYE_ACK shape because a future request's ack type
+  // is by definition unknown to us.
+  if (!IsKnownFrameType(static_cast<uint8_t>(frame.type))) {
+    AckPayload ack;
+    ack.status = WireStatus::kUnsupported;
+    ack.message = "unsupported frame type " +
+                  std::to_string(static_cast<int>(frame.type));
+    replies->push_back(MakeAck(FrameType::kGoodbyeAck, ack));
+    return;
+  }
   // PING is legal in any live state once the peer said HELLO.
   if (frame.type == FrameType::kPing && state_ != State::kExpectHello) {
     Result<PingPayload> ping = ParsePing(frame);

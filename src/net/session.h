@@ -89,6 +89,11 @@ class Session {
   // `replies`. After each call the server checks state(): kFailed means
   // flush replies then close; kComplete means persist, then send the
   // GOODBYE_ACK the server builds from the persist outcome.
+  //
+  // A CRC-valid frame whose type this revision does not know (a future
+  // protocol extension) is refused with a kUnsupported ack and leaves the
+  // session state untouched — the connection stays usable, so newer
+  // clients can probe features against older servers without desyncing.
   void OnFrame(const Frame& frame, std::vector<Frame>* replies)
       REQUIRES(writer_role_);
 

@@ -174,6 +174,7 @@ std::string WireStatusName(WireStatus status) {
     case WireStatus::kBadBatch: return "bad_batch";
     case WireStatus::kDraining: return "draining";
     case WireStatus::kServerError: return "server_error";
+    case WireStatus::kUnsupported: return "unsupported";
   }
   return "unknown";
 }
@@ -206,13 +207,10 @@ DecodeViewResult DecodeFrameView(std::string_view buffer) {
         " exceeds the " + std::to_string(kMaxFramePayload) + " byte cap");
     return result;
   }
+  // No frame-type gate here: a CRC-valid frame of an unknown (future) type
+  // decodes fine and the session layer refuses it with kUnsupported, so
+  // the stream stays in sync across protocol revisions.
   const uint8_t type = static_cast<uint8_t>(buffer[4]);
-  if (!IsKnownFrameType(type)) {
-    result.outcome = DecodeResult::Outcome::kError;
-    result.error = InvalidArgumentError("unknown frame type " +
-                                        std::to_string(type));
-    return result;
-  }
   if (buffer.size() < kFrameHeaderBytes + payload_len) {
     result.outcome = DecodeResult::Outcome::kNeedMore;
     return result;
@@ -305,7 +303,7 @@ Result<AckPayload> ParseAck(const Frame& frame) {
   AckPayload ack;
   Result<uint8_t> status = reader.TakeU8();
   if (!status.ok()) return status.status();
-  if (*status > static_cast<uint8_t>(WireStatus::kServerError)) {
+  if (*status > static_cast<uint8_t>(WireStatus::kUnsupported)) {
     return InvalidArgumentError("unknown wire status " +
                                 std::to_string(*status));
   }
@@ -446,7 +444,7 @@ Result<BatchAckPayload> ParseBatchAck(const Frame& frame) {
   ack.seq = *seq;
   Result<uint8_t> status = reader.TakeU8();
   if (!status.ok()) return status.status();
-  if (*status > static_cast<uint8_t>(WireStatus::kServerError)) {
+  if (*status > static_cast<uint8_t>(WireStatus::kUnsupported)) {
     return InvalidArgumentError("unknown wire status " +
                                 std::to_string(*status));
   }

@@ -81,7 +81,13 @@ enum class FrameType : uint8_t {
   kThrottle = 11,
 };
 
-// True for the types above; anything else on the wire is a protocol error.
+// True for the types above. Forward compatibility: an unknown type byte is
+// NOT a decode error — DecodeFrame hands a CRC-valid frame of any type to
+// the caller, and the session refuses it with a typed kUnsupported ack
+// while keeping the connection usable. A v2 server therefore survives a
+// v3 client probing a future frame type instead of desyncing on it; the
+// CRC (computed over type byte + payload) still guarantees the unknown
+// frame was framed intact, so skipping it cannot lose stream sync.
 bool IsKnownFrameType(uint8_t type);
 
 // Status code carried by every server reply.
@@ -95,6 +101,11 @@ enum class WireStatus : uint8_t {
   kBadBatch = 6,      // batch internally inconsistent (level, symbols)
   kDraining = 7,      // server is shutting down; retry elsewhere/later
   kServerError = 8,   // persistence or internal failure
+  // The request's frame type is from a future protocol revision this peer
+  // does not speak. The refusal is per-frame: the connection and session
+  // state survive, so an old server and a new client can negotiate down
+  // instead of desyncing (see IsKnownFrameType).
+  kUnsupported = 9,
 };
 
 std::string WireStatusName(WireStatus status);
@@ -127,9 +138,11 @@ struct DecodeResult {
 };
 
 // Decodes the first frame of `buffer`. kError covers an oversized or
-// zero-confidence length field (kInvalidArgument), an unknown frame type
-// (kInvalidArgument), and a CRC mismatch (kDataLoss); a short buffer is
-// kNeedMore, never an error, so a streaming reader can accumulate bytes.
+// zero-confidence length field (kInvalidArgument) and a CRC mismatch
+// (kDataLoss); a short buffer is kNeedMore, never an error, so a streaming
+// reader can accumulate bytes. An unknown (future) frame type that passes
+// its CRC decodes as kFrame — refusing it is session policy, not framing
+// policy (see IsKnownFrameType).
 DecodeResult DecodeFrame(std::string_view buffer);
 
 // Zero-copy decoded frame: `payload` points INTO the caller's receive

@@ -1,0 +1,328 @@
+// Spool durability tests: record codec closure, the file-level state
+// machine (header/batch/seal/done ordering, consecutive seqs), crash
+// recovery via Resume() after torn tails, and the client.spool.append
+// fault seam. The spool is the client half of exactly-once delivery, so
+// every test here is really a statement about what survives a kill -9.
+
+#include "client/spool.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/io.h"
+#include "core/symbol.h"
+#include "net/wire.h"
+#include "testutil.h"
+
+namespace smeter::client {
+namespace {
+
+using smeter::testing::TempPath;
+
+SpoolHeader TestHeader() {
+  SpoolHeader header;
+  header.meter_id = "meter_7";
+  header.table_version = 3;
+  header.level = 4;
+  header.step_seconds = 900;
+  header.table_blob = "serialized-table-bytes";
+  return header;
+}
+
+SpoolBatch TestBatch(uint64_t seq, int64_t start = 1000) {
+  SpoolBatch batch;
+  batch.seq = seq;
+  batch.start_timestamp = start;
+  batch.symbols = {1, 5, net::kWireGapSymbol, 14};
+  return batch;
+}
+
+// Writes a spool file from raw record payloads, bypassing the Spool class,
+// so structural violations unreachable through the API are testable.
+void WriteRawSpool(const std::string& path,
+                   const std::vector<std::string>& records) {
+  ASSERT_OK(io::AtomicWriteFile(path, io::BuildAppendLog(records)));
+}
+
+std::string HeaderRecord() {
+  SpoolRecord record;
+  record.type = SpoolRecordType::kHeader;
+  record.header = TestHeader();
+  return EncodeSpoolRecord(record);
+}
+
+std::string BatchRecord(uint64_t seq) {
+  SpoolRecord record;
+  record.type = SpoolRecordType::kBatch;
+  record.batch = TestBatch(seq);
+  return EncodeSpoolRecord(record);
+}
+
+std::string SealRecord() {
+  SpoolRecord record;
+  record.type = SpoolRecordType::kSeal;
+  record.seal = {4, 0, 1};
+  return EncodeSpoolRecord(record);
+}
+
+std::string DoneRecord() {
+  SpoolRecord record;
+  record.type = SpoolRecordType::kDone;
+  return EncodeSpoolRecord(record);
+}
+
+TEST(SpoolRecordTest, EveryRecordTypeRoundTrips) {
+  SpoolRecord header;
+  header.type = SpoolRecordType::kHeader;
+  header.header = TestHeader();
+  ASSERT_OK_AND_ASSIGN(SpoolRecord parsed,
+                       ParseSpoolRecord(EncodeSpoolRecord(header)));
+  EXPECT_EQ(parsed.type, SpoolRecordType::kHeader);
+  EXPECT_TRUE(parsed.header == header.header);
+
+  SpoolRecord batch;
+  batch.type = SpoolRecordType::kBatch;
+  batch.batch = TestBatch(9, -12345);
+  ASSERT_OK_AND_ASSIGN(parsed, ParseSpoolRecord(EncodeSpoolRecord(batch)));
+  EXPECT_EQ(parsed.type, SpoolRecordType::kBatch);
+  EXPECT_TRUE(parsed.batch == batch.batch);
+
+  SpoolRecord seal;
+  seal.type = SpoolRecordType::kSeal;
+  seal.seal = {10, 2, 3};
+  ASSERT_OK_AND_ASSIGN(parsed, ParseSpoolRecord(EncodeSpoolRecord(seal)));
+  EXPECT_EQ(parsed.type, SpoolRecordType::kSeal);
+  EXPECT_TRUE(parsed.seal == seal.seal);
+
+  SpoolRecord done;
+  done.type = SpoolRecordType::kDone;
+  ASSERT_OK_AND_ASSIGN(parsed, ParseSpoolRecord(EncodeSpoolRecord(done)));
+  EXPECT_EQ(parsed.type, SpoolRecordType::kDone);
+}
+
+TEST(SpoolRecordTest, ParserIsStrict) {
+  // Unknown type byte.
+  EXPECT_FALSE(ParseSpoolRecord(std::string(1, '\x09')).ok());
+  EXPECT_FALSE(ParseSpoolRecord("").ok());
+
+  // Truncation anywhere fails (every prefix of a valid record).
+  const std::string header = HeaderRecord();
+  for (size_t cut = 0; cut < header.size(); ++cut) {
+    EXPECT_FALSE(ParseSpoolRecord(std::string_view(header).substr(0, cut)).ok())
+        << "prefix of " << cut << " bytes parsed";
+  }
+  // Trailing bytes fail.
+  EXPECT_FALSE(ParseSpoolRecord(header + "x").ok());
+  EXPECT_FALSE(ParseSpoolRecord(DoneRecord() + "x").ok());
+
+  // Out-of-domain fields fail.
+  SpoolRecord bad;
+  bad.type = SpoolRecordType::kBatch;
+  bad.batch = TestBatch(0);  // seq 0
+  EXPECT_FALSE(ParseSpoolRecord(EncodeSpoolRecord(bad)).ok());
+  bad.batch = TestBatch(1);
+  bad.batch.symbols.clear();  // empty batch
+  EXPECT_FALSE(ParseSpoolRecord(EncodeSpoolRecord(bad)).ok());
+
+  SpoolRecord bad_header;
+  bad_header.type = SpoolRecordType::kHeader;
+  bad_header.header = TestHeader();
+  bad_header.header.level = kMaxSymbolLevel + 1;
+  EXPECT_FALSE(ParseSpoolRecord(EncodeSpoolRecord(bad_header)).ok());
+  bad_header.header = TestHeader();
+  bad_header.header.step_seconds = 0;
+  EXPECT_FALSE(ParseSpoolRecord(EncodeSpoolRecord(bad_header)).ok());
+  bad_header.header = TestHeader();
+  bad_header.header.meter_id = "../evil";
+  EXPECT_FALSE(ParseSpoolRecord(EncodeSpoolRecord(bad_header)).ok());
+  bad_header.header = TestHeader();
+  bad_header.header.format_version = 2;  // future version
+  EXPECT_FALSE(ParseSpoolRecord(EncodeSpoolRecord(bad_header)).ok());
+}
+
+TEST(SpoolTest, CreateAppendSealDoneLifecycle) {
+  const std::string path = TempPath("lifecycle.spool");
+  ASSERT_OK_AND_ASSIGN(Spool spool, Spool::Create(path, TestHeader()));
+  EXPECT_EQ(spool.next_seq(), 1u);
+  EXPECT_FALSE(spool.sealed());
+
+  ASSERT_OK(spool.AppendBatch(TestBatch(1)));
+  ASSERT_OK(spool.AppendBatch(TestBatch(2, 1000 + 4 * 900)));
+  EXPECT_EQ(spool.next_seq(), 3u);
+  EXPECT_EQ(spool.symbols_spooled(), 8u);
+
+  ASSERT_OK(spool.Seal({6, 0, 2}));
+  EXPECT_TRUE(spool.sealed());
+  ASSERT_OK(spool.MarkDone());
+  EXPECT_TRUE(spool.done());
+
+  ASSERT_OK_AND_ASSIGN(SpoolContents contents, ReadSpool(path));
+  EXPECT_TRUE(contents.header == TestHeader());
+  ASSERT_EQ(contents.batches.size(), 2u);
+  EXPECT_TRUE(contents.batches[0] == TestBatch(1));
+  EXPECT_TRUE(contents.sealed);
+  EXPECT_EQ(contents.seal.windows_valid, 6u);
+  EXPECT_TRUE(contents.done);
+  EXPECT_FALSE(contents.torn_tail);
+}
+
+TEST(SpoolTest, CreateRefusesAnExistingFile) {
+  const std::string path = TempPath("exists.spool");
+  ASSERT_OK(Spool::Create(path, TestHeader()).status());
+  EXPECT_EQ(Spool::Create(path, TestHeader()).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SpoolTest, OrderingViolationsAreRefusedAtAppendTime) {
+  const std::string path = TempPath("ordering.spool");
+  ASSERT_OK_AND_ASSIGN(Spool spool, Spool::Create(path, TestHeader()));
+  // Wrong seq (must be next_seq).
+  EXPECT_FALSE(spool.AppendBatch(TestBatch(2)).ok());
+  // Symbol outside the header's level-4 alphabet.
+  SpoolBatch wide = TestBatch(1);
+  wide.symbols[0] = 16;
+  EXPECT_FALSE(spool.AppendBatch(wide).ok());
+  // DONE before SEAL.
+  EXPECT_FALSE(spool.MarkDone().ok());
+
+  ASSERT_OK(spool.AppendBatch(TestBatch(1)));
+  ASSERT_OK(spool.Seal({4, 0, 0}));
+  // Batch after SEAL, double SEAL.
+  EXPECT_FALSE(spool.AppendBatch(TestBatch(2)).ok());
+  EXPECT_FALSE(spool.Seal({4, 0, 0}).ok());
+  ASSERT_OK(spool.MarkDone());
+  EXPECT_FALSE(spool.MarkDone().ok());
+}
+
+TEST(SpoolTest, ResumeContinuesAtTheNextSeq) {
+  const std::string path = TempPath("resume.spool");
+  {
+    ASSERT_OK_AND_ASSIGN(Spool spool, Spool::Create(path, TestHeader()));
+    ASSERT_OK(spool.AppendBatch(TestBatch(1)));
+    ASSERT_OK(spool.AppendBatch(TestBatch(2)));
+    // Spool handle dropped mid-upload (clean process exit, no seal).
+  }
+  ASSERT_OK_AND_ASSIGN(Spool resumed, Spool::Resume(path));
+  EXPECT_EQ(resumed.next_seq(), 3u);
+  EXPECT_EQ(resumed.symbols_spooled(), 8u);
+  EXPECT_FALSE(resumed.sealed());
+  ASSERT_OK(resumed.AppendBatch(TestBatch(3)));
+  ASSERT_OK(resumed.Seal({12, 0, 3}));
+
+  ASSERT_OK_AND_ASSIGN(SpoolContents contents, ReadSpool(path));
+  EXPECT_EQ(contents.batches.size(), 3u);
+  EXPECT_TRUE(contents.sealed);
+}
+
+TEST(SpoolTest, ResumeTruncatesATornTail) {
+  const std::string path = TempPath("torn.spool");
+  {
+    ASSERT_OK_AND_ASSIGN(Spool spool, Spool::Create(path, TestHeader()));
+    ASSERT_OK(spool.AppendBatch(TestBatch(1)));
+  }
+  // Simulate kill -9 mid-append: half of the next record's frame reaches
+  // the disk.
+  const std::string torn = io::EncodeAppendRecord(BatchRecord(2));
+  ASSERT_OK_AND_ASSIGN(std::string bytes, io::ReadFileToString(path));
+  const size_t intact = bytes.size();
+  ASSERT_OK(io::AtomicWriteFile(path,
+                                bytes + torn.substr(0, torn.size() / 2)));
+
+  ASSERT_OK_AND_ASSIGN(SpoolContents contents, ReadSpool(path));
+  EXPECT_TRUE(contents.torn_tail);
+  EXPECT_EQ(contents.valid_bytes, intact);
+  EXPECT_EQ(contents.batches.size(), 1u);
+
+  ASSERT_OK_AND_ASSIGN(Spool resumed, Spool::Resume(path));
+  EXPECT_EQ(resumed.next_seq(), 2u);
+  ASSERT_OK(resumed.AppendBatch(TestBatch(2)));
+  // The re-appended batch lands where the torn bytes were.
+  ASSERT_OK_AND_ASSIGN(SpoolContents after, ReadSpool(path));
+  EXPECT_FALSE(after.torn_tail);
+  EXPECT_EQ(after.batches.size(), 2u);
+}
+
+TEST(SpoolTest, MidFileCorruptionIsDataLoss) {
+  const std::string path = TempPath("corrupt.spool");
+  WriteRawSpool(path, {HeaderRecord(), BatchRecord(1), SealRecord()});
+  ASSERT_OK_AND_ASSIGN(std::string bytes, io::ReadFileToString(path));
+  // Flip a bit in the middle record's payload (well before the tail).
+  bytes[io::kAppendLogMagicSize + 8 + HeaderRecord().size() + 8 + 4] ^= 0x1;
+  ASSERT_OK(io::AtomicWriteFile(path, bytes));
+
+  EXPECT_EQ(ReadSpool(path).status().code(), StatusCode::kDataLoss);
+  EXPECT_FALSE(Spool::Resume(path).ok());
+}
+
+TEST(SpoolTest, StructuralViolationsAreRefusedAtReadTime) {
+  const std::string path = TempPath("structure.spool");
+
+  WriteRawSpool(path, {BatchRecord(1)});
+  EXPECT_FALSE(ReadSpool(path).ok());  // first record not a header
+
+  WriteRawSpool(path, {HeaderRecord(), HeaderRecord()});
+  EXPECT_FALSE(ReadSpool(path).ok());  // duplicate header
+
+  WriteRawSpool(path, {HeaderRecord(), BatchRecord(2)});
+  EXPECT_FALSE(ReadSpool(path).ok());  // seq gap (expected 1)
+
+  WriteRawSpool(path, {HeaderRecord(), BatchRecord(1), DoneRecord()});
+  EXPECT_FALSE(ReadSpool(path).ok());  // DONE before SEAL
+
+  WriteRawSpool(path,
+                {HeaderRecord(), BatchRecord(1), SealRecord(), BatchRecord(2)});
+  EXPECT_FALSE(ReadSpool(path).ok());  // batch after SEAL
+
+  WriteRawSpool(path, {HeaderRecord(), BatchRecord(1), SealRecord(),
+                       DoneRecord(), SealRecord()});
+  EXPECT_FALSE(ReadSpool(path).ok());  // record after DONE
+
+  WriteRawSpool(path, {});
+  EXPECT_FALSE(ReadSpool(path).ok());  // no header record
+}
+
+TEST(SpoolTest, OpenOrCreateResumesAndChecksTheHeader) {
+  const std::string path = TempPath("openorcreate.spool");
+  {
+    ASSERT_OK_AND_ASSIGN(Spool spool,
+                         Spool::OpenOrCreate(path, TestHeader()));
+    ASSERT_OK(spool.AppendBatch(TestBatch(1)));
+  }
+  // Same header: resumes.
+  ASSERT_OK_AND_ASSIGN(Spool resumed, Spool::OpenOrCreate(path, TestHeader()));
+  EXPECT_EQ(resumed.next_seq(), 2u);
+
+  // Different header (re-encoded meter): refused, file untouched.
+  SpoolHeader other = TestHeader();
+  other.level = 5;
+  EXPECT_EQ(Spool::OpenOrCreate(path, other).status().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_OK_AND_ASSIGN(SpoolContents contents, ReadSpool(path));
+  EXPECT_EQ(contents.batches.size(), 1u);
+}
+
+TEST(SpoolTest, AppendFaultSeamFailsTheAppendNotTheFile) {
+  const std::string path = TempPath("fault.spool");
+  ASSERT_OK_AND_ASSIGN(Spool spool, Spool::Create(path, TestHeader()));
+  ASSERT_OK(spool.AppendBatch(TestBatch(1)));
+  {
+    fault::ScopedFaultPlan plan(
+        {fault::FaultRule::FailCalls("client.spool.append", 1, 1)});
+    EXPECT_FALSE(spool.AppendBatch(TestBatch(2)).ok());
+    EXPECT_EQ(plan.TotalInjected(), 1u);
+  }
+  // The failed append changed nothing durable: the file still ends at
+  // batch 1, and a resumed writer picks up exactly there.
+  ASSERT_OK_AND_ASSIGN(Spool resumed, Spool::Resume(path));
+  EXPECT_EQ(resumed.next_seq(), 2u);
+  ASSERT_OK(resumed.AppendBatch(TestBatch(2)));
+  ASSERT_OK_AND_ASSIGN(SpoolContents contents, ReadSpool(path));
+  EXPECT_EQ(contents.batches.size(), 2u);
+}
+
+}  // namespace
+}  // namespace smeter::client

@@ -1,0 +1,294 @@
+// Uploader tests over real loopback sockets: one spool replayed as a wire
+// conversation must land in the archive and earn its DONE marker, done
+// spools must cost zero network traffic, and the client.connect /
+// client.send fault seams must surface as retries that converge — the
+// connect/retry half of the exactly-once contract.
+
+#include "client/uploader.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/spool.h"
+#include "common/fault_injection.h"
+#include "common/sync.h"
+#include "core/lookup_table.h"
+#include "net/ingest_server.h"
+#include "net/wire.h"
+#include "testutil.h"
+
+namespace smeter::client {
+namespace {
+
+constexpr int kLevel = 4;
+
+std::string TableBlob() {
+  LookupTableOptions options;
+  options.level = kLevel;
+  options.method = SeparatorMethod::kMedian;
+  std::vector<double> training;
+  for (int i = 1; i <= 64; ++i) training.push_back(10.0 * i);
+  Result<LookupTable> table = LookupTable::Build(training, options);
+  SMETER_CHECK(table.ok());
+  return table->Serialize();
+}
+
+SpoolHeader TestHeader(const std::string& meter = "meter_up1") {
+  SpoolHeader header;
+  header.meter_id = meter;
+  header.table_version = 1;
+  header.level = kLevel;
+  header.step_seconds = 900;
+  header.table_blob = TableBlob();
+  return header;
+}
+
+// A sealed single-batch spool ready for uplink: 4 windows, one of them a
+// gap, quality counts matching what the server will reconstruct.
+std::string MakeSealedSpool(const std::string& dir,
+                            const std::string& meter = "meter_up1") {
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/" + meter + kSpoolSuffix;
+  Result<Spool> spool = Spool::Create(path, TestHeader(meter));
+  SMETER_CHECK(spool.ok());
+  SpoolBatch batch;
+  batch.seq = 1;
+  batch.start_timestamp = 1'000;
+  batch.symbols = {1, 5, net::kWireGapSymbol, 14};
+  SMETER_CHECK(spool->AppendBatch(batch).ok());
+  SMETER_CHECK(spool->Seal({3, 0, 1}).ok());
+  return path;
+}
+
+// An ingest server on an ephemeral loopback port; joins on destruction.
+struct RunningServer {
+  std::unique_ptr<net::IngestServer> server;
+  std::thread thread;
+  Status result;
+
+  explicit RunningServer(const std::string& archive_dir,
+                         uint64_t exit_after = 0) {
+    net::IngestServerOptions options;
+    options.archive_dir = archive_dir;
+    options.port = 0;
+    options.drain_grace_ms = 500;
+    options.exit_after_households = exit_after;
+    auto created = net::IngestServer::Create(std::move(options));
+    SMETER_CHECK(created.ok());
+    server = std::move(created.value());
+    thread = std::thread([this] { result = server->Run(); });
+  }
+
+  RunningServer(const RunningServer&) = delete;
+  RunningServer& operator=(const RunningServer&) = delete;
+
+  ~RunningServer() {
+    if (thread.joinable()) {
+      server->RequestDrain();
+      thread.join();
+    }
+  }
+};
+
+UploaderOptions Options(uint16_t port) {
+  UploaderOptions options;
+  options.port = port;
+  // Failures in these tests are injected, not timing-dependent; retry
+  // fast so the suite stays quick.
+  options.backoff.base_ms = 1;
+  options.backoff.cap_ms = 5;
+  return options;
+}
+
+TEST(SpoolUplinkTest, SealedSpoolDeliversAndEarnsItsDoneMarker) {
+  const std::string dir = smeter::testing::TempPath("uplink_deliver");
+  const std::string path = MakeSealedSpool(dir + "/spool");
+  RunningServer running(dir + "/archive", 1);
+
+  UploadOutcome outcome =
+      UploadSpool(Options(running.server->port()), path);
+  ASSERT_OK(outcome.status);
+  EXPECT_TRUE(outcome.delivered);
+  EXPECT_FALSE(outcome.already_done);
+  EXPECT_EQ(outcome.meter_id, "meter_up1");
+  EXPECT_EQ(outcome.attempts, 1u);
+  // HELLO + TABLE_ANNOUNCE + 1 SYMBOL_BATCH + GOODBYE.
+  EXPECT_EQ(outcome.frames_sent, 4u);
+  EXPECT_EQ(outcome.symbols_sent, 4u);
+
+  running.thread.join();  // exit_after_households drains the server
+  ASSERT_OK(running.result);
+  ScopedThreadRole owner(running.server->role());
+  EXPECT_EQ(running.server->counters().households_persisted, 1u);
+  EXPECT_EQ(running.server->counters().symbols_persisted, 4u);
+
+  // DONE is on disk: the spool is now inert.
+  ASSERT_OK_AND_ASSIGN(SpoolContents contents, ReadSpool(path));
+  EXPECT_TRUE(contents.done);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/archive/meter_up1.symbols"));
+}
+
+TEST(SpoolUplinkTest, DoneSpoolSendsNothing) {
+  const std::string dir = smeter::testing::TempPath("uplink_done");
+  const std::string path = MakeSealedSpool(dir + "/spool");
+  {
+    ASSERT_OK_AND_ASSIGN(Spool spool, Spool::Resume(path));
+    ASSERT_OK(spool.MarkDone());
+  }
+  // Port 1 is unreachable — proving no connection is even attempted.
+  UploadOutcome outcome = UploadSpool(Options(1), path);
+  ASSERT_OK(outcome.status);
+  EXPECT_TRUE(outcome.already_done);
+  EXPECT_TRUE(outcome.delivered);
+  EXPECT_EQ(outcome.attempts, 0u);
+  EXPECT_EQ(outcome.frames_sent, 0u);
+}
+
+TEST(SpoolUplinkTest, UnsealedSpoolIsSkippedNotUploaded) {
+  const std::string dir = smeter::testing::TempPath("uplink_unsealed");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/meter_up1.spool";
+  {
+    ASSERT_OK_AND_ASSIGN(Spool spool, Spool::Create(path, TestHeader()));
+    SpoolBatch batch;
+    batch.seq = 1;
+    batch.start_timestamp = 0;
+    batch.symbols = {2, 3};
+    ASSERT_OK(spool.AppendBatch(batch));
+    // No SEAL: the meter is still accumulating.
+  }
+  UploadOutcome outcome = UploadSpool(Options(1), path);
+  ASSERT_OK(outcome.status);
+  EXPECT_TRUE(outcome.skipped_unsealed);
+  EXPECT_FALSE(outcome.delivered);
+  EXPECT_EQ(outcome.frames_sent, 0u);
+}
+
+TEST(SpoolUplinkTest, ConnectFaultRetriesAndConverges) {
+  const std::string dir = smeter::testing::TempPath("uplink_connect_fault");
+  const std::string path = MakeSealedSpool(dir + "/spool");
+  RunningServer running(dir + "/archive", 1);
+
+  UploadOutcome outcome;
+  {
+    fault::ScopedFaultPlan plan(
+        {fault::FaultRule::FailCalls("client.connect", 1, 1)});
+    outcome = UploadSpool(Options(running.server->port()), path);
+    EXPECT_EQ(plan.TotalInjected(), 1u);
+  }
+  ASSERT_OK(outcome.status);
+  EXPECT_TRUE(outcome.delivered);
+  EXPECT_EQ(outcome.attempts, 2u);
+
+  running.thread.join();
+  ASSERT_OK(running.result);
+  ScopedThreadRole owner(running.server->role());
+  EXPECT_EQ(running.server->counters().households_persisted, 1u);
+}
+
+TEST(SpoolUplinkTest, SendFaultAbortsTheAttemptThenReplaysCleanly) {
+  const std::string dir = smeter::testing::TempPath("uplink_send_fault");
+  const std::string path = MakeSealedSpool(dir + "/spool");
+  RunningServer running(dir + "/archive", 1);
+
+  UploadOutcome outcome;
+  {
+    // Kill the 3rd frame write (the SYMBOL_BATCH) of attempt 1: the
+    // conversation aborts mid-stream and attempt 2 replays from HELLO.
+    fault::ScopedFaultPlan plan(
+        {fault::FaultRule::FailCalls("client.send", 3, 3)});
+    outcome = UploadSpool(Options(running.server->port()), path);
+    EXPECT_EQ(plan.TotalInjected(), 1u);
+  }
+  ASSERT_OK(outcome.status);
+  EXPECT_TRUE(outcome.delivered);
+  EXPECT_EQ(outcome.attempts, 2u);
+  // Attempt 1 sent HELLO + TABLE; attempt 2 all four.
+  EXPECT_EQ(outcome.frames_sent, 6u);
+
+  running.thread.join();
+  ASSERT_OK(running.result);
+  // A half-uploaded then replayed meter lands exactly once.
+  ScopedThreadRole owner(running.server->role());
+  EXPECT_EQ(running.server->counters().households_persisted, 1u);
+  EXPECT_EQ(running.server->counters().symbols_persisted, 4u);
+}
+
+TEST(SpoolUplinkTest, ExhaustedAttemptsLeaveTheSpoolIntact) {
+  const std::string dir = smeter::testing::TempPath("uplink_exhausted");
+  const std::string path = MakeSealedSpool(dir + "/spool");
+
+  UploaderOptions options = Options(1);  // nothing listens on port 1
+  options.max_attempts = 2;
+  UploadOutcome outcome = UploadSpool(options, path);
+  EXPECT_FALSE(outcome.delivered);
+  EXPECT_FALSE(outcome.status.ok());
+  EXPECT_EQ(outcome.attempts, 2u);
+
+  // The failure cost nothing durable: still sealed, not done, ready for
+  // the next drain.
+  ASSERT_OK_AND_ASSIGN(SpoolContents contents, ReadSpool(path));
+  EXPECT_TRUE(contents.sealed);
+  EXPECT_FALSE(contents.done);
+  EXPECT_EQ(contents.batches.size(), 1u);
+}
+
+TEST(SpoolUplinkTest, DrainSpoolDirReportsEveryOutcomeClass) {
+  const std::string dir = smeter::testing::TempPath("uplink_drain");
+  const std::string spool_dir = dir + "/spool";
+  MakeSealedSpool(spool_dir, "meter_a");
+  const std::string done_path = MakeSealedSpool(spool_dir, "meter_b");
+  {
+    ASSERT_OK_AND_ASSIGN(Spool spool, Spool::Resume(done_path));
+    ASSERT_OK(spool.MarkDone());
+  }
+  {
+    Result<Spool> unsealed =
+        Spool::Create(spool_dir + "/meter_c.spool", TestHeader("meter_c"));
+    ASSERT_OK(unsealed.status());
+    SpoolBatch batch;
+    batch.seq = 1;
+    batch.start_timestamp = 0;
+    batch.symbols = {7};
+    ASSERT_OK(unsealed->AppendBatch(batch));
+  }
+
+  RunningServer running(dir + "/archive", 1);
+  ASSERT_OK_AND_ASSIGN(
+      UplinkReport report,
+      DrainSpoolDir(Options(running.server->port()), spool_dir, 2));
+  EXPECT_EQ(report.spools_total, 3u);
+  EXPECT_EQ(report.delivered, 1u);  // meter_a went over the wire
+  EXPECT_EQ(report.already_done, 1u);
+  EXPECT_EQ(report.skipped_unsealed, 1u);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.attempts, 1u);
+  EXPECT_EQ(report.reconnects, 0u);
+
+  // A second drain is pure dedup: everything eligible is done already.
+  ASSERT_OK_AND_ASSIGN(UplinkReport again,
+                       DrainSpoolDir(Options(1), spool_dir, 1));
+  EXPECT_EQ(again.delivered, 0u);
+  EXPECT_EQ(again.already_done, 2u);
+  EXPECT_EQ(again.frames_sent, 0u);
+}
+
+TEST(SpoolUplinkTest, RemoveDoneUnlinksAfterTheMarkerIsDurable) {
+  const std::string dir = smeter::testing::TempPath("uplink_remove");
+  const std::string path = MakeSealedSpool(dir + "/spool");
+  RunningServer running(dir + "/archive", 1);
+
+  UploaderOptions options = Options(running.server->port());
+  options.remove_done = true;
+  UploadOutcome outcome = UploadSpool(options, path);
+  ASSERT_OK(outcome.status);
+  EXPECT_TRUE(outcome.delivered);
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+}  // namespace
+}  // namespace smeter::client

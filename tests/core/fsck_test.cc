@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cli.h"
+#include "client/spool.h"
 #include "common/io.h"
 #include "core/fleet_manifest.h"
 #include "testutil.h"
@@ -276,6 +277,95 @@ TEST_F(FsckTest, RepairFlagDrivesTheExitOneContract) {
   EXPECT_EQ(RunExit({"fsck", "--dir", work_, "--repair", "true"}, &out), 1);
   EXPECT_NE(out.find("\"repair_attempted\":true"), std::string::npos) << out;
   EXPECT_NE(out.find("\"repaired\":true"), std::string::npos);
+}
+
+// A sealed single-batch client spool at `path`, for the spool-triage
+// cases below.
+void WriteTestSpool(const std::string& path) {
+  client::SpoolHeader header;
+  header.meter_id = "meter_7";
+  header.level = 4;
+  header.step_seconds = 900;
+  header.table_blob = "serialized-table-bytes";
+  ASSERT_OK_AND_ASSIGN(client::Spool spool,
+                       client::Spool::Create(path, header));
+  client::SpoolBatch batch;
+  batch.seq = 1;
+  batch.start_timestamp = 1'000;
+  batch.symbols = {1, 5, 14};
+  ASSERT_OK(spool.AppendBatch(batch));
+  ASSERT_OK(spool.Seal({3, 0, 0}));
+}
+
+TEST_F(FsckTest, TornSpoolTailIsTruncatedNotQuarantined) {
+  const std::string path = work_ + "/meter_7.spool";
+  WriteTestSpool(path);
+  // kill -9 mid-append: a partial record runs to end-of-file.
+  std::string partial = io::EncodeAppendRecord("half-a-batch-record");
+  WriteRaw(path, ReadAll(path) + partial.substr(0, partial.size() - 6));
+
+  ASSERT_OK_AND_ASSIGN(FsckReport report, FsckArchive(work_, {}));
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].path, "meter_7.spool");
+  EXPECT_EQ(report.issues[0].kind, "torn_spool");
+  EXPECT_EQ(FsckExitCode(report), 4);
+
+  FsckOptions repair;
+  repair.repair = true;
+  ASSERT_OK_AND_ASSIGN(FsckReport repaired, FsckArchive(work_, repair));
+  EXPECT_EQ(FsckExitCode(repaired), 1) << FsckReportToJson(repaired);
+  // The intact prefix survived: the spool reads clean and kept its data.
+  ASSERT_OK_AND_ASSIGN(client::SpoolContents contents,
+                       client::ReadSpool(path));
+  EXPECT_FALSE(contents.torn_tail);
+  EXPECT_TRUE(contents.sealed);
+  ASSERT_EQ(contents.batches.size(), 1u);
+  EXPECT_EQ(contents.batches[0].symbols.size(), 3u);
+
+  ASSERT_OK_AND_ASSIGN(FsckReport clean, FsckArchive(work_, {}));
+  EXPECT_TRUE(clean.clean()) << FsckReportToJson(clean);
+  EXPECT_EQ(clean.spools_ok, 1u);
+}
+
+TEST_F(FsckTest, MidFileCorruptSpoolIsQuarantined) {
+  const std::string path = work_ + "/meter_7.spool";
+  WriteTestSpool(path);
+  // Flip a byte inside the FIRST record's payload: damage before the
+  // tail, so the whole file is untrustworthy.
+  std::string bytes = ReadAll(path);
+  bytes[io::kAppendLogMagicSize + 8 + 2] ^= 0x40;
+  WriteRaw(path, bytes);
+
+  ASSERT_OK_AND_ASSIGN(FsckReport report, FsckArchive(work_, {}));
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].kind, "corrupt_spool");
+  EXPECT_EQ(FsckExitCode(report), 4);
+
+  FsckOptions repair;
+  repair.repair = true;
+  ASSERT_OK_AND_ASSIGN(FsckReport repaired, FsckArchive(work_, repair));
+  EXPECT_EQ(FsckExitCode(repaired), 1);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
+
+  std::filesystem::remove(path + ".corrupt");
+  ASSERT_OK_AND_ASSIGN(FsckReport clean, FsckArchive(work_, {}));
+  EXPECT_TRUE(clean.clean());
+}
+
+TEST_F(FsckTest, SpoolOnlyDirectoryNeedsNoManifest) {
+  // A client's spool dir fsck'd directly: spools are client artifacts, so
+  // their presence must not demand a fleet manifest.
+  const std::string dir = root_ + "/spool_only";
+  std::filesystem::create_directories(dir);
+  WriteTestSpool(dir + "/meter_7.spool");
+
+  ASSERT_OK_AND_ASSIGN(FsckReport report, FsckArchive(dir, {}));
+  EXPECT_TRUE(report.clean()) << FsckReportToJson(report);
+  EXPECT_EQ(FsckExitCode(report), 0);
+  EXPECT_EQ(report.spools_ok, 1u);
+  EXPECT_NE(FsckReportToJson(report).find("\"spools_ok\":1"),
+            std::string::npos);
 }
 
 TEST(FsckCliTest, UsageErrorsExitOne) {

@@ -1,0 +1,252 @@
+// Fuzz harness for the client spool format (client/spool.h). Three attack
+// surfaces, selected by the first input byte:
+//
+//   * raw bytes through ParseSpoolRecord — an accepted payload must
+//     re-encode to exactly the input bytes (the record codec is a strict
+//     inverse pair, closed under fuzzing);
+//   * a fuzz-built in-domain spool file through ReadSpool — the parsed
+//     contents must match what was written bit-exactly, then the same file
+//     is subjected to the two crash signatures fsck and Resume() must
+//     survive: truncation at an arbitrary point (torn tail) and a single
+//     bit flip (CRC-caught damage). An accepted damaged read may only ever
+//     be a prefix of the original — never different data;
+//   * hostile whole-file bytes through ReadSpool — must never crash, and
+//     anything accepted must rebuild to the file's own valid prefix.
+//
+// Crash conditions (beyond sanitizer reports): any closure mismatch, or a
+// damaged file that reads back as something other than a prefix of the
+// bytes that were actually spooled.
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "client/spool.h"
+#include "common/check.h"
+#include "common/io.h"
+#include "core/symbol.h"
+#include "fuzz_input.h"
+#include "net/wire.h"
+
+namespace smeter::client {
+namespace {
+
+using fuzz::FuzzInput;
+
+// One scratch file per process; every iteration overwrites it. Plain
+// (non-atomic) writes on purpose — the harness is the only writer and
+// skipping the fsync keeps the fuzz loop fast.
+const std::string& ScratchPath() {
+  static const std::string* path = [] {
+    return new std::string(
+        (std::filesystem::temp_directory_path() /
+         ("smeter_fuzz_spool_" + std::to_string(::getpid()) + ".spool"))
+            .string());
+  }();
+  return *path;
+}
+
+void WriteScratch(const std::string& bytes) {
+  std::ofstream out(ScratchPath(), std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  SMETER_CHECK(out.good());
+}
+
+// Raw bytes through the record codec: whatever parses must rebuild to the
+// same bytes and re-parse to the same record.
+void FuzzRecordClosure(const std::string& payload) {
+  Result<SpoolRecord> record = ParseSpoolRecord(payload);
+  if (!record.ok()) return;
+  const std::string rebuilt = EncodeSpoolRecord(*record);
+  SMETER_CHECK(rebuilt == payload);
+  SMETER_CHECK(ParseSpoolRecord(rebuilt).ok());
+}
+
+// `damaged` on disk must read as nothing more than a prefix of the
+// original contents: same header, a prefix of the batches, and flags only
+// the surviving records can justify. Returns without checking when the
+// read (correctly) refuses the file outright.
+void ExpectPrefixRead(const SpoolHeader& header,
+                      const std::vector<SpoolBatch>& batches) {
+  Result<SpoolContents> read = ReadSpool(ScratchPath());
+  if (!read.ok()) return;
+  SMETER_CHECK(read->header == header);
+  SMETER_CHECK_LE(read->batches.size(), batches.size());
+  for (size_t i = 0; i < read->batches.size(); ++i) {
+    SMETER_CHECK_EQ(read->batches[i].seq, batches[i].seq);
+    SMETER_CHECK(read->batches[i].start_timestamp ==
+                 batches[i].start_timestamp);
+    SMETER_CHECK(read->batches[i].symbols == batches[i].symbols);
+  }
+}
+
+// Builds an in-domain spool file from fuzz choices, checks ReadSpool's
+// closure on the intact bytes, then drives the torn-tail and bit-flip
+// oracles over the same file.
+void FuzzWholeFile(FuzzInput& in) {
+  SpoolHeader header;
+  header.meter_id = "meter_" + std::to_string(in.TakeIntInRange(0, 999999));
+  header.table_version = static_cast<uint32_t>(in.TakeUint64());
+  header.level = static_cast<uint8_t>(in.TakeIntInRange(1, kMaxSymbolLevel));
+  header.step_seconds = in.TakeIntInRange(1, 86'400);
+  header.table_blob = in.TakeString(in.TakeIntInRange(0, 128));
+
+  std::vector<SpoolBatch> batches;
+  const int n_batches = in.TakeIntInRange(0, 6);
+  for (int b = 0; b < n_batches; ++b) {
+    SpoolBatch batch;
+    batch.seq = static_cast<uint64_t>(b) + 1;
+    batch.start_timestamp =
+        static_cast<int64_t>(in.TakeUint64() % 1'000'000'000u);
+    const int n_symbols = in.TakeIntInRange(1, 24);
+    for (int s = 0; s < n_symbols; ++s) {
+      batch.symbols.push_back(
+          (in.TakeByte() % 6 == 0)
+              ? net::kWireGapSymbol
+              : static_cast<uint16_t>(
+                    in.TakeIntInRange(0, (1 << header.level) - 1)));
+    }
+    batches.push_back(std::move(batch));
+  }
+  const bool sealed = !batches.empty() && in.TakeByte() % 2 == 0;
+  SpoolSeal seal;
+  if (sealed) {
+    seal.windows_valid = in.TakeUint64() % 1'000;
+    seal.windows_partial = in.TakeUint64() % 1'000;
+    seal.windows_gap = in.TakeUint64() % 1'000;
+  }
+  const bool done = sealed && in.TakeByte() % 2 == 0;
+
+  std::vector<std::string> payloads;
+  {
+    SpoolRecord record;
+    record.type = SpoolRecordType::kHeader;
+    record.header = header;
+    payloads.push_back(EncodeSpoolRecord(record));
+  }
+  for (const SpoolBatch& batch : batches) {
+    SpoolRecord record;
+    record.type = SpoolRecordType::kBatch;
+    record.batch = batch;
+    payloads.push_back(EncodeSpoolRecord(record));
+  }
+  if (sealed) {
+    SpoolRecord record;
+    record.type = SpoolRecordType::kSeal;
+    record.seal = seal;
+    payloads.push_back(EncodeSpoolRecord(record));
+  }
+  if (done) {
+    SpoolRecord record;
+    record.type = SpoolRecordType::kDone;
+    payloads.push_back(EncodeSpoolRecord(record));
+  }
+  const std::string file = io::BuildAppendLog(payloads);
+
+  // Intact: the read must reproduce every field and re-encode to the very
+  // bytes on disk.
+  WriteScratch(file);
+  Result<SpoolContents> read = ReadSpool(ScratchPath());
+  SMETER_CHECK(read.ok());
+  SMETER_CHECK(read->header == header);
+  SMETER_CHECK_EQ(read->batches.size(), batches.size());
+  SMETER_CHECK(read->sealed == sealed);
+  SMETER_CHECK(read->done == done);
+  SMETER_CHECK(!read->torn_tail);
+  SMETER_CHECK_EQ(read->valid_bytes, file.size());
+  if (sealed) {
+    SMETER_CHECK(read->seal.windows_valid == seal.windows_valid);
+    SMETER_CHECK(read->seal.windows_partial == seal.windows_partial);
+    SMETER_CHECK(read->seal.windows_gap == seal.windows_gap);
+  }
+
+  // Torn tail: cut anywhere. The read either refuses the stump or returns
+  // a strict prefix and a valid_bytes it is safe to truncate to.
+  {
+    const size_t cut = static_cast<size_t>(
+        in.TakeIntInRange(0, static_cast<int>(file.size()) - 1));
+    WriteScratch(file.substr(0, cut));
+    Result<SpoolContents> torn = ReadSpool(ScratchPath());
+    if (torn.ok()) SMETER_CHECK_LE(torn->valid_bytes, cut);
+    ExpectPrefixRead(header, batches);
+  }
+
+  // Bit flip: CRC32C catches any single-bit error, so the flipped record
+  // (and everything structural after it) must vanish from the read, never
+  // mutate into different data.
+  {
+    std::string damaged = file;
+    const size_t pos = static_cast<size_t>(
+        in.TakeIntInRange(0, static_cast<int>(damaged.size()) - 1));
+    damaged[pos] = static_cast<char>(
+        static_cast<unsigned char>(damaged[pos]) ^ (1u << (in.TakeByte() % 8)));
+    WriteScratch(damaged);
+    ExpectPrefixRead(header, batches);
+  }
+}
+
+// Arbitrary bytes as a whole file: ReadSpool must never crash, and an
+// accepted read must rebuild to exactly the file's valid prefix — the
+// reader cannot hallucinate records the bytes don't contain.
+void FuzzHostileFile(FuzzInput& in) {
+  const bool with_magic = in.TakeByte() % 2 == 0;
+  std::string file;
+  if (with_magic) {
+    file.assign(io::kAppendLogMagic, io::kAppendLogMagicSize);
+  }
+  file += in.TakeRemainingString();
+  WriteScratch(file);
+  Result<SpoolContents> read = ReadSpool(ScratchPath());
+  if (!read.ok()) return;
+
+  std::vector<std::string> payloads;
+  {
+    SpoolRecord record;
+    record.type = SpoolRecordType::kHeader;
+    record.header = read->header;
+    payloads.push_back(EncodeSpoolRecord(record));
+  }
+  for (const SpoolBatch& batch : read->batches) {
+    SpoolRecord record;
+    record.type = SpoolRecordType::kBatch;
+    record.batch = batch;
+    payloads.push_back(EncodeSpoolRecord(record));
+  }
+  if (read->sealed) {
+    SpoolRecord record;
+    record.type = SpoolRecordType::kSeal;
+    record.seal = read->seal;
+    payloads.push_back(EncodeSpoolRecord(record));
+  }
+  if (read->done) {
+    SpoolRecord record;
+    record.type = SpoolRecordType::kDone;
+    payloads.push_back(EncodeSpoolRecord(record));
+  }
+  SMETER_CHECK_LE(read->valid_bytes, file.size());
+  SMETER_CHECK(io::BuildAppendLog(payloads) ==
+               file.substr(0, read->valid_bytes));
+}
+
+}  // namespace
+}  // namespace smeter::client
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  smeter::fuzz::FuzzInput in(data, size);
+  switch (in.TakeByte() % 3) {
+    case 0:
+      smeter::client::FuzzRecordClosure(in.TakeRemainingString());
+      break;
+    case 1:
+      smeter::client::FuzzWholeFile(in);
+      break;
+    default:
+      smeter::client::FuzzHostileFile(in);
+      break;
+  }
+  return 0;
+}

@@ -126,7 +126,7 @@ void FuzzEncodeDecodeClosure(FuzzInput& in) {
       }
       case 1: {
         AckPayload p;
-        p.status = static_cast<WireStatus>(in.TakeByte() % 9);
+        p.status = static_cast<WireStatus>(in.TakeByte() % 10);
         p.message = in.TakeString(in.TakeIntInRange(0, 48));
         FrameType t = (in.TakeByte() % 2) == 0 ? FrameType::kHelloAck
                                                : FrameType::kGoodbyeAck;
@@ -160,7 +160,7 @@ void FuzzEncodeDecodeClosure(FuzzInput& in) {
       case 4: {
         BatchAckPayload p;
         p.seq = in.TakeUint64();
-        p.status = static_cast<WireStatus>(in.TakeByte() % 9);
+        p.status = static_cast<WireStatus>(in.TakeByte() % 10);
         p.message = in.TakeString(in.TakeIntInRange(0, 48));
         frames.push_back(MakeBatchAck(p));
         break;
@@ -361,8 +361,9 @@ void FuzzSession(FuzzInput& in) {
         break;
       }
       case 6: {
-        // Hostile: a known type carrying an unparseable payload.
-        frame.type = static_cast<FrameType>(in.TakeIntInRange(1, 11));
+        // Hostile: a known type with an unparseable payload, or a future
+        // type the session must refuse (kUnsupported) without desyncing.
+        frame.type = static_cast<FrameType>(in.TakeIntInRange(1, 255));
         frame.payload = in.TakeString(in.TakeIntInRange(0, 24));
         break;
       }

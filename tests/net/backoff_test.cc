@@ -93,6 +93,33 @@ TEST(FullJitterBackoffTest, DegeneratePoliciesAreClamped) {
   EXPECT_NE(rng, 0u);
 }
 
+TEST(FullJitterBackoffTest, HugeAttemptCountsNeverOverflow) {
+  // Regression: the doubling loop used to overflow int64 once the attempt
+  // count pushed the theoretical ceiling past INT64_MAX (signed overflow is
+  // UB, and in practice produced negative delays). A client that has been
+  // retrying for days must still draw sane, cap-bounded waits.
+  BackoffPolicy policy;
+  policy.base_ms = 50;
+  policy.cap_ms = 2'000;
+  uint64_t rng = 9;
+  for (int attempt : {63, 64, 65, 100, 1'000, 1'000'000, INT32_MAX}) {
+    const int64_t delay = FullJitterBackoffMs(attempt, policy, &rng);
+    EXPECT_GE(delay, 0) << "attempt " << attempt;
+    EXPECT_LE(delay, policy.cap_ms) << "attempt " << attempt;
+  }
+
+  // The pathological-but-legal policy: a cap of INT64_MAX means the
+  // ceiling itself saturates at INT64_MAX, and the modulus (ceiling + 1)
+  // must be computed in uint64 space rather than overflowing back to zero.
+  BackoffPolicy unbounded;
+  unbounded.base_ms = 1;
+  unbounded.cap_ms = INT64_MAX;
+  for (int attempt : {2, 63, 64, 70, 1'000}) {
+    const int64_t delay = FullJitterBackoffMs(attempt, unbounded, &rng);
+    EXPECT_GE(delay, 0) << "attempt " << attempt;
+  }
+}
+
 TEST(XorShift64Test, AdvancesAndNeverYieldsZero) {
   uint64_t state = 1;
   std::set<uint64_t> seen;

@@ -370,6 +370,43 @@ TEST(SessionTest, PingWorksInAnyLiveStateAfterHello) {
   EXPECT_EQ(session.state(), Session::State::kStreaming);
 }
 
+TEST(SessionTest, UnknownFrameTypeIsRefusedWithoutStateChange) {
+  // A CRC-valid frame of a future type must be answered with a typed
+  // kUnsupported ack and leave the session exactly where it was, in every
+  // live state — the connection keeps working afterwards.
+  Frame future;
+  future.type = static_cast<FrameType>(200);
+  future.payload = "v3-feature-probe";
+
+  Session session(SessionOptions{});
+  ScopedThreadRole writer(session.writer_role());
+
+  // kExpectHello: refused, then a real HELLO still succeeds.
+  ExpectAck(Feed(session, future), FrameType::kGoodbyeAck,
+            WireStatus::kUnsupported);
+  EXPECT_EQ(session.state(), Session::State::kExpectHello);
+  ExpectAck(Feed(session, Hello()), FrameType::kHelloAck, WireStatus::kOk);
+
+  // kExpectTable: refused, then the table still lands.
+  ExpectAck(Feed(session, future), FrameType::kGoodbyeAck,
+            WireStatus::kUnsupported);
+  EXPECT_EQ(session.state(), Session::State::kExpectTable);
+  ExpectAck(Feed(session, Table()), FrameType::kTableAck, WireStatus::kOk);
+
+  // kStreaming: refused mid-stream, then the upload completes normally.
+  Feed(session, Batch(1, 0, 900, {1, 2}));
+  std::vector<Frame> replies = Feed(session, future);
+  ExpectAck(replies, FrameType::kGoodbyeAck, WireStatus::kUnsupported);
+  ASSERT_OK_AND_ASSIGN(AckPayload ack, ParseAck(replies[0]));
+  EXPECT_NE(ack.message.find("200"), std::string::npos) << ack.message;
+  EXPECT_EQ(session.state(), Session::State::kStreaming);
+  EXPECT_EQ(session.symbols_received(), 2u);
+
+  Feed(session, Batch(2, 2 * 900, 900, {3}));
+  Feed(session, MakeGoodbye({3, 0, 0}));
+  EXPECT_EQ(session.state(), Session::State::kComplete);
+}
+
 TEST(SessionTest, FramesAfterTerminalStatesAreIgnored) {
   Session session(SessionOptions{});
   Handshake(session);

@@ -79,15 +79,29 @@ TEST(WireFrameTest, EverySingleBitFlipIsDetected) {
   }
 }
 
-TEST(WireFrameTest, UnknownFrameTypeIsError) {
+TEST(WireFrameTest, UnknownFrameTypeDecodesWhenCrcValid) {
+  // Forward compatibility: a frame of a type this revision has never heard
+  // of still decodes as long as the CRC checks out — refusing it is session
+  // policy (typed kUnsupported ack), not a codec error, so the stream never
+  // desyncs on a future protocol extension.
   Frame frame;
-  frame.type = FrameType::kHello;
-  frame.payload = "x";
+  frame.type = static_cast<FrameType>(99);
+  frame.payload = "future-feature";
   std::string bytes = EncodeFrame(frame);
-  bytes[4] = 99;  // type byte, not a FrameType
   DecodeResult result = DecodeFrame(bytes);
-  EXPECT_EQ(result.outcome, DecodeResult::Outcome::kError);
-  EXPECT_EQ(result.error.code(), StatusCode::kInvalidArgument);
+  ASSERT_EQ(result.outcome, DecodeResult::Outcome::kFrame);
+  EXPECT_EQ(static_cast<uint8_t>(result.frame.type), 99);
+  EXPECT_EQ(result.frame.payload, "future-feature");
+  EXPECT_EQ(result.consumed, bytes.size());
+
+  // A type byte that was *damaged in flight* (CRC computed over the
+  // original type) is still caught: the CRC covers the type byte.
+  std::string damaged = EncodeFrame(MakePing(7));
+  damaged[4] = 99;
+  DecodeResult torn = DecodeFrame(damaged);
+  ASSERT_EQ(torn.outcome, DecodeResult::Outcome::kError);
+  EXPECT_EQ(torn.error.code(), StatusCode::kDataLoss);
+
   EXPECT_FALSE(IsKnownFrameType(0));
   EXPECT_FALSE(IsKnownFrameType(12));
   EXPECT_TRUE(IsKnownFrameType(1));
@@ -198,6 +212,26 @@ TEST(WirePayloadTest, AckRejectsOutOfRangeStatus) {
   Frame frame = MakeAck(FrameType::kHelloAck, {WireStatus::kOk, ""});
   frame.payload[0] = 120;  // not a WireStatus
   EXPECT_FALSE(ParseAck(frame).ok());
+}
+
+TEST(WirePayloadTest, UnsupportedStatusRoundTripsInBothAckShapes) {
+  // kUnsupported is the newest (largest) status value; it must survive the
+  // parse-side range check in both the plain ack and the batch ack.
+  AckPayload ack;
+  ack.status = WireStatus::kUnsupported;
+  ack.message = "unsupported frame type 99";
+  ASSERT_OK_AND_ASSIGN(AckPayload parsed,
+                       ParseAck(MakeAck(FrameType::kGoodbyeAck, ack)));
+  EXPECT_EQ(parsed.status, WireStatus::kUnsupported);
+  EXPECT_EQ(parsed.message, ack.message);
+
+  BatchAckPayload batch_ack;
+  batch_ack.seq = 5;
+  batch_ack.status = WireStatus::kUnsupported;
+  ASSERT_OK_AND_ASSIGN(BatchAckPayload parsed_batch,
+                       ParseBatchAck(MakeBatchAck(batch_ack)));
+  EXPECT_EQ(parsed_batch.status, WireStatus::kUnsupported);
+  EXPECT_EQ(parsed_batch.seq, 5u);
 }
 
 TEST(WirePayloadTest, TableAnnounceRoundTripsBlobVerbatim) {
@@ -359,11 +393,12 @@ TEST(WirePayloadTest, ThrottleFrameSurvivesEncodeDecode) {
 }
 
 TEST(WireStatusTest, EveryStatusHasAName) {
-  for (uint8_t s = 0; s <= 8; ++s) {
+  for (uint8_t s = 0; s <= 9; ++s) {
     EXPECT_FALSE(WireStatusName(static_cast<WireStatus>(s)).empty());
   }
   EXPECT_EQ(WireStatusName(WireStatus::kOk), "ok");
   EXPECT_EQ(WireStatusName(WireStatus::kDraining), "draining");
+  EXPECT_EQ(WireStatusName(WireStatus::kUnsupported), "unsupported");
 }
 
 }  // namespace

@@ -21,6 +21,7 @@
 #include "data/cer.h"
 #include "data/generator.h"
 #include "data/redd.h"
+#include "client/uploader.h"
 #include "net/ingest_server.h"
 #include "net/loadgen.h"
 
@@ -693,6 +694,12 @@ Status CmdLoadgen(const Flags& flags, std::ostream& out, int* exit_code) {
   if (!io_timeout.ok()) return io_timeout.status();
   Result<int64_t> connections = flags.GetInt("connections", 0);
   if (!connections.ok()) return connections.status();
+  // Durable-spool mode: stage every batch in a crash-safe on-disk spool
+  // under --spool-dir, then drain through the client SDK (restart-resume,
+  // exactly-once) instead of streaming straight from memory.
+  std::string spool_dir = flags.GetOr("spool-dir", "");
+  Result<bool> remove_done = flags.GetBool("remove-done", false);
+  if (!remove_done.ok()) return remove_done.status();
   // Sensor-side encoding — keep in lockstep with encode-fleet's flags when
   // comparing archives.
   Result<SeparatorMethod> method =
@@ -746,11 +753,57 @@ Status CmdLoadgen(const Flags& flags, std::ostream& out, int* exit_code) {
   options.io_timeout_ms = *io_timeout;
   options.connections = static_cast<size_t>(*connections);
 
+  if (!spool_dir.empty()) {
+    Result<client::UplinkReport> report =
+        client::RunSpoolFleet(options, spool_dir, *remove_done);
+    if (!report.ok()) return report.status();
+    out << report->ToJson() << "\n";
+    if (report->failed > 0) *exit_code = 1;
+    return Status::Ok();
+  }
+
   Result<net::LoadgenReport> report = net::RunLoadgen(options);
   if (!report.ok()) return report.status();
   out << report->ToJson() << "\n";
   // A fleet that did not fully land is a graded failure, like fsck's.
   if (report->meters_failed > 0) *exit_code = 1;
+  return Status::Ok();
+}
+
+Status CmdUplink(const Flags& flags, std::ostream& out, int* exit_code) {
+  Result<std::string> connect = flags.Get("connect");
+  if (!connect.ok()) return connect.status();
+  Result<std::string> spool_dir = flags.Get("spool-dir");
+  if (!spool_dir.ok()) return spool_dir.status();
+  std::string auth_token = flags.GetOr("auth-token", "");
+  Result<int64_t> concurrency = flags.GetInt("concurrency", 1);
+  if (!concurrency.ok()) return concurrency.status();
+  Result<int64_t> attempts = flags.GetInt("max-attempts", 5);
+  if (!attempts.ok()) return attempts.status();
+  Result<int64_t> io_timeout = flags.GetInt("io-timeout-ms", 10'000);
+  if (!io_timeout.ok()) return io_timeout.status();
+  Result<bool> remove_done = flags.GetBool("remove-done", false);
+  if (!remove_done.ok()) return remove_done.status();
+  SMETER_RETURN_IF_ERROR(CheckNoStrayFlags(flags));
+  if (*concurrency < 1) {
+    return InvalidArgumentError("--concurrency must be >= 1");
+  }
+
+  client::UploaderOptions options;
+  SMETER_RETURN_IF_ERROR(
+      net::ParseListenAddress(*connect, &options.host, &options.port));
+  options.auth_token = auth_token;
+  options.max_attempts = static_cast<int>(*attempts);
+  options.io_timeout_ms = *io_timeout;
+  options.remove_done = *remove_done;
+
+  Result<client::UplinkReport> report = client::DrainSpoolDir(
+      options, *spool_dir, static_cast<size_t>(*concurrency));
+  if (!report.ok()) return report.status();
+  out << report->ToJson() << "\n";
+  // A spool that did not land after all retries is a graded failure: the
+  // data is still safe on disk, so the caller should rerun uplink.
+  if (report->failed > 0) *exit_code = 1;
   return Status::Ok();
 }
 
@@ -779,6 +832,7 @@ Status RunCliWithCode(const std::vector<std::string>& args,
   if (command == "fsck") return CmdFsck(*flags, out, exit_code);
   if (command == "ingestd") return CmdIngestd(*flags, out);
   if (command == "loadgen") return CmdLoadgen(*flags, out, exit_code);
+  if (command == "uplink") return CmdUplink(*flags, out, exit_code);
   return InvalidArgumentError("unknown command '" + command +
                               "'; run `smeter help`");
 }
@@ -902,8 +956,9 @@ std::string UsageText() {
       "  info         --input FILE\n"
       "  fsck         --dir DIR [--repair false] [--report PATH]\n"
       "               verify every checksum in a fleet archive (symbol\n"
-      "               blobs, tables, manifest) and cross-check the manifest\n"
-      "               against the files on disk; prints a JSON report.\n"
+      "               blobs, tables, manifest, client .spool files) and\n"
+      "               cross-check the manifest against the files on disk;\n"
+      "               prints a JSON report.\n"
       "               --repair true quarantines damaged files (<f>.corrupt),\n"
       "               drops their manifest records, truncates torn appends,\n"
       "               and removes stray .tmp files — then run\n"
@@ -957,6 +1012,23 @@ std::string UsageText() {
       "               persistent TCP connections (meter i rides connection\n"
       "               i % N, sessions back-to-back on one socket) instead\n"
       "               of one connection per meter\n"
+      "               --spool-dir DIR stages every batch in a crash-safe\n"
+      "               on-disk spool first and drains it through the client\n"
+      "               SDK: a killed run resumes where it stopped, and a\n"
+      "               rerun against the same dir re-sends nothing that\n"
+      "               already landed (exactly-once; see also `uplink`)\n"
+      "  uplink       --connect HOST:PORT --spool-dir DIR\n"
+      "               [--concurrency 1] [--max-attempts 5]\n"
+      "               [--io-timeout-ms 10000] [--auth-token T]\n"
+      "               [--remove-done false]\n"
+      "               drain every *.spool file in DIR into a running\n"
+      "               ingestd with retry/backoff (honours THROTTLE\n"
+      "               retry-after hints); each delivered spool gets a\n"
+      "               durable DONE marker so a rerun skips it, torn spool\n"
+      "               tails from a crashed writer are truncated, unsealed\n"
+      "               spools are left alone; exits 1 if any spool failed\n"
+      "               (safe to rerun).\n"
+      "               --remove-done true unlinks each spool once DONE\n"
       "  help\n";
 }
 

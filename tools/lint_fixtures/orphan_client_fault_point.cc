@@ -1,0 +1,15 @@
+// Seeded violation for lint_invariants.py --self-test: a client-SDK fault
+// seam (the `client.*` namespace added with the uploader/spool subsystem)
+// that no test exercises must trip `fault-point-untested` exactly like any
+// server-side seam. Never compiled.
+
+#include "common/fault_injection.h"
+
+namespace smeter::client {
+
+int OrphanClientSeam() {
+  SMETER_FAULT_POINT("client.fixture.orphan");
+  return 0;
+}
+
+}  // namespace smeter::client

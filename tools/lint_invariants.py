@@ -245,6 +245,7 @@ def lint_fixture(path):
 # fixture file -> the rule it must trip (None = must be clean).
 FIXTURE_EXPECTATIONS = {
     "orphan_fault_point.cc": "fault-point-untested",
+    "orphan_client_fault_point.cc": "fault-point-untested",
     "make_without_parse.h": "wire-codec-closure",
     "raw_mutex.cc": "raw-mutex",
     "unchecked_value.cc": "unchecked-value",
