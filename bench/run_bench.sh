@@ -19,6 +19,22 @@
 #                                        driven by C persistent connections;
 #                                        ack_p50_us / ack_p99_us are the
 #                                        batch->ack round-trip percentiles
+#   BM_StoreAggregate/meters:N/edges:0 vs edges:1
+#                                     -- fleet aggregate served from rollup
+#                                        rows alone (partition-aligned
+#                                        window) vs with edge-partition
+#                                        segment scans; the gap is what the
+#                                        pre-computed rollups buy
+#   BM_QuerydPoint/Range/Aggregate    -- per-query latency end to end
+#                                        through a loopback queryd (one
+#                                        connection, synchronous)
+#
+# Query-bench methodology: each store benchmark runs against a synthetic
+# fixture store (N meters x 3 daily partitions of level-8 symbols at
+# 30-minute cadence, deterministic LCG data, built once per process via
+# BuildArchiveStore), so numbers are comparable run to run. The queryd
+# rows include real framing + CRC32C + epoll round trips on loopback;
+# subtract the matching BM_Store* row to estimate pure serving overhead.
 # On single-core hosts the thread-count sweeps collapse to serial
 # throughput; the per-sample kernel speedup is machine-independent. The
 # BM_ShardedIngest shard axis collapses the same way (S shard threads
@@ -40,7 +56,7 @@ cd "${repo_root}"
 
 cmake --preset release >/dev/null
 cmake --build build-release --target micro_parallel --target net_ingest \
-  -j"$(nproc)"
+  --target query -j"$(nproc)"
 
 build-release/bench/micro_parallel \
   --benchmark_out="${repo_root}/BENCH_micro.json" \
@@ -56,26 +72,38 @@ build-release/bench/net_ingest \
   --benchmark_report_aggregates_only=true \
   "$@"
 
-# Merge the net-ingest benchmarks into the single BENCH_micro.json report,
-# refusing any report whose benchmark library was not a release build.
-python3 - "${repo_root}/BENCH_micro.json" "${repo_root}/BENCH_net.json" <<'PY'
+build-release/bench/query \
+  --benchmark_out="${repo_root}/BENCH_query.json" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  "$@"
+
+# Merge the net-ingest and query benchmarks into the single
+# BENCH_micro.json report, refusing any report whose benchmark library was
+# not a release build.
+python3 - "${repo_root}/BENCH_micro.json" "${repo_root}/BENCH_net.json" \
+  "${repo_root}/BENCH_query.json" <<'PY'
 import json, sys
-micro_path, net_path = sys.argv[1], sys.argv[2]
+micro_path, extra_paths = sys.argv[1], sys.argv[2:]
 with open(micro_path) as f:
     micro = json.load(f)
-with open(net_path) as f:
-    net = json.load(f)
-for path, report in ((micro_path, micro), (net_path, net)):
+extras = []
+for path in extra_paths:
+    with open(path) as f:
+        extras.append((path, json.load(f)))
+for path, report in [(micro_path, micro)] + extras:
     build_type = report.get("context", {}).get("smeter_build_type")
     if build_type != "release":
         sys.exit(
             f"{path}: smeter_build_type is {build_type!r}, not 'release' "
             "-- refusing to record debug-build numbers; run via "
             "bench/run_bench.sh so the release preset is used")
-micro["benchmarks"].extend(net["benchmarks"])
+for _, report in extras:
+    micro["benchmarks"].extend(report["benchmarks"])
 with open(micro_path, "w") as f:
     json.dump(micro, f, indent=2)
 PY
-rm -f "${repo_root}/BENCH_net.json"
+rm -f "${repo_root}/BENCH_net.json" "${repo_root}/BENCH_query.json"
 
 echo "wrote ${repo_root}/BENCH_micro.json"

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <filesystem>
 #include <map>
+#include <optional>
 #include <set>
 #include <utility>
 
 #include "common/io.h"
+#include "core/archive_store.h"
 #include "core/codec.h"
 #include "core/fleet_manifest.h"
 #include "core/lookup_table.h"
@@ -100,6 +102,165 @@ Result<FsckReport> FsckArchive(const std::string& dir,
   // Households whose artifacts turned out damaged or missing; their
   // manifest records must be dropped so --resume re-encodes them.
   std::set<std::string> dropped_households;
+
+  // --- query-store checks (archive_store.h layout) ---------------------
+  // Top-level store files the household loop below must not misread, and
+  // that must not make a pure store directory demand a fleet manifest.
+  size_t store_files = 0;
+
+  // Checks one append-log-framed store file (store.index, rollup.tab,
+  // current.tab/.log). Returns the parsed contents when the framing is
+  // intact (torn tails included — their valid prefix is usable); damage is
+  // reported as `<kind_prefix>_...` issues with truncate/quarantine
+  // repairs.
+  auto check_append_log =
+      [&](const std::string& rel, const std::string& kind_prefix)
+      -> std::optional<io::AppendLogContents> {
+    const std::string path = dir + "/" + rel;
+    ++report.files_checked;
+    ++store_files;
+    Result<io::AppendLogContents> log = io::ReadAppendLog(path);
+    if (!log.ok()) {
+      FsckIssue& issue =
+          add_issue(rel, "corrupt_" + kind_prefix, log.status().ToString());
+      if (options.repair) {
+        repair_with(issue, "quarantined", QuarantineFile(path));
+      }
+      return std::nullopt;
+    }
+    if (log->corrupt_midfile) {
+      FsckIssue& issue =
+          add_issue(rel, "corrupt_" + kind_prefix,
+                    "record checksum mismatch before the tail");
+      if (options.repair) {
+        repair_with(issue, "quarantined", QuarantineFile(path));
+      }
+      return std::nullopt;
+    }
+    if (log->torn_tail) {
+      FsckIssue& issue = add_issue(
+          rel, "torn_" + kind_prefix,
+          "torn tail after " + std::to_string(log->valid_bytes) +
+              " valid bytes (crash mid-append)");
+      if (options.repair) {
+        repair_with(issue, "truncated",
+                    io::TruncateFile(path, log->valid_bytes));
+      }
+    }
+    return std::move(*log);
+  };
+
+  if (present.count(kStoreIndexFile) > 0) {
+    (void)check_append_log(kStoreIndexFile, "store_index");
+  }
+  for (const char* current_name : {kCurrentTableFile, kCurrentLogFile}) {
+    if (present.count(current_name) > 0) {
+      (void)check_append_log(current_name, "current");
+    }
+  }
+
+  // Partition directories: verify every segment, then grade the rollup —
+  // parse-clean AND fresh. A rollup older than a segment (a killed
+  // store-build or a quarantined segment) serves stale aggregates, so it
+  // is flagged and, under --repair, removed for `store-rollup` to rebuild.
+  std::vector<std::pair<int64_t, std::string>> partition_dirs;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, error)) {
+    if (!entry.is_directory()) continue;
+    int64_t id = 0;
+    const std::string name = entry.path().filename().string();
+    if (IsPartitionDirName(name, &id)) partition_dirs.emplace_back(id, name);
+  }
+  std::sort(partition_dirs.begin(), partition_dirs.end());
+  for (const auto& [id, pdir] : partition_dirs) {
+    ++report.partitions_checked;
+    const std::string pdir_path = dir + "/" + pdir;
+    std::vector<std::string> segments;
+    for (const fs::directory_entry& entry :
+         fs::directory_iterator(pdir_path, error)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string name = entry.path().filename().string();
+      if (EndsWith(name, kSegmentSuffix)) segments.push_back(name);
+    }
+    std::sort(segments.begin(), segments.end());
+
+    bool partition_clean = true;
+    bool rollup_stale = false;
+    fs::file_time_type newest_segment = fs::file_time_type::min();
+    for (const std::string& segment : segments) {
+      const std::string rel = pdir + "/" + segment;
+      const std::string path = dir + "/" + rel;
+      ++report.files_checked;
+      ++store_files;
+      std::error_code time_error;
+      fs::file_time_type mtime = fs::last_write_time(path, time_error);
+      if (!time_error && mtime > newest_segment) newest_segment = mtime;
+      Result<std::string> blob = io::ReadFileToString(path);
+      Status verified = blob.status();
+      if (blob.ok()) {
+        Result<SymbolicSeries> series = UnpackSymbolicSeries(*blob);
+        verified = series.ok() ? Status::Ok() : series.status();
+      }
+      if (verified.ok()) {
+        ++report.segments_ok;
+        continue;
+      }
+      partition_clean = false;
+      rollup_stale = true;  // the rollup still counts the damaged meter
+      FsckIssue& issue =
+          add_issue(rel, "corrupt_segment", verified.ToString());
+      if (options.repair) {
+        repair_with(issue, "quarantined", QuarantineFile(path));
+      }
+    }
+    if (partition_clean) ++report.partitions_ok;
+
+    const std::string rollup_rel = pdir + "/" + kRollupTableFile;
+    const std::string rollup_path = dir + "/" + rollup_rel;
+    std::error_code exists_error;
+    if (!fs::exists(rollup_path, exists_error)) {
+      // Segments without a rollup (a killed build, or a previous repair):
+      // aggregates over this partition fail until store-rollup runs.
+      if (!segments.empty()) {
+        add_issue(rollup_rel, "stale_rollup",
+                  "partition has segments but no rollup table; run "
+                  "store-rollup to rebuild");
+      }
+      continue;
+    }
+    std::optional<io::AppendLogContents> rollup =
+        check_append_log(rollup_rel, "rollup");
+    if (!rollup.has_value()) continue;  // quarantined; rebuild rebuilds it
+    bool rows_ok = !rollup->torn_tail && !rollup->records.empty();
+    for (const std::string& line : rollup->records) {
+      if (!ParseRollupRow(line).has_value()) {
+        rows_ok = false;
+        FsckIssue& issue = add_issue(rollup_rel, "corrupt_rollup",
+                                     "unparseable rollup row");
+        if (options.repair) {
+          repair_with(issue, "quarantined", QuarantineFile(rollup_path));
+        }
+        break;
+      }
+    }
+    std::error_code time_error;
+    fs::file_time_type rollup_mtime =
+        fs::last_write_time(rollup_path, time_error);
+    if (!rollup_stale && !time_error && !segments.empty() &&
+        rollup_mtime < newest_segment) {
+      rollup_stale = true;
+    }
+    if (rollup_stale) {
+      FsckIssue& issue = add_issue(
+          rollup_rel, "stale_rollup",
+          "rollup is older than the partition's segments (or covers a "
+          "quarantined one); run store-rollup to rebuild");
+      if (options.repair) {
+        repair_with(issue, "removed", RemoveFile(rollup_path));
+      }
+    } else if (rows_ok) {
+      ++report.rollups_ok;
+    }
+  }
 
   // Spools checked this pass. They are client-side artifacts: a directory
   // of nothing but spools (a client's spool dir fsck'd directly) is not an
@@ -212,7 +373,7 @@ Result<FsckReport> FsckArchive(const std::string& dir,
       manifest = std::move(*loaded);
       report.manifest_records = manifest.reports.size();
     }
-  } else if (report.files_checked > spool_files) {
+  } else if (report.files_checked > spool_files + store_files) {
     // Artifacts with no checkpoint at all: resume cannot skip anything.
     FsckIssue& issue =
         add_issue(kFleetManifestFile, "missing_artifact",
@@ -355,6 +516,11 @@ std::string FsckReportToJson(const FsckReport& report) {
   out += ",\"tables_ok\":" + std::to_string(report.tables_ok);
   out += ",\"spools_ok\":" + std::to_string(report.spools_ok);
   out += ",\"manifest_records\":" + std::to_string(report.manifest_records);
+  out += ",\"partitions_checked\":" +
+         std::to_string(report.partitions_checked);
+  out += ",\"partitions_ok\":" + std::to_string(report.partitions_ok);
+  out += ",\"rollups_ok\":" + std::to_string(report.rollups_ok);
+  out += ",\"segments_ok\":" + std::to_string(report.segments_ok);
   out += ",\"repair_attempted\":" +
          std::string(report.repair_attempted ? "true" : "false");
   out += ",\"exit_code\":" + std::to_string(FsckExitCode(report));

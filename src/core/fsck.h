@@ -14,6 +14,22 @@
 //   cross-check      every ok/degraded manifest record must have its
 //                    .table and .symbols on disk
 //
+// Query-store awareness (archive_store.h layouts, `smeter store-build`):
+//
+//   store.index      append-log framing and per-record CRC32C; torn tails
+//                    are truncated, mid-file damage quarantined (a
+//                    store-build rebuilds the index)
+//   p<id>/*.seg      partition segments: full v3 parse including block
+//                    checksums; damaged segments are quarantined
+//   p<id>/rollup.tab pre-computed rollup rows: framing + row parse; torn
+//                    tails truncated, damage quarantined. A rollup older
+//                    than any segment in its partition (or covering a
+//                    quarantined segment) is STALE: flagged, and repair
+//                    removes it so `store-rollup` rebuilds it
+//   current.tab/.log hot current-table logs (also written by a live
+//                    ingestd): framing checks, torn tails truncated,
+//                    damage quarantined
+//
 // In repair mode the fixes are deliberately conservative: quarantine a
 // damaged artifact (rename to <file>.corrupt), drop its manifest record,
 // truncate a torn manifest tail, rewrite a damaged manifest from its valid
@@ -46,7 +62,9 @@ struct FsckIssue {
   std::string path;  // file name relative to the archive directory
   // One of: corrupt_symbols, corrupt_table, torn_manifest,
   // corrupt_manifest, invalid_manifest, missing_artifact, stray_tmp,
-  // torn_spool, corrupt_spool.
+  // torn_spool, corrupt_spool, corrupt_segment, torn_rollup,
+  // corrupt_rollup, stale_rollup, torn_store_index, corrupt_store_index,
+  // torn_current, corrupt_current.
   std::string kind;
   std::string detail;    // human-readable specifics (e.g. which block)
   bool repaired = false;
@@ -62,6 +80,13 @@ struct FsckReport {
   size_t tables_ok = 0;
   size_t spools_ok = 0;
   size_t manifest_records = 0;
+  // Query-store findings: a partition is ok when every segment in it
+  // verified; a rollup is ok when its rows parsed clean AND it is not
+  // stale relative to the partition's segments.
+  size_t partitions_checked = 0;
+  size_t partitions_ok = 0;
+  size_t rollups_ok = 0;
+  size_t segments_ok = 0;
   bool repair_attempted = false;
   std::vector<FsckIssue> issues;
 

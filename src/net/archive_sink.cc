@@ -50,6 +50,23 @@ bool IsDiskFullStatus(const Status& status) {
          message.find("EDQUOT") != std::string::npos;
 }
 
+// Folds one current-table append log (current.tab or current.log) into
+// `merged`, newest timestamp winning. Missing or damaged files resume
+// nothing — the current table is derived data.
+void UnionCurrent(const std::string& path,
+                  std::map<std::string, CurrentRecord>* merged) {
+  Result<io::AppendLogContents> log = io::ReadAppendLog(path);
+  if (!log.ok()) return;
+  for (const std::string& line : log->records) {
+    std::optional<CurrentRecord> record = ParseCurrentRecord(line);
+    if (!record.has_value()) continue;
+    auto it = merged->find(record->meter);
+    if (it == merged->end() || it->second.timestamp <= record->timestamp) {
+      (*merged)[record->meter] = *record;
+    }
+  }
+}
+
 Result<std::unique_ptr<ArchiveSink>> ArchiveSink::Open(
     const std::string& dir, bool resume, int shards,
     int64_t probe_interval_ms) {
@@ -63,7 +80,13 @@ Result<std::unique_ptr<ArchiveSink>> ArchiveSink::Open(
   const std::string manifest_path = dir + "/" + kFleetManifestFile;
 
   std::map<std::string, HouseholdReport> carried;
+  std::map<std::string, CurrentRecord> carried_current;
   if (resume) {
+    // Carried households never re-send their series, so their current-table
+    // rows must survive the restart the same way their manifest records do.
+    UnionCurrent(dir + "/" + std::string(kCurrentTableFile),
+                 &carried_current);
+    UnionCurrent(dir + "/" + std::string(kCurrentLogFile), &carried_current);
     // A missing/damaged manifest simply resumes nothing; a torn tail (the
     // crash signature) resumes its valid prefix — same policy as
     // encode-fleet --resume. Leftover shard logs (a sharded run killed
@@ -106,17 +129,39 @@ Result<std::unique_ptr<ArchiveSink>> ArchiveSink::Open(
     stripes.push_back(std::make_unique<Stripe>(std::move(log.value())));
   }
 
+  // Seed the current table like the manifest: current.tab holds the
+  // carried rows (name-sorted), current.log starts empty and receives this
+  // run's hot appends.
+  std::vector<std::string> current_seed;
+  current_seed.reserve(carried_current.size());
+  for (const auto& [name, record] : carried_current) {
+    current_seed.push_back(CurrentRecordJson(record));
+  }
+  SMETER_RETURN_IF_ERROR(
+      io::AtomicWriteFile(dir + "/" + std::string(kCurrentTableFile),
+                          io::BuildAppendLog(current_seed)));
+  SMETER_RETURN_IF_ERROR(io::AtomicWriteFile(
+      dir + "/" + std::string(kCurrentLogFile), io::BuildAppendLog({})));
+  Result<std::unique_ptr<CurrentTableWriter>> current_writer =
+      CurrentTableWriter::Open(dir);
+  if (!current_writer.ok()) return current_writer.status();
+
   return std::unique_ptr<ArchiveSink>(new ArchiveSink(
-      dir, std::move(carried), std::move(stripes), probe_interval_ms));
+      dir, std::move(carried), std::move(carried_current),
+      std::move(stripes), std::move(*current_writer), probe_interval_ms));
 }
 
 ArchiveSink::ArchiveSink(std::string dir,
                          std::map<std::string, HouseholdReport> carried,
+                         std::map<std::string, CurrentRecord> carried_current,
                          std::vector<std::unique_ptr<Stripe>> stripes,
+                         std::unique_ptr<CurrentTableWriter> current_writer,
                          int64_t probe_interval_ms)
     : dir_(std::move(dir)),
       carried_(std::move(carried)),
+      carried_current_(std::move(carried_current)),
       stripes_(std::move(stripes)),
+      current_writer_(std::move(current_writer)),
       probe_interval_ms_(probe_interval_ms) {}
 
 bool ArchiveSink::AlreadyPersisted(const std::string& meter) const {
@@ -203,6 +248,23 @@ Status ArchiveSink::Persist(const std::string& meter,
   stripe.records.emplace(meter, std::move(done));
   ++stripe.persisted;
   stripe.symbols += series.size();
+
+  if (!series.empty()) {
+    const SymbolicSample last = series[series.size() - 1];
+    CurrentRecord current;
+    current.meter = meter;
+    current.timestamp = last.timestamp;
+    current.level = series.level();
+    current.symbol = last.symbol.is_gap()
+                         ? kStoreGapSymbol
+                         : static_cast<uint16_t>(last.symbol.index());
+    stripe.current[meter] = current;
+    // Best-effort hot append (the store.current.append seam): a live
+    // queryd tails current.log for fresh point lookups, but the row is
+    // already captured above for the Finalize compaction, so a failed
+    // append degrades freshness without failing the session.
+    (void)current_writer_->Update(current);
+  }
   return Status::Ok();
 }
 
@@ -275,6 +337,32 @@ Status ArchiveSink::Finalize() {
   FleetQualityReport summary = SummarizeFleet(reports);
   SMETER_RETURN_IF_ERROR(io::AtomicWriteFile(
       dir_ + "/quality.json", FleetQualityReportToJson(summary, reports)));
+
+  // Compact the current table the same way: every stripe's rows union
+  // with the carried ones into a name-sorted current.tab, and current.log
+  // resets to empty — a drained archive's current table is deterministic
+  // regardless of shard count or completion order.
+  SMETER_RETURN_IF_ERROR(current_writer_->Close());
+  std::map<std::string, CurrentRecord> current = carried_current_;
+  for (const std::unique_ptr<Stripe>& stripe : stripes_) {
+    MutexLock lock(stripe->mutex);
+    for (const auto& [name, record] : stripe->current) {
+      auto it = current.find(name);
+      if (it == current.end() || it->second.timestamp <= record.timestamp) {
+        current[name] = record;
+      }
+    }
+  }
+  std::vector<std::string> current_rows;
+  current_rows.reserve(current.size());
+  for (const auto& [name, record] : current) {
+    current_rows.push_back(CurrentRecordJson(record));
+  }
+  SMETER_RETURN_IF_ERROR(
+      io::AtomicWriteFile(dir_ + "/" + std::string(kCurrentTableFile),
+                          io::BuildAppendLog(current_rows)));
+  SMETER_RETURN_IF_ERROR(io::AtomicWriteFile(
+      dir_ + "/" + std::string(kCurrentLogFile), io::BuildAppendLog({})));
 
   // Shard logs are now folded into the main manifest; delete them so the
   // drained sharded archive is byte-identical (file set included) to a

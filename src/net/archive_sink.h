@@ -10,6 +10,12 @@
 //   <dir>/<meter>.symbols  PackSymbolicSeriesFramed(series), the v3
 //                          checksummed symbol format
 //   fleet.manifest         one appended checkpoint record
+//   current.log            one appended hot current-table row (the
+//                          meter's last symbol; best-effort — derived
+//                          data a store-build rebuilds). Finalize
+//                          compacts the rows into a name-sorted
+//                          current.tab and empties the log, so a drained
+//                          archive's current table is deterministic.
 //
 // All file writes go through io::AtomicWriteFile and the manifest through
 // io::AppendLogWriter, so a SIGKILL mid-persist leaves either a complete
@@ -50,6 +56,7 @@
 #include "common/io.h"
 #include "common/status.h"
 #include "common/sync.h"
+#include "core/archive_store.h"
 #include "core/encoder.h"
 #include "core/fleet_encoder.h"
 #include "core/symbolic_series.h"
@@ -136,6 +143,9 @@ class ArchiveSink {
     Mutex mutex;
     io::AppendLogWriter log GUARDED_BY(mutex);
     std::map<std::string, HouseholdReport> records GUARDED_BY(mutex);
+    // Hot current-table rows persisted by this stripe; compacted into
+    // current.tab at Finalize.
+    std::map<std::string, CurrentRecord> current GUARDED_BY(mutex);
     uint64_t persisted GUARDED_BY(mutex) = 0;
     uint64_t symbols GUARDED_BY(mutex) = 0;
 
@@ -144,7 +154,9 @@ class ArchiveSink {
 
   ArchiveSink(std::string dir,
               std::map<std::string, HouseholdReport> carried,
+              std::map<std::string, CurrentRecord> carried_current,
               std::vector<std::unique_ptr<Stripe>> stripes,
+              std::unique_ptr<CurrentTableWriter> current_writer,
               int64_t probe_interval_ms);
 
   // Opens the circuit when `status` is a disk-full failure; returns the
@@ -154,7 +166,13 @@ class ArchiveSink {
   const std::string dir_;
   // Immutable after Open: records resumed from a prior run.
   const std::map<std::string, HouseholdReport> carried_;
+  // Immutable after Open: current-table rows resumed from a prior run's
+  // current.tab/current.log (carried meters never re-send their series).
+  const std::map<std::string, CurrentRecord> carried_current_;
   std::vector<std::unique_ptr<Stripe>> stripes_;
+  // Hot current table (queryd point lookups read it live). Appends are
+  // best-effort: the table is derived data, rebuilt by any store-build.
+  std::unique_ptr<CurrentTableWriter> current_writer_;
   const int64_t probe_interval_ms_;
 
   mutable Mutex mutex_;

@@ -1,0 +1,440 @@
+#include "net/query_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "net/wire.h"
+
+namespace smeter::net {
+namespace {
+
+Status Errno(const std::string& what) {
+  return InternalError(what + ": " + std::strerror(errno));
+}
+
+Result<int> BindQueryListener(const std::string& host, uint16_t port,
+                              uint16_t* bound_port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  const int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return InvalidArgumentError("bad listen host '" + host + "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Errno("bind " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    Status status = Errno("listen");
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    Status status = Errno("getsockname");
+    ::close(fd);
+    return status;
+  }
+  *bound_port = ntohs(bound.sin_port);
+  return fd;
+}
+
+}  // namespace
+
+std::string QueryCounters::ToJson() const {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"connections_accepted\": " << connections_accepted << ",\n"
+      << "  \"connections_active\": " << connections_active << ",\n"
+      << "  \"connections_dropped\": " << connections_dropped << ",\n"
+      << "  \"connections_shed\": " << connections_shed << ",\n"
+      << "  \"frames_in\": " << frames_in << ",\n"
+      << "  \"frames_out\": " << frames_out << ",\n"
+      << "  \"bytes_in\": " << bytes_in << ",\n"
+      << "  \"bytes_out\": " << bytes_out << ",\n"
+      << "  \"decode_errors\": " << decode_errors << ",\n"
+      << "  \"queries_point\": " << queries_point << ",\n"
+      << "  \"queries_range\": " << queries_range << ",\n"
+      << "  \"queries_aggregate\": " << queries_aggregate << ",\n"
+      << "  \"throttles_sent\": " << throttles_sent << ",\n"
+      << "  \"memory_throttled\": " << memory_throttled << ",\n"
+      << "  \"idle_drops\": " << idle_drops << ",\n"
+      << "  \"segments_read\": " << segments_read << ",\n"
+      << "  \"current_refreshes\": " << current_refreshes << "\n"
+      << "}";
+  return out.str();
+}
+
+struct QueryServer::Connection {
+  uint64_t id = 0;
+  std::unique_ptr<BufferedFd> io;
+  QuerySession session;
+  int64_t last_active_ms = 0;
+  // Set before a server-initiated close (drain grace, idle sweep, memory
+  // throttle) so OnConnectionClosed does not also count it as dropped —
+  // those closes have their own counters.
+  bool administrative_close = false;
+
+  Connection(uint64_t id, ArchiveStore* store, QuerySessionOptions options)
+      : id(id), session(store, std::move(options)) {}
+};
+
+QueryServer::QueryServer(QueryServerOptions options)
+    : options_(std::move(options)), stats_out_(&std::cerr) {}
+
+QueryServer::~QueryServer() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+Result<std::unique_ptr<QueryServer>> QueryServer::Create(
+    QueryServerOptions options) {
+  if (options.store_dir.empty()) {
+    return InvalidArgumentError("query server needs a store directory");
+  }
+  auto server = std::unique_ptr<QueryServer>(
+      new QueryServer(std::move(options)));
+  ArchiveStoreOptions store_options;
+  store_options.current_dir = server->options_.current_dir;
+  Result<std::unique_ptr<ArchiveStore>> store =
+      ArchiveStore::Open(server->options_.store_dir, store_options);
+  if (!store.ok()) return store.status();
+  server->store_ = std::move(*store);
+  Result<int> fd = BindQueryListener(server->options_.host,
+                                     server->options_.port, &server->port_);
+  if (!fd.ok()) return fd.status();
+  server->listen_fd_ = *fd;
+  Result<std::unique_ptr<EventLoop>> loop = EventLoop::Create();
+  if (!loop.ok()) return loop.status();
+  server->loop_ = std::move(*loop);
+  return server;
+}
+
+Status QueryServer::Run() {
+  ScopedThreadRole owner(role_);
+  {
+    ThrottlePayload shed;
+    shed.retry_after_ms = options_.throttle_retry_ms;
+    shed.scope = ThrottleScope::kAdmission;
+    shed.message = "query connection budget exceeded";
+    shed_frame_ = EncodeFrame(MakeThrottle(shed));
+  }
+  {
+    // Setup-time claim of the loop role, released before loop_->Run()
+    // claims it for the loop's lifetime (the IngestShard pattern).
+    ScopedThreadRole loop_owner(loop_->role());
+    SMETER_RETURN_IF_ERROR(
+        loop_->Add(listen_fd_, EPOLLIN | EPOLLET, [this](uint32_t) {
+          ScopedThreadRole self(role_);
+          OnAcceptable();
+        }));
+    accepting_ = true;
+    loop_->SetWakeupHandler([this] {
+      ScopedThreadRole self(role_);
+      graveyard_.clear();
+      if (stats_requested_.exchange(false)) DumpStats();
+      if (drain_requested_.exchange(false)) BeginDrain();
+    });
+  }
+  ScheduleIdleSweep();
+  Status run = loop_->Run();
+  // Snapshot the store gauges before connections die with the loop.
+  counters_.segments_read = store_->segments_read();
+  counters_.current_refreshes = store_->current_refreshes();
+  connections_.clear();
+  graveyard_.clear();
+  return run;
+}
+
+void QueryServer::RequestDrain() {
+  drain_requested_.store(true);
+  loop_->Wakeup();
+}
+
+void QueryServer::RequestStatsDump() {
+  stats_requested_.store(true);
+  loop_->Wakeup();
+}
+
+QueryCounters QueryServer::counters() const { return LiveSnapshot(); }
+
+QueryCounters QueryServer::LiveSnapshot() const {
+  QueryCounters snapshot = counters_;
+  snapshot.connections_active = connections_.size();
+  if (store_ != nullptr) {
+    snapshot.segments_read = store_->segments_read();
+    snapshot.current_refreshes = store_->current_refreshes();
+  }
+  return snapshot;
+}
+
+void QueryServer::DumpStats() {
+  (*stats_out_) << LiveSnapshot().ToJson() << "\n" << std::flush;
+  stats_dumps_.fetch_add(1);
+}
+
+void QueryServer::OnAcceptable() {
+  for (;;) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // EAGAIN ends the edge; any other transient accept failure must
+      // never kill the daemon — the reader retries.
+      return;
+    }
+    if (!accepting_) {
+      ::close(fd);
+      continue;
+    }
+    // Fault seam: a dropped accept costs one connection, not the server.
+    if (Status fault = fault::Check("query.accept"); !fault.ok()) {
+      ::close(fd);
+      ++counters_.connections_dropped;
+      continue;
+    }
+    if (options_.max_connections > 0 &&
+        connections_.size() >=
+            static_cast<size_t>(options_.max_connections)) {
+      ShedConnection(fd);
+      continue;
+    }
+    ++counters_.connections_accepted;
+    AdoptConnection(fd);
+  }
+}
+
+void QueryServer::ShedConnection(int fd) {
+  // Best-effort: one pre-encoded THROTTLE, then close. A blocked send just
+  // drops the hint; the refusal is the close itself.
+  (void)::send(fd, shed_frame_.data(), shed_frame_.size(), MSG_DONTWAIT);
+  ::close(fd);
+  ++counters_.connections_shed;
+  ++counters_.throttles_sent;
+}
+
+void QueryServer::AdoptConnection(int fd) {
+  const int enable = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  QuerySessionOptions session_options;
+  session_options.auth_token = options_.auth_token;
+  session_options.max_scan_symbols = options_.max_scan_symbols;
+  session_options.draining = draining_;
+  auto conn = std::make_unique<Connection>(next_conn_id_++, store_.get(),
+                                           std::move(session_options));
+  Connection* raw = conn.get();
+  raw->last_active_ms = EventLoop::NowMs();
+  raw->io = std::make_unique<BufferedFd>(
+      loop_.get(), fd,
+      BufferedFd::Callbacks{
+          [this, raw](std::string_view data) {
+            ScopedThreadRole self(role_);
+            return OnData(raw, data);
+          },
+          [this, raw](const Status& reason) {
+            ScopedThreadRole self(role_);
+            OnConnectionClosed(raw, reason);
+          }},
+      options_.high_watermark);
+  ScopedThreadRole io_owner(raw->io->role());
+  if (Status status = raw->io->Register(); !status.ok()) {
+    return;  // the BufferedFd destructor closes the fd
+  }
+  connections_.emplace(raw->id, std::move(conn));
+}
+
+size_t QueryServer::OnData(Connection* conn, std::string_view data) {
+  ScopedThreadRole writer(conn->session.writer_role());
+  ScopedThreadRole io_owner(conn->io->role());
+  conn->last_active_ms = EventLoop::NowMs();
+  counters_.bytes_in += data.size();
+
+  size_t consumed = 0;
+  std::vector<Frame> replies;
+  while (consumed < data.size()) {
+    DecodeViewResult decoded = DecodeFrameView(data.substr(consumed));
+    if (decoded.outcome == DecodeResult::Outcome::kNeedMore) break;
+    if (decoded.outcome == DecodeResult::Outcome::kError) {
+      // A torn or corrupted frame: the stream is unrecoverable past this
+      // point, so answer and quarantine the connection.
+      ++counters_.decode_errors;
+      SendReplies(conn, {MakeQueryAck({WireStatus::kBadFrame,
+                                       decoded.error.message()})});
+      CloseConnection(conn, decoded.error);
+      return data.size();
+    }
+    consumed += decoded.consumed;
+    ++counters_.frames_in;
+    const uint8_t type = static_cast<uint8_t>(decoded.frame.type);
+    if (type == static_cast<uint8_t>(QueryFrameType::kPointQuery)) {
+      ++counters_.queries_point;
+    } else if (type == static_cast<uint8_t>(QueryFrameType::kRangeQuery)) {
+      ++counters_.queries_range;
+    } else if (type ==
+               static_cast<uint8_t>(QueryFrameType::kAggregateQuery)) {
+      ++counters_.queries_aggregate;
+    }
+    Frame frame;
+    frame.type = decoded.frame.type;
+    frame.payload.assign(decoded.frame.payload);
+    replies.clear();
+    conn->session.OnFrame(frame, &replies);
+    SendReplies(conn, replies);
+    if (conn->session.state() == QuerySession::State::kFailed) {
+      CloseConnection(conn, conn->session.error());
+      return data.size();
+    }
+    if (conn->io->closed()) return data.size();
+    if (options_.exit_after_queries > 0) {
+      queries_total_ = counters_.queries_point + counters_.queries_range +
+                       counters_.queries_aggregate;
+      if (queries_total_ >= options_.exit_after_queries && !draining_) {
+        BeginDrain();
+        return data.size();
+      }
+    }
+  }
+  if (conn->io->closed()) return data.size();
+  return consumed;
+}
+
+void QueryServer::SendReplies(Connection* conn,
+                              const std::vector<Frame>& replies) {
+  if (replies.empty() || conn->io->closed()) return;
+  std::string batch;
+  for (const Frame& reply : replies) {
+    batch += EncodeFrame(reply);
+    ++counters_.frames_out;
+  }
+  // Memory knob: a reply burst that would blow the per-connection budget
+  // becomes a THROTTLE and the connection closes — the server never
+  // buffers an unbounded scan for a reader that is not draining it.
+  if (options_.memory_budget > 0 &&
+      conn->io->buffered_bytes() + batch.size() > options_.memory_budget) {
+    ++counters_.memory_throttled;
+    ++counters_.throttles_sent;
+    ThrottlePayload throttle;
+    throttle.retry_after_ms = options_.throttle_retry_ms;
+    throttle.scope = ThrottleScope::kMemory;
+    throttle.message = "reply exceeds the query memory budget";
+    const std::string frame = EncodeFrame(MakeThrottle(throttle));
+    counters_.bytes_out += frame.size();
+    (void)conn->io->Send(frame);
+    conn->administrative_close = true;
+    CloseConnection(
+        conn, FailedPreconditionError("query memory budget exceeded"));
+    return;
+  }
+  counters_.bytes_out += batch.size();
+  if (Status status = conn->io->Send(batch); !status.ok()) {
+    CloseConnection(conn, status);
+  }
+}
+
+void QueryServer::CloseConnection(Connection* conn, Status reason) {
+  if (conn->io->closed()) return;
+  conn->io->CloseAfterFlush(std::move(reason));
+}
+
+void QueryServer::OnConnectionClosed(Connection* conn,
+                                     const Status& reason) {
+  if (!reason.ok() && !conn->administrative_close) {
+    ++counters_.connections_dropped;
+  }
+  auto it = connections_.find(conn->id);
+  if (it == connections_.end()) return;
+  // on_close can fire inside this connection's own BufferedFd callbacks;
+  // destroying it here would free the object under its own feet. Park it
+  // and let the wakeup handler sweep.
+  graveyard_.push_back(std::move(it->second));
+  connections_.erase(it);
+  loop_->Wakeup();
+  MaybeFinish();
+}
+
+void QueryServer::BeginDrain() {
+  if (draining_) return;
+  draining_ = true;
+  accepting_ = false;
+  {
+    ScopedThreadRole loop_owner(loop_->role());
+    (void)loop_->Remove(listen_fd_);
+  }
+  for (auto& [id, conn] : connections_) {
+    ScopedThreadRole writer(conn->session.writer_role());
+    conn->session.SetDraining();
+  }
+  if (connections_.empty()) {
+    MaybeFinish();
+    return;
+  }
+  ScopedThreadRole loop_owner(loop_->role());
+  loop_->RunAfter(options_.drain_grace_ms, [this] {
+    ScopedThreadRole self(role_);
+    std::vector<Connection*> open;
+    open.reserve(connections_.size());
+    for (auto& [id, conn] : connections_) open.push_back(conn.get());
+    for (Connection* conn : open) {
+      conn->administrative_close = true;
+      ScopedThreadRole io_owner(conn->io->role());
+      conn->io->Close(FailedPreconditionError("drain grace expired"));
+    }
+    MaybeFinish();
+  });
+}
+
+void QueryServer::MaybeFinish() {
+  if (!draining_ || !connections_.empty()) return;
+  ScopedThreadRole loop_owner(loop_->role());
+  loop_->RunAfter(0, [this] { loop_->Stop(); });
+}
+
+void QueryServer::ScheduleIdleSweep() {
+  if (options_.idle_timeout_ms <= 0 || idle_sweep_scheduled_) return;
+  idle_sweep_scheduled_ = true;
+  ScopedThreadRole loop_owner(loop_->role());
+  loop_->RunAfter(std::max<int64_t>(options_.idle_timeout_ms / 4, 1),
+                  [this] {
+                    ScopedThreadRole self(role_);
+                    idle_sweep_scheduled_ = false;
+                    SweepIdle();
+                    ScheduleIdleSweep();
+                  });
+}
+
+void QueryServer::SweepIdle() {
+  const int64_t now = EventLoop::NowMs();
+  std::vector<Connection*> idle;
+  for (auto& [id, conn] : connections_) {
+    if (now - conn->last_active_ms >= options_.idle_timeout_ms) {
+      idle.push_back(conn.get());
+    }
+  }
+  for (Connection* conn : idle) {
+    ++counters_.idle_drops;
+    conn->administrative_close = true;
+    ScopedThreadRole io_owner(conn->io->role());
+    conn->io->Close(FailedPreconditionError("idle timeout"));
+  }
+}
+
+}  // namespace smeter::net

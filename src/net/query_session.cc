@@ -1,0 +1,223 @@
+#include "net/query_session.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace smeter::net {
+namespace {
+
+// Maps an ArchiveStore evaluation error onto the wire status space.
+WireStatus StatusFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kNotFound:
+      return WireStatus::kNotFound;
+    case StatusCode::kInvalidArgument:
+      return WireStatus::kBadFrame;
+    default:
+      return WireStatus::kServerError;
+  }
+}
+
+}  // namespace
+
+QuerySession::QuerySession(ArchiveStore* store, QuerySessionOptions options)
+    : store_(store), options_(std::move(options)) {}
+
+void QuerySession::Fail(WireStatus status, Status error,
+                        std::vector<Frame>* replies) {
+  state_ = State::kFailed;
+  error_ = std::move(error);
+  replies->push_back(MakeQueryAck({status, error_.message()}));
+}
+
+void QuerySession::OnFrame(const Frame& frame, std::vector<Frame>* replies) {
+  if (state_ == State::kFailed) return;
+  const uint8_t type = static_cast<uint8_t>(frame.type);
+  if (!IsQueryFrameType(type)) {
+    // An ingest frame or a future revision's type: refuse per-frame, keep
+    // the connection (the ingest session gives query frames the same
+    // courtesy).
+    replies->push_back(MakeQueryAck(
+        {WireStatus::kUnsupported,
+         "frame type " + std::to_string(type) +
+             " is not a query protocol frame"}));
+    return;
+  }
+  switch (static_cast<QueryFrameType>(type)) {
+    case QueryFrameType::kQueryHello:
+      OnHello(frame, replies);
+      return;
+    case QueryFrameType::kPointQuery:
+      OnPoint(frame, replies);
+      return;
+    case QueryFrameType::kRangeQuery:
+      OnRange(frame, replies);
+      return;
+    case QueryFrameType::kAggregateQuery:
+      OnAggregate(frame, replies);
+      return;
+    // Server-to-client frames arriving at the server are a protocol
+    // violation, not a future extension.
+    case QueryFrameType::kQueryAck:
+    case QueryFrameType::kPointResult:
+    case QueryFrameType::kRangeResult:
+    case QueryFrameType::kAggregateResult:
+      Fail(WireStatus::kBadState,
+           InvalidArgumentError("client sent a server-side frame type " +
+                                std::to_string(type)),
+           replies);
+      return;
+  }
+}
+
+void QuerySession::OnHello(const Frame& frame, std::vector<Frame>* replies) {
+  if (state_ != State::kExpectHello) {
+    Fail(WireStatus::kBadState,
+         InvalidArgumentError("QUERY_HELLO after the handshake"), replies);
+    return;
+  }
+  Result<QueryHelloPayload> hello = ParseQueryHello(frame);
+  if (!hello.ok()) {
+    Fail(WireStatus::kBadFrame, hello.status(), replies);
+    return;
+  }
+  if (options_.draining) {
+    Fail(WireStatus::kDraining,
+         FailedPreconditionError("server is draining; retry elsewhere"),
+         replies);
+    return;
+  }
+  if (hello->protocol_version > kQueryProtocolVersion) {
+    Fail(WireStatus::kUnauthorized,
+         InvalidArgumentError(
+             "query protocol version " +
+             std::to_string(hello->protocol_version) + " is newer than " +
+             std::to_string(kQueryProtocolVersion)),
+         replies);
+    return;
+  }
+  if (!options_.auth_token.empty() &&
+      hello->auth_token != options_.auth_token) {
+    Fail(WireStatus::kUnauthorized,
+         InvalidArgumentError("auth token rejected"), replies);
+    return;
+  }
+  state_ = State::kServing;
+  replies->push_back(MakeQueryAck({WireStatus::kOk, ""}));
+}
+
+void QuerySession::OnPoint(const Frame& frame, std::vector<Frame>* replies) {
+  if (state_ != State::kServing) {
+    Fail(WireStatus::kBadState,
+         InvalidArgumentError("POINT_QUERY before QUERY_HELLO"), replies);
+    return;
+  }
+  Result<PointQueryPayload> query = ParsePointQuery(frame);
+  if (!query.ok()) {
+    Fail(WireStatus::kBadFrame, query.status(), replies);
+    return;
+  }
+  ++queries_served_;
+  PointResultPayload result;
+  result.request_id = query->request_id;
+  if (store_ == nullptr) {
+    result.status = WireStatus::kServerError;
+    result.message = "no store attached";
+    replies->push_back(MakePointResult(result));
+    return;
+  }
+  Result<PointValue> value = store_->Latest(query->meter_id);
+  if (!value.ok()) {
+    result.status = StatusFor(value.status());
+    result.message = value.status().message();
+    replies->push_back(MakePointResult(result));
+    return;
+  }
+  result.timestamp = value->timestamp;
+  result.level = static_cast<uint8_t>(value->level);
+  result.symbol =
+      value->symbol == kStoreGapSymbol ? kWireGapSymbol : value->symbol;
+  replies->push_back(MakePointResult(result));
+}
+
+void QuerySession::OnRange(const Frame& frame, std::vector<Frame>* replies) {
+  if (state_ != State::kServing) {
+    Fail(WireStatus::kBadState,
+         InvalidArgumentError("RANGE_QUERY before QUERY_HELLO"), replies);
+    return;
+  }
+  Result<RangeQueryPayload> query = ParseRangeQuery(frame);
+  if (!query.ok()) {
+    Fail(WireStatus::kBadFrame, query.status(), replies);
+    return;
+  }
+  ++queries_served_;
+  RangeResultPayload result;
+  result.request_id = query->request_id;
+  if (store_ == nullptr) {
+    result.status = WireStatus::kServerError;
+    result.message = "no store attached";
+    replies->push_back(MakeRangeResult(result));
+    return;
+  }
+  const size_t cap =
+      std::min<uint32_t>(query->max_symbols, options_.max_scan_symbols);
+  Result<RangeScanResult> scan =
+      store_->Scan(query->meter_id, {query->start, query->end},
+                   query->level, cap);
+  if (!scan.ok()) {
+    result.status = StatusFor(scan.status());
+    result.message = scan.status().message();
+    replies->push_back(MakeRangeResult(result));
+    return;
+  }
+  result.start_timestamp = scan->start_timestamp;
+  result.step_seconds = scan->step_seconds;
+  result.level = static_cast<uint8_t>(scan->level);
+  result.truncated = scan->truncated ? 1 : 0;
+  result.symbols = std::move(scan->symbols);
+  replies->push_back(MakeRangeResult(result));
+}
+
+void QuerySession::OnAggregate(const Frame& frame,
+                               std::vector<Frame>* replies) {
+  if (state_ != State::kServing) {
+    Fail(WireStatus::kBadState,
+         InvalidArgumentError("AGGREGATE_QUERY before QUERY_HELLO"),
+         replies);
+    return;
+  }
+  Result<AggregateQueryPayload> query = ParseAggregateQuery(frame);
+  if (!query.ok()) {
+    Fail(WireStatus::kBadFrame, query.status(), replies);
+    return;
+  }
+  ++queries_served_;
+  AggregateResultPayload result;
+  result.request_id = query->request_id;
+  if (store_ == nullptr) {
+    result.status = WireStatus::kServerError;
+    result.message = "no store attached";
+    replies->push_back(MakeAggregateResult(result));
+    return;
+  }
+  Result<FleetAggregate> aggregate =
+      store_->Aggregate({query->start, query->end}, query->level);
+  if (!aggregate.ok()) {
+    result.status = StatusFor(aggregate.status());
+    result.message = aggregate.status().message();
+    replies->push_back(MakeAggregateResult(result));
+    return;
+  }
+  result.level = static_cast<uint8_t>(aggregate->level);
+  result.meters = aggregate->meters;
+  result.meters_coarser = aggregate->meters_coarser;
+  result.windows = aggregate->windows;
+  result.gaps = aggregate->gaps;
+  result.rollup_partitions = aggregate->rollup_partitions;
+  result.scanned_partitions = aggregate->scanned_partitions;
+  result.histogram = std::move(aggregate->histogram);
+  replies->push_back(MakeAggregateResult(result));
+}
+
+}  // namespace smeter::net

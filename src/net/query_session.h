@@ -1,0 +1,114 @@
+// Per-connection protocol state machine for the query daemon.
+//
+// A QuerySession consumes decoded wire frames and produces reply frames;
+// like the ingest Session it is pure protocol — no sockets, no clocks —
+// so the whole surface is unit-testable and fuzzable frame-by-frame. The
+// only impurity is the ArchiveStore it evaluates queries against, which
+// is plain file I/O under the store directory (and may be nullptr: every
+// query then answers kServerError, which is what the fuzz harness uses to
+// exercise the protocol with no disk behind it).
+//
+// State machine:
+//
+//   ExpectHello --QUERY_HELLO ok--> Serving --POINT/RANGE/AGG--> Serving
+//       |                              |
+//       | (anything else,              | (undecodable payload)
+//       |  bad version/auth)           v
+//       +------------------------>  Failed
+//
+// Protocol rules:
+//   * QUERY_HELLO must precede any query; a query first is kBadState and
+//     fails the session (a reader that skips the handshake is hostile or
+//     broken, not worth per-frame tolerance).
+//   * Per-query evaluation errors (unknown meter, level out of range, a
+//     damaged segment) come back as a result frame with a non-kOk status;
+//     the session stays kServing. Only protocol violations fail it.
+//   * An unknown (future) frame type that passed its CRC is refused with
+//     a QUERY_ACK(kUnsupported) and the session state is untouched — the
+//     same forward-compatibility contract as the ingest session.
+//   * A draining server refuses QUERY_HELLO with kDraining.
+//
+// Single-writer ownership is machine-checked exactly like Session: every
+// method requires `writer_role()`, claimed by the owning loop thread (or
+// test driver) with a zero-cost ScopedThreadRole.
+
+#ifndef SMETER_NET_QUERY_SESSION_H_
+#define SMETER_NET_QUERY_SESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/sync.h"
+#include "core/archive_store.h"
+#include "net/query_wire.h"
+#include "net/wire.h"
+
+namespace smeter::net {
+
+struct QuerySessionOptions {
+  // Expected auth token; empty accepts any client token.
+  std::string auth_token;
+  // Server-side ceiling on one range scan's symbols; a client asking for
+  // more gets its request clamped to this, with the result flagged
+  // truncated if the scan hit the clamp.
+  uint32_t max_scan_symbols = kMaxWireRangeSymbols;
+  // Refuse new sessions at QUERY_HELLO when the server is draining.
+  bool draining = false;
+};
+
+class QuerySession {
+ public:
+  enum class State {
+    kExpectHello,
+    kServing,
+    kFailed,  // protocol violation; flush replies then close
+  };
+
+  // `store` may outlive or be null; the session never owns it.
+  QuerySession(ArchiveStore* store, QuerySessionOptions options);
+
+  // Consumes one CRC-valid frame and appends replies in order. After each
+  // call the server checks state(): kFailed means flush replies then
+  // close.
+  void OnFrame(const Frame& frame, std::vector<Frame>* replies)
+      REQUIRES(writer_role_);
+
+  void SetDraining() REQUIRES(writer_role_) { options_.draining = true; }
+
+  State state() const REQUIRES(writer_role_) { return state_; }
+  const Status& error() const REQUIRES(writer_role_) { return error_; }
+
+  // Queries answered since the hello (all three classes, errors included).
+  uint64_t queries_served() const REQUIRES(writer_role_) {
+    return queries_served_;
+  }
+
+  ThreadRole& writer_role() RETURN_CAPABILITY(writer_role_) {
+    return writer_role_;
+  }
+
+ private:
+  void Fail(WireStatus status, Status error, std::vector<Frame>* replies)
+      REQUIRES(writer_role_);
+  void OnHello(const Frame& frame, std::vector<Frame>* replies)
+      REQUIRES(writer_role_);
+  void OnPoint(const Frame& frame, std::vector<Frame>* replies)
+      REQUIRES(writer_role_);
+  void OnRange(const Frame& frame, std::vector<Frame>* replies)
+      REQUIRES(writer_role_);
+  void OnAggregate(const Frame& frame, std::vector<Frame>* replies)
+      REQUIRES(writer_role_);
+
+  ThreadRole writer_role_;
+  ArchiveStore* const store_;  // nullable; never owned
+  QuerySessionOptions options_ GUARDED_BY(writer_role_);
+  State state_ GUARDED_BY(writer_role_) = State::kExpectHello;
+  Status error_ GUARDED_BY(writer_role_);
+  uint64_t queries_served_ GUARDED_BY(writer_role_) = 0;
+};
+
+}  // namespace smeter::net
+
+#endif  // SMETER_NET_QUERY_SESSION_H_

@@ -1,0 +1,448 @@
+#include "net/query_wire.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/symbol.h"
+#include "net/wire_codec.h"
+
+namespace smeter::net {
+namespace {
+
+using wire_internal::PutI64;
+using wire_internal::PutString;
+using wire_internal::PutU16;
+using wire_internal::PutU32;
+using wire_internal::PutU64;
+using wire_internal::PutU8;
+using wire_internal::Reader;
+
+Status ExpectQueryType(const Frame& frame, QueryFrameType want,
+                       const char* name) {
+  if (static_cast<uint8_t>(frame.type) != static_cast<uint8_t>(want)) {
+    return InvalidArgumentError(std::string("frame is not a ") + name);
+  }
+  return Status::Ok();
+}
+
+Frame QueryFrame(QueryFrameType type) {
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  return frame;
+}
+
+Result<WireStatus> TakeWireStatus(Reader& reader) {
+  Result<uint8_t> status = reader.TakeU8();
+  if (!status.ok()) return status.status();
+  if (*status > static_cast<uint8_t>(WireStatus::kNotFound)) {
+    return InvalidArgumentError("unknown wire status " +
+                                std::to_string(*status));
+  }
+  return static_cast<WireStatus>(*status);
+}
+
+Status CheckWindow(int64_t start, int64_t end) {
+  if (start < -kMaxWireTimestamp || start > kMaxWireTimestamp ||
+      end < -kMaxWireTimestamp || end > kMaxWireTimestamp) {
+    return InvalidArgumentError("window timestamp outside ±" +
+                                std::to_string(kMaxWireTimestamp));
+  }
+  if (end <= start) {
+    return InvalidArgumentError("empty query window");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+bool IsQueryFrameType(uint8_t type) {
+  return type >= static_cast<uint8_t>(QueryFrameType::kQueryHello) &&
+         type <= static_cast<uint8_t>(QueryFrameType::kAggregateResult);
+}
+
+Frame MakeQueryHello(const QueryHelloPayload& payload) {
+  Frame frame = QueryFrame(QueryFrameType::kQueryHello);
+  PutU16(frame.payload, payload.protocol_version);
+  PutString(frame.payload, payload.auth_token);
+  return frame;
+}
+
+Result<QueryHelloPayload> ParseQueryHello(const Frame& frame) {
+  SMETER_RETURN_IF_ERROR(
+      ExpectQueryType(frame, QueryFrameType::kQueryHello, "QUERY_HELLO"));
+  Reader reader(frame.payload);
+  QueryHelloPayload hello;
+  Result<uint16_t> version = reader.TakeU16();
+  if (!version.ok()) return version.status();
+  hello.protocol_version = *version;
+  Result<std::string> token = reader.TakeString(kMaxWireString);
+  if (!token.ok()) return token.status();
+  hello.auth_token = std::move(*token);
+  SMETER_RETURN_IF_ERROR(reader.ExpectExhausted());
+  return hello;
+}
+
+Frame MakeQueryAck(const QueryAckPayload& payload) {
+  Frame frame = QueryFrame(QueryFrameType::kQueryAck);
+  PutU8(frame.payload, static_cast<uint8_t>(payload.status));
+  PutString(frame.payload, payload.message);
+  return frame;
+}
+
+Result<QueryAckPayload> ParseQueryAck(const Frame& frame) {
+  SMETER_RETURN_IF_ERROR(
+      ExpectQueryType(frame, QueryFrameType::kQueryAck, "QUERY_ACK"));
+  Reader reader(frame.payload);
+  QueryAckPayload ack;
+  Result<WireStatus> status = TakeWireStatus(reader);
+  if (!status.ok()) return status.status();
+  ack.status = *status;
+  Result<std::string> message = reader.TakeString(kMaxWireString);
+  if (!message.ok()) return message.status();
+  ack.message = std::move(*message);
+  SMETER_RETURN_IF_ERROR(reader.ExpectExhausted());
+  return ack;
+}
+
+Frame MakePointQuery(const PointQueryPayload& payload) {
+  Frame frame = QueryFrame(QueryFrameType::kPointQuery);
+  PutU64(frame.payload, payload.request_id);
+  PutString(frame.payload, payload.meter_id);
+  return frame;
+}
+
+Result<PointQueryPayload> ParsePointQuery(const Frame& frame) {
+  SMETER_RETURN_IF_ERROR(
+      ExpectQueryType(frame, QueryFrameType::kPointQuery, "POINT_QUERY"));
+  Reader reader(frame.payload);
+  PointQueryPayload query;
+  Result<uint64_t> id = reader.TakeU64();
+  if (!id.ok()) return id.status();
+  query.request_id = *id;
+  Result<std::string> meter = reader.TakeString(kMaxWireString);
+  if (!meter.ok()) return meter.status();
+  query.meter_id = std::move(*meter);
+  SMETER_RETURN_IF_ERROR(reader.ExpectExhausted());
+  if (!IsValidMeterId(query.meter_id)) {
+    return InvalidArgumentError("POINT_QUERY meter id is invalid");
+  }
+  return query;
+}
+
+Frame MakePointResult(const PointResultPayload& payload) {
+  Frame frame = QueryFrame(QueryFrameType::kPointResult);
+  PutU64(frame.payload, payload.request_id);
+  PutU8(frame.payload, static_cast<uint8_t>(payload.status));
+  PutString(frame.payload, payload.message);
+  PutI64(frame.payload, payload.timestamp);
+  PutU8(frame.payload, payload.level);
+  PutU16(frame.payload, payload.symbol);
+  return frame;
+}
+
+Result<PointResultPayload> ParsePointResult(const Frame& frame) {
+  SMETER_RETURN_IF_ERROR(
+      ExpectQueryType(frame, QueryFrameType::kPointResult, "POINT_RESULT"));
+  Reader reader(frame.payload);
+  PointResultPayload result;
+  Result<uint64_t> id = reader.TakeU64();
+  if (!id.ok()) return id.status();
+  result.request_id = *id;
+  Result<WireStatus> status = TakeWireStatus(reader);
+  if (!status.ok()) return status.status();
+  result.status = *status;
+  Result<std::string> message = reader.TakeString(kMaxWireString);
+  if (!message.ok()) return message.status();
+  result.message = std::move(*message);
+  Result<int64_t> ts = reader.TakeI64();
+  if (!ts.ok()) return ts.status();
+  result.timestamp = *ts;
+  Result<uint8_t> level = reader.TakeU8();
+  if (!level.ok()) return level.status();
+  result.level = *level;
+  Result<uint16_t> symbol = reader.TakeU16();
+  if (!symbol.ok()) return symbol.status();
+  result.symbol = *symbol;
+  SMETER_RETURN_IF_ERROR(reader.ExpectExhausted());
+  if (result.status == WireStatus::kOk) {
+    if (result.timestamp < -kMaxWireTimestamp ||
+        result.timestamp > kMaxWireTimestamp) {
+      return InvalidArgumentError("point result timestamp out of range");
+    }
+    if (result.level < 1 || result.level > kMaxSymbolLevel) {
+      return InvalidArgumentError("point result level out of range");
+    }
+    if (result.symbol != kWireGapSymbol &&
+        result.symbol >= (1u << result.level)) {
+      return InvalidArgumentError("point result symbol outside alphabet");
+    }
+  } else if (result.timestamp != 0 || result.level != 1 ||
+             result.symbol != 0) {
+    // Error results carry canonical defaults — nothing hides in the value
+    // fields of a failed lookup.
+    return InvalidArgumentError("non-ok point result carries values");
+  }
+  return result;
+}
+
+Frame MakeRangeQuery(const RangeQueryPayload& payload) {
+  Frame frame = QueryFrame(QueryFrameType::kRangeQuery);
+  PutU64(frame.payload, payload.request_id);
+  PutString(frame.payload, payload.meter_id);
+  PutI64(frame.payload, payload.start);
+  PutI64(frame.payload, payload.end);
+  PutU8(frame.payload, payload.level);
+  PutU32(frame.payload, payload.max_symbols);
+  return frame;
+}
+
+Result<RangeQueryPayload> ParseRangeQuery(const Frame& frame) {
+  SMETER_RETURN_IF_ERROR(
+      ExpectQueryType(frame, QueryFrameType::kRangeQuery, "RANGE_QUERY"));
+  Reader reader(frame.payload);
+  RangeQueryPayload query;
+  Result<uint64_t> id = reader.TakeU64();
+  if (!id.ok()) return id.status();
+  query.request_id = *id;
+  Result<std::string> meter = reader.TakeString(kMaxWireString);
+  if (!meter.ok()) return meter.status();
+  query.meter_id = std::move(*meter);
+  Result<int64_t> start = reader.TakeI64();
+  if (!start.ok()) return start.status();
+  query.start = *start;
+  Result<int64_t> end = reader.TakeI64();
+  if (!end.ok()) return end.status();
+  query.end = *end;
+  Result<uint8_t> level = reader.TakeU8();
+  if (!level.ok()) return level.status();
+  query.level = *level;
+  Result<uint32_t> max_symbols = reader.TakeU32();
+  if (!max_symbols.ok()) return max_symbols.status();
+  query.max_symbols = *max_symbols;
+  SMETER_RETURN_IF_ERROR(reader.ExpectExhausted());
+  if (!IsValidMeterId(query.meter_id)) {
+    return InvalidArgumentError("RANGE_QUERY meter id is invalid");
+  }
+  SMETER_RETURN_IF_ERROR(CheckWindow(query.start, query.end));
+  if (query.level > kMaxSymbolLevel) {  // 0 = native is legal
+    return InvalidArgumentError("range query level out of range");
+  }
+  if (query.max_symbols == 0 || query.max_symbols > kMaxWireRangeSymbols) {
+    return InvalidArgumentError("range query max_symbols outside (0, " +
+                                std::to_string(kMaxWireRangeSymbols) + "]");
+  }
+  return query;
+}
+
+Frame MakeRangeResult(const RangeResultPayload& payload) {
+  Frame frame = QueryFrame(QueryFrameType::kRangeResult);
+  PutU64(frame.payload, payload.request_id);
+  PutU8(frame.payload, static_cast<uint8_t>(payload.status));
+  PutString(frame.payload, payload.message);
+  PutI64(frame.payload, payload.start_timestamp);
+  PutI64(frame.payload, payload.step_seconds);
+  PutU8(frame.payload, payload.level);
+  PutU8(frame.payload, payload.truncated);
+  // Clamp like PutString clamps: a Make* output must always parse. The
+  // server never exceeds the cap (max_symbols is parse-bounded).
+  const uint32_t count = static_cast<uint32_t>(
+      std::min<size_t>(payload.symbols.size(), kMaxWireRangeSymbols));
+  PutU32(frame.payload, count);
+  for (uint32_t i = 0; i < count; ++i) {
+    PutU16(frame.payload, payload.symbols[i]);
+  }
+  return frame;
+}
+
+Result<RangeResultPayload> ParseRangeResult(const Frame& frame) {
+  SMETER_RETURN_IF_ERROR(
+      ExpectQueryType(frame, QueryFrameType::kRangeResult, "RANGE_RESULT"));
+  Reader reader(frame.payload);
+  RangeResultPayload result;
+  Result<uint64_t> id = reader.TakeU64();
+  if (!id.ok()) return id.status();
+  result.request_id = *id;
+  Result<WireStatus> status = TakeWireStatus(reader);
+  if (!status.ok()) return status.status();
+  result.status = *status;
+  Result<std::string> message = reader.TakeString(kMaxWireString);
+  if (!message.ok()) return message.status();
+  result.message = std::move(*message);
+  Result<int64_t> start = reader.TakeI64();
+  if (!start.ok()) return start.status();
+  result.start_timestamp = *start;
+  Result<int64_t> step = reader.TakeI64();
+  if (!step.ok()) return step.status();
+  result.step_seconds = *step;
+  Result<uint8_t> level = reader.TakeU8();
+  if (!level.ok()) return level.status();
+  result.level = *level;
+  Result<uint8_t> truncated = reader.TakeU8();
+  if (!truncated.ok()) return truncated.status();
+  if (*truncated > 1) {
+    return InvalidArgumentError("range result truncated flag is not 0/1");
+  }
+  result.truncated = *truncated;
+  Result<uint32_t> count = reader.TakeU32();
+  if (!count.ok()) return count.status();
+  if (*count > kMaxWireRangeSymbols) {
+    return InvalidArgumentError("range result symbol count exceeds cap");
+  }
+  if (reader.remaining() != static_cast<size_t>(*count) * 2) {
+    return InvalidArgumentError("symbol count disagrees with payload size");
+  }
+  result.symbols.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    Result<uint16_t> symbol = reader.TakeU16();
+    if (!symbol.ok()) return symbol.status();
+    result.symbols.push_back(*symbol);
+  }
+  SMETER_RETURN_IF_ERROR(reader.ExpectExhausted());
+  if (result.status == WireStatus::kOk) {
+    if (result.start_timestamp < -kMaxWireTimestamp ||
+        result.start_timestamp > kMaxWireTimestamp) {
+      return InvalidArgumentError("range result timestamp out of range");
+    }
+    if (result.step_seconds < 0 ||
+        result.step_seconds > kMaxWireStepSeconds) {
+      return InvalidArgumentError("range result step out of range");
+    }
+    if (result.level < 1 || result.level > kMaxSymbolLevel) {
+      return InvalidArgumentError("range result level out of range");
+    }
+    const uint32_t alphabet = 1u << result.level;
+    for (uint16_t symbol : result.symbols) {
+      if (symbol != kWireGapSymbol && symbol >= alphabet) {
+        return InvalidArgumentError("range result symbol outside alphabet");
+      }
+    }
+  } else if (result.start_timestamp != 0 || result.step_seconds != 0 ||
+             result.level != 1 || result.truncated != 0 ||
+             !result.symbols.empty()) {
+    return InvalidArgumentError("non-ok range result carries values");
+  }
+  return result;
+}
+
+Frame MakeAggregateQuery(const AggregateQueryPayload& payload) {
+  Frame frame = QueryFrame(QueryFrameType::kAggregateQuery);
+  PutU64(frame.payload, payload.request_id);
+  PutI64(frame.payload, payload.start);
+  PutI64(frame.payload, payload.end);
+  PutU8(frame.payload, payload.level);
+  return frame;
+}
+
+Result<AggregateQueryPayload> ParseAggregateQuery(const Frame& frame) {
+  SMETER_RETURN_IF_ERROR(ExpectQueryType(
+      frame, QueryFrameType::kAggregateQuery, "AGGREGATE_QUERY"));
+  Reader reader(frame.payload);
+  AggregateQueryPayload query;
+  Result<uint64_t> id = reader.TakeU64();
+  if (!id.ok()) return id.status();
+  query.request_id = *id;
+  Result<int64_t> start = reader.TakeI64();
+  if (!start.ok()) return start.status();
+  query.start = *start;
+  Result<int64_t> end = reader.TakeI64();
+  if (!end.ok()) return end.status();
+  query.end = *end;
+  Result<uint8_t> level = reader.TakeU8();
+  if (!level.ok()) return level.status();
+  query.level = *level;
+  SMETER_RETURN_IF_ERROR(reader.ExpectExhausted());
+  SMETER_RETURN_IF_ERROR(CheckWindow(query.start, query.end));
+  if (query.level < 1 || query.level > kMaxSymbolLevel) {
+    return InvalidArgumentError("aggregate query level out of range");
+  }
+  return query;
+}
+
+Frame MakeAggregateResult(const AggregateResultPayload& payload) {
+  Frame frame = QueryFrame(QueryFrameType::kAggregateResult);
+  PutU64(frame.payload, payload.request_id);
+  PutU8(frame.payload, static_cast<uint8_t>(payload.status));
+  PutString(frame.payload, payload.message);
+  PutU8(frame.payload, payload.level);
+  PutU64(frame.payload, payload.meters);
+  PutU64(frame.payload, payload.meters_coarser);
+  PutU64(frame.payload, payload.windows);
+  PutU64(frame.payload, payload.gaps);
+  PutU32(frame.payload, payload.rollup_partitions);
+  PutU32(frame.payload, payload.scanned_partitions);
+  PutU32(frame.payload, static_cast<uint32_t>(payload.histogram.size()));
+  for (uint64_t bucket : payload.histogram) PutU64(frame.payload, bucket);
+  return frame;
+}
+
+Result<AggregateResultPayload> ParseAggregateResult(const Frame& frame) {
+  SMETER_RETURN_IF_ERROR(ExpectQueryType(
+      frame, QueryFrameType::kAggregateResult, "AGGREGATE_RESULT"));
+  Reader reader(frame.payload);
+  AggregateResultPayload result;
+  Result<uint64_t> id = reader.TakeU64();
+  if (!id.ok()) return id.status();
+  result.request_id = *id;
+  Result<WireStatus> status = TakeWireStatus(reader);
+  if (!status.ok()) return status.status();
+  result.status = *status;
+  Result<std::string> message = reader.TakeString(kMaxWireString);
+  if (!message.ok()) return message.status();
+  result.message = std::move(*message);
+  Result<uint8_t> level = reader.TakeU8();
+  if (!level.ok()) return level.status();
+  result.level = *level;
+  Result<uint64_t> meters = reader.TakeU64();
+  if (!meters.ok()) return meters.status();
+  result.meters = *meters;
+  Result<uint64_t> coarser = reader.TakeU64();
+  if (!coarser.ok()) return coarser.status();
+  result.meters_coarser = *coarser;
+  Result<uint64_t> windows = reader.TakeU64();
+  if (!windows.ok()) return windows.status();
+  result.windows = *windows;
+  Result<uint64_t> gaps = reader.TakeU64();
+  if (!gaps.ok()) return gaps.status();
+  result.gaps = *gaps;
+  Result<uint32_t> rollup = reader.TakeU32();
+  if (!rollup.ok()) return rollup.status();
+  result.rollup_partitions = *rollup;
+  Result<uint32_t> scanned = reader.TakeU32();
+  if (!scanned.ok()) return scanned.status();
+  result.scanned_partitions = *scanned;
+  Result<uint32_t> buckets = reader.TakeU32();
+  if (!buckets.ok()) return buckets.status();
+  if (*buckets > (1u << kMaxSymbolLevel)) {
+    return InvalidArgumentError("aggregate histogram too large");
+  }
+  if (reader.remaining() != static_cast<size_t>(*buckets) * 8) {
+    return InvalidArgumentError("bucket count disagrees with payload size");
+  }
+  result.histogram.reserve(*buckets);
+  for (uint32_t i = 0; i < *buckets; ++i) {
+    Result<uint64_t> bucket = reader.TakeU64();
+    if (!bucket.ok()) return bucket.status();
+    result.histogram.push_back(*bucket);
+  }
+  SMETER_RETURN_IF_ERROR(reader.ExpectExhausted());
+  if (result.status == WireStatus::kOk) {
+    if (result.level < 1 || result.level > kMaxSymbolLevel) {
+      return InvalidArgumentError("aggregate result level out of range");
+    }
+    if (result.histogram.size() != (size_t{1} << result.level)) {
+      return InvalidArgumentError(
+          "aggregate histogram size disagrees with level");
+    }
+    if (result.gaps > result.windows) {
+      return InvalidArgumentError("aggregate gaps exceed windows");
+    }
+  } else if (result.level != 1 || result.meters != 0 ||
+             result.meters_coarser != 0 || result.windows != 0 ||
+             result.gaps != 0 || result.rollup_partitions != 0 ||
+             result.scanned_partitions != 0 || !result.histogram.empty()) {
+    return InvalidArgumentError("non-ok aggregate result carries values");
+  }
+  return result;
+}
+
+}  // namespace smeter::net

@@ -106,6 +106,9 @@ enum class WireStatus : uint8_t {
   // state survive, so an old server and a new client can negotiate down
   // instead of desyncing (see IsKnownFrameType).
   kUnsupported = 9,
+  // Query protocol (query_wire.h): the meter or window has no data. Never
+  // sent by the ingest daemon; per-query, the connection survives.
+  kNotFound = 10,
 };
 
 std::string WireStatusName(WireStatus status);

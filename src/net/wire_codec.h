@@ -1,0 +1,139 @@
+// Shared little-endian field writers and the strict payload Reader used by
+// the wire codecs (wire.cc for the ingest protocol, query_wire.cc for the
+// query protocol). Internal to src/net — payload layouts belong in the
+// public headers, these are just the byte-level primitives that keep every
+// Make*/Parse* pair an exact inverse.
+
+#ifndef SMETER_NET_WIRE_CODEC_H_
+#define SMETER_NET_WIRE_CODEC_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace smeter::net::wire_internal {
+
+inline void PutU8(std::string& out, uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+inline void PutU16(std::string& out, uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+inline void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void PutI64(std::string& out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+inline void PutString(std::string& out, const std::string& s) {
+  // Clamp to the protocol cap so the u16 length prefix can never wrap and
+  // the strict TakeString bound always accepts what a Make* built — an
+  // oversized server message is truncated, never framed unparseably.
+  const size_t len = std::min(s.size(), kMaxWireString);
+  PutU16(out, static_cast<uint16_t>(len));
+  out.append(s, 0, len);
+}
+
+// Strict cursor over a payload: every Take errors on truncation, and the
+// caller asserts exhaustion at the end, so Parse*(Make*(x)) == x and
+// nothing hides in trailing bytes.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+  Result<uint8_t> TakeU8() {
+    if (remaining() < 1) return Truncated();
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  Result<uint16_t> TakeU16() {
+    if (remaining() < 2) return Truncated();
+    uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) {
+      v |= static_cast<uint16_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 2;
+    return v;
+  }
+
+  Result<uint32_t> TakeU32() {
+    if (remaining() < 4) return Truncated();
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> TakeU64() {
+    if (remaining() < 8) return Truncated();
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  Result<int64_t> TakeI64() {
+    Result<uint64_t> v = TakeU64();
+    if (!v.ok()) return v.status();
+    return static_cast<int64_t>(*v);
+  }
+
+  Result<std::string> TakeString(size_t max_len) {
+    Result<uint16_t> len = TakeU16();
+    if (!len.ok()) return len.status();
+    if (*len > max_len) {
+      return InvalidArgumentError("wire string longer than " +
+                                  std::to_string(max_len));
+    }
+    if (remaining() < *len) return Truncated();
+    std::string s(data_.substr(pos_, *len));
+    pos_ += *len;
+    return s;
+  }
+
+  // A payload with bytes after its last field is malformed.
+  Status ExpectExhausted() const {
+    if (pos_ != data_.size()) {
+      return InvalidArgumentError("trailing bytes after payload fields");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  static Status Truncated() {
+    return InvalidArgumentError("truncated payload field");
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace smeter::net::wire_internal
+
+#endif  // SMETER_NET_WIRE_CODEC_H_

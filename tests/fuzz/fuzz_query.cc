@@ -1,0 +1,327 @@
+// Fuzz harness for the query wire protocol and the QuerySession state
+// machine. Three attack surfaces, selected by the first input byte:
+//
+//   * raw bytes through DecodeFrame and the eight typed query parsers —
+//     an accepted payload must survive Make*/Parse* bit-exactly (the
+//     codec is closed under fuzzing);
+//   * fuzz-built (mostly in-domain) query frames through the encode →
+//     decode → truncation → bit-flip oracles: every truncation reads as
+//     kNeedMore, and no single bit flip may yield a different accepted
+//     frame;
+//   * decoded frames through QuerySession::OnFrame with no store behind
+//     it — arbitrary sequences, hostile or well-formed, must never crash
+//     the machine, every reply it emits must itself re-encode/decode, and
+//     a failed session must carry a non-ok error.
+//
+// Crash conditions (beyond sanitizer reports) are SMETER_CHECK failures
+// on any of those contracts.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.h"
+#include "common/sync.h"
+#include "core/symbol.h"
+#include "fuzz_input.h"
+#include "net/query_session.h"
+#include "net/query_wire.h"
+#include "net/wire.h"
+
+namespace smeter::net {
+namespace {
+
+using fuzz::FuzzInput;
+
+// Typed payload closure: whatever parses must rebuild to the same frame.
+void CheckQueryParserClosure(const Frame& frame) {
+  switch (static_cast<QueryFrameType>(frame.type)) {
+    case QueryFrameType::kQueryHello: {
+      Result<QueryHelloPayload> p = ParseQueryHello(frame);
+      if (p.ok()) SMETER_CHECK(MakeQueryHello(p.value()) == frame);
+      break;
+    }
+    case QueryFrameType::kQueryAck: {
+      Result<QueryAckPayload> p = ParseQueryAck(frame);
+      if (p.ok()) SMETER_CHECK(MakeQueryAck(p.value()) == frame);
+      break;
+    }
+    case QueryFrameType::kPointQuery: {
+      Result<PointQueryPayload> p = ParsePointQuery(frame);
+      if (p.ok()) SMETER_CHECK(MakePointQuery(p.value()) == frame);
+      break;
+    }
+    case QueryFrameType::kPointResult: {
+      Result<PointResultPayload> p = ParsePointResult(frame);
+      if (p.ok()) SMETER_CHECK(MakePointResult(p.value()) == frame);
+      break;
+    }
+    case QueryFrameType::kRangeQuery: {
+      Result<RangeQueryPayload> p = ParseRangeQuery(frame);
+      if (p.ok()) SMETER_CHECK(MakeRangeQuery(p.value()) == frame);
+      break;
+    }
+    case QueryFrameType::kRangeResult: {
+      Result<RangeResultPayload> p = ParseRangeResult(frame);
+      if (p.ok()) SMETER_CHECK(MakeRangeResult(p.value()) == frame);
+      break;
+    }
+    case QueryFrameType::kAggregateQuery: {
+      Result<AggregateQueryPayload> p = ParseAggregateQuery(frame);
+      if (p.ok()) SMETER_CHECK(MakeAggregateQuery(p.value()) == frame);
+      break;
+    }
+    case QueryFrameType::kAggregateResult: {
+      Result<AggregateResultPayload> p = ParseAggregateResult(frame);
+      if (p.ok()) SMETER_CHECK(MakeAggregateResult(p.value()) == frame);
+      break;
+    }
+  }
+}
+
+// Raw bytes through the frame decoder, then the typed query parsers.
+void FuzzDecodeQueryFrame(const std::string& bytes) {
+  DecodeResult result = DecodeFrame(bytes);
+  switch (result.outcome) {
+    case DecodeResult::Outcome::kNeedMore:
+      SMETER_CHECK_EQ(result.consumed, 0u);
+      return;
+    case DecodeResult::Outcome::kError:
+      SMETER_CHECK(!result.error.ok());
+      return;
+    case DecodeResult::Outcome::kFrame:
+      break;
+  }
+  SMETER_CHECK_EQ(result.consumed,
+                  kFrameHeaderBytes + result.frame.payload.size());
+  SMETER_CHECK(EncodeFrame(result.frame) ==
+               bytes.substr(0, result.consumed));
+  if (IsQueryFrameType(static_cast<uint8_t>(result.frame.type))) {
+    CheckQueryParserClosure(result.frame);
+  }
+}
+
+// Builds one mostly-in-domain query frame from fuzz input.
+Frame BuildQueryFrame(FuzzInput& in) {
+  switch (in.TakeByte() % 8) {
+    case 0: {
+      QueryHelloPayload p;
+      p.protocol_version = static_cast<uint16_t>(in.TakeUint64());
+      p.auth_token = in.TakeString(in.TakeIntInRange(0, 32));
+      return MakeQueryHello(p);
+    }
+    case 1: {
+      QueryAckPayload p;
+      p.status = static_cast<WireStatus>(in.TakeByte() % 11);
+      p.message = in.TakeString(in.TakeIntInRange(0, 48));
+      return MakeQueryAck(p);
+    }
+    case 2: {
+      PointQueryPayload p;
+      p.request_id = in.TakeUint64();
+      p.meter_id = (in.TakeByte() % 4 == 0)
+                       ? in.TakeString(in.TakeIntInRange(0, 16))
+                       : "meter_" + std::to_string(in.TakeByte());
+      return MakePointQuery(p);
+    }
+    case 3: {
+      PointResultPayload p;
+      p.request_id = in.TakeUint64();
+      if (in.TakeByte() % 3 == 0) {
+        p.status = static_cast<WireStatus>(1 + in.TakeByte() % 10);
+        p.message = in.TakeString(in.TakeIntInRange(0, 24));
+      } else {
+        p.timestamp = in.TakeIntInRange(-86'400, 86'400 * 365);
+        p.level = static_cast<uint8_t>(in.TakeIntInRange(1, kMaxSymbolLevel));
+        p.symbol = (in.TakeByte() % 5 == 0)
+                       ? kWireGapSymbol
+                       : static_cast<uint16_t>(
+                             in.TakeIntInRange(0, (1 << p.level) - 1));
+      }
+      return MakePointResult(p);
+    }
+    case 4: {
+      RangeQueryPayload p;
+      p.request_id = in.TakeUint64();
+      p.meter_id = "meter_" + std::to_string(in.TakeByte());
+      p.start = in.TakeIntInRange(-86'400, 86'400 * 30);
+      p.end = p.start + in.TakeIntInRange(-10, 86'400 * 30);
+      p.level = static_cast<uint8_t>(in.TakeIntInRange(0, kMaxSymbolLevel));
+      p.max_symbols = static_cast<uint32_t>(in.TakeUint64());
+      return MakeRangeQuery(p);
+    }
+    case 5: {
+      RangeResultPayload p;
+      p.request_id = in.TakeUint64();
+      if (in.TakeByte() % 3 == 0) {
+        p.status = static_cast<WireStatus>(1 + in.TakeByte() % 10);
+        p.message = in.TakeString(in.TakeIntInRange(0, 24));
+      } else {
+        p.start_timestamp = in.TakeIntInRange(0, 86'400 * 30);
+        p.step_seconds = in.TakeIntInRange(0, 86'400);
+        p.level = static_cast<uint8_t>(in.TakeIntInRange(1, kMaxSymbolLevel));
+        p.truncated = static_cast<uint8_t>(in.TakeByte() % 2);
+        const int n = in.TakeIntInRange(0, 64);
+        for (int i = 0; i < n; ++i) {
+          p.symbols.push_back(
+              (in.TakeByte() % 5 == 0)
+                  ? kWireGapSymbol
+                  : static_cast<uint16_t>(
+                        in.TakeIntInRange(0, (1 << p.level) - 1)));
+        }
+      }
+      return MakeRangeResult(p);
+    }
+    case 6: {
+      AggregateQueryPayload p;
+      p.request_id = in.TakeUint64();
+      p.start = in.TakeIntInRange(-86'400, 86'400 * 30);
+      p.end = p.start + in.TakeIntInRange(-10, 86'400 * 30);
+      p.level = static_cast<uint8_t>(in.TakeIntInRange(0, kMaxSymbolLevel));
+      return MakeAggregateQuery(p);
+    }
+    default: {
+      AggregateResultPayload p;
+      p.request_id = in.TakeUint64();
+      if (in.TakeByte() % 3 == 0) {
+        p.status = static_cast<WireStatus>(1 + in.TakeByte() % 10);
+        p.message = in.TakeString(in.TakeIntInRange(0, 24));
+      } else {
+        p.level = static_cast<uint8_t>(in.TakeIntInRange(1, 6));
+        p.meters = in.TakeUint64() % 100'000;
+        p.windows = in.TakeUint64() % 1'000'000;
+        p.gaps = p.windows == 0 ? 0 : in.TakeUint64() % p.windows;
+        p.rollup_partitions = static_cast<uint32_t>(in.TakeByte());
+        p.scanned_partitions = static_cast<uint32_t>(in.TakeByte());
+        p.histogram.assign(size_t{1} << p.level, 0);
+        for (uint64_t& bucket : p.histogram) bucket = in.TakeByte();
+      }
+      return MakeAggregateResult(p);
+    }
+  }
+}
+
+// Encode → decode closure plus the truncation and bit-flip oracles.
+void FuzzQueryCodecClosure(FuzzInput& in) {
+  const Frame frame = BuildQueryFrame(in);
+  const std::string bytes = EncodeFrame(frame);
+
+  // The frame layer must hand back exactly what was encoded...
+  DecodeResult decoded = DecodeFrame(bytes);
+  SMETER_CHECK(decoded.outcome == DecodeResult::Outcome::kFrame);
+  SMETER_CHECK(decoded.frame == frame);
+  SMETER_CHECK_EQ(decoded.consumed, bytes.size());
+  // ...and whatever the typed parser accepts must rebuild bit-exactly.
+  CheckQueryParserClosure(decoded.frame);
+
+  // Truncation oracle: every strict prefix is kNeedMore, never a frame.
+  {
+    const size_t cut = static_cast<size_t>(
+        in.TakeIntInRange(0, static_cast<int>(bytes.size()) - 1));
+    DecodeResult r = DecodeFrame(std::string_view(bytes).substr(0, cut));
+    SMETER_CHECK(r.outcome == DecodeResult::Outcome::kNeedMore);
+  }
+
+  // Bit-flip oracle: damage must never decode to a *different* frame.
+  {
+    std::string damaged = bytes;
+    const size_t pos = static_cast<size_t>(
+        in.TakeIntInRange(0, static_cast<int>(damaged.size()) - 1));
+    damaged[pos] = static_cast<char>(
+        static_cast<unsigned char>(damaged[pos]) ^ (1u << (in.TakeByte() % 8)));
+    DecodeResult r = DecodeFrame(damaged);
+    if (r.outcome == DecodeResult::Outcome::kFrame) {
+      SMETER_CHECK(r.frame == frame);  // only an identical re-read is ok
+    }
+  }
+}
+
+// Drives a storeless QuerySession with a fuzz-chosen frame sequence — a
+// mix of protocol-shaped traffic and hostile garbage.
+void FuzzQuerySession(FuzzInput& in) {
+  QuerySessionOptions options;
+  if (in.TakeByte() % 4 == 0) options.auth_token = "secret";
+  if (in.TakeByte() % 8 == 0) options.draining = true;
+  if (in.TakeByte() % 8 == 0) options.max_scan_symbols = 16;
+  QuerySession session(/*store=*/nullptr, options);
+  // The fuzz driver is the session's single writer.
+  ScopedThreadRole writer(session.writer_role());
+
+  const int steps = in.TakeIntInRange(1, 12);
+  for (int i = 0; i < steps; ++i) {
+    if (session.state() == QuerySession::State::kFailed) break;
+    Frame frame;
+    switch (in.TakeByte() % 4) {
+      case 0: {
+        // The happy-path prefix so the serving state is reachable often.
+        if (session.state() == QuerySession::State::kExpectHello) {
+          QueryHelloPayload hello;
+          hello.auth_token =
+              (in.TakeByte() % 3 == 0) ? "secret" : options.auth_token;
+          frame = MakeQueryHello(hello);
+        } else {
+          frame = BuildQueryFrame(in);
+        }
+        break;
+      }
+      case 1:
+        frame = BuildQueryFrame(in);
+        break;
+      case 2: {
+        // Hostile: a known query type with a garbage payload inside a
+        // CRC-valid frame.
+        frame = BuildQueryFrame(in);
+        frame.payload = in.TakeString(in.TakeIntInRange(0, 24));
+        break;
+      }
+      default: {
+        // Hostile: an ingest frame or a future type; the session must
+        // refuse per-frame without desyncing.
+        frame.type = static_cast<FrameType>(in.TakeIntInRange(1, 255));
+        frame.payload = in.TakeString(in.TakeIntInRange(0, 24));
+        break;
+      }
+    }
+
+    std::vector<Frame> replies;
+    session.OnFrame(frame, &replies);
+    // Every reply the machine produces must itself be encodable and
+    // re-decodable — the server sends these bytes to real sockets — and
+    // query-typed replies must satisfy their own parser closure.
+    for (const Frame& reply : replies) {
+      DecodeResult r = DecodeFrame(EncodeFrame(reply));
+      SMETER_CHECK(r.outcome == DecodeResult::Outcome::kFrame);
+      SMETER_CHECK(r.frame == reply);
+      if (IsQueryFrameType(static_cast<uint8_t>(reply.type))) {
+        CheckQueryParserClosure(reply);
+      }
+    }
+    if (session.state() == QuerySession::State::kFailed) {
+      SMETER_CHECK(!session.error().ok());
+      // A failed session goes quiet: further frames produce no replies.
+      std::vector<Frame> after;
+      session.OnFrame(MakeQueryHello({}), &after);
+      SMETER_CHECK(after.empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smeter::net
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  smeter::fuzz::FuzzInput in(data, size);
+  switch (in.TakeByte() % 3) {
+    case 0:
+      smeter::net::FuzzDecodeQueryFrame(in.TakeRemainingString());
+      break;
+    case 1:
+      smeter::net::FuzzQueryCodecClosure(in);
+      break;
+    default:
+      smeter::net::FuzzQuerySession(in);
+      break;
+  }
+  return 0;
+}

@@ -1,0 +1,444 @@
+// End-to-end drills for the query daemon over real loopback sockets.
+//
+// The equivalence chain under test: a fleet streamed through the ingest
+// daemon leaves an archive byte-identical to offline encode-fleet (proved
+// by net_ingest_test); here we extend it one hop — store-build over both
+// archives must produce byte-identical stores, and every answer queryd
+// serves from one must equal a direct ArchiveStore read of the other.
+//
+// Also here: admission/memory THROTTLE behavior, drain + SIGUSR1-style
+// stats dumps, the query.accept fault seam, exit_after_queries, and a
+// seeded multi-client query storm against a store whose current table a
+// live writer keeps appending to (CI soaks QueryStormSoakTest across many
+// SMETER_FAULT_SEED values under ASan; see .github/workflows).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli.h"
+#include "common/fault_injection.h"
+#include "common/io.h"
+#include "common/sync.h"
+#include "core/archive_store.h"
+#include "net/ingest_server.h"
+#include "net/loadgen.h"
+#include "net/query_client.h"
+#include "net/query_server.h"
+#include "testutil.h"
+
+namespace smeter {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr size_t kMeters = 4;
+
+std::string RunCliOk(const std::vector<std::string>& args) {
+  std::ostringstream out;
+  Status status = cli::RunCli(args, out);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return out.str();
+}
+
+// simulate + offline encode-fleet; returns the scratch dir with
+// meters.cer and <dir>/offline populated.
+std::string MakeFleetDir(const std::string& name) {
+  std::string dir = smeter::testing::TempPath(name);
+  fs::remove_all(dir);
+  RunCliOk({"simulate", "--format", "cer", "--out", dir, "--houses",
+            std::to_string(kMeters), "--days", "2", "--seed", "17",
+            "--outages", "1.0"});
+  RunCliOk({"encode-fleet", "--input", dir + "/meters.cer", "--format",
+            "cer", "--out", dir + "/offline", "--window", "1800",
+            "--sample-period", "1800", "--threads", "1", "--max-retries",
+            "0"});
+  return dir;
+}
+
+std::map<std::string, std::string> SnapshotDir(const std::string& dir) {
+  std::map<std::string, std::string> files;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    files[fs::relative(entry.path(), dir).generic_string()] =
+        io::ReadFileToString(entry.path().string()).value();
+  }
+  return files;
+}
+
+struct RunningQueryServer {
+  std::unique_ptr<net::QueryServer> server;
+  std::thread thread;
+  Status result;
+
+  RunningQueryServer() = default;
+  RunningQueryServer(const RunningQueryServer&) = delete;
+  RunningQueryServer& operator=(const RunningQueryServer&) = delete;
+
+  void Start(net::QueryServerOptions options,
+             std::ostream* stats_out = nullptr) {
+    auto created = net::QueryServer::Create(std::move(options));
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    server = std::move(created.value());
+    if (stats_out != nullptr) {
+      ScopedThreadRole owner(server->role());
+      server->set_stats_out(stats_out);
+    }
+    thread = std::thread([this] { result = server->Run(); });
+  }
+
+  void DrainAndJoin() {
+    if (!thread.joinable()) return;
+    server->RequestDrain();
+    thread.join();
+  }
+
+  ~RunningQueryServer() {
+    if (thread.joinable()) {
+      server->RequestDrain();
+      thread.join();
+    }
+  }
+};
+
+net::QueryServerOptions QuerydOptions(const std::string& store_dir) {
+  net::QueryServerOptions options;
+  options.store_dir = store_dir;
+  options.port = 0;  // ephemeral
+  options.drain_grace_ms = 500;
+  options.idle_timeout_ms = 0;  // tests drive their own lifecycle
+  return options;
+}
+
+Result<std::unique_ptr<net::QueryClient>> ConnectTo(
+    const RunningQueryServer& running) {
+  net::QueryClientOptions options;
+  options.port = running.server->port();
+  return net::QueryClient::Connect(options);
+}
+
+TEST(QueryServingTest, ServedAnswersMatchDirectReadsOfTheOfflineStore) {
+  std::string dir = MakeFleetDir("query_serving_equivalence");
+
+  // The sharded ingest daemon writes the online archive from streamed
+  // frames; net_ingest_test proves it byte-identical to offline — here we
+  // carry that identity through store-build.
+  {
+    net::IngestServerOptions ingest;
+    ingest.archive_dir = dir + "/online";
+    ingest.port = 0;
+    ingest.drain_grace_ms = 500;
+    ingest.exit_after_households = kMeters;
+    auto created = net::IngestServer::Create(std::move(ingest));
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    std::thread serving(
+        [&server = *created.value()] { (void)server.Run(); });
+    net::LoadgenOptions loadgen;
+    loadgen.port = created.value()->port();
+    loadgen.input_cer = dir + "/meters.cer";
+    loadgen.encode.pipeline.window_seconds = 1800;
+    loadgen.encode.pipeline.window.sample_period_seconds = 1800;
+    loadgen.encode.gap_aware = true;
+    loadgen.batch_symbols = 16;
+    loadgen.concurrency = 2;
+    auto report = net::RunLoadgen(loadgen);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->meters_ok, kMeters);
+    serving.join();
+  }
+
+  RunCliOk({"store-build", "--archive", dir + "/online", "--store",
+            dir + "/store_online"});
+  RunCliOk({"store-build", "--archive", dir + "/offline", "--store",
+            dir + "/store_offline"});
+  EXPECT_EQ(SnapshotDir(dir + "/store_online"),
+            SnapshotDir(dir + "/store_offline"));
+
+  // Serve the online store; cross-check every answer against direct reads
+  // of the offline one.
+  auto direct = ArchiveStore::Open(dir + "/store_offline");
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+
+  RunningQueryServer running;
+  running.Start(QuerydOptions(dir + "/store_online"));
+  auto client = ConnectTo(running);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  const TimeRange window = {0, 4 * kSecondsPerDay};
+  for (size_t m = 0; m < kMeters; ++m) {
+    const std::string meter = "meter_" + std::to_string(1000 + m);
+    SCOPED_TRACE(meter);
+
+    auto point = (*client)->Point(meter);
+    ASSERT_TRUE(point.ok()) << point.status().ToString();
+    ASSERT_EQ(point->status, net::WireStatus::kOk);
+    auto latest = (*direct)->Latest(meter);
+    ASSERT_TRUE(latest.ok());
+    EXPECT_EQ(point->timestamp, latest->timestamp);
+    EXPECT_EQ(point->level, latest->level);
+    EXPECT_EQ(point->symbol, latest->symbol == kStoreGapSymbol
+                                 ? net::kWireGapSymbol
+                                 : latest->symbol);
+
+    auto range = (*client)->Range(meter, window, /*level=*/0,
+                                  /*max_symbols=*/200'000);
+    ASSERT_TRUE(range.ok()) << range.status().ToString();
+    ASSERT_EQ(range->status, net::WireStatus::kOk);
+    auto scan = (*direct)->Scan(meter, window, 0, 200'000);
+    ASSERT_TRUE(scan.ok());
+    EXPECT_EQ(range->start_timestamp, scan->start_timestamp);
+    EXPECT_EQ(range->step_seconds, scan->step_seconds);
+    EXPECT_EQ(range->level, scan->level);
+    EXPECT_EQ(range->symbols,
+              std::vector<uint16_t>(scan->symbols.begin(),
+                                    scan->symbols.end()));
+  }
+
+  auto aggregate = (*client)->Aggregate(window, /*level=*/1);
+  ASSERT_TRUE(aggregate.ok()) << aggregate.status().ToString();
+  ASSERT_EQ(aggregate->status, net::WireStatus::kOk);
+  auto expect = (*direct)->Aggregate(window, 1);
+  ASSERT_TRUE(expect.ok());
+  EXPECT_EQ(aggregate->meters, expect->meters);
+  EXPECT_EQ(aggregate->windows, expect->windows);
+  EXPECT_EQ(aggregate->gaps, expect->gaps);
+  EXPECT_EQ(aggregate->histogram, expect->histogram);
+
+  // Unknown meters are a per-query kNotFound, not a dropped connection.
+  auto missing = (*client)->Point("meter_9999");
+  ASSERT_TRUE(missing.ok()) << missing.status().ToString();
+  EXPECT_EQ(missing->status, net::WireStatus::kNotFound);
+
+  running.DrainAndJoin();
+  ASSERT_OK(running.result);
+  ScopedThreadRole owner(running.server->role());
+  EXPECT_EQ(running.server->counters().queries_point, kMeters + 1);
+  EXPECT_EQ(running.server->counters().queries_range, kMeters);
+  EXPECT_EQ(running.server->counters().queries_aggregate, 1u);
+  EXPECT_EQ(running.server->counters().connections_dropped, 0u);
+}
+
+TEST(QueryServingTest, AdmissionLimitShedsWithThrottle) {
+  std::string dir = MakeFleetDir("query_admission");
+  RunCliOk({"store-build", "--archive", dir + "/offline", "--store",
+            dir + "/store"});
+  net::QueryServerOptions options = QuerydOptions(dir + "/store");
+  options.max_connections = 1;
+  RunningQueryServer running;
+  running.Start(std::move(options));
+
+  auto first = ConnectTo(running);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  // The second connection is refused at accept with a THROTTLE frame the
+  // client surfaces as a typed error, not a silent hangup.
+  auto second = ConnectTo(running);
+  ASSERT_FALSE(second.ok());
+  EXPECT_NE(second.status().message().find("admission"), std::string::npos)
+      << second.status().ToString();
+  // The admitted connection still serves.
+  auto point = (*first)->Point("meter_1000");
+  EXPECT_TRUE(point.ok()) << point.status().ToString();
+
+  running.DrainAndJoin();
+  ScopedThreadRole owner(running.server->role());
+  EXPECT_EQ(running.server->counters().connections_shed, 1u);
+  EXPECT_GE(running.server->counters().throttles_sent, 1u);
+}
+
+TEST(QueryServingTest, MemoryBudgetThrottlesOversizedReplies) {
+  std::string dir = MakeFleetDir("query_memory");
+  RunCliOk({"store-build", "--archive", dir + "/offline", "--store",
+            dir + "/store"});
+  net::QueryServerOptions options = QuerydOptions(dir + "/store");
+  options.memory_budget = 256;  // smaller than any full-range reply
+  RunningQueryServer running;
+  running.Start(std::move(options));
+
+  auto client = ConnectTo(running);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto range = (*client)->Range("meter_1000", {0, 4 * kSecondsPerDay}, 0,
+                                200'000);
+  ASSERT_FALSE(range.ok());
+  EXPECT_NE(range.status().message().find("memory"), std::string::npos)
+      << range.status().ToString();
+
+  running.DrainAndJoin();
+  ScopedThreadRole owner(running.server->role());
+  EXPECT_GE(running.server->counters().memory_throttled, 1u);
+}
+
+TEST(QueryServingTest, AcceptFaultSeamDropsThatConnectionOnly) {
+  std::string dir = MakeFleetDir("query_accept_seam");
+  RunCliOk({"store-build", "--archive", dir + "/offline", "--store",
+            dir + "/store"});
+  RunningQueryServer running;
+  running.Start(QuerydOptions(dir + "/store"));
+
+  {
+    fault::ScopedFaultPlan plan(
+        {fault::FaultRule::FailCalls("query.accept", 1, 1)});
+    auto dropped = ConnectTo(running);
+    EXPECT_FALSE(dropped.ok());
+  }
+  // The listener survives; the next connection is served normally.
+  auto client = ConnectTo(running);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_TRUE((*client)->Point("meter_1000").ok());
+
+  running.DrainAndJoin();
+  ScopedThreadRole owner(running.server->role());
+  EXPECT_EQ(running.server->counters().connections_dropped, 1u);
+}
+
+TEST(QueryServingTest, StatsDumpAndDeterministicExitAfterQueries) {
+  std::string dir = MakeFleetDir("query_stats_exit");
+  RunCliOk({"store-build", "--archive", dir + "/offline", "--store",
+            dir + "/store"});
+  net::QueryServerOptions options = QuerydOptions(dir + "/store");
+  options.exit_after_queries = 3;
+  std::ostringstream stats;
+  RunningQueryServer running;
+  running.Start(std::move(options), &stats);
+
+  auto client = ConnectTo(running);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_TRUE((*client)->Point("meter_1000").ok());
+
+  running.server->RequestStatsDump();
+  while (running.server->stats_dumps() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  EXPECT_TRUE((*client)->Point("meter_1001").ok());
+  (void)(*client)->Aggregate({0, kSecondsPerDay}, 1);
+  running.thread.join();  // query #3 trips exit_after_queries
+  ASSERT_OK(running.result);
+
+  const std::string dumped = stats.str();
+  EXPECT_NE(dumped.find("\"queries_point\""), std::string::npos) << dumped;
+  EXPECT_NE(dumped.find("\"connections_accepted\""), std::string::npos);
+  ScopedThreadRole owner(running.server->role());
+  EXPECT_EQ(running.server->counters().queries_point +
+                running.server->counters().queries_range +
+                running.server->counters().queries_aggregate,
+            3u);
+}
+
+// Seeded storm: several clients fire randomized query mixes (valid and
+// invalid meters, windows, and levels) while a live writer keeps appending
+// to the store's current log — the refresh path runs against a moving
+// file. CI sweeps SMETER_FAULT_SEED over this test under ASan.
+TEST(QueryStormSoakTest, RandomizedStormAgainstLiveCurrentWrites) {
+  uint64_t seed = 1;
+  if (const char* env = std::getenv("SMETER_FAULT_SEED")) {
+    const uint64_t parsed = std::strtoull(env, nullptr, 10);
+    if (parsed != 0) seed = parsed;
+  }
+  SCOPED_TRACE("SMETER_FAULT_SEED=" + std::to_string(seed));
+
+  std::string dir =
+      MakeFleetDir("query_storm_" + std::to_string(seed));
+  RunCliOk({"store-build", "--archive", dir + "/offline", "--store",
+            dir + "/store"});
+  RunningQueryServer running;
+  running.Start(QuerydOptions(dir + "/store"));
+
+  constexpr int kClients = 3;
+  constexpr int kQueriesPerClient = 40;
+
+  std::atomic<bool> stop{false};
+  std::thread live_writer([&] {
+    auto writer = CurrentTableWriter::Open(dir + "/store");
+    ASSERT_TRUE(writer.ok());
+    CurrentRecord record;
+    record.meter = "meter_1000";
+    record.level = 1;
+    record.symbol = 1;
+    Timestamp now = 10 * kSecondsPerDay;
+    while (!stop.load()) {
+      record.timestamp = now;
+      now += 1800;
+      (void)(*writer)->Update(record);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    (void)(*writer)->Close();
+  });
+
+  std::atomic<uint64_t> served{0}, refused{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = ConnectTo(running);
+      ASSERT_TRUE(client.ok()) << client.status().ToString();
+      std::mt19937_64 rng(seed * 1000 + static_cast<uint64_t>(c));
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        const std::string meter =
+            "meter_" + std::to_string(1000 + rng() % (kMeters + 2));
+        const int64_t a =
+            static_cast<int64_t>(rng() % (5 * kSecondsPerDay)) -
+            kSecondsPerDay;
+        const int64_t b = a + 1 + static_cast<int64_t>(
+                                      rng() % (3 * kSecondsPerDay));
+        Result<net::WireStatus> status = InternalError("unset");
+        switch (rng() % 3) {
+          case 0: {
+            auto result = (*client)->Point(meter);
+            if (result.ok()) status = result->status;
+            break;
+          }
+          case 1: {
+            auto result = (*client)->Range(
+                meter, {a, b}, static_cast<int>(rng() % 3),
+                1 + static_cast<uint32_t>(rng() % 4096));
+            if (result.ok()) status = result->status;
+            break;
+          }
+          default: {
+            auto result =
+                (*client)->Aggregate({a, b}, 1 + static_cast<int>(rng() % 2));
+            if (result.ok()) status = result->status;
+            break;
+          }
+        }
+        // Every query must come back as a typed result frame — ok or a
+        // per-query error status — never a dropped connection.
+        ASSERT_TRUE(status.ok()) << status.status().ToString();
+        (*status == net::WireStatus::kOk ? served : refused)++;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  stop.store(true);
+  live_writer.join();
+
+  // The live writer's fresher row must be visible through the server.
+  auto client = ConnectTo(running);
+  ASSERT_TRUE(client.ok());
+  auto point = (*client)->Point("meter_1000");
+  ASSERT_TRUE(point.ok()) << point.status().ToString();
+  ASSERT_EQ(point->status, net::WireStatus::kOk);
+  EXPECT_GE(point->timestamp, 10 * kSecondsPerDay);
+
+  running.DrainAndJoin();
+  ASSERT_OK(running.result);
+  EXPECT_GT(served.load(), 0u);
+  ScopedThreadRole owner(running.server->role());
+  const net::QueryCounters counters = running.server->counters();
+  EXPECT_EQ(counters.queries_point + counters.queries_range +
+                counters.queries_aggregate,
+            served.load() + refused.load() + 1);  // +1 final point check
+  EXPECT_EQ(counters.connections_dropped, 0u);
+}
+
+}  // namespace
+}  // namespace smeter

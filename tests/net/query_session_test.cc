@@ -1,0 +1,275 @@
+// QuerySession state-machine tests: the handshake gate, per-query error
+// tolerance vs protocol-violation failure, forward-compatibility acks,
+// draining refusal, and query evaluation against a real (tiny) store and
+// against no store at all.
+
+#include "net/query_session.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/io.h"
+#include "core/archive_store.h"
+#include "core/codec.h"
+#include "core/symbolic_series.h"
+#include "testutil.h"
+
+namespace smeter::net {
+namespace {
+
+namespace fs = std::filesystem;
+
+// One meter, 48 level-3 samples at 900 s cadence, one gap.
+std::unique_ptr<ArchiveStore> OpenTinyStore(const std::string& name) {
+  const std::string root = smeter::testing::TempPath("query_session_" + name);
+  fs::remove_all(root);
+  fs::create_directories(root + "/archive");
+  SymbolicSeries series(3);
+  for (int i = 0; i < 48; ++i) {
+    Symbol symbol = (i == 10) ? Symbol::Gap(3)
+                              : Symbol::Create(3, i % 8).value();
+    EXPECT_TRUE(series.Append({i * 900, symbol}).ok());
+  }
+  auto blob = PackSymbolicSeriesFramed(series);
+  EXPECT_TRUE(blob.ok());
+  EXPECT_TRUE(
+      io::AtomicWriteFile(root + "/archive/house_a.symbols", *blob).ok());
+  EXPECT_TRUE(BuildArchiveStore(root + "/archive", root + "/store").ok());
+  auto store = ArchiveStore::Open(root + "/store");
+  EXPECT_TRUE(store.ok());
+  return std::move(*store);
+}
+
+std::vector<Frame> Drive(QuerySession& session, const Frame& frame) {
+  std::vector<Frame> replies;
+  ScopedThreadRole self(session.writer_role());
+  session.OnFrame(frame, &replies);
+  return replies;
+}
+
+QuerySession::State StateOf(QuerySession& session) {
+  ScopedThreadRole self(session.writer_role());
+  return session.state();
+}
+
+Frame Hello(const std::string& token = "") {
+  QueryHelloPayload hello;
+  hello.auth_token = token;
+  return MakeQueryHello(hello);
+}
+
+TEST(QuerySessionTest, HandshakeThenQueriesHappyPath) {
+  auto store = OpenTinyStore("happy");
+  QuerySession session(store.get(), {});
+
+  auto replies = Drive(session, Hello());
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(QueryAckPayload ack, ParseQueryAck(replies[0]));
+  EXPECT_EQ(ack.status, WireStatus::kOk);
+  EXPECT_EQ(StateOf(session), QuerySession::State::kServing);
+
+  PointQueryPayload point;
+  point.request_id = 1;
+  point.meter_id = "house_a";
+  replies = Drive(session, MakePointQuery(point));
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(PointResultPayload value,
+                       ParsePointResult(replies[0]));
+  EXPECT_EQ(value.request_id, 1u);
+  EXPECT_EQ(value.status, WireStatus::kOk);
+  EXPECT_EQ(value.timestamp, 47 * 900);
+  EXPECT_EQ(value.level, 3);
+
+  RangeQueryPayload range;
+  range.request_id = 2;
+  range.meter_id = "house_a";
+  range.start = 0;
+  range.end = 48 * 900;
+  range.level = 1;
+  range.max_symbols = 1000;
+  replies = Drive(session, MakeRangeQuery(range));
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(RangeResultPayload scan,
+                       ParseRangeResult(replies[0]));
+  EXPECT_EQ(scan.status, WireStatus::kOk);
+  EXPECT_EQ(scan.level, 1);
+  ASSERT_EQ(scan.symbols.size(), 48u);
+  EXPECT_EQ(scan.symbols[10], kWireGapSymbol);  // the gap survives
+  // Level-1 symbol = top bit of the level-3 index (i%8 >= 4).
+  EXPECT_EQ(scan.symbols[0], 0);
+  EXPECT_EQ(scan.symbols[5], 1);
+
+  AggregateQueryPayload aggregate;
+  aggregate.request_id = 3;
+  aggregate.start = 0;
+  aggregate.end = 86'400;
+  aggregate.level = 3;
+  replies = Drive(session, MakeAggregateQuery(aggregate));
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(AggregateResultPayload fleet,
+                       ParseAggregateResult(replies[0]));
+  EXPECT_EQ(fleet.status, WireStatus::kOk);
+  EXPECT_EQ(fleet.meters, 1u);
+  EXPECT_EQ(fleet.windows, 48u);
+  EXPECT_EQ(fleet.gaps, 1u);
+
+  ScopedThreadRole self(session.writer_role());
+  EXPECT_EQ(session.queries_served(), 3u);
+}
+
+TEST(QuerySessionTest, QueryBeforeHelloFailsTheSession) {
+  auto store = OpenTinyStore("gate");
+  QuerySession session(store.get(), {});
+  PointQueryPayload point;
+  point.request_id = 1;
+  point.meter_id = "house_a";
+  auto replies = Drive(session, MakePointQuery(point));
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(QueryAckPayload ack, ParseQueryAck(replies[0]));
+  EXPECT_EQ(ack.status, WireStatus::kBadState);
+  EXPECT_EQ(StateOf(session), QuerySession::State::kFailed);
+  // A failed session ignores further frames.
+  EXPECT_TRUE(Drive(session, Hello()).empty());
+}
+
+TEST(QuerySessionTest, PerQueryErrorsKeepServing) {
+  auto store = OpenTinyStore("tolerant");
+  QuerySession session(store.get(), {});
+  Drive(session, Hello());
+
+  // Unknown meter: kNotFound result, session survives.
+  PointQueryPayload point;
+  point.request_id = 1;
+  point.meter_id = "nobody";
+  auto replies = Drive(session, MakePointQuery(point));
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(PointResultPayload missing,
+                       ParsePointResult(replies[0]));
+  EXPECT_EQ(missing.status, WireStatus::kNotFound);
+  EXPECT_EQ(StateOf(session), QuerySession::State::kServing);
+
+  // Level finer than native: kBadFrame result, session survives.
+  RangeQueryPayload range;
+  range.request_id = 2;
+  range.meter_id = "house_a";
+  range.start = 0;
+  range.end = 86'400;
+  range.level = 7;
+  replies = Drive(session, MakeRangeQuery(range));
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(RangeResultPayload refused,
+                       ParseRangeResult(replies[0]));
+  EXPECT_EQ(refused.status, WireStatus::kBadFrame);
+  EXPECT_EQ(StateOf(session), QuerySession::State::kServing);
+}
+
+TEST(QuerySessionTest, UndecodablePayloadFailsTheSession) {
+  auto store = OpenTinyStore("hostile");
+  QuerySession session(store.get(), {});
+  Drive(session, Hello());
+  Frame garbage = MakePointQuery({1, "house_a"});
+  garbage.payload.resize(3);  // truncated payload inside a CRC-valid frame
+  auto replies = Drive(session, garbage);
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(QueryAckPayload ack, ParseQueryAck(replies[0]));
+  EXPECT_EQ(ack.status, WireStatus::kBadFrame);
+  EXPECT_EQ(StateOf(session), QuerySession::State::kFailed);
+}
+
+TEST(QuerySessionTest, ServerSideFrameFromClientIsAViolation) {
+  QuerySession session(nullptr, {});
+  Drive(session, Hello());
+  auto replies = Drive(session, MakePointResult({}));
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(QueryAckPayload ack, ParseQueryAck(replies[0]));
+  EXPECT_EQ(ack.status, WireStatus::kBadState);
+  EXPECT_EQ(StateOf(session), QuerySession::State::kFailed);
+}
+
+TEST(QuerySessionTest, UnknownFrameTypeIsRefusedPerFrame) {
+  QuerySession session(nullptr, {});
+  Drive(session, Hello());
+  Frame future;
+  future.type = static_cast<FrameType>(63);
+  auto replies = Drive(session, future);
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(QueryAckPayload ack, ParseQueryAck(replies[0]));
+  EXPECT_EQ(ack.status, WireStatus::kUnsupported);
+  // Forward compatibility: the session survives and still serves.
+  EXPECT_EQ(StateOf(session), QuerySession::State::kServing);
+}
+
+TEST(QuerySessionTest, AuthVersionAndDrainingGates) {
+  QuerySessionOptions needs_token;
+  needs_token.auth_token = "letmein";
+  {
+    QuerySession session(nullptr, needs_token);
+    auto replies = Drive(session, Hello("wrong"));
+    ASSERT_OK_AND_ASSIGN(QueryAckPayload ack, ParseQueryAck(replies.at(0)));
+    EXPECT_EQ(ack.status, WireStatus::kUnauthorized);
+    EXPECT_EQ(StateOf(session), QuerySession::State::kFailed);
+  }
+  {
+    QuerySession session(nullptr, needs_token);
+    auto replies = Drive(session, Hello("letmein"));
+    ASSERT_OK_AND_ASSIGN(QueryAckPayload ack, ParseQueryAck(replies.at(0)));
+    EXPECT_EQ(ack.status, WireStatus::kOk);
+  }
+  {
+    QuerySession session(nullptr, {});
+    QueryHelloPayload hello;
+    hello.protocol_version = kQueryProtocolVersion + 1;
+    auto replies = Drive(session, MakeQueryHello(hello));
+    ASSERT_OK_AND_ASSIGN(QueryAckPayload ack, ParseQueryAck(replies.at(0)));
+    EXPECT_EQ(ack.status, WireStatus::kUnauthorized);
+  }
+  {
+    QuerySessionOptions draining;
+    draining.draining = true;
+    QuerySession session(nullptr, draining);
+    auto replies = Drive(session, Hello());
+    ASSERT_OK_AND_ASSIGN(QueryAckPayload ack, ParseQueryAck(replies.at(0)));
+    EXPECT_EQ(ack.status, WireStatus::kDraining);
+  }
+}
+
+TEST(QuerySessionTest, NullStoreAnswersServerErrorNotCrash) {
+  QuerySession session(nullptr, {});
+  Drive(session, Hello());
+  auto replies = Drive(session, MakePointQuery({5, "house_a"}));
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(PointResultPayload result,
+                       ParsePointResult(replies[0]));
+  EXPECT_EQ(result.request_id, 5u);
+  EXPECT_EQ(result.status, WireStatus::kServerError);
+  EXPECT_EQ(StateOf(session), QuerySession::State::kServing);
+}
+
+TEST(QuerySessionTest, ScanClampsToTheServerCeiling) {
+  auto store = OpenTinyStore("clamp");
+  QuerySessionOptions options;
+  options.max_scan_symbols = 8;
+  QuerySession session(store.get(), options);
+  Drive(session, Hello());
+  RangeQueryPayload range;
+  range.request_id = 1;
+  range.meter_id = "house_a";
+  range.start = 0;
+  range.end = 86'400;
+  range.level = 0;
+  range.max_symbols = kMaxWireRangeSymbols;  // client asks for the moon
+  auto replies = Drive(session, MakeRangeQuery(range));
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(RangeResultPayload scan,
+                       ParseRangeResult(replies[0]));
+  EXPECT_EQ(scan.status, WireStatus::kOk);
+  EXPECT_EQ(scan.symbols.size(), 8u);
+  EXPECT_EQ(scan.truncated, 1);
+}
+
+}  // namespace
+}  // namespace smeter::net

@@ -1,0 +1,272 @@
+// Query codec tests: every Make*/Parse* pair must be an exact inverse,
+// and every malformed payload — truncation, trailing bytes, wrong frame
+// type, out-of-range fields, non-canonical error results — must be
+// refused, never accepted or crashed on. The fuzz harness
+// (tests/fuzz/fuzz_query.cc) extends the same closure to random bytes.
+
+#include "net/query_wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/symbol.h"
+#include "testutil.h"
+
+namespace smeter::net {
+namespace {
+
+// Parsers must refuse every strict prefix of a valid payload and every
+// valid payload with trailing garbage: the frame length is authoritative,
+// so any disagreement is damage or a hostile client.
+template <typename Parser>
+void ExpectPayloadClosure(const Frame& frame, Parser parse) {
+  for (size_t n = 0; n < frame.payload.size(); ++n) {
+    Frame cut = frame;
+    cut.payload.resize(n);
+    EXPECT_FALSE(parse(cut).ok()) << "prefix of " << n << " bytes parsed";
+  }
+  Frame padded = frame;
+  padded.payload.push_back('\0');
+  EXPECT_FALSE(parse(padded).ok()) << "trailing byte accepted";
+}
+
+TEST(QueryWireTest, FrameTypeSpaceIsDisjointFromIngest) {
+  for (int type = 0; type < 64; ++type) {
+    EXPECT_EQ(IsQueryFrameType(static_cast<uint8_t>(type)),
+              type >= 32 && type <= 39)
+        << type;
+  }
+}
+
+TEST(QueryWireTest, HelloRoundTrips) {
+  QueryHelloPayload hello;
+  hello.protocol_version = 7;
+  hello.auth_token = "s3cret";
+  Frame frame = MakeQueryHello(hello);
+  EXPECT_EQ(static_cast<uint8_t>(frame.type), 32);
+  ASSERT_OK_AND_ASSIGN(QueryHelloPayload parsed, ParseQueryHello(frame));
+  EXPECT_EQ(parsed.protocol_version, 7);
+  EXPECT_EQ(parsed.auth_token, "s3cret");
+  ExpectPayloadClosure(frame, ParseQueryHello);
+  EXPECT_FALSE(ParseQueryHello(MakeQueryAck({})).ok());
+}
+
+TEST(QueryWireTest, AckRoundTripsIncludingErrors) {
+  QueryAckPayload ack;
+  ack.status = WireStatus::kDraining;
+  ack.message = "drain in progress";
+  ASSERT_OK_AND_ASSIGN(QueryAckPayload parsed, ParseQueryAck(MakeQueryAck(ack)));
+  EXPECT_EQ(parsed.status, WireStatus::kDraining);
+  EXPECT_EQ(parsed.message, "drain in progress");
+  // An unknown status byte is refused, not cast blindly.
+  Frame bogus = MakeQueryAck(ack);
+  bogus.payload[0] = 0x7f;
+  EXPECT_FALSE(ParseQueryAck(bogus).ok());
+  ExpectPayloadClosure(MakeQueryAck(ack), ParseQueryAck);
+}
+
+TEST(QueryWireTest, PointQueryRoundTripsAndValidatesMeter) {
+  PointQueryPayload query;
+  query.request_id = 0x0123456789abcdefull;
+  query.meter_id = "house_042";
+  Frame frame = MakePointQuery(query);
+  ASSERT_OK_AND_ASSIGN(PointQueryPayload parsed, ParsePointQuery(frame));
+  EXPECT_EQ(parsed.request_id, query.request_id);
+  EXPECT_EQ(parsed.meter_id, "house_042");
+  ExpectPayloadClosure(frame, ParsePointQuery);
+
+  PointQueryPayload bad = query;
+  bad.meter_id = "no spaces allowed";
+  EXPECT_FALSE(ParsePointQuery(MakePointQuery(bad)).ok());
+}
+
+TEST(QueryWireTest, PointResultRoundTripsOkAndGap) {
+  PointResultPayload result;
+  result.request_id = 42;
+  result.timestamp = -86'400;
+  result.level = 4;
+  result.symbol = 11;
+  ASSERT_OK_AND_ASSIGN(PointResultPayload parsed,
+                       ParsePointResult(MakePointResult(result)));
+  EXPECT_EQ(parsed.request_id, 42u);
+  EXPECT_EQ(parsed.timestamp, -86'400);
+  EXPECT_EQ(parsed.level, 4);
+  EXPECT_EQ(parsed.symbol, 11);
+
+  result.symbol = kWireGapSymbol;  // a GAP is legal at any level
+  EXPECT_TRUE(ParsePointResult(MakePointResult(result)).ok());
+  result.symbol = 1u << 4;  // outside the level-4 alphabet
+  EXPECT_FALSE(ParsePointResult(MakePointResult(result)).ok());
+  result.symbol = 0;
+  result.level = kMaxSymbolLevel + 1;
+  EXPECT_FALSE(ParsePointResult(MakePointResult(result)).ok());
+}
+
+TEST(QueryWireTest, NonOkPointResultMustCarryCanonicalDefaults) {
+  PointResultPayload error;
+  error.request_id = 9;
+  error.status = WireStatus::kNotFound;
+  error.message = "meter never reported";
+  EXPECT_TRUE(ParsePointResult(MakePointResult(error)).ok());
+  // Values smuggled alongside an error status are refused.
+  error.timestamp = 1;
+  EXPECT_FALSE(ParsePointResult(MakePointResult(error)).ok());
+  error.timestamp = 0;
+  error.symbol = 3;
+  EXPECT_FALSE(ParsePointResult(MakePointResult(error)).ok());
+}
+
+TEST(QueryWireTest, RangeQueryRoundTripsAndValidates) {
+  RangeQueryPayload query;
+  query.request_id = 5;
+  query.meter_id = "house_a";
+  query.start = -900;
+  query.end = 86'400;
+  query.level = 0;  // native
+  query.max_symbols = 1024;
+  Frame frame = MakeRangeQuery(query);
+  ASSERT_OK_AND_ASSIGN(RangeQueryPayload parsed, ParseRangeQuery(frame));
+  EXPECT_EQ(parsed.request_id, 5u);
+  EXPECT_EQ(parsed.meter_id, "house_a");
+  EXPECT_EQ(parsed.start, -900);
+  EXPECT_EQ(parsed.end, 86'400);
+  EXPECT_EQ(parsed.level, 0);
+  EXPECT_EQ(parsed.max_symbols, 1024u);
+  ExpectPayloadClosure(frame, ParseRangeQuery);
+
+  RangeQueryPayload bad = query;
+  bad.end = bad.start;  // empty window
+  EXPECT_FALSE(ParseRangeQuery(MakeRangeQuery(bad)).ok());
+  bad = query;
+  bad.level = kMaxSymbolLevel + 1;
+  EXPECT_FALSE(ParseRangeQuery(MakeRangeQuery(bad)).ok());
+  bad = query;
+  bad.max_symbols = 0;
+  EXPECT_FALSE(ParseRangeQuery(MakeRangeQuery(bad)).ok());
+  bad = query;
+  bad.start = kMaxWireTimestamp + 1;
+  bad.end = kMaxWireTimestamp + 2;
+  EXPECT_FALSE(ParseRangeQuery(MakeRangeQuery(bad)).ok());
+}
+
+TEST(QueryWireTest, RangeResultRoundTripsSymbolsAndGaps) {
+  RangeResultPayload result;
+  result.request_id = 77;
+  result.start_timestamp = 3600;
+  result.step_seconds = 900;
+  result.level = 3;
+  result.truncated = 1;
+  result.symbols = {0, 7, kWireGapSymbol, 5, 1};
+  Frame frame = MakeRangeResult(result);
+  ASSERT_OK_AND_ASSIGN(RangeResultPayload parsed, ParseRangeResult(frame));
+  EXPECT_EQ(parsed.symbols, result.symbols);
+  EXPECT_EQ(parsed.truncated, 1);
+  EXPECT_EQ(parsed.step_seconds, 900);
+  ExpectPayloadClosure(frame, ParseRangeResult);
+
+  // A symbol outside the level-3 alphabet is refused.
+  result.symbols.push_back(8);
+  EXPECT_FALSE(ParseRangeResult(MakeRangeResult(result)).ok());
+  result.symbols.pop_back();
+
+  // A count field that disagrees with the actual payload size is refused
+  // (hostile length smuggling).
+  Frame lying = frame;
+  lying.payload.resize(lying.payload.size() - 2);
+  EXPECT_FALSE(ParseRangeResult(lying).ok());
+}
+
+TEST(QueryWireTest, NonOkRangeResultMustCarryCanonicalDefaults) {
+  RangeResultPayload error;
+  error.request_id = 8;
+  error.status = WireStatus::kBadFrame;
+  error.message = "level finer than native";
+  EXPECT_TRUE(ParseRangeResult(MakeRangeResult(error)).ok());
+  error.symbols = {1};
+  EXPECT_FALSE(ParseRangeResult(MakeRangeResult(error)).ok());
+  error.symbols.clear();
+  error.truncated = 1;
+  EXPECT_FALSE(ParseRangeResult(MakeRangeResult(error)).ok());
+}
+
+TEST(QueryWireTest, AggregateQueryRoundTripsAndValidates) {
+  AggregateQueryPayload query;
+  query.request_id = 3;
+  query.start = 0;
+  query.end = 7 * 86'400;
+  query.level = 2;
+  Frame frame = MakeAggregateQuery(query);
+  ASSERT_OK_AND_ASSIGN(AggregateQueryPayload parsed,
+                       ParseAggregateQuery(frame));
+  EXPECT_EQ(parsed.level, 2);
+  EXPECT_EQ(parsed.end, 7 * 86'400);
+  ExpectPayloadClosure(frame, ParseAggregateQuery);
+
+  AggregateQueryPayload bad = query;
+  bad.level = 0;  // aggregate has no "native": level is mandatory
+  EXPECT_FALSE(ParseAggregateQuery(MakeAggregateQuery(bad)).ok());
+  bad = query;
+  bad.end = bad.start - 1;
+  EXPECT_FALSE(ParseAggregateQuery(MakeAggregateQuery(bad)).ok());
+}
+
+TEST(QueryWireTest, AggregateResultRoundTripsHistogram) {
+  AggregateResultPayload result;
+  result.request_id = 12;
+  result.level = 2;
+  result.meters = 300;
+  result.meters_coarser = 4;
+  result.windows = 100'000;
+  result.gaps = 250;
+  result.rollup_partitions = 30;
+  result.scanned_partitions = 2;
+  result.histogram = {10, 20, 30, 40};
+  Frame frame = MakeAggregateResult(result);
+  ASSERT_OK_AND_ASSIGN(AggregateResultPayload parsed,
+                       ParseAggregateResult(frame));
+  EXPECT_EQ(parsed.histogram, result.histogram);
+  EXPECT_EQ(parsed.meters, 300u);
+  EXPECT_EQ(parsed.rollup_partitions, 30u);
+  ExpectPayloadClosure(frame, ParseAggregateResult);
+
+  // Histogram size must be exactly 2^level on an ok result.
+  result.histogram.push_back(0);
+  EXPECT_FALSE(ParseAggregateResult(MakeAggregateResult(result)).ok());
+  result.histogram.pop_back();
+  // Gap count can never exceed the window count.
+  result.gaps = result.windows + 1;
+  EXPECT_FALSE(ParseAggregateResult(MakeAggregateResult(result)).ok());
+}
+
+TEST(QueryWireTest, NonOkAggregateResultMustCarryCanonicalDefaults) {
+  AggregateResultPayload error;
+  error.request_id = 2;
+  error.status = WireStatus::kServerError;
+  error.message = "store unavailable";
+  EXPECT_TRUE(ParseAggregateResult(MakeAggregateResult(error)).ok());
+  error.meters = 1;
+  EXPECT_FALSE(ParseAggregateResult(MakeAggregateResult(error)).ok());
+  error.meters = 0;
+  error.histogram = {0, 0};
+  EXPECT_FALSE(ParseAggregateResult(MakeAggregateResult(error)).ok());
+}
+
+TEST(QueryWireTest, QueryFramesSurviveTheSharedFrameLayer) {
+  // Query frames ride the ingest frame codec unchanged: encode, decode,
+  // re-parse, byte-identical re-encode.
+  PointQueryPayload query;
+  query.request_id = 99;
+  query.meter_id = "m1";
+  Frame frame = MakePointQuery(query);
+  std::string bytes = EncodeFrame(frame);
+  DecodeResult decoded = DecodeFrame(bytes);
+  ASSERT_EQ(decoded.outcome, DecodeResult::Outcome::kFrame);
+  ASSERT_OK_AND_ASSIGN(PointQueryPayload parsed,
+                       ParsePointQuery(decoded.frame));
+  EXPECT_EQ(EncodeFrame(MakePointQuery(parsed)), bytes);
+}
+
+}  // namespace
+}  // namespace smeter::net

@@ -22,8 +22,11 @@
 #include "data/generator.h"
 #include "data/redd.h"
 #include "client/uploader.h"
+#include "core/archive_store.h"
 #include "net/ingest_server.h"
 #include "net/loadgen.h"
+#include "net/query_client.h"
+#include "net/query_server.h"
 
 namespace smeter::cli {
 namespace {
@@ -807,6 +810,274 @@ Status CmdUplink(const Flags& flags, std::ostream& out, int* exit_code) {
   return Status::Ok();
 }
 
+Status CmdStoreBuild(const Flags& flags, std::ostream& out) {
+  Result<std::string> archive = flags.Get("archive");
+  if (!archive.ok()) return archive.status();
+  Result<std::string> store = flags.Get("store");
+  if (!store.ok()) return store.status();
+  Result<int64_t> partition = flags.GetInt("partition-seconds", kSecondsPerDay);
+  if (!partition.ok()) return partition.status();
+  Result<int64_t> slots = flags.GetInt("max-block-slots", 4096);
+  if (!slots.ok()) return slots.status();
+  SMETER_RETURN_IF_ERROR(CheckNoStrayFlags(flags));
+
+  StoreBuildOptions options;
+  options.partition_seconds = *partition;
+  options.max_block_slots = static_cast<size_t>(*slots);
+  Result<StoreBuildReport> report =
+      BuildArchiveStore(*archive, *store, options);
+  if (!report.ok()) return report.status();
+  out << "{\n"
+      << "  \"meters\": " << report->meters << ",\n"
+      << "  \"meters_skipped\": " << report->meters_skipped << ",\n"
+      << "  \"partitions\": " << report->partitions << ",\n"
+      << "  \"segments_written\": " << report->segments_written << ",\n"
+      << "  \"segment_bytes\": " << report->segment_bytes << "\n"
+      << "}\n";
+  return Status::Ok();
+}
+
+Status CmdStoreRollup(const Flags& flags, std::ostream& out) {
+  Result<std::string> store = flags.Get("store");
+  if (!store.ok()) return store.status();
+  SMETER_RETURN_IF_ERROR(CheckNoStrayFlags(flags));
+  Result<size_t> partitions = RebuildRollups(*store);
+  if (!partitions.ok()) return partitions.status();
+  out << "rebuilt rollups in " << *partitions << " partition(s)\n";
+  return Status::Ok();
+}
+
+Status CmdStoreRetain(const Flags& flags, std::ostream& out) {
+  Result<std::string> store = flags.Get("store");
+  if (!store.ok()) return store.status();
+  Result<int64_t> cutoff = flags.GetInt("cutoff", 0);
+  if (!cutoff.ok()) return cutoff.status();
+  SMETER_RETURN_IF_ERROR(CheckNoStrayFlags(flags));
+  Result<size_t> dropped = DropPartitionsBefore(*store, *cutoff);
+  if (!dropped.ok()) return dropped.status();
+  out << "dropped " << *dropped << " partition(s) ending at or before "
+      << *cutoff << "\n";
+  return Status::Ok();
+}
+
+// The running query daemon, for the signal handlers (same discipline as
+// g_ingest_server: written before signals install, async-signal-safe
+// entry points only).
+net::QueryServer* g_query_server = nullptr;
+
+void HandleQueryDrainSignal(int) {
+  if (g_query_server != nullptr) g_query_server->RequestDrain();
+}
+
+void HandleQueryStatsSignal(int) {
+  if (g_query_server != nullptr) g_query_server->RequestStatsDump();
+}
+
+Status CmdQueryd(const Flags& flags, std::ostream& out) {
+  Result<std::string> listen = flags.Get("listen");
+  if (!listen.ok()) return listen.status();
+  Result<std::string> store = flags.Get("store");
+  if (!store.ok()) return store.status();
+  std::string current_dir = flags.GetOr("current-dir", "");
+  std::string auth_token = flags.GetOr("auth-token", "");
+  Result<int64_t> idle = flags.GetInt("idle-timeout-ms", 30'000);
+  if (!idle.ok()) return idle.status();
+  Result<int64_t> grace = flags.GetInt("drain-grace-ms", 5'000);
+  if (!grace.ok()) return grace.status();
+  Result<int64_t> exit_after = flags.GetInt("exit-after-queries", 0);
+  if (!exit_after.ok()) return exit_after.status();
+  Result<int64_t> watermark = flags.GetInt("high-watermark", 1 << 20);
+  if (!watermark.ok()) return watermark.status();
+  Result<int64_t> max_conns = flags.GetInt("max-connections", 0);
+  if (!max_conns.ok()) return max_conns.status();
+  Result<int64_t> memory_budget = flags.GetInt("memory-budget", 0);
+  if (!memory_budget.ok()) return memory_budget.status();
+  Result<int64_t> throttle_retry = flags.GetInt("throttle-retry-ms", 250);
+  if (!throttle_retry.ok()) return throttle_retry.status();
+  Result<int64_t> max_scan = flags.GetInt(
+      "max-scan-symbols", static_cast<int64_t>(net::kMaxWireRangeSymbols));
+  if (!max_scan.ok()) return max_scan.status();
+  SMETER_RETURN_IF_ERROR(CheckNoStrayFlags(flags));
+  if (*exit_after < 0) {
+    return InvalidArgumentError("--exit-after-queries must be >= 0");
+  }
+  if (*watermark <= 0) {
+    return InvalidArgumentError("--high-watermark must be > 0");
+  }
+  if (*max_scan < 1 ||
+      *max_scan > static_cast<int64_t>(net::kMaxWireRangeSymbols)) {
+    return InvalidArgumentError(
+        "--max-scan-symbols must be in [1, " +
+        std::to_string(net::kMaxWireRangeSymbols) + "]");
+  }
+  if (*throttle_retry < 0 || *throttle_retry > 3'600'000) {
+    return InvalidArgumentError("--throttle-retry-ms must be in [0, 3600000]");
+  }
+
+  net::QueryServerOptions options;
+  SMETER_RETURN_IF_ERROR(
+      net::ParseListenAddress(*listen, &options.host, &options.port));
+  options.store_dir = *store;
+  options.current_dir = current_dir;
+  options.auth_token = auth_token;
+  options.idle_timeout_ms = *idle;
+  options.drain_grace_ms = *grace;
+  options.exit_after_queries = static_cast<uint64_t>(*exit_after);
+  options.high_watermark = static_cast<size_t>(*watermark);
+  options.max_connections = static_cast<int>(*max_conns);
+  options.memory_budget = static_cast<size_t>(*memory_budget);
+  options.throttle_retry_ms = static_cast<uint32_t>(*throttle_retry);
+  options.max_scan_symbols = static_cast<uint32_t>(*max_scan);
+
+  Result<std::unique_ptr<net::QueryServer>> server =
+      net::QueryServer::Create(std::move(options));
+  if (!server.ok()) return server.status();
+
+  out << "queryd listening on " << (*server)->port() << ", store " << *store
+      << "\n"
+      << std::flush;
+
+  g_query_server = server->get();
+  struct sigaction action{};
+  action.sa_handler = HandleQueryDrainSignal;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+  action.sa_handler = HandleQueryStatsSignal;
+  sigaction(SIGUSR1, &action, nullptr);
+
+  Status status = (*server)->Run();
+  g_query_server = nullptr;
+  ScopedThreadRole owner((*server)->role());
+  out << (*server)->counters().ToJson() << "\n";
+  return status;
+}
+
+// Prints a symbol list with GAPs spelled out.
+void PrintSymbols(const std::vector<uint16_t>& symbols, std::ostream& out) {
+  out << "[";
+  for (size_t i = 0; i < symbols.size(); ++i) {
+    if (i > 0) out << ", ";
+    if (symbols[i] == net::kWireGapSymbol) {
+      out << "null";
+    } else {
+      out << symbols[i];
+    }
+  }
+  out << "]";
+}
+
+Status CmdQuery(const Flags& flags, std::ostream& out, int* exit_code) {
+  Result<std::string> connect = flags.Get("connect");
+  if (!connect.ok()) return connect.status();
+  Result<std::string> op = flags.Get("op");
+  if (!op.ok()) return op.status();
+  std::string auth_token = flags.GetOr("auth-token", "");
+  Result<int64_t> timeout = flags.GetInt("timeout-ms", 5'000);
+  if (!timeout.ok()) return timeout.status();
+
+  net::QueryClientOptions options;
+  SMETER_RETURN_IF_ERROR(
+      net::ParseListenAddress(*connect, &options.host, &options.port));
+  options.auth_token = auth_token;
+  options.timeout_ms = *timeout;
+
+  if (*op == "point") {
+    Result<std::string> meter = flags.Get("meter");
+    if (!meter.ok()) return meter.status();
+    SMETER_RETURN_IF_ERROR(CheckNoStrayFlags(flags));
+    Result<std::unique_ptr<net::QueryClient>> client =
+        net::QueryClient::Connect(std::move(options));
+    if (!client.ok()) return client.status();
+    Result<net::PointResultPayload> result = (*client)->Point(*meter);
+    if (!result.ok()) return result.status();
+    if (result->status != net::WireStatus::kOk) {
+      out << "{ \"status\": \"" << net::WireStatusName(result->status)
+          << "\", \"message\": \"" << result->message << "\" }\n";
+      *exit_code = result->status == net::WireStatus::kNotFound ? 4 : 1;
+      return Status::Ok();
+    }
+    out << "{ \"timestamp\": " << result->timestamp
+        << ", \"level\": " << static_cast<int>(result->level)
+        << ", \"symbol\": ";
+    if (result->symbol == net::kWireGapSymbol) {
+      out << "null";
+    } else {
+      out << result->symbol;
+    }
+    out << " }\n";
+    return Status::Ok();
+  }
+
+  Result<int64_t> start = flags.GetInt("start", 0);
+  if (!start.ok()) return start.status();
+  Result<int64_t> end = flags.GetInt("end", 0);
+  if (!end.ok()) return end.status();
+  Result<int64_t> level = flags.GetInt("level", 0);
+  if (!level.ok()) return level.status();
+
+  if (*op == "range") {
+    Result<std::string> meter = flags.Get("meter");
+    if (!meter.ok()) return meter.status();
+    Result<int64_t> max_symbols = flags.GetInt("max-symbols", 1 << 16);
+    if (!max_symbols.ok()) return max_symbols.status();
+    SMETER_RETURN_IF_ERROR(CheckNoStrayFlags(flags));
+    Result<std::unique_ptr<net::QueryClient>> client =
+        net::QueryClient::Connect(std::move(options));
+    if (!client.ok()) return client.status();
+    Result<net::RangeResultPayload> result =
+        (*client)->Range(*meter, {*start, *end}, static_cast<int>(*level),
+                         static_cast<uint32_t>(*max_symbols));
+    if (!result.ok()) return result.status();
+    if (result->status != net::WireStatus::kOk) {
+      out << "{ \"status\": \"" << net::WireStatusName(result->status)
+          << "\", \"message\": \"" << result->message << "\" }\n";
+      *exit_code = result->status == net::WireStatus::kNotFound ? 4 : 1;
+      return Status::Ok();
+    }
+    out << "{ \"start\": " << result->start_timestamp
+        << ", \"step\": " << result->step_seconds
+        << ", \"level\": " << static_cast<int>(result->level)
+        << ", \"truncated\": " << (result->truncated != 0 ? "true" : "false")
+        << ", \"symbols\": ";
+    PrintSymbols(result->symbols, out);
+    out << " }\n";
+    return Status::Ok();
+  }
+
+  if (*op == "aggregate") {
+    SMETER_RETURN_IF_ERROR(CheckNoStrayFlags(flags));
+    Result<std::unique_ptr<net::QueryClient>> client =
+        net::QueryClient::Connect(std::move(options));
+    if (!client.ok()) return client.status();
+    Result<net::AggregateResultPayload> result = (*client)->Aggregate(
+        {*start, *end}, static_cast<int>(*level == 0 ? 1 : *level));
+    if (!result.ok()) return result.status();
+    if (result->status != net::WireStatus::kOk) {
+      out << "{ \"status\": \"" << net::WireStatusName(result->status)
+          << "\", \"message\": \"" << result->message << "\" }\n";
+      *exit_code = result->status == net::WireStatus::kNotFound ? 4 : 1;
+      return Status::Ok();
+    }
+    out << "{ \"level\": " << static_cast<int>(result->level)
+        << ", \"meters\": " << result->meters
+        << ", \"meters_coarser\": " << result->meters_coarser
+        << ", \"windows\": " << result->windows
+        << ", \"gaps\": " << result->gaps
+        << ", \"rollup_partitions\": " << result->rollup_partitions
+        << ", \"scanned_partitions\": " << result->scanned_partitions
+        << ", \"histogram\": [";
+    for (size_t i = 0; i < result->histogram.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << result->histogram[i];
+    }
+    out << "] }\n";
+    return Status::Ok();
+  }
+
+  return InvalidArgumentError("unknown --op '" + *op +
+                              "' (expected point|range|aggregate)");
+}
+
 // Dispatches one subcommand. `exit_code` is the fsck(8)-style process code
 // for commands that grade their findings (only fsck today); commands that
 // either succeed or fail leave it at 0 and speak through the Status.
@@ -833,6 +1104,11 @@ Status RunCliWithCode(const std::vector<std::string>& args,
   if (command == "ingestd") return CmdIngestd(*flags, out);
   if (command == "loadgen") return CmdLoadgen(*flags, out, exit_code);
   if (command == "uplink") return CmdUplink(*flags, out, exit_code);
+  if (command == "store-build") return CmdStoreBuild(*flags, out);
+  if (command == "store-rollup") return CmdStoreRollup(*flags, out);
+  if (command == "store-retain") return CmdStoreRetain(*flags, out);
+  if (command == "queryd") return CmdQueryd(*flags, out);
+  if (command == "query") return CmdQuery(*flags, out, exit_code);
   return InvalidArgumentError("unknown command '" + command +
                               "'; run `smeter help`");
 }
@@ -1029,6 +1305,50 @@ std::string UsageText() {
       "               spools are left alone; exits 1 if any spool failed\n"
       "               (safe to rerun).\n"
       "               --remove-done true unlinks each spool once DONE\n"
+      "  store-build  --archive DIR --store DIR\n"
+      "               [--partition-seconds 86400] [--max-block-slots 4096]\n"
+      "               build a time-partitioned query store from a v3 fleet\n"
+      "               archive (encode-fleet's or a drained ingestd's): one\n"
+      "               p<id>/ directory per partition with per-meter .seg\n"
+      "               segment files, a rollup.tab of pre-computed per-meter\n"
+      "               histograms, a crc-checked store.index, and the hot\n"
+      "               current.tab of last-known symbols. Deterministic:\n"
+      "               rebuilding over the same archive is byte-identical.\n"
+      "  store-rollup --store DIR\n"
+      "               rebuild every partition's rollup.tab from its segment\n"
+      "               files (after fsck flags stale rollups, or a killed\n"
+      "               build); converges to the store-build output\n"
+      "  store-retain --store DIR --cutoff TS\n"
+      "               drop whole partitions whose window ends at or before\n"
+      "               the cutoff timestamp (retention = unlink, no rewrite)\n"
+      "  queryd       --listen HOST:PORT --store DIR [--current-dir D]\n"
+      "               [--auth-token T] [--idle-timeout-ms 30000]\n"
+      "               [--drain-grace-ms 5000] [--exit-after-queries 0]\n"
+      "               [--high-watermark 1048576] [--max-connections 0]\n"
+      "               [--memory-budget 0] [--throttle-retry-ms 250]\n"
+      "               [--max-scan-symbols 1048576]\n"
+      "               serve point/range/aggregate queries over a built\n"
+      "               store on the same CRC32C framing ingestd speaks.\n"
+      "               --current-dir points the hot point-lookup table at a\n"
+      "               live ingestd archive for fresh last-known symbols.\n"
+      "               SIGTERM/SIGINT drain gracefully; SIGUSR1 dumps the\n"
+      "               counters JSON to stderr. overload protection (0 =\n"
+      "               off): --max-connections sheds accepts with a\n"
+      "               THROTTLE(admission); --memory-budget converts a\n"
+      "               reply burst that would exceed the per-connection\n"
+      "               buffer into a THROTTLE(memory) and closes;\n"
+      "               --max-scan-symbols caps one range scan server-side\n"
+      "  query        --connect HOST:PORT --op point|range|aggregate\n"
+      "               [--meter M] [--start TS] [--end TS] [--level 0]\n"
+      "               [--max-symbols 65536] [--auth-token T]\n"
+      "               [--timeout-ms 5000]\n"
+      "               one query against a running queryd, result as JSON.\n"
+      "               point needs --meter; range needs --meter and the\n"
+      "               [--start, --end) window (--level 0 = native, k < n\n"
+      "               serves the coarser alphabet by prefix truncation);\n"
+      "               aggregate folds the whole fleet's histograms over\n"
+      "               the window at --level. exit 4 = no data (not-found),\n"
+      "               1 = refused, 0 = served\n"
       "  help\n";
 }
 

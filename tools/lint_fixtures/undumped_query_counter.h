@@ -1,0 +1,16 @@
+// Seeded violation for the counters-dumped rule on the query serving
+// layer: `queries_vanished` is a real QueryCounters field but never
+// reaches the stats-dump JSON below, so an operator watching the queryd
+// SIGUSR1 output could never see it move.
+
+#include <cstdint>
+#include <string>
+
+struct QueryCounters {
+  uint64_t queries_point = 0;
+  uint64_t queries_vanished = 0;
+};
+
+inline std::string ToJson() {
+  return "{\"queries_point\": 1}";
+}

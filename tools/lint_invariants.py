@@ -7,11 +7,12 @@ Rules (each finding is `rule: path:line: message`, exit 1 if any fire):
                         must be exercised by at least one test — the quoted
                         name must appear somewhere under tests/. A seam
                         nobody injects through is dead recovery code.
-  wire-codec-closure    Every wire builder `Make<X>` in src/net/wire.h must
-                        have a matching parser `Parse<X>` (alias: Pong
-                        parses via ParsePing), and both sides must appear
-                        in a test (the fuzz closure harness or a unit
-                        test). One-way codecs rot silently.
+  wire-codec-closure    Every wire builder `Make<X>` in src/net/wire.h or
+                        src/net/query_wire.h must have a matching parser
+                        `Parse<X>` (alias: Pong parses via ParsePing), and
+                        both sides must appear in a test (the fuzz closure
+                        harnesses or a unit test). One-way codecs rot
+                        silently.
   raw-system            No `::system(` in src/ or tools/: shelling out
                         bypasses the Status error contract and the fault
                         seams.
@@ -30,9 +31,10 @@ Rules (each finding is `rule: path:line: message`, exit 1 if any fire):
                         -Wthread-safety sees every acquisition
                         (DESIGN.md section 13).
   counters-dumped       Every uint64_t field of IngestCounters
-                        (src/net/ingest_server.h) must appear as a quoted
-                        JSON key in src/net/ingest_server.cc — a counter
-                        that never reaches the SIGUSR1 stats dump is an
+                        (src/net/ingest_server.h) and QueryCounters
+                        (src/net/query_server.h) must appear as a quoted
+                        JSON key in the matching .cc — a counter that
+                        never reaches the SIGUSR1 stats dump is an
                         overload signal nobody can observe (DESIGN.md
                         section 15).
 
@@ -80,9 +82,19 @@ MUTEX_RE = re.compile(
 )
 # Pong frames parse through ParsePing (one nonce payload, two directions).
 PARSER_ALIASES = {"Pong": "Ping"}
-COUNTERS_STRUCT_RE = re.compile(r"struct\s+IngestCounters\s*\{(.*?)\};",
-                                re.DOTALL)
+# Headers holding Make*/Parse* codec pairs that must close over each other.
+WIRE_HEADERS = ("src/net/wire.h", "src/net/query_wire.h")
+# Counter structs whose every field must reach the SIGUSR1 stats dump:
+# struct name -> (header with the struct, impl with the ToJson dump).
+COUNTER_STRUCTS = {
+    "IngestCounters": ("src/net/ingest_server.h", "src/net/ingest_server.cc"),
+    "QueryCounters": ("src/net/query_server.h", "src/net/query_server.cc"),
+}
 COUNTER_FIELD_RE = re.compile(r"\buint64_t\s+(\w+)\s*=")
+
+
+def counters_struct_re(name):
+    return re.compile(r"struct\s+" + name + r"\s*\{(.*?)\};", re.DOTALL)
 
 
 def strip_line_comment(line):
@@ -165,10 +177,10 @@ def lint_wire_closure(rel, wire_text, test_blob):
     return findings
 
 
-def lint_counters_dumped(header_rel, header_text, impl_text):
-    """Every IngestCounters field must surface in the stats-dump JSON."""
+def lint_counters_dumped(struct_name, header_rel, header_text, impl_text):
+    """Every field of the counter struct must surface in the dump JSON."""
     findings = []
-    struct = COUNTERS_STRUCT_RE.search(header_text)
+    struct = counters_struct_re(struct_name).search(header_text)
     if not struct:
         return findings
     for field_match in COUNTER_FIELD_RE.finditer(struct.group(1)):
@@ -181,7 +193,7 @@ def lint_counters_dumped(header_rel, header_text, impl_text):
                                  field_match.start()].count("\n") + 1
             findings.append((
                 "counters-dumped", header_rel, lineno,
-                f'IngestCounters.{field} never appears as a quoted JSON '
+                f'{struct_name}.{field} never appears as a quoted JSON '
                 f'key in the stats dump (ToJson must emit every counter)'))
     return findings
 
@@ -214,15 +226,15 @@ def lint_tree(root):
     for rel, text in sorted(src_texts.items()):
         findings.extend(lint_tokens(rel, text))
     findings.extend(lint_fault_points(src_texts, test_blob))
-    wire_rel = "src/net/wire.h"
-    if wire_rel in src_texts:
-        findings.extend(lint_wire_closure(wire_rel, src_texts[wire_rel],
-                                          test_blob))
-    counters_rel = "src/net/ingest_server.h"
-    if counters_rel in src_texts:
-        findings.extend(lint_counters_dumped(
-            counters_rel, src_texts[counters_rel],
-            src_texts.get("src/net/ingest_server.cc", "")))
+    for wire_rel in WIRE_HEADERS:
+        if wire_rel in src_texts:
+            findings.extend(lint_wire_closure(wire_rel, src_texts[wire_rel],
+                                              test_blob))
+    for struct_name, (header_rel, impl_rel) in sorted(COUNTER_STRUCTS.items()):
+        if header_rel in src_texts:
+            findings.extend(lint_counters_dumped(
+                struct_name, header_rel, src_texts[header_rel],
+                src_texts.get(impl_rel, "")))
     return findings
 
 
@@ -235,10 +247,11 @@ def lint_fixture(path):
     findings.extend(lint_fault_points({rel: text}, test_blob=""))
     if MAKE_RE.search(text) or PARSE_RE.search(text):
         findings.extend(lint_wire_closure(rel, text, test_blob=""))
-    if "IngestCounters" in text:
-        # The fixture plays both header and impl: its own JSON-ish string
-        # is the dump the fields must reach.
-        findings.extend(lint_counters_dumped(rel, text, text))
+    for struct_name in COUNTER_STRUCTS:
+        if struct_name in text:
+            # The fixture plays both header and impl: its own JSON-ish
+            # string is the dump the fields must reach.
+            findings.extend(lint_counters_dumped(struct_name, rel, text, text))
     return findings
 
 
@@ -252,6 +265,7 @@ FIXTURE_EXPECTATIONS = {
     "raw_system.cc": "raw-system",
     "array_new.cc": "array-new",
     "undumped_counter.h": "counters-dumped",
+    "undumped_query_counter.h": "counters-dumped",
     "clean.cc": None,
 }
 
